@@ -1,0 +1,142 @@
+//===----------------------------------------------------------------------===//
+//
+// Expansion-cost comparison (paper section 3: "Macros perform fairly
+// simple and routine actions where speed is not of tremendous importance,
+// so an interpretive approach suffices").
+//
+// The same resource-bracketing macro is implemented three ways —
+// character-level, token-level (CPP-style), and MS2 syntax-level — and
+// applied to programs with N invocations. The bench reports end-to-end
+// expansion time per system.
+//
+// Expected shape: char < token < syntax in raw speed (the syntax system
+// parses, type-checks, interprets, and re-prints); the gap is a modest
+// constant factor, the price of full syntactic safety. Within MS2, cost
+// scales linearly in N.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+#include "charmacro/CharMacro.h"
+#include "tokmacro/TokenMacro.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string makeBody(int N) {
+  std::ostringstream OS;
+  for (int I = 0; I != N; ++I)
+    OS << "    guarded(step" << I << "(a, b + " << I << "));\n";
+  return OS.str();
+}
+
+std::string wrapMs2(const std::string &Body) {
+  return "void f(void) {\n" + Body + "}\n";
+}
+
+void BM_CharMacro(benchmark::State &State) {
+  msq::CharMacroProcessor P;
+  P.define("guarded", {"E"}, "if (ok) { E; }");
+  std::string Program = wrapMs2(makeBody(int(State.range(0))));
+  for (auto _ : State) {
+    std::string Out = P.process(Program);
+    benchmark::DoNotOptimize(Out);
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_CharMacro)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_TokenMacro(benchmark::State &State) {
+  msq::TokenMacroProcessor P;
+  P.define("guarded", {"E"}, "if (ok) { E; }", true);
+  std::string Program = wrapMs2(makeBody(int(State.range(0))));
+  for (auto _ : State) {
+    std::string Out = P.expandFragment(Program);
+    benchmark::DoNotOptimize(Out);
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_TokenMacro)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SyntaxMacro(benchmark::State &State) {
+  std::string Program = wrapMs2(makeBody(int(State.range(0))));
+  for (auto _ : State) {
+    msq::Engine E;
+    msq::ExpandResult L = E.expandSource("lib.c", R"(
+syntax stmt guarded {| ( $$exp::e ) |}
+{
+    return `{ if (ok) { $e; } };
+}
+)");
+    msq::ExpandResult R = E.expandSource("prog.c", Program);
+    if (!L.Success || !R.Success) {
+      State.SkipWithError("expansion failed");
+      return;
+    }
+    benchmark::DoNotOptimize(R.Output);
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_SyntaxMacro)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// Hygienic mode: what the future-work extension costs on top of plain
+// syntax-macro expansion (collect template locals + rename at splice).
+void BM_SyntaxMacroHygienic(benchmark::State &State) {
+  std::string Program = wrapMs2(makeBody(int(State.range(0))));
+  for (auto _ : State) {
+    msq::Engine::Options Opts;
+    Opts.HygienicExpansion = true;
+    msq::Engine E(Opts);
+    msq::ExpandResult L = E.expandSource("lib.c", R"(
+syntax stmt guarded {| ( $$exp::e ) |}
+{
+    return `{ if (ok) { $e; } };
+}
+)");
+    msq::ExpandResult R = E.expandSource("prog.c", Program);
+    if (!L.Success || !R.Success) {
+      State.SkipWithError("expansion failed");
+      return;
+    }
+    benchmark::DoNotOptimize(R.Output);
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_SyntaxMacroHygienic)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// Pure-C baseline: what the front end costs with no macro work at all
+// (isolates macro overhead from parsing/printing overhead).
+void BM_SyntaxNoMacros(benchmark::State &State) {
+  std::ostringstream OS;
+  OS << "void f(void) {\n";
+  for (int I = 0; I != int(State.range(0)); ++I)
+    OS << "    if (ok) { step" << I << "(a, b + " << I << "); }\n";
+  OS << "}\n";
+  std::string Program = OS.str();
+  for (auto _ : State) {
+    msq::Engine E;
+    msq::ExpandResult R = E.expandSource("prog.c", Program);
+    if (!R.Success) {
+      State.SkipWithError("parse failed");
+      return;
+    }
+    benchmark::DoNotOptimize(R.Output);
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_SyntaxNoMacros)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("expansion throughput: character vs. token vs. syntax macro "
+              "systems, N bracketing invocations per program\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

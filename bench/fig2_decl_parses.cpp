@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+//
+// Figure 2 reproduction: "The different parse trees for the source code
+// template `[int $y;] depending upon the AST type of the metavariable y."
+// Prints the paper's table verbatim (in its S-expression notation) and
+// benchmarks template parsing under each typing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+#include "printer/SExpr.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace {
+
+struct Typing {
+  const char *Label;
+  msq::MetaTypeKind Kind;
+  bool IsList;
+};
+
+const Typing Typings[] = {
+    {"init-declarator[]", msq::MetaTypeKind::InitDeclarator, true},
+    {"init-declarator", msq::MetaTypeKind::InitDeclarator, false},
+    {"declarator", msq::MetaTypeKind::Declarator, false},
+    {"identifier", msq::MetaTypeKind::Id, false},
+};
+
+const msq::MetaType *resolve(msq::MetaTypeContext &Types, const Typing &T) {
+  const msq::MetaType *M = Types.getScalar(T.Kind);
+  if (T.IsList)
+    M = Types.getList(M);
+  return M;
+}
+
+std::string parseDump(const Typing &T) {
+  msq::Engine E;
+  uint32_t Id = E.sourceManager().addBuffer("fig2.c", "`[int $y;]");
+  msq::Parser P(E.context());
+  P.declareMetaGlobal("y", resolve(E.context().Types, T));
+  msq::BackquoteExpr *BQ = P.parseBackquoteFragment(Id);
+  if (!BQ || E.context().Diags.hasErrors())
+    return "<parse error>";
+  return msq::sexprDump(BQ->Template);
+}
+
+void printTable() {
+  std::printf("Figure 2 — parses of the template `[int $y;] by the AST type "
+              "of y\n\n");
+  std::printf("%-20s %s\n", "AST type of y", "Parse");
+  for (const Typing &T : Typings)
+    std::printf("%-20s %s\n", T.Label, parseDump(T).c_str());
+  std::printf("\n");
+}
+
+void BM_TemplateParse(benchmark::State &State) {
+  const Typing &T = Typings[State.range(0)];
+  State.SetLabel(T.Label);
+  for (auto _ : State) {
+    msq::Engine E;
+    uint32_t Id = E.sourceManager().addBuffer("fig2.c", "`[int $y;]");
+    msq::Parser P(E.context());
+    P.declareMetaGlobal("y", resolve(E.context().Types, T));
+    msq::BackquoteExpr *BQ = P.parseBackquoteFragment(Id);
+    benchmark::DoNotOptimize(BQ);
+  }
+}
+BENCHMARK(BM_TemplateParse)->DenseRange(0, 3);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+//
+// Dynamic binding (paper section 4): a new statement form that saves a
+// variable, rebinds it during a body, and restores it afterwards — with a
+// gensym guaranteeing the temporary cannot collide with user code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include <cstdio>
+
+int main() {
+  const char *Program = R"(
+syntax stmt dynamic_bind
+    {| { $$typespec::type $$id::name = $$exp::init } { $$*stmt::body } |}
+{
+    @id newname = gensym();
+    return `{
+        $type $newname = $name;
+        $name = $init;
+        $body;
+        $name = $newname;
+    };
+}
+
+int printlength;
+int gym_class;
+
+void show_classes(void)
+{
+    /* Rebind printlength to 10 for the duration of the call. */
+    dynamic_bind {int printlength = 10}
+        {print_class_structure(gym_class);}
+
+    /* Nested dynamic binds save/restore independently. */
+    dynamic_bind {int printlength = 2}
+    {
+        dynamic_bind {int printlength = 99}
+            {deep_print(gym_class);}
+        shallow_print(gym_class);
+    }
+}
+)";
+
+  msq::Engine Engine;
+  msq::ExpandResult R = Engine.expandSource("dynamic_bind.c", Program);
+  if (!R.Success) {
+    std::fprintf(stderr, "expansion failed:\n%s", R.DiagnosticsText.c_str());
+    return 1;
+  }
+  std::printf("=== input =================================================\n");
+  std::printf("%s\n", Program);
+  std::printf("=== expanded ==============================================\n");
+  std::printf("%s", R.Output.c_str());
+  return 0;
+}

@@ -1,0 +1,128 @@
+//===----------------------------------------------------------------------===//
+//
+// msqc — the MS2 macro expander as a command-line filter:
+//
+//   msqc [options] [file...]         expand files (or stdin) to stdout
+//     -l <file>   load a macro-library file first (repeatable)
+//     -stdlib     load the bundled standard macro library first
+//     -hygienic   enable hygienic expansion
+//     -trace      print an expansion trace to stderr
+//     -c          use compiled invocation patterns
+//     -q          print only diagnostics, not output
+//
+// Exit status: 0 on success, 1 on any diagnostic error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+static bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Libraries;
+  std::vector<std::string> Files;
+  bool Compiled = false;
+  bool Quiet = false;
+  bool StdLib = false;
+  bool Hygienic = false;
+  bool Trace = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-l" && I + 1 < argc) {
+      Libraries.push_back(argv[++I]);
+    } else if (Arg == "-c") {
+      Compiled = true;
+    } else if (Arg == "-q") {
+      Quiet = true;
+    } else if (Arg == "-stdlib") {
+      StdLib = true;
+    } else if (Arg == "-hygienic") {
+      Hygienic = true;
+    } else if (Arg == "-trace") {
+      Trace = true;
+    } else if (Arg == "-h" || Arg == "--help") {
+      std::printf("usage: msqc [-c] [-q] [-stdlib] [-hygienic] "
+                  "[-l library.c]... [file.c]...\n"
+                  "expands MS2 syntax macros; reads stdin when no files "
+                  "are given\n");
+      return 0;
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+
+  msq::Engine::Options Opts;
+  Opts.UseCompiledPatterns = Compiled;
+  Opts.HygienicExpansion = Hygienic;
+  Opts.TraceExpansions = Trace;
+  msq::Engine Engine(Opts);
+  int Status = 0;
+
+  if (StdLib && !Engine.loadStandardLibrary()) {
+    std::fprintf(stderr, "msqc: failed to load the standard library\n");
+    return 1;
+  }
+
+  for (const std::string &Lib : Libraries) {
+    std::string Text;
+    if (!readFile(Lib, Text)) {
+      std::fprintf(stderr, "msqc: cannot read library '%s'\n", Lib.c_str());
+      return 1;
+    }
+    msq::ExpandResult R = Engine.expandSource(Lib, Text);
+    if (!R.Success) {
+      std::fputs(R.DiagnosticsText.c_str(), stderr);
+      return 1;
+    }
+  }
+
+  auto ProcessOne = [&](const std::string &Name, std::string Text) {
+    msq::ExpandResult R = Engine.expandSource(Name, std::move(Text));
+    if (!R.TraceText.empty())
+      std::fputs(R.TraceText.c_str(), stderr);
+    if (!R.DiagnosticsText.empty())
+      std::fputs(R.DiagnosticsText.c_str(), stderr);
+    if (!R.Success) {
+      Status = 1;
+      return;
+    }
+    if (!Quiet)
+      std::fputs(R.Output.c_str(), stdout);
+  };
+
+  if (Files.empty()) {
+    std::string Text;
+    char Buf[4096];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), stdin)) > 0)
+      Text.append(Buf, N);
+    ProcessOne("<stdin>", std::move(Text));
+  } else {
+    for (const std::string &F : Files) {
+      std::string Text;
+      if (!readFile(F, Text)) {
+        std::fprintf(stderr, "msqc: cannot read '%s'\n", F.c_str());
+        Status = 1;
+        continue;
+      }
+      ProcessOne(F, std::move(Text));
+    }
+  }
+  return Status;
+}

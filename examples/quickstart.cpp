@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+//
+// Quickstart: define one syntax macro and expand a program with it.
+//
+// The macro is the paper's Painting resource-bracket (section 1): a new
+// statement form that wraps its body in BeginPaint/EndPaint calls. The
+// expanded program is plain C — the meta program vanishes.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include <cstdio>
+
+int main() {
+  const char *Program = R"(
+/* ---- meta program: one macro definition ---------------------------- */
+
+syntax stmt Painting {| $$stmt::body |}
+{
+    return `{
+        BeginPaint(hDC, &ps);
+        $body;
+        EndPaint(hDC, &ps);
+    };
+}
+
+/* ---- object program: uses the new statement form ------------------- */
+
+void on_paint(void)
+{
+    Painting {
+        draw_background();
+        draw_border(3);
+        draw_text(10, 10, "hello, syntax macros");
+    }
+}
+)";
+
+  msq::Engine Engine;
+  msq::ExpandResult R = Engine.expandSource("quickstart.c", Program);
+
+  std::printf("=== input =================================================\n");
+  std::printf("%s\n", Program);
+  if (!R.Success) {
+    std::fprintf(stderr, "expansion failed:\n%s", R.DiagnosticsText.c_str());
+    return 1;
+  }
+  std::printf("=== expanded C (%zu macro(s), %zu invocation(s)) ==========\n",
+              R.MacrosDefined, R.InvocationsExpanded);
+  std::printf("%s", R.Output.c_str());
+  return 0;
+}

@@ -1,0 +1,115 @@
+//===----------------------------------------------------------------------===//
+//
+// Code rearrangement (paper section 4): writing a Windows-style message
+// dispatch procedure in a *distributed* fashion. Each
+// `window_proc_dispatch` invocation records a (procedure, message, handler)
+// triple in meta-level state (`metadcl` globals, which persist across
+// invocations); `emit_window_proc` later assembles the whole dispatch
+// switch in one place. This demonstrates the paper's "non-local
+// transformations are possible, and are a powerful tool".
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include <cstdio>
+
+static const char *WindowProcLibrary = R"(
+typedef int HWND;
+typedef int UINT;
+typedef int WPARAM;
+typedef int LPARAM;
+
+/* Accumulated meta-level dispatch tables. */
+metadcl @id wp_names[];
+metadcl @id wp_defaults[];
+metadcl @id wp_owners[];
+metadcl @id wp_messages[];
+metadcl @stmt wp_handlers[];
+
+syntax decl new_window_proc[]
+    {| $$id::name default $$id::default_proc ; |}
+{
+    @decl none[];
+    wp_names = append(wp_names, list(name));
+    wp_defaults = append(wp_defaults, list(default_proc));
+    return none;
+}
+
+syntax decl window_proc_dispatch[]
+    {| ( $$id::proc , $$id::message ) $$stmt::body |}
+{
+    @decl none[];
+    wp_owners = append(wp_owners, list(proc));
+    wp_messages = append(wp_messages, list(message));
+    wp_handlers = append(wp_handlers, list(body));
+    return none;
+}
+
+syntax decl emit_window_proc {| $$id::name ; |}
+{
+    @stmt cases[];
+    @id default_proc;
+    int i;
+    i = 0;
+    while (i < length(wp_names)) {
+        if (wp_names[i] == name)
+            default_proc = wp_defaults[i];
+        i = i + 1;
+    }
+    i = 0;
+    while (i < length(wp_owners)) {
+        if (wp_owners[i] == name)
+            cases = append(cases, list(
+                `{| stmt :: case $(wp_messages[i]): { $(wp_handlers[i]) break; } |}));
+        i = i + 1;
+    }
+    return `[int $name(HWND hWnd, UINT message, WPARAM wParam, LPARAM lParam)
+    {
+        switch (message) {
+            default: return $default_proc(hWnd, message, wParam, lParam);
+            $cases
+        }
+    }];
+}
+)";
+
+static const char *UserProgram = R"(
+new_window_proc wproc default DefWindowProc;
+
+/* The handlers are written where they make sense, not where the switch
+   statement needs them. */
+
+window_proc_dispatch(wproc, WM_DESTROY)
+    {KillTimer(hWnd, idTimer);
+     PostQuitMessage(0);}
+
+window_proc_dispatch(wproc, WM_CREATE)
+    {idTimer = SetTimer(hWnd, 77, 5000, 0);}
+
+window_proc_dispatch(wproc, WM_PAINT)
+    {repaint_window(hWnd);}
+
+/* ...and the dispatch procedure materializes here. */
+emit_window_proc wproc;
+)";
+
+int main() {
+  msq::Engine Engine;
+  msq::ExpandResult Lib =
+      Engine.expandSource("window_lib.c", WindowProcLibrary);
+  if (!Lib.Success) {
+    std::fprintf(stderr, "library failed:\n%s", Lib.DiagnosticsText.c_str());
+    return 1;
+  }
+  msq::ExpandResult R = Engine.expandSource("app.c", UserProgram);
+  if (!R.Success) {
+    std::fprintf(stderr, "expansion failed:\n%s", R.DiagnosticsText.c_str());
+    return 1;
+  }
+  std::printf("=== distributed source ====================================\n");
+  std::printf("%s\n", UserProgram);
+  std::printf("=== assembled dispatch procedure ==========================\n");
+  std::printf("%s", R.Output.c_str());
+  return 0;
+}

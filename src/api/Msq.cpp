@@ -1,0 +1,73 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include "api/StdMacros.h"
+
+using namespace msq;
+
+bool Engine::loadStandardLibrary() {
+  ExpandResult R =
+      expandSource("<msq-stdlib>", standardMacroLibrarySource());
+  return R.Success;
+}
+
+Engine::Engine() : Engine(Options()) {}
+
+Engine::Engine(Options Opts)
+    : Opts(Opts), CC(std::make_unique<CompilationContext>(SM)) {
+  Interpreter::Limits Lim;
+  Lim.HygienicTemplates = Opts.HygienicExpansion;
+  Lim.TraceExpansions = Opts.TraceExpansions;
+  Interp = std::make_unique<Interpreter>(*CC, Lim);
+}
+
+Engine::~Engine() = default;
+
+TranslationUnit *Engine::parseSource(std::string Name, std::string Source) {
+  uint32_t Id = SM.addBuffer(std::move(Name), std::move(Source));
+  Parser::Options POpts;
+  POpts.UseCompiledPatterns = Opts.UseCompiledPatterns;
+  Parser P(*CC, POpts);
+  return P.parseTranslationUnit(Id);
+}
+
+TranslationUnit *Engine::expandUnit(TranslationUnit *TU) {
+  Expander Exp(*CC, *Interp);
+  return Exp.expandTranslationUnit(TU);
+}
+
+ExpandResult Engine::expandSource(std::string Name, std::string Source) {
+  ExpandResult R;
+  // Success and the reported diagnostics are scoped to THIS source:
+  // errors from an earlier source in the session do not poison later,
+  // independently correct sources.
+  size_t FirstDiag = CC->Diags.all().size();
+  unsigned ErrorsBefore = CC->Diags.errorCount();
+  size_t StepsBefore = Interp->stepsExecuted();
+  size_t GensymsBefore = Interp->gensymCount();
+  size_t TraceBefore = Interp->traceLog().size();
+  TranslationUnit *TU = parseSource(std::move(Name), std::move(Source));
+  if (CC->Diags.errorCount() == ErrorsBefore) {
+    Expander Exp(*CC, *Interp);
+    TranslationUnit *Out = Exp.expandTranslationUnit(TU);
+    R.InvocationsExpanded = Exp.stats().InvocationsExpanded;
+    if (CC->Diags.errorCount() == ErrorsBefore) {
+      PrintOptions PO;
+      PO.AllowPlaceholders = false;
+      R.Output = printNode(Out, PO);
+    }
+  }
+  R.MacrosDefined = CC->Macros.size();
+  R.MetaStepsExecuted = Interp->stepsExecuted() - StepsBefore;
+  R.GensymsCreated = Interp->gensymCount() - GensymsBefore;
+  R.TraceText = Interp->traceLog().substr(TraceBefore);
+  R.DiagnosticsText = CC->Diags.renderFrom(FirstDiag);
+  R.Success = CC->Diags.errorCount() == ErrorsBefore;
+  return R;
+}

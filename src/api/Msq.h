@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public facade of MS2. An Engine owns one compilation: feed it
+/// source text (meta program + object program, mixed freely as with CPP),
+/// get back the macro-expanded C program.
+///
+/// \code
+///   msq::Engine Engine;
+///   msq::ExpandResult R = Engine.expandSource("demo.c", Source);
+///   if (R.Success) puts(R.Output.c_str());
+///   else fputs(R.DiagnosticsText.c_str(), stderr);
+/// \endcode
+///
+//======---------------------------------------------------------------------===//
+
+#ifndef MSQ_API_MSQ_H
+#define MSQ_API_MSQ_H
+
+#include "expand/Expander.h"
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+#include "printer/CPrinter.h"
+
+#include <memory>
+#include <string>
+
+namespace msq {
+
+/// Outcome of one expansion run.
+struct ExpandResult {
+  bool Success = false;
+  /// The expanded program, printed as C.
+  std::string Output;
+  /// Rendered diagnostics (errors, warnings, notes).
+  std::string DiagnosticsText;
+  /// Number of macro invocations expanded.
+  size_t InvocationsExpanded = 0;
+  /// Number of macros defined by the meta program.
+  size_t MacrosDefined = 0;
+  /// Meta-interpreter steps executed during this call.
+  size_t MetaStepsExecuted = 0;
+  /// Fresh identifiers created (gensym + hygiene renames) during this call.
+  size_t GensymsCreated = 0;
+  /// Expansion trace for this call (Options::TraceExpansions only).
+  std::string TraceText;
+};
+
+/// One MS2 compilation session. Macro definitions and meta globals persist
+/// across expandSource calls, so a macro library can be loaded first and
+/// user programs expanded afterwards.
+class Engine {
+public:
+  struct Options {
+    /// Compile each macro pattern to a specialized matcher at definition
+    /// time (paper section 3's suggested acceleration).
+    bool UseCompiledPatterns = false;
+    /// Hygienic expansion (the paper's future-work direction): rename
+    /// template-declared locals and labels to fresh names at every
+    /// instantiation so they cannot capture user identifiers.
+    bool HygienicExpansion = false;
+    /// Record a per-invocation expansion trace in ExpandResult::TraceText.
+    bool TraceExpansions = false;
+  };
+
+  Engine();
+  explicit Engine(Options Opts);
+  ~Engine();
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  /// Parses and expands \p Source, returning the printed C program.
+  ExpandResult expandSource(std::string Name, std::string Source);
+
+  /// Parses \p Source without expanding (definitions are still registered
+  /// and available to later calls).
+  TranslationUnit *parseSource(std::string Name, std::string Source);
+
+  /// Loads the standard macro library (see api/StdMacros.h). Returns false
+  /// (with diagnostics in the result of a later call) if it failed — which
+  /// indicates a build defect, not a user error.
+  bool loadStandardLibrary();
+
+  /// Expands an already-parsed translation unit.
+  TranslationUnit *expandUnit(TranslationUnit *TU);
+
+  /// Renders a tree as C.
+  std::string print(const Node *N) const { return printNode(N); }
+
+  // Advanced access for tests and benchmarks.
+  CompilationContext &context() { return *CC; }
+  Interpreter &interpreter() { return *Interp; }
+  SourceManager &sourceManager() { return SM; }
+
+private:
+  SourceManager SM;
+  Options Opts;
+  std::unique_ptr<CompilationContext> CC;
+  std::unique_ptr<Interpreter> Interp;
+};
+
+} // namespace msq
+
+#endif // MSQ_API_MSQ_H

@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/StdMacros.h"
+
+const char *msq::standardMacroLibrarySource() {
+  return R"MSQ(
+/* ===== MS2 standard macro library ===================================== */
+
+/* Inverted if. */
+syntax stmt unless {| ( $$exp::cond ) $$stmt::body |}
+{
+    return `{ if (!($cond)) $body; };
+}
+
+/* Allocate/use/release bracket (the paper's central idiom). */
+syntax stmt with_resource {| ( $$exp::acquire , $$exp::release ) $$stmt::body |}
+{
+    return `{
+        $acquire;
+        $body;
+        $release;
+    };
+}
+
+/* Counted loop with a fresh, capture-free counter. */
+syntax stmt repeat_n {| ( $$exp::count ) $$stmt::body |}
+{
+    @id i = gensym("rep");
+    return `{
+        int $i;
+        for ($i = 0; $i < $count; $i = $i + 1)
+            $body;
+    };
+}
+
+/* Exchange two variables; the temporary's type comes from the semantic
+   var_type query, so any declared variable type works. */
+syntax stmt swap_vars {| $$id::a , $$id::b |}
+{
+    @id tmp = gensym("swap");
+    return `{
+        $(var_type(a)) $tmp;
+        $tmp = $a;
+        $a = $b;
+        $b = $tmp;
+    };
+}
+
+/* Compile-time unrolled iteration over an expression list. */
+syntax stmt foreach_of {| $$id::var in ( $$+/, exp::items ) $$stmt::body |}
+{
+    @stmt copies[];
+    int i;
+    i = 0;
+    while (i < length(items)) {
+        copies = append(copies, list(`{
+            {
+                int $var;
+                $var = $(items[i]);
+                $body;
+            }
+        }));
+        i = i + 1;
+    }
+    return `{ $copies; };
+}
+
+/* Null-guarded execution. */
+syntax stmt assert_nonnull {| ( $$exp::ptr ) $$stmt::body |}
+{
+    return `{
+        if (($ptr) == 0)
+            null_violation();
+        else
+            $body;
+    };
+}
+
+/* Single-evaluation min/max/clamp: refuse non-simple arguments instead of
+   silently double-evaluating them (a compile-time guarantee CPP's
+   MIN/MAX famously cannot give). */
+syntax exp min_of {| ( $$exp::a , $$exp::b ) |}
+{
+    if (!simple_expression(a) || !simple_expression(b))
+        meta_error("min_of requires simple arguments; a compound argument would be evaluated twice");
+    return `(($a) < ($b) ? ($a) : ($b));
+}
+
+syntax exp max_of {| ( $$exp::a , $$exp::b ) |}
+{
+    if (!simple_expression(a) || !simple_expression(b))
+        meta_error("max_of requires simple arguments; a compound argument would be evaluated twice");
+    return `(($a) > ($b) ? ($a) : ($b));
+}
+
+syntax exp clamp_of {| ( $$exp::x , $$exp::lo , $$exp::hi ) |}
+{
+    if (!simple_expression(x) || !simple_expression(lo) ||
+        !simple_expression(hi))
+        meta_error("clamp_of requires simple arguments; a compound argument would be evaluated twice");
+    return `(($x) < ($lo) ? ($lo) : (($x) > ($hi) ? ($hi) : ($x)));
+}
+)MSQ";
+}

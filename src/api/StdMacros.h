@@ -1,0 +1,37 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MS2 standard macro library: a small set of broadly useful syntax
+/// macros written in the macro language itself (the paper's thesis is that
+/// such abstractions belong in libraries, not in the compiler). Load it
+/// with Engine::loadStandardLibrary().
+///
+/// Provided statement forms:
+///   unless (e) s                       inverted if
+///   with_resource (acq, rel) s         allocate/use/release bracket
+///   repeat_n (n) s                     counted loop, fresh counter
+///   swap_vars a, b                     exchange via var_type
+///   foreach_of id in (e, ...) s        compile-time unrolled iteration
+///   assert_nonnull (e) s               null-guarded execution
+/// Provided expression forms:
+///   min_of (a, b) / max_of (a, b)      single-evaluation min/max
+///   clamp_of (x, lo, hi)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_API_STDMACROS_H
+#define MSQ_API_STDMACROS_H
+
+namespace msq {
+
+/// Returns the source text of the standard macro library.
+const char *standardMacroLibrarySource();
+
+} // namespace msq
+
+#endif // MSQ_API_STDMACROS_H

@@ -1,0 +1,954 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax trees for the object language (a large C subset) and the
+/// macro language (C plus AST types, backquote templates, placeholders,
+/// macro definitions, and anonymous functions). One node hierarchy serves
+/// both levels, exactly as in the paper where "the macro language is C
+/// extended with AST datatypes".
+///
+/// Nodes are arena-allocated, kind-tagged, and support LLVM-style
+/// isa/cast/dyn_cast. Deep cloning (AstClone.cpp) and structural equality
+/// (AstEqual.cpp) operate over the whole hierarchy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_AST_AST_H
+#define MSQ_AST_AST_H
+
+#include "support/Arena.h"
+#include "support/Casting.h"
+#include "support/SourceManager.h"
+#include "support/StringInterner.h"
+#include "types/MetaType.h"
+
+namespace msq {
+
+class Expr;
+class Stmt;
+class Decl;
+class TypeSpecNode;
+struct Declarator;
+struct MacroInvocation;
+struct Pattern;
+class CompoundStmt;
+
+//===----------------------------------------------------------------------===//
+// Node kinds
+//===----------------------------------------------------------------------===//
+
+enum class NodeKind : unsigned char {
+  // Expressions (FirstExpr..LastExpr).
+  IntLiteralExpr,
+  FloatLiteralExpr,
+  CharLiteralExpr,
+  StringLiteralExpr,
+  IdentExpr,
+  ParenExpr,
+  InitListExpr,
+  UnaryExpr,
+  BinaryExpr,
+  ConditionalExpr,
+  CastExpr,
+  SizeofExpr,
+  CallExpr,
+  IndexExpr,
+  MemberExpr,
+  PlaceholderExpr,
+  MacroInvocationExpr,
+  BackquoteExpr,
+  LambdaExpr,
+  // Statements (FirstStmt..LastStmt).
+  CompoundStmtKind,
+  ExprStmt,
+  NullStmt,
+  IfStmt,
+  WhileStmt,
+  DoStmt,
+  ForStmt,
+  SwitchStmt,
+  CaseStmt,
+  DefaultStmt,
+  LabelStmt,
+  GotoStmt,
+  BreakStmt,
+  ContinueStmt,
+  ReturnStmt,
+  PlaceholderStmt,
+  MacroInvocationStmt,
+  // Declarations & top-level (FirstDecl..LastDecl).
+  DeclarationKind,
+  FunctionDefKind,
+  PlaceholderDecl,
+  MacroInvocationDecl,
+  MetaDeclKind,
+  MacroDefKind,
+  TranslationUnitKind,
+  // Type specifiers (FirstTypeSpec..LastTypeSpec).
+  BuiltinTypeSpecKind,
+  TagTypeSpecKind,
+  TypedefNameSpecKind,
+  MetaAstTypeSpecKind,
+  PlaceholderTypeSpecKind,
+};
+
+//===----------------------------------------------------------------------===//
+// Placeholder and Ident
+//===----------------------------------------------------------------------===//
+
+/// A template placeholder: `$name` or `$(expression)` (paper section 2,
+/// "Placeholder"). Created only inside backquote templates; carries the
+/// meta-expression to evaluate at instantiation time and the meta-type the
+/// parser computed for it — the information that disambiguated the template
+/// parse (paper Figures 2 and 3).
+struct Placeholder {
+  Expr *MetaExpr = nullptr;
+  const MetaType *Type = nullptr;
+  SourceLoc Loc;
+};
+
+/// An identifier slot that a placeholder may stand in for. Used everywhere
+/// the grammar expects a raw name (declarator names, labels, member names,
+/// struct/enum tags, enumerators).
+struct Ident {
+  Symbol Sym;
+  const Placeholder *Ph = nullptr;
+  SourceLoc Loc;
+
+  Ident() = default;
+  Ident(Symbol Sym, SourceLoc Loc) : Sym(Sym), Loc(Loc) {}
+  Ident(const Placeholder *Ph, SourceLoc Loc) : Ph(Ph), Loc(Loc) {}
+  bool isPlaceholder() const { return Ph != nullptr; }
+  bool valid() const { return Sym.valid() || Ph != nullptr; }
+};
+
+//===----------------------------------------------------------------------===//
+// Node base classes
+//===----------------------------------------------------------------------===//
+
+/// Base of every AST node.
+class Node {
+public:
+  NodeKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
+protected:
+  Node(NodeKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  NodeKind Kind;
+  SourceLoc Loc;
+};
+
+class Expr : public Node {
+public:
+  static bool classof(const Node *N) {
+    return N->kind() >= NodeKind::IntLiteralExpr &&
+           N->kind() <= NodeKind::LambdaExpr;
+  }
+
+protected:
+  using Node::Node;
+};
+
+class Stmt : public Node {
+public:
+  static bool classof(const Node *N) {
+    return N->kind() >= NodeKind::CompoundStmtKind &&
+           N->kind() <= NodeKind::MacroInvocationStmt;
+  }
+
+protected:
+  using Node::Node;
+};
+
+class Decl : public Node {
+public:
+  static bool classof(const Node *N) {
+    return N->kind() >= NodeKind::DeclarationKind &&
+           N->kind() <= NodeKind::TranslationUnitKind;
+  }
+
+protected:
+  using Node::Node;
+};
+
+class TypeSpecNode : public Node {
+public:
+  static bool classof(const Node *N) {
+    return N->kind() >= NodeKind::BuiltinTypeSpecKind &&
+           N->kind() <= NodeKind::PlaceholderTypeSpecKind;
+  }
+
+protected:
+  using Node::Node;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+class IntLiteralExpr : public Expr {
+public:
+  IntLiteralExpr(int64_t Value, SourceLoc Loc)
+      : Expr(NodeKind::IntLiteralExpr, Loc), Value(Value) {}
+  int64_t Value;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::IntLiteralExpr;
+  }
+};
+
+class FloatLiteralExpr : public Expr {
+public:
+  FloatLiteralExpr(double Value, SourceLoc Loc)
+      : Expr(NodeKind::FloatLiteralExpr, Loc), Value(Value) {}
+  double Value;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::FloatLiteralExpr;
+  }
+};
+
+class CharLiteralExpr : public Expr {
+public:
+  CharLiteralExpr(int64_t Value, SourceLoc Loc)
+      : Expr(NodeKind::CharLiteralExpr, Loc), Value(Value) {}
+  int64_t Value;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::CharLiteralExpr;
+  }
+};
+
+class StringLiteralExpr : public Expr {
+public:
+  StringLiteralExpr(Symbol Value, SourceLoc Loc)
+      : Expr(NodeKind::StringLiteralExpr, Loc), Value(Value) {}
+  Symbol Value;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::StringLiteralExpr;
+  }
+};
+
+/// A name used as an expression. The Ident may be a placeholder (templates
+/// like `$name = $init;`).
+class IdentExpr : public Expr {
+public:
+  IdentExpr(Ident Name, SourceLoc Loc)
+      : Expr(NodeKind::IdentExpr, Loc), Name(Name) {}
+  Ident Name;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::IdentExpr; }
+};
+
+class ParenExpr : public Expr {
+public:
+  ParenExpr(Expr *Inner, SourceLoc Loc)
+      : Expr(NodeKind::ParenExpr, Loc), Inner(Inner) {}
+  Expr *Inner;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::ParenExpr; }
+};
+
+/// A brace initializer `{e1, e2, ...}` (only valid as an initializer;
+/// elements may be nested initializer lists).
+class InitListExpr : public Expr {
+public:
+  InitListExpr(ArenaRef<Expr *> Elems, SourceLoc Loc)
+      : Expr(NodeKind::InitListExpr, Loc), Elems(Elems) {}
+  ArenaRef<Expr *> Elems;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::InitListExpr;
+  }
+};
+
+enum class UnaryOpKind : unsigned char {
+  Plus,
+  Minus,
+  Not,
+  BitNot,
+  Deref,
+  AddrOf,
+  PreInc,
+  PreDec,
+  PostInc,
+  PostDec,
+};
+
+/// Spelling of a unary operator ("-", "&", "++"...).
+const char *unaryOpSpelling(UnaryOpKind K);
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOpKind Op, Expr *Operand, SourceLoc Loc)
+      : Expr(NodeKind::UnaryExpr, Loc), Op(Op), Operand(Operand) {}
+  UnaryOpKind Op;
+  Expr *Operand;
+  bool isPostfix() const {
+    return Op == UnaryOpKind::PostInc || Op == UnaryOpKind::PostDec;
+  }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::UnaryExpr; }
+};
+
+enum class BinaryOpKind : unsigned char {
+  Mul,
+  Div,
+  Rem,
+  Add,
+  Sub,
+  Shl,
+  Shr,
+  LT,
+  GT,
+  LE,
+  GE,
+  EQ,
+  NE,
+  BitAnd,
+  BitXor,
+  BitOr,
+  LAnd,
+  LOr,
+  Assign,
+  MulAssign,
+  DivAssign,
+  RemAssign,
+  AddAssign,
+  SubAssign,
+  ShlAssign,
+  ShrAssign,
+  AndAssign,
+  XorAssign,
+  OrAssign,
+  Comma,
+};
+
+/// Spelling of a binary operator ("*", "<<="...).
+const char *binaryOpSpelling(BinaryOpKind K);
+/// True for '=' and the compound assignment operators.
+bool isAssignmentOp(BinaryOpKind K);
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOpKind Op, Expr *LHS, Expr *RHS, SourceLoc Loc)
+      : Expr(NodeKind::BinaryExpr, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+  BinaryOpKind Op;
+  Expr *LHS;
+  Expr *RHS;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::BinaryExpr; }
+};
+
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(Expr *Cond, Expr *Then, Expr *Else, SourceLoc Loc)
+      : Expr(NodeKind::ConditionalExpr, Loc), Cond(Cond), Then(Then),
+        Else(Else) {}
+  Expr *Cond;
+  Expr *Then;
+  Expr *Else;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::ConditionalExpr;
+  }
+};
+
+/// Specifier + abstract declarator pieces of a type name, e.g. `(char *)`.
+struct TypeName {
+  TypeSpecNode *Spec = nullptr;
+  unsigned PointerDepth = 0;
+};
+
+class CastExpr : public Expr {
+public:
+  CastExpr(TypeName Ty, Expr *Operand, SourceLoc Loc)
+      : Expr(NodeKind::CastExpr, Loc), Ty(Ty), Operand(Operand) {}
+  TypeName Ty;
+  Expr *Operand;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::CastExpr; }
+};
+
+class SizeofExpr : public Expr {
+public:
+  SizeofExpr(Expr *Operand, SourceLoc Loc)
+      : Expr(NodeKind::SizeofExpr, Loc), Operand(Operand) {}
+  SizeofExpr(TypeName Ty, SourceLoc Loc)
+      : Expr(NodeKind::SizeofExpr, Loc), Ty(Ty), IsType(true) {}
+  Expr *Operand = nullptr;
+  TypeName Ty;
+  bool IsType = false;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::SizeofExpr; }
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(Expr *Callee, ArenaRef<Expr *> Args, SourceLoc Loc)
+      : Expr(NodeKind::CallExpr, Loc), Callee(Callee), Args(Args) {}
+  Expr *Callee;
+  /// Arguments; a PlaceholderExpr with a list meta-type splices.
+  ArenaRef<Expr *> Args;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::CallExpr; }
+};
+
+class IndexExpr : public Expr {
+public:
+  IndexExpr(Expr *Base, Expr *Index, SourceLoc Loc)
+      : Expr(NodeKind::IndexExpr, Loc), Base(Base), Index(Index) {}
+  Expr *Base;
+  Expr *Index;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::IndexExpr; }
+};
+
+class MemberExpr : public Expr {
+public:
+  MemberExpr(Expr *Base, Ident Member, bool IsArrow, SourceLoc Loc)
+      : Expr(NodeKind::MemberExpr, Loc), Base(Base), Member(Member),
+        IsArrow(IsArrow) {}
+  Expr *Base;
+  Ident Member;
+  bool IsArrow;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::MemberExpr; }
+};
+
+/// `$x` / `$(e)` in expression position inside a template.
+class PlaceholderExpr : public Expr {
+public:
+  PlaceholderExpr(const Placeholder *Ph, SourceLoc Loc)
+      : Expr(NodeKind::PlaceholderExpr, Loc), Ph(Ph) {}
+  const Placeholder *Ph;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::PlaceholderExpr;
+  }
+};
+
+/// A macro invocation where an expression is expected.
+class MacroInvocationExpr : public Expr {
+public:
+  MacroInvocationExpr(MacroInvocation *Inv, SourceLoc Loc)
+      : Expr(NodeKind::MacroInvocationExpr, Loc), Inv(Inv) {}
+  MacroInvocation *Inv;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::MacroInvocationExpr;
+  }
+};
+
+/// Which backquote shorthand introduced a template.
+enum class BackquoteForm : unsigned char {
+  Exp,     ///< `( expression )
+  Stmt,    ///< `{ statement }
+  Decl,    ///< `[ top-level-declaration ]
+  Pattern, ///< `{| pspec :: ... |}
+};
+
+struct MatchValue;
+
+/// A backquote code template (meta-level expression). For the three
+/// shorthand forms Template is the parsed fragment; for the general
+/// `{| pspec :: ... |} form TemplateMV holds the pspec-shaped constituents.
+/// Type is the meta-type the template produces.
+class BackquoteExpr : public Expr {
+public:
+  BackquoteExpr(BackquoteForm Form, Node *Template, const MetaType *Type,
+                SourceLoc Loc)
+      : Expr(NodeKind::BackquoteExpr, Loc), Form(Form), Template(Template),
+        Type(Type) {}
+  BackquoteForm Form;
+  Node *Template;
+  MatchValue *TemplateMV = nullptr;
+  const MetaType *Type;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::BackquoteExpr;
+  }
+};
+
+/// One parameter of a meta-level anonymous function: `@id x`, `int n`, ...
+struct LambdaParam {
+  const MetaType *Type = nullptr;
+  Symbol Name;
+  SourceLoc Loc;
+};
+
+/// The paper's experimental anonymous function: returns the value of its
+/// body expression, may only be passed downward.
+class LambdaExpr : public Expr {
+public:
+  LambdaExpr(ArenaRef<LambdaParam> Params, Expr *Body, SourceLoc Loc)
+      : Expr(NodeKind::LambdaExpr, Loc), Params(Params), Body(Body) {}
+  ArenaRef<LambdaParam> Params;
+  Expr *Body;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::LambdaExpr; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// `{ decls... stmts... }` — C89-style compound statement whose declaration
+/// and statement lists are separate, exactly the structure the paper's
+/// Figure 3 disambiguates.
+class CompoundStmt : public Stmt {
+public:
+  CompoundStmt(ArenaRef<Decl *> Decls, ArenaRef<Stmt *> Stmts, SourceLoc Loc)
+      : Stmt(NodeKind::CompoundStmtKind, Loc), Decls(Decls), Stmts(Stmts) {}
+  ArenaRef<Decl *> Decls;
+  ArenaRef<Stmt *> Stmts;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::CompoundStmtKind;
+  }
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(Expr *E, SourceLoc Loc) : Stmt(NodeKind::ExprStmt, Loc), E(E) {}
+  Expr *E;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::ExprStmt; }
+};
+
+class NullStmt : public Stmt {
+public:
+  explicit NullStmt(SourceLoc Loc) : Stmt(NodeKind::NullStmt, Loc) {}
+  static bool classof(const Node *N) { return N->kind() == NodeKind::NullStmt; }
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(Expr *Cond, Stmt *Then, Stmt *Else, SourceLoc Loc)
+      : Stmt(NodeKind::IfStmt, Loc), Cond(Cond), Then(Then), Else(Else) {}
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else; // may be null
+  static bool classof(const Node *N) { return N->kind() == NodeKind::IfStmt; }
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(Expr *Cond, Stmt *Body, SourceLoc Loc)
+      : Stmt(NodeKind::WhileStmt, Loc), Cond(Cond), Body(Body) {}
+  Expr *Cond;
+  Stmt *Body;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::WhileStmt; }
+};
+
+class DoStmt : public Stmt {
+public:
+  DoStmt(Stmt *Body, Expr *Cond, SourceLoc Loc)
+      : Stmt(NodeKind::DoStmt, Loc), Body(Body), Cond(Cond) {}
+  Stmt *Body;
+  Expr *Cond;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::DoStmt; }
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(Expr *Init, Expr *Cond, Expr *Step, Stmt *Body, SourceLoc Loc)
+      : Stmt(NodeKind::ForStmt, Loc), Init(Init), Cond(Cond), Step(Step),
+        Body(Body) {}
+  Expr *Init; // any may be null
+  Expr *Cond;
+  Expr *Step;
+  Stmt *Body;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::ForStmt; }
+};
+
+class SwitchStmt : public Stmt {
+public:
+  SwitchStmt(Expr *Cond, Stmt *Body, SourceLoc Loc)
+      : Stmt(NodeKind::SwitchStmt, Loc), Cond(Cond), Body(Body) {}
+  Expr *Cond;
+  Stmt *Body;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::SwitchStmt; }
+};
+
+class CaseStmt : public Stmt {
+public:
+  CaseStmt(Expr *Value, Stmt *Body, SourceLoc Loc)
+      : Stmt(NodeKind::CaseStmt, Loc), Value(Value), Body(Body) {}
+  Expr *Value;
+  Stmt *Body;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::CaseStmt; }
+};
+
+class DefaultStmt : public Stmt {
+public:
+  DefaultStmt(Stmt *Body, SourceLoc Loc)
+      : Stmt(NodeKind::DefaultStmt, Loc), Body(Body) {}
+  Stmt *Body;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::DefaultStmt; }
+};
+
+class LabelStmt : public Stmt {
+public:
+  LabelStmt(Ident Label, Stmt *Body, SourceLoc Loc)
+      : Stmt(NodeKind::LabelStmt, Loc), Label(Label), Body(Body) {}
+  Ident Label;
+  Stmt *Body;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::LabelStmt; }
+};
+
+class GotoStmt : public Stmt {
+public:
+  GotoStmt(Ident Label, SourceLoc Loc)
+      : Stmt(NodeKind::GotoStmt, Loc), Label(Label) {}
+  Ident Label;
+  static bool classof(const Node *N) { return N->kind() == NodeKind::GotoStmt; }
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(NodeKind::BreakStmt, Loc) {}
+  static bool classof(const Node *N) { return N->kind() == NodeKind::BreakStmt; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(NodeKind::ContinueStmt, Loc) {}
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::ContinueStmt;
+  }
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(Expr *Value, SourceLoc Loc)
+      : Stmt(NodeKind::ReturnStmt, Loc), Value(Value) {}
+  Expr *Value; // may be null
+  static bool classof(const Node *N) { return N->kind() == NodeKind::ReturnStmt; }
+};
+
+/// `$x` in statement position inside a template. A list-typed placeholder
+/// splices its elements into the surrounding statement list.
+class PlaceholderStmt : public Stmt {
+public:
+  PlaceholderStmt(const Placeholder *Ph, SourceLoc Loc)
+      : Stmt(NodeKind::PlaceholderStmt, Loc), Ph(Ph) {}
+  const Placeholder *Ph;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::PlaceholderStmt;
+  }
+};
+
+class MacroInvocationStmt : public Stmt {
+public:
+  MacroInvocationStmt(MacroInvocation *Inv, SourceLoc Loc)
+      : Stmt(NodeKind::MacroInvocationStmt, Loc), Inv(Inv) {}
+  MacroInvocation *Inv;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::MacroInvocationStmt;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Type specifiers, declarators, declarations
+//===----------------------------------------------------------------------===//
+
+/// Flags combined in a base type specifier ("unsigned long int").
+enum BuiltinTypeFlags : unsigned {
+  BTF_Void = 1u << 0,
+  BTF_Char = 1u << 1,
+  BTF_Short = 1u << 2,
+  BTF_Int = 1u << 3,
+  BTF_Long = 1u << 4,
+  BTF_LongLong = 1u << 5,
+  BTF_Float = 1u << 6,
+  BTF_Double = 1u << 7,
+  BTF_Signed = 1u << 8,
+  BTF_Unsigned = 1u << 9,
+};
+
+class BuiltinTypeSpec : public TypeSpecNode {
+public:
+  BuiltinTypeSpec(unsigned Flags, SourceLoc Loc)
+      : TypeSpecNode(NodeKind::BuiltinTypeSpecKind, Loc), Flags(Flags) {}
+  unsigned Flags;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::BuiltinTypeSpecKind;
+  }
+};
+
+enum class TagKind : unsigned char { Struct, Union, Enum };
+
+class Declaration;
+
+/// One enumerator in an enum body; `ListPh` set means the entry is a
+/// placeholder splicing a list of identifiers/enumerators (the paper's
+/// `enum color $ids;` example).
+struct Enumerator {
+  Ident Name;
+  Expr *Value = nullptr;
+  const Placeholder *ListPh = nullptr;
+  SourceLoc Loc;
+};
+
+class TagTypeSpec : public TypeSpecNode {
+public:
+  TagTypeSpec(TagKind Tag, Ident TagName, bool HasBody,
+              ArenaRef<Declaration *> Members, ArenaRef<Enumerator> Enums,
+              SourceLoc Loc)
+      : TypeSpecNode(NodeKind::TagTypeSpecKind, Loc), Tag(Tag),
+        TagName(TagName), HasBody(HasBody), Members(Members), Enums(Enums) {}
+  TagKind Tag;
+  Ident TagName; // may be invalid for anonymous tags
+  bool HasBody;
+  ArenaRef<Declaration *> Members; // struct/union fields
+  ArenaRef<Enumerator> Enums;      // enum constants
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::TagTypeSpecKind;
+  }
+};
+
+class TypedefNameSpec : public TypeSpecNode {
+public:
+  TypedefNameSpec(Symbol Name, SourceLoc Loc)
+      : TypeSpecNode(NodeKind::TypedefNameSpecKind, Loc), Name(Name) {}
+  Symbol Name;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::TypedefNameSpecKind;
+  }
+};
+
+/// `@stmt`, `@id[]`, ... — an AST type in a meta-declaration.
+class MetaAstTypeSpec : public TypeSpecNode {
+public:
+  MetaAstTypeSpec(const MetaType *Type, SourceLoc Loc)
+      : TypeSpecNode(NodeKind::MetaAstTypeSpecKind, Loc), Type(Type) {}
+  const MetaType *Type;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::MetaAstTypeSpecKind;
+  }
+};
+
+/// `$t` in type-specifier position inside a template (`$type $newname = ...`
+/// in the dynamic_bind example).
+class PlaceholderTypeSpec : public TypeSpecNode {
+public:
+  PlaceholderTypeSpec(const Placeholder *Ph, SourceLoc Loc)
+      : TypeSpecNode(NodeKind::PlaceholderTypeSpecKind, Loc), Ph(Ph) {}
+  const Placeholder *Ph;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::PlaceholderTypeSpecKind;
+  }
+};
+
+enum class StorageClass : unsigned char {
+  None,
+  Auto,
+  Register,
+  Static,
+  Extern,
+  Typedef,
+  Metadcl, ///< meta-level global (paper's `metadcl`)
+};
+
+/// The specifier part of a declaration.
+struct DeclSpecs {
+  StorageClass Storage = StorageClass::None;
+  bool Const = false;
+  bool Volatile = false;
+  TypeSpecNode *Type = nullptr; // null means implicit int (K&R)
+  SourceLoc Loc;
+};
+
+struct ParamDecl;
+
+/// A declarator suffix: array `[size]` or function `(params)`.
+struct DeclSuffix {
+  enum SuffixKind : unsigned char { Array, Function } K = Array;
+  Expr *ArraySize = nullptr;             // Array; may be null for []
+  ArenaRef<ParamDecl *> Params;          // Function (prototype style)
+  ArenaRef<Ident> KRNames;               // Function (K&R identifier list)
+  bool Variadic = false;                 // Function: trailing ", ..."
+};
+
+/// A (possibly placeholder) declarator: pointers, a name or a
+/// parenthesized inner declarator (function pointers: `(*f)(int)`), and
+/// suffixes.
+struct Declarator {
+  const Placeholder *Ph = nullptr; // whole-declarator placeholder
+  Ident Name;
+  Declarator *Inner = nullptr; // `( declarator )`; exclusive with Name
+  unsigned PointerDepth = 0;
+  ArenaRef<DeclSuffix> Suffixes;
+  SourceLoc Loc;
+
+  bool isPlaceholder() const { return Ph != nullptr; }
+  bool isFunction() const {
+    return !Suffixes.empty() && Suffixes[0].K == DeclSuffix::Function;
+  }
+  /// The declared name: the innermost declarator's identifier slot.
+  const Ident &name() const { return Inner ? Inner->name() : Name; }
+};
+
+/// One prototype-style parameter.
+struct ParamDecl {
+  DeclSpecs Specs;
+  Declarator *Dtor = nullptr; // may be null for abstract declarators
+  SourceLoc Loc;
+};
+
+/// `declarator = init`; the whole unit may be a placeholder (Figure 2's
+/// `init-declarator` row).
+struct InitDeclarator {
+  const Placeholder *Ph = nullptr;
+  Declarator *Dtor = nullptr;
+  Expr *Init = nullptr;
+  SourceLoc Loc;
+};
+
+/// An ordinary declaration `specs init-declarators ;`. When DeclListPh is
+/// non-null the entire init-declarator list is a placeholder (Figure 2's
+/// `init-declarator[]` row).
+class Declaration : public Decl {
+public:
+  Declaration(DeclSpecs Specs, ArenaRef<InitDeclarator> Inits,
+              const Placeholder *DeclListPh, SourceLoc Loc)
+      : Decl(NodeKind::DeclarationKind, Loc), Specs(Specs), Inits(Inits),
+        DeclListPh(DeclListPh) {}
+  DeclSpecs Specs;
+  ArenaRef<InitDeclarator> Inits;
+  const Placeholder *DeclListPh;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::DeclarationKind;
+  }
+};
+
+/// A function definition, prototype- or K&R-style.
+class FunctionDef : public Decl {
+public:
+  FunctionDef(DeclSpecs Specs, Declarator *Dtor,
+              ArenaRef<Declaration *> KRDecls, CompoundStmt *Body,
+              SourceLoc Loc)
+      : Decl(NodeKind::FunctionDefKind, Loc), Specs(Specs), Dtor(Dtor),
+        KRDecls(KRDecls), Body(Body) {}
+  DeclSpecs Specs;
+  Declarator *Dtor;
+  ArenaRef<Declaration *> KRDecls; // K&R parameter declarations
+  CompoundStmt *Body;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::FunctionDefKind;
+  }
+};
+
+/// `$x` in declaration position inside a template; list-typed placeholders
+/// splice into the surrounding declaration list.
+class PlaceholderDeclNode : public Decl {
+public:
+  PlaceholderDeclNode(const Placeholder *Ph, SourceLoc Loc)
+      : Decl(NodeKind::PlaceholderDecl, Loc), Ph(Ph) {}
+  const Placeholder *Ph;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::PlaceholderDecl;
+  }
+};
+
+class MacroInvocationDecl : public Decl {
+public:
+  MacroInvocationDecl(MacroInvocation *Inv, SourceLoc Loc)
+      : Decl(NodeKind::MacroInvocationDecl, Loc), Inv(Inv) {}
+  MacroInvocation *Inv;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::MacroInvocationDecl;
+  }
+};
+
+/// `metadcl declaration` — a meta-level global.
+class MetaDecl : public Decl {
+public:
+  MetaDecl(Declaration *Inner, SourceLoc Loc)
+      : Decl(NodeKind::MetaDeclKind, Loc), Inner(Inner) {}
+  Declaration *Inner;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::MetaDeclKind;
+  }
+};
+
+/// `syntax <ast-type> <name> {| pattern |} body` — a macro definition.
+class MacroDef : public Decl {
+public:
+  MacroDef(const MetaType *ReturnType, Symbol Name, Pattern *Pat,
+           CompoundStmt *Body, SourceLoc Loc)
+      : Decl(NodeKind::MacroDefKind, Loc), ReturnType(ReturnType), Name(Name),
+        Pat(Pat), Body(Body) {}
+  const MetaType *ReturnType;
+  Symbol Name;
+  Pattern *Pat;
+  CompoundStmt *Body;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::MacroDefKind;
+  }
+};
+
+class TranslationUnit : public Decl {
+public:
+  TranslationUnit(ArenaRef<Decl *> Items, SourceLoc Loc)
+      : Decl(NodeKind::TranslationUnitKind, Loc), Items(Items) {}
+  ArenaRef<Decl *> Items;
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::TranslationUnitKind;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Matched constituents (macro actual parameters / general backquote values)
+//===----------------------------------------------------------------------===//
+
+/// A parsed constituent bound by a macro pattern (or produced by the
+/// general backquote form): a single AST, an identifier, a declarator-level
+/// fragment, a list, a tuple, or an absent optional. Field names of tuples
+/// come from the binder names inside the tuple sub-pattern.
+struct MatchValue {
+  enum VKind : unsigned char {
+    Ast,
+    IdentV,
+    DeclaratorV,
+    InitDeclV,
+    EnumeratorV,
+    List,
+    Tuple,
+    Absent,
+  } K = Absent;
+  Node *AstNode = nullptr;               // Ast
+  Ident Id;                              // IdentV (identifier constituents)
+  Declarator *Dtor = nullptr;            // DeclaratorV
+  InitDeclarator *InitDtor = nullptr;    // InitDeclV
+  Enumerator *Enum = nullptr;            // EnumeratorV
+  ArenaRef<MatchValue *> Elems;          // List / Tuple
+  ArenaRef<Symbol> FieldNames;           // Tuple
+  const MetaType *Type = nullptr;        // static type of this constituent
+};
+
+/// One named actual parameter of a macro invocation.
+struct MacroArg {
+  Symbol Name;
+  MatchValue *Value = nullptr;
+};
+
+/// A parsed macro invocation awaiting expansion.
+struct MacroInvocation {
+  const MacroDef *Def = nullptr;
+  ArenaRef<MacroArg> Args;
+  SourceLoc Loc;
+};
+
+//===----------------------------------------------------------------------===//
+// Whole-tree operations
+//===----------------------------------------------------------------------===//
+
+/// Deep-clones \p N into \p A. Placeholder payloads are shared (they are
+/// immutable); all structural nodes are copied.
+Node *cloneNode(Arena &A, const Node *N);
+
+/// Convenience typed clones.
+Expr *cloneExpr(Arena &A, const Expr *E);
+Stmt *cloneStmt(Arena &A, const Stmt *S);
+Decl *cloneDecl(Arena &A, const Decl *D);
+
+/// Structural equality ignoring source locations. Placeholders compare by
+/// payload identity.
+bool structurallyEqual(const Node *A, const Node *B);
+
+/// Counts nodes in the tree (diagnostics & benchmarks).
+size_t countNodes(const Node *N);
+
+} // namespace msq
+
+#endif // MSQ_AST_AST_H

@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Manual AST construction helpers in the `create_*` style the paper's
+/// introduction shows ("This style of code plagues meta-programming
+/// systems"). They exist (a) as a convenient host-level API for tests and
+/// (b) as the *baseline* for the template-vs-manual benchmark, which
+/// contrasts this style against backquote templates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_AST_ASTBUILDER_H
+#define MSQ_AST_ASTBUILDER_H
+
+#include "ast/Ast.h"
+
+#include <initializer_list>
+#include <string_view>
+#include <vector>
+
+namespace msq {
+
+/// Builds AST nodes into an Arena with interned names. All nodes carry the
+/// invalid SourceLoc (they are synthetic).
+class AstBuilder {
+public:
+  AstBuilder(Arena &A, StringInterner &Interner) : A(A), Interner(Interner) {}
+
+  Arena &arena() { return A; }
+
+  // --- names -------------------------------------------------------------
+  Symbol sym(std::string_view Name) { return Interner.intern(Name); }
+  Ident ident(std::string_view Name) { return Ident(sym(Name), SourceLoc()); }
+
+  // --- expressions ---------------------------------------------------------
+  Expr *createId(std::string_view Name) {
+    return A.create<IdentExpr>(ident(Name), SourceLoc());
+  }
+  Expr *createInt(int64_t V) { return A.create<IntLiteralExpr>(V, SourceLoc()); }
+  Expr *createString(std::string_view S) {
+    return A.create<StringLiteralExpr>(sym(S), SourceLoc());
+  }
+  Expr *createAddressOf(Expr *E) {
+    return A.create<UnaryExpr>(UnaryOpKind::AddrOf, E, SourceLoc());
+  }
+  Expr *createUnary(UnaryOpKind Op, Expr *E) {
+    return A.create<UnaryExpr>(Op, E, SourceLoc());
+  }
+  Expr *createBinary(BinaryOpKind Op, Expr *L, Expr *R) {
+    return A.create<BinaryExpr>(Op, L, R, SourceLoc());
+  }
+  Expr *createAssign(Expr *L, Expr *R) {
+    return createBinary(BinaryOpKind::Assign, L, R);
+  }
+  Expr *createParen(Expr *E) { return A.create<ParenExpr>(E, SourceLoc()); }
+  Expr *createMember(Expr *Base, std::string_view Name, bool Arrow) {
+    return A.create<MemberExpr>(Base, ident(Name), Arrow, SourceLoc());
+  }
+  Expr *createIndex(Expr *Base, Expr *Idx) {
+    return A.create<IndexExpr>(Base, Idx, SourceLoc());
+  }
+
+  /// `createFunctionCall(createId("f"), createArgumentList(a, b))`.
+  Expr *createFunctionCall(Expr *Callee, std::vector<Expr *> Args) {
+    return A.create<CallExpr>(Callee, ArenaRef<Expr *>::copy(A, Args),
+                              SourceLoc());
+  }
+  std::vector<Expr *> createArgumentList(std::initializer_list<Expr *> Args) {
+    return std::vector<Expr *>(Args);
+  }
+
+  // --- statements ------------------------------------------------------------
+  Stmt *createExprStatement(Expr *E) {
+    return A.create<ExprStmt>(E, SourceLoc());
+  }
+  Stmt *createReturn(Expr *E) { return A.create<ReturnStmt>(E, SourceLoc()); }
+  Stmt *createIf(Expr *C, Stmt *T, Stmt *E) {
+    return A.create<IfStmt>(C, T, E, SourceLoc());
+  }
+  Stmt *createWhile(Expr *C, Stmt *B) {
+    return A.create<WhileStmt>(C, B, SourceLoc());
+  }
+  Stmt *createNull() { return A.create<NullStmt>(SourceLoc()); }
+
+  std::vector<Decl *> createDeclarationList(
+      std::initializer_list<Decl *> Ds = {}) {
+    return std::vector<Decl *>(Ds);
+  }
+  std::vector<Stmt *> createStatementList(std::initializer_list<Stmt *> Ss) {
+    return std::vector<Stmt *>(Ss);
+  }
+
+  Stmt *createCompoundStatement(std::vector<Decl *> Decls,
+                                std::vector<Stmt *> Stmts) {
+    return A.create<CompoundStmt>(ArenaRef<Decl *>::copy(A, Decls),
+                                  ArenaRef<Stmt *>::copy(A, Stmts),
+                                  SourceLoc());
+  }
+
+  // --- declarations ------------------------------------------------------------
+  TypeSpecNode *createBuiltinType(unsigned Flags) {
+    return A.create<BuiltinTypeSpec>(Flags, SourceLoc());
+  }
+
+  Declarator *createDeclarator(std::string_view Name,
+                               unsigned PointerDepth = 0) {
+    Declarator *D = A.create<Declarator>();
+    D->Name = ident(Name);
+    D->PointerDepth = PointerDepth;
+    return D;
+  }
+
+  Decl *createVarDeclaration(TypeSpecNode *Type, Declarator *Dtor,
+                             Expr *Init = nullptr) {
+    DeclSpecs Specs;
+    Specs.Type = Type;
+    InitDeclarator ID;
+    ID.Dtor = Dtor;
+    ID.Init = Init;
+    std::vector<InitDeclarator> Inits = {ID};
+    return A.create<Declaration>(Specs, ArenaRef<InitDeclarator>::copy(A, Inits),
+                                 nullptr, SourceLoc());
+  }
+
+private:
+  Arena &A;
+  StringInterner &Interner;
+};
+
+} // namespace msq
+
+#endif // MSQ_AST_ASTBUILDER_H

@@ -1,0 +1,391 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep cloning of AST nodes. Backquote instantiation clones the template
+/// tree before splicing placeholder values, so cloning must cover every
+/// node kind that can appear inside a template, plus macro definitions and
+/// invocations (templates may contain nested macro invocations).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Ast.h"
+
+#include <vector>
+
+using namespace msq;
+
+namespace {
+
+class Cloner {
+public:
+  explicit Cloner(Arena &A) : A(A) {}
+
+  Node *clone(const Node *N);
+  Expr *cloneE(const Expr *E) {
+    return E ? cast<Expr>(clone(E)) : nullptr;
+  }
+  Stmt *cloneS(const Stmt *S) { return S ? cast<Stmt>(clone(S)) : nullptr; }
+  Decl *cloneD(const Decl *D) { return D ? cast<Decl>(clone(D)) : nullptr; }
+  TypeSpecNode *cloneT(const TypeSpecNode *T) {
+    return T ? cast<TypeSpecNode>(clone(T)) : nullptr;
+  }
+
+  Ident cloneIdent(const Ident &I) { return I; } // Symbols & Placeholders shared
+
+  TypeName cloneTypeName(const TypeName &T) {
+    TypeName R = T;
+    R.Spec = cloneT(T.Spec);
+    return R;
+  }
+
+  DeclSpecs cloneSpecs(const DeclSpecs &S) {
+    DeclSpecs R = S;
+    R.Type = cloneT(S.Type);
+    return R;
+  }
+
+  template <typename T, typename Fn>
+  ArenaRef<T> cloneArray(ArenaRef<T> Src, Fn F) {
+    if (Src.empty())
+      return {};
+    std::vector<T> Out;
+    Out.reserve(Src.size());
+    for (const T &E : Src)
+      Out.push_back(F(E));
+    return ArenaRef<T>::copy(A, Out);
+  }
+
+  Declarator *cloneDeclarator(const Declarator *D) {
+    if (!D)
+      return nullptr;
+    Declarator *R = A.create<Declarator>();
+    R->Ph = D->Ph;
+    R->Name = cloneIdent(D->Name);
+    R->Inner = cloneDeclarator(D->Inner);
+    R->PointerDepth = D->PointerDepth;
+    R->Loc = D->Loc;
+    R->Suffixes = cloneArray(D->Suffixes, [&](const DeclSuffix &S) {
+      DeclSuffix Out = S;
+      Out.ArraySize = cloneE(S.ArraySize);
+      Out.Params = cloneArray(S.Params, [&](ParamDecl *P) {
+        ParamDecl *NP = A.create<ParamDecl>();
+        NP->Specs = cloneSpecs(P->Specs);
+        NP->Dtor = cloneDeclarator(P->Dtor);
+        NP->Loc = P->Loc;
+        return NP;
+      });
+      return Out;
+    });
+    return R;
+  }
+
+  InitDeclarator cloneInitDeclarator(const InitDeclarator &I) {
+    InitDeclarator R;
+    R.Ph = I.Ph;
+    R.Dtor = cloneDeclarator(I.Dtor);
+    R.Init = cloneE(I.Init);
+    R.Loc = I.Loc;
+    return R;
+  }
+
+  Enumerator cloneEnumerator(const Enumerator &E) {
+    Enumerator R = E;
+    R.Name = cloneIdent(E.Name);
+    R.Value = cloneE(E.Value);
+    return R;
+  }
+
+  MatchValue *cloneMatchValue(const MatchValue *V) {
+    if (!V)
+      return nullptr;
+    MatchValue *R = A.create<MatchValue>();
+    R->K = V->K;
+    R->Type = V->Type;
+    R->Id = cloneIdent(V->Id);
+    if (V->AstNode)
+      R->AstNode = clone(V->AstNode);
+    R->Dtor = cloneDeclarator(V->Dtor);
+    if (V->InitDtor) {
+      R->InitDtor = A.create<InitDeclarator>(cloneInitDeclarator(*V->InitDtor));
+    }
+    if (V->Enum)
+      R->Enum = A.create<Enumerator>(cloneEnumerator(*V->Enum));
+    R->Elems = cloneArray(V->Elems,
+                          [&](MatchValue *E) { return cloneMatchValue(E); });
+    R->FieldNames = cloneArray(V->FieldNames, [](Symbol S) { return S; });
+    return R;
+  }
+
+  MacroInvocation *cloneInvocation(const MacroInvocation *Inv) {
+    MacroInvocation *R = A.create<MacroInvocation>();
+    R->Def = Inv->Def; // definitions are immutable & shared
+    R->Loc = Inv->Loc;
+    R->Args = cloneArray(Inv->Args, [&](const MacroArg &Arg) {
+      MacroArg Out = Arg;
+      Out.Value = cloneMatchValue(Arg.Value);
+      return Out;
+    });
+    return R;
+  }
+
+private:
+  Arena &A;
+};
+
+Node *Cloner::clone(const Node *N) {
+  if (!N)
+    return nullptr;
+  switch (N->kind()) {
+  // Expressions -------------------------------------------------------------
+  case NodeKind::IntLiteralExpr: {
+    auto *E = cast<IntLiteralExpr>(N);
+    return A.create<IntLiteralExpr>(E->Value, E->loc());
+  }
+  case NodeKind::FloatLiteralExpr: {
+    auto *E = cast<FloatLiteralExpr>(N);
+    return A.create<FloatLiteralExpr>(E->Value, E->loc());
+  }
+  case NodeKind::CharLiteralExpr: {
+    auto *E = cast<CharLiteralExpr>(N);
+    return A.create<CharLiteralExpr>(E->Value, E->loc());
+  }
+  case NodeKind::StringLiteralExpr: {
+    auto *E = cast<StringLiteralExpr>(N);
+    return A.create<StringLiteralExpr>(E->Value, E->loc());
+  }
+  case NodeKind::IdentExpr: {
+    auto *E = cast<IdentExpr>(N);
+    return A.create<IdentExpr>(cloneIdent(E->Name), E->loc());
+  }
+  case NodeKind::ParenExpr: {
+    auto *E = cast<ParenExpr>(N);
+    return A.create<ParenExpr>(cloneE(E->Inner), E->loc());
+  }
+  case NodeKind::InitListExpr: {
+    auto *E = cast<InitListExpr>(N);
+    ArenaRef<Expr *> Elems =
+        cloneArray(E->Elems, [&](Expr *El) { return cloneE(El); });
+    return A.create<InitListExpr>(Elems, E->loc());
+  }
+  case NodeKind::UnaryExpr: {
+    auto *E = cast<UnaryExpr>(N);
+    return A.create<UnaryExpr>(E->Op, cloneE(E->Operand), E->loc());
+  }
+  case NodeKind::BinaryExpr: {
+    auto *E = cast<BinaryExpr>(N);
+    return A.create<BinaryExpr>(E->Op, cloneE(E->LHS), cloneE(E->RHS),
+                                E->loc());
+  }
+  case NodeKind::ConditionalExpr: {
+    auto *E = cast<ConditionalExpr>(N);
+    return A.create<ConditionalExpr>(cloneE(E->Cond), cloneE(E->Then),
+                                     cloneE(E->Else), E->loc());
+  }
+  case NodeKind::CastExpr: {
+    auto *E = cast<CastExpr>(N);
+    return A.create<CastExpr>(cloneTypeName(E->Ty), cloneE(E->Operand),
+                              E->loc());
+  }
+  case NodeKind::SizeofExpr: {
+    auto *E = cast<SizeofExpr>(N);
+    if (E->IsType)
+      return A.create<SizeofExpr>(cloneTypeName(E->Ty), E->loc());
+    return A.create<SizeofExpr>(cloneE(E->Operand), E->loc());
+  }
+  case NodeKind::CallExpr: {
+    auto *E = cast<CallExpr>(N);
+    ArenaRef<Expr *> Args =
+        cloneArray(E->Args, [&](Expr *Arg) { return cloneE(Arg); });
+    return A.create<CallExpr>(cloneE(E->Callee), Args, E->loc());
+  }
+  case NodeKind::IndexExpr: {
+    auto *E = cast<IndexExpr>(N);
+    return A.create<IndexExpr>(cloneE(E->Base), cloneE(E->Index), E->loc());
+  }
+  case NodeKind::MemberExpr: {
+    auto *E = cast<MemberExpr>(N);
+    return A.create<MemberExpr>(cloneE(E->Base), cloneIdent(E->Member),
+                                E->IsArrow, E->loc());
+  }
+  case NodeKind::PlaceholderExpr: {
+    auto *E = cast<PlaceholderExpr>(N);
+    return A.create<PlaceholderExpr>(E->Ph, E->loc());
+  }
+  case NodeKind::MacroInvocationExpr: {
+    auto *E = cast<MacroInvocationExpr>(N);
+    return A.create<MacroInvocationExpr>(cloneInvocation(E->Inv), E->loc());
+  }
+  case NodeKind::BackquoteExpr: {
+    auto *E = cast<BackquoteExpr>(N);
+    auto *R = A.create<BackquoteExpr>(E->Form, clone(E->Template), E->Type,
+                                      E->loc());
+    R->TemplateMV = cloneMatchValue(E->TemplateMV);
+    return R;
+  }
+  case NodeKind::LambdaExpr: {
+    auto *E = cast<LambdaExpr>(N);
+    ArenaRef<LambdaParam> Params =
+        cloneArray(E->Params, [](const LambdaParam &P) { return P; });
+    return A.create<LambdaExpr>(Params, cloneE(E->Body), E->loc());
+  }
+  // Statements ----------------------------------------------------------------
+  case NodeKind::CompoundStmtKind: {
+    auto *S = cast<CompoundStmt>(N);
+    ArenaRef<Decl *> Decls =
+        cloneArray(S->Decls, [&](Decl *D) { return cloneD(D); });
+    ArenaRef<Stmt *> Stmts =
+        cloneArray(S->Stmts, [&](Stmt *St) { return cloneS(St); });
+    return A.create<CompoundStmt>(Decls, Stmts, S->loc());
+  }
+  case NodeKind::ExprStmt: {
+    auto *S = cast<ExprStmt>(N);
+    return A.create<ExprStmt>(cloneE(S->E), S->loc());
+  }
+  case NodeKind::NullStmt:
+    return A.create<NullStmt>(N->loc());
+  case NodeKind::IfStmt: {
+    auto *S = cast<IfStmt>(N);
+    return A.create<IfStmt>(cloneE(S->Cond), cloneS(S->Then), cloneS(S->Else),
+                            S->loc());
+  }
+  case NodeKind::WhileStmt: {
+    auto *S = cast<WhileStmt>(N);
+    return A.create<WhileStmt>(cloneE(S->Cond), cloneS(S->Body), S->loc());
+  }
+  case NodeKind::DoStmt: {
+    auto *S = cast<DoStmt>(N);
+    return A.create<DoStmt>(cloneS(S->Body), cloneE(S->Cond), S->loc());
+  }
+  case NodeKind::ForStmt: {
+    auto *S = cast<ForStmt>(N);
+    return A.create<ForStmt>(cloneE(S->Init), cloneE(S->Cond), cloneE(S->Step),
+                             cloneS(S->Body), S->loc());
+  }
+  case NodeKind::SwitchStmt: {
+    auto *S = cast<SwitchStmt>(N);
+    return A.create<SwitchStmt>(cloneE(S->Cond), cloneS(S->Body), S->loc());
+  }
+  case NodeKind::CaseStmt: {
+    auto *S = cast<CaseStmt>(N);
+    return A.create<CaseStmt>(cloneE(S->Value), cloneS(S->Body), S->loc());
+  }
+  case NodeKind::DefaultStmt: {
+    auto *S = cast<DefaultStmt>(N);
+    return A.create<DefaultStmt>(cloneS(S->Body), S->loc());
+  }
+  case NodeKind::LabelStmt: {
+    auto *S = cast<LabelStmt>(N);
+    return A.create<LabelStmt>(cloneIdent(S->Label), cloneS(S->Body),
+                               S->loc());
+  }
+  case NodeKind::GotoStmt: {
+    auto *S = cast<GotoStmt>(N);
+    return A.create<GotoStmt>(cloneIdent(S->Label), S->loc());
+  }
+  case NodeKind::BreakStmt:
+    return A.create<BreakStmt>(N->loc());
+  case NodeKind::ContinueStmt:
+    return A.create<ContinueStmt>(N->loc());
+  case NodeKind::ReturnStmt: {
+    auto *S = cast<ReturnStmt>(N);
+    return A.create<ReturnStmt>(cloneE(S->Value), S->loc());
+  }
+  case NodeKind::PlaceholderStmt: {
+    auto *S = cast<PlaceholderStmt>(N);
+    return A.create<PlaceholderStmt>(S->Ph, S->loc());
+  }
+  case NodeKind::MacroInvocationStmt: {
+    auto *S = cast<MacroInvocationStmt>(N);
+    return A.create<MacroInvocationStmt>(cloneInvocation(S->Inv), S->loc());
+  }
+  // Declarations --------------------------------------------------------------
+  case NodeKind::DeclarationKind: {
+    auto *D = cast<Declaration>(N);
+    ArenaRef<InitDeclarator> Inits = cloneArray(
+        D->Inits, [&](const InitDeclarator &I) { return cloneInitDeclarator(I); });
+    return A.create<Declaration>(cloneSpecs(D->Specs), Inits, D->DeclListPh,
+                                 D->loc());
+  }
+  case NodeKind::FunctionDefKind: {
+    auto *D = cast<FunctionDef>(N);
+    ArenaRef<Declaration *> KRDecls = cloneArray(
+        D->KRDecls, [&](Declaration *K) { return cast<Declaration>(clone(K)); });
+    return A.create<FunctionDef>(cloneSpecs(D->Specs),
+                                 cloneDeclarator(D->Dtor), KRDecls,
+                                 cast<CompoundStmt>(clone(D->Body)), D->loc());
+  }
+  case NodeKind::PlaceholderDecl: {
+    auto *D = cast<PlaceholderDeclNode>(N);
+    return A.create<PlaceholderDeclNode>(D->Ph, D->loc());
+  }
+  case NodeKind::MacroInvocationDecl: {
+    auto *D = cast<MacroInvocationDecl>(N);
+    return A.create<MacroInvocationDecl>(cloneInvocation(D->Inv), D->loc());
+  }
+  case NodeKind::MetaDeclKind: {
+    auto *D = cast<MetaDecl>(N);
+    return A.create<MetaDecl>(cast<Declaration>(clone(D->Inner)), D->loc());
+  }
+  case NodeKind::MacroDefKind: {
+    auto *D = cast<MacroDef>(N);
+    // Pattern and body are immutable once defined; share them.
+    return A.create<MacroDef>(D->ReturnType, D->Name, D->Pat, D->Body,
+                              D->loc());
+  }
+  case NodeKind::TranslationUnitKind: {
+    auto *D = cast<TranslationUnit>(N);
+    ArenaRef<Decl *> Items =
+        cloneArray(D->Items, [&](Decl *I) { return cloneD(I); });
+    return A.create<TranslationUnit>(Items, D->loc());
+  }
+  // Type specifiers -----------------------------------------------------------
+  case NodeKind::BuiltinTypeSpecKind: {
+    auto *T = cast<BuiltinTypeSpec>(N);
+    return A.create<BuiltinTypeSpec>(T->Flags, T->loc());
+  }
+  case NodeKind::TagTypeSpecKind: {
+    auto *T = cast<TagTypeSpec>(N);
+    ArenaRef<Declaration *> Members = cloneArray(
+        T->Members, [&](Declaration *M) { return cast<Declaration>(clone(M)); });
+    ArenaRef<Enumerator> Enums = cloneArray(
+        T->Enums, [&](const Enumerator &E) { return cloneEnumerator(E); });
+    return A.create<TagTypeSpec>(T->Tag, cloneIdent(T->TagName), T->HasBody,
+                                 Members, Enums, T->loc());
+  }
+  case NodeKind::TypedefNameSpecKind: {
+    auto *T = cast<TypedefNameSpec>(N);
+    return A.create<TypedefNameSpec>(T->Name, T->loc());
+  }
+  case NodeKind::MetaAstTypeSpecKind: {
+    auto *T = cast<MetaAstTypeSpec>(N);
+    return A.create<MetaAstTypeSpec>(T->Type, T->loc());
+  }
+  case NodeKind::PlaceholderTypeSpecKind: {
+    auto *T = cast<PlaceholderTypeSpec>(N);
+    return A.create<PlaceholderTypeSpec>(T->Ph, T->loc());
+  }
+  }
+  assert(false && "unhandled node kind in clone");
+  return nullptr;
+}
+
+} // namespace
+
+Node *msq::cloneNode(Arena &A, const Node *N) { return Cloner(A).clone(N); }
+
+Expr *msq::cloneExpr(Arena &A, const Expr *E) {
+  return E ? cast<Expr>(cloneNode(A, E)) : nullptr;
+}
+
+Stmt *msq::cloneStmt(Arena &A, const Stmt *S) {
+  return S ? cast<Stmt>(cloneNode(A, S)) : nullptr;
+}
+
+Decl *msq::cloneDecl(Arena &A, const Decl *D) {
+  return D ? cast<Decl>(cloneNode(A, D)) : nullptr;
+}

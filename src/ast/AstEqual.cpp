@@ -1,0 +1,525 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural equality (ignoring source locations) and node counting.
+/// Equality is the backbone of the parse→print→parse fixpoint property
+/// tests.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Ast.h"
+
+using namespace msq;
+
+namespace {
+
+bool eqNode(const Node *A, const Node *B);
+
+bool eqExpr(const Expr *A, const Expr *B) {
+  if (!A || !B)
+    return A == B;
+  return eqNode(A, B);
+}
+
+/// Symbols are interned per compilation, so structural equality compares
+/// spellings (two trees from different contexts may be compared).
+bool eqSym(Symbol A, Symbol B) {
+  if (A == B)
+    return true;
+  return A.valid() && B.valid() && A.str() == B.str();
+}
+
+bool eqIdent(const Ident &A, const Ident &B) {
+  return eqSym(A.Sym, B.Sym) && A.Ph == B.Ph;
+}
+
+bool eqTypeName(const TypeName &A, const TypeName &B) {
+  return A.PointerDepth == B.PointerDepth &&
+         (A.Spec && B.Spec ? eqNode(A.Spec, B.Spec) : A.Spec == B.Spec);
+}
+
+bool eqSpecs(const DeclSpecs &A, const DeclSpecs &B) {
+  if (A.Storage != B.Storage || A.Const != B.Const || A.Volatile != B.Volatile)
+    return false;
+  if (!A.Type || !B.Type)
+    return A.Type == B.Type;
+  return eqNode(A.Type, B.Type);
+}
+
+bool eqDeclarator(const Declarator *A, const Declarator *B);
+
+bool eqParam(const ParamDecl *A, const ParamDecl *B) {
+  if (!A || !B)
+    return A == B;
+  return eqSpecs(A->Specs, B->Specs) && eqDeclarator(A->Dtor, B->Dtor);
+}
+
+bool eqSuffix(const DeclSuffix &A, const DeclSuffix &B) {
+  if (A.K != B.K || A.Variadic != B.Variadic)
+    return false;
+  if (A.K == DeclSuffix::Array)
+    return eqExpr(A.ArraySize, B.ArraySize);
+  if (A.Params.size() != B.Params.size() ||
+      A.KRNames.size() != B.KRNames.size())
+    return false;
+  for (size_t I = 0; I != A.Params.size(); ++I)
+    if (!eqParam(A.Params[I], B.Params[I]))
+      return false;
+  for (size_t I = 0; I != A.KRNames.size(); ++I)
+    if (!eqIdent(A.KRNames[I], B.KRNames[I]))
+      return false;
+  return true;
+}
+
+bool eqDeclarator(const Declarator *A, const Declarator *B) {
+  if (!A || !B)
+    return A == B;
+  if (A->Ph != B->Ph || !eqIdent(A->Name, B->Name) ||
+      A->PointerDepth != B->PointerDepth ||
+      A->Suffixes.size() != B->Suffixes.size())
+    return false;
+  if (!!A->Inner != !!B->Inner ||
+      (A->Inner && !eqDeclarator(A->Inner, B->Inner)))
+    return false;
+  for (size_t I = 0; I != A->Suffixes.size(); ++I)
+    if (!eqSuffix(A->Suffixes[I], B->Suffixes[I]))
+      return false;
+  return true;
+}
+
+bool eqInitDeclarator(const InitDeclarator &A, const InitDeclarator &B) {
+  return A.Ph == B.Ph && eqDeclarator(A.Dtor, B.Dtor) && eqExpr(A.Init, B.Init);
+}
+
+bool eqEnumerator(const Enumerator &A, const Enumerator &B) {
+  return eqIdent(A.Name, B.Name) && eqExpr(A.Value, B.Value) &&
+         A.ListPh == B.ListPh;
+}
+
+bool eqMatchValue(const MatchValue *A, const MatchValue *B) {
+  if (!A || !B)
+    return A == B;
+  if (A->K != B->K)
+    return false;
+  switch (A->K) {
+  case MatchValue::Ast:
+    return eqNode(A->AstNode, B->AstNode);
+  case MatchValue::IdentV:
+    return eqIdent(A->Id, B->Id);
+  case MatchValue::DeclaratorV:
+    return eqDeclarator(A->Dtor, B->Dtor);
+  case MatchValue::InitDeclV:
+    return A->InitDtor && B->InitDtor &&
+           eqInitDeclarator(*A->InitDtor, *B->InitDtor);
+  case MatchValue::EnumeratorV:
+    return A->Enum && B->Enum && eqEnumerator(*A->Enum, *B->Enum);
+  case MatchValue::Absent:
+    return true;
+  case MatchValue::List:
+  case MatchValue::Tuple: {
+    if (A->Elems.size() != B->Elems.size())
+      return false;
+    for (size_t I = 0; I != A->Elems.size(); ++I)
+      if (!eqMatchValue(A->Elems[I], B->Elems[I]))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+bool eqInvocation(const MacroInvocation *A, const MacroInvocation *B) {
+  if (A->Def != B->Def || A->Args.size() != B->Args.size())
+    return false;
+  for (size_t I = 0; I != A->Args.size(); ++I) {
+    if (!eqSym(A->Args[I].Name, B->Args[I].Name) ||
+        !eqMatchValue(A->Args[I].Value, B->Args[I].Value))
+      return false;
+  }
+  return true;
+}
+
+bool eqNode(const Node *A, const Node *B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case NodeKind::IntLiteralExpr:
+    return cast<IntLiteralExpr>(A)->Value == cast<IntLiteralExpr>(B)->Value;
+  case NodeKind::FloatLiteralExpr:
+    return cast<FloatLiteralExpr>(A)->Value == cast<FloatLiteralExpr>(B)->Value;
+  case NodeKind::CharLiteralExpr:
+    return cast<CharLiteralExpr>(A)->Value == cast<CharLiteralExpr>(B)->Value;
+  case NodeKind::StringLiteralExpr:
+    return eqSym(cast<StringLiteralExpr>(A)->Value,
+                 cast<StringLiteralExpr>(B)->Value);
+  case NodeKind::IdentExpr:
+    return eqIdent(cast<IdentExpr>(A)->Name, cast<IdentExpr>(B)->Name);
+  case NodeKind::ParenExpr:
+    return eqExpr(cast<ParenExpr>(A)->Inner, cast<ParenExpr>(B)->Inner);
+  case NodeKind::InitListExpr: {
+    auto *X = cast<InitListExpr>(A), *Y = cast<InitListExpr>(B);
+    if (X->Elems.size() != Y->Elems.size())
+      return false;
+    for (size_t I = 0; I != X->Elems.size(); ++I)
+      if (!eqExpr(X->Elems[I], Y->Elems[I]))
+        return false;
+    return true;
+  }
+  case NodeKind::UnaryExpr: {
+    auto *X = cast<UnaryExpr>(A), *Y = cast<UnaryExpr>(B);
+    return X->Op == Y->Op && eqExpr(X->Operand, Y->Operand);
+  }
+  case NodeKind::BinaryExpr: {
+    auto *X = cast<BinaryExpr>(A), *Y = cast<BinaryExpr>(B);
+    return X->Op == Y->Op && eqExpr(X->LHS, Y->LHS) && eqExpr(X->RHS, Y->RHS);
+  }
+  case NodeKind::ConditionalExpr: {
+    auto *X = cast<ConditionalExpr>(A), *Y = cast<ConditionalExpr>(B);
+    return eqExpr(X->Cond, Y->Cond) && eqExpr(X->Then, Y->Then) &&
+           eqExpr(X->Else, Y->Else);
+  }
+  case NodeKind::CastExpr: {
+    auto *X = cast<CastExpr>(A), *Y = cast<CastExpr>(B);
+    return eqTypeName(X->Ty, Y->Ty) && eqExpr(X->Operand, Y->Operand);
+  }
+  case NodeKind::SizeofExpr: {
+    auto *X = cast<SizeofExpr>(A), *Y = cast<SizeofExpr>(B);
+    if (X->IsType != Y->IsType)
+      return false;
+    return X->IsType ? eqTypeName(X->Ty, Y->Ty) : eqExpr(X->Operand, Y->Operand);
+  }
+  case NodeKind::CallExpr: {
+    auto *X = cast<CallExpr>(A), *Y = cast<CallExpr>(B);
+    if (!eqExpr(X->Callee, Y->Callee) || X->Args.size() != Y->Args.size())
+      return false;
+    for (size_t I = 0; I != X->Args.size(); ++I)
+      if (!eqExpr(X->Args[I], Y->Args[I]))
+        return false;
+    return true;
+  }
+  case NodeKind::IndexExpr: {
+    auto *X = cast<IndexExpr>(A), *Y = cast<IndexExpr>(B);
+    return eqExpr(X->Base, Y->Base) && eqExpr(X->Index, Y->Index);
+  }
+  case NodeKind::MemberExpr: {
+    auto *X = cast<MemberExpr>(A), *Y = cast<MemberExpr>(B);
+    return X->IsArrow == Y->IsArrow && eqExpr(X->Base, Y->Base) &&
+           eqIdent(X->Member, Y->Member);
+  }
+  case NodeKind::PlaceholderExpr:
+    return cast<PlaceholderExpr>(A)->Ph == cast<PlaceholderExpr>(B)->Ph;
+  case NodeKind::MacroInvocationExpr:
+    return eqInvocation(cast<MacroInvocationExpr>(A)->Inv,
+                        cast<MacroInvocationExpr>(B)->Inv);
+  case NodeKind::BackquoteExpr: {
+    auto *X = cast<BackquoteExpr>(A), *Y = cast<BackquoteExpr>(B);
+    return X->Form == Y->Form && MetaType::equals(X->Type, Y->Type) &&
+           eqNode(X->Template, Y->Template) &&
+           eqMatchValue(X->TemplateMV, Y->TemplateMV);
+  }
+  case NodeKind::LambdaExpr: {
+    auto *X = cast<LambdaExpr>(A), *Y = cast<LambdaExpr>(B);
+    if (X->Params.size() != Y->Params.size())
+      return false;
+    for (size_t I = 0; I != X->Params.size(); ++I) {
+      if (X->Params[I].Name != Y->Params[I].Name ||
+          !MetaType::equals(X->Params[I].Type, Y->Params[I].Type))
+        return false;
+    }
+    return eqExpr(X->Body, Y->Body);
+  }
+  case NodeKind::CompoundStmtKind: {
+    auto *X = cast<CompoundStmt>(A), *Y = cast<CompoundStmt>(B);
+    if (X->Decls.size() != Y->Decls.size() ||
+        X->Stmts.size() != Y->Stmts.size())
+      return false;
+    for (size_t I = 0; I != X->Decls.size(); ++I)
+      if (!eqNode(X->Decls[I], Y->Decls[I]))
+        return false;
+    for (size_t I = 0; I != X->Stmts.size(); ++I)
+      if (!eqNode(X->Stmts[I], Y->Stmts[I]))
+        return false;
+    return true;
+  }
+  case NodeKind::ExprStmt:
+    return eqExpr(cast<ExprStmt>(A)->E, cast<ExprStmt>(B)->E);
+  case NodeKind::NullStmt:
+  case NodeKind::BreakStmt:
+  case NodeKind::ContinueStmt:
+    return true;
+  case NodeKind::IfStmt: {
+    auto *X = cast<IfStmt>(A), *Y = cast<IfStmt>(B);
+    return eqExpr(X->Cond, Y->Cond) && eqNode(X->Then, Y->Then) &&
+           (X->Else && Y->Else ? eqNode(X->Else, Y->Else) : X->Else == Y->Else);
+  }
+  case NodeKind::WhileStmt: {
+    auto *X = cast<WhileStmt>(A), *Y = cast<WhileStmt>(B);
+    return eqExpr(X->Cond, Y->Cond) && eqNode(X->Body, Y->Body);
+  }
+  case NodeKind::DoStmt: {
+    auto *X = cast<DoStmt>(A), *Y = cast<DoStmt>(B);
+    return eqNode(X->Body, Y->Body) && eqExpr(X->Cond, Y->Cond);
+  }
+  case NodeKind::ForStmt: {
+    auto *X = cast<ForStmt>(A), *Y = cast<ForStmt>(B);
+    return eqExpr(X->Init, Y->Init) && eqExpr(X->Cond, Y->Cond) &&
+           eqExpr(X->Step, Y->Step) && eqNode(X->Body, Y->Body);
+  }
+  case NodeKind::SwitchStmt: {
+    auto *X = cast<SwitchStmt>(A), *Y = cast<SwitchStmt>(B);
+    return eqExpr(X->Cond, Y->Cond) && eqNode(X->Body, Y->Body);
+  }
+  case NodeKind::CaseStmt: {
+    auto *X = cast<CaseStmt>(A), *Y = cast<CaseStmt>(B);
+    return eqExpr(X->Value, Y->Value) && eqNode(X->Body, Y->Body);
+  }
+  case NodeKind::DefaultStmt:
+    return eqNode(cast<DefaultStmt>(A)->Body, cast<DefaultStmt>(B)->Body);
+  case NodeKind::LabelStmt: {
+    auto *X = cast<LabelStmt>(A), *Y = cast<LabelStmt>(B);
+    return eqIdent(X->Label, Y->Label) && eqNode(X->Body, Y->Body);
+  }
+  case NodeKind::GotoStmt:
+    return eqIdent(cast<GotoStmt>(A)->Label, cast<GotoStmt>(B)->Label);
+  case NodeKind::ReturnStmt:
+    return eqExpr(cast<ReturnStmt>(A)->Value, cast<ReturnStmt>(B)->Value);
+  case NodeKind::PlaceholderStmt:
+    return cast<PlaceholderStmt>(A)->Ph == cast<PlaceholderStmt>(B)->Ph;
+  case NodeKind::MacroInvocationStmt:
+    return eqInvocation(cast<MacroInvocationStmt>(A)->Inv,
+                        cast<MacroInvocationStmt>(B)->Inv);
+  case NodeKind::DeclarationKind: {
+    auto *X = cast<Declaration>(A), *Y = cast<Declaration>(B);
+    if (X->DeclListPh != Y->DeclListPh || !eqSpecs(X->Specs, Y->Specs) ||
+        X->Inits.size() != Y->Inits.size())
+      return false;
+    for (size_t I = 0; I != X->Inits.size(); ++I)
+      if (!eqInitDeclarator(X->Inits[I], Y->Inits[I]))
+        return false;
+    return true;
+  }
+  case NodeKind::FunctionDefKind: {
+    auto *X = cast<FunctionDef>(A), *Y = cast<FunctionDef>(B);
+    if (!eqSpecs(X->Specs, Y->Specs) || !eqDeclarator(X->Dtor, Y->Dtor) ||
+        X->KRDecls.size() != Y->KRDecls.size())
+      return false;
+    for (size_t I = 0; I != X->KRDecls.size(); ++I)
+      if (!eqNode(X->KRDecls[I], Y->KRDecls[I]))
+        return false;
+    return eqNode(X->Body, Y->Body);
+  }
+  case NodeKind::PlaceholderDecl:
+    return cast<PlaceholderDeclNode>(A)->Ph == cast<PlaceholderDeclNode>(B)->Ph;
+  case NodeKind::MacroInvocationDecl:
+    return eqInvocation(cast<MacroInvocationDecl>(A)->Inv,
+                        cast<MacroInvocationDecl>(B)->Inv);
+  case NodeKind::MetaDeclKind:
+    return eqNode(cast<MetaDecl>(A)->Inner, cast<MetaDecl>(B)->Inner);
+  case NodeKind::MacroDefKind: {
+    auto *X = cast<MacroDef>(A), *Y = cast<MacroDef>(B);
+    return eqSym(X->Name, Y->Name) &&
+           MetaType::equals(X->ReturnType, Y->ReturnType) &&
+           X->Pat == Y->Pat && eqNode(X->Body, Y->Body);
+  }
+  case NodeKind::TranslationUnitKind: {
+    auto *X = cast<TranslationUnit>(A), *Y = cast<TranslationUnit>(B);
+    if (X->Items.size() != Y->Items.size())
+      return false;
+    for (size_t I = 0; I != X->Items.size(); ++I)
+      if (!eqNode(X->Items[I], Y->Items[I]))
+        return false;
+    return true;
+  }
+  case NodeKind::BuiltinTypeSpecKind:
+    return cast<BuiltinTypeSpec>(A)->Flags == cast<BuiltinTypeSpec>(B)->Flags;
+  case NodeKind::TagTypeSpecKind: {
+    auto *X = cast<TagTypeSpec>(A), *Y = cast<TagTypeSpec>(B);
+    if (X->Tag != Y->Tag || !eqIdent(X->TagName, Y->TagName) ||
+        X->HasBody != Y->HasBody || X->Members.size() != Y->Members.size() ||
+        X->Enums.size() != Y->Enums.size())
+      return false;
+    for (size_t I = 0; I != X->Members.size(); ++I)
+      if (!eqNode(X->Members[I], Y->Members[I]))
+        return false;
+    for (size_t I = 0; I != X->Enums.size(); ++I)
+      if (!eqEnumerator(X->Enums[I], Y->Enums[I]))
+        return false;
+    return true;
+  }
+  case NodeKind::TypedefNameSpecKind:
+    return eqSym(cast<TypedefNameSpec>(A)->Name,
+                 cast<TypedefNameSpec>(B)->Name);
+  case NodeKind::MetaAstTypeSpecKind:
+    return MetaType::equals(cast<MetaAstTypeSpec>(A)->Type,
+                            cast<MetaAstTypeSpec>(B)->Type);
+  case NodeKind::PlaceholderTypeSpecKind:
+    return cast<PlaceholderTypeSpec>(A)->Ph == cast<PlaceholderTypeSpec>(B)->Ph;
+  }
+  return false;
+}
+
+size_t countIn(const Node *N);
+
+size_t countDeclarator(const Declarator *D) {
+  if (!D)
+    return 0;
+  size_t C = 1;
+  for (const DeclSuffix &S : D->Suffixes) {
+    C += countIn(S.ArraySize);
+    for (const ParamDecl *P : S.Params) {
+      ++C;
+      if (P->Specs.Type)
+        C += countIn(P->Specs.Type);
+      C += countDeclarator(P->Dtor);
+    }
+  }
+  return C;
+}
+
+size_t countIn(const Node *N) {
+  if (!N)
+    return 0;
+  size_t C = 1;
+  switch (N->kind()) {
+  case NodeKind::ParenExpr:
+    C += countIn(cast<ParenExpr>(N)->Inner);
+    break;
+  case NodeKind::UnaryExpr:
+    C += countIn(cast<UnaryExpr>(N)->Operand);
+    break;
+  case NodeKind::BinaryExpr:
+    C += countIn(cast<BinaryExpr>(N)->LHS) + countIn(cast<BinaryExpr>(N)->RHS);
+    break;
+  case NodeKind::ConditionalExpr: {
+    auto *E = cast<ConditionalExpr>(N);
+    C += countIn(E->Cond) + countIn(E->Then) + countIn(E->Else);
+    break;
+  }
+  case NodeKind::CastExpr: {
+    auto *E = cast<CastExpr>(N);
+    C += countIn(E->Ty.Spec) + countIn(E->Operand);
+    break;
+  }
+  case NodeKind::SizeofExpr: {
+    auto *E = cast<SizeofExpr>(N);
+    C += E->IsType ? countIn(E->Ty.Spec) : countIn(E->Operand);
+    break;
+  }
+  case NodeKind::CallExpr: {
+    auto *E = cast<CallExpr>(N);
+    C += countIn(E->Callee);
+    for (const Expr *Arg : E->Args)
+      C += countIn(Arg);
+    break;
+  }
+  case NodeKind::IndexExpr:
+    C += countIn(cast<IndexExpr>(N)->Base) + countIn(cast<IndexExpr>(N)->Index);
+    break;
+  case NodeKind::MemberExpr:
+    C += countIn(cast<MemberExpr>(N)->Base);
+    break;
+  case NodeKind::BackquoteExpr:
+    C += countIn(cast<BackquoteExpr>(N)->Template);
+    break;
+  case NodeKind::LambdaExpr:
+    C += countIn(cast<LambdaExpr>(N)->Body);
+    break;
+  case NodeKind::CompoundStmtKind: {
+    auto *S = cast<CompoundStmt>(N);
+    for (const Decl *D : S->Decls)
+      C += countIn(D);
+    for (const Stmt *St : S->Stmts)
+      C += countIn(St);
+    break;
+  }
+  case NodeKind::ExprStmt:
+    C += countIn(cast<ExprStmt>(N)->E);
+    break;
+  case NodeKind::IfStmt: {
+    auto *S = cast<IfStmt>(N);
+    C += countIn(S->Cond) + countIn(S->Then) + countIn(S->Else);
+    break;
+  }
+  case NodeKind::WhileStmt:
+    C += countIn(cast<WhileStmt>(N)->Cond) + countIn(cast<WhileStmt>(N)->Body);
+    break;
+  case NodeKind::DoStmt:
+    C += countIn(cast<DoStmt>(N)->Body) + countIn(cast<DoStmt>(N)->Cond);
+    break;
+  case NodeKind::ForStmt: {
+    auto *S = cast<ForStmt>(N);
+    C += countIn(S->Init) + countIn(S->Cond) + countIn(S->Step) +
+         countIn(S->Body);
+    break;
+  }
+  case NodeKind::SwitchStmt:
+    C += countIn(cast<SwitchStmt>(N)->Cond) + countIn(cast<SwitchStmt>(N)->Body);
+    break;
+  case NodeKind::CaseStmt:
+    C += countIn(cast<CaseStmt>(N)->Value) + countIn(cast<CaseStmt>(N)->Body);
+    break;
+  case NodeKind::DefaultStmt:
+    C += countIn(cast<DefaultStmt>(N)->Body);
+    break;
+  case NodeKind::LabelStmt:
+    C += countIn(cast<LabelStmt>(N)->Body);
+    break;
+  case NodeKind::ReturnStmt:
+    C += countIn(cast<ReturnStmt>(N)->Value);
+    break;
+  case NodeKind::DeclarationKind: {
+    auto *D = cast<Declaration>(N);
+    C += countIn(D->Specs.Type);
+    for (const InitDeclarator &I : D->Inits) {
+      C += countDeclarator(I.Dtor);
+      C += countIn(I.Init);
+    }
+    break;
+  }
+  case NodeKind::FunctionDefKind: {
+    auto *D = cast<FunctionDef>(N);
+    C += countIn(D->Specs.Type) + countDeclarator(D->Dtor);
+    for (const Declaration *K : D->KRDecls)
+      C += countIn(K);
+    C += countIn(D->Body);
+    break;
+  }
+  case NodeKind::MetaDeclKind:
+    C += countIn(cast<MetaDecl>(N)->Inner);
+    break;
+  case NodeKind::MacroDefKind:
+    C += countIn(cast<MacroDef>(N)->Body);
+    break;
+  case NodeKind::TranslationUnitKind: {
+    for (const Decl *D : cast<TranslationUnit>(N)->Items)
+      C += countIn(D);
+    break;
+  }
+  case NodeKind::TagTypeSpecKind: {
+    auto *T = cast<TagTypeSpec>(N);
+    for (const Declaration *M : T->Members)
+      C += countIn(M);
+    for (const Enumerator &E : T->Enums)
+      C += 1 + countIn(E.Value);
+    break;
+  }
+  default:
+    break;
+  }
+  return C;
+}
+
+} // namespace
+
+bool msq::structurallyEqual(const Node *A, const Node *B) {
+  return eqNode(A, B);
+}
+
+size_t msq::countNodes(const Node *N) { return countIn(N); }

@@ -1,0 +1,104 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Ast.h"
+
+using namespace msq;
+
+const char *msq::unaryOpSpelling(UnaryOpKind K) {
+  switch (K) {
+  case UnaryOpKind::Plus:
+    return "+";
+  case UnaryOpKind::Minus:
+    return "-";
+  case UnaryOpKind::Not:
+    return "!";
+  case UnaryOpKind::BitNot:
+    return "~";
+  case UnaryOpKind::Deref:
+    return "*";
+  case UnaryOpKind::AddrOf:
+    return "&";
+  case UnaryOpKind::PreInc:
+  case UnaryOpKind::PostInc:
+    return "++";
+  case UnaryOpKind::PreDec:
+  case UnaryOpKind::PostDec:
+    return "--";
+  }
+  return "<unary?>";
+}
+
+const char *msq::binaryOpSpelling(BinaryOpKind K) {
+  switch (K) {
+  case BinaryOpKind::Mul:
+    return "*";
+  case BinaryOpKind::Div:
+    return "/";
+  case BinaryOpKind::Rem:
+    return "%";
+  case BinaryOpKind::Add:
+    return "+";
+  case BinaryOpKind::Sub:
+    return "-";
+  case BinaryOpKind::Shl:
+    return "<<";
+  case BinaryOpKind::Shr:
+    return ">>";
+  case BinaryOpKind::LT:
+    return "<";
+  case BinaryOpKind::GT:
+    return ">";
+  case BinaryOpKind::LE:
+    return "<=";
+  case BinaryOpKind::GE:
+    return ">=";
+  case BinaryOpKind::EQ:
+    return "==";
+  case BinaryOpKind::NE:
+    return "!=";
+  case BinaryOpKind::BitAnd:
+    return "&";
+  case BinaryOpKind::BitXor:
+    return "^";
+  case BinaryOpKind::BitOr:
+    return "|";
+  case BinaryOpKind::LAnd:
+    return "&&";
+  case BinaryOpKind::LOr:
+    return "||";
+  case BinaryOpKind::Assign:
+    return "=";
+  case BinaryOpKind::MulAssign:
+    return "*=";
+  case BinaryOpKind::DivAssign:
+    return "/=";
+  case BinaryOpKind::RemAssign:
+    return "%=";
+  case BinaryOpKind::AddAssign:
+    return "+=";
+  case BinaryOpKind::SubAssign:
+    return "-=";
+  case BinaryOpKind::ShlAssign:
+    return "<<=";
+  case BinaryOpKind::ShrAssign:
+    return ">>=";
+  case BinaryOpKind::AndAssign:
+    return "&=";
+  case BinaryOpKind::XorAssign:
+    return "^=";
+  case BinaryOpKind::OrAssign:
+    return "|=";
+  case BinaryOpKind::Comma:
+    return ",";
+  }
+  return "<binary?>";
+}
+
+bool msq::isAssignmentOp(BinaryOpKind K) {
+  return K >= BinaryOpKind::Assign && K <= BinaryOpKind::OrAssign;
+}

@@ -1,0 +1,136 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "charmacro/CharMacro.h"
+
+using namespace msq;
+
+void CharMacroProcessor::define(std::string Name,
+                                std::vector<std::string> Params,
+                                std::string Body) {
+  for (Def &D : Macros) {
+    if (D.Name == Name) {
+      D.Params = std::move(Params);
+      D.Body = std::move(Body);
+      return;
+    }
+  }
+  Macros.push_back({std::move(Name), std::move(Params), std::move(Body)});
+}
+
+void CharMacroProcessor::undefine(const std::string &Name) {
+  for (size_t I = 0; I != Macros.size(); ++I) {
+    if (Macros[I].Name == Name) {
+      Macros.erase(Macros.begin() + I);
+      return;
+    }
+  }
+}
+
+/// Splits `(a, b, c)` starting at the '(' at \p Pos; returns one-past the
+/// closing ')' or std::string::npos on imbalance. Purely character-level:
+/// no token or string-literal awareness.
+static size_t splitArgs(const std::string &Text, size_t Pos,
+                        std::vector<std::string> &Args) {
+  if (Pos >= Text.size() || Text[Pos] != '(')
+    return std::string::npos;
+  unsigned Depth = 1;
+  std::string Current;
+  for (size_t I = Pos + 1; I < Text.size(); ++I) {
+    char C = Text[I];
+    if (C == '(') {
+      ++Depth;
+      Current.push_back(C);
+      continue;
+    }
+    if (C == ')') {
+      --Depth;
+      if (Depth == 0) {
+        Args.push_back(Current);
+        return I + 1;
+      }
+      Current.push_back(C);
+      continue;
+    }
+    if (C == ',' && Depth == 1) {
+      Args.push_back(Current);
+      Current.clear();
+      continue;
+    }
+    Current.push_back(C);
+  }
+  return std::string::npos;
+}
+
+/// Replaces every occurrence of \p From in \p Text by \p To —
+/// substring-level, exactly the hazard character macros carry.
+static std::string replaceAll(std::string Text, const std::string &From,
+                              const std::string &To) {
+  if (From.empty())
+    return Text;
+  size_t Pos = 0;
+  while ((Pos = Text.find(From, Pos)) != std::string::npos) {
+    Text.replace(Pos, From.size(), To);
+    Pos += To.size();
+  }
+  return Text;
+}
+
+bool CharMacroProcessor::processOnce(const std::string &In,
+                                     std::string &Out) const {
+  bool Changed = false;
+  Out.clear();
+  size_t I = 0;
+  while (I < In.size()) {
+    bool Matched = false;
+    for (const Def &D : Macros) {
+      if (In.compare(I, D.Name.size(), D.Name) != 0)
+        continue;
+      size_t After = I + D.Name.size();
+      if (D.Params.empty()) {
+        Out += D.Body;
+        I = After;
+        Matched = true;
+        Changed = true;
+        ++LastSubstitutions;
+        break;
+      }
+      std::vector<std::string> Args;
+      size_t End = splitArgs(In, After, Args);
+      if (End == std::string::npos || Args.size() != D.Params.size())
+        continue;
+      std::string Body = D.Body;
+      for (size_t P = 0; P != D.Params.size(); ++P)
+        Body = replaceAll(Body, D.Params[P], Args[P]);
+      Out += Body;
+      I = End;
+      Matched = true;
+      Changed = true;
+      ++LastSubstitutions;
+      break;
+    }
+    if (!Matched) {
+      Out.push_back(In[I]);
+      ++I;
+    }
+  }
+  return Changed;
+}
+
+std::string CharMacroProcessor::process(const std::string &Text) const {
+  LastSubstitutions = 0;
+  std::string Current = Text;
+  std::string Next;
+  // Bounded rescanning: character macros famously diverge on
+  // self-referential definitions.
+  for (unsigned Pass = 0; Pass != 16; ++Pass) {
+    if (!processOnce(Current, Next))
+      break;
+    std::swap(Current, Next);
+  }
+  return Current;
+}

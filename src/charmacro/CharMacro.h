@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A character-level macro processor in the spirit of GPM / pre-ANSI CPP
+/// (the paper's Figure 1 "Character" column). It transforms streams of
+/// characters into streams of characters with no knowledge of tokens, let
+/// alone syntax — it will happily rewrite inside identifiers and string
+/// literals, which the Figure-1 benchmark demonstrates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_CHARMACRO_CHARMACRO_H
+#define MSQ_CHARMACRO_CHARMACRO_H
+
+#include <string>
+#include <vector>
+
+namespace msq {
+
+/// A character-level macro: occurrences of `Name(arg1, ..., argN)` (or the
+/// bare `Name` when the macro has no parameters) are replaced by Body with
+/// each parameter name substituted textually.
+class CharMacroProcessor {
+public:
+  void define(std::string Name, std::vector<std::string> Params,
+              std::string Body);
+  void undefine(const std::string &Name);
+
+  /// Expands all macros; rescans substituted text up to a bounded number of
+  /// passes (character macros have no recursion guard by nature).
+  std::string process(const std::string &Text) const;
+
+  size_t macroCount() const { return Macros.size(); }
+  /// Total substitutions performed by the last process() call.
+  size_t lastSubstitutionCount() const { return LastSubstitutions; }
+
+private:
+  struct Def {
+    std::string Name;
+    std::vector<std::string> Params;
+    std::string Body;
+  };
+  /// One pass; returns true if anything was rewritten.
+  bool processOnce(const std::string &In, std::string &Out) const;
+
+  std::vector<Def> Macros;
+  mutable size_t LastSubstitutions = 0;
+};
+
+} // namespace msq
+
+#endif // MSQ_CHARMACRO_CHARMACRO_H

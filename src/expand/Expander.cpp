@@ -1,0 +1,360 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expand/Expander.h"
+
+using namespace msq;
+
+Expander::Expander(CompilationContext &CC, Interpreter &Interp, Options Opts)
+    : CC(CC), Interp(Interp), Opts(Opts),
+      QC{CC.Ast, CC.Interner, CC.Types, CC.Diags} {}
+
+Value Expander::runInvocation(const MacroInvocation *Inv) {
+  ++St.InvocationsExpanded;
+  return Interp.invokeMacro(Inv);
+}
+
+//===----------------------------------------------------------------------===//
+// Splicing
+//===----------------------------------------------------------------------===//
+
+void Expander::spliceStmtValue(const Value &V, SourceLoc Loc,
+                               std::vector<Stmt *> &Out) {
+  if (V.isUnset())
+    return; // already diagnosed
+  if (V.kind() == Value::ListV) {
+    for (size_t I = 0; I != V.listSize(); ++I)
+      spliceStmtValue(V.listAt(I), Loc, Out);
+    return;
+  }
+  Stmt *S = valueToStmt(QC, V, Loc);
+  if (!S)
+    return;
+  // Expansion results may contain further invocations.
+  if (Depth >= Opts.MaxExpansionDepth) {
+    CC.Diags.error(Loc, "macro expansion depth limit exceeded");
+    return;
+  }
+  ++Depth;
+  expandStmtInto(S, Out);
+  --Depth;
+}
+
+void Expander::spliceDeclValue(const Value &V, SourceLoc Loc,
+                               std::vector<Decl *> &Out) {
+  if (V.isUnset())
+    return;
+  if (V.kind() == Value::ListV) {
+    for (size_t I = 0; I != V.listSize(); ++I)
+      spliceDeclValue(V.listAt(I), Loc, Out);
+    return;
+  }
+  Decl *D = valueToDecl(QC, V, Loc);
+  if (!D)
+    return;
+  if (Depth >= Opts.MaxExpansionDepth) {
+    CC.Diags.error(Loc, "macro expansion depth limit exceeded");
+    return;
+  }
+  ++Depth;
+  expandDeclInto(D, Out);
+  --Depth;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Expander::expandExpr(Expr *E) {
+  if (!E)
+    return nullptr;
+  ++St.NodesProduced;
+  switch (E->kind()) {
+  case NodeKind::MacroInvocationExpr: {
+    const auto *M = cast<MacroInvocationExpr>(E);
+    Value V = runInvocation(M->Inv);
+    Expr *R = valueToExpr(QC, V, E->loc());
+    if (!R)
+      return CC.Ast.create<IntLiteralExpr>(0, E->loc());
+    if (Depth >= Opts.MaxExpansionDepth) {
+      CC.Diags.error(E->loc(), "macro expansion depth limit exceeded");
+      return R;
+    }
+    ++Depth;
+    R = expandExpr(R);
+    --Depth;
+    return R;
+  }
+  case NodeKind::ParenExpr: {
+    auto *P = cast<ParenExpr>(E);
+    P->Inner = expandExpr(P->Inner);
+    return P;
+  }
+  case NodeKind::InitListExpr: {
+    auto *IL = cast<InitListExpr>(E);
+    std::vector<Expr *> Elems;
+    for (Expr *El : IL->Elems)
+      Elems.push_back(expandExpr(El));
+    IL->Elems = ArenaRef<Expr *>::copy(CC.Ast, Elems);
+    return IL;
+  }
+  case NodeKind::UnaryExpr: {
+    auto *U = cast<UnaryExpr>(E);
+    U->Operand = expandExpr(U->Operand);
+    return U;
+  }
+  case NodeKind::BinaryExpr: {
+    auto *B = cast<BinaryExpr>(E);
+    B->LHS = expandExpr(B->LHS);
+    B->RHS = expandExpr(B->RHS);
+    return B;
+  }
+  case NodeKind::ConditionalExpr: {
+    auto *C = cast<ConditionalExpr>(E);
+    C->Cond = expandExpr(C->Cond);
+    C->Then = expandExpr(C->Then);
+    C->Else = expandExpr(C->Else);
+    return C;
+  }
+  case NodeKind::CastExpr: {
+    auto *C = cast<CastExpr>(E);
+    C->Operand = expandExpr(C->Operand);
+    return C;
+  }
+  case NodeKind::SizeofExpr: {
+    auto *S = cast<SizeofExpr>(E);
+    if (!S->IsType)
+      S->Operand = expandExpr(S->Operand);
+    return S;
+  }
+  case NodeKind::CallExpr: {
+    auto *C = cast<CallExpr>(E);
+    C->Callee = expandExpr(C->Callee);
+    std::vector<Expr *> Args;
+    for (Expr *Arg : C->Args)
+      Args.push_back(expandExpr(Arg));
+    C->Args = ArenaRef<Expr *>::copy(CC.Ast, Args);
+    return C;
+  }
+  case NodeKind::IndexExpr: {
+    auto *I = cast<IndexExpr>(E);
+    I->Base = expandExpr(I->Base);
+    I->Index = expandExpr(I->Index);
+    return I;
+  }
+  case NodeKind::MemberExpr: {
+    auto *M = cast<MemberExpr>(E);
+    M->Base = expandExpr(M->Base);
+    return M;
+  }
+  case NodeKind::PlaceholderExpr:
+    CC.Diags.error(E->loc(), "unexpanded placeholder in object code");
+    return E;
+  default:
+    return E;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+CompoundStmt *Expander::expandCompound(CompoundStmt *C) {
+  std::vector<Decl *> Decls;
+  for (Decl *D : C->Decls)
+    expandDeclInto(D, Decls);
+  std::vector<Stmt *> Stmts;
+  for (Stmt *S : C->Stmts)
+    expandStmtInto(S, Stmts);
+  return CC.Ast.create<CompoundStmt>(ArenaRef<Decl *>::copy(CC.Ast, Decls),
+                                     ArenaRef<Stmt *>::copy(CC.Ast, Stmts),
+                                     C->loc());
+}
+
+void Expander::expandStmtInto(Stmt *S, std::vector<Stmt *> &Out) {
+  if (!S)
+    return;
+  if (const auto *M = dyn_cast<MacroInvocationStmt>(S)) {
+    Value V = runInvocation(M->Inv);
+    spliceStmtValue(V, S->loc(), Out);
+    return;
+  }
+  if (Stmt *R = expandStmt(S))
+    Out.push_back(R);
+}
+
+Stmt *Expander::expandStmt(Stmt *S) {
+  if (!S)
+    return nullptr;
+  ++St.NodesProduced;
+  switch (S->kind()) {
+  case NodeKind::MacroInvocationStmt: {
+    // Single-statement context: the invocation must produce one statement.
+    const auto *M = cast<MacroInvocationStmt>(S);
+    Value V = runInvocation(M->Inv);
+    std::vector<Stmt *> Tmp;
+    spliceStmtValue(V, S->loc(), Tmp);
+    if (Tmp.size() == 1)
+      return Tmp[0];
+    if (Tmp.empty())
+      return CC.Ast.create<NullStmt>(S->loc());
+    // Multiple statements in a single-statement slot: wrap in a block.
+    return CC.Ast.create<CompoundStmt>(ArenaRef<Decl *>(),
+                                       ArenaRef<Stmt *>::copy(CC.Ast, Tmp),
+                                       S->loc());
+  }
+  case NodeKind::CompoundStmtKind:
+    return expandCompound(cast<CompoundStmt>(S));
+  case NodeKind::ExprStmt: {
+    auto *ES = cast<ExprStmt>(S);
+    ES->E = expandExpr(ES->E);
+    return ES;
+  }
+  case NodeKind::IfStmt: {
+    auto *I = cast<IfStmt>(S);
+    I->Cond = expandExpr(I->Cond);
+    I->Then = expandStmt(I->Then);
+    if (I->Else)
+      I->Else = expandStmt(I->Else);
+    return I;
+  }
+  case NodeKind::WhileStmt: {
+    auto *W = cast<WhileStmt>(S);
+    W->Cond = expandExpr(W->Cond);
+    W->Body = expandStmt(W->Body);
+    return W;
+  }
+  case NodeKind::DoStmt: {
+    auto *D = cast<DoStmt>(S);
+    D->Body = expandStmt(D->Body);
+    D->Cond = expandExpr(D->Cond);
+    return D;
+  }
+  case NodeKind::ForStmt: {
+    auto *F = cast<ForStmt>(S);
+    F->Init = expandExpr(F->Init);
+    F->Cond = expandExpr(F->Cond);
+    F->Step = expandExpr(F->Step);
+    F->Body = expandStmt(F->Body);
+    return F;
+  }
+  case NodeKind::SwitchStmt: {
+    auto *Sw = cast<SwitchStmt>(S);
+    Sw->Cond = expandExpr(Sw->Cond);
+    Sw->Body = expandStmt(Sw->Body);
+    return Sw;
+  }
+  case NodeKind::CaseStmt: {
+    auto *C = cast<CaseStmt>(S);
+    C->Value = expandExpr(C->Value);
+    C->Body = expandStmt(C->Body);
+    return C;
+  }
+  case NodeKind::DefaultStmt: {
+    auto *D = cast<DefaultStmt>(S);
+    D->Body = expandStmt(D->Body);
+    return D;
+  }
+  case NodeKind::LabelStmt: {
+    auto *L = cast<LabelStmt>(S);
+    L->Body = expandStmt(L->Body);
+    return L;
+  }
+  case NodeKind::ReturnStmt: {
+    auto *R = cast<ReturnStmt>(S);
+    if (R->Value)
+      R->Value = expandExpr(R->Value);
+    return R;
+  }
+  case NodeKind::PlaceholderStmt:
+    CC.Diags.error(S->loc(), "unexpanded placeholder in object code");
+    return S;
+  default:
+    return S;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+Decl *Expander::expandDecl(Decl *D) {
+  if (!D)
+    return nullptr;
+  ++St.NodesProduced;
+  switch (D->kind()) {
+  case NodeKind::DeclarationKind: {
+    auto *Dec = cast<Declaration>(D);
+    std::vector<InitDeclarator> Inits(Dec->Inits.begin(), Dec->Inits.end());
+    for (InitDeclarator &ID : Inits)
+      if (ID.Init)
+        ID.Init = expandExpr(ID.Init);
+    Dec->Inits = ArenaRef<InitDeclarator>::copy(CC.Ast, Inits);
+    return Dec;
+  }
+  case NodeKind::FunctionDefKind: {
+    auto *F = cast<FunctionDef>(D);
+    F->Body = expandCompound(F->Body);
+    return F;
+  }
+  case NodeKind::PlaceholderDecl:
+    CC.Diags.error(D->loc(), "unexpanded placeholder in object code");
+    return D;
+  default:
+    return D;
+  }
+}
+
+void Expander::expandDeclInto(Decl *D, std::vector<Decl *> &Out) {
+  if (!D)
+    return;
+  switch (D->kind()) {
+  case NodeKind::MacroInvocationDecl: {
+    const auto *M = cast<MacroInvocationDecl>(D);
+    Value V = runInvocation(M->Inv);
+    spliceDeclValue(V, D->loc(), Out);
+    return;
+  }
+  case NodeKind::MetaDeclKind:
+    // Run the meta declaration; it does not exist in object code.
+    Interp.processMetaDecl(cast<MetaDecl>(D));
+    return;
+  case NodeKind::MacroDefKind:
+    // Registered at parse time; consumed here.
+    return;
+  case NodeKind::FunctionDefKind: {
+    auto *F = cast<FunctionDef>(D);
+    // Meta functions are consumed; object functions get their bodies
+    // expanded.
+    if (CC.MetaFuncs.lookup(F->Dtor && !F->Dtor->isPlaceholder()
+                                ? F->Dtor->name().Sym
+                                : Symbol()))
+      return;
+    Out.push_back(expandDecl(D));
+    return;
+  }
+  case NodeKind::DeclarationKind: {
+    auto *Dec = cast<Declaration>(D);
+    // Implicit meta globals (declared with @-types at top level).
+    if (Dec->Specs.Type && isa<MetaAstTypeSpec>(Dec->Specs.Type))
+      return;
+    Out.push_back(expandDecl(D));
+    return;
+  }
+  default:
+    Out.push_back(expandDecl(D));
+    return;
+  }
+}
+
+TranslationUnit *Expander::expandTranslationUnit(TranslationUnit *TU) {
+  std::vector<Decl *> Items;
+  for (Decl *D : TU->Items)
+    expandDeclInto(D, Items);
+  return CC.Ast.create<TranslationUnit>(ArenaRef<Decl *>::copy(CC.Ast, Items),
+                                        TU->loc());
+}

@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The macro expansion driver. Walks a parsed translation unit, runs the
+/// meta program (macro definitions register themselves at parse time; this
+/// pass executes metadcl initializers in order), expands every macro
+/// invocation by running its body in the interpreter, and splices the
+/// produced ASTs — recursively, since macro-produced code may contain
+/// further invocations. The expanded tree contains no meta constructs:
+/// "The meta-program is fully run during macro-expansion. None of it
+/// exists at runtime."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_EXPAND_EXPANDER_H
+#define MSQ_EXPAND_EXPANDER_H
+
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+#include "quasi/Quasi.h"
+
+namespace msq {
+
+class Expander {
+public:
+  struct Options {
+    /// Maximum expansion nesting (a macro producing an invocation of
+    /// itself forever must terminate with a diagnostic).
+    unsigned MaxExpansionDepth = 128;
+  };
+
+  struct Stats {
+    size_t InvocationsExpanded = 0;
+    size_t NodesProduced = 0;
+  };
+
+  Expander(CompilationContext &CC, Interpreter &Interp)
+      : Expander(CC, Interp, Options()) {}
+  Expander(CompilationContext &CC, Interpreter &Interp, Options Opts);
+
+  /// Expands \p TU; returns a new translation unit containing only object
+  /// code (meta declarations and macro definitions are consumed).
+  TranslationUnit *expandTranslationUnit(TranslationUnit *TU);
+
+  /// Expands a single statement/expression (tests, benchmarks).
+  Stmt *expandStmt(Stmt *S);
+  Expr *expandExpr(Expr *E);
+
+  const Stats &stats() const { return St; }
+
+private:
+  Value runInvocation(const MacroInvocation *Inv);
+  void expandStmtInto(Stmt *S, std::vector<Stmt *> &Out);
+  void expandDeclInto(Decl *D, std::vector<Decl *> &Out);
+  Decl *expandDecl(Decl *D);
+  CompoundStmt *expandCompound(CompoundStmt *C);
+  /// Splices an invocation result value into a statement list.
+  void spliceStmtValue(const Value &V, SourceLoc Loc, std::vector<Stmt *> &Out);
+  void spliceDeclValue(const Value &V, SourceLoc Loc, std::vector<Decl *> &Out);
+
+  CompilationContext &CC;
+  Interpreter &Interp;
+  Options Opts;
+  QuasiContext QC;
+  Stats St;
+  unsigned Depth = 0;
+};
+
+} // namespace msq
+
+#endif // MSQ_EXPAND_EXPANDER_H

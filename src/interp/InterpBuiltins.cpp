@@ -1,0 +1,210 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementations of the macro language's primitive functions
+/// (paper section 2, "Additional Primitive Functions").
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "printer/CPrinter.h"
+
+#include <sstream>
+
+using namespace msq;
+
+/// Renders a value usable as an identifier piece (symbolconc/concat_ids).
+static bool identPiece(const Value &V, std::string &Out) {
+  switch (V.kind()) {
+  case Value::IdentVal:
+    if (V.identValue().isPlaceholder() || !V.identValue().Sym.valid())
+      return false;
+    Out += V.identValue().Sym.str();
+    return true;
+  case Value::StrV:
+    Out += V.strValue();
+    return true;
+  case Value::IntV:
+    Out += std::to_string(V.intValue());
+    return true;
+  case Value::AstV:
+    if (const auto *IE = dyn_cast<IdentExpr>(V.astValue())) {
+      if (!IE->Name.isPlaceholder()) {
+        Out += IE->Name.Sym.str();
+        return true;
+      }
+    }
+    if (const auto *IL = dyn_cast<IntLiteralExpr>(V.astValue())) {
+      Out += std::to_string(IL->Value);
+      return true;
+    }
+    return false;
+  default:
+    return false;
+  }
+}
+
+Value Interpreter::callBuiltin(const BuiltinInfo &Info,
+                               std::vector<Value> &Args, SourceLoc Loc) {
+  if (Args.size() < Info.MinArgs ||
+      (Info.MaxArgs != UINT_MAX && Args.size() > Info.MaxArgs))
+    return error(Loc, std::string("wrong number of arguments to '") +
+                          Info.Name + "'");
+  for (const Value &V : Args)
+    if (V.isUnset())
+      return Value(); // propagate earlier failure silently
+
+  switch (Info.Kind) {
+  case BuiltinKind::Gensym: {
+    std::string Prefix = "g";
+    if (!Args.empty()) {
+      std::string P;
+      if (!identPiece(Args[0], P))
+        return error(Loc, "gensym prefix must be a string or identifier");
+      Prefix = P;
+    }
+    std::ostringstream OS;
+    OS << "__msq_" << Prefix << '_' << GensymCounter++;
+    return Value::makeIdent(
+        Ident(CC.Interner.intern(OS.str()), SourceLoc()));
+  }
+  case BuiltinKind::ConcatIds:
+  case BuiltinKind::Symbolconc: {
+    std::string Name;
+    for (const Value &V : Args)
+      if (!identPiece(V, Name))
+        return error(Loc, std::string("argument of '") + Info.Name +
+                              "' cannot form an identifier (" + V.kindName() +
+                              ")");
+    if (Name.empty())
+      return error(Loc, std::string("'") + Info.Name +
+                            "' produced an empty identifier");
+    return Value::makeIdent(Ident(CC.Interner.intern(Name), SourceLoc()));
+  }
+  case BuiltinKind::Pstring: {
+    if (Args[0].kind() != Value::IdentVal)
+      return error(Loc, "pstring expects an identifier");
+    return Value::makeStr(std::string(Args[0].identValue().Sym.str()));
+  }
+  case BuiltinKind::Length: {
+    if (Args[0].kind() != Value::ListV)
+      return error(Loc, "length expects a list");
+    return Value::makeInt(int64_t(Args[0].listSize()));
+  }
+  case BuiltinKind::Map: {
+    if (Args[1].kind() != Value::ListV)
+      return error(Loc, "map expects a list as its second argument");
+    std::vector<Value> Out;
+    Out.reserve(Args[1].listSize());
+    for (size_t I = 0; I != Args[1].listSize(); ++I) {
+      Value R = callCallable(Args[0], {Args[1].listAt(I)}, Loc);
+      if (R.isUnset())
+        return Value();
+      Out.push_back(std::move(R));
+    }
+    return Value::makeList(std::move(Out));
+  }
+  case BuiltinKind::List:
+    return Value::makeList(std::move(Args));
+  case BuiltinKind::Append: {
+    std::vector<Value> Out;
+    for (const Value &V : Args) {
+      if (V.kind() != Value::ListV)
+        return error(Loc, "append expects lists");
+      for (size_t I = 0; I != V.listSize(); ++I)
+        Out.push_back(V.listAt(I));
+    }
+    return Value::makeList(std::move(Out));
+  }
+  case BuiltinKind::Cons: {
+    if (Args[1].kind() != Value::ListV)
+      return error(Loc, "cons expects a list as its second argument");
+    std::vector<Value> Out;
+    Out.reserve(Args[1].listSize() + 1);
+    Out.push_back(Args[0]);
+    for (size_t I = 0; I != Args[1].listSize(); ++I)
+      Out.push_back(Args[1].listAt(I));
+    return Value::makeList(std::move(Out));
+  }
+  case BuiltinKind::Nth: {
+    if (Args[0].kind() != Value::ListV || Args[1].kind() != Value::IntV)
+      return error(Loc, "nth expects a list and an integer");
+    int64_t N = Args[1].intValue();
+    if (N < 0 || size_t(N) >= Args[0].listSize())
+      return error(Loc, "nth index out of range");
+    return Args[0].listAt(size_t(N));
+  }
+  case BuiltinKind::SimpleExpression: {
+    // "Simple" expressions are identifiers and literals — safe to duplicate
+    // without evaluating twice (the throw macro's test).
+    const Value &V = Args[0];
+    if (V.kind() == Value::IdentVal)
+      return Value::makeInt(1);
+    if (V.kind() != Value::AstV)
+      return Value::makeInt(0);
+    const Node *N = V.astValue();
+    while (const auto *P = dyn_cast<ParenExpr>(N))
+      N = P->Inner;
+    switch (N->kind()) {
+    case NodeKind::IdentExpr:
+    case NodeKind::IntLiteralExpr:
+    case NodeKind::FloatLiteralExpr:
+    case NodeKind::CharLiteralExpr:
+    case NodeKind::StringLiteralExpr:
+      return Value::makeInt(1);
+    default:
+      return Value::makeInt(0);
+    }
+  }
+  case BuiltinKind::Present:
+    return Value::makeInt(Args[0].isNil() ? 0 : 1);
+  case BuiltinKind::MakeId: {
+    if (Args[0].kind() != Value::StrV || Args[0].strValue().empty())
+      return error(Loc, "make_id expects a non-empty string");
+    return Value::makeIdent(
+        Ident(CC.Interner.intern(Args[0].strValue()), SourceLoc()));
+  }
+  case BuiltinKind::MakeNum: {
+    if (Args[0].kind() != Value::IntV)
+      return error(Loc, "make_num expects an integer");
+    return Value::makeAst(
+        CC.Ast.create<IntLiteralExpr>(Args[0].intValue(), Loc),
+        CC.Types.getNum());
+  }
+  case BuiltinKind::PrintAst: {
+    switch (Args[0].kind()) {
+    case Value::AstV:
+      return Value::makeStr(printNode(Args[0].astValue()));
+    case Value::IdentVal:
+      return Value::makeStr(std::string(Args[0].identValue().Sym.str()));
+    case Value::DeclaratorVal:
+      return Value::makeStr(printDeclarator(Args[0].declaratorValue()));
+    default:
+      return Value::makeStr(Args[0].kindName());
+    }
+  }
+  case BuiltinKind::MetaError: {
+    if (Args[0].kind() != Value::StrV)
+      return error(Loc, "meta_error expects a string");
+    return error(Loc, "meta_error: " + Args[0].strValue());
+  }
+  case BuiltinKind::VarType: {
+    if (Args[0].kind() != Value::IdentVal ||
+        Args[0].identValue().isPlaceholder())
+      return error(Loc, "var_type expects an identifier");
+    Symbol Name = Args[0].identValue().Sym;
+    auto It = CC.ObjectVarTypes.find(Name);
+    if (It == CC.ObjectVarTypes.end())
+      return error(Loc, "var_type: no visible object declaration of '" +
+                            std::string(Name.str()) + "'");
+    return Value::makeAst(It->second, CC.Types.getTypeSpec());
+  }
+  }
+  return Value();
+}

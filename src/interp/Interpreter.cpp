@@ -1,0 +1,943 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "meta/MetaTypeCheck.h"
+
+using namespace msq;
+
+const char *msq::nodeKindName(NodeKind K) {
+  switch (K) {
+  case NodeKind::IntLiteralExpr:
+    return "int-literal";
+  case NodeKind::FloatLiteralExpr:
+    return "float-literal";
+  case NodeKind::CharLiteralExpr:
+    return "char-literal";
+  case NodeKind::StringLiteralExpr:
+    return "string-literal";
+  case NodeKind::IdentExpr:
+    return "identifier";
+  case NodeKind::ParenExpr:
+    return "paren-expression";
+  case NodeKind::InitListExpr:
+    return "initializer-list";
+  case NodeKind::UnaryExpr:
+    return "unary-expression";
+  case NodeKind::BinaryExpr:
+    return "binary-expression";
+  case NodeKind::ConditionalExpr:
+    return "conditional-expression";
+  case NodeKind::CastExpr:
+    return "cast-expression";
+  case NodeKind::SizeofExpr:
+    return "sizeof-expression";
+  case NodeKind::CallExpr:
+    return "function-call";
+  case NodeKind::IndexExpr:
+    return "index-expression";
+  case NodeKind::MemberExpr:
+    return "member-expression";
+  case NodeKind::PlaceholderExpr:
+    return "placeholder";
+  case NodeKind::MacroInvocationExpr:
+  case NodeKind::MacroInvocationStmt:
+  case NodeKind::MacroInvocationDecl:
+    return "macro-invocation";
+  case NodeKind::BackquoteExpr:
+    return "code-template";
+  case NodeKind::LambdaExpr:
+    return "anonymous-function";
+  case NodeKind::CompoundStmtKind:
+    return "compound-statement";
+  case NodeKind::ExprStmt:
+    return "expression-statement";
+  case NodeKind::NullStmt:
+    return "null-statement";
+  case NodeKind::IfStmt:
+    return "if-statement";
+  case NodeKind::WhileStmt:
+    return "while-statement";
+  case NodeKind::DoStmt:
+    return "do-statement";
+  case NodeKind::ForStmt:
+    return "for-statement";
+  case NodeKind::SwitchStmt:
+    return "switch-statement";
+  case NodeKind::CaseStmt:
+    return "case-statement";
+  case NodeKind::DefaultStmt:
+    return "default-statement";
+  case NodeKind::LabelStmt:
+    return "label-statement";
+  case NodeKind::GotoStmt:
+    return "goto-statement";
+  case NodeKind::BreakStmt:
+    return "break-statement";
+  case NodeKind::ContinueStmt:
+    return "continue-statement";
+  case NodeKind::ReturnStmt:
+    return "return-statement";
+  case NodeKind::PlaceholderStmt:
+  case NodeKind::PlaceholderDecl:
+    return "placeholder";
+  case NodeKind::DeclarationKind:
+    return "declaration";
+  case NodeKind::FunctionDefKind:
+    return "function-definition";
+  case NodeKind::MetaDeclKind:
+    return "meta-declaration";
+  case NodeKind::MacroDefKind:
+    return "macro-definition";
+  case NodeKind::TranslationUnitKind:
+    return "translation-unit";
+  case NodeKind::BuiltinTypeSpecKind:
+  case NodeKind::TagTypeSpecKind:
+  case NodeKind::TypedefNameSpecKind:
+  case NodeKind::MetaAstTypeSpecKind:
+  case NodeKind::PlaceholderTypeSpecKind:
+    return "type-specifier";
+  }
+  return "?";
+}
+
+Interpreter::Interpreter(CompilationContext &CC, Limits L)
+    : CC(CC), Lim(L), QC{CC.Ast, CC.Interner, CC.Types, CC.Diags} {
+  QC.Hygienic = L.HygienicTemplates;
+  QC.FreshCounter = &GensymCounter;
+}
+
+bool Interpreter::step(SourceLoc Loc) {
+  if (++Steps <= Lim.MaxSteps)
+    return true;
+  if (!StepLimitReported) {
+    StepLimitReported = true;
+    CC.Diags.error(Loc, "meta program exceeded the execution step limit "
+                        "(runaway macro?)");
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Equality
+//===----------------------------------------------------------------------===//
+
+bool Interpreter::valuesEqual(const Value &A, const Value &B) {
+  if (A.kind() == Value::Nil || B.kind() == Value::Nil)
+    return A.kind() == B.kind();
+  if (A.kind() == Value::IntV && B.kind() == Value::IntV)
+    return A.intValue() == B.intValue();
+  if ((A.kind() == Value::IntV || A.kind() == Value::FloatV) &&
+      (B.kind() == Value::IntV || B.kind() == Value::FloatV)) {
+    double X = A.kind() == Value::IntV ? double(A.intValue()) : A.floatValue();
+    double Y = B.kind() == Value::IntV ? double(B.intValue()) : B.floatValue();
+    return X == Y;
+  }
+  if (A.kind() != B.kind())
+    return false;
+  switch (A.kind()) {
+  case Value::StrV:
+    return A.strValue() == B.strValue();
+  case Value::IdentVal:
+    return A.identValue().Sym == B.identValue().Sym;
+  case Value::AstV:
+    return structurallyEqual(A.astValue(), B.astValue());
+  case Value::ListV: {
+    if (A.listSize() != B.listSize())
+      return false;
+    for (size_t I = 0; I != A.listSize(); ++I)
+      if (!valuesEqual(A.listAt(I), B.listAt(I)))
+        return false;
+    return true;
+  }
+  case Value::TupleV: {
+    const TupleData &X = A.tuple(), &Y = B.tuple();
+    if (X.Fields.size() != Y.Fields.size())
+      return false;
+    for (size_t I = 0; I != X.Fields.size(); ++I)
+      if (!valuesEqual(X.Fields[I], Y.Fields[I]))
+        return false;
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Member access
+//===----------------------------------------------------------------------===//
+
+Value Interpreter::evalMember(const Value &Base, Symbol Member,
+                              SourceLoc Loc) {
+  std::string_view M = Member.str();
+  if (Base.kind() == Value::TupleV) {
+    const TupleData &T = Base.tuple();
+    for (size_t I = 0; I != T.Names.size(); ++I)
+      if (T.Names[I] == Member)
+        return T.Fields[I];
+    return error(Loc, "tuple has no field '" + std::string(M) + "'");
+  }
+  if (Base.kind() == Value::AstV) {
+    Node *N = Base.astValue();
+    if (M == "kind")
+      return Value::makeStr(nodeKindName(N->kind()));
+    switch (N->kind()) {
+    case NodeKind::CompoundStmtKind: {
+      const auto *C = cast<CompoundStmt>(N);
+      if (M == "declarations") {
+        std::vector<Value> Elems;
+        for (Decl *D : C->Decls)
+          Elems.push_back(Value::makeAst(D, CC.Types.getDecl()));
+        return Value::makeList(std::move(Elems),
+                               CC.Types.getList(CC.Types.getDecl()));
+      }
+      if (M == "statements") {
+        std::vector<Value> Elems;
+        for (Stmt *S : C->Stmts)
+          Elems.push_back(Value::makeAst(S, CC.Types.getStmt()));
+        return Value::makeList(std::move(Elems),
+                               CC.Types.getList(CC.Types.getStmt()));
+      }
+      break;
+    }
+    case NodeKind::DeclarationKind: {
+      auto *D = cast<Declaration>(N);
+      if (M == "type_spec")
+        return Value::makeAst(D->Specs.Type, CC.Types.getTypeSpec());
+      if (M == "init_declarators") {
+        std::vector<Value> Elems;
+        for (const InitDeclarator &ID : D->Inits)
+          Elems.push_back(
+              Value::makeInitDecl(CC.Ast.create<InitDeclarator>(ID)));
+        return Value::makeList(
+            std::move(Elems),
+            CC.Types.getList(CC.Types.getScalar(MetaTypeKind::InitDeclarator)));
+      }
+      break;
+    }
+    case NodeKind::BinaryExpr: {
+      auto *B = cast<BinaryExpr>(N);
+      if (M == "lhs")
+        return Value::makeAst(B->LHS, CC.Types.getExp());
+      if (M == "rhs")
+        return Value::makeAst(B->RHS, CC.Types.getExp());
+      break;
+    }
+    case NodeKind::UnaryExpr:
+      if (M == "operand")
+        return Value::makeAst(cast<UnaryExpr>(N)->Operand, CC.Types.getExp());
+      break;
+    case NodeKind::ParenExpr:
+      if (M == "operand")
+        return Value::makeAst(cast<ParenExpr>(N)->Inner, CC.Types.getExp());
+      break;
+    case NodeKind::CallExpr: {
+      auto *C = cast<CallExpr>(N);
+      if (M == "callee")
+        return Value::makeAst(C->Callee, CC.Types.getExp());
+      if (M == "args") {
+        std::vector<Value> Elems;
+        for (Expr *A : C->Args)
+          Elems.push_back(Value::makeAst(A, CC.Types.getExp()));
+        return Value::makeList(std::move(Elems),
+                               CC.Types.getList(CC.Types.getExp()));
+      }
+      break;
+    }
+    case NodeKind::IdentExpr:
+      if (M == "name")
+        return Value::makeIdent(cast<IdentExpr>(N)->Name);
+      break;
+    case NodeKind::TagTypeSpecKind: {
+      auto *T = cast<TagTypeSpec>(N);
+      if (M == "enumerators") {
+        std::vector<Value> Elems;
+        for (const Enumerator &E : T->Enums)
+          if (!E.ListPh && E.Name.valid())
+            Elems.push_back(Value::makeIdent(E.Name));
+        return Value::makeList(std::move(Elems),
+                               CC.Types.getList(CC.Types.getId()));
+      }
+      if (M == "tag_name") {
+        if (!T->TagName.valid())
+          return Value::makeNil();
+        return Value::makeIdent(T->TagName);
+      }
+      if (M == "members") {
+        std::vector<Value> Elems;
+        for (Declaration *D : T->Members)
+          Elems.push_back(Value::makeAst(D, CC.Types.getDecl()));
+        return Value::makeList(std::move(Elems),
+                               CC.Types.getList(CC.Types.getDecl()));
+      }
+      break;
+    }
+    default:
+      break;
+    }
+    return error(Loc, std::string("AST value of kind ") +
+                          nodeKindName(N->kind()) + " has no member '" +
+                          std::string(M) + "'");
+  }
+  if (Base.kind() == Value::InitDeclVal) {
+    const InitDeclarator *ID = Base.initDeclValue();
+    if (M == "declarator")
+      return Value::makeDeclarator(ID->Dtor);
+    if (M == "init")
+      return ID->Init ? Value::makeAst(ID->Init, CC.Types.getExp())
+                      : Value::makeNil();
+  }
+  if (Base.kind() == Value::DeclaratorVal) {
+    if (M == "name")
+      return Value::makeIdent(Base.declaratorValue()->Name);
+  }
+  if (Base.kind() == Value::EnumeratorVal) {
+    const Enumerator *E = Base.enumeratorValue();
+    if (M == "name")
+      return Value::makeIdent(E->Name);
+    if (M == "value")
+      return E->Value ? Value::makeAst(E->Value, CC.Types.getExp())
+                      : Value::makeNil();
+  }
+  return error(Loc, std::string("value of kind ") + Base.kindName() +
+                        " has no member '" + std::string(M) + "'");
+}
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation
+//===----------------------------------------------------------------------===//
+
+Value Interpreter::evalExpr(const Expr *E, Env &Env_) {
+  if (!E || !step(E ? E->loc() : SourceLoc()))
+    return Value();
+  switch (E->kind()) {
+  case NodeKind::IntLiteralExpr:
+    return Value::makeInt(cast<IntLiteralExpr>(E)->Value);
+  case NodeKind::CharLiteralExpr:
+    return Value::makeInt(cast<CharLiteralExpr>(E)->Value);
+  case NodeKind::FloatLiteralExpr:
+    return Value::makeFloat(cast<FloatLiteralExpr>(E)->Value);
+  case NodeKind::StringLiteralExpr:
+    return Value::makeStr(
+        std::string(cast<StringLiteralExpr>(E)->Value.str()));
+  case NodeKind::IdentExpr: {
+    const auto *IE = cast<IdentExpr>(E);
+    if (IE->Name.isPlaceholder())
+      return error(E->loc(), "placeholder evaluated outside of a template");
+    if (Value *V = Env_.lookup(IE->Name.Sym)) {
+      if (V->isUnset())
+        return error(E->loc(), "meta variable '" +
+                                   std::string(IE->Name.Sym.str()) +
+                                   "' used before initialization");
+      return *V;
+    }
+    if (const MetaFunction *F = CC.MetaFuncs.lookup(IE->Name.Sym)) {
+      Value V = Value::makeClosure(nullptr, {});
+      const_cast<ClosureData &>(V.closure()).MetaFn = F;
+      return V;
+    }
+    return error(E->loc(), "undefined meta variable '" +
+                               std::string(IE->Name.Sym.str()) + "'");
+  }
+  case NodeKind::ParenExpr:
+    return evalExpr(cast<ParenExpr>(E)->Inner, Env_);
+  case NodeKind::UnaryExpr: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->Op == UnaryOpKind::PreInc || U->Op == UnaryOpKind::PreDec ||
+        U->Op == UnaryOpKind::PostInc || U->Op == UnaryOpKind::PostDec) {
+      const auto *Target = dyn_cast<IdentExpr>(U->Operand);
+      if (!Target)
+        return error(E->loc(), "++/-- requires a variable");
+      Value *Slot = Env_.lookup(Target->Name.Sym);
+      if (!Slot || Slot->kind() != Value::IntV)
+        return error(E->loc(), "++/-- requires an integer variable");
+      int64_t Old = Slot->intValue();
+      int64_t New = (U->Op == UnaryOpKind::PreInc ||
+                     U->Op == UnaryOpKind::PostInc)
+                        ? Old + 1
+                        : Old - 1;
+      *Slot = Value::makeInt(New);
+      return Value::makeInt(U->isPostfix() ? Old : New);
+    }
+    Value V = evalExpr(U->Operand, Env_);
+    if (V.isUnset())
+      return V;
+    switch (U->Op) {
+    case UnaryOpKind::Deref:
+      if (V.kind() == Value::ListV) {
+        if (V.listSize() == 0)
+          return error(E->loc(), "'*' applied to an empty list");
+        return V.listAt(0);
+      }
+      return error(E->loc(), "'*' requires a list (Lisp car)");
+    case UnaryOpKind::Not:
+      return Value::makeInt(V.isTruthy() ? 0 : 1);
+    case UnaryOpKind::Minus:
+      if (V.kind() == Value::IntV)
+        return Value::makeInt(-V.intValue());
+      if (V.kind() == Value::FloatV)
+        return Value::makeFloat(-V.floatValue());
+      return error(E->loc(), "unary '-' requires a number");
+    case UnaryOpKind::Plus:
+      return V;
+    case UnaryOpKind::BitNot:
+      if (V.kind() == Value::IntV)
+        return Value::makeInt(~V.intValue());
+      return error(E->loc(), "'~' requires an integer");
+    case UnaryOpKind::AddrOf:
+      return error(E->loc(), "cannot take the address of a meta value");
+    default:
+      return error(E->loc(), "unsupported unary operator in meta code");
+    }
+  }
+  case NodeKind::BinaryExpr: {
+    const auto *B = cast<BinaryExpr>(E);
+    // Assignment.
+    if (isAssignmentOp(B->Op)) {
+      Value RHS = evalExpr(B->RHS, Env_);
+      const auto *Target = dyn_cast<IdentExpr>(B->LHS);
+      if (!Target || Target->Name.isPlaceholder())
+        return error(E->loc(), "assignment target must be a meta variable");
+      if (B->Op != BinaryOpKind::Assign) {
+        Value *Slot = Env_.lookup(Target->Name.Sym);
+        if (!Slot || Slot->kind() != Value::IntV ||
+            RHS.kind() != Value::IntV)
+          return error(E->loc(), "compound assignment requires integers");
+        int64_t L = Slot->intValue(), R = RHS.intValue();
+        int64_t Result = 0;
+        switch (B->Op) {
+        case BinaryOpKind::AddAssign:
+          Result = L + R;
+          break;
+        case BinaryOpKind::SubAssign:
+          Result = L - R;
+          break;
+        case BinaryOpKind::MulAssign:
+          Result = L * R;
+          break;
+        case BinaryOpKind::DivAssign:
+          if (R == 0)
+            return error(E->loc(), "division by zero in meta code");
+          Result = L / R;
+          break;
+        case BinaryOpKind::RemAssign:
+          if (R == 0)
+            return error(E->loc(), "remainder by zero in meta code");
+          Result = L % R;
+          break;
+        case BinaryOpKind::ShlAssign:
+          Result = L << (R & 63);
+          break;
+        case BinaryOpKind::ShrAssign:
+          Result = L >> (R & 63);
+          break;
+        case BinaryOpKind::AndAssign:
+          Result = L & R;
+          break;
+        case BinaryOpKind::XorAssign:
+          Result = L ^ R;
+          break;
+        case BinaryOpKind::OrAssign:
+          Result = L | R;
+          break;
+        default:
+          break;
+        }
+        RHS = Value::makeInt(Result);
+      }
+      if (!Env_.assign(Target->Name.Sym, RHS))
+        return error(E->loc(), "assignment to undeclared meta variable '" +
+                                   std::string(Target->Name.Sym.str()) + "'");
+      return RHS;
+    }
+    // Short-circuit.
+    if (B->Op == BinaryOpKind::LAnd) {
+      Value L = evalExpr(B->LHS, Env_);
+      if (!L.isTruthy())
+        return Value::makeInt(0);
+      return Value::makeInt(evalExpr(B->RHS, Env_).isTruthy() ? 1 : 0);
+    }
+    if (B->Op == BinaryOpKind::LOr) {
+      Value L = evalExpr(B->LHS, Env_);
+      if (L.isTruthy())
+        return Value::makeInt(1);
+      return Value::makeInt(evalExpr(B->RHS, Env_).isTruthy() ? 1 : 0);
+    }
+    if (B->Op == BinaryOpKind::Comma) {
+      evalExpr(B->LHS, Env_);
+      return evalExpr(B->RHS, Env_);
+    }
+    Value L = evalExpr(B->LHS, Env_);
+    Value R = evalExpr(B->RHS, Env_);
+    if (L.isUnset() || R.isUnset())
+      return Value();
+    if (B->Op == BinaryOpKind::EQ)
+      return Value::makeInt(valuesEqual(L, R) ? 1 : 0);
+    if (B->Op == BinaryOpKind::NE)
+      return Value::makeInt(valuesEqual(L, R) ? 0 : 1);
+    // list + n == cdr^n (paper section 2).
+    if ((B->Op == BinaryOpKind::Add || B->Op == BinaryOpKind::Sub) &&
+        L.kind() == Value::ListV && R.kind() == Value::IntV) {
+      int64_t N = R.intValue();
+      if (B->Op == BinaryOpKind::Sub)
+        return error(E->loc(), "cannot rewind a list (list - n)");
+      return L.listTail(size_t(N));
+    }
+    // String concatenation with '+' as a convenience extension.
+    if (B->Op == BinaryOpKind::Add && L.kind() == Value::StrV &&
+        R.kind() == Value::StrV)
+      return Value::makeStr(L.strValue() + R.strValue());
+    bool Floats = L.kind() == Value::FloatV || R.kind() == Value::FloatV;
+    auto Num = [&](const Value &V) -> double {
+      return V.kind() == Value::IntV ? double(V.intValue()) : V.floatValue();
+    };
+    if ((L.kind() != Value::IntV && L.kind() != Value::FloatV) ||
+        (R.kind() != Value::IntV && R.kind() != Value::FloatV))
+      return error(E->loc(), std::string("binary '") +
+                                 binaryOpSpelling(B->Op) +
+                                 "' requires numbers, got " + L.kindName() +
+                                 " and " + R.kindName());
+    switch (B->Op) {
+    case BinaryOpKind::LT:
+      return Value::makeInt(Num(L) < Num(R));
+    case BinaryOpKind::GT:
+      return Value::makeInt(Num(L) > Num(R));
+    case BinaryOpKind::LE:
+      return Value::makeInt(Num(L) <= Num(R));
+    case BinaryOpKind::GE:
+      return Value::makeInt(Num(L) >= Num(R));
+    default:
+      break;
+    }
+    if (Floats) {
+      double X = Num(L), Y = Num(R);
+      switch (B->Op) {
+      case BinaryOpKind::Add:
+        return Value::makeFloat(X + Y);
+      case BinaryOpKind::Sub:
+        return Value::makeFloat(X - Y);
+      case BinaryOpKind::Mul:
+        return Value::makeFloat(X * Y);
+      case BinaryOpKind::Div:
+        return Value::makeFloat(X / Y);
+      default:
+        return error(E->loc(), "operator not defined on floats");
+      }
+    }
+    int64_t X = L.intValue(), Y = R.intValue();
+    switch (B->Op) {
+    case BinaryOpKind::Add:
+      return Value::makeInt(X + Y);
+    case BinaryOpKind::Sub:
+      return Value::makeInt(X - Y);
+    case BinaryOpKind::Mul:
+      return Value::makeInt(X * Y);
+    case BinaryOpKind::Div:
+      if (Y == 0)
+        return error(E->loc(), "division by zero in meta code");
+      return Value::makeInt(X / Y);
+    case BinaryOpKind::Rem:
+      if (Y == 0)
+        return error(E->loc(), "remainder by zero in meta code");
+      return Value::makeInt(X % Y);
+    case BinaryOpKind::Shl:
+      return Value::makeInt(X << (Y & 63));
+    case BinaryOpKind::Shr:
+      return Value::makeInt(X >> (Y & 63));
+    case BinaryOpKind::BitAnd:
+      return Value::makeInt(X & Y);
+    case BinaryOpKind::BitXor:
+      return Value::makeInt(X ^ Y);
+    case BinaryOpKind::BitOr:
+      return Value::makeInt(X | Y);
+    default:
+      return error(E->loc(), "unsupported binary operator in meta code");
+    }
+  }
+  case NodeKind::ConditionalExpr: {
+    const auto *C = cast<ConditionalExpr>(E);
+    Value Cond = evalExpr(C->Cond, Env_);
+    return evalExpr(Cond.isTruthy() ? C->Then : C->Else, Env_);
+  }
+  case NodeKind::CallExpr: {
+    const auto *C = cast<CallExpr>(E);
+    // Builtin (not shadowed)?
+    if (const auto *Callee = dyn_cast<IdentExpr>(C->Callee)) {
+      if (!Callee->Name.isPlaceholder() && !Env_.lookup(Callee->Name.Sym) &&
+          !CC.MetaFuncs.lookup(Callee->Name.Sym)) {
+        if (const BuiltinInfo *B = lookupBuiltin(Callee->Name.Sym.str())) {
+          std::vector<Value> Args;
+          for (const Expr *Arg : C->Args)
+            Args.push_back(evalExpr(Arg, Env_));
+          return callBuiltin(*B, Args, E->loc());
+        }
+      }
+    }
+    Value Fn = evalExpr(C->Callee, Env_);
+    std::vector<Value> Args;
+    for (const Expr *Arg : C->Args)
+      Args.push_back(evalExpr(Arg, Env_));
+    return callCallable(Fn, std::move(Args), E->loc());
+  }
+  case NodeKind::IndexExpr: {
+    const auto *I = cast<IndexExpr>(E);
+    Value Base = evalExpr(I->Base, Env_);
+    Value Idx = evalExpr(I->Index, Env_);
+    if (Base.kind() != Value::ListV)
+      return error(E->loc(), "subscripted meta value is not a list");
+    if (Idx.kind() != Value::IntV)
+      return error(E->loc(), "list index must be an integer");
+    int64_t N = Idx.intValue();
+    if (N < 0 || size_t(N) >= Base.listSize())
+      return error(E->loc(), "list index " + std::to_string(N) +
+                                 " out of range (size " +
+                                 std::to_string(Base.listSize()) + ")");
+    return Base.listAt(size_t(N));
+  }
+  case NodeKind::MemberExpr: {
+    const auto *M = cast<MemberExpr>(E);
+    Value Base = evalExpr(M->Base, Env_);
+    if (Base.isUnset())
+      return Base;
+    if (M->Member.isPlaceholder())
+      return error(E->loc(), "placeholder member in meta code");
+    return evalMember(Base, M->Member.Sym, E->loc());
+  }
+  case NodeKind::BackquoteExpr: {
+    const auto *BQ = cast<BackquoteExpr>(E);
+    PlaceholderEvaluator EvalPh = [this, &Env_](const Placeholder *Ph) {
+      return evalExpr(Ph->MetaExpr, Env_);
+    };
+    return instantiateTemplate(QC, BQ, EvalPh);
+  }
+  case NodeKind::LambdaExpr:
+    return Value::makeClosure(cast<LambdaExpr>(E), Env_.snapshot());
+  case NodeKind::MacroInvocationExpr:
+    // Meta code computing with a macro invocation expands it eagerly.
+    return invokeMacro(cast<MacroInvocationExpr>(E)->Inv);
+  case NodeKind::PlaceholderExpr:
+    return error(E->loc(), "placeholder evaluated outside of a template");
+  default:
+    return error(E->loc(), "expression form not supported in meta code");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+Value Interpreter::callCallable(const Value &Fn, std::vector<Value> Args,
+                                SourceLoc Loc) {
+  if (Fn.kind() != Value::ClosureV)
+    return error(Loc, std::string("called meta value is not a function (") +
+                          Fn.kindName() + ")");
+  const ClosureData &C = Fn.closure();
+  if (C.MetaFn)
+    return callMetaFunction(C.MetaFn, std::move(Args), Loc);
+  if (!C.Fn)
+    return error(Loc, "empty function value");
+  if (Depth >= Lim.MaxCallDepth)
+    return error(Loc, "meta-code call depth limit exceeded");
+  if (Args.size() != C.Fn->Params.size())
+    return error(Loc, "anonymous function expects " +
+                          std::to_string(C.Fn->Params.size()) +
+                          " arguments, got " + std::to_string(Args.size()));
+  Env CallEnv = Env::fromSnapshot(C.Captured);
+  CallEnv.push();
+  for (size_t I = 0; I != Args.size(); ++I)
+    CallEnv.define(C.Fn->Params[I].Name, std::move(Args[I]));
+  ++Depth;
+  Value Result = evalExpr(C.Fn->Body, CallEnv);
+  --Depth;
+  return Result;
+}
+
+Value Interpreter::callMetaFunction(const MetaFunction *F,
+                                    std::vector<Value> Args, SourceLoc Loc) {
+  if (Depth >= Lim.MaxCallDepth)
+    return error(Loc, "meta-code call depth limit exceeded");
+  const FunctionDef *Def = F->Def;
+  const DeclSuffix &Sig = Def->Dtor->Suffixes[0];
+  if (Args.size() != Sig.Params.size())
+    return error(Loc, "meta function '" + std::string(F->Name.str()) +
+                          "' expects " + std::to_string(Sig.Params.size()) +
+                          " arguments, got " + std::to_string(Args.size()));
+  Env CallEnv = Env::fromSnapshot(Global.snapshot());
+  CallEnv.push();
+  for (size_t I = 0; I != Args.size(); ++I) {
+    const ParamDecl *P = Sig.Params[I];
+    if (P->Dtor && P->Dtor->name().Sym.valid())
+      CallEnv.define(P->Dtor->name().Sym, std::move(Args[I]));
+  }
+  ++Depth;
+  Value Ret;
+  Flow Fl = execStmt(Def->Body, CallEnv, Ret);
+  --Depth;
+  if (Fl != Flow::Return)
+    return error(Loc, "meta function '" + std::string(F->Name.str()) +
+                          "' did not return a value");
+  return Ret;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Interpreter::execDeclaration(const Declaration *D, Env &Env_) {
+  for (const InitDeclarator &ID : D->Inits) {
+    if (ID.Ph || !ID.Dtor || ID.Dtor->isPlaceholder() ||
+        ID.Dtor->name().isPlaceholder() || !ID.Dtor->name().Sym.valid())
+      continue;
+    Value Init;
+    if (ID.Init)
+      Init = evalExpr(ID.Init, Env_);
+    else {
+      // Default initialization: lists start empty, ints start at 0.
+      const MetaType *T =
+          MetaTypeChecker::metaTypeFromDecl(D->Specs, ID.Dtor, CC.Types);
+      if (T && T->isList())
+        Init = Value::makeList({}, T);
+      else if (T && T->kind() == MetaTypeKind::Int)
+        Init = Value::makeInt(0);
+      else if (T && T->kind() == MetaTypeKind::String)
+        Init = Value::makeStr("");
+    }
+    Env_.define(ID.Dtor->name().Sym, std::move(Init));
+  }
+}
+
+Interpreter::Flow Interpreter::execSwitch(const SwitchStmt *Sw, Env &Env_,
+                                          Value &Ret) {
+  Value Cond = evalExpr(Sw->Cond, Env_);
+  const auto *Body = dyn_cast<CompoundStmt>(Sw->Body);
+  if (!Body) {
+    error(Sw->loc(), "switch body must be a compound statement in meta code");
+    return Flow::Normal;
+  }
+  Env_.push();
+  for (const Decl *D : Body->Decls)
+    if (const auto *Dec = dyn_cast<Declaration>(D))
+      execDeclaration(Dec, Env_);
+
+  // Find the matching case (or default) among the top-level statements.
+  size_t StartIdx = Body->Stmts.size();
+  size_t DefaultIdx = Body->Stmts.size();
+  for (size_t I = 0; I != Body->Stmts.size(); ++I) {
+    const Stmt *S = Body->Stmts[I];
+    while (S) {
+      if (const auto *C = dyn_cast<CaseStmt>(S)) {
+        Value V = evalExpr(C->Value, Env_);
+        if (valuesEqual(V, Cond)) {
+          StartIdx = I;
+          break;
+        }
+        S = C->Body;
+        continue;
+      }
+      if (const auto *Df = dyn_cast<DefaultStmt>(S)) {
+        if (DefaultIdx == Body->Stmts.size())
+          DefaultIdx = I;
+        S = Df->Body;
+        continue;
+      }
+      break;
+    }
+    if (StartIdx != Body->Stmts.size())
+      break;
+  }
+  if (StartIdx == Body->Stmts.size())
+    StartIdx = DefaultIdx;
+
+  Flow Result = Flow::Normal;
+  for (size_t I = StartIdx; I < Body->Stmts.size(); ++I) {
+    const Stmt *S = Body->Stmts[I];
+    // Unwrap any case/default labels.
+    while (true) {
+      if (const auto *C = dyn_cast<CaseStmt>(S)) {
+        S = C->Body;
+        continue;
+      }
+      if (const auto *Df = dyn_cast<DefaultStmt>(S)) {
+        S = Df->Body;
+        continue;
+      }
+      break;
+    }
+    Flow Fl = execStmt(S, Env_, Ret);
+    if (Fl == Flow::Break)
+      break;
+    if (Fl == Flow::Return || Fl == Flow::Continue) {
+      Result = Fl;
+      break;
+    }
+  }
+  Env_.pop();
+  return Result;
+}
+
+Interpreter::Flow Interpreter::execStmt(const Stmt *S, Env &Env_,
+                                        Value &Ret) {
+  if (!S || !step(S ? S->loc() : SourceLoc()))
+    return Flow::Normal;
+  switch (S->kind()) {
+  case NodeKind::CompoundStmtKind: {
+    const auto *C = cast<CompoundStmt>(S);
+    Env_.push();
+    for (const Decl *D : C->Decls) {
+      if (const auto *Dec = dyn_cast<Declaration>(D))
+        execDeclaration(Dec, Env_);
+      else
+        error(D->loc(), "unsupported declaration in meta code block");
+    }
+    Flow Result = Flow::Normal;
+    for (const Stmt *Sub : C->Stmts) {
+      Flow Fl = execStmt(Sub, Env_, Ret);
+      if (Fl != Flow::Normal) {
+        Result = Fl;
+        break;
+      }
+    }
+    Env_.pop();
+    return Result;
+  }
+  case NodeKind::ExprStmt:
+    evalExpr(cast<ExprStmt>(S)->E, Env_);
+    return Flow::Normal;
+  case NodeKind::NullStmt:
+    return Flow::Normal;
+  case NodeKind::IfStmt: {
+    const auto *I = cast<IfStmt>(S);
+    Value Cond = evalExpr(I->Cond, Env_);
+    if (Cond.isTruthy())
+      return execStmt(I->Then, Env_, Ret);
+    if (I->Else)
+      return execStmt(I->Else, Env_, Ret);
+    return Flow::Normal;
+  }
+  case NodeKind::WhileStmt: {
+    const auto *W = cast<WhileStmt>(S);
+    while (evalExpr(W->Cond, Env_).isTruthy()) {
+      if (!step(S->loc()))
+        return Flow::Normal;
+      Flow Fl = execStmt(W->Body, Env_, Ret);
+      if (Fl == Flow::Break)
+        break;
+      if (Fl == Flow::Return)
+        return Fl;
+    }
+    return Flow::Normal;
+  }
+  case NodeKind::DoStmt: {
+    const auto *D = cast<DoStmt>(S);
+    do {
+      if (!step(S->loc()))
+        return Flow::Normal;
+      Flow Fl = execStmt(D->Body, Env_, Ret);
+      if (Fl == Flow::Break)
+        break;
+      if (Fl == Flow::Return)
+        return Fl;
+    } while (evalExpr(D->Cond, Env_).isTruthy());
+    return Flow::Normal;
+  }
+  case NodeKind::ForStmt: {
+    const auto *F = cast<ForStmt>(S);
+    if (F->Init)
+      evalExpr(F->Init, Env_);
+    while (!F->Cond || evalExpr(F->Cond, Env_).isTruthy()) {
+      if (!step(S->loc()))
+        return Flow::Normal;
+      Flow Fl = execStmt(F->Body, Env_, Ret);
+      if (Fl == Flow::Break)
+        break;
+      if (Fl == Flow::Return)
+        return Fl;
+      if (F->Step)
+        evalExpr(F->Step, Env_);
+    }
+    return Flow::Normal;
+  }
+  case NodeKind::SwitchStmt:
+    return execSwitch(cast<SwitchStmt>(S), Env_, Ret);
+  case NodeKind::BreakStmt:
+    return Flow::Break;
+  case NodeKind::ContinueStmt:
+    return Flow::Continue;
+  case NodeKind::ReturnStmt: {
+    const auto *R = cast<ReturnStmt>(S);
+    Ret = R->Value ? evalExpr(R->Value, Env_) : Value::makeVoid();
+    return Flow::Return;
+  }
+  case NodeKind::CaseStmt:
+    return execStmt(cast<CaseStmt>(S)->Body, Env_, Ret);
+  case NodeKind::DefaultStmt:
+    return execStmt(cast<DefaultStmt>(S)->Body, Env_, Ret);
+  case NodeKind::LabelStmt:
+    return execStmt(cast<LabelStmt>(S)->Body, Env_, Ret);
+  case NodeKind::GotoStmt:
+    error(S->loc(), "goto is not supported in meta code");
+    return Flow::Normal;
+  default:
+    error(S->loc(), "statement form not supported in meta code");
+    return Flow::Normal;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+Value Interpreter::invokeMacro(const MacroInvocation *Inv) {
+  const MacroDef *Def = Inv->Def;
+  if (!Def->Body) {
+    return error(Inv->Loc, "macro '" + std::string(Def->Name.str()) +
+                               "' has no body");
+  }
+  if (Depth >= Lim.MaxCallDepth)
+    return error(Inv->Loc, "macro expansion depth limit exceeded");
+  if (Lim.TraceExpansions) {
+    Trace.append(Depth * 2, ' ');
+    Trace += "expand ";
+    Trace += Def->Name.str();
+    PresumedLoc P = CC.SM.presumed(Inv->Loc);
+    if (P.Line != 0) {
+      Trace += " at ";
+      Trace += P.Filename;
+      Trace += ':';
+      Trace += std::to_string(P.Line);
+      Trace += ':';
+      Trace += std::to_string(P.Column);
+    }
+    Trace += " -> ";
+    Trace += Def->ReturnType->toString();
+    Trace += '\n';
+  }
+  Env CallEnv = Env::fromSnapshot(Global.snapshot());
+  CallEnv.push();
+  for (const MacroArg &Arg : Inv->Args) {
+    Value V = matchValueToValue(QC, Arg.Value);
+    CallEnv.define(Arg.Name, std::move(V));
+  }
+  ++Depth;
+  Value Ret;
+  Flow Fl = execStmt(Def->Body, CallEnv, Ret);
+  --Depth;
+  if (Fl != Flow::Return)
+    return error(Inv->Loc, "macro '" + std::string(Def->Name.str()) +
+                               "' did not return a value");
+  return Ret;
+}
+
+void Interpreter::processMetaDecl(const MetaDecl *MD) {
+  execDeclaration(MD->Inner, Global);
+}
+
+Value Interpreter::evalInGlobalEnv(const Expr *E) {
+  return evalExpr(E, Global);
+}

@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The embedded interpreter for the meta language. "Because the macro
+/// language is C extended with AST datatypes and a few new primitive
+/// functions, macro expansion is simply a matter of running a C program on
+/// the parsed arguments of a macro invocation. ... The present
+/// implementation uses an embedded interpreter for a subset of the C
+/// language to execute meta-code."
+///
+/// Meta globals (metadcl) live in a persistent global environment owned by
+/// the Interpreter, which is what enables the paper's *non-local
+/// transformations* (the window-procedure accumulation example).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_INTERP_INTERPRETER_H
+#define MSQ_INTERP_INTERPRETER_H
+
+#include "interp/Value.h"
+#include "meta/Builtins.h"
+#include "parser/Parser.h"
+#include "quasi/Quasi.h"
+
+namespace msq {
+
+class Interpreter {
+public:
+  struct Limits {
+    unsigned MaxCallDepth = 256;
+    size_t MaxSteps = 50'000'000;
+    /// Enables hygienic template instantiation (see QuasiContext).
+    bool HygienicTemplates = false;
+    /// Records one line per macro invocation into traceLog() — the
+    /// debugging aid the paper calls for ("The ease of debugging macros
+    /// depends upon the quality of the debugger").
+    bool TraceExpansions = false;
+  };
+
+  explicit Interpreter(CompilationContext &CC) : Interpreter(CC, Limits()) {}
+  Interpreter(CompilationContext &CC, Limits L);
+
+  /// Expands one macro invocation: binds actual parameters, runs the macro
+  /// body, returns the produced value. An Unset value means failure
+  /// (diagnosed).
+  Value invokeMacro(const MacroInvocation *Inv);
+
+  /// Processes a `metadcl` at its point in the translation unit: defines
+  /// the meta globals (evaluating initializers).
+  void processMetaDecl(const MetaDecl *MD);
+
+  /// Evaluates a meta expression in the global environment (tests).
+  Value evalInGlobalEnv(const Expr *E);
+
+  /// Statistics for benchmarks.
+  size_t stepsExecuted() const { return Steps; }
+  size_t gensymCount() const { return GensymCounter; }
+
+  /// Accumulated expansion trace (empty unless Limits::TraceExpansions).
+  const std::string &traceLog() const { return Trace; }
+  void clearTraceLog() { Trace.clear(); }
+
+  Env &globalEnv() { return Global; }
+
+private:
+  enum class Flow { Normal, Return, Break, Continue };
+
+  Value evalExpr(const Expr *E, Env &E_);
+  Flow execStmt(const Stmt *S, Env &E_, Value &Ret);
+  Flow execSwitch(const SwitchStmt *Sw, Env &E_, Value &Ret);
+  void execDeclaration(const Declaration *D, Env &E_);
+
+  Value callCallable(const Value &Fn, std::vector<Value> Args, SourceLoc Loc);
+  Value callMetaFunction(const MetaFunction *F, std::vector<Value> Args,
+                         SourceLoc Loc);
+  Value callBuiltin(const BuiltinInfo &Info, std::vector<Value> &Args,
+                    SourceLoc Loc);
+  Value evalMember(const Value &Base, Symbol Member, SourceLoc Loc);
+  bool valuesEqual(const Value &A, const Value &B);
+
+  Value error(SourceLoc Loc, const std::string &Msg) {
+    CC.Diags.error(Loc, Msg);
+    return Value();
+  }
+  bool step(SourceLoc Loc);
+
+  CompilationContext &CC;
+  Limits Lim;
+  QuasiContext QC;
+  Env Global;
+  unsigned Depth = 0;
+  size_t Steps = 0;
+  size_t GensymCounter = 0;
+  bool StepLimitReported = false;
+  std::string Trace;
+};
+
+/// Name of a node's kind ("binary-expression", ...) for the `->kind`
+/// member and diagnostics.
+const char *nodeKindName(NodeKind K);
+
+} // namespace msq
+
+#endif // MSQ_INTERP_INTERPRETER_H

@@ -1,0 +1,355 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values of the meta language: integers, floats, strings,
+/// AST references (scalar or structural), identifiers, lists (with Lisp
+/// car/cdr semantics via an offset), tuples, and closures. Values are
+/// cheap to copy; list/tuple/closure payloads are shared.
+///
+/// This header is intentionally self-contained (no .cpp) so that the quasi
+/// (template instantiation) library can use Value without a link-time
+/// dependency on the interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_INTERP_VALUE_H
+#define MSQ_INTERP_VALUE_H
+
+#include "ast/Ast.h"
+#include "types/MetaType.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace msq {
+
+class Value;
+
+/// One environment frame; shared so closures can capture the environment
+/// ("anonymous functions may only be passed downward", so sharing frames
+/// with the defining scope is safe and gives the expected semantics).
+struct EnvFrame {
+  std::unordered_map<Symbol, Value, SymbolHash> Vars;
+};
+
+/// A lexical environment: a chain of shared frames.
+class Env {
+public:
+  Env() { push(); }
+
+  void push() { Frames.push_back(std::make_shared<EnvFrame>()); }
+  void pop() {
+    assert(Frames.size() > 1 && "cannot pop the outermost frame");
+    Frames.pop_back();
+  }
+
+  void define(Symbol Name, Value V);
+  /// Assigns to the innermost binding of \p Name; returns false when
+  /// unbound.
+  bool assign(Symbol Name, const Value &V);
+  /// Looks \p Name up; returns nullptr when unbound.
+  Value *lookup(Symbol Name);
+
+  /// Snapshot for closures: shares all current frames.
+  std::vector<std::shared_ptr<EnvFrame>> snapshot() const { return Frames; }
+  static Env fromSnapshot(std::vector<std::shared_ptr<EnvFrame>> Frames) {
+    Env E;
+    E.Frames = std::move(Frames);
+    return E;
+  }
+
+private:
+  std::vector<std::shared_ptr<EnvFrame>> Frames;
+};
+
+struct MetaFunction;
+
+/// Payload of a function value: either a lambda with its captured
+/// environment, or a reference to a named meta function.
+struct ClosureData {
+  const LambdaExpr *Fn = nullptr;
+  const MetaFunction *MetaFn = nullptr;
+  std::vector<std::shared_ptr<EnvFrame>> Captured;
+};
+
+/// Payload of a tuple value.
+struct TupleData {
+  std::vector<Value> Fields;
+  std::vector<Symbol> Names;
+};
+
+/// A meta-language runtime value.
+class Value {
+public:
+  enum VK : unsigned char {
+    Unset,     ///< uninitialized variable
+    Nil,       ///< absent optional constituent
+    VoidV,     ///< result of void calls
+    IntV,
+    FloatV,
+    StrV,
+    AstV,      ///< a Node (exp / stmt / decl / typespec)
+    IdentVal,  ///< an identifier (AST type `id`)
+    DeclaratorVal,
+    InitDeclVal,
+    EnumeratorVal,
+    ListV,
+    TupleV,
+    ClosureV,
+  };
+
+  Value() = default;
+
+  static Value makeNil() { return withKind(Nil); }
+  static Value makeVoid() { return withKind(VoidV); }
+  static Value makeInt(int64_t I) {
+    Value V = withKind(IntV);
+    V.I = I;
+    return V;
+  }
+  static Value makeFloat(double F) {
+    Value V = withKind(FloatV);
+    V.F = F;
+    return V;
+  }
+  static Value makeStr(std::string S) {
+    Value V = withKind(StrV);
+    V.Str = std::make_shared<std::string>(std::move(S));
+    return V;
+  }
+  static Value makeAst(Node *N, const MetaType *Type) {
+    Value V = withKind(AstV);
+    V.Ast = N;
+    V.Type = Type;
+    return V;
+  }
+  static Value makeIdent(Ident Id) {
+    Value V = withKind(IdentVal);
+    V.Id = Id;
+    return V;
+  }
+  static Value makeDeclarator(Declarator *D) {
+    Value V = withKind(DeclaratorVal);
+    V.Dtor = D;
+    return V;
+  }
+  static Value makeInitDecl(InitDeclarator *D) {
+    Value V = withKind(InitDeclVal);
+    V.InitD = D;
+    return V;
+  }
+  static Value makeEnumerator(Enumerator *E) {
+    Value V = withKind(EnumeratorVal);
+    V.Enum = E;
+    return V;
+  }
+  static Value makeList(std::vector<Value> Elems,
+                        const MetaType *Type = nullptr) {
+    Value V = withKind(ListV);
+    V.List = std::make_shared<std::vector<Value>>(std::move(Elems));
+    V.Type = Type;
+    return V;
+  }
+  static Value makeTuple(std::vector<Value> Fields, std::vector<Symbol> Names,
+                         const MetaType *Type = nullptr) {
+    Value V = withKind(TupleV);
+    auto T = std::make_shared<TupleData>();
+    T->Fields = std::move(Fields);
+    T->Names = std::move(Names);
+    V.Tuple = std::move(T);
+    V.Type = Type;
+    return V;
+  }
+  static Value makeClosure(const LambdaExpr *Fn,
+                           std::vector<std::shared_ptr<EnvFrame>> Captured) {
+    Value V = withKind(ClosureV);
+    auto C = std::make_shared<ClosureData>();
+    C->Fn = Fn;
+    C->Captured = std::move(Captured);
+    V.Closure = std::move(C);
+    return V;
+  }
+
+  VK kind() const { return K; }
+  bool isUnset() const { return K == Unset; }
+  bool isNil() const { return K == Nil; }
+  bool isTruthy() const {
+    switch (K) {
+    case IntV:
+      return I != 0;
+    case FloatV:
+      return F != 0.0;
+    case Nil:
+    case Unset:
+    case VoidV:
+      return false;
+    case StrV:
+      return !Str->empty();
+    case ListV:
+      return ListOffset < List->size();
+    default:
+      return true;
+    }
+  }
+
+  int64_t intValue() const {
+    assert(K == IntV && "not an int");
+    return I;
+  }
+  double floatValue() const {
+    assert(K == FloatV && "not a float");
+    return F;
+  }
+  const std::string &strValue() const {
+    assert(K == StrV && "not a string");
+    return *Str;
+  }
+  Node *astValue() const {
+    assert(K == AstV && "not an AST value");
+    return Ast;
+  }
+  Ident identValue() const {
+    assert(K == IdentVal && "not an identifier");
+    return Id;
+  }
+  Declarator *declaratorValue() const {
+    assert(K == DeclaratorVal && "not a declarator");
+    return Dtor;
+  }
+  InitDeclarator *initDeclValue() const {
+    assert(K == InitDeclVal && "not an init-declarator");
+    return InitD;
+  }
+  Enumerator *enumeratorValue() const {
+    assert(K == EnumeratorVal && "not an enumerator");
+    return Enum;
+  }
+  const ClosureData &closure() const {
+    assert(K == ClosureV && "not a closure");
+    return *Closure;
+  }
+  const TupleData &tuple() const {
+    assert(K == TupleV && "not a tuple");
+    return *Tuple;
+  }
+
+  /// List access with the car/cdr offset applied.
+  size_t listSize() const {
+    assert(K == ListV && "not a list");
+    return List->size() - ListOffset;
+  }
+  const Value &listAt(size_t Idx) const {
+    assert(K == ListV && Idx < listSize() && "list index out of range");
+    return (*List)[ListOffset + Idx];
+  }
+  /// `list + N` — shares the payload, advances the offset.
+  Value listTail(size_t N) const {
+    assert(K == ListV && "not a list");
+    Value V = *this;
+    V.ListOffset = ListOffset + N;
+    if (V.ListOffset > List->size())
+      V.ListOffset = List->size();
+    return V;
+  }
+  /// Copies the visible elements (offset applied).
+  std::vector<Value> listElems() const {
+    assert(K == ListV && "not a list");
+    return std::vector<Value>(List->begin() + ListOffset, List->end());
+  }
+
+  /// The static meta-type when known (may be null).
+  const MetaType *type() const { return Type; }
+  void setType(const MetaType *T) { Type = T; }
+
+  /// Short kind name for diagnostics.
+  const char *kindName() const {
+    switch (K) {
+    case Unset:
+      return "unset";
+    case Nil:
+      return "nil";
+    case VoidV:
+      return "void";
+    case IntV:
+      return "int";
+    case FloatV:
+      return "float";
+    case StrV:
+      return "string";
+    case AstV:
+      return "ast";
+    case IdentVal:
+      return "identifier";
+    case DeclaratorVal:
+      return "declarator";
+    case InitDeclVal:
+      return "init-declarator";
+    case EnumeratorVal:
+      return "enumerator";
+    case ListV:
+      return "list";
+    case TupleV:
+      return "tuple";
+    case ClosureV:
+      return "function";
+    }
+    return "?";
+  }
+
+private:
+  static Value withKind(VK K) {
+    Value V;
+    V.K = K;
+    return V;
+  }
+
+  VK K = Unset;
+  int64_t I = 0;
+  double F = 0.0;
+  std::shared_ptr<std::string> Str;
+  Node *Ast = nullptr;
+  Ident Id;
+  Declarator *Dtor = nullptr;
+  InitDeclarator *InitD = nullptr;
+  Enumerator *Enum = nullptr;
+  std::shared_ptr<std::vector<Value>> List;
+  size_t ListOffset = 0;
+  std::shared_ptr<TupleData> Tuple;
+  std::shared_ptr<ClosureData> Closure;
+  const MetaType *Type = nullptr;
+};
+
+inline void Env::define(Symbol Name, Value V) {
+  Frames.back()->Vars[Name] = std::move(V);
+}
+
+inline bool Env::assign(Symbol Name, const Value &V) {
+  for (auto It = Frames.rbegin(); It != Frames.rend(); ++It) {
+    auto Found = (*It)->Vars.find(Name);
+    if (Found != (*It)->Vars.end()) {
+      Found->second = V;
+      return true;
+    }
+  }
+  return false;
+}
+
+inline Value *Env::lookup(Symbol Name) {
+  for (auto It = Frames.rbegin(); It != Frames.rend(); ++It) {
+    auto Found = (*It)->Vars.find(Name);
+    if (Found != (*It)->Vars.end())
+      return &Found->second;
+  }
+  return nullptr;
+}
+
+} // namespace msq
+
+#endif // MSQ_INTERP_VALUE_H

@@ -1,0 +1,428 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+using namespace msq;
+
+const char *msq::tokenKindSpelling(TokenKind K) {
+  switch (K) {
+#define TOK(Kind, Spelling)                                                    \
+  case TokenKind::Kind:                                                        \
+    return Spelling;
+    MSQ_TOKEN_KINDS(TOK)
+#undef TOK
+  }
+  return "<invalid>";
+}
+
+bool msq::isKeywordToken(TokenKind K) {
+  return K >= TokenKind::KwAuto && K <= TokenKind::KwLambda;
+}
+
+namespace {
+const std::unordered_map<std::string_view, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string_view, TokenKind> Table = {
+      {"auto", TokenKind::KwAuto},         {"break", TokenKind::KwBreak},
+      {"case", TokenKind::KwCase},         {"char", TokenKind::KwChar},
+      {"const", TokenKind::KwConst},       {"continue", TokenKind::KwContinue},
+      {"default", TokenKind::KwDefault},   {"do", TokenKind::KwDo},
+      {"double", TokenKind::KwDouble},     {"else", TokenKind::KwElse},
+      {"enum", TokenKind::KwEnum},         {"extern", TokenKind::KwExtern},
+      {"float", TokenKind::KwFloat},       {"for", TokenKind::KwFor},
+      {"goto", TokenKind::KwGoto},         {"if", TokenKind::KwIf},
+      {"int", TokenKind::KwInt},           {"long", TokenKind::KwLong},
+      {"register", TokenKind::KwRegister}, {"return", TokenKind::KwReturn},
+      {"short", TokenKind::KwShort},       {"signed", TokenKind::KwSigned},
+      {"sizeof", TokenKind::KwSizeof},     {"static", TokenKind::KwStatic},
+      {"struct", TokenKind::KwStruct},     {"switch", TokenKind::KwSwitch},
+      {"typedef", TokenKind::KwTypedef},   {"union", TokenKind::KwUnion},
+      {"unsigned", TokenKind::KwUnsigned}, {"void", TokenKind::KwVoid},
+      {"volatile", TokenKind::KwVolatile}, {"while", TokenKind::KwWhile},
+      {"metadcl", TokenKind::KwMetadcl},   {"syntax", TokenKind::KwSyntax},
+      {"lambda", TokenKind::KwLambda},
+  };
+  return Table;
+}
+} // namespace
+
+Lexer::Lexer(uint32_t BufferId, std::string_view Contents,
+             StringInterner &Interner, DiagnosticsEngine &Diags)
+    : BufferId(BufferId), Contents(Contents), Interner(Interner),
+      Diags(Diags) {}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Contents.size()) {
+    char C = Contents[Pos];
+    if (C == ' ' || C == '\t' || C == '\n' || C == '\r' || C == '\f' ||
+        C == '\v') {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Contents.size() && Contents[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      size_t Start = Pos;
+      Pos += 2;
+      bool Closed = false;
+      while (Pos + 1 < Contents.size()) {
+        if (Contents[Pos] == '*' && Contents[Pos + 1] == '/') {
+          Pos += 2;
+          Closed = true;
+          break;
+        }
+        ++Pos;
+      }
+      if (!Closed) {
+        Diags.error(loc(Start), "unterminated /* comment");
+        Pos = Contents.size();
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+void Lexer::lex(Token &Result) {
+  Result = Token();
+  skipWhitespaceAndComments();
+  if (Pos >= Contents.size()) {
+    Result.Kind = TokenKind::Eof;
+    Result.Loc = loc(Pos);
+    ProducedEof = true;
+    return;
+  }
+  char C = Contents[Pos];
+  Result.Loc = loc(Pos);
+  if (std::isalpha((unsigned char)C) || C == '_') {
+    lexIdentifierOrKeyword(Result);
+    return;
+  }
+  if (std::isdigit((unsigned char)C) ||
+      (C == '.' && std::isdigit((unsigned char)peek(1)))) {
+    lexNumber(Result);
+    return;
+  }
+  if (C == '\'') {
+    lexCharLiteral(Result);
+    return;
+  }
+  if (C == '"') {
+    lexStringLiteral(Result);
+    return;
+  }
+  lexPunctuation(Result);
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.emplace_back();
+    lex(Tokens.back());
+    if (Tokens.back().is(TokenKind::Eof))
+      break;
+  }
+  return Tokens;
+}
+
+void Lexer::lexIdentifierOrKeyword(Token &Result) {
+  size_t Start = Pos;
+  while (Pos < Contents.size() &&
+         (std::isalnum((unsigned char)Contents[Pos]) || Contents[Pos] == '_'))
+    ++Pos;
+  std::string_view Text = Contents.substr(Start, Pos - Start);
+  auto It = keywordTable().find(Text);
+  if (It != keywordTable().end()) {
+    Result.Kind = It->second;
+    Result.Sym = Interner.intern(Text);
+    return;
+  }
+  Result.Kind = TokenKind::Identifier;
+  Result.Sym = Interner.intern(Text);
+}
+
+void Lexer::lexNumber(Token &Result) {
+  size_t Start = Pos;
+  bool IsFloat = false;
+  if (Contents[Pos] == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    Pos += 2;
+    while (Pos < Contents.size() && std::isxdigit((unsigned char)Contents[Pos]))
+      ++Pos;
+  } else {
+    while (Pos < Contents.size() && std::isdigit((unsigned char)Contents[Pos]))
+      ++Pos;
+    if (Pos < Contents.size() && Contents[Pos] == '.') {
+      IsFloat = true;
+      ++Pos;
+      while (Pos < Contents.size() &&
+             std::isdigit((unsigned char)Contents[Pos]))
+        ++Pos;
+    }
+    if (Pos < Contents.size() && (Contents[Pos] == 'e' || Contents[Pos] == 'E')) {
+      size_t Save = Pos;
+      ++Pos;
+      if (Pos < Contents.size() && (Contents[Pos] == '+' || Contents[Pos] == '-'))
+        ++Pos;
+      if (Pos < Contents.size() && std::isdigit((unsigned char)Contents[Pos])) {
+        IsFloat = true;
+        while (Pos < Contents.size() &&
+               std::isdigit((unsigned char)Contents[Pos]))
+          ++Pos;
+      } else {
+        Pos = Save; // 'e' belongs to a following identifier
+      }
+    }
+  }
+  std::string Text(Contents.substr(Start, Pos - Start));
+  // Integer/float suffixes.
+  while (Pos < Contents.size() &&
+         (Contents[Pos] == 'u' || Contents[Pos] == 'U' || Contents[Pos] == 'l' ||
+          Contents[Pos] == 'L' || Contents[Pos] == 'f' || Contents[Pos] == 'F'))
+    ++Pos;
+  if (IsFloat) {
+    Result.Kind = TokenKind::FloatLiteral;
+    Result.FloatVal = std::strtod(Text.c_str(), nullptr);
+  } else {
+    Result.Kind = TokenKind::IntLiteral;
+    Result.IntVal = std::strtoll(Text.c_str(), nullptr, 0);
+  }
+  Result.Sym = Interner.intern(Contents.substr(Start, Pos - Start));
+}
+
+bool Lexer::lexEscapedChar(char &Out) {
+  if (Pos >= Contents.size())
+    return false;
+  char C = Contents[Pos++];
+  if (C != '\\') {
+    Out = C;
+    return true;
+  }
+  if (Pos >= Contents.size()) {
+    Diags.error(loc(Pos - 1), "incomplete escape sequence");
+    return false;
+  }
+  char E = Contents[Pos++];
+  switch (E) {
+  case 'n':
+    Out = '\n';
+    return true;
+  case 't':
+    Out = '\t';
+    return true;
+  case 'r':
+    Out = '\r';
+    return true;
+  case 'b':
+    Out = '\b';
+    return true;
+  case 'f':
+    Out = '\f';
+    return true;
+  case 'v':
+    Out = '\v';
+    return true;
+  case 'a':
+    Out = '\a';
+    return true;
+  case '0':
+    Out = '\0';
+    return true;
+  case '\\':
+  case '\'':
+  case '"':
+  case '?':
+    Out = E;
+    return true;
+  default:
+    Diags.error(loc(Pos - 1), std::string("unknown escape sequence '\\") + E +
+                                  "'");
+    Out = E;
+    return true; // recover: keep the raw character
+  }
+}
+
+void Lexer::lexCharLiteral(Token &Result) {
+  size_t Start = Pos;
+  ++Pos; // consume '
+  Result.Kind = TokenKind::CharLiteral;
+  if (Pos >= Contents.size() || Contents[Pos] == '\'') {
+    Diags.error(loc(Start), "empty character literal");
+    if (Pos < Contents.size())
+      ++Pos;
+    return;
+  }
+  char Value = 0;
+  lexEscapedChar(Value);
+  Result.IntVal = (int64_t)(unsigned char)Value;
+  if (Pos < Contents.size() && Contents[Pos] == '\'') {
+    ++Pos;
+  } else {
+    Diags.error(loc(Start), "unterminated character literal");
+    while (Pos < Contents.size() && Contents[Pos] != '\'' &&
+           Contents[Pos] != '\n')
+      ++Pos;
+    if (Pos < Contents.size() && Contents[Pos] == '\'')
+      ++Pos;
+  }
+  Result.Sym = Interner.intern(Contents.substr(Start, Pos - Start));
+}
+
+void Lexer::lexStringLiteral(Token &Result) {
+  size_t Start = Pos;
+  ++Pos; // consume "
+  Result.Kind = TokenKind::StringLiteral;
+  std::string Value;
+  bool Closed = false;
+  while (Pos < Contents.size()) {
+    if (Contents[Pos] == '"') {
+      ++Pos;
+      Closed = true;
+      break;
+    }
+    if (Contents[Pos] == '\n')
+      break;
+    char C = 0;
+    if (!lexEscapedChar(C))
+      break;
+    Value.push_back(C);
+  }
+  if (!Closed)
+    Diags.error(loc(Start), "unterminated string literal");
+  Result.Sym = Interner.intern(Value);
+}
+
+void Lexer::lexPunctuation(Token &Result) {
+  char C = Contents[Pos];
+  char C1 = peek(1);
+  char C2 = peek(2);
+  auto Make = [&](TokenKind K, size_t Len) {
+    Result.Kind = K;
+    Pos += Len;
+  };
+  switch (C) {
+  case '(':
+    return Make(TokenKind::LParen, 1);
+  case ')':
+    return Make(TokenKind::RParen, 1);
+  case '[':
+    return Make(TokenKind::LBracket, 1);
+  case ']':
+    return Make(TokenKind::RBracket, 1);
+  case '{':
+    if (C1 == '|')
+      return Make(TokenKind::LMetaBrace, 2);
+    return Make(TokenKind::LBrace, 1);
+  case '}':
+    return Make(TokenKind::RBrace, 1);
+  case ';':
+    return Make(TokenKind::Semi, 1);
+  case ',':
+    return Make(TokenKind::Comma, 1);
+  case '.':
+    if (C1 == '.' && C2 == '.')
+      return Make(TokenKind::Ellipsis, 3);
+    return Make(TokenKind::Dot, 1);
+  case '-':
+    if (C1 == '>')
+      return Make(TokenKind::Arrow, 2);
+    if (C1 == '-')
+      return Make(TokenKind::MinusMinus, 2);
+    if (C1 == '=')
+      return Make(TokenKind::MinusEqual, 2);
+    return Make(TokenKind::Minus, 1);
+  case '+':
+    if (C1 == '+')
+      return Make(TokenKind::PlusPlus, 2);
+    if (C1 == '=')
+      return Make(TokenKind::PlusEqual, 2);
+    return Make(TokenKind::Plus, 1);
+  case '&':
+    if (C1 == '&')
+      return Make(TokenKind::AmpAmp, 2);
+    if (C1 == '=')
+      return Make(TokenKind::AmpEqual, 2);
+    return Make(TokenKind::Amp, 1);
+  case '*':
+    if (C1 == '=')
+      return Make(TokenKind::StarEqual, 2);
+    return Make(TokenKind::Star, 1);
+  case '~':
+    return Make(TokenKind::Tilde, 1);
+  case '!':
+    if (C1 == '=')
+      return Make(TokenKind::ExclaimEqual, 2);
+    return Make(TokenKind::Exclaim, 1);
+  case '/':
+    if (C1 == '=')
+      return Make(TokenKind::SlashEqual, 2);
+    return Make(TokenKind::Slash, 1);
+  case '%':
+    if (C1 == '=')
+      return Make(TokenKind::PercentEqual, 2);
+    return Make(TokenKind::Percent, 1);
+  case '<':
+    if (C1 == '<' && C2 == '=')
+      return Make(TokenKind::LessLessEqual, 3);
+    if (C1 == '<')
+      return Make(TokenKind::LessLess, 2);
+    if (C1 == '=')
+      return Make(TokenKind::LessEqual, 2);
+    return Make(TokenKind::Less, 1);
+  case '>':
+    if (C1 == '>' && C2 == '=')
+      return Make(TokenKind::GreaterGreaterEqual, 3);
+    if (C1 == '>')
+      return Make(TokenKind::GreaterGreater, 2);
+    if (C1 == '=')
+      return Make(TokenKind::GreaterEqual, 2);
+    return Make(TokenKind::Greater, 1);
+  case '=':
+    if (C1 == '=')
+      return Make(TokenKind::EqualEqual, 2);
+    return Make(TokenKind::Equal, 1);
+  case '^':
+    if (C1 == '=')
+      return Make(TokenKind::CaretEqual, 2);
+    return Make(TokenKind::Caret, 1);
+  case '|':
+    if (C1 == '}')
+      return Make(TokenKind::RMetaBrace, 2);
+    if (C1 == '|')
+      return Make(TokenKind::PipePipe, 2);
+    if (C1 == '=')
+      return Make(TokenKind::PipeEqual, 2);
+    return Make(TokenKind::Pipe, 1);
+  case '?':
+    return Make(TokenKind::Question, 1);
+  case ':':
+    if (C1 == ':')
+      return Make(TokenKind::ColonColon, 2);
+    return Make(TokenKind::Colon, 1);
+  case '$':
+    if (C1 == '$')
+      return Make(TokenKind::DollarDollar, 2);
+    return Make(TokenKind::Dollar, 1);
+  case '@':
+    return Make(TokenKind::At, 1);
+  case '`':
+    return Make(TokenKind::Backquote, 1);
+  default:
+    Diags.error(loc(Pos), std::string("unexpected character '") + C + "'");
+    ++Pos;
+    // Recover by lexing the next token.
+    lex(Result);
+    return;
+  }
+}

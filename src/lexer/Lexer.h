@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lexer for C extended with the macro language's meta-tokens.
+/// The paper's tokenizer co-routines with the parser for placeholders; in
+/// this implementation the lexer produces a plain token vector (including
+/// `$` tokens) and the Parser performs the placeholder co-routine step,
+/// which keeps the lexer re-entrant and trivially testable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_LEXER_LEXER_H
+#define MSQ_LEXER_LEXER_H
+
+#include "lexer/Token.h"
+#include "support/Diagnostics.h"
+#include "support/StringInterner.h"
+
+#include <vector>
+
+namespace msq {
+
+/// Converts one source buffer into tokens.
+class Lexer {
+public:
+  /// \param BufferId id of the buffer within \p Diags' SourceManager.
+  Lexer(uint32_t BufferId, std::string_view Contents, StringInterner &Interner,
+        DiagnosticsEngine &Diags);
+
+  /// Lexes the next token into \p Result. At end of input produces Eof
+  /// forever.
+  void lex(Token &Result);
+
+  /// Lexes the whole buffer, Eof token included (always last).
+  std::vector<Token> lexAll();
+
+  /// True once Eof has been produced.
+  bool atEnd() const { return Pos >= Contents.size() && ProducedEof; }
+
+private:
+  SourceLoc loc(size_t Offset) const {
+    return SourceLoc::get(BufferId, uint32_t(Offset));
+  }
+
+  char peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Contents.size() ? Contents[I] : '\0';
+  }
+
+  void skipWhitespaceAndComments();
+  void lexIdentifierOrKeyword(Token &Result);
+  void lexNumber(Token &Result);
+  void lexCharLiteral(Token &Result);
+  void lexStringLiteral(Token &Result);
+  void lexPunctuation(Token &Result);
+
+  /// Decodes one (possibly escaped) character of a char/string literal.
+  /// Returns false on a malformed escape (diagnosed).
+  bool lexEscapedChar(char &Out);
+
+  uint32_t BufferId;
+  std::string_view Contents;
+  StringInterner &Interner;
+  DiagnosticsEngine &Diags;
+  size_t Pos = 0;
+  bool ProducedEof = false;
+};
+
+} // namespace msq
+
+#endif // MSQ_LEXER_LEXER_H

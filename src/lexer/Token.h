@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Token record produced by the Lexer and consumed by the Parser. The
+/// parser also *injects* PlaceholderTok tokens whose Extra field carries the
+/// parsed placeholder payload — the "placeholder token" device of the
+/// paper's section 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_LEXER_TOKEN_H
+#define MSQ_LEXER_TOKEN_H
+
+#include "lexer/TokenKinds.h"
+#include "support/SourceManager.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+
+namespace msq {
+
+struct Placeholder; // defined in ast/Ast.h
+
+/// A lexed (or synthesized) token.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  /// Identifier name, keyword spelling, or string-literal contents.
+  Symbol Sym;
+  /// Value of Int/Char literals.
+  int64_t IntVal = 0;
+  /// Value of Float literals.
+  double FloatVal = 0.0;
+  /// For PlaceholderTok: the placeholder payload (meta-expression + type).
+  const Placeholder *Ph = nullptr;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+  template <typename... Ts> bool isOneOf(TokenKind K, Ts... Rest) const {
+    if (is(K))
+      return true;
+    if constexpr (sizeof...(Rest) > 0)
+      return isOneOf(Rest...);
+    else
+      return false;
+  }
+};
+
+} // namespace msq
+
+#endif // MSQ_LEXER_TOKEN_H

@@ -1,0 +1,138 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the object language (C) and the macro language's seven
+/// additional meta-tokens from the paper: `{|`, `|}`, `$$`, `$`, `::`, `@`,
+/// and backquote. Two keywords are added: `metadcl` and `syntax` (plus
+/// `lambda` for the paper's anonymous-function experiment).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_LEXER_TOKENKINDS_H
+#define MSQ_LEXER_TOKENKINDS_H
+
+namespace msq {
+
+// X-macro table: TOK(kind, spelling-or-description)
+#define MSQ_TOKEN_KINDS(TOK)                                                   \
+  TOK(Eof, "<eof>")                                                            \
+  TOK(Identifier, "<identifier>")                                              \
+  TOK(IntLiteral, "<int literal>")                                             \
+  TOK(FloatLiteral, "<float literal>")                                         \
+  TOK(CharLiteral, "<char literal>")                                           \
+  TOK(StringLiteral, "<string literal>")                                       \
+  /* Synthesized by the parser for template placeholders (paper section 3) */ \
+  TOK(PlaceholderTok, "<placeholder>")                                         \
+  /* Punctuation */                                                            \
+  TOK(LParen, "(")                                                             \
+  TOK(RParen, ")")                                                             \
+  TOK(LBracket, "[")                                                           \
+  TOK(RBracket, "]")                                                           \
+  TOK(LBrace, "{")                                                             \
+  TOK(RBrace, "}")                                                             \
+  TOK(Semi, ";")                                                               \
+  TOK(Comma, ",")                                                              \
+  TOK(Dot, ".")                                                                \
+  TOK(Ellipsis, "...")                                                         \
+  TOK(Arrow, "->")                                                             \
+  TOK(PlusPlus, "++")                                                          \
+  TOK(MinusMinus, "--")                                                        \
+  TOK(Amp, "&")                                                                \
+  TOK(Star, "*")                                                               \
+  TOK(Plus, "+")                                                               \
+  TOK(Minus, "-")                                                              \
+  TOK(Tilde, "~")                                                              \
+  TOK(Exclaim, "!")                                                            \
+  TOK(Slash, "/")                                                              \
+  TOK(Percent, "%")                                                            \
+  TOK(LessLess, "<<")                                                          \
+  TOK(GreaterGreater, ">>")                                                    \
+  TOK(Less, "<")                                                               \
+  TOK(Greater, ">")                                                            \
+  TOK(LessEqual, "<=")                                                         \
+  TOK(GreaterEqual, ">=")                                                      \
+  TOK(EqualEqual, "==")                                                        \
+  TOK(ExclaimEqual, "!=")                                                      \
+  TOK(Caret, "^")                                                              \
+  TOK(Pipe, "|")                                                               \
+  TOK(AmpAmp, "&&")                                                            \
+  TOK(PipePipe, "||")                                                          \
+  TOK(Question, "?")                                                           \
+  TOK(Colon, ":")                                                              \
+  TOK(Equal, "=")                                                              \
+  TOK(StarEqual, "*=")                                                         \
+  TOK(SlashEqual, "/=")                                                        \
+  TOK(PercentEqual, "%=")                                                      \
+  TOK(PlusEqual, "+=")                                                         \
+  TOK(MinusEqual, "-=")                                                        \
+  TOK(LessLessEqual, "<<=")                                                    \
+  TOK(GreaterGreaterEqual, ">>=")                                              \
+  TOK(AmpEqual, "&=")                                                          \
+  TOK(CaretEqual, "^=")                                                        \
+  TOK(PipeEqual, "|=")                                                         \
+  /* Meta tokens (paper section 2) */                                          \
+  TOK(LMetaBrace, "{|")                                                        \
+  TOK(RMetaBrace, "|}")                                                        \
+  TOK(DollarDollar, "$$")                                                      \
+  TOK(Dollar, "$")                                                             \
+  TOK(ColonColon, "::")                                                        \
+  TOK(At, "@")                                                                 \
+  TOK(Backquote, "`")                                                          \
+  /* C keywords */                                                             \
+  TOK(KwAuto, "auto")                                                          \
+  TOK(KwBreak, "break")                                                        \
+  TOK(KwCase, "case")                                                          \
+  TOK(KwChar, "char")                                                          \
+  TOK(KwConst, "const")                                                        \
+  TOK(KwContinue, "continue")                                                  \
+  TOK(KwDefault, "default")                                                    \
+  TOK(KwDo, "do")                                                              \
+  TOK(KwDouble, "double")                                                      \
+  TOK(KwElse, "else")                                                          \
+  TOK(KwEnum, "enum")                                                          \
+  TOK(KwExtern, "extern")                                                      \
+  TOK(KwFloat, "float")                                                        \
+  TOK(KwFor, "for")                                                            \
+  TOK(KwGoto, "goto")                                                          \
+  TOK(KwIf, "if")                                                              \
+  TOK(KwInt, "int")                                                            \
+  TOK(KwLong, "long")                                                          \
+  TOK(KwRegister, "register")                                                  \
+  TOK(KwReturn, "return")                                                      \
+  TOK(KwShort, "short")                                                        \
+  TOK(KwSigned, "signed")                                                      \
+  TOK(KwSizeof, "sizeof")                                                      \
+  TOK(KwStatic, "static")                                                      \
+  TOK(KwStruct, "struct")                                                      \
+  TOK(KwSwitch, "switch")                                                      \
+  TOK(KwTypedef, "typedef")                                                    \
+  TOK(KwUnion, "union")                                                        \
+  TOK(KwUnsigned, "unsigned")                                                  \
+  TOK(KwVoid, "void")                                                          \
+  TOK(KwVolatile, "volatile")                                                  \
+  TOK(KwWhile, "while")                                                        \
+  /* Macro-language keywords */                                                \
+  TOK(KwMetadcl, "metadcl")                                                    \
+  TOK(KwSyntax, "syntax")                                                      \
+  TOK(KwLambda, "lambda")
+
+enum class TokenKind : unsigned char {
+#define TOK(Kind, Spelling) Kind,
+  MSQ_TOKEN_KINDS(TOK)
+#undef TOK
+};
+
+/// Returns the canonical spelling (or a <description>) of \p K.
+const char *tokenKindSpelling(TokenKind K);
+
+/// Returns true for any keyword token (C or macro-language).
+bool isKeywordToken(TokenKind K);
+
+} // namespace msq
+
+#endif // MSQ_LEXER_TOKENKINDS_H

@@ -1,0 +1,48 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "meta/Builtins.h"
+
+#include <climits>
+
+using namespace msq;
+
+static const BuiltinInfo BuiltinTable[] = {
+    {BuiltinKind::Gensym, "gensym", 0, 1},
+    {BuiltinKind::ConcatIds, "concat_ids", 2, UINT_MAX},
+    {BuiltinKind::Symbolconc, "symbolconc", 1, UINT_MAX},
+    {BuiltinKind::Pstring, "pstring", 1, 1},
+    {BuiltinKind::Length, "length", 1, 1},
+    {BuiltinKind::Map, "map", 2, 2},
+    {BuiltinKind::List, "list", 0, UINT_MAX},
+    {BuiltinKind::Append, "append", 2, UINT_MAX},
+    {BuiltinKind::Cons, "cons", 2, 2},
+    {BuiltinKind::Nth, "nth", 2, 2},
+    {BuiltinKind::SimpleExpression, "simple_expression", 1, 1},
+    {BuiltinKind::Present, "present", 1, 1},
+    {BuiltinKind::MakeId, "make_id", 1, 1},
+    {BuiltinKind::MakeNum, "make_num", 1, 1},
+    {BuiltinKind::PrintAst, "print_ast", 1, 1},
+    {BuiltinKind::MetaError, "meta_error", 1, 1},
+    {BuiltinKind::VarType, "var_type", 1, 1},
+};
+
+const BuiltinInfo *msq::lookupBuiltin(std::string_view Name) {
+  for (const BuiltinInfo &B : BuiltinTable)
+    if (Name == B.Name)
+      return &B;
+  return nullptr;
+}
+
+size_t msq::numBuiltins() {
+  return sizeof(BuiltinTable) / sizeof(BuiltinTable[0]);
+}
+
+const BuiltinInfo &msq::builtinByIndex(size_t I) {
+  assert(I < numBuiltins() && "builtin index out of range");
+  return BuiltinTable[I];
+}

@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The macro language's "additional primitive functions" (paper section 2).
+/// This header declares their *signatures*, shared between the meta type
+/// checker (which types calls to them at macro definition time) and the
+/// interpreter (which implements them in interp/Builtins.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_META_BUILTINS_H
+#define MSQ_META_BUILTINS_H
+
+#include "support/StringInterner.h"
+#include "types/MetaType.h"
+
+namespace msq {
+
+enum class BuiltinKind : unsigned char {
+  Gensym,           ///< gensym([string]) -> @id — fresh identifier
+  ConcatIds,        ///< concat_ids(@id, @id, ...) -> @id
+  Symbolconc,       ///< symbolconc(string|@id ...) -> @id
+  Pstring,          ///< pstring(@id) -> string — identifier's spelling
+  Length,           ///< length(T[]) -> int
+  Map,              ///< map(fn(T)->U, T[]) -> U[]
+  List,             ///< list(T, T, ...) -> T[]
+  Append,           ///< append(T[], T[]) -> T[]
+  Cons,             ///< cons(T, T[]) -> T[]
+  Nth,              ///< nth(T[], int) -> T
+  SimpleExpression, ///< simple_expression(@exp) -> int — id or literal?
+  Present,          ///< present(optional-binder) -> int
+  MakeId,           ///< make_id(string) -> @id
+  MakeNum,          ///< make_num(int) -> @num
+  PrintAst,         ///< print_ast(ast) -> string — debugging aid
+  MetaError,        ///< meta_error(string) -> void — definition-site error
+  VarType,          ///< var_type(@id) -> @typespec — declared type of an
+                    ///< object-level variable (semantic-macro preview,
+                    ///< paper section 5's future work)
+};
+
+/// Resolved signature information for one builtin.
+struct BuiltinInfo {
+  BuiltinKind Kind;
+  const char *Name;
+  /// Minimum argument count.
+  unsigned MinArgs;
+  /// Maximum argument count (UINT_MAX for variadic).
+  unsigned MaxArgs;
+};
+
+/// Looks a builtin up by name; nullptr when \p Name is not a builtin.
+const BuiltinInfo *lookupBuiltin(std::string_view Name);
+
+/// Total number of builtins (for table-driven tests).
+size_t numBuiltins();
+/// Builtin table accessor by index.
+const BuiltinInfo &builtinByIndex(size_t I);
+
+} // namespace msq
+
+#endif // MSQ_META_BUILTINS_H

@@ -1,0 +1,139 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Meta-level name environments and the macro registry.
+///
+/// The paper's parser "knows the declared types of meta-variables (both
+/// globals and parameters of macros and meta-functions) and the types
+/// returned by primitive operations on ASTs. It uses this information to
+/// determine the type returned by a placeholder expression." MetaScope is
+/// that knowledge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_META_METASCOPE_H
+#define MSQ_META_METASCOPE_H
+
+#include "ast/Ast.h"
+#include "support/StringInterner.h"
+#include "types/MetaType.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace msq {
+
+/// A lexically scoped Symbol -> MetaType environment.
+class MetaScope {
+public:
+  MetaScope() { push(); }
+
+  void push() { Scopes.emplace_back(); }
+  void pop() {
+    assert(Scopes.size() > 1 && "cannot pop the global meta scope");
+    Scopes.pop_back();
+  }
+
+  /// Declares \p Name in the innermost scope. Returns false if already
+  /// declared there.
+  bool declare(Symbol Name, const MetaType *Type) {
+    auto [It, Inserted] = Scopes.back().emplace(Name, Type);
+    (void)It;
+    return Inserted;
+  }
+
+  /// Declares in the outermost (global) scope — metadcl globals, builtins,
+  /// meta functions.
+  bool declareGlobal(Symbol Name, const MetaType *Type) {
+    auto [It, Inserted] = Scopes.front().emplace(Name, Type);
+    (void)It;
+    return Inserted;
+  }
+
+  /// Innermost-scope-first lookup; nullptr if unbound.
+  const MetaType *lookup(Symbol Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return nullptr;
+  }
+
+  size_t depth() const { return Scopes.size(); }
+
+private:
+  std::vector<std::unordered_map<Symbol, const MetaType *, SymbolHash>> Scopes;
+};
+
+/// RAII scope pusher.
+class MetaScopeGuard {
+public:
+  explicit MetaScopeGuard(MetaScope &S) : S(S) { S.push(); }
+  ~MetaScopeGuard() { S.pop(); }
+  MetaScopeGuard(const MetaScopeGuard &) = delete;
+  MetaScopeGuard &operator=(const MetaScopeGuard &) = delete;
+
+private:
+  MetaScope &S;
+};
+
+/// All macros defined so far. Macro names act as new keywords during
+/// parsing, so lookup happens on every identifier the parser sees.
+class MacroRegistry {
+public:
+  /// Registers \p Def; returns false if the name is taken.
+  bool define(MacroDef *Def) {
+    auto [It, Inserted] = Macros.emplace(Def->Name, Def);
+    (void)It;
+    return Inserted;
+  }
+
+  const MacroDef *lookup(Symbol Name) const {
+    auto It = Macros.find(Name);
+    return It == Macros.end() ? nullptr : It->second;
+  }
+
+  size_t size() const { return Macros.size(); }
+
+  /// Iteration support (deterministic order not required by callers).
+  auto begin() const { return Macros.begin(); }
+  auto end() const { return Macros.end(); }
+
+private:
+  std::unordered_map<Symbol, MacroDef *, SymbolHash> Macros;
+};
+
+/// A meta-level function definition (a C function whose signature mentions
+/// AST types). Registered by the parser, executed by the interpreter.
+struct MetaFunction {
+  Symbol Name;
+  const MetaType *Type = nullptr; // Function meta-type
+  const FunctionDef *Def = nullptr;
+};
+
+/// Registry of user-defined meta functions.
+class MetaFunctionRegistry {
+public:
+  bool define(Symbol Name, const MetaType *Type, const FunctionDef *Def) {
+    auto [It, Inserted] = Funcs.emplace(Name, MetaFunction{Name, Type, Def});
+    (void)It;
+    return Inserted;
+  }
+  const MetaFunction *lookup(Symbol Name) const {
+    auto It = Funcs.find(Name);
+    return It == Funcs.end() ? nullptr : &It->second;
+  }
+
+private:
+  std::unordered_map<Symbol, MetaFunction, SymbolHash> Funcs;
+};
+
+} // namespace msq
+
+#endif // MSQ_META_METASCOPE_H

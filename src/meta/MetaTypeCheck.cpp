@@ -1,0 +1,683 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "meta/MetaTypeCheck.h"
+
+#include <sstream>
+
+using namespace msq;
+
+//===----------------------------------------------------------------------===//
+// Declared meta types
+//===----------------------------------------------------------------------===//
+
+const MetaType *MetaTypeChecker::metaTypeFromDecl(const DeclSpecs &Specs,
+                                                  const Declarator *Dtor,
+                                                  MetaTypeContext &Ctx) {
+  const MetaType *Base = nullptr;
+  if (!Specs.Type)
+    return nullptr;
+  if (const auto *MT = dyn_cast<MetaAstTypeSpec>(Specs.Type)) {
+    Base = MT->Type;
+  } else if (const auto *BT = dyn_cast<BuiltinTypeSpec>(Specs.Type)) {
+    unsigned F = BT->Flags;
+    if (F & (BTF_Float | BTF_Double))
+      Base = Ctx.getFloat();
+    else if (F & BTF_Void)
+      Base = Ctx.getVoid();
+    else if ((F & BTF_Char) && Dtor && Dtor->PointerDepth == 1)
+      return Ctx.getString(); // char * == meta string
+    else if (F & (BTF_Char | BTF_Short | BTF_Int | BTF_Long | BTF_LongLong |
+                  BTF_Signed | BTF_Unsigned))
+      Base = Ctx.getInt();
+    else
+      return nullptr;
+  } else if (const auto *Tag = dyn_cast<TagTypeSpec>(Specs.Type)) {
+    // A struct whose members are all meta-typed declares a tuple (paper:
+    // "structure declarations define tuples").
+    if (Tag->Tag != TagKind::Struct || !Tag->HasBody)
+      return nullptr;
+    std::vector<const MetaType *> Fields;
+    std::vector<Symbol> Names;
+    for (const Declaration *M : Tag->Members) {
+      for (const InitDeclarator &ID : M->Inits) {
+        const MetaType *FT = metaTypeFromDecl(M->Specs, ID.Dtor, Ctx);
+        if (!FT)
+          return nullptr;
+        Fields.push_back(FT);
+        Names.push_back(ID.Dtor && !ID.Dtor->isPlaceholder() ? ID.Dtor->name().Sym
+                                                             : Symbol());
+      }
+    }
+    Base = Ctx.getTuple(std::move(Fields), std::move(Names));
+  } else {
+    return nullptr;
+  }
+
+  if (!Dtor)
+    return Base;
+  if (Dtor->PointerDepth != 0)
+    return nullptr; // pointers to meta values are not meaningful
+  const MetaType *Result = Base;
+  for (const DeclSuffix &S : Dtor->Suffixes) {
+    if (S.K == DeclSuffix::Array) {
+      Result = Ctx.getList(Result); // `@id xs[]` declares a list
+      continue;
+    }
+    // Function declarator: meta-function type. Parameter types derive from
+    // the prototype parameters; any non-meta parameter makes the whole
+    // declaration object-level.
+    std::vector<const MetaType *> Params;
+    for (const ParamDecl *P : S.Params) {
+      const MetaType *PT = metaTypeFromDecl(P->Specs, P->Dtor, Ctx);
+      if (!PT)
+        return nullptr;
+      Params.push_back(PT);
+    }
+    return Ctx.getFunction(Result, std::move(Params), S.Variadic);
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// AST member tables
+//===----------------------------------------------------------------------===//
+
+const MetaType *MetaTypeChecker::memberType(const MetaType *Base,
+                                            Symbol Member, bool &Known) {
+  Known = true;
+  std::string_view M = Member.str();
+  // Tuples: look the field up by name.
+  if (Base->isTuple()) {
+    const auto &Names = Base->tupleFieldNames();
+    for (size_t I = 0; I != Names.size(); ++I)
+      if (Names[I] == Member)
+        return Base->tupleFields()[I];
+    Known = false;
+    return Ctx.getError();
+  }
+  // Every AST value knows its node-kind name.
+  if (M == "kind" && Base->isAstValued())
+    return Ctx.getString();
+  switch (Base->kind()) {
+  case MetaTypeKind::Stmt:
+    if (M == "declarations")
+      return Ctx.getList(Ctx.getDecl());
+    if (M == "statements")
+      return Ctx.getList(Ctx.getStmt());
+    break;
+  case MetaTypeKind::Decl:
+    if (M == "type_spec")
+      return Ctx.getTypeSpec();
+    if (M == "init_declarators")
+      return Ctx.getList(Ctx.getScalar(MetaTypeKind::InitDeclarator));
+    break;
+  case MetaTypeKind::TypeSpec:
+    // Introspection of tag types: lets macros derive code from ordinary
+    // declarations ("Persistence code, RPC code, dialog boxes, etc., can
+    // be automatically created when data is declared").
+    if (M == "enumerators")
+      return Ctx.getList(Ctx.getId());
+    if (M == "tag_name")
+      return Ctx.getId();
+    if (M == "members")
+      return Ctx.getList(Ctx.getDecl());
+    break;
+  case MetaTypeKind::InitDeclarator:
+    if (M == "declarator")
+      return Ctx.getScalar(MetaTypeKind::Declarator);
+    if (M == "init")
+      return Ctx.getExp();
+    break;
+  case MetaTypeKind::Declarator:
+    if (M == "name")
+      return Ctx.getId();
+    break;
+  case MetaTypeKind::Enumerator:
+    if (M == "name")
+      return Ctx.getId();
+    if (M == "value")
+      return Ctx.getExp();
+    break;
+  case MetaTypeKind::Exp:
+    if (M == "lhs" || M == "rhs" || M == "callee" || M == "operand")
+      return Ctx.getExp();
+    if (M == "args")
+      return Ctx.getList(Ctx.getExp());
+    if (M == "name")
+      return Ctx.getId();
+    break;
+  default:
+    break;
+  }
+  Known = false;
+  return Ctx.getError();
+}
+
+//===----------------------------------------------------------------------===//
+// Builtin call typing
+//===----------------------------------------------------------------------===//
+
+const MetaType *MetaTypeChecker::typeOfBuiltinCall(
+    const BuiltinInfo &Info, const std::vector<const MetaType *> &Args,
+    SourceLoc Loc) {
+  if (Args.size() < Info.MinArgs ||
+      (Info.MaxArgs != UINT_MAX && Args.size() > Info.MaxArgs)) {
+    std::ostringstream OS;
+    OS << "wrong number of arguments to '" << Info.Name << "' (got "
+       << Args.size() << ")";
+    return error(Loc, OS.str());
+  }
+  for (const MetaType *T : Args)
+    if (T->isError())
+      return Ctx.getError();
+
+  auto RequireList = [&](size_t I) -> const MetaType * {
+    if (!Args[I]->isList()) {
+      error(Loc, std::string("argument ") + std::to_string(I + 1) + " of '" +
+                     Info.Name + "' must be a list, got " +
+                     Args[I]->toString());
+      return nullptr;
+    }
+    return Args[I];
+  };
+
+  switch (Info.Kind) {
+  case BuiltinKind::Gensym:
+    if (Args.size() == 1 && Args[0]->kind() != MetaTypeKind::String &&
+        Args[0]->kind() != MetaTypeKind::Id)
+      return error(Loc, "gensym prefix must be a string or identifier");
+    return Ctx.getId();
+  case BuiltinKind::ConcatIds:
+  case BuiltinKind::Symbolconc: {
+    for (const MetaType *T : Args) {
+      MetaTypeKind K = T->kind();
+      bool Ok = K == MetaTypeKind::Id || K == MetaTypeKind::String ||
+                K == MetaTypeKind::Int ||
+                (Info.Kind == BuiltinKind::Symbolconc &&
+                 K == MetaTypeKind::Num);
+      if (!Ok)
+        return error(Loc, std::string("argument of '") + Info.Name +
+                              "' must be an identifier, string, or integer, "
+                              "got " +
+                              T->toString());
+    }
+    return Ctx.getId();
+  }
+  case BuiltinKind::Pstring:
+    if (Args[0]->kind() != MetaTypeKind::Id)
+      return error(Loc, "pstring expects an identifier");
+    return Ctx.getString();
+  case BuiltinKind::Length:
+    if (!RequireList(0))
+      return Ctx.getError();
+    return Ctx.getInt();
+  case BuiltinKind::Map: {
+    if (!Args[0]->isFunction())
+      return error(Loc, "first argument of 'map' must be a function");
+    const MetaType *L = RequireList(1);
+    if (!L)
+      return Ctx.getError();
+    if (Args[0]->paramTypes().size() != 1)
+      return error(Loc, "'map' function must take exactly one parameter");
+    if (!MetaTypeContext::isAssignable(Args[0]->paramTypes()[0],
+                                       L->listElem()))
+      return error(Loc, "'map' function parameter type " +
+                            Args[0]->paramTypes()[0]->toString() +
+                            " does not accept list elements of type " +
+                            L->listElem()->toString());
+    return Ctx.getList(Args[0]->resultType());
+  }
+  case BuiltinKind::List: {
+    if (Args.empty())
+      return error(Loc, "cannot infer the element type of an empty 'list'");
+    // Element type: first argument's type, widened to exp when arguments
+    // mix identifiers/numbers/expressions.
+    const MetaType *Elem = Args[0];
+    for (const MetaType *T : Args) {
+      if (MetaTypeContext::isAssignable(Elem, T))
+        continue;
+      if (MetaTypeContext::isAssignable(T, Elem)) {
+        Elem = T;
+        continue;
+      }
+      if (MetaTypeContext::isAssignable(Ctx.getExp(), T) &&
+          MetaTypeContext::isAssignable(Ctx.getExp(), Elem)) {
+        Elem = Ctx.getExp();
+        continue;
+      }
+      return error(Loc, "'list' arguments have incompatible types " +
+                            Elem->toString() + " and " + T->toString());
+    }
+    return Ctx.getList(Elem);
+  }
+  case BuiltinKind::Append: {
+    const MetaType *L = RequireList(0);
+    if (!L)
+      return Ctx.getError();
+    for (size_t I = 1; I != Args.size(); ++I) {
+      const MetaType *R = RequireList(I);
+      if (!R)
+        return Ctx.getError();
+      if (!MetaTypeContext::isAssignable(L, R) &&
+          !MetaTypeContext::isAssignable(R, L))
+        return error(Loc, "'append' arguments have incompatible types " +
+                              L->toString() + " and " + R->toString());
+      if (MetaTypeContext::isAssignable(R, L))
+        L = R;
+    }
+    return L;
+  }
+  case BuiltinKind::Cons: {
+    const MetaType *L = RequireList(1);
+    if (!L)
+      return Ctx.getError();
+    if (!MetaTypeContext::isAssignable(L->listElem(), Args[0]))
+      return error(Loc, "'cons' head type " + Args[0]->toString() +
+                            " does not fit list of " +
+                            L->listElem()->toString());
+    return L;
+  }
+  case BuiltinKind::Nth: {
+    const MetaType *L = RequireList(0);
+    if (!L)
+      return Ctx.getError();
+    if (Args[1]->kind() != MetaTypeKind::Int &&
+        Args[1]->kind() != MetaTypeKind::Num)
+      return error(Loc, "'nth' index must be an integer");
+    return L->listElem();
+  }
+  case BuiltinKind::SimpleExpression:
+    if (!MetaTypeContext::isAssignable(Ctx.getExp(), Args[0]))
+      return error(Loc, "simple_expression expects an expression");
+    return Ctx.getInt();
+  case BuiltinKind::Present:
+    return Ctx.getInt();
+  case BuiltinKind::MakeId:
+    if (Args[0]->kind() != MetaTypeKind::String)
+      return error(Loc, "make_id expects a string");
+    return Ctx.getId();
+  case BuiltinKind::MakeNum:
+    if (Args[0]->kind() != MetaTypeKind::Int)
+      return error(Loc, "make_num expects an integer");
+    return Ctx.getNum();
+  case BuiltinKind::PrintAst:
+    return Ctx.getString();
+  case BuiltinKind::MetaError:
+    if (Args[0]->kind() != MetaTypeKind::String)
+      return error(Loc, "meta_error expects a string");
+    return Ctx.getVoid();
+  case BuiltinKind::VarType:
+    if (Args[0]->kind() != MetaTypeKind::Id)
+      return error(Loc, "var_type expects an identifier");
+    return Ctx.getTypeSpec();
+  }
+  return Ctx.getError();
+}
+
+//===----------------------------------------------------------------------===//
+// Expression typing
+//===----------------------------------------------------------------------===//
+
+const MetaType *MetaTypeChecker::typeOfExpr(const Expr *E,
+                                            const MetaScope &Scope) {
+  if (!E)
+    return Ctx.getError();
+  switch (E->kind()) {
+  case NodeKind::IntLiteralExpr:
+  case NodeKind::CharLiteralExpr:
+    return Ctx.getInt();
+  case NodeKind::FloatLiteralExpr:
+    return Ctx.getFloat();
+  case NodeKind::StringLiteralExpr:
+    return Ctx.getString();
+  case NodeKind::IdentExpr: {
+    const auto *IE = cast<IdentExpr>(E);
+    if (IE->Name.isPlaceholder())
+      return error(E->loc(), "placeholder outside of a code template");
+    if (const MetaType *T = Scope.lookup(IE->Name.Sym))
+      return T;
+    if (const MetaFunction *F = Funcs.lookup(IE->Name.Sym))
+      return F->Type;
+    if (lookupBuiltin(IE->Name.Sym.str()))
+      return error(E->loc(), "builtin '" + std::string(IE->Name.Sym.str()) +
+                                 "' must be called, not referenced");
+    return error(E->loc(), "undeclared meta variable '" +
+                               std::string(IE->Name.Sym.str()) + "'");
+  }
+  case NodeKind::ParenExpr:
+    return typeOfExpr(cast<ParenExpr>(E)->Inner, Scope);
+  case NodeKind::UnaryExpr: {
+    const auto *U = cast<UnaryExpr>(E);
+    const MetaType *T = typeOfExpr(U->Operand, Scope);
+    if (T->isError())
+      return T;
+    switch (U->Op) {
+    case UnaryOpKind::Deref:
+      // `*list` is the Lisp car (paper section 2).
+      if (T->isList())
+        return T->listElem();
+      return error(E->loc(), "'*' requires a list, got " + T->toString());
+    case UnaryOpKind::AddrOf:
+      // "It is illegal to take the address of either a scalar or
+      // structured ast value."
+      if (T->isAstValued())
+        return error(E->loc(),
+                     "cannot take the address of an AST value");
+      return error(E->loc(), "'&' is not supported in meta code");
+    case UnaryOpKind::Not:
+      return Ctx.getInt();
+    default:
+      if (T->kind() == MetaTypeKind::Int || T->kind() == MetaTypeKind::Float)
+        return T;
+      return error(E->loc(), std::string("unary '") + unaryOpSpelling(U->Op) +
+                                 "' requires arithmetic operand, got " +
+                                 T->toString());
+    }
+  }
+  case NodeKind::BinaryExpr: {
+    const auto *B = cast<BinaryExpr>(E);
+    const MetaType *L = typeOfExpr(B->LHS, Scope);
+    const MetaType *R = typeOfExpr(B->RHS, Scope);
+    if (L->isError() || R->isError())
+      return Ctx.getError();
+    if (B->Op == BinaryOpKind::Comma)
+      return R;
+    if (isAssignmentOp(B->Op)) {
+      if (B->Op == BinaryOpKind::Assign) {
+        if (!MetaTypeContext::isAssignable(L, R))
+          return error(E->loc(), "cannot assign " + R->toString() + " to " +
+                                     L->toString());
+        return L;
+      }
+      if (L->kind() != MetaTypeKind::Int || R->kind() != MetaTypeKind::Int)
+        return error(E->loc(), "compound assignment requires integers");
+      return L;
+    }
+    // `list + n` is the Lisp cdr-style tail (paper section 2).
+    if ((B->Op == BinaryOpKind::Add || B->Op == BinaryOpKind::Sub) &&
+        L->isList() && (R->kind() == MetaTypeKind::Int)) {
+      return L;
+    }
+    // String concatenation with '+' (convenience extension, mirrored by
+    // the interpreter).
+    if (B->Op == BinaryOpKind::Add && L->kind() == MetaTypeKind::String &&
+        R->kind() == MetaTypeKind::String)
+      return Ctx.getString();
+    switch (B->Op) {
+    case BinaryOpKind::EQ:
+    case BinaryOpKind::NE:
+      // Equality is defined on all meta values (AST equality is
+      // structural, identifier equality is by name).
+      return Ctx.getInt();
+    case BinaryOpKind::LAnd:
+    case BinaryOpKind::LOr:
+      return Ctx.getInt();
+    case BinaryOpKind::LT:
+    case BinaryOpKind::GT:
+    case BinaryOpKind::LE:
+    case BinaryOpKind::GE:
+      if ((L->kind() == MetaTypeKind::Int || L->kind() == MetaTypeKind::Float) &&
+          (R->kind() == MetaTypeKind::Int || R->kind() == MetaTypeKind::Float))
+        return Ctx.getInt();
+      return error(E->loc(), "relational operator requires arithmetic "
+                             "operands");
+    default: {
+      bool LA = L->kind() == MetaTypeKind::Int || L->kind() == MetaTypeKind::Float;
+      bool RA = R->kind() == MetaTypeKind::Int || R->kind() == MetaTypeKind::Float;
+      if (LA && RA)
+        return (L->kind() == MetaTypeKind::Float ||
+                R->kind() == MetaTypeKind::Float)
+                   ? Ctx.getFloat()
+                   : Ctx.getInt();
+      return error(E->loc(), std::string("binary '") +
+                                 binaryOpSpelling(B->Op) +
+                                 "' requires arithmetic operands, got " +
+                                 L->toString() + " and " + R->toString());
+    }
+    }
+  }
+  case NodeKind::ConditionalExpr: {
+    const auto *C = cast<ConditionalExpr>(E);
+    typeOfExpr(C->Cond, Scope);
+    const MetaType *T = typeOfExpr(C->Then, Scope);
+    const MetaType *F = typeOfExpr(C->Else, Scope);
+    if (MetaTypeContext::isAssignable(T, F))
+      return T;
+    if (MetaTypeContext::isAssignable(F, T))
+      return F;
+    return error(E->loc(), "conditional branches have incompatible types " +
+                               T->toString() + " and " + F->toString());
+  }
+  case NodeKind::CallExpr: {
+    const auto *C = cast<CallExpr>(E);
+    std::vector<const MetaType *> ArgTypes;
+    for (const Expr *Arg : C->Args)
+      ArgTypes.push_back(typeOfExpr(Arg, Scope));
+    // Builtin?
+    if (const auto *Callee = dyn_cast<IdentExpr>(C->Callee)) {
+      if (!Callee->Name.isPlaceholder()) {
+        if (!Scope.lookup(Callee->Name.Sym)) {
+          if (const BuiltinInfo *B = lookupBuiltin(Callee->Name.Sym.str()))
+            return typeOfBuiltinCall(*B, ArgTypes, E->loc());
+        }
+      }
+    }
+    const MetaType *FnType = typeOfExpr(C->Callee, Scope);
+    if (FnType->isError())
+      return FnType;
+    if (!FnType->isFunction())
+      return error(E->loc(), "called object is not a meta function (type " +
+                                 FnType->toString() + ")");
+    const auto &Params = FnType->paramTypes();
+    if (ArgTypes.size() < Params.size() ||
+        (ArgTypes.size() > Params.size() && !FnType->isVariadic()))
+      return error(E->loc(), "wrong number of arguments: expected " +
+                                 std::to_string(Params.size()) + ", got " +
+                                 std::to_string(ArgTypes.size()));
+    for (size_t I = 0; I != Params.size(); ++I)
+      if (!MetaTypeContext::isAssignable(Params[I], ArgTypes[I]))
+        error(C->Args[I]->loc(), "argument " + std::to_string(I + 1) +
+                                     " has type " + ArgTypes[I]->toString() +
+                                     ", expected " + Params[I]->toString());
+    return FnType->resultType();
+  }
+  case NodeKind::IndexExpr: {
+    const auto *I = cast<IndexExpr>(E);
+    const MetaType *Base = typeOfExpr(I->Base, Scope);
+    const MetaType *Idx = typeOfExpr(I->Index, Scope);
+    if (Base->isError())
+      return Base;
+    if (!Base->isList())
+      return error(E->loc(), "subscripted value is not a list (type " +
+                                 Base->toString() + ")");
+    if (!Idx->isError() && Idx->kind() != MetaTypeKind::Int &&
+        Idx->kind() != MetaTypeKind::Num)
+      error(I->Index->loc(), "list index must be an integer");
+    return Base->listElem();
+  }
+  case NodeKind::MemberExpr: {
+    const auto *M = cast<MemberExpr>(E);
+    const MetaType *Base = typeOfExpr(M->Base, Scope);
+    if (Base->isError())
+      return Base;
+    if (M->Member.isPlaceholder())
+      return error(E->loc(), "placeholder member names are not supported in "
+                             "meta code");
+    bool Known = false;
+    const MetaType *T = memberType(Base, M->Member.Sym, Known);
+    if (!Known)
+      return error(E->loc(), "no member '" + std::string(M->Member.Sym.str()) +
+                                 "' on meta value of type " + Base->toString());
+    return T;
+  }
+  case NodeKind::BackquoteExpr:
+    return cast<BackquoteExpr>(E)->Type;
+  case NodeKind::LambdaExpr: {
+    const auto *L = cast<LambdaExpr>(E);
+    // Lambdas are typed in an extended scope; const_cast is safe because we
+    // push/pop symmetrically.
+    MetaScope &MutScope = const_cast<MetaScope &>(Scope);
+    MetaScopeGuard Guard(MutScope);
+    std::vector<const MetaType *> Params;
+    for (const LambdaParam &P : L->Params) {
+      MutScope.declare(P.Name, P.Type);
+      Params.push_back(P.Type);
+    }
+    const MetaType *Body = typeOfExpr(L->Body, MutScope);
+    return Ctx.getFunction(Body, std::move(Params));
+  }
+  case NodeKind::MacroInvocationExpr:
+    // A macro invocation inside meta code produces a value of the macro's
+    // declared AST type.
+    return cast<MacroInvocationExpr>(E)->Inv->Def->ReturnType;
+  case NodeKind::PlaceholderExpr:
+    return error(E->loc(), "placeholder outside of a code template");
+  default:
+    return error(E->loc(), "expression form not allowed in meta code");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statement / body checking
+//===----------------------------------------------------------------------===//
+
+void MetaTypeChecker::declareFromDeclaration(const Declaration *D,
+                                             MetaScope &Scope) {
+  for (const InitDeclarator &ID : D->Inits) {
+    if (ID.Ph || !ID.Dtor || ID.Dtor->isPlaceholder() ||
+        ID.Dtor->name().isPlaceholder())
+      continue;
+    const MetaType *T = metaTypeFromDecl(D->Specs, ID.Dtor, Ctx);
+    if (!T) {
+      Diags.error(ID.Loc, "declaration in meta code must have a meta type "
+                          "(@ast type, int, float, or char *)");
+      T = Ctx.getError();
+    }
+    if (!Scope.declare(ID.Dtor->name().Sym, T))
+      Diags.error(ID.Loc, "redeclaration of meta variable '" +
+                              std::string(ID.Dtor->name().Sym.str()) + "'");
+    if (ID.Init) {
+      const MetaType *IT = typeOfExpr(ID.Init, Scope);
+      if (!MetaTypeContext::isAssignable(T, IT))
+        Diags.error(ID.Init->loc(), "cannot initialize " + T->toString() +
+                                        " with " + IT->toString());
+    }
+  }
+}
+
+bool MetaTypeChecker::checkStmt(const Stmt *S, MetaScope &Scope,
+                                const MetaType *ReturnType) {
+  unsigned ErrorsBefore = Diags.errorCount();
+  switch (S->kind()) {
+  case NodeKind::CompoundStmtKind: {
+    const auto *C = cast<CompoundStmt>(S);
+    MetaScopeGuard Guard(Scope);
+    for (const Decl *D : C->Decls) {
+      if (const auto *Decl_ = dyn_cast<Declaration>(D))
+        declareFromDeclaration(Decl_, Scope);
+      else
+        Diags.error(D->loc(), "only variable declarations are allowed in "
+                              "meta code blocks");
+    }
+    for (const Stmt *Sub : C->Stmts)
+      checkStmt(Sub, Scope, ReturnType);
+    break;
+  }
+  case NodeKind::ExprStmt:
+    typeOfExpr(cast<ExprStmt>(S)->E, Scope);
+    break;
+  case NodeKind::NullStmt:
+  case NodeKind::BreakStmt:
+  case NodeKind::ContinueStmt:
+    break;
+  case NodeKind::IfStmt: {
+    const auto *I = cast<IfStmt>(S);
+    typeOfExpr(I->Cond, Scope);
+    checkStmt(I->Then, Scope, ReturnType);
+    if (I->Else)
+      checkStmt(I->Else, Scope, ReturnType);
+    break;
+  }
+  case NodeKind::WhileStmt: {
+    const auto *W = cast<WhileStmt>(S);
+    typeOfExpr(W->Cond, Scope);
+    checkStmt(W->Body, Scope, ReturnType);
+    break;
+  }
+  case NodeKind::DoStmt: {
+    const auto *D = cast<DoStmt>(S);
+    checkStmt(D->Body, Scope, ReturnType);
+    typeOfExpr(D->Cond, Scope);
+    break;
+  }
+  case NodeKind::ForStmt: {
+    const auto *F = cast<ForStmt>(S);
+    if (F->Init)
+      typeOfExpr(F->Init, Scope);
+    if (F->Cond)
+      typeOfExpr(F->Cond, Scope);
+    if (F->Step)
+      typeOfExpr(F->Step, Scope);
+    checkStmt(F->Body, Scope, ReturnType);
+    break;
+  }
+  case NodeKind::SwitchStmt: {
+    const auto *Sw = cast<SwitchStmt>(S);
+    typeOfExpr(Sw->Cond, Scope);
+    checkStmt(Sw->Body, Scope, ReturnType);
+    break;
+  }
+  case NodeKind::CaseStmt: {
+    const auto *C = cast<CaseStmt>(S);
+    typeOfExpr(C->Value, Scope);
+    checkStmt(C->Body, Scope, ReturnType);
+    break;
+  }
+  case NodeKind::DefaultStmt:
+    checkStmt(cast<DefaultStmt>(S)->Body, Scope, ReturnType);
+    break;
+  case NodeKind::ReturnStmt: {
+    const auto *R = cast<ReturnStmt>(S);
+    if (!R->Value) {
+      if (ReturnType->kind() != MetaTypeKind::Void)
+        Diags.error(S->loc(), "macro must return a value of type " +
+                                  ReturnType->toString());
+      break;
+    }
+    const MetaType *T = typeOfExpr(R->Value, Scope);
+    if (!MetaTypeContext::isAssignable(ReturnType, T))
+      Diags.error(R->Value->loc(),
+                  "return value has type " + T->toString() +
+                      " but the declared return type is " +
+                      ReturnType->toString());
+    break;
+  }
+  case NodeKind::LabelStmt:
+    checkStmt(cast<LabelStmt>(S)->Body, Scope, ReturnType);
+    break;
+  case NodeKind::GotoStmt:
+    break;
+  case NodeKind::MacroInvocationStmt:
+    // Allowed: expands to a statement value at the object level, but as a
+    // *statement of meta code* it has no effect and is suspicious.
+    Diags.warning(S->loc(), "macro invocation used as a meta statement has "
+                            "no effect");
+    break;
+  default:
+    Diags.error(S->loc(), "statement form not allowed in meta code");
+    break;
+  }
+  return Diags.errorCount() == ErrorsBefore;
+}
+
+bool MetaTypeChecker::checkBody(const CompoundStmt *Body, MetaScope &Scope,
+                                const MetaType *ReturnType) {
+  unsigned ErrorsBefore = Diags.errorCount();
+  checkStmt(Body, Scope, ReturnType);
+  return Diags.errorCount() == ErrorsBefore;
+}

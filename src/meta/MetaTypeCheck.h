@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The meta-level type checker. Runs at macro *definition* time: it types
+/// placeholder expressions during template parsing (via typeOfExpr, called
+/// by the Parser's placeholder co-routine) and re-checks whole macro and
+/// meta-function bodies after parsing, including that every `return`
+/// produces the macro's declared AST type. This is the mechanism behind
+/// the paper's central guarantee: "full type checking during macro
+/// processing guarantees syntactically valid transformations."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_META_METATYPECHECK_H
+#define MSQ_META_METATYPECHECK_H
+
+#include "ast/Ast.h"
+#include "meta/Builtins.h"
+#include "meta/MetaScope.h"
+#include "support/Diagnostics.h"
+#include "types/MetaType.h"
+
+namespace msq {
+
+class MetaTypeChecker {
+public:
+  MetaTypeChecker(MetaTypeContext &Ctx, DiagnosticsEngine &Diags,
+                  const MetaFunctionRegistry &Funcs)
+      : Ctx(Ctx), Diags(Diags), Funcs(Funcs) {}
+
+  /// Computes the meta-type of the meta-level expression \p E under
+  /// \p Scope. Diagnoses and returns the Error type on failure.
+  const MetaType *typeOfExpr(const Expr *E, const MetaScope &Scope);
+
+  /// Checks a macro or meta-function body. Formals must already be bound in
+  /// \p Scope (a fresh inner scope is pushed for the body itself).
+  /// \returns true when no errors were found.
+  bool checkBody(const CompoundStmt *Body, MetaScope &Scope,
+                 const MetaType *ReturnType);
+
+  /// Type of AST member access `Base->Member` (or `.`); the paper's
+  /// "predefined member names for extracting components of ASTs". Sets
+  /// \p Known to false when the member is not defined for \p Base.
+  const MetaType *memberType(const MetaType *Base, Symbol Member,
+                             bool &Known);
+
+  /// Derives the meta-type declared by a (meta-level) declaration's
+  /// specifier + declarator. Returns nullptr when the declaration does not
+  /// denote a representable meta type (then it is object-level C).
+  static const MetaType *metaTypeFromDecl(const DeclSpecs &Specs,
+                                          const Declarator *Dtor,
+                                          MetaTypeContext &Ctx);
+
+  /// Result type of calling builtin \p Info with \p ArgTypes; diagnoses
+  /// arity or type errors at \p Loc.
+  const MetaType *typeOfBuiltinCall(const BuiltinInfo &Info,
+                                    const std::vector<const MetaType *> &Args,
+                                    SourceLoc Loc);
+
+private:
+  const MetaType *error(SourceLoc Loc, const std::string &Msg) {
+    Diags.error(Loc, Msg);
+    return Ctx.getError();
+  }
+
+  bool checkStmt(const Stmt *S, MetaScope &Scope, const MetaType *ReturnType);
+  void declareFromDeclaration(const Declaration *D, MetaScope &Scope);
+
+  MetaTypeContext &Ctx;
+  DiagnosticsEngine &Diags;
+  const MetaFunctionRegistry &Funcs;
+};
+
+} // namespace msq
+
+#endif // MSQ_META_METATYPECHECK_H

@@ -1,0 +1,509 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expression parsing: a bottom-up precedence parser at the expression
+/// level (paper section 3), with placeholder tokens, macro invocations,
+/// backquote templates, and anonymous functions folded into the primary
+/// grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+using namespace msq;
+
+namespace {
+
+struct BinOpInfo {
+  BinaryOpKind Op;
+  int Prec;
+};
+
+/// Binary operator precedences (higher binds tighter). Assignment and the
+/// conditional operator are handled separately for associativity.
+bool binOpInfo(TokenKind K, BinOpInfo &Out) {
+  switch (K) {
+  case TokenKind::Star:
+    Out = {BinaryOpKind::Mul, 10};
+    return true;
+  case TokenKind::Slash:
+    Out = {BinaryOpKind::Div, 10};
+    return true;
+  case TokenKind::Percent:
+    Out = {BinaryOpKind::Rem, 10};
+    return true;
+  case TokenKind::Plus:
+    Out = {BinaryOpKind::Add, 9};
+    return true;
+  case TokenKind::Minus:
+    Out = {BinaryOpKind::Sub, 9};
+    return true;
+  case TokenKind::LessLess:
+    Out = {BinaryOpKind::Shl, 8};
+    return true;
+  case TokenKind::GreaterGreater:
+    Out = {BinaryOpKind::Shr, 8};
+    return true;
+  case TokenKind::Less:
+    Out = {BinaryOpKind::LT, 7};
+    return true;
+  case TokenKind::Greater:
+    Out = {BinaryOpKind::GT, 7};
+    return true;
+  case TokenKind::LessEqual:
+    Out = {BinaryOpKind::LE, 7};
+    return true;
+  case TokenKind::GreaterEqual:
+    Out = {BinaryOpKind::GE, 7};
+    return true;
+  case TokenKind::EqualEqual:
+    Out = {BinaryOpKind::EQ, 6};
+    return true;
+  case TokenKind::ExclaimEqual:
+    Out = {BinaryOpKind::NE, 6};
+    return true;
+  case TokenKind::Amp:
+    Out = {BinaryOpKind::BitAnd, 5};
+    return true;
+  case TokenKind::Caret:
+    Out = {BinaryOpKind::BitXor, 4};
+    return true;
+  case TokenKind::Pipe:
+    Out = {BinaryOpKind::BitOr, 3};
+    return true;
+  case TokenKind::AmpAmp:
+    Out = {BinaryOpKind::LAnd, 2};
+    return true;
+  case TokenKind::PipePipe:
+    Out = {BinaryOpKind::LOr, 1};
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool assignOpInfo(TokenKind K, BinaryOpKind &Out) {
+  switch (K) {
+  case TokenKind::Equal:
+    Out = BinaryOpKind::Assign;
+    return true;
+  case TokenKind::StarEqual:
+    Out = BinaryOpKind::MulAssign;
+    return true;
+  case TokenKind::SlashEqual:
+    Out = BinaryOpKind::DivAssign;
+    return true;
+  case TokenKind::PercentEqual:
+    Out = BinaryOpKind::RemAssign;
+    return true;
+  case TokenKind::PlusEqual:
+    Out = BinaryOpKind::AddAssign;
+    return true;
+  case TokenKind::MinusEqual:
+    Out = BinaryOpKind::SubAssign;
+    return true;
+  case TokenKind::LessLessEqual:
+    Out = BinaryOpKind::ShlAssign;
+    return true;
+  case TokenKind::GreaterGreaterEqual:
+    Out = BinaryOpKind::ShrAssign;
+    return true;
+  case TokenKind::AmpEqual:
+    Out = BinaryOpKind::AndAssign;
+    return true;
+  case TokenKind::CaretEqual:
+    Out = BinaryOpKind::XorAssign;
+    return true;
+  case TokenKind::PipeEqual:
+    Out = BinaryOpKind::OrAssign;
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+Expr *Parser::parseExpression() {
+  Expr *E = parseAssignmentExpr();
+  if (!E)
+    return nullptr;
+  while (cur().is(TokenKind::Comma)) {
+    SourceLoc Loc = curLoc();
+    advance();
+    Expr *RHS = parseAssignmentExpr();
+    if (!RHS)
+      return E;
+    E = CC.Ast.create<BinaryExpr>(BinaryOpKind::Comma, E, RHS, Loc);
+  }
+  return E;
+}
+
+Expr *Parser::parseInitializer() {
+  if (cur().isNot(TokenKind::LBrace))
+    return parseAssignmentExpr();
+  SourceLoc Loc = curLoc();
+  advance();
+  std::vector<Expr *> Elems;
+  if (cur().isNot(TokenKind::RBrace)) {
+    for (;;) {
+      // A list-typed placeholder splices into the initializer list, like
+      // in argument lists.
+      if (cur().is(TokenKind::PlaceholderTok) && cur().Ph->Type->isList() &&
+          MetaTypeContext::isAssignable(CC.Types.getList(CC.Types.getExp()),
+                                        cur().Ph->Type)) {
+        Elems.push_back(CC.Ast.create<PlaceholderExpr>(cur().Ph, curLoc()));
+        advance();
+      } else {
+        Expr *E = parseInitializer(); // nested lists allowed
+        if (!E)
+          break;
+        Elems.push_back(E);
+      }
+      if (!consumeIf(TokenKind::Comma))
+        break;
+      if (cur().is(TokenKind::RBrace))
+        break; // trailing comma
+    }
+  }
+  expect(TokenKind::RBrace, "at end of initializer list");
+  return CC.Ast.create<InitListExpr>(ArenaRef<Expr *>::copy(CC.Ast, Elems),
+                                     Loc);
+}
+
+Expr *Parser::parseAssignmentExpr() {
+  Expr *LHS = parseConditionalExpr();
+  if (!LHS)
+    return nullptr;
+  BinaryOpKind Op;
+  if (assignOpInfo(cur().Kind, Op)) {
+    SourceLoc Loc = curLoc();
+    advance();
+    Expr *RHS = parseAssignmentExpr(); // right-associative
+    if (!RHS)
+      return LHS;
+    return CC.Ast.create<BinaryExpr>(Op, LHS, RHS, Loc);
+  }
+  return LHS;
+}
+
+Expr *Parser::parseConditionalExpr() {
+  Expr *Cond = parseBinaryExpr(1);
+  if (!Cond)
+    return nullptr;
+  if (cur().isNot(TokenKind::Question))
+    return Cond;
+  SourceLoc Loc = curLoc();
+  advance();
+  Expr *Then = parseExpression();
+  if (!expect(TokenKind::Colon, "in conditional expression"))
+    return Cond;
+  Expr *Else = parseConditionalExpr();
+  if (!Then || !Else)
+    return Cond;
+  return CC.Ast.create<ConditionalExpr>(Cond, Then, Else, Loc);
+}
+
+Expr *Parser::parseBinaryExpr(int MinPrec) {
+  Expr *LHS = parseCastOrUnaryExpr();
+  if (!LHS)
+    return nullptr;
+  for (;;) {
+    BinOpInfo Info;
+    if (!binOpInfo(cur().Kind, Info) || Info.Prec < MinPrec)
+      return LHS;
+    SourceLoc Loc = curLoc();
+    advance();
+    Expr *RHS = parseBinaryExpr(Info.Prec + 1); // left-associative
+    if (!RHS)
+      return LHS;
+    LHS = CC.Ast.create<BinaryExpr>(Info.Op, LHS, RHS, Loc);
+  }
+}
+
+bool Parser::lparenStartsTypeName() const {
+  assert(Toks[Pos].is(TokenKind::LParen) || true);
+  const Token &Next = peekRaw(1);
+  switch (Next.Kind) {
+  case TokenKind::KwVoid:
+  case TokenKind::KwChar:
+  case TokenKind::KwShort:
+  case TokenKind::KwInt:
+  case TokenKind::KwLong:
+  case TokenKind::KwFloat:
+  case TokenKind::KwDouble:
+  case TokenKind::KwSigned:
+  case TokenKind::KwUnsigned:
+  case TokenKind::KwStruct:
+  case TokenKind::KwUnion:
+  case TokenKind::KwEnum:
+  case TokenKind::KwConst:
+  case TokenKind::KwVolatile:
+    return true;
+  case TokenKind::Identifier:
+    return isTypedefName(Next.Sym);
+  default:
+    return false;
+  }
+}
+
+bool Parser::parseTypeName(TypeName &Out) {
+  DeclSpecs Specs;
+  if (!parseDeclSpecs(Specs, /*AllowStorage=*/false))
+    return false;
+  Out.Spec = Specs.Type;
+  Out.PointerDepth = 0;
+  while (consumeIf(TokenKind::Star))
+    ++Out.PointerDepth;
+  return true;
+}
+
+Expr *Parser::parseCastOrUnaryExpr() {
+  if (cur().is(TokenKind::LParen) && lparenStartsTypeName()) {
+    SourceLoc Loc = curLoc();
+    advance();
+    TypeName Ty;
+    if (!parseTypeName(Ty)) {
+      skipTo({TokenKind::RParen});
+      consumeIf(TokenKind::RParen);
+      return nullptr;
+    }
+    expect(TokenKind::RParen, "after type name in cast");
+    Expr *Operand = parseCastOrUnaryExpr();
+    if (!Operand)
+      return nullptr;
+    return CC.Ast.create<CastExpr>(Ty, Operand, Loc);
+  }
+  return parseUnaryExpr();
+}
+
+Expr *Parser::parseUnaryExpr() {
+  SourceLoc Loc = curLoc();
+  auto Prefix = [&](UnaryOpKind Op) -> Expr * {
+    advance();
+    Expr *Operand = parseCastOrUnaryExpr();
+    if (!Operand)
+      return nullptr;
+    return CC.Ast.create<UnaryExpr>(Op, Operand, Loc);
+  };
+  switch (cur().Kind) {
+  case TokenKind::Plus:
+    return Prefix(UnaryOpKind::Plus);
+  case TokenKind::Minus:
+    return Prefix(UnaryOpKind::Minus);
+  case TokenKind::Exclaim:
+    return Prefix(UnaryOpKind::Not);
+  case TokenKind::Tilde:
+    return Prefix(UnaryOpKind::BitNot);
+  case TokenKind::Star:
+    return Prefix(UnaryOpKind::Deref);
+  case TokenKind::Amp:
+    return Prefix(UnaryOpKind::AddrOf);
+  case TokenKind::PlusPlus:
+    return Prefix(UnaryOpKind::PreInc);
+  case TokenKind::MinusMinus:
+    return Prefix(UnaryOpKind::PreDec);
+  case TokenKind::KwSizeof: {
+    advance();
+    if (cur().is(TokenKind::LParen) && lparenStartsTypeName()) {
+      advance();
+      TypeName Ty;
+      if (!parseTypeName(Ty))
+        return nullptr;
+      expect(TokenKind::RParen, "after type name in sizeof");
+      return CC.Ast.create<SizeofExpr>(Ty, Loc);
+    }
+    Expr *Operand = parseUnaryExpr();
+    if (!Operand)
+      return nullptr;
+    return CC.Ast.create<SizeofExpr>(Operand, Loc);
+  }
+  default:
+    return parsePostfixExpr();
+  }
+}
+
+Expr *Parser::parsePostfixExpr() {
+  Expr *E = parsePrimaryExpr();
+  if (!E)
+    return nullptr;
+  for (;;) {
+    SourceLoc Loc = curLoc();
+    switch (cur().Kind) {
+    case TokenKind::LParen: {
+      advance();
+      std::vector<Expr *> Args;
+      if (cur().isNot(TokenKind::RParen)) {
+        for (;;) {
+          // A list-typed placeholder splices into the argument list.
+          if (cur().is(TokenKind::PlaceholderTok) &&
+              cur().Ph->Type->isList() &&
+              MetaTypeContext::isAssignable(
+                  CC.Types.getList(CC.Types.getExp()), cur().Ph->Type)) {
+            Args.push_back(
+                CC.Ast.create<PlaceholderExpr>(cur().Ph, curLoc()));
+            advance();
+            if (!consumeIf(TokenKind::Comma))
+              break;
+            continue;
+          }
+          Expr *Arg = parseAssignmentExpr();
+          if (!Arg)
+            break;
+          Args.push_back(Arg);
+          if (!consumeIf(TokenKind::Comma))
+            break;
+        }
+      }
+      expect(TokenKind::RParen, "at end of argument list");
+      E = CC.Ast.create<CallExpr>(E, ArenaRef<Expr *>::copy(CC.Ast, Args),
+                                  Loc);
+      continue;
+    }
+    case TokenKind::LBracket: {
+      advance();
+      Expr *Idx = parseExpression();
+      expect(TokenKind::RBracket, "at end of subscript");
+      if (!Idx)
+        return E;
+      E = CC.Ast.create<IndexExpr>(E, Idx, Loc);
+      continue;
+    }
+    case TokenKind::Dot:
+    case TokenKind::Arrow: {
+      bool IsArrow = cur().is(TokenKind::Arrow);
+      advance();
+      Ident Member;
+      if (cur().is(TokenKind::Identifier)) {
+        Member = Ident(cur().Sym, curLoc());
+        advance();
+      } else if (cur().is(TokenKind::PlaceholderTok) &&
+                 cur().Ph->Type->kind() == MetaTypeKind::Id) {
+        Member = Ident(cur().Ph, curLoc());
+        advance();
+      } else {
+        CC.Diags.error(curLoc(), "expected member name");
+        return E;
+      }
+      E = CC.Ast.create<MemberExpr>(E, Member, IsArrow, Loc);
+      continue;
+    }
+    case TokenKind::PlusPlus:
+      advance();
+      E = CC.Ast.create<UnaryExpr>(UnaryOpKind::PostInc, E, Loc);
+      continue;
+    case TokenKind::MinusMinus:
+      advance();
+      E = CC.Ast.create<UnaryExpr>(UnaryOpKind::PostDec, E, Loc);
+      continue;
+    default:
+      return E;
+    }
+  }
+}
+
+Expr *Parser::parsePrimaryExpr() {
+  const Token &T = cur();
+  SourceLoc Loc = T.Loc;
+  switch (T.Kind) {
+  case TokenKind::IntLiteral: {
+    int64_t V = T.IntVal;
+    advance();
+    return CC.Ast.create<IntLiteralExpr>(V, Loc);
+  }
+  case TokenKind::FloatLiteral: {
+    double V = T.FloatVal;
+    advance();
+    return CC.Ast.create<FloatLiteralExpr>(V, Loc);
+  }
+  case TokenKind::CharLiteral: {
+    int64_t V = T.IntVal;
+    advance();
+    return CC.Ast.create<CharLiteralExpr>(V, Loc);
+  }
+  case TokenKind::StringLiteral: {
+    Symbol S = T.Sym;
+    advance();
+    return CC.Ast.create<StringLiteralExpr>(S, Loc);
+  }
+  case TokenKind::Identifier: {
+    // Macro invocation in expression position?
+    if (const MacroDef *Def = macroAtCursor()) {
+      const MetaType *RT = Def->ReturnType;
+      if (RT->kind() == MetaTypeKind::Exp || RT->kind() == MetaTypeKind::Num ||
+          RT->kind() == MetaTypeKind::Id) {
+        MacroInvocation *Inv = parseMacroInvocation(Def);
+        if (!Inv)
+          return nullptr;
+        return CC.Ast.create<MacroInvocationExpr>(Inv, Loc);
+      }
+      // A statement/decl macro used inside an expression is an error, but
+      // note that the *name* may still be an ordinary variable if shadowed;
+      // we follow the paper and treat macro names as reserved keywords.
+      CC.Diags.error(Loc, "macro '" + std::string(Def->Name.str()) +
+                              "' returns " + RT->toString() +
+                              " and cannot appear in an expression");
+      // Recover by parsing (and discarding) the invocation.
+      parseMacroInvocation(Def);
+      return CC.Ast.create<IntLiteralExpr>(0, Loc);
+    }
+    Ident Name(T.Sym, Loc);
+    advance();
+    return CC.Ast.create<IdentExpr>(Name, Loc);
+  }
+  case TokenKind::PlaceholderTok: {
+    const Placeholder *Ph = T.Ph;
+    // Statically ensure the placeholder can stand for an expression.
+    const MetaType *PT = Ph->Type;
+    bool Ok = MetaTypeContext::isAssignable(CC.Types.getExp(), PT) ||
+              PT->kind() == MetaTypeKind::String ||
+              PT->kind() == MetaTypeKind::Int ||
+              PT->kind() == MetaTypeKind::Float;
+    if (!Ok)
+      CC.Diags.error(Loc, "placeholder of type " + PT->toString() +
+                              " cannot appear where an expression is "
+                              "expected");
+    advance();
+    return CC.Ast.create<PlaceholderExpr>(Ph, Loc);
+  }
+  case TokenKind::LParen: {
+    advance();
+    Expr *Inner = parseExpression();
+    expect(TokenKind::RParen, "at end of parenthesized expression");
+    if (!Inner)
+      return nullptr;
+    return CC.Ast.create<ParenExpr>(Inner, Loc);
+  }
+  case TokenKind::Backquote: {
+    if (!MetaMode) {
+      CC.Diags.error(Loc, "code templates ('`') are only allowed in meta "
+                          "code");
+      advance();
+      return nullptr;
+    }
+    return parseBackquoteExpr();
+  }
+  case TokenKind::KwLambda: {
+    if (!MetaMode) {
+      CC.Diags.error(Loc, "anonymous functions are only allowed in meta "
+                          "code");
+      advance();
+      return nullptr;
+    }
+    return parseLambdaExpr();
+  }
+  case TokenKind::Dollar:
+    CC.Diags.error(Loc, "placeholder ('$') outside of a code template");
+    advance();
+    return nullptr;
+  default:
+    CC.Diags.error(Loc, std::string("expected expression, found '") +
+                            tokenKindSpelling(T.Kind) + "'");
+    return nullptr;
+  }
+}

@@ -1,0 +1,230 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Macro invocation parsing: "When the parser encounters a macro keyword,
+/// it parses the invocation according to the macro's pattern, packages up
+/// the macro with its actual parameters for later expansion, then uses the
+/// declared type of the macro to decide how to continue the parse."
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+using namespace msq;
+
+namespace msq {
+
+/// Adapts the Parser to the ConstituentParser interface the pattern
+/// matchers drive.
+class InvocationConstituents : public ConstituentParser {
+public:
+  explicit InvocationConstituents(Parser &P) : P(P) {}
+
+  const Token &peek() override { return P.cur(); }
+
+  bool tokenMatches(TokenKind K, Symbol Sym) override {
+    const Token &T = P.cur();
+    if (T.Kind != K)
+      return false;
+    return !Sym.valid() || T.Sym == Sym;
+  }
+
+  bool consumeToken(TokenKind K, Symbol Sym) override {
+    if (tokenMatches(K, Sym)) {
+      P.advance();
+      return true;
+    }
+    std::string Want = Sym.valid() ? std::string(Sym.str())
+                                   : std::string(tokenKindSpelling(K));
+    P.CC.Diags.error(P.curLoc(), "expected '" + Want +
+                                     "' in macro invocation, found '" +
+                                     tokenKindSpelling(P.cur().Kind) + "'");
+    return false;
+  }
+
+  MatchValue *parseConstituent(const MetaType *Scalar) override {
+    return P.parseConstituent(Scalar);
+  }
+
+  Arena &arena() override { return P.CC.Ast; }
+  DiagnosticsEngine &diags() override { return P.CC.Diags; }
+
+private:
+  Parser &P;
+};
+
+} // namespace msq
+
+const MacroDef *Parser::macroAtCursor() {
+  const Token &T = cur();
+  if (T.isNot(TokenKind::Identifier))
+    return nullptr;
+  return CC.Macros.lookup(T.Sym);
+}
+
+bool Parser::runPatternMatch(const Pattern &P,
+                             std::vector<MacroArg> &Bindings,
+                             const CompiledPattern *CP) {
+  InvocationConstituents IC(*this);
+  if (CP)
+    return CP->match(IC, Bindings);
+  PatternMatcher M(CC.Types);
+  return M.match(P, IC, Bindings);
+}
+
+MacroInvocation *Parser::parseMacroInvocation(const MacroDef *Def) {
+  SourceLoc Loc = curLoc();
+  advance(); // the macro keyword
+
+  std::vector<MacroArg> Bindings;
+  const CompiledPattern *CP = nullptr;
+  auto It = CC.CompiledPatterns.find(Def);
+  if (It != CC.CompiledPatterns.end())
+    CP = It->second.get();
+
+  if (!runPatternMatch(*Def->Pat, Bindings, CP)) {
+    skipTo({TokenKind::Semi, TokenKind::RBrace});
+    return nullptr;
+  }
+
+  MacroInvocation *Inv = CC.Ast.create<MacroInvocation>();
+  Inv->Def = Def;
+  Inv->Loc = Loc;
+  Inv->Args = ArenaRef<MacroArg>::copy(CC.Ast, Bindings);
+  return Inv;
+}
+
+MatchValue *Parser::parseConstituent(const MetaType *Scalar) {
+  MatchValue *V = CC.Ast.create<MatchValue>();
+  V->Type = Scalar;
+  SourceLoc Loc = curLoc();
+  switch (Scalar->kind()) {
+  case MetaTypeKind::Exp: {
+    Expr *E = parseAssignmentExpr();
+    if (!E)
+      return nullptr;
+    V->K = MatchValue::Ast;
+    V->AstNode = E;
+    return V;
+  }
+  case MetaTypeKind::Num: {
+    const Token &T = cur();
+    Expr *E = nullptr;
+    if (T.is(TokenKind::IntLiteral)) {
+      E = CC.Ast.create<IntLiteralExpr>(T.IntVal, Loc);
+      advance();
+    } else if (T.is(TokenKind::FloatLiteral)) {
+      E = CC.Ast.create<FloatLiteralExpr>(T.FloatVal, Loc);
+      advance();
+    } else if (T.is(TokenKind::CharLiteral)) {
+      E = CC.Ast.create<CharLiteralExpr>(T.IntVal, Loc);
+      advance();
+    } else if (T.is(TokenKind::PlaceholderTok) &&
+               T.Ph->Type->kind() == MetaTypeKind::Num) {
+      E = CC.Ast.create<PlaceholderExpr>(T.Ph, Loc);
+      advance();
+    } else {
+      CC.Diags.error(Loc, "expected a numeric literal in macro invocation");
+      return nullptr;
+    }
+    V->K = MatchValue::Ast;
+    V->AstNode = E;
+    return V;
+  }
+  case MetaTypeKind::Id: {
+    const Token &T = cur();
+    if (T.is(TokenKind::Identifier)) {
+      V->K = MatchValue::IdentV;
+      V->Id = Ident(T.Sym, Loc);
+      advance();
+      return V;
+    }
+    if (T.is(TokenKind::PlaceholderTok) &&
+        T.Ph->Type->kind() == MetaTypeKind::Id) {
+      V->K = MatchValue::IdentV;
+      V->Id = Ident(T.Ph, Loc);
+      advance();
+      return V;
+    }
+    CC.Diags.error(Loc, "expected an identifier in macro invocation");
+    return nullptr;
+  }
+  case MetaTypeKind::Stmt: {
+    Stmt *S = parseStatement();
+    if (!S)
+      return nullptr;
+    V->K = MatchValue::Ast;
+    V->AstNode = S;
+    return V;
+  }
+  case MetaTypeKind::Decl: {
+    Decl *D = parseDeclaration();
+    if (!D)
+      return nullptr;
+    V->K = MatchValue::Ast;
+    V->AstNode = D;
+    return V;
+  }
+  case MetaTypeKind::TypeSpec: {
+    if (cur().is(TokenKind::PlaceholderTok) &&
+        cur().Ph->Type->kind() == MetaTypeKind::TypeSpec) {
+      V->K = MatchValue::Ast;
+      V->AstNode = CC.Ast.create<PlaceholderTypeSpec>(cur().Ph, Loc);
+      advance();
+      return V;
+    }
+    DeclSpecs Specs;
+    if (!parseDeclSpecs(Specs, /*AllowStorage=*/false) || !Specs.Type)
+      return nullptr;
+    V->K = MatchValue::Ast;
+    V->AstNode = Specs.Type;
+    return V;
+  }
+  case MetaTypeKind::Declarator: {
+    Declarator *D = parseDeclarator(/*Abstract=*/false);
+    if (!D)
+      return nullptr;
+    V->K = MatchValue::DeclaratorV;
+    V->Dtor = D;
+    return V;
+  }
+  case MetaTypeKind::InitDeclarator: {
+    Declarator *D = parseDeclarator(/*Abstract=*/false);
+    if (!D)
+      return nullptr;
+    InitDeclarator *ID = CC.Ast.create<InitDeclarator>();
+    ID->Dtor = D;
+    ID->Loc = Loc;
+    if (consumeIf(TokenKind::Equal))
+      ID->Init = parseInitializer();
+    V->K = MatchValue::InitDeclV;
+    V->InitDtor = ID;
+    return V;
+  }
+  case MetaTypeKind::Enumerator: {
+    const Token &T = cur();
+    if (T.isNot(TokenKind::Identifier)) {
+      CC.Diags.error(Loc, "expected an enumerator name");
+      return nullptr;
+    }
+    Enumerator *E = CC.Ast.create<Enumerator>();
+    E->Name = Ident(T.Sym, Loc);
+    E->Loc = Loc;
+    advance();
+    if (consumeIf(TokenKind::Equal))
+      E->Value = parseAssignmentExpr();
+    V->K = MatchValue::EnumeratorV;
+    V->Enum = E;
+    return V;
+  }
+  default:
+    CC.Diags.error(Loc, "pattern constituent type " + Scalar->toString() +
+                            " is not supported");
+    return nullptr;
+  }
+}

@@ -1,0 +1,379 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parsing of the macro-language constructs: `syntax` macro definitions,
+/// invocation patterns, backquote code templates (all four forms), and
+/// anonymous functions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+using namespace msq;
+
+//===----------------------------------------------------------------------===//
+// AST specifiers
+//===----------------------------------------------------------------------===//
+
+/// Parses the identifier naming an AST scalar type (`stmt`, `exp`, ...).
+const MetaType *Parser::parseAstSpecifierName() {
+  if (cur().isNot(TokenKind::Identifier)) {
+    CC.Diags.error(curLoc(), "expected an AST type name (exp, stmt, decl, "
+                             "id, num, typespec, ...)");
+    return nullptr;
+  }
+  const MetaType *T = CC.Types.scalarByName(cur().Sym.str());
+  if (!T) {
+    CC.Diags.error(curLoc(), "unknown AST type '" +
+                                 std::string(cur().Sym.str()) + "'");
+    advance();
+    return nullptr;
+  }
+  advance();
+  // Optional [] suffixes build list types (e.g. `@id[]`).
+  while (cur().is(TokenKind::LBracket) && peekRaw(1).is(TokenKind::RBracket)) {
+    advance();
+    advance();
+    T = CC.Types.getList(T);
+  }
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Macro definitions
+//===----------------------------------------------------------------------===//
+
+Decl *Parser::parseMacroDefinition() {
+  SourceLoc Loc = curLoc();
+  expect(TokenKind::KwSyntax, "to begin a macro definition");
+
+  // Return AST type: an ast-specifier.
+  const MetaType *ReturnType = parseAstSpecifierName();
+  if (!ReturnType)
+    ReturnType = CC.Types.getError();
+
+  // Macro name, with optional [] making the return type a list
+  // (`syntax decl myenum[]` returns a declaration list).
+  Symbol Name;
+  if (cur().is(TokenKind::Identifier)) {
+    Name = cur().Sym;
+    advance();
+  } else {
+    CC.Diags.error(curLoc(), "expected macro name");
+    skipTo({TokenKind::Semi, TokenKind::RBrace});
+    return nullptr;
+  }
+  while (cur().is(TokenKind::LBracket) && peekRaw(1).is(TokenKind::RBracket)) {
+    advance();
+    advance();
+    ReturnType = CC.Types.getList(ReturnType);
+  }
+
+  if (!expect(TokenKind::LMetaBrace, "to begin the macro pattern")) {
+    skipTo({TokenKind::RBrace});
+    return nullptr;
+  }
+  Pattern *Pat = parsePattern(TokenKind::RMetaBrace);
+  expect(TokenKind::RMetaBrace, "at end of the macro pattern");
+  if (!Pat)
+    return nullptr;
+  validatePattern(*Pat, CC.Diags);
+
+  // Register before parsing the body so self-recursive templates work
+  // (e.g. unwind_protect's template re-invokes throw).
+  auto *Def = CC.Ast.create<MacroDef>(ReturnType, Name, Pat, nullptr, Loc);
+  if (!CC.Macros.define(Def))
+    CC.Diags.error(Loc, "redefinition of macro '" + std::string(Name.str()) +
+                            "'");
+  if (Opts.UseCompiledPatterns)
+    CC.CompiledPatterns[Def] =
+        std::make_unique<CompiledPattern>(*Pat, CC.Types);
+
+  // Body: meta code with the pattern binders in scope.
+  ModeState Saved = saveMode();
+  MetaMode = true;
+  TemplateDepth = 0;
+  CC.Globals.push();
+  std::vector<std::pair<Symbol, const MetaType *>> Binders;
+  patternBinderTypes(*Pat, CC.Types, Binders);
+  for (const auto &[BName, BType] : Binders)
+    CC.Globals.declare(BName, BType);
+  CompoundStmt *Body = parseCompoundStmt();
+  if (Body) {
+    Def->Body = Body;
+    Checker.checkBody(Body, CC.Globals, ReturnType);
+  }
+  CC.Globals.pop();
+  restoreMode(Saved);
+  return Def;
+}
+
+//===----------------------------------------------------------------------===//
+// Patterns
+//===----------------------------------------------------------------------===//
+
+Pattern *Parser::parsePattern(TokenKind EndTok) {
+  std::vector<PatternElement> Elements;
+  while (cur().isNot(EndTok) && cur().isNot(TokenKind::Eof)) {
+    PatternElement E;
+    E.Loc = curLoc();
+    if (cur().is(TokenKind::DollarDollar)) {
+      advance();
+      E.K = PatternElement::Binder;
+      E.Spec = parsePSpec();
+      if (!E.Spec)
+        return nullptr;
+      if (!expect(TokenKind::ColonColon, "between pattern specifier and "
+                                         "binder name"))
+        return nullptr;
+      if (cur().isNot(TokenKind::Identifier)) {
+        CC.Diags.error(curLoc(), "expected binder name after '::'");
+        return nullptr;
+      }
+      E.Name = cur().Sym;
+      advance();
+    } else if (cur().isOneOf(TokenKind::Dollar, TokenKind::Backquote)) {
+      CC.Diags.error(curLoc(), "'$' and '`' cannot appear in a macro "
+                               "pattern (use '$$' for binders)");
+      advance();
+      continue;
+    } else {
+      E.K = PatternElement::Token;
+      E.Tok = cur().Kind;
+      if (E.Tok == TokenKind::Identifier)
+        E.TokSym = cur().Sym;
+      advance();
+    }
+    Elements.push_back(E);
+  }
+  Pattern *P = CC.Ast.create<Pattern>();
+  P->Elements = ArenaRef<PatternElement>::copy(CC.Ast, Elements);
+  return P;
+}
+
+PSpec *Parser::parsePSpec() {
+  PSpec *S = CC.Ast.create<PSpec>();
+  S->Loc = curLoc();
+  switch (cur().Kind) {
+  case TokenKind::Plus:
+  case TokenKind::Star: {
+    S->K = cur().is(TokenKind::Plus) ? PSpec::Plus : PSpec::Star;
+    advance();
+    if (consumeIf(TokenKind::Slash)) {
+      S->Sep = cur().Kind;
+      if (cur().is(TokenKind::Identifier))
+        S->SepSym = cur().Sym;
+      advance();
+    }
+    S->Inner = parsePSpec();
+    return S->Inner ? S : nullptr;
+  }
+  case TokenKind::Question: {
+    S->K = PSpec::Opt;
+    advance();
+    // `? pspec` when the next token can begin a pspec; otherwise
+    // `? token pspec` with a guard token.
+    bool StartsPSpec =
+        cur().isOneOf(TokenKind::Plus, TokenKind::Star, TokenKind::Question,
+                      TokenKind::Dot) ||
+        (cur().is(TokenKind::Identifier) &&
+         CC.Types.scalarByName(cur().Sym.str()) != nullptr);
+    if (!StartsPSpec) {
+      S->Sep = cur().Kind;
+      if (cur().is(TokenKind::Identifier))
+        S->SepSym = cur().Sym;
+      advance();
+    }
+    S->Inner = parsePSpec();
+    return S->Inner ? S : nullptr;
+  }
+  case TokenKind::Dot: {
+    S->K = PSpec::Tuple;
+    advance();
+    if (!expect(TokenKind::LParen, "to begin a tuple pattern"))
+      return nullptr;
+    S->Sub = parsePattern(TokenKind::RParen);
+    expect(TokenKind::RParen, "at end of tuple pattern");
+    return S->Sub ? S : nullptr;
+  }
+  case TokenKind::Identifier: {
+    S->K = PSpec::Scalar;
+    S->ScalarType = parseAstSpecifierName();
+    return S->ScalarType ? S : nullptr;
+  }
+  default:
+    CC.Diags.error(curLoc(), "expected a pattern specifier (AST type, '+', "
+                             "'*', '?', or '.')");
+    return nullptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Backquote templates
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseBackquoteExpr() {
+  SourceLoc Loc = curLoc();
+  expect(TokenKind::Backquote, "to begin a code template");
+
+  ModeState Saved = saveMode();
+  bool SavedSection = TemplateStmtSection;
+  MetaMode = false; // template contents are object-level code
+  ++TemplateDepth;
+  TemplateStmtSection = false;
+
+  Expr *Result = nullptr;
+  switch (cur().Kind) {
+  case TokenKind::LParen: {
+    advance();
+    Expr *E = parseExpression();
+    expect(TokenKind::RParen, "at end of expression template");
+    Result = CC.Ast.create<BackquoteExpr>(BackquoteForm::Exp, E,
+                                          CC.Types.getExp(), Loc);
+    break;
+  }
+  case TokenKind::LBrace: {
+    Stmt *S = parseCompoundStmt();
+    Result = CC.Ast.create<BackquoteExpr>(BackquoteForm::Stmt, S,
+                                          CC.Types.getStmt(), Loc);
+    break;
+  }
+  case TokenKind::LBracket: {
+    advance();
+    Node *D = parseTemplateDeclForBackquote();
+    expect(TokenKind::RBracket, "at end of declaration template");
+    Result = CC.Ast.create<BackquoteExpr>(BackquoteForm::Decl, D,
+                                          CC.Types.getDecl(), Loc);
+    break;
+  }
+  case TokenKind::LMetaBrace: {
+    advance();
+    PSpec *Spec = parsePSpec();
+    if (!Spec || !expect(TokenKind::ColonColon, "after template pattern "
+                                                "specifier")) {
+      skipTo({TokenKind::RMetaBrace});
+      consumeIf(TokenKind::RMetaBrace);
+      restoreMode(Saved);
+      TemplateStmtSection = SavedSection;
+      return nullptr;
+    }
+    MatchValue *MV = parseGeneralBackquote(Spec);
+    auto *BQ = CC.Ast.create<BackquoteExpr>(
+        BackquoteForm::Pattern, nullptr, pspecValueType(Spec, CC.Types), Loc);
+    BQ->TemplateMV = MV;
+    Result = BQ;
+    break;
+  }
+  default:
+    CC.Diags.error(curLoc(), "expected '(', '{', '[', or '{|' after '`'");
+    break;
+  }
+
+  restoreMode(Saved);
+  TemplateStmtSection = SavedSection;
+  return Result;
+}
+
+/// Parses the contents of a `[ ... ] declaration template: one external
+/// declaration or function definition.
+Node *Parser::parseTemplateDeclForBackquote() {
+  if (cur().is(TokenKind::PlaceholderTok)) {
+    const Token &T = cur();
+    const MetaType *PT = T.Ph->Type;
+    bool IsDecl =
+        PT->kind() == MetaTypeKind::Decl ||
+        (PT->isList() && PT->listElem()->kind() == MetaTypeKind::Decl);
+    if (IsDecl) {
+      auto *D = CC.Ast.create<PlaceholderDeclNode>(T.Ph, T.Loc);
+      advance();
+      return D;
+    }
+  }
+  if (const MacroDef *Def = macroAtCursor()) {
+    SourceLoc Loc = curLoc();
+    MacroInvocation *Inv = parseMacroInvocation(Def);
+    if (!Inv)
+      return nullptr;
+    return CC.Ast.create<MacroInvocationDecl>(Inv, Loc);
+  }
+  return parseDeclarationOrFunction(/*TopLevel=*/true);
+}
+
+/// Parses the template-specified syntax of a general backquote form
+/// according to \p Spec, ending at `|}`.
+MatchValue *Parser::parseGeneralBackquote(const PSpec *Spec) {
+  // Reuse the pattern matcher with a synthetic one-binder pattern followed
+  // by the `|}` terminator, so repetition stop decisions use it.
+  std::vector<PatternElement> Elements(2);
+  Elements[0].K = PatternElement::Binder;
+  Elements[0].Spec = const_cast<PSpec *>(Spec);
+  Elements[0].Name = CC.Interner.intern("__template");
+  Elements[0].Loc = Spec->Loc;
+  Elements[1].K = PatternElement::Token;
+  Elements[1].Tok = TokenKind::RMetaBrace;
+  Elements[1].Loc = Spec->Loc;
+  Pattern P;
+  P.Elements = ArenaRef<PatternElement>::copy(CC.Ast, Elements);
+
+  std::vector<MacroArg> Bindings;
+  if (!runPatternMatch(P, Bindings)) {
+    skipTo({TokenKind::RMetaBrace});
+    consumeIf(TokenKind::RMetaBrace);
+    return nullptr;
+  }
+  assert(Bindings.size() == 1 && "general backquote binds exactly one value");
+  return Bindings[0].Value;
+}
+
+//===----------------------------------------------------------------------===//
+// Anonymous functions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseLambdaExpr() {
+  SourceLoc Loc = curLoc();
+  expect(TokenKind::KwLambda, "to begin an anonymous function");
+  if (!expect(TokenKind::LParen, "after 'lambda'"))
+    return nullptr;
+
+  std::vector<LambdaParam> Params;
+  if (cur().isNot(TokenKind::RParen)) {
+    for (;;) {
+      LambdaParam P;
+      P.Loc = curLoc();
+      DeclSpecs Specs;
+      if (!parseDeclSpecs(Specs, /*AllowStorage=*/false))
+        return nullptr;
+      Declarator *Dtor = parseDeclarator(/*Abstract=*/false);
+      if (!Dtor)
+        return nullptr;
+      P.Type = MetaTypeChecker::metaTypeFromDecl(Specs, Dtor, CC.Types);
+      if (!P.Type) {
+        CC.Diags.error(P.Loc, "lambda parameter must have a meta type");
+        P.Type = CC.Types.getError();
+      }
+      P.Name = Dtor->name().Sym;
+      Params.push_back(P);
+      if (!consumeIf(TokenKind::Comma))
+        break;
+    }
+  }
+  expect(TokenKind::RParen, "after lambda parameters");
+
+  // The body expression is parsed with the parameters in scope so that
+  // placeholder typing inside nested templates works.
+  CC.Globals.push();
+  for (const LambdaParam &P : Params)
+    if (P.Name.valid())
+      CC.Globals.declare(P.Name, P.Type);
+  Expr *Body = parseAssignmentExpr();
+  CC.Globals.pop();
+  if (!Body)
+    return nullptr;
+  return CC.Ast.create<LambdaExpr>(ArenaRef<LambdaParam>::copy(CC.Ast, Params),
+                                   Body, Loc);
+}

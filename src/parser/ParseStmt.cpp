@@ -1,0 +1,315 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statement parsing, including the Figure-3 behaviour: inside a template,
+/// a compound statement's declaration section and statement section are
+/// separated by the types of the placeholders encountered, and a
+/// declaration-typed placeholder after the first statement is a
+/// "Syntactically Illegal Program".
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+using namespace msq;
+
+CompoundStmt *Parser::parseCompoundStmt() {
+  SourceLoc Loc = curLoc();
+  if (!expect(TokenKind::LBrace, "to begin a block"))
+    return nullptr;
+  pushTypedefScope();
+  if (MetaMode)
+    CC.Globals.push();
+
+  std::vector<Decl *> Decls;
+  std::vector<Stmt *> Stmts;
+
+  // Declaration section (C89: declarations precede statements).
+  for (;;) {
+    if (cur().is(TokenKind::PlaceholderTok)) {
+      const Token &T = cur();
+      const MetaType *PT = T.Ph->Type;
+      bool IsDecl =
+          PT->kind() == MetaTypeKind::Decl ||
+          (PT->isList() && PT->listElem()->kind() == MetaTypeKind::Decl);
+      if (IsDecl) {
+        Decls.push_back(CC.Ast.create<PlaceholderDeclNode>(T.Ph, T.Loc));
+        advance();
+        continue;
+      }
+      // A typespec placeholder begins a declaration (`$type $n = $v;` in
+      // the dynamic_bind template); statement/expression placeholders end
+      // the declaration section.
+      if (PT->kind() != MetaTypeKind::TypeSpec)
+        break;
+    }
+    if (!isDeclarationStart())
+      break;
+    Decl *D = parseDeclaration();
+    if (!D) {
+      if (cur().is(TokenKind::RBrace) || cur().is(TokenKind::Eof))
+        break;
+      continue;
+    }
+    // In meta code, declarations extend the meta scope so that later
+    // placeholders can reference them (e.g. `@id n = gensym();` before a
+    // template that uses `$n`).
+    if (MetaMode) {
+      if (auto *Decl_ = dyn_cast<Declaration>(D)) {
+        for (const InitDeclarator &ID : Decl_->Inits) {
+          if (ID.Ph || !ID.Dtor || ID.Dtor->isPlaceholder() ||
+              ID.Dtor->name().isPlaceholder() || !ID.Dtor->name().Sym.valid())
+            continue;
+          const MetaType *T = MetaTypeChecker::metaTypeFromDecl(
+              Decl_->Specs, ID.Dtor, CC.Types);
+          if (T)
+            CC.Globals.declare(ID.Dtor->name().Sym, T);
+        }
+      }
+    }
+    Decls.push_back(D);
+  }
+
+  // Statement section.
+  bool SavedSection = TemplateStmtSection;
+  if (TemplateDepth > 0)
+    TemplateStmtSection = true;
+  while (cur().isNot(TokenKind::RBrace) && cur().isNot(TokenKind::Eof)) {
+    size_t Before = Pos;
+    Stmt *S = parseStatement();
+    if (S)
+      Stmts.push_back(S);
+    if (Pos == Before) {
+      CC.Diags.error(curLoc(), std::string("unexpected token '") +
+                                   tokenKindSpelling(cur().Kind) +
+                                   "' in block");
+      advance();
+    }
+  }
+  TemplateStmtSection = SavedSection;
+
+  expect(TokenKind::RBrace, "at end of block");
+  if (MetaMode)
+    CC.Globals.pop();
+  popTypedefScope();
+  return CC.Ast.create<CompoundStmt>(ArenaRef<Decl *>::copy(CC.Ast, Decls),
+                                     ArenaRef<Stmt *>::copy(CC.Ast, Stmts),
+                                     Loc);
+}
+
+Stmt *Parser::parseStatement() {
+  const Token &T = cur();
+  SourceLoc Loc = T.Loc;
+  switch (T.Kind) {
+  case TokenKind::LBrace:
+    return parseCompoundStmt();
+  case TokenKind::Semi:
+    advance();
+    return CC.Ast.create<NullStmt>(Loc);
+  case TokenKind::PlaceholderTok: {
+    const Placeholder *Ph = T.Ph;
+    const MetaType *PT = Ph->Type;
+    // `$lab:` — a placeholder label.
+    if (PT->kind() == MetaTypeKind::Id && peekRaw(1).is(TokenKind::Colon)) {
+      Ident Label(Ph, Loc);
+      advance();
+      advance(); // ':'
+      Stmt *Body = parseStatement();
+      if (!Body)
+        return nullptr;
+      return CC.Ast.create<LabelStmt>(Label, Body, Loc);
+    }
+    bool IsStmt =
+        PT->kind() == MetaTypeKind::Stmt ||
+        (PT->isList() && PT->listElem()->kind() == MetaTypeKind::Stmt);
+    if (IsStmt) {
+      advance();
+      consumeIf(TokenKind::Semi); // tolerate `$s;` in templates
+      return CC.Ast.create<PlaceholderStmt>(Ph, Loc);
+    }
+    bool IsDecl =
+        PT->kind() == MetaTypeKind::Decl ||
+        (PT->isList() && PT->listElem()->kind() == MetaTypeKind::Decl);
+    if (IsDecl) {
+      // Figure 3, bottom row: a declaration after statements have begun is
+      // a syntactically illegal program.
+      CC.Diags.error(Loc,
+                     "declaration placeholder after the first statement of a "
+                     "compound statement: syntactically illegal program");
+      advance();
+      return nullptr;
+    }
+    // Expression-typed placeholders form expression statements below.
+    break;
+  }
+  case TokenKind::KwIf: {
+    advance();
+    expect(TokenKind::LParen, "after 'if'");
+    Expr *Cond = parseExpression();
+    expect(TokenKind::RParen, "after if condition");
+    Stmt *Then = parseStatement();
+    Stmt *Else = nullptr;
+    if (consumeIf(TokenKind::KwElse))
+      Else = parseStatement();
+    if (!Cond || !Then)
+      return nullptr;
+    return CC.Ast.create<IfStmt>(Cond, Then, Else, Loc);
+  }
+  case TokenKind::KwWhile: {
+    advance();
+    expect(TokenKind::LParen, "after 'while'");
+    Expr *Cond = parseExpression();
+    expect(TokenKind::RParen, "after while condition");
+    Stmt *Body = parseStatement();
+    if (!Cond || !Body)
+      return nullptr;
+    return CC.Ast.create<WhileStmt>(Cond, Body, Loc);
+  }
+  case TokenKind::KwDo: {
+    advance();
+    Stmt *Body = parseStatement();
+    expect(TokenKind::KwWhile, "after do-statement body");
+    expect(TokenKind::LParen, "after 'while'");
+    Expr *Cond = parseExpression();
+    expect(TokenKind::RParen, "after do-while condition");
+    expect(TokenKind::Semi, "after do-while statement");
+    if (!Body || !Cond)
+      return nullptr;
+    return CC.Ast.create<DoStmt>(Body, Cond, Loc);
+  }
+  case TokenKind::KwFor: {
+    advance();
+    expect(TokenKind::LParen, "after 'for'");
+    Expr *Init = nullptr, *Cond = nullptr, *Step = nullptr;
+    if (cur().isNot(TokenKind::Semi))
+      Init = parseExpression();
+    expect(TokenKind::Semi, "after for-initializer");
+    if (cur().isNot(TokenKind::Semi))
+      Cond = parseExpression();
+    expect(TokenKind::Semi, "after for-condition");
+    if (cur().isNot(TokenKind::RParen))
+      Step = parseExpression();
+    expect(TokenKind::RParen, "after for-step");
+    Stmt *Body = parseStatement();
+    if (!Body)
+      return nullptr;
+    return CC.Ast.create<ForStmt>(Init, Cond, Step, Body, Loc);
+  }
+  case TokenKind::KwSwitch: {
+    advance();
+    expect(TokenKind::LParen, "after 'switch'");
+    Expr *Cond = parseExpression();
+    expect(TokenKind::RParen, "after switch expression");
+    Stmt *Body = parseStatement();
+    if (!Cond || !Body)
+      return nullptr;
+    return CC.Ast.create<SwitchStmt>(Cond, Body, Loc);
+  }
+  case TokenKind::KwCase: {
+    advance();
+    Expr *Value = parseConditionalExpr();
+    expect(TokenKind::Colon, "after case value");
+    Stmt *Body = parseStatement();
+    if (!Value || !Body)
+      return nullptr;
+    return CC.Ast.create<CaseStmt>(Value, Body, Loc);
+  }
+  case TokenKind::KwDefault: {
+    advance();
+    expect(TokenKind::Colon, "after 'default'");
+    Stmt *Body = parseStatement();
+    if (!Body)
+      return nullptr;
+    return CC.Ast.create<DefaultStmt>(Body, Loc);
+  }
+  case TokenKind::KwBreak:
+    advance();
+    expect(TokenKind::Semi, "after 'break'");
+    return CC.Ast.create<BreakStmt>(Loc);
+  case TokenKind::KwContinue:
+    advance();
+    expect(TokenKind::Semi, "after 'continue'");
+    return CC.Ast.create<ContinueStmt>(Loc);
+  case TokenKind::KwReturn: {
+    advance();
+    Expr *Value = nullptr;
+    if (cur().isNot(TokenKind::Semi))
+      Value = parseExpression();
+    expect(TokenKind::Semi, "after return statement");
+    return CC.Ast.create<ReturnStmt>(Value, Loc);
+  }
+  case TokenKind::KwGoto: {
+    advance();
+    Ident Label;
+    if (cur().is(TokenKind::Identifier)) {
+      Label = Ident(cur().Sym, curLoc());
+      advance();
+    } else if (cur().is(TokenKind::PlaceholderTok) &&
+               cur().Ph->Type->kind() == MetaTypeKind::Id) {
+      Label = Ident(cur().Ph, curLoc());
+      advance();
+    } else {
+      CC.Diags.error(curLoc(), "expected label after 'goto'");
+    }
+    expect(TokenKind::Semi, "after goto statement");
+    return CC.Ast.create<GotoStmt>(Label, Loc);
+  }
+  case TokenKind::Identifier: {
+    // Label?
+    if (peekRaw(1).is(TokenKind::Colon) && !CC.Macros.lookup(T.Sym)) {
+      Ident Label(T.Sym, Loc);
+      advance();
+      advance(); // ':'
+      Stmt *Body = parseStatement();
+      if (!Body)
+        return nullptr;
+      return CC.Ast.create<LabelStmt>(Label, Body, Loc);
+    }
+    // Macro invocation in statement position?
+    if (const MacroDef *Def = macroAtCursor()) {
+      const MetaType *RT = Def->ReturnType;
+      bool FitsStmt =
+          RT->kind() == MetaTypeKind::Stmt ||
+          (RT->isList() && RT->listElem()->kind() == MetaTypeKind::Stmt);
+      if (FitsStmt) {
+        MacroInvocation *Inv = parseMacroInvocation(Def);
+        if (!Inv)
+          return nullptr;
+        consumeIf(TokenKind::Semi); // tolerate a trailing `;`
+        return CC.Ast.create<MacroInvocationStmt>(Inv, Loc);
+      }
+      bool FitsExpr = RT->kind() == MetaTypeKind::Exp ||
+                      RT->kind() == MetaTypeKind::Num ||
+                      RT->kind() == MetaTypeKind::Id;
+      if (!FitsExpr) {
+        CC.Diags.error(Loc, "macro '" + std::string(Def->Name.str()) +
+                                "' returns " + RT->toString() +
+                                " and cannot appear where a statement is "
+                                "expected");
+        parseMacroInvocation(Def); // recover
+        consumeIf(TokenKind::Semi);
+        return nullptr;
+      }
+      // Expression macro: falls through to the expression statement path.
+    }
+    break;
+  }
+  default:
+    break;
+  }
+
+  // Expression statement.
+  Expr *E = parseExpression();
+  if (!E) {
+    skipTo({TokenKind::Semi, TokenKind::RBrace});
+    consumeIf(TokenKind::Semi);
+    return nullptr;
+  }
+  expect(TokenKind::Semi, "at end of expression statement");
+  return CC.Ast.create<ExprStmt>(E, Loc);
+}

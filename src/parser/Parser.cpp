@@ -1,0 +1,1059 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser core: token management, the placeholder co-routine, declaration
+/// parsing, and the typedef environment.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include <string>
+
+using namespace msq;
+
+Parser::Parser(CompilationContext &CC, Options Opts)
+    : CC(CC), Opts(Opts), Checker(CC.Types, CC.Diags, CC.MetaFuncs) {}
+
+//===----------------------------------------------------------------------===//
+// Token stream management
+//===----------------------------------------------------------------------===//
+
+const Token &Parser::cur() {
+  if (TemplateDepth > 0 && Pos < Toks.size() &&
+      Toks[Pos].is(TokenKind::Dollar))
+    convertPlaceholderAtCursor();
+  return Toks[Pos];
+}
+
+const Token &Parser::peekRaw(size_t Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Toks.size())
+    I = Toks.size() - 1; // Eof token
+  return Toks[I];
+}
+
+void Parser::advance() {
+  if (Pos + 1 < Toks.size())
+    ++Pos;
+}
+
+bool Parser::consumeIf(TokenKind K) {
+  if (cur().isNot(K))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (consumeIf(K))
+    return true;
+  CC.Diags.error(curLoc(), std::string("expected '") + tokenKindSpelling(K) +
+                               "' " + Context + ", found '" +
+                               tokenKindSpelling(cur().Kind) + "'");
+  return false;
+}
+
+SourceLoc Parser::curLoc() { return cur().Loc; }
+
+void Parser::skipTo(std::initializer_list<TokenKind> Kinds) {
+  unsigned Depth = 0;
+  while (!Toks[Pos].is(TokenKind::Eof)) {
+    TokenKind K = Toks[Pos].Kind;
+    if (Depth == 0)
+      for (TokenKind Want : Kinds)
+        if (K == Want)
+          return;
+    if (K == TokenKind::LBrace || K == TokenKind::LParen ||
+        K == TokenKind::LBracket)
+      ++Depth;
+    else if (K == TokenKind::RBrace || K == TokenKind::RParen ||
+             K == TokenKind::RBracket) {
+      if (Depth == 0)
+        return;
+      --Depth;
+    }
+    ++Pos;
+  }
+}
+
+void Parser::convertPlaceholderAtCursor() {
+  assert(Toks[Pos].is(TokenKind::Dollar) && "not at a placeholder");
+  size_t Start = Pos;
+  SourceLoc Loc = Toks[Pos].Loc;
+  ++Pos; // consume '$'
+
+  // Parse the placeholder's meta-expression in meta mode: placeholders do
+  // not nest directly (a nested backquote re-enables them).
+  ModeState Saved = saveMode();
+  MetaMode = true;
+  TemplateDepth = 0;
+
+  Expr *MetaExpr = nullptr;
+  if (Toks[Pos].is(TokenKind::Identifier)) {
+    MetaExpr = CC.Ast.create<IdentExpr>(Ident(Toks[Pos].Sym, Toks[Pos].Loc),
+                                        Toks[Pos].Loc);
+    ++Pos;
+  } else if (Toks[Pos].is(TokenKind::LParen)) {
+    ++Pos;
+    MetaExpr = parseExpression();
+    expect(TokenKind::RParen, "after placeholder expression");
+  } else {
+    CC.Diags.error(Loc, "expected identifier or parenthesized expression "
+                        "after '$'");
+    MetaExpr = CC.Ast.create<IntLiteralExpr>(0, Loc);
+  }
+  restoreMode(Saved);
+
+  // Type analysis: exactly the step that lets the parser thread templates.
+  const MetaType *Type = Checker.typeOfExpr(MetaExpr, CC.Globals);
+
+  Placeholder *Ph = CC.Ast.create<Placeholder>();
+  Ph->MetaExpr = MetaExpr;
+  Ph->Type = Type;
+  Ph->Loc = Loc;
+
+  // Replace the consumed tokens with one placeholder token.
+  Token PhTok;
+  PhTok.Kind = TokenKind::PlaceholderTok;
+  PhTok.Loc = Loc;
+  PhTok.Ph = Ph;
+  Toks[Start] = PhTok;
+  Toks.erase(Toks.begin() + Start + 1, Toks.begin() + Pos);
+  Pos = Start;
+}
+
+//===----------------------------------------------------------------------===//
+// Typedefs
+//===----------------------------------------------------------------------===//
+
+bool Parser::isTypedefName(Symbol Name) const {
+  const auto &TypedefScopes = CC.TypedefScopes;
+  for (auto It = TypedefScopes.rbegin(); It != TypedefScopes.rend(); ++It)
+    if (It->count(Name))
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+TranslationUnit *Parser::parseTranslationUnit(uint32_t BufferId) {
+  Lexer Lex(BufferId, CC.SM.bufferContents(BufferId), CC.Interner, CC.Diags);
+  Toks = Lex.lexAll();
+  Pos = 0;
+  SourceLoc StartLoc = Toks.empty() ? SourceLoc() : Toks[0].Loc;
+
+  std::vector<Decl *> Items;
+  while (cur().isNot(TokenKind::Eof)) {
+    size_t Before = Pos;
+    Decl *D = parseExternalDeclaration();
+    if (D)
+      Items.push_back(D);
+    if (Pos == Before) {
+      // Ensure forward progress on hard errors.
+      CC.Diags.error(curLoc(), std::string("unexpected token '") +
+                                   tokenKindSpelling(cur().Kind) +
+                                   "' at top level");
+      advance();
+    }
+  }
+  return CC.Ast.create<TranslationUnit>(ArenaRef<Decl *>::copy(CC.Ast, Items),
+                                        StartLoc);
+}
+
+Expr *Parser::parseExpressionFragment(uint32_t BufferId) {
+  Lexer Lex(BufferId, CC.SM.bufferContents(BufferId), CC.Interner, CC.Diags);
+  Toks = Lex.lexAll();
+  Pos = 0;
+  Expr *E = parseExpression();
+  if (cur().isNot(TokenKind::Eof))
+    CC.Diags.error(curLoc(), "extra tokens after expression");
+  return E;
+}
+
+Stmt *Parser::parseStatementFragment(uint32_t BufferId) {
+  Lexer Lex(BufferId, CC.SM.bufferContents(BufferId), CC.Interner, CC.Diags);
+  Toks = Lex.lexAll();
+  Pos = 0;
+  Stmt *S = parseStatement();
+  if (cur().isNot(TokenKind::Eof))
+    CC.Diags.error(curLoc(), "extra tokens after statement");
+  return S;
+}
+
+Decl *Parser::parseDeclarationFragment(uint32_t BufferId) {
+  Lexer Lex(BufferId, CC.SM.bufferContents(BufferId), CC.Interner, CC.Diags);
+  Toks = Lex.lexAll();
+  Pos = 0;
+  Decl *D = parseExternalDeclaration();
+  if (cur().isNot(TokenKind::Eof))
+    CC.Diags.error(curLoc(), "extra tokens after declaration");
+  return D;
+}
+
+BackquoteExpr *Parser::parseBackquoteFragment(uint32_t BufferId) {
+  Lexer Lex(BufferId, CC.SM.bufferContents(BufferId), CC.Interner, CC.Diags);
+  Toks = Lex.lexAll();
+  Pos = 0;
+  MetaMode = true;
+  Expr *E = parseBackquoteExpr();
+  MetaMode = false;
+  if (cur().isNot(TokenKind::Eof))
+    CC.Diags.error(curLoc(), "extra tokens after template");
+  return dyn_cast_or_null<BackquoteExpr>(E);
+}
+
+void Parser::declareMetaGlobal(std::string_view Name, const MetaType *Type) {
+  CC.Globals.declareGlobal(CC.Interner.intern(Name), Type);
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+Decl *Parser::parseExternalDeclaration() {
+  switch (cur().Kind) {
+  case TokenKind::KwSyntax:
+    return parseMacroDefinition();
+  case TokenKind::KwMetadcl:
+    return parseMetaDeclaration();
+  case TokenKind::Semi:
+    advance();
+    return nullptr; // stray semicolon
+  case TokenKind::PlaceholderTok: {
+    const Token &T = cur();
+    const MetaType *PT = T.Ph->Type;
+    bool IsDecl = PT->kind() == MetaTypeKind::Decl ||
+                  (PT->isList() && PT->listElem()->kind() == MetaTypeKind::Decl);
+    if (IsDecl) {
+      auto *D = CC.Ast.create<PlaceholderDeclNode>(T.Ph, T.Loc);
+      advance();
+      return D;
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  if (const MacroDef *Def = macroAtCursor()) {
+    SourceLoc Loc = curLoc();
+    const MetaType *RT = Def->ReturnType;
+    bool FitsDecl =
+        RT->kind() == MetaTypeKind::Decl ||
+        (RT->isList() && RT->listElem()->kind() == MetaTypeKind::Decl);
+    if (!FitsDecl)
+      CC.Diags.error(Loc, "macro '" + std::string(Def->Name.str()) +
+                              "' returns " + RT->toString() +
+                              " and cannot appear where a declaration is "
+                              "expected");
+    MacroInvocation *Inv = parseMacroInvocation(Def);
+    if (!Inv)
+      return nullptr;
+    return CC.Ast.create<MacroInvocationDecl>(Inv, Loc);
+  }
+  return parseDeclarationOrFunction(/*TopLevel=*/true);
+}
+
+Decl *Parser::parseMetaDeclaration() {
+  SourceLoc Loc = curLoc();
+  expect(TokenKind::KwMetadcl, "to begin a meta declaration");
+  ModeState Saved = saveMode();
+  MetaMode = true;
+  Decl *Inner = parseDeclaration(/*AllowStorage=*/false);
+  restoreMode(Saved);
+  auto *InnerDecl = dyn_cast_or_null<Declaration>(Inner);
+  if (!InnerDecl) {
+    CC.Diags.error(Loc, "metadcl must introduce a variable declaration");
+    return nullptr;
+  }
+  registerDeclaration(InnerDecl, /*IsMeta=*/true);
+  return CC.Ast.create<MetaDecl>(InnerDecl, Loc);
+}
+
+/// Registers declarators: typedef names into the typedef environment and
+/// meta variables into the global meta scope.
+void Parser::registerDeclaration(Declaration *D, bool IsMeta) {
+  for (const InitDeclarator &ID : D->Inits) {
+    if (ID.Ph || !ID.Dtor || ID.Dtor->isPlaceholder() ||
+        ID.Dtor->name().isPlaceholder() || !ID.Dtor->name().Sym.valid())
+      continue;
+    if (D->Specs.Storage == StorageClass::Typedef) {
+      declareTypedef(ID.Dtor->name().Sym);
+      continue;
+    }
+    if (!IsMeta && D->Specs.Type && !isa<MetaAstTypeSpec>(D->Specs.Type) &&
+        !ID.Dtor->isFunction()) {
+      // Record object variables for the var_type semantic query.
+      CC.ObjectVarTypes[ID.Dtor->name().Sym] = D->Specs.Type;
+    }
+    if (IsMeta) {
+      const MetaType *T =
+          MetaTypeChecker::metaTypeFromDecl(D->Specs, ID.Dtor, CC.Types);
+      if (!T) {
+        CC.Diags.error(ID.Loc, "metadcl declaration must have a meta type");
+        T = CC.Types.getError();
+      }
+      if (!CC.Globals.declareGlobal(ID.Dtor->name().Sym, T))
+        CC.Diags.error(ID.Loc, "redeclaration of meta global '" +
+                                   std::string(ID.Dtor->name().Sym.str()) + "'");
+      if (ID.Init) {
+        const MetaType *IT = Checker.typeOfExpr(ID.Init, CC.Globals);
+        if (!MetaTypeContext::isAssignable(T, IT))
+          CC.Diags.error(ID.Init->loc(),
+                         "cannot initialize " + T->toString() + " with " +
+                             IT->toString());
+      }
+    }
+  }
+}
+
+Decl *Parser::parseDeclarationOrFunction(bool TopLevel) {
+  SourceLoc Loc = curLoc();
+  DeclSpecs Specs;
+  Specs.Loc = Loc;
+  // K&R implicit int: a top-level definition like `foo(a, b) ... { }` or a
+  // template function definition with a computed name (`$(symbolconc(...))`)
+  // carries no declaration specifiers at all.
+  bool ImplicitInt =
+      TopLevel &&
+      ((cur().is(TokenKind::Identifier) && !isTypedefName(cur().Sym)) ||
+       (cur().is(TokenKind::PlaceholderTok) &&
+        cur().Ph->Type->kind() == MetaTypeKind::Id));
+  if (!ImplicitInt && !parseDeclSpecs(Specs, /*AllowStorage=*/true)) {
+    skipTo({TokenKind::Semi, TokenKind::RBrace});
+    consumeIf(TokenKind::Semi);
+    return nullptr;
+  }
+
+  if (consumeIf(TokenKind::Semi)) {
+    // Tag-only declaration like `struct s { ... };`.
+    return CC.Ast.create<Declaration>(Specs, ArenaRef<InitDeclarator>(),
+                                      nullptr, Loc);
+  }
+
+  // Whole-list placeholder or placeholder-led init declarators are handled
+  // by parseInitDeclaratorList; but a function definition needs special
+  // casing, so parse the first declarator here. Placeholders of type id
+  // or declarator fall through: they may name a function definition
+  // (`$(symbolconc("print_", name))(int arg) { ... }`).
+  if (cur().is(TokenKind::PlaceholderTok) &&
+      cur().Ph->Type->kind() != MetaTypeKind::Id &&
+      cur().Ph->Type->kind() != MetaTypeKind::Declarator) {
+    std::vector<InitDeclarator> Inits;
+    const Placeholder *ListPh = nullptr;
+    if (!parseInitDeclaratorList(Inits, ListPh, Specs))
+      return nullptr;
+    auto *D = CC.Ast.create<Declaration>(
+        Specs, ArenaRef<InitDeclarator>::copy(CC.Ast, Inits), ListPh, Loc);
+    registerDeclaration(D, /*IsMeta=*/false);
+    return D;
+  }
+
+  Declarator *First = parseDeclarator(/*Abstract=*/false);
+  if (!First) {
+    skipTo({TokenKind::Semi, TokenKind::RBrace});
+    consumeIf(TokenKind::Semi);
+    return nullptr;
+  }
+
+  // Function definition? (prototype-style `f(int a) {` or K&R `f(a) int a; {`)
+  bool IsFunctionDef =
+      TopLevel && First->isFunction() &&
+      (cur().is(TokenKind::LBrace) ||
+       (cur().isNot(TokenKind::Semi) && cur().isNot(TokenKind::Comma) &&
+        cur().isNot(TokenKind::Equal) && isDeclarationStart()));
+  if (IsFunctionDef) {
+    // K&R parameter declarations.
+    std::vector<Declaration *> KRDecls;
+    while (cur().isNot(TokenKind::LBrace) && cur().isNot(TokenKind::Eof)) {
+      Decl *KR = parseDeclaration(/*AllowStorage=*/false);
+      if (!KR)
+        break;
+      if (auto *KRD = dyn_cast<Declaration>(KR))
+        KRDecls.push_back(KRD);
+    }
+    // Is this a *meta* function? Only when the return type or a parameter
+    // explicitly mentions an AST type ('@...'); ordinary C functions keep
+    // their object-level bodies.
+    bool MentionsAstType =
+        Specs.Type && isa<MetaAstTypeSpec>(Specs.Type);
+    if (!MentionsAstType && First->isFunction())
+      for (const ParamDecl *P : First->Suffixes[0].Params)
+        if (P->Specs.Type && isa<MetaAstTypeSpec>(P->Specs.Type))
+          MentionsAstType = true;
+    const MetaType *FnType =
+        MentionsAstType
+            ? MetaTypeChecker::metaTypeFromDecl(Specs, First, CC.Types)
+            : nullptr;
+    bool IsMetaFn = FnType && FnType->isFunction() &&
+                    !First->Name.isPlaceholder() && First->Name.Sym.valid();
+    ModeState Saved = saveMode();
+    if (IsMetaFn) {
+      // Register before parsing the body so recursion type-checks.
+      CC.Globals.declareGlobal(First->Name.Sym, FnType);
+      MetaMode = true;
+      CC.Globals.push();
+      const DeclSuffix &FnSuffix = First->Suffixes[0];
+      size_t PI = 0;
+      for (const ParamDecl *P : FnSuffix.Params) {
+        if (P->Dtor && P->Dtor->name().Sym.valid()) {
+          const MetaType *PT = FnType->paramTypes()[PI];
+          CC.Globals.declare(P->Dtor->name().Sym, PT);
+        }
+        ++PI;
+      }
+    }
+    CompoundStmt *Body = parseCompoundStmt();
+    if (IsMetaFn)
+      CC.Globals.pop();
+    restoreMode(Saved);
+    if (!Body)
+      return nullptr;
+    auto *FD = CC.Ast.create<FunctionDef>(
+        Specs, First, ArenaRef<Declaration *>::copy(CC.Ast, KRDecls), Body,
+        Loc);
+    if (IsMetaFn) {
+      const MetaType *FnT =
+          MetaTypeChecker::metaTypeFromDecl(Specs, First, CC.Types);
+      CC.MetaFuncs.define(First->Name.Sym, FnT, FD);
+      // Re-check the body: return types, meta expressions.
+      MetaScopeGuard Guard(CC.Globals);
+      size_t PI = 0;
+      for (const ParamDecl *P : First->Suffixes[0].Params) {
+        if (P->Dtor && P->Dtor->name().Sym.valid())
+          CC.Globals.declare(P->Dtor->name().Sym, FnT->paramTypes()[PI]);
+        ++PI;
+      }
+      Checker.checkBody(Body, CC.Globals, FnT->resultType());
+    }
+    return FD;
+  }
+
+  // Ordinary declaration: first declarator (+ optional init), then the rest.
+  std::vector<InitDeclarator> Inits;
+  InitDeclarator FirstID;
+  FirstID.Dtor = First;
+  FirstID.Loc = First->Loc;
+  if (consumeIf(TokenKind::Equal))
+    FirstID.Init = parseInitializer();
+  Inits.push_back(FirstID);
+  const Placeholder *ListPh = nullptr;
+  while (consumeIf(TokenKind::Comma)) {
+    if (cur().is(TokenKind::PlaceholderTok)) {
+      const Token &T = cur();
+      const MetaType *PT = T.Ph->Type;
+      InitDeclarator ID;
+      ID.Loc = T.Loc;
+      if (PT->kind() == MetaTypeKind::InitDeclarator) {
+        ID.Ph = T.Ph;
+        advance();
+      } else {
+        Declarator *Dtor = parseDeclarator(/*Abstract=*/false);
+        ID.Dtor = Dtor;
+        if (consumeIf(TokenKind::Equal))
+          ID.Init = parseInitializer();
+      }
+      Inits.push_back(ID);
+      continue;
+    }
+    Declarator *Dtor = parseDeclarator(/*Abstract=*/false);
+    if (!Dtor)
+      break;
+    InitDeclarator ID;
+    ID.Dtor = Dtor;
+    ID.Loc = Dtor->Loc;
+    if (consumeIf(TokenKind::Equal))
+      ID.Init = parseInitializer();
+    Inits.push_back(ID);
+  }
+  expect(TokenKind::Semi, "at end of declaration");
+  auto *D = CC.Ast.create<Declaration>(
+      Specs, ArenaRef<InitDeclarator>::copy(CC.Ast, Inits), ListPh, Loc);
+  bool ImplicitMeta = MetaMode || (Specs.Type && isa<MetaAstTypeSpec>(Specs.Type) &&
+                                   TopLevel);
+  registerDeclaration(D, /*IsMeta=*/ImplicitMeta && TopLevel);
+  return D;
+}
+
+Decl *Parser::parseDeclaration(bool AllowStorage) {
+  SourceLoc Loc = curLoc();
+  // Whole-declaration placeholders.
+  if (cur().is(TokenKind::PlaceholderTok)) {
+    const Token &T = cur();
+    const MetaType *PT = T.Ph->Type;
+    bool IsDecl = PT->kind() == MetaTypeKind::Decl ||
+                  (PT->isList() && PT->listElem()->kind() == MetaTypeKind::Decl);
+    if (IsDecl) {
+      auto *D = CC.Ast.create<PlaceholderDeclNode>(T.Ph, T.Loc);
+      advance();
+      return D;
+    }
+    // Otherwise it should be a typespec placeholder starting the specs.
+  }
+  if (const MacroDef *Def = macroAtCursor()) {
+    const MetaType *RT = Def->ReturnType;
+    bool FitsDecl =
+        RT->kind() == MetaTypeKind::Decl ||
+        (RT->isList() && RT->listElem()->kind() == MetaTypeKind::Decl);
+    if (FitsDecl) {
+      MacroInvocation *Inv = parseMacroInvocation(Def);
+      if (!Inv)
+        return nullptr;
+      return CC.Ast.create<MacroInvocationDecl>(Inv, Loc);
+    }
+  }
+
+  DeclSpecs Specs;
+  if (!parseDeclSpecs(Specs, AllowStorage)) {
+    skipTo({TokenKind::Semi, TokenKind::RBrace});
+    consumeIf(TokenKind::Semi);
+    return nullptr;
+  }
+  if (consumeIf(TokenKind::Semi))
+    return CC.Ast.create<Declaration>(Specs, ArenaRef<InitDeclarator>(),
+                                      nullptr, Loc);
+
+  std::vector<InitDeclarator> Inits;
+  const Placeholder *ListPh = nullptr;
+  if (!parseInitDeclaratorList(Inits, ListPh, Specs))
+    return nullptr;
+  auto *D = CC.Ast.create<Declaration>(
+      Specs, ArenaRef<InitDeclarator>::copy(CC.Ast, Inits), ListPh, Loc);
+  registerDeclaration(D, /*IsMeta=*/false);
+  return D;
+}
+
+/// Parses the init-declarator list with full Figure-2 placeholder support:
+/// the whole list, one init-declarator, one declarator, or the name may each
+/// be a placeholder, selected by the placeholder's meta-type.
+bool Parser::parseInitDeclaratorList(std::vector<InitDeclarator> &Out,
+                                     const Placeholder *&ListPh,
+                                     DeclSpecs &Specs) {
+  ListPh = nullptr;
+  for (;;) {
+    if (cur().is(TokenKind::PlaceholderTok)) {
+      const Token &T = cur();
+      const MetaType *PT = T.Ph->Type;
+      if (PT->isList() &&
+          (PT->listElem()->kind() == MetaTypeKind::InitDeclarator ||
+           PT->listElem()->kind() == MetaTypeKind::Declarator ||
+           PT->listElem()->kind() == MetaTypeKind::Id)) {
+        // Figure 2 row 1: the whole init-declarator list. Lists of
+        // declarators or identifiers also splice here (the paper's
+        // `enum color $ids;` template).
+        if (!Out.empty())
+          CC.Diags.error(T.Loc, "an init-declarator-list placeholder must be "
+                                "the entire list");
+        ListPh = T.Ph;
+        advance();
+        break;
+      }
+      if (PT->kind() == MetaTypeKind::InitDeclarator) {
+        // Figure 2 row 2.
+        InitDeclarator ID;
+        ID.Ph = T.Ph;
+        ID.Loc = T.Loc;
+        advance();
+        Out.push_back(ID);
+        if (consumeIf(TokenKind::Comma))
+          continue;
+        break;
+      }
+      // declarator / id placeholders fall through to parseDeclarator.
+    }
+    Declarator *Dtor = parseDeclarator(/*Abstract=*/false);
+    if (!Dtor) {
+      skipTo({TokenKind::Semi, TokenKind::RBrace});
+      consumeIf(TokenKind::Semi);
+      return false;
+    }
+    InitDeclarator ID;
+    ID.Dtor = Dtor;
+    ID.Loc = Dtor->Loc;
+    if (consumeIf(TokenKind::Equal))
+      ID.Init = parseInitializer();
+    Out.push_back(ID);
+    if (!consumeIf(TokenKind::Comma))
+      break;
+  }
+  return expect(TokenKind::Semi, "at end of declaration");
+}
+
+bool Parser::isTypeSpecStart(const Token &T) const {
+  switch (T.Kind) {
+  case TokenKind::KwVoid:
+  case TokenKind::KwChar:
+  case TokenKind::KwShort:
+  case TokenKind::KwInt:
+  case TokenKind::KwLong:
+  case TokenKind::KwFloat:
+  case TokenKind::KwDouble:
+  case TokenKind::KwSigned:
+  case TokenKind::KwUnsigned:
+  case TokenKind::KwStruct:
+  case TokenKind::KwUnion:
+  case TokenKind::KwEnum:
+  case TokenKind::KwConst:
+  case TokenKind::KwVolatile:
+    return true;
+  case TokenKind::At:
+    return MetaMode;
+  case TokenKind::Identifier:
+    return isTypedefName(T.Sym);
+  default:
+    return false;
+  }
+}
+
+bool Parser::isDeclarationStart() {
+  const Token &T = cur();
+  switch (T.Kind) {
+  case TokenKind::KwAuto:
+  case TokenKind::KwRegister:
+  case TokenKind::KwStatic:
+  case TokenKind::KwExtern:
+  case TokenKind::KwTypedef:
+    return true;
+  case TokenKind::PlaceholderTok: {
+    const MetaType *PT = T.Ph->Type;
+    if (PT->kind() == MetaTypeKind::TypeSpec ||
+        PT->kind() == MetaTypeKind::Decl)
+      return true;
+    if (PT->isList() && (PT->listElem()->kind() == MetaTypeKind::Decl ||
+                         PT->listElem()->kind() == MetaTypeKind::InitDeclarator))
+      return true;
+    return false;
+  }
+  case TokenKind::Identifier: {
+    if (const MacroDef *Def = CC.Macros.lookup(T.Sym)) {
+      const MetaType *RT = Def->ReturnType;
+      return RT->kind() == MetaTypeKind::Decl ||
+             (RT->isList() &&
+              RT->listElem()->kind() == MetaTypeKind::Decl);
+    }
+    // Typedef name — but `name:` is a label, and `name = ...` etc. are
+    // expressions.
+    if (!isTypedefName(T.Sym))
+      return false;
+    return peekRaw(1).isNot(TokenKind::Colon);
+  }
+  default:
+    return isTypeSpecStart(T);
+  }
+}
+
+bool Parser::parseDeclSpecs(DeclSpecs &Specs, bool AllowStorage) {
+  Specs.Loc = curLoc();
+  bool SawAnything = false;
+  unsigned Flags = 0;
+  SourceLoc FlagsLoc = Specs.Loc;
+
+  auto SetStorage = [&](StorageClass SC) {
+    if (!AllowStorage)
+      CC.Diags.error(curLoc(), "storage class not allowed here");
+    else if (Specs.Storage != StorageClass::None)
+      CC.Diags.error(curLoc(), "multiple storage classes in declaration");
+    else
+      Specs.Storage = SC;
+    advance();
+    SawAnything = true;
+  };
+
+  for (;;) {
+    const Token &T = cur();
+    switch (T.Kind) {
+    case TokenKind::KwAuto:
+      SetStorage(StorageClass::Auto);
+      continue;
+    case TokenKind::KwRegister:
+      SetStorage(StorageClass::Register);
+      continue;
+    case TokenKind::KwStatic:
+      SetStorage(StorageClass::Static);
+      continue;
+    case TokenKind::KwExtern:
+      SetStorage(StorageClass::Extern);
+      continue;
+    case TokenKind::KwTypedef:
+      SetStorage(StorageClass::Typedef);
+      continue;
+    case TokenKind::KwConst:
+      Specs.Const = true;
+      advance();
+      SawAnything = true;
+      continue;
+    case TokenKind::KwVolatile:
+      Specs.Volatile = true;
+      advance();
+      SawAnything = true;
+      continue;
+    case TokenKind::KwVoid:
+    case TokenKind::KwChar:
+    case TokenKind::KwShort:
+    case TokenKind::KwInt:
+    case TokenKind::KwLong:
+    case TokenKind::KwFloat:
+    case TokenKind::KwDouble:
+    case TokenKind::KwSigned:
+    case TokenKind::KwUnsigned: {
+      if (Specs.Type && !isa<BuiltinTypeSpec>(Specs.Type)) {
+        CC.Diags.error(T.Loc, "multiple type specifiers in declaration");
+        advance();
+        continue;
+      }
+      unsigned Bit = 0;
+      switch (T.Kind) {
+      case TokenKind::KwVoid:
+        Bit = BTF_Void;
+        break;
+      case TokenKind::KwChar:
+        Bit = BTF_Char;
+        break;
+      case TokenKind::KwShort:
+        Bit = BTF_Short;
+        break;
+      case TokenKind::KwInt:
+        Bit = BTF_Int;
+        break;
+      case TokenKind::KwLong:
+        Bit = (Flags & BTF_Long) ? BTF_LongLong : BTF_Long;
+        break;
+      case TokenKind::KwFloat:
+        Bit = BTF_Float;
+        break;
+      case TokenKind::KwDouble:
+        Bit = BTF_Double;
+        break;
+      case TokenKind::KwSigned:
+        Bit = BTF_Signed;
+        break;
+      case TokenKind::KwUnsigned:
+        Bit = BTF_Unsigned;
+        break;
+      default:
+        break;
+      }
+      Flags |= Bit;
+      FlagsLoc = T.Loc;
+      advance();
+      SawAnything = true;
+      continue;
+    }
+    case TokenKind::KwStruct:
+    case TokenKind::KwUnion:
+    case TokenKind::KwEnum: {
+      if (Specs.Type || Flags) {
+        CC.Diags.error(T.Loc, "multiple type specifiers in declaration");
+        skipTo({TokenKind::Semi, TokenKind::RBrace});
+        return false;
+      }
+      Specs.Type = parseTagTypeSpec();
+      SawAnything = true;
+      continue;
+    }
+    case TokenKind::At: {
+      // '@' types are meaningful in meta code and in the signatures of
+      // meta functions (which are recognized after their specs are
+      // parsed), so they are accepted here; uses in plain object contexts
+      // are rejected when the declaration is interpreted.
+      if (Specs.Type || Flags) {
+        CC.Diags.error(T.Loc, "multiple type specifiers in declaration");
+        return false;
+      }
+      SourceLoc AtLoc = T.Loc;
+      advance();
+      const MetaType *MT = parseAstSpecifierName();
+      Specs.Type = CC.Ast.create<MetaAstTypeSpec>(MT ? MT : CC.Types.getError(),
+                                                  AtLoc);
+      SawAnything = true;
+      continue;
+    }
+    case TokenKind::PlaceholderTok: {
+      // A typespec placeholder can serve as the type specifier.
+      if (!Specs.Type && !Flags &&
+          T.Ph->Type->kind() == MetaTypeKind::TypeSpec) {
+        Specs.Type = CC.Ast.create<PlaceholderTypeSpec>(T.Ph, T.Loc);
+        advance();
+        SawAnything = true;
+        continue;
+      }
+      break;
+    }
+    case TokenKind::Identifier: {
+      if (!Specs.Type && !Flags && isTypedefName(T.Sym) &&
+          !CC.Macros.lookup(T.Sym)) {
+        Specs.Type = CC.Ast.create<TypedefNameSpec>(T.Sym, T.Loc);
+        advance();
+        SawAnything = true;
+        continue;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+    break;
+  }
+
+  if (Flags) {
+    Specs.Type = CC.Ast.create<BuiltinTypeSpec>(Flags, FlagsLoc);
+  }
+  if (!SawAnything) {
+    CC.Diags.error(curLoc(), "expected declaration specifiers");
+    return false;
+  }
+  // K&R implicit int: `foo(a, b) ... ;` — Specs.Type may stay null when only
+  // storage/qualifiers were given; that is accepted.
+  return true;
+}
+
+TypeSpecNode *Parser::parseTagTypeSpec() {
+  SourceLoc Loc = curLoc();
+  TagKind Tag;
+  switch (cur().Kind) {
+  case TokenKind::KwStruct:
+    Tag = TagKind::Struct;
+    break;
+  case TokenKind::KwUnion:
+    Tag = TagKind::Union;
+    break;
+  case TokenKind::KwEnum:
+    Tag = TagKind::Enum;
+    break;
+  default:
+    assert(false && "not at a tag keyword");
+    return nullptr;
+  }
+  advance();
+
+  Ident TagName;
+  if (cur().is(TokenKind::Identifier)) {
+    TagName = Ident(cur().Sym, curLoc());
+    advance();
+  } else if (cur().is(TokenKind::PlaceholderTok) &&
+             cur().Ph->Type->kind() == MetaTypeKind::Id) {
+    TagName = Ident(cur().Ph, curLoc());
+    advance();
+  }
+
+  bool HasBody = false;
+  std::vector<Declaration *> Members;
+  std::vector<Enumerator> Enums;
+
+  if (consumeIf(TokenKind::LBrace)) {
+    HasBody = true;
+    if (Tag == TagKind::Enum) {
+      // Enumerator list; entries may be identifier-list placeholders (the
+      // paper's `enum color $ids;` template).
+      while (cur().isNot(TokenKind::RBrace) && cur().isNot(TokenKind::Eof)) {
+        Enumerator E;
+        E.Loc = curLoc();
+        if (cur().is(TokenKind::PlaceholderTok)) {
+          const Token &T = cur();
+          const MetaType *PT = T.Ph->Type;
+          if (PT->isList() &&
+              (PT->listElem()->kind() == MetaTypeKind::Id ||
+               PT->listElem()->kind() == MetaTypeKind::Enumerator)) {
+            E.ListPh = T.Ph;
+            advance();
+          } else if (PT->kind() == MetaTypeKind::Id) {
+            E.Name = Ident(T.Ph, T.Loc);
+            advance();
+            if (consumeIf(TokenKind::Equal))
+              E.Value = parseAssignmentExpr();
+          } else {
+            CC.Diags.error(T.Loc,
+                           "placeholder of type " + PT->toString() +
+                               " cannot appear in an enumerator list");
+            advance();
+          }
+        } else if (cur().is(TokenKind::Identifier)) {
+          E.Name = Ident(cur().Sym, curLoc());
+          advance();
+          if (consumeIf(TokenKind::Equal))
+            E.Value = parseAssignmentExpr();
+        } else {
+          CC.Diags.error(curLoc(), "expected enumerator name");
+          skipTo({TokenKind::Comma, TokenKind::RBrace});
+        }
+        if (E.Name.valid() || E.ListPh)
+          Enums.push_back(E);
+        if (!consumeIf(TokenKind::Comma))
+          break;
+      }
+      expect(TokenKind::RBrace, "at end of enum body");
+    } else {
+      while (cur().isNot(TokenKind::RBrace) && cur().isNot(TokenKind::Eof)) {
+        Decl *M = parseDeclaration(/*AllowStorage=*/false);
+        if (!M) {
+          skipTo({TokenKind::Semi, TokenKind::RBrace});
+          consumeIf(TokenKind::Semi);
+          continue;
+        }
+        if (auto *MD = dyn_cast<Declaration>(M))
+          Members.push_back(MD);
+      }
+      expect(TokenKind::RBrace, "at end of struct/union body");
+    }
+  }
+
+  return CC.Ast.create<TagTypeSpec>(
+      Tag, TagName, HasBody, ArenaRef<Declaration *>::copy(CC.Ast, Members),
+      ArenaRef<Enumerator>::copy(CC.Ast, Enums), Loc);
+}
+
+Declarator *Parser::parseDeclarator(bool Abstract) {
+  Declarator *D = CC.Ast.create<Declarator>();
+  D->Loc = curLoc();
+  while (cur().is(TokenKind::Star)) {
+    ++D->PointerDepth;
+    advance();
+    while (cur().isOneOf(TokenKind::KwConst, TokenKind::KwVolatile))
+      advance();
+  }
+  if (cur().is(TokenKind::PlaceholderTok)) {
+    const Token &T = cur();
+    const MetaType *PT = T.Ph->Type;
+    if (PT->kind() == MetaTypeKind::Declarator) {
+      // Whole-declarator placeholder (Figure 2 row 3).
+      if (D->PointerDepth != 0)
+        CC.Diags.error(T.Loc, "pointer declarator cannot wrap a declarator "
+                              "placeholder");
+      D->Ph = T.Ph;
+      advance();
+      return D;
+    }
+    if (PT->kind() == MetaTypeKind::Id) {
+      // Name placeholder (Figure 2 row 4).
+      D->Name = Ident(T.Ph, T.Loc);
+      advance();
+    } else {
+      CC.Diags.error(T.Loc, "placeholder of type " + PT->toString() +
+                                " cannot appear as a declarator");
+      advance();
+      return nullptr;
+    }
+  } else if (cur().is(TokenKind::Identifier)) {
+    D->Name = Ident(cur().Sym, curLoc());
+    advance();
+  } else if (cur().is(TokenKind::LParen) &&
+             (peekRaw(1).is(TokenKind::Star) ||
+              peekRaw(1).is(TokenKind::LParen))) {
+    // Parenthesized declarator (function pointers: `(*f)(int)`).
+    advance();
+    D->Inner = parseDeclarator(Abstract);
+    if (!D->Inner)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "at end of parenthesized declarator"))
+      return nullptr;
+  } else if (!Abstract) {
+    CC.Diags.error(curLoc(), std::string("expected declarator name, found '") +
+                                 tokenKindSpelling(cur().Kind) + "'");
+    return nullptr;
+  }
+  std::vector<DeclSuffix> Suffixes;
+  if (!parseDeclaratorSuffixes(Suffixes))
+    return nullptr;
+  D->Suffixes = ArenaRef<DeclSuffix>::copy(CC.Ast, Suffixes);
+  return D;
+}
+
+bool Parser::parseDeclaratorSuffixes(std::vector<DeclSuffix> &Suffixes) {
+  for (;;) {
+    if (cur().is(TokenKind::LBracket)) {
+      advance();
+      DeclSuffix S;
+      S.K = DeclSuffix::Array;
+      if (cur().isNot(TokenKind::RBracket))
+        S.ArraySize = parseConditionalExpr();
+      if (!expect(TokenKind::RBracket, "at end of array declarator"))
+        return false;
+      Suffixes.push_back(S);
+      continue;
+    }
+    if (cur().is(TokenKind::LParen)) {
+      advance();
+      DeclSuffix S;
+      S.K = DeclSuffix::Function;
+      if (!parseParamList(S))
+        return false;
+      Suffixes.push_back(S);
+      continue;
+    }
+    break;
+  }
+  return true;
+}
+
+bool Parser::parseParamList(DeclSuffix &Out) {
+  if (consumeIf(TokenKind::RParen))
+    return true;
+  // `(void)` is an empty prototype.
+  if (cur().is(TokenKind::KwVoid) && peekRaw(1).is(TokenKind::RParen)) {
+    advance();
+    advance();
+    return true;
+  }
+  // K&R identifier list: plain identifiers that are not typedef names.
+  if (cur().is(TokenKind::Identifier) && !isTypeSpecStart(cur())) {
+    std::vector<Ident> Names;
+    for (;;) {
+      if (cur().is(TokenKind::Identifier)) {
+        Names.push_back(Ident(cur().Sym, curLoc()));
+        advance();
+      } else if (cur().is(TokenKind::PlaceholderTok) &&
+                 cur().Ph->Type->kind() == MetaTypeKind::Id) {
+        Names.push_back(Ident(cur().Ph, curLoc()));
+        advance();
+      } else {
+        CC.Diags.error(curLoc(), "expected parameter name");
+        skipTo({TokenKind::RParen});
+        break;
+      }
+      if (!consumeIf(TokenKind::Comma))
+        break;
+    }
+    Out.KRNames = ArenaRef<Ident>::copy(CC.Ast, Names);
+    return expect(TokenKind::RParen, "at end of parameter list");
+  }
+  // Prototype parameters.
+  std::vector<ParamDecl *> Params;
+  for (;;) {
+    if (consumeIf(TokenKind::Ellipsis)) {
+      Out.Variadic = true;
+      break;
+    }
+    ParamDecl *P = CC.Ast.create<ParamDecl>();
+    P->Loc = curLoc();
+    if (!parseDeclSpecs(P->Specs, /*AllowStorage=*/false)) {
+      skipTo({TokenKind::RParen});
+      break;
+    }
+    P->Dtor = parseDeclarator(/*Abstract=*/true);
+    Params.push_back(P);
+    if (!consumeIf(TokenKind::Comma))
+      break;
+  }
+  Out.Params = ArenaRef<ParamDecl *>::copy(CC.Ast, Params);
+  return expect(TokenKind::RParen, "at end of parameter list");
+}
+
+//===----------------------------------------------------------------------===//
+// Convenience
+//===----------------------------------------------------------------------===//
+
+TranslationUnit *msq::parseTranslationUnitFromString(CompilationContext &CC,
+                                                     std::string Name,
+                                                     std::string Source,
+                                                     Parser::Options Opts) {
+  uint32_t Id = CC.SM.addBuffer(std::move(Name), std::move(Source));
+  Parser P(CC, Opts);
+  return P.parseTranslationUnit(Id);
+}

@@ -1,0 +1,252 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MS2 parser: a hand-written recursive descent parser at the
+/// declaration and statement levels with a precedence-based expression
+/// parser, exactly the architecture the paper describes (section 3).
+///
+/// Context sensitivity:
+///  * typedef names are tracked in a scoped environment;
+///  * macro names act as keywords — on seeing one, the parser matches the
+///    macro's pattern to find the invocation's constituents;
+///  * inside backquote templates, `$` placeholder expressions are parsed
+///    and *type-checked* on the spot ("the tokenizer co-routines with the
+///    parser"), producing placeholder tokens whose meta-types then
+///    disambiguate the template parse (Figures 2 and 3 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_PARSER_PARSER_H
+#define MSQ_PARSER_PARSER_H
+
+#include "ast/Ast.h"
+#include "lexer/Lexer.h"
+#include "meta/MetaScope.h"
+#include "meta/MetaTypeCheck.h"
+#include "pattern/Pattern.h"
+#include "support/Diagnostics.h"
+#include "types/MetaType.h"
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace msq {
+
+/// Everything a parse needs and produces; shared by Parser, expander, and
+/// interpreter so that one compilation uses one arena, one interner, one
+/// macro registry.
+struct CompilationContext {
+  explicit CompilationContext(SourceManager &SM)
+      : SM(SM), Diags(SM), Interner(Ast) {}
+
+  SourceManager &SM;
+  DiagnosticsEngine Diags;
+  Arena Ast;
+  StringInterner Interner;
+  MetaTypeContext Types;
+  MacroRegistry Macros;
+  MetaFunctionRegistry MetaFuncs;
+  MetaScope Globals;
+  /// Compiled pattern cache (populated when Options.UseCompiledPatterns).
+  std::unordered_map<const MacroDef *, std::unique_ptr<CompiledPattern>>
+      CompiledPatterns;
+  /// Typedef environment; the outermost scope persists for the whole
+  /// compilation (typedefs from one source are visible to the next).
+  std::vector<std::unordered_set<Symbol, SymbolHash>> TypedefScopes{1};
+  /// Object-level variable declarations recorded during parsing: the
+  /// static-semantic information behind the `var_type` builtin (the
+  /// paper's "semantic macro" direction). Later declarations of the same
+  /// name overwrite earlier ones; scoping is not modelled (documented
+  /// approximation).
+  std::unordered_map<Symbol, TypeSpecNode *, SymbolHash> ObjectVarTypes;
+};
+
+class Parser {
+public:
+  struct Options {
+    /// Pre-compile each macro's pattern into a closure chain at definition
+    /// time (the acceleration of paper section 3); otherwise patterns are
+    /// interpreted at each invocation.
+    bool UseCompiledPatterns = false;
+  };
+
+  explicit Parser(CompilationContext &CC) : Parser(CC, Options()) {}
+  Parser(CompilationContext &CC, Options Opts);
+
+  /// Parses a whole buffer as a translation unit. Never returns null; check
+  /// the DiagnosticsEngine for errors.
+  TranslationUnit *parseTranslationUnit(uint32_t BufferId);
+
+  /// Fragment entry points for tests/benchmarks. Each parses the entire
+  /// buffer as one fragment.
+  Expr *parseExpressionFragment(uint32_t BufferId);
+  Stmt *parseStatementFragment(uint32_t BufferId);
+  Decl *parseDeclarationFragment(uint32_t BufferId);
+  /// Parses a buffer containing a single backquote template (meta mode);
+  /// used to reproduce Figures 2 and 3 directly.
+  BackquoteExpr *parseBackquoteFragment(uint32_t BufferId);
+
+  /// Declares a meta variable in the global scope (used by fragment-level
+  /// tests to set up placeholder types).
+  void declareMetaGlobal(std::string_view Name, const MetaType *Type);
+
+  CompilationContext &context() { return CC; }
+
+private:
+  friend class InvocationConstituents;
+
+  //===--------------------------------------------------------------------===//
+  // Token stream management
+  //===--------------------------------------------------------------------===//
+
+  /// Current token, with the placeholder co-routine applied: inside a
+  /// template, a `$` at the cursor is parsed, type-checked, and replaced by
+  /// a single PlaceholderTok before being returned.
+  const Token &cur();
+  /// Raw lookahead (no placeholder conversion).
+  const Token &peekRaw(size_t Ahead = 1) const;
+  void advance();
+  bool consumeIf(TokenKind K);
+  /// Consumes a token of kind \p K or diagnoses "expected ... <Context>".
+  bool expect(TokenKind K, const char *Context);
+  SourceLoc curLoc();
+  /// Skips forward to one of the given kinds (or Eof) for error recovery.
+  void skipTo(std::initializer_list<TokenKind> Kinds);
+
+  /// Converts the `$`-form at the cursor into a PlaceholderTok (parses and
+  /// type-checks the placeholder meta-expression).
+  void convertPlaceholderAtCursor();
+
+  //===--------------------------------------------------------------------===//
+  // Mode handling
+  //===--------------------------------------------------------------------===//
+
+  struct ModeState {
+    bool MetaMode;
+    unsigned TemplateDepth;
+  };
+  ModeState saveMode() const { return {MetaMode, TemplateDepth}; }
+  void restoreMode(ModeState S) {
+    MetaMode = S.MetaMode;
+    TemplateDepth = S.TemplateDepth;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Typedef environment
+  //===--------------------------------------------------------------------===//
+
+  void pushTypedefScope() { CC.TypedefScopes.emplace_back(); }
+  void popTypedefScope() { CC.TypedefScopes.pop_back(); }
+  void declareTypedef(Symbol Name) { CC.TypedefScopes.back().insert(Name); }
+  bool isTypedefName(Symbol Name) const;
+
+  //===--------------------------------------------------------------------===//
+  // Declarations (Parser.cpp)
+  //===--------------------------------------------------------------------===//
+
+  Decl *parseExternalDeclaration();
+  Decl *parseDeclarationOrFunction(bool TopLevel);
+  Decl *parseDeclaration(bool AllowStorage = true);
+  bool parseDeclSpecs(DeclSpecs &Specs, bool AllowStorage);
+  TypeSpecNode *parseTagTypeSpec();
+  Declarator *parseDeclarator(bool Abstract);
+  bool parseDeclaratorSuffixes(std::vector<DeclSuffix> &Suffixes);
+  bool parseParamList(DeclSuffix &Out);
+  bool parseInitDeclaratorList(std::vector<InitDeclarator> &Out,
+                               const Placeholder *&ListPh, DeclSpecs &Specs);
+  void registerDeclaration(Declaration *D, bool IsMeta);
+  bool isDeclarationStart();
+  bool isTypeSpecStart(const Token &T) const;
+  Decl *parseMetaDeclaration();
+
+  //===--------------------------------------------------------------------===//
+  // Statements (ParseStmt.cpp)
+  //===--------------------------------------------------------------------===//
+
+  Stmt *parseStatement();
+  CompoundStmt *parseCompoundStmt();
+
+  //===--------------------------------------------------------------------===//
+  // Expressions (ParseExpr.cpp)
+  //===--------------------------------------------------------------------===//
+
+  Expr *parseExpression();           // includes comma operator
+  Expr *parseAssignmentExpr();
+  /// Assignment expression or `{...}` brace initializer (declaration
+  /// initializers only).
+  Expr *parseInitializer();
+  Expr *parseConditionalExpr();
+  Expr *parseBinaryExpr(int MinPrec);
+  Expr *parseCastOrUnaryExpr();
+  Expr *parseUnaryExpr();
+  Expr *parsePostfixExpr();
+  Expr *parsePrimaryExpr();
+  bool parseTypeName(TypeName &Out);
+  /// Heuristic: does a '(' at the cursor open a cast/type-name?
+  bool lparenStartsTypeName() const;
+
+  //===--------------------------------------------------------------------===//
+  // Meta constructs (ParseMeta.cpp)
+  //===--------------------------------------------------------------------===//
+
+  Decl *parseMacroDefinition();
+  Pattern *parsePattern(TokenKind EndTok);
+  PSpec *parsePSpec();
+  const MetaType *parseAstSpecifierName();
+  Expr *parseBackquoteExpr();
+  Expr *parseLambdaExpr();
+  Node *parseTemplateDeclForBackquote();
+  MatchValue *parseGeneralBackquote(const PSpec *Spec);
+
+  //===--------------------------------------------------------------------===//
+  // Macro invocations (ParseInvocation.cpp)
+  //===--------------------------------------------------------------------===//
+
+  /// True when the identifier at the cursor names a registered macro.
+  const MacroDef *macroAtCursor();
+  MacroInvocation *parseMacroInvocation(const MacroDef *Def);
+  /// Matches \p P against the current token stream (compiled matcher when
+  /// \p CP is non-null).
+  bool runPatternMatch(const Pattern &P, std::vector<MacroArg> &Bindings,
+                       const CompiledPattern *CP = nullptr);
+  /// Parses one pattern constituent of scalar type \p Scalar (callback used
+  /// by the pattern matchers).
+  MatchValue *parseConstituent(const MetaType *Scalar);
+
+  //===--------------------------------------------------------------------===//
+  // State
+  //===--------------------------------------------------------------------===//
+
+  CompilationContext &CC;
+  Options Opts;
+  MetaTypeChecker Checker;
+
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+
+  bool MetaMode = false;
+  unsigned TemplateDepth = 0;
+  /// True while parsing statements (not declarations) of a template
+  /// compound statement — makes decl-typed placeholders illegal (Figure 3).
+  bool TemplateStmtSection = false;
+
+  /// Guards runaway recovery loops.
+  unsigned RecoveryCounter = 0;
+};
+
+/// Convenience: lex+parse a string as a translation unit into \p CC.
+TranslationUnit *parseTranslationUnitFromString(CompilationContext &CC,
+                                                std::string Name,
+                                                std::string Source,
+                                                Parser::Options Opts = {});
+
+} // namespace msq
+
+#endif // MSQ_PARSER_PARSER_H

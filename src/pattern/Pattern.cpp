@@ -1,0 +1,473 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pattern/Pattern.h"
+
+#include <set>
+#include <sstream>
+
+using namespace msq;
+
+//===----------------------------------------------------------------------===//
+// Value typing
+//===----------------------------------------------------------------------===//
+
+const MetaType *msq::pspecValueType(const PSpec *Spec, MetaTypeContext &Ctx) {
+  switch (Spec->K) {
+  case PSpec::Scalar:
+    return Spec->ScalarType;
+  case PSpec::Plus:
+  case PSpec::Star:
+    return Ctx.getList(pspecValueType(Spec->Inner, Ctx));
+  case PSpec::Opt:
+    return pspecValueType(Spec->Inner, Ctx);
+  case PSpec::Tuple: {
+    std::vector<const MetaType *> Fields;
+    std::vector<Symbol> Names;
+    for (const PatternElement &E : Spec->Sub->Elements) {
+      if (E.K != PatternElement::Binder)
+        continue;
+      Fields.push_back(pspecValueType(E.Spec, Ctx));
+      Names.push_back(E.Name);
+    }
+    return Ctx.getTuple(std::move(Fields), std::move(Names));
+  }
+  }
+  return Ctx.getError();
+}
+
+void msq::patternBinderTypes(
+    const Pattern &P, MetaTypeContext &Ctx,
+    std::vector<std::pair<Symbol, const MetaType *>> &Out) {
+  for (const PatternElement &E : P.Elements)
+    if (E.K == PatternElement::Binder)
+      Out.emplace_back(E.Name, pspecValueType(E.Spec, Ctx));
+}
+
+//===----------------------------------------------------------------------===//
+// FIRST sets
+//===----------------------------------------------------------------------===//
+
+static bool tokenCanStartExpression(TokenKind K) {
+  switch (K) {
+  case TokenKind::Identifier:
+  case TokenKind::IntLiteral:
+  case TokenKind::FloatLiteral:
+  case TokenKind::CharLiteral:
+  case TokenKind::StringLiteral:
+  case TokenKind::LParen:
+  case TokenKind::Exclaim:
+  case TokenKind::Tilde:
+  case TokenKind::Star:
+  case TokenKind::Amp:
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+  case TokenKind::PlusPlus:
+  case TokenKind::MinusMinus:
+  case TokenKind::KwSizeof:
+  case TokenKind::Dollar:     // placeholder inside a template
+  case TokenKind::Backquote:  // nested template (meta code)
+  case TokenKind::KwLambda:
+    return true;
+  default:
+    return false;
+  }
+}
+
+static bool tokenCanStartTypeSpecifier(TokenKind K) {
+  switch (K) {
+  case TokenKind::KwVoid:
+  case TokenKind::KwChar:
+  case TokenKind::KwShort:
+  case TokenKind::KwInt:
+  case TokenKind::KwLong:
+  case TokenKind::KwFloat:
+  case TokenKind::KwDouble:
+  case TokenKind::KwSigned:
+  case TokenKind::KwUnsigned:
+  case TokenKind::KwStruct:
+  case TokenKind::KwUnion:
+  case TokenKind::KwEnum:
+  case TokenKind::KwConst:
+  case TokenKind::KwVolatile:
+  case TokenKind::Identifier: // possibly a typedef name
+  case TokenKind::At:         // meta AST type
+  case TokenKind::Dollar:     // placeholder
+    return true;
+  default:
+    return false;
+  }
+}
+
+static bool tokenCanStartDeclaration(TokenKind K) {
+  switch (K) {
+  case TokenKind::KwAuto:
+  case TokenKind::KwRegister:
+  case TokenKind::KwStatic:
+  case TokenKind::KwExtern:
+  case TokenKind::KwTypedef:
+    return true;
+  default:
+    return tokenCanStartTypeSpecifier(K);
+  }
+}
+
+static bool tokenCanStartStatement(TokenKind K) {
+  switch (K) {
+  case TokenKind::LBrace:
+  case TokenKind::Semi:
+  case TokenKind::KwIf:
+  case TokenKind::KwWhile:
+  case TokenKind::KwDo:
+  case TokenKind::KwFor:
+  case TokenKind::KwSwitch:
+  case TokenKind::KwCase:
+  case TokenKind::KwDefault:
+  case TokenKind::KwBreak:
+  case TokenKind::KwContinue:
+  case TokenKind::KwReturn:
+  case TokenKind::KwGoto:
+    return true;
+  default:
+    return tokenCanStartExpression(K);
+  }
+}
+
+bool msq::tokenCanStartConstituent(const MetaType *Scalar, TokenKind K) {
+  switch (Scalar->kind()) {
+  case MetaTypeKind::Exp:
+  case MetaTypeKind::Num:
+    return tokenCanStartExpression(K);
+  case MetaTypeKind::Id:
+    return K == TokenKind::Identifier || K == TokenKind::Dollar;
+  case MetaTypeKind::Stmt:
+    return tokenCanStartStatement(K);
+  case MetaTypeKind::Decl:
+    return tokenCanStartDeclaration(K);
+  case MetaTypeKind::TypeSpec:
+    return tokenCanStartTypeSpecifier(K);
+  case MetaTypeKind::Declarator:
+  case MetaTypeKind::InitDeclarator:
+    return K == TokenKind::Identifier || K == TokenKind::Star ||
+           K == TokenKind::LParen || K == TokenKind::Dollar;
+  case MetaTypeKind::Enumerator:
+    return K == TokenKind::Identifier || K == TokenKind::Dollar;
+  case MetaTypeKind::Param:
+    return tokenCanStartDeclaration(K);
+  default:
+    // Non-AST scalars never appear as constituents.
+    return false;
+  }
+}
+
+/// Can the current-lookahead decision "this pspec starts here" be made, and
+/// does it hold for token kind \p K?
+static bool pspecCanStartWithToken(const PSpec *Spec, TokenKind K,
+                                   Symbol Sym) {
+  switch (Spec->K) {
+  case PSpec::Scalar:
+    return tokenCanStartConstituent(Spec->ScalarType, K);
+  case PSpec::Plus:
+  case PSpec::Star:
+  case PSpec::Opt:
+    if (Spec->hasSep() && Spec->K == PSpec::Opt)
+      return K == Spec->Sep && (!Spec->SepSym.valid() || Sym == Spec->SepSym);
+    return pspecCanStartWithToken(Spec->Inner, K, Sym);
+  case PSpec::Tuple: {
+    if (Spec->Sub->Elements.empty())
+      return false;
+    const PatternElement &First = Spec->Sub->Elements[0];
+    if (First.K == PatternElement::Token)
+      return K == First.Tok && (!First.TokSym.valid() || Sym == First.TokSym);
+    return pspecCanStartWithToken(First.Spec, K, Sym);
+  }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Validation
+//===----------------------------------------------------------------------===//
+
+static void collectBinderNames(const Pattern &P, DiagnosticsEngine &Diags,
+                               std::set<Symbol> &Seen, bool &Ok) {
+  for (const PatternElement &E : P.Elements) {
+    if (E.K != PatternElement::Binder)
+      continue;
+    if (!Seen.insert(E.Name).second) {
+      Diags.error(E.Loc, "duplicate pattern binder '" +
+                             std::string(E.Name.str()) + "'");
+      Ok = false;
+    }
+    // Tuple sub-pattern binders live in their own (field) namespace.
+  }
+}
+
+/// True when \p Spec's end-of-match decision needs one-token lookahead on
+/// what *follows* (i.e. it is an unseparated repetition or an unguarded
+/// optional).
+static bool needsFollowDecision(const PSpec *Spec) {
+  switch (Spec->K) {
+  case PSpec::Plus:
+  case PSpec::Star:
+    return !Spec->hasSep();
+  case PSpec::Opt:
+    return !Spec->hasSep();
+  default:
+    return false;
+  }
+}
+
+bool msq::validatePattern(const Pattern &P, DiagnosticsEngine &Diags) {
+  bool Ok = true;
+  std::set<Symbol> Seen;
+  collectBinderNames(P, Diags, Seen, Ok);
+
+  for (size_t I = 0; I != P.Elements.size(); ++I) {
+    const PatternElement &E = P.Elements[I];
+    if (E.K != PatternElement::Binder)
+      continue;
+    // Validate nested tuple patterns.
+    if (E.Spec->K == PSpec::Tuple || (E.Spec->Inner &&
+                                      E.Spec->Inner->K == PSpec::Tuple)) {
+      const PSpec *T = E.Spec->K == PSpec::Tuple ? E.Spec : E.Spec->Inner;
+      if (!validatePattern(*T->Sub, Diags))
+        Ok = false;
+    }
+    if (!needsFollowDecision(E.Spec))
+      continue;
+    const PatternElement *Follow =
+        I + 1 < P.Elements.size() ? &P.Elements[I + 1] : nullptr;
+    if (!Follow) {
+      // Repetition/optional at pattern end: resolved by the FIRST set of
+      // the repeated element against whatever follows the invocation.
+      // This is accepted (the paper's own Painting-style macros rely on
+      // it), but only for AST scalars with a computable FIRST set.
+      continue;
+    }
+    if (Follow->K == PatternElement::Binder) {
+      Diags.error(E.Loc,
+                  "end of repetition or optional element cannot be "
+                  "determined by one token lookahead: binder '" +
+                      std::string(E.Name.str()) +
+                      "' is immediately followed by another binder");
+      Ok = false;
+      continue;
+    }
+    if (pspecCanStartWithToken(E.Spec, Follow->Tok, Follow->TokSym)) {
+      std::ostringstream OS;
+      OS << "end of repetition or optional element cannot be determined by "
+            "one token lookahead: the following token '"
+         << tokenKindSpelling(Follow->Tok)
+         << "' can also begin the repeated element";
+      Diags.error(E.Loc, OS.str());
+      Ok = false;
+    }
+  }
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreted matcher
+//===----------------------------------------------------------------------===//
+
+static MatchValue *makeAbsent(Arena &A, const MetaType *Type) {
+  MatchValue *V = A.create<MatchValue>();
+  V->K = MatchValue::Absent;
+  V->Type = Type;
+  return V;
+}
+
+static MatchValue *makeList(Arena &A, std::vector<MatchValue *> Elems,
+                            const MetaType *Type) {
+  MatchValue *V = A.create<MatchValue>();
+  V->K = MatchValue::List;
+  V->Elems = ArenaRef<MatchValue *>::copy(A, Elems);
+  V->Type = Type;
+  return V;
+}
+
+bool PatternMatcher::shouldContinueRepetition(const PSpec *Inner,
+                                              ConstituentParser &CP,
+                                              const PatternElement *Follow) {
+  if (Follow) {
+    // Stop exactly when the follow token arrives.
+    return !CP.tokenMatches(Follow->Tok, Follow->TokSym);
+  }
+  const Token &T = CP.peek();
+  if (T.is(TokenKind::Eof))
+    return false;
+  return pspecCanStartWithToken(Inner, T.Kind, T.Sym);
+}
+
+MatchValue *PatternMatcher::matchTuple(const Pattern &Sub,
+                                       ConstituentParser &CP) {
+  std::vector<MatchValue *> Fields;
+  std::vector<Symbol> Names;
+  for (size_t I = 0; I != Sub.Elements.size(); ++I) {
+    const PatternElement &E = Sub.Elements[I];
+    if (E.K == PatternElement::Token) {
+      if (!CP.consumeToken(E.Tok, E.TokSym))
+        return nullptr;
+      continue;
+    }
+    const PatternElement *Follow =
+        I + 1 < Sub.Elements.size() ? &Sub.Elements[I + 1] : nullptr;
+    MatchValue *V = matchPSpec(E.Spec, CP, Follow);
+    if (!V)
+      return nullptr;
+    Fields.push_back(V);
+    Names.push_back(E.Name);
+  }
+  MatchValue *V = CP.arena().create<MatchValue>();
+  V->K = MatchValue::Tuple;
+  V->Elems = ArenaRef<MatchValue *>::copy(CP.arena(), Fields);
+  V->FieldNames = ArenaRef<Symbol>::copy(CP.arena(), Names);
+  return V;
+}
+
+MatchValue *PatternMatcher::matchPSpec(const PSpec *Spec,
+                                       ConstituentParser &CP,
+                                       const PatternElement *Follow) {
+  switch (Spec->K) {
+  case PSpec::Scalar:
+    return CP.parseConstituent(Spec->ScalarType);
+  case PSpec::Plus:
+  case PSpec::Star: {
+    std::vector<MatchValue *> Elems;
+    const MetaType *ListType = pspecValueType(Spec, Ctx);
+    if (Spec->hasSep()) {
+      // First element is mandatory for '+', optional for '*' (a '*' list
+      // is empty exactly when its first element cannot start here).
+      bool First = true;
+      for (;;) {
+        if (First && Spec->K == PSpec::Star) {
+          const Token &T = CP.peek();
+          if (!pspecCanStartWithToken(Spec->Inner, T.Kind, T.Sym))
+            break;
+        }
+        MatchValue *V = matchPSpec(Spec->Inner, CP, nullptr);
+        if (!V)
+          return nullptr;
+        Elems.push_back(V);
+        First = false;
+        if (!CP.tokenMatches(Spec->Sep, Spec->SepSym))
+          break;
+        CP.consumeToken(Spec->Sep, Spec->SepSym);
+      }
+    } else {
+      if (Spec->K == PSpec::Plus) {
+        MatchValue *V = matchPSpec(Spec->Inner, CP, Follow);
+        if (!V)
+          return nullptr;
+        Elems.push_back(V);
+      }
+      while (shouldContinueRepetition(Spec->Inner, CP, Follow)) {
+        MatchValue *V = matchPSpec(Spec->Inner, CP, Follow);
+        if (!V)
+          return nullptr;
+        Elems.push_back(V);
+      }
+    }
+    return makeList(CP.arena(), std::move(Elems), ListType);
+  }
+  case PSpec::Opt: {
+    const MetaType *InnerType = pspecValueType(Spec->Inner, Ctx);
+    if (Spec->hasSep()) {
+      // `? token pspec`: the guard token decides; if present, the element
+      // must follow (paper: "if the token is present in the invocation,
+      // then the pspec must be present").
+      if (!CP.tokenMatches(Spec->Sep, Spec->SepSym))
+        return makeAbsent(CP.arena(), InnerType);
+      CP.consumeToken(Spec->Sep, Spec->SepSym);
+      return matchPSpec(Spec->Inner, CP, Follow);
+    }
+    if (Follow ? CP.tokenMatches(Follow->Tok, Follow->TokSym)
+               : !pspecCanStartWithToken(Spec->Inner, CP.peek().Kind,
+                                         CP.peek().Sym))
+      return makeAbsent(CP.arena(), InnerType);
+    return matchPSpec(Spec->Inner, CP, Follow);
+  }
+  case PSpec::Tuple:
+    return matchTuple(*Spec->Sub, CP);
+  }
+  return nullptr;
+}
+
+bool PatternMatcher::match(const Pattern &P, ConstituentParser &CP,
+                           std::vector<MacroArg> &Bindings) {
+  for (size_t I = 0; I != P.Elements.size(); ++I) {
+    const PatternElement &E = P.Elements[I];
+    if (E.K == PatternElement::Token) {
+      if (!CP.consumeToken(E.Tok, E.TokSym))
+        return false;
+      continue;
+    }
+    const PatternElement *Follow =
+        I + 1 < P.Elements.size() ? &P.Elements[I + 1] : nullptr;
+    MatchValue *V = matchPSpec(E.Spec, CP, Follow);
+    if (!V)
+      return false;
+    if (!V->Type)
+      V->Type = pspecValueType(E.Spec, Ctx);
+    Bindings.push_back({E.Name, V});
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Compiled matcher
+//===----------------------------------------------------------------------===//
+
+CompiledPattern::CompiledPattern(const Pattern &P, MetaTypeContext &Ctx)
+    : Ctx(Ctx) {
+  for (size_t I = 0; I != P.Elements.size(); ++I) {
+    const PatternElement *Follow =
+        I + 1 < P.Elements.size() ? &P.Elements[I + 1] : nullptr;
+    compileElement(P.Elements[I], Follow);
+  }
+}
+
+void CompiledPattern::compileElement(const PatternElement &E,
+                                     const PatternElement *Follow) {
+  if (E.K == PatternElement::Token) {
+    TokenKind Tok = E.Tok;
+    Symbol Sym = E.TokSym;
+    Steps.push_back([Tok, Sym](ConstituentParser &CP,
+                               std::vector<MacroArg> &) {
+      return CP.consumeToken(Tok, Sym);
+    });
+    return;
+  }
+  // Pre-resolve the binder's value type and capture the spec; the per-spec
+  // dispatch still reuses PatternMatcher's logic, but the per-element follow
+  // analysis, type computation, and binding slot are resolved at compile
+  // time.
+  const PSpec *Spec = E.Spec;
+  Symbol Name = E.Name;
+  const MetaType *ValueType = pspecValueType(Spec, Ctx);
+  MetaTypeContext *CtxPtr = &Ctx;
+  Steps.push_back([Spec, Name, ValueType, Follow, CtxPtr](
+                      ConstituentParser &CP, std::vector<MacroArg> &Out) {
+    PatternMatcher M(*CtxPtr);
+    MatchValue *V = M.matchPSpec(Spec, CP, Follow);
+    if (!V)
+      return false;
+    if (!V->Type)
+      V->Type = ValueType;
+    Out.push_back({Name, V});
+    return true;
+  });
+}
+
+bool CompiledPattern::match(ConstituentParser &CP,
+                            std::vector<MacroArg> &Bindings) const {
+  for (const Step &S : Steps)
+    if (!S(CP, Bindings))
+      return false;
+  return true;
+}

@@ -1,0 +1,165 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Macro invocation patterns (paper section 2):
+///
+///   pattern:          pattern-element ...
+///   pattern-element:  token | $$ pspec :: identifier
+///   pspec:            ast-specifier
+///                   | + pspec            list of 1 or more
+///                   | + / token pspec    list of 1 or more, with separator
+///                   | * pspec            list of 0 or more
+///                   | * / token pspec    list of 0 or more, with separator
+///                   | ? pspec            optional element
+///                   | ? token pspec      optional guard token + element
+///                   | . ( pattern )      tuple
+///
+/// The pattern parser "requires that detecting the end of a repetition or
+/// the presence of an optional element require only one token lookahead.
+/// It will report an error in the specification of a pattern if the end of
+/// a repetition cannot be uniquely determined by one token lookahead."
+/// PatternValidator implements exactly that check.
+///
+/// Matching is factored over a ConstituentParser callback interface so that
+/// the *interpreted* matcher (walks the IR each invocation) and the
+/// *compiled* matcher (pattern pre-lowered to a closure chain, the
+/// acceleration the paper's section 3 suggests) share all parsing
+/// machinery; bench/pattern_compile measures the difference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_PATTERN_PATTERN_H
+#define MSQ_PATTERN_PATTERN_H
+
+#include "ast/Ast.h"
+#include "lexer/Token.h"
+#include "support/Diagnostics.h"
+#include "types/MetaType.h"
+
+#include <functional>
+#include <vector>
+
+namespace msq {
+
+struct PatternElement;
+
+/// A parameter specifier within a pattern.
+struct PSpec {
+  enum SKind : unsigned char { Scalar, Plus, Star, Opt, Tuple } K = Scalar;
+  const MetaType *ScalarType = nullptr; // Scalar
+  PSpec *Inner = nullptr;               // Plus / Star / Opt
+  /// Separator (Plus/Star) or guard (Opt) token; TokenKind::Eof when absent.
+  TokenKind Sep = TokenKind::Eof;
+  Symbol SepSym; // for identifier separators/guards
+  Pattern *Sub = nullptr; // Tuple
+  SourceLoc Loc;
+
+  bool hasSep() const { return Sep != TokenKind::Eof; }
+};
+
+/// One element of a pattern: a concrete token or a `$$pspec::name` binder.
+struct PatternElement {
+  enum EKind : unsigned char { Token, Binder } K = Token;
+  // Token:
+  TokenKind Tok = TokenKind::Eof;
+  Symbol TokSym; // set when Tok is Identifier (a "buzz word")
+  // Binder:
+  PSpec *Spec = nullptr;
+  Symbol Name;
+  SourceLoc Loc;
+};
+
+/// A whole macro pattern.
+struct Pattern {
+  ArenaRef<PatternElement> Elements;
+};
+
+/// Computes the meta-type of the value a pspec binds:
+/// scalar -> scalar, +/* -> list, ? -> inner, tuple -> tuple of binder types.
+const MetaType *pspecValueType(const PSpec *Spec, MetaTypeContext &Ctx);
+
+/// Collects (name, type) for every top-level binder of \p P.
+void patternBinderTypes(const Pattern &P, MetaTypeContext &Ctx,
+                        std::vector<std::pair<Symbol, const MetaType *>> &Out);
+
+/// Conservative FIRST-set test: can a token of kind \p K (identifier
+/// spelling \p Sym) begin a constituent of AST-scalar type \p Scalar?
+/// Used both by pattern validation and by repetition-stop decisions.
+bool tokenCanStartConstituent(const MetaType *Scalar, TokenKind K);
+
+/// Validates the one-token-lookahead property of \p P (and binder-name
+/// uniqueness). Reports problems to \p Diags; returns false if any.
+bool validatePattern(const Pattern &P, DiagnosticsEngine &Diags);
+
+//===----------------------------------------------------------------------===//
+// Matching
+//===----------------------------------------------------------------------===//
+
+/// Callback interface through which matchers drive the real parser.
+class ConstituentParser {
+public:
+  virtual ~ConstituentParser() = default;
+
+  /// Current lookahead token.
+  virtual const Token &peek() = 0;
+  /// True when the lookahead matches kind \p K (and, for identifiers with a
+  /// valid \p Sym, the exact spelling).
+  virtual bool tokenMatches(TokenKind K, Symbol Sym) = 0;
+  /// Consumes the lookahead if it matches; otherwise diagnoses and returns
+  /// false.
+  virtual bool consumeToken(TokenKind K, Symbol Sym) = 0;
+  /// Parses one constituent of the given AST-scalar type. Returns nullptr
+  /// after diagnosing a parse error.
+  virtual MatchValue *parseConstituent(const MetaType *Scalar) = 0;
+  virtual Arena &arena() = 0;
+  virtual DiagnosticsEngine &diags() = 0;
+};
+
+/// Interpreted matcher: walks the pattern IR on every invocation.
+class PatternMatcher {
+public:
+  PatternMatcher(MetaTypeContext &Ctx) : Ctx(Ctx) {}
+
+  /// Matches \p P against the token stream behind \p CP. On success appends
+  /// one MacroArg per top-level binder to \p Bindings and returns true.
+  bool match(const Pattern &P, ConstituentParser &CP,
+             std::vector<MacroArg> &Bindings);
+
+private:
+  friend class CompiledPattern;
+  /// \p Follow is the concrete token element following the binder in the
+  /// enclosing pattern, or nullptr when the binder is last.
+  MatchValue *matchPSpec(const PSpec *Spec, ConstituentParser &CP,
+                         const PatternElement *Follow);
+  MatchValue *matchTuple(const Pattern &Sub, ConstituentParser &CP);
+  bool shouldContinueRepetition(const PSpec *Inner, ConstituentParser &CP,
+                                const PatternElement *Follow);
+
+  MetaTypeContext &Ctx;
+};
+
+/// Compiled matcher: the pattern is lowered once into a chain of closures
+/// with all lookahead decisions pre-resolved (the per-macro "specialized
+/// routine" of paper section 3).
+class CompiledPattern {
+public:
+  CompiledPattern(const Pattern &P, MetaTypeContext &Ctx);
+
+  bool match(ConstituentParser &CP, std::vector<MacroArg> &Bindings) const;
+
+private:
+  using Step = std::function<bool(ConstituentParser &,
+                                  std::vector<MacroArg> &)>;
+  void compileElement(const PatternElement &E, const PatternElement *Follow);
+  std::vector<Step> Steps;
+  MetaTypeContext &Ctx;
+};
+
+} // namespace msq
+
+#endif // MSQ_PATTERN_PATTERN_H

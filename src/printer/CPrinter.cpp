@@ -1,0 +1,1020 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "printer/CPrinter.h"
+
+#include "pattern/Pattern.h"
+
+#include <sstream>
+
+using namespace msq;
+
+namespace {
+
+/// Expression precedence levels; higher binds tighter.
+enum Prec : int {
+  PrecComma = 0,
+  PrecAssign = 1,
+  PrecCond = 2,
+  PrecLOr = 3,
+  PrecLAnd = 4,
+  PrecBitOr = 5,
+  PrecBitXor = 6,
+  PrecBitAnd = 7,
+  PrecEq = 8,
+  PrecRel = 9,
+  PrecShift = 10,
+  PrecAdd = 11,
+  PrecMul = 12,
+  PrecCast = 13,
+  PrecUnary = 14,
+  PrecPostfix = 15,
+  PrecPrimary = 16,
+};
+
+int binaryPrec(BinaryOpKind K) {
+  switch (K) {
+  case BinaryOpKind::Comma:
+    return PrecComma;
+  case BinaryOpKind::Assign:
+  case BinaryOpKind::MulAssign:
+  case BinaryOpKind::DivAssign:
+  case BinaryOpKind::RemAssign:
+  case BinaryOpKind::AddAssign:
+  case BinaryOpKind::SubAssign:
+  case BinaryOpKind::ShlAssign:
+  case BinaryOpKind::ShrAssign:
+  case BinaryOpKind::AndAssign:
+  case BinaryOpKind::XorAssign:
+  case BinaryOpKind::OrAssign:
+    return PrecAssign;
+  case BinaryOpKind::LOr:
+    return PrecLOr;
+  case BinaryOpKind::LAnd:
+    return PrecLAnd;
+  case BinaryOpKind::BitOr:
+    return PrecBitOr;
+  case BinaryOpKind::BitXor:
+    return PrecBitXor;
+  case BinaryOpKind::BitAnd:
+    return PrecBitAnd;
+  case BinaryOpKind::EQ:
+  case BinaryOpKind::NE:
+    return PrecEq;
+  case BinaryOpKind::LT:
+  case BinaryOpKind::GT:
+  case BinaryOpKind::LE:
+  case BinaryOpKind::GE:
+    return PrecRel;
+  case BinaryOpKind::Shl:
+  case BinaryOpKind::Shr:
+    return PrecShift;
+  case BinaryOpKind::Add:
+  case BinaryOpKind::Sub:
+    return PrecAdd;
+  case BinaryOpKind::Mul:
+  case BinaryOpKind::Div:
+  case BinaryOpKind::Rem:
+    return PrecMul;
+  }
+  return PrecPrimary;
+}
+
+class Printer {
+public:
+  explicit Printer(const PrintOptions &Opts) : Opts(Opts) {}
+
+  std::string take() { return OS.str(); }
+
+  void printDecl(const Decl *D, unsigned Indent);
+  void printStmt(const Stmt *S, unsigned Indent);
+  void printExprPrec(const Expr *E, int MinPrec);
+  void printTypeSpec(const TypeSpecNode *T, unsigned Indent);
+  void printDeclaratorInner(const Declarator *D);
+  void printSpecs(const DeclSpecs &Specs, unsigned Indent);
+  void printIdent(const Ident &I);
+  void printPlaceholder(const Placeholder *Ph);
+  void printInvocation(const MacroInvocation *Inv, unsigned Indent);
+  void printMatchValue(const MatchValue *V, const PSpec *Spec,
+                       unsigned Indent);
+  void printStringLiteral(std::string_view S);
+  void printPattern(const Pattern &P);
+  void printPSpec(const PSpec *S);
+  void printPatternToken(TokenKind K, Symbol Sym);
+
+  void indent(unsigned Indent) {
+    for (unsigned I = 0; I != Indent * Opts.IndentWidth; ++I)
+      OS << ' ';
+  }
+
+private:
+  const PrintOptions &Opts;
+  std::ostringstream OS;
+};
+
+void Printer::printStringLiteral(std::string_view S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\0':
+      OS << "\\0";
+      break;
+    default:
+      OS << C;
+      break;
+    }
+  }
+  OS << '"';
+}
+
+void Printer::printIdent(const Ident &I) {
+  if (I.isPlaceholder()) {
+    printPlaceholder(I.Ph);
+    return;
+  }
+  OS << I.Sym.str();
+}
+
+void Printer::printPlaceholder(const Placeholder *Ph) {
+  if (!Opts.AllowPlaceholders) {
+    OS << "/*unexpanded placeholder*/";
+    return;
+  }
+  OS << '$';
+  if (const auto *IE = dyn_cast<IdentExpr>(Ph->MetaExpr)) {
+    if (!IE->Name.isPlaceholder()) {
+      OS << IE->Name.Sym.str();
+      return;
+    }
+  }
+  OS << '(';
+  printExprPrec(Ph->MetaExpr, PrecComma);
+  OS << ')';
+}
+
+void Printer::printExprPrec(const Expr *E, int MinPrec) {
+  if (!E) {
+    OS << "/*null*/";
+    return;
+  }
+  switch (E->kind()) {
+  case NodeKind::IntLiteralExpr:
+    OS << cast<IntLiteralExpr>(E)->Value;
+    return;
+  case NodeKind::FloatLiteralExpr: {
+    std::ostringstream Tmp;
+    Tmp << cast<FloatLiteralExpr>(E)->Value;
+    std::string S = Tmp.str();
+    OS << S;
+    // Ensure the token re-lexes as a float.
+    if (S.find('.') == std::string::npos &&
+        S.find('e') == std::string::npos && S.find("inf") == std::string::npos)
+      OS << ".0";
+    return;
+  }
+  case NodeKind::CharLiteralExpr: {
+    int64_t V = cast<CharLiteralExpr>(E)->Value;
+    OS << '\'';
+    char C = char(V);
+    switch (C) {
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\'':
+      OS << "\\'";
+      break;
+    case '\0':
+      OS << "\\0";
+      break;
+    default:
+      OS << C;
+      break;
+    }
+    OS << '\'';
+    return;
+  }
+  case NodeKind::StringLiteralExpr:
+    printStringLiteral(cast<StringLiteralExpr>(E)->Value.str());
+    return;
+  case NodeKind::IdentExpr:
+    printIdent(cast<IdentExpr>(E)->Name);
+    return;
+  case NodeKind::ParenExpr:
+    OS << '(';
+    printExprPrec(cast<ParenExpr>(E)->Inner, PrecComma);
+    OS << ')';
+    return;
+  case NodeKind::InitListExpr: {
+    const auto *IL = cast<InitListExpr>(E);
+    OS << '{';
+    for (size_t I = 0; I != IL->Elems.size(); ++I) {
+      if (I)
+        OS << ", ";
+      printExprPrec(IL->Elems[I], PrecAssign);
+    }
+    OS << '}';
+    return;
+  }
+  case NodeKind::PlaceholderExpr:
+    printPlaceholder(cast<PlaceholderExpr>(E)->Ph);
+    return;
+  case NodeKind::UnaryExpr: {
+    const auto *U = cast<UnaryExpr>(E);
+    bool Paren = PrecUnary < MinPrec;
+    if (Paren)
+      OS << '(';
+    if (U->isPostfix()) {
+      printExprPrec(U->Operand, PrecPostfix);
+      OS << unaryOpSpelling(U->Op);
+    } else {
+      OS << unaryOpSpelling(U->Op);
+      // Guard `- -x` and `& &x` from fusing into `--x` / `&&x`.
+      if (const auto *Inner = dyn_cast<UnaryExpr>(U->Operand)) {
+        if (Inner->Op == U->Op &&
+            (U->Op == UnaryOpKind::Minus || U->Op == UnaryOpKind::Plus ||
+             U->Op == UnaryOpKind::AddrOf))
+          OS << ' ';
+      }
+      printExprPrec(U->Operand, PrecUnary);
+    }
+    if (Paren)
+      OS << ')';
+    return;
+  }
+  case NodeKind::BinaryExpr: {
+    const auto *B = cast<BinaryExpr>(E);
+    int P = binaryPrec(B->Op);
+    bool Paren = P < MinPrec;
+    if (Paren)
+      OS << '(';
+    bool RightAssoc = isAssignmentOp(B->Op);
+    printExprPrec(B->LHS, RightAssoc ? P + 1 : P);
+    if (B->Op == BinaryOpKind::Comma)
+      OS << ", ";
+    else
+      OS << ' ' << binaryOpSpelling(B->Op) << ' ';
+    printExprPrec(B->RHS, RightAssoc ? P : P + 1);
+    if (Paren)
+      OS << ')';
+    return;
+  }
+  case NodeKind::ConditionalExpr: {
+    const auto *C = cast<ConditionalExpr>(E);
+    bool Paren = PrecCond < MinPrec;
+    if (Paren)
+      OS << '(';
+    printExprPrec(C->Cond, PrecCond + 1);
+    OS << " ? ";
+    printExprPrec(C->Then, PrecComma);
+    OS << " : ";
+    printExprPrec(C->Else, PrecCond);
+    if (Paren)
+      OS << ')';
+    return;
+  }
+  case NodeKind::CastExpr: {
+    const auto *C = cast<CastExpr>(E);
+    bool Paren = PrecCast < MinPrec;
+    if (Paren)
+      OS << '(';
+    OS << '(';
+    printTypeSpec(C->Ty.Spec, 0);
+    for (unsigned I = 0; I != C->Ty.PointerDepth; ++I)
+      OS << " *";
+    OS << ')';
+    printExprPrec(C->Operand, PrecCast);
+    if (Paren)
+      OS << ')';
+    return;
+  }
+  case NodeKind::SizeofExpr: {
+    const auto *S = cast<SizeofExpr>(E);
+    bool Paren = PrecUnary < MinPrec;
+    if (Paren)
+      OS << '(';
+    OS << "sizeof";
+    if (S->IsType) {
+      OS << '(';
+      printTypeSpec(S->Ty.Spec, 0);
+      for (unsigned I = 0; I != S->Ty.PointerDepth; ++I)
+        OS << " *";
+      OS << ')';
+    } else {
+      OS << ' ';
+      printExprPrec(S->Operand, PrecUnary);
+    }
+    if (Paren)
+      OS << ')';
+    return;
+  }
+  case NodeKind::CallExpr: {
+    const auto *C = cast<CallExpr>(E);
+    printExprPrec(C->Callee, PrecPostfix);
+    OS << '(';
+    for (size_t I = 0; I != C->Args.size(); ++I) {
+      if (I)
+        OS << ", ";
+      printExprPrec(C->Args[I], PrecAssign);
+    }
+    OS << ')';
+    return;
+  }
+  case NodeKind::IndexExpr: {
+    const auto *I = cast<IndexExpr>(E);
+    printExprPrec(I->Base, PrecPostfix);
+    OS << '[';
+    printExprPrec(I->Index, PrecComma);
+    OS << ']';
+    return;
+  }
+  case NodeKind::MemberExpr: {
+    const auto *M = cast<MemberExpr>(E);
+    printExprPrec(M->Base, PrecPostfix);
+    OS << (M->IsArrow ? "->" : ".");
+    printIdent(M->Member);
+    return;
+  }
+  case NodeKind::MacroInvocationExpr:
+    printInvocation(cast<MacroInvocationExpr>(E)->Inv, 0);
+    return;
+  case NodeKind::BackquoteExpr: {
+    const auto *B = cast<BackquoteExpr>(E);
+    OS << '`';
+    switch (B->Form) {
+    case BackquoteForm::Exp:
+      OS << '(';
+      printExprPrec(cast<Expr>(B->Template), PrecComma);
+      OS << ')';
+      break;
+    case BackquoteForm::Stmt:
+      printStmt(cast<Stmt>(B->Template), 0);
+      break;
+    case BackquoteForm::Decl:
+      OS << '[';
+      printDecl(cast<Decl>(B->Template), 0);
+      OS << ']';
+      break;
+    case BackquoteForm::Pattern:
+      OS << "{| " << B->Type->toString() << " :: ";
+      printMatchValue(B->TemplateMV, nullptr, 0);
+      OS << " |}";
+      break;
+    }
+    return;
+  }
+  case NodeKind::LambdaExpr: {
+    const auto *L = cast<LambdaExpr>(E);
+    OS << "lambda (";
+    for (size_t I = 0; I != L->Params.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << L->Params[I].Type->toString() << ' ' << L->Params[I].Name.str();
+    }
+    OS << ") ";
+    printExprPrec(L->Body, PrecAssign);
+    return;
+  }
+  default:
+    OS << "/*expr?*/";
+    return;
+  }
+}
+
+void Printer::printTypeSpec(const TypeSpecNode *T, unsigned Indent) {
+  if (!T) {
+    OS << "int"; // implicit int
+    return;
+  }
+  switch (T->kind()) {
+  case NodeKind::BuiltinTypeSpecKind: {
+    unsigned F = cast<BuiltinTypeSpec>(T)->Flags;
+    bool First = true;
+    auto Emit = [&](const char *S) {
+      if (!First)
+        OS << ' ';
+      OS << S;
+      First = false;
+    };
+    if (F & BTF_Signed)
+      Emit("signed");
+    if (F & BTF_Unsigned)
+      Emit("unsigned");
+    if (F & BTF_Short)
+      Emit("short");
+    if (F & BTF_Long)
+      Emit("long");
+    if (F & BTF_LongLong)
+      Emit("long");
+    if (F & BTF_Void)
+      Emit("void");
+    if (F & BTF_Char)
+      Emit("char");
+    if (F & BTF_Int)
+      Emit("int");
+    if (F & BTF_Float)
+      Emit("float");
+    if (F & BTF_Double)
+      Emit("double");
+    if (First)
+      OS << "int";
+    return;
+  }
+  case NodeKind::TagTypeSpecKind: {
+    const auto *Tag = cast<TagTypeSpec>(T);
+    switch (Tag->Tag) {
+    case TagKind::Struct:
+      OS << "struct";
+      break;
+    case TagKind::Union:
+      OS << "union";
+      break;
+    case TagKind::Enum:
+      OS << "enum";
+      break;
+    }
+    if (Tag->TagName.valid()) {
+      OS << ' ';
+      printIdent(Tag->TagName);
+    }
+    if (!Tag->HasBody)
+      return;
+    if (Tag->Tag == TagKind::Enum) {
+      OS << " {";
+      bool First = true;
+      for (const Enumerator &E : Tag->Enums) {
+        if (!First)
+          OS << ", ";
+        First = false;
+        if (E.ListPh) {
+          printPlaceholder(E.ListPh);
+          continue;
+        }
+        printIdent(E.Name);
+        if (E.Value) {
+          OS << " = ";
+          printExprPrec(E.Value, PrecAssign);
+        }
+      }
+      OS << '}';
+      return;
+    }
+    OS << " {\n";
+    for (const Declaration *M : Tag->Members) {
+      indent(Indent + 1);
+      printDecl(M, Indent + 1);
+      OS << '\n';
+    }
+    indent(Indent);
+    OS << '}';
+    return;
+  }
+  case NodeKind::TypedefNameSpecKind:
+    OS << cast<TypedefNameSpec>(T)->Name.str();
+    return;
+  case NodeKind::MetaAstTypeSpecKind:
+    OS << cast<MetaAstTypeSpec>(T)->Type->toString();
+    return;
+  case NodeKind::PlaceholderTypeSpecKind:
+    printPlaceholder(cast<PlaceholderTypeSpec>(T)->Ph);
+    return;
+  default:
+    OS << "/*type?*/";
+    return;
+  }
+}
+
+void Printer::printDeclaratorInner(const Declarator *D) {
+  if (!D)
+    return;
+  if (D->isPlaceholder()) {
+    printPlaceholder(D->Ph);
+    return;
+  }
+  for (unsigned I = 0; I != D->PointerDepth; ++I)
+    OS << '*';
+  if (D->Inner) {
+    OS << '(';
+    printDeclaratorInner(D->Inner);
+    OS << ')';
+  } else if (D->Name.valid()) {
+    printIdent(D->Name);
+  }
+  for (const DeclSuffix &S : D->Suffixes) {
+    if (S.K == DeclSuffix::Array) {
+      OS << '[';
+      if (S.ArraySize)
+        printExprPrec(S.ArraySize, PrecComma);
+      OS << ']';
+      continue;
+    }
+    OS << '(';
+    bool First = true;
+    for (const ParamDecl *P : S.Params) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      printSpecs(P->Specs, 0);
+      if (P->Dtor && (P->Dtor->name().valid() || P->Dtor->PointerDepth ||
+                      P->Dtor->isPlaceholder() || !P->Dtor->Suffixes.empty())) {
+        OS << ' ';
+        printDeclaratorInner(P->Dtor);
+      }
+    }
+    for (const Ident &Name : S.KRNames) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      printIdent(Name);
+    }
+    if (S.Variadic) {
+      if (!First)
+        OS << ", ";
+      OS << "...";
+    }
+    OS << ')';
+  }
+}
+
+void Printer::printSpecs(const DeclSpecs &Specs, unsigned Indent) {
+  switch (Specs.Storage) {
+  case StorageClass::None:
+    break;
+  case StorageClass::Auto:
+    OS << "auto ";
+    break;
+  case StorageClass::Register:
+    OS << "register ";
+    break;
+  case StorageClass::Static:
+    OS << "static ";
+    break;
+  case StorageClass::Extern:
+    OS << "extern ";
+    break;
+  case StorageClass::Typedef:
+    OS << "typedef ";
+    break;
+  case StorageClass::Metadcl:
+    OS << "metadcl ";
+    break;
+  }
+  if (Specs.Const)
+    OS << "const ";
+  if (Specs.Volatile)
+    OS << "volatile ";
+  printTypeSpec(Specs.Type, Indent);
+}
+
+void Printer::printDecl(const Decl *D, unsigned Indent) {
+  if (!D) {
+    OS << "/*null-decl*/;";
+    return;
+  }
+  switch (D->kind()) {
+  case NodeKind::DeclarationKind: {
+    const auto *Dec = cast<Declaration>(D);
+    printSpecs(Dec->Specs, Indent);
+    if (Dec->DeclListPh) {
+      OS << ' ';
+      printPlaceholder(Dec->DeclListPh);
+    } else if (!Dec->Inits.empty()) {
+      OS << ' ';
+      for (size_t I = 0; I != Dec->Inits.size(); ++I) {
+        if (I)
+          OS << ", ";
+        const InitDeclarator &ID = Dec->Inits[I];
+        if (ID.Ph) {
+          printPlaceholder(ID.Ph);
+          continue;
+        }
+        printDeclaratorInner(ID.Dtor);
+        if (ID.Init) {
+          OS << " = ";
+          printExprPrec(ID.Init, PrecAssign);
+        }
+      }
+    }
+    OS << ';';
+    return;
+  }
+  case NodeKind::FunctionDefKind: {
+    const auto *F = cast<FunctionDef>(D);
+    if (F->Specs.Type || F->Specs.Storage != StorageClass::None) {
+      printSpecs(F->Specs, Indent);
+      OS << ' ';
+    }
+    printDeclaratorInner(F->Dtor);
+    OS << '\n';
+    for (const Declaration *KR : F->KRDecls) {
+      indent(Indent);
+      printDecl(KR, Indent);
+      OS << '\n';
+    }
+    indent(Indent);
+    printStmt(F->Body, Indent);
+    return;
+  }
+  case NodeKind::PlaceholderDecl:
+    printPlaceholder(cast<PlaceholderDeclNode>(D)->Ph);
+    return;
+  case NodeKind::MacroInvocationDecl:
+    printInvocation(cast<MacroInvocationDecl>(D)->Inv, Indent);
+    return;
+  case NodeKind::MetaDeclKind:
+    OS << "metadcl ";
+    printDecl(cast<MetaDecl>(D)->Inner, Indent);
+    return;
+  case NodeKind::MacroDefKind: {
+    const auto *M = cast<MacroDef>(D);
+    // Faithful surface syntax: `syntax <ast-type> <name>[[]...] {| pattern |}
+    // body` — printed macro definitions re-parse.
+    const MetaType *RT = M->ReturnType;
+    unsigned ListDepth = 0;
+    while (RT->isList()) {
+      RT = RT->listElem();
+      ++ListDepth;
+    }
+    std::string TypeName = RT->toString();
+    if (!TypeName.empty() && TypeName[0] == '@')
+      TypeName.erase(0, 1);
+    OS << "syntax " << TypeName << ' ' << M->Name.str();
+    for (unsigned I = 0; I != ListDepth; ++I)
+      OS << "[]";
+    OS << " {| ";
+    if (M->Pat)
+      printPattern(*M->Pat);
+    OS << "|} ";
+    if (M->Body)
+      printStmt(M->Body, Indent);
+    return;
+  }
+  case NodeKind::TranslationUnitKind: {
+    const auto *TU = cast<TranslationUnit>(D);
+    for (size_t I = 0; I != TU->Items.size(); ++I) {
+      if (I)
+        OS << '\n';
+      printDecl(TU->Items[I], 0);
+      OS << '\n';
+    }
+    return;
+  }
+  default:
+    OS << "/*decl?*/;";
+    return;
+  }
+}
+
+void Printer::printStmt(const Stmt *S, unsigned Indent) {
+  if (!S) {
+    OS << ';';
+    return;
+  }
+  switch (S->kind()) {
+  case NodeKind::CompoundStmtKind: {
+    const auto *C = cast<CompoundStmt>(S);
+    OS << "{\n";
+    for (const Decl *D : C->Decls) {
+      indent(Indent + 1);
+      printDecl(D, Indent + 1);
+      OS << '\n';
+    }
+    for (const Stmt *Sub : C->Stmts) {
+      indent(Indent + 1);
+      printStmt(Sub, Indent + 1);
+      OS << '\n';
+    }
+    indent(Indent);
+    OS << '}';
+    return;
+  }
+  case NodeKind::ExprStmt:
+    printExprPrec(cast<ExprStmt>(S)->E, PrecComma);
+    OS << ';';
+    return;
+  case NodeKind::NullStmt:
+    OS << ';';
+    return;
+  case NodeKind::IfStmt: {
+    const auto *I = cast<IfStmt>(S);
+    OS << "if (";
+    printExprPrec(I->Cond, PrecComma);
+    OS << ") ";
+    printStmt(I->Then, Indent);
+    if (I->Else) {
+      OS << " else ";
+      printStmt(I->Else, Indent);
+    }
+    return;
+  }
+  case NodeKind::WhileStmt: {
+    const auto *W = cast<WhileStmt>(S);
+    OS << "while (";
+    printExprPrec(W->Cond, PrecComma);
+    OS << ") ";
+    printStmt(W->Body, Indent);
+    return;
+  }
+  case NodeKind::DoStmt: {
+    const auto *D = cast<DoStmt>(S);
+    OS << "do ";
+    printStmt(D->Body, Indent);
+    OS << " while (";
+    printExprPrec(D->Cond, PrecComma);
+    OS << ");";
+    return;
+  }
+  case NodeKind::ForStmt: {
+    const auto *F = cast<ForStmt>(S);
+    OS << "for (";
+    if (F->Init)
+      printExprPrec(F->Init, PrecComma);
+    OS << "; ";
+    if (F->Cond)
+      printExprPrec(F->Cond, PrecComma);
+    OS << "; ";
+    if (F->Step)
+      printExprPrec(F->Step, PrecComma);
+    OS << ") ";
+    printStmt(F->Body, Indent);
+    return;
+  }
+  case NodeKind::SwitchStmt: {
+    const auto *Sw = cast<SwitchStmt>(S);
+    OS << "switch (";
+    printExprPrec(Sw->Cond, PrecComma);
+    OS << ") ";
+    printStmt(Sw->Body, Indent);
+    return;
+  }
+  case NodeKind::CaseStmt: {
+    const auto *C = cast<CaseStmt>(S);
+    OS << "case ";
+    printExprPrec(C->Value, PrecCond);
+    OS << ": ";
+    printStmt(C->Body, Indent);
+    return;
+  }
+  case NodeKind::DefaultStmt:
+    OS << "default: ";
+    printStmt(cast<DefaultStmt>(S)->Body, Indent);
+    return;
+  case NodeKind::LabelStmt: {
+    const auto *L = cast<LabelStmt>(S);
+    printIdent(L->Label);
+    OS << ": ";
+    printStmt(L->Body, Indent);
+    return;
+  }
+  case NodeKind::GotoStmt:
+    OS << "goto ";
+    printIdent(cast<GotoStmt>(S)->Label);
+    OS << ';';
+    return;
+  case NodeKind::BreakStmt:
+    OS << "break;";
+    return;
+  case NodeKind::ContinueStmt:
+    OS << "continue;";
+    return;
+  case NodeKind::ReturnStmt: {
+    const auto *R = cast<ReturnStmt>(S);
+    OS << "return";
+    if (R->Value) {
+      OS << ' ';
+      printExprPrec(R->Value, PrecComma);
+    }
+    OS << ';';
+    return;
+  }
+  case NodeKind::PlaceholderStmt:
+    printPlaceholder(cast<PlaceholderStmt>(S)->Ph);
+    OS << ';';
+    return;
+  case NodeKind::MacroInvocationStmt:
+    printInvocation(cast<MacroInvocationStmt>(S)->Inv, Indent);
+    return;
+  default:
+    OS << "/*stmt?*/;";
+    return;
+  }
+}
+
+void Printer::printPatternToken(TokenKind K, Symbol Sym) {
+  if (Sym.valid())
+    OS << Sym.str();
+  else
+    OS << tokenKindSpelling(K);
+}
+
+void Printer::printPSpec(const PSpec *S) {
+  switch (S->K) {
+  case PSpec::Scalar: {
+    std::string Name = S->ScalarType->toString();
+    size_t Depth = 0;
+    while (Name.size() >= 2 && Name.substr(Name.size() - 2) == "[]") {
+      Name.erase(Name.size() - 2);
+      ++Depth;
+    }
+    if (!Name.empty() && Name[0] == '@')
+      Name.erase(0, 1);
+    OS << Name;
+    for (size_t I = 0; I != Depth; ++I)
+      OS << "[]";
+    return;
+  }
+  case PSpec::Plus:
+  case PSpec::Star:
+    OS << (S->K == PSpec::Plus ? '+' : '*');
+    if (S->hasSep()) {
+      OS << '/';
+      printPatternToken(S->Sep, S->SepSym);
+      OS << ' ';
+    }
+    printPSpec(S->Inner);
+    return;
+  case PSpec::Opt:
+    OS << '?';
+    if (S->hasSep()) {
+      printPatternToken(S->Sep, S->SepSym);
+      OS << ' ';
+    }
+    printPSpec(S->Inner);
+    return;
+  case PSpec::Tuple:
+    OS << ".( ";
+    printPattern(*S->Sub);
+    OS << ')';
+    return;
+  }
+}
+
+void Printer::printPattern(const Pattern &P) {
+  for (const PatternElement &E : P.Elements) {
+    if (E.K == PatternElement::Token) {
+      printPatternToken(E.Tok, E.TokSym);
+      OS << ' ';
+      continue;
+    }
+    OS << "$$";
+    printPSpec(E.Spec);
+    OS << "::" << E.Name.str() << ' ';
+  }
+}
+
+/// Prints an unexpanded macro invocation back in its concrete syntax by
+/// walking the macro's pattern alongside the bound constituents.
+void Printer::printInvocation(const MacroInvocation *Inv, unsigned Indent) {
+  OS << Inv->Def->Name.str();
+  size_t ArgIdx = 0;
+  for (const PatternElement &E : Inv->Def->Pat->Elements) {
+    OS << ' ';
+    if (E.K == PatternElement::Token) {
+      if (E.TokSym.valid())
+        OS << E.TokSym.str();
+      else
+        OS << tokenKindSpelling(E.Tok);
+      continue;
+    }
+    if (ArgIdx < Inv->Args.size())
+      printMatchValue(Inv->Args[ArgIdx++].Value, E.Spec, Indent);
+  }
+}
+
+void Printer::printMatchValue(const MatchValue *V, const PSpec *Spec,
+                              unsigned Indent) {
+  if (!V) {
+    OS << "/*null-arg*/";
+    return;
+  }
+  switch (V->K) {
+  case MatchValue::Ast:
+    if (const auto *E = dyn_cast<Expr>(V->AstNode))
+      printExprPrec(E, PrecAssign);
+    else if (const auto *S = dyn_cast<Stmt>(V->AstNode))
+      printStmt(S, Indent);
+    else if (const auto *D = dyn_cast<Decl>(V->AstNode))
+      printDecl(D, Indent);
+    else if (const auto *T = dyn_cast<TypeSpecNode>(V->AstNode))
+      printTypeSpec(T, Indent);
+    return;
+  case MatchValue::IdentV:
+    printIdent(V->Id);
+    return;
+  case MatchValue::DeclaratorV:
+    printDeclaratorInner(V->Dtor);
+    return;
+  case MatchValue::InitDeclV:
+    printDeclaratorInner(V->InitDtor->Dtor);
+    if (V->InitDtor->Init) {
+      OS << " = ";
+      printExprPrec(V->InitDtor->Init, PrecAssign);
+    }
+    return;
+  case MatchValue::EnumeratorV:
+    printIdent(V->Enum->Name);
+    if (V->Enum->Value) {
+      OS << " = ";
+      printExprPrec(V->Enum->Value, PrecAssign);
+    }
+    return;
+  case MatchValue::List: {
+    const char *Sep = " ";
+    if (Spec && (Spec->K == PSpec::Plus || Spec->K == PSpec::Star) &&
+        Spec->hasSep())
+      Sep = Spec->Sep == TokenKind::Comma ? ", " : nullptr;
+    for (size_t I = 0; I != V->Elems.size(); ++I) {
+      if (I) {
+        if (Sep)
+          OS << Sep;
+        else {
+          OS << ' ' << tokenKindSpelling(Spec->Sep) << ' ';
+        }
+      }
+      printMatchValue(V->Elems[I], Spec ? Spec->Inner : nullptr, Indent);
+    }
+    return;
+  }
+  case MatchValue::Tuple: {
+    const Pattern *Sub =
+        Spec && Spec->K == PSpec::Tuple ? Spec->Sub : nullptr;
+    size_t FieldIdx = 0;
+    if (Sub) {
+      for (const PatternElement &E : Sub->Elements) {
+        if (&E != &Sub->Elements[0])
+          OS << ' ';
+        if (E.K == PatternElement::Token) {
+          OS << (E.TokSym.valid() ? std::string(E.TokSym.str())
+                                  : std::string(tokenKindSpelling(E.Tok)));
+        } else if (FieldIdx < V->Elems.size()) {
+          printMatchValue(V->Elems[FieldIdx], E.Spec, Indent);
+          ++FieldIdx;
+        }
+      }
+      return;
+    }
+    for (size_t I = 0; I != V->Elems.size(); ++I) {
+      if (I)
+        OS << ' ';
+      printMatchValue(V->Elems[I], nullptr, Indent);
+    }
+    return;
+  }
+  case MatchValue::Absent:
+    return;
+  }
+}
+
+} // namespace
+
+std::string msq::printNode(const Node *N, const PrintOptions &Opts) {
+  Printer P(Opts);
+  if (!N)
+    return "";
+  if (const auto *E = dyn_cast<Expr>(N))
+    P.printExprPrec(E, PrecComma);
+  else if (const auto *S = dyn_cast<Stmt>(N))
+    P.printStmt(S, 0);
+  else if (const auto *D = dyn_cast<Decl>(N))
+    P.printDecl(D, 0);
+  else if (const auto *T = dyn_cast<TypeSpecNode>(N))
+    P.printTypeSpec(T, 0);
+  return P.take();
+}
+
+std::string msq::printExpr(const Expr *E, const PrintOptions &Opts) {
+  Printer P(Opts);
+  P.printExprPrec(E, PrecComma);
+  return P.take();
+}
+
+std::string msq::printDeclarator(const Declarator *D,
+                                 const PrintOptions &Opts) {
+  Printer P(Opts);
+  P.printDeclaratorInner(D);
+  return P.take();
+}

@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST -> concrete C syntax. Because MS2 macros construct ASTs (never
+/// token strings), printing is where separators, parentheses, and layout
+/// are reintroduced; the printer is precedence-aware so that the printed
+/// code parses back to a structurally identical tree (a property the test
+/// suite checks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_PRINTER_CPRINTER_H
+#define MSQ_PRINTER_CPRINTER_H
+
+#include "ast/Ast.h"
+
+#include <string>
+
+namespace msq {
+
+struct PrintOptions {
+  /// Indentation width in spaces.
+  unsigned IndentWidth = 4;
+  /// Print placeholders as `$name` / `$(expr)`; with false, encountering a
+  /// placeholder is an error (expanded code must not contain them).
+  bool AllowPlaceholders = true;
+};
+
+/// Renders any node to C source.
+std::string printNode(const Node *N, const PrintOptions &Opts = {});
+
+/// Renders an expression to C source.
+std::string printExpr(const Expr *E, const PrintOptions &Opts = {});
+
+/// Renders a declarator (used in diagnostics and tests).
+std::string printDeclarator(const Declarator *D, const PrintOptions &Opts = {});
+
+} // namespace msq
+
+#endif // MSQ_PRINTER_CPRINTER_H

@@ -1,0 +1,243 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "printer/SExpr.h"
+
+#include "printer/CPrinter.h"
+
+#include <sstream>
+
+using namespace msq;
+
+namespace {
+
+class SExprPrinter {
+public:
+  std::string take() { return OS.str(); }
+
+  void dump(const Node *N);
+  void dumpIdent(const Ident &I);
+  void dumpPlaceholder(const Placeholder *Ph);
+  void dumpDeclarator(const Declarator *D);
+  void dumpInitDeclarator(const InitDeclarator &ID);
+  void dumpTypeSpec(const TypeSpecNode *T);
+
+private:
+  std::ostringstream OS;
+};
+
+void SExprPrinter::dumpPlaceholder(const Placeholder *Ph) {
+  // The figures name placeholders by their meta expressions (y, phi1, ...).
+  if (const auto *IE = dyn_cast<IdentExpr>(Ph->MetaExpr)) {
+    if (!IE->Name.isPlaceholder()) {
+      OS << IE->Name.Sym.str();
+      return;
+    }
+  }
+  OS << "$(" << printExpr(Ph->MetaExpr) << ')';
+}
+
+void SExprPrinter::dumpIdent(const Ident &I) {
+  if (I.isPlaceholder())
+    dumpPlaceholder(I.Ph);
+  else
+    OS << I.Sym.str();
+}
+
+void SExprPrinter::dumpTypeSpec(const TypeSpecNode *T) {
+  // The figures write a builtin specifier simply as (int).
+  OS << '(' << printNode(T) << ')';
+}
+
+void SExprPrinter::dumpDeclarator(const Declarator *D) {
+  if (D->isPlaceholder()) {
+    dumpPlaceholder(D->Ph);
+    return;
+  }
+  // Figure 2 writes an identifier-made declarator as
+  // (direct-declarator y); pointers/suffixes are wrapped textually.
+  if (D->PointerDepth == 0 && D->Suffixes.empty()) {
+    OS << "(direct-declarator ";
+    dumpIdent(D->Name);
+    OS << ')';
+    return;
+  }
+  OS << "(declarator \"" << printDeclarator(D) << "\")";
+}
+
+void SExprPrinter::dumpInitDeclarator(const InitDeclarator &ID) {
+  if (ID.Ph) {
+    dumpPlaceholder(ID.Ph);
+    return;
+  }
+  OS << "(init-declarator ";
+  dumpDeclarator(ID.Dtor);
+  OS << ' ';
+  if (ID.Init)
+    dump(ID.Init);
+  else
+    OS << "()";
+  OS << ')';
+}
+
+void SExprPrinter::dump(const Node *N) {
+  if (!N) {
+    OS << "()";
+    return;
+  }
+  switch (N->kind()) {
+  case NodeKind::DeclarationKind: {
+    const auto *D = cast<Declaration>(N);
+    OS << "(declaration ";
+    dumpTypeSpec(D->Specs.Type);
+    OS << ' ';
+    if (D->DeclListPh) {
+      dumpPlaceholder(D->DeclListPh);
+    } else {
+      OS << '(';
+      for (size_t I = 0; I != D->Inits.size(); ++I) {
+        if (I)
+          OS << ' ';
+        dumpInitDeclarator(D->Inits[I]);
+      }
+      OS << ')';
+    }
+    OS << ')';
+    return;
+  }
+  case NodeKind::CompoundStmtKind: {
+    const auto *C = cast<CompoundStmt>(N);
+    OS << "(c-s (decl-list (";
+    for (size_t I = 0; I != C->Decls.size(); ++I) {
+      if (I)
+        OS << ' ';
+      dump(C->Decls[I]);
+    }
+    OS << ")) (stmt-list (";
+    for (size_t I = 0; I != C->Stmts.size(); ++I) {
+      if (I)
+        OS << ' ';
+      dump(C->Stmts[I]);
+    }
+    OS << ")))";
+    return;
+  }
+  case NodeKind::ReturnStmt: {
+    const auto *R = cast<ReturnStmt>(N);
+    OS << "(r-s ";
+    if (R->Value)
+      dump(R->Value);
+    else
+      OS << "()";
+    OS << ')';
+    return;
+  }
+  case NodeKind::ExprStmt:
+    OS << "(e-s ";
+    dump(cast<ExprStmt>(N)->E);
+    OS << ')';
+    return;
+  case NodeKind::PlaceholderStmt:
+    dumpPlaceholder(cast<PlaceholderStmt>(N)->Ph);
+    return;
+  case NodeKind::PlaceholderDecl:
+    dumpPlaceholder(cast<PlaceholderDeclNode>(N)->Ph);
+    return;
+  case NodeKind::PlaceholderExpr:
+    dumpPlaceholder(cast<PlaceholderExpr>(N)->Ph);
+    return;
+  case NodeKind::IdentExpr:
+    OS << "(id ";
+    dumpIdent(cast<IdentExpr>(N)->Name);
+    OS << ')';
+    return;
+  case NodeKind::IntLiteralExpr:
+    OS << "(num " << cast<IntLiteralExpr>(N)->Value << ')';
+    return;
+  case NodeKind::StringLiteralExpr:
+    OS << "(string \"" << cast<StringLiteralExpr>(N)->Value.str() << "\")";
+    return;
+  case NodeKind::ParenExpr:
+    OS << "(exp ";
+    dump(cast<ParenExpr>(N)->Inner);
+    OS << ')';
+    return;
+  case NodeKind::BinaryExpr: {
+    const auto *B = cast<BinaryExpr>(N);
+    OS << "(" << binaryOpSpelling(B->Op) << ' ';
+    dump(B->LHS);
+    OS << ' ';
+    dump(B->RHS);
+    OS << ')';
+    return;
+  }
+  case NodeKind::UnaryExpr: {
+    const auto *U = cast<UnaryExpr>(N);
+    OS << "(" << unaryOpSpelling(U->Op) << ' ';
+    dump(U->Operand);
+    OS << ')';
+    return;
+  }
+  case NodeKind::CallExpr: {
+    const auto *C = cast<CallExpr>(N);
+    OS << "(call ";
+    dump(C->Callee);
+    for (const Expr *Arg : C->Args) {
+      OS << ' ';
+      dump(Arg);
+    }
+    OS << ')';
+    return;
+  }
+  case NodeKind::IfStmt: {
+    const auto *I = cast<IfStmt>(N);
+    OS << "(if ";
+    dump(I->Cond);
+    OS << ' ';
+    dump(I->Then);
+    if (I->Else) {
+      OS << ' ';
+      dump(I->Else);
+    }
+    OS << ')';
+    return;
+  }
+  case NodeKind::TranslationUnitKind: {
+    const auto *TU = cast<TranslationUnit>(N);
+    OS << "(translation-unit";
+    for (const Decl *D : TU->Items) {
+      OS << ' ';
+      dump(D);
+    }
+    OS << ')';
+    return;
+  }
+  case NodeKind::FunctionDefKind: {
+    const auto *F = cast<FunctionDef>(N);
+    OS << "(function-def ";
+    dumpTypeSpec(F->Specs.Type);
+    OS << ' ';
+    dumpDeclarator(F->Dtor);
+    OS << ' ';
+    dump(F->Body);
+    OS << ')';
+    return;
+  }
+  default:
+    // Generic fallback: print the node's C rendering inside a tagged form.
+    OS << "(ast \"" << printNode(N) << "\")";
+    return;
+  }
+}
+
+} // namespace
+
+std::string msq::sexprDump(const Node *N) {
+  SExprPrinter P;
+  P.dump(N);
+  return P.take();
+}

@@ -1,0 +1,32 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST -> S-expression dumps in the notation of the paper's Figures 2
+/// and 3: "A node of the tree and its children is written
+/// (node-name child1 ... childn). List elements in the tree are written
+/// within parentheses." Compound statements abbreviate to c-s,
+/// return-statements to r-s, etc., exactly as in Figure 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_PRINTER_SEXPR_H
+#define MSQ_PRINTER_SEXPR_H
+
+#include "ast/Ast.h"
+
+#include <string>
+
+namespace msq {
+
+/// Dumps \p N in the paper's S-expression notation. Placeholders print as
+/// their meta-expression (e.g. `y`, `phi1`), matching the figures.
+std::string sexprDump(const Node *N);
+
+} // namespace msq
+
+#endif // MSQ_PRINTER_SEXPR_H

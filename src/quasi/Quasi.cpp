@@ -1,0 +1,873 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "quasi/Quasi.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+using namespace msq;
+
+std::string msq::describeValue(const Value &V) {
+  std::string S = V.kindName();
+  if (V.type())
+    S += " of type " + V.type()->toString();
+  return S;
+}
+
+namespace {
+
+/// Clones a template tree while substituting placeholder values.
+class Instantiator {
+public:
+  Instantiator(QuasiContext &QC, const PlaceholderEvaluator &EvalPh)
+      : QC(QC), EvalPh(EvalPh) {}
+
+  Value eval(const Placeholder *Ph) {
+    if (EvalPh)
+      return EvalPh(Ph);
+    QC.Diags.error(Ph->Loc, "placeholder encountered outside template "
+                            "instantiation");
+    return Value();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Value -> AST conversions (cloning)
+  //===------------------------------------------------------------------===//
+
+  Expr *toExpr(const Value &V, SourceLoc Loc) {
+    switch (V.kind()) {
+    case Value::AstV:
+      if (auto *E = dyn_cast<Expr>(V.astValue()))
+        return cloneExpr(QC.A, E);
+      break;
+    case Value::IdentVal:
+      return QC.A.create<IdentExpr>(V.identValue(), Loc);
+    case Value::IntV:
+      return QC.A.create<IntLiteralExpr>(V.intValue(), Loc);
+    case Value::FloatV:
+      return QC.A.create<FloatLiteralExpr>(V.floatValue(), Loc);
+    case Value::StrV:
+      return QC.A.create<StringLiteralExpr>(QC.Interner.intern(V.strValue()),
+                                            Loc);
+    default:
+      break;
+    }
+    QC.Diags.error(Loc, "placeholder value (" + describeValue(V) +
+                            ") cannot stand for an expression");
+    return nullptr;
+  }
+
+  Stmt *toStmt(const Value &V, SourceLoc Loc) {
+    if (V.kind() == Value::AstV)
+      if (auto *S = dyn_cast<Stmt>(V.astValue()))
+        return cloneStmt(QC.A, S);
+    QC.Diags.error(Loc, "placeholder value (" + describeValue(V) +
+                            ") cannot stand for a statement");
+    return nullptr;
+  }
+
+  Decl *toDecl(const Value &V, SourceLoc Loc) {
+    if (V.kind() == Value::AstV)
+      if (auto *D = dyn_cast<Decl>(V.astValue()))
+        return cloneDecl(QC.A, D);
+    QC.Diags.error(Loc, "placeholder value (" + describeValue(V) +
+                            ") cannot stand for a declaration");
+    return nullptr;
+  }
+
+  TypeSpecNode *toTypeSpec(const Value &V, SourceLoc Loc) {
+    if (V.kind() == Value::AstV)
+      if (auto *T = dyn_cast<TypeSpecNode>(V.astValue()))
+        return cast<TypeSpecNode>(cloneNode(QC.A, T));
+    // An identifier can stand for a typedef name.
+    if (V.kind() == Value::IdentVal && !V.identValue().isPlaceholder())
+      return QC.A.create<TypedefNameSpec>(V.identValue().Sym, Loc);
+    QC.Diags.error(Loc, "placeholder value (" + describeValue(V) +
+                            ") cannot stand for a type specifier");
+    return nullptr;
+  }
+
+  Ident toIdent(const Value &V, SourceLoc Loc) {
+    if (V.kind() == Value::IdentVal)
+      return V.identValue();
+    if (V.kind() == Value::AstV)
+      if (auto *IE = dyn_cast<IdentExpr>(V.astValue()))
+        return IE->Name;
+    QC.Diags.error(Loc, "placeholder value (" + describeValue(V) +
+                            ") cannot stand for an identifier");
+    return Ident();
+  }
+
+  Declarator *toDeclarator(const Value &V, SourceLoc Loc) {
+    if (V.kind() == Value::DeclaratorVal)
+      return cloneDeclaratorDeep(V.declaratorValue());
+    if (V.kind() == Value::IdentVal) {
+      Declarator *D = QC.A.create<Declarator>();
+      D->Name = V.identValue();
+      D->Loc = Loc;
+      return D;
+    }
+    QC.Diags.error(Loc, "placeholder value (" + describeValue(V) +
+                            ") cannot stand for a declarator");
+    return nullptr;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Structure cloning with substitution
+  //===------------------------------------------------------------------===//
+
+  Ident instIdent(const Ident &I) {
+    if (!I.isPlaceholder()) {
+      if (!Renames.empty()) {
+        auto It = Renames.find(I.Sym);
+        if (It != Renames.end())
+          return Ident(It->second, I.Loc);
+      }
+      return I;
+    }
+    Value V = eval(I.Ph);
+    return toIdent(V, I.Loc);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Hygiene: rename template-declared locals to fresh names
+  //===------------------------------------------------------------------===//
+
+  Symbol freshName(Symbol Base) {
+    std::ostringstream OS;
+    OS << "__msq_h_" << Base.str() << '_'
+       << (QC.FreshCounter ? (*QC.FreshCounter)++ : 0);
+    return QC.Interner.intern(OS.str());
+  }
+
+  void noteLocal(const Ident &Name) {
+    if (Name.isPlaceholder() || !Name.Sym.valid())
+      return;
+    if (!Renames.count(Name.Sym))
+      Renames.emplace(Name.Sym, freshName(Name.Sym));
+  }
+
+  /// Collects block-scope declaration names and labels introduced by the
+  /// template itself. \p InBlock is false at the top level of a `[ ]
+  /// template, where names are exported on purpose (generated functions
+  /// and globals must keep their names).
+  void collectLocals(const Node *N, bool InBlock) {
+    if (!N)
+      return;
+    switch (N->kind()) {
+    case NodeKind::CompoundStmtKind: {
+      const auto *C = cast<CompoundStmt>(N);
+      for (const Decl *D : C->Decls) {
+        if (const auto *Dec = dyn_cast<Declaration>(D)) {
+          for (const InitDeclarator &ID : Dec->Inits)
+            if (!ID.Ph && ID.Dtor && !ID.Dtor->isPlaceholder())
+              noteLocal(ID.Dtor->name());
+        }
+      }
+      for (const Stmt *S : C->Stmts)
+        collectLocals(S, /*InBlock=*/true);
+      return;
+    }
+    case NodeKind::LabelStmt: {
+      const auto *L = cast<LabelStmt>(N);
+      noteLocal(L->Label);
+      collectLocals(L->Body, InBlock);
+      return;
+    }
+    case NodeKind::IfStmt: {
+      const auto *I = cast<IfStmt>(N);
+      collectLocals(I->Then, InBlock);
+      collectLocals(I->Else, InBlock);
+      return;
+    }
+    case NodeKind::WhileStmt:
+      collectLocals(cast<WhileStmt>(N)->Body, InBlock);
+      return;
+    case NodeKind::DoStmt:
+      collectLocals(cast<DoStmt>(N)->Body, InBlock);
+      return;
+    case NodeKind::ForStmt:
+      collectLocals(cast<ForStmt>(N)->Body, InBlock);
+      return;
+    case NodeKind::SwitchStmt:
+      collectLocals(cast<SwitchStmt>(N)->Body, InBlock);
+      return;
+    case NodeKind::CaseStmt:
+      collectLocals(cast<CaseStmt>(N)->Body, InBlock);
+      return;
+    case NodeKind::DefaultStmt:
+      collectLocals(cast<DefaultStmt>(N)->Body, InBlock);
+      return;
+    case NodeKind::FunctionDefKind:
+      // The function's own name stays (exported); its body is a block.
+      collectLocals(cast<FunctionDef>(N)->Body, /*InBlock=*/true);
+      return;
+    default:
+      return;
+    }
+  }
+
+  std::unordered_map<Symbol, Symbol, SymbolHash> Renames;
+
+  Expr *instExpr(const Expr *E);
+  Stmt *instStmt(const Stmt *S);
+  void instStmtInto(const Stmt *S, std::vector<Stmt *> &Out);
+  void spliceStmtValue(const Value &V, SourceLoc Loc, std::vector<Stmt *> &Out);
+  Decl *instDecl(const Decl *D);
+  void instDeclInto(const Decl *D, std::vector<Decl *> &Out);
+  void spliceDeclValue(const Value &V, SourceLoc Loc, std::vector<Decl *> &Out);
+  TypeSpecNode *instTypeSpec(const TypeSpecNode *T);
+  DeclSpecs instSpecs(const DeclSpecs &S);
+  Declarator *instDeclarator(const Declarator *D);
+  Declarator *cloneDeclaratorDeep(const Declarator *D);
+  void instInitDeclInto(const InitDeclarator &ID,
+                        std::vector<InitDeclarator> &Out);
+  void instEnumeratorInto(const Enumerator &E, std::vector<Enumerator> &Out);
+  MatchValue *instMatchValue(const MatchValue *MV);
+  MacroInvocation *instInvocation(const MacroInvocation *Inv);
+  Value matchToValue(const MatchValue *MV);
+
+  QuasiContext &QC;
+  const PlaceholderEvaluator &EvalPh;
+};
+
+Declarator *Instantiator::cloneDeclaratorDeep(const Declarator *D) {
+  // Reuse the node cloner by wrapping into a throwaway declaration-free
+  // clone path: build by hand.
+  Declarator *R = QC.A.create<Declarator>();
+  R->Ph = D->Ph;
+  R->Name = instIdent(D->Name);
+  R->Inner = D->Inner ? cloneDeclaratorDeep(D->Inner) : nullptr;
+  R->PointerDepth = D->PointerDepth;
+  R->Loc = D->Loc;
+  std::vector<DeclSuffix> Suffixes;
+  for (const DeclSuffix &S : D->Suffixes) {
+    DeclSuffix Out = S;
+    Out.ArraySize = S.ArraySize ? instExpr(S.ArraySize) : nullptr;
+    std::vector<ParamDecl *> Params;
+    for (const ParamDecl *P : S.Params) {
+      ParamDecl *NP = QC.A.create<ParamDecl>();
+      NP->Specs = instSpecs(P->Specs);
+      NP->Dtor = P->Dtor ? instDeclarator(P->Dtor) : nullptr;
+      NP->Loc = P->Loc;
+      Params.push_back(NP);
+    }
+    Out.Params = ArenaRef<ParamDecl *>::copy(QC.A, Params);
+    std::vector<Ident> KRNames;
+    for (const Ident &I : S.KRNames)
+      KRNames.push_back(instIdent(I));
+    Out.KRNames = ArenaRef<Ident>::copy(QC.A, KRNames);
+    Suffixes.push_back(Out);
+  }
+  R->Suffixes = ArenaRef<DeclSuffix>::copy(QC.A, Suffixes);
+  return R;
+}
+
+Declarator *Instantiator::instDeclarator(const Declarator *D) {
+  if (!D)
+    return nullptr;
+  if (D->isPlaceholder()) {
+    Value V = eval(D->Ph);
+    return toDeclarator(V, D->Loc);
+  }
+  return cloneDeclaratorDeep(D);
+}
+
+DeclSpecs Instantiator::instSpecs(const DeclSpecs &S) {
+  DeclSpecs R = S;
+  R.Type = S.Type ? instTypeSpec(S.Type) : nullptr;
+  return R;
+}
+
+TypeSpecNode *Instantiator::instTypeSpec(const TypeSpecNode *T) {
+  switch (T->kind()) {
+  case NodeKind::PlaceholderTypeSpecKind: {
+    const auto *P = cast<PlaceholderTypeSpec>(T);
+    Value V = eval(P->Ph);
+    return toTypeSpec(V, P->loc());
+  }
+  case NodeKind::TagTypeSpecKind: {
+    const auto *Tag = cast<TagTypeSpec>(T);
+    std::vector<Declaration *> Members;
+    for (const Declaration *M : Tag->Members) {
+      std::vector<Decl *> Tmp;
+      instDeclInto(M, Tmp);
+      for (Decl *D : Tmp)
+        if (auto *MD = dyn_cast<Declaration>(D))
+          Members.push_back(MD);
+    }
+    std::vector<Enumerator> Enums;
+    for (const Enumerator &E : Tag->Enums)
+      instEnumeratorInto(E, Enums);
+    return QC.A.create<TagTypeSpec>(
+        Tag->Tag, instIdent(Tag->TagName), Tag->HasBody,
+        ArenaRef<Declaration *>::copy(QC.A, Members),
+        ArenaRef<Enumerator>::copy(QC.A, Enums), Tag->loc());
+  }
+  default:
+    return cast<TypeSpecNode>(cloneNode(QC.A, T));
+  }
+}
+
+void Instantiator::instEnumeratorInto(const Enumerator &E,
+                                      std::vector<Enumerator> &Out) {
+  if (E.ListPh) {
+    Value V = eval(E.ListPh);
+    if (V.kind() != Value::ListV) {
+      QC.Diags.error(E.Loc, "enumerator-list placeholder did not produce a "
+                            "list (got " +
+                                describeValue(V) + ")");
+      return;
+    }
+    for (size_t I = 0; I != V.listSize(); ++I) {
+      const Value &Elem = V.listAt(I);
+      Enumerator NE;
+      NE.Loc = E.Loc;
+      if (Elem.kind() == Value::IdentVal) {
+        NE.Name = Elem.identValue();
+      } else if (Elem.kind() == Value::EnumeratorVal) {
+        const Enumerator *Src = Elem.enumeratorValue();
+        NE.Name = instIdent(Src->Name);
+        NE.Value = Src->Value ? instExpr(Src->Value) : nullptr;
+      } else {
+        QC.Diags.error(E.Loc, "enumerator list element is " +
+                                  describeValue(Elem));
+        continue;
+      }
+      Out.push_back(NE);
+    }
+    return;
+  }
+  Enumerator NE = E;
+  NE.Name = instIdent(E.Name);
+  NE.Value = E.Value ? instExpr(E.Value) : nullptr;
+  Out.push_back(NE);
+}
+
+void Instantiator::instInitDeclInto(const InitDeclarator &ID,
+                                    std::vector<InitDeclarator> &Out) {
+  if (ID.Ph) {
+    Value V = eval(ID.Ph);
+    if (V.kind() == Value::InitDeclVal) {
+      const InitDeclarator *Src = V.initDeclValue();
+      InitDeclarator R;
+      R.Dtor = Src->Dtor ? instDeclarator(Src->Dtor) : nullptr;
+      R.Init = Src->Init ? instExpr(Src->Init) : nullptr;
+      R.Loc = ID.Loc;
+      Out.push_back(R);
+      return;
+    }
+    if (V.kind() == Value::DeclaratorVal || V.kind() == Value::IdentVal) {
+      InitDeclarator R;
+      R.Dtor = toDeclarator(V, ID.Loc);
+      R.Loc = ID.Loc;
+      Out.push_back(R);
+      return;
+    }
+    QC.Diags.error(ID.Loc, "init-declarator placeholder value is " +
+                               describeValue(V));
+    return;
+  }
+  InitDeclarator R;
+  R.Dtor = ID.Dtor ? instDeclarator(ID.Dtor) : nullptr;
+  R.Init = ID.Init ? instExpr(ID.Init) : nullptr;
+  R.Loc = ID.Loc;
+  Out.push_back(R);
+}
+
+MatchValue *Instantiator::instMatchValue(const MatchValue *MV) {
+  if (!MV)
+    return nullptr;
+  MatchValue *R = QC.A.create<MatchValue>();
+  R->K = MV->K;
+  R->Type = MV->Type;
+  switch (MV->K) {
+  case MatchValue::Ast:
+    if (auto *E = dyn_cast<Expr>(MV->AstNode))
+      R->AstNode = instExpr(E);
+    else if (auto *S = dyn_cast<Stmt>(MV->AstNode))
+      R->AstNode = instStmt(S);
+    else if (auto *D = dyn_cast<Decl>(MV->AstNode))
+      R->AstNode = instDecl(D);
+    else if (auto *T = dyn_cast<TypeSpecNode>(MV->AstNode))
+      R->AstNode = instTypeSpec(T);
+    break;
+  case MatchValue::IdentV:
+    R->Id = instIdent(MV->Id);
+    break;
+  case MatchValue::DeclaratorV:
+    R->Dtor = instDeclarator(MV->Dtor);
+    break;
+  case MatchValue::InitDeclV: {
+    std::vector<InitDeclarator> Tmp;
+    instInitDeclInto(*MV->InitDtor, Tmp);
+    if (!Tmp.empty())
+      R->InitDtor = QC.A.create<InitDeclarator>(Tmp[0]);
+    break;
+  }
+  case MatchValue::EnumeratorV: {
+    std::vector<Enumerator> Tmp;
+    instEnumeratorInto(*MV->Enum, Tmp);
+    if (!Tmp.empty())
+      R->Enum = QC.A.create<Enumerator>(Tmp[0]);
+    break;
+  }
+  case MatchValue::List:
+  case MatchValue::Tuple: {
+    std::vector<MatchValue *> Elems;
+    for (const MatchValue *E : MV->Elems)
+      Elems.push_back(instMatchValue(E));
+    R->Elems = ArenaRef<MatchValue *>::copy(QC.A, Elems);
+    std::vector<Symbol> Names(MV->FieldNames.begin(), MV->FieldNames.end());
+    R->FieldNames = ArenaRef<Symbol>::copy(QC.A, Names);
+    break;
+  }
+  case MatchValue::Absent:
+    break;
+  }
+  return R;
+}
+
+MacroInvocation *Instantiator::instInvocation(const MacroInvocation *Inv) {
+  MacroInvocation *R = QC.A.create<MacroInvocation>();
+  R->Def = Inv->Def;
+  R->Loc = Inv->Loc;
+  std::vector<MacroArg> Args;
+  for (const MacroArg &Arg : Inv->Args)
+    Args.push_back({Arg.Name, instMatchValue(Arg.Value)});
+  R->Args = ArenaRef<MacroArg>::copy(QC.A, Args);
+  return R;
+}
+
+Expr *Instantiator::instExpr(const Expr *E) {
+  if (!E)
+    return nullptr;
+  switch (E->kind()) {
+  case NodeKind::PlaceholderExpr: {
+    const auto *P = cast<PlaceholderExpr>(E);
+    Value V = eval(P->Ph);
+    return toExpr(V, P->loc());
+  }
+  case NodeKind::IdentExpr: {
+    const auto *IE = cast<IdentExpr>(E);
+    return QC.A.create<IdentExpr>(instIdent(IE->Name), E->loc());
+  }
+  case NodeKind::ParenExpr:
+    return QC.A.create<ParenExpr>(instExpr(cast<ParenExpr>(E)->Inner),
+                                  E->loc());
+  case NodeKind::InitListExpr: {
+    const auto *IL = cast<InitListExpr>(E);
+    std::vector<Expr *> Elems;
+    for (const Expr *El : IL->Elems) {
+      // List-typed placeholders splice their elements.
+      if (const auto *P = dyn_cast<PlaceholderExpr>(El)) {
+        if (P->Ph->Type && P->Ph->Type->isList()) {
+          Value V = eval(P->Ph);
+          if (V.kind() == Value::ListV) {
+            for (size_t I = 0; I != V.listSize(); ++I)
+              if (Expr *AE = toExpr(V.listAt(I), P->loc()))
+                Elems.push_back(AE);
+            continue;
+          }
+        }
+      }
+      Elems.push_back(instExpr(El));
+    }
+    return QC.A.create<InitListExpr>(ArenaRef<Expr *>::copy(QC.A, Elems),
+                                     E->loc());
+  }
+  case NodeKind::UnaryExpr: {
+    const auto *U = cast<UnaryExpr>(E);
+    return QC.A.create<UnaryExpr>(U->Op, instExpr(U->Operand), E->loc());
+  }
+  case NodeKind::BinaryExpr: {
+    const auto *B = cast<BinaryExpr>(E);
+    return QC.A.create<BinaryExpr>(B->Op, instExpr(B->LHS), instExpr(B->RHS),
+                                   E->loc());
+  }
+  case NodeKind::ConditionalExpr: {
+    const auto *C = cast<ConditionalExpr>(E);
+    return QC.A.create<ConditionalExpr>(instExpr(C->Cond), instExpr(C->Then),
+                                        instExpr(C->Else), E->loc());
+  }
+  case NodeKind::CastExpr: {
+    const auto *C = cast<CastExpr>(E);
+    TypeName Ty = C->Ty;
+    Ty.Spec = Ty.Spec ? instTypeSpec(Ty.Spec) : nullptr;
+    return QC.A.create<CastExpr>(Ty, instExpr(C->Operand), E->loc());
+  }
+  case NodeKind::SizeofExpr: {
+    const auto *S = cast<SizeofExpr>(E);
+    if (S->IsType) {
+      TypeName Ty = S->Ty;
+      Ty.Spec = Ty.Spec ? instTypeSpec(Ty.Spec) : nullptr;
+      return QC.A.create<SizeofExpr>(Ty, E->loc());
+    }
+    return QC.A.create<SizeofExpr>(instExpr(S->Operand), E->loc());
+  }
+  case NodeKind::CallExpr: {
+    const auto *C = cast<CallExpr>(E);
+    std::vector<Expr *> Args;
+    for (const Expr *Arg : C->Args) {
+      // A list-typed placeholder in argument position splices.
+      if (const auto *P = dyn_cast<PlaceholderExpr>(Arg)) {
+        if (P->Ph->Type && P->Ph->Type->isList()) {
+          Value V = eval(P->Ph);
+          if (V.kind() == Value::ListV) {
+            for (size_t I = 0; I != V.listSize(); ++I)
+              if (Expr *AE = toExpr(V.listAt(I), P->loc()))
+                Args.push_back(AE);
+            continue;
+          }
+        }
+      }
+      Args.push_back(instExpr(Arg));
+    }
+    return QC.A.create<CallExpr>(instExpr(C->Callee),
+                                 ArenaRef<Expr *>::copy(QC.A, Args), E->loc());
+  }
+  case NodeKind::IndexExpr: {
+    const auto *I = cast<IndexExpr>(E);
+    return QC.A.create<IndexExpr>(instExpr(I->Base), instExpr(I->Index),
+                                  E->loc());
+  }
+  case NodeKind::MemberExpr: {
+    const auto *M = cast<MemberExpr>(E);
+    return QC.A.create<MemberExpr>(instExpr(M->Base), instIdent(M->Member),
+                                   M->IsArrow, E->loc());
+  }
+  case NodeKind::MacroInvocationExpr:
+    return QC.A.create<MacroInvocationExpr>(
+        instInvocation(cast<MacroInvocationExpr>(E)->Inv), E->loc());
+  case NodeKind::BackquoteExpr:
+    QC.Diags.error(E->loc(), "a template may not directly contain another "
+                             "template (nest it inside a placeholder "
+                             "expression instead)");
+    return QC.A.create<IntLiteralExpr>(0, E->loc());
+  default:
+    return cloneExpr(QC.A, E);
+  }
+}
+
+void Instantiator::spliceStmtValue(const Value &V, SourceLoc Loc,
+                                   std::vector<Stmt *> &Out) {
+  // Lists splice element-wise; nested lists (e.g. a map over a map)
+  // flatten.
+  if (V.kind() == Value::ListV) {
+    for (size_t I = 0; I != V.listSize(); ++I)
+      spliceStmtValue(V.listAt(I), Loc, Out);
+    return;
+  }
+  if (Stmt *St = toStmt(V, Loc))
+    Out.push_back(St);
+}
+
+void Instantiator::instStmtInto(const Stmt *S, std::vector<Stmt *> &Out) {
+  if (const auto *P = dyn_cast<PlaceholderStmt>(S)) {
+    spliceStmtValue(eval(P->Ph), P->loc(), Out);
+    return;
+  }
+  if (Stmt *St = instStmt(S))
+    Out.push_back(St);
+}
+
+void Instantiator::spliceDeclValue(const Value &V, SourceLoc Loc,
+                                   std::vector<Decl *> &Out) {
+  if (V.kind() == Value::ListV) {
+    for (size_t I = 0; I != V.listSize(); ++I)
+      spliceDeclValue(V.listAt(I), Loc, Out);
+    return;
+  }
+  if (Decl *Dc = toDecl(V, Loc))
+    Out.push_back(Dc);
+}
+
+void Instantiator::instDeclInto(const Decl *D, std::vector<Decl *> &Out) {
+  if (const auto *P = dyn_cast<PlaceholderDeclNode>(D)) {
+    spliceDeclValue(eval(P->Ph), P->loc(), Out);
+    return;
+  }
+  if (Decl *Dc = instDecl(D))
+    Out.push_back(Dc);
+}
+
+Stmt *Instantiator::instStmt(const Stmt *S) {
+  if (!S)
+    return nullptr;
+  switch (S->kind()) {
+  case NodeKind::PlaceholderStmt: {
+    const auto *P = cast<PlaceholderStmt>(S);
+    Value V = eval(P->Ph);
+    return toStmt(V, P->loc());
+  }
+  case NodeKind::CompoundStmtKind: {
+    const auto *C = cast<CompoundStmt>(S);
+    std::vector<Decl *> Decls;
+    for (const Decl *D : C->Decls)
+      instDeclInto(D, Decls);
+    std::vector<Stmt *> Stmts;
+    for (const Stmt *Sub : C->Stmts)
+      instStmtInto(Sub, Stmts);
+    return QC.A.create<CompoundStmt>(ArenaRef<Decl *>::copy(QC.A, Decls),
+                                     ArenaRef<Stmt *>::copy(QC.A, Stmts),
+                                     S->loc());
+  }
+  case NodeKind::ExprStmt:
+    return QC.A.create<ExprStmt>(instExpr(cast<ExprStmt>(S)->E), S->loc());
+  case NodeKind::NullStmt:
+  case NodeKind::BreakStmt:
+  case NodeKind::ContinueStmt:
+    return cloneStmt(QC.A, S);
+  case NodeKind::IfStmt: {
+    const auto *I = cast<IfStmt>(S);
+    return QC.A.create<IfStmt>(instExpr(I->Cond), instStmt(I->Then),
+                               I->Else ? instStmt(I->Else) : nullptr,
+                               S->loc());
+  }
+  case NodeKind::WhileStmt: {
+    const auto *W = cast<WhileStmt>(S);
+    return QC.A.create<WhileStmt>(instExpr(W->Cond), instStmt(W->Body),
+                                  S->loc());
+  }
+  case NodeKind::DoStmt: {
+    const auto *D = cast<DoStmt>(S);
+    return QC.A.create<DoStmt>(instStmt(D->Body), instExpr(D->Cond), S->loc());
+  }
+  case NodeKind::ForStmt: {
+    const auto *F = cast<ForStmt>(S);
+    return QC.A.create<ForStmt>(F->Init ? instExpr(F->Init) : nullptr,
+                                F->Cond ? instExpr(F->Cond) : nullptr,
+                                F->Step ? instExpr(F->Step) : nullptr,
+                                instStmt(F->Body), S->loc());
+  }
+  case NodeKind::SwitchStmt: {
+    const auto *Sw = cast<SwitchStmt>(S);
+    return QC.A.create<SwitchStmt>(instExpr(Sw->Cond), instStmt(Sw->Body),
+                                   S->loc());
+  }
+  case NodeKind::CaseStmt: {
+    const auto *C = cast<CaseStmt>(S);
+    return QC.A.create<CaseStmt>(instExpr(C->Value), instStmt(C->Body),
+                                 S->loc());
+  }
+  case NodeKind::DefaultStmt:
+    return QC.A.create<DefaultStmt>(instStmt(cast<DefaultStmt>(S)->Body),
+                                    S->loc());
+  case NodeKind::LabelStmt: {
+    const auto *L = cast<LabelStmt>(S);
+    return QC.A.create<LabelStmt>(instIdent(L->Label), instStmt(L->Body),
+                                  S->loc());
+  }
+  case NodeKind::GotoStmt:
+    return QC.A.create<GotoStmt>(instIdent(cast<GotoStmt>(S)->Label),
+                                 S->loc());
+  case NodeKind::ReturnStmt: {
+    const auto *R = cast<ReturnStmt>(S);
+    return QC.A.create<ReturnStmt>(R->Value ? instExpr(R->Value) : nullptr,
+                                   S->loc());
+  }
+  case NodeKind::MacroInvocationStmt:
+    return QC.A.create<MacroInvocationStmt>(
+        instInvocation(cast<MacroInvocationStmt>(S)->Inv), S->loc());
+  default:
+    return cloneStmt(QC.A, S);
+  }
+}
+
+Decl *Instantiator::instDecl(const Decl *D) {
+  if (!D)
+    return nullptr;
+  switch (D->kind()) {
+  case NodeKind::PlaceholderDecl: {
+    const auto *P = cast<PlaceholderDeclNode>(D);
+    Value V = eval(P->Ph);
+    return toDecl(V, P->loc());
+  }
+  case NodeKind::DeclarationKind: {
+    const auto *Dec = cast<Declaration>(D);
+    DeclSpecs Specs = instSpecs(Dec->Specs);
+    std::vector<InitDeclarator> Inits;
+    if (Dec->DeclListPh) {
+      Value V = eval(Dec->DeclListPh);
+      if (V.kind() != Value::ListV) {
+        QC.Diags.error(D->loc(), "init-declarator-list placeholder did not "
+                                 "produce a list (got " +
+                                     describeValue(V) + ")");
+      } else {
+        for (size_t I = 0; I != V.listSize(); ++I) {
+          const Value &Elem = V.listAt(I);
+          InitDeclarator ID;
+          ID.Loc = D->loc();
+          if (Elem.kind() == Value::InitDeclVal) {
+            const InitDeclarator *Src = Elem.initDeclValue();
+            ID.Dtor = Src->Dtor ? instDeclarator(Src->Dtor) : nullptr;
+            ID.Init = Src->Init ? instExpr(Src->Init) : nullptr;
+          } else {
+            ID.Dtor = toDeclarator(Elem, D->loc());
+          }
+          Inits.push_back(ID);
+        }
+      }
+    } else {
+      for (const InitDeclarator &ID : Dec->Inits)
+        instInitDeclInto(ID, Inits);
+    }
+    return QC.A.create<Declaration>(
+        Specs, ArenaRef<InitDeclarator>::copy(QC.A, Inits), nullptr,
+        D->loc());
+  }
+  case NodeKind::FunctionDefKind: {
+    const auto *F = cast<FunctionDef>(D);
+    std::vector<Declaration *> KRDecls;
+    for (const Declaration *KR : F->KRDecls) {
+      std::vector<Decl *> Tmp;
+      instDeclInto(KR, Tmp);
+      for (Decl *KD : Tmp)
+        if (auto *KDD = dyn_cast<Declaration>(KD))
+          KRDecls.push_back(KDD);
+    }
+    return QC.A.create<FunctionDef>(
+        instSpecs(F->Specs), instDeclarator(F->Dtor),
+        ArenaRef<Declaration *>::copy(QC.A, KRDecls),
+        cast<CompoundStmt>(instStmt(F->Body)), D->loc());
+  }
+  case NodeKind::MacroInvocationDecl:
+    return QC.A.create<MacroInvocationDecl>(
+        instInvocation(cast<MacroInvocationDecl>(D)->Inv), D->loc());
+  default:
+    return cloneDecl(QC.A, D);
+  }
+}
+
+Value Instantiator::matchToValue(const MatchValue *MV) {
+  if (!MV)
+    return Value();
+  switch (MV->K) {
+  case MatchValue::Ast: {
+    Node *N = nullptr;
+    if (auto *E = dyn_cast<Expr>(MV->AstNode))
+      N = instExpr(E);
+    else if (auto *S = dyn_cast<Stmt>(MV->AstNode))
+      N = instStmt(S);
+    else if (auto *D = dyn_cast<Decl>(MV->AstNode))
+      N = instDecl(D);
+    else if (auto *T = dyn_cast<TypeSpecNode>(MV->AstNode))
+      N = instTypeSpec(T);
+    return Value::makeAst(N, MV->Type);
+  }
+  case MatchValue::IdentV:
+    return Value::makeIdent(instIdent(MV->Id));
+  case MatchValue::DeclaratorV:
+    return Value::makeDeclarator(instDeclarator(MV->Dtor));
+  case MatchValue::InitDeclV: {
+    std::vector<InitDeclarator> Tmp;
+    instInitDeclInto(*MV->InitDtor, Tmp);
+    if (Tmp.empty())
+      return Value();
+    return Value::makeInitDecl(QC.A.create<InitDeclarator>(Tmp[0]));
+  }
+  case MatchValue::EnumeratorV: {
+    std::vector<Enumerator> Tmp;
+    instEnumeratorInto(*MV->Enum, Tmp);
+    if (Tmp.empty())
+      return Value();
+    return Value::makeEnumerator(QC.A.create<Enumerator>(Tmp[0]));
+  }
+  case MatchValue::List: {
+    std::vector<Value> Elems;
+    for (const MatchValue *E : MV->Elems)
+      Elems.push_back(matchToValue(E));
+    return Value::makeList(std::move(Elems), MV->Type);
+  }
+  case MatchValue::Tuple: {
+    std::vector<Value> Fields;
+    for (const MatchValue *E : MV->Elems)
+      Fields.push_back(matchToValue(E));
+    std::vector<Symbol> Names(MV->FieldNames.begin(), MV->FieldNames.end());
+    return Value::makeTuple(std::move(Fields), std::move(Names), MV->Type);
+  }
+  case MatchValue::Absent:
+    return Value::makeNil();
+  }
+  return Value();
+}
+
+} // namespace
+
+Value msq::instantiateTemplate(QuasiContext &QC, const BackquoteExpr *BQ,
+                               const PlaceholderEvaluator &EvalPh) {
+  Instantiator Inst(QC, EvalPh);
+  if (QC.Hygienic) {
+    switch (BQ->Form) {
+    case BackquoteForm::Stmt:
+      Inst.collectLocals(BQ->Template, /*InBlock=*/true);
+      break;
+    case BackquoteForm::Decl:
+      Inst.collectLocals(BQ->Template, /*InBlock=*/false);
+      break;
+    case BackquoteForm::Pattern:
+      if (BQ->TemplateMV && BQ->TemplateMV->K == MatchValue::Ast)
+        Inst.collectLocals(BQ->TemplateMV->AstNode, /*InBlock=*/true);
+      break;
+    case BackquoteForm::Exp:
+      break; // expressions declare nothing
+    }
+  }
+  switch (BQ->Form) {
+  case BackquoteForm::Exp: {
+    Expr *E = Inst.instExpr(cast<Expr>(BQ->Template));
+    return Value::makeAst(E, BQ->Type);
+  }
+  case BackquoteForm::Stmt: {
+    Stmt *S = Inst.instStmt(cast<Stmt>(BQ->Template));
+    return Value::makeAst(S, BQ->Type);
+  }
+  case BackquoteForm::Decl: {
+    Decl *D = Inst.instDecl(cast<Decl>(BQ->Template));
+    return Value::makeAst(D, BQ->Type);
+  }
+  case BackquoteForm::Pattern: {
+    Value V = Inst.matchToValue(BQ->TemplateMV);
+    V.setType(BQ->Type);
+    return V;
+  }
+  }
+  return Value();
+}
+
+Value msq::matchValueToValue(QuasiContext &QC, const MatchValue *MV) {
+  Instantiator Inst(QC, PlaceholderEvaluator());
+  return Inst.matchToValue(MV);
+}
+
+Expr *msq::valueToExpr(QuasiContext &QC, const Value &V, SourceLoc Loc) {
+  Instantiator Inst(QC, PlaceholderEvaluator());
+  return Inst.toExpr(V, Loc);
+}
+
+Stmt *msq::valueToStmt(QuasiContext &QC, const Value &V, SourceLoc Loc) {
+  Instantiator Inst(QC, PlaceholderEvaluator());
+  return Inst.toStmt(V, Loc);
+}
+
+Decl *msq::valueToDecl(QuasiContext &QC, const Value &V, SourceLoc Loc) {
+  Instantiator Inst(QC, PlaceholderEvaluator());
+  return Inst.toDecl(V, Loc);
+}
+
+TypeSpecNode *msq::valueToTypeSpec(QuasiContext &QC, const Value &V,
+                                   SourceLoc Loc) {
+  Instantiator Inst(QC, PlaceholderEvaluator());
+  return Inst.toTypeSpec(V, Loc);
+}
+
+Ident msq::valueToIdent(QuasiContext &QC, const Value &V, SourceLoc Loc) {
+  Instantiator Inst(QC, PlaceholderEvaluator());
+  return Inst.toIdent(V, Loc);
+}

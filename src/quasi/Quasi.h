@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backquote template instantiation. When a macro body evaluates a
+/// backquote expression, the template AST is deep-cloned and every
+/// placeholder is replaced by the value of its meta-expression. Because
+/// substitution happens on *trees*, the CPP-style precedence capture bug
+/// cannot occur ("such interference is impossible because substitution is
+/// performed at the tree level").
+///
+/// Placeholder values are obtained through a callback so that this library
+/// does not depend on the interpreter (which depends on it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_QUASI_QUASI_H
+#define MSQ_QUASI_QUASI_H
+
+#include "ast/Ast.h"
+#include "interp/Value.h"
+#include "support/Diagnostics.h"
+#include "support/StringInterner.h"
+#include "types/MetaType.h"
+
+#include <functional>
+
+namespace msq {
+
+using PlaceholderEvaluator = std::function<Value(const Placeholder *)>;
+
+/// Services shared by template instantiation and value/AST conversions.
+struct QuasiContext {
+  Arena &A;
+  StringInterner &Interner;
+  MetaTypeContext &Types;
+  DiagnosticsEngine &Diags;
+  /// Hygienic mode (the paper's future-work direction): identifiers that a
+  /// template *declares locally* (block-scope variables and labels) are
+  /// renamed to fresh names at each instantiation, so they can never
+  /// capture identifiers in substituted user code. Free identifiers (calls,
+  /// globals such as exception_ptr) and top-level definitions keep their
+  /// names.
+  bool Hygienic = false;
+  /// Fresh-name counter shared with gensym (owned by the Interpreter).
+  size_t *FreshCounter = nullptr;
+};
+
+/// Instantiates the backquote template \p BQ, evaluating placeholders with
+/// \p EvalPh. Returns the produced value (an AST value for the `(, `{, `[
+/// forms; possibly a list/tuple for the general pattern form). Returns an
+/// Unset value after diagnosing an error.
+Value instantiateTemplate(QuasiContext &QC, const BackquoteExpr *BQ,
+                          const PlaceholderEvaluator &EvalPh);
+
+/// Converts a pattern-bound constituent into a runtime value (no
+/// placeholder substitution — the constituent must already be concrete).
+Value matchValueToValue(QuasiContext &QC, const MatchValue *MV);
+
+/// Conversions used at splice points (and by the expander). Each clones the
+/// underlying AST so the result is a fresh tree; on a type mismatch they
+/// diagnose at \p Loc and return null / an invalid Ident.
+Expr *valueToExpr(QuasiContext &QC, const Value &V, SourceLoc Loc);
+Stmt *valueToStmt(QuasiContext &QC, const Value &V, SourceLoc Loc);
+Decl *valueToDecl(QuasiContext &QC, const Value &V, SourceLoc Loc);
+TypeSpecNode *valueToTypeSpec(QuasiContext &QC, const Value &V, SourceLoc Loc);
+Ident valueToIdent(QuasiContext &QC, const Value &V, SourceLoc Loc);
+
+/// Converts a value to a short human-readable description (diagnostics).
+std::string describeValue(const Value &V);
+
+} // namespace msq
+
+#endif // MSQ_QUASI_QUASI_H

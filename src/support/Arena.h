@@ -1,0 +1,142 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bump-pointer arena allocator. All AST nodes, interned strings, and other
+/// parse-lifetime objects live in an Arena and are freed wholesale when the
+/// Arena is destroyed. Objects allocated here must be trivially destructible
+/// or must not rely on their destructor running.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SUPPORT_ARENA_H
+#define MSQ_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace msq {
+
+/// A chunked bump-pointer allocator.
+///
+/// Allocation never fails short of ::operator new failing; deallocation of
+/// individual objects is a no-op. Statistics (bytes and object counts) are
+/// tracked so benchmarks can report allocation volume.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align = alignof(std::max_align_t)) {
+    assert(Align != 0 && (Align & (Align - 1)) == 0 && "alignment not a power of two");
+    uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+    uintptr_t Aligned = (P + Align - 1) & ~(uintptr_t)(Align - 1);
+    if (Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
+      growChunk(Size + Align);
+      P = reinterpret_cast<uintptr_t>(Cur);
+      Aligned = (P + Align - 1) & ~(uintptr_t)(Align - 1);
+    }
+    Cur = reinterpret_cast<char *>(Aligned + Size);
+    BytesAllocated += Size;
+    ++NumAllocations;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Constructs a \p T in the arena, forwarding \p Args to its constructor.
+  template <typename T, typename... Args> T *create(Args &&...A) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return new (Mem) T(std::forward<Args>(A)...);
+  }
+
+  /// Copies \p Count objects of type \p T into the arena and returns the
+  /// new base pointer. Returns nullptr when \p Count is zero.
+  template <typename T> T *copyArray(const T *Src, size_t Count) {
+    if (Count == 0)
+      return nullptr;
+    T *Mem = static_cast<T *>(allocate(sizeof(T) * Count, alignof(T)));
+    for (size_t I = 0; I != Count; ++I)
+      new (Mem + I) T(Src[I]);
+    return Mem;
+  }
+
+  /// Copies a character buffer (not NUL-terminated) into the arena.
+  char *copyString(const char *Data, size_t Len) {
+    char *Mem = static_cast<char *>(allocate(Len + 1, 1));
+    std::memcpy(Mem, Data, Len);
+    Mem[Len] = '\0';
+    return Mem;
+  }
+
+  /// Total payload bytes handed out so far.
+  size_t bytesAllocated() const { return BytesAllocated; }
+  /// Number of allocate() calls so far.
+  size_t numAllocations() const { return NumAllocations; }
+
+private:
+  void growChunk(size_t MinSize) {
+    size_t Size = NextChunkSize;
+    if (Size < MinSize)
+      Size = MinSize;
+    NextChunkSize = NextChunkSize * 2;
+    if (NextChunkSize > MaxChunkSize)
+      NextChunkSize = MaxChunkSize;
+    Chunks.push_back(std::make_unique<char[]>(Size));
+    Cur = Chunks.back().get();
+    End = Cur + Size;
+  }
+
+  static constexpr size_t InitialChunkSize = 16 * 1024;
+  static constexpr size_t MaxChunkSize = 1024 * 1024;
+
+  std::vector<std::unique_ptr<char[]>> Chunks;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t NextChunkSize = InitialChunkSize;
+  size_t BytesAllocated = 0;
+  size_t NumAllocations = 0;
+};
+
+/// A borrowed view of a contiguous, arena-owned array.
+///
+/// Analogous in spirit to llvm::ArrayRef: cheap to copy, never owns.
+template <typename T> class ArenaRef {
+public:
+  ArenaRef() = default;
+  ArenaRef(const T *Data, size_t Size) : Data(Data), Size_(Size) {}
+
+  /// Copies the contents of \p V into \p A and refers to the copy.
+  static ArenaRef copy(Arena &A, const std::vector<T> &V) {
+    return ArenaRef(A.copyArray(V.data(), V.size()), V.size());
+  }
+
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Size_; }
+  size_t size() const { return Size_; }
+  bool empty() const { return Size_ == 0; }
+  const T &operator[](size_t I) const {
+    assert(I < Size_ && "ArenaRef index out of range");
+    return Data[I];
+  }
+  const T &front() const { return (*this)[0]; }
+  const T &back() const { return (*this)[Size_ - 1]; }
+
+private:
+  const T *Data = nullptr;
+  size_t Size_ = 0;
+};
+
+} // namespace msq
+
+#endif // MSQ_SUPPORT_ARENA_H

@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style isa<>/cast<>/dyn_cast<> over classes that provide
+/// `static bool classof(const Base *)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SUPPORT_CASTING_H
+#define MSQ_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace msq {
+
+/// Returns true when \p V (non-null) is an instance of \p To.
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> on a null pointer");
+  return To::classof(V);
+}
+
+/// Checked downcast; asserts that \p V really is a \p To.
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<To *>(V);
+}
+
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(V);
+}
+
+/// Checking downcast; returns nullptr when \p V is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+/// Like dyn_cast<> but tolerates a null argument.
+template <typename To, typename From> To *dyn_cast_or_null(From *V) {
+  return (V && isa<To>(V)) ? static_cast<To *>(V) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *V) {
+  return (V && isa<To>(V)) ? static_cast<const To *>(V) : nullptr;
+}
+
+} // namespace msq
+
+#endif // MSQ_SUPPORT_CASTING_H

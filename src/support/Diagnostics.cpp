@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace msq;
+
+static const char *severityName(DiagSeverity Sev) {
+  switch (Sev) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticsEngine::renderFrom(size_t First) const {
+  std::ostringstream OS;
+  for (size_t I = First; I < Diags.size(); ++I) {
+    const Diagnostic &D = Diags[I];
+    PresumedLoc P = SM.presumed(D.Loc);
+    if (P.Line != 0)
+      OS << P.Filename << ':' << P.Line << ':' << P.Column << ": ";
+    OS << severityName(D.Severity) << ": " << D.Message << '\n';
+  }
+  return OS.str();
+}

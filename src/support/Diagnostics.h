@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic collection. The library never throws; every component reports
+/// problems through a DiagnosticsEngine, and callers inspect it after each
+/// phase. Messages follow the LLVM style: lower-case first letter, no
+/// trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SUPPORT_DIAGNOSTICS_H
+#define MSQ_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceManager.h"
+
+#include <string>
+#include <vector>
+
+namespace msq {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics for a compilation. Not thread-safe.
+class DiagnosticsEngine {
+public:
+  explicit DiagnosticsEngine(const SourceManager &SM) : SM(SM) {}
+
+  void report(DiagSeverity Sev, SourceLoc Loc, std::string Message) {
+    if (Sev == DiagSeverity::Error)
+      ++NumErrors;
+    Diags.push_back({Sev, Loc, std::move(Message)});
+  }
+
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Renders every diagnostic as "file:line:col: severity: message" lines.
+  std::string renderAll() const { return renderFrom(0); }
+
+  /// Renders diagnostics starting at index \p First (used to scope output
+  /// to one phase of a longer session).
+  std::string renderFrom(size_t First) const;
+
+  /// Drops all collected diagnostics (used by tests between cases).
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+  const SourceManager &sourceManager() const { return SM; }
+
+private:
+  const SourceManager &SM;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace msq
+
+#endif // MSQ_SUPPORT_DIAGNOSTICS_H

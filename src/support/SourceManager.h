@@ -1,0 +1,118 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source buffers and locations. A SourceLoc is a (buffer id, byte offset)
+/// pair packed into 64 bits; the SourceManager maps it back to
+/// file/line/column for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SUPPORT_SOURCEMANAGER_H
+#define MSQ_SUPPORT_SOURCEMANAGER_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msq {
+
+/// A position within some registered source buffer.
+class SourceLoc {
+public:
+  SourceLoc() = default;
+
+  bool valid() const { return Raw != 0; }
+  explicit operator bool() const { return valid(); }
+
+  uint32_t bufferId() const { return uint32_t(Raw >> 32); }
+  uint32_t offset() const { return uint32_t(Raw & 0xffffffffu); }
+
+  static SourceLoc get(uint32_t BufferId, uint32_t Offset) {
+    SourceLoc L;
+    L.Raw = (uint64_t(BufferId) << 32) | Offset;
+    return L;
+  }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) { return A.Raw == B.Raw; }
+  friend bool operator!=(SourceLoc A, SourceLoc B) { return A.Raw != B.Raw; }
+
+private:
+  // Buffer ids start at 1 so that the all-zero SourceLoc is invalid.
+  uint64_t Raw = 0;
+};
+
+/// Resolved human-readable position.
+struct PresumedLoc {
+  std::string_view Filename;
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+
+/// Owns source buffers and resolves SourceLocs.
+class SourceManager {
+public:
+  /// Registers a buffer; the returned id is embedded in SourceLocs.
+  uint32_t addBuffer(std::string Name, std::string Contents) {
+    Buffers.push_back({std::move(Name), std::move(Contents), {}});
+    Buffer &B = Buffers.back();
+    B.LineStarts.push_back(0);
+    for (size_t I = 0; I != B.Contents.size(); ++I)
+      if (B.Contents[I] == '\n')
+        B.LineStarts.push_back(uint32_t(I + 1));
+    return uint32_t(Buffers.size()); // ids are 1-based
+  }
+
+  std::string_view bufferContents(uint32_t Id) const {
+    assert(Id >= 1 && Id <= Buffers.size() && "bad buffer id");
+    return Buffers[Id - 1].Contents;
+  }
+
+  std::string_view bufferName(uint32_t Id) const {
+    assert(Id >= 1 && Id <= Buffers.size() && "bad buffer id");
+    return Buffers[Id - 1].Name;
+  }
+
+  size_t numBuffers() const { return Buffers.size(); }
+
+  /// Maps \p Loc to file/line/column. Returns a zeroed PresumedLoc for the
+  /// invalid location.
+  PresumedLoc presumed(SourceLoc Loc) const {
+    if (!Loc.valid() || Loc.bufferId() == 0 || Loc.bufferId() > Buffers.size())
+      return {};
+    const Buffer &B = Buffers[Loc.bufferId() - 1];
+    uint32_t Off = Loc.offset();
+    // Binary search for the greatest line start <= Off.
+    size_t Lo = 0, Hi = B.LineStarts.size();
+    while (Hi - Lo > 1) {
+      size_t Mid = (Lo + Hi) / 2;
+      if (B.LineStarts[Mid] <= Off)
+        Lo = Mid;
+      else
+        Hi = Mid;
+    }
+    PresumedLoc P;
+    P.Filename = B.Name;
+    P.Line = unsigned(Lo + 1);
+    P.Column = Off - B.LineStarts[Lo] + 1;
+    return P;
+  }
+
+private:
+  struct Buffer {
+    std::string Name;
+    std::string Contents;
+    std::vector<uint32_t> LineStarts;
+  };
+  std::vector<Buffer> Buffers;
+};
+
+} // namespace msq
+
+#endif // MSQ_SUPPORT_SOURCEMANAGER_H

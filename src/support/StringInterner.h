@@ -1,0 +1,89 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String interning. Identifiers, keywords, and string literals are uniqued
+/// into a StringInterner so that a Symbol compares by pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SUPPORT_STRINGINTERNER_H
+#define MSQ_SUPPORT_STRINGINTERNER_H
+
+#include "support/Arena.h"
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace msq {
+
+/// An interned, immutable string. Compares by identity; the empty Symbol is
+/// distinct from any interned string (including the interned empty string).
+class Symbol {
+public:
+  Symbol() = default;
+
+  bool valid() const { return Data != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  std::string_view str() const {
+    return Data ? std::string_view(Data, Len) : std::string_view();
+  }
+  /// NUL-terminated character data; nullptr for the invalid Symbol.
+  const char *c_str() const { return Data; }
+  size_t size() const { return Len; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Data == B.Data; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Data != B.Data; }
+  friend bool operator<(Symbol A, Symbol B) { return A.str() < B.str(); }
+
+private:
+  friend class StringInterner;
+  friend struct SymbolHash;
+  Symbol(const char *Data, size_t Len) : Data(Data), Len(Len) {}
+
+  const char *Data = nullptr;
+  size_t Len = 0;
+};
+
+struct SymbolHash {
+  size_t operator()(Symbol S) const {
+    return std::hash<const void *>()(S.Data);
+  }
+};
+
+/// Uniques strings into an Arena.
+class StringInterner {
+public:
+  explicit StringInterner(Arena &A) : TheArena(A) {}
+  StringInterner(const StringInterner &) = delete;
+  StringInterner &operator=(const StringInterner &) = delete;
+
+  /// Interns \p S, returning the canonical Symbol for its contents.
+  Symbol intern(std::string_view S) {
+    auto It = Table.find(S);
+    if (It != Table.end())
+      return Symbol(It->data(), It->size());
+    char *Mem = TheArena.copyString(S.data(), S.size());
+    std::string_view Owned(Mem, S.size());
+    Table.insert(Owned);
+    return Symbol(Mem, S.size());
+  }
+
+  size_t size() const { return Table.size(); }
+
+private:
+  Arena &TheArena;
+  std::unordered_set<std::string_view> Table;
+};
+
+} // namespace msq
+
+#endif // MSQ_SUPPORT_STRINGINTERNER_H

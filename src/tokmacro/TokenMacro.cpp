@@ -1,0 +1,262 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tokmacro/TokenMacro.h"
+
+#include <sstream>
+
+using namespace msq;
+
+TokenMacroProcessor::TokenMacroProcessor()
+    : Diags(SM), Interner(StringsArena) {}
+
+TokenMacroProcessor::~TokenMacroProcessor() = default;
+
+std::vector<Token> TokenMacroProcessor::lexText(std::string Name,
+                                                std::string Text) {
+  uint32_t Id = SM.addBuffer(std::move(Name), std::move(Text));
+  Lexer Lex(Id, SM.bufferContents(Id), Interner, Diags);
+  std::vector<Token> Toks = Lex.lexAll();
+  if (!Toks.empty())
+    Toks.pop_back(); // drop Eof
+  return Toks;
+}
+
+void TokenMacroProcessor::define(std::string_view Name,
+                                 std::vector<std::string> Params,
+                                 std::string_view Body, bool FunctionLike) {
+  TokenMacroDef Def;
+  Def.Name = Interner.intern(Name);
+  Def.FunctionLike = FunctionLike || !Params.empty();
+  for (const std::string &P : Params)
+    Def.Params.push_back(Interner.intern(P));
+  Def.Body = lexText("<define:" + std::string(Name) + ">", std::string(Body));
+  Macros[Def.Name] = std::move(Def);
+}
+
+void TokenMacroProcessor::handleDefineLine(const std::string &Line) {
+  // Line starts after "#define".
+  std::vector<Token> Toks = lexText("<directive>", Line);
+  if (Toks.empty() || Toks[0].isNot(TokenKind::Identifier)) {
+    Diags.error(SourceLoc(), "malformed #define directive");
+    return;
+  }
+  TokenMacroDef Def;
+  Def.Name = Toks[0].Sym;
+  size_t I = 1;
+  // Function-like only when '(' immediately follows the name. Token offsets
+  // let us detect adjacency.
+  if (I < Toks.size() && Toks[I].is(TokenKind::LParen) &&
+      Toks[I].Loc.offset() == Toks[0].Loc.offset() + Toks[0].Sym.size()) {
+    Def.FunctionLike = true;
+    ++I;
+    if (I < Toks.size() && Toks[I].is(TokenKind::RParen)) {
+      ++I;
+    } else {
+      for (;;) {
+        if (I >= Toks.size() || Toks[I].isNot(TokenKind::Identifier)) {
+          Diags.error(SourceLoc(), "expected parameter name in #define");
+          return;
+        }
+        Def.Params.push_back(Toks[I].Sym);
+        ++I;
+        if (I < Toks.size() && Toks[I].is(TokenKind::Comma)) {
+          ++I;
+          continue;
+        }
+        break;
+      }
+      if (I >= Toks.size() || Toks[I].isNot(TokenKind::RParen)) {
+        Diags.error(SourceLoc(), "expected ')' in #define parameter list");
+        return;
+      }
+      ++I;
+    }
+  }
+  Def.Body.assign(Toks.begin() + I, Toks.end());
+  Macros[Def.Name] = std::move(Def);
+}
+
+void TokenMacroProcessor::expandTokens(const std::vector<Token> &In,
+                                       std::vector<Token> &Out,
+                                       std::vector<Symbol> &Hide) {
+  for (size_t I = 0; I < In.size(); ++I) {
+    const Token &T = In[I];
+    if (T.isNot(TokenKind::Identifier)) {
+      Out.push_back(T);
+      continue;
+    }
+    bool Hidden = false;
+    for (Symbol H : Hide)
+      if (H == T.Sym)
+        Hidden = true;
+    auto It = Macros.find(T.Sym);
+    if (Hidden || It == Macros.end()) {
+      Out.push_back(T);
+      continue;
+    }
+    const TokenMacroDef &Def = It->second;
+    if (!Def.FunctionLike) {
+      ++Expansions;
+      Hide.push_back(Def.Name);
+      expandTokens(Def.Body, Out, Hide);
+      Hide.pop_back();
+      continue;
+    }
+    // Function-like: require '('.
+    if (I + 1 >= In.size() || In[I + 1].isNot(TokenKind::LParen)) {
+      Out.push_back(T);
+      continue;
+    }
+    // Collect arguments (token level, balancing parentheses).
+    size_t J = I + 2;
+    std::vector<std::vector<Token>> Args;
+    std::vector<Token> Current;
+    unsigned Depth = 0;
+    bool Closed = false;
+    for (; J < In.size(); ++J) {
+      const Token &A = In[J];
+      if (A.is(TokenKind::LParen) || A.is(TokenKind::LBracket) ||
+          A.is(TokenKind::LBrace)) {
+        ++Depth;
+        Current.push_back(A);
+        continue;
+      }
+      if (A.is(TokenKind::RParen)) {
+        if (Depth == 0) {
+          Closed = true;
+          break;
+        }
+        --Depth;
+        Current.push_back(A);
+        continue;
+      }
+      if (A.is(TokenKind::RBracket) || A.is(TokenKind::RBrace)) {
+        if (Depth > 0)
+          --Depth;
+        Current.push_back(A);
+        continue;
+      }
+      if (A.is(TokenKind::Comma) && Depth == 0) {
+        Args.push_back(std::move(Current));
+        Current.clear();
+        continue;
+      }
+      Current.push_back(A);
+    }
+    if (!Closed) {
+      Diags.error(T.Loc, "unterminated macro argument list");
+      Out.push_back(T);
+      continue;
+    }
+    if (!Current.empty() || !Args.empty())
+      Args.push_back(std::move(Current));
+    if (Args.size() != Def.Params.size()) {
+      Diags.error(T.Loc, "macro '" + std::string(T.Sym.str()) + "' expects " +
+                             std::to_string(Def.Params.size()) +
+                             " arguments, got " + std::to_string(Args.size()));
+      Out.push_back(T);
+      continue;
+    }
+    I = J; // continue after ')'
+    ++Expansions;
+    // Substitute parameters (token-for-token, NO parentheses added — this
+    // is precisely the encapsulation failure the paper describes).
+    std::vector<Token> Substituted;
+    for (const Token &B : Def.Body) {
+      bool IsParam = false;
+      if (B.is(TokenKind::Identifier)) {
+        for (size_t P = 0; P != Def.Params.size(); ++P) {
+          if (Def.Params[P] == B.Sym) {
+            Substituted.insert(Substituted.end(), Args[P].begin(),
+                               Args[P].end());
+            IsParam = true;
+            break;
+          }
+        }
+      }
+      if (!IsParam)
+        Substituted.push_back(B);
+    }
+    Hide.push_back(Def.Name);
+    expandTokens(Substituted, Out, Hide);
+    Hide.pop_back();
+  }
+}
+
+std::string TokenMacroProcessor::renderTokens(
+    const std::vector<Token> &Toks) const {
+  std::ostringstream OS;
+  bool First = true;
+  for (const Token &T : Toks) {
+    if (!First)
+      OS << ' ';
+    First = false;
+    switch (T.Kind) {
+    case TokenKind::Identifier:
+    case TokenKind::IntLiteral:
+    case TokenKind::FloatLiteral:
+    case TokenKind::CharLiteral:
+      OS << T.Sym.str();
+      break;
+    case TokenKind::StringLiteral:
+      OS << '"' << T.Sym.str() << '"';
+      break;
+    default:
+      OS << tokenKindSpelling(T.Kind);
+      break;
+    }
+  }
+  return OS.str();
+}
+
+std::string TokenMacroProcessor::process(const std::string &Source) {
+  std::vector<Token> Body;
+  std::istringstream In(Source);
+  std::string Line;
+  std::string NonDirectives;
+  while (std::getline(In, Line)) {
+    size_t NS = Line.find_first_not_of(" \t");
+    if (NS != std::string::npos && Line[NS] == '#') {
+      std::string Rest = Line.substr(NS + 1);
+      size_t WS = Rest.find_first_not_of(" \t");
+      if (WS != std::string::npos && Rest.compare(WS, 6, "define") == 0) {
+        handleDefineLine(Rest.substr(WS + 6));
+        continue;
+      }
+      if (WS != std::string::npos && Rest.compare(WS, 5, "undef") == 0) {
+        std::vector<Token> T = lexText("<undef>", Rest.substr(WS + 5));
+        if (!T.empty() && T[0].is(TokenKind::Identifier))
+          Macros.erase(T[0].Sym);
+        continue;
+      }
+      Diags.error(SourceLoc(), "unsupported preprocessor directive: " + Line);
+      continue;
+    }
+    NonDirectives += Line;
+    NonDirectives += '\n';
+  }
+  std::vector<Token> Toks = lexText("<input>", NonDirectives);
+  std::vector<Token> Out;
+  std::vector<Symbol> Hide;
+  expandTokens(Toks, Out, Hide);
+  return renderTokens(Out);
+}
+
+std::string TokenMacroProcessor::expandFragment(const std::string &Fragment) {
+  std::vector<Token> Toks = lexText("<fragment>", Fragment);
+  std::vector<Token> Out;
+  std::vector<Symbol> Hide;
+  expandTokens(Toks, Out, Hide);
+  return renderTokens(Out);
+}
+
+bool TokenMacroProcessor::hadErrors() const { return Diags.hasErrors(); }
+
+std::string TokenMacroProcessor::diagnosticsText() const {
+  return Diags.renderAll();
+}

@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A token-level macro processor in the mould of CPP (the paper's Figure 1
+/// "Token" column): object-like and function-like `#define`s, recursive
+/// expansion with self-reference suppression. It exists as the *baseline*
+/// against which MS2's syntactic safety and encapsulation are demonstrated:
+/// `#define mult(A,B) A * B` famously mis-parenthesizes `mult(x+y, m+n)`,
+/// which MS2 cannot do because its substitution operates on trees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_TOKMACRO_TOKENMACRO_H
+#define MSQ_TOKMACRO_TOKENMACRO_H
+
+#include "lexer/Lexer.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace msq {
+
+/// A CPP-style token macro definition.
+struct TokenMacroDef {
+  Symbol Name;
+  bool FunctionLike = false;
+  std::vector<Symbol> Params;
+  std::vector<Token> Body;
+};
+
+/// Processes text containing `#define` directives and macro uses, producing
+/// the expanded token stream re-rendered as text.
+class TokenMacroProcessor {
+public:
+  TokenMacroProcessor();
+  ~TokenMacroProcessor();
+  TokenMacroProcessor(const TokenMacroProcessor &) = delete;
+  TokenMacroProcessor &operator=(const TokenMacroProcessor &) = delete;
+
+  /// Defines a macro programmatically (object-like when \p Params empty
+  /// and \p FunctionLike false).
+  void define(std::string_view Name, std::vector<std::string> Params,
+              std::string_view Body, bool FunctionLike);
+
+  /// Processes a whole source: consumes `#define NAME ...` /
+  /// `#define NAME(a,b) ...` / `#undef NAME` lines, expands everything
+  /// else, and returns the result as text.
+  std::string process(const std::string &Source);
+
+  /// Expands a single fragment with the current definitions.
+  std::string expandFragment(const std::string &Fragment);
+
+  bool hadErrors() const;
+  std::string diagnosticsText() const;
+  size_t expansionsPerformed() const { return Expansions; }
+  size_t macroCount() const { return Macros.size(); }
+
+private:
+  std::vector<Token> lexText(std::string Name, std::string Text);
+  void handleDefineLine(const std::string &Line);
+  /// Expands \p In to a fully macro-free token vector. \p Hide carries the
+  /// set of macro names suppressed for recursion.
+  void expandTokens(const std::vector<Token> &In, std::vector<Token> &Out,
+                    std::vector<Symbol> &Hide);
+  std::string renderTokens(const std::vector<Token> &Toks) const;
+
+  SourceManager SM;
+  DiagnosticsEngine Diags;
+  Arena StringsArena;
+  StringInterner Interner;
+  std::unordered_map<Symbol, TokenMacroDef, SymbolHash> Macros;
+  size_t Expansions = 0;
+};
+
+} // namespace msq
+
+#endif // MSQ_TOKMACRO_TOKENMACRO_H

@@ -1,0 +1,220 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/MetaType.h"
+
+#include <sstream>
+
+using namespace msq;
+
+static const char *scalarName(MetaTypeKind K) {
+  switch (K) {
+  case MetaTypeKind::Exp:
+    return "exp";
+  case MetaTypeKind::Stmt:
+    return "stmt";
+  case MetaTypeKind::Decl:
+    return "decl";
+  case MetaTypeKind::Id:
+    return "id";
+  case MetaTypeKind::Num:
+    return "num";
+  case MetaTypeKind::TypeSpec:
+    return "typespec";
+  case MetaTypeKind::Declarator:
+    return "declarator";
+  case MetaTypeKind::InitDeclarator:
+    return "init_declarator";
+  case MetaTypeKind::Enumerator:
+    return "enumerator";
+  case MetaTypeKind::Param:
+    return "param";
+  case MetaTypeKind::Int:
+    return "int";
+  case MetaTypeKind::Float:
+    return "float";
+  case MetaTypeKind::String:
+    return "string";
+  case MetaTypeKind::Void:
+    return "void";
+  case MetaTypeKind::Error:
+    return "<error>";
+  default:
+    return "<structured>";
+  }
+}
+
+bool MetaType::equals(const MetaType *A, const MetaType *B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->Kind != B->Kind)
+    return false;
+  switch (A->Kind) {
+  case MetaTypeKind::List:
+    return equals(A->Elem, B->Elem);
+  case MetaTypeKind::Tuple: {
+    if (A->Fields.size() != B->Fields.size())
+      return false;
+    for (size_t I = 0; I != A->Fields.size(); ++I)
+      if (!equals(A->Fields[I], B->Fields[I]))
+        return false;
+    return true;
+  }
+  case MetaTypeKind::Function: {
+    if (A->Variadic != B->Variadic || A->Fields.size() != B->Fields.size())
+      return false;
+    if (!equals(A->Elem, B->Elem))
+      return false;
+    for (size_t I = 0; I != A->Fields.size(); ++I)
+      if (!equals(A->Fields[I], B->Fields[I]))
+        return false;
+    return true;
+  }
+  default:
+    return true; // scalars of equal kind
+  }
+}
+
+std::string MetaType::toString() const {
+  std::ostringstream OS;
+  switch (Kind) {
+  case MetaTypeKind::List:
+    OS << Elem->toString() << "[]";
+    break;
+  case MetaTypeKind::Tuple: {
+    OS << "@{";
+    for (size_t I = 0; I != Fields.size(); ++I) {
+      if (I)
+        OS << ", ";
+      if (FieldNames[I].valid())
+        OS << FieldNames[I].str() << ": ";
+      OS << Fields[I]->toString();
+    }
+    OS << '}';
+    break;
+  }
+  case MetaTypeKind::Function: {
+    OS << "fn(";
+    for (size_t I = 0; I != Fields.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << Fields[I]->toString();
+    }
+    if (Variadic)
+      OS << (Fields.empty() ? "..." : ", ...");
+    OS << ") -> " << Elem->toString();
+    break;
+  }
+  case MetaTypeKind::Int:
+  case MetaTypeKind::Float:
+  case MetaTypeKind::String:
+  case MetaTypeKind::Void:
+  case MetaTypeKind::Error:
+    OS << scalarName(Kind);
+    break;
+  default:
+    OS << '@' << scalarName(Kind);
+    break;
+  }
+  return OS.str();
+}
+
+MetaTypeContext::MetaTypeContext() {
+  Scalars.resize(size_t(MetaTypeKind::Error) + 1, nullptr);
+}
+
+const MetaType *MetaTypeContext::getScalar(MetaTypeKind K) {
+  assert(K != MetaTypeKind::List && K != MetaTypeKind::Tuple &&
+         K != MetaTypeKind::Function && "not a scalar kind");
+  size_t I = size_t(K);
+  if (!Scalars[I])
+    Scalars[I] = new (TypeArena.allocate(sizeof(MetaType), alignof(MetaType)))
+        MetaType(K);
+  return Scalars[I];
+}
+
+const MetaType *MetaTypeContext::getList(const MetaType *Elem) {
+  for (MetaType *L : Lists)
+    if (MetaType::equals(L->Elem, Elem))
+      return L;
+  MetaType *L = new (TypeArena.allocate(sizeof(MetaType), alignof(MetaType)))
+      MetaType(MetaTypeKind::List);
+  L->Elem = Elem;
+  Lists.push_back(L);
+  return L;
+}
+
+const MetaType *
+MetaTypeContext::getTuple(std::vector<const MetaType *> Fields,
+                          std::vector<Symbol> Names) {
+  assert(Fields.size() == Names.size() && "field/name arity mismatch");
+  MetaType *T = new (TypeArena.allocate(sizeof(MetaType), alignof(MetaType)))
+      MetaType(MetaTypeKind::Tuple);
+  T->Fields = std::move(Fields);
+  T->FieldNames = std::move(Names);
+  Others.push_back(T);
+  return T;
+}
+
+const MetaType *
+MetaTypeContext::getFunction(const MetaType *Result,
+                             std::vector<const MetaType *> Params,
+                             bool Variadic) {
+  MetaType *T = new (TypeArena.allocate(sizeof(MetaType), alignof(MetaType)))
+      MetaType(MetaTypeKind::Function);
+  T->Elem = Result;
+  T->Fields = std::move(Params);
+  T->Variadic = Variadic;
+  Others.push_back(T);
+  return T;
+}
+
+const MetaType *MetaTypeContext::scalarByName(std::string_view Name) {
+  if (Name == "exp")
+    return getScalar(MetaTypeKind::Exp);
+  if (Name == "stmt")
+    return getScalar(MetaTypeKind::Stmt);
+  if (Name == "decl")
+    return getScalar(MetaTypeKind::Decl);
+  if (Name == "id")
+    return getScalar(MetaTypeKind::Id);
+  if (Name == "num")
+    return getScalar(MetaTypeKind::Num);
+  if (Name == "typespec" || Name == "type_spec")
+    return getScalar(MetaTypeKind::TypeSpec);
+  if (Name == "declarator")
+    return getScalar(MetaTypeKind::Declarator);
+  if (Name == "init_declarator")
+    return getScalar(MetaTypeKind::InitDeclarator);
+  if (Name == "enumerator")
+    return getScalar(MetaTypeKind::Enumerator);
+  if (Name == "param")
+    return getScalar(MetaTypeKind::Param);
+  return nullptr;
+}
+
+bool MetaTypeContext::isAssignable(const MetaType *To, const MetaType *From) {
+  if (!To || !From)
+    return false;
+  if (To->isError() || From->isError())
+    return true;
+  if (MetaType::equals(To, From))
+    return true;
+  // `num` and `id` AST values are expressions.
+  if (To->kind() == MetaTypeKind::Exp &&
+      (From->kind() == MetaTypeKind::Num || From->kind() == MetaTypeKind::Id))
+    return true;
+  // An identifier can stand where a declarator is expected (Figure 2's
+  // bottom row: the identifier becomes a direct-declarator).
+  if (To->kind() == MetaTypeKind::Declarator &&
+      From->kind() == MetaTypeKind::Id)
+    return true;
+  // Lists are element-wise covariant.
+  if (To->isList() && From->isList())
+    return isAssignable(To->listElem(), From->listElem());
+  return false;
+}

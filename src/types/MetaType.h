@@ -1,0 +1,174 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The macro language's type system (paper section 2, "The AST Type
+/// Language"). Primitive AST types are `id`, `stmt`, `decl`, `exp`, `num`,
+/// and `typespec`; the paper's Figure 2 additionally types placeholders as
+/// `declarator`, `init-declarator`, and `init-declarator[]`, so those (plus
+/// `enumerator` and `param`) are primitives here too. Combining forms are
+/// lists (declared with C array syntax) and tuples (declared with C struct
+/// syntax). Meta-computation also uses ordinary C `int`, `float`,
+/// and `char*` (string) values, and function types for the builtins and for
+/// the paper's experimental anonymous functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_TYPES_METATYPE_H
+#define MSQ_TYPES_METATYPE_H
+
+#include "support/Arena.h"
+#include "support/StringInterner.h"
+
+#include <string>
+#include <vector>
+
+namespace msq {
+
+enum class MetaTypeKind : unsigned char {
+  // AST-valued scalars.
+  Exp,
+  Stmt,
+  Decl,
+  Id,
+  Num,
+  TypeSpec,
+  Declarator,
+  InitDeclarator,
+  Enumerator,
+  Param,
+  // Plain computation values.
+  Int,
+  Float,
+  String,
+  Void,
+  // Combining forms.
+  List,
+  Tuple,
+  Function,
+  // Produced after a diagnosed error; compatible with everything to
+  // suppress cascades.
+  Error,
+};
+
+/// An immutable meta-level type. Scalar types are uniqued by the
+/// MetaTypeContext; structured types compare structurally via equals().
+class MetaType {
+public:
+  MetaTypeKind kind() const { return Kind; }
+
+  bool isAstScalar() const {
+    return Kind >= MetaTypeKind::Exp && Kind <= MetaTypeKind::Param;
+  }
+  bool isAstValued() const {
+    return isAstScalar() || Kind == MetaTypeKind::List ||
+           Kind == MetaTypeKind::Tuple;
+  }
+  bool isList() const { return Kind == MetaTypeKind::List; }
+  bool isTuple() const { return Kind == MetaTypeKind::Tuple; }
+  bool isFunction() const { return Kind == MetaTypeKind::Function; }
+  bool isError() const { return Kind == MetaTypeKind::Error; }
+
+  /// For List: element type.
+  const MetaType *listElem() const {
+    assert(isList() && "not a list type");
+    return Elem;
+  }
+
+  /// For Tuple: field types (field I of the tuple has type fields()[I]).
+  const std::vector<const MetaType *> &tupleFields() const {
+    assert(isTuple() && "not a tuple type");
+    return Fields;
+  }
+  /// For Tuple: field names, parallel to tupleFields(). A field name may be
+  /// the invalid Symbol for positional (pattern-derived) tuples.
+  const std::vector<Symbol> &tupleFieldNames() const {
+    assert(isTuple() && "not a tuple type");
+    return FieldNames;
+  }
+
+  /// For Function: result type.
+  const MetaType *resultType() const {
+    assert(isFunction() && "not a function type");
+    return Elem;
+  }
+  /// For Function: parameter types.
+  const std::vector<const MetaType *> &paramTypes() const {
+    assert(isFunction() && "not a function type");
+    return Fields;
+  }
+  /// For Function: true when extra trailing arguments are accepted
+  /// (builtins such as `list` and `concat_ids`).
+  bool isVariadic() const {
+    assert(isFunction() && "not a function type");
+    return Variadic;
+  }
+
+  /// Structural equality.
+  static bool equals(const MetaType *A, const MetaType *B);
+
+  /// Renders the type using the paper's surface syntax, e.g. "@stmt",
+  /// "@id[]", "int", "@{id, exp}".
+  std::string toString() const;
+
+private:
+  friend class MetaTypeContext;
+  explicit MetaType(MetaTypeKind Kind) : Kind(Kind) {}
+
+  MetaTypeKind Kind;
+  const MetaType *Elem = nullptr;            // List element / Function result
+  std::vector<const MetaType *> Fields;      // Tuple fields / Function params
+  std::vector<Symbol> FieldNames;            // Tuple field names
+  bool Variadic = false;                     // Function variadicity
+};
+
+/// Creates and uniques MetaTypes. Scalar types and lists of scalars are
+/// uniqued so pointer equality usually works; always use MetaType::equals
+/// for semantic comparison.
+class MetaTypeContext {
+public:
+  MetaTypeContext();
+
+  const MetaType *getScalar(MetaTypeKind K);
+  const MetaType *getExp() { return getScalar(MetaTypeKind::Exp); }
+  const MetaType *getStmt() { return getScalar(MetaTypeKind::Stmt); }
+  const MetaType *getDecl() { return getScalar(MetaTypeKind::Decl); }
+  const MetaType *getId() { return getScalar(MetaTypeKind::Id); }
+  const MetaType *getNum() { return getScalar(MetaTypeKind::Num); }
+  const MetaType *getTypeSpec() { return getScalar(MetaTypeKind::TypeSpec); }
+  const MetaType *getInt() { return getScalar(MetaTypeKind::Int); }
+  const MetaType *getFloat() { return getScalar(MetaTypeKind::Float); }
+  const MetaType *getString() { return getScalar(MetaTypeKind::String); }
+  const MetaType *getVoid() { return getScalar(MetaTypeKind::Void); }
+  const MetaType *getError() { return getScalar(MetaTypeKind::Error); }
+
+  const MetaType *getList(const MetaType *Elem);
+  const MetaType *getTuple(std::vector<const MetaType *> Fields,
+                           std::vector<Symbol> Names);
+  const MetaType *getFunction(const MetaType *Result,
+                              std::vector<const MetaType *> Params,
+                              bool Variadic = false);
+
+  /// Maps a surface name ("exp", "stmt", "init_declarator", ...) to its
+  /// scalar kind. Returns nullptr for unknown names.
+  const MetaType *scalarByName(std::string_view Name);
+
+  /// True when a value of type \p From may appear where \p To is expected.
+  /// `num` and `id` values are expressions, so they satisfy `exp`; lists
+  /// are element-wise covariant; Error satisfies everything.
+  static bool isAssignable(const MetaType *To, const MetaType *From);
+
+private:
+  Arena TypeArena;
+  std::vector<MetaType *> Scalars; // indexed by MetaTypeKind
+  std::vector<MetaType *> Lists;   // uniqued lazily
+  std::vector<MetaType *> Others;  // tuples & functions (not uniqued)
+};
+
+} // namespace msq
+
+#endif // MSQ_TYPES_METATYPE_H

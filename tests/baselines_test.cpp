@@ -1,0 +1,188 @@
+//===----------------------------------------------------------------------===//
+// Unit tests: the character-level and token-level baseline macro
+// processors (Figure 1's other columns), including the failure modes that
+// motivate syntax macros.
+//===----------------------------------------------------------------------===//
+
+#include "charmacro/CharMacro.h"
+#include "tokmacro/TokenMacro.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Token macros (mini-CPP)
+//===----------------------------------------------------------------------===//
+
+TEST(TokenMacro, ObjectLikeDefine) {
+  TokenMacroProcessor P;
+  std::string Out = P.process("#define N 10\nint a[N];");
+  EXPECT_EQ(Out, "int a [ 10 ] ;");
+  EXPECT_FALSE(P.hadErrors()) << P.diagnosticsText();
+}
+
+TEST(TokenMacro, FunctionLikeDefine) {
+  TokenMacroProcessor P;
+  std::string Out = P.process("#define sq(x) x * x\nint y = sq(4);");
+  EXPECT_EQ(Out, "int y = 4 * 4 ;");
+}
+
+TEST(TokenMacro, ThePrecedenceCaptureBug) {
+  // The paper's motivating failure: A * B with A = x + y, B = m + n
+  // expands to x + y * m + n, which parses as x + (y * m) + n.
+  TokenMacroProcessor P;
+  std::string Out =
+      P.process("#define mult(A, B) A * B\nr = mult(x + y, m + n);");
+  EXPECT_EQ(Out, "r = x + y * m + n ;");
+}
+
+TEST(TokenMacro, SideEffectDuplication) {
+  // Token substitution duplicates argument tokens.
+  TokenMacroProcessor P;
+  std::string Out = P.process("#define twice(E) E + E\nr = twice(f(x));");
+  EXPECT_EQ(Out, "r = f ( x ) + f ( x ) ;");
+}
+
+TEST(TokenMacro, RecursiveExpansion) {
+  TokenMacroProcessor P;
+  std::string Out = P.process(R"(
+#define A B
+#define B C
+#define C 42
+x = A;
+)");
+  EXPECT_EQ(Out, "x = 42 ;");
+}
+
+TEST(TokenMacro, SelfReferenceSuppressed) {
+  TokenMacroProcessor P;
+  std::string Out = P.process("#define X X + 1\ny = X;");
+  EXPECT_EQ(Out, "y = X + 1 ;");
+}
+
+TEST(TokenMacro, MutualRecursionTerminates) {
+  TokenMacroProcessor P;
+  std::string Out = P.process(R"(
+#define A B
+#define B A
+x = A;
+)");
+  EXPECT_EQ(Out, "x = A ;");
+}
+
+TEST(TokenMacro, NestedArgumentsBalance) {
+  TokenMacroProcessor P;
+  std::string Out =
+      P.process("#define first(A, B) A\nx = first(f(a, b), c);");
+  EXPECT_EQ(Out, "x = f ( a , b ) ;");
+}
+
+TEST(TokenMacro, WrongArityDiagnosed) {
+  TokenMacroProcessor P;
+  P.process("#define two(A, B) A B\nx = two(1);");
+  EXPECT_TRUE(P.hadErrors());
+}
+
+TEST(TokenMacro, FunctionLikeWithoutParensNotExpanded) {
+  TokenMacroProcessor P;
+  std::string Out = P.process("#define f(X) X\ny = f;");
+  EXPECT_EQ(Out, "y = f ;");
+}
+
+TEST(TokenMacro, Undef) {
+  TokenMacroProcessor P;
+  std::string Out = P.process(R"(
+#define N 1
+#undef N
+x = N;
+)");
+  EXPECT_EQ(Out, "x = N ;");
+}
+
+TEST(TokenMacro, ProgrammaticDefinition) {
+  TokenMacroProcessor P;
+  P.define("PI", {}, "314", false);
+  EXPECT_EQ(P.expandFragment("r = PI;"), "r = 314 ;");
+  EXPECT_EQ(P.macroCount(), 1u);
+}
+
+TEST(TokenMacro, ExpansionCountTracked) {
+  TokenMacroProcessor P;
+  P.define("A", {}, "1", false);
+  P.expandFragment("A A A");
+  EXPECT_EQ(P.expansionsPerformed(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Character macros (GPM-style)
+//===----------------------------------------------------------------------===//
+
+TEST(CharMacro, SimpleSubstitution) {
+  CharMacroProcessor P;
+  P.define("GREETING", {}, "hello");
+  EXPECT_EQ(P.process("say GREETING now"), "say hello now");
+}
+
+TEST(CharMacro, ParameterizedSubstitution) {
+  CharMacroProcessor P;
+  P.define("mult", {"A", "B"}, "A * B");
+  // Note the doubled space: character-level arguments keep the whitespace
+  // after the comma — there is no tokenizer to normalize it.
+  EXPECT_EQ(P.process("r = mult(x + y, m + n);"), "r = x + y *  m + n;");
+}
+
+TEST(CharMacro, RewritesInsideIdentifiers) {
+  // The character-level hazard: substitution has no token boundaries.
+  CharMacroProcessor P;
+  P.define("in", {}, "IN");
+  EXPECT_EQ(P.process("int main"), "INt maIN");
+}
+
+TEST(CharMacro, RewritesInsideStrings) {
+  CharMacroProcessor P;
+  P.define("x", {}, "y");
+  EXPECT_EQ(P.process("\"x marks the spot\""), "\"y marks the spot\"");
+}
+
+TEST(CharMacro, ParameterNameCollisionHazard) {
+  // Parameter substitution is plain find/replace inside the body: a body
+  // word containing the parameter name is mangled. (Real GPM had quoting
+  // conventions to mitigate this; the hazard is inherent.)
+  CharMacroProcessor P;
+  P.define("bad", {"A"}, "CAT A");
+  EXPECT_EQ(P.process("bad(dog)"), "CdogT dog");
+}
+
+TEST(CharMacro, RescanningExpandsProducedText) {
+  CharMacroProcessor P;
+  P.define("ONE", {}, "TWO");
+  P.define("TWO", {}, "done");
+  EXPECT_EQ(P.process("ONE"), "done");
+}
+
+TEST(CharMacro, SelfReferenceBoundedByPassLimit) {
+  CharMacroProcessor P;
+  P.define("X", {}, "X");
+  // Must terminate (bounded passes), not loop forever.
+  EXPECT_EQ(P.process("X"), "X");
+}
+
+TEST(CharMacro, UndefineRemoves) {
+  CharMacroProcessor P;
+  P.define("N", {}, "1");
+  P.undefine("N");
+  EXPECT_EQ(P.process("N"), "N");
+  EXPECT_EQ(P.macroCount(), 0u);
+}
+
+TEST(CharMacro, SubstitutionCountTracked) {
+  CharMacroProcessor P;
+  P.define("A", {}, "b");
+  P.process("A A A");
+  EXPECT_EQ(P.lastSubstitutionCount(), 3u);
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+//===----------------------------------------------------------------------===//
+// Coverage of the remaining subtle paths: macros invoked from meta code,
+// star-with-separator and unguarded-optional patterns, S-expression dumps
+// of control flow, and function pointers flowing through templates.
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+#include "printer/SExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+bool contains(const std::string &H, const std::string &N) {
+  return H.find(N) != std::string::npos;
+}
+
+TEST(Coverage, MacroInvocationInsideMetaCode) {
+  // A macro body can itself invoke another macro as meta-level data: the
+  // invocation expands eagerly during evaluation.
+  Engine E;
+  ExpandResult R = E.expandSource("t.c", R"(
+syntax exp two {| ( ) |}
+{
+    return `(2);
+}
+syntax exp four {| ( ) |}
+{
+    @exp e;
+    e = two();
+    return `(($e) + ($e));
+}
+int x = four();
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "int x = (2) + (2);")) << R.Output;
+}
+
+TEST(Coverage, StarWithSeparatorAllowsEmptyList) {
+  Engine E;
+  ExpandResult R = E.expandSource("t.c", R"(
+syntax decl fields {| $$id::name ( $$*/, id::members ) ; |}
+{
+    return `[struct $name { int $members; };];
+}
+fields empty ();
+fields full (a, b, c);
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "struct empty { int; };") ||
+              contains(R.Output, "struct empty {"))
+      << R.Output;
+  EXPECT_TRUE(contains(R.Output, "int a, b, c;"));
+}
+
+TEST(Coverage, UnguardedOptionalDecidedByFollowToken) {
+  Engine E;
+  ExpandResult R = E.expandSource("t.c", R"(
+syntax stmt maybe_init {| $$id::v $$?exp::init ; |}
+{
+    if (present(init))
+        return `{ $v = $init; };
+    return `{ $v = 0; };
+}
+void f(void)
+{
+    maybe_init a 42 ;
+    maybe_init b ;
+}
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "a = 42;")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "b = 0;"));
+}
+
+TEST(Coverage, SExprDumpsControlFlow) {
+  SourceManager SM;
+  CompilationContext CC(SM);
+  uint32_t Id = SM.addBuffer("t.c", "void f(void) { if (x) return 1; }");
+  Parser P(CC);
+  TranslationUnit *TU = P.parseTranslationUnit(Id);
+  ASSERT_FALSE(CC.Diags.hasErrors());
+  std::string D = sexprDump(TU);
+  EXPECT_TRUE(contains(D, "(translation-unit")) << D;
+  EXPECT_TRUE(contains(D, "(function-def"));
+  EXPECT_TRUE(contains(D, "(if (id x) (r-s (num 1))"));
+}
+
+TEST(Coverage, FunctionPointerThroughTemplate) {
+  Engine E;
+  ExpandResult R = E.expandSource("t.c", R"(
+syntax decl callback_slot {| $$id::name ; |}
+{
+    return `[int (*$name)(int, int);];
+}
+callback_slot on_click;
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "int (*on_click)(int, int);")) << R.Output;
+}
+
+TEST(Coverage, CharAndFloatConstituents) {
+  Engine E;
+  ExpandResult R = E.expandSource("t.c", R"(
+syntax exp key_of {| ( $$num::k ) |}
+{
+    return k;
+}
+int c = key_of('x');
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "int c = 'x';")) << R.Output;
+}
+
+TEST(Coverage, PlaceholderExpressionWithComputation) {
+  // `$( ... )` placeholders may contain arbitrary meta expressions,
+  // including arithmetic over lengths.
+  Engine E;
+  ExpandResult R = E.expandSource("t.c", R"(
+syntax decl counted {| $$id::name { $$+/, id::ids } ; |}
+{
+    return `[int $name[$(length(ids) * 2)];];
+}
+counted buf {a, b, c};
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "int buf[6];")) << R.Output;
+}
+
+TEST(Coverage, NestedTemplatesViaLambda) {
+  // A template inside a placeholder inside a template (the supported
+  // nesting discipline).
+  Engine E;
+  ExpandResult R = E.expandSource("t.c", R"(
+syntax stmt each_tag {| $$+/, id::tags |}
+{
+    return `{
+        begin_tags();
+        $(map(lambda (@id t) `{| stmt :: handle($(t), $(pstring(t))); |}, tags))
+        end_tags();
+    };
+}
+void f(void) { each_tag alpha, beta }
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "handle(alpha, \"alpha\");")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "handle(beta, \"beta\");"));
+}
+
+TEST(Coverage, ExpansionTraceRecordsInvocations) {
+  Engine::Options Opts;
+  Opts.TraceExpansions = true;
+  Engine E(Opts);
+  ExpandResult R = E.expandSource("t.c", R"(
+syntax stmt inner {| |}
+{
+    return `{ mark(); };
+}
+syntax stmt outer {| $$stmt::s |}
+{
+    return `{ inner; $s; };
+}
+void f(void) { outer go(); }
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.TraceText, "expand outer at t.c:")) << R.TraceText;
+  EXPECT_TRUE(contains(R.TraceText, "expand inner"));
+  EXPECT_TRUE(contains(R.TraceText, "-> @stmt"));
+  // Tracing off by default.
+  Engine E2;
+  ExpandResult R2 = E2.expandSource("t.c", "int x;");
+  EXPECT_TRUE(R2.TraceText.empty());
+}
+
+} // namespace

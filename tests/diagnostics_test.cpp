@@ -1,0 +1,192 @@
+//===----------------------------------------------------------------------===//
+// Tests for diagnostic quality: precise locations, recovery behaviour,
+// and the rendering contract (file:line:col, lowercase start, no period).
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+std::string diagsFor(const std::string &Source) {
+  Engine E;
+  ExpandResult R = E.expandSource("diag.c", Source);
+  return R.DiagnosticsText;
+}
+
+TEST(Diagnostics, SyntaxErrorCarriesLineAndColumn) {
+  std::string D = diagsFor("int x;\nint y = ;\n");
+  EXPECT_NE(D.find("diag.c:2:9:"), std::string::npos) << D;
+}
+
+TEST(Diagnostics, MessagesFollowLlvmStyle) {
+  Engine E;
+  ExpandResult R = E.expandSource("s.c", "int = 4;");
+  ASSERT_FALSE(R.Success);
+  for (const Diagnostic &D : E.context().Diags.all()) {
+    ASSERT_FALSE(D.Message.empty());
+    // Lowercase first letter, no trailing period.
+    EXPECT_TRUE(islower((unsigned char)D.Message[0]) ||
+                !isalpha((unsigned char)D.Message[0]))
+        << D.Message;
+    EXPECT_NE(D.Message.back(), '.') << D.Message;
+  }
+}
+
+TEST(Diagnostics, MacroDefinitionErrorNamesTheProblem) {
+  std::string D = diagsFor(R"(
+syntax stmt broken {| $$stmt::body |}
+{
+    return `{ f($body); };
+}
+)");
+  // Location points into the macro definition, i.e. the macro WRITER's
+  // code, not (non-existent) user code.
+  EXPECT_NE(D.find("diag.c:4:"), std::string::npos) << D;
+  EXPECT_NE(D.find("placeholder of type @stmt"), std::string::npos);
+}
+
+TEST(Diagnostics, InvocationErrorPointsAtUseSite) {
+  std::string D = diagsFor(R"(
+syntax stmt pair {| ( $$exp::a , $$exp::b ) |}
+{
+    return `{ f($a, $b); };
+}
+void g(void)
+{
+    pair (1; 2)
+}
+)");
+  EXPECT_NE(D.find("diag.c:8:"), std::string::npos) << D;
+  EXPECT_NE(D.find("macro invocation"), std::string::npos);
+}
+
+TEST(Diagnostics, RecoveryProducesMultipleIndependentErrors) {
+  Engine E;
+  E.expandSource("multi.c", R"(
+int a = ;
+int b;
+int c = ;
+int d;
+)");
+  const auto &All = E.context().Diags.all();
+  unsigned Errors = 0;
+  for (const Diagnostic &D : All)
+    if (D.Severity == DiagSeverity::Error)
+      ++Errors;
+  EXPECT_GE(Errors, 2u);
+}
+
+TEST(Diagnostics, UnterminatedTemplateRecovered) {
+  std::string D = diagsFor(R"(
+syntax stmt bad {| ; |}
+{
+    return `{ f(;
+}
+)");
+  EXPECT_FALSE(D.empty());
+}
+
+TEST(Diagnostics, UnterminatedPatternRecovered) {
+  std::string D = diagsFor(R"(
+syntax stmt bad {| $$stmt::body
+{
+    return body;
+}
+)");
+  EXPECT_FALSE(D.empty());
+}
+
+TEST(Diagnostics, ErrorInOneMacroDoesNotPoisonTheNext) {
+  Engine E;
+  ExpandResult R = E.expandSource("two.c", R"(
+syntax stmt broken {| ; |}
+{
+    return `(oops);
+}
+syntax stmt fine {| ; |}
+{
+    return `{ ok(); };
+}
+)");
+  EXPECT_FALSE(R.Success); // broken is diagnosed...
+  // ...but `fine` still registered and usable, and the later source's
+  // result is not poisoned by the earlier errors.
+  ExpandResult R2 = E.expandSource("use.c", "void f(void) { fine; }");
+  EXPECT_TRUE(R2.Success) << R2.DiagnosticsText;
+  EXPECT_NE(R2.Output.find("ok()"), std::string::npos) << R2.Output;
+}
+
+TEST(Diagnostics, ExpansionTimeErrorsNameTheMacro) {
+  std::string D = diagsFor(R"(
+syntax stmt never_returns {| ; |}
+{
+    int x;
+    x = 1;
+}
+void f(void) { never_returns; }
+)");
+  EXPECT_NE(D.find("'never_returns' did not return a value"),
+            std::string::npos)
+      << D;
+}
+
+TEST(Diagnostics, GotoInMetaCodeRejected) {
+  std::string D = diagsFor(R"(
+syntax stmt bad {| ; |}
+{
+    goto out;
+out:
+    return `{ ; };
+}
+void f(void) { bad; }
+)");
+  EXPECT_NE(D.find("goto is not supported in meta code"), std::string::npos)
+      << D;
+}
+
+TEST(Diagnostics, DollarOutsideTemplateDiagnosed) {
+  std::string D = diagsFor(R"(
+void f(void)
+{
+    x = $y;
+}
+)");
+  EXPECT_NE(D.find("outside of a code template"), std::string::npos) << D;
+}
+
+TEST(Diagnostics, BackquoteOutsideMetaCodeDiagnosed) {
+  std::string D = diagsFor(R"(
+void f(void)
+{
+    x = `(1);
+}
+)");
+  EXPECT_NE(D.find("only allowed in meta code"), std::string::npos) << D;
+}
+
+TEST(Diagnostics, LambdaOutsideMetaCodeDiagnosed) {
+  std::string D = diagsFor(R"(
+void f(void)
+{
+    x = lambda (int a) a;
+}
+)");
+  EXPECT_NE(D.find("only allowed in meta code"), std::string::npos) << D;
+}
+
+TEST(Diagnostics, NestedTemplateDirectlyInTemplateDiagnosed) {
+  std::string D = diagsFor(R"(
+syntax exp bad {| ; |}
+{
+    return `( `(1) );
+}
+void f(void) { }
+)");
+  EXPECT_FALSE(D.empty());
+}
+
+} // namespace

@@ -1,0 +1,358 @@
+//===----------------------------------------------------------------------===//
+// Unit tests: template instantiation (quasi) and the expansion driver —
+// splicing rules, nesting, recursion, hygiene helpers, and the guarantee
+// that expanded output contains no meta constructs.
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+ExpandResult expandOk(const std::string &Source) {
+  Engine E;
+  ExpandResult R = E.expandSource("x.c", Source);
+  EXPECT_TRUE(R.Success) << R.DiagnosticsText;
+  return R;
+}
+
+bool contains(const std::string &H, const std::string &N) {
+  return H.find(N) != std::string::npos;
+}
+
+//===----------------------------------------------------------------------===//
+// Splicing
+//===----------------------------------------------------------------------===//
+
+TEST(Quasi, StatementListSplicesIntoCompound) {
+  ExpandResult R = expandOk(R"(
+syntax stmt seq {| { $$*stmt::body } |}
+{
+    return `{ first(); $body; last(); };
+}
+void f(void) { seq { a(); b(); c(); } }
+)");
+  size_t A = R.Output.find("a()");
+  size_t B = R.Output.find("b()");
+  size_t C = R.Output.find("c()");
+  size_t First = R.Output.find("first()");
+  size_t Last = R.Output.find("last()");
+  ASSERT_NE(A, std::string::npos) << R.Output;
+  EXPECT_LT(First, A);
+  EXPECT_LT(A, B);
+  EXPECT_LT(B, C);
+  EXPECT_LT(C, Last);
+}
+
+TEST(Quasi, ArgumentListSplices) {
+  ExpandResult R = expandOk(R"(
+syntax stmt call_with {| $$id::f ( $$*/, exp::args ) |}
+{
+    return `{ $f(0, $args, 99); };
+}
+void g(void) { call_with trace(a, b + 1, c) }
+)");
+  EXPECT_TRUE(contains(R.Output, "trace(0, a, b + 1, c, 99)")) << R.Output;
+}
+
+TEST(Quasi, EmptyArgumentSpliceWorks) {
+  ExpandResult R = expandOk(R"(
+syntax stmt call_with {| $$id::f ( $$*/, exp::args ) |}
+{
+    return `{ $f(0, $args, 99); };
+}
+void g(void) { call_with trace() }
+)");
+  EXPECT_TRUE(contains(R.Output, "trace(0, 99)")) << R.Output;
+}
+
+TEST(Quasi, DeclListSplicesAtTopLevel) {
+  ExpandResult R = expandOk(R"(
+syntax decl triple[] {| $$id::base ; |}
+{
+    return list(
+        `[int $(concat_ids(base, make_id("_x")));],
+        `[int $(concat_ids(base, make_id("_y")));],
+        `[int $(concat_ids(base, make_id("_z")));]);
+}
+triple pos;
+)");
+  EXPECT_TRUE(contains(R.Output, "int pos_x;")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "int pos_y;"));
+  EXPECT_TRUE(contains(R.Output, "int pos_z;"));
+}
+
+TEST(Quasi, IdentifierSplicesIntoMemberAndLabel) {
+  ExpandResult R = expandOk(R"(
+syntax stmt touch {| $$id::field |}
+{
+    @id lab = gensym("skip");
+    return `{
+        if (!obj->$field)
+            goto $lab;
+        obj->$field = 1;
+        $lab: done();
+    };
+}
+void f(void) { touch ready }
+)");
+  EXPECT_TRUE(contains(R.Output, "obj->ready = 1;")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "goto __msq_skip_0;"));
+  EXPECT_TRUE(contains(R.Output, "__msq_skip_0: done();"));
+}
+
+TEST(Quasi, TypeSpecPlaceholder) {
+  ExpandResult R = expandOk(R"(
+syntax decl make_pair {| $$typespec::t $$id::name ; |}
+{
+    return `[struct $(concat_ids(name, make_id("_pair"))) { $t first; $t second; };];
+}
+make_pair float coord;
+)");
+  EXPECT_TRUE(contains(R.Output, "struct coord_pair {")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "float first;"));
+  EXPECT_TRUE(contains(R.Output, "float second;"));
+}
+
+TEST(Quasi, SharedBinderValueIsClonedPerUse) {
+  // Using a binder twice yields two independent trees: mutating one copy
+  // during later expansion must not affect the other. We verify both
+  // copies print identically and the structure re-parses.
+  ExpandResult R = expandOk(R"(
+syntax stmt both {| $$exp::e |}
+{
+    return `{ use1($e); use2($e); };
+}
+void f(void) { both a + b * c }
+)");
+  EXPECT_TRUE(contains(R.Output, "use1(a + b * c)")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "use2(a + b * c)"));
+}
+
+//===----------------------------------------------------------------------===//
+// Expression macros
+//===----------------------------------------------------------------------===//
+
+TEST(Expander, ExpressionMacroInInitializer) {
+  ExpandResult R = expandOk(R"(
+syntax exp square {| ( $$exp::e ) |}
+{
+    return `(($e) * ($e));
+}
+int nine = square(3);
+)");
+  EXPECT_TRUE(contains(R.Output, "int nine = (3) * (3);")) << R.Output;
+}
+
+TEST(Expander, ExpressionMacroInsideExpressions) {
+  ExpandResult R = expandOk(R"(
+syntax exp square {| ( $$exp::e ) |}
+{
+    return `(($e) * ($e));
+}
+int f(int x) { return 1 + square(x + 1) + 2; }
+)");
+  EXPECT_TRUE(contains(R.Output, "1 + (x + 1) * (x + 1) + 2")) << R.Output;
+}
+
+TEST(Expander, NestedExpressionMacros) {
+  ExpandResult R = expandOk(R"(
+syntax exp square {| ( $$exp::e ) |}
+{
+    return `(($e) * ($e));
+}
+int f(int x) { return square(square(x)); }
+)");
+  EXPECT_TRUE(contains(R.Output, "((x) * (x)) * ((x) * (x))")) << R.Output;
+}
+
+//===----------------------------------------------------------------------===//
+// Recursive production
+//===----------------------------------------------------------------------===//
+
+TEST(Expander, MacroProducingInvocationsExpandsToFixpoint) {
+  ExpandResult R = expandOk(R"(
+syntax stmt countdown {| ( $$num::n ) |}
+{
+    int v;
+    v = n->kind == "int-literal" ? 1 : 0;
+    return `{ tick(); };
+}
+
+syntax stmt twice {| $$stmt::s |}
+{
+    return `{ countdown(1); $s; countdown(2); };
+}
+
+void f(void) { twice work(); }
+)");
+  // Both nested countdown invocations inside twice's template expand.
+  size_t First = R.Output.find("tick()");
+  ASSERT_NE(First, std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("tick()", First + 1), std::string::npos);
+  EXPECT_FALSE(contains(R.Output, "countdown"));
+}
+
+TEST(Expander, MultiLevelRecursionTerminates) {
+  ExpandResult R = expandOk(R"(
+metadcl int depth = 0;
+
+syntax stmt spiral {| ; |}
+{
+    depth = depth + 1;
+    if (depth < 4)
+        return `{ level(); spiral; };
+    return `{ bottom(); };
+}
+void f(void) { spiral; }
+)");
+  // Three levels then bottom.
+  size_t Count = 0;
+  for (size_t P = R.Output.find("level()"); P != std::string::npos;
+       P = R.Output.find("level()", P + 1))
+    ++Count;
+  EXPECT_EQ(Count, 3u) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "bottom()"));
+}
+
+//===----------------------------------------------------------------------===//
+// Output purity: no meta constructs in expanded code
+//===----------------------------------------------------------------------===//
+
+TEST(Expander, MetaProgramFullyConsumed) {
+  ExpandResult R = expandOk(R"(
+metadcl int shared = 1;
+
+@exp helper(@exp e)
+{
+    return `(($e));
+}
+
+syntax exp wrap {| ( $$exp::e ) |}
+{
+    return helper(e);
+}
+
+int a = wrap(5);
+int keep_me;
+)");
+  EXPECT_FALSE(contains(R.Output, "metadcl"));
+  EXPECT_FALSE(contains(R.Output, "syntax"));
+  EXPECT_FALSE(contains(R.Output, "helper"));
+  EXPECT_FALSE(contains(R.Output, "@"));
+  EXPECT_FALSE(contains(R.Output, "`"));
+  EXPECT_TRUE(contains(R.Output, "int keep_me;"));
+  EXPECT_TRUE(contains(R.Output, "int a = (5);"));
+}
+
+TEST(Expander, ObjectCodeWithoutMacrosPassesThrough) {
+  const char *Program = R"(
+struct list { int head; struct list *tail; };
+int sum(struct list *l) {
+    int t;
+    t = 0;
+    while (l) {
+        t += l->head;
+        l = l->tail;
+    }
+    return t;
+}
+)";
+  ExpandResult R = expandOk(Program);
+  EXPECT_TRUE(contains(R.Output, "struct list { int head; struct list *tail; };")
+              || contains(R.Output, "struct list {"));
+  EXPECT_TRUE(contains(R.Output, "t += l->head;"));
+  EXPECT_EQ(R.InvocationsExpanded, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Expansion results re-parse (the syntactic safety property, end to end)
+//===----------------------------------------------------------------------===//
+
+TEST(Expander, ExpandedOutputReparsesCleanly) {
+  ExpandResult R = expandOk(R"(
+syntax stmt Painting {| $$stmt::body |}
+{
+    return `{ BeginPaint(hDC, &ps); $body; EndPaint(hDC, &ps); };
+}
+syntax exp square {| ( $$exp::e ) |}
+{
+    return `(($e) * ($e));
+}
+void f(void)
+{
+    Painting { draw(square(1 + 2)); }
+}
+)");
+  // Parse the produced text with a fresh engine: it must be pure C.
+  Engine E2;
+  TranslationUnit *TU = E2.parseSource("out.c", R.Output);
+  EXPECT_FALSE(E2.context().Diags.hasErrors())
+      << E2.context().Diags.renderAll() << "\n--- output ---\n" << R.Output;
+  EXPECT_NE(TU, nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// General backquote forms
+//===----------------------------------------------------------------------===//
+
+TEST(Quasi, GeneralBackquoteProducesLists) {
+  ExpandResult R = expandOk(R"(
+syntax stmt let2 {| $$id::a $$id::b $$stmt::body |}
+{
+    @id ids[];
+    ids = `{| +/, id :: $a, tmp_mid, $b |};
+    return `{ int $ids; $body; };
+}
+void f(void) { let2 x y { use(x, tmp_mid, y); } }
+)");
+  EXPECT_TRUE(contains(R.Output, "int x, tmp_mid, y;")) << R.Output;
+}
+
+TEST(Quasi, GeneralBackquoteScalarForm) {
+  ExpandResult R = expandOk(R"(
+syntax stmt mk {| $$id::n |}
+{
+    @stmt s;
+    s = `{| stmt :: case 1: $n(); |};
+    return `{ switch (sel) { $s; default: other(); } };
+}
+void f(void) { mk handler }
+)");
+  EXPECT_TRUE(contains(R.Output, "case 1: handler();")) << R.Output;
+}
+
+//===----------------------------------------------------------------------===//
+// Engine sessions
+//===----------------------------------------------------------------------===//
+
+TEST(Engine, MacroLibraryThenPrograms) {
+  Engine E;
+  ExpandResult Lib = E.expandSource("lib.c", R"(
+syntax exp twice {| ( $$exp::e ) |}
+{
+    return `(($e) + ($e));
+}
+)");
+  ASSERT_TRUE(Lib.Success) << Lib.DiagnosticsText;
+  ExpandResult P1 = E.expandSource("p1.c", "int a = twice(1);\n");
+  ASSERT_TRUE(P1.Success) << P1.DiagnosticsText;
+  EXPECT_TRUE(contains(P1.Output, "(1) + (1)"));
+  ExpandResult P2 = E.expandSource("p2.c", "int b = twice(2);\n");
+  ASSERT_TRUE(P2.Success) << P2.DiagnosticsText;
+  EXPECT_TRUE(contains(P2.Output, "(2) + (2)"));
+  EXPECT_EQ(P2.MacrosDefined, 1u);
+}
+
+TEST(Engine, DiagnosticsArePerformattedText) {
+  Engine E;
+  ExpandResult R = E.expandSource("oops.c", "int x = ;");
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.DiagnosticsText.find("oops.c:1:"), std::string::npos)
+      << R.DiagnosticsText;
+}
+
+} // namespace

@@ -1,0 +1,294 @@
+//===----------------------------------------------------------------------===//
+// Tests for the paper's future-work directions, implemented as opt-in
+// extensions: hygienic template expansion (section 5, "we are considering
+// methods for making our system be hygienic") and the semantic-macro
+// var_type query (section 5, "the macro user wouldn't need to declare the
+// type of name").
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+bool contains(const std::string &H, const std::string &N) {
+  return H.find(N) != std::string::npos;
+}
+
+// The capture-prone macro from the paper's exception system: `result` is
+// declared by the template.
+const char *CaptureProneMacro = R"(
+syntax stmt with_result {| $$stmt::body |}
+{
+    return `{
+        int result;
+        result = compute();
+        $body;
+        use(result);
+    };
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Without hygiene: the paper's documented capture problem occurs.
+//===----------------------------------------------------------------------===//
+
+TEST(Hygiene, UnhygienicCaptureHappensByDefault) {
+  Engine E; // default: unhygienic, like the paper's system
+  ExpandResult R = E.expandSource(
+      "t.c", std::string(CaptureProneMacro) + R"(
+void f(void)
+{
+    int result;
+    result = 5;
+    with_result { result = result + 1; }
+}
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  // The user's `result` and the template's `result` are the same name:
+  // classic capture (the paper: "these examples ignore the problem of
+  // variable capture").
+  EXPECT_TRUE(contains(R.Output, "int result;")) << R.Output;
+  EXPECT_FALSE(contains(R.Output, "__msq_h_"));
+}
+
+//===----------------------------------------------------------------------===//
+// With hygiene: template locals are renamed, user code is untouched.
+//===----------------------------------------------------------------------===//
+
+TEST(Hygiene, TemplateLocalsRenamed) {
+  Engine::Options Opts;
+  Opts.HygienicExpansion = true;
+  Engine E(Opts);
+  ExpandResult R = E.expandSource(
+      "t.c", std::string(CaptureProneMacro) + R"(
+void f(void)
+{
+    int result;
+    result = 5;
+    with_result { result = result + 1; }
+}
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  // The template's local got a fresh name...
+  EXPECT_TRUE(contains(R.Output, "int __msq_h_result_")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "use(__msq_h_result_"));
+  // ...and the user's references were spliced in unrenamed.
+  EXPECT_TRUE(contains(R.Output, "result = result + 1;"));
+}
+
+TEST(Hygiene, FreeIdentifiersAreNotRenamed) {
+  Engine::Options Opts;
+  Opts.HygienicExpansion = true;
+  Engine E(Opts);
+  ExpandResult R = E.expandSource("t.c", R"(
+syntax stmt bracket {| $$stmt::body |}
+{
+    return `{
+        int tmp;
+        tmp = acquire(global_pool);
+        $body;
+        release(global_pool, tmp);
+    };
+}
+void f(void) { bracket work(); }
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  // `tmp` is template-local: renamed. `acquire`, `global_pool`,
+  // `release` are free: untouched.
+  EXPECT_FALSE(contains(R.Output, "int tmp;")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "acquire(global_pool)"));
+  EXPECT_TRUE(contains(R.Output, "release(global_pool,"));
+}
+
+TEST(Hygiene, EachExpansionGetsDistinctNames) {
+  Engine::Options Opts;
+  Opts.HygienicExpansion = true;
+  Engine E(Opts);
+  ExpandResult R = E.expandSource(
+      "t.c", std::string(CaptureProneMacro) + R"(
+void f(void)
+{
+    with_result { a(); }
+    with_result { b(); }
+}
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "__msq_h_result_0")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "__msq_h_result_1"));
+}
+
+TEST(Hygiene, LabelsAreRenamed) {
+  Engine::Options Opts;
+  Opts.HygienicExpansion = true;
+  Engine E(Opts);
+  ExpandResult R = E.expandSource("t.c", R"(
+syntax stmt retrying {| $$stmt::body |}
+{
+    return `{
+        again: $body;
+        if (should_retry())
+            goto again;
+    };
+}
+void f(void) { retrying attempt(); }
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "__msq_h_again_")) << R.Output;
+  EXPECT_FALSE(contains(R.Output, "again: attempt"));
+}
+
+TEST(Hygiene, TopLevelGeneratedNamesAreExported) {
+  // Generated functions must keep their (computed) names even under
+  // hygiene — only block locals are renamed.
+  Engine::Options Opts;
+  Opts.HygienicExpansion = true;
+  Engine E(Opts);
+  ExpandResult R = E.expandSource("t.c", R"(
+syntax decl getter {| $$id::field ; |}
+{
+    return `[int $(symbolconc("get_", field))(void)
+             { int cache; cache = lookup(); return cache; }];
+}
+getter size;
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "int get_size()")) << R.Output;
+  // The body-local `cache` is renamed.
+  EXPECT_TRUE(contains(R.Output, "__msq_h_cache_"));
+}
+
+TEST(Hygiene, NestedMacroInvocationsStayHygienic) {
+  Engine::Options Opts;
+  Opts.HygienicExpansion = true;
+  Engine E(Opts);
+  ExpandResult R = E.expandSource(
+      "t.c", std::string(CaptureProneMacro) + R"(
+syntax stmt twice {| $$stmt::s |}
+{
+    return `{ with_result $s with_result $s };
+}
+void f(void) { twice tick(); }
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  // Two expansions of with_result -> two distinct renamings.
+  size_t First = R.Output.find("int __msq_h_result_");
+  ASSERT_NE(First, std::string::npos) << R.Output;
+  size_t Second = R.Output.find("int __msq_h_result_", First + 1);
+  EXPECT_NE(Second, std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// var_type: the semantic-macro preview
+//===----------------------------------------------------------------------===//
+
+TEST(SemanticQuery, VarTypeOfGlobal) {
+  Engine E;
+  ExpandResult R = E.expandSource("t.c", R"(
+float temperature;
+
+syntax stmt save_var {| $$id::name |}
+{
+    @id saved = gensym("saved");
+    return `{
+        $(var_type(name)) $saved = $name;
+        log_value($name);
+        $name = $saved;
+    };
+}
+
+void f(void)
+{
+    save_var temperature
+}
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  // The macro recovered `float` from the declaration of temperature.
+  EXPECT_TRUE(contains(R.Output, "float __msq_saved_0 = temperature;"))
+      << R.Output;
+}
+
+TEST(SemanticQuery, DynamicBindWithoutDeclaredType) {
+  // The paper's own observation: "In a semantic macro system ... the type
+  // of name would be available to the macro system. In this case, the
+  // macro user wouldn't need to declare the type of name."
+  Engine E;
+  ExpandResult R = E.expandSource("t.c", R"(
+int printlength;
+
+syntax stmt dynamic_bind {| { $$id::name = $$exp::init } { $$*stmt::body } |}
+{
+    @id newname = gensym();
+    return `{
+        $(var_type(name)) $newname = $name;
+        $name = $init;
+        $body;
+        $name = $newname;
+    };
+}
+
+void show(void)
+{
+    dynamic_bind {printlength = 10} {print_structure(x);}
+}
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "int __msq_g_0 = printlength;")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "printlength = 10;"));
+  EXPECT_TRUE(contains(R.Output, "printlength = __msq_g_0;"));
+}
+
+TEST(SemanticQuery, UnknownVariableDiagnosed) {
+  Engine E;
+  ExpandResult R = E.expandSource("t.c", R"(
+syntax stmt probe {| $$id::name |}
+{
+    return `{ $(var_type(name)) x; };
+}
+void f(void) { probe never_declared }
+)");
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.DiagnosticsText.find("no visible object declaration"),
+            std::string::npos)
+      << R.DiagnosticsText;
+}
+
+TEST(SemanticQuery, VarTypeSeesTypedefAndStructTypes) {
+  Engine E;
+  ExpandResult R = E.expandSource("t.c", R"(
+typedef unsigned long size_t;
+size_t total;
+struct point { int x; int y; } origin;
+
+syntax decl shadow {| $$id::name ; |}
+{
+    return `[$(var_type(name)) $(concat_ids(name, make_id("_shadow")));];
+}
+
+shadow total;
+shadow origin;
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "size_t total_shadow;")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "origin_shadow;"));
+  EXPECT_TRUE(contains(R.Output, "struct point"));
+}
+
+TEST(SemanticQuery, VarTypeIsTypeCheckedAtDefinition) {
+  Engine E;
+  ExpandResult R = E.expandSource("t.c", R"(
+syntax stmt bad {| $$exp::e |}
+{
+    return `{ $(var_type(e)) x; };
+}
+)");
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.DiagnosticsText.find("var_type expects an identifier"),
+            std::string::npos)
+      << R.DiagnosticsText;
+}
+
+} // namespace

@@ -1,0 +1,222 @@
+//===----------------------------------------------------------------------===//
+//
+// Reproduction of Figures 2 and 3 of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993): the parse of a code template depends on the
+// meta-types of its placeholders, computed by the parser's type analysis
+// at macro definition time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+#include "printer/SExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+/// Parses the template \p Source with the named meta globals pre-declared;
+/// returns the BackquoteExpr (or null) and leaves diagnostics in E.
+BackquoteExpr *
+parseTemplate(Engine &E, const std::string &Source,
+              std::initializer_list<std::pair<const char *, const MetaType *>>
+                  Globals) {
+  uint32_t Id = E.sourceManager().addBuffer("fig.c", Source);
+  Parser P(E.context());
+  for (const auto &[Name, Type] : Globals)
+    P.declareMetaGlobal(Name, Type);
+  return P.parseBackquoteFragment(Id);
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 2: the four parses of `[int $y;]
+//===----------------------------------------------------------------------===//
+
+struct Fig2Case {
+  const char *TypeName; // paper's row label
+  MetaTypeKind Kind;
+  bool IsList;
+  const char *ExpectedSExpr;
+};
+
+class Figure2 : public ::testing::TestWithParam<Fig2Case> {};
+
+TEST_P(Figure2, ParseDependsOnPlaceholderType) {
+  const Fig2Case &C = GetParam();
+  Engine E;
+  MetaTypeContext &Types = E.context().Types;
+  const MetaType *T = Types.getScalar(C.Kind);
+  if (C.IsList)
+    T = Types.getList(T);
+  BackquoteExpr *BQ = parseTemplate(E, "`[int $y;]", {{"y", T}});
+  ASSERT_NE(BQ, nullptr) << E.context().Diags.renderAll();
+  ASSERT_FALSE(E.context().Diags.hasErrors())
+      << E.context().Diags.renderAll();
+  EXPECT_EQ(sexprDump(BQ->Template), C.ExpectedSExpr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Figure2,
+    ::testing::Values(
+        // Row 1: y : init-declarator[] — the whole list is the placeholder.
+        Fig2Case{"init-declarator[]", MetaTypeKind::InitDeclarator, true,
+                 "(declaration (int) y)"},
+        // Row 2: y : init-declarator — a one-element list around it.
+        Fig2Case{"init-declarator", MetaTypeKind::InitDeclarator, false,
+                 "(declaration (int) (y))"},
+        // Row 3: y : declarator — an init-declarator with no initializer.
+        Fig2Case{"declarator", MetaTypeKind::Declarator, false,
+                 "(declaration (int) ((init-declarator y ())))"},
+        // Row 4: y : identifier — a full declarator chain.
+        Fig2Case{"identifier", MetaTypeKind::Id, false,
+                 "(declaration (int) ((init-declarator (direct-declarator y) "
+                 "())))"}),
+    [](const ::testing::TestParamInfo<Fig2Case> &Info) {
+      std::string N = Info.param.TypeName;
+      for (char &C : N)
+        if (!isalnum((unsigned char)C))
+          C = '_';
+      return N;
+    });
+
+// All four parses must be pairwise structurally different.
+TEST(Figure2Extra, AllFourParsesAreDistinct) {
+  MetaTypeKind Kinds[] = {MetaTypeKind::InitDeclarator,
+                          MetaTypeKind::InitDeclarator,
+                          MetaTypeKind::Declarator, MetaTypeKind::Id};
+  bool Lists[] = {true, false, false, false};
+  std::vector<std::string> Dumps;
+  for (int I = 0; I != 4; ++I) {
+    Engine E;
+    MetaTypeContext &Types = E.context().Types;
+    const MetaType *T = Types.getScalar(Kinds[I]);
+    if (Lists[I])
+      T = Types.getList(T);
+    BackquoteExpr *BQ = parseTemplate(E, "`[int $y;]", {{"y", T}});
+    ASSERT_NE(BQ, nullptr);
+    Dumps.push_back(sexprDump(BQ->Template));
+  }
+  for (int I = 0; I != 4; ++I)
+    for (int J = I + 1; J != 4; ++J)
+      EXPECT_NE(Dumps[I], Dumps[J]) << I << " vs " << J;
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 3: the four typings of `{int x; $ph1 $ph2 return(x);}
+//===----------------------------------------------------------------------===//
+
+struct Fig3Case {
+  MetaTypeKind Ph1;
+  MetaTypeKind Ph2;
+  bool Legal;
+  // When legal: how many declarations / statements the compound ends up
+  // with (the paper's table rows).
+  int NumDecls;
+  int NumStmts;
+};
+
+class Figure3 : public ::testing::TestWithParam<Fig3Case> {};
+
+TEST_P(Figure3, CompoundSectionsFollowPlaceholderTypes) {
+  const Fig3Case &C = GetParam();
+  Engine E;
+  MetaTypeContext &Types = E.context().Types;
+  BackquoteExpr *BQ = parseTemplate(E, "`{int x; $ph1 $ph2 return(x);}",
+                                    {{"ph1", Types.getScalar(C.Ph1)},
+                                     {"ph2", Types.getScalar(C.Ph2)}});
+  if (!C.Legal) {
+    // Paper: "Syntactically Illegal Program".
+    EXPECT_TRUE(E.context().Diags.hasErrors());
+    EXPECT_NE(E.context().Diags.renderAll().find("syntactically illegal"),
+              std::string::npos)
+        << E.context().Diags.renderAll();
+    return;
+  }
+  ASSERT_NE(BQ, nullptr) << E.context().Diags.renderAll();
+  ASSERT_FALSE(E.context().Diags.hasErrors())
+      << E.context().Diags.renderAll();
+  const auto *CS = dyn_cast<CompoundStmt>(cast<Stmt>(BQ->Template));
+  ASSERT_NE(CS, nullptr);
+  EXPECT_EQ(int(CS->Decls.size()), C.NumDecls);
+  EXPECT_EQ(int(CS->Stmts.size()), C.NumStmts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Figure3,
+    ::testing::Values(
+        // decl, decl: three declarations, one statement.
+        Fig3Case{MetaTypeKind::Decl, MetaTypeKind::Decl, true, 3, 1},
+        // decl, stmt: two declarations, two statements.
+        Fig3Case{MetaTypeKind::Decl, MetaTypeKind::Stmt, true, 2, 2},
+        // stmt, stmt: one declaration, three statements.
+        Fig3Case{MetaTypeKind::Stmt, MetaTypeKind::Stmt, true, 1, 3},
+        // stmt, decl: Syntactically Illegal Program.
+        Fig3Case{MetaTypeKind::Stmt, MetaTypeKind::Decl, false, 0, 0}),
+    [](const ::testing::TestParamInfo<Fig3Case> &Info) {
+      auto Name = [](MetaTypeKind K) {
+        return K == MetaTypeKind::Decl ? "decl" : "stmt";
+      };
+      return std::string(Name(Info.param.Ph1)) + "_" +
+             Name(Info.param.Ph2);
+    });
+
+// The S-expression renderings of the three legal rows match the shape of
+// the paper's Figure 3 table.
+TEST(Figure3Extra, SExpressionsMatchPaperShapes) {
+  Engine E;
+  MetaTypeContext &Types = E.context().Types;
+  BackquoteExpr *BQ = parseTemplate(E, "`{int x; $ph1 $ph2 return(x);}",
+                                    {{"ph1", Types.getDecl()},
+                                     {"ph2", Types.getStmt()}});
+  ASSERT_NE(BQ, nullptr);
+  std::string Dump = sexprDump(BQ->Template);
+  // (c-s (decl-list ((decl "int x") ph1)) (stmt-list (ph2 (r-s ...))))
+  EXPECT_NE(Dump.find("(c-s (decl-list ("), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("ph1)) (stmt-list (ph2 (r-s "), std::string::npos)
+      << Dump;
+}
+
+//===----------------------------------------------------------------------===//
+// Placeholder typing is *checked*: a placeholder whose type fits no slot
+// at its position is rejected at definition time.
+//===----------------------------------------------------------------------===//
+
+TEST(PlaceholderTyping, ExpPlaceholderCannotBeDeclaration) {
+  Engine E;
+  MetaTypeContext &Types = E.context().Types;
+  // An expression placeholder as the whole body of a `[ ] template cannot
+  // parse as a declaration.
+  parseTemplate(E, "`[$e]", {{"e", Types.getExp()}});
+  EXPECT_TRUE(E.context().Diags.hasErrors());
+}
+
+TEST(PlaceholderTyping, StmtPlaceholderCannotBeExpression) {
+  Engine E;
+  MetaTypeContext &Types = E.context().Types;
+  parseTemplate(E, "`(1 + $s)", {{"s", Types.getStmt()}});
+  EXPECT_TRUE(E.context().Diags.hasErrors());
+  EXPECT_NE(E.context().Diags.renderAll().find(
+                "cannot appear where an expression is expected"),
+            std::string::npos);
+}
+
+TEST(PlaceholderTyping, UndeclaredPlaceholderVariableIsAnError) {
+  Engine E;
+  parseTemplate(E, "`($nope)", {});
+  EXPECT_TRUE(E.context().Diags.hasErrors());
+  EXPECT_NE(E.context().Diags.renderAll().find("undeclared meta variable"),
+            std::string::npos);
+}
+
+TEST(PlaceholderTyping, PlaceholderExpressionsAreTypeChecked) {
+  Engine E;
+  MetaTypeContext &Types = E.context().Types;
+  // length() of a non-list inside a placeholder is caught at parse time.
+  parseTemplate(E, "`($(length(e)))", {{"e", Types.getExp()}});
+  EXPECT_TRUE(E.context().Diags.hasErrors());
+  EXPECT_NE(E.context().Diags.renderAll().find("must be a list"),
+            std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+// Robustness: random token soup must never crash, hang, or break the
+// engine's invariants — errors are reported as diagnostics and the parser
+// always terminates. (Deterministic corpus; these are smoke-fuzz tests,
+// not a coverage-guided fuzzer.)
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace msq;
+
+namespace {
+
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : S(Seed * 2654435761u + 1) {}
+  uint64_t next() {
+    S ^= S >> 12;
+    S ^= S << 25;
+    S ^= S >> 27;
+    return S * 0x2545F4914F6CDD1Dull;
+  }
+  unsigned below(unsigned N) { return unsigned(next() % N); }
+
+private:
+  uint64_t S;
+};
+
+const char *TokenPool[] = {
+    "int",    "char",  "struct", "enum",   "typedef", "if",     "while",
+    "return", "break", "case",   "default", "syntax", "metadcl", "lambda",
+    "x",      "y",     "foo",    "stmt",   "exp",     "id",     "42",
+    "3.5",    "\"s\"", "'c'",    "(",      ")",       "[",      "]",
+    "{",      "}",     "{|",     "|}",     ";",       ",",      "::",
+    "$$",     "$",     "`",      "@",      "*",       "+",      "-",
+    "=",      "==",    "->",     ".",      "&&",      "?",      ":",
+    "...",    "/",     "%",      "<<",     ">>",      "!",      "~",
+};
+
+std::string makeSoup(Rng &R, int Len) {
+  std::ostringstream OS;
+  for (int I = 0; I != Len; ++I) {
+    OS << TokenPool[R.below(sizeof(TokenPool) / sizeof(TokenPool[0]))];
+    OS << (R.below(8) == 0 ? "\n" : " ");
+  }
+  return OS.str();
+}
+
+class TokenSoup : public ::testing::TestWithParam<int> {};
+
+TEST_P(TokenSoup, ParserTerminatesWithoutCrashing) {
+  Rng R(uint64_t(GetParam()) * 48271 + 7);
+  std::string Soup = makeSoup(R, 120);
+  Engine E;
+  ExpandResult Res = E.expandSource("soup.c", Soup);
+  // Any outcome is fine as long as we get here; typically there are
+  // diagnostics.
+  if (!Res.Success)
+    EXPECT_FALSE(Res.DiagnosticsText.empty()) << Soup;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenSoup, ::testing::Range(0, 60));
+
+class BrokenMacros : public ::testing::TestWithParam<int> {};
+
+TEST_P(BrokenMacros, MangledDefinitionsAreContained) {
+  // Start from a correct macro and delete a random chunk of characters.
+  const std::string Good = R"(
+syntax stmt guard {| ( $$exp::c ) $$stmt::body |}
+{
+    @id t = gensym();
+    return `{ int $t; if ($c) $body; };
+}
+void f(void) { guard (x) use(x); }
+)";
+  Rng R(uint64_t(GetParam()) * 1299709 + 1);
+  std::string Mangled = Good;
+  size_t Start = R.below(unsigned(Mangled.size() - 10));
+  size_t Len = 1 + R.below(20);
+  Mangled.erase(Start, Len);
+
+  Engine E;
+  ExpandResult Res = E.expandSource("mangled.c", Mangled);
+  if (!Res.Success)
+    EXPECT_FALSE(Res.DiagnosticsText.empty());
+  // The engine object remains usable afterwards.
+  ExpandResult After = E.expandSource("after.c", "int still_works;");
+  EXPECT_NE(After.Output.find("int still_works;") == std::string::npos &&
+                After.Success,
+            true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BrokenMacros, ::testing::Range(0, 60));
+
+TEST(Robustness, DeeplyNestedParens) {
+  std::string E(2000, '(');
+  std::string Src = "int x = " + E + "1" + std::string(2000, ')') + ";";
+  Engine Eng;
+  ExpandResult R = Eng.expandSource("deep.c", Src);
+  // Deep nesting either parses or errors out; no crash/hang.
+  (void)R;
+  SUCCEED();
+}
+
+TEST(Robustness, HugeIdentifier) {
+  std::string Name(100000, 'a');
+  Engine E;
+  ExpandResult R = E.expandSource("big.c", "int " + Name + ";");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_NE(R.Output.find(Name), std::string::npos);
+}
+
+TEST(Robustness, EmptyAndWhitespaceOnly) {
+  Engine E;
+  EXPECT_TRUE(E.expandSource("a.c", "").Success);
+  EXPECT_TRUE(E.expandSource("b.c", "   \n\t  \n").Success);
+  EXPECT_TRUE(E.expandSource("c.c", "/* only a comment */").Success);
+}
+
+} // namespace

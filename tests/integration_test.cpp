@@ -1,0 +1,285 @@
+//===----------------------------------------------------------------------===//
+// Whole-system integration: the paper's complete section-4 repertoire in
+// ONE compilation (macro library + exception system + myenum + window
+// procs + user program), expanded together, with the output re-parsed.
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+const char *WholePaper = R"(
+/* ============ typedefs the examples rely on ============ */
+typedef int HWND;
+typedef int UINT;
+typedef int WPARAM;
+typedef int LPARAM;
+
+/* ============ exception system ============ */
+syntax stmt throw {| $$exp::value |}
+{
+    if (simple_expression(value))
+        return `{
+            if (exception_ptr == 0)
+                error("No handler for ", $value);
+            else
+                longjmp(exception_ptr, $value);
+        };
+    return `{
+        int the_value = $value;
+        if (exception_ptr == 0)
+            error("No handler for ", the_value);
+        else
+            longjmp(exception_ptr, the_value);
+    };
+}
+
+syntax stmt catch {| $$exp::tag $$stmt::handler $$stmt::body |}
+{
+    return `{
+        int *old_exception_ptr = exception_ptr;
+        int jmp_buf[2];
+        int result;
+        result = setjump(jmp_buf);
+        if (result == 0) {
+            exception_ptr = jmp_buf;
+            $body;
+            exception_ptr = old_exception_ptr;
+        } else {
+            exception_ptr = old_exception_ptr;
+            if (result == $tag)
+                $handler;
+            else
+                throw result;
+        }
+    };
+}
+
+syntax stmt unwind_protect {| $$stmt::body $$stmt::cleanup |}
+{
+    return `{
+        int *old_exception_ptr = exception_ptr;
+        int jmp_buf[2];
+        int result;
+        result = setjump(jmp_buf);
+        if (result == 0) {
+            exception_ptr = jmp_buf;
+            $body;
+            exception_ptr = old_exception_ptr;
+            $cleanup;
+        } else {
+            exception_ptr = old_exception_ptr;
+            $cleanup;
+            throw result;
+        }
+    };
+}
+
+syntax stmt Painting {| $$stmt::body |}
+{
+    return `{
+        BeginPaint(hDC, &ps);
+        unwind_protect
+            $body
+            {EndPaint(hDC, &ps);}
+    };
+}
+
+/* ============ myenum ============ */
+syntax decl myenum[] {| $$id::name { $$+/, id::ids } ; |}
+{
+    return list(
+        `[enum $name {$ids};],
+        `[void $(symbolconc("print_", name))(int arg)
+          {
+              switch (arg) {
+                  $(map(lambda (@id id)
+                        `{| stmt :: case $id: printf("%s", $(pstring(id))); |},
+                        ids))
+              }
+          }],
+        `[int $(symbolconc("read_", name))(void)
+          {
+              char s[100];
+              getline(s, 100);
+              $(map(lambda (@id id)
+                    `{| stmt :: if (!strcmp(s, $(pstring(id)))) return $id; |},
+                    ids))
+              return -1;
+          }]);
+}
+
+/* ============ window procedures ============ */
+metadcl @id wp_names[];
+metadcl @id wp_defaults[];
+metadcl @id wp_owners[];
+metadcl @id wp_messages[];
+metadcl @stmt wp_handlers[];
+
+syntax decl new_window_proc[]
+    {| $$id::name default $$id::default_proc ; |}
+{
+    @decl none[];
+    wp_names = append(wp_names, list(name));
+    wp_defaults = append(wp_defaults, list(default_proc));
+    return none;
+}
+
+syntax decl window_proc_dispatch[]
+    {| ( $$id::proc , $$id::message ) $$stmt::body |}
+{
+    @decl none[];
+    wp_owners = append(wp_owners, list(proc));
+    wp_messages = append(wp_messages, list(message));
+    wp_handlers = append(wp_handlers, list(body));
+    return none;
+}
+
+syntax decl emit_window_proc {| $$id::name ; |}
+{
+    @stmt cases[];
+    @id default_proc;
+    int i;
+    i = 0;
+    while (i < length(wp_names)) {
+        if (wp_names[i] == name)
+            default_proc = wp_defaults[i];
+        i = i + 1;
+    }
+    i = 0;
+    while (i < length(wp_owners)) {
+        if (wp_owners[i] == name)
+            cases = append(cases, list(
+                `{| stmt :: case $(wp_messages[i]): { $(wp_handlers[i]) break; } |}));
+        i = i + 1;
+    }
+    return `[int $name(HWND hWnd, UINT message, WPARAM wParam, LPARAM lParam)
+    {
+        switch (message) {
+            default: return $default_proc(hWnd, message, wParam, lParam);
+            $cases
+        }
+    }];
+}
+
+/* ============ dynamic binding ============ */
+syntax stmt dynamic_bind
+    {| { $$typespec::type $$id::name = $$exp::init } { $$*stmt::body } |}
+{
+    @id newname = gensym();
+    return `{
+        $type $newname = $name;
+        $name = $init;
+        $body;
+        $name = $newname;
+    };
+}
+
+/* ============ the user program ============ */
+
+myenum error_types {division_by_zero, file_closed, using_unix};
+myenum fruit {apple, banana, kiwi};
+
+int printlength;
+int *exception_ptr;
+
+int foo(int a, int b, int *c)
+{
+    int z;
+    z = a + b;
+    catch division_by_zero
+        {printf("%s", "You lose, division by zero.");}
+        {*c = freq(z, a);}
+    unwind_protect {start_faucet_running();}
+                   {stop_faucet();}
+    return z;
+}
+
+void on_paint(void)
+{
+    Painting {
+        print_fruit(read_fruit());
+        dynamic_bind {int printlength = 10}
+            {print_class_structure(gym_class);}
+    }
+}
+
+new_window_proc wproc default DefWindowProc;
+window_proc_dispatch(wproc, WM_PAINT) {on_paint(hWnd);}
+window_proc_dispatch(wproc, WM_DESTROY) {PostQuitMessage(0);}
+emit_window_proc wproc;
+)";
+
+TEST(Integration, WholePaperInOneCompilation) {
+  Engine E;
+  ExpandResult R = E.expandSource("paper.c", WholePaper);
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_EQ(R.MacrosDefined, 9u);
+  EXPECT_GE(R.InvocationsExpanded, 12u); // incl. nested throws
+
+  // Spot checks across every subsystem.
+  EXPECT_NE(R.Output.find("enum error_types {division_by_zero, file_closed, "
+                          "using_unix};"),
+            std::string::npos)
+      << R.Output.substr(0, 2000);
+  EXPECT_NE(R.Output.find("void print_fruit(int arg)"), std::string::npos);
+  EXPECT_NE(R.Output.find("longjmp(exception_ptr, result)"),
+            std::string::npos);
+  EXPECT_NE(R.Output.find("BeginPaint(hDC, &ps)"), std::string::npos);
+  EXPECT_NE(R.Output.find("EndPaint(hDC, &ps)"), std::string::npos);
+  EXPECT_NE(R.Output.find("int wproc(HWND hWnd"), std::string::npos);
+  EXPECT_NE(R.Output.find("case WM_PAINT:"), std::string::npos);
+  EXPECT_NE(R.Output.find("int __msq_g_"), std::string::npos); // gensym
+
+  // No meta residue.
+  EXPECT_EQ(R.Output.find("syntax"), std::string::npos);
+  EXPECT_EQ(R.Output.find("metadcl"), std::string::npos);
+  EXPECT_EQ(R.Output.find('`'), std::string::npos);
+  EXPECT_EQ(R.Output.find("$"), std::string::npos);
+
+  // And the output is valid C.
+  Engine E2;
+  E2.parseSource("out.c", R.Output);
+  EXPECT_FALSE(E2.context().Diags.hasErrors())
+      << E2.context().Diags.renderAll();
+}
+
+TEST(Integration, WholePaperUnderCompiledPatterns) {
+  Engine::Options Opts;
+  Opts.UseCompiledPatterns = true;
+  Engine E(Opts);
+  ExpandResult R = E.expandSource("paper.c", WholePaper);
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_NE(R.Output.find("int wproc(HWND hWnd"), std::string::npos);
+}
+
+TEST(Integration, WholePaperUnderHygiene) {
+  Engine::Options Opts;
+  Opts.HygienicExpansion = true;
+  Engine E(Opts);
+  ExpandResult R = E.expandSource("paper.c", WholePaper);
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  // The exception system's introduced locals are freshened...
+  EXPECT_NE(R.Output.find("__msq_h_result_"), std::string::npos);
+  // ...and the output is still valid C.
+  Engine E2;
+  E2.parseSource("out.c", R.Output);
+  EXPECT_FALSE(E2.context().Diags.hasErrors())
+      << E2.context().Diags.renderAll();
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  auto Run = [] {
+    Engine E;
+    return E.expandSource("paper.c", WholePaper).Output;
+  };
+  std::string A = Run();
+  std::string B = Run();
+  EXPECT_EQ(A, B);
+}
+
+} // namespace

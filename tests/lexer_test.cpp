@@ -1,0 +1,233 @@
+//===----------------------------------------------------------------------===//
+// Unit tests: the lexer for C plus the paper's seven meta-tokens.
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+struct LexResult {
+  SourceManager SM;
+  Arena A;
+  std::unique_ptr<StringInterner> Interner;
+  std::unique_ptr<DiagnosticsEngine> Diags;
+  std::vector<Token> Toks;
+};
+
+std::unique_ptr<LexResult> lex(const std::string &Text) {
+  auto R = std::make_unique<LexResult>();
+  uint32_t Id = R->SM.addBuffer("t.c", Text);
+  R->Interner = std::make_unique<StringInterner>(R->A);
+  R->Diags = std::make_unique<DiagnosticsEngine>(R->SM);
+  Lexer L(Id, R->SM.bufferContents(Id), *R->Interner, *R->Diags);
+  R->Toks = L.lexAll();
+  return R;
+}
+
+std::vector<TokenKind> kindsOf(const std::string &Text) {
+  auto R = lex(Text);
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : R->Toks)
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+using TK = TokenKind;
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  EXPECT_EQ(kindsOf(""), std::vector<TK>{TK::Eof});
+  EXPECT_EQ(kindsOf("   \n\t  "), std::vector<TK>{TK::Eof});
+}
+
+TEST(Lexer, IdentifiersAndKeywords) {
+  auto R = lex("int foo _bar baz42 while whileX");
+  ASSERT_EQ(R->Toks.size(), 7u);
+  EXPECT_EQ(R->Toks[0].Kind, TK::KwInt);
+  EXPECT_EQ(R->Toks[1].Kind, TK::Identifier);
+  EXPECT_EQ(R->Toks[1].Sym.str(), "foo");
+  EXPECT_EQ(R->Toks[2].Sym.str(), "_bar");
+  EXPECT_EQ(R->Toks[3].Sym.str(), "baz42");
+  EXPECT_EQ(R->Toks[4].Kind, TK::KwWhile);
+  EXPECT_EQ(R->Toks[5].Kind, TK::Identifier); // maximal munch
+}
+
+TEST(Lexer, MacroLanguageKeywords) {
+  EXPECT_EQ(kindsOf("metadcl syntax lambda"),
+            (std::vector<TK>{TK::KwMetadcl, TK::KwSyntax, TK::KwLambda,
+                             TK::Eof}));
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto R = lex("0 42 0x1f 017 42u 42L");
+  EXPECT_EQ(R->Toks[0].IntVal, 0);
+  EXPECT_EQ(R->Toks[1].IntVal, 42);
+  EXPECT_EQ(R->Toks[2].IntVal, 31);
+  EXPECT_EQ(R->Toks[3].IntVal, 15); // octal
+  EXPECT_EQ(R->Toks[4].IntVal, 42);
+  EXPECT_EQ(R->Toks[5].IntVal, 42);
+  for (int I = 0; I != 6; ++I)
+    EXPECT_EQ(R->Toks[I].Kind, TK::IntLiteral) << I;
+}
+
+TEST(Lexer, FloatLiterals) {
+  auto R = lex("1.5 2. 0.25 1e3 1.5e-2 3f");
+  EXPECT_EQ(R->Toks[0].Kind, TK::FloatLiteral);
+  EXPECT_DOUBLE_EQ(R->Toks[0].FloatVal, 1.5);
+  EXPECT_EQ(R->Toks[1].Kind, TK::FloatLiteral);
+  EXPECT_DOUBLE_EQ(R->Toks[2].FloatVal, 0.25);
+  EXPECT_EQ(R->Toks[3].Kind, TK::FloatLiteral);
+  EXPECT_DOUBLE_EQ(R->Toks[3].FloatVal, 1000.0);
+  EXPECT_DOUBLE_EQ(R->Toks[4].FloatVal, 0.015);
+  // `3f` lexes as an int with suffix f (C float suffix applies to
+  // fractional literals; we accept it leniently).
+  EXPECT_EQ(R->Toks[5].Kind, TK::IntLiteral);
+}
+
+TEST(Lexer, ExponentNotConfusedWithIdentifier) {
+  auto R = lex("1e x");
+  // '1e' without digits: the 'e' belongs to a following identifier.
+  EXPECT_EQ(R->Toks[0].Kind, TK::IntLiteral);
+  EXPECT_EQ(R->Toks[1].Kind, TK::Identifier);
+  EXPECT_EQ(R->Toks[1].Sym.str(), "e");
+}
+
+TEST(Lexer, CharLiterals) {
+  auto R = lex(R"('a' '\n' '\\' '\'' '\0')");
+  EXPECT_EQ(R->Toks[0].IntVal, 'a');
+  EXPECT_EQ(R->Toks[1].IntVal, '\n');
+  EXPECT_EQ(R->Toks[2].IntVal, '\\');
+  EXPECT_EQ(R->Toks[3].IntVal, '\'');
+  EXPECT_EQ(R->Toks[4].IntVal, 0);
+  EXPECT_FALSE(R->Diags->hasErrors());
+}
+
+TEST(Lexer, StringLiterals) {
+  auto R = lex(R"("hello" "a\tb" "")");
+  EXPECT_EQ(R->Toks[0].Kind, TK::StringLiteral);
+  EXPECT_EQ(R->Toks[0].Sym.str(), "hello");
+  EXPECT_EQ(R->Toks[1].Sym.str(), "a\tb");
+  EXPECT_EQ(R->Toks[2].Sym.str(), "");
+}
+
+TEST(Lexer, UnterminatedStringDiagnosed) {
+  auto R = lex("\"oops\nint x;");
+  EXPECT_TRUE(R->Diags->hasErrors());
+}
+
+TEST(Lexer, UnterminatedCommentDiagnosed) {
+  auto R = lex("int /* never closed");
+  EXPECT_TRUE(R->Diags->hasErrors());
+}
+
+TEST(Lexer, Comments) {
+  EXPECT_EQ(kindsOf("a // line comment\n b"),
+            (std::vector<TK>{TK::Identifier, TK::Identifier, TK::Eof}));
+  EXPECT_EQ(kindsOf("a /* block \n comment */ b"),
+            (std::vector<TK>{TK::Identifier, TK::Identifier, TK::Eof}));
+  EXPECT_EQ(kindsOf("a /* nested /* not */ b"),
+            (std::vector<TK>{TK::Identifier, TK::Identifier, TK::Eof}));
+}
+
+TEST(Lexer, MetaTokens) {
+  EXPECT_EQ(kindsOf("{| |} $$ $ :: @ `"),
+            (std::vector<TK>{TK::LMetaBrace, TK::RMetaBrace, TK::DollarDollar,
+                             TK::Dollar, TK::ColonColon, TK::At, TK::Backquote,
+                             TK::Eof}));
+}
+
+TEST(Lexer, MetaTokensMaximalMunch) {
+  // `{ |` with space is NOT `{|`; `$$$` is `$$` `$`; `:::` is `::` `:`.
+  EXPECT_EQ(kindsOf("{ |"),
+            (std::vector<TK>{TK::LBrace, TK::Pipe, TK::Eof}));
+  EXPECT_EQ(kindsOf("$$$"),
+            (std::vector<TK>{TK::DollarDollar, TK::Dollar, TK::Eof}));
+  EXPECT_EQ(kindsOf(":::"),
+            (std::vector<TK>{TK::ColonColon, TK::Colon, TK::Eof}));
+  // `|}` vs `| }`.
+  EXPECT_EQ(kindsOf("| }"),
+            (std::vector<TK>{TK::Pipe, TK::RBrace, TK::Eof}));
+}
+
+struct PunctCase {
+  const char *Text;
+  TK Kind;
+};
+
+class LexerPunct : public ::testing::TestWithParam<PunctCase> {};
+
+TEST_P(LexerPunct, SingleToken) {
+  auto Kinds = kindsOf(GetParam().Text);
+  ASSERT_EQ(Kinds.size(), 2u) << GetParam().Text;
+  EXPECT_EQ(Kinds[0], GetParam().Kind) << GetParam().Text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPunctuation, LexerPunct,
+    ::testing::Values(
+        PunctCase{"(", TK::LParen}, PunctCase{")", TK::RParen},
+        PunctCase{"[", TK::LBracket}, PunctCase{"]", TK::RBracket},
+        PunctCase{"{", TK::LBrace}, PunctCase{"}", TK::RBrace},
+        PunctCase{";", TK::Semi}, PunctCase{",", TK::Comma},
+        PunctCase{".", TK::Dot}, PunctCase{"...", TK::Ellipsis},
+        PunctCase{"->", TK::Arrow}, PunctCase{"++", TK::PlusPlus},
+        PunctCase{"--", TK::MinusMinus}, PunctCase{"&", TK::Amp},
+        PunctCase{"*", TK::Star}, PunctCase{"+", TK::Plus},
+        PunctCase{"-", TK::Minus}, PunctCase{"~", TK::Tilde},
+        PunctCase{"!", TK::Exclaim}, PunctCase{"/", TK::Slash},
+        PunctCase{"%", TK::Percent}, PunctCase{"<<", TK::LessLess},
+        PunctCase{">>", TK::GreaterGreater}, PunctCase{"<", TK::Less},
+        PunctCase{">", TK::Greater}, PunctCase{"<=", TK::LessEqual},
+        PunctCase{">=", TK::GreaterEqual}, PunctCase{"==", TK::EqualEqual},
+        PunctCase{"!=", TK::ExclaimEqual}, PunctCase{"^", TK::Caret},
+        PunctCase{"|", TK::Pipe}, PunctCase{"&&", TK::AmpAmp},
+        PunctCase{"||", TK::PipePipe}, PunctCase{"?", TK::Question},
+        PunctCase{":", TK::Colon}, PunctCase{"=", TK::Equal},
+        PunctCase{"*=", TK::StarEqual}, PunctCase{"/=", TK::SlashEqual},
+        PunctCase{"%=", TK::PercentEqual}, PunctCase{"+=", TK::PlusEqual},
+        PunctCase{"-=", TK::MinusEqual}, PunctCase{"<<=", TK::LessLessEqual},
+        PunctCase{">>=", TK::GreaterGreaterEqual},
+        PunctCase{"&=", TK::AmpEqual}, PunctCase{"^=", TK::CaretEqual},
+        PunctCase{"|=", TK::PipeEqual}));
+
+TEST(Lexer, LocationsTrackOffsets) {
+  auto R = lex("ab cd\nef");
+  EXPECT_EQ(R->Toks[0].Loc.offset(), 0u);
+  EXPECT_EQ(R->Toks[1].Loc.offset(), 3u);
+  EXPECT_EQ(R->Toks[2].Loc.offset(), 6u);
+}
+
+TEST(Lexer, UnknownCharacterRecovers) {
+  auto R = lex("a # b");
+  EXPECT_TRUE(R->Diags->hasErrors());
+  // Recovery continues with the next tokens.
+  ASSERT_EQ(R->Toks.size(), 3u);
+  EXPECT_EQ(R->Toks[0].Sym.str(), "a");
+  EXPECT_EQ(R->Toks[1].Sym.str(), "b");
+}
+
+TEST(Lexer, TokenKindSpellings) {
+  EXPECT_STREQ(tokenKindSpelling(TK::LMetaBrace), "{|");
+  EXPECT_STREQ(tokenKindSpelling(TK::KwSyntax), "syntax");
+  EXPECT_STREQ(tokenKindSpelling(TK::Eof), "<eof>");
+  EXPECT_TRUE(isKeywordToken(TK::KwInt));
+  EXPECT_TRUE(isKeywordToken(TK::KwLambda));
+  EXPECT_FALSE(isKeywordToken(TK::Identifier));
+  EXPECT_FALSE(isKeywordToken(TK::Plus));
+}
+
+// Property: lexing the spellings of all fixed tokens round-trips.
+TEST(LexerProperty, FixedSpellingsRoundTrip) {
+  for (int K = int(TK::LParen); K <= int(TK::KwLambda); ++K) {
+    const char *Spelling = tokenKindSpelling(TK(K));
+    auto R = lex(Spelling);
+    ASSERT_EQ(R->Toks.size(), 2u) << Spelling;
+    EXPECT_EQ(R->Toks[0].Kind, TK(K)) << Spelling;
+    EXPECT_FALSE(R->Diags->hasErrors()) << Spelling;
+  }
+}
+
+} // namespace

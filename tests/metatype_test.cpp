@@ -1,0 +1,156 @@
+//===----------------------------------------------------------------------===//
+// Unit tests: the macro language's AST type system.
+//===----------------------------------------------------------------------===//
+
+#include "types/MetaType.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+TEST(MetaType, ScalarsAreUniqued) {
+  MetaTypeContext Ctx;
+  EXPECT_EQ(Ctx.getExp(), Ctx.getExp());
+  EXPECT_EQ(Ctx.getStmt(), Ctx.getScalar(MetaTypeKind::Stmt));
+  EXPECT_NE(Ctx.getExp(), Ctx.getStmt());
+}
+
+TEST(MetaType, ListsAreUniqued) {
+  MetaTypeContext Ctx;
+  const MetaType *L1 = Ctx.getList(Ctx.getId());
+  const MetaType *L2 = Ctx.getList(Ctx.getId());
+  EXPECT_EQ(L1, L2);
+  EXPECT_NE(L1, Ctx.getList(Ctx.getExp()));
+  EXPECT_EQ(Ctx.getList(L1), Ctx.getList(L2)); // lists of lists
+}
+
+TEST(MetaType, StructuralEquality) {
+  MetaTypeContext Ctx;
+  const MetaType *T1 = Ctx.getTuple({Ctx.getId(), Ctx.getExp()}, {Symbol(), Symbol()});
+  const MetaType *T2 = Ctx.getTuple({Ctx.getId(), Ctx.getExp()}, {Symbol(), Symbol()});
+  EXPECT_NE(T1, T2); // tuples are not pointer-uniqued...
+  EXPECT_TRUE(MetaType::equals(T1, T2)); // ...but structurally equal
+  const MetaType *T3 = Ctx.getTuple({Ctx.getExp(), Ctx.getId()}, {Symbol(), Symbol()});
+  EXPECT_FALSE(MetaType::equals(T1, T3));
+}
+
+TEST(MetaType, FunctionEquality) {
+  MetaTypeContext Ctx;
+  const MetaType *F1 = Ctx.getFunction(Ctx.getStmt(), {Ctx.getId()});
+  const MetaType *F2 = Ctx.getFunction(Ctx.getStmt(), {Ctx.getId()});
+  const MetaType *F3 = Ctx.getFunction(Ctx.getStmt(), {Ctx.getId()}, true);
+  EXPECT_TRUE(MetaType::equals(F1, F2));
+  EXPECT_FALSE(MetaType::equals(F1, F3)); // variadicity matters
+  EXPECT_FALSE(MetaType::equals(
+      F1, Ctx.getFunction(Ctx.getExp(), {Ctx.getId()})));
+}
+
+TEST(MetaType, ToStringUsesSurfaceSyntax) {
+  MetaTypeContext Ctx;
+  EXPECT_EQ(Ctx.getStmt()->toString(), "@stmt");
+  EXPECT_EQ(Ctx.getList(Ctx.getId())->toString(), "@id[]");
+  EXPECT_EQ(Ctx.getList(Ctx.getList(Ctx.getExp()))->toString(), "@exp[][]");
+  EXPECT_EQ(Ctx.getInt()->toString(), "int");
+  EXPECT_EQ(Ctx.getString()->toString(), "string");
+  EXPECT_EQ(Ctx.getScalar(MetaTypeKind::InitDeclarator)->toString(),
+            "@init_declarator");
+  EXPECT_EQ(Ctx.getFunction(Ctx.getStmt(), {Ctx.getId()})->toString(),
+            "fn(@id) -> @stmt");
+}
+
+TEST(MetaType, ScalarByName) {
+  MetaTypeContext Ctx;
+  EXPECT_EQ(Ctx.scalarByName("exp"), Ctx.getExp());
+  EXPECT_EQ(Ctx.scalarByName("stmt"), Ctx.getStmt());
+  EXPECT_EQ(Ctx.scalarByName("decl"), Ctx.getDecl());
+  EXPECT_EQ(Ctx.scalarByName("id"), Ctx.getId());
+  EXPECT_EQ(Ctx.scalarByName("num"), Ctx.getNum());
+  EXPECT_EQ(Ctx.scalarByName("typespec"), Ctx.getTypeSpec());
+  EXPECT_EQ(Ctx.scalarByName("type_spec"), Ctx.getTypeSpec());
+  EXPECT_EQ(Ctx.scalarByName("declarator"),
+            Ctx.getScalar(MetaTypeKind::Declarator));
+  EXPECT_EQ(Ctx.scalarByName("init_declarator"),
+            Ctx.getScalar(MetaTypeKind::InitDeclarator));
+  EXPECT_EQ(Ctx.scalarByName("enumerator"),
+            Ctx.getScalar(MetaTypeKind::Enumerator));
+  EXPECT_EQ(Ctx.scalarByName("nonsense"), nullptr);
+  EXPECT_EQ(Ctx.scalarByName(""), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Assignability — the subsumption rules the whole checker relies on.
+//===----------------------------------------------------------------------===//
+
+TEST(Assignability, ReflexiveOnScalars) {
+  MetaTypeContext Ctx;
+  for (auto K : {MetaTypeKind::Exp, MetaTypeKind::Stmt, MetaTypeKind::Decl,
+                 MetaTypeKind::Id, MetaTypeKind::Num, MetaTypeKind::TypeSpec,
+                 MetaTypeKind::Int, MetaTypeKind::String}) {
+    const MetaType *T = Ctx.getScalar(K);
+    EXPECT_TRUE(MetaTypeContext::isAssignable(T, T)) << T->toString();
+  }
+}
+
+TEST(Assignability, NumAndIdAreExpressions) {
+  MetaTypeContext Ctx;
+  EXPECT_TRUE(MetaTypeContext::isAssignable(Ctx.getExp(), Ctx.getNum()));
+  EXPECT_TRUE(MetaTypeContext::isAssignable(Ctx.getExp(), Ctx.getId()));
+  // But not the reverse.
+  EXPECT_FALSE(MetaTypeContext::isAssignable(Ctx.getNum(), Ctx.getExp()));
+  EXPECT_FALSE(MetaTypeContext::isAssignable(Ctx.getId(), Ctx.getExp()));
+}
+
+TEST(Assignability, IdentifierIsADeclarator) {
+  MetaTypeContext Ctx;
+  EXPECT_TRUE(MetaTypeContext::isAssignable(
+      Ctx.getScalar(MetaTypeKind::Declarator), Ctx.getId()));
+}
+
+TEST(Assignability, StmtAndExpAreDisjoint) {
+  MetaTypeContext Ctx;
+  EXPECT_FALSE(MetaTypeContext::isAssignable(Ctx.getStmt(), Ctx.getExp()));
+  EXPECT_FALSE(MetaTypeContext::isAssignable(Ctx.getExp(), Ctx.getStmt()));
+  EXPECT_FALSE(MetaTypeContext::isAssignable(Ctx.getDecl(), Ctx.getStmt()));
+}
+
+TEST(Assignability, ListsAreElementwiseCovariant) {
+  MetaTypeContext Ctx;
+  const MetaType *Ids = Ctx.getList(Ctx.getId());
+  const MetaType *Exps = Ctx.getList(Ctx.getExp());
+  EXPECT_TRUE(MetaTypeContext::isAssignable(Exps, Ids));
+  EXPECT_FALSE(MetaTypeContext::isAssignable(Ids, Exps));
+}
+
+TEST(Assignability, ErrorIsCompatibleWithEverything) {
+  MetaTypeContext Ctx;
+  EXPECT_TRUE(MetaTypeContext::isAssignable(Ctx.getError(), Ctx.getStmt()));
+  EXPECT_TRUE(MetaTypeContext::isAssignable(Ctx.getStmt(), Ctx.getError()));
+}
+
+TEST(MetaTypePredicates, Classification) {
+  MetaTypeContext Ctx;
+  EXPECT_TRUE(Ctx.getExp()->isAstScalar());
+  EXPECT_TRUE(Ctx.getExp()->isAstValued());
+  EXPECT_FALSE(Ctx.getInt()->isAstScalar());
+  EXPECT_TRUE(Ctx.getList(Ctx.getExp())->isAstValued());
+  EXPECT_TRUE(Ctx.getList(Ctx.getExp())->isList());
+  EXPECT_FALSE(Ctx.getExp()->isList());
+  EXPECT_TRUE(Ctx.getFunction(Ctx.getExp(), {})->isFunction());
+  EXPECT_TRUE(Ctx.getError()->isError());
+}
+
+TEST(MetaType, ListElemAccess) {
+  MetaTypeContext Ctx;
+  EXPECT_EQ(Ctx.getList(Ctx.getStmt())->listElem(), Ctx.getStmt());
+}
+
+TEST(MetaType, TupleFieldsByName) {
+  MetaTypeContext Ctx;
+  Arena A;
+  StringInterner I(A);
+  const MetaType *T =
+      Ctx.getTuple({Ctx.getId(), Ctx.getExp()}, {I.intern("a"), I.intern("b")});
+  ASSERT_EQ(T->tupleFields().size(), 2u);
+  EXPECT_EQ(T->tupleFieldNames()[0].str(), "a");
+  EXPECT_EQ(T->tupleFields()[1], Ctx.getExp());
+}

@@ -1,0 +1,509 @@
+//===----------------------------------------------------------------------===//
+//
+// Integration tests: every worked example from section 4 of
+// "Programmable Syntax Macros" (Weise & Crew, PLDI 1993), end to end
+// through parse -> type check -> expand -> print.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+/// Expands source and requires success.
+ExpandResult expandOk(const std::string &Source) {
+  Engine E;
+  ExpandResult R = E.expandSource("test.c", Source);
+  EXPECT_TRUE(R.Success) << R.DiagnosticsText;
+  return R;
+}
+
+bool contains(const std::string &Haystack, const std::string &Needle) {
+  return Haystack.find(Needle) != std::string::npos;
+}
+
+//===----------------------------------------------------------------------===//
+// Painting (section 1 and section 4)
+//===----------------------------------------------------------------------===//
+
+TEST(PaperExamples, PaintingBracketsBody) {
+  ExpandResult R = expandOk(R"(
+syntax stmt Painting {| $$stmt::body |}
+{
+    return `{
+        BeginPaint(hDC, &ps);
+        $body;
+        EndPaint(hDC, &ps);
+    };
+}
+
+void on_paint(void)
+{
+    Painting {
+        draw(1);
+        draw(2);
+    }
+}
+)");
+  size_t Begin = R.Output.find("BeginPaint");
+  size_t D1 = R.Output.find("draw(1)");
+  size_t D2 = R.Output.find("draw(2)");
+  size_t End = R.Output.find("EndPaint");
+  ASSERT_NE(Begin, std::string::npos) << R.Output;
+  ASSERT_NE(End, std::string::npos);
+  EXPECT_LT(Begin, D1);
+  EXPECT_LT(D1, D2);
+  EXPECT_LT(D2, End);
+}
+
+//===----------------------------------------------------------------------===//
+// paint_function as a meta function (section 1)
+//===----------------------------------------------------------------------===//
+
+TEST(PaperExamples, PaintFunctionMetaFunction) {
+  ExpandResult R = expandOk(R"(
+@stmt paint_function(@stmt s)
+{
+    return `{
+        BeginPaint(hDC, &ps);
+        $s;
+        EndPaint(hDC, &ps);
+    };
+}
+
+syntax stmt Painting {| $$stmt::body |}
+{
+    return paint_function(body);
+}
+
+void f(void)
+{
+    Painting { work(); }
+}
+)");
+  EXPECT_TRUE(contains(R.Output, "BeginPaint(hDC, &ps)")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "work()"));
+  // The meta function itself must not appear in object code.
+  EXPECT_FALSE(contains(R.Output, "paint_function"));
+}
+
+//===----------------------------------------------------------------------===//
+// dynamic_bind (section 4)
+//===----------------------------------------------------------------------===//
+
+TEST(PaperExamples, DynamicBind) {
+  ExpandResult R = expandOk(R"(
+syntax stmt dynamic_bind
+    {| { $$typespec::type $$id::name = $$exp::init } { $$stmt::body } |}
+{
+    @id newname = gensym();
+    return `{
+        $type $newname = $name;
+        $name = $init;
+        $body;
+        $name = $newname;
+    };
+}
+
+int printlength;
+
+void show(void)
+{
+    dynamic_bind {int printlength = 10}
+        {print_class_structure(gym_class);}
+}
+)");
+  // The saved/restored temporary is a gensym; the binding discipline must
+  // appear in order: save, set, body, restore.
+  size_t Save = R.Output.find("= printlength;");
+  size_t Set = R.Output.find("printlength = 10;");
+  size_t Body = R.Output.find("print_class_structure(gym_class)");
+  size_t Restore = R.Output.find("printlength = __msq_g_");
+  ASSERT_NE(Save, std::string::npos) << R.Output;
+  ASSERT_NE(Set, std::string::npos);
+  ASSERT_NE(Body, std::string::npos);
+  ASSERT_NE(Restore, std::string::npos);
+  EXPECT_LT(Save, Set);
+  EXPECT_LT(Set, Body);
+  EXPECT_LT(Body, Restore);
+  EXPECT_TRUE(contains(R.Output, "int __msq_g_"));
+}
+
+//===----------------------------------------------------------------------===//
+// Exception handling: throw / catch / unwind_protect (section 4)
+//===----------------------------------------------------------------------===//
+
+const char *ExceptionMacros = R"(
+syntax stmt throw {| $$exp::value |}
+{
+    if (simple_expression(value))
+        return `{
+            if (exception_ptr == 0)
+                error("No handler for ", $value);
+            else
+                longjmp(exception_ptr, $value);
+        };
+    return `{
+        int the_value = $value;
+        if (exception_ptr == 0)
+            error("No handler for ", the_value);
+        else
+            longjmp(exception_ptr, the_value);
+    };
+}
+
+syntax stmt catch {| $$exp::tag $$stmt::handler $$stmt::body |}
+{
+    return `{
+        int *old_exception_ptr = exception_ptr;
+        int jmp_buf[2];
+        int result;
+        result = setjump(jmp_buf);
+        if (result == 0) {
+            exception_ptr = jmp_buf;
+            $body;
+        } else {
+            exception_ptr = old_exception_ptr;
+            if (result == $tag)
+                $handler;
+            else
+                throw result;
+        }
+    };
+}
+
+syntax stmt unwind_protect {| $$stmt::body $$stmt::cleanup |}
+{
+    return `{
+        int *old_exception_ptr = exception_ptr;
+        int jmp_buf[2];
+        int result;
+        result = setjump(jmp_buf);
+        if (result == 0) {
+            exception_ptr = jmp_buf;
+            $body;
+            exception_ptr = old_exception_ptr;
+            $cleanup;
+        } else {
+            exception_ptr = old_exception_ptr;
+            $cleanup;
+            throw result;
+        }
+    };
+}
+)";
+
+TEST(PaperExamples, ThrowSimpleExpression) {
+  std::string Source = std::string(ExceptionMacros) + R"(
+void f(void)
+{
+    throw division_by_zero;
+}
+)";
+  ExpandResult R = expandOk(Source);
+  // Simple expression: no temporary introduced.
+  EXPECT_TRUE(contains(R.Output, "longjmp(exception_ptr, division_by_zero)"))
+      << R.Output;
+  EXPECT_FALSE(contains(R.Output, "the_value"));
+}
+
+TEST(PaperExamples, ThrowComplexExpressionEvaluatedOnce) {
+  std::string Source = std::string(ExceptionMacros) + R"(
+void f(void)
+{
+    throw compute_tag(x);
+}
+)";
+  ExpandResult R = expandOk(Source);
+  // Complex expression: bound to a temporary exactly once.
+  EXPECT_TRUE(contains(R.Output, "int the_value = compute_tag(x);"))
+      << R.Output;
+  EXPECT_TRUE(contains(R.Output, "longjmp(exception_ptr, the_value)"));
+  // compute_tag must appear exactly once in the expansion.
+  size_t First = R.Output.find("compute_tag");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(R.Output.find("compute_tag", First + 1), std::string::npos);
+}
+
+TEST(PaperExamples, CatchEstablishesHandler) {
+  std::string Source = std::string(ExceptionMacros) + R"(
+int foo(int a, int b, int *c)
+{
+    int z;
+    z = a + b;
+    catch division_by_zero
+        {printf("%s", "You lose, division by zero.");}
+        {*c = freq(z, a);}
+    return z;
+}
+)";
+  ExpandResult R = expandOk(Source);
+  EXPECT_TRUE(contains(R.Output, "setjump(jmp_buf)")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "result == division_by_zero"));
+  EXPECT_TRUE(contains(R.Output, "You lose, division by zero."));
+  EXPECT_TRUE(contains(R.Output, "*c = freq(z, a)"));
+  // The nested `throw result` re-expands into a longjmp.
+  EXPECT_TRUE(contains(R.Output, "longjmp(exception_ptr, result)"));
+  EXPECT_FALSE(contains(R.Output, "throw"));
+}
+
+TEST(PaperExamples, UnwindProtectRunsCleanupOnBothPaths) {
+  std::string Source = std::string(ExceptionMacros) + R"(
+void g(void)
+{
+    unwind_protect {start_faucet_running();}
+                   {stop_faucet();}
+}
+)";
+  ExpandResult R = expandOk(Source);
+  EXPECT_TRUE(contains(R.Output, "start_faucet_running()")) << R.Output;
+  // Cleanup appears on both the normal and the throwing path.
+  size_t First = R.Output.find("stop_faucet()");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_NE(R.Output.find("stop_faucet()", First + 1), std::string::npos);
+}
+
+TEST(PaperExamples, PaintingWithUnwindProtect) {
+  std::string Source = std::string(ExceptionMacros) + R"(
+syntax stmt Painting {| $$stmt::body |}
+{
+    return `{
+        BeginPaint(hDC, &ps);
+        unwind_protect
+            $body
+            {EndPaint(hDC, &ps);}
+    };
+}
+
+void f(void)
+{
+    Painting { paint_stuff(); }
+}
+)";
+  ExpandResult R = expandOk(Source);
+  EXPECT_TRUE(contains(R.Output, "BeginPaint(hDC, &ps)")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "paint_stuff()"));
+  EXPECT_TRUE(contains(R.Output, "EndPaint(hDC, &ps)"));
+  EXPECT_TRUE(contains(R.Output, "setjump"));
+  EXPECT_FALSE(contains(R.Output, "unwind_protect"));
+}
+
+//===----------------------------------------------------------------------===//
+// myenum: readers and writers for enumerated types (section 4)
+//===----------------------------------------------------------------------===//
+
+const char *MyenumMacro = R"(
+syntax decl myenum[] {| $$id::name { $$+/, id::ids } ; |}
+{
+    return list(
+        `[enum $name {$ids};],
+        `[void $(symbolconc("print_", name))(int arg)
+          {
+              switch (arg) {
+                  $(map(lambda (@id id)
+                        `{| stmt :: case $id: printf("%s", $(pstring(id))); |},
+                        ids))
+              }
+          }],
+        `[int $(symbolconc("read_", name))(void)
+          {
+              char s[100];
+              getline(s, 100);
+              $(map(lambda (@id id)
+                    `{| stmt :: if (!strcmp(s, $(pstring(id)))) return $id; |},
+                    ids))
+              return -1;
+          }]);
+}
+)";
+
+TEST(PaperExamples, MyenumGeneratesEnumPrinterAndReader) {
+  std::string Source = std::string(MyenumMacro) + R"(
+myenum fruit {apple, banana, kiwi};
+)";
+  ExpandResult R = expandOk(Source);
+  EXPECT_TRUE(contains(R.Output, "enum fruit {apple, banana, kiwi};"))
+      << R.Output;
+  EXPECT_TRUE(contains(R.Output, "void print_fruit(int arg)"));
+  EXPECT_TRUE(contains(R.Output, "case apple: printf(\"%s\", \"apple\");"));
+  EXPECT_TRUE(contains(R.Output, "case banana: printf(\"%s\", \"banana\");"));
+  EXPECT_TRUE(contains(R.Output, "case kiwi: printf(\"%s\", \"kiwi\");"));
+  EXPECT_TRUE(contains(R.Output, "int read_fruit()"));
+  EXPECT_TRUE(contains(R.Output, "if (!strcmp(s, \"apple\")) return apple;"));
+  EXPECT_TRUE(contains(R.Output, "if (!strcmp(s, \"kiwi\")) return kiwi;"));
+}
+
+TEST(PaperExamples, MyenumTwoInstantiationsDoNotInterfere) {
+  std::string Source = std::string(MyenumMacro) + R"(
+myenum fruit {apple, banana};
+myenum color {red, green, blue};
+)";
+  ExpandResult R = expandOk(Source);
+  EXPECT_TRUE(contains(R.Output, "void print_fruit(int arg)")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "void print_color(int arg)"));
+  EXPECT_TRUE(contains(R.Output, "case red: printf(\"%s\", \"red\");"));
+  EXPECT_TRUE(contains(R.Output, "int read_color()"));
+}
+
+//===----------------------------------------------------------------------===//
+// enum color $ids; — identifier lists and concrete separators (section 2)
+//===----------------------------------------------------------------------===//
+
+TEST(PaperExamples, IdentifierListSuppliesSeparators) {
+  ExpandResult R = expandOk(R"(
+syntax decl declare_colors {| $$+/, id::ids ; |}
+{
+    return `[enum color $ids;];
+}
+
+declare_colors red, blue, green;
+)");
+  // The macro writer never mentions the comma separators; the printer
+  // reintroduces them from the abstract syntax.
+  EXPECT_TRUE(contains(R.Output, "enum color red, blue, green;")) << R.Output;
+}
+
+//===----------------------------------------------------------------------===//
+// Code rearrangement: window procedures (section 4)
+//===----------------------------------------------------------------------===//
+
+const char *WindowProcMacros = R"(
+typedef int HWND;
+typedef int UINT;
+typedef int WPARAM;
+typedef int LPARAM;
+
+metadcl @id wp_names[];
+metadcl @id wp_defaults[];
+metadcl @id wp_owners[];
+metadcl @id wp_messages[];
+metadcl @stmt wp_handlers[];
+
+syntax decl new_window_proc[]
+    {| $$id::name default $$id::default_proc ; |}
+{
+    @decl none[];
+    wp_names = append(wp_names, list(name));
+    wp_defaults = append(wp_defaults, list(default_proc));
+    return none;
+}
+
+syntax decl window_proc_dispatch[]
+    {| ( $$id::proc , $$id::message ) $$stmt::body |}
+{
+    @decl none[];
+    wp_owners = append(wp_owners, list(proc));
+    wp_messages = append(wp_messages, list(message));
+    wp_handlers = append(wp_handlers, list(body));
+    return none;
+}
+
+syntax decl emit_window_proc {| $$id::name ; |}
+{
+    @stmt cases[];
+    @id default_proc;
+    int i;
+    i = 0;
+    while (i < length(wp_names)) {
+        if (wp_names[i] == name)
+            default_proc = wp_defaults[i];
+        i = i + 1;
+    }
+    i = 0;
+    while (i < length(wp_owners)) {
+        if (wp_owners[i] == name)
+            cases = append(cases, list(
+                `{| stmt :: case $(wp_messages[i]): { $(wp_handlers[i]) break; } |}));
+        i = i + 1;
+    }
+    return `[int $name(HWND hWnd, UINT message, WPARAM wParam, LPARAM lParam)
+    {
+        switch (message) {
+            default: return $default_proc(hWnd, message, wParam, lParam);
+            $cases
+        }
+    }];
+}
+)";
+
+TEST(PaperExamples, WindowProcAccumulatesDistributedCode) {
+  std::string Source = std::string(WindowProcMacros) + R"(
+new_window_proc wproc default DefWindowProc;
+
+window_proc_dispatch(wproc, WM_DESTROY)
+    {KillTimer(hWnd, idTimer);
+     PostQuitMessage(0);}
+
+window_proc_dispatch(wproc, WM_CREATE)
+    {idTimer = SetTimer(hWnd, 77, 5000, 0);}
+
+emit_window_proc wproc;
+)";
+  ExpandResult R = expandOk(Source);
+  EXPECT_TRUE(contains(
+      R.Output, "int wproc(HWND hWnd, UINT message, WPARAM wParam, "
+                "LPARAM lParam)"))
+      << R.Output;
+  EXPECT_TRUE(contains(R.Output, "switch (message)"));
+  EXPECT_TRUE(contains(
+      R.Output, "default: return DefWindowProc(hWnd, message, wParam, "
+                "lParam);"));
+  EXPECT_TRUE(contains(R.Output, "case WM_DESTROY:"));
+  EXPECT_TRUE(contains(R.Output, "PostQuitMessage(0)"));
+  EXPECT_TRUE(contains(R.Output, "case WM_CREATE:"));
+  EXPECT_TRUE(contains(R.Output, "SetTimer(hWnd, 77, 5000, 0)"));
+}
+
+TEST(PaperExamples, TwoWindowProcsKeepSeparateDispatchTables) {
+  std::string Source = std::string(WindowProcMacros) + R"(
+new_window_proc procA default DefA;
+new_window_proc procB default DefB;
+
+window_proc_dispatch(procA, MSG_ONE) {handle_one();}
+window_proc_dispatch(procB, MSG_TWO) {handle_two();}
+
+emit_window_proc procA;
+emit_window_proc procB;
+)";
+  ExpandResult R = expandOk(Source);
+  // procA's dispatch must not contain procB's case and vice versa.
+  size_t A = R.Output.find("int procA(");
+  size_t B = R.Output.find("int procB(");
+  ASSERT_NE(A, std::string::npos) << R.Output;
+  ASSERT_NE(B, std::string::npos);
+  ASSERT_LT(A, B);
+  std::string AText = R.Output.substr(A, B - A);
+  std::string BText = R.Output.substr(B);
+  EXPECT_TRUE(contains(AText, "MSG_ONE"));
+  EXPECT_FALSE(contains(AText, "MSG_TWO"));
+  EXPECT_TRUE(contains(BText, "MSG_TWO"));
+  EXPECT_FALSE(contains(BText, "MSG_ONE"));
+  EXPECT_TRUE(contains(AText, "DefA"));
+  EXPECT_TRUE(contains(BText, "DefB"));
+}
+
+//===----------------------------------------------------------------------===//
+// Encapsulation (section 1): tree substitution cannot capture precedence
+//===----------------------------------------------------------------------===//
+
+TEST(PaperExamples, NoPrecedenceCaptureInProduct) {
+  ExpandResult R = expandOk(R"(
+syntax exp mult {| ( $$exp::a , $$exp::b ) |}
+{
+    return `($a * $b);
+}
+
+int f(int x, int y, int m, int n)
+{
+    return mult(x + y, m + n);
+}
+)");
+  // MS2 substitutes trees: the product must keep both sums intact.
+  EXPECT_TRUE(contains(R.Output, "(x + y) * (m + n)")) << R.Output;
+}
+
+} // namespace

@@ -1,0 +1,511 @@
+//===----------------------------------------------------------------------===//
+// Unit tests: the recursive-descent / precedence parser for the C subset.
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "printer/CPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+struct Fixture {
+  SourceManager SM;
+  CompilationContext CC{SM};
+
+  Expr *parseExpr(const std::string &Text) {
+    uint32_t Id = SM.addBuffer("e.c", Text);
+    Parser P(CC);
+    return P.parseExpressionFragment(Id);
+  }
+  Stmt *parseStmt(const std::string &Text) {
+    uint32_t Id = SM.addBuffer("s.c", Text);
+    Parser P(CC);
+    return P.parseStatementFragment(Id);
+  }
+  Decl *parseDecl(const std::string &Text) {
+    uint32_t Id = SM.addBuffer("d.c", Text);
+    Parser P(CC);
+    return P.parseDeclarationFragment(Id);
+  }
+  TranslationUnit *parseTU(const std::string &Text) {
+    uint32_t Id = SM.addBuffer("tu.c", Text);
+    Parser P(CC);
+    return P.parseTranslationUnit(Id);
+  }
+  bool hadErrors() const { return CC.Diags.hasErrors(); }
+  std::string diags() const { return CC.Diags.renderAll(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+TEST(ParserExpr, PrecedenceMulOverAdd) {
+  Fixture F;
+  Expr *E = F.parseExpr("a + b * c");
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  const auto *Add = dyn_cast<BinaryExpr>(E);
+  ASSERT_NE(Add, nullptr);
+  EXPECT_EQ(Add->Op, BinaryOpKind::Add);
+  const auto *Mul = dyn_cast<BinaryExpr>(Add->RHS);
+  ASSERT_NE(Mul, nullptr);
+  EXPECT_EQ(Mul->Op, BinaryOpKind::Mul);
+}
+
+TEST(ParserExpr, LeftAssociativity) {
+  Fixture F;
+  Expr *E = F.parseExpr("a - b - c");
+  const auto *Outer = cast<BinaryExpr>(E);
+  // (a - b) - c
+  const auto *Inner = dyn_cast<BinaryExpr>(Outer->LHS);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(printExpr(Inner), "a - b");
+  EXPECT_EQ(printExpr(Outer->RHS), "c");
+}
+
+TEST(ParserExpr, AssignmentIsRightAssociative) {
+  Fixture F;
+  Expr *E = F.parseExpr("a = b = c");
+  const auto *Outer = cast<BinaryExpr>(E);
+  EXPECT_EQ(Outer->Op, BinaryOpKind::Assign);
+  EXPECT_EQ(printExpr(Outer->LHS), "a");
+  const auto *Inner = dyn_cast<BinaryExpr>(Outer->RHS);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->Op, BinaryOpKind::Assign);
+}
+
+TEST(ParserExpr, ConditionalNestsRight) {
+  Fixture F;
+  Expr *E = F.parseExpr("a ? b : c ? d : e");
+  const auto *Outer = dyn_cast<ConditionalExpr>(E);
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_TRUE(isa<ConditionalExpr>(Outer->Else));
+}
+
+TEST(ParserExpr, CommaOperator) {
+  Fixture F;
+  Expr *E = F.parseExpr("a, b, c");
+  const auto *Outer = cast<BinaryExpr>(E);
+  EXPECT_EQ(Outer->Op, BinaryOpKind::Comma);
+  EXPECT_TRUE(isa<BinaryExpr>(Outer->LHS)); // (a, b), c
+}
+
+TEST(ParserExpr, UnaryChain) {
+  Fixture F;
+  Expr *E = F.parseExpr("!*&x");
+  const auto *Not = cast<UnaryExpr>(E);
+  EXPECT_EQ(Not->Op, UnaryOpKind::Not);
+  const auto *Deref = cast<UnaryExpr>(Not->Operand);
+  EXPECT_EQ(Deref->Op, UnaryOpKind::Deref);
+  const auto *Addr = cast<UnaryExpr>(Deref->Operand);
+  EXPECT_EQ(Addr->Op, UnaryOpKind::AddrOf);
+}
+
+TEST(ParserExpr, PostfixChain) {
+  Fixture F;
+  Expr *E = F.parseExpr("a.b->c[1](2)++");
+  const auto *Post = cast<UnaryExpr>(E);
+  EXPECT_EQ(Post->Op, UnaryOpKind::PostInc);
+  const auto *Call = cast<CallExpr>(Post->Operand);
+  ASSERT_EQ(Call->Args.size(), 1u);
+  const auto *Index = cast<IndexExpr>(Call->Callee);
+  const auto *Arrow = cast<MemberExpr>(Index->Base);
+  EXPECT_TRUE(Arrow->IsArrow);
+  const auto *Dot = cast<MemberExpr>(Arrow->Base);
+  EXPECT_FALSE(Dot->IsArrow);
+}
+
+TEST(ParserExpr, CallArgumentsAreAssignmentLevel) {
+  Fixture F;
+  // The comma separates arguments; it is not the comma operator here.
+  Expr *E = F.parseExpr("f(a, b)");
+  const auto *Call = cast<CallExpr>(E);
+  EXPECT_EQ(Call->Args.size(), 2u);
+}
+
+TEST(ParserExpr, SizeofExpressionAndType) {
+  Fixture F;
+  Expr *E1 = F.parseExpr("sizeof x");
+  EXPECT_FALSE(cast<SizeofExpr>(E1)->IsType);
+  Expr *E2 = F.parseExpr("sizeof(int)");
+  EXPECT_TRUE(cast<SizeofExpr>(E2)->IsType);
+  Expr *E3 = F.parseExpr("sizeof(x)"); // parenthesized expression
+  EXPECT_FALSE(cast<SizeofExpr>(E3)->IsType);
+}
+
+TEST(ParserExpr, CastVsParen) {
+  Fixture F;
+  Expr *E = F.parseExpr("(int)x");
+  EXPECT_TRUE(isa<CastExpr>(E));
+  Expr *E2 = F.parseExpr("(x)");
+  EXPECT_TRUE(isa<ParenExpr>(E2));
+  Expr *E3 = F.parseExpr("(char *)p");
+  const auto *C = cast<CastExpr>(E3);
+  EXPECT_EQ(C->Ty.PointerDepth, 1u);
+}
+
+TEST(ParserExpr, CastDependsOnTypedefContext) {
+  Fixture F;
+  F.parseTU("typedef int myint;");
+  Expr *E = F.parseExpr("(myint)x");
+  EXPECT_TRUE(isa<CastExpr>(E)) << printExpr(E);
+}
+
+TEST(ParserExpr, Literals) {
+  Fixture F;
+  EXPECT_TRUE(isa<IntLiteralExpr>(F.parseExpr("42")));
+  EXPECT_TRUE(isa<FloatLiteralExpr>(F.parseExpr("4.5")));
+  EXPECT_TRUE(isa<CharLiteralExpr>(F.parseExpr("'c'")));
+  EXPECT_TRUE(isa<StringLiteralExpr>(F.parseExpr("\"s\"")));
+}
+
+TEST(ParserExpr, ErrorOnGarbage) {
+  Fixture F;
+  F.parseExpr("+");
+  EXPECT_TRUE(F.hadErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+TEST(ParserStmt, IfElseBindsToNearest) {
+  Fixture F;
+  Stmt *S = F.parseStmt("if (a) if (b) x(); else y();");
+  const auto *Outer = cast<IfStmt>(S);
+  EXPECT_EQ(Outer->Else, nullptr);
+  const auto *Inner = cast<IfStmt>(Outer->Then);
+  EXPECT_NE(Inner->Else, nullptr);
+}
+
+TEST(ParserStmt, ForWithAllClauses) {
+  Fixture F;
+  const auto *S = cast<ForStmt>(F.parseStmt("for (i = 0; i < n; i++) f(i);"));
+  EXPECT_NE(S->Init, nullptr);
+  EXPECT_NE(S->Cond, nullptr);
+  EXPECT_NE(S->Step, nullptr);
+}
+
+TEST(ParserStmt, ForWithEmptyClauses) {
+  Fixture F;
+  const auto *S = cast<ForStmt>(F.parseStmt("for (;;) ;"));
+  EXPECT_EQ(S->Init, nullptr);
+  EXPECT_EQ(S->Cond, nullptr);
+  EXPECT_EQ(S->Step, nullptr);
+  EXPECT_TRUE(isa<NullStmt>(S->Body));
+  EXPECT_FALSE(F.hadErrors());
+}
+
+TEST(ParserStmt, DoWhile) {
+  Fixture F;
+  const auto *S = cast<DoStmt>(F.parseStmt("do f(); while (x);"));
+  EXPECT_TRUE(isa<ExprStmt>(S->Body));
+}
+
+TEST(ParserStmt, SwitchWithCases) {
+  Fixture F;
+  Stmt *S = F.parseStmt("switch (x) { case 1: a(); break; default: b(); }");
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  const auto *Sw = cast<SwitchStmt>(S);
+  const auto *Body = cast<CompoundStmt>(Sw->Body);
+  ASSERT_EQ(Body->Stmts.size(), 3u);
+  EXPECT_TRUE(isa<CaseStmt>(Body->Stmts[0]));
+  EXPECT_TRUE(isa<BreakStmt>(Body->Stmts[1]));
+  EXPECT_TRUE(isa<DefaultStmt>(Body->Stmts[2]));
+}
+
+TEST(ParserStmt, LabelsAndGoto) {
+  Fixture F;
+  Stmt *S = F.parseStmt("{ top: x(); goto top; }");
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  const auto *C = cast<CompoundStmt>(S);
+  ASSERT_EQ(C->Stmts.size(), 2u);
+  EXPECT_TRUE(isa<LabelStmt>(C->Stmts[0]));
+  EXPECT_TRUE(isa<GotoStmt>(C->Stmts[1]));
+}
+
+TEST(ParserStmt, CompoundSeparatesDeclsFromStmts) {
+  Fixture F;
+  const auto *C =
+      cast<CompoundStmt>(F.parseStmt("{ int a; char b; f(a); g(b); }"));
+  EXPECT_EQ(C->Decls.size(), 2u);
+  EXPECT_EQ(C->Stmts.size(), 2u);
+}
+
+TEST(ParserStmt, TypedefNameStartsDeclInBlock) {
+  Fixture F;
+  F.parseTU("typedef int myint;");
+  const auto *C = cast<CompoundStmt>(F.parseStmt("{ myint x; x = 1; }"));
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  EXPECT_EQ(C->Decls.size(), 1u);
+  EXPECT_EQ(C->Stmts.size(), 1u);
+}
+
+TEST(ParserStmt, NonTypedefIdentStartsExpr) {
+  Fixture F;
+  // `foo * i;` without a typedef parses as an expression statement.
+  const auto *C = cast<CompoundStmt>(F.parseStmt("{ foo * i; }"));
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  EXPECT_EQ(C->Decls.size(), 0u);
+  ASSERT_EQ(C->Stmts.size(), 1u);
+  const auto *ES = cast<ExprStmt>(C->Stmts[0]);
+  EXPECT_EQ(cast<BinaryExpr>(ES->E)->Op, BinaryOpKind::Mul);
+}
+
+TEST(ParserStmt, TypedefMakesItADeclaration) {
+  Fixture F;
+  F.parseTU("typedef int foo;");
+  const auto *C = cast<CompoundStmt>(F.parseStmt("{ foo * i; }"));
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  EXPECT_EQ(C->Decls.size(), 1u);
+  EXPECT_EQ(C->Stmts.size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+TEST(ParserDecl, SimpleVariable) {
+  Fixture F;
+  const auto *D = cast<Declaration>(F.parseDecl("int x;"));
+  ASSERT_EQ(D->Inits.size(), 1u);
+  EXPECT_EQ(D->Inits[0].Dtor->Name.Sym.str(), "x");
+}
+
+TEST(ParserDecl, MultipleDeclaratorsWithInits) {
+  Fixture F;
+  const auto *D = cast<Declaration>(F.parseDecl("int a = 1, *b, c[10];"));
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  ASSERT_EQ(D->Inits.size(), 3u);
+  EXPECT_NE(D->Inits[0].Init, nullptr);
+  EXPECT_EQ(D->Inits[1].Dtor->PointerDepth, 1u);
+  ASSERT_EQ(D->Inits[2].Dtor->Suffixes.size(), 1u);
+  EXPECT_EQ(D->Inits[2].Dtor->Suffixes[0].K, DeclSuffix::Array);
+}
+
+TEST(ParserDecl, StorageAndQualifiers) {
+  Fixture F;
+  const auto *D = cast<Declaration>(F.parseDecl("static const int x;"));
+  EXPECT_EQ(D->Specs.Storage, StorageClass::Static);
+  EXPECT_TRUE(D->Specs.Const);
+}
+
+TEST(ParserDecl, LongLongAndUnsigned) {
+  Fixture F;
+  const auto *D =
+      cast<Declaration>(F.parseDecl("unsigned long long x;"));
+  const auto *B = cast<BuiltinTypeSpec>(D->Specs.Type);
+  EXPECT_TRUE(B->Flags & BTF_Unsigned);
+  EXPECT_TRUE(B->Flags & BTF_LongLong);
+}
+
+TEST(ParserDecl, StructDefinition) {
+  Fixture F;
+  const auto *D =
+      cast<Declaration>(F.parseDecl("struct point { int x; int y; } p;"));
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  const auto *Tag = cast<TagTypeSpec>(D->Specs.Type);
+  EXPECT_EQ(Tag->Tag, TagKind::Struct);
+  EXPECT_EQ(Tag->TagName.Sym.str(), "point");
+  EXPECT_EQ(Tag->Members.size(), 2u);
+  EXPECT_EQ(D->Inits.size(), 1u);
+}
+
+TEST(ParserDecl, EnumWithValues) {
+  Fixture F;
+  const auto *D =
+      cast<Declaration>(F.parseDecl("enum e { A, B = 5, C };"));
+  const auto *Tag = cast<TagTypeSpec>(D->Specs.Type);
+  ASSERT_EQ(Tag->Enums.size(), 3u);
+  EXPECT_EQ(Tag->Enums[0].Name.Sym.str(), "A");
+  EXPECT_NE(Tag->Enums[1].Value, nullptr);
+  EXPECT_EQ(Tag->Enums[2].Value, nullptr);
+}
+
+TEST(ParserDecl, AnonymousUnion) {
+  Fixture F;
+  const auto *D = cast<Declaration>(F.parseDecl("union { int a; } u;"));
+  const auto *Tag = cast<TagTypeSpec>(D->Specs.Type);
+  EXPECT_EQ(Tag->Tag, TagKind::Union);
+  EXPECT_FALSE(Tag->TagName.valid());
+}
+
+TEST(ParserDecl, PrototypeFunction) {
+  Fixture F;
+  TranslationUnit *TU = F.parseTU("int add(int a, int b) { return a + b; }");
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  ASSERT_EQ(TU->Items.size(), 1u);
+  const auto *Fn = cast<FunctionDef>(TU->Items[0]);
+  ASSERT_EQ(Fn->Dtor->Suffixes.size(), 1u);
+  EXPECT_EQ(Fn->Dtor->Suffixes[0].Params.size(), 2u);
+  EXPECT_TRUE(Fn->KRDecls.empty());
+}
+
+TEST(ParserDecl, KnRFunction) {
+  Fixture F;
+  TranslationUnit *TU = F.parseTU(R"(
+int foo(a, b, c)
+int a, b;
+int *c;
+{ return a; }
+)");
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  const auto *Fn = cast<FunctionDef>(TU->Items[0]);
+  EXPECT_EQ(Fn->Dtor->Suffixes[0].KRNames.size(), 3u);
+  EXPECT_EQ(Fn->KRDecls.size(), 2u);
+}
+
+TEST(ParserDecl, ImplicitIntFunction) {
+  Fixture F;
+  TranslationUnit *TU = F.parseTU("main() { return 0; }");
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  const auto *Fn = cast<FunctionDef>(TU->Items[0]);
+  EXPECT_EQ(Fn->Specs.Type, nullptr); // implicit int
+}
+
+TEST(ParserDecl, VariadicPrototype) {
+  Fixture F;
+  TranslationUnit *TU = F.parseTU("int printf(char *fmt, ...);");
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  const auto *D = cast<Declaration>(TU->Items[0]);
+  EXPECT_TRUE(D->Inits[0].Dtor->Suffixes[0].Variadic);
+}
+
+TEST(ParserDecl, TypedefChain) {
+  Fixture F;
+  TranslationUnit *TU = F.parseTU(R"(
+typedef int myint;
+typedef myint yourint;
+yourint x;
+)");
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  EXPECT_EQ(TU->Items.size(), 3u);
+  const auto *D = cast<Declaration>(TU->Items[2]);
+  EXPECT_TRUE(isa<TypedefNameSpec>(D->Specs.Type));
+}
+
+TEST(ParserDecl, FunctionPointerDeclarator) {
+  Fixture F;
+  const auto *D =
+      cast<Declaration>(F.parseDecl("int (*handler)(int, char *);"));
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  const Declarator *Dtor = D->Inits[0].Dtor;
+  ASSERT_NE(Dtor->Inner, nullptr);
+  EXPECT_EQ(Dtor->Inner->PointerDepth, 1u);
+  EXPECT_EQ(Dtor->name().Sym.str(), "handler");
+  ASSERT_EQ(Dtor->Suffixes.size(), 1u);
+  EXPECT_EQ(Dtor->Suffixes[0].K, DeclSuffix::Function);
+  EXPECT_EQ(Dtor->Suffixes[0].Params.size(), 2u);
+}
+
+TEST(ParserDecl, FunctionPointerArray) {
+  Fixture F;
+  const auto *D = cast<Declaration>(F.parseDecl("void (*table[8])(void);"));
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  const Declarator *Dtor = D->Inits[0].Dtor;
+  ASSERT_NE(Dtor->Inner, nullptr);
+  EXPECT_EQ(Dtor->name().Sym.str(), "table");
+  EXPECT_EQ(Dtor->Inner->Suffixes[0].K, DeclSuffix::Array);
+}
+
+TEST(ParserDecl, FunctionPointerParameter) {
+  Fixture F;
+  TranslationUnit *TU =
+      F.parseTU("void apply(int (*f)(int), int x) { f(x); }");
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  const auto *Fn = cast<FunctionDef>(TU->Items[0]);
+  const ParamDecl *P = Fn->Dtor->Suffixes[0].Params[0];
+  EXPECT_NE(P->Dtor->Inner, nullptr);
+}
+
+TEST(ParserDecl, TagOnlyDeclaration) {
+  Fixture F;
+  const auto *D = cast<Declaration>(F.parseDecl("struct s { int a; };"));
+  EXPECT_TRUE(D->Inits.empty());
+}
+
+TEST(ParserDecl, MissingSemicolonDiagnosed) {
+  Fixture F;
+  F.parseTU("int x");
+  EXPECT_TRUE(F.hadErrors());
+}
+
+TEST(ParserDecl, MultipleStorageClassesDiagnosed) {
+  Fixture F;
+  F.parseDecl("static extern int x;");
+  EXPECT_TRUE(F.hadErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Translation units & recovery
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTU, RecoversAfterBadDeclaration) {
+  Fixture F;
+  TranslationUnit *TU = F.parseTU(R"(
+int good1;
+int bad = = 3;
+int good2;
+)");
+  EXPECT_TRUE(F.hadErrors());
+  // good2 must still be parsed.
+  bool FoundGood2 = false;
+  for (const Decl *D : TU->Items) {
+    if (const auto *Dec = dyn_cast<Declaration>(D))
+      for (const InitDeclarator &ID : Dec->Inits)
+        if (ID.Dtor && ID.Dtor->Name.Sym.valid() &&
+            ID.Dtor->Name.Sym.str() == "good2")
+          FoundGood2 = true;
+  }
+  EXPECT_TRUE(FoundGood2);
+}
+
+TEST(ParserTU, StraySemicolonsTolerated) {
+  Fixture F;
+  TranslationUnit *TU = F.parseTU(";;int x;;");
+  EXPECT_FALSE(F.hadErrors()) << F.diags();
+  EXPECT_EQ(TU->Items.size(), 1u);
+}
+
+TEST(ParserTU, NodeCounting) {
+  Fixture F;
+  TranslationUnit *TU = F.parseTU("int f(void) { return 1 + 2; }");
+  EXPECT_GT(countNodes(TU), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Clone & structural equality over parsed trees
+//===----------------------------------------------------------------------===//
+
+TEST(AstOps, CloneIsStructurallyEqual) {
+  Fixture F;
+  TranslationUnit *TU = F.parseTU(R"(
+struct point { int x; int y; };
+int length(struct point *p) {
+    int acc;
+    acc = 0;
+    for (acc = 0; p; p = 0)
+        acc += p->x * p->x + p->y * p->y;
+    return acc;
+}
+)");
+  ASSERT_FALSE(F.hadErrors()) << F.diags();
+  Node *Copy = cloneNode(F.CC.Ast, TU);
+  EXPECT_NE(Copy, TU);
+  EXPECT_TRUE(structurallyEqual(TU, Copy));
+  EXPECT_EQ(countNodes(TU), countNodes(Copy));
+}
+
+TEST(AstOps, InequalityDetected) {
+  Fixture F;
+  Expr *A = F.parseExpr("a + b");
+  Expr *B = F.parseExpr("a - b");
+  Expr *C = F.parseExpr("a + b");
+  EXPECT_FALSE(structurallyEqual(A, B));
+  EXPECT_TRUE(structurallyEqual(A, C));
+}
+
+} // namespace

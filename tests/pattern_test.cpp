@@ -1,0 +1,370 @@
+//===----------------------------------------------------------------------===//
+// Unit tests: pattern IR, value typing, the one-token-lookahead validator,
+// and both matchers (interpreted & compiled) against real invocations.
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+#include "pattern/Pattern.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// FIRST sets
+//===----------------------------------------------------------------------===//
+
+TEST(FirstSets, Expressions) {
+  MetaTypeContext Ctx;
+  const MetaType *Exp = Ctx.getExp();
+  EXPECT_TRUE(tokenCanStartConstituent(Exp, TokenKind::Identifier));
+  EXPECT_TRUE(tokenCanStartConstituent(Exp, TokenKind::IntLiteral));
+  EXPECT_TRUE(tokenCanStartConstituent(Exp, TokenKind::LParen));
+  EXPECT_TRUE(tokenCanStartConstituent(Exp, TokenKind::Minus));
+  EXPECT_TRUE(tokenCanStartConstituent(Exp, TokenKind::KwSizeof));
+  EXPECT_FALSE(tokenCanStartConstituent(Exp, TokenKind::RBrace));
+  EXPECT_FALSE(tokenCanStartConstituent(Exp, TokenKind::Semi));
+  EXPECT_FALSE(tokenCanStartConstituent(Exp, TokenKind::KwIf));
+}
+
+TEST(FirstSets, Statements) {
+  MetaTypeContext Ctx;
+  const MetaType *Stmt = Ctx.getStmt();
+  EXPECT_TRUE(tokenCanStartConstituent(Stmt, TokenKind::KwIf));
+  EXPECT_TRUE(tokenCanStartConstituent(Stmt, TokenKind::LBrace));
+  EXPECT_TRUE(tokenCanStartConstituent(Stmt, TokenKind::Identifier));
+  EXPECT_TRUE(tokenCanStartConstituent(Stmt, TokenKind::Semi));
+  EXPECT_FALSE(tokenCanStartConstituent(Stmt, TokenKind::RBrace));
+  EXPECT_FALSE(tokenCanStartConstituent(Stmt, TokenKind::Comma));
+}
+
+TEST(FirstSets, Declarations) {
+  MetaTypeContext Ctx;
+  const MetaType *Decl = Ctx.getDecl();
+  EXPECT_TRUE(tokenCanStartConstituent(Decl, TokenKind::KwInt));
+  EXPECT_TRUE(tokenCanStartConstituent(Decl, TokenKind::KwStatic));
+  EXPECT_TRUE(tokenCanStartConstituent(Decl, TokenKind::KwStruct));
+  EXPECT_TRUE(tokenCanStartConstituent(Decl, TokenKind::Identifier));
+  EXPECT_FALSE(tokenCanStartConstituent(Decl, TokenKind::KwReturn));
+}
+
+TEST(FirstSets, Identifiers) {
+  MetaTypeContext Ctx;
+  const MetaType *Id = Ctx.getId();
+  EXPECT_TRUE(tokenCanStartConstituent(Id, TokenKind::Identifier));
+  EXPECT_FALSE(tokenCanStartConstituent(Id, TokenKind::IntLiteral));
+}
+
+//===----------------------------------------------------------------------===//
+// Pattern construction + value typing helpers
+//===----------------------------------------------------------------------===//
+
+struct PatternBuilder {
+  Arena A;
+  MetaTypeContext Ctx;
+  Arena StrArena;
+  StringInterner Interner{StrArena};
+
+  PSpec *scalar(MetaTypeKind K) {
+    PSpec *S = A.create<PSpec>();
+    S->K = PSpec::Scalar;
+    S->ScalarType = Ctx.getScalar(K);
+    return S;
+  }
+  PSpec *rep(PSpec::SKind K, PSpec *Inner, TokenKind Sep = TokenKind::Eof) {
+    PSpec *S = A.create<PSpec>();
+    S->K = K;
+    S->Inner = Inner;
+    S->Sep = Sep;
+    return S;
+  }
+  PatternElement binder(PSpec *Spec, const char *Name) {
+    PatternElement E;
+    E.K = PatternElement::Binder;
+    E.Spec = Spec;
+    E.Name = Interner.intern(Name);
+    return E;
+  }
+  PatternElement token(TokenKind K) {
+    PatternElement E;
+    E.K = PatternElement::Token;
+    E.Tok = K;
+    return E;
+  }
+  Pattern *make(std::vector<PatternElement> Elems) {
+    Pattern *P = A.create<Pattern>();
+    P->Elements = ArenaRef<PatternElement>::copy(A, Elems);
+    return P;
+  }
+};
+
+TEST(PSpecTyping, ScalarAndLists) {
+  PatternBuilder B;
+  EXPECT_EQ(pspecValueType(B.scalar(MetaTypeKind::Stmt), B.Ctx),
+            B.Ctx.getStmt());
+  const MetaType *L =
+      pspecValueType(B.rep(PSpec::Plus, B.scalar(MetaTypeKind::Id)), B.Ctx);
+  EXPECT_TRUE(L->isList());
+  EXPECT_EQ(L->listElem(), B.Ctx.getId());
+  const MetaType *S =
+      pspecValueType(B.rep(PSpec::Star, B.scalar(MetaTypeKind::Exp)), B.Ctx);
+  EXPECT_TRUE(S->isList());
+}
+
+TEST(PSpecTyping, OptionalIsTransparent) {
+  PatternBuilder B;
+  EXPECT_EQ(pspecValueType(B.rep(PSpec::Opt, B.scalar(MetaTypeKind::Exp)),
+                           B.Ctx),
+            B.Ctx.getExp());
+}
+
+TEST(PatternBinderTypes, CollectsInOrder) {
+  PatternBuilder B;
+  Pattern *P = B.make({B.binder(B.scalar(MetaTypeKind::Id), "name"),
+                       B.token(TokenKind::LBrace),
+                       B.binder(B.scalar(MetaTypeKind::Stmt), "body"),
+                       B.token(TokenKind::RBrace)});
+  std::vector<std::pair<Symbol, const MetaType *>> Out;
+  patternBinderTypes(*P, B.Ctx, Out);
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0].first.str(), "name");
+  EXPECT_EQ(Out[0].second, B.Ctx.getId());
+  EXPECT_EQ(Out[1].first.str(), "body");
+}
+
+//===----------------------------------------------------------------------===//
+// Validator: the one-token-lookahead requirement
+//===----------------------------------------------------------------------===//
+
+struct ValidatorFixture : PatternBuilder {
+  SourceManager SM;
+  DiagnosticsEngine Diags{SM};
+};
+
+TEST(PatternValidator, AcceptsScalarSequences) {
+  ValidatorFixture F;
+  Pattern *P = F.make({F.binder(F.scalar(MetaTypeKind::Exp), "a"),
+                       F.binder(F.scalar(MetaTypeKind::Stmt), "b")});
+  EXPECT_TRUE(validatePattern(*P, F.Diags));
+}
+
+TEST(PatternValidator, AcceptsSeparatedRepetition) {
+  ValidatorFixture F;
+  Pattern *P = F.make(
+      {F.binder(F.rep(PSpec::Plus, F.scalar(MetaTypeKind::Id), TokenKind::Comma),
+                "ids"),
+       F.token(TokenKind::Semi)});
+  EXPECT_TRUE(validatePattern(*P, F.Diags)) << F.Diags.renderAll();
+}
+
+TEST(PatternValidator, AcceptsRepetitionBeforeDisjointToken) {
+  ValidatorFixture F;
+  // `+stmt }` — '}' cannot start a statement, so one-token lookahead works.
+  Pattern *P = F.make({F.token(TokenKind::LBrace),
+                       F.binder(F.rep(PSpec::Plus, F.scalar(MetaTypeKind::Stmt)),
+                                "body"),
+                       F.token(TokenKind::RBrace)});
+  EXPECT_TRUE(validatePattern(*P, F.Diags)) << F.Diags.renderAll();
+}
+
+TEST(PatternValidator, RejectsRepetitionBeforeOverlappingToken) {
+  ValidatorFixture F;
+  // `+exp (` — '(' can begin an expression: ambiguous.
+  Pattern *P = F.make({F.binder(F.rep(PSpec::Plus, F.scalar(MetaTypeKind::Exp)),
+                                "args"),
+                       F.token(TokenKind::LParen)});
+  EXPECT_FALSE(validatePattern(*P, F.Diags));
+  EXPECT_NE(F.Diags.renderAll().find("one token lookahead"),
+            std::string::npos);
+}
+
+TEST(PatternValidator, RejectsRepetitionBeforeBinder) {
+  ValidatorFixture F;
+  Pattern *P = F.make({F.binder(F.rep(PSpec::Star, F.scalar(MetaTypeKind::Stmt)),
+                                "a"),
+                       F.binder(F.scalar(MetaTypeKind::Stmt), "b")});
+  EXPECT_FALSE(validatePattern(*P, F.Diags));
+}
+
+TEST(PatternValidator, RejectsDuplicateBinders) {
+  ValidatorFixture F;
+  Pattern *P = F.make({F.binder(F.scalar(MetaTypeKind::Exp), "x"),
+                       F.binder(F.scalar(MetaTypeKind::Stmt), "x")});
+  EXPECT_FALSE(validatePattern(*P, F.Diags));
+  EXPECT_NE(F.Diags.renderAll().find("duplicate"), std::string::npos);
+}
+
+TEST(PatternValidator, OptionalWithGuardAlwaysDecidable) {
+  ValidatorFixture F;
+  PSpec *Opt = F.rep(PSpec::Opt, F.scalar(MetaTypeKind::Exp),
+                     TokenKind::Identifier);
+  Opt->SepSym = F.Interner.intern("step");
+  Pattern *P = F.make({F.binder(Opt, "step"),
+                       F.binder(F.scalar(MetaTypeKind::Stmt), "body")});
+  EXPECT_TRUE(validatePattern(*P, F.Diags)) << F.Diags.renderAll();
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end pattern features through the Engine
+//===----------------------------------------------------------------------===//
+
+ExpandResult expandOk(const std::string &Source, bool Compiled = false) {
+  Engine::Options Opts;
+  Opts.UseCompiledPatterns = Compiled;
+  Engine E(Opts);
+  ExpandResult R = E.expandSource("pat.c", Source);
+  EXPECT_TRUE(R.Success) << R.DiagnosticsText;
+  return R;
+}
+
+class BothMatchers : public ::testing::TestWithParam<bool> {};
+INSTANTIATE_TEST_SUITE_P(InterpretedAndCompiled, BothMatchers,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool> &I) {
+                           return I.param ? "compiled" : "interpreted";
+                         });
+
+TEST_P(BothMatchers, SeparatedListBinder) {
+  ExpandResult R = expandOk(R"(
+syntax decl vars {| $$+/, id::names ; |}
+{
+    return `[int $names;];
+}
+vars a, b, c;
+)",
+                            GetParam());
+  EXPECT_NE(R.Output.find("int a, b, c;"), std::string::npos) << R.Output;
+}
+
+TEST_P(BothMatchers, StarListMayBeEmpty) {
+  ExpandResult R = expandOk(R"(
+syntax stmt block {| { $$*stmt::body } |}
+{
+    return `{ enter(); $body; leave(); };
+}
+void f(void) { block { } }
+void g(void) { block { hi(); ho(); } }
+)",
+                            GetParam());
+  // Empty and non-empty repetitions both work.
+  EXPECT_NE(R.Output.find("enter()"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("hi()"), std::string::npos);
+}
+
+TEST(PatternValidator, IdentifierDelimiterAfterStmtRepetitionRejected) {
+  // `begin $$*stmt::body end`: an identifier can begin a statement, so the
+  // end of the repetition is not decidable with one token of lookahead —
+  // exactly the error the paper requires.
+  Engine E;
+  ExpandResult R = E.expandSource("t.c", R"(
+syntax stmt block {| begin $$*stmt::body end |}
+{
+    return `{ $body; };
+}
+)");
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.DiagnosticsText.find("one token lookahead"), std::string::npos)
+      << R.DiagnosticsText;
+}
+
+TEST_P(BothMatchers, OptionalWithGuardToken) {
+  // A loop statement with an optional `step e` clause (the paper: "The
+  // optional elements are for constructing statements such as loops that
+  // accept, for example, optional step or while clauses").
+  ExpandResult R = expandOk(R"(
+syntax stmt repeat {| ( $$exp::count ) $$?step exp::step do $$stmt::body |}
+{
+    if (present(step))
+        return `{
+            int i;
+            for (i = 0; i < $count; i = i + $step)
+                $body;
+        };
+    return `{
+        int i;
+        for (i = 0; i < $count; i = i + 1)
+            $body;
+    };
+}
+void f(void) {
+    repeat (10) do work();
+    repeat (10) step 2 do work();
+}
+)",
+                            GetParam());
+  EXPECT_NE(R.Output.find("i = i + 1"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("i = i + 2"), std::string::npos) << R.Output;
+}
+
+TEST_P(BothMatchers, TuplePattern) {
+  ExpandResult R = expandOk(R"(
+syntax stmt swap {| $$.( $$id::a , $$id::b )::pair |}
+{
+    return `{
+        int tmp;
+        tmp = $(pair.a);
+        $(pair.a) = $(pair.b);
+        $(pair.b) = tmp;
+    };
+}
+void f(void) { swap x, y }
+)",
+                            GetParam());
+  EXPECT_NE(R.Output.find("tmp = x;"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("x = y;"), std::string::npos);
+  EXPECT_NE(R.Output.find("y = tmp;"), std::string::npos);
+}
+
+TEST_P(BothMatchers, RepeatedTuplesGiveTupleLists) {
+  ExpandResult R = expandOk(R"(
+syntax stmt set_all {| $$+/, .( $$id::lhs = $$exp::rhs )::pairs |}
+{
+    @stmt stmts[];
+    int i;
+    i = 0;
+    while (i < length(pairs)) {
+        stmts = append(stmts, list(`{| stmt :: $(pairs[i].lhs) = $(pairs[i].rhs); |}));
+        i = i + 1;
+    }
+    return `{ $stmts; };
+}
+void f(void) { set_all a = 1, b = 2, c = 3 }
+)",
+                            GetParam());
+  EXPECT_NE(R.Output.find("a = 1;"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("b = 2;"), std::string::npos);
+  EXPECT_NE(R.Output.find("c = 3;"), std::string::npos);
+}
+
+TEST_P(BothMatchers, BuzzTokensMustMatch) {
+  Engine::Options Opts;
+  Opts.UseCompiledPatterns = GetParam();
+  Engine E(Opts);
+  ExpandResult R = E.expandSource("t.c", R"(
+syntax stmt guard {| when $$exp::c do $$stmt::body |}
+{
+    return `{ if ($c) $body; };
+}
+void f(void) { guard when x oops y(); }
+)");
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.DiagnosticsText.find("expected 'do'"), std::string::npos)
+      << R.DiagnosticsText;
+}
+
+TEST(PatternDiagnostics, AmbiguousPatternRejectedAtDefinition) {
+  Engine E;
+  ExpandResult R = E.expandSource("t.c", R"(
+syntax stmt bad {| $$+exp::args ( $$stmt::body ) |}
+{
+    return body;
+}
+)");
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.DiagnosticsText.find("one token lookahead"), std::string::npos)
+      << R.DiagnosticsText;
+}
+
+} // namespace

@@ -1,0 +1,243 @@
+//===----------------------------------------------------------------------===//
+// Unit tests: the C printer, including the parse -> print -> parse
+// structural-fixpoint property over a program corpus.
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "printer/CPrinter.h"
+#include "printer/SExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+struct Fixture {
+  SourceManager SM;
+  CompilationContext CC{SM};
+
+  Expr *parseExpr(const std::string &Text) {
+    uint32_t Id = SM.addBuffer("e.c", Text);
+    Parser P(CC);
+    return P.parseExpressionFragment(Id);
+  }
+  TranslationUnit *parseTU(const std::string &Text) {
+    uint32_t Id = SM.addBuffer("tu.c", Text);
+    Parser P(CC);
+    return P.parseTranslationUnit(Id);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expression printing preserves structure via parentheses
+//===----------------------------------------------------------------------===//
+
+struct ExprCase {
+  const char *Input;
+  const char *Expected;
+};
+
+class PrintExpr : public ::testing::TestWithParam<ExprCase> {};
+
+TEST_P(PrintExpr, RendersExpected) {
+  Fixture F;
+  Expr *E = F.parseExpr(GetParam().Input);
+  ASSERT_FALSE(F.CC.Diags.hasErrors()) << F.CC.Diags.renderAll();
+  EXPECT_EQ(printExpr(E), GetParam().Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, PrintExpr,
+    ::testing::Values(
+        ExprCase{"a + b * c", "a + b * c"},
+        ExprCase{"(a + b) * c", "(a + b) * c"},
+        ExprCase{"a = b = c", "a = b = c"},
+        ExprCase{"a ? b : c", "a ? b : c"},
+        ExprCase{"f(a, b)[2]", "f(a, b)[2]"},
+        ExprCase{"- -x", "- -x"},
+        ExprCase{"!x && y || z", "!x && y || z"},
+        ExprCase{"a << 2 | b", "a << 2 | b"},
+        ExprCase{"p->next->prev", "p->next->prev"},
+        ExprCase{"s.field", "s.field"},
+        ExprCase{"(int)x + 1", "(int)x + 1"},
+        ExprCase{"sizeof(int)", "sizeof(int)"},
+        ExprCase{"sizeof x", "sizeof x"},
+        ExprCase{"a, b", "a, b"},
+        ExprCase{"x++ + ++y", "x++ + ++y"},
+        ExprCase{"*p++", "*p++"},
+        ExprCase{"'\\n'", "'\\n'"},
+        ExprCase{"\"tab\\there\"", "\"tab\\there\""},
+        ExprCase{"a % b / c", "a % b / c"}));
+
+//===----------------------------------------------------------------------===//
+// Parse -> print -> parse structural fixpoint (the key printer property:
+// printed code re-parses to an equal tree)
+//===----------------------------------------------------------------------===//
+
+class RoundTrip : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(RoundTrip, ParsePrintParseIsFixpoint) {
+  Fixture F1;
+  TranslationUnit *TU1 = F1.parseTU(GetParam());
+  ASSERT_FALSE(F1.CC.Diags.hasErrors()) << F1.CC.Diags.renderAll();
+  std::string Printed1 = printNode(TU1);
+
+  Fixture F2;
+  TranslationUnit *TU2 = F2.parseTU(Printed1);
+  ASSERT_FALSE(F2.CC.Diags.hasErrors())
+      << F2.CC.Diags.renderAll() << "\n--- printed ---\n" << Printed1;
+  std::string Printed2 = printNode(TU2);
+  EXPECT_EQ(Printed1, Printed2);
+  EXPECT_TRUE(structurallyEqual(TU1, TU2)) << Printed1;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTrip,
+    ::testing::Values(
+        "int x;",
+        "int a = 1, *b, c[10];",
+        "static const unsigned long counter = 0;",
+        "struct point { int x; int y; } origin;",
+        "union u { int i; float f; };",
+        "enum color { red, green = 3, blue };",
+        "typedef int myint;\nmyint v;",
+        "char *strcpy(char *dst, char *src);",
+        "int printf(char *fmt, ...);",
+        R"(int fib(int n) {
+    if (n < 2)
+        return n;
+    return fib(n - 1) + fib(n - 2);
+})",
+        R"(void loops(int n) {
+    int i;
+    for (i = 0; i < n; i++)
+        work(i);
+    while (n > 0)
+        n--;
+    do n++; while (n < 10);
+})",
+        R"(int classify(int c) {
+    switch (c) {
+        case 0: return 10;
+        case 1: f(); break;
+        default: return -1;
+    }
+    return 0;
+})",
+        R"(void jump(void) {
+    int i;
+    i = 0;
+again:
+    i++;
+    if (i < 3)
+        goto again;
+})",
+        R"(int kr(a, b)
+int a;
+int b;
+{
+    return a * b;
+})",
+        R"(void ptrs(void) {
+    int x;
+    int *p;
+    p = &x;
+    *p = (int)4;
+    p[0] = sizeof(int) + sizeof x;
+})",
+        R"(int complex_expr(int a, int b, int c) {
+    return a ? b + c * 2 : (a | b) & ~c ^ (a << 2) % (b >> 1);
+})",
+        "int (*handler)(int, char *);",
+        "void (*table[4])(void);",
+        R"(void apply(int (*f)(int), int x) {
+    f(x);
+})",
+        "int weights[] = {1, 2, 3};",
+        "struct p { int x; int y; } origin = {0, 0};"));
+
+//===----------------------------------------------------------------------===//
+// Idempotence over the whole corpus joined together
+//===----------------------------------------------------------------------===//
+
+TEST(RoundTripAll, LargeProgram) {
+  const char *Program = R"(
+typedef unsigned long size_t;
+struct node { int value; struct node *next; };
+static struct node *head;
+
+struct node *push(struct node *h, int v) {
+    struct node *n;
+    n = alloc(sizeof(struct node));
+    n->value = v;
+    n->next = h;
+    return n;
+}
+
+int sum(struct node *h) {
+    int total;
+    total = 0;
+    while (h) {
+        total += h->value;
+        h = h->next;
+    }
+    return total;
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < 10; i++)
+        head = push(head, i * i);
+    return sum(head) != 285;
+}
+)";
+  Fixture F1;
+  TranslationUnit *TU1 = F1.parseTU(Program);
+  ASSERT_FALSE(F1.CC.Diags.hasErrors()) << F1.CC.Diags.renderAll();
+  std::string P1 = printNode(TU1);
+  Fixture F2;
+  TranslationUnit *TU2 = F2.parseTU(P1);
+  ASSERT_FALSE(F2.CC.Diags.hasErrors()) << P1;
+  EXPECT_EQ(P1, printNode(TU2));
+}
+
+//===----------------------------------------------------------------------===//
+// S-expression dumping
+//===----------------------------------------------------------------------===//
+
+TEST(SExprPrinter, SimpleDeclaration) {
+  Fixture F;
+  TranslationUnit *TU = F.parseTU("int y;");
+  ASSERT_EQ(TU->Items.size(), 1u);
+  EXPECT_EQ(sexprDump(TU->Items[0]),
+            "(declaration (int) ((init-declarator (direct-declarator y) "
+            "())))");
+}
+
+TEST(SExprPrinter, ReturnStatementAbbreviation) {
+  Fixture F;
+  TranslationUnit *TU = F.parseTU("int f(void) { return x; }");
+  const auto *Fn = cast<FunctionDef>(TU->Items[0]);
+  std::string D = sexprDump(Fn->Body);
+  EXPECT_NE(D.find("(r-s (id x))"), std::string::npos) << D;
+  EXPECT_NE(D.find("(c-s (decl-list"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Placeholder printing
+//===----------------------------------------------------------------------===//
+
+TEST(Printer, PlaceholdersPrintWithDollar) {
+  SourceManager SM;
+  CompilationContext CC{SM};
+  uint32_t Id = SM.addBuffer("t.c", "`{ f($x); }");
+  Parser P(CC);
+  P.declareMetaGlobal("x", CC.Types.getExp());
+  BackquoteExpr *BQ = P.parseBackquoteFragment(Id);
+  ASSERT_NE(BQ, nullptr) << CC.Diags.renderAll();
+  std::string S = printNode(BQ->Template);
+  EXPECT_NE(S.find("f($x)"), std::string::npos) << S;
+}
+
+} // namespace

@@ -1,0 +1,244 @@
+//===----------------------------------------------------------------------===//
+// Property-style tests over generated programs.
+//
+// The headline property is the paper's syntactic-safety guarantee:
+// "a macro user will never see a syntax error introduced by the use of a
+// macro" — for every generated (macro, invocation) pair that parses and
+// type-checks, the *expanded output re-parses with zero diagnostics*.
+//
+// A deterministic xorshift PRNG keeps the corpus reproducible.
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace msq;
+
+namespace {
+
+/// Deterministic PRNG (xorshift64*).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : S(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+  uint64_t next() {
+    S ^= S >> 12;
+    S ^= S << 25;
+    S ^= S >> 27;
+    return S * 0x2545F4914F6CDD1Dull;
+  }
+  unsigned below(unsigned N) { return unsigned(next() % N); }
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t S;
+};
+
+/// Generates a random C expression of bounded depth.
+std::string genExpr(Rng &R, int Depth) {
+  if (Depth <= 0 || R.chance(40)) {
+    switch (R.below(4)) {
+    case 0:
+      return "x" + std::to_string(R.below(4));
+    case 1:
+      return std::to_string(R.below(100));
+    case 2:
+      return "f" + std::to_string(R.below(3)) + "(" + genExpr(R, 0) + ")";
+    default:
+      return "\"s" + std::to_string(R.below(10)) + "\"";
+    }
+  }
+  static const char *Ops[] = {"+", "-", "*", "/", "==", "<", "&&", "|"};
+  std::string L = genExpr(R, Depth - 1);
+  std::string Rv = genExpr(R, Depth - 1);
+  if (R.chance(20))
+    return "(" + L + " " + Ops[R.below(8)] + " " + Rv + ")";
+  return L + " " + Ops[R.below(8)] + " " + Rv;
+}
+
+/// Generates a random statement of bounded depth.
+std::string genStmt(Rng &R, int Depth) {
+  if (Depth <= 0 || R.chance(35))
+    return genExpr(R, 1) + ";";
+  switch (R.below(5)) {
+  case 0:
+    return "if (" + genExpr(R, 1) + ") " + genStmt(R, Depth - 1);
+  case 1:
+    return "while (" + genExpr(R, 1) + ") " + genStmt(R, Depth - 1);
+  case 2:
+    return "{ " + genStmt(R, Depth - 1) + " " + genStmt(R, Depth - 1) + " }";
+  case 3:
+    return "return " + genExpr(R, 1) + ";";
+  default:
+    return "x" + std::to_string(R.below(4)) + " = " + genExpr(R, Depth - 1) +
+           ";";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expansion never introduces a syntax error
+//===----------------------------------------------------------------------===//
+
+class SyntacticSafety : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyntacticSafety, ExpandedOutputReparsesCleanly) {
+  Rng R(uint64_t(GetParam()) * 7919 + 17);
+
+  // A bracketing statement macro and a wrapping expression macro; the
+  // generated program invokes both on random constituents.
+  std::ostringstream Program;
+  Program << R"(
+syntax stmt bracket {| $$stmt::body |}
+{
+    @id tag = gensym();
+    return `{
+        int $tag;
+        $tag = enter();
+        $body;
+        leave($tag);
+    };
+}
+syntax exp wrap {| ( $$exp::e ) |}
+{
+    if (simple_expression(e))
+        return `(($e));
+    return `(checked(($e)));
+}
+void generated(void)
+{
+    int x0; int x1; int x2; int x3;
+)";
+  for (int I = 0; I != 6; ++I) {
+    if (R.chance(50))
+      Program << "    bracket " << genStmt(R, 2) << "\n";
+    else
+      Program << "    x" << R.below(4) << " = wrap(" << genExpr(R, 2)
+              << ");\n";
+  }
+  Program << "}\n";
+
+  Engine E;
+  ExpandResult Res = E.expandSource("gen.c", Program.str());
+  ASSERT_TRUE(Res.Success) << Res.DiagnosticsText << "\n--- program ---\n"
+                           << Program.str();
+
+  // The guarantee: the expansion is syntactically valid C.
+  Engine E2;
+  E2.parseSource("out.c", Res.Output);
+  EXPECT_FALSE(E2.context().Diags.hasErrors())
+      << E2.context().Diags.renderAll() << "\n--- expanded ---\n"
+      << Res.Output;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntacticSafety, ::testing::Range(0, 25));
+
+//===----------------------------------------------------------------------===//
+// Parse -> print -> parse over generated plain-C programs
+//===----------------------------------------------------------------------===//
+
+class GeneratedRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratedRoundTrip, PrintedProgramIsAFixpoint) {
+  Rng R(uint64_t(GetParam()) * 104729 + 3);
+  std::ostringstream Program;
+  Program << "int x0; int x1; int x2; int x3;\n";
+  Program << "int f0(int a) { return a; }\n";
+  Program << "int f1(int a) { return a; }\n";
+  Program << "int f2(int a) { return a; }\n";
+  Program << "void gen(void)\n{\n";
+  for (int I = 0; I != 8; ++I)
+    Program << "    " << genStmt(R, 3) << "\n";
+  Program << "}\n";
+
+  SourceManager SM1;
+  CompilationContext CC1(SM1);
+  uint32_t Id1 = SM1.addBuffer("g.c", Program.str());
+  Parser P1(CC1);
+  TranslationUnit *TU1 = P1.parseTranslationUnit(Id1);
+  ASSERT_FALSE(CC1.Diags.hasErrors())
+      << CC1.Diags.renderAll() << "\n" << Program.str();
+  std::string Printed = printNode(TU1);
+
+  SourceManager SM2;
+  CompilationContext CC2(SM2);
+  uint32_t Id2 = SM2.addBuffer("g2.c", Printed);
+  Parser P2(CC2);
+  TranslationUnit *TU2 = P2.parseTranslationUnit(Id2);
+  ASSERT_FALSE(CC2.Diags.hasErrors())
+      << CC2.Diags.renderAll() << "\n--- printed ---\n" << Printed;
+  EXPECT_TRUE(structurallyEqual(TU1, TU2)) << Printed;
+  EXPECT_EQ(Printed, printNode(TU2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedRoundTrip, ::testing::Range(0, 25));
+
+//===----------------------------------------------------------------------===//
+// Clone is always a structural fixpoint on generated trees
+//===----------------------------------------------------------------------===//
+
+class GeneratedClone : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratedClone, CloneEqualsOriginal) {
+  Rng R(uint64_t(GetParam()) * 31 + 1);
+  std::string Text = "void f(void) { " + genStmt(R, 4) + " " +
+                     genStmt(R, 4) + " }";
+  SourceManager SM;
+  CompilationContext CC(SM);
+  uint32_t Id = SM.addBuffer("c.c", Text);
+  Parser P(CC);
+  TranslationUnit *TU = P.parseTranslationUnit(Id);
+  ASSERT_FALSE(CC.Diags.hasErrors()) << Text;
+  Node *Copy = cloneNode(CC.Ast, TU);
+  EXPECT_TRUE(structurallyEqual(TU, Copy));
+  EXPECT_EQ(countNodes(TU), countNodes(Copy));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedClone, ::testing::Range(0, 20));
+
+//===----------------------------------------------------------------------===//
+// Hygienic expansion also always re-parses (composition of extensions)
+//===----------------------------------------------------------------------===//
+
+class HygienicSafety : public ::testing::TestWithParam<int> {};
+
+TEST_P(HygienicSafety, HygienicOutputReparses) {
+  Rng R(uint64_t(GetParam()) * 6151 + 11);
+  std::ostringstream Program;
+  Program << R"(
+syntax stmt guard {| $$stmt::body |}
+{
+    return `{
+        int depth;
+        depth = push();
+        $body;
+        pop(depth);
+    };
+}
+void f(void)
+{
+    int x0; int x1; int x2; int x3;
+    int depth;
+    depth = 3;
+)";
+  for (int I = 0; I != 4; ++I)
+    Program << "    guard " << genStmt(R, 2) << "\n";
+  Program << "    use(depth);\n}\n";
+
+  Engine::Options Opts;
+  Opts.HygienicExpansion = true;
+  Engine E(Opts);
+  ExpandResult Res = E.expandSource("h.c", Program.str());
+  ASSERT_TRUE(Res.Success) << Res.DiagnosticsText;
+  // User's own `depth` must survive unrenamed exactly where user wrote it.
+  EXPECT_NE(Res.Output.find("use(depth)"), std::string::npos) << Res.Output;
+  Engine E2;
+  E2.parseSource("out.c", Res.Output);
+  EXPECT_FALSE(E2.context().Diags.hasErrors())
+      << E2.context().Diags.renderAll() << Res.Output;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HygienicSafety, ::testing::Range(0, 15));
+
+} // namespace

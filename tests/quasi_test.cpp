@@ -1,0 +1,242 @@
+//===----------------------------------------------------------------------===//
+// Unit tests: the quasi layer — template instantiation mechanics and the
+// value -> AST conversions used at splice points.
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "printer/CPrinter.h"
+#include "quasi/Quasi.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+struct Fixture {
+  SourceManager SM;
+  CompilationContext CC{SM};
+  QuasiContext QC{CC.Ast, CC.Interner, CC.Types, CC.Diags};
+
+  BackquoteExpr *
+  parseTemplate(const std::string &Source,
+                std::initializer_list<
+                    std::pair<const char *, const MetaType *>> Globals) {
+    uint32_t Id = SM.addBuffer("q.c", Source);
+    Parser P(CC);
+    for (const auto &[N, T] : Globals)
+      P.declareMetaGlobal(N, T);
+    return P.parseBackquoteFragment(Id);
+  }
+
+  Expr *parseExpr(const std::string &Text) {
+    uint32_t Id = SM.addBuffer("e.c", Text);
+    Parser P(CC);
+    return P.parseExpressionFragment(Id);
+  }
+  Stmt *parseStmt(const std::string &Text) {
+    uint32_t Id = SM.addBuffer("s.c", Text);
+    Parser P(CC);
+    return P.parseStatementFragment(Id);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// valueToX conversions
+//===----------------------------------------------------------------------===//
+
+TEST(ValueToExpr, IdentifiersNumbersStrings) {
+  Fixture F;
+  Expr *E1 = valueToExpr(
+      F.QC, Value::makeIdent(Ident(F.CC.Interner.intern("v"), SourceLoc())),
+      SourceLoc());
+  ASSERT_NE(E1, nullptr);
+  EXPECT_EQ(printExpr(E1), "v");
+
+  Expr *E2 = valueToExpr(F.QC, Value::makeInt(42), SourceLoc());
+  EXPECT_EQ(printExpr(E2), "42");
+
+  Expr *E3 = valueToExpr(F.QC, Value::makeStr("hi"), SourceLoc());
+  EXPECT_EQ(printExpr(E3), "\"hi\"");
+
+  Expr *E4 = valueToExpr(F.QC, Value::makeFloat(1.5), SourceLoc());
+  EXPECT_EQ(printExpr(E4), "1.5");
+}
+
+TEST(ValueToExpr, AstValueIsCloned) {
+  Fixture F;
+  Expr *Src = F.parseExpr("a + b");
+  Value V = Value::makeAst(Src, F.CC.Types.getExp());
+  Expr *Out = valueToExpr(F.QC, V, SourceLoc());
+  ASSERT_NE(Out, nullptr);
+  EXPECT_NE(Out, Src); // fresh tree
+  EXPECT_TRUE(structurallyEqual(Out, Src));
+}
+
+TEST(ValueToExpr, StmtValueRejected) {
+  Fixture F;
+  Stmt *S = F.parseStmt("f();");
+  Value V = Value::makeAst(S, F.CC.Types.getStmt());
+  EXPECT_EQ(valueToExpr(F.QC, V, SourceLoc()), nullptr);
+  EXPECT_TRUE(F.CC.Diags.hasErrors());
+}
+
+TEST(ValueToStmt, RejectsExpressionValues) {
+  Fixture F;
+  Expr *E = F.parseExpr("x");
+  Value V = Value::makeAst(E, F.CC.Types.getExp());
+  EXPECT_EQ(valueToStmt(F.QC, V, SourceLoc()), nullptr);
+  EXPECT_TRUE(F.CC.Diags.hasErrors());
+}
+
+TEST(ValueToIdent, FromIdentExprAst) {
+  Fixture F;
+  Expr *E = F.parseExpr("some_name");
+  Value V = Value::makeAst(E, F.CC.Types.getId());
+  Ident I = valueToIdent(F.QC, V, SourceLoc());
+  EXPECT_EQ(I.Sym.str(), "some_name");
+}
+
+TEST(ValueToTypeSpec, IdentifierBecomesTypedefName) {
+  Fixture F;
+  Value V = Value::makeIdent(
+      Ident(F.CC.Interner.intern("size_t"), SourceLoc()));
+  TypeSpecNode *T = valueToTypeSpec(F.QC, V, SourceLoc());
+  ASSERT_NE(T, nullptr);
+  EXPECT_TRUE(isa<TypedefNameSpec>(T));
+}
+
+TEST(DescribeValue, IncludesKindAndType) {
+  Fixture F;
+  Value V = Value::makeAst(F.parseExpr("x"), F.CC.Types.getExp());
+  std::string D = describeValue(V);
+  EXPECT_NE(D.find("ast"), std::string::npos);
+  EXPECT_NE(D.find("@exp"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// instantiateTemplate directly
+//===----------------------------------------------------------------------===//
+
+TEST(Instantiate, ExpressionTemplate) {
+  Fixture F;
+  BackquoteExpr *BQ =
+      F.parseTemplate("`($a + $a * 2)", {{"a", F.CC.Types.getExp()}});
+  ASSERT_NE(BQ, nullptr) << F.CC.Diags.renderAll();
+  Value AV = Value::makeAst(F.parseExpr("x + 1"), F.CC.Types.getExp());
+  Value R = instantiateTemplate(F.QC, BQ,
+                                [&](const Placeholder *) { return AV; });
+  ASSERT_EQ(R.kind(), Value::AstV);
+  // Tree substitution: the sum stays intact under the product.
+  EXPECT_EQ(printNode(R.astValue()), "x + 1 + (x + 1) * 2");
+}
+
+TEST(Instantiate, SubstitutionIsByTreeNotPrecedence) {
+  Fixture F;
+  BackquoteExpr *BQ =
+      F.parseTemplate("`($a * $b)", {{"a", F.CC.Types.getExp()},
+                                     {"b", F.CC.Types.getExp()}});
+  ASSERT_NE(BQ, nullptr);
+  Value A = Value::makeAst(F.parseExpr("x + y"), F.CC.Types.getExp());
+  Value B = Value::makeAst(F.parseExpr("m + n"), F.CC.Types.getExp());
+  int Calls = 0;
+  Value R = instantiateTemplate(F.QC, BQ, [&](const Placeholder *P) {
+    ++Calls;
+    const auto *IE = cast<IdentExpr>(P->MetaExpr);
+    return IE->Name.Sym.str() == "a" ? A : B;
+  });
+  EXPECT_EQ(Calls, 2);
+  EXPECT_EQ(printNode(R.astValue()), "(x + y) * (m + n)");
+}
+
+TEST(Instantiate, EachPlaceholderEvaluatedOncePerOccurrence) {
+  Fixture F;
+  BackquoteExpr *BQ =
+      F.parseTemplate("`{ f($e); g($e); }", {{"e", F.CC.Types.getExp()}});
+  ASSERT_NE(BQ, nullptr) << F.CC.Diags.renderAll();
+  int Calls = 0;
+  Value AV = Value::makeAst(F.parseExpr("z"), F.CC.Types.getExp());
+  instantiateTemplate(F.QC, BQ, [&](const Placeholder *) {
+    ++Calls;
+    return AV;
+  });
+  EXPECT_EQ(Calls, 2);
+}
+
+TEST(Instantiate, TemplateReusableAcrossInstantiations) {
+  Fixture F;
+  BackquoteExpr *BQ =
+      F.parseTemplate("`(use($n))", {{"n", F.CC.Types.getId()}});
+  ASSERT_NE(BQ, nullptr);
+  for (int I = 0; I != 3; ++I) {
+    Value IV = Value::makeIdent(
+        Ident(F.CC.Interner.intern("name" + std::to_string(I)), SourceLoc()));
+    Value R = instantiateTemplate(F.QC, BQ,
+                                  [&](const Placeholder *) { return IV; });
+    EXPECT_EQ(printNode(R.astValue()), "use(name" + std::to_string(I) + ")");
+  }
+}
+
+TEST(Instantiate, WrongValueTypeDiagnosedAtSplice) {
+  Fixture F;
+  BackquoteExpr *BQ =
+      F.parseTemplate("`( 1 + $e )", {{"e", F.CC.Types.getExp()}});
+  ASSERT_NE(BQ, nullptr);
+  // Feed a statement value where an expression is required (could only
+  // happen through an interpreter bug; the splice re-checks anyway).
+  Value SV = Value::makeAst(F.parseStmt("f();"), F.CC.Types.getStmt());
+  instantiateTemplate(F.QC, BQ, [&](const Placeholder *) { return SV; });
+  EXPECT_TRUE(F.CC.Diags.hasErrors());
+  EXPECT_NE(F.CC.Diags.renderAll().find("cannot stand for an expression"),
+            std::string::npos);
+}
+
+TEST(Instantiate, GeneralFormYieldsTypedList) {
+  Fixture F;
+  BackquoteExpr *BQ = F.parseTemplate("`{| +/, id :: $a, b, $a |}",
+                                      {{"a", F.CC.Types.getId()}});
+  ASSERT_NE(BQ, nullptr) << F.CC.Diags.renderAll();
+  ASSERT_TRUE(BQ->Type->isList());
+  Value IV =
+      Value::makeIdent(Ident(F.CC.Interner.intern("zz"), SourceLoc()));
+  Value R = instantiateTemplate(F.QC, BQ,
+                                [&](const Placeholder *) { return IV; });
+  ASSERT_EQ(R.kind(), Value::ListV);
+  ASSERT_EQ(R.listSize(), 3u);
+  EXPECT_EQ(R.listAt(0).identValue().Sym.str(), "zz");
+  EXPECT_EQ(R.listAt(1).identValue().Sym.str(), "b");
+  EXPECT_EQ(R.listAt(2).identValue().Sym.str(), "zz");
+}
+
+TEST(MatchValueToValue, ConvertsParsedConstituents) {
+  Fixture F;
+  // Build a MatchValue list by hand.
+  MatchValue *A = F.CC.Ast.create<MatchValue>();
+  A->K = MatchValue::IdentV;
+  A->Id = Ident(F.CC.Interner.intern("one"), SourceLoc());
+  MatchValue *B = F.CC.Ast.create<MatchValue>();
+  B->K = MatchValue::Ast;
+  B->AstNode = F.parseExpr("2 + 3");
+  B->Type = F.CC.Types.getExp();
+  std::vector<MatchValue *> Elems = {A, B};
+  MatchValue *L = F.CC.Ast.create<MatchValue>();
+  L->K = MatchValue::List;
+  L->Elems = ArenaRef<MatchValue *>::copy(F.CC.Ast, Elems);
+  L->Type = F.CC.Types.getList(F.CC.Types.getExp());
+
+  Value V = matchValueToValue(F.QC, L);
+  ASSERT_EQ(V.kind(), Value::ListV);
+  ASSERT_EQ(V.listSize(), 2u);
+  EXPECT_EQ(V.listAt(0).kind(), Value::IdentVal);
+  EXPECT_EQ(printNode(V.listAt(1).astValue()), "2 + 3");
+}
+
+TEST(MatchValueToValue, AbsentBecomesNil) {
+  Fixture F;
+  MatchValue *MV = F.CC.Ast.create<MatchValue>();
+  MV->K = MatchValue::Absent;
+  Value V = matchValueToValue(F.QC, MV);
+  EXPECT_TRUE(V.isNil());
+}
+
+} // namespace

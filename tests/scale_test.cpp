@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+// Scale tests: MS2 on large generated programs — thousands of
+// declarations, functions, and macro invocations in one compilation.
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace msq;
+
+namespace {
+
+TEST(Scale, ThousandInvocations) {
+  std::ostringstream Src;
+  Src << R"(
+syntax stmt logged {| $$stmt::body |}
+{
+    @id t = gensym("t");
+    return `{
+        int $t;
+        $t = now();
+        $body;
+        record($t, now());
+    };
+}
+void generated(void)
+{
+)";
+  for (int I = 0; I != 1000; ++I)
+    Src << "    logged work" << (I % 7) << "(" << I << ");\n";
+  Src << "}\n";
+
+  Engine E;
+  ExpandResult R = E.expandSource("big.c", Src.str());
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText.substr(0, 2000);
+  EXPECT_EQ(R.InvocationsExpanded, 1000u);
+  // 1000 distinct gensyms.
+  EXPECT_NE(R.Output.find("__msq_t_999"), std::string::npos);
+}
+
+TEST(Scale, ManyMacros) {
+  std::ostringstream Src;
+  for (int I = 0; I != 200; ++I) {
+    Src << "syntax exp c" << I << " {| ( ) |} { return `(" << I << "); }\n";
+  }
+  for (int I = 0; I != 200; ++I)
+    Src << "int v" << I << " = c" << I << "();\n";
+
+  Engine E;
+  ExpandResult R = E.expandSource("many.c", Src.str());
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText.substr(0, 2000);
+  EXPECT_EQ(R.MacrosDefined, 200u);
+  EXPECT_NE(R.Output.find("int v0 = 0;"), std::string::npos);
+  EXPECT_NE(R.Output.find("int v199 = 199;"), std::string::npos);
+}
+
+TEST(Scale, DeepNesting) {
+  // 60 levels of nested compound statements with invocations at each.
+  std::ostringstream Src;
+  Src << R"(
+syntax stmt mark {| ( $$num::n ) |}
+{
+    return `{ visit($n); };
+}
+void deep(void)
+{
+)";
+  for (int I = 0; I != 60; ++I)
+    Src << std::string(4, ' ') << "{ mark(" << I << ");\n";
+  for (int I = 0; I != 60; ++I)
+    Src << "}\n";
+  Src << "}\n";
+
+  Engine E;
+  ExpandResult R = E.expandSource("deep.c", Src.str());
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText.substr(0, 1500);
+  EXPECT_NE(R.Output.find("visit(59)"), std::string::npos);
+}
+
+TEST(Scale, LargeMetaComputation) {
+  // The meta program computes over a 500-element list.
+  Engine E;
+  ExpandResult R = E.expandSource("meta.c", R"(
+syntax exp sum_to {| ( $$num::n ) |}
+{
+    int acc;
+    int i;
+    @num dummy[];
+    acc = 0;
+    i = 0;
+    while (i < 500) {
+        dummy = append(dummy, list(make_num(i)));
+        acc = acc + i;
+        i = i + 1;
+    }
+    if (length(dummy) != 500)
+        meta_error("list bookkeeping failed");
+    return `($(acc));
+}
+int total = sum_to(0);
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_NE(R.Output.find("int total = 124750;"), std::string::npos)
+      << R.Output;
+}
+
+TEST(Scale, WideEnumGeneration) {
+  std::ostringstream Src;
+  Src << R"(
+syntax decl myenum[] {| $$id::name { $$+/, id::ids } ; |}
+{
+    return list(
+        `[enum $name {$ids};],
+        `[void $(symbolconc("print_", name))(int arg)
+          {
+              switch (arg) {
+                  $(map(lambda (@id id)
+                        `{| stmt :: case $id: printf("%s", $(pstring(id))); |},
+                        ids))
+              }
+          }]);
+}
+myenum wide {e0)";
+  for (int I = 1; I != 120; ++I)
+    Src << ", e" << I;
+  Src << "};\n";
+
+  Engine E;
+  ExpandResult R = E.expandSource("wide.c", Src.str());
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText.substr(0, 1500);
+  EXPECT_NE(R.Output.find("case e119:"), std::string::npos);
+}
+
+} // namespace

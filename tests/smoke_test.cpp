@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+// Smoke test: the whole pipeline on the paper's flagship example.
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+TEST(Smoke, PaintingMacroExpands) {
+  Engine E;
+  ExpandResult R = E.expandSource("painting.c", R"(
+syntax stmt Painting {| $$stmt::body |}
+{
+    return `{
+        BeginPaint(hDC, &ps);
+        $body;
+        EndPaint(hDC, &ps);
+    };
+}
+
+void do_paint(void)
+{
+    Painting {
+        draw_line(0, 0, 10, 10);
+        draw_text(5, 5, "hello");
+    }
+}
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_NE(R.Output.find("BeginPaint(hDC, &ps)"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("EndPaint(hDC, &ps)"), std::string::npos);
+  EXPECT_NE(R.Output.find("draw_line(0, 0, 10, 10)"), std::string::npos);
+  EXPECT_EQ(R.InvocationsExpanded, 1u);
+  // The meta program must not survive into the output.
+  EXPECT_EQ(R.Output.find("syntax"), std::string::npos);
+  EXPECT_EQ(R.Output.find('`'), std::string::npos);
+}

@@ -1,0 +1,164 @@
+//===----------------------------------------------------------------------===//
+// Tests: the standard macro library shipped with the engine.
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+struct StdFixture {
+  Engine E;
+  StdFixture() { EXPECT_TRUE(E.loadStandardLibrary()); }
+
+  ExpandResult expand(const std::string &Source) {
+    return E.expandSource("user.c", Source);
+  }
+};
+
+bool contains(const std::string &H, const std::string &N) {
+  return H.find(N) != std::string::npos;
+}
+
+TEST(StdLib, Loads) {
+  Engine E;
+  EXPECT_TRUE(E.loadStandardLibrary());
+  EXPECT_GE(E.context().Macros.size(), 9u);
+}
+
+TEST(StdLib, Unless) {
+  StdFixture F;
+  ExpandResult R = F.expand("void f(int n) { unless (n > 0) bail(); }");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "if (!(n > 0)) bail();")) << R.Output;
+}
+
+TEST(StdLib, WithResource) {
+  StdFixture F;
+  ExpandResult R = F.expand(R"(
+void f(void)
+{
+    with_resource (h = open_file(), close_file(h))
+        process(h);
+}
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  size_t Acq = R.Output.find("h = open_file();");
+  size_t Use = R.Output.find("process(h);");
+  size_t Rel = R.Output.find("close_file(h);");
+  ASSERT_NE(Acq, std::string::npos) << R.Output;
+  EXPECT_LT(Acq, Use);
+  EXPECT_LT(Use, Rel);
+}
+
+TEST(StdLib, RepeatNUsesFreshCounter) {
+  StdFixture F;
+  ExpandResult R = F.expand(R"(
+void f(void)
+{
+    int i;
+    i = 99;
+    repeat_n (10) tick(i);
+}
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "__msq_rep_")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "tick(i)")); // user's i untouched
+}
+
+TEST(StdLib, SwapVarsUsesDeclaredType) {
+  StdFixture F;
+  ExpandResult R = F.expand(R"(
+float fa;
+float fb;
+void f(void) { swap_vars fa, fb }
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "float __msq_swap_")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "fa = fb;"));
+}
+
+TEST(StdLib, ForeachOfUnrolls) {
+  StdFixture F;
+  ExpandResult R = F.expand(R"(
+void f(void) { foreach_of v in (1, 2, 3) emit(v); }
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "v = 1;")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "v = 2;"));
+  EXPECT_TRUE(contains(R.Output, "v = 3;"));
+  size_t Count = 0;
+  for (size_t P = R.Output.find("emit(v)"); P != std::string::npos;
+       P = R.Output.find("emit(v)", P + 1))
+    ++Count;
+  EXPECT_EQ(Count, 3u);
+}
+
+TEST(StdLib, MinOfSimpleArguments) {
+  StdFixture F;
+  ExpandResult R = F.expand("int m = min_of(a, b);");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "(a) < (b) ? (a) : (b)")) << R.Output;
+}
+
+TEST(StdLib, MinOfRefusesCompoundArguments) {
+  StdFixture F;
+  ExpandResult R = F.expand("int m = min_of(f(), b);");
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(contains(R.DiagnosticsText, "would be evaluated twice"))
+      << R.DiagnosticsText;
+}
+
+TEST(StdLib, ClampOf) {
+  StdFixture F;
+  ExpandResult R = F.expand("int c = clamp_of(x, lo, hi);");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "(x) < (lo) ? (lo)")) << R.Output;
+}
+
+TEST(StdLib, AssertNonnull) {
+  StdFixture F;
+  ExpandResult R = F.expand(R"(
+void f(int *p) { assert_nonnull (p) use(p); }
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "if ((p) == 0)")) << R.Output;
+  EXPECT_TRUE(contains(R.Output, "null_violation()"));
+}
+
+TEST(StdLib, ComposesWithUserMacros) {
+  StdFixture F;
+  ExpandResult R = F.expand(R"(
+syntax stmt twice {| $$stmt::s |}
+{
+    return `{ $s $s };
+}
+void f(void)
+{
+    twice unless (ready()) wait();
+}
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  size_t First = R.Output.find("if (!(ready())) wait();");
+  ASSERT_NE(First, std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("if (!(ready())) wait();", First + 1),
+            std::string::npos);
+}
+
+TEST(StdLib, WorksUnderHygieneAndCompiledPatterns) {
+  Engine::Options Opts;
+  Opts.HygienicExpansion = true;
+  Opts.UseCompiledPatterns = true;
+  Engine E(Opts);
+  ASSERT_TRUE(E.loadStandardLibrary());
+  ExpandResult R = E.expandSource("u.c", R"(
+void f(void) { repeat_n (3) step(); }
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "step()"));
+}
+
+} // namespace

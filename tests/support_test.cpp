@@ -1,0 +1,203 @@
+//===----------------------------------------------------------------------===//
+// Unit tests: Arena, StringInterner, SourceManager, DiagnosticsEngine.
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+using namespace msq;
+
+//===----------------------------------------------------------------------===//
+// Arena
+//===----------------------------------------------------------------------===//
+
+TEST(Arena, AllocationsAreDistinctAndAligned) {
+  Arena A;
+  std::set<void *> Seen;
+  for (int I = 0; I != 1000; ++I) {
+    void *P = A.allocate(24, 8);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % 8, 0u);
+    EXPECT_TRUE(Seen.insert(P).second);
+  }
+  EXPECT_EQ(A.numAllocations(), 1000u);
+  EXPECT_GE(A.bytesAllocated(), 24000u);
+}
+
+TEST(Arena, LargeAllocationGetsOwnChunk) {
+  Arena A;
+  void *P = A.allocate(1 << 22, 16); // 4 MiB, larger than max chunk
+  ASSERT_NE(P, nullptr);
+  std::memset(P, 0xab, 1 << 22); // must be fully usable
+}
+
+TEST(Arena, CreateConstructsObjects) {
+  Arena A;
+  struct Point {
+    int X, Y;
+    Point(int X, int Y) : X(X), Y(Y) {}
+  };
+  Point *P = A.create<Point>(3, 4);
+  EXPECT_EQ(P->X, 3);
+  EXPECT_EQ(P->Y, 4);
+}
+
+TEST(Arena, CopyStringNulTerminates) {
+  Arena A;
+  const char *S = A.copyString("hello", 5);
+  EXPECT_STREQ(S, "hello");
+}
+
+TEST(Arena, AlignmentRequestsAreHonored) {
+  Arena A;
+  for (size_t Align : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    void *P = A.allocate(3, Align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u) << Align;
+  }
+}
+
+TEST(ArenaRef, CopyFromVector) {
+  Arena A;
+  std::vector<int> V = {1, 2, 3, 4};
+  ArenaRef<int> R = ArenaRef<int>::copy(A, V);
+  ASSERT_EQ(R.size(), 4u);
+  EXPECT_EQ(R[0], 1);
+  EXPECT_EQ(R.back(), 4);
+  V.clear(); // the ArenaRef must not alias the vector
+  EXPECT_EQ(R[2], 3);
+}
+
+TEST(ArenaRef, EmptyIsSafe) {
+  ArenaRef<int> R;
+  EXPECT_TRUE(R.empty());
+  EXPECT_EQ(R.begin(), R.end());
+}
+
+//===----------------------------------------------------------------------===//
+// StringInterner / Symbol
+//===----------------------------------------------------------------------===//
+
+TEST(StringInterner, InterningIsIdempotent) {
+  Arena A;
+  StringInterner I(A);
+  Symbol S1 = I.intern("foo");
+  Symbol S2 = I.intern("foo");
+  Symbol S3 = I.intern(std::string("f") + "oo");
+  EXPECT_EQ(S1, S2);
+  EXPECT_EQ(S1, S3);
+  EXPECT_EQ(S1.c_str(), S2.c_str()); // pointer identity
+  EXPECT_EQ(I.size(), 1u);
+}
+
+TEST(StringInterner, DistinctStringsDiffer) {
+  Arena A;
+  StringInterner I(A);
+  EXPECT_NE(I.intern("foo"), I.intern("bar"));
+  EXPECT_NE(I.intern("foo"), I.intern("fooo"));
+  EXPECT_EQ(I.size(), 3u);
+}
+
+TEST(Symbol, InvalidSymbolIsFalsy) {
+  Symbol S;
+  EXPECT_FALSE(S.valid());
+  EXPECT_EQ(S.str(), "");
+  Arena A;
+  StringInterner I(A);
+  EXPECT_NE(S, I.intern(""));
+}
+
+TEST(Symbol, EmbeddedContentSurvives) {
+  Arena A;
+  StringInterner I(A);
+  Symbol S = I.intern("with\nnewline");
+  EXPECT_EQ(S.str(), "with\nnewline");
+  EXPECT_EQ(S.size(), 12u);
+}
+
+//===----------------------------------------------------------------------===//
+// SourceManager
+//===----------------------------------------------------------------------===//
+
+TEST(SourceManager, LineColumnMapping) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("a.c", "abc\ndef\n\nx");
+  EXPECT_EQ(SM.bufferName(Id), "a.c");
+
+  PresumedLoc P = SM.presumed(SourceLoc::get(Id, 0));
+  EXPECT_EQ(P.Line, 1u);
+  EXPECT_EQ(P.Column, 1u);
+
+  P = SM.presumed(SourceLoc::get(Id, 2)); // 'c'
+  EXPECT_EQ(P.Line, 1u);
+  EXPECT_EQ(P.Column, 3u);
+
+  P = SM.presumed(SourceLoc::get(Id, 4)); // 'd'
+  EXPECT_EQ(P.Line, 2u);
+  EXPECT_EQ(P.Column, 1u);
+
+  P = SM.presumed(SourceLoc::get(Id, 8)); // the blank line's newline
+  EXPECT_EQ(P.Line, 3u);
+  EXPECT_EQ(P.Column, 1u);
+
+  P = SM.presumed(SourceLoc::get(Id, 9)); // 'x' after the blank line
+  EXPECT_EQ(P.Line, 4u);
+  EXPECT_EQ(P.Column, 1u);
+}
+
+TEST(SourceManager, MultipleBuffers) {
+  SourceManager SM;
+  uint32_t A = SM.addBuffer("a.c", "aaaa");
+  uint32_t B = SM.addBuffer("b.c", "bb\nbb");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(SM.presumed(SourceLoc::get(B, 3)).Line, 2u);
+  EXPECT_EQ(SM.presumed(SourceLoc::get(B, 3)).Filename, "b.c");
+  EXPECT_EQ(SM.numBuffers(), 2u);
+}
+
+TEST(SourceLoc, InvalidLocIsFalsy) {
+  SourceLoc L;
+  EXPECT_FALSE(L.valid());
+  SourceManager SM;
+  EXPECT_EQ(SM.presumed(L).Line, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// DiagnosticsEngine
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  SourceManager SM;
+  DiagnosticsEngine D(SM);
+  D.warning(SourceLoc(), "w");
+  D.note(SourceLoc(), "n");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(), "e");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.all().size(), 3u);
+}
+
+TEST(Diagnostics, RendersLocations) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("x.c", "line one\nline two\n");
+  DiagnosticsEngine D(SM);
+  D.error(SourceLoc::get(Id, 9), "something broke");
+  std::string R = D.renderAll();
+  EXPECT_NE(R.find("x.c:2:1: error: something broke"), std::string::npos)
+      << R;
+}
+
+TEST(Diagnostics, ClearResets) {
+  SourceManager SM;
+  DiagnosticsEngine D(SM);
+  D.error(SourceLoc(), "e");
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.all().empty());
+}

@@ -1,0 +1,424 @@
+//===----------------------------------------------------------------------===//
+// Unit tests: the definition-time meta type checker — the mechanism behind
+// the paper's guarantee that "a macro user will never see a syntax error
+// introduced by the use of a macro". Every case here is diagnosed when the
+// macro is DEFINED, before any use exists.
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+std::string diagsFor(const std::string &Source) {
+  Engine E;
+  ExpandResult R = E.expandSource("tc.c", Source);
+  EXPECT_FALSE(R.Success) << "expected failure, got:\n" << R.Output;
+  return R.DiagnosticsText;
+}
+
+void expectOk(const std::string &Source) {
+  Engine E;
+  ExpandResult R = E.expandSource("tc.c", Source);
+  EXPECT_TRUE(R.Success) << R.DiagnosticsText;
+}
+
+//===----------------------------------------------------------------------===//
+// Return type enforcement
+//===----------------------------------------------------------------------===//
+
+TEST(TypeCheck, ReturnTypeMismatchDiagnosed) {
+  std::string D = diagsFor(R"(
+syntax stmt wrong {| ; |}
+{
+    return `(1 + 2);
+}
+)");
+  EXPECT_NE(D.find("return value has type @exp"), std::string::npos) << D;
+  EXPECT_NE(D.find("declared return type is @stmt"), std::string::npos);
+}
+
+TEST(TypeCheck, ReturnIntWhereAstExpected) {
+  std::string D = diagsFor(R"(
+syntax exp wrong {| ; |}
+{
+    return 42;
+}
+)");
+  EXPECT_NE(D.find("return value has type int"), std::string::npos) << D;
+}
+
+TEST(TypeCheck, MissingReturnValueDiagnosed) {
+  std::string D = diagsFor(R"(
+syntax stmt wrong {| ; |}
+{
+    return;
+}
+)");
+  EXPECT_NE(D.find("must return a value"), std::string::npos) << D;
+}
+
+TEST(TypeCheck, ListReturnForListMacroAccepted) {
+  expectOk(R"(
+syntax decl many[] {| ; |}
+{
+    return list(`[int a;], `[int b;]);
+}
+many;
+)");
+}
+
+TEST(TypeCheck, ScalarReturnForListMacroDiagnosed) {
+  std::string D = diagsFor(R"(
+syntax decl many[] {| ; |}
+{
+    return `[int a;];
+}
+)");
+  EXPECT_NE(D.find("declared return type is @decl[]"), std::string::npos)
+      << D;
+}
+
+//===----------------------------------------------------------------------===//
+// Placeholder slot checking inside templates
+//===----------------------------------------------------------------------===//
+
+TEST(TypeCheck, StmtBinderCannotFillExpressionSlot) {
+  std::string D = diagsFor(R"(
+syntax stmt wrong {| $$stmt::s |}
+{
+    return `{ f($s); };
+}
+)");
+  EXPECT_NE(D.find("cannot appear where an expression is expected"),
+            std::string::npos)
+      << D;
+}
+
+TEST(TypeCheck, ExpBinderCannotFillTypeSlot) {
+  std::string D = diagsFor(R"(
+syntax stmt wrong {| $$exp::e |}
+{
+    return `{ $e $e = 0; };
+}
+)");
+  EXPECT_FALSE(D.empty());
+}
+
+TEST(TypeCheck, IdBinderFillsExpressionSlot) {
+  expectOk(R"(
+syntax stmt fine {| $$id::n |}
+{
+    return `{ use($n); };
+}
+void f(void) { fine counter }
+)");
+}
+
+TEST(TypeCheck, UndeclaredVariableInBodyDiagnosed) {
+  std::string D = diagsFor(R"(
+syntax stmt wrong {| ; |}
+{
+    return `{ f($undeclared_thing); };
+}
+)");
+  EXPECT_NE(D.find("undeclared meta variable 'undeclared_thing'"),
+            std::string::npos)
+      << D;
+}
+
+TEST(TypeCheck, BinderTypesComeFromPattern) {
+  // `ids` is bound by `+/, id` so it is @id[]; using it where a scalar
+  // statement is expected must fail.
+  std::string D = diagsFor(R"(
+syntax stmt wrong {| $$+/, id::ids ; |}
+{
+    return `{ if (x) $ids; };
+}
+)");
+  EXPECT_FALSE(D.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Meta expression typing
+//===----------------------------------------------------------------------===//
+
+TEST(TypeCheck, ArithmeticOnAstDiagnosed) {
+  std::string D = diagsFor(R"(
+syntax exp wrong {| $$exp::e |}
+{
+    int n;
+    n = e * 2;
+    return `($(n));
+}
+)");
+  EXPECT_NE(D.find("requires arithmetic operands"), std::string::npos) << D;
+}
+
+TEST(TypeCheck, AssignIncompatibleDiagnosed) {
+  std::string D = diagsFor(R"(
+syntax exp wrong {| $$exp::e |}
+{
+    @stmt s;
+    s = e;
+    return e;
+}
+)");
+  EXPECT_NE(D.find("cannot assign @exp to @stmt"), std::string::npos) << D;
+}
+
+TEST(TypeCheck, AddressOfAstValueDiagnosed) {
+  // "It is illegal to take the address of either a scalar or structured
+  // ast value."
+  std::string D = diagsFor(R"(
+syntax exp wrong {| $$exp::e |}
+{
+    return &e;
+}
+)");
+  EXPECT_NE(D.find("cannot take the address of an AST value"),
+            std::string::npos)
+      << D;
+}
+
+TEST(TypeCheck, CarOfNonListDiagnosed) {
+  std::string D = diagsFor(R"(
+syntax exp wrong {| $$exp::e |}
+{
+    return *e;
+}
+)");
+  EXPECT_NE(D.find("'*' requires a list"), std::string::npos) << D;
+}
+
+TEST(TypeCheck, IndexingScalarDiagnosed) {
+  std::string D = diagsFor(R"(
+syntax exp wrong {| $$exp::e |}
+{
+    return e[0];
+}
+)");
+  EXPECT_NE(D.find("subscripted value is not a list"), std::string::npos)
+      << D;
+}
+
+TEST(TypeCheck, UnknownMemberDiagnosed) {
+  std::string D = diagsFor(R"(
+syntax exp wrong {| $$exp::e |}
+{
+    return e->no_such_member;
+}
+)");
+  EXPECT_NE(D.find("no member 'no_such_member'"), std::string::npos) << D;
+}
+
+TEST(TypeCheck, CallNonFunctionDiagnosed) {
+  std::string D = diagsFor(R"(
+syntax exp wrong {| $$exp::e |}
+{
+    return e(1, 2);
+}
+)");
+  EXPECT_NE(D.find("not a meta function"), std::string::npos) << D;
+}
+
+//===----------------------------------------------------------------------===//
+// Builtin call typing
+//===----------------------------------------------------------------------===//
+
+TEST(TypeCheck, LengthOfScalarDiagnosed) {
+  std::string D = diagsFor(R"(
+syntax exp wrong {| $$exp::e |}
+{
+    return `($(length(e)));
+}
+)");
+  EXPECT_NE(D.find("must be a list"), std::string::npos) << D;
+}
+
+TEST(TypeCheck, MapArityChecked) {
+  std::string D = diagsFor(R"(
+syntax exp wrong {| $$+/, id::ids ; |}
+{
+    @id one;
+    one = *map(lambda (@id a, @id b) a, ids);
+    return one;
+}
+)");
+  EXPECT_NE(D.find("exactly one parameter"), std::string::npos) << D;
+}
+
+TEST(TypeCheck, MapElementTypeChecked) {
+  std::string D = diagsFor(R"(
+syntax exp wrong {| $$+/, id::ids ; |}
+{
+    @stmt s;
+    s = *map(lambda (@stmt x) x, ids);
+    return `(1);
+}
+)");
+  EXPECT_NE(D.find("does not accept list elements"), std::string::npos) << D;
+}
+
+TEST(TypeCheck, BuiltinArityChecked) {
+  std::string D = diagsFor(R"(
+syntax exp wrong {| ; |}
+{
+    return `($(length()));
+}
+)");
+  EXPECT_NE(D.find("wrong number of arguments to 'length'"),
+            std::string::npos)
+      << D;
+}
+
+TEST(TypeCheck, PstringRequiresIdentifier) {
+  std::string D = diagsFor(R"(
+syntax exp wrong {| $$exp::e |}
+{
+    return `($(pstring(e)));
+}
+)");
+  EXPECT_NE(D.find("pstring expects an identifier"), std::string::npos) << D;
+}
+
+TEST(TypeCheck, ListInfersCommonType) {
+  // Mixed id/num widen to exp; a stmt cannot join them.
+  expectOk(R"(
+syntax exp fine {| $$id::a $$num::b ; |}
+{
+    @exp xs[];
+    xs = list(a, b);
+    return *xs;
+}
+int q = fine name 42;;
+)");
+  std::string D = diagsFor(R"(
+syntax exp wrong {| $$id::a $$stmt::s |}
+{
+    @exp xs[];
+    xs = list(a, s);
+    return *xs;
+}
+)");
+  EXPECT_NE(D.find("incompatible types"), std::string::npos) << D;
+}
+
+//===----------------------------------------------------------------------===//
+// Macro placement checks at invocation sites
+//===----------------------------------------------------------------------===//
+
+TEST(TypeCheck, StmtMacroRejectedInExpression) {
+  std::string D = diagsFor(R"(
+syntax stmt nop {| ; |}
+{
+    return `{ ; };
+}
+int x = nop; + 1;
+)");
+  EXPECT_NE(D.find("cannot appear"), std::string::npos) << D;
+}
+
+TEST(TypeCheck, ExpMacroRejectedAtTopLevel) {
+  std::string D = diagsFor(R"(
+syntax exp one {| ( ) |}
+{
+    return `(1);
+}
+one();
+)");
+  EXPECT_NE(D.find("cannot appear where a declaration is expected"),
+            std::string::npos)
+      << D;
+}
+
+TEST(TypeCheck, DeclMacroRejectedInExpression) {
+  std::string D = diagsFor(R"(
+syntax decl mk {| ; |}
+{
+    return `[int v;];
+}
+int f(void) { return mk;; }
+)");
+  EXPECT_FALSE(D.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Meta function checking
+//===----------------------------------------------------------------------===//
+
+TEST(TypeCheck, MetaFunctionReturnChecked) {
+  std::string D = diagsFor(R"(
+@stmt bad(@exp e)
+{
+    return e;
+}
+)");
+  EXPECT_NE(D.find("return value has type @exp"), std::string::npos) << D;
+}
+
+TEST(TypeCheck, MetaFunctionArgumentsChecked) {
+  std::string D = diagsFor(R"(
+@stmt wrap(@stmt s)
+{
+    return `{ { $s; } };
+}
+
+syntax stmt w {| $$exp::e |}
+{
+    return wrap(e);
+}
+)");
+  EXPECT_NE(D.find("argument 1 has type @exp, expected @stmt"),
+            std::string::npos)
+      << D;
+}
+
+TEST(TypeCheck, MetaFunctionWrongArityChecked) {
+  std::string D = diagsFor(R"(
+@stmt wrap(@stmt s)
+{
+    return s;
+}
+
+syntax stmt w {| $$stmt::s |}
+{
+    return wrap(s, s);
+}
+)");
+  EXPECT_NE(D.find("wrong number of arguments"), std::string::npos) << D;
+}
+
+//===----------------------------------------------------------------------===//
+// Redefinitions
+//===----------------------------------------------------------------------===//
+
+TEST(TypeCheck, MacroRedefinitionDiagnosed) {
+  std::string D = diagsFor(R"(
+syntax stmt twice {| ; |} { return `{ ; }; }
+syntax stmt twice {| ; |} { return `{ ; }; }
+)");
+  EXPECT_NE(D.find("redefinition of macro 'twice'"), std::string::npos) << D;
+}
+
+TEST(TypeCheck, MetadclRedefinitionDiagnosed) {
+  std::string D = diagsFor(R"(
+metadcl int x;
+metadcl int x;
+)");
+  EXPECT_NE(D.find("redeclaration of meta global 'x'"), std::string::npos)
+      << D;
+}
+
+TEST(TypeCheck, MetadclInitializerTypeChecked) {
+  std::string D = diagsFor(R"(
+metadcl @stmt s = gensym();
+)");
+  EXPECT_NE(D.find("cannot initialize @stmt with @id"), std::string::npos)
+      << D;
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+//===----------------------------------------------------------------------===//
+// Unit tests: the interpreter's Value model and environments.
+//===----------------------------------------------------------------------===//
+
+#include "interp/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+TEST(Value, DefaultIsUnset) {
+  Value V;
+  EXPECT_TRUE(V.isUnset());
+  EXPECT_FALSE(V.isTruthy());
+  EXPECT_STREQ(V.kindName(), "unset");
+}
+
+TEST(Value, IntAndTruthiness) {
+  EXPECT_TRUE(Value::makeInt(1).isTruthy());
+  EXPECT_TRUE(Value::makeInt(-5).isTruthy());
+  EXPECT_FALSE(Value::makeInt(0).isTruthy());
+  EXPECT_EQ(Value::makeInt(42).intValue(), 42);
+}
+
+TEST(Value, FloatAndString) {
+  EXPECT_DOUBLE_EQ(Value::makeFloat(2.5).floatValue(), 2.5);
+  EXPECT_FALSE(Value::makeFloat(0.0).isTruthy());
+  EXPECT_EQ(Value::makeStr("abc").strValue(), "abc");
+  EXPECT_FALSE(Value::makeStr("").isTruthy());
+  EXPECT_TRUE(Value::makeStr("x").isTruthy());
+}
+
+TEST(Value, NilAndVoid) {
+  EXPECT_TRUE(Value::makeNil().isNil());
+  EXPECT_FALSE(Value::makeNil().isTruthy());
+  EXPECT_FALSE(Value::makeVoid().isTruthy());
+}
+
+TEST(Value, ListBasics) {
+  Value L = Value::makeList({Value::makeInt(1), Value::makeInt(2),
+                             Value::makeInt(3)});
+  EXPECT_EQ(L.listSize(), 3u);
+  EXPECT_EQ(L.listAt(0).intValue(), 1);
+  EXPECT_EQ(L.listAt(2).intValue(), 3);
+  EXPECT_TRUE(L.isTruthy());
+  EXPECT_FALSE(Value::makeList({}).isTruthy());
+}
+
+TEST(Value, ListTailSharesPayload) {
+  Value L = Value::makeList({Value::makeInt(10), Value::makeInt(20),
+                             Value::makeInt(30)});
+  Value T1 = L.listTail(1);
+  EXPECT_EQ(T1.listSize(), 2u);
+  EXPECT_EQ(T1.listAt(0).intValue(), 20);
+  // Original unchanged.
+  EXPECT_EQ(L.listSize(), 3u);
+  // Tail of tail.
+  Value T2 = T1.listTail(1);
+  EXPECT_EQ(T2.listSize(), 1u);
+  EXPECT_EQ(T2.listAt(0).intValue(), 30);
+  // Over-shooting clamps to empty.
+  EXPECT_EQ(L.listTail(99).listSize(), 0u);
+}
+
+TEST(Value, ListElemsCopyRespectsOffset) {
+  Value L = Value::makeList({Value::makeInt(1), Value::makeInt(2)});
+  std::vector<Value> Elems = L.listTail(1).listElems();
+  ASSERT_EQ(Elems.size(), 1u);
+  EXPECT_EQ(Elems[0].intValue(), 2);
+}
+
+TEST(Value, Tuples) {
+  Arena A;
+  StringInterner I(A);
+  Value T = Value::makeTuple({Value::makeInt(7), Value::makeStr("x")},
+                             {I.intern("n"), I.intern("s")});
+  EXPECT_EQ(T.tuple().Fields.size(), 2u);
+  EXPECT_EQ(T.tuple().Names[0].str(), "n");
+  EXPECT_EQ(T.tuple().Fields[1].strValue(), "x");
+}
+
+TEST(Env, DefineLookupAssign) {
+  Arena A;
+  StringInterner I(A);
+  Symbol X = I.intern("x");
+  Env E;
+  EXPECT_EQ(E.lookup(X), nullptr);
+  E.define(X, Value::makeInt(1));
+  ASSERT_NE(E.lookup(X), nullptr);
+  EXPECT_EQ(E.lookup(X)->intValue(), 1);
+  EXPECT_TRUE(E.assign(X, Value::makeInt(2)));
+  EXPECT_EQ(E.lookup(X)->intValue(), 2);
+  EXPECT_FALSE(E.assign(I.intern("unbound"), Value::makeInt(0)));
+}
+
+TEST(Env, InnerScopeShadowsAndPops) {
+  Arena A;
+  StringInterner I(A);
+  Symbol X = I.intern("x");
+  Env E;
+  E.define(X, Value::makeInt(1));
+  E.push();
+  E.define(X, Value::makeInt(2));
+  EXPECT_EQ(E.lookup(X)->intValue(), 2);
+  E.pop();
+  EXPECT_EQ(E.lookup(X)->intValue(), 1);
+}
+
+TEST(Env, AssignWritesInnermostBinding) {
+  Arena A;
+  StringInterner I(A);
+  Symbol X = I.intern("x");
+  Env E;
+  E.define(X, Value::makeInt(1));
+  E.push();
+  E.define(X, Value::makeInt(2));
+  E.assign(X, Value::makeInt(99));
+  EXPECT_EQ(E.lookup(X)->intValue(), 99);
+  E.pop();
+  EXPECT_EQ(E.lookup(X)->intValue(), 1); // outer untouched
+}
+
+TEST(Env, SnapshotSharesFrames) {
+  Arena A;
+  StringInterner I(A);
+  Symbol X = I.intern("x");
+  Env E;
+  E.define(X, Value::makeInt(1));
+  Env E2 = Env::fromSnapshot(E.snapshot());
+  // Mutation through the snapshot is visible in the original (shared
+  // frames — the downward-funarg discipline of the paper's lambdas).
+  E2.assign(X, Value::makeInt(5));
+  EXPECT_EQ(E.lookup(X)->intValue(), 5);
+  // But frames pushed on the copy are invisible to the original.
+  E2.push();
+  E2.define(I.intern("y"), Value::makeInt(7));
+  EXPECT_EQ(E.lookup(I.intern("y")), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expansion_throughput.dir/expansion_throughput.cpp.o"
+  "CMakeFiles/expansion_throughput.dir/expansion_throughput.cpp.o.d"
+  "expansion_throughput"
+  "expansion_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expansion_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

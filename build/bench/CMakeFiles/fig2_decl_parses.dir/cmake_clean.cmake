@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_decl_parses.dir/fig2_decl_parses.cpp.o"
+  "CMakeFiles/fig2_decl_parses.dir/fig2_decl_parses.cpp.o.d"
+  "fig2_decl_parses"
+  "fig2_decl_parses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_decl_parses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_stmt_parses.dir/fig3_stmt_parses.cpp.o"
+  "CMakeFiles/fig3_stmt_parses.dir/fig3_stmt_parses.cpp.o.d"
+  "fig3_stmt_parses"
+  "fig3_stmt_parses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stmt_parses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

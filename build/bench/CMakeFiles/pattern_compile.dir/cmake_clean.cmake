@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_compile.dir/pattern_compile.cpp.o"
+  "CMakeFiles/pattern_compile.dir/pattern_compile.cpp.o.d"
+  "pattern_compile"
+  "pattern_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_vs_manual.dir/template_vs_manual.cpp.o"
+  "CMakeFiles/template_vs_manual.dir/template_vs_manual.cpp.o.d"
+  "template_vs_manual"
+  "template_vs_manual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_vs_manual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

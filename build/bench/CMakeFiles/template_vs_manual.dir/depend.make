@@ -1,0 +1,2 @@
+# Empty dependencies file for template_vs_manual.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_constructs.dir/control_constructs.cpp.o"
+  "CMakeFiles/control_constructs.dir/control_constructs.cpp.o.d"
+  "control_constructs"
+  "control_constructs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_constructs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derive_io.dir/derive_io.cpp.o"
+  "CMakeFiles/derive_io.dir/derive_io.cpp.o.d"
+  "derive_io"
+  "derive_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derive_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

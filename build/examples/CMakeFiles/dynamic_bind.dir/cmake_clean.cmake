@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_bind.dir/dynamic_bind.cpp.o"
+  "CMakeFiles/dynamic_bind.dir/dynamic_bind.cpp.o.d"
+  "dynamic_bind"
+  "dynamic_bind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_bind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

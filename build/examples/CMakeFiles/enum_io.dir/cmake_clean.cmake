@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enum_io.dir/enum_io.cpp.o"
+  "CMakeFiles/enum_io.dir/enum_io.cpp.o.d"
+  "enum_io"
+  "enum_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enum_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msqc.dir/msqc.cpp.o"
+  "CMakeFiles/msqc.dir/msqc.cpp.o.d"
+  "msqc"
+  "msqc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msqc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portability.dir/portability.cpp.o"
+  "CMakeFiles/portability.dir/portability.cpp.o.d"
+  "portability"
+  "portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

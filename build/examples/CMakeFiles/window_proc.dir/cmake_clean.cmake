@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_proc.dir/window_proc.cpp.o"
+  "CMakeFiles/window_proc.dir/window_proc.cpp.o.d"
+  "window_proc"
+  "window_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

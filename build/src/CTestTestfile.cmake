@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lexer")
+subdirs("ast")
+subdirs("types")
+subdirs("pattern")
+subdirs("parser")
+subdirs("meta")
+subdirs("interp")
+subdirs("quasi")
+subdirs("printer")
+subdirs("expand")
+subdirs("tokmacro")
+subdirs("charmacro")
+subdirs("api")

@@ -1,0 +1,3 @@
+src/api/CMakeFiles/msq.dir/StdMacros.cpp.o: \
+ /root/repo/src/api/StdMacros.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/api/StdMacros.h

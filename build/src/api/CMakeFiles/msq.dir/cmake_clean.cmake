@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq.dir/Msq.cpp.o"
+  "CMakeFiles/msq.dir/Msq.cpp.o.d"
+  "CMakeFiles/msq.dir/StdMacros.cpp.o"
+  "CMakeFiles/msq.dir/StdMacros.cpp.o.d"
+  "libmsq.a"
+  "libmsq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_ast.dir/AstClone.cpp.o"
+  "CMakeFiles/msq_ast.dir/AstClone.cpp.o.d"
+  "CMakeFiles/msq_ast.dir/AstEqual.cpp.o"
+  "CMakeFiles/msq_ast.dir/AstEqual.cpp.o.d"
+  "CMakeFiles/msq_ast.dir/AstOps.cpp.o"
+  "CMakeFiles/msq_ast.dir/AstOps.cpp.o.d"
+  "libmsq_ast.a"
+  "libmsq_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

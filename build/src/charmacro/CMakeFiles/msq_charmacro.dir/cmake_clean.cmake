@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_charmacro.dir/CharMacro.cpp.o"
+  "CMakeFiles/msq_charmacro.dir/CharMacro.cpp.o.d"
+  "libmsq_charmacro.a"
+  "libmsq_charmacro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_charmacro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

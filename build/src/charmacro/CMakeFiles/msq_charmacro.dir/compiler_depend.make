@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for msq_charmacro.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_expand.dir/Expander.cpp.o"
+  "CMakeFiles/msq_expand.dir/Expander.cpp.o.d"
+  "libmsq_expand.a"
+  "libmsq_expand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_expand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_interp.dir/InterpBuiltins.cpp.o"
+  "CMakeFiles/msq_interp.dir/InterpBuiltins.cpp.o.d"
+  "CMakeFiles/msq_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/msq_interp.dir/Interpreter.cpp.o.d"
+  "libmsq_interp.a"
+  "libmsq_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

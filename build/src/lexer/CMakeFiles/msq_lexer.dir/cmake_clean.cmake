@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_lexer.dir/Lexer.cpp.o"
+  "CMakeFiles/msq_lexer.dir/Lexer.cpp.o.d"
+  "libmsq_lexer.a"
+  "libmsq_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_meta.dir/Builtins.cpp.o"
+  "CMakeFiles/msq_meta.dir/Builtins.cpp.o.d"
+  "CMakeFiles/msq_meta.dir/MetaTypeCheck.cpp.o"
+  "CMakeFiles/msq_meta.dir/MetaTypeCheck.cpp.o.d"
+  "libmsq_meta.a"
+  "libmsq_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

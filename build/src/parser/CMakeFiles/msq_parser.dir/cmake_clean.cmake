@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_parser.dir/ParseExpr.cpp.o"
+  "CMakeFiles/msq_parser.dir/ParseExpr.cpp.o.d"
+  "CMakeFiles/msq_parser.dir/ParseInvocation.cpp.o"
+  "CMakeFiles/msq_parser.dir/ParseInvocation.cpp.o.d"
+  "CMakeFiles/msq_parser.dir/ParseMeta.cpp.o"
+  "CMakeFiles/msq_parser.dir/ParseMeta.cpp.o.d"
+  "CMakeFiles/msq_parser.dir/ParseStmt.cpp.o"
+  "CMakeFiles/msq_parser.dir/ParseStmt.cpp.o.d"
+  "CMakeFiles/msq_parser.dir/Parser.cpp.o"
+  "CMakeFiles/msq_parser.dir/Parser.cpp.o.d"
+  "libmsq_parser.a"
+  "libmsq_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pattern/Pattern.cpp" "src/pattern/CMakeFiles/msq_pattern.dir/Pattern.cpp.o" "gcc" "src/pattern/CMakeFiles/msq_pattern.dir/Pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/msq_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/msq_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/msq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_pattern.dir/Pattern.cpp.o"
+  "CMakeFiles/msq_pattern.dir/Pattern.cpp.o.d"
+  "libmsq_pattern.a"
+  "libmsq_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

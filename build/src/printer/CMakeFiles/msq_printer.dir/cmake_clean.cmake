@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_printer.dir/CPrinter.cpp.o"
+  "CMakeFiles/msq_printer.dir/CPrinter.cpp.o.d"
+  "CMakeFiles/msq_printer.dir/SExpr.cpp.o"
+  "CMakeFiles/msq_printer.dir/SExpr.cpp.o.d"
+  "libmsq_printer.a"
+  "libmsq_printer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_printer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

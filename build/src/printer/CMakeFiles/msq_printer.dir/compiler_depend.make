@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for msq_printer.
+# This may be replaced when dependencies are built.

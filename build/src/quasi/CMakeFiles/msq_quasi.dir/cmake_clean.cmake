@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_quasi.dir/Quasi.cpp.o"
+  "CMakeFiles/msq_quasi.dir/Quasi.cpp.o.d"
+  "libmsq_quasi.a"
+  "libmsq_quasi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_quasi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

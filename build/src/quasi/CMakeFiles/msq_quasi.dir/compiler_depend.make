@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for msq_quasi.
+# This may be replaced when dependencies are built.

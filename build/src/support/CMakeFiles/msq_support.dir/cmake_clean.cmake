@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/msq_support.dir/Diagnostics.cpp.o.d"
+  "libmsq_support.a"
+  "libmsq_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_tokmacro.dir/TokenMacro.cpp.o"
+  "CMakeFiles/msq_tokmacro.dir/TokenMacro.cpp.o.d"
+  "libmsq_tokmacro.a"
+  "libmsq_tokmacro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_tokmacro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_types.dir/MetaType.cpp.o"
+  "CMakeFiles/msq_types.dir/MetaType.cpp.o.d"
+  "libmsq_types.a"
+  "libmsq_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

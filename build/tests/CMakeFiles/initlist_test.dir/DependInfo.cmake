@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/initlist_test.cpp" "tests/CMakeFiles/initlist_test.dir/initlist_test.cpp.o" "gcc" "tests/CMakeFiles/initlist_test.dir/initlist_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/msq.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokmacro/CMakeFiles/msq_tokmacro.dir/DependInfo.cmake"
+  "/root/repo/build/src/charmacro/CMakeFiles/msq_charmacro.dir/DependInfo.cmake"
+  "/root/repo/build/src/expand/CMakeFiles/msq_expand.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/msq_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/msq_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/printer/CMakeFiles/msq_printer.dir/DependInfo.cmake"
+  "/root/repo/build/src/quasi/CMakeFiles/msq_quasi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/msq_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/msq_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/msq_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/msq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/msq_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

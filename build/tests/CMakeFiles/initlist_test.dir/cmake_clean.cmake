@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/initlist_test.dir/initlist_test.cpp.o"
+  "CMakeFiles/initlist_test.dir/initlist_test.cpp.o.d"
+  "initlist_test"
+  "initlist_test.pdb"
+  "initlist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/initlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

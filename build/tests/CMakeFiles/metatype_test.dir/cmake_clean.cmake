@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metatype_test.dir/metatype_test.cpp.o"
+  "CMakeFiles/metatype_test.dir/metatype_test.cpp.o.d"
+  "metatype_test"
+  "metatype_test.pdb"
+  "metatype_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metatype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[Smoke.PaintingMacroExpands]=]  /root/repo/build/tests/smoke_test [==[--gtest_filter=Smoke.PaintingMacroExpands]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Smoke.PaintingMacroExpands]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  smoke_test_TESTS Smoke.PaintingMacroExpands)

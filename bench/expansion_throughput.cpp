@@ -19,12 +19,15 @@
 #include "api/Msq.h"
 #include "charmacro/CharMacro.h"
 #include "tokmacro/TokenMacro.h"
+#include "driver/BatchDriver.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -131,9 +134,104 @@ void BM_SyntaxNoMacros(benchmark::State &State) {
 }
 BENCHMARK(BM_SyntaxNoMacros)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
+//===----------------------------------------------------------------------===//
+// Batch expansion: one preloaded macro library, many translation units.
+//===----------------------------------------------------------------------===//
+
+const char *BatchLibrary = R"(
+syntax stmt guarded {| ( $$exp::e ) |}
+{
+    return `{ if (ok) { $e; } };
+}
+)";
+
+std::vector<msq::SourceUnit> makeBatchUnits(int Units, int InvocationsPerUnit) {
+  std::vector<msq::SourceUnit> Out;
+  Out.reserve(Units);
+  for (int U = 0; U != Units; ++U)
+    Out.push_back({"tu" + std::to_string(U) + ".c",
+                   wrapMs2(makeBody(InvocationsPerUnit))});
+  return Out;
+}
+
+// Baseline: the same workload expanded one unit at a time through a
+// shared sequential engine (the pre-batch idiom).
+void BM_SequentialUnits(benchmark::State &State) {
+  std::vector<msq::SourceUnit> Units = makeBatchUnits(64, 200);
+  for (auto _ : State) {
+    msq::Engine E;
+    if (!E.expandSource("lib.c", BatchLibrary).Success) {
+      State.SkipWithError("library load failed");
+      return;
+    }
+    size_t Total = 0;
+    for (const msq::SourceUnit &U : Units) {
+      msq::ExpandResult R = E.expandSource(U.Name, U.Source);
+      if (!R.Success) {
+        State.SkipWithError("expansion failed");
+        return;
+      }
+      Total += R.InvocationsExpanded;
+    }
+    benchmark::DoNotOptimize(Total);
+  }
+  State.SetItemsProcessed(State.iterations() * 64 * 200);
+}
+BENCHMARK(BM_SequentialUnits)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// expandSources over a worker pool; Arg is the thread count. On a
+// single-core host every arg degenerates to the sequential path — the
+// interesting spread appears on multicore machines.
+void BM_BatchExpansion(benchmark::State &State) {
+  msq::Engine E;
+  if (!E.expandSource("lib.c", BatchLibrary).Success) {
+    State.SkipWithError("library load failed");
+    return;
+  }
+  std::vector<msq::SourceUnit> Units = makeBatchUnits(64, 200);
+  msq::BatchOptions BO;
+  BO.ThreadCount = unsigned(State.range(0));
+  msq::BatchDriver Driver(E.snapshot(), BO);
+  for (auto _ : State) {
+    msq::BatchResult BR = Driver.run(Units);
+    if (!BR.allSucceeded()) {
+      State.SkipWithError("batch expansion failed");
+      return;
+    }
+    benchmark::DoNotOptimize(BR.TotalInvocations);
+  }
+  State.SetItemsProcessed(State.iterations() * 64 * 200);
+}
+BENCHMARK(BM_BatchExpansion)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// --metrics: run one representative batch and dump the per-unit and
+// per-macro profile as JSON instead of benchmarking.
+int runMetricsDump() {
+  msq::Engine E;
+  if (!E.expandSource("lib.c", BatchLibrary).Success) {
+    std::fprintf(stderr, "error: macro library failed to load\n");
+    return 1;
+  }
+  msq::BatchOptions BO;
+  BO.ThreadCount = 4;
+  msq::BatchResult BR =
+      msq::BatchDriver(E.snapshot(), BO).run(makeBatchUnits(8, 50));
+  std::printf("%s\n", BR.metricsJson().c_str());
+  return BR.allSucceeded() ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  for (int I = 1; I != argc; ++I)
+    if (std::strcmp(argv[I], "--metrics") == 0)
+      return runMetricsDump();
   std::printf("expansion throughput: character vs. token vs. syntax macro "
               "systems, N bracketing invocations per program\n\n");
   benchmark::Initialize(&argc, argv);

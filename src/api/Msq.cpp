@@ -22,6 +22,7 @@ Engine::Engine() : Engine(Options()) {}
 Engine::Engine(Options Opts)
     : Opts(Opts), CC(std::make_unique<CompilationContext>(SM)) {
   Interpreter::Limits Lim;
+  Lim.MaxSteps = Opts.MaxMetaSteps;
   Lim.HygienicTemplates = Opts.HygienicExpansion;
   Lim.TraceExpansions = Opts.TraceExpansions;
   Interp = std::make_unique<Interpreter>(*CC, Lim);
@@ -29,7 +30,8 @@ Engine::Engine(Options Opts)
 
 Engine::~Engine() = default;
 
-TranslationUnit *Engine::parseSource(std::string Name, std::string Source) {
+TranslationUnit *Engine::parseSourceImpl(std::string Name,
+                                         std::string Source) {
   uint32_t Id = SM.addBuffer(std::move(Name), std::move(Source));
   Parser::Options POpts;
   POpts.UseCompiledPatterns = Opts.UseCompiledPatterns;
@@ -37,13 +39,29 @@ TranslationUnit *Engine::parseSource(std::string Name, std::string Source) {
   return P.parseTranslationUnit(Id);
 }
 
+TranslationUnit *Engine::parseSource(std::string Name, std::string Source) {
+  SessionLog.push_back({{Name, Source}, /*ParseOnly=*/true});
+  return parseSourceImpl(std::move(Name), std::move(Source));
+}
+
 TranslationUnit *Engine::expandUnit(TranslationUnit *TU) {
-  Expander Exp(*CC, *Interp);
+  Expander::Options EOpts;
+  EOpts.MaxExpansionDepth = Opts.MaxExpansionDepth;
+  Expander Exp(*CC, *Interp, EOpts);
   return Exp.expandTranslationUnit(TU);
 }
 
 ExpandResult Engine::expandSource(std::string Name, std::string Source) {
+  return expandSourceImpl(std::move(Name), std::move(Source),
+                          /*EmitOutput=*/true, /*Record=*/true);
+}
+
+ExpandResult Engine::expandSourceImpl(std::string Name, std::string Source,
+                                      bool EmitOutput, bool Record) {
+  if (Record)
+    SessionLog.push_back({{Name, Source}, /*ParseOnly=*/false});
   ExpandResult R;
+  R.Name = Name;
   // Success and the reported diagnostics are scoped to THIS source:
   // errors from an earlier source in the session do not poison later,
   // independently correct sources.
@@ -52,12 +70,21 @@ ExpandResult Engine::expandSource(std::string Name, std::string Source) {
   size_t StepsBefore = Interp->stepsExecuted();
   size_t GensymsBefore = Interp->gensymCount();
   size_t TraceBefore = Interp->traceLog().size();
-  TranslationUnit *TU = parseSource(std::move(Name), std::move(Source));
+  // Arm the per-unit fuel budget and wall-clock deadline. A unit that
+  // exhausts either is aborted with a diagnostic; the engine itself stays
+  // usable for the next unit.
+  Interp->beginUnit(Opts.MaxMetaSteps, Opts.UnitTimeoutMillis);
+  TranslationUnit *TU = parseSourceImpl(std::move(Name), std::move(Source));
   if (CC->Diags.errorCount() == ErrorsBefore) {
-    Expander Exp(*CC, *Interp);
+    Expander::Options EOpts;
+    EOpts.MaxExpansionDepth = Opts.MaxExpansionDepth;
+    EOpts.CollectProfile = Opts.CollectProfile;
+    Expander Exp(*CC, *Interp, EOpts);
     TranslationUnit *Out = Exp.expandTranslationUnit(TU);
     R.InvocationsExpanded = Exp.stats().InvocationsExpanded;
-    if (CC->Diags.errorCount() == ErrorsBefore) {
+    R.NodesProduced = Exp.stats().NodesProduced;
+    R.Profile = Exp.takeProfile();
+    if (CC->Diags.errorCount() == ErrorsBefore && EmitOutput) {
       PrintOptions PO;
       PO.AllowPlaceholders = false;
       R.Output = printNode(Out, PO);
@@ -66,8 +93,40 @@ ExpandResult Engine::expandSource(std::string Name, std::string Source) {
   R.MacrosDefined = CC->Macros.size();
   R.MetaStepsExecuted = Interp->stepsExecuted() - StepsBefore;
   R.GensymsCreated = Interp->gensymCount() - GensymsBefore;
+  R.FuelExhausted = Interp->unitFuelExhausted();
+  R.TimedOut = Interp->unitTimedOut();
   R.TraceText = Interp->traceLog().substr(TraceBefore);
   R.DiagnosticsText = CC->Diags.renderFrom(FirstDiag);
   R.Success = CC->Diags.errorCount() == ErrorsBefore;
   return R;
+}
+
+SessionSnapshot Engine::snapshot() const {
+  auto D = std::make_shared<SessionSnapshot::Data>();
+  D->Opts = Opts;
+  D->Log = SessionLog;
+  return SessionSnapshot(std::move(D));
+}
+
+Engine::SessionCheckpoint Engine::checkpoint() const {
+  SessionCheckpoint CP;
+  CP.Macros = CC->Macros;
+  CP.MetaFuncs = CC->MetaFuncs;
+  CP.Globals = CC->Globals;
+  CP.TypedefScopes = CC->TypedefScopes;
+  CP.ObjectVarTypes = CC->ObjectVarTypes;
+  CP.Interp = Interp->saveState();
+  return CP;
+}
+
+void Engine::restoreCheckpoint(const SessionCheckpoint &CP) {
+  CC->Macros = CP.Macros;
+  CC->MetaFuncs = CP.MetaFuncs;
+  CC->Globals = CP.Globals;
+  CC->TypedefScopes = CP.TypedefScopes;
+  CC->ObjectVarTypes = CP.ObjectVarTypes;
+  // CompiledPatterns is left alone on purpose: entries are keyed by
+  // MacroDef pointer, so entries for macros dropped by the restore are
+  // simply unreachable (the arena keeps them alive; it only grows).
+  Interp->restoreState(CP.Interp);
 }

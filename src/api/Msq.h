@@ -17,6 +17,16 @@
 ///   else fputs(R.DiagnosticsText.c_str(), stderr);
 /// \endcode
 ///
+/// For many independent translation units sharing one macro library, take
+/// a snapshot of the session and expand them as a batch (see
+/// driver/BatchDriver.h):
+///
+/// \code
+///   Engine.loadStandardLibrary();
+///   Engine.expandSource("lib.c", LibrarySource);          // define macros
+///   msq::BatchResult B = Engine.expandSources(Units);     // N units, parallel
+/// \endcode
+///
 //======---------------------------------------------------------------------===//
 
 #ifndef MSQ_API_MSQ_H
@@ -26,15 +36,24 @@
 #include "interp/Interpreter.h"
 #include "parser/Parser.h"
 #include "printer/CPrinter.h"
+#include "support/Metrics.h"
 
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace msq {
+
+class BatchDriver;
+class SessionSnapshot;
+struct BatchOptions;
+struct BatchResult;
 
 /// Outcome of one expansion run.
 struct ExpandResult {
   bool Success = false;
+  /// Name of the source buffer this result describes.
+  std::string Name;
   /// The expanded program, printed as C.
   std::string Output;
   /// Rendered diagnostics (errors, warnings, notes).
@@ -47,8 +66,25 @@ struct ExpandResult {
   size_t MetaStepsExecuted = 0;
   /// Fresh identifiers created (gensym + hygiene renames) during this call.
   size_t GensymsCreated = 0;
+  /// AST nodes visited/produced by the expander during this call.
+  size_t NodesProduced = 0;
+  /// True when this unit was aborted because the meta program ran out of
+  /// fuel (Options::MaxMetaSteps) / exceeded its wall-clock budget
+  /// (Options::UnitTimeoutMillis). Success is false in either case and a
+  /// diagnostic explains which limit was hit.
+  bool FuelExhausted = false;
+  bool TimedOut = false;
   /// Expansion trace for this call (Options::TraceExpansions only).
   std::string TraceText;
+  /// Per-macro expansion profile for this call (Options::CollectProfile).
+  ExpansionProfile Profile;
+};
+
+/// A named source buffer: the unit of session recording and of batch
+/// expansion.
+struct SourceUnit {
+  std::string Name;
+  std::string Source;
 };
 
 /// One MS2 compilation session. Macro definitions and meta globals persist
@@ -66,6 +102,16 @@ public:
     bool HygienicExpansion = false;
     /// Record a per-invocation expansion trace in ExpandResult::TraceText.
     bool TraceExpansions = false;
+    /// Collect a per-macro profile into ExpandResult::Profile.
+    bool CollectProfile = true;
+    /// Fuel: meta-interpreter steps allowed per expandSource call. A unit
+    /// that exceeds it is aborted with a diagnostic (no hang).
+    size_t MaxMetaSteps = 50'000'000;
+    /// Maximum recursive macro-expansion nesting per unit.
+    unsigned MaxExpansionDepth = 128;
+    /// Wall-clock budget per expandSource call in milliseconds; 0 means
+    /// unlimited. Overruns abort the unit with a diagnostic.
+    unsigned UnitTimeoutMillis = 0;
   };
 
   Engine();
@@ -76,6 +122,22 @@ public:
 
   /// Parses and expands \p Source, returning the printed C program.
   ExpandResult expandSource(std::string Name, std::string Source);
+
+  /// Expands N independent translation units against an immutable snapshot
+  /// of this session's state (macro library + meta globals), in parallel,
+  /// and returns per-unit results in input order. This engine itself is
+  /// not mutated: each unit sees exactly the session state at the time of
+  /// the call, and nothing a unit does (macro definitions, metadcl
+  /// mutations) is visible to any sibling unit or to this engine.
+  /// Defined in driver/BatchDriver.cpp; link msq_driver to use it.
+  BatchResult expandSources(std::vector<SourceUnit> Units);
+  BatchResult expandSources(std::vector<SourceUnit> Units,
+                            const BatchOptions &BO);
+
+  /// An immutable, shareable capture of this session: everything needed to
+  /// rebuild the current macro tables, meta globals, and interned AST pool
+  /// in another engine (realized as a replay of the session's sources).
+  SessionSnapshot snapshot() const;
 
   /// Parses \p Source without expanding (definitions are still registered
   /// and available to later calls).
@@ -92,16 +154,76 @@ public:
   /// Renders a tree as C.
   std::string print(const Node *N) const { return printNode(N); }
 
+  /// Captured session state: macro tables, meta-function registry, meta
+  /// globals (name types and values), typedef scopes, and recorded object
+  /// variable types. All copies are map-shallow — the underlying AST lives
+  /// in this engine's arena, which only grows — so checkpoint/restore is
+  /// cheap and scoped to THIS engine. The batch driver uses it to give
+  /// every translation unit a pristine view of the macro library.
+  struct SessionCheckpoint {
+    MacroRegistry Macros;
+    MetaFunctionRegistry MetaFuncs;
+    MetaScope Globals;
+    std::vector<std::unordered_set<Symbol, SymbolHash>> TypedefScopes;
+    std::unordered_map<Symbol, TypeSpecNode *, SymbolHash> ObjectVarTypes;
+    Interpreter::SavedState Interp;
+  };
+  SessionCheckpoint checkpoint() const;
+  void restoreCheckpoint(const SessionCheckpoint &CP);
+
   // Advanced access for tests and benchmarks.
   CompilationContext &context() { return *CC; }
   Interpreter &interpreter() { return *Interp; }
   SourceManager &sourceManager() { return SM; }
 
 private:
+  friend class BatchDriver;
+  friend class SessionSnapshot;
+
+  /// Shared implementation of expandSource. \p EmitOutput controls whether
+  /// the expanded tree is printed (snapshot replay skips it); \p Record
+  /// controls whether the source is appended to the session log.
+  ExpandResult expandSourceImpl(std::string Name, std::string Source,
+                                bool EmitOutput, bool Record);
+  TranslationUnit *parseSourceImpl(std::string Name, std::string Source);
+
+  /// One session-log entry: a source fed to this engine, and whether it
+  /// was only parsed (parseSource) or fully expanded (expandSource).
+  struct LogEntry {
+    SourceUnit Unit;
+    bool ParseOnly = false;
+  };
+
   SourceManager SM;
   Options Opts;
   std::unique_ptr<CompilationContext> CC;
   std::unique_ptr<Interpreter> Interp;
+  std::vector<LogEntry> SessionLog;
+};
+
+/// An immutable capture of an Engine session, shared by reference counting.
+/// Workers rebuild the session by replaying the recorded sources into a
+/// private engine: cloned macro tables, meta globals, and interned AST pool
+/// with no pointers into the original engine, so any number of threads can
+/// expand against one snapshot concurrently.
+class SessionSnapshot {
+public:
+  using LogEntry = Engine::LogEntry;
+
+  SessionSnapshot() = default;
+
+  const Engine::Options &options() const { return D->Opts; }
+  const std::vector<LogEntry> &log() const { return D->Log; }
+  bool valid() const { return D != nullptr; }
+
+private:
+  friend class Engine;
+  struct Data {
+    Engine::Options Opts;
+    std::vector<LogEntry> Log;
+  };
+  explicit SessionSnapshot(std::shared_ptr<const Data> D) : D(std::move(D)) {}
+  std::shared_ptr<const Data> D;
 };
 
 } // namespace msq

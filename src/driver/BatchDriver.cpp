@@ -1,0 +1,120 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchDriver.h"
+
+#include "support/ThreadPool.h"
+
+using namespace msq;
+
+BatchDriver::BatchDriver(SessionSnapshot Snap, BatchOptions Opts)
+    : Snap(std::move(Snap)), Opts(Opts) {}
+
+/// Builds a worker's private engine by replaying the snapshot's session
+/// log: every recorded source is parsed (and, unless it was parse-only,
+/// expanded) exactly as the original engine did, reproducing the macro
+/// tables, meta globals, and interned AST pool in the worker's own arena.
+/// Printing is skipped — replay exists for its side effects.
+std::unique_ptr<Engine> BatchDriver::buildWorkerEngine(
+    const SessionSnapshot &Snap, const BatchOptions &BO) {
+  Engine::Options EO = Snap.options();
+  if (BO.MaxMetaSteps)
+    EO.MaxMetaSteps = BO.MaxMetaSteps;
+  if (BO.UnitTimeoutMillis)
+    EO.UnitTimeoutMillis = BO.UnitTimeoutMillis;
+  EO.CollectProfile = BO.CollectProfile;
+  auto E = std::make_unique<Engine>(EO);
+  for (const SessionSnapshot::LogEntry &L : Snap.log()) {
+    if (L.ParseOnly)
+      E->parseSourceImpl(L.Unit.Name, L.Unit.Source);
+    else
+      E->expandSourceImpl(L.Unit.Name, L.Unit.Source, /*EmitOutput=*/false,
+                          /*Record=*/false);
+  }
+  return E;
+}
+
+BatchResult BatchDriver::run(const std::vector<SourceUnit> &Units) const {
+  BatchResult BR;
+  BR.Results.resize(Units.size());
+  if (Units.empty())
+    return BR;
+
+  unsigned Workers = ThreadPool::chooseWorkerCount(Opts.ThreadCount,
+                                                   Units.size());
+  std::atomic<size_t> Next{0};
+  const BatchOptions &BO = Opts;
+  const SessionSnapshot &SnapRef = Snap;
+  ThreadPool::runWorkers(Workers, [&](unsigned) {
+    std::unique_ptr<Engine> E = buildWorkerEngine(SnapRef, BO);
+    // The immutable baseline every unit starts from. Restoring it before
+    // each unit gives snapshot isolation AND determinism: a unit's output
+    // cannot depend on which worker ran it or on its siblings.
+    Engine::SessionCheckpoint Baseline = E->checkpoint();
+    for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+         I < Units.size(); I = Next.fetch_add(1, std::memory_order_relaxed)) {
+      E->restoreCheckpoint(Baseline);
+      BR.Results[I] =
+          E->expandSourceImpl(Units[I].Name, Units[I].Source,
+                              /*EmitOutput=*/true, /*Record=*/false);
+    }
+  });
+
+  for (const ExpandResult &R : BR.Results) {
+    if (!R.Success)
+      ++BR.UnitsFailed;
+    BR.TotalInvocations += R.InvocationsExpanded;
+    BR.Profile.merge(R.Profile);
+  }
+  return BR;
+}
+
+std::string BatchResult::metricsJson() const {
+  std::string Out = "{\"units\":[";
+  bool First = true;
+  for (const ExpandResult &R : Results) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":\"";
+    Out += jsonEscape(R.Name);
+    Out += "\",\"success\":";
+    Out += R.Success ? "true" : "false";
+    Out += ",\"invocations\":";
+    Out += std::to_string(R.InvocationsExpanded);
+    Out += ",\"meta_steps\":";
+    Out += std::to_string(R.MetaStepsExecuted);
+    Out += ",\"gensyms\":";
+    Out += std::to_string(R.GensymsCreated);
+    Out += ",\"nodes\":";
+    Out += std::to_string(R.NodesProduced);
+    Out += ",\"fuel_exhausted\":";
+    Out += R.FuelExhausted ? "true" : "false";
+    Out += ",\"timed_out\":";
+    Out += R.TimedOut ? "true" : "false";
+    Out += '}';
+  }
+  Out += "],\"aggregate\":";
+  Out += Profile.toJson();
+  Out += '}';
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Engine batch entry points (declared in api/Msq.h, defined here so the
+// api library does not depend on the driver).
+//===----------------------------------------------------------------------===//
+
+BatchResult Engine::expandSources(std::vector<SourceUnit> Units) {
+  return expandSources(std::move(Units), BatchOptions());
+}
+
+BatchResult Engine::expandSources(std::vector<SourceUnit> Units,
+                                  const BatchOptions &BO) {
+  BatchDriver D(snapshot(), BO);
+  return D.run(Units);
+}

@@ -1,0 +1,90 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel batch expansion. A BatchDriver takes an immutable session
+/// snapshot (the macro library and meta state an Engine has accumulated)
+/// and expands N independent translation units across a pool of worker
+/// threads, merging results deterministically in input order.
+///
+/// Concurrency model: the engine is single-threaded by design, so each
+/// worker owns a private engine rebuilt from the snapshot (its own arena,
+/// interner, macro tables, and meta globals — no pointers shared across
+/// threads). Within a worker, a cheap session checkpoint is restored
+/// before every unit so that sibling units cannot observe each other's
+/// macro definitions, metadcl mutations, or gensym numbering; output is
+/// therefore a function of (snapshot, unit source) alone, and identical
+/// for any thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_DRIVER_BATCHDRIVER_H
+#define MSQ_DRIVER_BATCHDRIVER_H
+
+#include "api/Msq.h"
+#include "support/Metrics.h"
+
+#include <string>
+#include <vector>
+
+namespace msq {
+
+struct BatchOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency() (and
+  /// never more workers than units).
+  unsigned ThreadCount = 0;
+  /// Per-unit overrides of the snapshot engine's limits; 0 inherits.
+  size_t MaxMetaSteps = 0;
+  unsigned UnitTimeoutMillis = 0;
+  /// Collect per-macro profiles (merged into BatchResult::Profile).
+  bool CollectProfile = true;
+};
+
+struct BatchResult {
+  /// Per-unit results, in input order (Results[i] belongs to Units[i]
+  /// regardless of which worker expanded it or when it finished).
+  std::vector<ExpandResult> Results;
+  /// Aggregate per-macro profile: the sum of every unit's profile.
+  ExpansionProfile Profile;
+  /// Number of units whose ExpandResult::Success is false.
+  size_t UnitsFailed = 0;
+  /// Sum of Results[i].InvocationsExpanded.
+  size_t TotalInvocations = 0;
+
+  bool allSucceeded() const { return UnitsFailed == 0; }
+
+  /// Renders the batch metrics as JSON:
+  /// {"units":[{"name":...,"success":...,"invocations":N,"meta_steps":N,
+  ///   "gensyms":N,"nodes":N,"fuel_exhausted":B,"timed_out":B}],
+  ///  "aggregate":<ExpansionProfile::toJson()>}
+  std::string metricsJson() const;
+};
+
+/// Expands batches of translation units against one session snapshot.
+/// A driver is reusable: run() may be called any number of times, with
+/// every batch seeing the same immutable snapshot state.
+class BatchDriver {
+public:
+  explicit BatchDriver(SessionSnapshot Snap, BatchOptions Opts = {});
+
+  BatchResult run(const std::vector<SourceUnit> &Units) const;
+
+  const BatchOptions &options() const { return Opts; }
+
+private:
+  /// Rebuilds a private engine from \p Snap by replaying its session log
+  /// (needs Engine friendship, hence a member).
+  static std::unique_ptr<Engine> buildWorkerEngine(const SessionSnapshot &Snap,
+                                                   const BatchOptions &BO);
+
+  SessionSnapshot Snap;
+  BatchOptions Opts;
+};
+
+} // namespace msq
+
+#endif // MSQ_DRIVER_BATCHDRIVER_H

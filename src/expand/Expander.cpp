@@ -7,6 +7,8 @@
 
 #include "expand/Expander.h"
 
+#include <chrono>
+
 using namespace msq;
 
 Expander::Expander(CompilationContext &CC, Interpreter &Interp, Options Opts)
@@ -15,7 +17,34 @@ Expander::Expander(CompilationContext &CC, Interpreter &Interp, Options Opts)
 
 Value Expander::runInvocation(const MacroInvocation *Inv) {
   ++St.InvocationsExpanded;
-  return Interp.invokeMacro(Inv);
+  if (!Opts.CollectProfile)
+    return Interp.invokeMacro(Inv);
+  size_t GensymsBefore = Interp.gensymCount();
+  size_t AllocsBefore = CC.Ast.numAllocations();
+  auto Start = std::chrono::steady_clock::now();
+  Value V = Interp.invokeMacro(Inv);
+  uint64_t Nanos = uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - Start)
+                                .count());
+  MacroProfileEntry &E = Profile[Inv->Def->Name];
+  ++E.Invocations;
+  E.TotalNanos += Nanos;
+  E.MaxNanos = std::max(E.MaxNanos, Nanos);
+  E.NodesProduced += CC.Ast.numAllocations() - AllocsBefore;
+  E.GensymsCreated += Interp.gensymCount() - GensymsBefore;
+  return V;
+}
+
+ExpansionProfile Expander::takeProfile() {
+  ExpansionProfile P;
+  P.Macros.reserve(Profile.size());
+  for (auto &[Name, Entry] : Profile) {
+    Entry.Name = std::string(Name.str());
+    P.Macros.push_back(std::move(Entry));
+  }
+  Profile.clear();
+  P.normalize();
+  return P;
 }
 
 //===----------------------------------------------------------------------===//

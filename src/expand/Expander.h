@@ -23,6 +23,9 @@
 #include "interp/Interpreter.h"
 #include "parser/Parser.h"
 #include "quasi/Quasi.h"
+#include "support/Metrics.h"
+
+#include <unordered_map>
 
 namespace msq {
 
@@ -32,6 +35,9 @@ public:
     /// Maximum expansion nesting (a macro producing an invocation of
     /// itself forever must terminate with a diagnostic).
     unsigned MaxExpansionDepth = 128;
+    /// Attribute every invocation to its macro in a profile (wall-clock
+    /// time, nodes, gensyms); retrieved with takeProfile().
+    bool CollectProfile = false;
   };
 
   struct Stats {
@@ -53,6 +59,10 @@ public:
 
   const Stats &stats() const { return St; }
 
+  /// Moves the per-macro profile out (sorted by macro name; empty unless
+  /// Options::CollectProfile).
+  ExpansionProfile takeProfile();
+
 private:
   Value runInvocation(const MacroInvocation *Inv);
   void expandStmtInto(Stmt *S, std::vector<Stmt *> &Out);
@@ -69,6 +79,9 @@ private:
   QuasiContext QC;
   Stats St;
   unsigned Depth = 0;
+  /// Per-macro profile accumulator (Options::CollectProfile). Entry names
+  /// are filled in from the Symbol keys when the profile is taken.
+  std::unordered_map<Symbol, MacroProfileEntry, SymbolHash> Profile;
 };
 
 } // namespace msq

@@ -113,14 +113,64 @@ Interpreter::Interpreter(CompilationContext &CC, Limits L)
 }
 
 bool Interpreter::step(SourceLoc Loc) {
-  if (++Steps <= Lim.MaxSteps)
-    return true;
-  if (!StepLimitReported) {
-    StepLimitReported = true;
-    CC.Diags.error(Loc, "meta program exceeded the execution step limit "
-                        "(runaway macro?)");
+  if (FuelExhausted || TimedOut)
+    return false;
+  ++Steps;
+  size_t UnitSteps = Steps - UnitStartSteps;
+  if (UnitSteps > (UnitMaxSteps ? UnitMaxSteps : Lim.MaxSteps)) {
+    FuelExhausted = true;
+    if (!StepLimitReported) {
+      StepLimitReported = true;
+      CC.Diags.error(Loc, "meta program exceeded the execution step limit "
+                          "(runaway macro?)");
+    }
+    return false;
   }
-  return false;
+  // The clock is only consulted every 1024 steps to keep the hot path hot.
+  if (HasDeadline && (UnitSteps & 1023) == 0 &&
+      std::chrono::steady_clock::now() >= Deadline) {
+    TimedOut = true;
+    if (!StepLimitReported) {
+      StepLimitReported = true;
+      CC.Diags.error(Loc, "translation unit exceeded its expansion time "
+                          "limit (runaway macro?)");
+    }
+    return false;
+  }
+  return true;
+}
+
+void Interpreter::beginUnit(size_t MaxSteps, unsigned TimeoutMillis) {
+  UnitStartSteps = Steps;
+  UnitMaxSteps = MaxSteps;
+  StepLimitReported = false;
+  FuelExhausted = false;
+  TimedOut = false;
+  HasDeadline = TimeoutMillis != 0;
+  if (HasDeadline)
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(TimeoutMillis);
+}
+
+Interpreter::SavedState Interpreter::saveState() const {
+  SavedState S;
+  std::vector<std::shared_ptr<EnvFrame>> Frames = Global.snapshot();
+  S.GlobalFrames.reserve(Frames.size());
+  for (const std::shared_ptr<EnvFrame> &F : Frames)
+    S.GlobalFrames.push_back(std::make_shared<EnvFrame>(*F));
+  S.GensymCounter = GensymCounter;
+  return S;
+}
+
+void Interpreter::restoreState(const SavedState &S) {
+  // Copy the frames again so the SavedState stays pristine and can be
+  // restored any number of times.
+  std::vector<std::shared_ptr<EnvFrame>> Frames;
+  Frames.reserve(S.GlobalFrames.size());
+  for (const std::shared_ptr<EnvFrame> &F : S.GlobalFrames)
+    Frames.push_back(std::make_shared<EnvFrame>(*F));
+  Global = Env::fromSnapshot(std::move(Frames));
+  GensymCounter = S.GensymCounter;
 }
 
 //===----------------------------------------------------------------------===//

@@ -27,6 +27,8 @@
 #include "parser/Parser.h"
 #include "quasi/Quasi.h"
 
+#include <chrono>
+
 namespace msq {
 
 class Interpreter {
@@ -56,6 +58,31 @@ public:
 
   /// Evaluates a meta expression in the global environment (tests).
   Value evalInGlobalEnv(const Expr *E);
+
+  /// Marks the start of one translation unit's expansion: resets the
+  /// per-unit fuel accounting (\p MaxSteps, 0 = use Limits::MaxSteps) and
+  /// arms a wall-clock deadline (\p TimeoutMillis, 0 = none). Until the
+  /// first call, the step limit is session-cumulative as before.
+  void beginUnit(size_t MaxSteps = 0, unsigned TimeoutMillis = 0);
+
+  /// True when the current unit stopped because it ran out of fuel
+  /// (step budget) / hit its wall-clock deadline.
+  bool unitFuelExhausted() const { return FuelExhausted; }
+  bool unitTimedOut() const { return TimedOut; }
+
+  /// A deep copy of the interpreter's mutable session state: the meta
+  /// globals (frame maps copied so later metadcl/assignments cannot leak
+  /// back) and the gensym counter (restored so fresh-name numbering is
+  /// reproducible per unit). AST nodes and list/tuple payloads are shared
+  /// with the live state; meta code never mutates those in place.
+  /// Known approximation: a closure stored in a meta global keeps sharing
+  /// its captured frames across restoreState.
+  struct SavedState {
+    std::vector<std::shared_ptr<EnvFrame>> GlobalFrames;
+    size_t GensymCounter = 0;
+  };
+  SavedState saveState() const;
+  void restoreState(const SavedState &S);
 
   /// Statistics for benchmarks.
   size_t stepsExecuted() const { return Steps; }
@@ -98,6 +125,14 @@ private:
   size_t GensymCounter = 0;
   bool StepLimitReported = false;
   std::string Trace;
+
+  // Per-unit fuel and deadline (see beginUnit).
+  size_t UnitStartSteps = 0;
+  size_t UnitMaxSteps = 0; // 0 = Lim.MaxSteps
+  bool FuelExhausted = false;
+  bool TimedOut = false;
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline;
 };
 
 /// Name of a node's kind ("binary-expression", ...) for the `->kind`

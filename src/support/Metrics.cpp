@@ -1,0 +1,131 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <algorithm>
+
+using namespace msq;
+
+void MacroProfileEntry::accumulate(const MacroProfileEntry &Other) {
+  Invocations += Other.Invocations;
+  TotalNanos += Other.TotalNanos;
+  MaxNanos = std::max(MaxNanos, Other.MaxNanos);
+  NodesProduced += Other.NodesProduced;
+  GensymsCreated += Other.GensymsCreated;
+}
+
+uint64_t ExpansionProfile::totalInvocations() const {
+  uint64_t N = 0;
+  for (const MacroProfileEntry &E : Macros)
+    N += E.Invocations;
+  return N;
+}
+
+uint64_t ExpansionProfile::totalNanos() const {
+  uint64_t N = 0;
+  for (const MacroProfileEntry &E : Macros)
+    N += E.TotalNanos;
+  return N;
+}
+
+const MacroProfileEntry *ExpansionProfile::find(const std::string &Name) const {
+  auto It = std::lower_bound(
+      Macros.begin(), Macros.end(), Name,
+      [](const MacroProfileEntry &E, const std::string &N) { return E.Name < N; });
+  if (It != Macros.end() && It->Name == Name)
+    return &*It;
+  return nullptr;
+}
+
+void ExpansionProfile::normalize() {
+  std::sort(Macros.begin(), Macros.end(),
+            [](const MacroProfileEntry &A, const MacroProfileEntry &B) {
+              return A.Name < B.Name;
+            });
+}
+
+void ExpansionProfile::merge(const ExpansionProfile &Other) {
+  // Classic sorted merge; entries present on both sides accumulate.
+  std::vector<MacroProfileEntry> Out;
+  Out.reserve(Macros.size() + Other.Macros.size());
+  size_t I = 0, J = 0;
+  while (I != Macros.size() || J != Other.Macros.size()) {
+    if (J == Other.Macros.size() ||
+        (I != Macros.size() && Macros[I].Name < Other.Macros[J].Name)) {
+      Out.push_back(std::move(Macros[I++]));
+    } else if (I == Macros.size() || Other.Macros[J].Name < Macros[I].Name) {
+      Out.push_back(Other.Macros[J++]);
+    } else {
+      Out.push_back(std::move(Macros[I++]));
+      Out.back().accumulate(Other.Macros[J++]);
+    }
+  }
+  Macros = std::move(Out);
+}
+
+std::string msq::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string ExpansionProfile::toJson() const {
+  std::string Out = "{\"total_invocations\":";
+  Out += std::to_string(totalInvocations());
+  Out += ",\"total_ns\":";
+  Out += std::to_string(totalNanos());
+  Out += ",\"macros\":[";
+  bool First = true;
+  for (const MacroProfileEntry &E : Macros) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":\"";
+    Out += jsonEscape(E.Name);
+    Out += "\",\"invocations\":";
+    Out += std::to_string(E.Invocations);
+    Out += ",\"total_ns\":";
+    Out += std::to_string(E.TotalNanos);
+    Out += ",\"max_ns\":";
+    Out += std::to_string(E.MaxNanos);
+    Out += ",\"nodes\":";
+    Out += std::to_string(E.NodesProduced);
+    Out += ",\"gensyms\":";
+    Out += std::to_string(E.GensymsCreated);
+    Out += '}';
+  }
+  Out += "]}";
+  return Out;
+}

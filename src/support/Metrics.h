@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expansion observability: per-macro profile entries collected by the
+/// expander and aggregated across translation units by the batch driver.
+/// The paper treats expansion speed as unimportant per invocation; a
+/// production service expanding many units needs to see where the time
+/// goes, so every invocation is attributed to its macro here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SUPPORT_METRICS_H
+#define MSQ_SUPPORT_METRICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msq {
+
+/// Accumulated cost of one macro across every invocation observed.
+struct MacroProfileEntry {
+  std::string Name;
+  uint64_t Invocations = 0;
+  /// Wall-clock time spent running the macro body, cumulative and worst
+  /// case. Nested expansions triggered by a body are included in their
+  /// enclosing invocation's time (inclusive timing, like a call-graph
+  /// profiler's "total" column).
+  uint64_t TotalNanos = 0;
+  uint64_t MaxNanos = 0;
+  /// Arena objects allocated while the invocation ran; AST nodes dominate,
+  /// so this approximates "nodes produced".
+  uint64_t NodesProduced = 0;
+  /// Fresh identifiers (gensym + hygiene renames) created by the macro.
+  uint64_t GensymsCreated = 0;
+
+  /// Adds \p Other's costs into this entry (names must already agree).
+  void accumulate(const MacroProfileEntry &Other);
+};
+
+/// A set of per-macro profile entries, kept sorted by macro name so that
+/// merges and dumps are deterministic regardless of expansion order.
+struct ExpansionProfile {
+  std::vector<MacroProfileEntry> Macros;
+
+  bool empty() const { return Macros.empty(); }
+  uint64_t totalInvocations() const;
+  uint64_t totalNanos() const;
+
+  /// Looks an entry up by name; nullptr when the macro never ran.
+  const MacroProfileEntry *find(const std::string &Name) const;
+
+  /// Restores the sorted-by-name invariant (after bulk insertion).
+  void normalize();
+
+  /// Merges \p Other into this profile, summing entries macro-by-macro.
+  /// Both sides must be normalized; the result is too.
+  void merge(const ExpansionProfile &Other);
+
+  /// Renders the profile as a JSON object:
+  /// {"total_invocations":N,"total_ns":N,"macros":[{"name":...,
+  ///  "invocations":N,"total_ns":N,"max_ns":N,"nodes":N,"gensyms":N}]}
+  std::string toJson() const;
+};
+
+/// Escapes \p S for inclusion in a JSON string literal (no surrounding
+/// quotes added).
+std::string jsonEscape(const std::string &S);
+
+} // namespace msq
+
+#endif // MSQ_SUPPORT_METRICS_H

@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal worker-thread utilities for the batch expansion driver. The
+/// engine is strictly single-threaded; parallelism in MS2 always takes the
+/// form "N independent engines, one per worker", so all that is needed
+/// here is a fork/join worker group and a work-stealing index loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SUPPORT_THREADPOOL_H
+#define MSQ_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace msq {
+
+/// Fork/join worker group.
+class ThreadPool {
+public:
+  /// Picks a worker count: \p Requested when nonzero, otherwise the
+  /// hardware concurrency (at least 1). Never more than \p MaxUseful.
+  static unsigned chooseWorkerCount(unsigned Requested, size_t MaxUseful) {
+    unsigned N = Requested ? Requested : std::thread::hardware_concurrency();
+    if (N == 0)
+      N = 1;
+    if (MaxUseful != 0 && N > MaxUseful)
+      N = unsigned(MaxUseful);
+    return N;
+  }
+
+  /// Runs Body(WorkerId) on \p Workers threads and joins them all before
+  /// returning. WorkerIds are 0..Workers-1. With Workers == 1 the body
+  /// runs on the calling thread (no spawn cost, easier debugging).
+  static void runWorkers(unsigned Workers,
+                         const std::function<void(unsigned)> &Body) {
+    if (Workers <= 1) {
+      Body(0);
+      return;
+    }
+    std::vector<std::thread> Threads;
+    Threads.reserve(Workers);
+    for (unsigned W = 0; W != Workers; ++W)
+      Threads.emplace_back([&Body, W] { Body(W); });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  /// Work-stealing parallel loop: Body(WorkerId, Index) runs exactly once
+  /// for each Index in [0, N), with indices handed out dynamically so that
+  /// uneven item costs balance across workers.
+  static void parallelFor(unsigned Workers, size_t N,
+                          const std::function<void(unsigned, size_t)> &Body) {
+    std::atomic<size_t> Next{0};
+    runWorkers(Workers, [&](unsigned W) {
+      for (size_t I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
+           I = Next.fetch_add(1, std::memory_order_relaxed))
+        Body(W, I);
+    });
+  }
+};
+
+} // namespace msq
+
+#endif // MSQ_SUPPORT_THREADPOOL_H

@@ -1,0 +1,315 @@
+//===----------------------------------------------------------------------===//
+// Batch expansion tests: Engine::expandSources / BatchDriver — determinism
+// across thread counts, snapshot isolation between sibling units, input-
+// order result merging, and profile aggregation.
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+#include "driver/BatchDriver.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace msq;
+
+namespace {
+
+bool contains(const std::string &H, const std::string &N) {
+  return H.find(N) != std::string::npos;
+}
+
+// A macro library exercising the interesting state: a meta global mutated
+// per invocation (next), gensym numbering (tmpvar), and two stateless
+// macros (guarded, tag).
+const char *LibrarySource = R"(
+metadcl int counter;
+
+syntax exp next {| ( ) |}
+{
+    counter = counter + 1;
+    return `($(counter));
+}
+
+syntax stmt guarded {| ( $$exp::e ) |}
+{
+    return `{ if (ok) { $e; } };
+}
+
+syntax exp tag {| ( $$num::n ) |}
+{
+    return `($n + 100);
+}
+
+syntax stmt tmpvar {| ( $$exp::e ) |}
+{
+    @id t = gensym("t");
+    return `{ int $t; $t = $e; };
+}
+)";
+
+std::vector<SourceUnit> statefulUnits(int N) {
+  std::vector<SourceUnit> Units;
+  for (int I = 0; I != N; ++I) {
+    std::ostringstream Src;
+    Src << "int a" << I << " = next();\n"
+        << "int b" << I << " = next();\n"
+        << "void f" << I << "(void)\n{\n"
+        << "    tmpvar(load" << I << "());\n"
+        << "    guarded(store" << I << "(a" << I << "));\n"
+        << "}\n";
+    Units.push_back({"tu" + std::to_string(I) + ".c", Src.str()});
+  }
+  return Units;
+}
+
+std::vector<std::string> outputsOf(const BatchResult &BR) {
+  std::vector<std::string> Out;
+  for (const ExpandResult &R : BR.Results) {
+    EXPECT_TRUE(R.Success) << R.Name << ": " << R.DiagnosticsText;
+    Out.push_back(R.Output);
+  }
+  return Out;
+}
+
+// Acceptance: batch expansion with 8 threads is byte-identical to a
+// sequential loop over expandSource on the same inputs (stateless macros,
+// so the shared sequential engine sees the same state per unit).
+TEST(Batch, MatchesSequentialExpandSourceByteForByte) {
+  std::vector<SourceUnit> Units;
+  for (int I = 0; I != 16; ++I) {
+    std::ostringstream Src;
+    Src << "int u" << I << " = tag(" << I << ");\n"
+        << "void f" << I << "(void)\n{\n"
+        << "    guarded(step" << I << "(a, b + " << I << "));\n"
+        << "}\n";
+    Units.push_back({"tu" + std::to_string(I) + ".c", Src.str()});
+  }
+
+  Engine Seq;
+  ASSERT_TRUE(Seq.expandSource("lib.c", LibrarySource).Success);
+  std::vector<std::string> SeqOutputs;
+  for (const SourceUnit &U : Units) {
+    ExpandResult R = Seq.expandSource(U.Name, U.Source);
+    ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+    SeqOutputs.push_back(R.Output);
+  }
+
+  Engine Bat;
+  ASSERT_TRUE(Bat.expandSource("lib.c", LibrarySource).Success);
+  BatchOptions BO;
+  BO.ThreadCount = 8;
+  BatchResult BR = Bat.expandSources(Units, BO);
+  ASSERT_EQ(BR.Results.size(), Units.size());
+  EXPECT_EQ(BR.UnitsFailed, 0u);
+  for (size_t I = 0; I != Units.size(); ++I) {
+    EXPECT_TRUE(BR.Results[I].Success) << BR.Results[I].DiagnosticsText;
+    EXPECT_EQ(BR.Results[I].Output, SeqOutputs[I]) << Units[I].Name;
+  }
+}
+
+// Same batch, thread counts 1/2/8: identical outputs in identical order,
+// even though units mutate meta globals and draw gensyms.
+TEST(Batch, DeterministicAcrossThreadCounts) {
+  Engine E;
+  ASSERT_TRUE(E.expandSource("lib.c", LibrarySource).Success);
+  std::vector<SourceUnit> Units = statefulUnits(24);
+
+  std::vector<std::vector<std::string>> PerThreadCount;
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    BatchOptions BO;
+    BO.ThreadCount = Threads;
+    BatchResult BR = E.expandSources(Units, BO);
+    ASSERT_EQ(BR.Results.size(), Units.size());
+    PerThreadCount.push_back(outputsOf(BR));
+  }
+  EXPECT_EQ(PerThreadCount[0], PerThreadCount[1]);
+  EXPECT_EQ(PerThreadCount[0], PerThreadCount[2]);
+}
+
+// Snapshot isolation: every sibling unit sees the pristine snapshot state.
+// A meta global bumped by one unit is still at its snapshot value for the
+// others, and gensym numbering restarts per unit.
+TEST(Batch, SnapshotIsolationBetweenSiblingUnits) {
+  Engine E;
+  ASSERT_TRUE(E.expandSource("lib.c", LibrarySource).Success);
+
+  std::vector<SourceUnit> Units;
+  for (int I = 0; I != 8; ++I)
+    Units.push_back({"iso" + std::to_string(I) + ".c",
+                     "int a = next();\nint b = next();\n"
+                     "void f(void)\n{\n    tmpvar(load());\n}\n"});
+
+  BatchOptions BO;
+  BO.ThreadCount = 4;
+  BatchResult BR = E.expandSources(Units, BO);
+  ASSERT_EQ(BR.Results.size(), Units.size());
+  for (const ExpandResult &R : BR.Results) {
+    ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+    // Without isolation the counter would keep climbing across units.
+    EXPECT_TRUE(contains(R.Output, "int a = 1;")) << R.Output;
+    EXPECT_TRUE(contains(R.Output, "int b = 2;")) << R.Output;
+    // Identical units produce identical output, gensyms included.
+    EXPECT_EQ(R.Output, BR.Results[0].Output);
+  }
+}
+
+// The base engine is a spectator: a batch never mutates the session that
+// spawned it.
+TEST(Batch, BaseEngineUnaffectedByBatch) {
+  Engine E;
+  ASSERT_TRUE(E.expandSource("lib.c", LibrarySource).Success);
+
+  BatchResult BR = E.expandSources(statefulUnits(6));
+  EXPECT_EQ(BR.UnitsFailed, 0u);
+
+  ExpandResult After = E.expandSource("post.c", "int z = next();\n");
+  ASSERT_TRUE(After.Success) << After.DiagnosticsText;
+  // Still the first bump of the base engine's counter.
+  EXPECT_TRUE(contains(After.Output, "int z = 1;")) << After.Output;
+}
+
+// Results arrive in input order with the right names, regardless of the
+// completion order across workers.
+TEST(Batch, ResultsMergeInInputOrder) {
+  Engine E;
+  ASSERT_TRUE(E.expandSource("lib.c", LibrarySource).Success);
+
+  std::vector<SourceUnit> Units;
+  for (int I = 0; I != 20; ++I)
+    Units.push_back({"unit" + std::to_string(I) + ".c",
+                     "int marker" + std::to_string(I) + " = tag(" +
+                         std::to_string(I) + ");\n"});
+
+  BatchOptions BO;
+  BO.ThreadCount = 8;
+  BatchResult BR = E.expandSources(Units, BO);
+  ASSERT_EQ(BR.Results.size(), Units.size());
+  for (size_t I = 0; I != Units.size(); ++I) {
+    EXPECT_EQ(BR.Results[I].Name, Units[I].Name);
+    EXPECT_TRUE(contains(BR.Results[I].Output,
+                         "marker" + std::to_string(I) + " = " +
+                             std::to_string(I) + " + 100;"))
+        << BR.Results[I].Output;
+  }
+}
+
+// A unit with errors fails alone; its siblings are untouched.
+TEST(Batch, FailedUnitDoesNotPoisonSiblings) {
+  Engine E;
+  ASSERT_TRUE(E.expandSource("lib.c", LibrarySource).Success);
+
+  std::vector<SourceUnit> Units;
+  Units.push_back({"good0.c", "int x = tag(1);\n"});
+  Units.push_back({"bad.c", "int y = tag(;\n"});
+  Units.push_back({"good1.c", "int z = tag(2);\n"});
+
+  BatchResult BR = E.expandSources(Units);
+  ASSERT_EQ(BR.Results.size(), 3u);
+  EXPECT_TRUE(BR.Results[0].Success) << BR.Results[0].DiagnosticsText;
+  EXPECT_FALSE(BR.Results[1].Success);
+  EXPECT_FALSE(BR.Results[1].DiagnosticsText.empty());
+  EXPECT_TRUE(BR.Results[2].Success) << BR.Results[2].DiagnosticsText;
+  EXPECT_EQ(BR.UnitsFailed, 1u);
+}
+
+// A BatchDriver over one snapshot is reusable, and batches see the session
+// as it was when the snapshot was taken — not later engine state.
+TEST(Batch, SnapshotIsImmutableAndDriverReusable) {
+  Engine E;
+  ASSERT_TRUE(E.expandSource("lib.c", LibrarySource).Success);
+  SessionSnapshot Snap = E.snapshot();
+
+  // Mutate the live session after the snapshot: bump the counter twice.
+  ASSERT_TRUE(E.expandSource("later.c", "int l = next();\nint m = next();\n")
+                  .Success);
+
+  BatchDriver Driver(Snap);
+  std::vector<SourceUnit> Units{{"u.c", "int a = next();\n"}};
+  for (int Round = 0; Round != 2; ++Round) {
+    BatchResult BR = Driver.run(Units);
+    ASSERT_EQ(BR.Results.size(), 1u);
+    ASSERT_TRUE(BR.Results[0].Success) << BR.Results[0].DiagnosticsText;
+    // Snapshot predates the bumps, so the unit sees counter == 0.
+    EXPECT_TRUE(contains(BR.Results[0].Output, "int a = 1;"))
+        << BR.Results[0].Output;
+  }
+}
+
+// Per-unit profiles and the aggregate: invocation counts attribute to the
+// right macros and sum across units.
+TEST(Batch, ProfileAggregatesAcrossUnits) {
+  Engine E;
+  ASSERT_TRUE(E.expandSource("lib.c", LibrarySource).Success);
+
+  std::vector<SourceUnit> Units;
+  for (int I = 0; I != 5; ++I)
+    Units.push_back({"p" + std::to_string(I) + ".c",
+                     "int a = tag(1);\nint b = tag(2);\nint c = next();\n"});
+
+  BatchOptions BO;
+  BO.ThreadCount = 2;
+  BatchResult BR = E.expandSources(Units, BO);
+  ASSERT_EQ(BR.UnitsFailed, 0u);
+  EXPECT_EQ(BR.TotalInvocations, 15u);
+
+  for (const ExpandResult &R : BR.Results) {
+    const MacroProfileEntry *Tag = R.Profile.find("tag");
+    ASSERT_NE(Tag, nullptr);
+    EXPECT_EQ(Tag->Invocations, 2u);
+    const MacroProfileEntry *Next = R.Profile.find("next");
+    ASSERT_NE(Next, nullptr);
+    EXPECT_EQ(Next->Invocations, 1u);
+  }
+  const MacroProfileEntry *Tag = BR.Profile.find("tag");
+  ASSERT_NE(Tag, nullptr);
+  EXPECT_EQ(Tag->Invocations, 10u);
+  const MacroProfileEntry *Next = BR.Profile.find("next");
+  ASSERT_NE(Next, nullptr);
+  EXPECT_EQ(Next->Invocations, 5u);
+  EXPECT_EQ(BR.Profile.totalInvocations(), 15u);
+
+  // The JSON dump mentions every macro that ran and is well-bracketed.
+  std::string Json = BR.metricsJson();
+  EXPECT_TRUE(contains(Json, "\"name\":\"tag\"")) << Json;
+  EXPECT_TRUE(contains(Json, "\"name\":\"next\"")) << Json;
+  EXPECT_TRUE(contains(Json, "\"units\":[")) << Json;
+  EXPECT_TRUE(contains(Json, "\"aggregate\":{")) << Json;
+}
+
+// Gensym hygiene interacts with batching: hygienic renames also restart
+// per unit, so identical units stay identical under hygiene.
+TEST(Batch, HygienicExpansionIsDeterministicPerUnit) {
+  Engine::Options Opts;
+  Opts.HygienicExpansion = true;
+  Engine E(Opts);
+  ASSERT_TRUE(E.expandSource("lib.c", R"(
+syntax stmt swap {| ( $$id::a , $$id::b ) |}
+{
+    return `{ { int tmp; tmp = $a; $a = $b; $b = tmp; } };
+}
+)")
+                  .Success);
+
+  std::vector<SourceUnit> Units;
+  for (int I = 0; I != 4; ++I)
+    Units.push_back({"h" + std::to_string(I) + ".c",
+                     "void f(void)\n{\n    swap(x, y);\n    swap(y, x);\n}\n"});
+  BatchOptions BO;
+  BO.ThreadCount = 4;
+  BatchResult BR = E.expandSources(Units, BO);
+  ASSERT_EQ(BR.UnitsFailed, 0u);
+  for (const ExpandResult &R : BR.Results)
+    EXPECT_EQ(R.Output, BR.Results[0].Output);
+}
+
+// Empty batch: no units, no workers, no results.
+TEST(Batch, EmptyBatch) {
+  Engine E;
+  BatchResult BR = E.expandSources({});
+  EXPECT_TRUE(BR.Results.empty());
+  EXPECT_EQ(BR.UnitsFailed, 0u);
+  EXPECT_EQ(BR.TotalInvocations, 0u);
+}
+
+} // namespace

@@ -1,0 +1,261 @@
+//===----------------------------------------------------------------------===//
+// Robustness limits: runaway meta programs and self-expanding macros must
+// terminate with a clean diagnostic (no crash, no hang) — under single
+// expansion and under batch expansion alike — and a failed unit must not
+// take the engine or its sibling units down with it.
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+#include "driver/BatchDriver.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+bool contains(const std::string &H, const std::string &N) {
+  return H.find(N) != std::string::npos;
+}
+
+// A macro whose expansion contains an invocation of itself: bounded by
+// MaxExpansionDepth, not by fuel.
+const char *SelfExpandingStmt = R"(
+syntax stmt loopy {| ( ) |}
+{
+    return `{ loopy(); };
+}
+void f(void) { loopy(); }
+)";
+
+// A macro body that never terminates: bounded by MaxMetaSteps (fuel).
+const char *UnboundedBody = R"(
+syntax exp spin {| ( ) |}
+{
+    int i;
+    i = 0;
+    while (1)
+        i = i + 1;
+    return `($(i));
+}
+int x = spin();
+)";
+
+// A meta function that never terminates, invoked from a metadcl
+// initializer: the runaway happens while processing the metadcl itself.
+const char *UnboundedMetadcl = R"(
+@num spin_meta(@num n)
+{
+    while (1)
+        n = n;
+    return n;
+}
+
+metadcl @num boom = spin_meta(make_num(1));
+int x = 0;
+)";
+
+TEST(Limits, SelfExpandingMacroHitsDepthLimit) {
+  Engine E;
+  ExpandResult R = E.expandSource("loop.c", SelfExpandingStmt);
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(contains(R.DiagnosticsText, "depth limit"))
+      << R.DiagnosticsText;
+}
+
+TEST(Limits, SelfExpandingExprMacroHitsDepthLimit) {
+  Engine E;
+  ExpandResult R = E.expandSource("loop.c", R"(
+syntax exp erec {| ( ) |}
+{
+    return `(erec());
+}
+int x = erec();
+)");
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(contains(R.DiagnosticsText, "depth limit"))
+      << R.DiagnosticsText;
+}
+
+// The depth ceiling is configurable: a recursion that terminates at depth
+// 10 under the default limit trips a lowered MaxExpansionDepth of 4.
+const char *TenDeep = R"(
+metadcl int depth = 0;
+
+syntax stmt spiral {| ; |}
+{
+    depth = depth + 1;
+    if (depth < 10)
+        return `{ level(); spiral; };
+    return `{ bottom(); };
+}
+void f(void) { spiral; }
+)";
+
+TEST(Limits, ConfigurableExpansionDepth) {
+  {
+    Engine E;
+    ExpandResult R = E.expandSource("deep.c", TenDeep);
+    EXPECT_TRUE(R.Success) << R.DiagnosticsText;
+  }
+  {
+    Engine::Options Opts;
+    Opts.MaxExpansionDepth = 4;
+    Engine E(Opts);
+    ExpandResult R = E.expandSource("deep.c", TenDeep);
+    EXPECT_FALSE(R.Success);
+    EXPECT_TRUE(contains(R.DiagnosticsText, "depth limit"))
+        << R.DiagnosticsText;
+  }
+}
+
+TEST(Limits, UnboundedMacroBodyHitsFuelLimit) {
+  Engine::Options Opts;
+  Opts.MaxMetaSteps = 10'000;
+  Engine E(Opts);
+  ExpandResult R = E.expandSource("spin.c", UnboundedBody);
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(R.FuelExhausted);
+  EXPECT_FALSE(R.TimedOut);
+  EXPECT_TRUE(contains(R.DiagnosticsText, "step limit")) << R.DiagnosticsText;
+}
+
+TEST(Limits, UnboundedMetadclHitsFuelLimit) {
+  Engine::Options Opts;
+  Opts.MaxMetaSteps = 10'000;
+  Engine E(Opts);
+  ExpandResult R = E.expandSource("boom.c", UnboundedMetadcl);
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(R.FuelExhausted);
+  EXPECT_TRUE(contains(R.DiagnosticsText, "step limit")) << R.DiagnosticsText;
+}
+
+TEST(Limits, UnboundedBodyHitsWallClockTimeout) {
+  Engine::Options Opts;
+  Opts.UnitTimeoutMillis = 50;
+  Engine E(Opts);
+  ExpandResult R = E.expandSource("spin.c", UnboundedBody);
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(R.TimedOut);
+  EXPECT_FALSE(R.FuelExhausted);
+  EXPECT_TRUE(contains(R.DiagnosticsText, "time limit")) << R.DiagnosticsText;
+}
+
+// Fuel is per unit: a unit that exhausts it doesn't dent the next one.
+TEST(Limits, EngineUsableAfterFuelExhaustion) {
+  Engine::Options Opts;
+  Opts.MaxMetaSteps = 10'000;
+  Engine E(Opts);
+  ExpandResult Bad = E.expandSource("spin.c", UnboundedBody);
+  EXPECT_FALSE(Bad.Success);
+  EXPECT_TRUE(Bad.FuelExhausted);
+
+  ExpandResult Good = E.expandSource("ok.c", R"(
+syntax exp twice {| ( $$exp::e ) |}
+{
+    return `(($e) * 2);
+}
+int y = twice(21);
+)");
+  EXPECT_TRUE(Good.Success) << Good.DiagnosticsText;
+  EXPECT_FALSE(Good.FuelExhausted);
+  EXPECT_TRUE(contains(Good.Output, "int y = (21) * 2;")) << Good.Output;
+}
+
+// The same runaways inside a batch: each bad unit aborts alone with the
+// same structured diagnostics, and healthy siblings complete.
+TEST(Limits, RunawaysUnderBatchExpansion) {
+  Engine E;
+  ASSERT_TRUE(E.expandSource("lib.c", R"(
+syntax exp twice {| ( $$exp::e ) |}
+{
+    return `(($e) * 2);
+}
+)")
+                  .Success);
+
+  std::vector<SourceUnit> Units;
+  Units.push_back({"good0.c", "int a = twice(1);\n"});
+  Units.push_back({"depth.c", SelfExpandingStmt});
+  Units.push_back({"good1.c", "int b = twice(2);\n"});
+  Units.push_back({"fuel.c", UnboundedBody});
+  Units.push_back({"metadcl.c", UnboundedMetadcl});
+  Units.push_back({"good2.c", "int c = twice(3);\n"});
+
+  BatchOptions BO;
+  BO.ThreadCount = 3;
+  // Generous enough that the 128-level depth recursion hits the depth
+  // limit first, small enough that the spinners abort instantly.
+  BO.MaxMetaSteps = 100'000;
+  BatchResult BR = E.expandSources(Units, BO);
+  ASSERT_EQ(BR.Results.size(), Units.size());
+
+  EXPECT_TRUE(BR.Results[0].Success) << BR.Results[0].DiagnosticsText;
+  EXPECT_TRUE(BR.Results[2].Success) << BR.Results[2].DiagnosticsText;
+  EXPECT_TRUE(BR.Results[5].Success) << BR.Results[5].DiagnosticsText;
+
+  EXPECT_FALSE(BR.Results[1].Success);
+  EXPECT_TRUE(contains(BR.Results[1].DiagnosticsText, "depth limit"))
+      << BR.Results[1].DiagnosticsText;
+
+  EXPECT_FALSE(BR.Results[3].Success);
+  EXPECT_TRUE(BR.Results[3].FuelExhausted);
+  EXPECT_TRUE(contains(BR.Results[3].DiagnosticsText, "step limit"))
+      << BR.Results[3].DiagnosticsText;
+
+  EXPECT_FALSE(BR.Results[4].Success);
+  EXPECT_TRUE(BR.Results[4].FuelExhausted);
+
+  EXPECT_EQ(BR.UnitsFailed, 3u);
+}
+
+// Per-unit wall-clock timeouts under batch: the stuck unit aborts, the
+// batch as a whole completes.
+TEST(Limits, TimeoutUnderBatchExpansion) {
+  Engine E;
+  std::vector<SourceUnit> Units;
+  Units.push_back({"ok.c", "int fine = 1;\n"});
+  Units.push_back({"stuck.c", UnboundedBody});
+
+  BatchOptions BO;
+  BO.ThreadCount = 2;
+  BO.UnitTimeoutMillis = 50;
+  BatchResult BR = E.expandSources(Units, BO);
+  ASSERT_EQ(BR.Results.size(), 2u);
+  EXPECT_TRUE(BR.Results[0].Success) << BR.Results[0].DiagnosticsText;
+  EXPECT_FALSE(BR.Results[1].Success);
+  EXPECT_TRUE(BR.Results[1].TimedOut);
+  EXPECT_TRUE(contains(BR.Results[1].DiagnosticsText, "time limit"))
+      << BR.Results[1].DiagnosticsText;
+}
+
+// Direct-interpreter step limit still behaves as before (session-level
+// limit when beginUnit is never called).
+TEST(Limits, InterpreterSessionStepLimitPreserved) {
+  SourceManager SM;
+  CompilationContext CC(SM);
+  Interpreter::Limits Lim;
+  Lim.MaxSteps = 1000;
+  Interpreter I(CC, Lim);
+  uint32_t Id = SM.addBuffer("t.c", R"(
+syntax exp spin {| ( ) |}
+{
+    int i;
+    i = 0;
+    while (1)
+        i = i + 1;
+    return `($(i));
+}
+int x = spin();
+)");
+  Parser P(CC);
+  TranslationUnit *TU = P.parseTranslationUnit(Id);
+  ASSERT_FALSE(CC.Diags.hasErrors()) << CC.Diags.renderAll();
+  Expander Exp(CC, I);
+  Exp.expandTranslationUnit(TU);
+  EXPECT_TRUE(CC.Diags.hasErrors());
+  EXPECT_TRUE(contains(CC.Diags.renderAll(), "step limit"));
+  EXPECT_TRUE(I.unitFuelExhausted());
+}
+
+} // namespace

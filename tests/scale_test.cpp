@@ -4,6 +4,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/Msq.h"
+#include "driver/BatchDriver.h"
 
 #include <gtest/gtest.h>
 
@@ -132,6 +133,68 @@ myenum wide {e0)";
   ExpandResult R = E.expandSource("wide.c", Src.str());
   ASSERT_TRUE(R.Success) << R.DiagnosticsText.substr(0, 1500);
   EXPECT_NE(R.Output.find("case e119:"), std::string::npos);
+}
+
+TEST(Scale, BatchSixtyFourUnitsTwoHundredInvocationsEach) {
+  // 64 translation units, each with 200 invocations of a library macro,
+  // pushed through expandSources. Aggregate statistics must equal the
+  // sum of the per-unit statistics exactly.
+  Engine E;
+  ASSERT_TRUE(E.expandSource("lib.c", R"(
+syntax stmt traced {| ( $$num::n ) |}
+{
+    @id t = gensym("t");
+    return `{
+        int $t;
+        $t = probe($n);
+        sink($t);
+    };
+}
+)")
+                  .Success);
+
+  std::vector<SourceUnit> Units;
+  for (int U = 0; U != 64; ++U) {
+    std::ostringstream Src;
+    Src << "void tu" << U << "(void)\n{\n";
+    for (int I = 0; I != 200; ++I)
+      Src << "    traced(" << (U * 200 + I) << ");\n";
+    Src << "}\n";
+    Units.push_back({"tu" + std::to_string(U) + ".c", Src.str()});
+  }
+
+  BatchOptions BO;
+  BO.ThreadCount = 4;
+  BatchResult BR = E.expandSources(Units, BO);
+  ASSERT_EQ(BR.Results.size(), 64u);
+
+  size_t SumInvocations = 0, SumGensyms = 0, SumProfiledInvocations = 0,
+         SumProfiledGensyms = 0;
+  for (const ExpandResult &R : BR.Results) {
+    ASSERT_TRUE(R.Success) << R.Name << ": "
+                           << R.DiagnosticsText.substr(0, 1000);
+    EXPECT_EQ(R.InvocationsExpanded, 200u) << R.Name;
+    SumInvocations += R.InvocationsExpanded;
+    SumGensyms += R.GensymsCreated;
+    const MacroProfileEntry *PE = R.Profile.find("traced");
+    ASSERT_NE(PE, nullptr) << R.Name;
+    EXPECT_EQ(PE->Invocations, 200u) << R.Name;
+    SumProfiledInvocations += PE->Invocations;
+    SumProfiledGensyms += PE->GensymsCreated;
+  }
+
+  EXPECT_EQ(SumInvocations, 64u * 200u);
+  EXPECT_EQ(BR.TotalInvocations, 64u * 200u);
+  EXPECT_EQ(BR.UnitsFailed, 0u);
+
+  // The merged profile equals the sum of the per-unit profiles.
+  const MacroProfileEntry *Agg = BR.Profile.find("traced");
+  ASSERT_NE(Agg, nullptr);
+  EXPECT_EQ(Agg->Invocations, SumProfiledInvocations);
+  EXPECT_EQ(Agg->Invocations, 64u * 200u);
+  EXPECT_EQ(Agg->GensymsCreated, SumProfiledGensyms);
+  EXPECT_EQ(Agg->GensymsCreated, SumGensyms);
+  EXPECT_EQ(BR.Profile.totalInvocations(), 64u * 200u);
 }
 
 } // namespace

@@ -23,8 +23,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -210,6 +212,79 @@ BENCHMARK(BM_BatchExpansion)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// Warm-cache replay: every iteration after the first is all hits (the
+// in-memory tier is engine-lifetime), so this measures the replay path —
+// key hashing plus result copying, no parsing or expansion.
+void BM_BatchExpansionWarmCache(benchmark::State &State) {
+  msq::Engine::Options Opts;
+  Opts.EnableExpansionCache = true;
+  msq::Engine E(Opts);
+  if (!E.expandSource("lib.c", BatchLibrary).Success) {
+    State.SkipWithError("library load failed");
+    return;
+  }
+  std::vector<msq::SourceUnit> Units = makeBatchUnits(64, 200);
+  msq::BatchOptions BO;
+  BO.ThreadCount = unsigned(State.range(0));
+  (void)E.expandSources(Units, BO); // fill the cache
+  for (auto _ : State) {
+    msq::BatchResult BR = E.expandSources(Units, BO);
+    if (!BR.allSucceeded() || BR.Cache.Hits != 64) {
+      State.SkipWithError("warm batch was not fully cached");
+      return;
+    }
+    benchmark::DoNotOptimize(BR.TotalInvocations);
+  }
+  State.SetItemsProcessed(State.iterations() * 64 * 200);
+}
+BENCHMARK(BM_BatchExpansionWarmCache)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// --cache: expand the 64x200 corpus cold (filling an on-disk cache in a
+// scratch directory), then warm from a fresh engine reading that
+// directory, and report both times plus the speedup and cache stats as
+// JSON. This is the acceptance measurement for the expansion cache.
+int runCacheComparison() {
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / "msq_bench_cache").string();
+  std::filesystem::remove_all(Dir);
+  msq::Engine::Options Opts;
+  Opts.EnableExpansionCache = true;
+  Opts.ExpansionCacheDir = Dir;
+  msq::BatchOptions BO;
+  BO.ThreadCount = 4;
+  std::vector<msq::SourceUnit> Units = makeBatchUnits(64, 200);
+
+  using Clock = std::chrono::steady_clock;
+  auto runOnce = [&](msq::BatchResult &BR) {
+    msq::Engine E(Opts);
+    if (!E.expandSource("lib.c", BatchLibrary).Success)
+      return -1.0;
+    Clock::time_point T0 = Clock::now();
+    BR = E.expandSources(Units, BO);
+    return std::chrono::duration<double, std::milli>(Clock::now() - T0)
+        .count();
+  };
+
+  msq::BatchResult Cold, Warm;
+  double ColdMs = runOnce(Cold);
+  double WarmMs = runOnce(Warm);
+  std::filesystem::remove_all(Dir);
+  if (ColdMs < 0 || WarmMs < 0 || !Cold.allSucceeded() ||
+      !Warm.allSucceeded()) {
+    std::fprintf(stderr, "error: cache comparison batch failed\n");
+    return 1;
+  }
+  std::printf("{\"corpus\":\"64x200\",\"cold_ms\":%.3f,\"warm_ms\":%.3f,"
+              "\"speedup\":%.2f,\"cold_cache\":%s,\"warm_cache\":%s}\n",
+              ColdMs, WarmMs, WarmMs > 0 ? ColdMs / WarmMs : 0.0,
+              Cold.Cache.toJson().c_str(), Warm.Cache.toJson().c_str());
+  return Warm.Cache.Hits == Units.size() ? 0 : 1;
+}
+
 // --metrics: run one representative batch and dump the per-unit and
 // per-macro profile as JSON instead of benchmarking.
 int runMetricsDump() {
@@ -229,9 +304,12 @@ int runMetricsDump() {
 } // namespace
 
 int main(int argc, char **argv) {
-  for (int I = 1; I != argc; ++I)
+  for (int I = 1; I != argc; ++I) {
     if (std::strcmp(argv[I], "--metrics") == 0)
       return runMetricsDump();
+    if (std::strcmp(argv[I], "--cache") == 0)
+      return runCacheComparison();
+  }
   std::printf("expansion throughput: character vs. token vs. syntax macro "
               "systems, N bracketing invocations per program\n\n");
   benchmark::Initialize(&argc, argv);

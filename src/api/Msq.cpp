@@ -71,9 +71,9 @@ ExpandResult Engine::expandSourceImpl(std::string Name, std::string Source,
   size_t GensymsBefore = Interp->gensymCount();
   size_t TraceBefore = Interp->traceLog().size();
   // Arm the per-unit fuel budget and wall-clock deadline. A unit that
-  // exhausts either is aborted with a diagnostic; the engine itself stays
-  // usable for the next unit.
-  Interp->beginUnit(Opts.MaxMetaSteps, Opts.UnitTimeoutMillis);
+  // exhausts either is aborted with a diagnostic (naming the unit); the
+  // engine itself stays usable for the next unit.
+  Interp->beginUnit(Opts.MaxMetaSteps, Opts.UnitTimeoutMillis, R.Name);
   TranslationUnit *TU = parseSourceImpl(std::move(Name), std::move(Source));
   if (CC->Diags.errorCount() == ErrorsBefore) {
     Expander::Options EOpts;
@@ -95,6 +95,7 @@ ExpandResult Engine::expandSourceImpl(std::string Name, std::string Source,
   R.GensymsCreated = Interp->gensymCount() - GensymsBefore;
   R.FuelExhausted = Interp->unitFuelExhausted();
   R.TimedOut = Interp->unitTimedOut();
+  R.MetaGlobalsMutated = Interp->metaGlobalsMutated();
   R.TraceText = Interp->traceLog().substr(TraceBefore);
   R.DiagnosticsText = CC->Diags.renderFrom(FirstDiag);
   R.Success = CC->Diags.errorCount() == ErrorsBefore;

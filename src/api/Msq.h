@@ -45,6 +45,7 @@
 namespace msq {
 
 class BatchDriver;
+class ExpansionCache;
 class SessionSnapshot;
 struct BatchOptions;
 struct BatchResult;
@@ -74,6 +75,15 @@ struct ExpandResult {
   /// diagnostic explains which limit was hit.
   bool FuelExhausted = false;
   bool TimedOut = false;
+  /// True when this unit wrote meta-global state that predated it — a
+  /// non-local transformation in the paper's sense (the window-procedure
+  /// accumulator). Such units are never served from or stored into the
+  /// expansion cache, because replaying their printed output would skip
+  /// their side effects.
+  bool MetaGlobalsMutated = false;
+  /// True when this result was replayed from the expansion cache instead
+  /// of being parsed and expanded (batch expansion with caching enabled).
+  bool FromCache = false;
   /// Expansion trace for this call (Options::TraceExpansions only).
   std::string TraceText;
   /// Per-macro expansion profile for this call (Options::CollectProfile).
@@ -112,6 +122,17 @@ public:
     /// Wall-clock budget per expandSource call in milliseconds; 0 means
     /// unlimited. Overruns abort the unit with a diagnostic.
     unsigned UnitTimeoutMillis = 0;
+    /// Content-addressed expansion cache for expandSources batches: units
+    /// whose (source, macro-library fingerprint, options) were seen before
+    /// replay their printed output and diagnostics without parsing or
+    /// expanding. The in-memory tier is shared across expandSources calls
+    /// on this engine. Ignored when TraceExpansions is set (traces are
+    /// not cached).
+    bool EnableExpansionCache = false;
+    /// Directory for the persistent on-disk cache tier; empty keeps the
+    /// cache in memory only. Entries are hash-named files; a corrupt or
+    /// truncated entry is treated as a miss, never an error.
+    std::string ExpansionCacheDir;
   };
 
   Engine();
@@ -138,6 +159,19 @@ public:
   /// rebuild the current macro tables, meta globals, and interned AST pool
   /// in another engine (realized as a replay of the session's sources).
   SessionSnapshot snapshot() const;
+
+  /// Content fingerprint of everything that can influence a unit's
+  /// expansion: every syntax/metadcl definition, meta-function bodies,
+  /// interpreter meta-global values, the gensym counter, session-scope
+  /// typedefs and recorded variable types, expansion-relevant Options
+  /// fields, and the session log itself. Two engines with equal
+  /// fingerprints expand any unit identically, which is what makes the
+  /// fingerprint a sound cache-key component. \p Stable (optional) is set
+  /// to false when the state cannot be hashed faithfully — e.g. a closure
+  /// stored in a meta global — in which case callers must not trust the
+  /// digest for caching. Defined in cache/Fingerprint.cpp; link msq_cache
+  /// to use it.
+  std::string stateFingerprint(bool *Stable = nullptr) const;
 
   /// Parses \p Source without expanding (definitions are still registered
   /// and available to later calls).
@@ -199,6 +233,10 @@ private:
   std::unique_ptr<CompilationContext> CC;
   std::unique_ptr<Interpreter> Interp;
   std::vector<LogEntry> SessionLog;
+  /// Expansion cache shared by every expandSources call on this engine
+  /// (created lazily by the batch driver when Options enable caching; the
+  /// type lives in cache/ExpansionCache.h).
+  std::shared_ptr<ExpansionCache> ExpCache;
 };
 
 /// An immutable capture of an Engine session, shared by reference counting.

@@ -1,0 +1,291 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/ExpansionCache.h"
+
+#include "api/Msq.h"
+#include "support/Hash.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace msq;
+
+namespace {
+
+/// Bump when the entry layout changes; readers treat other versions as
+/// misses, so mixed-version cache directories just re-fill.
+constexpr const char *EntryMagic = "MSQCACHE 1\n";
+
+/// Serialized size of an entry's variable payload (bytes accounting).
+uint64_t entryPayloadSize(const CachedExpansion &E) {
+  uint64_t N = E.Output.size() + E.DiagnosticsText.size();
+  for (const MacroProfileEntry &PE : E.Profile.Macros)
+    N += PE.Name.size();
+  return N;
+}
+
+/// Incremental reader over a serialized entry; every accessor fails soft
+/// (returns false) on truncation or malformed fields, which the caller
+/// converts into a cache miss.
+class EntryReader {
+public:
+  explicit EntryReader(std::string_view B) : Buf(B) {}
+
+  bool literal(std::string_view Expected) {
+    if (Buf.size() - Pos < Expected.size() ||
+        Buf.substr(Pos, Expected.size()) != Expected)
+      return false;
+    Pos += Expected.size();
+    return true;
+  }
+
+  /// Reads an unsigned decimal followed by one terminator character.
+  bool number(uint64_t &Out, char Term) {
+    uint64_t V = 0;
+    size_t Digits = 0;
+    while (Pos < Buf.size() && Buf[Pos] >= '0' && Buf[Pos] <= '9') {
+      if (V > (UINT64_MAX - 9) / 10)
+        return false; // overflow == corruption
+      V = V * 10 + uint64_t(Buf[Pos] - '0');
+      ++Pos;
+      ++Digits;
+    }
+    if (Digits == 0 || Pos >= Buf.size() || Buf[Pos] != Term)
+      return false;
+    ++Pos;
+    Out = V;
+    return true;
+  }
+
+  /// Reads exactly \p Len raw bytes followed by a newline.
+  bool blob(uint64_t Len, std::string &Out) {
+    if (Buf.size() - Pos < Len || Buf.size() - Pos - Len < 1 ||
+        Buf[Pos + Len] != '\n')
+      return false;
+    Out.assign(Buf.data() + Pos, Len);
+    Pos += Len + 1;
+    return true;
+  }
+
+  bool atEnd() const { return Pos == Buf.size(); }
+
+private:
+  std::string_view Buf;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::string ExpansionCache::serialize(const std::string &Key,
+                                      const CachedExpansion &E) {
+  std::string Out = EntryMagic;
+  Out += Key;
+  Out += '\n';
+  Out += "flags ";
+  Out += E.Success ? '1' : '0';
+  Out += ' ';
+  Out += E.FuelExhausted ? '1' : '0';
+  Out += '\n';
+  Out += "counts ";
+  Out += std::to_string(E.InvocationsExpanded);
+  Out += ' ';
+  Out += std::to_string(E.MacrosDefined);
+  Out += ' ';
+  Out += std::to_string(E.MetaStepsExecuted);
+  Out += ' ';
+  Out += std::to_string(E.GensymsCreated);
+  Out += ' ';
+  Out += std::to_string(E.NodesProduced);
+  Out += '\n';
+  Out += "output ";
+  Out += std::to_string(E.Output.size());
+  Out += '\n';
+  Out += E.Output;
+  Out += '\n';
+  Out += "diags ";
+  Out += std::to_string(E.DiagnosticsText.size());
+  Out += '\n';
+  Out += E.DiagnosticsText;
+  Out += '\n';
+  Out += "profile ";
+  Out += std::to_string(E.Profile.Macros.size());
+  Out += '\n';
+  for (const MacroProfileEntry &PE : E.Profile.Macros) {
+    Out += std::to_string(PE.Name.size());
+    Out += ' ';
+    Out += std::to_string(PE.Invocations);
+    Out += ' ';
+    Out += std::to_string(PE.TotalNanos);
+    Out += ' ';
+    Out += std::to_string(PE.MaxNanos);
+    Out += ' ';
+    Out += std::to_string(PE.NodesProduced);
+    Out += ' ';
+    Out += std::to_string(PE.GensymsCreated);
+    Out += '\n';
+    Out += PE.Name;
+    Out += '\n';
+  }
+  Out += "end\n";
+  return Out;
+}
+
+bool ExpansionCache::deserialize(std::string_view Bytes,
+                                 const std::string &Key,
+                                 CachedExpansion &Out) {
+  EntryReader R(Bytes);
+  if (!R.literal(EntryMagic) || !R.literal(Key) || !R.literal("\n"))
+    return false;
+  if (!R.literal("flags "))
+    return false;
+  uint64_t Success = 0, Fuel = 0;
+  if (!R.number(Success, ' ') || Success > 1 || !R.number(Fuel, '\n') ||
+      Fuel > 1)
+    return false;
+  Out.Success = Success != 0;
+  Out.FuelExhausted = Fuel != 0;
+  if (!R.literal("counts ") || !R.number(Out.InvocationsExpanded, ' ') ||
+      !R.number(Out.MacrosDefined, ' ') ||
+      !R.number(Out.MetaStepsExecuted, ' ') ||
+      !R.number(Out.GensymsCreated, ' ') || !R.number(Out.NodesProduced, '\n'))
+    return false;
+  uint64_t Len = 0;
+  if (!R.literal("output ") || !R.number(Len, '\n') || !R.blob(Len, Out.Output))
+    return false;
+  if (!R.literal("diags ") || !R.number(Len, '\n') ||
+      !R.blob(Len, Out.DiagnosticsText))
+    return false;
+  uint64_t Entries = 0;
+  if (!R.literal("profile ") || !R.number(Entries, '\n'))
+    return false;
+  if (Entries > Bytes.size()) // cheap sanity bound before reserving
+    return false;
+  Out.Profile.Macros.clear();
+  Out.Profile.Macros.reserve(size_t(Entries));
+  for (uint64_t I = 0; I != Entries; ++I) {
+    MacroProfileEntry PE;
+    uint64_t NameLen = 0;
+    if (!R.number(NameLen, ' ') || !R.number(PE.Invocations, ' ') ||
+        !R.number(PE.TotalNanos, ' ') || !R.number(PE.MaxNanos, ' ') ||
+        !R.number(PE.NodesProduced, ' ') || !R.number(PE.GensymsCreated, '\n'))
+      return false;
+    if (!R.blob(NameLen, PE.Name))
+      return false;
+    Out.Profile.Macros.push_back(std::move(PE));
+  }
+  if (!R.literal("end\n") || !R.atEnd())
+    return false;
+  // The sorted-by-name invariant is part of the format; a writer bug or
+  // hand-edited entry that breaks it is corruption like any other.
+  for (size_t I = 1; I < Out.Profile.Macros.size(); ++I)
+    if (!(Out.Profile.Macros[I - 1].Name < Out.Profile.Macros[I].Name))
+      return false;
+  return true;
+}
+
+ExpansionCache::ExpansionCache(std::string DiskDir) : Dir(std::move(DiskDir)) {
+  if (Dir.empty())
+    return;
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC)
+    Dir.clear(); // degrade to memory-only rather than failing batches
+}
+
+std::string ExpansionCache::entryPath(const std::string &Key) const {
+  return Dir + "/" + Key + ".msqc";
+}
+
+size_t ExpansionCache::memoryEntryCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Memory.size();
+}
+
+bool ExpansionCache::lookup(const std::string &Key, CachedExpansion &Out,
+                            CacheStats &Stats) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Memory.find(Key);
+    if (It != Memory.end()) {
+      Out = It->second;
+      ++Stats.Hits;
+      Stats.BytesRead += entryPayloadSize(Out);
+      return true;
+    }
+  }
+  if (Dir.empty())
+    return false;
+  std::ifstream In(entryPath(Key), std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Bytes = Buf.str();
+  if (!deserialize(Bytes, Key, Out))
+    return false; // corrupt/truncated/version-skewed entry == miss
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Memory.emplace(Key, Out);
+  }
+  ++Stats.Hits;
+  Stats.BytesRead += Bytes.size();
+  return true;
+}
+
+void ExpansionCache::store(const std::string &Key,
+                           const CachedExpansion &Entry, CacheStats &Stats) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Memory[Key] = Entry;
+  }
+  Stats.BytesWritten += entryPayloadSize(Entry);
+  if (Dir.empty())
+    return;
+  std::string Bytes = serialize(Key, Entry);
+  // Publish atomically: a temp file unique to this thread, then rename.
+  // Concurrent writers of the same key race benignly — both bodies are
+  // byte-identical by construction (same key => same content).
+  std::ostringstream TmpName;
+  TmpName << entryPath(Key) << ".tmp." << std::hash<std::thread::id>()(
+      std::this_thread::get_id());
+  {
+    std::ofstream OutF(TmpName.str(), std::ios::binary | std::ios::trunc);
+    if (!OutF)
+      return; // unwritable disk tier: keep the memory entry, move on
+    OutF.write(Bytes.data(), std::streamsize(Bytes.size()));
+    if (!OutF)
+      return;
+  }
+  std::error_code EC;
+  std::filesystem::rename(TmpName.str(), entryPath(Key), EC);
+  if (EC)
+    std::filesystem::remove(TmpName.str(), EC);
+  else
+    Stats.BytesWritten += Bytes.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Unit cache keys
+//===----------------------------------------------------------------------===//
+
+std::string msq::expansionCacheKey(const std::string &LibraryFingerprint,
+                                   const SourceUnit &Unit,
+                                   size_t EffectiveMaxMetaSteps,
+                                   bool CollectProfile) {
+  ContentHasher H;
+  H.str("msq-unit-key-v1");
+  H.str(LibraryFingerprint);
+  H.str(Unit.Name);
+  H.str(Unit.Source);
+  H.u64(EffectiveMaxMetaSteps);
+  H.boolean(CollectProfile);
+  return H.hexDigest();
+}

@@ -1,0 +1,115 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content-addressed expansion cache. A translation unit is keyed by the
+/// hash of (unit name, unit source, macro-library fingerprint, the
+/// expansion-relevant Options fields); on a hit the batch driver replays
+/// the cached printed output and diagnostics without parsing or expanding
+/// anything.
+///
+/// Two tiers share one interface:
+///  * in-memory — an Engine-lifetime map shared by every expandSources
+///    call on that engine (thread-safe; batch workers probe concurrently);
+///  * on-disk (optional) — a directory of hash-named entries with a
+///    versioned header. The disk tier is corruption-tolerant by design: a
+///    missing, truncated, garbled, or version-skewed entry is a cache
+///    miss, never an error. Writes go through a temp file + rename so a
+///    crashed or concurrent writer can never publish a half-written entry.
+///
+/// What is NOT cached (see BatchDriver): units that mutate meta globals
+/// (the paper's non-local transformations — replaying their output would
+/// skip their side effects), units that timed out (wall-clock dependent),
+/// and anything expanded while tracing. The macro-library fingerprint
+/// itself comes from Engine::stateFingerprint (Fingerprint.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_CACHE_EXPANSIONCACHE_H
+#define MSQ_CACHE_EXPANSIONCACHE_H
+
+#include "support/Metrics.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace msq {
+
+struct SourceUnit;
+
+/// The replayable part of one unit's expansion: everything ExpandResult
+/// carries except the trace (never cached) and the wall-clock-dependent
+/// failure flags (never cached either).
+struct CachedExpansion {
+  bool Success = false;
+  bool FuelExhausted = false;
+  uint64_t InvocationsExpanded = 0;
+  uint64_t MacrosDefined = 0;
+  uint64_t MetaStepsExecuted = 0;
+  uint64_t GensymsCreated = 0;
+  uint64_t NodesProduced = 0;
+  std::string Output;
+  std::string DiagnosticsText;
+  /// The profile as measured when the entry was created; replayed times
+  /// describe the original expansion, not the (near-free) replay.
+  ExpansionProfile Profile;
+};
+
+/// Thread-safe two-tier expansion cache.
+class ExpansionCache {
+public:
+  /// \p DiskDir names the persistent tier's directory ("" = memory only).
+  /// The directory is created on demand; if it cannot be, the disk tier
+  /// silently degrades to nothing (memory tier still works).
+  explicit ExpansionCache(std::string DiskDir = "");
+
+  /// Looks \p Key up (memory first, then disk). On a hit fills \p Out,
+  /// counts the hit in \p Stats, and promotes disk entries to memory.
+  bool lookup(const std::string &Key, CachedExpansion &Out,
+              CacheStats &Stats);
+
+  /// Stores \p Entry under \p Key in both tiers and counts the bytes
+  /// written in \p Stats.
+  void store(const std::string &Key, const CachedExpansion &Entry,
+             CacheStats &Stats);
+
+  /// Number of entries in the memory tier (tests).
+  size_t memoryEntryCount() const;
+
+  const std::string &diskDir() const { return Dir; }
+
+  /// Serialization of one entry (public for tests). The format is a
+  /// versioned header followed by length-prefixed blobs; deserialize
+  /// returns false — a miss — on ANY deviation, including a key mismatch
+  /// (which guards against a renamed or hash-collided file).
+  static std::string serialize(const std::string &Key,
+                               const CachedExpansion &Entry);
+  static bool deserialize(std::string_view Bytes, const std::string &Key,
+                          CachedExpansion &Out);
+
+private:
+  std::string entryPath(const std::string &Key) const;
+
+  mutable std::mutex Mutex;
+  std::unordered_map<std::string, CachedExpansion> Memory;
+  std::string Dir; // "" when the disk tier is disabled
+};
+
+/// Derives the content-addressed cache key for one unit: a hash of the
+/// library fingerprint, the unit's name and source, and the per-unit
+/// limits that can change the outcome deterministically.
+std::string expansionCacheKey(const std::string &LibraryFingerprint,
+                              const SourceUnit &Unit,
+                              size_t EffectiveMaxMetaSteps,
+                              bool CollectProfile);
+
+} // namespace msq
+
+#endif // MSQ_CACHE_EXPANSIONCACHE_H

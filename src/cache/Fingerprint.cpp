@@ -1,0 +1,226 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Engine::stateFingerprint — the macro-library fingerprint underneath
+/// every expansion-cache key. The fingerprint folds in, in a fixed order:
+///
+///   1. the expansion-relevant Options fields;
+///   2. every macro definition, printed back to its surface syntax
+///      (printed definitions re-parse, so the print is a faithful
+///      structural identity);
+///   3. every meta-function definition, printed the same way;
+///   4. the interpreter's meta-global environment — each global's name and
+///      a structural hash of its current VALUE, because the paper's
+///      non-local transformations make expansion depend on values, not
+///      just declarations;
+///   5. the gensym counter (fresh-name numbering is observable output);
+///   6. session-scope typedefs and recorded object-variable types (both
+///      steer parsing);
+///   7. the session log (names, sources, parse-only bits) — redundant
+///      with 2–6 for API users, but it is exactly the state a batch
+///      worker is rebuilt from, so hashing it too keeps the fingerprint
+///      honest even for callers that mutate engine internals directly.
+///
+/// Closures stored in meta globals cannot be hashed faithfully (they
+/// share captured frames with live state); they mark the fingerprint
+/// UNSTABLE, and the batch driver then treats every unit as uncacheable
+/// rather than risk a wrong replay.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+#include "printer/CPrinter.h"
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+using namespace msq;
+
+namespace {
+
+constexpr unsigned MaxValueDepth = 64;
+
+void hashValue(ContentHasher &H, const Value &V, bool &Stable,
+               unsigned Depth) {
+  if (Depth > MaxValueDepth) {
+    // Structures this deep are almost certainly cyclic through shared
+    // payloads; refuse to certify them.
+    Stable = false;
+    H.str("deep");
+    return;
+  }
+  H.u64(V.kind());
+  switch (V.kind()) {
+  case Value::Unset:
+  case Value::Nil:
+  case Value::VoidV:
+    return;
+  case Value::IntV:
+    H.u64(uint64_t(V.intValue()));
+    return;
+  case Value::FloatV: {
+    double D = V.floatValue();
+    uint64_t Bits;
+    std::memcpy(&Bits, &D, sizeof(Bits));
+    H.u64(Bits);
+    return;
+  }
+  case Value::StrV:
+    H.str(V.strValue());
+    return;
+  case Value::AstV:
+    // The C rendering is deterministic and structural (the printer is
+    // round-trip tested); meta code never mutates shared AST in place.
+    H.str(printNode(V.astValue()));
+    return;
+  case Value::IdentVal: {
+    Ident Id = V.identValue();
+    if (Id.isPlaceholder()) {
+      Stable = false; // placeholders in globals reference live parse state
+      H.str("ph");
+    } else {
+      H.str(std::string(Id.Sym.str()));
+    }
+    return;
+  }
+  case Value::DeclaratorVal:
+    H.str(printDeclarator(V.declaratorValue()));
+    return;
+  case Value::InitDeclVal: {
+    const InitDeclarator *ID = V.initDeclValue();
+    H.str(ID->Dtor ? printDeclarator(ID->Dtor) : std::string());
+    H.str(ID->Init ? printNode(ID->Init) : std::string());
+    return;
+  }
+  case Value::EnumeratorVal: {
+    const Enumerator *E = V.enumeratorValue();
+    H.str(E->Name.isPlaceholder() ? std::string("$")
+                                  : std::string(E->Name.Sym.str()));
+    H.str(E->Value ? printNode(E->Value) : std::string());
+    return;
+  }
+  case Value::ListV: {
+    H.u64(V.listSize());
+    for (size_t I = 0; I != V.listSize(); ++I)
+      hashValue(H, V.listAt(I), Stable, Depth + 1);
+    return;
+  }
+  case Value::TupleV: {
+    const TupleData &T = V.tuple();
+    H.u64(T.Fields.size());
+    for (size_t I = 0; I != T.Fields.size(); ++I) {
+      H.str(I < T.Names.size() && T.Names[I].valid()
+                ? std::string(T.Names[I].str())
+                : std::string());
+      hashValue(H, T.Fields[I], Stable, Depth + 1);
+    }
+    return;
+  }
+  case Value::ClosureV:
+    // A closure's behavior depends on its captured frames, which alias
+    // the live environment; there is no faithful content hash for that.
+    Stable = false;
+    H.str("closure");
+    return;
+  }
+}
+
+} // namespace
+
+std::string Engine::stateFingerprint(bool *StableOut) const {
+  bool Stable = true;
+  ContentHasher H;
+  H.str("msq-library-fp-v1");
+
+  // 1. Options that change what expansion produces or how it can fail.
+  H.boolean(Opts.UseCompiledPatterns);
+  H.boolean(Opts.HygienicExpansion);
+  H.boolean(Opts.CollectProfile);
+  H.u64(Opts.MaxMetaSteps);
+  H.u64(Opts.MaxExpansionDepth);
+
+  // 2. Macro definitions, sorted by name for map-order independence.
+  {
+    std::map<std::string_view, const MacroDef *> Sorted;
+    for (const auto &[Name, Def] : CC->Macros)
+      Sorted.emplace(Name.str(), Def);
+    H.u64(Sorted.size());
+    for (const auto &[Name, Def] : Sorted) {
+      H.str(Name);
+      H.str(printNode(Def));
+    }
+  }
+
+  // 3. Meta-function definitions.
+  {
+    std::map<std::string_view, const MetaFunction *> Sorted;
+    for (const auto &[Name, Fn] : CC->MetaFuncs)
+      Sorted.emplace(Name.str(), &Fn);
+    H.u64(Sorted.size());
+    for (const auto &[Name, Fn] : Sorted) {
+      H.str(Name);
+      H.str(Fn->Def ? printNode(Fn->Def) : std::string());
+    }
+  }
+
+  // 4. Meta-global values, frame by frame (outermost first), each frame's
+  // bindings sorted by name.
+  {
+    std::vector<std::shared_ptr<EnvFrame>> Frames =
+        Interp->globalEnv().snapshot();
+    H.u64(Frames.size());
+    for (const std::shared_ptr<EnvFrame> &F : Frames) {
+      std::map<std::string_view, const Value *> Sorted;
+      for (const auto &[Name, V] : F->Vars)
+        Sorted.emplace(Name.str(), &V);
+      H.u64(Sorted.size());
+      for (const auto &[Name, V] : Sorted) {
+        H.str(Name);
+        hashValue(H, *V, Stable, 0);
+      }
+    }
+  }
+
+  // 5. Fresh-name numbering.
+  H.u64(Interp->gensymCount());
+
+  // 6. Session-scope parse state: typedefs and recorded variable types.
+  {
+    std::vector<std::string_view> Typedefs;
+    for (const auto &Scope : CC->TypedefScopes)
+      for (Symbol S : Scope)
+        Typedefs.push_back(S.str());
+    std::sort(Typedefs.begin(), Typedefs.end());
+    H.u64(Typedefs.size());
+    for (std::string_view T : Typedefs)
+      H.str(T);
+
+    std::map<std::string_view, const TypeSpecNode *> VarTypes;
+    for (const auto &[Name, Type] : CC->ObjectVarTypes)
+      VarTypes.emplace(Name.str(), Type);
+    H.u64(VarTypes.size());
+    for (const auto &[Name, Type] : VarTypes) {
+      H.str(Name);
+      H.str(Type ? printNode(Type) : std::string());
+    }
+  }
+
+  // 7. The session log — the exact recipe batch workers replay.
+  H.u64(SessionLog.size());
+  for (const LogEntry &L : SessionLog) {
+    H.str(L.Unit.Name);
+    H.str(L.Unit.Source);
+    H.boolean(L.ParseOnly);
+  }
+
+  if (StableOut)
+    *StableOut = Stable;
+  return H.hexDigest();
+}

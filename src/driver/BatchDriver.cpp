@@ -7,12 +7,20 @@
 
 #include "driver/BatchDriver.h"
 
+#include "cache/ExpansionCache.h"
 #include "support/ThreadPool.h"
 
 using namespace msq;
 
 BatchDriver::BatchDriver(SessionSnapshot Snap, BatchOptions Opts)
     : Snap(std::move(Snap)), Opts(Opts) {}
+
+void BatchDriver::attachCache(std::shared_ptr<ExpansionCache> C,
+                              std::string LibraryFingerprint, bool Stable) {
+  Cache = std::move(C);
+  Fingerprint = std::move(LibraryFingerprint);
+  FingerprintStable = Stable;
+}
 
 /// Builds a worker's private engine by replaying the snapshot's session
 /// log: every recorded source is parsed (and, unless it was parse-only,
@@ -38,9 +46,55 @@ std::unique_ptr<Engine> BatchDriver::buildWorkerEngine(
   return E;
 }
 
+namespace {
+
+/// Rehydrates an ExpandResult from a cache entry (the replay path).
+ExpandResult resultFromCache(const std::string &Name,
+                             const CachedExpansion &CE) {
+  ExpandResult R;
+  R.Name = Name;
+  R.Success = CE.Success;
+  R.FuelExhausted = CE.FuelExhausted;
+  R.Output = CE.Output;
+  R.DiagnosticsText = CE.DiagnosticsText;
+  R.InvocationsExpanded = size_t(CE.InvocationsExpanded);
+  R.MacrosDefined = size_t(CE.MacrosDefined);
+  R.MetaStepsExecuted = size_t(CE.MetaStepsExecuted);
+  R.GensymsCreated = size_t(CE.GensymsCreated);
+  R.NodesProduced = size_t(CE.NodesProduced);
+  R.Profile = CE.Profile;
+  R.FromCache = true;
+  return R;
+}
+
+CachedExpansion entryFromResult(const ExpandResult &R) {
+  CachedExpansion CE;
+  CE.Success = R.Success;
+  CE.FuelExhausted = R.FuelExhausted;
+  CE.Output = R.Output;
+  CE.DiagnosticsText = R.DiagnosticsText;
+  CE.InvocationsExpanded = R.InvocationsExpanded;
+  CE.MacrosDefined = R.MacrosDefined;
+  CE.MetaStepsExecuted = R.MetaStepsExecuted;
+  CE.GensymsCreated = R.GensymsCreated;
+  CE.NodesProduced = R.NodesProduced;
+  CE.Profile = R.Profile;
+  return CE;
+}
+
+/// A result may enter the cache only when replaying it later is
+/// indistinguishable from re-expanding: timeouts depend on the wall
+/// clock, and meta-global mutations are side effects a replay would skip.
+bool resultCacheable(const ExpandResult &R) {
+  return !R.TimedOut && !R.MetaGlobalsMutated;
+}
+
+} // namespace
+
 BatchResult BatchDriver::run(const std::vector<SourceUnit> &Units) const {
   BatchResult BR;
   BR.Results.resize(Units.size());
+  BR.CacheEnabled = Cache != nullptr;
   if (Units.empty())
     return BR;
 
@@ -49,21 +103,57 @@ BatchResult BatchDriver::run(const std::vector<SourceUnit> &Units) const {
   std::atomic<size_t> Next{0};
   const BatchOptions &BO = Opts;
   const SessionSnapshot &SnapRef = Snap;
-  ThreadPool::runWorkers(Workers, [&](unsigned) {
-    std::unique_ptr<Engine> E = buildWorkerEngine(SnapRef, BO);
-    // The immutable baseline every unit starts from. Restoring it before
-    // each unit gives snapshot isolation AND determinism: a unit's output
-    // cannot depend on which worker ran it or on its siblings.
-    Engine::SessionCheckpoint Baseline = E->checkpoint();
+  const size_t EffectiveMaxMetaSteps =
+      BO.MaxMetaSteps ? BO.MaxMetaSteps : SnapRef.options().MaxMetaSteps;
+  // Traces are not cached, so a tracing session bypasses lookups and
+  // counts every unit as uncacheable.
+  const bool TraceOn = SnapRef.options().TraceExpansions;
+  std::vector<CacheStats> WorkerStats(Workers);
+  ThreadPool::runWorkers(Workers, [&](unsigned W) {
+    CacheStats &Stats = WorkerStats[W];
+    // The engine is built lazily: a fully warm batch never pays for the
+    // session-log replay at all, which is where the warm-cache speedup
+    // comes from.
+    std::unique_ptr<Engine> E;
+    Engine::SessionCheckpoint Baseline;
     for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
          I < Units.size(); I = Next.fetch_add(1, std::memory_order_relaxed)) {
+      const bool TryCache = Cache && FingerprintStable && !TraceOn;
+      std::string Key;
+      if (TryCache) {
+        Key = expansionCacheKey(Fingerprint, Units[I], EffectiveMaxMetaSteps,
+                                BO.CollectProfile);
+        CachedExpansion CE;
+        if (Cache->lookup(Key, CE, Stats)) {
+          BR.Results[I] = resultFromCache(Units[I].Name, CE);
+          continue;
+        }
+      }
+      if (!E) {
+        E = buildWorkerEngine(SnapRef, BO);
+        // The immutable baseline every unit starts from. Restoring it
+        // before each unit gives snapshot isolation AND determinism: a
+        // unit's output cannot depend on which worker ran it or on its
+        // siblings.
+        Baseline = E->checkpoint();
+      }
       E->restoreCheckpoint(Baseline);
       BR.Results[I] =
           E->expandSourceImpl(Units[I].Name, Units[I].Source,
                               /*EmitOutput=*/true, /*Record=*/false);
+      if (Cache) {
+        if (TryCache && resultCacheable(BR.Results[I])) {
+          ++Stats.Misses;
+          Cache->store(Key, entryFromResult(BR.Results[I]), Stats);
+        } else {
+          ++Stats.Uncacheable;
+        }
+      }
     }
   });
 
+  for (const CacheStats &S : WorkerStats)
+    BR.Cache.merge(S);
   for (const ExpandResult &R : BR.Results) {
     if (!R.Success)
       ++BR.UnitsFailed;
@@ -96,9 +186,23 @@ std::string BatchResult::metricsJson() const {
     Out += R.FuelExhausted ? "true" : "false";
     Out += ",\"timed_out\":";
     Out += R.TimedOut ? "true" : "false";
+    // Which limit (if any) aborted the unit, as a field of its own — the
+    // unit's name is right here in the same object, which is what makes
+    // batch failures attributable from metrics alone.
+    Out += ",\"limit\":\"";
+    Out += R.FuelExhausted ? "fuel" : (R.TimedOut ? "timeout" : "none");
+    Out += "\",\"mutates_globals\":";
+    Out += R.MetaGlobalsMutated ? "true" : "false";
+    Out += ",\"cached\":";
+    Out += R.FromCache ? "true" : "false";
     Out += '}';
   }
-  Out += "],\"aggregate\":";
+  Out += "]";
+  if (CacheEnabled) {
+    Out += ",\"cache\":";
+    Out += Cache.toJson();
+  }
+  Out += ",\"aggregate\":";
   Out += Profile.toJson();
   Out += '}';
   return Out;
@@ -116,5 +220,12 @@ BatchResult Engine::expandSources(std::vector<SourceUnit> Units) {
 BatchResult Engine::expandSources(std::vector<SourceUnit> Units,
                                   const BatchOptions &BO) {
   BatchDriver D(snapshot(), BO);
+  if (Opts.EnableExpansionCache) {
+    if (!ExpCache)
+      ExpCache = std::make_shared<ExpansionCache>(Opts.ExpansionCacheDir);
+    bool Stable = false;
+    std::string FP = stateFingerprint(&Stable);
+    D.attachCache(ExpCache, std::move(FP), Stable);
+  }
   return D.run(Units);
 }

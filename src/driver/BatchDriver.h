@@ -28,10 +28,13 @@
 #include "api/Msq.h"
 #include "support/Metrics.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace msq {
+
+class ExpansionCache;
 
 struct BatchOptions {
   /// Worker threads; 0 picks std::thread::hardware_concurrency() (and
@@ -54,12 +57,18 @@ struct BatchResult {
   size_t UnitsFailed = 0;
   /// Sum of Results[i].InvocationsExpanded.
   size_t TotalInvocations = 0;
+  /// True when this batch ran with an expansion cache attached; Cache
+  /// then holds the hit/miss/uncacheable accounting for the batch.
+  bool CacheEnabled = false;
+  CacheStats Cache;
 
   bool allSucceeded() const { return UnitsFailed == 0; }
 
   /// Renders the batch metrics as JSON:
   /// {"units":[{"name":...,"success":...,"invocations":N,"meta_steps":N,
-  ///   "gensyms":N,"nodes":N,"fuel_exhausted":B,"timed_out":B}],
+  ///   "gensyms":N,"nodes":N,"fuel_exhausted":B,"timed_out":B,
+  ///   "limit":"none"|"fuel"|"timeout","mutates_globals":B,"cached":B}],
+  ///  "cache":<CacheStats::toJson(), when CacheEnabled>,
   ///  "aggregate":<ExpansionProfile::toJson()>}
   std::string metricsJson() const;
 };
@@ -70,6 +79,15 @@ struct BatchResult {
 class BatchDriver {
 public:
   explicit BatchDriver(SessionSnapshot Snap, BatchOptions Opts = {});
+
+  /// Attaches a content-addressed expansion cache. \p LibraryFingerprint
+  /// must be the Engine::stateFingerprint of the session the snapshot was
+  /// taken from, and \p FingerprintStable its stability bit; an unstable
+  /// fingerprint keeps the cache attached for accounting but marks every
+  /// unit uncacheable. Engine::expandSources does this wiring itself when
+  /// Options::EnableExpansionCache is set.
+  void attachCache(std::shared_ptr<ExpansionCache> Cache,
+                   std::string LibraryFingerprint, bool FingerprintStable);
 
   BatchResult run(const std::vector<SourceUnit> &Units) const;
 
@@ -83,6 +101,9 @@ private:
 
   SessionSnapshot Snap;
   BatchOptions Opts;
+  std::shared_ptr<ExpansionCache> Cache;
+  std::string Fingerprint;
+  bool FingerprintStable = false;
 };
 
 } // namespace msq

@@ -121,8 +121,13 @@ bool Interpreter::step(SourceLoc Loc) {
     FuelExhausted = true;
     if (!StepLimitReported) {
       StepLimitReported = true;
-      CC.Diags.error(Loc, "meta program exceeded the execution step limit "
-                          "(runaway macro?)");
+      // Name the unit so batch failures are attributable from the
+      // rendered diagnostic alone, not just the result flags.
+      std::string Msg = "meta program exceeded the execution step limit";
+      if (!UnitName.empty())
+        Msg += " in unit '" + UnitName + "'";
+      Msg += " (runaway macro?)";
+      CC.Diags.error(Loc, std::move(Msg));
     }
     return false;
   }
@@ -132,24 +137,35 @@ bool Interpreter::step(SourceLoc Loc) {
     TimedOut = true;
     if (!StepLimitReported) {
       StepLimitReported = true;
-      CC.Diags.error(Loc, "translation unit exceeded its expansion time "
-                          "limit (runaway macro?)");
+      std::string Msg = "translation unit ";
+      if (!UnitName.empty())
+        Msg += "'" + UnitName + "' ";
+      Msg += "exceeded its expansion time limit (runaway macro?)";
+      CC.Diags.error(Loc, std::move(Msg));
     }
     return false;
   }
   return true;
 }
 
-void Interpreter::beginUnit(size_t MaxSteps, unsigned TimeoutMillis) {
+void Interpreter::beginUnit(size_t MaxSteps, unsigned TimeoutMillis,
+                            std::string Name) {
   UnitStartSteps = Steps;
   UnitMaxSteps = MaxSteps;
   StepLimitReported = false;
   FuelExhausted = false;
   TimedOut = false;
+  UnitName = std::move(Name);
   HasDeadline = TimeoutMillis != 0;
   if (HasDeadline)
     Deadline = std::chrono::steady_clock::now() +
                std::chrono::milliseconds(TimeoutMillis);
+  // Re-arm meta-global write detection against the frames the unit
+  // starts from.
+  GlobalsMutated = false;
+  UnitBaseFrames.clear();
+  for (const std::shared_ptr<EnvFrame> &F : Global.snapshot())
+    UnitBaseFrames.insert(F.get());
 }
 
 Interpreter::SavedState Interpreter::saveState() const {
@@ -501,9 +517,11 @@ Value Interpreter::evalExpr(const Expr *E, Env &Env_) {
         }
         RHS = Value::makeInt(Result);
       }
-      if (!Env_.assign(Target->Name.Sym, RHS))
+      EnvFrame *Written = Env_.assignInFrame(Target->Name.Sym, RHS);
+      if (!Written)
         return error(E->loc(), "assignment to undeclared meta variable '" +
                                    std::string(Target->Name.Sym.str()) + "'");
+      noteFrameWrite(Written);
       return RHS;
     }
     // Short-circuit.
@@ -759,6 +777,9 @@ void Interpreter::execDeclaration(const Declaration *D, Env &Env_) {
         Init = Value::makeStr("");
     }
     Env_.define(ID.Dtor->name().Sym, std::move(Init));
+    // A define landing in a pre-existing global frame is a metadcl (or a
+    // shadowing write into global scope): meta-global mutation either way.
+    noteFrameWrite(Env_.currentFrame());
   }
 }
 

@@ -28,6 +28,7 @@
 #include "quasi/Quasi.h"
 
 #include <chrono>
+#include <unordered_set>
 
 namespace msq {
 
@@ -63,12 +64,24 @@ public:
   /// per-unit fuel accounting (\p MaxSteps, 0 = use Limits::MaxSteps) and
   /// arms a wall-clock deadline (\p TimeoutMillis, 0 = none). Until the
   /// first call, the step limit is session-cumulative as before.
-  void beginUnit(size_t MaxSteps = 0, unsigned TimeoutMillis = 0);
+  /// \p UnitName, when non-empty, names the unit in limit diagnostics so
+  /// batch failures are attributable. The call also re-arms meta-global
+  /// write detection (see metaGlobalsMutated).
+  void beginUnit(size_t MaxSteps = 0, unsigned TimeoutMillis = 0,
+                 std::string UnitName = "");
 
   /// True when the current unit stopped because it ran out of fuel
   /// (step budget) / hit its wall-clock deadline.
   bool unitFuelExhausted() const { return FuelExhausted; }
   bool unitTimedOut() const { return TimedOut; }
+
+  /// True when the current unit wrote into meta-global state that existed
+  /// when beginUnit ran: an assignment to a metadcl global (the paper's
+  /// window-procedure accumulation) or a metadcl processed at global
+  /// scope. Such units are non-local transformations — their expansion
+  /// has side effects beyond their own output — so the expansion cache
+  /// must treat them as uncacheable.
+  bool metaGlobalsMutated() const { return GlobalsMutated; }
 
   /// A deep copy of the interpreter's mutable session state: the meta
   /// globals (frame maps copied so later metadcl/assignments cannot leak
@@ -116,6 +129,13 @@ private:
   }
   bool step(SourceLoc Loc);
 
+  /// Records that \p F received a write; flips GlobalsMutated when F is
+  /// one of the global frames captured at beginUnit.
+  void noteFrameWrite(const EnvFrame *F) {
+    if (!GlobalsMutated && F && UnitBaseFrames.count(F))
+      GlobalsMutated = true;
+  }
+
   CompilationContext &CC;
   Limits Lim;
   QuasiContext QC;
@@ -133,6 +153,15 @@ private:
   bool TimedOut = false;
   bool HasDeadline = false;
   std::chrono::steady_clock::time_point Deadline;
+  /// Name of the unit being expanded (limit diagnostics; see beginUnit).
+  std::string UnitName;
+
+  // Meta-global write detection (see metaGlobalsMutated): the global
+  // frames that existed when the unit started. Frame identity is enough —
+  // every macro/meta-function call environment chains these exact frames,
+  // while block scopes and call frames are freshly allocated.
+  std::unordered_set<const EnvFrame *> UnitBaseFrames;
+  bool GlobalsMutated = false;
 };
 
 /// Name of a node's kind ("binary-expression", ...) for the `->kind`

@@ -54,6 +54,12 @@ public:
   /// Assigns to the innermost binding of \p Name; returns false when
   /// unbound.
   bool assign(Symbol Name, const Value &V);
+  /// Like assign, but reports WHERE the write landed: the frame holding
+  /// the binding, or nullptr when unbound. The expansion cache uses this
+  /// to detect writes into session-global frames (uncacheable units).
+  EnvFrame *assignInFrame(Symbol Name, const Value &V);
+  /// The frame a define() would write into (the innermost frame).
+  EnvFrame *currentFrame() { return Frames.back().get(); }
   /// Looks \p Name up; returns nullptr when unbound.
   Value *lookup(Symbol Name);
 
@@ -331,14 +337,18 @@ inline void Env::define(Symbol Name, Value V) {
 }
 
 inline bool Env::assign(Symbol Name, const Value &V) {
+  return assignInFrame(Name, V) != nullptr;
+}
+
+inline EnvFrame *Env::assignInFrame(Symbol Name, const Value &V) {
   for (auto It = Frames.rbegin(); It != Frames.rend(); ++It) {
     auto Found = (*It)->Vars.find(Name);
     if (Found != (*It)->Vars.end()) {
       Found->second = V;
-      return true;
+      return It->get();
     }
   }
-  return false;
+  return nullptr;
 }
 
 inline Value *Env::lookup(Symbol Name) {

@@ -130,6 +130,12 @@ public:
     return It == Funcs.end() ? nullptr : &It->second;
   }
 
+  size_t size() const { return Funcs.size(); }
+
+  /// Iteration support (deterministic order not required by callers).
+  auto begin() const { return Funcs.begin(); }
+  auto end() const { return Funcs.end(); }
+
 private:
   std::unordered_map<Symbol, MetaFunction, SymbolHash> Funcs;
 };

@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content hashing for the expansion cache. A ContentHasher is a streaming
+/// 128-bit hash (two independent FNV-1a lanes whose keys differ) used to
+/// derive cache keys from source text, macro-library fingerprints, and
+/// option bits. Every variable-length field is length-prefixed so that
+/// adjacent fields can never alias ("ab"+"c" vs "a"+"bc").
+///
+/// This is a content-addressing hash, not a cryptographic one: collisions
+/// are astronomically unlikely for the corpus sizes MS2 handles, and a
+/// collision costs a wrong cache replay, not a security boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SUPPORT_HASH_H
+#define MSQ_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace msq {
+
+class ContentHasher {
+public:
+  /// Absorbs raw bytes into both lanes.
+  void bytes(const void *Data, size_t Len) {
+    const auto *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I != Len; ++I) {
+      Lo = (Lo ^ P[I]) * PrimeLo;
+      Hi = (Hi ^ P[I]) * PrimeHi;
+    }
+  }
+
+  /// Absorbs a length-prefixed string.
+  void str(std::string_view S) {
+    u64(S.size());
+    bytes(S.data(), S.size());
+  }
+
+  /// Absorbs one 64-bit integer (fixed width, so no prefix needed).
+  void u64(uint64_t V) {
+    unsigned char Buf[8];
+    for (int I = 0; I != 8; ++I)
+      Buf[I] = static_cast<unsigned char>(V >> (I * 8));
+    bytes(Buf, 8);
+  }
+
+  void boolean(bool B) { u64(B ? 1 : 0); }
+
+  /// The 128-bit digest as 32 lowercase hex characters (safe as a file
+  /// name in the on-disk cache).
+  std::string hexDigest() const {
+    static const char Hex[] = "0123456789abcdef";
+    std::string Out;
+    Out.reserve(32);
+    for (uint64_t Lane : {Lo, Hi})
+      for (int I = 15; I >= 0; --I)
+        Out += Hex[(Lane >> (I * 4)) & 0xf];
+    return Out;
+  }
+
+private:
+  static constexpr uint64_t PrimeLo = 0x100000001b3ull;
+  static constexpr uint64_t PrimeHi = 0x10000000233ull;
+  uint64_t Lo = 0xcbf29ce484222325ull;
+  uint64_t Hi = 0x6c62272e07bb0142ull;
+};
+
+} // namespace msq
+
+#endif // MSQ_SUPPORT_HASH_H

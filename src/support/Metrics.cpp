@@ -68,6 +68,21 @@ void ExpansionProfile::merge(const ExpansionProfile &Other) {
   Macros = std::move(Out);
 }
 
+std::string CacheStats::toJson() const {
+  std::string Out = "{\"hits\":";
+  Out += std::to_string(Hits);
+  Out += ",\"misses\":";
+  Out += std::to_string(Misses);
+  Out += ",\"uncacheable\":";
+  Out += std::to_string(Uncacheable);
+  Out += ",\"bytes_read\":";
+  Out += std::to_string(BytesRead);
+  Out += ",\"bytes_written\":";
+  Out += std::to_string(BytesWritten);
+  Out += '}';
+  return Out;
+}
+
 std::string msq::jsonEscape(const std::string &S) {
   std::string Out;
   Out.reserve(S.size());

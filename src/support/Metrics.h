@@ -68,6 +68,34 @@ struct ExpansionProfile {
   std::string toJson() const;
 };
 
+/// Expansion-cache accounting for one batch (or one cache lifetime).
+/// Every unit lands in exactly one of the three counters: replayed from
+/// cache (hit), expanded and stored (miss), or expanded but not storable
+/// (uncacheable — the unit mutated meta globals, timed out, or the
+/// session fingerprint could not be computed stably).
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Uncacheable = 0;
+  /// Bytes of cached entries replayed (on hits) and serialized (on
+  /// stores). In-memory entries are counted at their serialized size so
+  /// the numbers mean the same thing with and without a disk directory.
+  uint64_t BytesRead = 0;
+  uint64_t BytesWritten = 0;
+
+  void merge(const CacheStats &Other) {
+    Hits += Other.Hits;
+    Misses += Other.Misses;
+    Uncacheable += Other.Uncacheable;
+    BytesRead += Other.BytesRead;
+    BytesWritten += Other.BytesWritten;
+  }
+
+  /// {"hits":N,"misses":N,"uncacheable":N,"bytes_read":N,
+  ///  "bytes_written":N}
+  std::string toJson() const;
+};
+
 /// Escapes \p S for inclusion in a JSON string literal (no surrounding
 /// quotes added).
 std::string jsonEscape(const std::string &S);

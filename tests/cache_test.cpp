@@ -1,0 +1,558 @@
+//===----------------------------------------------------------------------===//
+// Expansion cache tests: content-addressed hit/miss behavior, fingerprint
+// invalidation, meta-global-mutation uncacheability, the on-disk tier's
+// corruption tolerance, and byte-identity of cached vs. uncached batches.
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+#include "cache/ExpansionCache.h"
+#include "driver/BatchDriver.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace msq;
+
+namespace {
+
+bool contains(const std::string &H, const std::string &N) {
+  return H.find(N) != std::string::npos;
+}
+
+/// Fresh per-test scratch directory for the disk tier.
+std::string freshCacheDir(const std::string &Tag) {
+  std::string Dir = testing::TempDir() + "msq_cache_" + Tag;
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+// Stateless macros only: every unit is cacheable.
+const char *StatelessLibrary = R"(
+syntax exp tag {| ( $$num::n ) |}
+{
+    return `($n + 100);
+}
+
+syntax stmt tmpvar {| ( $$exp::e ) |}
+{
+    @id t = gensym("t");
+    return `{ int $t; $t = $e; };
+}
+)";
+
+// Adds a meta global and a macro that bumps it: units invoking next()
+// mutate state that predates them and must never be cached.
+const char *StatefulLibrary = R"(
+metadcl int counter;
+
+syntax exp next {| ( ) |}
+{
+    counter = counter + 1;
+    return `($(counter));
+}
+
+syntax exp tag {| ( $$num::n ) |}
+{
+    return `($n + 100);
+}
+)";
+
+std::vector<SourceUnit> statelessUnits(int N) {
+  std::vector<SourceUnit> Units;
+  for (int I = 0; I != N; ++I) {
+    std::ostringstream Src;
+    Src << "int v" << I << " = tag(" << I << ");\n"
+        << "void f" << I << "(void)\n{\n    tmpvar(load" << I << "());\n}\n";
+    Units.push_back({"tu" + std::to_string(I) + ".c", Src.str()});
+  }
+  return Units;
+}
+
+Engine::Options cachedOptions(const std::string &DiskDir = "") {
+  Engine::Options Opts;
+  Opts.EnableExpansionCache = true;
+  Opts.ExpansionCacheDir = DiskDir;
+  return Opts;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry serialization
+//===----------------------------------------------------------------------===//
+
+CachedExpansion sampleEntry() {
+  CachedExpansion E;
+  E.Success = true;
+  E.FuelExhausted = false;
+  E.InvocationsExpanded = 7;
+  E.MacrosDefined = 1;
+  E.MetaStepsExecuted = 1234;
+  E.GensymsCreated = 3;
+  E.NodesProduced = 456;
+  E.Output = "int x = 1;\nchar *s = \"a\\nb\";\n";
+  E.DiagnosticsText = "warn: something\n";
+  MacroProfileEntry A;
+  A.Name = "alpha";
+  A.Invocations = 4;
+  A.TotalNanos = 900;
+  A.MaxNanos = 300;
+  A.NodesProduced = 40;
+  A.GensymsCreated = 2;
+  MacroProfileEntry B = A;
+  B.Name = "beta";
+  B.Invocations = 3;
+  E.Profile.Macros = {A, B};
+  return E;
+}
+
+TEST(CacheSerialization, RoundTrip) {
+  CachedExpansion E = sampleEntry();
+  std::string Bytes = ExpansionCache::serialize("k123", E);
+
+  CachedExpansion Out;
+  ASSERT_TRUE(ExpansionCache::deserialize(Bytes, "k123", Out));
+  EXPECT_EQ(Out.Success, E.Success);
+  EXPECT_EQ(Out.FuelExhausted, E.FuelExhausted);
+  EXPECT_EQ(Out.InvocationsExpanded, E.InvocationsExpanded);
+  EXPECT_EQ(Out.MacrosDefined, E.MacrosDefined);
+  EXPECT_EQ(Out.MetaStepsExecuted, E.MetaStepsExecuted);
+  EXPECT_EQ(Out.GensymsCreated, E.GensymsCreated);
+  EXPECT_EQ(Out.NodesProduced, E.NodesProduced);
+  EXPECT_EQ(Out.Output, E.Output);
+  EXPECT_EQ(Out.DiagnosticsText, E.DiagnosticsText);
+  ASSERT_EQ(Out.Profile.Macros.size(), 2u);
+  EXPECT_EQ(Out.Profile.Macros[0].Name, "alpha");
+  EXPECT_EQ(Out.Profile.Macros[0].Invocations, 4u);
+  EXPECT_EQ(Out.Profile.Macros[1].Name, "beta");
+  EXPECT_EQ(Out.Profile.Macros[1].TotalNanos, 900u);
+}
+
+TEST(CacheSerialization, KeyMismatchIsMiss) {
+  std::string Bytes = ExpansionCache::serialize("k123", sampleEntry());
+  CachedExpansion Out;
+  EXPECT_FALSE(ExpansionCache::deserialize(Bytes, "other", Out));
+}
+
+TEST(CacheSerialization, EveryTruncationIsMiss) {
+  std::string Bytes = ExpansionCache::serialize("k123", sampleEntry());
+  CachedExpansion Out;
+  for (size_t Len = 0; Len != Bytes.size(); ++Len)
+    EXPECT_FALSE(ExpansionCache::deserialize(
+        std::string_view(Bytes.data(), Len), "k123", Out))
+        << "prefix of " << Len << " bytes parsed as a full entry";
+  // Trailing garbage is corruption too.
+  EXPECT_FALSE(ExpansionCache::deserialize(Bytes + "x", "k123", Out));
+}
+
+TEST(CacheSerialization, CorruptedBytesAreMissNeverCrash) {
+  std::string Bytes = ExpansionCache::serialize("k123", sampleEntry());
+  // Flipping any single byte must fail cleanly or — if it lands inside a
+  // blob — still produce a structurally valid parse; it must never crash.
+  for (size_t I = 0; I != Bytes.size(); ++I) {
+    std::string Mut = Bytes;
+    Mut[I] = Mut[I] == 'Z' ? 'Y' : 'Z';
+    CachedExpansion Out;
+    (void)ExpansionCache::deserialize(Mut, "k123", Out);
+  }
+  // Structural corruptions that must specifically be rejected:
+  CachedExpansion Out;
+  EXPECT_FALSE(ExpansionCache::deserialize("", "k123", Out));
+  EXPECT_FALSE(ExpansionCache::deserialize("garbage", "k123", Out));
+  EXPECT_FALSE(
+      ExpansionCache::deserialize("MSQCACHE 2\nk123\n", "k123", Out));
+  // Absurd length prefix == truncation.
+  std::string Huge = Bytes;
+  size_t P = Huge.find("output ");
+  ASSERT_NE(P, std::string::npos);
+  Huge.replace(P, 8, "output 9999999");
+  EXPECT_FALSE(ExpansionCache::deserialize(Huge, "k123", Out));
+}
+
+//===----------------------------------------------------------------------===//
+// In-memory tier via Engine::expandSources
+//===----------------------------------------------------------------------===//
+
+TEST(Cache, SecondBatchServedFromMemory) {
+  Engine E(cachedOptions());
+  ASSERT_TRUE(E.expandSource("lib.c", StatelessLibrary).Success);
+  std::vector<SourceUnit> Units = statelessUnits(8);
+
+  BatchResult Cold = E.expandSources(Units);
+  ASSERT_TRUE(Cold.CacheEnabled);
+  EXPECT_EQ(Cold.Cache.Hits, 0u);
+  EXPECT_EQ(Cold.Cache.Misses, 8u);
+  EXPECT_EQ(Cold.Cache.Uncacheable, 0u);
+  for (const ExpandResult &R : Cold.Results) {
+    ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+    EXPECT_FALSE(R.FromCache);
+  }
+
+  // The memory tier is engine-lifetime: a second expandSources call on the
+  // same engine hits for every unit.
+  BatchResult Warm = E.expandSources(Units);
+  EXPECT_EQ(Warm.Cache.Hits, 8u);
+  EXPECT_EQ(Warm.Cache.Misses, 0u);
+  ASSERT_EQ(Warm.Results.size(), Cold.Results.size());
+  for (size_t I = 0; I != Warm.Results.size(); ++I) {
+    EXPECT_TRUE(Warm.Results[I].FromCache);
+    EXPECT_EQ(Warm.Results[I].Output, Cold.Results[I].Output);
+    EXPECT_EQ(Warm.Results[I].Name, Cold.Results[I].Name);
+    EXPECT_EQ(Warm.Results[I].InvocationsExpanded,
+              Cold.Results[I].InvocationsExpanded);
+  }
+  EXPECT_EQ(Warm.TotalInvocations, Cold.TotalInvocations);
+}
+
+TEST(Cache, SourceChangeMissesOnlyTheChangedUnit) {
+  Engine E(cachedOptions());
+  ASSERT_TRUE(E.expandSource("lib.c", StatelessLibrary).Success);
+  std::vector<SourceUnit> Units = statelessUnits(6);
+  EXPECT_EQ(E.expandSources(Units).Cache.Misses, 6u);
+
+  Units[3].Source += "int extra = tag(99);\n";
+  BatchResult BR = E.expandSources(Units);
+  EXPECT_EQ(BR.Cache.Hits, 5u);
+  EXPECT_EQ(BR.Cache.Misses, 1u);
+  EXPECT_FALSE(BR.Results[3].FromCache);
+  EXPECT_TRUE(contains(BR.Results[3].Output, "int extra = 99 + 100;"))
+      << BR.Results[3].Output;
+  for (size_t I = 0; I != Units.size(); ++I)
+    if (I != 3)
+      EXPECT_TRUE(BR.Results[I].FromCache) << I;
+}
+
+TEST(Cache, MacroDefinitionInvalidatesEverything) {
+  Engine E(cachedOptions());
+  ASSERT_TRUE(E.expandSource("lib.c", StatelessLibrary).Success);
+  std::vector<SourceUnit> Units = statelessUnits(4);
+  EXPECT_EQ(E.expandSources(Units).Cache.Misses, 4u);
+  EXPECT_EQ(E.expandSources(Units).Cache.Hits, 4u);
+
+  // A new macro changes the library fingerprint, so every key changes —
+  // even for units that never invoke it.
+  ASSERT_TRUE(E.expandSource("more.c", R"(
+syntax exp twice {| ( $$exp::e ) |}
+{
+    return `(($e) * 2);
+}
+)")
+                  .Success);
+  BatchResult BR = E.expandSources(Units);
+  EXPECT_EQ(BR.Cache.Hits, 0u);
+  EXPECT_EQ(BR.Cache.Misses, 4u);
+  for (const ExpandResult &R : BR.Results)
+    EXPECT_TRUE(R.Success) << R.DiagnosticsText;
+}
+
+TEST(Cache, MetaGlobalValueChangeInvalidates) {
+  Engine E(cachedOptions());
+  ASSERT_TRUE(E.expandSource("lib.c", StatefulLibrary).Success);
+  std::vector<SourceUnit> Units{{"t.c", "int a = tag(1);\n"}};
+  EXPECT_EQ(E.expandSources(Units).Cache.Misses, 1u);
+  EXPECT_EQ(E.expandSources(Units).Cache.Hits, 1u);
+
+  // Bump the counter in the base session: the fingerprint must change even
+  // though no macro was (re)defined — expansion depends on VALUES.
+  ASSERT_TRUE(E.expandSource("bump.c", "int b = next();\n").Success);
+  BatchResult BR = E.expandSources(Units);
+  EXPECT_EQ(BR.Cache.Hits, 0u);
+  EXPECT_EQ(BR.Cache.Misses, 1u);
+}
+
+TEST(Cache, MetaGlobalMutatingUnitsAreUncacheable) {
+  Engine E(cachedOptions());
+  ASSERT_TRUE(E.expandSource("lib.c", StatefulLibrary).Success);
+
+  std::vector<SourceUnit> Units;
+  Units.push_back({"mut0.c", "int a = next();\n"});
+  Units.push_back({"pure.c", "int b = tag(5);\n"});
+  Units.push_back({"mut1.c", "int c = next();\nint d = next();\n"});
+
+  BatchResult First = E.expandSources(Units);
+  EXPECT_EQ(First.Cache.Uncacheable, 2u);
+  EXPECT_EQ(First.Cache.Misses, 1u);
+  EXPECT_TRUE(First.Results[0].MetaGlobalsMutated);
+  EXPECT_FALSE(First.Results[1].MetaGlobalsMutated);
+  EXPECT_TRUE(First.Results[2].MetaGlobalsMutated);
+
+  // Mutators stay uncacheable forever: the second batch re-expands them
+  // (and still produces the right output) while the pure unit hits.
+  BatchResult Second = E.expandSources(Units);
+  EXPECT_EQ(Second.Cache.Hits, 1u);
+  EXPECT_EQ(Second.Cache.Uncacheable, 2u);
+  EXPECT_FALSE(Second.Results[0].FromCache);
+  EXPECT_TRUE(Second.Results[1].FromCache);
+  EXPECT_FALSE(Second.Results[2].FromCache);
+  for (size_t I = 0; I != Units.size(); ++I)
+    EXPECT_EQ(Second.Results[I].Output, First.Results[I].Output) << I;
+  // Snapshot isolation means the mutator's output is the same every time.
+  EXPECT_TRUE(contains(Second.Results[0].Output, "int a = 1;"))
+      << Second.Results[0].Output;
+}
+
+TEST(Cache, StatsPartitionTheBatch) {
+  Engine E(cachedOptions());
+  ASSERT_TRUE(E.expandSource("lib.c", StatefulLibrary).Success);
+  std::vector<SourceUnit> Units = statelessUnits(5);
+  Units.push_back({"mut.c", "int m = next();\n"});
+  Units.push_back({"bad.c", "int z = tag(;\n"}); // parse error: still cacheable
+
+  for (int Round = 0; Round != 2; ++Round) {
+    BatchResult BR = E.expandSources(Units);
+    // Every unit lands in exactly one bucket.
+    EXPECT_EQ(BR.Cache.Hits + BR.Cache.Misses + BR.Cache.Uncacheable,
+              Units.size())
+        << "round " << Round;
+    EXPECT_EQ(BR.Cache.Uncacheable, 1u) << "round " << Round;
+    EXPECT_EQ(BR.UnitsFailed, 1u);
+  }
+}
+
+TEST(Cache, FailedParseIsCachedWithItsDiagnostics) {
+  Engine E(cachedOptions());
+  ASSERT_TRUE(E.expandSource("lib.c", StatelessLibrary).Success);
+  std::vector<SourceUnit> Units{{"bad.c", "int z = tag(;\n"}};
+
+  BatchResult First = E.expandSources(Units);
+  EXPECT_EQ(First.Cache.Misses, 1u);
+  ASSERT_FALSE(First.Results[0].Success);
+  ASSERT_FALSE(First.Results[0].DiagnosticsText.empty());
+
+  BatchResult Second = E.expandSources(Units);
+  EXPECT_EQ(Second.Cache.Hits, 1u);
+  EXPECT_TRUE(Second.Results[0].FromCache);
+  EXPECT_FALSE(Second.Results[0].Success);
+  EXPECT_EQ(Second.Results[0].DiagnosticsText,
+            First.Results[0].DiagnosticsText);
+}
+
+TEST(Cache, MetricsJsonCarriesCacheBlock) {
+  Engine E(cachedOptions());
+  ASSERT_TRUE(E.expandSource("lib.c", StatefulLibrary).Success);
+  std::vector<SourceUnit> Units{{"a.c", "int a = tag(1);\n"},
+                                {"m.c", "int m = next();\n"}};
+  (void)E.expandSources(Units);
+  std::string Json = E.expandSources(Units).metricsJson();
+  EXPECT_TRUE(contains(Json, "\"cache\":{\"hits\":1,\"misses\":0,"
+                             "\"uncacheable\":1"))
+      << Json;
+  EXPECT_TRUE(contains(Json, "\"cached\":true")) << Json;
+  EXPECT_TRUE(contains(Json, "\"mutates_globals\":true")) << Json;
+
+  // Without a cache there is no cache block.
+  Engine Plain;
+  ASSERT_TRUE(Plain.expandSource("lib.c", StatelessLibrary).Success);
+  std::string PlainJson = Plain.expandSources(statelessUnits(1)).metricsJson();
+  EXPECT_FALSE(contains(PlainJson, "\"cache\":{")) << PlainJson;
+}
+
+// Acceptance: cache on vs. off, thread counts 1/4/8 — six configurations,
+// one byte-identical result set.
+TEST(Cache, ByteIdenticalAcrossThreadCountsAndCacheModes) {
+  std::vector<SourceUnit> Units = statelessUnits(12);
+  std::vector<std::string> Reference;
+  for (bool Cached : {false, true}) {
+    for (unsigned Threads : {1u, 4u, 8u}) {
+      Engine::Options Opts;
+      Opts.EnableExpansionCache = Cached;
+      Engine E(Opts);
+      ASSERT_TRUE(E.expandSource("lib.c", StatelessLibrary).Success);
+      BatchOptions BO;
+      BO.ThreadCount = Threads;
+      // Two rounds per engine so the cached configs also exercise hits.
+      for (int Round = 0; Round != 2; ++Round) {
+        BatchResult BR = E.expandSources(Units, BO);
+        ASSERT_EQ(BR.Results.size(), Units.size());
+        std::vector<std::string> Outputs;
+        for (const ExpandResult &R : BR.Results) {
+          EXPECT_TRUE(R.Success) << R.DiagnosticsText;
+          Outputs.push_back(R.Output);
+        }
+        if (Reference.empty())
+          Reference = Outputs;
+        else
+          EXPECT_EQ(Outputs, Reference)
+              << "cached=" << Cached << " threads=" << Threads << " round="
+              << Round;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprint
+//===----------------------------------------------------------------------===//
+
+TEST(Cache, FingerprintIsStableAndStateSensitive) {
+  auto build = [](const char *Lib) {
+    auto E = std::make_unique<Engine>();
+    EXPECT_TRUE(E->expandSource("lib.c", Lib).Success);
+    return E;
+  };
+  bool StableA = false, StableB = false;
+  auto A = build(StatelessLibrary);
+  auto B = build(StatelessLibrary);
+  std::string FA = A->stateFingerprint(&StableA);
+  EXPECT_TRUE(StableA);
+  EXPECT_EQ(FA.size(), 32u);
+  // Same construction => same fingerprint; repeated calls are pure.
+  EXPECT_EQ(FA, B->stateFingerprint(&StableB));
+  EXPECT_EQ(FA, A->stateFingerprint());
+
+  // Different library => different fingerprint.
+  auto C = build(StatefulLibrary);
+  EXPECT_NE(FA, C->stateFingerprint());
+
+  // Meta-global mutation changes it too (value-sensitivity).
+  std::string CBefore = C->stateFingerprint();
+  ASSERT_TRUE(C->expandSource("bump.c", "int b = next();\n").Success);
+  EXPECT_NE(CBefore, C->stateFingerprint(&StableA));
+  EXPECT_TRUE(StableA);
+}
+
+TEST(Cache, KeySeparatesUnitsAndLimits) {
+  SourceUnit U1{"a.c", "int a;\n"};
+  SourceUnit U2{"b.c", "int a;\n"};  // same source, different name
+  SourceUnit U3{"a.c", "int b;\n"};  // same name, different source
+  std::string FP = "0123456789abcdef0123456789abcdef";
+  std::string K1 = expansionCacheKey(FP, U1, 1000, true);
+  EXPECT_EQ(K1, expansionCacheKey(FP, U1, 1000, true));
+  EXPECT_NE(K1, expansionCacheKey(FP, U2, 1000, true));
+  EXPECT_NE(K1, expansionCacheKey(FP, U3, 1000, true));
+  EXPECT_NE(K1, expansionCacheKey(FP, U1, 2000, true));
+  EXPECT_NE(K1, expansionCacheKey(FP, U1, 1000, false));
+  EXPECT_NE(K1, expansionCacheKey("deadbeef", U1, 1000, true));
+}
+
+//===----------------------------------------------------------------------===//
+// On-disk tier
+//===----------------------------------------------------------------------===//
+
+TEST(Cache, DiskTierSurvivesTheEngine) {
+  std::string Dir = freshCacheDir("roundtrip");
+  std::vector<SourceUnit> Units = statelessUnits(6);
+  std::vector<std::string> ColdOutputs;
+  {
+    Engine E(cachedOptions(Dir));
+    ASSERT_TRUE(E.expandSource("lib.c", StatelessLibrary).Success);
+    BatchResult BR = E.expandSources(Units);
+    EXPECT_EQ(BR.Cache.Misses, 6u);
+    EXPECT_GT(BR.Cache.BytesWritten, 0u);
+    for (const ExpandResult &R : BR.Results)
+      ColdOutputs.push_back(R.Output);
+  }
+  // Entries landed as hash-named files.
+  size_t Files = 0;
+  for (const auto &Ent : std::filesystem::directory_iterator(Dir)) {
+    EXPECT_EQ(Ent.path().extension(), ".msqc");
+    ++Files;
+  }
+  EXPECT_EQ(Files, 6u);
+
+  // A brand-new engine with the same library and directory hits every unit
+  // without expanding anything.
+  Engine E2(cachedOptions(Dir));
+  ASSERT_TRUE(E2.expandSource("lib.c", StatelessLibrary).Success);
+  BatchResult Warm = E2.expandSources(Units);
+  EXPECT_EQ(Warm.Cache.Hits, 6u);
+  EXPECT_EQ(Warm.Cache.Misses, 0u);
+  EXPECT_GT(Warm.Cache.BytesRead, 0u);
+  for (size_t I = 0; I != Units.size(); ++I) {
+    EXPECT_TRUE(Warm.Results[I].FromCache);
+    EXPECT_EQ(Warm.Results[I].Output, ColdOutputs[I]);
+  }
+}
+
+TEST(Cache, DifferentLibrariesNeverShareEntries) {
+  std::string Dir = freshCacheDir("xlib");
+  std::vector<SourceUnit> Units{{"t.c", "int a = tag(1);\n"}};
+  {
+    Engine E(cachedOptions(Dir));
+    ASSERT_TRUE(E.expandSource("lib.c", StatelessLibrary).Success);
+    BatchResult BR = E.expandSources(Units);
+    EXPECT_TRUE(contains(BR.Results[0].Output, "1 + 100"));
+  }
+  // Same directory, different tag definition: the fingerprint differs, so
+  // this engine must re-expand — a stale hit would print "+ 100".
+  Engine E2(cachedOptions(Dir));
+  ASSERT_TRUE(E2.expandSource("lib.c", R"(
+syntax exp tag {| ( $$num::n ) |}
+{
+    return `($n + 200);
+}
+)")
+                  .Success);
+  BatchResult BR = E2.expandSources(Units);
+  EXPECT_EQ(BR.Cache.Hits, 0u);
+  EXPECT_TRUE(contains(BR.Results[0].Output, "1 + 200"))
+      << BR.Results[0].Output;
+}
+
+TEST(Cache, CorruptDiskEntriesAreMissesNeverErrors) {
+  std::string Dir = freshCacheDir("corrupt");
+  std::vector<SourceUnit> Units = statelessUnits(4);
+  std::vector<std::string> ColdOutputs;
+  {
+    Engine E(cachedOptions(Dir));
+    ASSERT_TRUE(E.expandSource("lib.c", StatelessLibrary).Success);
+    for (const ExpandResult &R : E.expandSources(Units).Results)
+      ColdOutputs.push_back(R.Output);
+  }
+
+  // Vandalize the whole directory: truncate one entry, garble another,
+  // empty a third, and replace the fourth with a wrong-version header.
+  std::vector<std::filesystem::path> Entries;
+  for (const auto &Ent : std::filesystem::directory_iterator(Dir))
+    Entries.push_back(Ent.path());
+  ASSERT_EQ(Entries.size(), 4u);
+  std::filesystem::resize_file(Entries[0], 10);
+  { std::ofstream(Entries[1], std::ios::trunc) << "complete nonsense"; }
+  { std::ofstream(Entries[2], std::ios::trunc); }
+  { std::ofstream(Entries[3], std::ios::trunc) << "MSQCACHE 9\n"; }
+
+  Engine E2(cachedOptions(Dir));
+  ASSERT_TRUE(E2.expandSource("lib.c", StatelessLibrary).Success);
+  BatchResult BR = E2.expandSources(Units);
+  EXPECT_EQ(BR.Cache.Hits, 0u);
+  EXPECT_EQ(BR.Cache.Misses, 4u);
+  for (size_t I = 0; I != Units.size(); ++I) {
+    EXPECT_TRUE(BR.Results[I].Success) << BR.Results[I].DiagnosticsText;
+    EXPECT_EQ(BR.Results[I].Output, ColdOutputs[I]);
+  }
+
+  // The re-expansion healed the entries: next engine hits again.
+  Engine E3(cachedOptions(Dir));
+  ASSERT_TRUE(E3.expandSource("lib.c", StatelessLibrary).Success);
+  EXPECT_EQ(E3.expandSources(Units).Cache.Hits, 4u);
+}
+
+TEST(Cache, UnwritableDiskDirDegradesToMemoryOnly) {
+  // A path that cannot be a directory (its parent is a regular file).
+  std::string File = testing::TempDir() + "msq_cache_notadir";
+  { std::ofstream(File, std::ios::trunc) << "occupied"; }
+  Engine E(cachedOptions(File + "/sub"));
+  ASSERT_TRUE(E.expandSource("lib.c", StatelessLibrary).Success);
+  std::vector<SourceUnit> Units = statelessUnits(3);
+  BatchResult Cold = E.expandSources(Units);
+  EXPECT_EQ(Cold.Cache.Misses, 3u);
+  EXPECT_EQ(Cold.UnitsFailed, 0u);
+  // Memory tier still works for this engine.
+  EXPECT_EQ(E.expandSources(Units).Cache.Hits, 3u);
+}
+
+TEST(Cache, DirectLookupStoreRoundTrip) {
+  ExpansionCache C;
+  CacheStats Stats;
+  CachedExpansion Out;
+  EXPECT_FALSE(C.lookup("k", Out, Stats));
+  C.store("k", sampleEntry(), Stats);
+  EXPECT_EQ(C.memoryEntryCount(), 1u);
+  ASSERT_TRUE(C.lookup("k", Out, Stats));
+  EXPECT_EQ(Out.Output, sampleEntry().Output);
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_GT(Stats.BytesWritten, 0u);
+}
+
+} // namespace

@@ -202,11 +202,25 @@ syntax exp twice {| ( $$exp::e ) |}
   EXPECT_TRUE(BR.Results[3].FuelExhausted);
   EXPECT_TRUE(contains(BR.Results[3].DiagnosticsText, "step limit"))
       << BR.Results[3].DiagnosticsText;
+  // The diagnostic names the unit that burned the fuel, so a batch failure
+  // is attributable without cross-referencing result indices.
+  EXPECT_TRUE(contains(BR.Results[3].DiagnosticsText, "fuel.c"))
+      << BR.Results[3].DiagnosticsText;
 
   EXPECT_FALSE(BR.Results[4].Success);
   EXPECT_TRUE(BR.Results[4].FuelExhausted);
+  EXPECT_TRUE(contains(BR.Results[4].DiagnosticsText, "metadcl.c"))
+      << BR.Results[4].DiagnosticsText;
 
   EXPECT_EQ(BR.UnitsFailed, 3u);
+
+  // The metrics JSON classifies each failure: the spinner is a fuel abort,
+  // the healthy units report no limit.
+  std::string Json = BR.metricsJson();
+  EXPECT_TRUE(contains(Json, "\"name\":\"fuel.c\",\"success\":false"))
+      << Json;
+  EXPECT_TRUE(contains(Json, "\"limit\":\"fuel\"")) << Json;
+  EXPECT_TRUE(contains(Json, "\"limit\":\"none\"")) << Json;
 }
 
 // Per-unit wall-clock timeouts under batch: the stuck unit aborts, the
@@ -227,6 +241,15 @@ TEST(Limits, TimeoutUnderBatchExpansion) {
   EXPECT_TRUE(BR.Results[1].TimedOut);
   EXPECT_TRUE(contains(BR.Results[1].DiagnosticsText, "time limit"))
       << BR.Results[1].DiagnosticsText;
+  // Wall-clock aborts are attributable too: the diagnostic carries the
+  // unit's name, and the metrics JSON marks the unit as a timeout.
+  EXPECT_TRUE(contains(BR.Results[1].DiagnosticsText, "stuck.c"))
+      << BR.Results[1].DiagnosticsText;
+  std::string Json = BR.metricsJson();
+  EXPECT_TRUE(
+      contains(Json, "\"name\":\"stuck.c\"") &&
+      contains(Json, "\"limit\":\"timeout\""))
+      << Json;
 }
 
 // Direct-interpreter step limit still behaves as before (session-level

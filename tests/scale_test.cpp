@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <filesystem>
 #include <sstream>
 
 using namespace msq;
@@ -195,6 +197,79 @@ syntax stmt traced {| ( $$num::n ) |}
   EXPECT_EQ(Agg->GensymsCreated, SumProfiledGensyms);
   EXPECT_EQ(Agg->GensymsCreated, SumGensyms);
   EXPECT_EQ(BR.Profile.totalInvocations(), 64u * 200u);
+}
+
+// Acceptance: re-expanding the 64x200 corpus from a warm on-disk cache is
+// at least 5x faster than the cold expansion that filled it, and byte-
+// identical to it.
+TEST(Scale, WarmDiskCacheAtLeastFiveTimesFasterThanCold) {
+  const char *Library = R"(
+syntax stmt traced {| ( $$num::n ) |}
+{
+    @id t = gensym("t");
+    return `{
+        int $t;
+        $t = probe($n);
+        sink($t);
+    };
+}
+)";
+  std::vector<SourceUnit> Units;
+  for (int U = 0; U != 64; ++U) {
+    std::ostringstream Src;
+    Src << "void tu" << U << "(void)\n{\n";
+    for (int I = 0; I != 200; ++I)
+      Src << "    traced(" << (U * 200 + I) << ");\n";
+    Src << "}\n";
+    Units.push_back({"tu" + std::to_string(U) + ".c", Src.str()});
+  }
+
+  std::string Dir = testing::TempDir() + "msq_cache_scale";
+  std::filesystem::remove_all(Dir);
+  Engine::Options Opts;
+  Opts.EnableExpansionCache = true;
+  Opts.ExpansionCacheDir = Dir;
+  BatchOptions BO;
+  BO.ThreadCount = 4;
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::string> ColdOutputs;
+  Clock::duration ColdTime{};
+  {
+    Engine Cold(Opts);
+    ASSERT_TRUE(Cold.expandSource("lib.c", Library).Success);
+    Clock::time_point T0 = Clock::now();
+    BatchResult BR = Cold.expandSources(Units, BO);
+    ColdTime = Clock::now() - T0;
+    ASSERT_EQ(BR.UnitsFailed, 0u);
+    EXPECT_EQ(BR.Cache.Misses, 64u);
+    for (const ExpandResult &R : BR.Results)
+      ColdOutputs.push_back(R.Output);
+  }
+
+  // A fresh engine: nothing in memory, everything on disk.
+  Engine Warm(Opts);
+  ASSERT_TRUE(Warm.expandSource("lib.c", Library).Success);
+  Clock::time_point T0 = Clock::now();
+  BatchResult BR = Warm.expandSources(Units, BO);
+  Clock::duration WarmTime = Clock::now() - T0;
+  ASSERT_EQ(BR.UnitsFailed, 0u);
+  EXPECT_EQ(BR.Cache.Hits, 64u);
+  EXPECT_EQ(BR.Cache.Misses, 0u);
+  EXPECT_EQ(BR.TotalInvocations, 64u * 200u);
+  for (size_t I = 0; I != Units.size(); ++I) {
+    EXPECT_TRUE(BR.Results[I].FromCache);
+    ASSERT_EQ(BR.Results[I].Output, ColdOutputs[I]) << Units[I].Name;
+  }
+
+  EXPECT_GE(ColdTime.count(), WarmTime.count() * 5)
+      << "cold "
+      << std::chrono::duration_cast<std::chrono::milliseconds>(ColdTime)
+             .count()
+      << "ms vs warm "
+      << std::chrono::duration_cast<std::chrono::milliseconds>(WarmTime)
+             .count()
+      << "ms";
 }
 
 } // namespace

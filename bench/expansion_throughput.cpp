@@ -20,15 +20,18 @@
 #include "charmacro/CharMacro.h"
 #include "tokmacro/TokenMacro.h"
 #include "driver/BatchDriver.h"
+#include "server/Server.h"
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -301,6 +304,74 @@ int runMetricsDump() {
   return BR.allSucceeded() ? 0 : 1;
 }
 
+// --server: drive the in-process expansion server the way msqd does —
+// C concurrent client threads firing synchronous requests over the
+// bounded scheduler — and report sustained throughput plus the server's
+// own latency percentiles for 1/4/8 clients, cold vs warm cache, as one
+// JSON array. This is the acceptance measurement for server mode.
+int runServerThroughput() {
+  std::vector<msq::SourceUnit> Units = makeBatchUnits(64, 200);
+  std::printf("[");
+  bool FirstRow = true;
+  for (unsigned Clients : {1u, 4u, 8u}) {
+    for (bool Warm : {false, true}) {
+      msq::ServerOptions SO;
+      SO.EngineOpts.EnableExpansionCache = true;
+      SO.QueueCapacity = 1024;
+      msq::Server S(SO);
+      if (!S.reloadLibrary({{"lib.c", BatchLibrary}}, false).Success) {
+        std::fprintf(stderr, "error: server library load failed\n");
+        return 1;
+      }
+      if (Warm)
+        for (const msq::SourceUnit &U : Units) { // pre-fill the cache
+          msq::ExpandResult R;
+          if (S.expand(U, {}, R) != msq::Server::Admission::Accepted ||
+              !R.Success)
+            return 1;
+        }
+
+      using Clock = std::chrono::steady_clock;
+      std::atomic<size_t> Next{0};
+      std::atomic<size_t> Failures{0};
+      constexpr int Rounds = 4; // every client sweeps the corpus
+      Clock::time_point T0 = Clock::now();
+      std::vector<std::thread> Pool;
+      for (unsigned C = 0; C != Clients; ++C)
+        Pool.emplace_back([&] {
+          for (;;) {
+            size_t I = Next.fetch_add(1);
+            if (I >= Units.size() * Rounds * Clients)
+              return;
+            msq::ExpandResult R;
+            if (S.expand(Units[I % Units.size()], {}, R) !=
+                    msq::Server::Admission::Accepted ||
+                !R.Success)
+              ++Failures;
+          }
+        });
+      for (std::thread &T : Pool)
+        T.join();
+      double Secs =
+          std::chrono::duration<double>(Clock::now() - T0).count();
+      if (Failures) {
+        std::fprintf(stderr, "error: %zu server requests failed\n",
+                     Failures.load());
+        return 1;
+      }
+      size_t Requests = Units.size() * Rounds * Clients;
+      std::printf("%s{\"clients\":%u,\"cache\":\"%s\",\"requests\":%zu,"
+                  "\"req_per_s\":%.1f,\"metrics\":%s}",
+                  FirstRow ? "" : ",\n ", Clients, Warm ? "warm" : "cold",
+                  Requests, Secs > 0 ? double(Requests) / Secs : 0.0,
+                  S.metricsJson().c_str());
+      FirstRow = false;
+    }
+  }
+  std::printf("]\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -309,6 +380,8 @@ int main(int argc, char **argv) {
       return runMetricsDump();
     if (std::strcmp(argv[I], "--cache") == 0)
       return runCacheComparison();
+    if (std::strcmp(argv[I], "--server") == 0)
+      return runServerThroughput();
   }
   std::printf("expansion throughput: character vs. token vs. syntax macro "
               "systems, N bracketing invocations per program\n\n");

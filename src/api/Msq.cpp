@@ -56,6 +56,16 @@ ExpandResult Engine::expandSource(std::string Name, std::string Source) {
                           /*EmitOutput=*/true, /*Record=*/true);
 }
 
+ExpandResult Engine::expandUnrecorded(std::string Name, std::string Source) {
+  return expandSourceImpl(std::move(Name), std::move(Source),
+                          /*EmitOutput=*/true, /*Record=*/false);
+}
+
+void Engine::setUnitLimits(size_t MaxMetaSteps, unsigned TimeoutMillis) {
+  Opts.MaxMetaSteps = MaxMetaSteps;
+  Opts.UnitTimeoutMillis = TimeoutMillis;
+}
+
 ExpandResult Engine::expandSourceImpl(std::string Name, std::string Source,
                                       bool EmitOutput, bool Record) {
   if (Record)

@@ -39,6 +39,7 @@
 #include "support/Metrics.h"
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -144,6 +145,24 @@ public:
   /// Parses and expands \p Source, returning the printed C program.
   ExpandResult expandSource(std::string Name, std::string Source);
 
+  /// Like expandSource, but the unit is NOT appended to the session log:
+  /// its definitions and metadcl mutations affect this engine's live state
+  /// but are invisible to snapshot()/stateFingerprint() replay. This is
+  /// the per-request path of long-lived servers, whose workers restore a
+  /// checkpoint() between units to keep requests isolated (the same
+  /// discipline BatchDriver applies inside run()).
+  ExpandResult expandUnrecorded(std::string Name, std::string Source);
+
+  /// Overrides the per-unit fuel and wall-clock limits used by subsequent
+  /// expand calls (0 = the interpreter's constructed fuel default /
+  /// no timeout). Per-request limit plumbing for the expansion server;
+  /// note that MaxMetaSteps participates in expansion-cache keys, so
+  /// callers that mix limits must key their lookups on the effective
+  /// value (expansionCacheKey does).
+  void setUnitLimits(size_t MaxMetaSteps, unsigned TimeoutMillis);
+
+  const Options &options() const { return Opts; }
+
   /// Expands N independent translation units against an immutable snapshot
   /// of this session's state (macro library + meta globals), in parallel,
   /// and returns per-unit results in input order. This engine itself is
@@ -151,6 +170,15 @@ public:
   /// the call, and nothing a unit does (macro definitions, metadcl
   /// mutations) is visible to any sibling unit or to this engine.
   /// Defined in driver/BatchDriver.cpp; link msq_driver to use it.
+  ///
+  /// Re-entrancy: expandSources may be called from several threads at
+  /// once on one engine — each call reads the session log, builds private
+  /// worker engines, and shares only the (thread-safe) expansion cache,
+  /// whose lazy creation is guarded by ExpCacheMutex. What is NOT safe is
+  /// mutating the session (expandSource/parseSource/loadStandardLibrary/
+  /// restoreCheckpoint) concurrently with any other engine call; the
+  /// expansion server serializes library swaps behind a generation
+  /// mechanism for exactly this reason.
   BatchResult expandSources(std::vector<SourceUnit> Units);
   BatchResult expandSources(std::vector<SourceUnit> Units,
                             const BatchOptions &BO);
@@ -235,8 +263,10 @@ private:
   std::vector<LogEntry> SessionLog;
   /// Expansion cache shared by every expandSources call on this engine
   /// (created lazily by the batch driver when Options enable caching; the
-  /// type lives in cache/ExpansionCache.h).
+  /// type lives in cache/ExpansionCache.h). ExpCacheMutex guards the lazy
+  /// creation so concurrent expandSources calls agree on one cache.
   std::shared_ptr<ExpansionCache> ExpCache;
+  std::mutex ExpCacheMutex;
 };
 
 /// An immutable capture of an Engine session, shared by reference counting.

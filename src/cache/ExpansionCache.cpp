@@ -209,13 +209,41 @@ size_t ExpansionCache::memoryEntryCount() const {
   return Memory.size();
 }
 
+void ExpansionCache::setGeneration(uint64_t Gen) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Generation_ = Gen;
+}
+
+uint64_t ExpansionCache::generation() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Generation_;
+}
+
+size_t ExpansionCache::evictGenerationsBefore(uint64_t OldestLive) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t Evicted = 0;
+  for (auto It = Memory.begin(); It != Memory.end();) {
+    if (It->second.Generation < OldestLive) {
+      It = Memory.erase(It);
+      ++Evicted;
+    } else {
+      ++It;
+    }
+  }
+  return Evicted;
+}
+
 bool ExpansionCache::lookup(const std::string &Key, CachedExpansion &Out,
                             CacheStats &Stats) {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     auto It = Memory.find(Key);
     if (It != Memory.end()) {
-      Out = It->second;
+      Out = It->second.Entry;
+      // A hit proves the entry is reachable from the current library
+      // fingerprint, so re-tag it into the current generation (an A->B->A
+      // reload sequence keeps A's hot entries alive this way).
+      It->second.Generation = Generation_;
       ++Stats.Hits;
       Stats.BytesRead += entryPayloadSize(Out);
       return true;
@@ -225,15 +253,23 @@ bool ExpansionCache::lookup(const std::string &Key, CachedExpansion &Out,
     return false;
   std::ifstream In(entryPath(Key), std::ios::binary);
   if (!In)
-    return false;
+    return false; // absent entry: a plain miss, not a disk error
   std::ostringstream Buf;
   Buf << In.rdbuf();
+  if (!In.good() && !In.eof()) {
+    ++Stats.DiskReadErrors;
+    return false;
+  }
   std::string Bytes = Buf.str();
-  if (!deserialize(Bytes, Key, Out))
-    return false; // corrupt/truncated/version-skewed entry == miss
+  if (!deserialize(Bytes, Key, Out)) {
+    // Corrupt/truncated/version-skewed entry == miss, but an OBSERVABLE
+    // one: the entry existed and could not be used.
+    ++Stats.DiskReadErrors;
+    return false;
+  }
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    Memory.emplace(Key, Out);
+    Memory.emplace(Key, MemoryEntry{Out, Generation_});
   }
   ++Stats.Hits;
   Stats.BytesRead += Bytes.size();
@@ -244,7 +280,7 @@ void ExpansionCache::store(const std::string &Key,
                            const CachedExpansion &Entry, CacheStats &Stats) {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    Memory[Key] = Entry;
+    Memory[Key] = MemoryEntry{Entry, Generation_};
   }
   Stats.BytesWritten += entryPayloadSize(Entry);
   if (Dir.empty())
@@ -258,18 +294,26 @@ void ExpansionCache::store(const std::string &Key,
       std::this_thread::get_id());
   {
     std::ofstream OutF(TmpName.str(), std::ios::binary | std::ios::trunc);
-    if (!OutF)
-      return; // unwritable disk tier: keep the memory entry, move on
-    OutF.write(Bytes.data(), std::streamsize(Bytes.size()));
-    if (!OutF)
+    if (!OutF) {
+      // Unwritable disk tier: keep the memory entry, move on — but count
+      // the degradation so operators can see it.
+      ++Stats.DiskWriteErrors;
       return;
+    }
+    OutF.write(Bytes.data(), std::streamsize(Bytes.size()));
+    if (!OutF) {
+      ++Stats.DiskWriteErrors;
+      return;
+    }
   }
   std::error_code EC;
   std::filesystem::rename(TmpName.str(), entryPath(Key), EC);
-  if (EC)
+  if (EC) {
+    ++Stats.DiskWriteErrors;
     std::filesystem::remove(TmpName.str(), EC);
-  else
+  } else {
     Stats.BytesWritten += Bytes.size();
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -288,4 +332,46 @@ std::string msq::expansionCacheKey(const std::string &LibraryFingerprint,
   H.u64(EffectiveMaxMetaSteps);
   H.boolean(CollectProfile);
   return H.hexDigest();
+}
+
+//===----------------------------------------------------------------------===//
+// Result <-> entry conversions (the replay path, shared by the batch
+// driver and the expansion server).
+//===----------------------------------------------------------------------===//
+
+ExpandResult msq::expandResultFromCache(const std::string &Name,
+                                        const CachedExpansion &CE) {
+  ExpandResult R;
+  R.Name = Name;
+  R.Success = CE.Success;
+  R.FuelExhausted = CE.FuelExhausted;
+  R.Output = CE.Output;
+  R.DiagnosticsText = CE.DiagnosticsText;
+  R.InvocationsExpanded = size_t(CE.InvocationsExpanded);
+  R.MacrosDefined = size_t(CE.MacrosDefined);
+  R.MetaStepsExecuted = size_t(CE.MetaStepsExecuted);
+  R.GensymsCreated = size_t(CE.GensymsCreated);
+  R.NodesProduced = size_t(CE.NodesProduced);
+  R.Profile = CE.Profile;
+  R.FromCache = true;
+  return R;
+}
+
+CachedExpansion msq::cachedExpansionFromResult(const ExpandResult &R) {
+  CachedExpansion CE;
+  CE.Success = R.Success;
+  CE.FuelExhausted = R.FuelExhausted;
+  CE.Output = R.Output;
+  CE.DiagnosticsText = R.DiagnosticsText;
+  CE.InvocationsExpanded = R.InvocationsExpanded;
+  CE.MacrosDefined = R.MacrosDefined;
+  CE.MetaStepsExecuted = R.MetaStepsExecuted;
+  CE.GensymsCreated = R.GensymsCreated;
+  CE.NodesProduced = R.NodesProduced;
+  CE.Profile = R.Profile;
+  return CE;
+}
+
+bool msq::expansionResultCacheable(const ExpandResult &R) {
+  return !R.TimedOut && !R.MetaGlobalsMutated;
 }

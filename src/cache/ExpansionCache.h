@@ -42,6 +42,7 @@
 
 namespace msq {
 
+struct ExpandResult;
 struct SourceUnit;
 
 /// The replayable part of one unit's expansion: everything ExpandResult
@@ -85,6 +86,26 @@ public:
 
   const std::string &diskDir() const { return Dir; }
 
+  /// Generation-aware invalidation for long-lived servers. Content
+  /// addressing already makes invalidation CORRECT for free — a reloaded
+  /// macro library changes the fingerprint, so every affected key simply
+  /// misses — but the memory tier would then hold unreachable
+  /// old-fingerprint entries forever. The owner advances the generation
+  /// whenever the library fingerprint actually changes (an idempotent
+  /// reload keeps the generation, so existing entries keep hitting) and
+  /// then evicts the generations no current request can reach. Entries
+  /// are tagged at store/hit time with the generation current at that
+  /// moment.
+  void setGeneration(uint64_t Gen);
+  uint64_t generation() const;
+
+  /// Drops memory-tier entries whose tag is older than \p OldestLive and
+  /// returns how many were evicted. Disk entries are untouched: they cost
+  /// no memory, and an old-fingerprint disk entry is unreachable through
+  /// any current key (it becomes reachable again only if a reload returns
+  /// to its exact fingerprint — in which case it is a valid hit).
+  size_t evictGenerationsBefore(uint64_t OldestLive);
+
   /// Serialization of one entry (public for tests). The format is a
   /// versioned header followed by length-prefixed blobs; deserialize
   /// returns false — a miss — on ANY deviation, including a key mismatch
@@ -97,8 +118,14 @@ public:
 private:
   std::string entryPath(const std::string &Key) const;
 
+  struct MemoryEntry {
+    CachedExpansion Entry;
+    uint64_t Generation = 0;
+  };
+
   mutable std::mutex Mutex;
-  std::unordered_map<std::string, CachedExpansion> Memory;
+  std::unordered_map<std::string, MemoryEntry> Memory;
+  uint64_t Generation_ = 0;
   std::string Dir; // "" when the disk tier is disabled
 };
 
@@ -109,6 +136,18 @@ std::string expansionCacheKey(const std::string &LibraryFingerprint,
                               const SourceUnit &Unit,
                               size_t EffectiveMaxMetaSteps,
                               bool CollectProfile);
+
+/// Conversions between live results and cache entries, shared by every
+/// consumer of the cache (batch driver, expansion server) so the replay
+/// semantics cannot drift between them.
+ExpandResult expandResultFromCache(const std::string &Name,
+                                   const CachedExpansion &CE);
+CachedExpansion cachedExpansionFromResult(const ExpandResult &R);
+
+/// A result may enter the cache only when replaying it later is
+/// indistinguishable from re-expanding: timeouts depend on the wall
+/// clock, and meta-global mutations are side effects a replay would skip.
+bool expansionResultCacheable(const ExpandResult &R);
 
 } // namespace msq
 

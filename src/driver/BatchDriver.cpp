@@ -22,11 +22,7 @@ void BatchDriver::attachCache(std::shared_ptr<ExpansionCache> C,
   FingerprintStable = Stable;
 }
 
-/// Builds a worker's private engine by replaying the snapshot's session
-/// log: every recorded source is parsed (and, unless it was parse-only,
-/// expanded) exactly as the original engine did, reproducing the macro
-/// tables, meta globals, and interned AST pool in the worker's own arena.
-/// Printing is skipped — replay exists for its side effects.
+/// Printing is skipped during replay — it exists for its side effects.
 std::unique_ptr<Engine> BatchDriver::buildWorkerEngine(
     const SessionSnapshot &Snap, const BatchOptions &BO) {
   Engine::Options EO = Snap.options();
@@ -45,51 +41,6 @@ std::unique_ptr<Engine> BatchDriver::buildWorkerEngine(
   }
   return E;
 }
-
-namespace {
-
-/// Rehydrates an ExpandResult from a cache entry (the replay path).
-ExpandResult resultFromCache(const std::string &Name,
-                             const CachedExpansion &CE) {
-  ExpandResult R;
-  R.Name = Name;
-  R.Success = CE.Success;
-  R.FuelExhausted = CE.FuelExhausted;
-  R.Output = CE.Output;
-  R.DiagnosticsText = CE.DiagnosticsText;
-  R.InvocationsExpanded = size_t(CE.InvocationsExpanded);
-  R.MacrosDefined = size_t(CE.MacrosDefined);
-  R.MetaStepsExecuted = size_t(CE.MetaStepsExecuted);
-  R.GensymsCreated = size_t(CE.GensymsCreated);
-  R.NodesProduced = size_t(CE.NodesProduced);
-  R.Profile = CE.Profile;
-  R.FromCache = true;
-  return R;
-}
-
-CachedExpansion entryFromResult(const ExpandResult &R) {
-  CachedExpansion CE;
-  CE.Success = R.Success;
-  CE.FuelExhausted = R.FuelExhausted;
-  CE.Output = R.Output;
-  CE.DiagnosticsText = R.DiagnosticsText;
-  CE.InvocationsExpanded = R.InvocationsExpanded;
-  CE.MacrosDefined = R.MacrosDefined;
-  CE.MetaStepsExecuted = R.MetaStepsExecuted;
-  CE.GensymsCreated = R.GensymsCreated;
-  CE.NodesProduced = R.NodesProduced;
-  CE.Profile = R.Profile;
-  return CE;
-}
-
-/// A result may enter the cache only when replaying it later is
-/// indistinguishable from re-expanding: timeouts depend on the wall
-/// clock, and meta-global mutations are side effects a replay would skip.
-bool resultCacheable(const ExpandResult &R) {
-  return !R.TimedOut && !R.MetaGlobalsMutated;
-}
-
-} // namespace
 
 BatchResult BatchDriver::run(const std::vector<SourceUnit> &Units) const {
   BatchResult BR;
@@ -125,7 +76,7 @@ BatchResult BatchDriver::run(const std::vector<SourceUnit> &Units) const {
                                 BO.CollectProfile);
         CachedExpansion CE;
         if (Cache->lookup(Key, CE, Stats)) {
-          BR.Results[I] = resultFromCache(Units[I].Name, CE);
+          BR.Results[I] = expandResultFromCache(Units[I].Name, CE);
           continue;
         }
       }
@@ -142,9 +93,9 @@ BatchResult BatchDriver::run(const std::vector<SourceUnit> &Units) const {
           E->expandSourceImpl(Units[I].Name, Units[I].Source,
                               /*EmitOutput=*/true, /*Record=*/false);
       if (Cache) {
-        if (TryCache && resultCacheable(BR.Results[I])) {
+        if (TryCache && expansionResultCacheable(BR.Results[I])) {
           ++Stats.Misses;
-          Cache->store(Key, entryFromResult(BR.Results[I]), Stats);
+          Cache->store(Key, cachedExpansionFromResult(BR.Results[I]), Stats);
         } else {
           ++Stats.Uncacheable;
         }
@@ -221,11 +172,18 @@ BatchResult Engine::expandSources(std::vector<SourceUnit> Units,
                                   const BatchOptions &BO) {
   BatchDriver D(snapshot(), BO);
   if (Opts.EnableExpansionCache) {
-    if (!ExpCache)
-      ExpCache = std::make_shared<ExpansionCache>(Opts.ExpansionCacheDir);
+    std::shared_ptr<ExpansionCache> Cache;
+    {
+      // Concurrent expandSources calls must agree on one cache; only the
+      // lazy creation needs the lock (the cache itself is thread-safe).
+      std::lock_guard<std::mutex> Lock(ExpCacheMutex);
+      if (!ExpCache)
+        ExpCache = std::make_shared<ExpansionCache>(Opts.ExpansionCacheDir);
+      Cache = ExpCache;
+    }
     bool Stable = false;
     std::string FP = stateFingerprint(&Stable);
-    D.attachCache(ExpCache, std::move(FP), Stable);
+    D.attachCache(std::move(Cache), std::move(FP), Stable);
   }
   return D.run(Units);
 }

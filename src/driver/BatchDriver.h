@@ -93,12 +93,17 @@ public:
 
   const BatchOptions &options() const { return Opts; }
 
-private:
-  /// Rebuilds a private engine from \p Snap by replaying its session log
-  /// (needs Engine friendship, hence a member).
+  /// Rebuilds a private engine from \p Snap by replaying its session log:
+  /// every recorded source is parsed (and, unless it was parse-only,
+  /// expanded) exactly as the original engine did, reproducing the macro
+  /// tables, meta globals, and interned AST pool in the new engine's own
+  /// arena. This is the snapshot-reuse primitive shared by the batch
+  /// worker pool and the expansion server's request scheduler (both own
+  /// one such engine per worker and restore a checkpoint between units).
   static std::unique_ptr<Engine> buildWorkerEngine(const SessionSnapshot &Snap,
                                                    const BatchOptions &BO);
 
+private:
   SessionSnapshot Snap;
   BatchOptions Opts;
   std::shared_ptr<ExpansionCache> Cache;

@@ -121,9 +121,12 @@ bool Interpreter::step(SourceLoc Loc) {
     FuelExhausted = true;
     if (!StepLimitReported) {
       StepLimitReported = true;
-      // Name the unit so batch failures are attributable from the
-      // rendered diagnostic alone, not just the result flags.
-      std::string Msg = "meta program exceeded the execution step limit";
+      // Name the unit AND the configured budget so batch failures are
+      // attributable and tunable from the rendered diagnostic alone.
+      std::string Msg = "meta program exceeded the execution step limit (" +
+                        std::to_string(UnitMaxSteps ? UnitMaxSteps
+                                                    : Lim.MaxSteps) +
+                        " steps)";
       if (!UnitName.empty())
         Msg += " in unit '" + UnitName + "'";
       Msg += " (runaway macro?)";
@@ -140,7 +143,8 @@ bool Interpreter::step(SourceLoc Loc) {
       std::string Msg = "translation unit ";
       if (!UnitName.empty())
         Msg += "'" + UnitName + "' ";
-      Msg += "exceeded its expansion time limit (runaway macro?)";
+      Msg += "exceeded its expansion time limit (" +
+             std::to_string(UnitTimeoutMillis) + " ms) (runaway macro?)";
       CC.Diags.error(Loc, std::move(Msg));
     }
     return false;
@@ -156,6 +160,7 @@ void Interpreter::beginUnit(size_t MaxSteps, unsigned TimeoutMillis,
   FuelExhausted = false;
   TimedOut = false;
   UnitName = std::move(Name);
+  UnitTimeoutMillis = TimeoutMillis;
   HasDeadline = TimeoutMillis != 0;
   if (HasDeadline)
     Deadline = std::chrono::steady_clock::now() +

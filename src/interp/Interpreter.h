@@ -152,6 +152,8 @@ private:
   bool FuelExhausted = false;
   bool TimedOut = false;
   bool HasDeadline = false;
+  /// Configured budget behind Deadline, kept for the diagnostic text.
+  unsigned UnitTimeoutMillis = 0;
   std::chrono::steady_clock::time_point Deadline;
   /// Name of the unit being expanded (limit diagnostics; see beginUnit).
   std::string UnitName;

@@ -1,0 +1,629 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include "support/Metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace msq;
+
+//===----------------------------------------------------------------------===//
+// JSON reader
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursive-descent JSON parser. Fail-soft everywhere: any deviation
+/// produces a message with the byte offset and unwinds.
+class JsonParser {
+public:
+  JsonParser(std::string_view Text, std::string *Err)
+      : Text(Text), Err(Err) {}
+
+  bool run(json::Value &Out) {
+    skipWs();
+    if (!parseValue(Out, 0))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing bytes after JSON document");
+    return true;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 64;
+
+  bool fail(const std::string &Msg) {
+    if (Err)
+      *Err = Msg + " (at byte " + std::to_string(Pos) + ")";
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(std::string_view Lit) {
+    if (Text.size() - Pos < Lit.size() || Text.substr(Pos, Lit.size()) != Lit)
+      return false;
+    Pos += Lit.size();
+    return true;
+  }
+
+  bool parseValue(json::Value &Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"':
+      Out.K = json::Value::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+      if (!literal("true"))
+        return fail("bad literal");
+      Out.K = json::Value::Kind::Bool;
+      Out.B = true;
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return fail("bad literal");
+      Out.K = json::Value::Kind::Bool;
+      Out.B = false;
+      return true;
+    case 'n':
+      if (!literal("null"))
+        return fail("bad literal");
+      Out.K = json::Value::Kind::Null;
+      return true;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(json::Value &Out, unsigned Depth) {
+    ++Pos; // '{'
+    Out.K = json::Value::Kind::Object;
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':'");
+      ++Pos;
+      skipWs();
+      json::Value V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Out.Members.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parseArray(json::Value &Out, unsigned Depth) {
+    ++Pos; // '['
+    Out.K = json::Value::Kind::Array;
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      json::Value V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Out.Arr.push_back(std::move(V));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parseHex4(unsigned &Out) {
+    if (Text.size() - Pos < 4)
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I != 4; ++I) {
+      char C = Text[Pos++];
+      Out <<= 4;
+      if (C >= '0' && C <= '9')
+        Out |= unsigned(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Out |= unsigned(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Out |= unsigned(C - 'A' + 10);
+      else
+        return fail("bad \\u escape digit");
+    }
+    return true;
+  }
+
+  void appendUtf8(std::string &S, unsigned Cp) {
+    if (Cp < 0x80) {
+      S.push_back(char(Cp));
+    } else if (Cp < 0x800) {
+      S.push_back(char(0xC0 | (Cp >> 6)));
+      S.push_back(char(0x80 | (Cp & 0x3F)));
+    } else if (Cp < 0x10000) {
+      S.push_back(char(0xE0 | (Cp >> 12)));
+      S.push_back(char(0x80 | ((Cp >> 6) & 0x3F)));
+      S.push_back(char(0x80 | (Cp & 0x3F)));
+    } else {
+      S.push_back(char(0xF0 | (Cp >> 18)));
+      S.push_back(char(0x80 | ((Cp >> 12) & 0x3F)));
+      S.push_back(char(0x80 | ((Cp >> 6) & 0x3F)));
+      S.push_back(char(0x80 | (Cp & 0x3F)));
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    for (;;) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out.push_back(C);
+        ++Pos;
+        continue;
+      }
+      ++Pos; // backslash
+      if (Pos >= Text.size())
+        return fail("truncated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':  Out.push_back('"');  break;
+      case '\\': Out.push_back('\\'); break;
+      case '/':  Out.push_back('/');  break;
+      case 'b':  Out.push_back('\b'); break;
+      case 'f':  Out.push_back('\f'); break;
+      case 'n':  Out.push_back('\n'); break;
+      case 'r':  Out.push_back('\r'); break;
+      case 't':  Out.push_back('\t'); break;
+      case 'u': {
+        unsigned Cp = 0;
+        if (!parseHex4(Cp))
+          return false;
+        // Surrogate pair: \uD800-\uDBFF must be followed by \uDC00-\uDFFF.
+        if (Cp >= 0xD800 && Cp <= 0xDBFF) {
+          if (Text.size() - Pos < 2 || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return fail("unpaired surrogate");
+          Pos += 2;
+          unsigned Lo = 0;
+          if (!parseHex4(Lo))
+            return false;
+          if (Lo < 0xDC00 || Lo > 0xDFFF)
+            return fail("bad low surrogate");
+          Cp = 0x10000 + ((Cp - 0xD800) << 10) + (Lo - 0xDC00);
+        } else if (Cp >= 0xDC00 && Cp <= 0xDFFF) {
+          return fail("unpaired surrogate");
+        }
+        appendUtf8(Out, Cp);
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parseNumber(json::Value &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    size_t IntStart = Pos;
+    size_t Digits = 0;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+      ++Pos;
+      ++Digits;
+    }
+    if (Digits == 0)
+      return fail("expected a value");
+    if (Digits > 1 && Text[IntStart] == '0')
+      return fail("leading zero in number");
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      size_t Frac = 0;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+        ++Pos;
+        ++Frac;
+      }
+      if (Frac == 0)
+        return fail("bad fraction");
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      size_t Exp = 0;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+        ++Pos;
+        ++Exp;
+      }
+      if (Exp == 0)
+        return fail("bad exponent");
+    }
+    Out.K = json::Value::Kind::Number;
+    Out.Num = std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
+                          nullptr);
+    return true;
+  }
+
+  std::string_view Text;
+  std::string *Err;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+const json::Value *json::Value::get(std::string_view Name) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Key, V] : Members)
+    if (Key == Name)
+      return &V;
+  return nullptr;
+}
+
+bool json::Value::asU64(uint64_t &Out) const {
+  if (K != Kind::Number || Num < 0 || Num > 9007199254740992.0 /*2^53*/ ||
+      std::floor(Num) != Num)
+    return false;
+  Out = uint64_t(Num);
+  return true;
+}
+
+bool json::parse(std::string_view Text, Value &Out, std::string *Err) {
+  return JsonParser(Text, Err).run(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Requests
+//===----------------------------------------------------------------------===//
+
+const char *msq::errorCodeName(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::BadRequest:    return "bad_request";
+  case ErrorCode::UnknownType:   return "unknown_type";
+  case ErrorCode::BadVersion:    return "bad_version";
+  case ErrorCode::FrameTooLarge: return "frame_too_large";
+  case ErrorCode::Overloaded:    return "overloaded";
+  case ErrorCode::ShuttingDown:  return "shutting_down";
+  case ErrorCode::ReloadFailed:  return "reload_failed";
+  case ErrorCode::Internal:      return "internal";
+  }
+  return "internal";
+}
+
+namespace {
+
+ParseOutcome parseFail(ErrorCode Code, std::string Message) {
+  ParseOutcome O;
+  O.Ok = false;
+  O.Code = Code;
+  O.Message = std::move(Message);
+  return O;
+}
+
+/// Reads an optional string member; false only when present but not a
+/// string.
+bool optionalString(const json::Value &Obj, std::string_view Name,
+                    std::string &Out) {
+  const json::Value *V = Obj.get(Name);
+  if (!V)
+    return true;
+  if (!V->isString())
+    return false;
+  Out = V->Str;
+  return true;
+}
+
+} // namespace
+
+ParseOutcome msq::parseRequest(std::string_view Frame, Request &Out) {
+  json::Value Doc;
+  std::string Err;
+  if (!json::parse(Frame, Doc, &Err))
+    return parseFail(ErrorCode::BadRequest, "invalid JSON: " + Err);
+  if (!Doc.isObject())
+    return parseFail(ErrorCode::BadRequest, "request must be a JSON object");
+
+  // Recover the id first so even failed parses can echo it.
+  if (!optionalString(Doc, "id", Out.Id))
+    return parseFail(ErrorCode::BadRequest, "\"id\" must be a string");
+
+  const json::Value *V = Doc.get("v");
+  uint64_t Version = 0;
+  if (!V || !V->asU64(Version))
+    return parseFail(ErrorCode::BadVersion,
+                     "missing or non-integer \"v\" (protocol version)");
+  if (Version != uint64_t(ProtocolVersion))
+    return parseFail(ErrorCode::BadVersion,
+                     "unsupported protocol version " +
+                         std::to_string(Version) + " (this server speaks " +
+                         std::to_string(ProtocolVersion) + ")");
+
+  const json::Value *Ty = Doc.get("type");
+  if (!Ty || !Ty->isString())
+    return parseFail(ErrorCode::BadRequest, "missing \"type\"");
+
+  if (Ty->Str == "expand") {
+    Out.Ty = Request::Type::Expand;
+    const json::Value *Name = Doc.get("name");
+    const json::Value *Source = Doc.get("source");
+    if (!Name || !Name->isString() || !Source || !Source->isString())
+      return parseFail(ErrorCode::BadRequest,
+                       "expand needs string \"name\" and \"source\"");
+    Out.Name = Name->Str;
+    Out.Source = Source->Str;
+    if (const json::Value *C = Doc.get("cache")) {
+      if (C->K != json::Value::Kind::Bool)
+        return parseFail(ErrorCode::BadRequest, "\"cache\" must be a bool");
+      Out.UseCache = C->B;
+    }
+    if (const json::Value *S = Doc.get("max_meta_steps")) {
+      if (!S->asU64(Out.MaxMetaSteps))
+        return parseFail(ErrorCode::BadRequest,
+                         "\"max_meta_steps\" must be a non-negative integer");
+    }
+    if (const json::Value *T = Doc.get("timeout_ms")) {
+      if (!T->asU64(Out.TimeoutMillis))
+        return parseFail(ErrorCode::BadRequest,
+                         "\"timeout_ms\" must be a non-negative integer");
+    }
+    ParseOutcome O;
+    O.Ok = true;
+    return O;
+  }
+
+  if (Ty->Str == "reload_library") {
+    Out.Ty = Request::Type::ReloadLibrary;
+    if (const json::Value *Std = Doc.get("stdlib")) {
+      if (Std->K != json::Value::Kind::Bool)
+        return parseFail(ErrorCode::BadRequest, "\"stdlib\" must be a bool");
+      Out.LoadStdlib = Std->B;
+    }
+    if (const json::Value *Sources = Doc.get("sources")) {
+      if (!Sources->isArray())
+        return parseFail(ErrorCode::BadRequest,
+                         "\"sources\" must be an array");
+      for (const json::Value &S : Sources->Arr) {
+        const json::Value *Name = S.get("name");
+        const json::Value *Source = S.get("source");
+        if (!Name || !Name->isString() || !Source || !Source->isString())
+          return parseFail(
+              ErrorCode::BadRequest,
+              "each source needs string \"name\" and \"source\"");
+        Out.Sources.push_back({Name->Str, Source->Str});
+      }
+    }
+    ParseOutcome O;
+    O.Ok = true;
+    return O;
+  }
+
+  if (Ty->Str == "status") {
+    Out.Ty = Request::Type::Status;
+    ParseOutcome O;
+    O.Ok = true;
+    return O;
+  }
+
+  if (Ty->Str == "ping") {
+    Out.Ty = Request::Type::Ping;
+    ParseOutcome O;
+    O.Ok = true;
+    return O;
+  }
+
+  return parseFail(ErrorCode::UnknownType,
+                   "unknown request type \"" + Ty->Str + "\"");
+}
+
+//===----------------------------------------------------------------------===//
+// Response builders
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string responseHead(const std::string &Id, const char *Type) {
+  std::string Out = "{\"v\":";
+  Out += std::to_string(ProtocolVersion);
+  Out += ",\"id\":\"";
+  Out += jsonEscape(Id);
+  Out += "\",\"type\":\"";
+  Out += Type;
+  Out += '"';
+  return Out;
+}
+
+} // namespace
+
+std::string msq::makeExpandResponse(const std::string &Id,
+                                    const ExpandResult &R,
+                                    uint64_t Generation) {
+  std::string Out = responseHead(Id, "result");
+  Out += ",\"success\":";
+  Out += R.Success ? "true" : "false";
+  Out += ",\"output\":\"";
+  Out += jsonEscape(R.Output);
+  Out += "\",\"diagnostics\":\"";
+  Out += jsonEscape(R.DiagnosticsText);
+  Out += "\",\"cached\":";
+  Out += R.FromCache ? "true" : "false";
+  Out += ",\"generation\":";
+  Out += std::to_string(Generation);
+  Out += ",\"invocations\":";
+  Out += std::to_string(R.InvocationsExpanded);
+  Out += ",\"meta_steps\":";
+  Out += std::to_string(R.MetaStepsExecuted);
+  Out += ",\"fuel_exhausted\":";
+  Out += R.FuelExhausted ? "true" : "false";
+  Out += ",\"timed_out\":";
+  Out += R.TimedOut ? "true" : "false";
+  Out += '}';
+  return Out;
+}
+
+std::string msq::makeErrorResponse(const std::string &Id, ErrorCode Code,
+                                   const std::string &Message) {
+  std::string Out = responseHead(Id, "error");
+  Out += ",\"error\":\"";
+  Out += errorCodeName(Code);
+  Out += "\",\"message\":\"";
+  Out += jsonEscape(Message);
+  Out += "\"}";
+  return Out;
+}
+
+std::string msq::makeStatusResponse(const std::string &Id,
+                                    const std::string &MetricsJson) {
+  std::string Out = responseHead(Id, "status");
+  Out += ",\"metrics\":";
+  Out += MetricsJson; // already a JSON object
+  Out += '}';
+  return Out;
+}
+
+std::string msq::makeReloadResponse(const std::string &Id,
+                                    uint64_t Generation, bool Changed) {
+  std::string Out = responseHead(Id, "reloaded");
+  Out += ",\"generation\":";
+  Out += std::to_string(Generation);
+  Out += ",\"changed\":";
+  Out += Changed ? "true" : "false";
+  Out += '}';
+  return Out;
+}
+
+std::string msq::makePongResponse(const std::string &Id) {
+  return responseHead(Id, "pong") + "}";
+}
+
+//===----------------------------------------------------------------------===//
+// Request builders
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string requestHead(const std::string &Id, const char *Type) {
+  // Same shape as responseHead; kept separate for clarity at call sites.
+  std::string Out = "{\"v\":";
+  Out += std::to_string(ProtocolVersion);
+  Out += ",\"id\":\"";
+  Out += jsonEscape(Id);
+  Out += "\",\"type\":\"";
+  Out += Type;
+  Out += '"';
+  return Out;
+}
+
+} // namespace
+
+std::string msq::makeExpandRequest(const std::string &Id,
+                                   const std::string &Name,
+                                   const std::string &Source, bool UseCache,
+                                   uint64_t MaxMetaSteps,
+                                   uint64_t TimeoutMillis) {
+  std::string Out = requestHead(Id, "expand");
+  Out += ",\"name\":\"";
+  Out += jsonEscape(Name);
+  Out += "\",\"source\":\"";
+  Out += jsonEscape(Source);
+  Out += '"';
+  if (!UseCache)
+    Out += ",\"cache\":false";
+  if (MaxMetaSteps) {
+    Out += ",\"max_meta_steps\":";
+    Out += std::to_string(MaxMetaSteps);
+  }
+  if (TimeoutMillis) {
+    Out += ",\"timeout_ms\":";
+    Out += std::to_string(TimeoutMillis);
+  }
+  Out += '}';
+  return Out;
+}
+
+std::string msq::makeReloadRequest(const std::string &Id,
+                                   const std::vector<SourceUnit> &Sources,
+                                   bool LoadStdlib) {
+  std::string Out = requestHead(Id, "reload_library");
+  if (LoadStdlib)
+    Out += ",\"stdlib\":true";
+  Out += ",\"sources\":[";
+  bool First = true;
+  for (const SourceUnit &S : Sources) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":\"";
+    Out += jsonEscape(S.Name);
+    Out += "\",\"source\":\"";
+    Out += jsonEscape(S.Source);
+    Out += "\"}";
+  }
+  Out += "]}";
+  return Out;
+}
+
+std::string msq::makeStatusRequest(const std::string &Id) {
+  return requestHead(Id, "status") + "}";
+}
+
+std::string msq::makePingRequest(const std::string &Id) {
+  return requestHead(Id, "ping") + "}";
+}

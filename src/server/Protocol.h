@@ -1,0 +1,164 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The msqd wire protocol: version-tagged, newline-delimited JSON. Every
+/// frame is one JSON object on one line. Requests carry {"v":1,"id":...,
+/// "type":...}; responses echo the id. The protocol is deliberately
+/// small — four request types — and strict: anything malformed yields an
+/// `error` response with a machine-readable code, never a crash or a
+/// silent drop.
+///
+///   expand          {"v":1,"id":I,"type":"expand","name":N,"source":S
+///                    [,"cache":B,"max_meta_steps":N,"timeout_ms":N]}
+///   reload_library  {"v":1,"id":I,"type":"reload_library",
+///                    "sources":[{"name":N,"source":S}...][,"stdlib":B]}
+///   status          {"v":1,"id":I,"type":"status"}
+///   ping            {"v":1,"id":I,"type":"ping"}
+///
+/// This header also contains the minimal JSON reader the server uses (the
+/// repo carries no third-party dependencies); it parses into a plain
+/// tree-of-variants Value. Writing stays string-based via jsonEscape, as
+/// everywhere else in MS2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SERVER_PROTOCOL_H
+#define MSQ_SERVER_PROTOCOL_H
+
+#include "api/Msq.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace msq {
+
+namespace json {
+
+/// A parsed JSON value. Numbers keep the double representation (the
+/// protocol's numeric fields are all small integers; fields that must be
+/// integral go through Value::asU64, which rejects fractions).
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Members; // insertion order
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const Value *get(std::string_view Name) const;
+
+  /// Reads this value as a non-negative integer; false for anything else
+  /// (wrong kind, negative, fractional, or beyond 2^53 where doubles go
+  /// grainy).
+  bool asU64(uint64_t &Out) const;
+};
+
+/// Parses exactly one JSON document spanning all of \p Text (trailing
+/// whitespace allowed). Returns false with a position-carrying message in
+/// \p Err on any deviation. Depth is bounded, so adversarial nesting
+/// cannot overflow the stack.
+bool parse(std::string_view Text, Value &Out, std::string *Err);
+
+} // namespace json
+
+/// Protocol constants shared by daemon and client.
+inline constexpr int ProtocolVersion = 1;
+/// A frame larger than this is rejected before parsing (and the
+/// connection dropped, since the stream cannot be resynchronized).
+inline constexpr size_t MaxFrameBytes = 8u << 20;
+
+/// Machine-readable error codes carried in `error` responses.
+enum class ErrorCode {
+  BadRequest,     ///< unparsable JSON, missing/ill-typed fields
+  UnknownType,    ///< well-formed request of a type this server lacks
+  BadVersion,     ///< protocol version mismatch
+  FrameTooLarge,  ///< frame exceeded MaxFrameBytes
+  Overloaded,     ///< admission queue full — retry later
+  ShuttingDown,   ///< server is draining; no new work admitted
+  ReloadFailed,   ///< reload_library sources had errors; old library kept
+  Internal,       ///< anything else; the daemon stayed up
+};
+const char *errorCodeName(ErrorCode C);
+
+/// One parsed request.
+struct Request {
+  enum class Type { Expand, ReloadLibrary, Status, Ping };
+  Type Ty = Type::Ping;
+  std::string Id;
+  // Expand:
+  std::string Name;
+  std::string Source;
+  bool UseCache = true;       ///< "cache":false opts this request out
+  uint64_t MaxMetaSteps = 0;  ///< 0 = server default
+  uint64_t TimeoutMillis = 0; ///< 0 = server default
+  // ReloadLibrary:
+  std::vector<SourceUnit> Sources;
+  bool LoadStdlib = false;
+};
+
+/// Outcome of parsing one request frame. On failure, \p Code/Message
+/// describe the error response to send; \p Id carries whatever id could
+/// be recovered from the frame (possibly empty).
+struct ParseOutcome {
+  bool Ok = false;
+  ErrorCode Code = ErrorCode::BadRequest;
+  std::string Message;
+};
+ParseOutcome parseRequest(std::string_view Frame, Request &Out);
+
+//===----------------------------------------------------------------------===//
+// Response builders (one JSON line each, no trailing newline).
+//===----------------------------------------------------------------------===//
+
+/// {"v":1,"id":I,"type":"result","success":B,"output":S,"diagnostics":S,
+///  "cached":B,"generation":N,"invocations":N,"meta_steps":N,
+///  "fuel_exhausted":B,"timed_out":B}
+std::string makeExpandResponse(const std::string &Id, const ExpandResult &R,
+                               uint64_t Generation);
+
+/// {"v":1,"id":I,"type":"error","error":CODE,"message":S}
+std::string makeErrorResponse(const std::string &Id, ErrorCode Code,
+                              const std::string &Message);
+
+/// {"v":1,"id":I,"type":"status","metrics":<metrics object verbatim>}
+std::string makeStatusResponse(const std::string &Id,
+                               const std::string &MetricsJson);
+
+/// {"v":1,"id":I,"type":"reloaded","generation":N,"changed":B}
+std::string makeReloadResponse(const std::string &Id, uint64_t Generation,
+                               bool Changed);
+
+/// {"v":1,"id":I,"type":"pong"}
+std::string makePongResponse(const std::string &Id);
+
+//===----------------------------------------------------------------------===//
+// Request builders (the client side).
+//===----------------------------------------------------------------------===//
+
+std::string makeExpandRequest(const std::string &Id, const std::string &Name,
+                              const std::string &Source, bool UseCache,
+                              uint64_t MaxMetaSteps, uint64_t TimeoutMillis);
+std::string makeReloadRequest(const std::string &Id,
+                              const std::vector<SourceUnit> &Sources,
+                              bool LoadStdlib);
+std::string makeStatusRequest(const std::string &Id);
+std::string makePingRequest(const std::string &Id);
+
+} // namespace msq
+
+#endif // MSQ_SERVER_PROTOCOL_H

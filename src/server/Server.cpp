@@ -1,0 +1,344 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "cache/ExpansionCache.h"
+#include "driver/BatchDriver.h"
+#include "support/ThreadPool.h"
+
+#include <future>
+
+using namespace msq;
+
+Server::Server(ServerOptions Opts) : SO(std::move(Opts)) {
+  if (SO.EngineOpts.EnableExpansionCache)
+    Cache = std::make_shared<ExpansionCache>(SO.EngineOpts.ExpansionCacheDir);
+  // Establish generation 1 with an empty library so submit() always has
+  // a state to run against; real deployments reload immediately after.
+  ReloadOutcome First = reloadLibrary({}, /*LoadStdlib=*/false);
+  (void)First; // an empty library cannot fail to load
+  unsigned Workers = ThreadPool::chooseWorkerCount(SO.Workers, 0);
+  Threads.reserve(Workers);
+  for (unsigned W = 0; W != Workers; ++W)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+Server::~Server() {
+  drain();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void Server::log(const std::string &Line) const {
+  if (SO.LogSink)
+    SO.LogSink(Line);
+}
+
+//===----------------------------------------------------------------------===//
+// Admission
+//===----------------------------------------------------------------------===//
+
+Server::Admission Server::submit(SourceUnit Unit, RequestOptions RO,
+                                 Completion Done) {
+  Job J;
+  J.Unit = std::move(Unit);
+  J.RO = std::move(RO);
+  J.Done = std::move(Done);
+  J.Admitted = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> Lock(LibMutex);
+    J.Lib = Lib;
+  }
+  size_t Depth;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Draining_) {
+      ++RejectedDraining;
+      log("{\"event\":\"reject\",\"reason\":\"draining\",\"tag\":\"" +
+          jsonEscape(J.RO.Tag) + "\",\"unit\":\"" + jsonEscape(J.Unit.Name) +
+          "\"}");
+      return Admission::Draining;
+    }
+    if (Queue.size() >= SO.QueueCapacity) {
+      ++RejectedOverloaded;
+      log("{\"event\":\"reject\",\"reason\":\"overloaded\",\"tag\":\"" +
+          jsonEscape(J.RO.Tag) + "\",\"unit\":\"" + jsonEscape(J.Unit.Name) +
+          "\",\"queue_depth\":" + std::to_string(Queue.size()) + "}");
+      return Admission::Overloaded;
+    }
+    ++Admitted;
+    Queue.push_back(std::move(J));
+    Depth = Queue.size();
+  }
+  (void)Depth;
+  WorkCv.notify_one();
+  return Admission::Accepted;
+}
+
+Server::Admission Server::expand(SourceUnit Unit, const RequestOptions &RO,
+                                 ExpandResult &Out, uint64_t *Generation) {
+  std::promise<std::pair<ExpandResult, uint64_t>> P;
+  std::future<std::pair<ExpandResult, uint64_t>> F = P.get_future();
+  Admission A = submit(std::move(Unit), RO,
+                       [&P](const ExpandResult &R, uint64_t Gen) {
+                         P.set_value({R, Gen});
+                       });
+  if (A != Admission::Accepted)
+    return A;
+  std::pair<ExpandResult, uint64_t> V = F.get();
+  Out = std::move(V.first);
+  if (Generation)
+    *Generation = V.second;
+  return Admission::Accepted;
+}
+
+//===----------------------------------------------------------------------===//
+// Worker pool
+//===----------------------------------------------------------------------===//
+
+void Server::workerLoop() {
+  WorkerEngine W;
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      WorkCv.wait(Lock, [this] { return !Queue.empty() || Draining_; });
+      if (Queue.empty())
+        return; // draining and nothing left
+      J = std::move(Queue.front());
+      Queue.pop_front();
+      ++ActiveJobs;
+    }
+
+    bool FromCache = false;
+    CacheStats Stats;
+    ExpandResult R = processJob(J, W, FromCache, Stats);
+
+    uint64_t LatencyNs = uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - J.Admitted)
+            .count());
+    ++Completed;
+    if (!R.Success)
+      ++Failed;
+    {
+      std::lock_guard<std::mutex> Lock(MetricsMutex);
+      Latency.record(LatencyNs);
+      CacheTotals.merge(Stats);
+      Aggregate.merge(R.Profile);
+    }
+    log("{\"event\":\"request\",\"tag\":\"" + jsonEscape(J.RO.Tag) +
+        "\",\"unit\":\"" + jsonEscape(J.Unit.Name) +
+        "\",\"generation\":" + std::to_string(J.Lib->Generation) +
+        ",\"cached\":" + (FromCache ? "true" : "false") +
+        ",\"success\":" + (R.Success ? "true" : "false") +
+        ",\"latency_us\":" + std::to_string(LatencyNs / 1000) + "}");
+
+    // Completion runs outside every server lock: it may write to a
+    // socket, block, or re-enter the server.
+    if (J.Done)
+      J.Done(R, J.Lib->Generation);
+
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      --ActiveJobs;
+      if (Queue.empty() && ActiveJobs == 0)
+        IdleCv.notify_all();
+    }
+  }
+}
+
+ExpandResult Server::processJob(const Job &J, WorkerEngine &W,
+                                bool &FromCache, CacheStats &Stats) {
+  const LibraryState &LS = *J.Lib;
+  const size_t EffSteps = J.RO.MaxMetaSteps ? size_t(J.RO.MaxMetaSteps)
+                                            : SO.EngineOpts.MaxMetaSteps;
+  const unsigned EffTimeout = J.RO.TimeoutMillis
+                                  ? unsigned(J.RO.TimeoutMillis)
+                                  : SO.EngineOpts.UnitTimeoutMillis;
+
+  // Cache probe — the exact keying discipline of BatchDriver::run, so
+  // the daemon and batch CLI share entries for identical requests.
+  const bool TryCache = Cache && J.RO.UseCache && LS.Stable &&
+                        !SO.EngineOpts.TraceExpansions;
+  std::string Key;
+  if (TryCache) {
+    Key = expansionCacheKey(LS.Fingerprint, J.Unit, EffSteps,
+                            SO.EngineOpts.CollectProfile);
+    CachedExpansion CE;
+    if (Cache->lookup(Key, CE, Stats)) {
+      FromCache = true;
+      return expandResultFromCache(J.Unit.Name, CE);
+    }
+  }
+
+  // Engines survive across requests of one generation; a generation move
+  // rebuilds from the (new) snapshot. Requests admitted under the old
+  // library keep its snapshot alive through their Job::Lib reference, so
+  // a mid-drain mix of generations is handled by rebuilding per job.
+  if (!W.E || W.Generation != LS.Generation) {
+    BatchOptions BO;
+    BO.CollectProfile = SO.EngineOpts.CollectProfile;
+    W.E = BatchDriver::buildWorkerEngine(LS.Snap, BO);
+    W.Baseline = W.E->checkpoint();
+    W.Generation = LS.Generation;
+  }
+  W.E->restoreCheckpoint(W.Baseline);
+  W.E->setUnitLimits(EffSteps, EffTimeout);
+  ExpandResult R = W.E->expandUnrecorded(J.Unit.Name, J.Unit.Source);
+  if (Cache && J.RO.UseCache) {
+    if (TryCache && expansionResultCacheable(R)) {
+      ++Stats.Misses;
+      Cache->store(Key, cachedExpansionFromResult(R), Stats);
+    } else {
+      ++Stats.Uncacheable;
+    }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Library reload
+//===----------------------------------------------------------------------===//
+
+Server::ReloadOutcome
+Server::reloadLibrary(const std::vector<SourceUnit> &Sources,
+                      bool LoadStdlib) {
+  std::lock_guard<std::mutex> ReloadLock(ReloadMutex);
+  ReloadOutcome O;
+
+  // Build the candidate session entirely off to the side; the live
+  // library stays untouched until the swap.
+  auto Candidate = std::make_unique<Engine>(SO.EngineOpts);
+  if (LoadStdlib && !Candidate->loadStandardLibrary()) {
+    O.Diagnostics = "standard macro library failed to load";
+    return O;
+  }
+  for (const SourceUnit &S : Sources) {
+    ExpandResult R = Candidate->expandSource(S.Name, S.Source);
+    if (!R.Success) {
+      O.Diagnostics = R.DiagnosticsText;
+      return O;
+    }
+  }
+
+  auto NewLib = std::make_shared<LibraryState>();
+  NewLib->Snap = Candidate->snapshot();
+  NewLib->Fingerprint = Candidate->stateFingerprint(&NewLib->Stable);
+
+  uint64_t NewGen;
+  bool Changed;
+  {
+    std::lock_guard<std::mutex> Lock(LibMutex);
+    // An idempotent reload (same fingerprint, both stable) keeps the
+    // generation: worker engines stay warm and every cache entry keeps
+    // hitting. Anything else advances it.
+    Changed = !Lib || !NewLib->Stable || !Lib->Stable ||
+              Lib->Fingerprint != NewLib->Fingerprint;
+    NewGen = Lib ? (Changed ? Lib->Generation + 1 : Lib->Generation) : 1;
+    NewLib->Generation = NewGen;
+    Lib = std::move(NewLib);
+  }
+  if (Cache && Changed) {
+    // Old-fingerprint keys can no longer be produced by new requests;
+    // prune the memory tier. (In-flight old-generation requests may
+    // still store a few entries afterwards — they are swept by the next
+    // changing reload.)
+    Cache->setGeneration(NewGen);
+    Cache->evictGenerationsBefore(NewGen);
+  }
+  ++Reloads;
+  log("{\"event\":\"reload\",\"generation\":" + std::to_string(NewGen) +
+      ",\"changed\":" + (Changed ? "true" : "false") +
+      ",\"sources\":" + std::to_string(Sources.size()) +
+      ",\"stdlib\":" + (LoadStdlib ? "true" : "false") + "}");
+
+  O.Success = true;
+  O.Changed = Changed;
+  O.Generation = NewGen;
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Lifecycle and observability
+//===----------------------------------------------------------------------===//
+
+void Server::drain() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (!Draining_)
+      log("{\"event\":\"drain\",\"queue_depth\":" +
+          std::to_string(Queue.size()) + "}");
+    Draining_ = true;
+  }
+  WorkCv.notify_all();
+  std::unique_lock<std::mutex> Lock(QueueMutex);
+  IdleCv.wait(Lock, [this] { return Queue.empty() && ActiveJobs == 0; });
+}
+
+bool Server::draining() const {
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  return Draining_;
+}
+
+uint64_t Server::generation() const {
+  std::lock_guard<std::mutex> Lock(LibMutex);
+  return Lib ? Lib->Generation : 0;
+}
+
+size_t Server::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  return Queue.size();
+}
+
+std::string Server::metricsJson() const {
+  std::string Out = "{\"server\":{\"admitted\":";
+  Out += std::to_string(Admitted.load());
+  Out += ",\"rejected_overloaded\":";
+  Out += std::to_string(RejectedOverloaded.load());
+  Out += ",\"rejected_draining\":";
+  Out += std::to_string(RejectedDraining.load());
+  Out += ",\"completed\":";
+  Out += std::to_string(Completed.load());
+  Out += ",\"failed\":";
+  Out += std::to_string(Failed.load());
+  Out += ",\"reloads\":";
+  Out += std::to_string(Reloads.load());
+  Out += ",\"queue_depth\":";
+  Out += std::to_string(queueDepth());
+  Out += ",\"workers\":";
+  Out += std::to_string(Threads.size());
+  Out += ",\"generation\":";
+  Out += std::to_string(generation());
+  Out += ",\"draining\":";
+  Out += draining() ? "true" : "false";
+  {
+    std::lock_guard<std::mutex> Lock(MetricsMutex);
+    Out += ",\"latency\":{\"count\":";
+    Out += std::to_string(Latency.count());
+    Out += ",\"mean_us\":";
+    Out += std::to_string(Latency.mean() / 1000);
+    Out += ",\"p50_us\":";
+    Out += std::to_string(Latency.quantile(0.50) / 1000);
+    Out += ",\"p95_us\":";
+    Out += std::to_string(Latency.quantile(0.95) / 1000);
+    Out += ",\"p99_us\":";
+    Out += std::to_string(Latency.quantile(0.99) / 1000);
+    Out += ",\"max_us\":";
+    Out += std::to_string(Latency.max() / 1000);
+    Out += "}}";
+    if (Cache) {
+      Out += ",\"cache\":";
+      Out += CacheTotals.toJson();
+    }
+    Out += ",\"aggregate\":";
+    Out += Aggregate.toJson();
+  }
+  Out += '}';
+  return Out;
+}

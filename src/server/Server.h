@@ -1,0 +1,209 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The msqd expansion server core: a long-lived request scheduler on top
+/// of the engine/driver machinery, independent of any transport (the
+/// daemon bolts sockets on, tests call it in-process).
+///
+/// Architecture:
+///  * ADMISSION — a bounded queue. submit() never blocks: a full queue
+///    yields Admission::Overloaded immediately (the caller answers with
+///    an `overloaded` error; clients retry), and a draining server yields
+///    Admission::Draining. Backpressure is therefore explicit and
+///    cheap — no hidden unbounded buffering, no hangs.
+///  * WORKERS — a fixed pool. Each worker lazily owns a private Engine
+///    rebuilt from the current library's SessionSnapshot (the same
+///    replay primitive the batch driver uses) and restores a checkpoint
+///    before every request, so requests are isolated and output is a
+///    function of (library, request) alone — byte-identical to a
+///    one-shot CLI expansion of the same unit.
+///  * GENERATIONS — reloadLibrary() builds the new library off to the
+///    side, then atomically swaps it in. Jobs capture the library state
+///    at admission, so everything admitted before the swap still runs
+///    (and caches) against the old library. The generation number only
+///    advances when the library FINGERPRINT changes; an idempotent
+///    reload keeps generation, worker engines, and cache entries alive.
+///    On a real change, the content-addressed cache invalidates
+///    selectively for free (old keys just miss) and the memory tier is
+///    pruned via ExpansionCache::evictGenerationsBefore.
+///  * OBSERVABILITY — counters, a latency histogram (p50/p95/p99), the
+///    cache stats (including disk-tier failure counters), an aggregate
+///    per-macro profile, and an optional structured log sink receiving
+///    one JSON line per completed or rejected request.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SERVER_SERVER_H
+#define MSQ_SERVER_SERVER_H
+
+#include "api/Msq.h"
+#include "support/Histogram.h"
+#include "support/Metrics.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace msq {
+
+class ExpansionCache;
+
+struct ServerOptions {
+  /// Expansion options for the library session and every worker engine
+  /// (fuel, timeout, hygiene, pattern compilation, cache settings...).
+  Engine::Options EngineOpts;
+  /// Worker threads; 0 picks the hardware concurrency.
+  unsigned Workers = 0;
+  /// Admission queue bound; a submit beyond it is rejected Overloaded.
+  size_t QueueCapacity = 256;
+  /// Structured request log: called with one JSON line per event
+  /// (request completion, rejection, reload, drain). May be empty; must
+  /// be thread-safe — workers call it concurrently.
+  std::function<void(const std::string &)> LogSink;
+};
+
+/// Per-request knobs carried alongside the unit.
+struct RequestOptions {
+  /// Per-request fuel/timeout overrides; 0 inherits the server default.
+  uint64_t MaxMetaSteps = 0;
+  uint64_t TimeoutMillis = 0;
+  /// Allows this request to read/write the expansion cache.
+  bool UseCache = true;
+  /// Opaque tag echoed in the structured log (the daemon passes the
+  /// protocol request id).
+  std::string Tag;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions SO);
+  ~Server(); ///< Drains (completes everything admitted) and joins.
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  enum class Admission { Accepted, Overloaded, Draining };
+
+  /// Completion callback: runs on a worker thread, once, with the result
+  /// and the generation of the library the request ran against.
+  using Completion = std::function<void(const ExpandResult &, uint64_t)>;
+
+  /// Non-blocking admission. On Accepted the completion WILL run (drain
+  /// completes all admitted requests); on Overloaded/Draining it never
+  /// runs and the caller must answer the client itself.
+  Admission submit(SourceUnit Unit, RequestOptions RO, Completion Done);
+
+  /// Synchronous convenience: submit + wait. Out is only filled on
+  /// Accepted.
+  Admission expand(SourceUnit Unit, const RequestOptions &RO,
+                   ExpandResult &Out, uint64_t *Generation = nullptr);
+
+  struct ReloadOutcome {
+    bool Success = false;
+    /// False when the new library fingerprints identically to the old
+    /// one (an idempotent reload: nothing was invalidated).
+    bool Changed = false;
+    uint64_t Generation = 0;
+    std::string Diagnostics; ///< Rendered diagnostics on failure.
+  };
+
+  /// Atomically replaces the macro library with (stdlib? + sources),
+  /// expanding them in order into a fresh session. On any diagnostic
+  /// error the old library is kept and Success is false. In-flight and
+  /// already-admitted requests finish against the library they were
+  /// admitted under.
+  ReloadOutcome reloadLibrary(const std::vector<SourceUnit> &Sources,
+                              bool LoadStdlib);
+
+  /// Stops admitting (subsequent submits -> Draining) and returns once
+  /// every admitted request has completed. Idempotent.
+  void drain();
+  bool draining() const;
+
+  /// Server-level metrics as one JSON object:
+  /// {"server":{"admitted":N,"rejected_overloaded":N,...,
+  ///   "latency":{"count":N,"p50_us":N,"p95_us":N,"p99_us":N,...}},
+  ///  "cache":<CacheStats> (when caching), "aggregate":<profile>}
+  std::string metricsJson() const;
+
+  uint64_t generation() const;
+  size_t queueDepth() const;
+  unsigned workerCount() const { return unsigned(Threads.size()); }
+  const ServerOptions &options() const { return SO; }
+
+private:
+  /// One immutable, refcounted macro-library incarnation.
+  struct LibraryState {
+    SessionSnapshot Snap;
+    std::string Fingerprint;
+    bool Stable = false;
+    uint64_t Generation = 0;
+  };
+
+  struct Job {
+    SourceUnit Unit;
+    RequestOptions RO;
+    Completion Done;
+    std::shared_ptr<const LibraryState> Lib;
+    std::chrono::steady_clock::time_point Admitted;
+  };
+
+  /// Per-worker engine state, rebuilt whenever the generation moves.
+  struct WorkerEngine {
+    std::unique_ptr<Engine> E;
+    Engine::SessionCheckpoint Baseline;
+    uint64_t Generation = UINT64_MAX;
+  };
+
+  void workerLoop();
+  ExpandResult processJob(const Job &J, WorkerEngine &W, bool &FromCache,
+                          CacheStats &Stats);
+  void log(const std::string &Line) const;
+
+  ServerOptions SO;
+
+  // Library (swapped by reloadLibrary, read at admission).
+  mutable std::mutex LibMutex;
+  std::shared_ptr<const LibraryState> Lib;
+  std::mutex ReloadMutex; ///< serializes whole reloads, not just the swap
+
+  std::shared_ptr<ExpansionCache> Cache; ///< null when caching is off
+
+  // Scheduler.
+  mutable std::mutex QueueMutex;
+  std::condition_variable WorkCv;  ///< workers wait for jobs / drain
+  std::condition_variable IdleCv;  ///< drain waits for quiescence
+  std::deque<Job> Queue;
+  size_t ActiveJobs = 0;
+  bool Draining_ = false;
+  std::vector<std::thread> Threads;
+
+  // Metrics. Scalars are atomics (bumped at admission, under QueueMutex
+  // neighbours); compound state sits behind MetricsMutex.
+  std::atomic<uint64_t> Admitted{0};
+  std::atomic<uint64_t> RejectedOverloaded{0};
+  std::atomic<uint64_t> RejectedDraining{0};
+  std::atomic<uint64_t> Completed{0};
+  std::atomic<uint64_t> Failed{0};
+  std::atomic<uint64_t> Reloads{0};
+  mutable std::mutex MetricsMutex;
+  LatencyHistogram Latency;
+  CacheStats CacheTotals;
+  ExpansionProfile Aggregate;
+};
+
+} // namespace msq
+
+#endif // MSQ_SERVER_SERVER_H

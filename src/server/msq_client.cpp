@@ -1,0 +1,356 @@
+//===----------------------------------------------------------------------===//
+//
+// msq-client — thin command-line client for msqd. Builds protocol frames
+// from argv, pipelines them over the daemon's Unix socket, and renders
+// the responses.
+//
+//   msq-client --socket PATH expand [--name N] [--no-cache]
+//              [--max-meta-steps N] [--timeout-ms N] [-q] [FILE...]
+//       Expands each FILE as one request (stdin when no files). Outputs
+//       are printed to stdout in request order, diagnostics to stderr.
+//   msq-client --socket PATH reload [--stdlib] [FILE...]
+//   msq-client --socket PATH status
+//   msq-client --socket PATH ping
+//
+//   --retry-ms N   keep retrying the connect for N ms (daemon startup)
+//   --no-wait      send the request(s), then disconnect without reading
+//                  any response (exercises mid-request disconnects)
+//
+// Exit codes: 0 success; 1 expansion/reload reported errors; 2 transport
+// or protocol failure; 3 server overloaded or draining.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+#include "support/Socket.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace msq;
+
+namespace {
+
+int usage(int Code) {
+  std::fprintf(
+      Code ? stderr : stdout,
+      "usage: msq-client --socket PATH [--retry-ms N] [--no-wait] COMMAND\n"
+      "  expand [--name N] [--no-cache] [--max-meta-steps N]\n"
+      "         [--timeout-ms N] [-q] [FILE...]\n"
+      "  reload [--stdlib] [FILE...]\n"
+      "  status\n"
+      "  ping\n");
+  return Code;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  if (Path == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Out = SS.str();
+    return true;
+  }
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+/// Connects, retrying while the daemon may still be binding its socket.
+FdHandle connectWithRetry(const std::string &Path, unsigned RetryMillis,
+                          std::string &Err) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(RetryMillis);
+  for (;;) {
+    FdHandle Fd(connectUnix(Path, &Err));
+    if (Fd.valid())
+      return Fd;
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return FdHandle();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+struct Response {
+  bool IsError = false;
+  std::string ErrorCodeName;
+  std::string Message;
+  json::Value Body;
+  std::string RawFrame;
+};
+
+/// Reads frames until every id in \p Wanted has a response (or the stream
+/// dies). Returns false on transport/parse failure.
+bool collectResponses(int Fd, const std::vector<std::string> &Wanted,
+                      std::map<std::string, Response> &Out) {
+  FrameReader Reader(Fd, MaxFrameBytes);
+  std::string Frame;
+  size_t Remaining = Wanted.size();
+  while (Remaining) {
+    FrameReader::Status St = Reader.next(Frame);
+    if (St != FrameReader::Status::Frame) {
+      std::fprintf(stderr, "msq-client: connection closed with %zu response"
+                           "%s outstanding\n",
+                   Remaining, Remaining == 1 ? "" : "s");
+      return false;
+    }
+    json::Value V;
+    std::string Err;
+    if (!json::parse(Frame, V, &Err)) {
+      std::fprintf(stderr, "msq-client: bad response frame: %s\n",
+                   Err.c_str());
+      return false;
+    }
+    const json::Value *IdV = V.get("id");
+    std::string Id = IdV && IdV->isString() ? IdV->Str : "";
+    Response R;
+    const json::Value *TypeV = V.get("type");
+    if (TypeV && TypeV->isString() && TypeV->Str == "error") {
+      R.IsError = true;
+      if (const json::Value *C = V.get("error"); C && C->isString())
+        R.ErrorCodeName = C->Str;
+      if (const json::Value *M = V.get("message"); M && M->isString())
+        R.Message = M->Str;
+    }
+    R.Body = std::move(V);
+    R.RawFrame = Frame;
+    if (Out.count(Id))
+      continue; // duplicate id: keep the first
+    Out.emplace(Id, std::move(R));
+    --Remaining;
+  }
+  return true;
+}
+
+/// Maps an error response to the documented exit code.
+int errorExit(const Response &R) {
+  std::fprintf(stderr, "msq-client: server error (%s): %s\n",
+               R.ErrorCodeName.c_str(), R.Message.c_str());
+  if (R.ErrorCodeName == "overloaded" || R.ErrorCodeName == "shutting_down")
+    return 3;
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SocketPath;
+  unsigned RetryMillis = 0;
+  bool NoWait = false;
+
+  int I = 1;
+  auto NextArg = [&](const char *Flag) -> const char * {
+    if (I + 1 >= argc) {
+      std::fprintf(stderr, "msq-client: %s needs an argument\n", Flag);
+      return nullptr;
+    }
+    return argv[++I];
+  };
+
+  // Global options precede the command word.
+  std::string Command;
+  for (; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--socket") {
+      const char *V = NextArg("--socket");
+      if (!V)
+        return 2;
+      SocketPath = V;
+    } else if (Arg == "--retry-ms") {
+      const char *V = NextArg("--retry-ms");
+      if (!V)
+        return 2;
+      RetryMillis = unsigned(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--no-wait") {
+      NoWait = true;
+    } else if (Arg == "-h" || Arg == "--help") {
+      return usage(0);
+    } else {
+      Command = Arg;
+      ++I;
+      break;
+    }
+  }
+  if (SocketPath.empty() || Command.empty()) {
+    std::fprintf(stderr, "msq-client: --socket and a command are required\n");
+    return usage(2);
+  }
+
+  // Command-specific options and file arguments.
+  bool UseCache = true, StdLib = false, Quiet = false;
+  uint64_t MaxMetaSteps = 0, TimeoutMillis = 0;
+  std::string StdinName = "<stdin>";
+  std::vector<std::string> Files;
+  for (; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--no-cache") {
+      UseCache = false;
+    } else if (Arg == "--stdlib") {
+      StdLib = true;
+    } else if (Arg == "-q") {
+      Quiet = true;
+    } else if (Arg == "--name") {
+      const char *V = NextArg("--name");
+      if (!V)
+        return 2;
+      StdinName = V;
+    } else if (Arg == "--max-meta-steps") {
+      const char *V = NextArg("--max-meta-steps");
+      if (!V)
+        return 2;
+      MaxMetaSteps = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--timeout-ms") {
+      const char *V = NextArg("--timeout-ms");
+      if (!V)
+        return 2;
+      TimeoutMillis = std::strtoull(V, nullptr, 10);
+    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+      std::fprintf(stderr, "msq-client: unknown argument '%s'\n",
+                   Arg.c_str());
+      return usage(2);
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+
+  // Build the request frames before connecting, so a bad file never costs
+  // the daemon a wasted admission.
+  std::vector<std::string> Frames;
+  std::vector<std::string> Ids;
+  std::vector<std::string> UnitNames; // expand only, request order
+  if (Command == "expand") {
+    if (Files.empty())
+      Files.push_back("-");
+    unsigned Seq = 0;
+    for (const std::string &Path : Files) {
+      std::string Text;
+      if (!readFile(Path, Text)) {
+        std::fprintf(stderr, "msq-client: cannot read '%s'\n", Path.c_str());
+        return 2;
+      }
+      std::string Name = Path == "-" ? StdinName : Path;
+      std::string Id = "e" + std::to_string(Seq++);
+      Frames.push_back(makeExpandRequest(Id, Name, Text, UseCache,
+                                         MaxMetaSteps, TimeoutMillis));
+      Ids.push_back(Id);
+      UnitNames.push_back(Name);
+    }
+  } else if (Command == "reload") {
+    std::vector<SourceUnit> Units;
+    for (const std::string &Path : Files) {
+      std::string Text;
+      if (!readFile(Path, Text)) {
+        std::fprintf(stderr, "msq-client: cannot read '%s'\n", Path.c_str());
+        return 2;
+      }
+      Units.push_back({Path, std::move(Text)});
+    }
+    Frames.push_back(makeReloadRequest("r0", Units, StdLib));
+    Ids.push_back("r0");
+  } else if (Command == "status") {
+    Frames.push_back(makeStatusRequest("s0"));
+    Ids.push_back("s0");
+  } else if (Command == "ping") {
+    Frames.push_back(makePingRequest("p0"));
+    Ids.push_back("p0");
+  } else {
+    std::fprintf(stderr, "msq-client: unknown command '%s'\n",
+                 Command.c_str());
+    return usage(2);
+  }
+
+  std::string Err;
+  FdHandle Fd = connectWithRetry(SocketPath, RetryMillis, Err);
+  if (!Fd.valid()) {
+    std::fprintf(stderr, "msq-client: cannot connect to '%s': %s\n",
+                 SocketPath.c_str(), Err.c_str());
+    return 2;
+  }
+
+  for (const std::string &F : Frames)
+    if (!writeFrame(Fd.get(), F)) {
+      std::fprintf(stderr, "msq-client: write failed: %s\n",
+                   std::strerror(errno));
+      return 2;
+    }
+
+  if (NoWait)
+    return 0; // deliberately abandon the responses
+
+  std::map<std::string, Response> Responses;
+  if (!collectResponses(Fd.get(), Ids, Responses))
+    return 2;
+
+  int Exit = 0;
+  if (Command == "expand") {
+    // Responses may arrive out of order; print in request order.
+    for (size_t N = 0; N != Ids.size(); ++N) {
+      const Response &R = Responses.at(Ids[N]);
+      if (R.IsError) {
+        int E = errorExit(R);
+        Exit = Exit == 0 || E > Exit ? E : Exit;
+        continue;
+      }
+      const json::Value *Diag = R.Body.get("diagnostics");
+      if (Diag && Diag->isString() && !Diag->Str.empty())
+        std::fputs(Diag->Str.c_str(), stderr);
+      const json::Value *Ok = R.Body.get("success");
+      if (!Ok || Ok->K != json::Value::Kind::Bool || !Ok->B) {
+        std::fprintf(stderr, "msq-client: expansion of '%s' failed\n",
+                     UnitNames[N].c_str());
+        Exit = Exit ? Exit : 1;
+        continue;
+      }
+      if (!Quiet)
+        if (const json::Value *Out = R.Body.get("output");
+            Out && Out->isString())
+          std::fputs(Out->Str.c_str(), stdout);
+    }
+  } else if (Command == "reload") {
+    const Response &R = Responses.at("r0");
+    if (R.IsError)
+      return errorExit(R);
+    uint64_t Gen = 0;
+    bool Changed = false;
+    if (const json::Value *G = R.Body.get("generation"))
+      G->asU64(Gen);
+    if (const json::Value *C = R.Body.get("changed");
+        C && C->K == json::Value::Kind::Bool)
+      Changed = C->B;
+    std::fprintf(stdout, "reloaded: generation %llu (%s)\n",
+                 (unsigned long long)Gen,
+                 Changed ? "changed" : "unchanged");
+  } else if (Command == "status") {
+    const Response &R = Responses.at("s0");
+    if (R.IsError)
+      return errorExit(R);
+    // The metrics object is the frame's final member; slice it out of the
+    // raw frame and print it verbatim — it is already JSON.
+    std::string::size_type Pos = R.RawFrame.find("\"metrics\":");
+    if (Pos == std::string::npos || R.RawFrame.back() != '}') {
+      std::fprintf(stderr, "msq-client: malformed status response\n");
+      return 2;
+    }
+    Pos += std::strlen("\"metrics\":");
+    std::fprintf(stdout, "%s\n",
+                 R.RawFrame.substr(Pos, R.RawFrame.size() - 1 - Pos).c_str());
+  } else if (Command == "ping") {
+    const Response &R = Responses.at("p0");
+    if (R.IsError)
+      return errorExit(R);
+    std::fprintf(stdout, "pong\n");
+  }
+  return Exit;
+}

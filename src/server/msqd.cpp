@@ -1,0 +1,387 @@
+//===----------------------------------------------------------------------===//
+//
+// msqd — the MS2 macro-expansion daemon. Owns one macro-library session
+// and serves expand/reload_library/status/ping requests over a Unix
+// domain socket (or stdin/stdout with --stdio), speaking the
+// newline-delimited JSON protocol in server/Protocol.h.
+//
+//   msqd --socket /run/msqd.sock [options]
+//   msqd --stdio [options]                 serve exactly one connection
+//     -l <file>          load a macro-library file at startup (repeatable)
+//     -stdlib            load the bundled standard macro library first
+//     --workers N        worker threads (default: hardware concurrency)
+//     --queue-cap N      admission queue bound (default 256)
+//     --cache            enable the expansion cache
+//     --cache-dir DIR    persistent cache tier directory
+//     --max-meta-steps N default per-request fuel
+//     --timeout-ms N     default per-request wall-clock budget
+//     -hygienic, -c      hygienic expansion / compiled patterns
+//     --quiet            suppress the structured request log (stderr)
+//
+// Lifecycle: on SIGTERM/SIGINT the daemon stops accepting connections
+// and admitting requests, completes everything already admitted (each
+// client still gets its responses), and exits 0. In --stdio mode, EOF on
+// stdin triggers the same drain.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+#include "server/Server.h"
+#include "support/Socket.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace msq;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// One client connection. Requests are pipelined: expands are answered
+// asynchronously from worker threads (out of order, correlated by id),
+// so the write side is mutex-guarded and failure-latching — after the
+// peer disconnects mid-request, completions quietly drop their writes
+// instead of crashing or wedging a worker.
+//===----------------------------------------------------------------------===//
+
+struct Conn {
+  Conn(int ReadFd, int WriteFd, bool OwnsFds)
+      : ReadFd(ReadFd), WriteFd(WriteFd), OwnsFds(OwnsFds) {}
+  ~Conn() {
+    if (OwnsFds)
+      ::close(ReadFd); // ReadFd == WriteFd for sockets
+  }
+
+  void send(const std::string &Frame) {
+    std::lock_guard<std::mutex> Lock(WriteMutex);
+    if (Dead)
+      return;
+    if (!writeFrame(WriteFd, Frame))
+      Dead = true; // peer went away; drop subsequent writes
+  }
+
+  void beginRequest() {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    ++Outstanding;
+  }
+
+  void endRequest() {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    if (--Outstanding == 0)
+      Quiesced.notify_all();
+  }
+
+  /// Blocks until every submitted request has completed (their responses
+  /// written or dropped); called before closing the connection.
+  void waitQuiesced() {
+    std::unique_lock<std::mutex> Lock(StateMutex);
+    Quiesced.wait(Lock, [this] { return Outstanding == 0; });
+  }
+
+  int ReadFd;
+  int WriteFd;
+  bool OwnsFds;
+  std::mutex WriteMutex;
+  bool Dead = false;
+
+  std::mutex StateMutex;
+  std::condition_variable Quiesced;
+  size_t Outstanding = 0;
+};
+
+void serveConnection(const std::shared_ptr<Conn> &C, Server &S) {
+  FrameReader Reader(C->ReadFd, MaxFrameBytes);
+  std::string Frame;
+  for (;;) {
+    FrameReader::Status St = Reader.next(Frame);
+    if (St == FrameReader::Status::TooLong) {
+      // The stream cannot be resynchronized after an oversized frame;
+      // answer once, then drop the connection.
+      C->send(makeErrorResponse(
+          "", ErrorCode::FrameTooLarge,
+          "frame exceeds " + std::to_string(MaxFrameBytes) + " bytes"));
+      break;
+    }
+    if (St != FrameReader::Status::Frame)
+      break; // EOF, truncated frame, or read error: tear down cleanly
+
+    Request Req;
+    ParseOutcome PO = parseRequest(Frame, Req);
+    if (!PO.Ok) {
+      C->send(makeErrorResponse(Req.Id, PO.Code, PO.Message));
+      continue;
+    }
+
+    switch (Req.Ty) {
+    case Request::Type::Ping:
+      C->send(makePongResponse(Req.Id));
+      break;
+    case Request::Type::Status:
+      C->send(makeStatusResponse(Req.Id, S.metricsJson()));
+      break;
+    case Request::Type::ReloadLibrary: {
+      Server::ReloadOutcome O =
+          S.reloadLibrary(Req.Sources, Req.LoadStdlib);
+      if (O.Success)
+        C->send(makeReloadResponse(Req.Id, O.Generation, O.Changed));
+      else
+        C->send(makeErrorResponse(Req.Id, ErrorCode::ReloadFailed,
+                                  O.Diagnostics));
+      break;
+    }
+    case Request::Type::Expand: {
+      RequestOptions RO;
+      RO.MaxMetaSteps = Req.MaxMetaSteps;
+      RO.TimeoutMillis = Req.TimeoutMillis;
+      RO.UseCache = Req.UseCache;
+      RO.Tag = Req.Id;
+      C->beginRequest();
+      std::string Id = Req.Id;
+      std::shared_ptr<Conn> CRef = C;
+      Server::Admission A = S.submit(
+          {Req.Name, Req.Source}, std::move(RO),
+          [CRef, Id](const ExpandResult &R, uint64_t Gen) {
+            CRef->send(makeExpandResponse(Id, R, Gen));
+            CRef->endRequest();
+          });
+      if (A == Server::Admission::Overloaded) {
+        C->send(makeErrorResponse(Id, ErrorCode::Overloaded,
+                                  "admission queue full; retry later"));
+        C->endRequest();
+      } else if (A == Server::Admission::Draining) {
+        C->send(makeErrorResponse(Id, ErrorCode::ShuttingDown,
+                                  "server is draining"));
+        C->endRequest();
+      }
+      break;
+    }
+    }
+  }
+  C->waitQuiesced();
+}
+
+//===----------------------------------------------------------------------===//
+// Signal-driven shutdown: the handler only writes one byte to a pipe the
+// accept loop polls (async-signal-safe); all real work happens on the
+// main thread.
+//===----------------------------------------------------------------------===//
+
+int WakeWriteFd = -1;
+
+void onTermSignal(int) {
+  if (WakeWriteFd >= 0) {
+    char B = 'x';
+    [[maybe_unused]] ssize_t N = ::write(WakeWriteFd, &B, 1);
+  }
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+int usage(int Code) {
+  std::fprintf(
+      Code ? stderr : stdout,
+      "usage: msqd (--socket PATH | --stdio) [-stdlib] [-l library.c]...\n"
+      "            [--workers N] [--queue-cap N] [--cache]\n"
+      "            [--cache-dir DIR] [--max-meta-steps N] [--timeout-ms N]\n"
+      "            [-hygienic] [-c] [--quiet]\n");
+  return Code;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SocketPath;
+  bool Stdio = false;
+  bool StdLib = false;
+  bool Quiet = false;
+  std::vector<std::string> Libraries;
+  ServerOptions SO;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "msqd: %s needs an argument\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (Arg == "--socket") {
+      const char *V = NextArg("--socket");
+      if (!V)
+        return 2;
+      SocketPath = V;
+    } else if (Arg == "--stdio") {
+      Stdio = true;
+    } else if (Arg == "-l") {
+      const char *V = NextArg("-l");
+      if (!V)
+        return 2;
+      Libraries.push_back(V);
+    } else if (Arg == "-stdlib") {
+      StdLib = true;
+    } else if (Arg == "--workers") {
+      const char *V = NextArg("--workers");
+      if (!V)
+        return 2;
+      SO.Workers = unsigned(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--queue-cap") {
+      const char *V = NextArg("--queue-cap");
+      if (!V)
+        return 2;
+      SO.QueueCapacity = std::strtoul(V, nullptr, 10);
+    } else if (Arg == "--cache") {
+      SO.EngineOpts.EnableExpansionCache = true;
+    } else if (Arg == "--cache-dir") {
+      const char *V = NextArg("--cache-dir");
+      if (!V)
+        return 2;
+      SO.EngineOpts.EnableExpansionCache = true;
+      SO.EngineOpts.ExpansionCacheDir = V;
+    } else if (Arg == "--max-meta-steps") {
+      const char *V = NextArg("--max-meta-steps");
+      if (!V)
+        return 2;
+      SO.EngineOpts.MaxMetaSteps = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--timeout-ms") {
+      const char *V = NextArg("--timeout-ms");
+      if (!V)
+        return 2;
+      SO.EngineOpts.UnitTimeoutMillis = unsigned(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "-hygienic") {
+      SO.EngineOpts.HygienicExpansion = true;
+    } else if (Arg == "-c") {
+      SO.EngineOpts.UseCompiledPatterns = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "-h" || Arg == "--help") {
+      return usage(0);
+    } else {
+      std::fprintf(stderr, "msqd: unknown argument '%s'\n", Arg.c_str());
+      return usage(2);
+    }
+  }
+  if (Stdio == !SocketPath.empty()) {
+    std::fprintf(stderr, "msqd: pass exactly one of --socket and --stdio\n");
+    return usage(2);
+  }
+
+  // A worker completing a request for a vanished client must not kill
+  // the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Structured request log: one JSON line per event on stderr.
+  static std::mutex LogMutex;
+  if (!Quiet)
+    SO.LogSink = [](const std::string &Line) {
+      std::lock_guard<std::mutex> Lock(LogMutex);
+      std::fprintf(stderr, "%s\n", Line.c_str());
+    };
+
+  Server S(SO);
+
+  // Initial macro library, same flags as msqc.
+  {
+    std::vector<SourceUnit> Units;
+    for (const std::string &Path : Libraries) {
+      std::string Text;
+      if (!readFile(Path, Text)) {
+        std::fprintf(stderr, "msqd: cannot read library '%s'\n",
+                     Path.c_str());
+        return 1;
+      }
+      Units.push_back({Path, std::move(Text)});
+    }
+    if (StdLib || !Units.empty()) {
+      Server::ReloadOutcome O = S.reloadLibrary(Units, StdLib);
+      if (!O.Success) {
+        std::fprintf(stderr, "msqd: library failed to load:\n%s",
+                     O.Diagnostics.c_str());
+        return 1;
+      }
+    }
+  }
+
+  if (Stdio) {
+    auto C = std::make_shared<Conn>(0, 1, /*OwnsFds=*/false);
+    serveConnection(C, S); // returns on stdin EOF
+    S.drain();
+    return 0;
+  }
+
+  UnixListener Listener;
+  std::string Err;
+  if (!Listener.listenOn(SocketPath, &Err)) {
+    std::fprintf(stderr, "msqd: cannot listen on '%s': %s\n",
+                 SocketPath.c_str(), Err.c_str());
+    return 1;
+  }
+
+  int WakePipe[2];
+  if (::pipe(WakePipe) != 0) {
+    std::fprintf(stderr, "msqd: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  WakeWriteFd = WakePipe[1];
+  std::signal(SIGTERM, onTermSignal);
+  std::signal(SIGINT, onTermSignal);
+
+  std::fprintf(stdout, "{\"event\":\"ready\",\"socket\":\"%s\"}\n",
+               jsonEscape(SocketPath).c_str());
+  std::fflush(stdout);
+
+  std::vector<std::thread> ConnThreads;
+  std::mutex ConnsMutex;
+  std::vector<std::weak_ptr<Conn>> Conns;
+
+  for (;;) {
+    bool Woken = false;
+    int Fd = Listener.acceptClient(WakePipe[0], Woken);
+    if (Woken)
+      break; // SIGTERM/SIGINT: begin drain
+    if (Fd < 0)
+      break; // listener failed; drain and exit rather than spin
+    auto C = std::make_shared<Conn>(Fd, Fd, /*OwnsFds=*/true);
+    {
+      std::lock_guard<std::mutex> Lock(ConnsMutex);
+      Conns.push_back(C);
+    }
+    ConnThreads.emplace_back([C, &S] { serveConnection(C, S); });
+  }
+
+  // Drain: stop reading from every client (they see clean EOF on their
+  // next request), complete everything admitted, then leave. The
+  // listener's destructor unlinks the socket file.
+  {
+    std::lock_guard<std::mutex> Lock(ConnsMutex);
+    for (const std::weak_ptr<Conn> &W : Conns)
+      if (std::shared_ptr<Conn> C = W.lock())
+        ::shutdown(C->ReadFd, SHUT_RD);
+  }
+  S.drain();
+  for (std::thread &T : ConnThreads)
+    T.join();
+  ::close(WakePipe[0]);
+  ::close(WakePipe[1]);
+  return 0;
+}

@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size log-bucketed histogram for request latencies. Buckets are
+/// powers of two refined by three sub-bucket bits, so any recorded value
+/// lands in a bucket whose width is at most 12.5% of its magnitude —
+/// precise enough for p50/p95/p99 reporting, with O(1) record and no
+/// allocation after construction. Values are unitless; the server records
+/// nanoseconds.
+///
+/// Not internally synchronized: callers serialize access (the expansion
+/// server guards its histogram with the metrics mutex).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SUPPORT_HISTOGRAM_H
+#define MSQ_SUPPORT_HISTOGRAM_H
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace msq {
+
+class LatencyHistogram {
+public:
+  /// Sub-bucket resolution: 2^SubBits linear slots per power-of-two range.
+  static constexpr unsigned SubBits = 3;
+  static constexpr size_t BucketCount = (64 - SubBits + 1) << SubBits;
+
+  void record(uint64_t Value) {
+    ++Buckets[bucketIndex(Value)];
+    ++Count_;
+    Sum_ += Value;
+    if (Value > Max_)
+      Max_ = Value;
+  }
+
+  uint64_t count() const { return Count_; }
+  uint64_t sum() const { return Sum_; }
+  uint64_t max() const { return Max_; }
+  uint64_t mean() const { return Count_ ? Sum_ / Count_ : 0; }
+
+  /// The approximate value at quantile \p Q in [0, 1]: the lower bound of
+  /// the bucket containing the ceil(Q * count)-th smallest recording.
+  /// Returns 0 when nothing was recorded.
+  uint64_t quantile(double Q) const {
+    if (Count_ == 0)
+      return 0;
+    if (Q < 0)
+      Q = 0;
+    if (Q > 1)
+      Q = 1;
+    uint64_t Rank = uint64_t(Q * double(Count_));
+    if (Rank >= Count_)
+      Rank = Count_ - 1;
+    uint64_t Seen = 0;
+    for (size_t I = 0; I != BucketCount; ++I) {
+      Seen += Buckets[I];
+      if (Seen > Rank)
+        return bucketLowerBound(I);
+    }
+    return Max_; // unreachable unless counters were merged inconsistently
+  }
+
+  void merge(const LatencyHistogram &Other) {
+    for (size_t I = 0; I != BucketCount; ++I)
+      Buckets[I] += Other.Buckets[I];
+    Count_ += Other.Count_;
+    Sum_ += Other.Sum_;
+    if (Other.Max_ > Max_)
+      Max_ = Other.Max_;
+  }
+
+  /// Bucketing scheme (exposed for tests). Values below 2^SubBits map to
+  /// exact one-value buckets; above that, the bucket keeps the leading
+  /// 1+SubBits significant bits.
+  static size_t bucketIndex(uint64_t V) {
+    if (V < (uint64_t(1) << SubBits))
+      return size_t(V);
+    unsigned Major = unsigned(std::bit_width(V)) - 1; // >= SubBits
+    uint64_t Sub = (V >> (Major - SubBits)) & ((uint64_t(1) << SubBits) - 1);
+    return (size_t(Major - SubBits + 1) << SubBits) | size_t(Sub);
+  }
+
+  static uint64_t bucketLowerBound(size_t Index) {
+    if (Index < (size_t(1) << SubBits))
+      return uint64_t(Index);
+    unsigned Major = unsigned(Index >> SubBits) + SubBits - 1;
+    uint64_t Sub = uint64_t(Index) & ((uint64_t(1) << SubBits) - 1);
+    return (uint64_t(1) << Major) | (Sub << (Major - SubBits));
+  }
+
+private:
+  std::array<uint64_t, BucketCount> Buckets{};
+  uint64_t Count_ = 0;
+  uint64_t Sum_ = 0;
+  uint64_t Max_ = 0;
+};
+
+} // namespace msq
+
+#endif // MSQ_SUPPORT_HISTOGRAM_H

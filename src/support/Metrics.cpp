@@ -79,6 +79,10 @@ std::string CacheStats::toJson() const {
   Out += std::to_string(BytesRead);
   Out += ",\"bytes_written\":";
   Out += std::to_string(BytesWritten);
+  Out += ",\"disk_read_errors\":";
+  Out += std::to_string(DiskReadErrors);
+  Out += ",\"disk_write_errors\":";
+  Out += std::to_string(DiskWriteErrors);
   Out += '}';
   return Out;
 }

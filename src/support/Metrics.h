@@ -82,6 +82,15 @@ struct CacheStats {
   /// the numbers mean the same thing with and without a disk directory.
   uint64_t BytesRead = 0;
   uint64_t BytesWritten = 0;
+  /// Disk-tier failures. The disk tier degrades silently BY DESIGN (a
+  /// corrupt entry is a miss, an unwritable directory keeps the memory
+  /// tier working), so these counters are the only way a deployment can
+  /// see that its persistent tier is rotting. A read error is an entry
+  /// that existed but could not be used (unreadable or failed
+  /// deserialization); a plain absent entry is not an error. A write
+  /// error is a store whose disk publish failed at any stage.
+  uint64_t DiskReadErrors = 0;
+  uint64_t DiskWriteErrors = 0;
 
   void merge(const CacheStats &Other) {
     Hits += Other.Hits;
@@ -89,10 +98,12 @@ struct CacheStats {
     Uncacheable += Other.Uncacheable;
     BytesRead += Other.BytesRead;
     BytesWritten += Other.BytesWritten;
+    DiskReadErrors += Other.DiskReadErrors;
+    DiskWriteErrors += Other.DiskWriteErrors;
   }
 
   /// {"hits":N,"misses":N,"uncacheable":N,"bytes_read":N,
-  ///  "bytes_written":N}
+  ///  "bytes_written":N,"disk_read_errors":N,"disk_write_errors":N}
   std::string toJson() const;
 };
 

@@ -1,0 +1,187 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace msq;
+
+FdHandle &FdHandle::operator=(FdHandle &&O) noexcept {
+  if (this != &O) {
+    reset(O.Fd);
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+int FdHandle::release() {
+  int F = Fd;
+  Fd = -1;
+  return F;
+}
+
+void FdHandle::reset(int NewFd) {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = NewFd;
+}
+
+namespace {
+
+/// Fills a sockaddr_un for \p Path; fails when the path does not fit
+/// (sun_path is famously short).
+bool makeAddress(const std::string &Path, sockaddr_un &Addr,
+                 std::string *Err) {
+  if (Path.size() + 1 > sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path too long: " + Path;
+    return false;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+std::string errnoMessage(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+UnixListener::~UnixListener() {
+  if (Fd.valid() && !Path.empty())
+    ::unlink(Path.c_str());
+}
+
+bool UnixListener::listenOn(const std::string &P, std::string *Err) {
+  sockaddr_un Addr;
+  if (!makeAddress(P, Addr, Err))
+    return false;
+  FdHandle S(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!S.valid()) {
+    if (Err)
+      *Err = errnoMessage("socket");
+    return false;
+  }
+  ::unlink(P.c_str()); // a stale socket file from a dead daemon
+  if (::bind(S.get(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    if (Err)
+      *Err = errnoMessage("bind");
+    return false;
+  }
+  if (::listen(S.get(), 64) != 0) {
+    if (Err)
+      *Err = errnoMessage("listen");
+    return false;
+  }
+  Fd = std::move(S);
+  Path = P;
+  return true;
+}
+
+int UnixListener::acceptClient(int WakeFd, bool &Woken) {
+  Woken = false;
+  for (;;) {
+    pollfd Fds[2] = {{Fd.get(), POLLIN, 0}, {WakeFd, POLLIN, 0}};
+    int N = ::poll(Fds, WakeFd >= 0 ? 2 : 1, -1);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (WakeFd >= 0 && (Fds[1].revents & (POLLIN | POLLHUP | POLLERR))) {
+      Woken = true;
+      return -1;
+    }
+    if (Fds[0].revents & (POLLIN | POLLERR | POLLHUP)) {
+      int C = ::accept(Fd.get(), nullptr, nullptr);
+      if (C >= 0)
+        return C;
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN)
+        continue;
+      return -1;
+    }
+  }
+}
+
+int msq::connectUnix(const std::string &Path, std::string *Err) {
+  sockaddr_un Addr;
+  if (!makeAddress(Path, Addr, Err))
+    return -1;
+  FdHandle S(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!S.valid()) {
+    if (Err)
+      *Err = errnoMessage("socket");
+    return -1;
+  }
+  if (::connect(S.get(), reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    if (Err)
+      *Err = errnoMessage("connect");
+    return -1;
+  }
+  return S.release();
+}
+
+FrameReader::Status FrameReader::next(std::string &Frame) {
+  for (;;) {
+    // Scan only bytes not inspected by a previous call.
+    size_t NL = Buffer.find('\n', Scanned);
+    if (NL != std::string::npos) {
+      Frame.assign(Buffer, 0, NL);
+      Buffer.erase(0, NL + 1);
+      Scanned = 0;
+      return Status::Frame;
+    }
+    Scanned = Buffer.size();
+    if (Buffer.size() > MaxFrameBytes)
+      return Status::TooLong;
+    char Chunk[4096];
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N > 0) {
+      Buffer.append(Chunk, size_t(N));
+      continue;
+    }
+    if (N == 0)
+      return Buffer.empty() ? Status::Eof : Status::Truncated;
+    if (errno == EINTR)
+      continue;
+    return Status::Error;
+  }
+}
+
+bool msq::writeAll(int Fd, std::string_view Bytes) {
+  size_t Off = 0;
+  while (Off != Bytes.size()) {
+    ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (N > 0) {
+      Off += size_t(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+bool msq::writeFrame(int Fd, std::string_view Frame) {
+  std::string Out;
+  Out.reserve(Frame.size() + 1);
+  Out.append(Frame);
+  Out.push_back('\n');
+  return writeAll(Fd, Out);
+}

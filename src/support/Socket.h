@@ -1,0 +1,114 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unix-domain socket and frame-IO helpers for the expansion server. The
+/// wire unit everywhere is a FRAME: one newline-terminated byte string
+/// (the protocol layer puts one JSON object per frame). FrameReader
+/// enforces a maximum frame size so a malicious or broken peer cannot
+/// make the server buffer unbounded input; an oversized frame is reported
+/// as a distinct condition (the server answers it with an error and drops
+/// the connection rather than resynchronizing mid-stream).
+///
+/// Everything here works on plain file descriptors, so the same framing
+/// serves Unix sockets (the daemon) and pipes/stdio (tests, CI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SUPPORT_SOCKET_H
+#define MSQ_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace msq {
+
+/// Owning file descriptor (closes on destruction; move-only).
+class FdHandle {
+public:
+  FdHandle() = default;
+  explicit FdHandle(int Fd) : Fd(Fd) {}
+  FdHandle(FdHandle &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  FdHandle &operator=(FdHandle &&O) noexcept;
+  FdHandle(const FdHandle &) = delete;
+  FdHandle &operator=(const FdHandle &) = delete;
+  ~FdHandle() { reset(); }
+
+  int get() const { return Fd; }
+  bool valid() const { return Fd >= 0; }
+  int release();
+  void reset(int NewFd = -1);
+
+private:
+  int Fd = -1;
+};
+
+/// A bound, listening Unix-domain socket. The socket file is unlinked on
+/// destruction (best effort).
+class UnixListener {
+public:
+  UnixListener() = default;
+  ~UnixListener();
+  UnixListener(UnixListener &&) = default;
+  UnixListener &operator=(UnixListener &&) = default;
+
+  /// Binds and listens on \p Path (unlinking a stale socket file first).
+  /// Returns false with \p Err set on failure.
+  bool listenOn(const std::string &Path, std::string *Err);
+
+  /// Waits for a client or for \p WakeFd to become readable (the drain
+  /// signal). Returns the accepted fd, or -1 when woken/failed — callers
+  /// distinguish via \p Woken.
+  int acceptClient(int WakeFd, bool &Woken);
+
+  bool valid() const { return Fd.valid(); }
+  const std::string &path() const { return Path; }
+
+private:
+  FdHandle Fd;
+  std::string Path;
+};
+
+/// Connects to the Unix-domain socket at \p Path; returns the fd or -1
+/// (with \p Err set).
+int connectUnix(const std::string &Path, std::string *Err);
+
+/// Incremental reader of newline-terminated frames from a descriptor.
+class FrameReader {
+public:
+  enum class Status {
+    Frame,    ///< A complete frame was read (newline stripped).
+    Eof,      ///< Orderly end of stream at a frame boundary.
+    Truncated,///< Stream ended mid-frame (partial bytes discarded).
+    TooLong,  ///< Frame exceeded the size limit before its newline.
+    Error,    ///< Read error (errno-level).
+  };
+
+  FrameReader(int Fd, size_t MaxFrameBytes)
+      : Fd(Fd), MaxFrameBytes(MaxFrameBytes) {}
+
+  /// Blocks until one of the Status conditions; fills \p Frame on Frame.
+  Status next(std::string &Frame);
+
+private:
+  int Fd;
+  size_t MaxFrameBytes;
+  std::string Buffer;
+  size_t Scanned = 0; // prefix of Buffer already known newline-free
+};
+
+/// Writes all of \p Bytes to \p Fd, retrying on short writes and EINTR.
+/// Returns false on any write error (e.g. the peer disconnected).
+bool writeAll(int Fd, std::string_view Bytes);
+
+/// Writes \p Frame plus the terminating newline.
+bool writeFrame(int Fd, std::string_view Frame);
+
+} // namespace msq
+
+#endif // MSQ_SUPPORT_SOCKET_H

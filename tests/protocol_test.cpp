@@ -1,0 +1,442 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests for the msqd wire protocol: the JSON reader, request parsing and
+// validation, frame IO over pipes, the latency histogram, and a
+// robustness sweep over malformed input (truncated frames, oversized
+// frames, invalid JSON, unknown request types) — every one of which must
+// yield a typed error, never a crash.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+#include "support/Histogram.h"
+#include "support/Socket.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace msq;
+
+namespace {
+
+json::Value parseOk(const std::string &Text) {
+  json::Value V;
+  std::string Err;
+  EXPECT_TRUE(json::parse(Text, V, &Err)) << Text << " -> " << Err;
+  return V;
+}
+
+bool parseFails(const std::string &Text) {
+  json::Value V;
+  std::string Err;
+  return !json::parse(Text, V, &Err);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON reader
+//===----------------------------------------------------------------------===//
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(parseOk("null").K, json::Value::Kind::Null);
+  EXPECT_TRUE(parseOk("true").B);
+  EXPECT_FALSE(parseOk("false").B);
+  EXPECT_EQ(parseOk("42").Num, 42);
+  EXPECT_EQ(parseOk("-3.5").Num, -3.5);
+  EXPECT_EQ(parseOk("1e3").Num, 1000);
+  EXPECT_EQ(parseOk("\"hi\"").Str, "hi");
+}
+
+TEST(Json, Strings) {
+  EXPECT_EQ(parseOk(R"("a\"b\\c\/d")").Str, "a\"b\\c/d");
+  EXPECT_EQ(parseOk(R"("\n\t\r\b\f")").Str, "\n\t\r\b\f");
+  EXPECT_EQ(parseOk(R"("\u0041")").Str, "A");
+  EXPECT_EQ(parseOk(R"("\u00e9")").Str, "\xc3\xa9");          // é
+  EXPECT_EQ(parseOk(R"("\u4e16")").Str, "\xe4\xb8\x96");      // 世
+  EXPECT_EQ(parseOk(R"("\ud83d\ude00")").Str, "\xf0\x9f\x98\x80"); // 😀
+}
+
+TEST(Json, Containers) {
+  json::Value V = parseOk(R"({"a":[1,2,3],"b":{"c":true}})");
+  ASSERT_TRUE(V.isObject());
+  const json::Value *A = V.get("a");
+  ASSERT_TRUE(A && A->isArray());
+  EXPECT_EQ(A->Arr.size(), 3u);
+  EXPECT_EQ(A->Arr[2].Num, 3);
+  const json::Value *B = V.get("b");
+  ASSERT_TRUE(B && B->isObject());
+  ASSERT_TRUE(B->get("c"));
+  EXPECT_TRUE(B->get("c")->B);
+  EXPECT_EQ(V.get("missing"), nullptr);
+}
+
+TEST(Json, AsU64) {
+  uint64_t N = 0;
+  EXPECT_TRUE(parseOk("7").asU64(N));
+  EXPECT_EQ(N, 7u);
+  EXPECT_FALSE(parseOk("-1").asU64(N));
+  EXPECT_FALSE(parseOk("1.5").asU64(N));
+  EXPECT_FALSE(parseOk("\"7\"").asU64(N));
+  EXPECT_FALSE(parseOk("1e300").asU64(N));
+}
+
+TEST(Json, Rejects) {
+  EXPECT_TRUE(parseFails(""));
+  EXPECT_TRUE(parseFails("{"));
+  EXPECT_TRUE(parseFails("}"));
+  EXPECT_TRUE(parseFails("{\"a\":}"));
+  EXPECT_TRUE(parseFails("[1,]"));
+  EXPECT_TRUE(parseFails("{\"a\" 1}"));
+  EXPECT_TRUE(parseFails("01"));
+  EXPECT_TRUE(parseFails("+1"));
+  EXPECT_TRUE(parseFails("nul"));
+  EXPECT_TRUE(parseFails("truex"));
+  EXPECT_TRUE(parseFails("\"unterminated"));
+  EXPECT_TRUE(parseFails("\"bad\\q\""));
+  EXPECT_TRUE(parseFails("\"\\u12\""));
+  EXPECT_TRUE(parseFails("{} {}"));   // trailing garbage
+  EXPECT_TRUE(parseFails("1 2"));
+  EXPECT_TRUE(parseFails(std::string("\"") + '\x01' + "\"")); // raw control
+}
+
+TEST(Json, DepthBounded) {
+  // Deep nesting must fail cleanly, not overflow the stack.
+  std::string Deep(100000, '[');
+  EXPECT_TRUE(parseFails(Deep));
+  std::string DeepObj;
+  for (int I = 0; I != 100000; ++I)
+    DeepObj += "{\"a\":";
+  EXPECT_TRUE(parseFails(DeepObj));
+}
+
+TEST(Json, RoundTripsEscapedPayload) {
+  // jsonEscape-produced frames parse back to the original bytes.
+  std::string Nasty = "line1\nline2\t\"quoted\" \\slash \x01 end";
+  std::string Frame = "{\"s\":\"" + jsonEscape(Nasty) + "\"}";
+  json::Value V = parseOk(Frame);
+  ASSERT_TRUE(V.get("s"));
+  EXPECT_EQ(V.get("s")->Str, Nasty);
+}
+
+//===----------------------------------------------------------------------===//
+// Request parsing
+//===----------------------------------------------------------------------===//
+
+TEST(ParseRequest, Expand) {
+  Request R;
+  ParseOutcome O = parseRequest(
+      makeExpandRequest("id1", "a.c", "int x;", false, 100, 200), R);
+  ASSERT_TRUE(O.Ok) << O.Message;
+  EXPECT_EQ(R.Ty, Request::Type::Expand);
+  EXPECT_EQ(R.Id, "id1");
+  EXPECT_EQ(R.Name, "a.c");
+  EXPECT_EQ(R.Source, "int x;");
+  EXPECT_FALSE(R.UseCache);
+  EXPECT_EQ(R.MaxMetaSteps, 100u);
+  EXPECT_EQ(R.TimeoutMillis, 200u);
+}
+
+TEST(ParseRequest, ExpandDefaults) {
+  Request R;
+  ParseOutcome O = parseRequest(
+      R"({"v":1,"id":"x","type":"expand","name":"a.c","source":""})", R);
+  ASSERT_TRUE(O.Ok) << O.Message;
+  EXPECT_TRUE(R.UseCache);
+  EXPECT_EQ(R.MaxMetaSteps, 0u);
+  EXPECT_EQ(R.TimeoutMillis, 0u);
+}
+
+TEST(ParseRequest, Reload) {
+  Request R;
+  std::vector<SourceUnit> Units = {{"l1.c", "src1"}, {"l2.c", "src2"}};
+  ParseOutcome O = parseRequest(makeReloadRequest("r", Units, true), R);
+  ASSERT_TRUE(O.Ok) << O.Message;
+  EXPECT_EQ(R.Ty, Request::Type::ReloadLibrary);
+  ASSERT_EQ(R.Sources.size(), 2u);
+  EXPECT_EQ(R.Sources[1].Name, "l2.c");
+  EXPECT_EQ(R.Sources[1].Source, "src2");
+  EXPECT_TRUE(R.LoadStdlib);
+}
+
+TEST(ParseRequest, StatusAndPing) {
+  Request R;
+  EXPECT_TRUE(parseRequest(makeStatusRequest("s"), R).Ok);
+  EXPECT_EQ(R.Ty, Request::Type::Status);
+  EXPECT_TRUE(parseRequest(makePingRequest("p"), R).Ok);
+  EXPECT_EQ(R.Ty, Request::Type::Ping);
+}
+
+TEST(ParseRequest, VersionChecked) {
+  Request R;
+  ParseOutcome O = parseRequest(R"({"v":2,"id":"x","type":"ping"})", R);
+  EXPECT_FALSE(O.Ok);
+  EXPECT_EQ(O.Code, ErrorCode::BadVersion);
+  EXPECT_EQ(R.Id, "x"); // id still recovered for the error response
+
+  O = parseRequest(R"({"id":"x","type":"ping"})", R);
+  EXPECT_FALSE(O.Ok);
+  EXPECT_EQ(O.Code, ErrorCode::BadVersion);
+}
+
+TEST(ParseRequest, UnknownType) {
+  Request R;
+  ParseOutcome O =
+      parseRequest(R"({"v":1,"id":"x","type":"transmogrify"})", R);
+  EXPECT_FALSE(O.Ok);
+  EXPECT_EQ(O.Code, ErrorCode::UnknownType);
+}
+
+TEST(ParseRequest, FieldValidation) {
+  Request R;
+  // Missing source.
+  EXPECT_EQ(parseRequest(
+                R"({"v":1,"id":"x","type":"expand","name":"a.c"})", R)
+                .Code,
+            ErrorCode::BadRequest);
+  // Ill-typed name.
+  EXPECT_EQ(parseRequest(
+                R"({"v":1,"id":"x","type":"expand","name":3,"source":""})", R)
+                .Code,
+            ErrorCode::BadRequest);
+  // Negative fuel.
+  EXPECT_EQ(
+      parseRequest(
+          R"({"v":1,"id":"x","type":"expand","name":"a",)"
+          R"("source":"","max_meta_steps":-5})",
+          R)
+          .Code,
+      ErrorCode::BadRequest);
+  // Sources not an array.
+  EXPECT_EQ(parseRequest(
+                R"({"v":1,"id":"x","type":"reload_library","sources":7})", R)
+                .Code,
+            ErrorCode::BadRequest);
+  // Not even an object.
+  EXPECT_EQ(parseRequest("[1,2,3]", R).Code, ErrorCode::BadRequest);
+}
+
+// Robustness sweep: none of these may crash, and all must produce a
+// ParseOutcome with Ok=false (the daemon turns that into an `error`
+// response).
+TEST(ParseRequest, MalformedNeverCrashes) {
+  const char *Cases[] = {
+      "",
+      "   ",
+      "\0x",
+      "{",
+      "{}",
+      "[]",
+      "null",
+      "\"just a string\"",
+      R"({"v":1})",
+      R"({"v":"1","id":"x","type":"ping"})",
+      R"({"v":1,"id":42,"type":"ping"})",
+      R"({"v":1,"id":"x","type":42})",
+      R"({"v":1,"id":"x","type":"expand","name":"a.c","source":123})",
+      R"({"v":1,"id":"x","type":"reload_library","sources":[42]})",
+      R"({"v":1,"id":"x","type":"reload_library","sources":[{"name":"a"}]})",
+      "\x00\x01\x02\x03",
+      "}}}}}}}}",
+  };
+  for (const char *C : Cases) {
+    Request R;
+    ParseOutcome O = parseRequest(C, R);
+    EXPECT_FALSE(O.Ok) << "accepted: " << C;
+    EXPECT_FALSE(O.Message.empty());
+  }
+}
+
+// Pseudo-random byte soup, deterministic seed: the parser must reject
+// everything without crashing (a frame of random bytes is essentially
+// never valid JSON of the request shape).
+TEST(ParseRequest, RandomBytesFuzz) {
+  uint64_t S = 0x9e3779b97f4a7c15ull;
+  auto Next = [&S] {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  };
+  for (int Round = 0; Round != 500; ++Round) {
+    std::string Frame;
+    size_t Len = Next() % 64;
+    for (size_t I = 0; I != Len; ++I)
+      Frame.push_back(char(Next() & 0xff));
+    Request R;
+    (void)parseRequest(Frame, R); // must simply not crash
+  }
+  // Structured fuzz: mutate a valid request one byte at a time.
+  std::string Valid = makeExpandRequest("id", "a.c", "int x;", true, 0, 0);
+  for (size_t I = 0; I != Valid.size(); ++I) {
+    std::string Mut = Valid;
+    Mut[I] = char(Next() & 0xff);
+    Request R;
+    (void)parseRequest(Mut, R);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Frame IO
+//===----------------------------------------------------------------------===//
+
+struct PipePair {
+  int R = -1, W = -1;
+  PipePair() {
+    int Fds[2];
+    EXPECT_EQ(::pipe(Fds), 0);
+    R = Fds[0];
+    W = Fds[1];
+  }
+  ~PipePair() {
+    if (R >= 0)
+      ::close(R);
+    if (W >= 0)
+      ::close(W);
+  }
+  void closeWrite() {
+    ::close(W);
+    W = -1;
+  }
+};
+
+TEST(FrameIO, ReadsFrames) {
+  PipePair P;
+  ASSERT_TRUE(writeFrame(P.W, "one"));
+  ASSERT_TRUE(writeAll(P.W, "two\nthree\n"));
+  P.closeWrite();
+  FrameReader Reader(P.R, 1024);
+  std::string F;
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Frame);
+  EXPECT_EQ(F, "one");
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Frame);
+  EXPECT_EQ(F, "two");
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Frame);
+  EXPECT_EQ(F, "three");
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Eof);
+}
+
+TEST(FrameIO, TruncatedFrame) {
+  PipePair P;
+  ASSERT_TRUE(writeAll(P.W, "complete\npartial-without-newline"));
+  P.closeWrite();
+  FrameReader Reader(P.R, 1024);
+  std::string F;
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Frame);
+  EXPECT_EQ(F, "complete");
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Truncated);
+}
+
+TEST(FrameIO, OversizedFrame) {
+  PipePair P;
+  std::thread Writer([&] {
+    std::string Big(4096, 'x');
+    writeAll(P.W, Big); // no newline within the limit
+    P.closeWrite();
+  });
+  FrameReader Reader(P.R, 1024);
+  std::string F;
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::TooLong);
+  Writer.join();
+}
+
+TEST(FrameIO, FrameAtLimitStillFits) {
+  PipePair P;
+  std::string Exact(512, 'y');
+  ASSERT_TRUE(writeFrame(P.W, Exact));
+  P.closeWrite();
+  FrameReader Reader(P.R, 512); // limit counts the payload, not the '\n'
+  std::string F;
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Frame);
+  EXPECT_EQ(F, Exact);
+}
+
+TEST(FrameIO, EmptyFrames) {
+  PipePair P;
+  ASSERT_TRUE(writeAll(P.W, "\n\nx\n"));
+  P.closeWrite();
+  FrameReader Reader(P.R, 64);
+  std::string F;
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Frame);
+  EXPECT_EQ(F, "");
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Frame);
+  EXPECT_EQ(F, "");
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Frame);
+  EXPECT_EQ(F, "x");
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Eof);
+}
+
+//===----------------------------------------------------------------------===//
+// Latency histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, Empty) {
+  LatencyHistogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.quantile(0.5), 0u);
+  EXPECT_EQ(H.max(), 0u);
+}
+
+TEST(Histogram, SingleValue) {
+  LatencyHistogram H;
+  H.record(1000);
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_EQ(H.max(), 1000u);
+  // The quantile returns the lower bound of the containing bucket: within
+  // the histogram's 12.5% resolution of the recorded value.
+  uint64_t Q = H.quantile(0.5);
+  EXPECT_LE(Q, 1000u);
+  EXPECT_GE(Q, 1000u - 1000u / 8);
+}
+
+TEST(Histogram, QuantileOrdering) {
+  LatencyHistogram H;
+  for (uint64_t V = 1; V <= 1000; ++V)
+    H.record(V);
+  uint64_t P50 = H.quantile(0.50);
+  uint64_t P95 = H.quantile(0.95);
+  uint64_t P99 = H.quantile(0.99);
+  EXPECT_LE(P50, P95);
+  EXPECT_LE(P95, P99);
+  EXPECT_LE(P99, H.max());
+  // Within bucket resolution of the true quantiles.
+  EXPECT_GE(P50, 500u - 500u / 8);
+  EXPECT_LE(P50, 500u);
+  EXPECT_GE(P99, 990u - 990u / 8);
+}
+
+TEST(Histogram, Merge) {
+  LatencyHistogram A, B;
+  for (uint64_t V = 1; V <= 100; ++V)
+    A.record(V * 10);
+  for (uint64_t V = 1; V <= 100; ++V)
+    B.record(V * 1000);
+  uint64_t SumA = A.sum(), SumB = B.sum();
+  A.merge(B);
+  EXPECT_EQ(A.count(), 200u);
+  EXPECT_EQ(A.sum(), SumA + SumB);
+  EXPECT_EQ(A.max(), B.max());
+}
+
+TEST(Histogram, BucketMonotone) {
+  // bucketIndex must be monotone and bucketLowerBound its partial inverse.
+  uint64_t Prev = 0;
+  for (uint64_t V : {1ull, 2ull, 7ull, 8ull, 9ull, 100ull, 1000ull,
+                     123456789ull, ~0ull}) {
+    size_t Idx = LatencyHistogram::bucketIndex(V);
+    EXPECT_GE(Idx, Prev);
+    Prev = Idx;
+    EXPECT_LE(LatencyHistogram::bucketLowerBound(Idx), V);
+  }
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+#!/bin/sh
+# End-to-end smoke test for the msqd expansion server.
+#
+#   server_smoke.sh <msqd> <msq-client> <msqc>
+#
+# Starts a daemon on a fresh Unix socket, fires ~50 mixed requests at it
+# through msq-client (expands under cache on/off, pings, status, reloads,
+# a mid-request disconnect), byte-compares every expansion against the
+# one-shot msqc CLI, and finishes with a SIGTERM that must drain cleanly
+# to exit 0. Any divergence, crash, or hang (the CTest timeout) fails.
+set -u
+
+MSQD=$1
+CLIENT=$2
+MSQC=$3
+
+WORK=$(mktemp -d /tmp/msq-smoke-XXXXXX)
+trap 'kill "$DPID" 2>/dev/null; rm -rf "$WORK"' EXIT
+cd "$WORK" || exit 1
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+#--- Fixture: a stateful macro library and a handful of user programs.
+cat > lib.c <<'EOF'
+metadcl int counter;
+
+syntax exp next {| ( ) |}
+{
+    counter = counter + 1;
+    return `($(counter));
+}
+
+syntax stmt tmpvar {| ( $$exp::e ) |}
+{
+    @id t = gensym("t");
+    return `{ int $t; $t = $e; };
+}
+
+syntax exp twice {| ( $$exp::e ) |}
+{
+    return `(($e) + ($e));
+}
+EOF
+
+NUNITS=10
+i=0
+while [ $i -lt $NUNITS ]; do
+  cat > "u$i.c" <<EOF
+int a$i = next();
+int b$i = twice(a$i);
+void f$i(void)
+{
+    tmpvar(b$i + $i);
+}
+EOF
+  i=$((i + 1))
+done
+
+#--- One-shot CLI reference outputs: one fresh msqc run per unit, exactly
+#    the isolation the server promises per request.
+i=0
+while [ $i -lt $NUNITS ]; do
+  "$MSQC" -l lib.c "u$i.c" > "ref$i.out" 2>"ref$i.err" ||
+    fail "msqc failed on u$i.c: $(cat "ref$i.err")"
+  i=$((i + 1))
+done
+
+#--- Start the daemon (cache enabled, small pool).
+SOCK="$WORK/msqd.sock"
+"$MSQD" --socket "$SOCK" -l lib.c --cache --workers 2 --quiet &
+DPID=$!
+
+"$CLIENT" --socket "$SOCK" --retry-ms 5000 ping > /dev/null ||
+  fail "daemon did not come up"
+
+#--- ~50 mixed requests: three expansion sweeps (cold cache, warm cache,
+#    cache opted out), pings, status probes, an idempotent reload, and a
+#    mid-request disconnect in the middle of it all.
+for mode in "" "" "--no-cache"; do
+  i=0
+  while [ $i -lt $NUNITS ]; do
+    # shellcheck disable=SC2086  # $mode is deliberately word-split
+    "$CLIENT" --socket "$SOCK" expand $mode "u$i.c" > "got$i.out" ||
+      fail "expand u$i.c ($mode) exited $?"
+    cmp -s "ref$i.out" "got$i.out" ||
+      fail "output of u$i.c ($mode) differs from one-shot msqc"
+    i=$((i + 1))
+  done
+
+  "$CLIENT" --socket "$SOCK" ping > /dev/null || fail "ping failed"
+  "$CLIENT" --socket "$SOCK" status > status.json || fail "status failed"
+  grep -q '"admitted"' status.json || fail "status lacks server counters"
+
+  # Disconnect with a request in flight: the daemon must shrug it off.
+  "$CLIENT" --socket "$SOCK" --no-wait expand "u0.c" > /dev/null ||
+    fail "no-wait expand failed"
+done
+
+# Reloading the identical library must not disturb equivalence (and must
+# report itself as unchanged).
+"$CLIENT" --socket "$SOCK" reload lib.c > reload.out ||
+  fail "reload exited $?"
+grep -q "unchanged" reload.out || fail "idempotent reload reported a change"
+"$CLIENT" --socket "$SOCK" expand "u3.c" > after_reload.out ||
+  fail "expand after reload failed"
+cmp -s ref3.out after_reload.out || fail "output changed after reload"
+
+# Malformed input must produce an error answer, not a dead daemon.
+printf 'this is not json\n' | timeout 10 "$MSQD" --stdio -l lib.c --quiet \
+  | grep -q '"error":"bad_request"' || fail "stdio mode mishandled bad JSON"
+"$CLIENT" --socket "$SOCK" ping > /dev/null || fail "daemon died after junk"
+
+#--- SIGTERM: clean drain, exit 0.
+kill -TERM "$DPID"
+WAITED=0
+while kill -0 "$DPID" 2>/dev/null; do
+  [ $WAITED -ge 100 ] && fail "daemon did not exit within 10s of SIGTERM"
+  sleep 0.1
+  WAITED=$((WAITED + 1))
+done
+wait "$DPID"
+STATUS=$?
+[ "$STATUS" -eq 0 ] || fail "daemon exited $STATUS after SIGTERM"
+[ -S "$SOCK" ] && fail "socket file not unlinked on shutdown"
+
+echo "PASS"
+exit 0

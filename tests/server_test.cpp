@@ -1,0 +1,583 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests for the in-process expansion server: byte-identical output vs a
+// one-shot engine, admission backpressure (queue saturation yields
+// Overloaded, never a hang), drain semantics (every admitted request
+// completes), reload/generation behavior (idempotent reloads preserve
+// cache entries, changed reloads invalidate exactly the affected keys,
+// failed reloads keep the old library), per-request limits with the
+// configured value in the diagnostic, metrics JSON, and the disk-tier
+// failure counters of the expansion cache.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "cache/ExpansionCache.h"
+#include "server/Protocol.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace msq;
+
+namespace {
+
+// Stateful macro library: a meta-global counter and gensym use make
+// per-request isolation observable (a leaky server would produce
+// different numbering than a fresh one-shot engine).
+const char *LibA = R"(
+metadcl int counter;
+
+syntax exp next {| ( ) |}
+{
+    counter = counter + 1;
+    return `($(counter));
+}
+
+syntax stmt tmpvar {| ( $$exp::e ) |}
+{
+    @id t = gensym("t");
+    return `{ int $t; $t = $e; };
+}
+
+syntax exp twice {| ( $$exp::e ) |}
+{
+    return `(($e) + ($e));
+}
+)";
+
+// Same shape, different expansion (distinct fingerprint from LibA).
+const char *LibB = R"(
+metadcl int counter;
+
+syntax exp next {| ( ) |}
+{
+    counter = counter + 10;
+    return `($(counter));
+}
+
+syntax stmt tmpvar {| ( $$exp::e ) |}
+{
+    @id t = gensym("u");
+    return `{ int $t; $t = $e; };
+}
+
+syntax exp twice {| ( $$exp::e ) |}
+{
+    return `(($e) * 2);
+}
+)";
+
+// A meta program that burns interpreter steps: fuel/timeout fodder and a
+// way to keep a worker busy for the backpressure tests.
+const char *SpinLib = R"(
+syntax exp spin {| ( ) |}
+{
+    int i;
+    i = 0;
+    while (i < 400000) {
+        i = i + 1;
+    }
+    return `(0);
+}
+)";
+
+std::string unitSource(int I) {
+  return "int a" + std::to_string(I) + " = next();\n" +
+         "void f" + std::to_string(I) + "(void)\n{\n" +
+         "    tmpvar(twice(a" + std::to_string(I) + "));\n}\n";
+}
+
+// No next(): mutating a pre-existing meta global makes a unit
+// uncacheable by design, so cache-behavior tests use this shape.
+std::string statelessUnitSource(int I) {
+  return "int b" + std::to_string(I) + " = twice(" + std::to_string(I) +
+         ");\nvoid g" + std::to_string(I) + "(void)\n{\n" +
+         "    tmpvar(b" + std::to_string(I) + ");\n}\n";
+}
+
+ServerOptions baseOptions() {
+  ServerOptions SO;
+  SO.Workers = 2;
+  return SO;
+}
+
+json::Value parseMetrics(const Server &S) {
+  json::Value V;
+  std::string Err;
+  EXPECT_TRUE(json::parse(S.metricsJson(), V, &Err)) << Err;
+  return V;
+}
+
+uint64_t metricU64(const json::Value &M, const char *Section,
+                   const char *Field) {
+  const json::Value *S = M.get(Section);
+  EXPECT_TRUE(S) << Section;
+  if (!S)
+    return 0;
+  const json::Value *F = S->get(Field);
+  EXPECT_TRUE(F) << Section << "." << Field;
+  uint64_t N = 0;
+  if (F) {
+    EXPECT_TRUE(F->asU64(N));
+  }
+  return N;
+}
+
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Buf[] = "/tmp/msq-server-test-XXXXXX";
+    Path = ::mkdtemp(Buf);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Output equivalence
+//===----------------------------------------------------------------------===//
+
+TEST(Server, ByteIdenticalToOneShotEngine) {
+  Server S(baseOptions());
+  ASSERT_TRUE(S.reloadLibrary({{"lib.c", LibA}}, false).Success);
+
+  for (int I = 0; I != 6; ++I) {
+    SourceUnit U{"u" + std::to_string(I) + ".c", unitSource(I)};
+
+    // One-shot reference: fresh engine, load library, expand the unit.
+    Engine Ref;
+    ASSERT_TRUE(Ref.expandSource("lib.c", LibA).Success);
+    ExpandResult Expected = Ref.expandSource(U.Name, U.Source);
+    ASSERT_TRUE(Expected.Success) << Expected.DiagnosticsText;
+
+    ExpandResult Got;
+    ASSERT_EQ(S.expand(U, {}, Got), Server::Admission::Accepted);
+    ASSERT_TRUE(Got.Success) << Got.DiagnosticsText;
+    EXPECT_EQ(Got.Output, Expected.Output) << U.Name;
+    EXPECT_EQ(Got.DiagnosticsText, Expected.DiagnosticsText);
+    EXPECT_EQ(Got.InvocationsExpanded, Expected.InvocationsExpanded);
+  }
+}
+
+TEST(Server, ByteIdenticalWithCacheAcrossHits) {
+  ServerOptions SO = baseOptions();
+  SO.EngineOpts.EnableExpansionCache = true;
+  Server S(SO);
+  ASSERT_TRUE(S.reloadLibrary({{"lib.c", LibA}}, false).Success);
+
+  SourceUnit U{"u.c", statelessUnitSource(0)};
+  ExpandResult Cold, Warm;
+  ASSERT_EQ(S.expand(U, {}, Cold), Server::Admission::Accepted);
+  ASSERT_EQ(S.expand(U, {}, Warm), Server::Admission::Accepted);
+  ASSERT_TRUE(Cold.Success);
+  EXPECT_FALSE(Cold.FromCache);
+  EXPECT_TRUE(Warm.FromCache);
+  EXPECT_EQ(Warm.Output, Cold.Output);
+  EXPECT_EQ(Warm.DiagnosticsText, Cold.DiagnosticsText);
+
+  json::Value M = parseMetrics(S);
+  EXPECT_EQ(metricU64(M, "cache", "hits"), 1u);
+  EXPECT_EQ(metricU64(M, "cache", "misses"), 1u);
+}
+
+// Requests admitted in one submit wave all complete and each sees a
+// pristine library (the meta-global counter never leaks across requests).
+TEST(Server, RequestIsolationUnderConcurrency) {
+  ServerOptions SO = baseOptions();
+  SO.Workers = 4;
+  Server S(SO);
+  ASSERT_TRUE(S.reloadLibrary({{"lib.c", LibA}}, false).Success);
+
+  Engine Ref;
+  ASSERT_TRUE(Ref.expandSource("lib.c", LibA).Success);
+  ExpandResult Expected = Ref.expandSource("u.c", unitSource(7));
+  ASSERT_TRUE(Expected.Success);
+
+  constexpr int N = 32;
+  std::vector<ExpandResult> Results(N);
+  std::atomic<int> Done{0};
+  for (int I = 0; I != N; ++I) {
+    Server::Admission A = S.submit(
+        {"u.c", unitSource(7)}, {},
+        [&Results, &Done, I](const ExpandResult &R, uint64_t) {
+          Results[I] = R;
+          ++Done;
+        });
+    ASSERT_EQ(A, Server::Admission::Accepted);
+  }
+  S.drain();
+  EXPECT_EQ(Done.load(), N);
+  for (const ExpandResult &R : Results)
+    EXPECT_EQ(R.Output, Expected.Output);
+}
+
+//===----------------------------------------------------------------------===//
+// Backpressure and drain
+//===----------------------------------------------------------------------===//
+
+TEST(Server, QueueSaturationYieldsOverloadedNotHangs) {
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.QueueCapacity = 2;
+  Server S(SO);
+  ASSERT_TRUE(S.reloadLibrary({{"spin.c", SpinLib}}, false).Success);
+
+  std::atomic<int> Completions{0};
+  int Accepted = 0, Overloaded = 0;
+  // One busy worker, two queue slots: a tight submission loop must
+  // outpace the spin expansions and hit the bound.
+  for (int I = 0; I != 16; ++I) {
+    Server::Admission A =
+        S.submit({"s.c", "int x = spin();\n"}, {},
+                 [&Completions](const ExpandResult &, uint64_t) {
+                   ++Completions;
+                 });
+    if (A == Server::Admission::Accepted)
+      ++Accepted;
+    else if (A == Server::Admission::Overloaded)
+      ++Overloaded;
+  }
+  EXPECT_GT(Overloaded, 0);
+  EXPECT_GT(Accepted, 0);
+
+  // Every admitted request still completes; nothing hangs or is lost.
+  S.drain();
+  EXPECT_EQ(Completions.load(), Accepted);
+
+  json::Value M = parseMetrics(S);
+  EXPECT_EQ(metricU64(M, "server", "admitted"), uint64_t(Accepted));
+  EXPECT_EQ(metricU64(M, "server", "rejected_overloaded"),
+            uint64_t(Overloaded));
+  EXPECT_EQ(metricU64(M, "server", "completed"), uint64_t(Accepted));
+}
+
+TEST(Server, DrainCompletesAdmittedThenRejects) {
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.QueueCapacity = 64;
+  Server S(SO);
+  ASSERT_TRUE(S.reloadLibrary({{"spin.c", SpinLib}}, false).Success);
+
+  std::atomic<int> Completions{0};
+  constexpr int N = 5;
+  for (int I = 0; I != N; ++I)
+    ASSERT_EQ(S.submit({"s.c", "int x = spin();\n"}, {},
+                       [&Completions](const ExpandResult &R, uint64_t) {
+                         EXPECT_TRUE(R.Success);
+                         ++Completions;
+                       }),
+              Server::Admission::Accepted);
+
+  S.drain();
+  EXPECT_EQ(Completions.load(), N); // drain completed everything admitted
+  EXPECT_TRUE(S.draining());
+
+  // Admission after drain is a typed rejection, not a hang.
+  EXPECT_EQ(S.submit({"s.c", "int y = 1;\n"}, {},
+                     [](const ExpandResult &, uint64_t) { FAIL(); }),
+            Server::Admission::Draining);
+  json::Value M = parseMetrics(S);
+  EXPECT_EQ(metricU64(M, "server", "rejected_draining"), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Reload and generations
+//===----------------------------------------------------------------------===//
+
+TEST(Server, ReloadGenerationSemantics) {
+  ServerOptions SO = baseOptions();
+  SO.EngineOpts.EnableExpansionCache = true;
+  Server S(SO);
+  EXPECT_EQ(S.generation(), 1u); // the empty library of construction
+
+  Server::ReloadOutcome O = S.reloadLibrary({{"lib.c", LibA}}, false);
+  ASSERT_TRUE(O.Success);
+  EXPECT_TRUE(O.Changed);
+  EXPECT_EQ(O.Generation, 2u);
+
+  // Fill the cache under generation 2.
+  SourceUnit U{"u.c", statelessUnitSource(1)};
+  ExpandResult R1, R2;
+  ASSERT_EQ(S.expand(U, {}, R1), Server::Admission::Accepted);
+  ASSERT_TRUE(R1.Success);
+  EXPECT_FALSE(R1.FromCache);
+
+  // Idempotent reload: same sources, same fingerprint — generation must
+  // NOT move and previously cached units must keep hitting.
+  O = S.reloadLibrary({{"lib.c", LibA}}, false);
+  ASSERT_TRUE(O.Success);
+  EXPECT_FALSE(O.Changed);
+  EXPECT_EQ(O.Generation, 2u);
+  ASSERT_EQ(S.expand(U, {}, R2), Server::Admission::Accepted);
+  EXPECT_TRUE(R2.FromCache);
+  EXPECT_EQ(R2.Output, R1.Output);
+
+  // Changed reload: new fingerprint, new generation, and the unit misses
+  // (its old entry is unreachable under the new fingerprint) then
+  // re-fills and hits again.
+  O = S.reloadLibrary({{"lib.c", LibB}}, false);
+  ASSERT_TRUE(O.Success);
+  EXPECT_TRUE(O.Changed);
+  EXPECT_EQ(O.Generation, 3u);
+  ExpandResult R3, R4;
+  ASSERT_EQ(S.expand(U, {}, R3), Server::Admission::Accepted);
+  ASSERT_TRUE(R3.Success);
+  EXPECT_FALSE(R3.FromCache);
+  EXPECT_NE(R3.Output, R1.Output); // LibB really expands differently
+  ASSERT_EQ(S.expand(U, {}, R4), Server::Admission::Accepted);
+  EXPECT_TRUE(R4.FromCache);
+  EXPECT_EQ(R4.Output, R3.Output);
+}
+
+TEST(Server, FailedReloadKeepsOldLibrary) {
+  Server S(baseOptions());
+  ASSERT_TRUE(S.reloadLibrary({{"lib.c", LibA}}, false).Success);
+  uint64_t Gen = S.generation();
+
+  SourceUnit U{"u.c", unitSource(2)};
+  ExpandResult Before;
+  ASSERT_EQ(S.expand(U, {}, Before), Server::Admission::Accepted);
+  ASSERT_TRUE(Before.Success);
+
+  Server::ReloadOutcome O =
+      S.reloadLibrary({{"broken.c", "syntax exp oops {| ("}}, false);
+  EXPECT_FALSE(O.Success);
+  EXPECT_FALSE(O.Diagnostics.empty());
+  EXPECT_EQ(S.generation(), Gen); // unchanged
+
+  // The old library still serves, identically.
+  ExpandResult After;
+  ASSERT_EQ(S.expand(U, {}, After), Server::Admission::Accepted);
+  ASSERT_TRUE(After.Success);
+  EXPECT_EQ(After.Output, Before.Output);
+}
+
+// In-flight requests admitted before a reload run against the library
+// they were admitted under (the completion reports that generation).
+TEST(Server, AdmittedRequestsFinishAgainstOldLibrary) {
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.QueueCapacity = 64;
+  Server S(SO);
+  ASSERT_TRUE(
+      S.reloadLibrary({{"spin.c", SpinLib}, {"lib.c", LibA}}, false)
+          .Success);
+  uint64_t OldGen = S.generation();
+
+  std::atomic<uint64_t> SpinGen{0};
+  std::atomic<uint64_t> LateGen{0};
+  // Occupy the worker, then queue a unit; both are admitted under OldGen.
+  ASSERT_EQ(S.submit({"s.c", "int x = spin();\n"}, {},
+                     [&SpinGen](const ExpandResult &, uint64_t G) {
+                       SpinGen = G;
+                     }),
+            Server::Admission::Accepted);
+  ASSERT_EQ(S.submit({"u.c", unitSource(3)}, {},
+                     [&LateGen](const ExpandResult &R, uint64_t G) {
+                       EXPECT_TRUE(R.Success);
+                       LateGen = G;
+                     }),
+            Server::Admission::Accepted);
+
+  // Swap the library while they are in flight / queued.
+  Server::ReloadOutcome O = S.reloadLibrary({{"lib.c", LibB}}, false);
+  ASSERT_TRUE(O.Success);
+  EXPECT_EQ(O.Generation, OldGen + 1);
+
+  S.drain();
+  EXPECT_EQ(SpinGen.load(), OldGen);
+  EXPECT_EQ(LateGen.load(), OldGen);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-request limits
+//===----------------------------------------------------------------------===//
+
+TEST(Server, PerRequestFuelLimitNamesTheBudget) {
+  Server S(baseOptions());
+  ASSERT_TRUE(S.reloadLibrary({{"spin.c", SpinLib}}, false).Success);
+
+  RequestOptions RO;
+  RO.MaxMetaSteps = 500;
+  ExpandResult R;
+  ASSERT_EQ(S.expand({"s.c", "int x = spin();\n"}, RO, R),
+            Server::Admission::Accepted);
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(R.FuelExhausted);
+  // The diagnostic names the configured limit, so a batch failure is
+  // attributable and tunable from the log alone.
+  EXPECT_NE(R.DiagnosticsText.find("step limit (500 steps)"),
+            std::string::npos)
+      << R.DiagnosticsText;
+
+  // The limit is per-request: the same unit with ample fuel succeeds on
+  // the same (reused) worker engine.
+  ExpandResult R2;
+  ASSERT_EQ(S.expand({"s.c", "int x = spin();\n"}, {}, R2),
+            Server::Admission::Accepted);
+  EXPECT_TRUE(R2.Success) << R2.DiagnosticsText;
+}
+
+TEST(Server, PerRequestTimeoutNamesTheBudget) {
+  Server S(baseOptions());
+  ASSERT_TRUE(S.reloadLibrary({{"spin.c", SpinLib}}, false).Success);
+
+  RequestOptions RO;
+  RO.TimeoutMillis = 1; // the 400k-step spin cannot finish in 1ms
+  ExpandResult R;
+  ASSERT_EQ(S.expand({"s.c", "int x = spin();\n"}, RO, R),
+            Server::Admission::Accepted);
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(R.TimedOut);
+  EXPECT_NE(R.DiagnosticsText.find("time limit (1 ms)"), std::string::npos)
+      << R.DiagnosticsText;
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics
+//===----------------------------------------------------------------------===//
+
+TEST(Server, MetricsJsonShape) {
+  ServerOptions SO = baseOptions();
+  SO.EngineOpts.EnableExpansionCache = true;
+  std::vector<std::string> Log;
+  std::mutex LogMutex;
+  SO.LogSink = [&](const std::string &Line) {
+    std::lock_guard<std::mutex> Lock(LogMutex);
+    Log.push_back(Line);
+  };
+  Server S(SO);
+  ASSERT_TRUE(S.reloadLibrary({{"lib.c", LibA}}, false).Success);
+
+  for (int I = 0; I != 4; ++I) {
+    ExpandResult R;
+    ASSERT_EQ(S.expand({"u.c", unitSource(I)}, {}, R),
+              Server::Admission::Accepted);
+  }
+
+  json::Value M = parseMetrics(S);
+  EXPECT_EQ(metricU64(M, "server", "admitted"), 4u);
+  EXPECT_EQ(metricU64(M, "server", "completed"), 4u);
+  EXPECT_EQ(metricU64(M, "server", "failed"), 0u);
+  EXPECT_EQ(metricU64(M, "server", "workers"), 2u);
+  EXPECT_EQ(metricU64(M, "server", "generation"), 2u);
+  const json::Value *Srv = M.get("server");
+  ASSERT_TRUE(Srv);
+  const json::Value *Lat = Srv->get("latency");
+  ASSERT_TRUE(Lat);
+  uint64_t Count = 0, P50 = 0, P99 = 0;
+  ASSERT_TRUE(Lat->get("count") && Lat->get("count")->asU64(Count));
+  EXPECT_EQ(Count, 4u);
+  ASSERT_TRUE(Lat->get("p50_us") && Lat->get("p50_us")->asU64(P50));
+  ASSERT_TRUE(Lat->get("p99_us") && Lat->get("p99_us")->asU64(P99));
+  EXPECT_LE(P50, P99);
+  EXPECT_TRUE(M.get("cache"));
+  EXPECT_TRUE(M.get("aggregate"));
+
+  // Every structured log line is itself valid JSON with an event field.
+  std::lock_guard<std::mutex> Lock(LogMutex);
+  EXPECT_FALSE(Log.empty());
+  for (const std::string &Line : Log) {
+    json::Value V;
+    std::string Err;
+    ASSERT_TRUE(json::parse(Line, V, &Err)) << Line << " -> " << Err;
+    EXPECT_TRUE(V.get("event")) << Line;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Disk-tier failure counters
+//===----------------------------------------------------------------------===//
+
+TEST(CacheDiskErrors, WriteFailureCounted) {
+  TempDir TD;
+  std::string Dir = TD.Path + "/tier";
+  ExpansionCache C(Dir);
+  // Sabotage the tier after construction: replace the directory with a
+  // plain file so every temp-file open fails.
+  std::filesystem::remove_all(Dir);
+  std::ofstream(Dir).put('x');
+
+  CachedExpansion E;
+  E.Success = true;
+  E.Output = "int x;\n";
+  CacheStats Stats;
+  C.store("k1", E, Stats);
+  EXPECT_EQ(Stats.DiskWriteErrors, 1u);
+  // The memory tier still works: the entry is readable back.
+  CachedExpansion Out;
+  EXPECT_TRUE(C.lookup("k1", Out, Stats));
+  EXPECT_EQ(Out.Output, E.Output);
+}
+
+TEST(CacheDiskErrors, CorruptEntryCountedAsReadError) {
+  TempDir TD;
+  std::string Key;
+  {
+    ExpansionCache Writer(TD.Path);
+    CachedExpansion E;
+    E.Success = true;
+    E.Output = "int y;\n";
+    CacheStats Stats;
+    Key = expansionCacheKey("fp", {"u.c", "int y;\n"}, 1000, true);
+    Writer.store(Key, E, Stats);
+    EXPECT_EQ(Stats.DiskWriteErrors, 0u);
+  }
+  // Corrupt the on-disk entry, then read through a fresh cache (empty
+  // memory tier forces the disk path).
+  {
+    std::ofstream F(TD.Path + "/" + Key + ".msqc",
+                    std::ios::binary | std::ios::trunc);
+    F << "garbage, not an entry";
+  }
+  ExpansionCache Reader(TD.Path);
+  CachedExpansion Out;
+  CacheStats Stats;
+  EXPECT_FALSE(Reader.lookup(Key, Out, Stats));
+  EXPECT_EQ(Stats.DiskReadErrors, 1u);
+  EXPECT_EQ(Stats.Hits, 0u);
+
+  // An absent entry is a plain miss, not a disk error.
+  CacheStats Stats2;
+  EXPECT_FALSE(Reader.lookup("absent-key", Out, Stats2));
+  EXPECT_EQ(Stats2.DiskReadErrors, 0u);
+
+  // The counters surface in the JSON rendering.
+  std::string J = Stats.toJson();
+  EXPECT_NE(J.find("\"disk_read_errors\":1"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"disk_write_errors\":0"), std::string::npos) << J;
+}
+
+TEST(CacheDiskErrors, GenerationEviction) {
+  ExpansionCache C(""); // memory-only
+  CachedExpansion E;
+  E.Success = true;
+  CacheStats Stats;
+  C.setGeneration(1);
+  C.store("old", E, Stats);
+  C.setGeneration(2);
+  C.store("new", E, Stats);
+  EXPECT_EQ(C.memoryEntryCount(), 2u);
+  EXPECT_EQ(C.evictGenerationsBefore(2), 1u); // "old" goes
+  EXPECT_EQ(C.memoryEntryCount(), 1u);
+  CachedExpansion Out;
+  EXPECT_FALSE(C.lookup("old", Out, Stats));
+  EXPECT_TRUE(C.lookup("new", Out, Stats));
+}
+
+} // namespace

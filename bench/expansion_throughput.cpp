@@ -24,6 +24,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -304,6 +305,60 @@ int runMetricsDump() {
   return BR.allSucceeded() ? 0 : 1;
 }
 
+// --provenance: expand the 64x200 stress corpus with provenance tracking
+// off (baseline) and on, caches disabled so every run pays full expansion
+// cost, and report both times plus the overhead percentage as JSON. This
+// is the acceptance measurement for provenance (<5% overhead target).
+int runProvenanceComparison() {
+  std::vector<msq::SourceUnit> Units = makeBatchUnits(64, 200);
+  msq::BatchOptions BO;
+  BO.ThreadCount = 4;
+
+  using Clock = std::chrono::steady_clock;
+  auto runOnce = [&](bool Provenance, msq::BatchResult &BR) {
+    msq::Engine::Options Opts;
+    Opts.TrackProvenance = Provenance;
+    msq::Engine E(Opts);
+    if (!E.expandSource("lib.c", BatchLibrary).Success)
+      return -1.0;
+    // Warm-up sweep, then the timed sweep.
+    (void)E.expandSources(Units, BO);
+    Clock::time_point T0 = Clock::now();
+    BR = E.expandSources(Units, BO);
+    return std::chrono::duration<double, std::milli>(Clock::now() - T0)
+        .count();
+  };
+
+  msq::BatchResult Base, Prov;
+  {
+    // Throwaway pass: first-touch costs (allocator arenas, code paging)
+    // land here rather than inflating whichever mode runs first.
+    msq::BatchResult Discard;
+    if (runOnce(false, Discard) < 0) {
+      std::fprintf(stderr, "error: provenance comparison batch failed\n");
+      return 1;
+    }
+  }
+  // Interleaved best-of-3 per mode: the minimum is the least contended
+  // run, which is the honest per-mode cost on a shared machine.
+  double BaseMs = -1.0, ProvMs = -1.0;
+  for (int Round = 0; Round != 3; ++Round) {
+    double B = runOnce(false, Base);
+    double P = runOnce(true, Prov);
+    if (B < 0 || P < 0 || !Base.allSucceeded() || !Prov.allSucceeded()) {
+      std::fprintf(stderr, "error: provenance comparison batch failed\n");
+      return 1;
+    }
+    BaseMs = BaseMs < 0 ? B : std::min(BaseMs, B);
+    ProvMs = ProvMs < 0 ? P : std::min(ProvMs, P);
+  }
+  double OverheadPct = BaseMs > 0 ? (ProvMs - BaseMs) / BaseMs * 100.0 : 0.0;
+  std::printf("{\"corpus\":\"64x200\",\"baseline_ms\":%.3f,"
+              "\"provenance_ms\":%.3f,\"overhead_pct\":%.2f}\n",
+              BaseMs, ProvMs, OverheadPct);
+  return 0;
+}
+
 // --server: drive the in-process expansion server the way msqd does —
 // C concurrent client threads firing synchronous requests over the
 // bounded scheduler — and report sustained throughput plus the server's
@@ -382,6 +437,8 @@ int main(int argc, char **argv) {
       return runCacheComparison();
     if (std::strcmp(argv[I], "--server") == 0)
       return runServerThroughput();
+    if (std::strcmp(argv[I], "--provenance") == 0)
+      return runProvenanceComparison();
   }
   std::printf("expansion throughput: character vs. token vs. syntax macro "
               "systems, N bracketing invocations per program\n\n");

@@ -1,0 +1,23 @@
+/* Lint-clean logging macros; CI runs `msq-lint --werror` over this
+   directory, so every binder must be used and every introduced
+   identifier gensym'd. */
+
+/* Conditional log without double-evaluating the condition. */
+syntax stmt log_if {| ( $$exp::cond ) $$exp::msg |}
+{
+    return `{ if ($cond) emit_log($msg); };
+}
+
+/* Log an expression's value alongside its text, via a gensym'd
+   temporary so user code cannot capture it. */
+syntax stmt log_value {| ( $$exp::value ) |}
+{
+    @id tmp = gensym("logv");
+    return `{
+        {
+            int $tmp;
+            $tmp = $value;
+            emit_log($tmp);
+        }
+    };
+}

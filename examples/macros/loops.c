@@ -1,0 +1,25 @@
+/* Lint-clean loop macros; CI runs `msq-lint --werror` over this
+   directory. Counters are gensym'd so the macros stay capture-free
+   even under non-hygienic expansion. */
+
+/* Run a statement n times with a fresh counter. */
+syntax stmt times {| ( $$exp::count ) $$stmt::body |}
+{
+    @id i = gensym("times");
+    return `{
+        int $i;
+        for ($i = 0; $i < $count; $i = $i + 1)
+            $body;
+    };
+}
+
+/* Count down from n-1 to 0. */
+syntax stmt countdown {| ( $$exp::count ) $$stmt::body |}
+{
+    @id i = gensym("down");
+    return `{
+        int $i;
+        for ($i = $count - 1; $i >= 0; $i = $i - 1)
+            $body;
+    };
+}

@@ -1,0 +1,139 @@
+//===----------------------------------------------------------------------===//
+//
+// msq-lint — definition-time static analysis of MS2 macro definitions:
+//
+//   msq-lint [options] file...       lint `syntax` / meta definitions
+//     -l <file>     load a macro-library file first (not linted; repeatable)
+//     -stdlib       load the bundled standard macro library first
+//     -hygienic     assume hygienic expansion (suppresses MSQ003 capture)
+//     --json        print findings as JSON instead of text
+//     --werror      report findings as errors
+//     --disable ID  suppress a rule by id, e.g. --disable MSQ003 (repeatable)
+//     --list-rules  print the rule table and exit
+//
+// Exit status: 0 clean, 1 on parse errors or error-severity findings
+// (all findings under --werror), 2 on usage errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+static bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+static void printUsage() {
+  std::printf("usage: msq-lint [-stdlib] [-hygienic] [-l library.c]... "
+              "[--json] [--werror]\n"
+              "                [--disable RULE]... [--list-rules] file.c...\n"
+              "lints MS2 `syntax` macro and meta-function definitions\n");
+}
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Libraries;
+  std::vector<std::string> Files;
+  std::vector<std::string> Disabled;
+  bool StdLib = false;
+  bool Hygienic = false;
+  bool Json = false;
+  bool Werror = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-l" && I + 1 < argc) {
+      Libraries.push_back(argv[++I]);
+    } else if (Arg == "--disable" && I + 1 < argc) {
+      Disabled.push_back(argv[++I]);
+    } else if (Arg == "-stdlib") {
+      StdLib = true;
+    } else if (Arg == "-hygienic") {
+      Hygienic = true;
+    } else if (Arg == "--json") {
+      Json = true;
+    } else if (Arg == "--werror") {
+      Werror = true;
+    } else if (Arg == "--list-rules") {
+      for (const msq::LintRuleInfo &R : msq::lintRules())
+        std::printf("%s %-24s %s\n", R.Id, R.Name, R.Summary);
+      return 0;
+    } else if (Arg == "-h" || Arg == "--help") {
+      printUsage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "msq-lint: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return 2;
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+
+  if (Files.empty()) {
+    std::fprintf(stderr, "msq-lint: no input files\n");
+    printUsage();
+    return 2;
+  }
+
+  msq::Engine::Options Opts;
+  Opts.HygienicExpansion = Hygienic;
+  Opts.Lint.Werror = Werror;
+  Opts.Lint.DisabledRules = Disabled;
+  msq::Engine Engine(Opts);
+  int Status = 0;
+
+  if (StdLib && !Engine.loadStandardLibrary()) {
+    std::fprintf(stderr, "msq-lint: failed to load the standard library\n");
+    return 1;
+  }
+
+  for (const std::string &Lib : Libraries) {
+    std::string Text;
+    if (!readFile(Lib, Text)) {
+      std::fprintf(stderr, "msq-lint: cannot read library '%s'\n",
+                   Lib.c_str());
+      return 1;
+    }
+    msq::ExpandResult R = Engine.expandSource(Lib, Text);
+    if (!R.Success) {
+      std::fputs(R.DiagnosticsText.c_str(), stderr);
+      return 1;
+    }
+  }
+
+  for (const std::string &F : Files) {
+    std::string Text;
+    if (!readFile(F, Text)) {
+      std::fprintf(stderr, "msq-lint: cannot read '%s'\n", F.c_str());
+      Status = 1;
+      continue;
+    }
+    msq::Engine::LintResult LR = Engine.lintSource(F, std::move(Text));
+    if (!LR.DiagnosticsText.empty())
+      std::fputs(LR.DiagnosticsText.c_str(), stderr);
+    if (!LR.Success) {
+      Status = 1;
+      continue;
+    }
+    if (Json) {
+      std::fputs(LR.Report.toJson().c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else if (!LR.Report.clean()) {
+      std::fputs(LR.Report.renderText().c_str(), stdout);
+    }
+    if (LR.Report.countOf(msq::LintSeverity::Error) > 0)
+      Status = 1;
+  }
+  return Status;
+}

@@ -9,6 +9,9 @@
 //     -trace      print an expansion trace to stderr
 //     -c          use compiled invocation patterns
 //     -q          print only diagnostics, not output
+//     -provenance track macro provenance; errors print "in expansion of"
+//                 backtraces
+//     -source-map print a JSON source map to stderr (implies -provenance)
 //
 // Exit status: 0 on success, 1 on any diagnostic error.
 //
@@ -41,6 +44,8 @@ int main(int argc, char **argv) {
   bool StdLib = false;
   bool Hygienic = false;
   bool Trace = false;
+  bool Provenance = false;
+  bool SourceMap = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -56,9 +61,15 @@ int main(int argc, char **argv) {
       Hygienic = true;
     } else if (Arg == "-trace") {
       Trace = true;
+    } else if (Arg == "-provenance") {
+      Provenance = true;
+    } else if (Arg == "-source-map") {
+      Provenance = true;
+      SourceMap = true;
     } else if (Arg == "-h" || Arg == "--help") {
-      std::printf("usage: msqc [-c] [-q] [-stdlib] [-hygienic] "
-                  "[-l library.c]... [file.c]...\n"
+      std::printf("usage: msqc [-c] [-q] [-stdlib] [-hygienic] [-trace] "
+                  "[-provenance] [-source-map]\n"
+                  "            [-l library.c]... [file.c]...\n"
                   "expands MS2 syntax macros; reads stdin when no files "
                   "are given\n");
       return 0;
@@ -71,6 +82,8 @@ int main(int argc, char **argv) {
   Opts.UseCompiledPatterns = Compiled;
   Opts.HygienicExpansion = Hygienic;
   Opts.TraceExpansions = Trace;
+  Opts.TrackProvenance = Provenance;
+  Opts.EmitSourceMap = SourceMap;
   msq::Engine Engine(Opts);
   int Status = 0;
 
@@ -98,6 +111,10 @@ int main(int argc, char **argv) {
       std::fputs(R.TraceText.c_str(), stderr);
     if (!R.DiagnosticsText.empty())
       std::fputs(R.DiagnosticsText.c_str(), stderr);
+    if (SourceMap && !R.SourceMapJson.empty()) {
+      std::fputs(R.SourceMapJson.c_str(), stderr);
+      std::fputc('\n', stderr);
+    }
     if (!R.Success) {
       Status = 1;
       return;

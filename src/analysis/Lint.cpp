@@ -1,0 +1,839 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "ast/Ast.h"
+#include "lexer/TokenKinds.h"
+#include "pattern/Pattern.h"
+#include "support/Casting.h"
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace msq;
+
+//===----------------------------------------------------------------------===//
+// Rule table
+//===----------------------------------------------------------------------===//
+
+const std::vector<LintRuleInfo> &msq::lintRules() {
+  static const std::vector<LintRuleInfo> Rules = {
+      {"MSQ001", "unused-binder",
+       "a pattern binder is never read by the macro body"},
+      {"MSQ002", "unreachable-alternative",
+       "an optional guard or repetition separator is indistinguishable from "
+       "the pattern token that follows, so one alternative can never match"},
+      {"MSQ003", "capture",
+       "a template expanded without hygiene declares a plain identifier "
+       "around spliced user code, which may capture user references"},
+      {"MSQ004", "opt-unguarded",
+       "an optional binder is spliced into a template without a present() "
+       "guard; when absent its value can never unify with the template slot"},
+      {"MSQ005", "meta-recursion",
+       "macros and meta functions form an expansion cycle with no "
+       "conditional to bound the recursion"},
+  };
+  return Rules;
+}
+
+//===----------------------------------------------------------------------===//
+// Generic AST walk
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Pre-order walk over the full node hierarchy, including the corners a
+/// naive walk misses: placeholder meta-expressions, backquote templates and
+/// their general-form MatchValue constituents, declarator suffixes,
+/// tag-type bodies, and macro-invocation arguments.
+class AstWalker {
+public:
+  std::function<void(const Node *)> OnNode;
+  std::function<void(const Ident &)> OnIdent;
+  std::function<void(const Placeholder *)> OnPlaceholder;
+
+  void walk(const Node *N) {
+    if (!N)
+      return;
+    if (OnNode)
+      OnNode(N);
+    switch (N->kind()) {
+    case NodeKind::IntLiteralExpr:
+    case NodeKind::FloatLiteralExpr:
+    case NodeKind::CharLiteralExpr:
+    case NodeKind::StringLiteralExpr:
+    case NodeKind::NullStmt:
+    case NodeKind::BreakStmt:
+    case NodeKind::ContinueStmt:
+    case NodeKind::BuiltinTypeSpecKind:
+    case NodeKind::TypedefNameSpecKind:
+    case NodeKind::MetaAstTypeSpecKind:
+      break;
+    case NodeKind::IdentExpr:
+      ident(cast<IdentExpr>(N)->Name);
+      break;
+    case NodeKind::ParenExpr:
+      walk(cast<ParenExpr>(N)->Inner);
+      break;
+    case NodeKind::InitListExpr:
+      for (const Expr *E : cast<InitListExpr>(N)->Elems)
+        walk(E);
+      break;
+    case NodeKind::UnaryExpr:
+      walk(cast<UnaryExpr>(N)->Operand);
+      break;
+    case NodeKind::BinaryExpr:
+      walk(cast<BinaryExpr>(N)->LHS);
+      walk(cast<BinaryExpr>(N)->RHS);
+      break;
+    case NodeKind::ConditionalExpr:
+      walk(cast<ConditionalExpr>(N)->Cond);
+      walk(cast<ConditionalExpr>(N)->Then);
+      walk(cast<ConditionalExpr>(N)->Else);
+      break;
+    case NodeKind::CastExpr:
+      walk(cast<CastExpr>(N)->Ty.Spec);
+      walk(cast<CastExpr>(N)->Operand);
+      break;
+    case NodeKind::SizeofExpr:
+      walk(cast<SizeofExpr>(N)->Operand);
+      walk(cast<SizeofExpr>(N)->Ty.Spec);
+      break;
+    case NodeKind::CallExpr:
+      walk(cast<CallExpr>(N)->Callee);
+      for (const Expr *E : cast<CallExpr>(N)->Args)
+        walk(E);
+      break;
+    case NodeKind::IndexExpr:
+      walk(cast<IndexExpr>(N)->Base);
+      walk(cast<IndexExpr>(N)->Index);
+      break;
+    case NodeKind::MemberExpr:
+      walk(cast<MemberExpr>(N)->Base);
+      ident(cast<MemberExpr>(N)->Member);
+      break;
+    case NodeKind::PlaceholderExpr:
+      placeholder(cast<PlaceholderExpr>(N)->Ph);
+      break;
+    case NodeKind::MacroInvocationExpr:
+      invocation(cast<MacroInvocationExpr>(N)->Inv);
+      break;
+    case NodeKind::BackquoteExpr:
+      walk(cast<BackquoteExpr>(N)->Template);
+      matchValue(cast<BackquoteExpr>(N)->TemplateMV);
+      break;
+    case NodeKind::LambdaExpr:
+      walk(cast<LambdaExpr>(N)->Body);
+      break;
+    case NodeKind::CompoundStmtKind:
+      for (const Decl *D : cast<CompoundStmt>(N)->Decls)
+        walk(D);
+      for (const Stmt *S : cast<CompoundStmt>(N)->Stmts)
+        walk(S);
+      break;
+    case NodeKind::ExprStmt:
+      walk(cast<ExprStmt>(N)->E);
+      break;
+    case NodeKind::IfStmt:
+      walk(cast<IfStmt>(N)->Cond);
+      walk(cast<IfStmt>(N)->Then);
+      walk(cast<IfStmt>(N)->Else);
+      break;
+    case NodeKind::WhileStmt:
+      walk(cast<WhileStmt>(N)->Cond);
+      walk(cast<WhileStmt>(N)->Body);
+      break;
+    case NodeKind::DoStmt:
+      walk(cast<DoStmt>(N)->Body);
+      walk(cast<DoStmt>(N)->Cond);
+      break;
+    case NodeKind::ForStmt:
+      walk(cast<ForStmt>(N)->Init);
+      walk(cast<ForStmt>(N)->Cond);
+      walk(cast<ForStmt>(N)->Step);
+      walk(cast<ForStmt>(N)->Body);
+      break;
+    case NodeKind::SwitchStmt:
+      walk(cast<SwitchStmt>(N)->Cond);
+      walk(cast<SwitchStmt>(N)->Body);
+      break;
+    case NodeKind::CaseStmt:
+      walk(cast<CaseStmt>(N)->Value);
+      walk(cast<CaseStmt>(N)->Body);
+      break;
+    case NodeKind::DefaultStmt:
+      walk(cast<DefaultStmt>(N)->Body);
+      break;
+    case NodeKind::LabelStmt:
+      ident(cast<LabelStmt>(N)->Label);
+      walk(cast<LabelStmt>(N)->Body);
+      break;
+    case NodeKind::GotoStmt:
+      ident(cast<GotoStmt>(N)->Label);
+      break;
+    case NodeKind::ReturnStmt:
+      walk(cast<ReturnStmt>(N)->Value);
+      break;
+    case NodeKind::PlaceholderStmt:
+      placeholder(cast<PlaceholderStmt>(N)->Ph);
+      break;
+    case NodeKind::MacroInvocationStmt:
+      invocation(cast<MacroInvocationStmt>(N)->Inv);
+      break;
+    case NodeKind::DeclarationKind: {
+      const auto *D = cast<Declaration>(N);
+      walk(D->Specs.Type);
+      for (const InitDeclarator &ID : D->Inits)
+        initDeclarator(ID);
+      placeholder(D->DeclListPh);
+      break;
+    }
+    case NodeKind::FunctionDefKind: {
+      const auto *F = cast<FunctionDef>(N);
+      walk(F->Specs.Type);
+      declarator(F->Dtor);
+      for (const Declaration *KR : F->KRDecls)
+        walk(KR);
+      walk(F->Body);
+      break;
+    }
+    case NodeKind::PlaceholderDecl:
+      placeholder(cast<PlaceholderDeclNode>(N)->Ph);
+      break;
+    case NodeKind::MacroInvocationDecl:
+      invocation(cast<MacroInvocationDecl>(N)->Inv);
+      break;
+    case NodeKind::MetaDeclKind:
+      walk(cast<MetaDecl>(N)->Inner);
+      break;
+    case NodeKind::MacroDefKind:
+      walk(cast<MacroDef>(N)->Body);
+      break;
+    case NodeKind::TranslationUnitKind:
+      for (const Decl *D : cast<TranslationUnit>(N)->Items)
+        walk(D);
+      break;
+    case NodeKind::TagTypeSpecKind: {
+      const auto *T = cast<TagTypeSpec>(N);
+      ident(T->TagName);
+      for (const Declaration *M : T->Members)
+        walk(M);
+      for (const Enumerator &E : T->Enums) {
+        ident(E.Name);
+        walk(E.Value);
+        placeholder(E.ListPh);
+      }
+      break;
+    }
+    case NodeKind::PlaceholderTypeSpecKind:
+      placeholder(cast<PlaceholderTypeSpec>(N)->Ph);
+      break;
+    }
+  }
+
+  void ident(const Ident &I) {
+    if (!I.valid())
+      return;
+    if (OnIdent)
+      OnIdent(I);
+    placeholder(I.Ph);
+  }
+
+  void placeholder(const Placeholder *Ph) {
+    if (!Ph)
+      return;
+    if (OnPlaceholder)
+      OnPlaceholder(Ph);
+    walk(Ph->MetaExpr);
+  }
+
+  void declarator(const Declarator *D) {
+    if (!D)
+      return;
+    placeholder(D->Ph);
+    ident(D->Name);
+    declarator(D->Inner);
+    for (const DeclSuffix &S : D->Suffixes) {
+      walk(S.ArraySize);
+      for (const ParamDecl *P : S.Params) {
+        if (!P)
+          continue;
+        walk(P->Specs.Type);
+        declarator(P->Dtor);
+      }
+      for (const Ident &KR : S.KRNames)
+        ident(KR);
+    }
+  }
+
+  void initDeclarator(const InitDeclarator &ID) {
+    placeholder(ID.Ph);
+    declarator(ID.Dtor);
+    walk(ID.Init);
+  }
+
+  void matchValue(const MatchValue *MV) {
+    if (!MV)
+      return;
+    switch (MV->K) {
+    case MatchValue::Ast:
+      walk(MV->AstNode);
+      break;
+    case MatchValue::IdentV:
+      ident(MV->Id);
+      break;
+    case MatchValue::DeclaratorV:
+      declarator(MV->Dtor);
+      break;
+    case MatchValue::InitDeclV:
+      if (MV->InitDtor)
+        initDeclarator(*MV->InitDtor);
+      break;
+    case MatchValue::EnumeratorV:
+      if (MV->Enum) {
+        ident(MV->Enum->Name);
+        walk(MV->Enum->Value);
+        placeholder(MV->Enum->ListPh);
+      }
+      break;
+    case MatchValue::List:
+    case MatchValue::Tuple:
+      for (const MatchValue *E : MV->Elems)
+        matchValue(E);
+      break;
+    case MatchValue::Absent:
+      break;
+    }
+  }
+
+  void invocation(const MacroInvocation *Inv) {
+    if (!Inv)
+      return;
+    for (const MacroArg &A : Inv->Args)
+      matchValue(A.Value);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Linter
+//===----------------------------------------------------------------------===//
+
+/// Spelling of a guard/separator token for messages.
+std::string tokenSpelling(TokenKind K, Symbol Sym) {
+  if (Sym.valid())
+    return std::string(Sym.str());
+  return tokenKindSpelling(K);
+}
+
+struct CallGraphNode {
+  SourceLoc Loc;
+  bool IsMacro = false;
+  bool HasConditional = false;
+  std::vector<Symbol> Callees;
+};
+
+class Linter {
+public:
+  Linter(const MacroRegistry &Macros, const MetaFunctionRegistry &Funcs,
+         const SourceManager &SM, const LintOptions &LO,
+         uint32_t FirstBufferId)
+      : Macros(Macros), Funcs(Funcs), SM(SM), LO(LO),
+        FirstBufferId(FirstBufferId) {}
+
+  LintReport run();
+
+private:
+  bool inScope(SourceLoc Loc) const {
+    uint32_t Id = Loc.bufferId();
+    if (Id == 0 || Id > SM.numBuffers() || Id < FirstBufferId)
+      return false;
+    // Internal buffers ("<msq-stdlib>", ...) are never linted: their
+    // definitions are not the user's to fix, and skipping them lets
+    // expandSource lint every user/library definition without a curated
+    // buffer-id threshold.
+    std::string_view Name = SM.bufferName(Id);
+    return Name.empty() || Name.front() != '<';
+  }
+
+  void addFinding(const char *Rule, SourceLoc Loc, Symbol Macro,
+                  std::string Message) {
+    if (!LO.ruleEnabled(Rule))
+      return;
+    LintDiagnostic D;
+    D.Rule = Rule;
+    D.Severity = LO.Werror ? LintSeverity::Error : LintSeverity::Warning;
+    PresumedLoc P = SM.presumed(Loc);
+    D.File = std::string(P.Filename);
+    D.Line = P.Line;
+    D.Column = P.Column;
+    D.Macro = std::string(Macro.str());
+    D.Message = std::move(Message);
+    Report.Findings.push_back(std::move(D));
+  }
+
+  void lintMacro(const MacroDef *M);
+  void checkUnusedBinders(const MacroDef *M);
+  void checkUnreachableAlternatives(const MacroDef *M, const Pattern &P);
+  void checkCapture(Symbol Name, const CompoundStmt *Body);
+  void checkOptUnguarded(const MacroDef *M);
+  void checkMetaRecursion();
+
+  CallGraphNode buildCallGraphNode(const Node *Body, bool IsMacro,
+                                   SourceLoc Loc);
+
+  const MacroRegistry &Macros;
+  const MetaFunctionRegistry &Funcs;
+  const SourceManager &SM;
+  const LintOptions &LO;
+  uint32_t FirstBufferId;
+  LintReport Report;
+};
+
+//===----------------------------------------------------------------------===//
+// MSQ001 unused-binder
+//===----------------------------------------------------------------------===//
+
+void Linter::checkUnusedBinders(const MacroDef *M) {
+  std::set<Symbol> Used;
+  AstWalker W;
+  W.OnIdent = [&](const Ident &I) {
+    if (I.Sym.valid())
+      Used.insert(I.Sym);
+  };
+  W.walk(M->Body);
+  for (const PatternElement &E : M->Pat->Elements) {
+    if (E.K != PatternElement::Binder)
+      continue;
+    if (!Used.count(E.Name))
+      addFinding("MSQ001", E.Loc, M->Name,
+                 "pattern binder '" + std::string(E.Name.str()) +
+                     "' is never used in the body of macro '" +
+                     std::string(M->Name.str()) + "'");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// MSQ002 unreachable-alternative
+//===----------------------------------------------------------------------===//
+
+void Linter::checkUnreachableAlternatives(const MacroDef *M,
+                                          const Pattern &P) {
+  for (size_t I = 0; I != P.Elements.size(); ++I) {
+    const PatternElement &E = P.Elements[I];
+    if (E.K != PatternElement::Binder)
+      continue;
+    // Recurse into tuple sub-patterns.
+    const PSpec *T = E.Spec->K == PSpec::Tuple ? E.Spec
+                     : (E.Spec->Inner && E.Spec->Inner->K == PSpec::Tuple)
+                         ? E.Spec->Inner
+                         : nullptr;
+    if (T && T->Sub)
+      checkUnreachableAlternatives(M, *T->Sub);
+    if (!E.Spec->hasSep())
+      continue;
+    const PatternElement *Follow =
+        I + 1 < P.Elements.size() ? &P.Elements[I + 1] : nullptr;
+    if (!Follow || Follow->K != PatternElement::Token)
+      continue;
+    bool SameToken = Follow->Tok == E.Spec->Sep &&
+                     (!E.Spec->SepSym.valid() ||
+                      E.Spec->SepSym == Follow->TokSym);
+    if (!SameToken)
+      continue;
+    std::string Tok = tokenSpelling(E.Spec->Sep, E.Spec->SepSym);
+    if (E.Spec->K == PSpec::Opt)
+      addFinding("MSQ002", E.Loc, M->Name,
+                 "optional guard token '" + Tok +
+                     "' is identical to the pattern token that follows "
+                     "binder '" +
+                     std::string(E.Name.str()) +
+                     "'; the absent alternative is unreachable");
+    else if (E.Spec->K == PSpec::Plus || E.Spec->K == PSpec::Star)
+      addFinding("MSQ002", E.Loc, M->Name,
+                 "repetition separator '" + Tok +
+                     "' is identical to the pattern token that follows "
+                     "binder '" +
+                     std::string(E.Name.str()) +
+                     "'; the repetition can never stop at that token");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// MSQ003 capture
+//===----------------------------------------------------------------------===//
+
+void Linter::checkCapture(Symbol Name, const CompoundStmt *Body) {
+  if (LO.Hygienic)
+    return; // hygienic renaming prevents the capture this rule warns about
+  // Find every backquote template in the body; inside each, look for plain
+  // (non-placeholder, non-gensym) declared identifiers coexisting with
+  // placeholders that splice user code.
+  std::vector<const BackquoteExpr *> Templates;
+  AstWalker Finder;
+  Finder.OnNode = [&](const Node *N) {
+    if (const auto *B = dyn_cast<BackquoteExpr>(N))
+      Templates.push_back(B);
+  };
+  Finder.walk(Body);
+
+  for (const BackquoteExpr *B : Templates) {
+    std::vector<std::pair<Symbol, SourceLoc>> Declared;
+    bool HasPlaceholders = false;
+    AstWalker W;
+    W.OnPlaceholder = [&](const Placeholder *) { HasPlaceholders = true; };
+    W.OnNode = [&](const Node *N) {
+      if (const auto *D = dyn_cast<Declaration>(N)) {
+        for (const InitDeclarator &ID : D->Inits)
+          if (ID.Dtor && !ID.Dtor->isPlaceholder() &&
+              ID.Dtor->name().Sym.valid())
+            Declared.emplace_back(ID.Dtor->name().Sym, ID.Dtor->name().Loc);
+      } else if (const auto *L = dyn_cast<LabelStmt>(N)) {
+        if (L->Label.Sym.valid())
+          Declared.emplace_back(L->Label.Sym, L->Label.Loc);
+      }
+    };
+    W.walk(B->Template);
+    W.matchValue(B->TemplateMV);
+    if (!HasPlaceholders)
+      continue;
+    for (const auto &[Sym, Loc] : Declared)
+      addFinding("MSQ003", Loc.valid() ? Loc : B->loc(), Name,
+                 "template declares identifier '" + std::string(Sym.str()) +
+                     "' without hygiene; it may capture references in code "
+                     "spliced by placeholders (use gensym or hygienic "
+                     "expansion)");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// MSQ004 opt-unguarded
+//===----------------------------------------------------------------------===//
+
+void Linter::checkOptUnguarded(const MacroDef *M) {
+  std::set<Symbol> OptBinders;
+  for (const PatternElement &E : M->Pat->Elements)
+    if (E.K == PatternElement::Binder && E.Spec->K == PSpec::Opt)
+      OptBinders.insert(E.Name);
+  if (OptBinders.empty())
+    return;
+
+  std::set<Symbol> Guarded;
+  std::map<Symbol, SourceLoc> Spliced;
+  AstWalker W;
+  W.OnNode = [&](const Node *N) {
+    const auto *C = dyn_cast<CallExpr>(N);
+    if (!C)
+      return;
+    const auto *Callee = dyn_cast_or_null<IdentExpr>(C->Callee);
+    if (!Callee || Callee->Name.Sym.str() != "present")
+      return;
+    for (const Expr *A : C->Args)
+      if (const auto *Arg = dyn_cast_or_null<IdentExpr>(A))
+        if (Arg->Name.Sym.valid())
+          Guarded.insert(Arg->Name.Sym);
+  };
+  W.OnPlaceholder = [&](const Placeholder *Ph) {
+    AstWalker Inner;
+    Inner.OnIdent = [&](const Ident &I) {
+      if (I.Sym.valid())
+        Spliced.emplace(I.Sym, Ph->Loc.valid() ? Ph->Loc : SourceLoc());
+    };
+    Inner.walk(Ph->MetaExpr);
+  };
+  W.walk(M->Body);
+
+  for (const auto &[Sym, Loc] : Spliced) {
+    if (!OptBinders.count(Sym) || Guarded.count(Sym))
+      continue;
+    addFinding("MSQ004", Loc.valid() ? Loc : M->loc(), M->Name,
+               "optional binder '" + std::string(Sym.str()) +
+                   "' is spliced into a template but never guarded with "
+                   "present(" +
+                   std::string(Sym.str()) +
+                   "); when absent its value can never unify with the "
+                   "template slot");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// MSQ005 meta-recursion
+//===----------------------------------------------------------------------===//
+
+CallGraphNode Linter::buildCallGraphNode(const Node *Body, bool IsMacro,
+                                         SourceLoc Loc) {
+  CallGraphNode CG;
+  CG.Loc = Loc;
+  CG.IsMacro = IsMacro;
+  std::set<Symbol> Callees;
+  AstWalker W;
+  W.OnNode = [&](const Node *N) {
+    switch (N->kind()) {
+    case NodeKind::IfStmt:
+    case NodeKind::SwitchStmt:
+    case NodeKind::ConditionalExpr:
+    case NodeKind::WhileStmt:
+    case NodeKind::DoStmt:
+    case NodeKind::ForStmt:
+      CG.HasConditional = true;
+      break;
+    case NodeKind::MacroInvocationExpr:
+      if (const auto *D = cast<MacroInvocationExpr>(N)->Inv->Def)
+        Callees.insert(D->Name);
+      break;
+    case NodeKind::MacroInvocationStmt:
+      if (const auto *D = cast<MacroInvocationStmt>(N)->Inv->Def)
+        Callees.insert(D->Name);
+      break;
+    case NodeKind::MacroInvocationDecl:
+      if (const auto *D = cast<MacroInvocationDecl>(N)->Inv->Def)
+        Callees.insert(D->Name);
+      break;
+    case NodeKind::CallExpr: {
+      const auto *Callee =
+          dyn_cast_or_null<IdentExpr>(cast<CallExpr>(N)->Callee);
+      if (Callee && Callee->Name.Sym.valid() &&
+          (Funcs.lookup(Callee->Name.Sym) || Macros.lookup(Callee->Name.Sym)))
+        Callees.insert(Callee->Name.Sym);
+      break;
+    }
+    default:
+      break;
+    }
+  };
+  W.walk(Body);
+  CG.Callees.assign(Callees.begin(), Callees.end());
+  std::sort(CG.Callees.begin(), CG.Callees.end());
+  return CG;
+}
+
+void Linter::checkMetaRecursion() {
+  // The graph spans all definitions (library included) so cycles through
+  // library helpers are still found; reporting is scoped below.
+  std::map<Symbol, CallGraphNode> Graph;
+  for (const auto &[Name, Def] : Macros)
+    Graph.emplace(Name, buildCallGraphNode(Def->Body, true, Def->loc()));
+  for (const auto &[Name, F] : Funcs)
+    if (F.Def)
+      Graph.emplace(Name, buildCallGraphNode(F.Def->Body, false,
+                                             F.Def->loc()));
+
+  // Iterative DFS with an explicit path; each discovered cycle is
+  // canonicalised (rotated to its smallest member) for deduplication.
+  std::set<Symbol> Done;
+  std::set<std::string> Reported;
+  std::vector<Symbol> Path;
+  std::set<Symbol> OnPath;
+
+  std::function<void(Symbol)> Visit = [&](Symbol Name) {
+    auto It = Graph.find(Name);
+    if (It == Graph.end())
+      return;
+    Path.push_back(Name);
+    OnPath.insert(Name);
+    for (Symbol Callee : It->second.Callees) {
+      if (OnPath.count(Callee)) {
+        // Extract the cycle Callee -> ... -> Name -> Callee.
+        auto Start = std::find(Path.begin(), Path.end(), Callee);
+        std::vector<Symbol> Cycle(Start, Path.end());
+        // Canonical rotation: smallest member first.
+        auto Min = std::min_element(Cycle.begin(), Cycle.end());
+        std::rotate(Cycle.begin(), Min, Cycle.end());
+        std::string Key;
+        bool Conditional = false;
+        for (Symbol S : Cycle) {
+          Key += std::string(S.str()) + ";";
+          Conditional |= Graph[S].HasConditional;
+        }
+        if (Conditional || !Reported.insert(Key).second)
+          continue;
+        // Report at the smallest in-scope member.
+        Symbol At;
+        for (Symbol S : Cycle)
+          if (inScope(Graph[S].Loc)) {
+            At = S;
+            break;
+          }
+        if (!At.valid())
+          continue;
+        std::string Chain;
+        for (Symbol S : Cycle)
+          Chain += std::string(S.str()) + " -> ";
+        Chain += std::string(Cycle.front().str());
+        const CallGraphNode &CG = Graph[At];
+        addFinding("MSQ005", CG.Loc, At,
+                   std::string(CG.IsMacro ? "macro '" : "meta function '") +
+                       std::string(At.str()) +
+                       "' participates in the expansion cycle " + Chain +
+                       " with no conditional to bound the recursion");
+        continue;
+      }
+      if (!Done.count(Callee))
+        Visit(Callee);
+    }
+    OnPath.erase(Name);
+    Path.pop_back();
+    Done.insert(Name);
+  };
+
+  for (const auto &[Name, CG] : Graph)
+    if (!Done.count(Name))
+      Visit(Name);
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+void Linter::lintMacro(const MacroDef *M) {
+  checkUnusedBinders(M);
+  checkUnreachableAlternatives(M, *M->Pat);
+  checkCapture(M->Name, M->Body);
+  checkOptUnguarded(M);
+}
+
+LintReport Linter::run() {
+  // Deterministic order: definitions sorted by (buffer, offset, name).
+  std::vector<const MacroDef *> Defs;
+  for (const auto &[Name, Def] : Macros)
+    if (inScope(Def->loc()))
+      Defs.push_back(Def);
+  std::sort(Defs.begin(), Defs.end(),
+            [](const MacroDef *A, const MacroDef *B) {
+              if (A->loc().bufferId() != B->loc().bufferId())
+                return A->loc().bufferId() < B->loc().bufferId();
+              if (A->loc().offset() != B->loc().offset())
+                return A->loc().offset() < B->loc().offset();
+              return A->Name < B->Name;
+            });
+  for (const MacroDef *M : Defs)
+    lintMacro(M);
+
+  std::vector<const MetaFunction *> MFs;
+  for (const auto &[Name, F] : Funcs)
+    if (F.Def && inScope(F.Def->loc()))
+      MFs.push_back(&F);
+  std::sort(MFs.begin(), MFs.end(),
+            [](const MetaFunction *A, const MetaFunction *B) {
+              if (A->Def->loc().bufferId() != B->Def->loc().bufferId())
+                return A->Def->loc().bufferId() < B->Def->loc().bufferId();
+              if (A->Def->loc().offset() != B->Def->loc().offset())
+                return A->Def->loc().offset() < B->Def->loc().offset();
+              return A->Name < B->Name;
+            });
+  for (const MetaFunction *F : MFs)
+    checkCapture(F->Name, F->Def->Body);
+
+  checkMetaRecursion();
+  normalizeLintFindings(Report.Findings);
+  return std::move(Report);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public entry points
+//===----------------------------------------------------------------------===//
+
+LintReport msq::lintDefinitions(const MacroRegistry &Macros,
+                                const MetaFunctionRegistry &Funcs,
+                                const SourceManager &SM,
+                                const LintOptions &LO,
+                                uint32_t FirstBufferId) {
+  if (!LO.Enabled)
+    return {};
+  return Linter(Macros, Funcs, SM, LO, FirstBufferId).run();
+}
+
+void msq::normalizeLintFindings(std::vector<LintDiagnostic> &Findings) {
+  auto Less = [](const LintDiagnostic &A, const LintDiagnostic &B) {
+    if (A.File != B.File)
+      return A.File < B.File;
+    if (A.Line != B.Line)
+      return A.Line < B.Line;
+    if (A.Column != B.Column)
+      return A.Column < B.Column;
+    if (A.Rule != B.Rule)
+      return A.Rule < B.Rule;
+    if (A.Macro != B.Macro)
+      return A.Macro < B.Macro;
+    return A.Message < B.Message;
+  };
+  std::stable_sort(Findings.begin(), Findings.end(), Less);
+  std::vector<LintDiagnostic> Out;
+  for (LintDiagnostic &D : Findings) {
+    if (!Out.empty() && Out.back() == D)
+      Out.back().Count += D.Count;
+    else
+      Out.push_back(std::move(D));
+  }
+  Findings = std::move(Out);
+}
+
+static const char *severityName(LintSeverity Sev) {
+  return Sev == LintSeverity::Error ? "error" : "warning";
+}
+
+std::string LintReport::renderText() const {
+  std::string Out;
+  for (const LintDiagnostic &D : Findings) {
+    if (D.Line != 0) {
+      Out += D.File;
+      Out += ':';
+      Out += std::to_string(D.Line);
+      Out += ':';
+      Out += std::to_string(D.Column);
+      Out += ": ";
+    }
+    Out += severityName(D.Severity);
+    Out += ": ";
+    Out += D.Message;
+    Out += " [";
+    Out += D.Rule;
+    Out += ']';
+    if (D.Count > 1)
+      Out += " (x" + std::to_string(D.Count) + ")";
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string msq::lintFindingsJson(const std::vector<LintDiagnostic> &Findings) {
+  std::string Out = "[";
+  bool First = true;
+  for (const LintDiagnostic &D : Findings) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"rule\":\"" + jsonEscape(D.Rule) + "\"";
+    Out += ",\"severity\":\"";
+    Out += severityName(D.Severity);
+    Out += "\"";
+    Out += ",\"file\":\"" + jsonEscape(D.File) + "\"";
+    Out += ",\"line\":" + std::to_string(D.Line);
+    Out += ",\"col\":" + std::to_string(D.Column);
+    Out += ",\"macro\":\"" + jsonEscape(D.Macro) + "\"";
+    Out += ",\"message\":\"" + jsonEscape(D.Message) + "\"";
+    Out += ",\"count\":" + std::to_string(D.Count);
+    Out += '}';
+  }
+  Out += ']';
+  return Out;
+}
+
+std::string LintReport::toJson() const {
+  std::string Out = "{\"findings\":";
+  Out += lintFindingsJson(Findings);
+  Out += ",\"warnings\":" + std::to_string(countOf(LintSeverity::Warning));
+  Out += ",\"errors\":" + std::to_string(countOf(LintSeverity::Error));
+  Out += '}';
+  return Out;
+}

@@ -1,0 +1,135 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// msq-lint: definition-time static analysis of `syntax` macros and meta
+/// functions. The meta-type checker already rejects outright type errors at
+/// definition time (paper section 4); the linter covers the latent-bug
+/// space the checker accepts, with stable rule ids:
+///
+///   MSQ001 unused-binder          pattern binder never read by the body
+///   MSQ002 unreachable-alternative guard/separator token indistinguishable
+///                                  from the following pattern token
+///   MSQ003 capture                 non-hygienic template declares a plain
+///                                  identifier around spliced user code
+///   MSQ004 opt-unguarded           optional binder spliced without a
+///                                  present() guard can never unify when
+///                                  absent
+///   MSQ005 meta-recursion          expansion-call-graph cycle with no
+///                                  conditional to bound it
+///
+/// Findings are plain values (no DiagnosticsEngine coupling) so batch
+/// drivers can deduplicate them across units and servers can ship them as
+/// JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_ANALYSIS_LINT_H
+#define MSQ_ANALYSIS_LINT_H
+
+#include "meta/MetaScope.h"
+#include "support/SourceManager.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msq {
+
+enum class LintSeverity : unsigned char { Warning, Error };
+
+/// One lint finding. Locations are pre-resolved to file/line/column so the
+/// finding stays meaningful outside the SourceManager that produced it
+/// (cache replay, server responses, batch merges).
+struct LintDiagnostic {
+  std::string Rule; ///< stable id, e.g. "MSQ001"
+  LintSeverity Severity = LintSeverity::Warning;
+  std::string File;
+  unsigned Line = 0;
+  unsigned Column = 0;
+  std::string Macro; ///< definition the finding is about
+  std::string Message;
+  unsigned Count = 1; ///< >1 after cross-unit deduplication
+
+  friend bool operator==(const LintDiagnostic &A, const LintDiagnostic &B) {
+    return A.Rule == B.Rule && A.Severity == B.Severity && A.File == B.File &&
+           A.Line == B.Line && A.Column == B.Column && A.Macro == B.Macro &&
+           A.Message == B.Message;
+  }
+};
+
+/// Static description of one rule, for --list-rules and docs.
+struct LintRuleInfo {
+  const char *Id;
+  const char *Name;
+  const char *Summary;
+};
+
+/// All rules, in id order.
+const std::vector<LintRuleInfo> &lintRules();
+
+/// Lint configuration. Participates in Engine::stateFingerprint — cached
+/// expansions keyed under one configuration are never replayed under
+/// another.
+struct LintOptions {
+  bool Enabled = false; ///< run the linter during expandSource
+  bool Werror = false;  ///< report findings as errors
+  /// Rule ids to suppress ("MSQ003", ...).
+  std::vector<std::string> DisabledRules;
+  /// Whether expansion will run hygienically. Hygienic renaming prevents
+  /// the capture MSQ003 warns about, so the rule only fires when false.
+  bool Hygienic = true;
+
+  bool ruleEnabled(std::string_view Id) const {
+    for (const std::string &D : DisabledRules)
+      if (D == Id)
+        return false;
+    return true;
+  }
+};
+
+/// The findings for one lint run.
+struct LintReport {
+  std::vector<LintDiagnostic> Findings;
+
+  bool clean() const { return Findings.empty(); }
+  unsigned countOf(LintSeverity Sev) const {
+    unsigned N = 0;
+    for (const LintDiagnostic &D : Findings)
+      if (D.Severity == Sev)
+        N += D.Count;
+    return N;
+  }
+
+  /// "file:line:col: severity: message [RULE]" lines, with a repeat count
+  /// suffix for deduplicated findings.
+  std::string renderText() const;
+  /// {"findings":[...],"warnings":N,"errors":N}
+  std::string toJson() const;
+};
+
+/// Lints every macro and meta function registered in \p Macros / \p Funcs,
+/// in deterministic (location, name) order. Definitions living in buffers
+/// with id < \p FirstBufferId are skipped — callers pass the first
+/// user-unit buffer id to exclude stdlib/library definitions.
+LintReport lintDefinitions(const MacroRegistry &Macros,
+                           const MetaFunctionRegistry &Funcs,
+                           const SourceManager &SM, const LintOptions &LO,
+                           uint32_t FirstBufferId = 0);
+
+/// Batch post-processing (satellite of the batch driver): collapses
+/// identical findings (same rule, location, message) into one entry with a
+/// count, then sorts by (file, line, column, rule, macro, message).
+void normalizeLintFindings(std::vector<LintDiagnostic> &Findings);
+
+/// Renders findings as a JSON array (shared by LintReport::toJson, the
+/// batch driver's metricsJson, and the server protocol).
+std::string lintFindingsJson(const std::vector<LintDiagnostic> &Findings);
+
+} // namespace msq
+
+#endif // MSQ_ANALYSIS_LINT_H

@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Provenance.h"
+
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+using namespace msq;
+
+void ProvenanceTracker::appendBacktrace(std::string &Out, uint32_t Frame,
+                                        const SourceManager &SM) const {
+  while (Frame != 0) {
+    const ProvenanceFrame &F = frame(Frame);
+    Out += "note: in expansion of macro '";
+    Out += F.Macro.str();
+    Out += "' (invoked at ";
+    PresumedLoc P = SM.presumed(F.InvokedAt);
+    if (P.Line != 0) {
+      Out += P.Filename;
+      Out += ':';
+      Out += std::to_string(P.Line);
+      Out += ':';
+      Out += std::to_string(P.Column);
+    } else {
+      Out += "<unknown>";
+    }
+    Out += ", depth ";
+    Out += std::to_string(F.Depth);
+    Out += ")\n";
+    Frame = F.Parent;
+  }
+}
+
+std::string msq::renderDiagnosticsWithBacktrace(const DiagnosticsEngine &Diags,
+                                                size_t First,
+                                                const ProvenanceTracker &Prov) {
+  const SourceManager &SM = Diags.sourceManager();
+  std::string Out;
+  const std::vector<Diagnostic> &All = Diags.all();
+  for (size_t I = First; I < All.size(); ++I) {
+    const Diagnostic &D = All[I];
+    // Reuse the engine's own rendering for the diagnostic line itself so the
+    // two renderers can never drift apart.
+    std::ostringstream OS;
+    PresumedLoc P = SM.presumed(D.Loc);
+    if (P.Line != 0)
+      OS << P.Filename << ':' << P.Line << ':' << P.Column << ": ";
+    switch (D.Severity) {
+    case DiagSeverity::Note:
+      OS << "note";
+      break;
+    case DiagSeverity::Warning:
+      OS << "warning";
+      break;
+    case DiagSeverity::Error:
+      OS << "error";
+      break;
+    }
+    OS << ": " << D.Message << '\n';
+    Out += OS.str();
+    if (D.ProvFrame != 0 && D.ProvFrame <= Prov.numFrames())
+      Prov.appendBacktrace(Out, D.ProvFrame, SM);
+  }
+  return Out;
+}
+
+std::string msq::sourceMapJson(
+    const std::vector<std::pair<unsigned, uint32_t>> &LineProvenance,
+    const ProvenanceTracker &Prov, const SourceManager &SM) {
+  // Collect every referenced frame plus its ancestors, in id order, so a
+  // consumer can resolve parent chains without the tracker.
+  std::map<uint32_t, const ProvenanceFrame *> Used;
+  for (const auto &LP : LineProvenance) {
+    uint32_t Id = LP.second;
+    while (Id != 0 && Id <= Prov.numFrames() && !Used.count(Id)) {
+      const ProvenanceFrame &F = Prov.frame(Id);
+      Used.emplace(Id, &F);
+      Id = F.Parent;
+    }
+  }
+
+  std::string Out = "{\"version\":1,\"frames\":[";
+  bool FirstEntry = true;
+  for (const auto &[Id, F] : Used) {
+    if (!FirstEntry)
+      Out += ',';
+    FirstEntry = false;
+    PresumedLoc P = SM.presumed(F->InvokedAt);
+    Out += "{\"id\":" + std::to_string(Id);
+    Out += ",\"macro\":\"" + jsonEscape(std::string(F->Macro.str())) + "\"";
+    Out += ",\"file\":\"" + jsonEscape(std::string(P.Filename)) + "\"";
+    Out += ",\"line\":" + std::to_string(P.Line);
+    Out += ",\"col\":" + std::to_string(P.Column);
+    Out += ",\"depth\":" + std::to_string(F->Depth);
+    Out += ",\"parent\":" + std::to_string(F->Parent);
+    Out += '}';
+  }
+  Out += "],\"lines\":[";
+  FirstEntry = true;
+  for (const auto &[Line, Frame] : LineProvenance) {
+    if (Frame == 0 || Frame > Prov.numFrames())
+      continue;
+    if (!FirstEntry)
+      Out += ',';
+    FirstEntry = false;
+    Out += "{\"line\":" + std::to_string(Line) +
+           ",\"frame\":" + std::to_string(Frame) + '}';
+  }
+  Out += "]}";
+  return Out;
+}

@@ -1,0 +1,111 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expansion provenance: which macro invocation produced which output.
+///
+/// The expander pushes one ProvenanceFrame per macro invocation (nested
+/// invocations chain through Parent), stamps the frame id onto every node a
+/// macro body produces, and points DiagnosticsEngine::setProvenanceFrame at
+/// the current frame so diagnostics raised while a macro runs — or while
+/// its produced code is re-expanded — carry an "in expansion of" backtrace.
+/// Frame id 0 is reserved for "written directly by the user".
+///
+/// The printer records (output line, frame id) pairs via
+/// PrintOptions::LineProvenance; sourceMapJson turns those plus the frame
+/// table into a JSON source map from output lines back to invocation sites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_ANALYSIS_PROVENANCE_H
+#define MSQ_ANALYSIS_PROVENANCE_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace msq {
+
+/// One macro invocation on the expansion stack.
+struct ProvenanceFrame {
+  Symbol Macro;        ///< name of the invoked macro
+  SourceLoc InvokedAt; ///< where the invocation was written
+  uint32_t Parent = 0; ///< enclosing invocation's frame id (0 = top level)
+  uint32_t Depth = 1;  ///< nesting depth (top-level invocation = 1)
+};
+
+/// Records the invocation tree of one expansion. Frames are never popped
+/// from storage — only the "current" cursor moves — so diagnostics and
+/// stamped nodes can refer to frames long after the invocation returned.
+class ProvenanceTracker {
+public:
+  /// Enters an invocation of \p Macro written at \p InvokedAt; the new
+  /// frame's parent is the current frame. Returns the new frame id.
+  uint32_t push(Symbol Macro, SourceLoc InvokedAt) {
+    ProvenanceFrame F;
+    F.Macro = Macro;
+    F.InvokedAt = InvokedAt;
+    F.Parent = Cur;
+    F.Depth = Cur ? Frames[Cur - 1].Depth + 1 : 1;
+    Frames.push_back(F);
+    Cur = uint32_t(Frames.size());
+    return Cur;
+  }
+
+  /// Leaves the current invocation, restoring its parent as current.
+  void pop() {
+    assert(Cur != 0 && "provenance pop without matching push");
+    Cur = Frames[Cur - 1].Parent;
+  }
+
+  /// Frame id of the innermost invocation being expanded (0 = none).
+  uint32_t current() const { return Cur; }
+
+  /// Total frames recorded (valid ids are 1..numFrames()).
+  size_t numFrames() const { return Frames.size(); }
+
+  const ProvenanceFrame &frame(uint32_t Id) const {
+    assert(Id >= 1 && Id <= Frames.size() && "bad provenance frame id");
+    return Frames[Id - 1];
+  }
+
+  /// Appends one "note: in expansion of macro 'X' (invoked at
+  /// file:line:col, depth N)" line per frame from \p Frame outward
+  /// (innermost first) to \p Out.
+  void appendBacktrace(std::string &Out, uint32_t Frame,
+                       const SourceManager &SM) const;
+
+private:
+  std::vector<ProvenanceFrame> Frames;
+  uint32_t Cur = 0;
+};
+
+/// Renders diagnostics starting at index \p First exactly like
+/// DiagnosticsEngine::renderFrom, but follows every diagnostic reported
+/// inside a macro expansion with its invocation backtrace. Lives here (not
+/// in support) so the diagnostics engine stays ignorant of the tracker.
+std::string renderDiagnosticsWithBacktrace(const DiagnosticsEngine &Diags,
+                                           size_t First,
+                                           const ProvenanceTracker &Prov);
+
+/// Builds the JSON source map for one unit's printed output.
+/// \p LineProvenance holds (1-based output line, frame id) pairs collected
+/// by the printer; only lines produced by macros appear. The map has a
+/// "frames" table (one entry per referenced frame, parents included) and a
+/// "lines" array mapping output lines to frame ids.
+std::string sourceMapJson(
+    const std::vector<std::pair<unsigned, uint32_t>> &LineProvenance,
+    const ProvenanceTracker &Prov, const SourceManager &SM);
+
+} // namespace msq
+
+#endif // MSQ_ANALYSIS_PROVENANCE_H

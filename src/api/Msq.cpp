@@ -84,11 +84,26 @@ ExpandResult Engine::expandSourceImpl(std::string Name, std::string Source,
   // exhausts either is aborted with a diagnostic (naming the unit); the
   // engine itself stays usable for the next unit.
   Interp->beginUnit(Opts.MaxMetaSteps, Opts.UnitTimeoutMillis, R.Name);
+  // The tracker must outlive expansion: DiagnosticsText renders frames
+  // from it, and the source map references them.
+  ProvenanceTracker Prov;
   TranslationUnit *TU = parseSourceImpl(std::move(Name), std::move(Source));
   if (CC->Diags.errorCount() == ErrorsBefore) {
+    if (Opts.Lint.Enabled) {
+      // Lint everything visible to this unit (earlier library units
+      // included, internal buffers excluded): a batch of units sharing a
+      // library repeats the library's findings per unit, and the batch
+      // layer dedupes them into one report with a count.
+      LintOptions LO = Opts.Lint;
+      LO.Hygienic = Opts.HygienicExpansion;
+      LintReport Rep = lintDefinitions(CC->Macros, CC->MetaFuncs, SM, LO);
+      R.Lints = std::move(Rep.Findings);
+    }
     Expander::Options EOpts;
     EOpts.MaxExpansionDepth = Opts.MaxExpansionDepth;
     EOpts.CollectProfile = Opts.CollectProfile;
+    if (Opts.TrackProvenance)
+      EOpts.Prov = &Prov;
     Expander Exp(*CC, *Interp, EOpts);
     TranslationUnit *Out = Exp.expandTranslationUnit(TU);
     R.InvocationsExpanded = Exp.stats().InvocationsExpanded;
@@ -97,9 +112,17 @@ ExpandResult Engine::expandSourceImpl(std::string Name, std::string Source,
     if (CC->Diags.errorCount() == ErrorsBefore && EmitOutput) {
       PrintOptions PO;
       PO.AllowPlaceholders = false;
+      std::vector<std::pair<unsigned, uint32_t>> LineProv;
+      if (Opts.TrackProvenance && Opts.EmitSourceMap)
+        PO.LineProvenance = &LineProv;
       R.Output = printNode(Out, PO);
+      if (PO.LineProvenance)
+        R.SourceMapJson = sourceMapJson(LineProv, Prov, SM);
     }
   }
+  // The expander leaves the frame balanced at 0, but an aborted unit must
+  // not leak a stale frame onto the next unit's diagnostics.
+  CC->Diags.setProvenanceFrame(0);
   R.MacrosDefined = CC->Macros.size();
   R.MetaStepsExecuted = Interp->stepsExecuted() - StepsBefore;
   R.GensymsCreated = Interp->gensymCount() - GensymsBefore;
@@ -107,9 +130,31 @@ ExpandResult Engine::expandSourceImpl(std::string Name, std::string Source,
   R.TimedOut = Interp->unitTimedOut();
   R.MetaGlobalsMutated = Interp->metaGlobalsMutated();
   R.TraceText = Interp->traceLog().substr(TraceBefore);
-  R.DiagnosticsText = CC->Diags.renderFrom(FirstDiag);
+  R.DiagnosticsText =
+      Opts.TrackProvenance
+          ? renderDiagnosticsWithBacktrace(CC->Diags, FirstDiag, Prov)
+          : CC->Diags.renderFrom(FirstDiag);
   R.Success = CC->Diags.errorCount() == ErrorsBefore;
   return R;
+}
+
+Engine::LintResult Engine::lintSource(std::string Name, std::string Source) {
+  LintResult LR;
+  LR.Name = Name;
+  size_t FirstDiag = CC->Diags.all().size();
+  unsigned ErrorsBefore = CC->Diags.errorCount();
+  // Only definitions contributed by THIS source are reported: libraries
+  // loaded earlier were either linted on their own or deliberately not.
+  uint32_t FirstBuffer = uint32_t(SM.numBuffers()) + 1;
+  Interp->beginUnit(Opts.MaxMetaSteps, Opts.UnitTimeoutMillis, LR.Name);
+  parseSourceImpl(std::move(Name), std::move(Source));
+  LR.DiagnosticsText = CC->Diags.renderFrom(FirstDiag);
+  LR.Success = CC->Diags.errorCount() == ErrorsBefore;
+  LintOptions LO = Opts.Lint;
+  LO.Enabled = true;
+  LO.Hygienic = Opts.HygienicExpansion;
+  LR.Report = lintDefinitions(CC->Macros, CC->MetaFuncs, SM, LO, FirstBuffer);
+  return LR;
 }
 
 SessionSnapshot Engine::snapshot() const {

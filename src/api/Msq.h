@@ -32,6 +32,8 @@
 #ifndef MSQ_API_MSQ_H
 #define MSQ_API_MSQ_H
 
+#include "analysis/Lint.h"
+#include "analysis/Provenance.h"
 #include "expand/Expander.h"
 #include "interp/Interpreter.h"
 #include "parser/Parser.h"
@@ -89,6 +91,13 @@ struct ExpandResult {
   std::string TraceText;
   /// Per-macro expansion profile for this call (Options::CollectProfile).
   ExpansionProfile Profile;
+  /// Definition-time lint findings (Options::Lint.Enabled): every macro
+  /// and meta function visible to this unit except internal buffers,
+  /// already deduplicated and sorted (see analysis/Lint.h).
+  std::vector<LintDiagnostic> Lints;
+  /// JSON source map from output lines back to macro invocation sites
+  /// (Options::TrackProvenance + Options::EmitSourceMap; empty otherwise).
+  std::string SourceMapJson;
 };
 
 /// A named source buffer: the unit of session recording and of batch
@@ -134,6 +143,21 @@ public:
     /// cache in memory only. Entries are hash-named files; a corrupt or
     /// truncated entry is treated as a miss, never an error.
     std::string ExpansionCacheDir;
+    /// Definition-time linting (analysis/Lint.h): with Lint.Enabled, every
+    /// expand call also lints the visible macro definitions and reports
+    /// findings in ExpandResult::Lints. Lint.Hygienic is overridden with
+    /// HygienicExpansion at run time. Participates in stateFingerprint, so
+    /// cached replays never skip or duplicate lint results.
+    LintOptions Lint;
+    /// Track expansion provenance: every produced node is stamped with a
+    /// compact invocation-frame id and diagnostics raised inside macro
+    /// expansions render "in expansion of macro 'X' (invoked at
+    /// file:line:col, depth N)" backtrace chains. Participates in
+    /// stateFingerprint (backtraces change DiagnosticsText).
+    bool TrackProvenance = false;
+    /// With TrackProvenance: also emit the JSON source map from output
+    /// lines back to invocation sites into ExpandResult::SourceMapJson.
+    bool EmitSourceMap = false;
   };
 
   Engine();
@@ -153,6 +177,24 @@ public:
   /// discipline BatchDriver applies inside run()).
   ExpandResult expandUnrecorded(std::string Name, std::string Source);
 
+  /// Outcome of one lintSource call.
+  struct LintResult {
+    /// False when the source failed to parse (see DiagnosticsText); the
+    /// report may then be incomplete. Lint findings do NOT affect Success.
+    bool Success = false;
+    std::string Name;
+    LintReport Report;
+    std::string DiagnosticsText;
+  };
+
+  /// Parses \p Source — registering its syntax/meta-function definitions
+  /// against this session, like expandUnrecorded — and lints the
+  /// definitions the source itself contributes (library definitions loaded
+  /// earlier are not re-reported). Nothing is expanded or recorded in the
+  /// session log. Lint.Enabled need not be set; this entry point always
+  /// lints.
+  LintResult lintSource(std::string Name, std::string Source);
+
   /// Overrides the per-unit fuel and wall-clock limits used by subsequent
   /// expand calls (0 = the interpreter's constructed fuel default /
   /// no timeout). Per-request limit plumbing for the expansion server;
@@ -160,6 +202,15 @@ public:
   /// callers that mix limits must key their lookups on the effective
   /// value (expansionCacheKey does).
   void setUnitLimits(size_t MaxMetaSteps, unsigned TimeoutMillis);
+
+  /// Overrides the provenance settings for subsequent expand calls (the
+  /// server lets single requests opt in). A caller toggling this must
+  /// carry the effective value into any cache key it derives — the
+  /// fingerprint taken before the toggle no longer covers it.
+  void setProvenanceOptions(bool Track, bool EmitMap) {
+    Opts.TrackProvenance = Track;
+    Opts.EmitSourceMap = EmitMap;
+  }
 
   const Options &options() const { return Opts; }
 

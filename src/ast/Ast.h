@@ -138,11 +138,22 @@ public:
   SourceLoc loc() const { return Loc; }
   void setLoc(SourceLoc L) { Loc = L; }
 
+  /// Expansion-provenance frame id: which macro invocation produced this
+  /// node (0 = written directly by the user). Frame ids index the
+  /// ProvenanceTracker of the expansion that stamped them
+  /// (analysis/Provenance.h); the expander stamps nodes as it walks
+  /// macro-produced trees, and the printer reads the stamps to emit the
+  /// output-line source map. Stored in what was alignment padding between
+  /// Kind and Loc, so the field costs no memory.
+  uint32_t prov() const { return Prov; }
+  void setProv(uint32_t P) { Prov = P; }
+
 protected:
   Node(NodeKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
 
 private:
   NodeKind Kind;
+  uint32_t Prov = 0;
   SourceLoc Loc;
 };
 

@@ -25,7 +25,14 @@ class Cloner {
 public:
   explicit Cloner(Arena &A) : A(A) {}
 
-  Node *clone(const Node *N);
+  Node *cloneImpl(const Node *N);
+
+  Node *clone(const Node *N) {
+    Node *R = cloneImpl(N);
+    if (R)
+      R->setProv(N->prov()); // provenance stamps survive cloning
+    return R;
+  }
   Expr *cloneE(const Expr *E) {
     return E ? cast<Expr>(clone(E)) : nullptr;
   }
@@ -137,7 +144,7 @@ private:
   Arena &A;
 };
 
-Node *Cloner::clone(const Node *N) {
+Node *Cloner::cloneImpl(const Node *N) {
   if (!N)
     return nullptr;
   switch (N->kind()) {

@@ -22,13 +22,16 @@ namespace {
 
 /// Bump when the entry layout changes; readers treat other versions as
 /// misses, so mixed-version cache directories just re-fill.
-constexpr const char *EntryMagic = "MSQCACHE 1\n";
+constexpr const char *EntryMagic = "MSQCACHE 2\n";
 
 /// Serialized size of an entry's variable payload (bytes accounting).
 uint64_t entryPayloadSize(const CachedExpansion &E) {
-  uint64_t N = E.Output.size() + E.DiagnosticsText.size();
+  uint64_t N = E.Output.size() + E.DiagnosticsText.size() +
+               E.SourceMapJson.size();
   for (const MacroProfileEntry &PE : E.Profile.Macros)
     N += PE.Name.size();
+  for (const LintDiagnostic &L : E.Lints)
+    N += L.Rule.size() + L.File.size() + L.Macro.size() + L.Message.size();
   return N;
 }
 
@@ -115,6 +118,40 @@ std::string ExpansionCache::serialize(const std::string &Key,
   Out += '\n';
   Out += E.DiagnosticsText;
   Out += '\n';
+  Out += "srcmap ";
+  Out += std::to_string(E.SourceMapJson.size());
+  Out += '\n';
+  Out += E.SourceMapJson;
+  Out += '\n';
+  Out += "lints ";
+  Out += std::to_string(E.Lints.size());
+  Out += '\n';
+  for (const LintDiagnostic &L : E.Lints) {
+    Out += std::to_string(unsigned(L.Severity));
+    Out += ' ';
+    Out += std::to_string(L.Line);
+    Out += ' ';
+    Out += std::to_string(L.Column);
+    Out += ' ';
+    Out += std::to_string(L.Count);
+    Out += ' ';
+    Out += std::to_string(L.Rule.size());
+    Out += ' ';
+    Out += std::to_string(L.File.size());
+    Out += ' ';
+    Out += std::to_string(L.Macro.size());
+    Out += ' ';
+    Out += std::to_string(L.Message.size());
+    Out += '\n';
+    Out += L.Rule;
+    Out += '\n';
+    Out += L.File;
+    Out += '\n';
+    Out += L.Macro;
+    Out += '\n';
+    Out += L.Message;
+    Out += '\n';
+  }
   Out += "profile ";
   Out += std::to_string(E.Profile.Macros.size());
   Out += '\n';
@@ -163,6 +200,36 @@ bool ExpansionCache::deserialize(std::string_view Bytes,
   if (!R.literal("diags ") || !R.number(Len, '\n') ||
       !R.blob(Len, Out.DiagnosticsText))
     return false;
+  if (!R.literal("srcmap ") || !R.number(Len, '\n') ||
+      !R.blob(Len, Out.SourceMapJson))
+    return false;
+  uint64_t NumLints = 0;
+  if (!R.literal("lints ") || !R.number(NumLints, '\n'))
+    return false;
+  if (NumLints > Bytes.size()) // cheap sanity bound before reserving
+    return false;
+  Out.Lints.clear();
+  Out.Lints.reserve(size_t(NumLints));
+  for (uint64_t I = 0; I != NumLints; ++I) {
+    LintDiagnostic L;
+    uint64_t Sev = 0, Line = 0, Col = 0, Count = 0;
+    uint64_t RuleLen = 0, FileLen = 0, MacroLen = 0, MsgLen = 0;
+    if (!R.number(Sev, ' ') || Sev > 1 || !R.number(Line, ' ') ||
+        !R.number(Col, ' ') || !R.number(Count, ' ') ||
+        !R.number(RuleLen, ' ') || !R.number(FileLen, ' ') ||
+        !R.number(MacroLen, ' ') || !R.number(MsgLen, '\n'))
+      return false;
+    if (Line > UINT32_MAX || Col > UINT32_MAX || Count > UINT32_MAX)
+      return false;
+    L.Severity = Sev ? LintSeverity::Error : LintSeverity::Warning;
+    L.Line = unsigned(Line);
+    L.Column = unsigned(Col);
+    L.Count = unsigned(Count);
+    if (!R.blob(RuleLen, L.Rule) || !R.blob(FileLen, L.File) ||
+        !R.blob(MacroLen, L.Macro) || !R.blob(MsgLen, L.Message))
+      return false;
+    Out.Lints.push_back(std::move(L));
+  }
   uint64_t Entries = 0;
   if (!R.literal("profile ") || !R.number(Entries, '\n'))
     return false;
@@ -323,14 +390,16 @@ void ExpansionCache::store(const std::string &Key,
 std::string msq::expansionCacheKey(const std::string &LibraryFingerprint,
                                    const SourceUnit &Unit,
                                    size_t EffectiveMaxMetaSteps,
-                                   bool CollectProfile) {
+                                   bool CollectProfile,
+                                   bool TrackProvenance) {
   ContentHasher H;
-  H.str("msq-unit-key-v1");
+  H.str("msq-unit-key-v2");
   H.str(LibraryFingerprint);
   H.str(Unit.Name);
   H.str(Unit.Source);
   H.u64(EffectiveMaxMetaSteps);
   H.boolean(CollectProfile);
+  H.boolean(TrackProvenance);
   return H.hexDigest();
 }
 
@@ -353,6 +422,8 @@ ExpandResult msq::expandResultFromCache(const std::string &Name,
   R.GensymsCreated = size_t(CE.GensymsCreated);
   R.NodesProduced = size_t(CE.NodesProduced);
   R.Profile = CE.Profile;
+  R.Lints = CE.Lints;
+  R.SourceMapJson = CE.SourceMapJson;
   R.FromCache = true;
   return R;
 }
@@ -369,6 +440,8 @@ CachedExpansion msq::cachedExpansionFromResult(const ExpandResult &R) {
   CE.GensymsCreated = R.GensymsCreated;
   CE.NodesProduced = R.NodesProduced;
   CE.Profile = R.Profile;
+  CE.Lints = R.Lints;
+  CE.SourceMapJson = R.SourceMapJson;
   return CE;
 }
 

@@ -32,6 +32,7 @@
 #ifndef MSQ_CACHE_EXPANSIONCACHE_H
 #define MSQ_CACHE_EXPANSIONCACHE_H
 
+#include "analysis/Lint.h"
 #include "support/Metrics.h"
 
 #include <cstdint>
@@ -39,6 +40,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 namespace msq {
 
@@ -61,6 +63,11 @@ struct CachedExpansion {
   /// The profile as measured when the entry was created; replayed times
   /// describe the original expansion, not the (near-free) replay.
   ExpansionProfile Profile;
+  /// Lint findings and the provenance source map are part of the replay:
+  /// a warm-cache run must report byte-identical findings, backtraced
+  /// diagnostics (in DiagnosticsText), and source maps.
+  std::vector<LintDiagnostic> Lints;
+  std::string SourceMapJson;
 };
 
 /// Thread-safe two-tier expansion cache.
@@ -131,11 +138,14 @@ private:
 
 /// Derives the content-addressed cache key for one unit: a hash of the
 /// library fingerprint, the unit's name and source, and the per-unit
-/// limits that can change the outcome deterministically.
+/// knobs that can change the outcome deterministically.
+/// \p TrackProvenance must be the EFFECTIVE provenance setting for this
+/// unit: the server lets single requests opt in per-request, so the flag
+/// is not always derivable from the library fingerprint.
 std::string expansionCacheKey(const std::string &LibraryFingerprint,
                               const SourceUnit &Unit,
                               size_t EffectiveMaxMetaSteps,
-                              bool CollectProfile);
+                              bool CollectProfile, bool TrackProvenance);
 
 /// Conversions between live results and cache entries, shared by every
 /// consumer of the cache (batch driver, expansion server) so the replay

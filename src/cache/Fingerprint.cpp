@@ -137,7 +137,7 @@ void hashValue(ContentHasher &H, const Value &V, bool &Stable,
 std::string Engine::stateFingerprint(bool *StableOut) const {
   bool Stable = true;
   ContentHasher H;
-  H.str("msq-library-fp-v1");
+  H.str("msq-library-fp-v2");
 
   // 1. Options that change what expansion produces or how it can fail.
   H.boolean(Opts.UseCompiledPatterns);
@@ -145,6 +145,20 @@ std::string Engine::stateFingerprint(bool *StableOut) const {
   H.boolean(Opts.CollectProfile);
   H.u64(Opts.MaxMetaSteps);
   H.u64(Opts.MaxExpansionDepth);
+  // Lint and provenance configuration: both change what a result carries
+  // (findings, backtraced diagnostics, source maps), so a cached replay
+  // keyed under one configuration must never serve another.
+  H.boolean(Opts.Lint.Enabled);
+  H.boolean(Opts.Lint.Werror);
+  {
+    std::vector<std::string> Disabled = Opts.Lint.DisabledRules;
+    std::sort(Disabled.begin(), Disabled.end());
+    H.u64(Disabled.size());
+    for (const std::string &Rule : Disabled)
+      H.str(Rule);
+  }
+  H.boolean(Opts.TrackProvenance);
+  H.boolean(Opts.EmitSourceMap);
 
   // 2. Macro definitions, sorted by name for map-order independence.
   {

@@ -73,7 +73,8 @@ BatchResult BatchDriver::run(const std::vector<SourceUnit> &Units) const {
       std::string Key;
       if (TryCache) {
         Key = expansionCacheKey(Fingerprint, Units[I], EffectiveMaxMetaSteps,
-                                BO.CollectProfile);
+                                BO.CollectProfile,
+                                SnapRef.options().TrackProvenance);
         CachedExpansion CE;
         if (Cache->lookup(Key, CE, Stats)) {
           BR.Results[I] = expandResultFromCache(Units[I].Name, CE);
@@ -110,7 +111,12 @@ BatchResult BatchDriver::run(const std::vector<SourceUnit> &Units) const {
       ++BR.UnitsFailed;
     BR.TotalInvocations += R.InvocationsExpanded;
     BR.Profile.merge(R.Profile);
+    BR.Lints.insert(BR.Lints.end(), R.Lints.begin(), R.Lints.end());
   }
+  // Units sharing a macro library each re-report its findings; collapse
+  // identical diagnostics into one entry with a count and sort the batch
+  // report deterministically.
+  normalizeLintFindings(BR.Lints);
   return BR;
 }
 
@@ -146,12 +152,18 @@ std::string BatchResult::metricsJson() const {
     Out += R.MetaGlobalsMutated ? "true" : "false";
     Out += ",\"cached\":";
     Out += R.FromCache ? "true" : "false";
+    Out += ",\"lints\":";
+    Out += std::to_string(R.Lints.size());
     Out += '}';
   }
   Out += "]";
   if (CacheEnabled) {
     Out += ",\"cache\":";
     Out += Cache.toJson();
+  }
+  if (!Lints.empty()) {
+    Out += ",\"lint_findings\":";
+    Out += lintFindingsJson(Lints);
   }
   Out += ",\"aggregate\":";
   Out += Profile.toJson();

@@ -61,14 +61,22 @@ struct BatchResult {
   /// then holds the hit/miss/uncacheable accounting for the batch.
   bool CacheEnabled = false;
   CacheStats Cache;
+  /// Batch-level lint findings (engine Options::Lint.Enabled): the union
+  /// of every unit's findings with identical diagnostics deduplicated
+  /// into one entry with a count (units sharing a macro library would
+  /// otherwise repeat its findings once per unit), sorted by
+  /// (file, line, column, rule).
+  std::vector<LintDiagnostic> Lints;
 
   bool allSucceeded() const { return UnitsFailed == 0; }
 
   /// Renders the batch metrics as JSON:
   /// {"units":[{"name":...,"success":...,"invocations":N,"meta_steps":N,
   ///   "gensyms":N,"nodes":N,"fuel_exhausted":B,"timed_out":B,
-  ///   "limit":"none"|"fuel"|"timeout","mutates_globals":B,"cached":B}],
+  ///   "limit":"none"|"fuel"|"timeout","mutates_globals":B,"cached":B,
+  ///   "lints":N}],
   ///  "cache":<CacheStats::toJson(), when CacheEnabled>,
+  ///  "lint_findings":<deduplicated findings array, when any>,
   ///  "aggregate":<ExpansionProfile::toJson()>}
   std::string metricsJson() const;
 };

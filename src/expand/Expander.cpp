@@ -15,6 +15,28 @@ Expander::Expander(CompilationContext &CC, Interpreter &Interp, Options Opts)
     : CC(CC), Interp(Interp), Opts(Opts),
       QC{CC.Ast, CC.Interner, CC.Types, CC.Diags} {}
 
+void Expander::enterInvocation(const MacroInvocation *Inv) {
+  if (!Opts.Prov)
+    return;
+  Symbol Name = Inv->Def ? Inv->Def->Name : Symbol();
+  uint32_t Frame = Opts.Prov->push(Name, Inv->Loc);
+  CC.Diags.setProvenanceFrame(Frame);
+}
+
+void Expander::leaveInvocation() {
+  if (!Opts.Prov)
+    return;
+  Opts.Prov->pop();
+  CC.Diags.setProvenanceFrame(Opts.Prov->current());
+}
+
+void Expander::stamp(Node *N) {
+  if (!Opts.Prov || !N || N->prov() != 0)
+    return;
+  if (uint32_t Frame = Opts.Prov->current())
+    N->setProv(Frame);
+}
+
 Value Expander::runInvocation(const MacroInvocation *Inv) {
   ++St.InvocationsExpanded;
   if (!Opts.CollectProfile)
@@ -102,20 +124,24 @@ Expr *Expander::expandExpr(Expr *E) {
   if (!E)
     return nullptr;
   ++St.NodesProduced;
+  stamp(E);
   switch (E->kind()) {
   case NodeKind::MacroInvocationExpr: {
     const auto *M = cast<MacroInvocationExpr>(E);
+    enterInvocation(M->Inv);
     Value V = runInvocation(M->Inv);
     Expr *R = valueToExpr(QC, V, E->loc());
-    if (!R)
-      return CC.Ast.create<IntLiteralExpr>(0, E->loc());
-    if (Depth >= Opts.MaxExpansionDepth) {
+    if (!R) {
+      R = CC.Ast.create<IntLiteralExpr>(0, E->loc());
+    } else if (Depth >= Opts.MaxExpansionDepth) {
       CC.Diags.error(E->loc(), "macro expansion depth limit exceeded");
-      return R;
+    } else {
+      ++Depth;
+      R = expandExpr(R);
+      --Depth;
     }
-    ++Depth;
-    R = expandExpr(R);
-    --Depth;
+    stamp(R);
+    leaveInvocation();
     return R;
   }
   case NodeKind::ParenExpr: {
@@ -199,17 +225,23 @@ CompoundStmt *Expander::expandCompound(CompoundStmt *C) {
   std::vector<Stmt *> Stmts;
   for (Stmt *S : C->Stmts)
     expandStmtInto(S, Stmts);
-  return CC.Ast.create<CompoundStmt>(ArenaRef<Decl *>::copy(CC.Ast, Decls),
-                                     ArenaRef<Stmt *>::copy(CC.Ast, Stmts),
-                                     C->loc());
+  auto *R =
+      CC.Ast.create<CompoundStmt>(ArenaRef<Decl *>::copy(CC.Ast, Decls),
+                                  ArenaRef<Stmt *>::copy(CC.Ast, Stmts),
+                                  C->loc());
+  R->setProv(C->prov());
+  stamp(R);
+  return R;
 }
 
 void Expander::expandStmtInto(Stmt *S, std::vector<Stmt *> &Out) {
   if (!S)
     return;
   if (const auto *M = dyn_cast<MacroInvocationStmt>(S)) {
+    enterInvocation(M->Inv);
     Value V = runInvocation(M->Inv);
     spliceStmtValue(V, S->loc(), Out);
+    leaveInvocation();
     return;
   }
   if (Stmt *R = expandStmt(S))
@@ -220,21 +252,28 @@ Stmt *Expander::expandStmt(Stmt *S) {
   if (!S)
     return nullptr;
   ++St.NodesProduced;
+  stamp(S);
   switch (S->kind()) {
   case NodeKind::MacroInvocationStmt: {
     // Single-statement context: the invocation must produce one statement.
     const auto *M = cast<MacroInvocationStmt>(S);
+    enterInvocation(M->Inv);
     Value V = runInvocation(M->Inv);
     std::vector<Stmt *> Tmp;
     spliceStmtValue(V, S->loc(), Tmp);
+    Stmt *R;
     if (Tmp.size() == 1)
-      return Tmp[0];
-    if (Tmp.empty())
-      return CC.Ast.create<NullStmt>(S->loc());
-    // Multiple statements in a single-statement slot: wrap in a block.
-    return CC.Ast.create<CompoundStmt>(ArenaRef<Decl *>(),
-                                       ArenaRef<Stmt *>::copy(CC.Ast, Tmp),
-                                       S->loc());
+      R = Tmp[0];
+    else if (Tmp.empty())
+      R = CC.Ast.create<NullStmt>(S->loc());
+    else
+      // Multiple statements in a single-statement slot: wrap in a block.
+      R = CC.Ast.create<CompoundStmt>(ArenaRef<Decl *>(),
+                                      ArenaRef<Stmt *>::copy(CC.Ast, Tmp),
+                                      S->loc());
+    stamp(R);
+    leaveInvocation();
+    return R;
   }
   case NodeKind::CompoundStmtKind:
     return expandCompound(cast<CompoundStmt>(S));
@@ -315,6 +354,7 @@ Decl *Expander::expandDecl(Decl *D) {
   if (!D)
     return nullptr;
   ++St.NodesProduced;
+  stamp(D);
   switch (D->kind()) {
   case NodeKind::DeclarationKind: {
     auto *Dec = cast<Declaration>(D);
@@ -344,8 +384,10 @@ void Expander::expandDeclInto(Decl *D, std::vector<Decl *> &Out) {
   switch (D->kind()) {
   case NodeKind::MacroInvocationDecl: {
     const auto *M = cast<MacroInvocationDecl>(D);
+    enterInvocation(M->Inv);
     Value V = runInvocation(M->Inv);
     spliceDeclValue(V, D->loc(), Out);
+    leaveInvocation();
     return;
   }
   case NodeKind::MetaDeclKind:

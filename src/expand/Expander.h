@@ -20,6 +20,7 @@
 #ifndef MSQ_EXPAND_EXPANDER_H
 #define MSQ_EXPAND_EXPANDER_H
 
+#include "analysis/Provenance.h"
 #include "interp/Interpreter.h"
 #include "parser/Parser.h"
 #include "quasi/Quasi.h"
@@ -38,6 +39,10 @@ public:
     /// Attribute every invocation to its macro in a profile (wall-clock
     /// time, nodes, gensyms); retrieved with takeProfile().
     bool CollectProfile = false;
+    /// When set, every invocation pushes a frame here, produced nodes are
+    /// stamped with the current frame id, and diagnostics reported while a
+    /// macro runs carry its backtrace (Diags.setProvenanceFrame).
+    ProvenanceTracker *Prov = nullptr;
   };
 
   struct Stats {
@@ -65,6 +70,11 @@ public:
 
 private:
   Value runInvocation(const MacroInvocation *Inv);
+  /// Pushes a provenance frame for \p Inv (no-op without a tracker).
+  void enterInvocation(const MacroInvocation *Inv);
+  void leaveInvocation();
+  /// Stamps the current provenance frame onto \p N if it has none yet.
+  void stamp(Node *N);
   void expandStmtInto(Stmt *S, std::vector<Stmt *> &Out);
   void expandDeclInto(Decl *D, std::vector<Decl *> &Out);
   Decl *expandDecl(Decl *D);

@@ -88,7 +88,11 @@ class Printer {
 public:
   explicit Printer(const PrintOptions &Opts) : Opts(Opts) {}
 
-  std::string take() { return OS.str(); }
+  std::string take() {
+    std::string Out = OS.str();
+    emitLineProvenance(Out);
+    return Out;
+  }
 
   void printDecl(const Decl *D, unsigned Indent);
   void printStmt(const Stmt *S, unsigned Indent);
@@ -111,9 +115,36 @@ public:
       OS << ' ';
   }
 
+  /// Records the provenance stamp of a node about to print at the current
+  /// output position (no-op unless the caller collects line provenance).
+  void noteProvenance(const Node *N) {
+    if (Opts.LineProvenance && N && N->prov() != 0)
+      OffsetProv.emplace_back(size_t(OS.tellp()), N->prov());
+  }
+
 private:
+  /// Converts the recorded (offset, frame) pairs to (line, frame) pairs,
+  /// keeping the first record per output line.
+  void emitLineProvenance(const std::string &Out) {
+    if (!Opts.LineProvenance || OffsetProv.empty())
+      return;
+    size_t Pos = 0;
+    unsigned Line = 1, LastLine = 0;
+    for (const auto &[Off, Frame] : OffsetProv) {
+      for (; Pos < Off && Pos < Out.size(); ++Pos)
+        if (Out[Pos] == '\n')
+          ++Line;
+      if (Line != LastLine) {
+        Opts.LineProvenance->emplace_back(Line, Frame);
+        LastLine = Line;
+      }
+    }
+  }
+
   const PrintOptions &Opts;
   std::ostringstream OS;
+  /// (byte offset, provenance frame) pairs in output order.
+  std::vector<std::pair<size_t, uint32_t>> OffsetProv;
 };
 
 void Printer::printStringLiteral(std::string_view S) {
@@ -595,6 +626,7 @@ void Printer::printDecl(const Decl *D, unsigned Indent) {
     OS << "/*null-decl*/;";
     return;
   }
+  noteProvenance(D);
   switch (D->kind()) {
   case NodeKind::DeclarationKind: {
     const auto *Dec = cast<Declaration>(D);
@@ -694,6 +726,7 @@ void Printer::printStmt(const Stmt *S, unsigned Indent) {
     OS << ';';
     return;
   }
+  noteProvenance(S);
   switch (S->kind()) {
   case NodeKind::CompoundStmtKind: {
     const auto *C = cast<CompoundStmt>(S);

@@ -20,6 +20,8 @@
 #include "ast/Ast.h"
 
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace msq {
 
@@ -29,6 +31,11 @@ struct PrintOptions {
   /// Print placeholders as `$name` / `$(expr)`; with false, encountering a
   /// placeholder is an error (expanded code must not contain them).
   bool AllowPlaceholders = true;
+  /// When non-null, the printer appends one (1-based output line,
+  /// provenance frame id) pair per output line whose first printed
+  /// statement/declaration carries a non-zero Node::prov() stamp. Feeds
+  /// analysis::sourceMapJson; lines of user-written code do not appear.
+  std::vector<std::pair<unsigned, uint32_t>> *LineProvenance = nullptr;
 };
 
 /// Renders any node to C source.

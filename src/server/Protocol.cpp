@@ -424,6 +424,26 @@ ParseOutcome msq::parseRequest(std::string_view Frame, Request &Out) {
         return parseFail(ErrorCode::BadRequest,
                          "\"timeout_ms\" must be a non-negative integer");
     }
+    if (const json::Value *P = Doc.get("provenance")) {
+      if (P->K != json::Value::Kind::Bool)
+        return parseFail(ErrorCode::BadRequest,
+                         "\"provenance\" must be a bool");
+      Out.Provenance = P->B;
+    }
+    ParseOutcome O;
+    O.Ok = true;
+    return O;
+  }
+
+  if (Ty->Str == "lint") {
+    Out.Ty = Request::Type::Lint;
+    const json::Value *Name = Doc.get("name");
+    const json::Value *Source = Doc.get("source");
+    if (!Name || !Name->isString() || !Source || !Source->isString())
+      return parseFail(ErrorCode::BadRequest,
+                       "lint needs string \"name\" and \"source\"");
+    Out.Name = Name->Str;
+    Out.Source = Source->Str;
     ParseOutcome O;
     O.Ok = true;
     return O;
@@ -514,6 +534,37 @@ std::string msq::makeExpandResponse(const std::string &Id,
   Out += R.FuelExhausted ? "true" : "false";
   Out += ",\"timed_out\":";
   Out += R.TimedOut ? "true" : "false";
+  if (!R.Lints.empty()) {
+    Out += ",\"lints\":";
+    Out += lintFindingsJson(R.Lints);
+  }
+  if (!R.SourceMapJson.empty()) {
+    Out += ",\"source_map\":";
+    Out += R.SourceMapJson; // already a JSON object
+  }
+  Out += '}';
+  return Out;
+}
+
+std::string msq::makeLintResponse(const std::string &Id,
+                                  const ExpandResult &R,
+                                  uint64_t Generation) {
+  unsigned Warnings = 0, Errors = 0;
+  for (const LintDiagnostic &L : R.Lints)
+    (L.Severity == LintSeverity::Error ? Errors : Warnings) += L.Count;
+  std::string Out = responseHead(Id, "lint_result");
+  Out += ",\"success\":";
+  Out += R.Success ? "true" : "false";
+  Out += ",\"diagnostics\":\"";
+  Out += jsonEscape(R.DiagnosticsText);
+  Out += "\",\"generation\":";
+  Out += std::to_string(Generation);
+  Out += ",\"findings\":";
+  Out += lintFindingsJson(R.Lints);
+  Out += ",\"warnings\":";
+  Out += std::to_string(Warnings);
+  Out += ",\"errors\":";
+  Out += std::to_string(Errors);
   Out += '}';
   return Out;
 }
@@ -577,7 +628,7 @@ std::string msq::makeExpandRequest(const std::string &Id,
                                    const std::string &Name,
                                    const std::string &Source, bool UseCache,
                                    uint64_t MaxMetaSteps,
-                                   uint64_t TimeoutMillis) {
+                                   uint64_t TimeoutMillis, bool Provenance) {
   std::string Out = requestHead(Id, "expand");
   Out += ",\"name\":\"";
   Out += jsonEscape(Name);
@@ -594,7 +645,21 @@ std::string msq::makeExpandRequest(const std::string &Id,
     Out += ",\"timeout_ms\":";
     Out += std::to_string(TimeoutMillis);
   }
+  if (Provenance)
+    Out += ",\"provenance\":true";
   Out += '}';
+  return Out;
+}
+
+std::string msq::makeLintRequest(const std::string &Id,
+                                 const std::string &Name,
+                                 const std::string &Source) {
+  std::string Out = requestHead(Id, "lint");
+  Out += ",\"name\":\"";
+  Out += jsonEscape(Name);
+  Out += "\",\"source\":\"";
+  Out += jsonEscape(Source);
+  Out += "\"}";
   return Out;
 }
 

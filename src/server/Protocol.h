@@ -9,16 +9,22 @@
 /// The msqd wire protocol: version-tagged, newline-delimited JSON. Every
 /// frame is one JSON object on one line. Requests carry {"v":1,"id":...,
 /// "type":...}; responses echo the id. The protocol is deliberately
-/// small — four request types — and strict: anything malformed yields an
+/// small — five request types — and strict: anything malformed yields an
 /// `error` response with a machine-readable code, never a crash or a
 /// silent drop.
 ///
 ///   expand          {"v":1,"id":I,"type":"expand","name":N,"source":S
-///                    [,"cache":B,"max_meta_steps":N,"timeout_ms":N]}
+///                    [,"cache":B,"max_meta_steps":N,"timeout_ms":N,
+///                     "provenance":B]}
+///   lint            {"v":1,"id":I,"type":"lint","name":N,"source":S}
 ///   reload_library  {"v":1,"id":I,"type":"reload_library",
 ///                    "sources":[{"name":N,"source":S}...][,"stdlib":B]}
 ///   status          {"v":1,"id":I,"type":"status"}
 ///   ping            {"v":1,"id":I,"type":"ping"}
+///
+/// "provenance":true makes the expansion track invocation backtraces: the
+/// response's diagnostics carry "in expansion of macro ..." chains and a
+/// "source_map" object maps output lines back to invocation sites.
 ///
 /// This header also contains the minimal JSON reader the server uses (the
 /// repo carries no third-party dependencies); it parses into a plain
@@ -97,15 +103,16 @@ const char *errorCodeName(ErrorCode C);
 
 /// One parsed request.
 struct Request {
-  enum class Type { Expand, ReloadLibrary, Status, Ping };
+  enum class Type { Expand, Lint, ReloadLibrary, Status, Ping };
   Type Ty = Type::Ping;
   std::string Id;
-  // Expand:
+  // Expand / Lint:
   std::string Name;
   std::string Source;
   bool UseCache = true;       ///< "cache":false opts this request out
   uint64_t MaxMetaSteps = 0;  ///< 0 = server default
   uint64_t TimeoutMillis = 0; ///< 0 = server default
+  bool Provenance = false;    ///< "provenance":true opts into backtraces
   // ReloadLibrary:
   std::vector<SourceUnit> Sources;
   bool LoadStdlib = false;
@@ -127,9 +134,17 @@ ParseOutcome parseRequest(std::string_view Frame, Request &Out);
 
 /// {"v":1,"id":I,"type":"result","success":B,"output":S,"diagnostics":S,
 ///  "cached":B,"generation":N,"invocations":N,"meta_steps":N,
-///  "fuel_exhausted":B,"timed_out":B}
+///  "fuel_exhausted":B,"timed_out":B
+///  [,"lints":<findings array>][,"source_map":<source-map object>]}
+/// "lints" appears when the server linted the unit; "source_map" when the
+/// request opted into provenance and output was produced.
 std::string makeExpandResponse(const std::string &Id, const ExpandResult &R,
                                uint64_t Generation);
+
+/// {"v":1,"id":I,"type":"lint_result","success":B,"diagnostics":S,
+///  "findings":[...],"warnings":N,"errors":N}
+std::string makeLintResponse(const std::string &Id, const ExpandResult &R,
+                             uint64_t Generation);
 
 /// {"v":1,"id":I,"type":"error","error":CODE,"message":S}
 std::string makeErrorResponse(const std::string &Id, ErrorCode Code,
@@ -152,7 +167,10 @@ std::string makePongResponse(const std::string &Id);
 
 std::string makeExpandRequest(const std::string &Id, const std::string &Name,
                               const std::string &Source, bool UseCache,
-                              uint64_t MaxMetaSteps, uint64_t TimeoutMillis);
+                              uint64_t MaxMetaSteps, uint64_t TimeoutMillis,
+                              bool Provenance = false);
+std::string makeLintRequest(const std::string &Id, const std::string &Name,
+                            const std::string &Source);
 std::string makeReloadRequest(const std::string &Id,
                               const std::vector<SourceUnit> &Sources,
                               bool LoadStdlib);

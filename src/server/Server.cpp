@@ -162,14 +162,23 @@ ExpandResult Server::processJob(const Job &J, WorkerEngine &W,
                                   ? unsigned(J.RO.TimeoutMillis)
                                   : SO.EngineOpts.UnitTimeoutMillis;
 
+  // Per-request provenance opt-in, on top of a server-wide default.
+  const bool EffProv =
+      SO.EngineOpts.TrackProvenance || J.RO.Provenance;
+  const bool EffMap =
+      SO.EngineOpts.EmitSourceMap || J.RO.Provenance;
+
   // Cache probe — the exact keying discipline of BatchDriver::run, so
-  // the daemon and batch CLI share entries for identical requests.
-  const bool TryCache = Cache && J.RO.UseCache && LS.Stable &&
-                        !SO.EngineOpts.TraceExpansions;
+  // the daemon and batch CLI share entries for identical requests. The
+  // effective provenance flag is part of the key: a provenance-off entry
+  // must never satisfy a provenance-on request (its diagnostics lack the
+  // backtraces) or vice versa.
+  const bool TryCache = Cache && J.RO.UseCache && !J.RO.LintOnly &&
+                        LS.Stable && !SO.EngineOpts.TraceExpansions;
   std::string Key;
   if (TryCache) {
     Key = expansionCacheKey(LS.Fingerprint, J.Unit, EffSteps,
-                            SO.EngineOpts.CollectProfile);
+                            SO.EngineOpts.CollectProfile, EffProv);
     CachedExpansion CE;
     if (Cache->lookup(Key, CE, Stats)) {
       FromCache = true;
@@ -190,8 +199,20 @@ ExpandResult Server::processJob(const Job &J, WorkerEngine &W,
   }
   W.E->restoreCheckpoint(W.Baseline);
   W.E->setUnitLimits(EffSteps, EffTimeout);
+  W.E->setProvenanceOptions(EffProv, EffMap);
+
+  if (J.RO.LintOnly) {
+    Engine::LintResult LR = W.E->lintSource(J.Unit.Name, J.Unit.Source);
+    ExpandResult R;
+    R.Name = LR.Name;
+    R.Success = LR.Success;
+    R.DiagnosticsText = std::move(LR.DiagnosticsText);
+    R.Lints = std::move(LR.Report.Findings);
+    return R;
+  }
+
   ExpandResult R = W.E->expandUnrecorded(J.Unit.Name, J.Unit.Source);
-  if (Cache && J.RO.UseCache) {
+  if (Cache && J.RO.UseCache && !J.RO.LintOnly) {
     if (TryCache && expansionResultCacheable(R)) {
       ++Stats.Misses;
       Cache->store(Key, cachedExpansionFromResult(R), Stats);

@@ -82,6 +82,16 @@ struct RequestOptions {
   uint64_t TimeoutMillis = 0;
   /// Allows this request to read/write the expansion cache.
   bool UseCache = true;
+  /// Opt into expansion provenance for this request: diagnostics carry
+  /// "in expansion of" backtraces and the result carries a source map.
+  /// The effective flag is part of the cache key, so provenance-on and
+  /// provenance-off requests for the same unit never share an entry.
+  bool Provenance = false;
+  /// Lint-only request: parse the unit, lint the definitions it
+  /// contributes, and return the findings in ExpandResult::Lints without
+  /// expanding anything. Never cached (linting is cheap and the result
+  /// shape differs from an expansion).
+  bool LintOnly = false;
   /// Opaque tag echoed in the structured log (the daemon passes the
   /// protocol request id).
   std::string Tag;

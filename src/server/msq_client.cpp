@@ -5,9 +5,16 @@
 // the responses.
 //
 //   msq-client --socket PATH expand [--name N] [--no-cache]
-//              [--max-meta-steps N] [--timeout-ms N] [-q] [FILE...]
+//              [--max-meta-steps N] [--timeout-ms N] [--provenance]
+//              [--source-map] [-q] [FILE...]
 //       Expands each FILE as one request (stdin when no files). Outputs
 //       are printed to stdout in request order, diagnostics to stderr.
+//       --provenance asks the daemon for "in expansion of" backtraces in
+//       the diagnostics; --source-map (implies --provenance) also prints
+//       each unit's output-line source map JSON to stdout.
+//   msq-client --socket PATH lint [--name N] [FILE...]
+//       Lints each FILE's macro definitions; findings go to stdout, one
+//       per line. Exit 1 when any finding is reported.
 //   msq-client --socket PATH reload [--stdlib] [FILE...]
 //   msq-client --socket PATH status
 //   msq-client --socket PATH ping
@@ -45,7 +52,9 @@ int usage(int Code) {
       Code ? stderr : stdout,
       "usage: msq-client --socket PATH [--retry-ms N] [--no-wait] COMMAND\n"
       "  expand [--name N] [--no-cache] [--max-meta-steps N]\n"
-      "         [--timeout-ms N] [-q] [FILE...]\n"
+      "         [--timeout-ms N] [--provenance] [--source-map] [-q]\n"
+      "         [FILE...]\n"
+      "  lint [--name N] [FILE...]\n"
       "  reload [--stdlib] [FILE...]\n"
       "  status\n"
       "  ping\n");
@@ -190,6 +199,7 @@ int main(int argc, char **argv) {
 
   // Command-specific options and file arguments.
   bool UseCache = true, StdLib = false, Quiet = false;
+  bool Provenance = false, SourceMap = false;
   uint64_t MaxMetaSteps = 0, TimeoutMillis = 0;
   std::string StdinName = "<stdin>";
   std::vector<std::string> Files;
@@ -216,6 +226,11 @@ int main(int argc, char **argv) {
       if (!V)
         return 2;
       TimeoutMillis = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--provenance") {
+      Provenance = true;
+    } else if (Arg == "--source-map") {
+      Provenance = true;
+      SourceMap = true;
     } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
       std::fprintf(stderr, "msq-client: unknown argument '%s'\n",
                    Arg.c_str());
@@ -243,7 +258,24 @@ int main(int argc, char **argv) {
       std::string Name = Path == "-" ? StdinName : Path;
       std::string Id = "e" + std::to_string(Seq++);
       Frames.push_back(makeExpandRequest(Id, Name, Text, UseCache,
-                                         MaxMetaSteps, TimeoutMillis));
+                                         MaxMetaSteps, TimeoutMillis,
+                                         Provenance));
+      Ids.push_back(Id);
+      UnitNames.push_back(Name);
+    }
+  } else if (Command == "lint") {
+    if (Files.empty())
+      Files.push_back("-");
+    unsigned Seq = 0;
+    for (const std::string &Path : Files) {
+      std::string Text;
+      if (!readFile(Path, Text)) {
+        std::fprintf(stderr, "msq-client: cannot read '%s'\n", Path.c_str());
+        return 2;
+      }
+      std::string Name = Path == "-" ? StdinName : Path;
+      std::string Id = "l" + std::to_string(Seq++);
+      Frames.push_back(makeLintRequest(Id, Name, Text));
       Ids.push_back(Id);
       UnitNames.push_back(Name);
     }
@@ -317,6 +349,64 @@ int main(int argc, char **argv) {
         if (const json::Value *Out = R.Body.get("output");
             Out && Out->isString())
           std::fputs(Out->Str.c_str(), stdout);
+      if (SourceMap) {
+        // The map object is printed verbatim from the raw frame (the
+        // reader has no serializer); it is the value of "source_map",
+        // which the daemon emits as the frame's final member.
+        std::string::size_type Pos = R.RawFrame.find("\"source_map\":");
+        if (Pos != std::string::npos && R.RawFrame.back() == '}') {
+          Pos += std::strlen("\"source_map\":");
+          std::fprintf(stdout, "%s\n",
+                       R.RawFrame.substr(Pos, R.RawFrame.size() - 1 - Pos)
+                           .c_str());
+        }
+      }
+    }
+  } else if (Command == "lint") {
+    for (size_t N = 0; N != Ids.size(); ++N) {
+      const Response &R = Responses.at(Ids[N]);
+      if (R.IsError) {
+        int E = errorExit(R);
+        Exit = Exit == 0 || E > Exit ? E : Exit;
+        continue;
+      }
+      const json::Value *Diag = R.Body.get("diagnostics");
+      if (Diag && Diag->isString() && !Diag->Str.empty())
+        std::fputs(Diag->Str.c_str(), stderr);
+      const json::Value *Ok = R.Body.get("success");
+      if (!Ok || Ok->K != json::Value::Kind::Bool || !Ok->B) {
+        std::fprintf(stderr, "msq-client: lint of '%s' failed to parse\n",
+                     UnitNames[N].c_str());
+        Exit = Exit ? Exit : 1;
+        continue;
+      }
+      if (const json::Value *Findings = R.Body.get("findings");
+          Findings && Findings->isArray()) {
+        for (const json::Value &F : Findings->Arr) {
+          auto Str = [&F](const char *Key) -> std::string {
+            const json::Value *V = F.get(Key);
+            return V && V->isString() ? V->Str : std::string();
+          };
+          uint64_t Line = 0, Col = 0, Count = 1;
+          if (const json::Value *V = F.get("line"))
+            V->asU64(Line);
+          if (const json::Value *V = F.get("col"))
+            V->asU64(Col);
+          if (const json::Value *V = F.get("count"))
+            V->asU64(Count);
+          std::string LineOut;
+          if (Line) {
+            LineOut += Str("file") + ":" + std::to_string(Line) + ":" +
+                       std::to_string(Col) + ": ";
+          }
+          LineOut += Str("severity") + ": " + Str("message") + " [" +
+                     Str("rule") + "]";
+          if (Count > 1)
+            LineOut += " (x" + std::to_string(Count) + ")";
+          std::fprintf(stdout, "%s\n", LineOut.c_str());
+          Exit = Exit ? Exit : 1;
+        }
+      }
     }
   } else if (Command == "reload") {
     const Response &R = Responses.at("r0");

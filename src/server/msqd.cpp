@@ -141,19 +141,24 @@ void serveConnection(const std::shared_ptr<Conn> &C, Server &S) {
                                   O.Diagnostics));
       break;
     }
-    case Request::Type::Expand: {
+    case Request::Type::Expand:
+    case Request::Type::Lint: {
       RequestOptions RO;
       RO.MaxMetaSteps = Req.MaxMetaSteps;
       RO.TimeoutMillis = Req.TimeoutMillis;
       RO.UseCache = Req.UseCache;
+      RO.Provenance = Req.Provenance;
+      RO.LintOnly = Req.Ty == Request::Type::Lint;
       RO.Tag = Req.Id;
+      const bool IsLint = RO.LintOnly;
       C->beginRequest();
       std::string Id = Req.Id;
       std::shared_ptr<Conn> CRef = C;
       Server::Admission A = S.submit(
           {Req.Name, Req.Source}, std::move(RO),
-          [CRef, Id](const ExpandResult &R, uint64_t Gen) {
-            CRef->send(makeExpandResponse(Id, R, Gen));
+          [CRef, Id, IsLint](const ExpandResult &R, uint64_t Gen) {
+            CRef->send(IsLint ? makeLintResponse(Id, R, Gen)
+                              : makeExpandResponse(Id, R, Gen));
             CRef->endRequest();
           });
       if (A == Server::Admission::Overloaded) {

@@ -30,6 +30,11 @@ struct Diagnostic {
   DiagSeverity Severity = DiagSeverity::Error;
   SourceLoc Loc;
   std::string Message;
+  /// Provenance frame current when the diagnostic was reported (0 = not
+  /// inside any macro expansion). Frame ids index a ProvenanceTracker
+  /// (analysis/Provenance.h); the tracker renders the "in expansion of"
+  /// backtrace chain for non-zero frames.
+  uint32_t ProvFrame = 0;
 };
 
 /// Collects diagnostics for a compilation. Not thread-safe.
@@ -40,7 +45,7 @@ public:
   void report(DiagSeverity Sev, SourceLoc Loc, std::string Message) {
     if (Sev == DiagSeverity::Error)
       ++NumErrors;
-    Diags.push_back({Sev, Loc, std::move(Message)});
+    Diags.push_back({Sev, Loc, std::move(Message), CurProvFrame});
   }
 
   void error(SourceLoc Loc, std::string Message) {
@@ -68,14 +73,24 @@ public:
   void clear() {
     Diags.clear();
     NumErrors = 0;
+    CurProvFrame = 0;
   }
 
   const SourceManager &sourceManager() const { return SM; }
+
+  /// Sets the provenance frame stamped onto subsequently reported
+  /// diagnostics. The expander moves this as it pushes/pops invocation
+  /// frames so that any diagnostic emitted while a macro body runs (or
+  /// while its produced code is re-expanded) carries the backtrace of the
+  /// responsible invocation. 0 means "not inside any expansion".
+  void setProvenanceFrame(uint32_t Frame) { CurProvFrame = Frame; }
+  uint32_t provenanceFrame() const { return CurProvFrame; }
 
 private:
   const SourceManager &SM;
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
+  uint32_t CurProvFrame = 0;
 };
 
 } // namespace msq

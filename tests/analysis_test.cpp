@@ -1,0 +1,321 @@
+//===----------------------------------------------------------------------===//
+//
+// Tests for the msq-lint definition-time linter: one golden test per rule
+// id, rule configuration (disable, werror), scoping (stdlib and libraries
+// are exempt from lintSource), batch deduplication, and output formats.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+#include "driver/BatchDriver.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+Engine::LintResult lintOne(std::string Source,
+                           Engine::Options Opts = Engine::Options()) {
+  Engine E(Opts);
+  return E.lintSource("unit.c", std::move(Source));
+}
+
+// A macro with no findings under any rule: every binder used, every
+// introduced identifier gensym'd.
+const char *CleanMacro = R"(
+syntax stmt clean {| ( $$exp::n ) $$stmt::body |}
+{
+    @id i = gensym("i");
+    return `{
+        int $i;
+        for ($i = 0; $i < $n; $i = $i + 1)
+            $body;
+    };
+}
+)";
+
+TEST(LintRules, TableHasFiveRulesInIdOrder) {
+  const std::vector<LintRuleInfo> &Rules = lintRules();
+  ASSERT_EQ(Rules.size(), 5u);
+  EXPECT_STREQ(Rules[0].Id, "MSQ001");
+  EXPECT_STREQ(Rules[1].Id, "MSQ002");
+  EXPECT_STREQ(Rules[2].Id, "MSQ003");
+  EXPECT_STREQ(Rules[3].Id, "MSQ004");
+  EXPECT_STREQ(Rules[4].Id, "MSQ005");
+}
+
+TEST(Lint, CleanMacroHasNoFindings) {
+  Engine::LintResult LR = lintOne(CleanMacro);
+  EXPECT_TRUE(LR.Success) << LR.DiagnosticsText;
+  EXPECT_TRUE(LR.Report.clean()) << LR.Report.renderText();
+}
+
+TEST(Lint, Msq001UnusedBinder) {
+  Engine::LintResult LR = lintOne(R"(
+syntax stmt pair {| ( $$exp::a , $$exp::b ) |}
+{
+    return `{ use($a); };
+}
+)");
+  ASSERT_TRUE(LR.Success) << LR.DiagnosticsText;
+  ASSERT_EQ(LR.Report.Findings.size(), 1u) << LR.Report.renderText();
+  const LintDiagnostic &D = LR.Report.Findings[0];
+  EXPECT_EQ(D.Rule, "MSQ001");
+  EXPECT_EQ(D.Severity, LintSeverity::Warning);
+  EXPECT_EQ(D.Macro, "pair");
+  EXPECT_EQ(D.File, "unit.c");
+  EXPECT_GT(D.Line, 0u);
+  EXPECT_NE(D.Message.find("'b'"), std::string::npos) << D.Message;
+}
+
+TEST(Lint, Msq002UnreachableOptionalGuard) {
+  Engine::LintResult LR = lintOne(R"(
+syntax stmt guarded {| ( $$exp::a ) $$?step exp::opt step $$stmt::body |}
+{
+    if (present(opt))
+        return `{ { use($a); use($opt); $body; } };
+    return `{ { use($a); $body; } };
+}
+)");
+  ASSERT_TRUE(LR.Success) << LR.DiagnosticsText;
+  ASSERT_EQ(LR.Report.Findings.size(), 1u) << LR.Report.renderText();
+  EXPECT_EQ(LR.Report.Findings[0].Rule, "MSQ002");
+  EXPECT_NE(LR.Report.Findings[0].Message.find("unreachable"),
+            std::string::npos);
+}
+
+TEST(Lint, Msq002UnreachableRepetitionSeparator) {
+  Engine::LintResult LR = lintOne(R"(
+syntax stmt listed {| ( $$+/, exp::items , $$exp::last ) |}
+{
+    return `{ { count_is($(length(items))); use($last); } };
+}
+)");
+  ASSERT_TRUE(LR.Success) << LR.DiagnosticsText;
+  ASSERT_EQ(LR.Report.Findings.size(), 1u) << LR.Report.renderText();
+  EXPECT_EQ(LR.Report.Findings[0].Rule, "MSQ002");
+  EXPECT_NE(LR.Report.Findings[0].Message.find("separator"),
+            std::string::npos);
+}
+
+TEST(Lint, Msq003CaptureWhenNotHygienic) {
+  // The engine default is non-hygienic expansion, so a plain declared
+  // identifier around a spliced placeholder is a capture hazard.
+  Engine::LintResult LR = lintOne(R"(
+syntax stmt bracket {| $$stmt::body |}
+{
+    return `{ { int tmp; tmp = 0; $body; } };
+}
+)");
+  ASSERT_TRUE(LR.Success) << LR.DiagnosticsText;
+  ASSERT_EQ(LR.Report.Findings.size(), 1u) << LR.Report.renderText();
+  EXPECT_EQ(LR.Report.Findings[0].Rule, "MSQ003");
+  EXPECT_NE(LR.Report.Findings[0].Message.find("'tmp'"), std::string::npos);
+}
+
+TEST(Lint, Msq003SuppressedByHygienicExpansion) {
+  Engine::Options Opts;
+  Opts.HygienicExpansion = true;
+  Engine::LintResult LR = lintOne(R"(
+syntax stmt bracket {| $$stmt::body |}
+{
+    return `{ { int tmp; tmp = 0; $body; } };
+}
+)",
+                                  Opts);
+  ASSERT_TRUE(LR.Success) << LR.DiagnosticsText;
+  EXPECT_TRUE(LR.Report.clean()) << LR.Report.renderText();
+}
+
+TEST(Lint, Msq004OptionalSplicedUnguarded) {
+  Engine::LintResult LR = lintOne(R"(
+syntax stmt maybe_init {| $$id::v $$?exp::init ; |}
+{
+    return `{ int $v; $v = $init; };
+}
+)");
+  ASSERT_TRUE(LR.Success) << LR.DiagnosticsText;
+  ASSERT_EQ(LR.Report.Findings.size(), 1u) << LR.Report.renderText();
+  EXPECT_EQ(LR.Report.Findings[0].Rule, "MSQ004");
+  EXPECT_NE(LR.Report.Findings[0].Message.find("present(init)"),
+            std::string::npos);
+}
+
+TEST(Lint, Msq004GuardedOptionalIsClean) {
+  Engine::LintResult LR = lintOne(R"(
+syntax stmt maybe_init {| $$id::v $$?exp::init ; |}
+{
+    if (present(init))
+        return `{ int $v; $v = $init; };
+    return `{ int $v; };
+}
+)");
+  ASSERT_TRUE(LR.Success) << LR.DiagnosticsText;
+  EXPECT_TRUE(LR.Report.clean()) << LR.Report.renderText();
+}
+
+TEST(Lint, Msq005UnboundedMutualRecursion) {
+  Engine::LintResult LR = lintOne(R"(
+syntax exp ping {| ( ) |}
+{
+    return `( pong() );
+}
+
+syntax exp pong {| ( ) |}
+{
+    return `( ping() );
+}
+)");
+  ASSERT_TRUE(LR.Success) << LR.DiagnosticsText;
+  ASSERT_EQ(LR.Report.Findings.size(), 1u) << LR.Report.renderText();
+  const LintDiagnostic &D = LR.Report.Findings[0];
+  EXPECT_EQ(D.Rule, "MSQ005");
+  EXPECT_EQ(D.Macro, "ping"); // reported once, at the smallest cycle member
+  EXPECT_NE(D.Message.find("ping -> pong -> ping"), std::string::npos)
+      << D.Message;
+}
+
+TEST(Lint, Msq005BoundedRecursionIsClean) {
+  Engine::LintResult LR = lintOne(R"(
+syntax exp countdown {| ( $$exp::n ) |}
+{
+    if (length(list(n)) > 0)
+        return `( countdown($n) );
+    return `( 0 );
+}
+)");
+  ASSERT_TRUE(LR.Success) << LR.DiagnosticsText;
+  EXPECT_TRUE(LR.Report.clean()) << LR.Report.renderText();
+}
+
+TEST(Lint, DisabledRulesAreSuppressed) {
+  Engine::Options Opts;
+  Opts.Lint.DisabledRules = {"MSQ001"};
+  Engine::LintResult LR = lintOne(R"(
+syntax stmt pair {| ( $$exp::a , $$exp::b ) |}
+{
+    return `{ use($a); };
+}
+)",
+                                  Opts);
+  ASSERT_TRUE(LR.Success) << LR.DiagnosticsText;
+  EXPECT_TRUE(LR.Report.clean()) << LR.Report.renderText();
+}
+
+TEST(Lint, WerrorPromotesFindingsToErrors) {
+  Engine::Options Opts;
+  Opts.Lint.Werror = true;
+  Engine::LintResult LR = lintOne(R"(
+syntax stmt pair {| ( $$exp::a , $$exp::b ) |}
+{
+    return `{ use($a); };
+}
+)",
+                                  Opts);
+  ASSERT_TRUE(LR.Success) << LR.DiagnosticsText;
+  ASSERT_EQ(LR.Report.Findings.size(), 1u);
+  EXPECT_EQ(LR.Report.Findings[0].Severity, LintSeverity::Error);
+  EXPECT_EQ(LR.Report.countOf(LintSeverity::Error), 1u);
+  EXPECT_EQ(LR.Report.countOf(LintSeverity::Warning), 0u);
+  EXPECT_NE(LR.Report.renderText().find("error:"), std::string::npos);
+}
+
+TEST(Lint, LintSourceSkipsStdlibAndLoadedLibraries) {
+  Engine E;
+  ASSERT_TRUE(E.loadStandardLibrary());
+  // A library with a seeded unused binder, loaded (not linted).
+  ExpandResult Lib = E.expandSource("lib.c", R"(
+syntax stmt libmac {| ( $$exp::a , $$exp::b ) |}
+{
+    return `{ use($a); };
+}
+)");
+  ASSERT_TRUE(Lib.Success) << Lib.DiagnosticsText;
+  // lintSource only reports on the unit's own definitions.
+  Engine::LintResult LR = E.lintSource("unit.c", CleanMacro);
+  ASSERT_TRUE(LR.Success) << LR.DiagnosticsText;
+  EXPECT_TRUE(LR.Report.clean()) << LR.Report.renderText();
+}
+
+TEST(Lint, ExpandSourceReportsFindingsWhenEnabled) {
+  Engine::Options Opts;
+  Opts.Lint.Enabled = true;
+  Engine E(Opts);
+  ExpandResult R = E.expandSource("unit.c", R"(
+syntax stmt pair {| ( $$exp::a , $$exp::b ) |}
+{
+    return `{ use($a); };
+}
+int x;
+)");
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  ASSERT_EQ(R.Lints.size(), 1u);
+  EXPECT_EQ(R.Lints[0].Rule, "MSQ001");
+}
+
+TEST(Lint, BatchDeduplicatesSharedLibraryFindings) {
+  Engine::Options Opts;
+  Opts.Lint.Enabled = true;
+  Engine E(Opts);
+  ExpandResult Lib = E.expandSource("lib.c", R"(
+syntax stmt libmac {| ( $$exp::a , $$exp::b ) |}
+{
+    return `{ use($a); };
+}
+)");
+  ASSERT_TRUE(Lib.Success) << Lib.DiagnosticsText;
+  std::vector<SourceUnit> Units = {
+      {"u0.c", "int a;\n"}, {"u1.c", "int b;\n"}, {"u2.c", "int c;\n"}};
+  BatchResult BR = E.expandSources(Units, {});
+  ASSERT_TRUE(BR.allSucceeded());
+  // Every unit re-reported the library's finding; the batch collapses the
+  // three copies into one entry with a count.
+  ASSERT_EQ(BR.Lints.size(), 1u);
+  EXPECT_EQ(BR.Lints[0].Rule, "MSQ001");
+  EXPECT_EQ(BR.Lints[0].Count, 3u);
+  std::string Metrics = BR.metricsJson();
+  EXPECT_NE(Metrics.find("\"lints\":1"), std::string::npos) << Metrics;
+  EXPECT_NE(Metrics.find("\"lint_findings\":["), std::string::npos);
+}
+
+TEST(Lint, NormalizeSortsByFileLineRule) {
+  std::vector<LintDiagnostic> Findings;
+  LintDiagnostic A;
+  A.Rule = "MSQ003";
+  A.File = "b.c";
+  A.Line = 2;
+  LintDiagnostic B;
+  B.Rule = "MSQ001";
+  B.File = "a.c";
+  B.Line = 9;
+  LintDiagnostic C = A;
+  Findings = {A, B, C};
+  normalizeLintFindings(Findings);
+  ASSERT_EQ(Findings.size(), 2u);
+  EXPECT_EQ(Findings[0].File, "a.c");
+  EXPECT_EQ(Findings[1].File, "b.c");
+  EXPECT_EQ(Findings[1].Count, 2u);
+}
+
+TEST(Lint, RenderTextAndJsonFormats) {
+  Engine::LintResult LR = lintOne(R"(
+syntax stmt pair {| ( $$exp::a , $$exp::b ) |}
+{
+    return `{ use($a); };
+}
+)");
+  ASSERT_EQ(LR.Report.Findings.size(), 1u);
+  std::string Text = LR.Report.renderText();
+  EXPECT_NE(Text.find("unit.c:"), std::string::npos) << Text;
+  EXPECT_NE(Text.find(": warning: "), std::string::npos);
+  EXPECT_NE(Text.find("[MSQ001]"), std::string::npos);
+  std::string Json = LR.Report.toJson();
+  EXPECT_NE(Json.find("\"rule\":\"MSQ001\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"severity\":\"warning\""), std::string::npos);
+  EXPECT_NE(Json.find("\"macro\":\"pair\""), std::string::npos);
+  EXPECT_NE(Json.find("\"warnings\":1"), std::string::npos);
+  EXPECT_NE(Json.find("\"errors\":0"), std::string::npos);
+}
+
+} // namespace

@@ -417,13 +417,16 @@ TEST(Cache, KeySeparatesUnitsAndLimits) {
   SourceUnit U2{"b.c", "int a;\n"};  // same source, different name
   SourceUnit U3{"a.c", "int b;\n"};  // same name, different source
   std::string FP = "0123456789abcdef0123456789abcdef";
-  std::string K1 = expansionCacheKey(FP, U1, 1000, true);
-  EXPECT_EQ(K1, expansionCacheKey(FP, U1, 1000, true));
-  EXPECT_NE(K1, expansionCacheKey(FP, U2, 1000, true));
-  EXPECT_NE(K1, expansionCacheKey(FP, U3, 1000, true));
-  EXPECT_NE(K1, expansionCacheKey(FP, U1, 2000, true));
-  EXPECT_NE(K1, expansionCacheKey(FP, U1, 1000, false));
-  EXPECT_NE(K1, expansionCacheKey("deadbeef", U1, 1000, true));
+  std::string K1 = expansionCacheKey(FP, U1, 1000, true, false);
+  EXPECT_EQ(K1, expansionCacheKey(FP, U1, 1000, true, false));
+  EXPECT_NE(K1, expansionCacheKey(FP, U2, 1000, true, false));
+  EXPECT_NE(K1, expansionCacheKey(FP, U3, 1000, true, false));
+  EXPECT_NE(K1, expansionCacheKey(FP, U1, 2000, true, false));
+  EXPECT_NE(K1, expansionCacheKey(FP, U1, 1000, false, false));
+  // Provenance-on and provenance-off results differ (backtraces, maps),
+  // so the effective provenance flag separates keys too.
+  EXPECT_NE(K1, expansionCacheKey(FP, U1, 1000, true, true));
+  EXPECT_NE(K1, expansionCacheKey("deadbeef", U1, 1000, true, false));
 }
 
 //===----------------------------------------------------------------------===//

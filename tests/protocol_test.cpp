@@ -156,6 +156,89 @@ TEST(ParseRequest, ExpandDefaults) {
   EXPECT_EQ(R.TimeoutMillis, 0u);
 }
 
+TEST(ParseRequest, ExpandProvenance) {
+  Request R;
+  ParseOutcome O = parseRequest(
+      makeExpandRequest("id2", "a.c", "int x;", true, 0, 0, true), R);
+  ASSERT_TRUE(O.Ok) << O.Message;
+  EXPECT_TRUE(R.Provenance);
+  // Defaults to off when the member is absent.
+  Request Fresh;
+  O = parseRequest(
+      R"({"v":1,"id":"x","type":"expand","name":"a.c","source":""})", Fresh);
+  ASSERT_TRUE(O.Ok) << O.Message;
+  EXPECT_FALSE(Fresh.Provenance);
+}
+
+TEST(ParseRequest, Lint) {
+  Request R;
+  ParseOutcome O =
+      parseRequest(makeLintRequest("l1", "m.c", "syntax"), R);
+  ASSERT_TRUE(O.Ok) << O.Message;
+  EXPECT_EQ(R.Ty, Request::Type::Lint);
+  EXPECT_EQ(R.Id, "l1");
+  EXPECT_EQ(R.Name, "m.c");
+  EXPECT_EQ(R.Source, "syntax");
+  // name and source are mandatory.
+  EXPECT_EQ(parseRequest(R"({"v":1,"id":"x","type":"lint","name":"m.c"})", R)
+                .Code,
+            ErrorCode::BadRequest);
+}
+
+TEST(Responses, LintResultShape) {
+  ExpandResult R;
+  R.Success = true;
+  LintDiagnostic D;
+  D.Rule = "MSQ001";
+  D.File = "m.c";
+  D.Line = 3;
+  D.Column = 7;
+  D.Macro = "pair";
+  D.Message = "unused";
+  R.Lints.push_back(D);
+  std::string Frame = makeLintResponse("l1", R, 4);
+  json::Value V = parseOk(Frame);
+  ASSERT_TRUE(V.get("type"));
+  EXPECT_EQ(V.get("type")->Str, "lint_result");
+  EXPECT_EQ(V.get("generation")->Num, 4);
+  const json::Value *Findings = V.get("findings");
+  ASSERT_TRUE(Findings && Findings->isArray());
+  ASSERT_EQ(Findings->Arr.size(), 1u);
+  EXPECT_EQ(Findings->Arr[0].get("rule")->Str, "MSQ001");
+  EXPECT_EQ(V.get("warnings")->Num, 1);
+  EXPECT_EQ(V.get("errors")->Num, 0);
+}
+
+TEST(Responses, ExpandCarriesLintsAndSourceMap) {
+  ExpandResult R;
+  R.Success = true;
+  R.Output = "int x;\n";
+  LintDiagnostic D;
+  D.Rule = "MSQ003";
+  R.Lints.push_back(D);
+  R.SourceMapJson = "{\"version\":1,\"frames\":[],\"lines\":[]}";
+  std::string Frame = makeExpandResponse("e1", R, 1);
+  json::Value V = parseOk(Frame);
+  const json::Value *Lints = V.get("lints");
+  ASSERT_TRUE(Lints && Lints->isArray());
+  EXPECT_EQ(Lints->Arr[0].get("rule")->Str, "MSQ003");
+  const json::Value *Map = V.get("source_map");
+  ASSERT_TRUE(Map && Map->isObject());
+  EXPECT_EQ(Map->get("version")->Num, 1);
+  // The client slices "source_map" out of the raw frame; it must be the
+  // frame's final member.
+  std::string Tail = std::string("\"source_map\":") + R.SourceMapJson + "}";
+  ASSERT_GE(Frame.size(), Tail.size());
+  EXPECT_EQ(Frame.substr(Frame.size() - Tail.size()), Tail);
+
+  // Both members are omitted when empty.
+  ExpandResult Plain;
+  Plain.Success = true;
+  json::Value P = parseOk(makeExpandResponse("e2", Plain, 1));
+  EXPECT_EQ(P.get("lints"), nullptr);
+  EXPECT_EQ(P.get("source_map"), nullptr);
+}
+
 TEST(ParseRequest, Reload) {
   Request R;
   std::vector<SourceUnit> Units = {{"l1.c", "src1"}, {"l2.c", "src2"}};

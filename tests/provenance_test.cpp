@@ -1,0 +1,210 @@
+//===----------------------------------------------------------------------===//
+//
+// Tests for expansion provenance: "in expansion of" macro backtraces on
+// diagnostics (3-deep nesting, gensym'd identifiers), byte-identical
+// chains across one-shot, batch, and warm-cache replay paths, and the
+// JSON output-line source map.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+#include "driver/BatchDriver.h"
+
+#include <gtest/gtest.h>
+
+using namespace msq;
+
+namespace {
+
+// Three-deep nesting whose innermost level always errors.
+const char *FailingLibrary = R"(
+syntax stmt level3 {| ( ) |}
+{
+    meta_error("deep failure");
+    return `{ ; };
+}
+
+syntax stmt level2 {| ( ) |}
+{
+    return `{ level3(); };
+}
+
+syntax stmt level1 {| ( ) |}
+{
+    return `{ level2(); };
+}
+)";
+
+const char *FailingUnit = "void f(void)\n{\n    level1();\n}\n";
+
+// Three-deep nesting that succeeds, for source-map tests.
+const char *NestedLibrary = R"(
+syntax stmt inner {| ( ) |}
+{
+    return `{ step(); };
+}
+
+syntax stmt middle {| ( ) |}
+{
+    return `{ inner(); };
+}
+
+syntax stmt outer {| ( ) |}
+{
+    return `{ middle(); };
+}
+)";
+
+const char *NestedUnit = "void f(void)\n{\n    outer();\n}\n";
+
+Engine makeEngine(bool Provenance, bool SourceMap = false,
+                  bool Cache = false) {
+  Engine::Options Opts;
+  Opts.TrackProvenance = Provenance;
+  Opts.EmitSourceMap = SourceMap;
+  Opts.EnableExpansionCache = Cache;
+  return Engine(Opts);
+}
+
+ExpandResult expandFailing(Engine &E) {
+  ExpandResult Lib = E.expandSource("lib.c", FailingLibrary);
+  EXPECT_TRUE(Lib.Success) << Lib.DiagnosticsText;
+  return E.expandSource("nested.c", FailingUnit);
+}
+
+TEST(Provenance, ThreeDeepBacktraceInnermostFirst) {
+  Engine E = makeEngine(true);
+  ExpandResult R = expandFailing(E);
+  EXPECT_FALSE(R.Success);
+  const std::string &D = R.DiagnosticsText;
+  EXPECT_NE(D.find("meta_error: deep failure"), std::string::npos) << D;
+  std::string::size_type P3 =
+      D.find("note: in expansion of macro 'level3' (invoked at");
+  std::string::size_type P2 =
+      D.find("note: in expansion of macro 'level2' (invoked at");
+  std::string::size_type P1 =
+      D.find("note: in expansion of macro 'level1' (invoked at");
+  ASSERT_NE(P3, std::string::npos) << D;
+  ASSERT_NE(P2, std::string::npos) << D;
+  ASSERT_NE(P1, std::string::npos) << D;
+  EXPECT_LT(P3, P2); // innermost first
+  EXPECT_LT(P2, P1);
+  EXPECT_NE(D.find(", depth 3)"), std::string::npos) << D;
+  EXPECT_NE(D.find(", depth 2)"), std::string::npos);
+  EXPECT_NE(D.find(", depth 1)"), std::string::npos);
+  // The outermost frame is the user-written invocation site.
+  EXPECT_NE(D.find("invoked at nested.c:3:"), std::string::npos) << D;
+}
+
+TEST(Provenance, NoBacktraceWhenDisabled) {
+  Engine E = makeEngine(false);
+  ExpandResult R = expandFailing(E);
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.DiagnosticsText.find("in expansion of"), std::string::npos)
+      << R.DiagnosticsText;
+}
+
+TEST(Provenance, OutputUnchangedByTracking) {
+  Engine Plain = makeEngine(false);
+  Engine Tracked = makeEngine(true);
+  ASSERT_TRUE(Plain.expandSource("lib.c", NestedLibrary).Success);
+  ASSERT_TRUE(Tracked.expandSource("lib.c", NestedLibrary).Success);
+  ExpandResult A = Plain.expandSource("u.c", NestedUnit);
+  ExpandResult B = Tracked.expandSource("u.c", NestedUnit);
+  ASSERT_TRUE(A.Success) << A.DiagnosticsText;
+  ASSERT_TRUE(B.Success) << B.DiagnosticsText;
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+TEST(Provenance, GensymIdentifiersKeepBacktrace) {
+  // gensym'd splices around the failure point must not disturb the chain.
+  Engine E = makeEngine(true);
+  ASSERT_TRUE(E.expandSource("lib.c", R"(
+syntax stmt gfail {| ( ) |}
+{
+    @id t = gensym("g");
+    meta_error("gensym failure");
+    return `{ int $t; };
+}
+
+syntax stmt gouter {| ( ) |}
+{
+    return `{ gfail(); };
+}
+)")
+                  .Success);
+  ExpandResult R = E.expandSource("g.c", "void f(void)\n{\n    gouter();\n}\n");
+  EXPECT_FALSE(R.Success);
+  const std::string &D = R.DiagnosticsText;
+  EXPECT_NE(D.find("in expansion of macro 'gfail'"), std::string::npos) << D;
+  EXPECT_NE(D.find("in expansion of macro 'gouter'"), std::string::npos);
+  EXPECT_NE(D.find(", depth 2)"), std::string::npos);
+}
+
+TEST(Provenance, WarmCacheReplayIsByteIdentical) {
+  Engine E = makeEngine(true, false, /*Cache=*/true);
+  ASSERT_TRUE(E.expandSource("lib.c", FailingLibrary).Success);
+  std::vector<SourceUnit> Units = {{"nested.c", FailingUnit}};
+  BatchResult Cold = E.expandSources(Units, {});
+  BatchResult Warm = E.expandSources(Units, {});
+  ASSERT_EQ(Cold.Results.size(), 1u);
+  ASSERT_EQ(Warm.Results.size(), 1u);
+  EXPECT_FALSE(Cold.Results[0].Success);
+  EXPECT_EQ(Warm.Cache.Hits, 1u); // the failure replayed from the cache
+  EXPECT_EQ(Cold.Results[0].DiagnosticsText, Warm.Results[0].DiagnosticsText);
+  EXPECT_NE(Warm.Results[0].DiagnosticsText.find(
+                "in expansion of macro 'level3'"),
+            std::string::npos)
+      << Warm.Results[0].DiagnosticsText;
+}
+
+TEST(Provenance, BatchMatchesOneShot) {
+  Engine OneShot = makeEngine(true);
+  ExpandResult Ref = expandFailing(OneShot);
+
+  Engine E = makeEngine(true);
+  ASSERT_TRUE(E.expandSource("lib.c", FailingLibrary).Success);
+  BatchResult BR = E.expandSources({{"nested.c", FailingUnit}}, {});
+  ASSERT_EQ(BR.Results.size(), 1u);
+  EXPECT_EQ(BR.Results[0].DiagnosticsText, Ref.DiagnosticsText);
+}
+
+TEST(Provenance, SourceMapCoversNestedFrames) {
+  Engine E = makeEngine(true, /*SourceMap=*/true);
+  ASSERT_TRUE(E.expandSource("lib.c", NestedLibrary).Success);
+  ExpandResult R = E.expandSource("u.c", NestedUnit);
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  const std::string &M = R.SourceMapJson;
+  ASSERT_FALSE(M.empty());
+  EXPECT_NE(M.find("\"version\":1"), std::string::npos) << M;
+  EXPECT_NE(M.find("\"frames\":["), std::string::npos);
+  EXPECT_NE(M.find("\"lines\":["), std::string::npos);
+  EXPECT_NE(M.find("\"macro\":\"outer\""), std::string::npos) << M;
+  EXPECT_NE(M.find("\"macro\":\"middle\""), std::string::npos);
+  EXPECT_NE(M.find("\"macro\":\"inner\""), std::string::npos);
+  EXPECT_NE(M.find("\"depth\":3"), std::string::npos);
+}
+
+TEST(Provenance, SourceMapEmptyWithoutFlag) {
+  Engine E = makeEngine(true, /*SourceMap=*/false);
+  ASSERT_TRUE(E.expandSource("lib.c", NestedLibrary).Success);
+  ExpandResult R = E.expandSource("u.c", NestedUnit);
+  ASSERT_TRUE(R.Success);
+  EXPECT_TRUE(R.SourceMapJson.empty());
+}
+
+TEST(Provenance, StateFingerprintSeparatesConfigurations) {
+  Engine Plain = makeEngine(false);
+  Engine Tracked = makeEngine(true);
+  Engine::Options LintOpts;
+  LintOpts.Lint.Enabled = true;
+  Engine Linted(LintOpts);
+  std::string A = Plain.stateFingerprint();
+  std::string B = Tracked.stateFingerprint();
+  std::string C = Linted.stateFingerprint();
+  EXPECT_NE(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(B, C);
+}
+
+} // namespace

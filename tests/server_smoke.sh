@@ -43,6 +43,24 @@ syntax exp twice {| ( $$exp::e ) |}
 {
     return `(($e) + ($e));
 }
+
+/* Three-deep nesting whose innermost level always errors: exercises the
+   provenance backtrace ("in expansion of macro ...") end to end. */
+syntax stmt level3 {| ( ) |}
+{
+    meta_error("deep failure");
+    return `{ ; };
+}
+
+syntax stmt level2 {| ( ) |}
+{
+    return `{ level3(); };
+}
+
+syntax stmt level1 {| ( ) |}
+{
+    return `{ level2(); };
+}
 EOF
 
 NUNITS=10
@@ -107,6 +125,50 @@ grep -q "unchanged" reload.out || fail "idempotent reload reported a change"
 "$CLIENT" --socket "$SOCK" expand "u3.c" > after_reload.out ||
   fail "expand after reload failed"
 cmp -s ref3.out after_reload.out || fail "output changed after reload"
+
+# Provenance round-trip: a tracked expansion must still be byte-identical
+# to the untracked reference output.
+"$CLIENT" --socket "$SOCK" expand --provenance "u2.c" > prov2.out ||
+  fail "provenance expand exited $?"
+cmp -s ref2.out prov2.out || fail "provenance changed the expansion output"
+
+# An error three macros deep must print the same "in expansion of"
+# backtrace from the one-shot CLI and from the daemon — twice, so the
+# second (possibly cached) answer replays it byte-identically.
+cat > nested.c <<'EOF'
+void f(void)
+{
+    level1();
+}
+EOF
+"$MSQC" -l lib.c -provenance nested.c > /dev/null 2> prov_ref.err
+[ $? -eq 1 ] || fail "msqc -provenance on nested.c should exit 1"
+grep -q "in expansion of macro 'level3'" prov_ref.err ||
+  fail "one-shot backtrace lacks the innermost frame"
+grep -q "depth 3" prov_ref.err || fail "one-shot backtrace lacks depth 3"
+"$CLIENT" --socket "$SOCK" expand --provenance nested.c \
+  > /dev/null 2> prov_got.err
+[ $? -eq 1 ] || fail "daemon expand of nested.c should exit 1"
+grep -v '^msq-client:' prov_got.err > prov_got.diag
+cmp -s prov_ref.err prov_got.diag ||
+  fail "daemon backtrace differs from one-shot msqc"
+"$CLIENT" --socket "$SOCK" expand --provenance nested.c \
+  > /dev/null 2> prov_got2.err
+grep -v '^msq-client:' prov_got2.err > prov_got2.diag
+cmp -s prov_ref.err prov_got2.diag ||
+  fail "repeated daemon backtrace differs (cache replay)"
+
+# Lint request: an unused pattern binder must come back as a finding with
+# its stable rule id, and the client must exit 1.
+cat > lintme.c <<'EOF'
+syntax stmt unused_demo {| ( $$exp::a , $$exp::b ) |}
+{
+    return `{ use($a); };
+}
+EOF
+"$CLIENT" --socket "$SOCK" lint lintme.c > lint.out
+[ $? -eq 1 ] || fail "lint request should exit 1 on findings"
+grep -q 'MSQ001' lint.out || fail "lint response lacks rule id MSQ001"
 
 # Malformed input must produce an error answer, not a dead daemon.
 printf 'this is not json\n' | timeout 10 "$MSQD" --stdio -l lib.c --quiet \

@@ -195,6 +195,65 @@ TEST(Server, ByteIdenticalWithCacheAcrossHits) {
   EXPECT_EQ(metricU64(M, "cache", "misses"), 1u);
 }
 
+TEST(Server, PerRequestProvenanceBacktrace) {
+  ServerOptions SO = baseOptions();
+  SO.EngineOpts.EnableExpansionCache = true;
+  Server S(SO);
+  ASSERT_TRUE(S.reloadLibrary({{"lib.c", R"(
+syntax stmt boomer {| ( ) |}
+{
+    meta_error("boom");
+    return `{ ; };
+}
+)"}},
+                              false)
+                  .Success);
+
+  SourceUnit U{"u.c", "void f(void)\n{\n    boomer();\n}\n"};
+  RequestOptions RO;
+  RO.Provenance = true;
+  ExpandResult Tracked, Plain, Replay;
+  ASSERT_EQ(S.expand(U, RO, Tracked), Server::Admission::Accepted);
+  EXPECT_FALSE(Tracked.Success);
+  EXPECT_NE(Tracked.DiagnosticsText.find(
+                "in expansion of macro 'boomer' (invoked at u.c:3:"),
+            std::string::npos)
+      << Tracked.DiagnosticsText;
+
+  // A request without the opt-in must not see the backtrace (and must not
+  // be served the tracked cache entry).
+  ASSERT_EQ(S.expand(U, {}, Plain), Server::Admission::Accepted);
+  EXPECT_EQ(Plain.DiagnosticsText.find("in expansion of"), std::string::npos)
+      << Plain.DiagnosticsText;
+
+  // A second tracked request replays the identical chain from the cache.
+  ASSERT_EQ(S.expand(U, RO, Replay), Server::Admission::Accepted);
+  EXPECT_TRUE(Replay.FromCache);
+  EXPECT_EQ(Replay.DiagnosticsText, Tracked.DiagnosticsText);
+}
+
+TEST(Server, LintOnlyRequestReportsFindings) {
+  Server S(baseOptions());
+  ASSERT_TRUE(S.reloadLibrary({{"lib.c", "int lib_marker;\n"}}, false)
+                  .Success);
+  RequestOptions RO;
+  RO.LintOnly = true;
+  ExpandResult R;
+  ASSERT_EQ(S.expand({"m.c", R"(
+syntax stmt pair {| ( $$exp::a , $$exp::b ) |}
+{
+    return `{ use($a); };
+}
+)"},
+                     RO, R),
+            Server::Admission::Accepted);
+  EXPECT_TRUE(R.Success) << R.DiagnosticsText;
+  ASSERT_EQ(R.Lints.size(), 1u);
+  EXPECT_EQ(R.Lints[0].Rule, "MSQ001");
+  EXPECT_EQ(R.Lints[0].Macro, "pair");
+  EXPECT_TRUE(R.Output.empty());
+}
+
 // Requests admitted in one submit wave all complete and each sees a
 // pristine library (the meta-global counter never leaks across requests).
 TEST(Server, RequestIsolationUnderConcurrency) {
@@ -534,7 +593,7 @@ TEST(CacheDiskErrors, CorruptEntryCountedAsReadError) {
     E.Success = true;
     E.Output = "int y;\n";
     CacheStats Stats;
-    Key = expansionCacheKey("fp", {"u.c", "int y;\n"}, 1000, true);
+    Key = expansionCacheKey("fp", {"u.c", "int y;\n"}, 1000, true, false);
     Writer.store(Key, E, Stats);
     EXPECT_EQ(Stats.DiskWriteErrors, 0u);
   }

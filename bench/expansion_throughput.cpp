@@ -21,6 +21,7 @@
 #include "tokmacro/TokenMacro.h"
 #include "driver/BatchDriver.h"
 #include "server/Server.h"
+#include "support/Fault.h"
 
 #include <benchmark/benchmark.h>
 
@@ -289,6 +290,62 @@ int runCacheComparison() {
   return Warm.Cache.Hits == Units.size() ? 0 : 1;
 }
 
+// --chaos: the acceptance measurement for fault-injected degradation.
+// The 64x200 corpus runs cold under cache.disk_write:every=2 (every
+// publish torn and retried, every entry degraded to memory-only) and
+// again warm from the surviving memory tier; reports both times, the
+// degradation counters, and the per-point fault stats as JSON. Compare
+// the cold time against --cache's cold time to gauge fault-path cost.
+int runChaosComparison() {
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / "msq_bench_chaos").string();
+  std::filesystem::remove_all(Dir);
+  msq::Engine::Options Opts;
+  Opts.EnableExpansionCache = true;
+  Opts.ExpansionCacheDir = Dir;
+  msq::BatchOptions BO;
+  BO.ThreadCount = 4;
+  std::vector<msq::SourceUnit> Units = makeBatchUnits(64, 200);
+
+  msq::fault::ScopedSchedule Sched("cache.disk_write:every=2");
+  if (!Sched.Ok) {
+    std::fprintf(stderr, "error: %s\n", Sched.Error.c_str());
+    return 1;
+  }
+
+  using Clock = std::chrono::steady_clock;
+  msq::Engine E(Opts);
+  if (!E.expandSource("lib.c", BatchLibrary).Success) {
+    std::fprintf(stderr, "error: macro library failed to load\n");
+    return 1;
+  }
+  Clock::time_point T0 = Clock::now();
+  msq::BatchResult Cold = E.expandSources(Units, BO);
+  double ColdMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+  T0 = Clock::now();
+  msq::BatchResult Warm = E.expandSources(Units, BO);
+  double WarmMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+  std::string Faults = msq::fault::statsJson();
+  std::filesystem::remove_all(Dir);
+  if (!Cold.allSucceeded() || !Warm.allSucceeded()) {
+    std::fprintf(stderr, "error: chaos batch failed\n");
+    return 1;
+  }
+  std::printf("{\"corpus\":\"64x200\",\"schedule\":"
+              "\"cache.disk_write:every=2\",\"cold_ms\":%.3f,"
+              "\"warm_ms\":%.3f,\"cold_cache\":%s,\"warm_cache\":%s,"
+              "\"faults\":%s}\n",
+              ColdMs, WarmMs, Cold.Cache.toJson().c_str(),
+              Warm.Cache.toJson().c_str(), Faults.c_str());
+  // Acceptance: the batch completed, every entry degraded (injection
+  // reached the disk tier), and the memory tier still warmed the replay.
+  return Cold.Cache.DiskDegraded > 0 && Warm.Cache.Hits == Units.size()
+             ? 0
+             : 1;
+}
+
 // --metrics: run one representative batch and dump the per-unit and
 // per-macro profile as JSON instead of benchmarking.
 int runMetricsDump() {
@@ -435,6 +492,8 @@ int main(int argc, char **argv) {
       return runMetricsDump();
     if (std::strcmp(argv[I], "--cache") == 0)
       return runCacheComparison();
+    if (std::strcmp(argv[I], "--chaos") == 0)
+      return runChaosComparison();
     if (std::strcmp(argv[I], "--server") == 0)
       return runServerThroughput();
     if (std::strcmp(argv[I], "--provenance") == 0)

@@ -19,6 +19,8 @@
 
 #include "api/Msq.h"
 
+#include "support/Fault.h"
+
 #include <cstdio>
 #include <fstream>
 #include <iterator>
@@ -75,6 +77,17 @@ int main(int argc, char **argv) {
       return 0;
     } else {
       Files.push_back(Arg);
+    }
+  }
+
+  // MSQ_FAULT_SCHEDULE arms deterministic fault injection for the whole
+  // run (see support/Fault.h for the grammar).
+  {
+    std::string FaultErr;
+    if (!msq::fault::configureFromEnvironment(&FaultErr)) {
+      std::fprintf(stderr, "msqc: bad MSQ_FAULT_SCHEDULE: %s\n",
+                   FaultErr.c_str());
+      return 2;
     }
   }
 

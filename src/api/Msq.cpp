@@ -128,6 +128,7 @@ ExpandResult Engine::expandSourceImpl(std::string Name, std::string Source,
   R.GensymsCreated = Interp->gensymCount() - GensymsBefore;
   R.FuelExhausted = Interp->unitFuelExhausted();
   R.TimedOut = Interp->unitTimedOut();
+  R.FaultInjected = Interp->unitAllocFailed();
   R.MetaGlobalsMutated = Interp->metaGlobalsMutated();
   R.TraceText = Interp->traceLog().substr(TraceBefore);
   R.DiagnosticsText =

@@ -87,6 +87,17 @@ struct ExpandResult {
   /// True when this result was replayed from the expansion cache instead
   /// of being parsed and expanded (batch expansion with caching enabled).
   bool FromCache = false;
+  /// True when an injected fault (support/Fault.h) aborted this unit's
+  /// expansion — e.g. an interp.alloc trip. The diagnostics name the
+  /// fault point. Such results are never cached: re-expanding the unit
+  /// without the fault would succeed, so replaying the failure would be
+  /// wrong.
+  bool FaultInjected = false;
+  /// True when this unit's expansion died unexpectedly inside a batch
+  /// (a crash, real or injected at batch.unit_start) and the batch driver
+  /// quarantined it: the unit reports a structured error and the rest of
+  /// the batch continues unaffected. Never cached.
+  bool Quarantined = false;
   /// Expansion trace for this call (Options::TraceExpansions only).
   std::string TraceText;
   /// Per-macro expansion profile for this call (Options::CollectProfile).

@@ -8,8 +8,10 @@
 #include "cache/ExpansionCache.h"
 
 #include "api/Msq.h"
+#include "support/Fault.h"
 #include "support/Hash.h"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -19,6 +21,11 @@
 using namespace msq;
 
 namespace {
+
+/// Backoff before the single retry of a failed disk-tier operation. Long
+/// enough to ride out a transient condition (EMFILE churn, an NFS blip),
+/// short enough that a degrading store never stalls an expansion visibly.
+constexpr std::chrono::milliseconds DiskRetryBackoff{1};
 
 /// Bump when the entry layout changes; readers treat other versions as
 /// misses, so mixed-version cache directories just re-fill.
@@ -318,19 +325,34 @@ bool ExpansionCache::lookup(const std::string &Key, CachedExpansion &Out,
   }
   if (Dir.empty())
     return false;
-  std::ifstream In(entryPath(Key), std::ios::binary);
-  if (!In)
-    return false; // absent entry: a plain miss, not a disk error
-  std::ostringstream Buf;
-  Buf << In.rdbuf();
-  if (!In.good() && !In.eof()) {
-    ++Stats.DiskReadErrors;
-    return false;
+  // Disk read with one retry: a transient failure (injected via
+  // cache.disk_read, or a real stream error) is retried once after a
+  // backoff; a second failure counts a read error and degrades to a miss.
+  std::string Bytes;
+  for (int Attempt = 0;; ++Attempt) {
+    std::ifstream In(entryPath(Key), std::ios::binary);
+    if (!In)
+      return false; // absent entry: a plain miss, not a disk error
+    bool Failed = fault::shouldFail(fault::Point::CacheDiskRead);
+    if (!Failed) {
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      Failed = !In.good() && !In.eof();
+      if (!Failed)
+        Bytes = Buf.str();
+    }
+    if (!Failed)
+      break;
+    if (Attempt == 1) {
+      ++Stats.DiskReadErrors;
+      return false;
+    }
+    std::this_thread::sleep_for(DiskRetryBackoff);
   }
-  std::string Bytes = Buf.str();
   if (!deserialize(Bytes, Key, Out)) {
     // Corrupt/truncated/version-skewed entry == miss, but an OBSERVABLE
-    // one: the entry existed and could not be used.
+    // one: the entry existed and could not be used. No retry: re-reading
+    // corrupt bytes cannot help.
     ++Stats.DiskReadErrors;
     return false;
   }
@@ -355,32 +377,64 @@ void ExpansionCache::store(const std::string &Key,
   std::string Bytes = serialize(Key, Entry);
   // Publish atomically: a temp file unique to this thread, then rename.
   // Concurrent writers of the same key race benignly — both bodies are
-  // byte-identical by construction (same key => same content).
+  // byte-identical by construction (same key => same content). Every
+  // stage (open, payload write, rename) evaluates cache.disk_write, and
+  // a failed publish is retried once after a backoff; a second failure
+  // degrades the entry to memory-only. Readers can never observe a
+  // partial entry: the temp file only becomes visible via the rename,
+  // and a torn temp file is removed, never renamed.
+  for (int Attempt = 0;; ++Attempt) {
+    if (publishDisk(Key, Bytes)) {
+      Stats.BytesWritten += Bytes.size();
+      return;
+    }
+    ++Stats.DiskWriteErrors;
+    if (Attempt == 1) {
+      ++Stats.DiskDegraded; // memory tier still serves the entry
+      return;
+    }
+    std::this_thread::sleep_for(DiskRetryBackoff);
+  }
+}
+
+bool ExpansionCache::publishDisk(const std::string &Key,
+                                 const std::string &Bytes) {
   std::ostringstream TmpName;
   TmpName << entryPath(Key) << ".tmp." << std::hash<std::thread::id>()(
       std::this_thread::get_id());
+  std::error_code EC;
   {
+    if (fault::shouldFail(fault::Point::CacheDiskWrite))
+      return false; // open failed; nothing was created
     std::ofstream OutF(TmpName.str(), std::ios::binary | std::ios::trunc);
-    if (!OutF) {
-      // Unwritable disk tier: keep the memory entry, move on — but count
-      // the degradation so operators can see it.
-      ++Stats.DiskWriteErrors;
-      return;
+    if (!OutF)
+      return false;
+    if (fault::shouldFail(fault::Point::CacheDiskWrite)) {
+      // Simulate a write(2) dying MID-ENTRY: leave half the payload in
+      // the temp file (as a crashed writer would) and fail. This is the
+      // torn-write case the atomic rename exists for — the torn bytes
+      // sit under a name no reader ever opens, and the entry path itself
+      // is never touched, so the next read sees the old entry or none.
+      OutF.write(Bytes.data(), std::streamsize(Bytes.size() / 2));
+      return false;
     }
     OutF.write(Bytes.data(), std::streamsize(Bytes.size()));
     if (!OutF) {
-      ++Stats.DiskWriteErrors;
-      return;
+      OutF.close();
+      std::filesystem::remove(TmpName.str(), EC);
+      return false;
     }
   }
-  std::error_code EC;
+  if (fault::shouldFail(fault::Point::CacheDiskWrite)) {
+    std::filesystem::remove(TmpName.str(), EC);
+    return false; // rename failed
+  }
   std::filesystem::rename(TmpName.str(), entryPath(Key), EC);
   if (EC) {
-    ++Stats.DiskWriteErrors;
     std::filesystem::remove(TmpName.str(), EC);
-  } else {
-    Stats.BytesWritten += Bytes.size();
+    return false;
   }
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -446,5 +500,9 @@ CachedExpansion msq::cachedExpansionFromResult(const ExpandResult &R) {
 }
 
 bool msq::expansionResultCacheable(const ExpandResult &R) {
-  return !R.TimedOut && !R.MetaGlobalsMutated;
+  // Fault-injected and quarantined failures are schedule-dependent, not
+  // content-dependent: the same unit without the fault would expand
+  // normally, so replaying the failure later would be wrong.
+  return !R.TimedOut && !R.MetaGlobalsMutated && !R.FaultInjected &&
+         !R.Quarantined;
 }

@@ -20,6 +20,13 @@
 ///    missing, truncated, garbled, or version-skewed entry is a cache
 ///    miss, never an error. Writes go through a temp file + rename so a
 ///    crashed or concurrent writer can never publish a half-written entry.
+///    Failed disk operations are retried once with a backoff and then
+///    degrade gracefully — a failed read becomes a miss (DiskReadErrors),
+///    a failed publish leaves the entry memory-only (DiskDegraded) — so
+///    expansion output is NEVER affected by a rotting disk tier. Both
+///    paths evaluate fault-injection points (cache.disk_read /
+///    cache.disk_write, see support/Fault.h) so the degradation machinery
+///    is deterministically testable.
 ///
 /// What is NOT cached (see BatchDriver): units that mutate meta globals
 /// (the paper's non-local transformations — replaying their output would
@@ -124,6 +131,12 @@ public:
 
 private:
   std::string entryPath(const std::string &Key) const;
+
+  /// One attempt at atomically publishing \p Bytes as \p Key's disk
+  /// entry (temp file + rename). Returns false on any failure — real or
+  /// injected via the cache.disk_write fault point — leaving the entry
+  /// path either untouched or pointing at the previous complete entry.
+  bool publishDisk(const std::string &Key, const std::string &Bytes);
 
   struct MemoryEntry {
     CachedExpansion Entry;

@@ -8,9 +8,30 @@
 #include "driver/BatchDriver.h"
 
 #include "cache/ExpansionCache.h"
+#include "support/Fault.h"
 #include "support/ThreadPool.h"
 
 using namespace msq;
+
+namespace {
+
+/// The structured result of a quarantined unit: a clean, attributed error
+/// in the unit's own slot. The batch itself continues — one dying unit
+/// must never take its siblings (or the driver) down with it.
+ExpandResult quarantinedResult(const std::string &Name,
+                               const std::string &Reason,
+                               bool Injected) {
+  ExpandResult R;
+  R.Name = Name;
+  R.Success = false;
+  R.Quarantined = true;
+  R.FaultInjected = Injected;
+  R.DiagnosticsText =
+      "error: unit '" + Name + "' quarantined: " + Reason + "\n";
+  return R;
+}
+
+} // namespace
 
 BatchDriver::BatchDriver(SessionSnapshot Snap, BatchOptions Opts)
     : Snap(std::move(Snap)), Opts(Opts) {}
@@ -81,6 +102,19 @@ BatchResult BatchDriver::run(const std::vector<SourceUnit> &Units) const {
           continue;
         }
       }
+      // batch.unit_start: an injected trip here stands for the unit's
+      // expansion dying before it produced anything. The unit is
+      // quarantined — structured error in its slot — and the batch goes
+      // on. Accounting below still sees exactly one outcome per unit.
+      if (fault::enabled() &&
+          fault::shouldFail(fault::Point::BatchUnitStart)) {
+        BR.Results[I] = quarantinedResult(
+            Units[I].Name, "injected crash at batch.unit_start",
+            /*Injected=*/true);
+        if (Cache)
+          ++Stats.Uncacheable;
+        continue;
+      }
       if (!E) {
         E = buildWorkerEngine(SnapRef, BO);
         // The immutable baseline every unit starts from. Restoring it
@@ -90,9 +124,21 @@ BatchResult BatchDriver::run(const std::vector<SourceUnit> &Units) const {
         Baseline = E->checkpoint();
       }
       E->restoreCheckpoint(Baseline);
-      BR.Results[I] =
-          E->expandSourceImpl(Units[I].Name, Units[I].Source,
-                              /*EmitOutput=*/true, /*Record=*/false);
+      try {
+        BR.Results[I] =
+            E->expandSourceImpl(Units[I].Name, Units[I].Source,
+                                /*EmitOutput=*/true, /*Record=*/false);
+      } catch (const std::exception &Ex) {
+        // A crash escaping the engine (bad_alloc, a defect...) poisons
+        // the worker's engine state unpredictably, so drop the engine —
+        // the next unit on this worker rebuilds from the snapshot — and
+        // quarantine the unit instead of aborting the whole batch.
+        BR.Results[I] = quarantinedResult(
+            Units[I].Name,
+            std::string("expansion died unexpectedly: ") + Ex.what(),
+            /*Injected=*/false);
+        E.reset();
+      }
       if (Cache) {
         if (TryCache && expansionResultCacheable(BR.Results[I])) {
           ++Stats.Misses;
@@ -109,6 +155,8 @@ BatchResult BatchDriver::run(const std::vector<SourceUnit> &Units) const {
   for (const ExpandResult &R : BR.Results) {
     if (!R.Success)
       ++BR.UnitsFailed;
+    if (R.Quarantined)
+      BR.QuarantinedUnits.push_back(R.Name);
     BR.TotalInvocations += R.InvocationsExpanded;
     BR.Profile.merge(R.Profile);
     BR.Lints.insert(BR.Lints.end(), R.Lints.begin(), R.Lints.end());
@@ -152,6 +200,8 @@ std::string BatchResult::metricsJson() const {
     Out += R.MetaGlobalsMutated ? "true" : "false";
     Out += ",\"cached\":";
     Out += R.FromCache ? "true" : "false";
+    Out += ",\"quarantined\":";
+    Out += R.Quarantined ? "true" : "false";
     Out += ",\"lints\":";
     Out += std::to_string(R.Lints.size());
     Out += '}';
@@ -160,6 +210,17 @@ std::string BatchResult::metricsJson() const {
   if (CacheEnabled) {
     Out += ",\"cache\":";
     Out += Cache.toJson();
+  }
+  if (!QuarantinedUnits.empty()) {
+    Out += ",\"quarantined\":[";
+    for (size_t I = 0; I != QuarantinedUnits.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += '"';
+      Out += jsonEscape(QuarantinedUnits[I]);
+      Out += '"';
+    }
+    Out += ']';
   }
   if (!Lints.empty()) {
     Out += ",\"lint_findings\":";

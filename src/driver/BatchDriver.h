@@ -55,6 +55,12 @@ struct BatchResult {
   ExpansionProfile Profile;
   /// Number of units whose ExpandResult::Success is false.
   size_t UnitsFailed = 0;
+  /// Units whose expansion died unexpectedly (a crash escaping the
+  /// engine, or an injected batch.unit_start fault) and were quarantined:
+  /// each reports a structured error result and the rest of the batch
+  /// completed normally. Names in input order; also counted in
+  /// UnitsFailed.
+  std::vector<std::string> QuarantinedUnits;
   /// Sum of Results[i].InvocationsExpanded.
   size_t TotalInvocations = 0;
   /// True when this batch ran with an expansion cache attached; Cache
@@ -74,8 +80,9 @@ struct BatchResult {
   /// {"units":[{"name":...,"success":...,"invocations":N,"meta_steps":N,
   ///   "gensyms":N,"nodes":N,"fuel_exhausted":B,"timed_out":B,
   ///   "limit":"none"|"fuel"|"timeout","mutates_globals":B,"cached":B,
-  ///   "lints":N}],
+  ///   "quarantined":B,"lints":N}],
   ///  "cache":<CacheStats::toJson(), when CacheEnabled>,
+  ///  "quarantined":["unit",...] (when any unit was quarantined),
   ///  "lint_findings":<deduplicated findings array, when any>,
   ///  "aggregate":<ExpansionProfile::toJson()>}
   std::string metricsJson() const;

@@ -8,6 +8,7 @@
 #include "interp/Interpreter.h"
 
 #include "meta/MetaTypeCheck.h"
+#include "support/Fault.h"
 
 using namespace msq;
 
@@ -113,10 +114,28 @@ Interpreter::Interpreter(CompilationContext &CC, Limits L)
 }
 
 bool Interpreter::step(SourceLoc Loc) {
-  if (FuelExhausted || TimedOut)
+  if (FuelExhausted || TimedOut || AllocFailed)
     return false;
   ++Steps;
   size_t UnitSteps = Steps - UnitStartSteps;
+  // Deterministic resource-exhaustion injection (interp.alloc), consulted
+  // on a fixed step cadence so the evaluation sequence is a function of
+  // the unit alone. A trip aborts the unit with a clean, attributed
+  // diagnostic — the same discipline as fuel exhaustion — and the result
+  // is marked fault-injected so it can never enter the expansion cache.
+  if ((UnitSteps & 255) == 0 && fault::enabled() &&
+      fault::shouldFail(fault::Point::InterpAlloc)) {
+    AllocFailed = true;
+    if (!StepLimitReported) {
+      StepLimitReported = true;
+      std::string Msg = "meta program failed to allocate expansion resources";
+      if (!UnitName.empty())
+        Msg += " in unit '" + UnitName + "'";
+      Msg += " (injected fault at interp.alloc)";
+      CC.Diags.error(Loc, std::move(Msg));
+    }
+    return false;
+  }
   if (UnitSteps > (UnitMaxSteps ? UnitMaxSteps : Lim.MaxSteps)) {
     FuelExhausted = true;
     if (!StepLimitReported) {
@@ -159,6 +178,7 @@ void Interpreter::beginUnit(size_t MaxSteps, unsigned TimeoutMillis,
   StepLimitReported = false;
   FuelExhausted = false;
   TimedOut = false;
+  AllocFailed = false;
   UnitName = std::move(Name);
   UnitTimeoutMillis = TimeoutMillis;
   HasDeadline = TimeoutMillis != 0;

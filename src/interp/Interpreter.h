@@ -75,6 +75,12 @@ public:
   bool unitFuelExhausted() const { return FuelExhausted; }
   bool unitTimedOut() const { return TimedOut; }
 
+  /// True when the current unit was aborted by an injected interp.alloc
+  /// fault (support/Fault.h): the meta program was stopped with a clean
+  /// diagnostic, exactly like fuel exhaustion, and the engine stays
+  /// usable for the next unit.
+  bool unitAllocFailed() const { return AllocFailed; }
+
   /// True when the current unit wrote into meta-global state that existed
   /// when beginUnit ran: an assignment to a metadcl global (the paper's
   /// window-procedure accumulation) or a metadcl processed at global
@@ -151,6 +157,7 @@ private:
   size_t UnitMaxSteps = 0; // 0 = Lim.MaxSteps
   bool FuelExhausted = false;
   bool TimedOut = false;
+  bool AllocFailed = false; // injected interp.alloc fault (see step())
   bool HasDeadline = false;
   /// Configured budget behind Deadline, kept for the diagnostic text.
   unsigned UnitTimeoutMillis = 0;

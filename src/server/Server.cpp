@@ -9,11 +9,22 @@
 
 #include "cache/ExpansionCache.h"
 #include "driver/BatchDriver.h"
+#include "support/Fault.h"
 #include "support/ThreadPool.h"
 
 #include <future>
+#include <thread>
 
 using namespace msq;
+
+namespace {
+
+/// Worker-spawn retries before the request is answered with a structured
+/// error; backoff doubles from 1ms and is capped at SpawnBackoffCapMs.
+constexpr int SpawnAttempts = 4;
+constexpr unsigned SpawnBackoffCapMs = 8;
+
+} // namespace
 
 Server::Server(ServerOptions Opts) : SO(std::move(Opts)) {
   if (SO.EngineOpts.EnableExpansionCache)
@@ -117,7 +128,25 @@ void Server::workerLoop() {
 
     bool FromCache = false;
     CacheStats Stats;
-    ExpandResult R = processJob(J, W, FromCache, Stats);
+    ExpandResult R;
+    try {
+      R = processJob(J, W, FromCache, Stats);
+    } catch (const std::exception &Ex) {
+      // A worker crash (injected via server.worker_crash, or a real
+      // defect escaping the engine) becomes a structured per-request
+      // error: the completion still runs, so the connection is answered,
+      // never dropped. The engine state is unpredictable after a crash —
+      // drop it and let the next request rebuild from the snapshot.
+      R = ExpandResult();
+      R.Name = J.Unit.Name;
+      R.Success = false;
+      R.FaultInjected =
+          dynamic_cast<const fault::InjectedCrash *>(&Ex) != nullptr;
+      R.DiagnosticsText = "error: expansion worker crashed on unit '" +
+                          J.Unit.Name + "': " + Ex.what() + "\n";
+      W.E.reset();
+      W.Generation = UINT64_MAX;
+    }
 
     uint64_t LatencyNs = uint64_t(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -190,10 +219,43 @@ ExpandResult Server::processJob(const Job &J, WorkerEngine &W,
   // rebuilds from the (new) snapshot. Requests admitted under the old
   // library keep its snapshot alive through their Job::Lib reference, so
   // a mid-drain mix of generations is handled by rebuilding per job.
+  //
+  // Spawning is transient-failure territory (server.worker_spawn; for
+  // real deployments, bad_alloc under memory pressure): retry with capped
+  // exponential backoff, then answer THIS request with a structured error
+  // — the worker itself stays up and the next request tries again.
   if (!W.E || W.Generation != LS.Generation) {
     BatchOptions BO;
     BO.CollectProfile = SO.EngineOpts.CollectProfile;
-    W.E = BatchDriver::buildWorkerEngine(LS.Snap, BO);
+    std::chrono::milliseconds Backoff{1};
+    for (int Attempt = 0;; ++Attempt) {
+      bool SpawnFailed =
+          fault::enabled() &&
+          fault::shouldFail(fault::Point::ServerWorkerSpawn);
+      if (!SpawnFailed) {
+        try {
+          W.E = BatchDriver::buildWorkerEngine(LS.Snap, BO);
+        } catch (const std::exception &) {
+          SpawnFailed = true;
+        }
+      }
+      if (!SpawnFailed)
+        break;
+      if (Attempt + 1 == SpawnAttempts) {
+        ExpandResult R;
+        R.Name = J.Unit.Name;
+        R.Success = false;
+        R.FaultInjected = true;
+        R.DiagnosticsText =
+            "error: could not spawn expansion worker for unit '" +
+            J.Unit.Name + "' (" + std::to_string(SpawnAttempts) +
+            " attempts)\n";
+        return R;
+      }
+      std::this_thread::sleep_for(Backoff);
+      if (Backoff < std::chrono::milliseconds(SpawnBackoffCapMs))
+        Backoff *= 2;
+    }
     W.Baseline = W.E->checkpoint();
     W.Generation = LS.Generation;
   }
@@ -210,6 +272,13 @@ ExpandResult Server::processJob(const Job &J, WorkerEngine &W,
     R.Lints = std::move(LR.Report.Findings);
     return R;
   }
+
+  // server.worker_crash: the worker dies mid-request. Modeled as a thrown
+  // exception so it exercises the same recovery path as a real escaping
+  // defect; workerLoop catches it and answers with a structured error.
+  if (fault::enabled() &&
+      fault::shouldFail(fault::Point::ServerWorkerCrash))
+    throw fault::InjectedCrash("injected crash at server.worker_crash");
 
   ExpandResult R = W.E->expandUnrecorded(J.Unit.Name, J.Unit.Source);
   if (Cache && J.RO.UseCache && !J.RO.LintOnly) {
@@ -360,6 +429,11 @@ std::string Server::metricsJson() const {
     Out += ",\"aggregate\":";
     Out += Aggregate.toJson();
   }
+  // Per-point fault evaluation/trip counters. Present in every build:
+  // reads {"enabled":false,...} with all-zero counters when the fault
+  // layer is disarmed, so dashboards need no conditional parsing.
+  Out += ",\"faults\":";
+  Out += fault::statsJson();
   Out += '}';
   return Out;
 }

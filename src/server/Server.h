@@ -33,8 +33,15 @@
 ///    pruned via ExpansionCache::evictGenerationsBefore.
 ///  * OBSERVABILITY — counters, a latency histogram (p50/p95/p99), the
 ///    cache stats (including disk-tier failure counters), an aggregate
-///    per-macro profile, and an optional structured log sink receiving
-///    one JSON line per completed or rejected request.
+///    per-macro profile, per-point fault-injection counters, and an
+///    optional structured log sink receiving one JSON line per completed
+///    or rejected request.
+///  * DEGRADATION — a worker-engine spawn failure (server.worker_spawn)
+///    is retried with capped exponential backoff, then surfaced as a
+///    structured per-request error; a worker crash mid-request
+///    (server.worker_crash or a real escaping exception) is converted
+///    into a structured error result, so an Accepted request's completion
+///    ALWAYS runs — connections are answered, never dropped.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -145,7 +152,8 @@ public:
   /// Server-level metrics as one JSON object:
   /// {"server":{"admitted":N,"rejected_overloaded":N,...,
   ///   "latency":{"count":N,"p50_us":N,"p95_us":N,"p99_us":N,...}},
-  ///  "cache":<CacheStats> (when caching), "aggregate":<profile>}
+  ///  "cache":<CacheStats> (when caching), "aggregate":<profile>,
+  ///  "faults":<fault::statsJson(): per-point injection counters>}
   std::string metricsJson() const;
 
   uint64_t generation() const;

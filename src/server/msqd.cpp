@@ -23,13 +23,22 @@
 // client still gets its responses), and exits 0. In --stdio mode, EOF on
 // stdin triggers the same drain.
 //
+// Fault injection: MSQ_FAULT_SCHEDULE (see support/Fault.h) arms the
+// deterministic fault layer for the whole process; transient accept
+// failures are retried with capped exponential backoff, and worker
+// crashes become structured per-request errors. Per-point counters are
+// reported in the status response's "faults" object.
+//
 //===----------------------------------------------------------------------===//
 
 #include "server/Protocol.h"
 #include "server/Server.h"
+#include "support/Fault.h"
 #include "support/Socket.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <csignal>
 #include <cstdio>
@@ -295,6 +304,18 @@ int main(int argc, char **argv) {
   // the daemon.
   std::signal(SIGPIPE, SIG_IGN);
 
+  // Deterministic fault injection (testing): MSQ_FAULT_SCHEDULE arms the
+  // named points for this process. A malformed schedule is a usage error
+  // — failing loudly beats silently running the wrong chaos experiment.
+  {
+    std::string FaultErr;
+    if (!fault::configureFromEnvironment(&FaultErr)) {
+      std::fprintf(stderr, "msqd: bad MSQ_FAULT_SCHEDULE: %s\n",
+                   FaultErr.c_str());
+      return 2;
+    }
+  }
+
   // Structured request log: one JSON line per event on stderr.
   static std::mutex LogMutex;
   if (!Quiet)
@@ -359,13 +380,29 @@ int main(int argc, char **argv) {
   std::mutex ConnsMutex;
   std::vector<std::weak_ptr<Conn>> Conns;
 
+  // Transient accept failures (fd exhaustion, injected server.accept
+  // faults) back off exponentially — 1ms doubling to a 100ms cap — and
+  // retry; the pending connection waits in the listen backlog meanwhile.
+  // Success resets the backoff. Only a non-transient failure (the
+  // listener itself died) gives up the loop.
+  unsigned AcceptBackoffMs = 1;
   for (;;) {
     bool Woken = false;
-    int Fd = Listener.acceptClient(WakePipe[0], Woken);
+    bool Transient = false;
+    int Fd = Listener.acceptClient(WakePipe[0], Woken, &Transient);
     if (Woken)
       break; // SIGTERM/SIGINT: begin drain
-    if (Fd < 0)
+    if (Fd < 0) {
+      if (Transient) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(AcceptBackoffMs));
+        if (AcceptBackoffMs < 100)
+          AcceptBackoffMs = std::min(AcceptBackoffMs * 2, 100u);
+        continue;
+      }
       break; // listener failed; drain and exit rather than spin
+    }
+    AcceptBackoffMs = 1;
     auto C = std::make_shared<Conn>(Fd, Fd, /*OwnsFds=*/true);
     {
       std::lock_guard<std::mutex> Lock(ConnsMutex);

@@ -1,0 +1,267 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Fault.h"
+
+#include "support/Metrics.h"
+
+#include <cstdlib>
+#include <mutex>
+
+using namespace msq;
+
+namespace {
+
+/// Dotted names, indexed by Point. Order must match the enum.
+constexpr const char *PointNames[fault::NumPoints] = {
+    "cache.disk_read",   "cache.disk_write",   "server.accept",
+    "server.worker_spawn", "server.worker_crash", "interp.alloc",
+    "batch.unit_start",
+};
+
+/// splitmix64: the per-evaluation decision stream for p= schedules. Keyed
+/// by (seed, evaluation index), so the trip sequence is a pure function
+/// of the schedule — thread interleaving cannot change which evaluation
+/// indices trip, only which operation draws which index.
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
+  return X ^ (X >> 31);
+}
+
+struct PointState {
+  bool HasSchedule = false;
+  uint64_t Every = 0;      // every=N: trip when ((eval - after) % N) == 0
+  uint64_t Threshold = 0;  // p=F: trip when draw <= F * 2^64
+  uint64_t Seed = 0;
+  uint64_t After = 0;      // skip the first N evaluations
+  uint64_t MaxTrips = 0;   // 0 = unlimited
+  uint64_t Evaluations = 0;
+  uint64_t Trips = 0;
+};
+
+/// All mutable state behind one mutex. Evaluations only reach here when a
+/// schedule is armed, and armed runs are failure-path tests, so lock cost
+/// is irrelevant; disarmed runs never touch the mutex.
+std::mutex StateMutex;
+PointState Points[fault::NumPoints];
+std::string ActiveSchedule;
+
+void resetLocked() {
+  for (PointState &P : Points)
+    P = PointState();
+  ActiveSchedule.clear();
+  fault::detail::Armed.store(false, std::memory_order_release);
+}
+
+bool parseU64(std::string_view S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9' || V > (UINT64_MAX - 9) / 10)
+      return false;
+    V = V * 10 + uint64_t(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+bool parseProbability(std::string_view S, uint64_t &Threshold) {
+  // Accept "0.25", ".25", "1", "1.0": plain decimal in (0, 1].
+  double V = 0;
+  try {
+    size_t Used = 0;
+    V = std::stod(std::string(S), &Used);
+    if (Used != S.size())
+      return false;
+  } catch (...) {
+    return false;
+  }
+  if (!(V > 0.0) || V > 1.0)
+    return false;
+  Threshold = V >= 1.0 ? UINT64_MAX : uint64_t(V * 18446744073709551615.0);
+  return true;
+}
+
+bool fail(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+} // namespace
+
+namespace msq {
+namespace fault {
+namespace detail {
+
+std::atomic<bool> Armed{false};
+
+bool shouldFailSlow(Point P) {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  PointState &S = Points[unsigned(P)];
+  uint64_t E = ++S.Evaluations;
+  if (!S.HasSchedule || E <= S.After)
+    return false;
+  bool Trip;
+  if (S.Every)
+    Trip = ((E - S.After) % S.Every) == 0;
+  else
+    Trip = splitmix64(S.Seed ^ (E * 0xFF51AFD7ED558CCDULL)) <= S.Threshold;
+  if (!Trip)
+    return false;
+  if (S.MaxTrips && S.Trips >= S.MaxTrips)
+    return false; // trip budget spent; the point goes quiet
+  ++S.Trips;
+  return true;
+}
+
+} // namespace detail
+
+const char *pointName(Point P) { return PointNames[unsigned(P)]; }
+
+void reset() {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  resetLocked();
+}
+
+bool configure(const std::string &Schedule, std::string *Err) {
+  // Parse into a scratch table first so a malformed spec arms nothing.
+  PointState Parsed[NumPoints];
+  bool Any = false;
+  size_t Pos = 0;
+  while (Pos < Schedule.size()) {
+    size_t End = Schedule.find(';', Pos);
+    if (End == std::string::npos)
+      End = Schedule.size();
+    std::string_view Entry(Schedule.data() + Pos, End - Pos);
+    Pos = End + 1;
+    if (Entry.empty())
+      continue;
+    size_t Colon = Entry.find(':');
+    if (Colon == std::string_view::npos)
+      return fail(Err, "entry '" + std::string(Entry) +
+                           "' lacks a ':' between point and parameters");
+    std::string_view Name = Entry.substr(0, Colon);
+    int PointIdx = -1;
+    for (unsigned I = 0; I != NumPoints; ++I)
+      if (Name == PointNames[I])
+        PointIdx = int(I);
+    if (PointIdx < 0)
+      return fail(Err, "unknown injection point '" + std::string(Name) + "'");
+    PointState &P = Parsed[PointIdx];
+    if (P.HasSchedule)
+      return fail(Err, "injection point '" + std::string(Name) +
+                           "' scheduled twice");
+    P.HasSchedule = true;
+    bool HasTrigger = false, HasSeed = false;
+    std::string_view Params = Entry.substr(Colon + 1);
+    size_t PPos = 0;
+    while (PPos <= Params.size()) {
+      size_t PEnd = Params.find(',', PPos);
+      if (PEnd == std::string_view::npos)
+        PEnd = Params.size();
+      std::string_view Param = Params.substr(PPos, PEnd - PPos);
+      PPos = PEnd + 1;
+      size_t Eq = Param.find('=');
+      if (Eq == std::string_view::npos)
+        return fail(Err, "parameter '" + std::string(Param) +
+                             "' lacks '=' (in '" + std::string(Entry) + "')");
+      std::string_view Key = Param.substr(0, Eq);
+      std::string_view Val = Param.substr(Eq + 1);
+      if (Key == "every") {
+        if (!parseU64(Val, P.Every) || P.Every == 0)
+          return fail(Err, "bad every= value '" + std::string(Val) + "'");
+        HasTrigger = true;
+      } else if (Key == "p") {
+        if (!parseProbability(Val, P.Threshold))
+          return fail(Err, "bad p= value '" + std::string(Val) +
+                               "' (want a probability in (0, 1])");
+        HasTrigger = true;
+      } else if (Key == "seed") {
+        if (!parseU64(Val, P.Seed))
+          return fail(Err, "bad seed= value '" + std::string(Val) + "'");
+        HasSeed = true;
+      } else if (Key == "times") {
+        if (!parseU64(Val, P.MaxTrips) || P.MaxTrips == 0)
+          return fail(Err, "bad times= value '" + std::string(Val) + "'");
+      } else if (Key == "after") {
+        if (!parseU64(Val, P.After))
+          return fail(Err, "bad after= value '" + std::string(Val) + "'");
+      } else {
+        return fail(Err, "unknown parameter '" + std::string(Key) +
+                             "' (in '" + std::string(Entry) + "')");
+      }
+      if (PPos > Params.size())
+        break;
+    }
+    if (P.Every && P.Threshold)
+      return fail(Err, "point '" + std::string(Name) +
+                           "' mixes every= with p=");
+    if (!HasTrigger)
+      return fail(Err, "point '" + std::string(Name) +
+                           "' needs every=N or p=F");
+    if (HasSeed && !P.Threshold)
+      return fail(Err, "seed= only applies to p= schedules (point '" +
+                           std::string(Name) + "')");
+    Any = true;
+  }
+
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  resetLocked();
+  if (!Any)
+    return true; // empty schedule == disarm
+  for (unsigned I = 0; I != NumPoints; ++I)
+    Points[I] = Parsed[I];
+  ActiveSchedule = Schedule;
+  detail::Armed.store(true, std::memory_order_release);
+  return true;
+}
+
+bool configureFromEnvironment(std::string *Err) {
+  const char *Env = std::getenv("MSQ_FAULT_SCHEDULE");
+  if (!Env || !*Env)
+    return true;
+  return configure(Env, Err);
+}
+
+uint64_t evaluations(Point P) {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  return Points[unsigned(P)].Evaluations;
+}
+
+uint64_t trips(Point P) {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  return Points[unsigned(P)].Trips;
+}
+
+std::string statsJson() {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  std::string Out = "{\"enabled\":";
+  Out += detail::Armed.load(std::memory_order_relaxed) ? "true" : "false";
+  Out += ",\"schedule\":\"";
+  Out += jsonEscape(ActiveSchedule);
+  Out += "\",\"points\":{";
+  for (unsigned I = 0; I != NumPoints; ++I) {
+    if (I)
+      Out += ',';
+    Out += '"';
+    Out += PointNames[I];
+    Out += "\":{\"evaluations\":";
+    Out += std::to_string(Points[I].Evaluations);
+    Out += ",\"trips\":";
+    Out += std::to_string(Points[I].Trips);
+    Out += '}';
+  }
+  Out += "}}";
+  return Out;
+}
+
+} // namespace fault
+} // namespace msq

@@ -1,0 +1,142 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection. Every I/O and resource boundary in the
+/// engine evaluates a named injection point (`cache.disk_write`,
+/// `server.accept`, ...) before doing the real operation; a SCHEDULE armed
+/// at process level decides which evaluations "trip" (simulate a failure).
+/// The framework is compiled into every build and is zero-cost when
+/// disarmed: each site is a single relaxed atomic load of one global flag.
+///
+/// Schedules are deterministic by construction, which is what makes
+/// failure paths testable: the same schedule against the same
+/// (single-threaded) workload trips the same evaluations and yields
+/// byte-identical diagnostics. Two trigger forms exist:
+///  * `every=N` — trip every Nth evaluation of the point (counter-based);
+///  * `p=F,seed=S` — trip evaluation #k iff a splitmix64 stream seeded
+///    with S says so at index k. Randomized-but-seeded: re-running with
+///    the same seed reproduces the exact trip sequence.
+///
+/// Schedule grammar (also accepted from the MSQ_FAULT_SCHEDULE
+/// environment variable by msqc/msqd):
+///
+///   schedule := entry (';' entry)*
+///   entry    := point ':' param (',' param)*
+///   param    := 'every=' N | 'p=' F | 'seed=' N | 'times=' N | 'after=' N
+///
+///   MSQ_FAULT_SCHEDULE="cache.disk_write:every=3;server.accept:p=0.1,seed=42"
+///
+/// `times=N` caps the total trips granted by a point; `after=N` skips the
+/// first N evaluations. Exactly one of `every`/`p` is required per entry.
+///
+/// What a trip MEANS is owned by the evaluation site: the cache turns a
+/// `cache.disk_write` trip into a torn half-written temp file, the server
+/// turns `server.worker_crash` into a thrown exception, and so on. The
+/// framework only answers "does this evaluation fail?" and counts
+/// evaluations/trips per point for the metrics JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SUPPORT_FAULT_H
+#define MSQ_SUPPORT_FAULT_H
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace msq {
+namespace fault {
+
+/// Every injection point in the system. Adding one means: extend this
+/// enum, the name table in Fault.cpp, and the degradation matrix in
+/// DESIGN.md §8.
+enum class Point : unsigned {
+  CacheDiskRead,    ///< cache.disk_read — disk-tier entry read
+  CacheDiskWrite,   ///< cache.disk_write — disk-tier publish (open/write/rename)
+  ServerAccept,     ///< server.accept — accepting a client connection
+  ServerWorkerSpawn,///< server.worker_spawn — building a worker engine
+  ServerWorkerCrash,///< server.worker_crash — a worker dying mid-request
+  InterpAlloc,      ///< interp.alloc — meta-interpreter resource exhaustion
+  BatchUnitStart,   ///< batch.unit_start — a batch unit dying at start
+};
+constexpr unsigned NumPoints = 7;
+
+namespace detail {
+/// True while any point is armed. The ONLY state the fast path touches.
+extern std::atomic<bool> Armed;
+bool shouldFailSlow(Point P);
+} // namespace detail
+
+/// True when a schedule is armed (some point may trip).
+inline bool enabled() {
+  return detail::Armed.load(std::memory_order_relaxed);
+}
+
+/// Evaluates injection point \p P: returns true when this evaluation must
+/// simulate a failure. When no schedule is armed this is one relaxed
+/// atomic load — safe on any hot path.
+inline bool shouldFail(Point P) {
+  if (!detail::Armed.load(std::memory_order_relaxed))
+    return false;
+  return detail::shouldFailSlow(P);
+}
+
+/// Parses \p Schedule (see the grammar above), zeroes all counters, and
+/// arms the described points. An empty schedule disarms everything (same
+/// as reset()). Returns false with \p *Err set on a malformed spec, in
+/// which case nothing is armed. Not safe to call concurrently with
+/// in-flight evaluations of an ARMED schedule; arm before starting work.
+bool configure(const std::string &Schedule, std::string *Err = nullptr);
+
+/// configure() from the MSQ_FAULT_SCHEDULE environment variable. Unset or
+/// empty leaves the layer disarmed and returns true.
+bool configureFromEnvironment(std::string *Err = nullptr);
+
+/// Disarms every point and zeroes all counters.
+void reset();
+
+/// Counters for one point since the last configure()/reset(). Evaluations
+/// are counted whenever the layer is armed (even for points with no
+/// schedule entry — coverage observability); trips only for armed points.
+uint64_t evaluations(Point P);
+uint64_t trips(Point P);
+
+/// The canonical dotted name of \p P ("cache.disk_write", ...).
+const char *pointName(Point P);
+
+/// Per-point counters as one JSON object, fixed key order:
+/// {"enabled":B,"schedule":"...","points":{"batch.unit_start":
+///   {"evaluations":N,"trips":N},...}}
+std::string statsJson();
+
+/// Thrown by sites that model a trip as a crash (server.worker_crash):
+/// the catch site converting the crash into a structured error can tell an
+/// injected crash apart from a real escaping defect and tag the result's
+/// FaultInjected flag accordingly.
+struct InjectedCrash : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// RAII schedule for tests: arms on construction, disarms on destruction.
+struct ScopedSchedule {
+  explicit ScopedSchedule(const std::string &Schedule) {
+    Ok = configure(Schedule, &Error);
+  }
+  ~ScopedSchedule() { reset(); }
+  ScopedSchedule(const ScopedSchedule &) = delete;
+  ScopedSchedule &operator=(const ScopedSchedule &) = delete;
+
+  bool Ok = false;
+  std::string Error;
+};
+
+} // namespace fault
+} // namespace msq
+
+#endif // MSQ_SUPPORT_FAULT_H

@@ -83,6 +83,8 @@ std::string CacheStats::toJson() const {
   Out += std::to_string(DiskReadErrors);
   Out += ",\"disk_write_errors\":";
   Out += std::to_string(DiskWriteErrors);
+  Out += ",\"disk_degraded\":";
+  Out += std::to_string(DiskDegraded);
   Out += '}';
   return Out;
 }

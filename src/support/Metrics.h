@@ -88,9 +88,15 @@ struct CacheStats {
   /// see that its persistent tier is rotting. A read error is an entry
   /// that existed but could not be used (unreadable or failed
   /// deserialization); a plain absent entry is not an error. A write
-  /// error is a store whose disk publish failed at any stage.
+  /// error is a disk publish ATTEMPT that failed at any stage (so one
+  /// store can count two: the first attempt and its retry).
   uint64_t DiskReadErrors = 0;
   uint64_t DiskWriteErrors = 0;
+  /// Stores that degraded to memory-only: the disk publish failed, was
+  /// retried once after a backoff, and failed again, so the entry exists
+  /// only in the memory tier. Expansion output is unaffected (graceful
+  /// degradation); a deployment seeing this grow is losing persistence.
+  uint64_t DiskDegraded = 0;
 
   void merge(const CacheStats &Other) {
     Hits += Other.Hits;
@@ -100,10 +106,12 @@ struct CacheStats {
     BytesWritten += Other.BytesWritten;
     DiskReadErrors += Other.DiskReadErrors;
     DiskWriteErrors += Other.DiskWriteErrors;
+    DiskDegraded += Other.DiskDegraded;
   }
 
   /// {"hits":N,"misses":N,"uncacheable":N,"bytes_read":N,
-  ///  "bytes_written":N,"disk_read_errors":N,"disk_write_errors":N}
+  ///  "bytes_written":N,"disk_read_errors":N,"disk_write_errors":N,
+  ///  "disk_degraded":N}
   std::string toJson() const;
 };
 

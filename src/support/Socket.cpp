@@ -7,6 +7,8 @@
 
 #include "support/Socket.h"
 
+#include "support/Fault.h"
+
 #include <cerrno>
 #include <cstring>
 
@@ -92,8 +94,10 @@ bool UnixListener::listenOn(const std::string &P, std::string *Err) {
   return true;
 }
 
-int UnixListener::acceptClient(int WakeFd, bool &Woken) {
+int UnixListener::acceptClient(int WakeFd, bool &Woken, bool *Transient) {
   Woken = false;
+  if (Transient)
+    *Transient = false;
   for (;;) {
     pollfd Fds[2] = {{Fd.get(), POLLIN, 0}, {WakeFd, POLLIN, 0}};
     int N = ::poll(Fds, WakeFd >= 0 ? 2 : 1, -1);
@@ -107,11 +111,28 @@ int UnixListener::acceptClient(int WakeFd, bool &Woken) {
       return -1;
     }
     if (Fds[0].revents & (POLLIN | POLLERR | POLLHUP)) {
+      // server.accept: a trip simulates the kernel refusing the accept
+      // (fd exhaustion). The connection stays in the listen backlog, so a
+      // retried accept after backoff picks it up — no client is lost.
+      if (fault::enabled() &&
+          fault::shouldFail(fault::Point::ServerAccept)) {
+        if (Transient)
+          *Transient = true;
+        return -1;
+      }
       int C = ::accept(Fd.get(), nullptr, nullptr);
       if (C >= 0)
         return C;
       if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN)
         continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource exhaustion, not listener death: report transient so
+        // the daemon backs off and retries instead of exiting.
+        if (Transient)
+          *Transient = true;
+        return -1;
+      }
       return -1;
     }
   }

@@ -63,8 +63,11 @@ public:
 
   /// Waits for a client or for \p WakeFd to become readable (the drain
   /// signal). Returns the accepted fd, or -1 when woken/failed — callers
-  /// distinguish via \p Woken.
-  int acceptClient(int WakeFd, bool &Woken);
+  /// distinguish via \p Woken. A -1 with \p *Transient set true (kernel
+  /// conditions like EMFILE/ENFILE, or an injected `server.accept` fault)
+  /// means the listener itself is still healthy: retry with backoff
+  /// instead of shutting down.
+  int acceptClient(int WakeFd, bool &Woken, bool *Transient = nullptr);
 
   bool valid() const { return Fd.valid(); }
   const std::string &path() const { return Path; }

@@ -1,0 +1,281 @@
+//===----------------------------------------------------------------------===//
+// Chaos / differential tests (label: chaos): the 64-unit x 200-invocation
+// stress corpus expanded clean and again under fault schedules, asserting
+// the system-wide degradation invariant:
+//
+//   EVERY unit is either byte-identical to its clean expansion, or a
+//   clean structured error (attributed diagnostic, Quarantined or
+//   FaultInjected flag set) — never torn output, never a wedged batch,
+//   never a silently wrong result.
+//
+// Two environment knobs wire these tests into the nightly chaos CI job:
+//   MSQ_CHAOS_SEED         seed for the randomized (but seeded, hence
+//                          reproducible) schedule; default 42
+//   MSQ_CHAOS_METRICS_DIR  when set, each test drops its metrics JSON
+//                          there for artifact upload and the
+//                          disk_degraded/injection consistency check
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+#include "cache/ExpansionCache.h"
+#include "driver/BatchDriver.h"
+#include "support/Fault.h"
+#include "support/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace msq;
+
+namespace {
+
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Buf[] = "/tmp/msq-chaos-test-XXXXXX";
+    Path = ::mkdtemp(Buf);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+};
+
+const char *CorpusLibrary = R"(
+syntax stmt traced {| ( $$num::n ) |}
+{
+    @id t = gensym("t");
+    return `{
+        int $t;
+        $t = probe($n);
+        sink($t);
+    };
+}
+)";
+
+/// The scale_test corpus: 64 units x 200 invocations of a gensym-using
+/// library macro. Big enough that every fault point gets hundreds of
+/// evaluations; small enough for a CI tier.
+std::vector<SourceUnit> corpus() {
+  std::vector<SourceUnit> Units;
+  for (int U = 0; U != 64; ++U) {
+    std::ostringstream Src;
+    Src << "void tu" << U << "(void)\n{\n";
+    for (int I = 0; I != 200; ++I)
+      Src << "    traced(" << (U * 200 + I) << ");\n";
+    Src << "}\n";
+    Units.push_back({"tu" + std::to_string(U) + ".c", Src.str()});
+  }
+  return Units;
+}
+
+/// Clean reference outputs, computed once per test from a fault-free
+/// engine (no cache: nothing but the expander touches the result).
+std::vector<std::string> cleanOutputs(const std::vector<SourceUnit> &Units) {
+  Engine E;
+  EXPECT_TRUE(E.expandSource("lib.c", CorpusLibrary).Success);
+  BatchResult BR = E.expandSources(Units);
+  std::vector<std::string> Out;
+  for (const ExpandResult &R : BR.Results) {
+    EXPECT_TRUE(R.Success) << R.Name << ": " << R.DiagnosticsText;
+    Out.push_back(R.Output);
+  }
+  return Out;
+}
+
+uint64_t chaosSeed() {
+  const char *E = std::getenv("MSQ_CHAOS_SEED");
+  if (!E || !*E)
+    return 42;
+  return std::strtoull(E, nullptr, 10);
+}
+
+/// Drops \p Json under MSQ_CHAOS_METRICS_DIR (when set) for the CI
+/// artifact upload and the check_chaos_metrics.sh consistency gate.
+void writeChaosMetrics(const std::string &FileName, const std::string &Json) {
+  const char *Dir = std::getenv("MSQ_CHAOS_METRICS_DIR");
+  if (!Dir || !*Dir)
+    return;
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  std::ofstream Out(std::string(Dir) + "/" + FileName);
+  Out << Json << "\n";
+}
+
+/// The per-unit differential invariant: identical to clean, or a clean
+/// structured error.
+void checkDifferential(const BatchResult &BR,
+                       const std::vector<std::string> &Clean,
+                       size_t &Identical, size_t &StructuredErrors) {
+  ASSERT_EQ(BR.Results.size(), Clean.size());
+  for (size_t I = 0; I != BR.Results.size(); ++I) {
+    const ExpandResult &R = BR.Results[I];
+    if (R.Success) {
+      EXPECT_EQ(R.Output, Clean[I])
+          << R.Name << " diverged from its clean expansion";
+      EXPECT_FALSE(R.Quarantined) << R.Name;
+      ++Identical;
+    } else {
+      // A failed unit must be a STRUCTURED error: attributed diagnostic
+      // naming the unit, the fault provenance flagged, and no output.
+      EXPECT_TRUE(R.Quarantined || R.FaultInjected)
+          << R.Name << " failed without a fault flag: "
+          << R.DiagnosticsText;
+      EXPECT_NE(R.DiagnosticsText.find("error:"), std::string::npos)
+          << R.Name;
+      EXPECT_NE(R.DiagnosticsText.find(R.Name), std::string::npos)
+          << R.Name << ": diagnostic does not name the unit: "
+          << R.DiagnosticsText;
+      ++StructuredErrors;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Acceptance scenario: cache.disk_write:every=2 degrades the disk tier,
+// the batch stays byte-identical
+//===----------------------------------------------------------------------===//
+
+TEST(Chaos, DiskWriteFaultsDegradeWithoutChangingOutputs) {
+  std::vector<SourceUnit> Units = corpus();
+  std::vector<std::string> Clean = cleanOutputs(Units);
+
+  TempDir TD;
+  Engine::Options Opts;
+  Opts.EnableExpansionCache = true;
+  Opts.ExpansionCacheDir = TD.Path;
+  Engine E(Opts);
+  ASSERT_TRUE(E.expandSource("lib.c", CorpusLibrary).Success);
+
+  fault::ScopedSchedule S("cache.disk_write:every=2");
+  ASSERT_TRUE(S.Ok) << S.Error;
+
+  // Cold run: every store's publish dies mid-entry (and again on its
+  // retry), so every entry degrades to memory-only — and not one output
+  // byte changes. Single-threaded, the every=2 parity makes that exact:
+  // each store draws evaluations (odd, even, odd, even), failing both
+  // attempts, so ALL 64 entries degrade deterministically.
+  BatchOptions ColdBO;
+  ColdBO.ThreadCount = 1;
+  BatchResult Cold = E.expandSources(Units, ColdBO);
+  ASSERT_EQ(Cold.Results.size(), Clean.size());
+  for (size_t I = 0; I != Cold.Results.size(); ++I) {
+    ASSERT_TRUE(Cold.Results[I].Success)
+        << Cold.Results[I].Name << ": " << Cold.Results[I].DiagnosticsText;
+    EXPECT_EQ(Cold.Results[I].Output, Clean[I]) << Cold.Results[I].Name;
+  }
+  EXPECT_EQ(Cold.Cache.Misses, Units.size());
+  EXPECT_EQ(Cold.Cache.DiskDegraded, Units.size());
+  EXPECT_GT(fault::trips(fault::Point::CacheDiskWrite), 0u);
+
+  // Warm run: the memory tier serves everything — the degraded disk tier
+  // is invisible to correctness.
+  BatchResult Warm = E.expandSources(Units);
+  EXPECT_EQ(Warm.Cache.Hits, Units.size());
+  for (size_t I = 0; I != Warm.Results.size(); ++I)
+    EXPECT_EQ(Warm.Results[I].Output, Clean[I]) << Warm.Results[I].Name;
+
+  writeChaosMetrics("chaos_disk_write.json",
+                    "{\"schedule\":\"cache.disk_write:every=2\",\"cold\":" +
+                        Cold.metricsJson() + ",\"warm\":" +
+                        Warm.metricsJson() + ",\"faults\":" +
+                        fault::statsJson() + "}");
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: seeded-random faults at every point
+//===----------------------------------------------------------------------===//
+
+TEST(Chaos, SeededRandomScheduleIsDifferentiallyClean) {
+  std::vector<SourceUnit> Units = corpus();
+  std::vector<std::string> Clean = cleanOutputs(Units);
+  uint64_t Seed = chaosSeed();
+
+  // Every point that can fire inside a batch, all probabilistic, all
+  // seeded (derived seeds so points draw independent streams). Cache
+  // faults must never surface (retry/degrade); interp.alloc and
+  // batch.unit_start produce structured failures.
+  std::string Schedule =
+      "cache.disk_read:p=0.2,seed=" + std::to_string(Seed) +
+      ";cache.disk_write:p=0.2,seed=" + std::to_string(Seed + 1) +
+      ";interp.alloc:p=0.05,seed=" + std::to_string(Seed + 2) +
+      ";batch.unit_start:p=0.1,seed=" + std::to_string(Seed + 3);
+
+  TempDir TD;
+  Engine::Options Opts;
+  Opts.EnableExpansionCache = true;
+  Opts.ExpansionCacheDir = TD.Path;
+  Engine E(Opts);
+  ASSERT_TRUE(E.expandSource("lib.c", CorpusLibrary).Success);
+
+  fault::ScopedSchedule S(Schedule);
+  ASSERT_TRUE(S.Ok) << S.Error;
+
+  // Default thread count on purpose: the invariant must hold under real
+  // parallel scheduling, not just single-threaded replays.
+  BatchResult BR = E.expandSources(Units);
+  size_t Identical = 0, StructuredErrors = 0;
+  checkDifferential(BR, Clean, Identical, StructuredErrors);
+  EXPECT_EQ(Identical + StructuredErrors, Units.size());
+  // Every unit is accounted exactly once, fault storm or not.
+  EXPECT_EQ(BR.Cache.Hits + BR.Cache.Misses + BR.Cache.Uncacheable,
+            Units.size());
+  EXPECT_EQ(BR.UnitsFailed, StructuredErrors);
+
+  writeChaosMetrics(
+      "chaos_differential_seed" + std::to_string(Seed) + ".json",
+      "{\"seed\":" + std::to_string(Seed) + ",\"schedule\":\"" + Schedule +
+          "\",\"identical\":" + std::to_string(Identical) +
+          ",\"structured_errors\":" + std::to_string(StructuredErrors) +
+          ",\"batch\":" + BR.metricsJson() + ",\"faults\":" +
+          fault::statsJson() + "}");
+}
+
+TEST(Chaos, SameSeedSameSingleThreadedOutcome) {
+  // Single-threaded, the trip sequence is a pure function of the
+  // schedule, so two runs under the same seed must agree on which units
+  // fail AND on every byte of output and diagnostics.
+  std::vector<SourceUnit> Units = corpus();
+  uint64_t Seed = chaosSeed();
+  std::string Schedule =
+      "interp.alloc:p=0.05,seed=" + std::to_string(Seed) +
+      ";batch.unit_start:p=0.1,seed=" + std::to_string(Seed + 1);
+
+  auto Run = [&] {
+    Engine E;
+    EXPECT_TRUE(E.expandSource("lib.c", CorpusLibrary).Success);
+    fault::ScopedSchedule S(Schedule);
+    EXPECT_TRUE(S.Ok) << S.Error;
+    BatchOptions BO;
+    BO.ThreadCount = 1;
+    return E.expandSources(Units, BO);
+  };
+  BatchResult A = Run();
+  BatchResult B = Run();
+  ASSERT_EQ(A.Results.size(), B.Results.size());
+  size_t Failures = 0;
+  for (size_t I = 0; I != A.Results.size(); ++I) {
+    EXPECT_EQ(A.Results[I].Success, B.Results[I].Success)
+        << A.Results[I].Name;
+    EXPECT_EQ(A.Results[I].Output, B.Results[I].Output)
+        << A.Results[I].Name;
+    EXPECT_EQ(A.Results[I].DiagnosticsText, B.Results[I].DiagnosticsText)
+        << A.Results[I].Name;
+    if (!A.Results[I].Success)
+      ++Failures;
+  }
+  EXPECT_EQ(A.QuarantinedUnits, B.QuarantinedUnits);
+  // With p=0.1 over 64 batch.unit_start draws, a zero-failure run would
+  // mean the schedule never armed; guard against silent no-ops.
+  EXPECT_GT(Failures, 0u);
+}
+
+} // namespace

@@ -1,0 +1,43 @@
+#!/bin/sh
+# check_chaos_metrics.sh <metrics-dir>
+#
+# Consistency gate for the nightly chaos job: scans every metrics JSON the
+# chaos tier dropped (MSQ_CHAOS_METRICS_DIR) and fails when a file reports
+# disk-tier degradation (disk_degraded > 0) without a single recorded
+# cache.disk_write injection trip. That combination means the cache
+# degraded for a REAL reason while only injected faults were supposed to
+# be in play — exactly the silent-environmental-flake signal the nightly
+# exists to catch.
+#
+# Plain grep/awk over the known JSON shapes (CacheStats::toJson and
+# fault::statsJson) — CI runners are not guaranteed to have jq.
+set -eu
+
+DIR=${1:?usage: check_chaos_metrics.sh <metrics-dir>}
+
+if [ ! -d "$DIR" ]; then
+    echo "check_chaos_metrics: no metrics directory at $DIR" >&2
+    exit 1
+fi
+
+FILES=$(find "$DIR" -name '*.json' | sort)
+if [ -z "$FILES" ]; then
+    echo "check_chaos_metrics: no metrics JSON found in $DIR" >&2
+    exit 1
+fi
+
+STATUS=0
+for F in $FILES; do
+    # Largest disk_degraded count reported anywhere in the file.
+    DEGRADED=$(grep -o '"disk_degraded":[0-9]*' "$F" | awk -F: '
+        {if ($2 > max) max = $2} END {print max + 0}')
+    # cache.disk_write trips from the fault stats object.
+    TRIPS=$(grep -o '"cache.disk_write":{"evaluations":[0-9]*,"trips":[0-9]*' \
+        "$F" | awk -F'"trips":' '{if ($2 > max) max = $2} END {print max + 0}')
+    echo "check_chaos_metrics: $(basename "$F"): disk_degraded=$DEGRADED cache.disk_write trips=$TRIPS"
+    if [ "$DEGRADED" -gt 0 ] && [ "$TRIPS" -eq 0 ]; then
+        echo "check_chaos_metrics: FAIL: $F reports disk_degraded=$DEGRADED with no injected cache.disk_write trips (real disk failure during a chaos run?)" >&2
+        STATUS=1
+    fi
+done
+exit $STATUS

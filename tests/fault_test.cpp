@@ -1,0 +1,592 @@
+//===----------------------------------------------------------------------===//
+// Fault-injection tests (label: chaos): the schedule grammar and trigger
+// semantics of support/Fault.h, and the graceful-degradation contract of
+// every injection point — the cache retries and degrades to memory-only,
+// the interpreter aborts the unit with an attributed diagnostic, the
+// batch driver quarantines and continues, the server converts worker
+// crashes into structured per-request errors and retries spawns.
+//
+// Everything here is DETERMINISTIC: counter schedules trip fixed
+// evaluation indices, and p= schedules are seeded, so each test's trip
+// sequence (and therefore its diagnostics) is reproducible bit-for-bit.
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+#include "cache/ExpansionCache.h"
+#include "driver/BatchDriver.h"
+#include "server/Server.h"
+#include "support/Fault.h"
+#include "support/Socket.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace msq;
+
+namespace {
+
+bool contains(const std::string &H, const std::string &N) {
+  return H.find(N) != std::string::npos;
+}
+
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Buf[] = "/tmp/msq-fault-test-XXXXXX";
+    Path = ::mkdtemp(Buf);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Schedule grammar and trigger semantics
+//===----------------------------------------------------------------------===//
+
+TEST(FaultSchedule, DisarmedByDefaultAndAfterReset) {
+  fault::reset();
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_FALSE(fault::shouldFail(fault::Point::CacheDiskWrite));
+  // Disarmed evaluations are free: not even counted.
+  EXPECT_EQ(fault::evaluations(fault::Point::CacheDiskWrite), 0u);
+}
+
+TEST(FaultSchedule, MalformedSpecsArmNothing) {
+  const char *Bad[] = {
+      "cache.disk_write",                  // no ':'
+      "bogus.point:every=2",               // unknown point
+      "cache.disk_write:every=0",          // every must be >= 1
+      "cache.disk_write:p=0",              // probability out of (0,1]
+      "cache.disk_write:p=1.5",            // probability out of (0,1]
+      "cache.disk_write:times=3",          // no trigger at all
+      "cache.disk_write:every=2,p=0.5",    // two triggers
+      "cache.disk_write:every=2,seed=7",   // seed needs p=
+      "cache.disk_write:every=2;cache.disk_write:every=3", // duplicate
+      "cache.disk_write:nonsense=1",       // unknown parameter
+      "cache.disk_write:every",            // parameter without '='
+  };
+  for (const char *S : Bad) {
+    std::string Err;
+    EXPECT_FALSE(fault::configure(S, &Err)) << S;
+    EXPECT_FALSE(Err.empty()) << S;
+    EXPECT_FALSE(fault::enabled()) << S;
+  }
+}
+
+TEST(FaultSchedule, EmptyScheduleDisarms) {
+  fault::ScopedSchedule On("batch.unit_start:every=1");
+  ASSERT_TRUE(On.Ok) << On.Error;
+  EXPECT_TRUE(fault::enabled());
+  EXPECT_TRUE(fault::configure(""));
+  EXPECT_FALSE(fault::enabled());
+}
+
+TEST(FaultSchedule, EveryTripsExactIndices) {
+  fault::ScopedSchedule S("batch.unit_start:every=3");
+  ASSERT_TRUE(S.Ok) << S.Error;
+  std::vector<int> Tripped;
+  for (int I = 1; I <= 9; ++I)
+    if (fault::shouldFail(fault::Point::BatchUnitStart))
+      Tripped.push_back(I);
+  EXPECT_EQ(Tripped, (std::vector<int>{3, 6, 9}));
+  EXPECT_EQ(fault::evaluations(fault::Point::BatchUnitStart), 9u);
+  EXPECT_EQ(fault::trips(fault::Point::BatchUnitStart), 3u);
+}
+
+TEST(FaultSchedule, AfterSkipsAndTimesCaps) {
+  fault::ScopedSchedule S("batch.unit_start:every=1,after=2,times=3");
+  ASSERT_TRUE(S.Ok) << S.Error;
+  std::vector<int> Tripped;
+  for (int I = 1; I <= 10; ++I)
+    if (fault::shouldFail(fault::Point::BatchUnitStart))
+      Tripped.push_back(I);
+  // Evaluations 1-2 skipped (after=2), then every evaluation trips until
+  // the times=3 budget is spent.
+  EXPECT_EQ(Tripped, (std::vector<int>{3, 4, 5}));
+}
+
+TEST(FaultSchedule, ProbabilityIsSeededAndReproducible) {
+  auto Draw = [](const std::string &Schedule) {
+    fault::ScopedSchedule S(Schedule);
+    EXPECT_TRUE(S.Ok) << S.Error;
+    std::vector<bool> Seq;
+    for (int I = 0; I != 200; ++I)
+      Seq.push_back(fault::shouldFail(fault::Point::InterpAlloc));
+    return Seq;
+  };
+  std::vector<bool> A = Draw("interp.alloc:p=0.3,seed=42");
+  std::vector<bool> B = Draw("interp.alloc:p=0.3,seed=42");
+  std::vector<bool> C = Draw("interp.alloc:p=0.3,seed=43");
+  EXPECT_EQ(A, B); // same seed -> identical trip sequence
+  EXPECT_NE(A, C); // different seed -> different sequence
+  // p=1 trips every evaluation.
+  std::vector<bool> All = Draw("interp.alloc:p=1");
+  EXPECT_EQ(size_t(std::count(All.begin(), All.end(), true)), All.size());
+}
+
+TEST(FaultSchedule, IndependentPointsDoNotInterfere) {
+  fault::ScopedSchedule S("cache.disk_read:every=1;batch.unit_start:every=2");
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_TRUE(fault::shouldFail(fault::Point::CacheDiskRead));
+  // An unscheduled point never trips, but its evaluations are counted
+  // while the layer is armed (coverage observability).
+  EXPECT_FALSE(fault::shouldFail(fault::Point::ServerAccept));
+  EXPECT_EQ(fault::evaluations(fault::Point::ServerAccept), 1u);
+  EXPECT_EQ(fault::trips(fault::Point::ServerAccept), 0u);
+}
+
+TEST(FaultSchedule, EnvironmentConfiguration) {
+  ::setenv("MSQ_FAULT_SCHEDULE", "batch.unit_start:every=5", 1);
+  std::string Err;
+  EXPECT_TRUE(fault::configureFromEnvironment(&Err)) << Err;
+  EXPECT_TRUE(fault::enabled());
+  fault::reset();
+  ::setenv("MSQ_FAULT_SCHEDULE", "not a schedule", 1);
+  EXPECT_FALSE(fault::configureFromEnvironment(&Err));
+  EXPECT_FALSE(fault::enabled());
+  ::unsetenv("MSQ_FAULT_SCHEDULE");
+  EXPECT_TRUE(fault::configureFromEnvironment(&Err)) << Err;
+  EXPECT_FALSE(fault::enabled()); // unset leaves the layer disarmed
+}
+
+TEST(FaultSchedule, StatsJsonShape) {
+  fault::ScopedSchedule S("cache.disk_write:every=2");
+  ASSERT_TRUE(S.Ok) << S.Error;
+  (void)fault::shouldFail(fault::Point::CacheDiskWrite);
+  (void)fault::shouldFail(fault::Point::CacheDiskWrite);
+  std::string J = fault::statsJson();
+  EXPECT_TRUE(contains(J, "\"enabled\":true")) << J;
+  EXPECT_TRUE(contains(J, "\"schedule\":\"cache.disk_write:every=2\"")) << J;
+  EXPECT_TRUE(contains(J, "\"cache.disk_write\":{\"evaluations\":2,\"trips\":1}"))
+      << J;
+  // Every point appears, even quiet ones.
+  EXPECT_TRUE(contains(J, "\"server.accept\"")) << J;
+  fault::reset();
+  EXPECT_TRUE(contains(fault::statsJson(), "\"enabled\":false"));
+}
+
+//===----------------------------------------------------------------------===//
+// Cache degradation: retry once with backoff, then memory-only
+//===----------------------------------------------------------------------===//
+
+CachedExpansion entryWithOutput(const std::string &Output) {
+  CachedExpansion E;
+  E.Success = true;
+  E.Output = Output;
+  return E;
+}
+
+TEST(FaultCache, DiskReadFaultRetriesThenDegradesToMiss) {
+  TempDir TD;
+  CacheStats Stats;
+  {
+    ExpansionCache Writer(TD.Path);
+    Writer.store("k", entryWithOutput("int a;\n"), Stats);
+  }
+  ASSERT_EQ(Stats.DiskWriteErrors, 0u);
+
+  ExpansionCache C(TD.Path); // empty memory tier: lookups go to disk
+  CachedExpansion Out;
+  {
+    // Both the attempt and its retry trip: the lookup degrades to a miss
+    // and counts ONE read error (per operation, not per attempt).
+    fault::ScopedSchedule S("cache.disk_read:every=1");
+    ASSERT_TRUE(S.Ok) << S.Error;
+    CacheStats LS;
+    EXPECT_FALSE(C.lookup("k", Out, LS));
+    EXPECT_EQ(LS.DiskReadErrors, 1u);
+    EXPECT_EQ(fault::evaluations(fault::Point::CacheDiskRead), 2u);
+  }
+  // Disarmed, the same entry is perfectly readable — nothing was harmed.
+  CacheStats LS2;
+  EXPECT_TRUE(C.lookup("k", Out, LS2));
+  EXPECT_EQ(Out.Output, "int a;\n");
+  EXPECT_EQ(LS2.DiskReadErrors, 0u);
+}
+
+TEST(FaultCache, DiskReadSingleFaultIsAbsorbedByRetry) {
+  TempDir TD;
+  CacheStats Stats;
+  {
+    ExpansionCache Writer(TD.Path);
+    Writer.store("k", entryWithOutput("int b;\n"), Stats);
+  }
+  ExpansionCache C(TD.Path);
+  fault::ScopedSchedule S("cache.disk_read:every=1,times=1");
+  ASSERT_TRUE(S.Ok) << S.Error;
+  CachedExpansion Out;
+  CacheStats LS;
+  // First attempt trips, the retry succeeds: a HIT, no read error — the
+  // transient fault is invisible to the caller.
+  EXPECT_TRUE(C.lookup("k", Out, LS));
+  EXPECT_EQ(Out.Output, "int b;\n");
+  EXPECT_EQ(LS.DiskReadErrors, 0u);
+  EXPECT_EQ(LS.Hits, 1u);
+}
+
+TEST(FaultCache, TornDiskWriteLeavesOldEntryIntact) {
+  // The regression test for atomic publish: a write dying MID-ENTRY
+  // (injected at cache.disk_write between open and rename) must leave
+  // the previously published entry byte-identical — the torn bytes live
+  // in a temp file no reader ever opens.
+  TempDir TD;
+  const std::string Key = "shared-key";
+  CacheStats Stats;
+  {
+    ExpansionCache Writer(TD.Path);
+    Writer.store(Key, entryWithOutput("OLD CONTENT\n"), Stats);
+  }
+  {
+    ExpansionCache Clobberer(TD.Path);
+    // every=2 with three stages per attempt (open, payload, rename):
+    // attempt 1 passes open (eval 1) and dies mid-payload (eval 2);
+    // the retry dies the same way (evals 3, 4). Store degrades.
+    fault::ScopedSchedule S("cache.disk_write:every=2");
+    ASSERT_TRUE(S.Ok) << S.Error;
+    CacheStats WS;
+    Clobberer.store(Key, entryWithOutput("NEW CONTENT\n"), WS);
+    EXPECT_EQ(WS.DiskWriteErrors, 2u); // per-attempt accounting
+    EXPECT_EQ(WS.DiskDegraded, 1u);
+    // The degrading cache still serves the new value from memory.
+    CachedExpansion FromMem;
+    CacheStats MS;
+    ASSERT_TRUE(Clobberer.lookup(Key, FromMem, MS));
+    EXPECT_EQ(FromMem.Output, "NEW CONTENT\n");
+  }
+  // A fresh reader of the disk tier sees the OLD entry, not torn bytes.
+  ExpansionCache Reader(TD.Path);
+  CachedExpansion Out;
+  CacheStats RS;
+  ASSERT_TRUE(Reader.lookup(Key, Out, RS));
+  EXPECT_EQ(Out.Output, "OLD CONTENT\n");
+  EXPECT_EQ(RS.DiskReadErrors, 0u);
+}
+
+TEST(FaultCache, TornFirstWriteLeavesNoEntry) {
+  // The "or none" half of old-entry-or-none: when the very first publish
+  // of a key is torn, readers see a plain miss — never a partial entry.
+  TempDir TD;
+  {
+    ExpansionCache C(TD.Path);
+    fault::ScopedSchedule S("cache.disk_write:every=2");
+    ASSERT_TRUE(S.Ok) << S.Error;
+    CacheStats WS;
+    C.store("fresh-key", entryWithOutput("TORN\n"), WS);
+    EXPECT_EQ(WS.DiskDegraded, 1u);
+  }
+  ExpansionCache Reader(TD.Path);
+  CachedExpansion Out;
+  CacheStats RS;
+  EXPECT_FALSE(Reader.lookup("fresh-key", Out, RS));
+  EXPECT_EQ(RS.DiskReadErrors, 0u); // absent, not corrupt
+}
+
+TEST(FaultCache, OpenFailureRetrySucceeds) {
+  // A single trip at the open stage (times=1) fails the first attempt
+  // without creating anything; the retry publishes normally.
+  TempDir TD;
+  ExpansionCache C(TD.Path);
+  fault::ScopedSchedule S("cache.disk_write:every=1,times=1");
+  ASSERT_TRUE(S.Ok) << S.Error;
+  CacheStats WS;
+  C.store("k2", entryWithOutput("int c;\n"), WS);
+  EXPECT_EQ(WS.DiskWriteErrors, 1u);
+  EXPECT_EQ(WS.DiskDegraded, 0u);
+  fault::reset();
+  ExpansionCache Reader(TD.Path);
+  CachedExpansion Out;
+  CacheStats RS;
+  ASSERT_TRUE(Reader.lookup("k2", Out, RS));
+  EXPECT_EQ(Out.Output, "int c;\n");
+}
+
+TEST(FaultCache, DegradedStatsAppearInJson) {
+  TempDir TD;
+  ExpansionCache C(TD.Path);
+  fault::ScopedSchedule S("cache.disk_write:every=1");
+  ASSERT_TRUE(S.Ok) << S.Error;
+  CacheStats WS;
+  C.store("k3", entryWithOutput("int d;\n"), WS);
+  EXPECT_TRUE(contains(WS.toJson(), "\"disk_degraded\":1")) << WS.toJson();
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter: interp.alloc aborts the unit with a clean diagnostic
+//===----------------------------------------------------------------------===//
+
+// A meta program that runs well past the 256-step evaluation cadence of
+// interp.alloc, so an armed every=1 schedule is guaranteed to trip it.
+const char *LoopedMetaSource = R"(
+syntax exp sum_to {| ( ) |}
+{
+    int acc;
+    int i;
+    acc = 0;
+    i = 0;
+    while (i < 500) {
+        acc = acc + i;
+        i = i + 1;
+    }
+    return `($(acc));
+}
+int total = sum_to();
+)";
+
+TEST(FaultInterp, AllocFaultAbortsUnitWithAttributedDiagnostic) {
+  Engine E;
+  std::string FirstDiags;
+  {
+    fault::ScopedSchedule S("interp.alloc:every=1");
+    ASSERT_TRUE(S.Ok) << S.Error;
+    ExpandResult R = E.expandSource("unit.c", LoopedMetaSource);
+    EXPECT_FALSE(R.Success);
+    EXPECT_TRUE(R.FaultInjected);
+    EXPECT_TRUE(contains(R.DiagnosticsText, "interp.alloc"))
+        << R.DiagnosticsText;
+    EXPECT_TRUE(contains(R.DiagnosticsText, "unit.c")) << R.DiagnosticsText;
+    EXPECT_GT(fault::trips(fault::Point::InterpAlloc), 0u);
+    FirstDiags = R.DiagnosticsText;
+  }
+  // Determinism: the same schedule against a fresh engine reproduces the
+  // abort byte-for-byte.
+  {
+    fault::ScopedSchedule S("interp.alloc:every=1");
+    ASSERT_TRUE(S.Ok) << S.Error;
+    Engine E2;
+    ExpandResult R2 = E2.expandSource("unit.c", LoopedMetaSource);
+    EXPECT_EQ(R2.DiagnosticsText, FirstDiags);
+  }
+  // The engine survives the abort: the next (disarmed) unit expands
+  // cleanly in the same session, reusing the macro the first one defined.
+  ExpandResult OK = E.expandSource("unit2.c", "int total2 = sum_to();\n");
+  EXPECT_TRUE(OK.Success) << OK.DiagnosticsText;
+  EXPECT_FALSE(OK.FaultInjected);
+  EXPECT_TRUE(contains(OK.Output, "124750")); // sum 0..499
+}
+
+TEST(FaultInterp, FaultInjectedResultsAreNeverCached) {
+  TempDir TD;
+  Engine::Options Opts;
+  Opts.EnableExpansionCache = true;
+  Opts.ExpansionCacheDir = TD.Path;
+  Engine E(Opts);
+  std::vector<SourceUnit> Units{{"u.c", "int total_u = sum_to();\n"}};
+  ASSERT_TRUE(E.expandSource("lib.c", LoopedMetaSource).Success);
+  {
+    fault::ScopedSchedule S("interp.alloc:every=1");
+    ASSERT_TRUE(S.Ok) << S.Error;
+    BatchResult BR = E.expandSources(Units);
+    ASSERT_EQ(BR.Results.size(), 1u);
+    EXPECT_FALSE(BR.Results[0].Success);
+    EXPECT_TRUE(BR.Results[0].FaultInjected);
+    // Aborted-by-injection results are uncacheable: the failure is a
+    // property of the schedule, not of the unit.
+    EXPECT_EQ(BR.Cache.Misses, 0u);
+    EXPECT_EQ(BR.Cache.Uncacheable, 1u);
+  }
+  // Disarmed, the same unit expands and caches normally — no poisoned
+  // entry was left behind.
+  BatchResult BR2 = E.expandSources(Units);
+  ASSERT_TRUE(BR2.Results[0].Success) << BR2.Results[0].DiagnosticsText;
+  EXPECT_EQ(BR2.Cache.Misses, 1u);
+  BatchResult BR3 = E.expandSources(Units);
+  EXPECT_EQ(BR3.Cache.Hits, 1u);
+  EXPECT_EQ(BR3.Results[0].Output, BR2.Results[0].Output);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch: quarantine-and-continue
+//===----------------------------------------------------------------------===//
+
+const char *BatchLibrary = R"(
+syntax exp tag {| ( $$num::n ) |}
+{
+    return `($n + 100);
+}
+)";
+
+std::vector<SourceUnit> batchUnits(int N) {
+  std::vector<SourceUnit> Units;
+  for (int I = 0; I != N; ++I)
+    Units.push_back({"tu" + std::to_string(I) + ".c",
+                     "int v" + std::to_string(I) + " = tag(" +
+                         std::to_string(I) + ");\n"});
+  return Units;
+}
+
+TEST(FaultBatch, QuarantinedUnitsDoNotStopTheBatch) {
+  Engine E;
+  ASSERT_TRUE(E.expandSource("lib.c", BatchLibrary).Success);
+  fault::ScopedSchedule S("batch.unit_start:every=3");
+  ASSERT_TRUE(S.Ok) << S.Error;
+  BatchOptions BO;
+  BO.ThreadCount = 1; // single-threaded: trip index == unit index
+  BatchResult BR = E.expandSources(batchUnits(8), BO);
+  ASSERT_EQ(BR.Results.size(), 8u);
+  // Evaluations 3 and 6 trip: units #2 and #5 (0-based) are quarantined.
+  std::vector<std::string> ExpectQuarantined{"tu2.c", "tu5.c"};
+  EXPECT_EQ(BR.QuarantinedUnits, ExpectQuarantined);
+  EXPECT_EQ(BR.UnitsFailed, 2u);
+  for (size_t I = 0; I != BR.Results.size(); ++I) {
+    const ExpandResult &R = BR.Results[I];
+    if (I == 2 || I == 5) {
+      EXPECT_FALSE(R.Success);
+      EXPECT_TRUE(R.Quarantined);
+      EXPECT_TRUE(R.FaultInjected);
+      EXPECT_TRUE(contains(R.DiagnosticsText, "quarantined"))
+          << R.DiagnosticsText;
+      EXPECT_TRUE(contains(R.DiagnosticsText, R.Name)) << R.DiagnosticsText;
+    } else {
+      EXPECT_TRUE(R.Success) << R.Name << ": " << R.DiagnosticsText;
+      EXPECT_FALSE(R.Quarantined);
+    }
+  }
+  std::string J = BR.metricsJson();
+  EXPECT_TRUE(contains(J, "\"quarantined\":[\"tu2.c\",\"tu5.c\"]")) << J;
+  EXPECT_TRUE(contains(J, "\"quarantined\":true")) << J;
+}
+
+TEST(FaultBatch, QuarantineAccountingWithCache) {
+  TempDir TD;
+  Engine::Options Opts;
+  Opts.EnableExpansionCache = true;
+  Opts.ExpansionCacheDir = TD.Path;
+  Engine E(Opts);
+  ASSERT_TRUE(E.expandSource("lib.c", BatchLibrary).Success);
+  fault::ScopedSchedule S("batch.unit_start:every=4");
+  ASSERT_TRUE(S.Ok) << S.Error;
+  BatchOptions BO;
+  BO.ThreadCount = 1;
+  BatchResult BR = E.expandSources(batchUnits(8), BO);
+  // Every unit lands in exactly one accounting bucket, quarantined ones
+  // as uncacheable (their failure is schedule-dependent).
+  EXPECT_EQ(BR.Cache.Hits + BR.Cache.Misses + BR.Cache.Uncacheable, 8u);
+  EXPECT_EQ(BR.Cache.Uncacheable, 2u);
+  EXPECT_EQ(BR.QuarantinedUnits.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Server: spawn retries, crash conversion, fault counters in metrics
+//===----------------------------------------------------------------------===//
+
+ServerOptions oneWorkerOptions() {
+  ServerOptions SO;
+  SO.Workers = 1;
+  return SO;
+}
+
+TEST(FaultServer, WorkerCrashBecomesStructuredError) {
+  Server S(oneWorkerOptions());
+  ASSERT_TRUE(S.reloadLibrary({{"lib.c", BatchLibrary}}, false).Success);
+  fault::ScopedSchedule Sched("server.worker_crash:every=1,times=1");
+  ASSERT_TRUE(Sched.Ok) << Sched.Error;
+  ExpandResult R;
+  // The synchronous wrapper waits on the completion: it returning at all
+  // proves the crash still answered the request (never dropped).
+  ASSERT_EQ(S.expand({"u.c", "int v = tag(1);\n"}, {}, R),
+            Server::Admission::Accepted);
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(R.FaultInjected);
+  EXPECT_TRUE(contains(R.DiagnosticsText, "crashed")) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.DiagnosticsText, "u.c")) << R.DiagnosticsText;
+  // The worker recovers: the next request rebuilds the engine and
+  // succeeds.
+  ExpandResult R2;
+  ASSERT_EQ(S.expand({"u2.c", "int w = tag(2);\n"}, {}, R2),
+            Server::Admission::Accepted);
+  EXPECT_TRUE(R2.Success) << R2.DiagnosticsText;
+  EXPECT_TRUE(contains(R2.Output, "2 + 100")) << R2.Output;
+}
+
+TEST(FaultServer, SpawnFaultsExhaustRetriesThenErrorThenRecover) {
+  Server S(oneWorkerOptions());
+  ASSERT_TRUE(S.reloadLibrary({{"lib.c", BatchLibrary}}, false).Success);
+  // 4 trips == exactly the spawn retry budget: the first request burns
+  // them all and fails; the second finds the point quiet and succeeds.
+  fault::ScopedSchedule Sched("server.worker_spawn:every=1,times=4");
+  ASSERT_TRUE(Sched.Ok) << Sched.Error;
+  ExpandResult R;
+  ASSERT_EQ(S.expand({"u.c", "int v = tag(3);\n"}, {}, R),
+            Server::Admission::Accepted);
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(R.FaultInjected);
+  EXPECT_TRUE(contains(R.DiagnosticsText, "could not spawn"))
+      << R.DiagnosticsText;
+  EXPECT_EQ(fault::trips(fault::Point::ServerWorkerSpawn), 4u);
+  ExpandResult R2;
+  ASSERT_EQ(S.expand({"u2.c", "int w = tag(4);\n"}, {}, R2),
+            Server::Admission::Accepted);
+  EXPECT_TRUE(R2.Success) << R2.DiagnosticsText;
+}
+
+TEST(FaultServer, TransientSpawnFaultIsAbsorbedByBackoff) {
+  Server S(oneWorkerOptions());
+  ASSERT_TRUE(S.reloadLibrary({{"lib.c", BatchLibrary}}, false).Success);
+  // Two trips, four attempts: the third attempt spawns the engine and
+  // the request never sees the turbulence.
+  fault::ScopedSchedule Sched("server.worker_spawn:every=1,times=2");
+  ASSERT_TRUE(Sched.Ok) << Sched.Error;
+  ExpandResult R;
+  ASSERT_EQ(S.expand({"u.c", "int v = tag(5);\n"}, {}, R),
+            Server::Admission::Accepted);
+  EXPECT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_TRUE(contains(R.Output, "5 + 100")) << R.Output;
+}
+
+TEST(FaultServer, MetricsReportPerPointCounters) {
+  Server S(oneWorkerOptions());
+  ASSERT_TRUE(S.reloadLibrary({{"lib.c", BatchLibrary}}, false).Success);
+  {
+    fault::ScopedSchedule Sched("server.worker_crash:every=1,times=1");
+    ASSERT_TRUE(Sched.Ok) << Sched.Error;
+    ExpandResult R;
+    ASSERT_EQ(S.expand({"u.c", "int v = tag(6);\n"}, {}, R),
+              Server::Admission::Accepted);
+    std::string J = S.metricsJson();
+    EXPECT_TRUE(contains(J, "\"faults\":{\"enabled\":true")) << J;
+    EXPECT_TRUE(contains(
+        J, "\"server.worker_crash\":{\"evaluations\":1,\"trips\":1}"))
+        << J;
+  }
+  // Disarmed, the section stays present with enabled:false — consumers
+  // never need conditional parsing.
+  EXPECT_TRUE(contains(S.metricsJson(), "\"faults\":{\"enabled\":false"));
+}
+
+TEST(FaultServer, AcceptFaultIsTransientAndRetriable) {
+  TempDir TD;
+  std::string SockPath = TD.Path + "/s.sock";
+  UnixListener L;
+  std::string Err;
+  ASSERT_TRUE(L.listenOn(SockPath, &Err)) << Err;
+  // The client connect completes against the listen backlog even before
+  // accept runs, so a single-threaded connect-then-accept is safe.
+  int Client = connectUnix(SockPath, &Err);
+  ASSERT_GE(Client, 0) << Err;
+  fault::ScopedSchedule Sched("server.accept:every=1,times=1");
+  ASSERT_TRUE(Sched.Ok) << Sched.Error;
+  bool Woken = false, Transient = false;
+  // First accept trips: transient failure, the connection stays queued.
+  EXPECT_EQ(L.acceptClient(-1, Woken, &Transient), -1);
+  EXPECT_TRUE(Transient);
+  EXPECT_FALSE(Woken);
+  // The retry picks the same connection up — nothing was lost.
+  int Conn = L.acceptClient(-1, Woken, &Transient);
+  EXPECT_GE(Conn, 0);
+  EXPECT_FALSE(Transient);
+  if (Conn >= 0)
+    ::close(Conn);
+  ::close(Client);
+}
+
+} // namespace

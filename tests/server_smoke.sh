@@ -15,7 +15,8 @@ CLIENT=$2
 MSQC=$3
 
 WORK=$(mktemp -d /tmp/msq-smoke-XXXXXX)
-trap 'kill "$DPID" 2>/dev/null; rm -rf "$WORK"' EXIT
+DPID2=
+trap 'kill "$DPID" "$DPID2" 2>/dev/null; rm -rf "$WORK"' EXIT
 cd "$WORK" || exit 1
 
 fail() {
@@ -187,6 +188,99 @@ wait "$DPID"
 STATUS=$?
 [ "$STATUS" -eq 0 ] || fail "daemon exited $STATUS after SIGTERM"
 [ -S "$SOCK" ] && fail "socket file not unlinked on shutdown"
+
+#--- Drain under active faults: a second daemon with injected accept and
+#    worker-spawn failures (MSQ_FAULT_SCHEDULE) must retry transparently,
+#    answer every in-flight request, and still SIGTERM-drain to exit 0.
+cat lib.c > lib2.c
+cat >> lib2.c <<'EOF'
+
+/* A deliberately slow macro (~100k meta steps) so requests are reliably
+   IN FLIGHT when the SIGTERM lands. */
+syntax exp spin {| ( ) |}
+{
+    int i;
+    i = 0;
+    while (i < 30000) {
+        i = i + 1;
+    }
+    return `($(i));
+}
+EOF
+cat > spinner.c <<'EOF'
+int spun = spin();
+int tail = twice(spun);
+EOF
+"$MSQC" -l lib2.c spinner.c > spin_ref.out 2> spin_ref.err ||
+  fail "msqc failed on spinner.c: $(cat spin_ref.err)"
+
+SOCK2="$WORK/msqd-faults.sock"
+MSQ_FAULT_SCHEDULE="server.accept:every=3;server.worker_spawn:every=2" \
+  "$MSQD" --socket "$SOCK2" -l lib2.c --workers 2 --quiet &
+DPID2=$!
+"$CLIENT" --socket "$SOCK2" --retry-ms 5000 ping > /dev/null ||
+  fail "fault-injected daemon did not come up"
+
+# The status response must surface the armed schedule and its counters.
+"$CLIENT" --socket "$SOCK2" status > status2.json ||
+  fail "status failed on fault-injected daemon"
+grep -q '"faults":{"enabled":true' status2.json ||
+  fail "status lacks the armed fault counters"
+grep -q 'server.worker_spawn' status2.json ||
+  fail "status lacks per-point fault entries"
+
+# Eight concurrent expands through the faulty accept/spawn paths, then
+# SIGTERM while some are still in flight.
+NCHAOS=8
+i=0
+CPIDS=""
+while [ $i -lt $NCHAOS ]; do
+  (
+    "$CLIENT" --socket "$SOCK2" expand spinner.c > "chaos$i.out" \
+      2> "chaos$i.err"
+    echo $? > "chaos$i.code"
+  ) &
+  CPIDS="$CPIDS $!"
+  i=$((i + 1))
+done
+sleep 0.1
+kill -TERM "$DPID2"
+
+for P in $CPIDS; do
+  wait "$P"
+done
+WAITED=0
+while kill -0 "$DPID2" 2>/dev/null; do
+  [ $WAITED -ge 100 ] && fail "fault-injected daemon did not exit within 10s"
+  sleep 0.1
+  WAITED=$((WAITED + 1))
+done
+wait "$DPID2"
+STATUS2=$?
+[ "$STATUS2" -eq 0 ] || fail "fault-injected daemon exited $STATUS2"
+[ -S "$SOCK2" ] && fail "fault socket file not unlinked on shutdown"
+
+# Every request was ANSWERED: accepted ones byte-identical to the CLI
+# (transient faults retried out of sight), late ones with a structured
+# shutting_down rejection (exit 3). A dropped connection (exit 2) or a
+# missing answer fails.
+GOT_ANSWER=0
+i=0
+while [ $i -lt $NCHAOS ]; do
+  [ -s "chaos$i.code" ] || fail "client $i never finished"
+  CODE=$(cat "chaos$i.code")
+  case "$CODE" in
+    0)
+      cmp -s spin_ref.out "chaos$i.out" ||
+        fail "chaos client $i output differs from one-shot msqc"
+      GOT_ANSWER=1
+      ;;
+    3) ;; # structured shutting_down rejection — an answer, not a drop
+    *) fail "chaos client $i exited $CODE: $(cat "chaos$i.err")" ;;
+  esac
+  i=$((i + 1))
+done
+[ "$GOT_ANSWER" -eq 1 ] || fail "no chaos client got a real expansion"
 
 echo "PASS"
 exit 0

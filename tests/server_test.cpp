@@ -577,7 +577,11 @@ TEST(CacheDiskErrors, WriteFailureCounted) {
   E.Output = "int x;\n";
   CacheStats Stats;
   C.store("k1", E, Stats);
-  EXPECT_EQ(Stats.DiskWriteErrors, 1u);
+  // DiskWriteErrors counts ATTEMPTS: the store retries once with backoff
+  // before degrading, so a persistently broken tier counts two failed
+  // attempts and one degradation.
+  EXPECT_EQ(Stats.DiskWriteErrors, 2u);
+  EXPECT_EQ(Stats.DiskDegraded, 1u);
   // The memory tier still works: the entry is readable back.
   CachedExpansion Out;
   EXPECT_TRUE(C.lookup("k1", Out, Stats));

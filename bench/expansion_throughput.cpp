@@ -20,8 +20,11 @@
 #include "charmacro/CharMacro.h"
 #include "tokmacro/TokenMacro.h"
 #include "driver/BatchDriver.h"
+#include "driver/Incremental.h"
 #include "server/Server.h"
 #include "support/Fault.h"
+
+#include "edit_fuzz.h"
 
 #include <benchmark/benchmark.h>
 
@@ -31,6 +34,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -416,6 +420,76 @@ int runProvenanceComparison() {
   return 0;
 }
 
+// --incremental: the acceptance measurement for incremental sub-unit
+// re-expansion. The 8-macro 64x200 edit-fuzz stress corpus runs three
+// ways through one IncrementalDriver — cold (first contact), warm-clean
+// (identical reload: all clean replays), warm-dirty (one macro body
+// edited: only its invokers re-expand) — and the dirty pass is
+// byte-compared against a from-scratch engine. Reports all three times
+// plus path counts as JSON. Target: dirty <= 1/10 cold
+// (check_incremental_metrics.sh gates at 0.5x).
+int runIncrementalComparison() {
+  unsigned Seed = msq::editfuzz::seedFromEnv("MSQ_INCR_SEED", 42);
+  std::mt19937 Rng(Seed);
+  msq::editfuzz::Corpus C = msq::editfuzz::makeCorpus(Rng, 8, 64, 200);
+
+  using Clock = std::chrono::steady_clock;
+  msq::IncrementalOptions IO;
+  msq::IncrementalDriver D(IO);
+  auto timedRun = [&](msq::IncrementalResult &R) {
+    D.setLibrary(C.library());
+    std::vector<msq::SourceUnit> Units = C.units();
+    Clock::time_point T0 = Clock::now();
+    R = D.run(Units);
+    return std::chrono::duration<double, std::milli>(Clock::now() - T0)
+        .count();
+  };
+
+  msq::IncrementalResult Cold, Clean, Dirty;
+  double ColdMs = timedRun(Cold);
+  double CleanMs = timedRun(Clean);
+  // One macro body edit: the canonical warm-dirty workload.
+  C.BodyConst[0] = C.BodyConst[0] + 1;
+  double DirtyMs = timedRun(Dirty);
+
+  if (Cold.UnitsFailed || Clean.UnitsFailed || Dirty.UnitsFailed ||
+      Clean.CleanReplays != Clean.Results.size()) {
+    std::fprintf(stderr, "error: incremental comparison run failed\n");
+    return 1;
+  }
+
+  // The dirty pass must be byte-identical to a from-scratch expansion of
+  // the edited library (the full differential lives in the incremental
+  // test tier; this is the keep-the-bench-honest version).
+  size_t Mismatches = 0;
+  {
+    msq::Engine Ref(IO.EngineOpts);
+    for (const msq::SourceUnit &L : C.library())
+      Ref.expandUnrecorded(L.Name, L.Source);
+    msq::Engine::SessionCheckpoint CP = Ref.checkpoint();
+    std::vector<msq::SourceUnit> Units = C.units();
+    for (size_t I = 0; I != Units.size(); ++I) {
+      Ref.restoreCheckpoint(CP);
+      msq::ExpandResult Want =
+          Ref.expandUnrecorded(Units[I].Name, Units[I].Source);
+      if (Dirty.Results[I].Output != Want.Output ||
+          Dirty.Results[I].Success != Want.Success)
+        ++Mismatches;
+    }
+  }
+
+  std::printf(
+      "{\"corpus\":\"8-macro 64x200\",\"seed\":%u,\"cold_ms\":%.3f,"
+      "\"warm_clean_ms\":%.3f,\"warm_dirty_ms\":%.3f,"
+      "\"dirty_over_cold\":%.4f,\"diff_mismatches\":%zu,"
+      "\"cold\":%s,\"warm_clean\":%s,\"warm_dirty\":%s}\n",
+      Seed, ColdMs, CleanMs, DirtyMs,
+      ColdMs > 0 ? DirtyMs / ColdMs : 0.0, Mismatches,
+      Cold.metricsJson().c_str(), Clean.metricsJson().c_str(),
+      Dirty.metricsJson().c_str());
+  return Mismatches == 0 ? 0 : 1;
+}
+
 // --server: drive the in-process expansion server the way msqd does —
 // C concurrent client threads firing synchronous requests over the
 // bounded scheduler — and report sustained throughput plus the server's
@@ -496,6 +570,8 @@ int main(int argc, char **argv) {
       return runChaosComparison();
     if (std::strcmp(argv[I], "--server") == 0)
       return runServerThroughput();
+    if (std::strcmp(argv[I], "--incremental") == 0)
+      return runIncrementalComparison();
     if (std::strcmp(argv[I], "--provenance") == 0)
       return runProvenanceComparison();
   }

@@ -68,6 +68,19 @@ void Engine::setUnitLimits(size_t MaxMetaSteps, unsigned TimeoutMillis) {
 
 ExpandResult Engine::expandSourceImpl(std::string Name, std::string Source,
                                       bool EmitOutput, bool Record) {
+  return expandSourceHooked(std::move(Name), std::move(Source), EmitOutput,
+                            Record, ReexpandHooks());
+}
+
+ExpandResult Engine::reexpand(std::string Name, std::string Source,
+                              const ReexpandHooks &Hooks) {
+  return expandSourceHooked(std::move(Name), std::move(Source),
+                            /*EmitOutput=*/true, /*Record=*/false, Hooks);
+}
+
+ExpandResult Engine::expandSourceHooked(std::string Name, std::string Source,
+                                        bool EmitOutput, bool Record,
+                                        const ReexpandHooks &Hooks) {
   if (Record)
     SessionLog.push_back({{Name, Source}, /*ParseOnly=*/false});
   ExpandResult R;
@@ -84,10 +97,48 @@ ExpandResult Engine::expandSourceImpl(std::string Name, std::string Source,
   // exhausts either is aborted with a diagnostic (naming the unit); the
   // engine itself stays usable for the next unit.
   Interp->beginUnit(Opts.MaxMetaSteps, Opts.UnitTimeoutMillis, R.Name);
+  if (Hooks.Deps)
+    Interp->setDependencyRecorder(Hooks.Deps);
   // The tracker must outlive expansion: DiagnosticsText renders frames
   // from it, and the source map references them.
   ProvenanceTracker Prov;
-  TranslationUnit *TU = parseSourceImpl(std::move(Name), std::move(Source));
+  TranslationUnit *TU;
+  if (Hooks.CachedTree) {
+    // Tree-reuse path: lexing and parsing skipped entirely. The caller
+    // restored the after-parse session state and passed a fresh clone
+    // with invocation definitions remapped to the live registry.
+    TU = Hooks.CachedTree;
+  } else if (Hooks.CachedTokens) {
+    // Token-reuse path: the stream was lexed (diagnostic-free) from
+    // byte-identical source, so its locations still render identically;
+    // no new buffer is registered.
+    Parser::Options POpts;
+    POpts.UseCompiledPatterns = Opts.UseCompiledPatterns;
+    Parser P(*CC, POpts);
+    TU = P.parseTranslationUnitFromTokens(*Hooks.CachedTokens);
+  } else {
+    uint32_t Id = SM.addBuffer(std::move(Name), std::move(Source));
+    Lexer Lex(Id, SM.bufferContents(Id), CC->Interner, CC->Diags);
+    std::vector<Token> Toks = Lex.lexAll();
+    // Cached tokens cannot replay lexer diagnostics, so only a
+    // diagnostic-free stream may be captured for reuse.
+    if (Hooks.TokensOut && CC->Diags.all().size() == FirstDiag)
+      *Hooks.TokensOut = Toks;
+    Parser::Options POpts;
+    POpts.UseCompiledPatterns = Opts.UseCompiledPatterns;
+    Parser P(*CC, POpts);
+    TU = P.parseTranslationUnitFromTokens(std::move(Toks));
+  }
+  if (!Hooks.CachedTree && CC->Diags.all().size() == FirstDiag) {
+    // The lex+parse was diagnostic-free, so re-expanding from the tree
+    // later skips nothing observable. The clone is taken BEFORE
+    // expansion (expansion rewrites trees in place) and the after-parse
+    // state with it (parsing registers macros, typedefs, variable types).
+    if (Hooks.TreeOut)
+      *Hooks.TreeOut = cast<TranslationUnit>(cloneNode(CC->Ast, TU));
+    if (Hooks.AfterParseOut)
+      *Hooks.AfterParseOut = checkpoint();
+  }
   if (CC->Diags.errorCount() == ErrorsBefore) {
     if (Opts.Lint.Enabled) {
       // Lint everything visible to this unit (earlier library units
@@ -102,6 +153,7 @@ ExpandResult Engine::expandSourceImpl(std::string Name, std::string Source,
     Expander::Options EOpts;
     EOpts.MaxExpansionDepth = Opts.MaxExpansionDepth;
     EOpts.CollectProfile = Opts.CollectProfile;
+    EOpts.Deps = Hooks.Deps;
     if (Opts.TrackProvenance)
       EOpts.Prov = &Prov;
     Expander Exp(*CC, *Interp, EOpts);
@@ -123,6 +175,8 @@ ExpandResult Engine::expandSourceImpl(std::string Name, std::string Source,
   // The expander leaves the frame balanced at 0, but an aborted unit must
   // not leak a stale frame onto the next unit's diagnostics.
   CC->Diags.setProvenanceFrame(0);
+  if (Hooks.Deps)
+    Interp->setDependencyRecorder(nullptr);
   R.MacrosDefined = CC->Macros.size();
   R.MetaStepsExecuted = Interp->stepsExecuted() - StepsBefore;
   R.GensymsCreated = Interp->gensymCount() - GensymsBefore;

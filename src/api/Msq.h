@@ -48,10 +48,13 @@
 namespace msq {
 
 class BatchDriver;
+class DependencyRecorder;
 class ExpansionCache;
+class IncrementalDriver;
 class SessionSnapshot;
 struct BatchOptions;
 struct BatchResult;
+struct DefinitionFingerprints;
 
 /// Outcome of one expansion run.
 struct ExpandResult {
@@ -295,6 +298,54 @@ public:
   SessionCheckpoint checkpoint() const;
   void restoreCheckpoint(const SessionCheckpoint &CP);
 
+  /// Per-definition content fingerprints of the current library state —
+  /// the diffable form of stateFingerprint, one digest per macro / meta
+  /// function / meta-global value plus whole-state hashes for the
+  /// parse-steering residue. \p LibraryText is folded into the capture's
+  /// LibraryTextHash (the caller names the sources the library was built
+  /// from). Defined in cache/Fingerprint.cpp; link msq_cache to use it.
+  DefinitionFingerprints
+  definitionFingerprints(const std::vector<std::string> &LibraryText) const;
+
+  /// Injection points for incremental re-expansion (driver/Incremental.h).
+  /// All pointers are optional; a default-constructed ReexpandHooks makes
+  /// reexpand behave exactly like expandUnrecorded.
+  struct ReexpandHooks {
+    /// Skip lexing: parse from this token stream (a copy is taken; the
+    /// parser's placeholder co-routine rewrites tokens in place). Sound
+    /// only if the tokens were lexed from byte-identical source.
+    const std::vector<Token> *CachedTokens = nullptr;
+    /// Skip lexing AND parsing: expand this tree. The caller must pass a
+    /// fresh deep clone (expansion mutates trees in place) with
+    /// invocation definitions remapped to the live registry, and must
+    /// have restored the matching after-parse session state first.
+    TranslationUnit *CachedTree = nullptr;
+    /// Record what the expansion consumed (macros invoked, meta-level
+    /// names resolved) into this recorder.
+    DependencyRecorder *Deps = nullptr;
+    /// Out: the freshly lexed token stream — filled only when lexing ran
+    /// AND produced no diagnostics (cached tokens cannot replay diags).
+    std::vector<Token> *TokensOut = nullptr;
+    /// Out: a pristine deep clone of the parse tree, taken BEFORE
+    /// expansion — filled only when parsing ran and emitted no
+    /// diagnostics (reusing the tree skips the parse, so the parse must
+    /// have nothing to re-report).
+    TranslationUnit **TreeOut = nullptr;
+    /// Out: session state right after the parse (the parse's side
+    /// effects — registered macros, typedefs, recorded variable types —
+    /// must be restored before re-expanding TreeOut). Filled with
+    /// TreeOut.
+    SessionCheckpoint *AfterParseOut = nullptr;
+  };
+
+  /// expandUnrecorded with incremental injection points: the engine's
+  /// re-expansion primitive. Byte-identical to a from-scratch expansion
+  /// of (current session state, \p Source) whenever the hooks' validity
+  /// contracts hold — the edit-fuzzing differential tier
+  /// (tests/incremental_diff_test.cpp) enforces exactly that.
+  ExpandResult reexpand(std::string Name, std::string Source,
+                        const ReexpandHooks &Hooks);
+
   // Advanced access for tests and benchmarks.
   CompilationContext &context() { return *CC; }
   Interpreter &interpreter() { return *Interp; }
@@ -302,6 +353,7 @@ public:
 
 private:
   friend class BatchDriver;
+  friend class IncrementalDriver;
   friend class SessionSnapshot;
 
   /// Shared implementation of expandSource. \p EmitOutput controls whether
@@ -309,6 +361,10 @@ private:
   /// controls whether the source is appended to the session log.
   ExpandResult expandSourceImpl(std::string Name, std::string Source,
                                 bool EmitOutput, bool Record);
+  /// Full implementation underneath expandSourceImpl and reexpand.
+  ExpandResult expandSourceHooked(std::string Name, std::string Source,
+                                  bool EmitOutput, bool Record,
+                                  const ReexpandHooks &Hooks);
   TranslationUnit *parseSourceImpl(std::string Name, std::string Source);
 
   /// One session-log entry: a source fed to this engine, and whether it

@@ -948,6 +948,17 @@ struct MacroInvocation {
 /// immutable); all structural nodes are copied.
 Node *cloneNode(Arena &A, const Node *N);
 
+/// Deep clone with macro-definition remapping: every MacroInvocation's
+/// Def pointer is rewritten through \p Remap. The incremental engine uses
+/// this to re-target a cached parse tree at a rebuilt macro registry —
+/// sound only when the new definition's pattern equals the one the
+/// invocation was parsed under (the caller checks signature fingerprints
+/// first). \p Remap returning null keeps the original pointer.
+using MacroDefRemapFn =
+    const MacroDef *(*)(const MacroDef *, void *Context);
+Node *cloneNodeRemapped(Arena &A, const Node *N, MacroDefRemapFn Remap,
+                        void *Context);
+
 /// Convenience typed clones.
 Expr *cloneExpr(Arena &A, const Expr *E);
 Stmt *cloneStmt(Arena &A, const Stmt *S);

@@ -23,7 +23,9 @@ namespace {
 
 class Cloner {
 public:
-  explicit Cloner(Arena &A) : A(A) {}
+  explicit Cloner(Arena &A, MacroDefRemapFn Remap = nullptr,
+                  void *RemapCtx = nullptr)
+      : A(A), Remap(Remap), RemapCtx(RemapCtx) {}
 
   Node *cloneImpl(const Node *N);
 
@@ -131,6 +133,9 @@ public:
   MacroInvocation *cloneInvocation(const MacroInvocation *Inv) {
     MacroInvocation *R = A.create<MacroInvocation>();
     R->Def = Inv->Def; // definitions are immutable & shared
+    if (Remap)
+      if (const MacroDef *NewDef = Remap(Inv->Def, RemapCtx))
+        R->Def = NewDef;
     R->Loc = Inv->Loc;
     R->Args = cloneArray(Inv->Args, [&](const MacroArg &Arg) {
       MacroArg Out = Arg;
@@ -142,6 +147,8 @@ public:
 
 private:
   Arena &A;
+  MacroDefRemapFn Remap = nullptr;
+  void *RemapCtx = nullptr;
 };
 
 Node *Cloner::cloneImpl(const Node *N) {
@@ -384,6 +391,11 @@ Node *Cloner::cloneImpl(const Node *N) {
 } // namespace
 
 Node *msq::cloneNode(Arena &A, const Node *N) { return Cloner(A).clone(N); }
+
+Node *msq::cloneNodeRemapped(Arena &A, const Node *N, MacroDefRemapFn Remap,
+                             void *Context) {
+  return Cloner(A, Remap, Context).clone(N);
+}
 
 Expr *msq::cloneExpr(Arena &A, const Expr *E) {
   return E ? cast<Expr>(cloneNode(A, E)) : nullptr;

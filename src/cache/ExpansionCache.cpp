@@ -293,6 +293,23 @@ uint64_t ExpansionCache::generation() const {
   return Generation_;
 }
 
+bool ExpansionCache::rekey(const std::string &OldKey,
+                           const std::string &NewKey) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Memory.find(OldKey);
+  if (It == Memory.end())
+    return false;
+  if (OldKey == NewKey) {
+    It->second.Generation = Generation_;
+    return true;
+  }
+  MemoryEntry E = std::move(It->second);
+  Memory.erase(It);
+  E.Generation = Generation_;
+  Memory[NewKey] = std::move(E);
+  return true;
+}
+
 size_t ExpansionCache::evictGenerationsBefore(uint64_t OldestLive) {
   std::lock_guard<std::mutex> Lock(Mutex);
   size_t Evicted = 0;

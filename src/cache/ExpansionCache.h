@@ -113,6 +113,15 @@ public:
   void setGeneration(uint64_t Gen);
   uint64_t generation() const;
 
+  /// Moves the memory-tier entry at \p OldKey to \p NewKey, retagging it
+  /// with the current generation; returns false when \p OldKey is absent.
+  /// Selective invalidation on library reload: when the dependency map
+  /// proves a stored unit untouched by a reload's delta, its entry is
+  /// re-addressed under the new library fingerprint instead of being
+  /// evicted and re-expanded. The disk tier is untouched (old-key disk
+  /// entries simply become unreachable, exactly as after any reload).
+  bool rekey(const std::string &OldKey, const std::string &NewKey);
+
   /// Drops memory-tier entries whose tag is older than \p OldestLive and
   /// returns how many were evicted. Disk entries are untouched: they cost
   /// no memory, and an old-fingerprint disk entry is unreachable through

@@ -34,6 +34,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/Msq.h"
+#include "expand/DependencyMap.h"
 #include "printer/CPrinter.h"
 #include "support/Hash.h"
 
@@ -237,4 +238,118 @@ std::string Engine::stateFingerprint(bool *StableOut) const {
   if (StableOut)
     *StableOut = Stable;
   return H.hexDigest();
+}
+
+//===----------------------------------------------------------------------===//
+// Per-definition fingerprints (expand/DependencyMap.h)
+//===----------------------------------------------------------------------===//
+//
+// The same state stateFingerprint folds into ONE digest, captured as one
+// digest PER definition so that two captures can be diffed into a
+// LibraryDelta. The hashing primitives are shared (hashValue above), so
+// "this definition's fingerprint changed" and "the whole-library
+// fingerprint changed" can never disagree about what a change is.
+
+DefinitionFingerprints Engine::definitionFingerprints(
+    const std::vector<std::string> &LibraryText) const {
+  DefinitionFingerprints FP;
+
+  {
+    ContentHasher H;
+    H.str("msq-def-fp-options-v1");
+    H.boolean(Opts.UseCompiledPatterns);
+    H.boolean(Opts.HygienicExpansion);
+    H.boolean(Opts.CollectProfile);
+    H.u64(Opts.MaxMetaSteps);
+    H.u64(Opts.MaxExpansionDepth);
+    H.boolean(Opts.Lint.Enabled);
+    H.boolean(Opts.Lint.Werror);
+    std::vector<std::string> Disabled = Opts.Lint.DisabledRules;
+    std::sort(Disabled.begin(), Disabled.end());
+    H.u64(Disabled.size());
+    for (const std::string &Rule : Disabled)
+      H.str(Rule);
+    H.boolean(Opts.TrackProvenance);
+    H.boolean(Opts.EmitSourceMap);
+    FP.OptionsHash = H.hexDigest();
+  }
+
+  // Parse-steering residue: session typedefs and recorded variable types.
+  // (The macro signature SET also steers parsing, but it is diffed
+  // per-definition via MacroSignature, which is strictly more precise.)
+  {
+    ContentHasher H;
+    H.str("msq-def-fp-parse-v1");
+    std::vector<std::string_view> Typedefs;
+    for (const auto &Scope : CC->TypedefScopes)
+      for (Symbol S : Scope)
+        Typedefs.push_back(S.str());
+    std::sort(Typedefs.begin(), Typedefs.end());
+    H.u64(Typedefs.size());
+    for (std::string_view T : Typedefs)
+      H.str(T);
+    std::map<std::string_view, const TypeSpecNode *> VarTypes;
+    for (const auto &[Name, Type] : CC->ObjectVarTypes)
+      VarTypes.emplace(Name.str(), Type);
+    H.u64(VarTypes.size());
+    for (const auto &[Name, Type] : VarTypes) {
+      H.str(Name);
+      H.str(Type ? printNode(Type) : std::string());
+    }
+    FP.ParseStateHash = H.hexDigest();
+  }
+
+  for (const auto &[Name, Def] : CC->Macros) {
+    ContentHasher HSig, HFull;
+    HSig.str(printMacroSignature(Def));
+    HFull.str(printNode(Def));
+    FP.MacroSignature[std::string(Name.str())] = HSig.hexDigest();
+    FP.MacroFull[std::string(Name.str())] = HFull.hexDigest();
+  }
+
+  for (const auto &[Name, Fn] : CC->MetaFuncs) {
+    ContentHasher H;
+    H.str(Fn.Def ? printNode(Fn.Def) : std::string());
+    FP.MetaFunc[std::string(Name.str())] = H.hexDigest();
+  }
+
+  // Meta-global VALUES, one digest per name. A name bound in several
+  // global frames folds every occurrence (outermost first) into one
+  // digest — shadowing then shows up as a value change, which is the
+  // conservative reading.
+  {
+    std::vector<std::shared_ptr<EnvFrame>> Frames =
+        Interp->globalEnv().snapshot();
+    std::map<std::string, ContentHasher> PerName;
+    for (size_t FI = 0; FI != Frames.size(); ++FI) {
+      std::map<std::string_view, const Value *> Sorted;
+      for (const auto &[Name, V] : Frames[FI]->Vars)
+        Sorted.emplace(Name.str(), &V);
+      for (const auto &[Name, V] : Sorted) {
+        ContentHasher &H = PerName[std::string(Name)];
+        H.u64(FI);
+        hashValue(H, *V, FP.Stable, 0);
+      }
+    }
+    for (auto &[Name, H] : PerName)
+      FP.GlobalValue[Name] = H.hexDigest();
+  }
+
+  FP.GensymCounter = Interp->gensymCount();
+
+  {
+    ContentHasher H;
+    H.str("msq-def-fp-libtext-v1");
+    H.u64(LibraryText.size());
+    for (const std::string &Text : LibraryText)
+      H.str(Text);
+    FP.LibraryTextHash = H.hexDigest();
+  }
+
+  return FP;
+}
+
+DefinitionFingerprints msq::computeDefinitionFingerprints(
+    const Engine &E, const std::vector<std::string> &LibraryText) {
+  return E.definitionFingerprints(LibraryText);
 }

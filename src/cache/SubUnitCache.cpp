@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/SubUnitCache.h"
+
+#include "support/Fault.h"
+#include "support/Hash.h"
+
+#include <sstream>
+
+using namespace msq;
+
+std::string msq::subUnitCacheKey(const std::string &Name,
+                                 const std::string &Source) {
+  ContentHasher H;
+  H.str("msq-subunit-key-v1");
+  H.str(Name);
+  H.str(Source);
+  return H.hexDigest();
+}
+
+std::string SubUnitCacheStats::toJson() const {
+  std::ostringstream OS;
+  OS << "{\"token\":{\"hits\":" << TokenHits << ",\"misses\":" << TokenMisses
+     << ",\"faults\":" << TokenFaults << "},\"tree\":{\"hits\":" << TreeHits
+     << ",\"misses\":" << TreeMisses << ",\"faults\":" << TreeFaults
+     << ",\"invalidations\":" << TreeInvalidations << "}}";
+  return OS.str();
+}
+
+const TokenCacheEntry *TokenStreamCache::lookup(const std::string &Key,
+                                                SubUnitCacheStats &Stats) {
+  if (fault::shouldFail(fault::Point::IncrTokenCache)) {
+    // Degradation: a tripped lookup is a miss — the unit re-lexes from
+    // source, so output is unaffected.
+    ++Stats.TokenFaults;
+    ++Stats.TokenMisses;
+    return nullptr;
+  }
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    ++Stats.TokenMisses;
+    return nullptr;
+  }
+  ++Stats.TokenHits;
+  return &It->second;
+}
+
+void TokenStreamCache::store(const std::string &Key, TokenCacheEntry Entry) {
+  Map[Key] = std::move(Entry);
+}
+
+const TreeCacheEntry *ParseTreeCache::lookup(const std::string &Key,
+                                             SubUnitCacheStats &Stats) {
+  if (fault::shouldFail(fault::Point::IncrTreeCache)) {
+    ++Stats.TreeFaults;
+    ++Stats.TreeMisses;
+    return nullptr;
+  }
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    ++Stats.TreeMisses;
+    return nullptr;
+  }
+  ++Stats.TreeHits;
+  return &It->second;
+}
+
+void ParseTreeCache::store(const std::string &Key, TreeCacheEntry Entry) {
+  Map[Key] = std::move(Entry);
+}
+
+void ParseTreeCache::invalidate(const std::string &Key,
+                                SubUnitCacheStats &Stats) {
+  if (Map.erase(Key))
+    ++Stats.TreeInvalidations;
+}

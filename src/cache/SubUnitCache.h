@@ -1,0 +1,130 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sub-unit caches for incremental re-expansion: the token-stream cache
+/// and the parse-tree cache, both content-addressed with the same hashing
+/// machinery as the ExpansionCache (support/Hash.h).
+///
+/// Validity contracts (enforced by driver/Incremental.cpp):
+///
+///  * Token streams depend ONLY on the source bytes — the lexer consults
+///    no macro state — so a token entry is valid whenever the (name,
+///    source) key matches, across ANY library change. Only streams whose
+///    lexing was diagnostic-free are stored (a replay cannot re-raise
+///    lexer diagnostics).
+///
+///  * Parse trees additionally depend on everything that steers parsing:
+///    the macro signature set (macro names act as keywords, and each
+///    pattern decides how far an invocation's match consumes), session
+///    typedefs, and recorded variable types. A tree entry therefore
+///    carries the after-parse session state alongside the pristine tree,
+///    and the driver invalidates it on any signature-level change the
+///    unit's identifiers could see. Trees are handed out as fresh deep
+///    clones — expansion rewrites trees in place, so the pristine copy
+///    must never be expanded directly.
+///
+/// Both lookups evaluate a fault-injection point (incr.token_cache /
+/// incr.tree_cache, support/Fault.h): a trip turns the lookup into a
+/// miss, degrading to the cold path — byte-identical output, only
+/// slower — which the chaos tier asserts.
+///
+/// Entries hold pointers into ONE engine's arena/interner, so a cache
+/// instance is bound to the engine it was filled from and is not
+/// thread-safe; the incremental driver owns one per warm engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_CACHE_SUBUNITCACHE_H
+#define MSQ_CACHE_SUBUNITCACHE_H
+
+#include "api/Msq.h"
+#include "lexer/Token.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace msq {
+
+/// Hit/miss/fault accounting for both sub-unit caches.
+struct SubUnitCacheStats {
+  uint64_t TokenHits = 0;
+  uint64_t TokenMisses = 0;
+  uint64_t TokenFaults = 0; ///< lookups turned into misses by incr.token_cache
+  uint64_t TreeHits = 0;
+  uint64_t TreeMisses = 0;
+  uint64_t TreeFaults = 0; ///< lookups turned into misses by incr.tree_cache
+  uint64_t TreeInvalidations = 0;
+
+  /// {"token":{"hits":N,"misses":N,"faults":N},
+  ///  "tree":{"hits":N,"misses":N,"faults":N,"invalidations":N}}
+  std::string toJson() const;
+};
+
+/// Content key for one unit's token stream / parse tree: a hash of the
+/// unit name and source bytes.
+std::string subUnitCacheKey(const std::string &Name,
+                            const std::string &Source);
+
+/// One cached token stream plus the identifier spellings it contains.
+/// The identifier set drives the dependency map's pattern rule: a macro
+/// signature change can only re-steer units whose tokens mention the
+/// macro's name.
+struct TokenCacheEntry {
+  std::vector<Token> Toks;
+  std::set<std::string> Idents;
+};
+
+/// Content-addressed token-stream cache.
+class TokenStreamCache {
+public:
+  /// Returns the entry for \p Key or null. An incr.token_cache fault trip
+  /// reports a miss (counted in \p Stats.TokenFaults).
+  const TokenCacheEntry *lookup(const std::string &Key,
+                                SubUnitCacheStats &Stats);
+  void store(const std::string &Key, TokenCacheEntry Entry);
+  void clear() { Map.clear(); }
+  size_t size() const { return Map.size(); }
+
+private:
+  std::unordered_map<std::string, TokenCacheEntry> Map;
+};
+
+/// One cached parse: the pristine tree, never expanded in place (the
+/// driver hands out deep clones) plus the session state right after the
+/// parse. The driver diffs AfterParse against the baseline the parse ran
+/// under to extract the unit's parse side effects (registered macros,
+/// typedefs, recorded variable types), which it replays onto the CURRENT
+/// baseline before re-expanding a clone.
+struct TreeCacheEntry {
+  TranslationUnit *Pristine = nullptr;
+  Engine::SessionCheckpoint AfterParse;
+};
+
+/// Content-addressed parse-tree cache.
+class ParseTreeCache {
+public:
+  /// Returns the entry for \p Key or null. An incr.tree_cache fault trip
+  /// reports a miss (counted in \p Stats.TreeFaults).
+  const TreeCacheEntry *lookup(const std::string &Key,
+                               SubUnitCacheStats &Stats);
+  void store(const std::string &Key, TreeCacheEntry Entry);
+  /// Drops one entry (a signature-level library change invalidated it).
+  void invalidate(const std::string &Key, SubUnitCacheStats &Stats);
+  void clear() { Map.clear(); }
+  size_t size() const { return Map.size(); }
+
+private:
+  std::unordered_map<std::string, TreeCacheEntry> Map;
+};
+
+} // namespace msq
+
+#endif // MSQ_CACHE_SUBUNITCACHE_H

@@ -1,0 +1,474 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IncrementalDriver implementation. See Incremental.h for the path
+/// taxonomy and the soundness contract; expand/DependencyMap.h for the
+/// dirtiness rules it applies.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Incremental.h"
+
+#include "ast/Ast.h"
+#include "cache/ExpansionCache.h"
+#include "lexer/TokenKinds.h"
+
+#include <chrono>
+#include <utility>
+
+using namespace msq;
+
+namespace {
+
+/// Minimal JSON string escaper (metrics output).
+void appendJson(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+/// Identifier spellings of a token stream — the unit's "mentions" set for
+/// the pattern-change dirtiness rule. Macro names always lex as plain
+/// identifiers (registration changes parsing, never lexing), so this set
+/// is exactly the names whose signature change could re-steer this unit.
+std::set<std::string> identsOf(const std::vector<Token> &Toks) {
+  std::set<std::string> Ids;
+  for (const Token &T : Toks)
+    if (T.Kind == TokenKind::Identifier)
+      Ids.insert(std::string(T.Sym.str()));
+  return Ids;
+}
+
+/// cloneNodeRemapped callback: point every invocation at the definition
+/// the CURRENT registry holds for the same name (the in-place library
+/// rebuild allocates fresh MacroDef nodes). A null result keeps the old
+/// pointer — harmless, because a vanished definition is a signature-level
+/// delta and those invalidate the tree before it can be cloned.
+const MacroDef *remapDefToRegistry(const MacroDef *Old, void *Ctx) {
+  if (!Old)
+    return nullptr;
+  return static_cast<const MacroRegistry *>(Ctx)->lookup(Old->Name);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// IncrementalResult
+//===----------------------------------------------------------------------===//
+
+std::string IncrementalResult::metricsJson() const {
+  std::string J = "{\"units\":[";
+  for (size_t I = 0; I < Outcomes.size(); ++I) {
+    const IncrementalUnitOutcome &O = Outcomes[I];
+    if (I)
+      J += ',';
+    J += "{\"name\":";
+    appendJson(J, O.Name);
+    J += ",\"path\":\"";
+    J += incrementalPathName(O.Path);
+    J += "\",\"dirty\":";
+    J += O.WasDirty ? "true" : "false";
+    J += ",\"success\":";
+    J += (I < Results.size() && Results[I].Success) ? "true" : "false";
+    J += ",\"millis\":";
+    J += std::to_string(O.Millis);
+    J += '}';
+  }
+  J += "],\"paths\":{\"clean\":";
+  J += std::to_string(CleanReplays);
+  J += ",\"tree\":";
+  J += std::to_string(TreeReuses);
+  J += ",\"tokens\":";
+  J += std::to_string(TokenReuses);
+  J += ",\"cold\":";
+  J += std::to_string(ColdExpansions);
+  J += "},\"failed\":";
+  J += std::to_string(UnitsFailed);
+  J += ",\"total_millis\":";
+  J += std::to_string(TotalMillis);
+  J += ",\"subunit_cache\":";
+  J += SubUnit.toJson();
+  J += '}';
+  return J;
+}
+
+//===----------------------------------------------------------------------===//
+// IncrementalDriver
+//===----------------------------------------------------------------------===//
+
+IncrementalDriver::IncrementalDriver(IncrementalOptions Opts_)
+    : Opts(std::move(Opts_)), E(std::make_unique<Engine>(Opts.EngineOpts)) {
+  InitialCP = E->checkpoint();
+  Baseline = InitialCP;
+}
+
+IncrementalDriver::~IncrementalDriver() = default;
+
+void IncrementalDriver::replayLibrary() {
+  E->restoreCheckpoint(InitialCP);
+  for (const SourceUnit &L : Library)
+    E->expandUnrecorded(L.Name, L.Source);
+  Baseline = E->checkpoint();
+}
+
+void IncrementalDriver::setLibrary(std::vector<SourceUnit> Library_) {
+  Library = std::move(Library_);
+  LibraryNames.clear();
+  std::vector<std::string> LibText;
+  for (const SourceUnit &L : Library) {
+    LibraryNames.push_back(L.Name);
+    LibText.push_back(L.Name);
+    LibText.push_back(L.Source);
+  }
+  if (!HaveLibrary) {
+    replayLibrary();
+    FP = E->definitionFingerprints(LibText);
+    Delta = LibraryDelta();
+    HaveLibrary = true;
+    return;
+  }
+  DefinitionFingerprints OldFP = std::move(FP);
+  // In-place rebuild: the arena, interner, and source manager survive, so
+  // cached tokens, pristine trees, and interned symbols stay valid; only
+  // the registries and meta globals are rebuilt from the new sources.
+  replayLibrary();
+  FP = E->definitionFingerprints(LibText);
+  Delta = diffDefinitions(OldFP, FP);
+  applyDelta(Delta);
+}
+
+void IncrementalDriver::applyDelta(const LibraryDelta &D) {
+  if (!D.AnyChange)
+    return;
+  // Definition-time lint reports cover every definition visible to a
+  // unit, so under linting ANY library change can change Lints.
+  const bool LintAll = Opts.EngineOpts.Lint.Enabled;
+  for (auto &[Name, Rec] : Records) {
+    const std::set<std::string> *Ids = Rec.HasIdents ? &Rec.Idents : nullptr;
+    bool Dirty = D.FullReset || LintAll || DepMap.isDirty(Name, D, Ids) ||
+                 (D.GensymBaseChanged && Rec.LastResult.GensymsCreated > 0) ||
+                 (D.LibraryTextChanged && Rec.RefsLibText);
+    Rec.Dirty = Rec.Dirty || Dirty;
+
+    bool TreeInvalid = D.FullReset;
+    if (!TreeInvalid)
+      for (const std::string &P : D.PatternChanged)
+        if (!Rec.HasIdents || Rec.Idents.count(P) || Rec.Deps.Macros.count(P)) {
+          TreeInvalid = true;
+          break;
+        }
+    if (TreeInvalid && Rec.TreeValid) {
+      TreeCache.invalidate(Rec.SubKey, Stats);
+      Rec.TreeValid = false;
+      Rec.Effects = ParseEffects();
+    }
+  }
+}
+
+void IncrementalDriver::computeEffects(const Engine::SessionCheckpoint &After,
+                                       ParseEffects &Out) const {
+  Out = ParseEffects();
+
+  // The parser never runs meta code: if interpreter state moved, this was
+  // not a pure parse and the tree path must not splice it.
+  if (After.Interp.GensymCounter != Baseline.Interp.GensymCounter ||
+      After.Interp.GlobalFrames.size() != Baseline.Interp.GlobalFrames.size())
+    return;
+
+  size_t Added = 0;
+  for (const auto &[Sym, Def] : After.Macros) {
+    const MacroDef *BD = Baseline.Macros.lookup(Sym);
+    if (!BD) {
+      Out.Macros.push_back(Def);
+      ++Added;
+    } else if (BD != Def) {
+      return; // a definition was replaced — not additions-only
+    }
+  }
+  if (Baseline.Macros.size() + Added != After.Macros.size())
+    return; // something vanished
+
+  Added = 0;
+  for (const auto &[Sym, Fn] : After.MetaFuncs) {
+    const MetaFunction *BF = Baseline.MetaFuncs.lookup(Sym);
+    if (!BF) {
+      Out.MetaFuncs.push_back(Fn);
+      ++Added;
+    } else if (BF->Type != Fn.Type || BF->Def != Fn.Def) {
+      return;
+    }
+  }
+  if (Baseline.MetaFuncs.size() + Added != After.MetaFuncs.size())
+    return;
+
+  const auto &AS = After.Globals.scopes();
+  const auto &BS = Baseline.Globals.scopes();
+  if (AS.size() != BS.size())
+    return;
+  for (size_t I = 0; I < AS.size(); ++I) {
+    Added = 0;
+    for (const auto &[Sym, Ty] : AS[I]) {
+      auto It = BS[I].find(Sym);
+      if (It == BS[I].end()) {
+        Out.Globals.emplace_back(I, Sym, Ty);
+        ++Added;
+      } else if (It->second != Ty) {
+        return;
+      }
+    }
+    if (BS[I].size() + Added != AS[I].size())
+      return;
+  }
+
+  if (After.TypedefScopes.size() != Baseline.TypedefScopes.size())
+    return;
+  for (size_t I = 0; I < After.TypedefScopes.size(); ++I) {
+    Added = 0;
+    for (Symbol Sym : After.TypedefScopes[I])
+      if (!Baseline.TypedefScopes[I].count(Sym)) {
+        Out.Typedefs.emplace_back(I, Sym);
+        ++Added;
+      }
+    if (Baseline.TypedefScopes[I].size() + Added !=
+        After.TypedefScopes[I].size())
+      return;
+  }
+
+  for (const auto &[Sym, Ty] : After.ObjectVarTypes) {
+    auto It = Baseline.ObjectVarTypes.find(Sym);
+    if (It == Baseline.ObjectVarTypes.end() || It->second != Ty)
+      Out.VarTypes.emplace_back(Sym, Ty); // addition or overwrite: replayable
+  }
+  for (const auto &[Sym, Ty] : Baseline.ObjectVarTypes) {
+    (void)Ty;
+    if (!After.ObjectVarTypes.count(Sym))
+      return; // a recorded type vanished — parsing cannot do that cleanly
+  }
+
+  Out.Representable = true;
+}
+
+bool IncrementalDriver::rebase(Engine::SessionCheckpoint &CP,
+                               const ParseEffects &Eff) const {
+  if (!Eff.Representable)
+    return false;
+  for (MacroDef *D : Eff.Macros)
+    if (!CP.Macros.define(D))
+      return false; // name now taken by the new library — colder path
+  for (const MetaFunction &F : Eff.MetaFuncs)
+    if (!CP.MetaFuncs.define(F.Name, F.Type, F.Def))
+      return false;
+  for (const auto &[Idx, Sym, Ty] : Eff.Globals) {
+    if (Idx >= CP.Globals.depth())
+      return false;
+    if (Idx == 0) {
+      if (!CP.Globals.declareGlobal(Sym, Ty))
+        return false;
+    } else if (Idx + 1 == CP.Globals.depth()) {
+      if (!CP.Globals.declare(Sym, Ty))
+        return false;
+    } else {
+      return false; // additions in a middle scope are not expressible
+    }
+  }
+  for (const auto &[Idx, Sym] : Eff.Typedefs) {
+    if (Idx >= CP.TypedefScopes.size())
+      return false;
+    CP.TypedefScopes[Idx].insert(Sym);
+  }
+  for (const auto &[Sym, Ty] : Eff.VarTypes)
+    CP.ObjectVarTypes[Sym] = Ty;
+  return true;
+}
+
+ExpandResult IncrementalDriver::expandDirty(const SourceUnit &U,
+                                            UnitRecord &Rec,
+                                            IncrementalPath &PathOut) {
+  const std::string Key = subUnitCacheKey(U.Name, U.Source);
+  const bool SameSource = !Rec.SubKey.empty() && Rec.SubKey == Key;
+  DependencyRecorder DR;
+  ExpandResult R;
+  bool Done = false;
+
+  // Warmest dirty path: expand a clone of the cached pristine tree under
+  // the unit's rebased after-parse state. Sound only when the source is
+  // byte-identical and no signature-level change reached this unit
+  // (applyDelta dropped the tree otherwise).
+  if (Opts.EnableTreeReuse && SameSource && Rec.TreeValid &&
+      Rec.Effects.Representable) {
+    if (const TreeCacheEntry *TE = TreeCache.lookup(Key, Stats)) {
+      Engine::SessionCheckpoint CP = Baseline;
+      if (rebase(CP, Rec.Effects)) {
+        E->restoreCheckpoint(CP);
+        Engine::ReexpandHooks H;
+        H.CachedTree = cast<TranslationUnit>(
+            cloneNodeRemapped(E->context().Ast, TE->Pristine,
+                              &remapDefToRegistry, &E->context().Macros));
+        H.Deps = &DR;
+        R = E->reexpand(U.Name, U.Source, H);
+        PathOut = IncrementalPath::TreeReuse;
+        Done = true;
+      }
+    }
+  }
+
+  if (!Done) {
+    const TokenCacheEntry *TK =
+        Opts.EnableTokenReuse ? TokCache.lookup(Key, Stats) : nullptr;
+    E->restoreCheckpoint(Baseline);
+    Engine::ReexpandHooks H;
+    std::vector<Token> FreshToks;
+    TranslationUnit *FreshTree = nullptr;
+    Engine::SessionCheckpoint AfterParse;
+    H.Deps = &DR;
+    if (TK) {
+      H.CachedTokens = &TK->Toks;
+      PathOut = IncrementalPath::TokenReuse;
+    } else {
+      H.TokensOut = &FreshToks;
+      PathOut = IncrementalPath::Cold;
+    }
+    H.TreeOut = &FreshTree;
+    H.AfterParseOut = &AfterParse;
+    R = E->reexpand(U.Name, U.Source, H);
+
+    // Refill the caches from whatever this expansion had to compute.
+    if (TK) {
+      Rec.Idents = TK->Idents;
+      Rec.HasIdents = true;
+    } else if (!FreshToks.empty()) {
+      TokenCacheEntry TE;
+      TE.Idents = identsOf(FreshToks);
+      Rec.Idents = TE.Idents;
+      Rec.HasIdents = true;
+      TE.Toks = std::move(FreshToks);
+      TokCache.store(Key, std::move(TE));
+    } else {
+      Rec.Idents.clear();
+      Rec.HasIdents = false;
+    }
+    Rec.TreeValid = false;
+    Rec.Effects = ParseEffects();
+    if (FreshTree) {
+      ParseEffects Eff;
+      computeEffects(AfterParse, Eff);
+      if (Eff.Representable) {
+        TreeCacheEntry TE;
+        TE.Pristine = FreshTree;
+        TE.AfterParse = std::move(AfterParse);
+        TreeCache.store(Key, std::move(TE));
+        Rec.Effects = std::move(Eff);
+        Rec.TreeValid = true;
+      }
+    }
+  }
+
+  Rec.Source = U.Source;
+  Rec.SubKey = Key;
+  Rec.Deps = DR.take();
+  // A unit whose expansion had side effects or whose outcome was shaped
+  // by something outside (library, unit source) — a fault trip, a
+  // quarantine — has dependencies no recorder can attribute.
+  if (R.MetaGlobalsMutated || R.FaultInjected || R.Quarantined)
+    Rec.Deps.Unknown = true;
+  Rec.LastResult = R;
+  Rec.Dirty = false;
+  Rec.Replayable = expansionResultCacheable(R) && !Rec.Deps.Unknown &&
+                   !Opts.EngineOpts.TraceExpansions;
+  Rec.RefsLibText = false;
+  for (const std::string &LN : LibraryNames)
+    if (R.DiagnosticsText.find(LN) != std::string::npos ||
+        R.SourceMapJson.find(LN) != std::string::npos) {
+      Rec.RefsLibText = true;
+      break;
+    }
+  DepMap.add(U.Name, Rec.Deps);
+  return R;
+}
+
+IncrementalResult IncrementalDriver::run(const std::vector<SourceUnit> &Units) {
+  using Clock = std::chrono::steady_clock;
+  IncrementalResult Res;
+  const auto T0 = Clock::now();
+  for (const SourceUnit &U : Units) {
+    const auto U0 = Clock::now();
+    UnitRecord &Rec = Records[U.Name];
+    const bool Clean = Opts.EnableCleanReplay && !Rec.Dirty && Rec.Replayable &&
+                       !Rec.SubKey.empty() &&
+                       Rec.SubKey == subUnitCacheKey(U.Name, U.Source);
+    ExpandResult R;
+    IncrementalPath P = IncrementalPath::Cold;
+    if (Clean) {
+      R = Rec.LastResult;
+      R.FromCache = true;
+      P = IncrementalPath::CleanReplay;
+    } else {
+      R = expandDirty(U, Rec, P);
+    }
+    const double Ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - U0).count();
+    if (!R.Success)
+      ++Res.UnitsFailed;
+    switch (P) {
+    case IncrementalPath::CleanReplay:
+      ++Res.CleanReplays;
+      break;
+    case IncrementalPath::TreeReuse:
+      ++Res.TreeReuses;
+      break;
+    case IncrementalPath::TokenReuse:
+      ++Res.TokenReuses;
+      break;
+    case IncrementalPath::Cold:
+      ++Res.ColdExpansions;
+      break;
+    }
+    Res.Outcomes.push_back({U.Name, P, !Clean, Ms});
+    Res.Results.push_back(std::move(R));
+  }
+  // Leave the engine at the snapshot state (the last unit's session
+  // residue must not leak into anything the caller does next).
+  E->restoreCheckpoint(Baseline);
+  Res.TotalMillis =
+      std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+  Res.SubUnit = Stats;
+  return Res;
+}
+
+void IncrementalDriver::invalidateAll() {
+  Records.clear();
+  DepMap = DependencyMap();
+  TokCache.clear();
+  TreeCache.clear();
+}

@@ -1,0 +1,245 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Incremental sub-unit re-expansion: keep a warm engine plus per-unit
+/// caches between batches, and after a macro-library edit re-expand ONLY
+/// the units the edit can reach, replaying everything else verbatim.
+///
+/// Semantics are exactly BatchDriver's: every unit expands against a
+/// pristine snapshot of the library state (nothing one unit does is
+/// visible to a sibling), and the output of every run is byte-identical
+/// to a from-scratch expansion of (current library, unit source) —
+/// including diagnostics, provenance backtraces, lint findings, and
+/// source maps. The edit-fuzzing differential tier
+/// (tests/incremental_diff_test.cpp) holds the driver to that bar across
+/// thousands of randomized library edits.
+///
+/// Each unit takes the cheapest sound path, degrading one step at a time:
+///
+///  * CleanReplay — the library delta provably cannot reach this unit
+///    (dependency map + per-definition fingerprints): return the stored
+///    ExpandResult. Zero engine work.
+///  * TreeReuse — the unit is dirty (say a macro BODY it invokes changed)
+///    but nothing that steers its parse changed: deep-clone the cached
+///    pristine parse tree, remap invocation definitions into the live
+///    registry, restore the unit's rebased after-parse state, and only
+///    expand. Skips lexing and parsing.
+///  * TokenReuse — the parse could come out differently (a macro pattern
+///    visible to the unit changed) but the source bytes did not: re-parse
+///    from the cached token stream. Skips lexing.
+///  * Cold — full lex + parse + expand; refills every cache on the way
+///    out (tokens, pristine tree, after-parse effects, dependencies).
+///
+/// Soundness rules (who gets dirtied by what) live in
+/// expand/DependencyMap.h; the caches in cache/SubUnitCache.h; the
+/// re-expansion primitive is Engine::reexpand (api/Msq.h). Cache lookups
+/// evaluate the incr.token_cache / incr.tree_cache fault points, so an
+/// injected trip degrades a path to the next colder one — never to
+/// different bytes — which the chaos tier asserts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_DRIVER_INCREMENTAL_H
+#define MSQ_DRIVER_INCREMENTAL_H
+
+#include "api/Msq.h"
+#include "cache/SubUnitCache.h"
+#include "expand/DependencyMap.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace msq {
+
+struct IncrementalOptions {
+  Engine::Options EngineOpts;
+  /// Master switches for each warm path (tests and benchmarks flip them
+  /// to isolate a path; all on by default). Disabling a path degrades to
+  /// the next colder one — output never changes.
+  bool EnableCleanReplay = true;
+  bool EnableTreeReuse = true;
+  bool EnableTokenReuse = true;
+};
+
+/// How one unit of one run() was produced.
+struct IncrementalUnitOutcome {
+  std::string Name;
+  IncrementalPath Path = IncrementalPath::Cold;
+  /// True when the library delta (or a source edit) forced re-expansion.
+  bool WasDirty = true;
+  double Millis = 0.0;
+};
+
+/// Outcome of one IncrementalDriver::run call.
+struct IncrementalResult {
+  /// Per-unit results in input order, byte-identical to a from-scratch
+  /// batch against the current library.
+  std::vector<ExpandResult> Results;
+  std::vector<IncrementalUnitOutcome> Outcomes;
+  size_t CleanReplays = 0;
+  size_t TreeReuses = 0;
+  size_t TokenReuses = 0;
+  size_t ColdExpansions = 0;
+  size_t UnitsFailed = 0;
+  double TotalMillis = 0.0;
+  /// Sub-unit cache counters accumulated over the driver's lifetime,
+  /// snapshotted at the end of this run.
+  SubUnitCacheStats SubUnit;
+
+  /// {"units":[{"name":...,"path":"clean|tree|token|cold","dirty":B,
+  ///   "success":B,"millis":F},...],"paths":{"clean":N,"tree":N,
+  ///   "token":N,"cold":N},"failed":N,"total_millis":F,
+  ///   "subunit_cache":{...}} — same spirit as BatchResult::metricsJson.
+  std::string metricsJson() const;
+};
+
+/// A warm expansion session that re-expands only what a library edit can
+/// reach. Typical shape (and the shape of the differential fuzzer):
+///
+/// \code
+///   msq::IncrementalDriver D(Opts);
+///   D.setLibrary(Lib);            // cold: everything dirty
+///   auto R0 = D.run(Units);       // fills caches + dependency map
+///   Lib[2].Source = edited;       // touch one macro body
+///   D.setLibrary(Lib);            // classifies the delta, marks dirty
+///   auto R1 = D.run(Units);       // re-expands only the reachable units
+/// \endcode
+///
+/// Not thread-safe: one driver owns one engine and must be called from
+/// one thread at a time (the expansion server serializes on its reload
+/// path for the same reason).
+class IncrementalDriver {
+public:
+  explicit IncrementalDriver(IncrementalOptions Opts = IncrementalOptions());
+  ~IncrementalDriver();
+  IncrementalDriver(const IncrementalDriver &) = delete;
+  IncrementalDriver &operator=(const IncrementalDriver &) = delete;
+
+  /// (Re)loads the macro library: the engine's session is rebuilt in
+  /// place — same arena, interner, and source manager, so cached tokens,
+  /// trees, and symbols stay valid — by replaying \p Library over the
+  /// initial checkpoint. The per-definition fingerprints of the old and
+  /// new state are diffed into a LibraryDelta and every recorded unit the
+  /// delta can reach is marked dirty (its cached tree is also dropped
+  /// when the delta is signature-level). The first call marks nothing —
+  /// there are no recorded units yet.
+  void setLibrary(std::vector<SourceUnit> Library);
+
+  /// Expands \p Units in input order with snapshot isolation, each via
+  /// the cheapest sound path. Units named for the first time (or whose
+  /// source changed) go cold; unknown-dependency units (e.g. meta-global
+  /// mutators) always re-expand.
+  IncrementalResult run(const std::vector<SourceUnit> &Units);
+
+  /// The delta classified by the most recent setLibrary (empty before
+  /// the second call).
+  const LibraryDelta &lastDelta() const { return Delta; }
+
+  const DependencyMap &dependencyMap() const { return DepMap; }
+  const SubUnitCacheStats &subUnitStats() const { return Stats; }
+  /// Recorded dependencies of \p Unit, or null when never expanded.
+  const UnitDeps *depsOf(const std::string &Unit) const {
+    return DepMap.depsOf(Unit);
+  }
+  /// Drops all per-unit state (records, caches, dependency map) but keeps
+  /// the engine and library: the next run() goes fully cold. Tests use
+  /// this to compare warm vs cold output on one driver.
+  void invalidateAll();
+
+  Engine &engine() { return *E; }
+
+private:
+  /// A unit parse's session side effects, expressed as ADDITIONS over the
+  /// baseline it was parsed under — the rebasable form of the after-parse
+  /// checkpoint. Replaying them onto a LATER baseline reproduces what
+  /// re-parsing the unit there would have registered, as long as the
+  /// delta was not signature-level (which invalidates the tree anyway).
+  struct ParseEffects {
+    std::vector<MacroDef *> Macros;
+    /// By value (Symbol/type/def pointers are arena-stable) so effects
+    /// outlive any tree-cache eviction.
+    std::vector<MetaFunction> MetaFuncs;
+    /// (scope index, name, type) additions to the meta scope.
+    std::vector<std::tuple<size_t, Symbol, const MetaType *>> Globals;
+    /// (scope index, symbol) typedef additions.
+    std::vector<std::pair<size_t, Symbol>> Typedefs;
+    /// Recorded object-variable types: additions and overwrites (a
+    /// re-parse would overwrite too — later declarations win).
+    std::vector<std::pair<Symbol, TypeSpecNode *>> VarTypes;
+    /// False when the diff was not expressible as additions (scope depth
+    /// moved, a definition vanished): the tree path is skipped.
+    bool Representable = false;
+  };
+
+  /// Everything remembered about one previously expanded unit.
+  struct UnitRecord {
+    std::string Source;
+    std::string SubKey;
+    ExpandResult LastResult;
+    UnitDeps Deps;
+    /// Identifier spellings of the unit's source tokens (pattern-change
+    /// dirtiness rule); trusted only when HasIdents.
+    std::set<std::string> Idents;
+    bool HasIdents = false;
+    ParseEffects Effects;
+    /// The cached pristine tree is still valid under the current library.
+    bool TreeValid = false;
+    /// Must re-expand on the next run (library delta reached this unit).
+    bool Dirty = false;
+    /// LastResult may be replayed verbatim when not dirty: the expansion
+    /// was deterministic (no timeout / fault / quarantine) and had no
+    /// side effects (no meta-global mutation).
+    bool Replayable = false;
+    /// DiagnosticsText/SourceMapJson render a library buffer name, so
+    /// library text motion alone dirties this unit.
+    bool RefsLibText = false;
+  };
+
+  /// Rebuilds the engine session in place: restore the initial
+  /// checkpoint, replay the library (unrecorded), recapture Baseline.
+  void replayLibrary();
+  /// Diffs \p After against the current Baseline into \p Out.
+  void computeEffects(const Engine::SessionCheckpoint &After,
+                      ParseEffects &Out) const;
+  /// Applies \p Eff on top of a copy of the current Baseline. False when
+  /// a replayed addition conflicts (caller falls back to a colder path).
+  bool rebase(Engine::SessionCheckpoint &CP, const ParseEffects &Eff) const;
+  /// Marks records dirty / trees invalid under \p D.
+  void applyDelta(const LibraryDelta &D);
+  /// Expands one dirty unit via tree/token/cold and refreshes its record.
+  ExpandResult expandDirty(const SourceUnit &U, UnitRecord &Rec,
+                           IncrementalPath &PathOut);
+
+  IncrementalOptions Opts;
+  std::unique_ptr<Engine> E;
+  /// Session state of the fresh engine (before any library), the base the
+  /// in-place rebuild restores.
+  Engine::SessionCheckpoint InitialCP;
+  /// Session state right after library replay: restored before every
+  /// expansion (snapshot isolation) and the base of every rebase.
+  Engine::SessionCheckpoint Baseline;
+  DefinitionFingerprints FP;
+  LibraryDelta Delta;
+  bool HaveLibrary = false;
+  std::vector<SourceUnit> Library;
+  /// Library unit names (substring probes for the LibraryTextChanged
+  /// dirtiness rule).
+  std::vector<std::string> LibraryNames;
+  TokenStreamCache TokCache;
+  ParseTreeCache TreeCache;
+  SubUnitCacheStats Stats;
+  DependencyMap DepMap;
+  std::map<std::string, UnitRecord> Records;
+};
+
+} // namespace msq
+
+#endif // MSQ_DRIVER_INCREMENTAL_H

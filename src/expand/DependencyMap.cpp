@@ -1,0 +1,253 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expand/DependencyMap.h"
+
+#include <sstream>
+
+using namespace msq;
+
+//===----------------------------------------------------------------------===//
+// Delta classification
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects keys whose value differs between \p Old and \p New, keys only
+/// in one side included.
+void diffMaps(const std::map<std::string, std::string> &Old,
+              const std::map<std::string, std::string> &New,
+              std::set<std::string> &Out) {
+  for (const auto &[K, V] : Old) {
+    auto It = New.find(K);
+    if (It == New.end() || It->second != V)
+      Out.insert(K);
+  }
+  for (const auto &[K, V] : New)
+    if (!Old.count(K))
+      Out.insert(K);
+}
+
+} // namespace
+
+const char *msq::incrementalPathName(IncrementalPath P) {
+  switch (P) {
+  case IncrementalPath::CleanReplay:
+    return "clean";
+  case IncrementalPath::TreeReuse:
+    return "tree";
+  case IncrementalPath::TokenReuse:
+    return "tokens";
+  case IncrementalPath::Cold:
+    return "cold";
+  }
+  return "?";
+}
+
+LibraryDelta msq::diffDefinitions(const DefinitionFingerprints &Old,
+                                  const DefinitionFingerprints &New) {
+  LibraryDelta D;
+  if (!Old.Stable || !New.Stable) {
+    // An unhashable value (closure in a meta global) means we cannot tell
+    // what changed; the only sound answer is "assume everything did".
+    D.FullReset = D.AnyChange = true;
+    D.GensymBaseChanged = D.LibraryTextChanged = true;
+    return D;
+  }
+  if (Old.OptionsHash != New.OptionsHash ||
+      Old.ParseStateHash != New.ParseStateHash) {
+    D.FullReset = D.AnyChange = true;
+    D.GensymBaseChanged = Old.GensymCounter != New.GensymCounter;
+    D.LibraryTextChanged = Old.LibraryTextHash != New.LibraryTextHash;
+    return D;
+  }
+
+  diffMaps(Old.MacroSignature, New.MacroSignature, D.PatternChanged);
+  std::set<std::string> FullChanged;
+  diffMaps(Old.MacroFull, New.MacroFull, FullChanged);
+  for (const std::string &Name : FullChanged)
+    if (!D.PatternChanged.count(Name))
+      D.BodyChanged.insert(Name);
+  diffMaps(Old.MetaFunc, New.MetaFunc, D.MetaNamesChanged);
+  diffMaps(Old.GlobalValue, New.GlobalValue, D.MetaNamesChanged);
+  D.GensymBaseChanged = Old.GensymCounter != New.GensymCounter;
+  D.LibraryTextChanged = Old.LibraryTextHash != New.LibraryTextHash;
+  D.AnyChange = !D.PatternChanged.empty() || !D.BodyChanged.empty() ||
+                !D.MetaNamesChanged.empty() || D.GensymBaseChanged ||
+                D.LibraryTextChanged;
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// DependencyMap
+//===----------------------------------------------------------------------===//
+
+void DependencyMap::add(const std::string &Unit, const UnitDeps &Deps) {
+  remove(Unit);
+  PerUnit[Unit] = Deps;
+  for (const auto &[Name, Count] : Deps.Macros) {
+    (void)Count;
+    Index[Name].insert(Unit);
+  }
+  for (const std::string &Name : Deps.MetaNames)
+    Index[Name].insert(Unit);
+}
+
+void DependencyMap::remove(const std::string &Unit) {
+  auto It = PerUnit.find(Unit);
+  if (It == PerUnit.end())
+    return;
+  for (const auto &[Name, Count] : It->second.Macros) {
+    (void)Count;
+    auto IdxIt = Index.find(Name);
+    if (IdxIt != Index.end()) {
+      IdxIt->second.erase(Unit);
+      if (IdxIt->second.empty())
+        Index.erase(IdxIt);
+    }
+  }
+  for (const std::string &Name : It->second.MetaNames) {
+    auto IdxIt = Index.find(Name);
+    if (IdxIt != Index.end()) {
+      IdxIt->second.erase(Unit);
+      if (IdxIt->second.empty())
+        Index.erase(IdxIt);
+    }
+  }
+  PerUnit.erase(It);
+}
+
+bool DependencyMap::isDirty(const std::string &Unit, const LibraryDelta &Delta,
+                            const std::set<std::string> *UnitIdents) const {
+  if (Delta.FullReset)
+    return true;
+  auto It = PerUnit.find(Unit);
+  if (It == PerUnit.end())
+    return true; // never recorded: no basis for a clean replay
+  const UnitDeps &Deps = It->second;
+  if (Deps.Unknown)
+    return true;
+  for (const std::string &Name : Delta.BodyChanged)
+    if (Deps.Macros.count(Name))
+      return true;
+  for (const std::string &Name : Delta.MetaNamesChanged)
+    if (Deps.MetaNames.count(Name))
+      return true;
+  // A signature-level change (added, removed, or re-patterned macro) can
+  // change how source PARSES wherever the name appears as an identifier,
+  // whether or not the previous expansion invoked it.
+  for (const std::string &Name : Delta.PatternChanged) {
+    if (!UnitIdents)
+      return true;
+    if (UnitIdents->count(Name) || Deps.Macros.count(Name))
+      return true;
+  }
+  return false;
+}
+
+std::set<std::string> DependencyMap::dirtyUnits(
+    const LibraryDelta &Delta,
+    const std::map<std::string, std::set<std::string>> &IdentsOf) const {
+  std::set<std::string> Out;
+  for (const auto &[Unit, Deps] : PerUnit) {
+    (void)Deps;
+    auto It = IdentsOf.find(Unit);
+    if (isDirty(Unit, Delta, It == IdentsOf.end() ? nullptr : &It->second))
+      Out.insert(Unit);
+  }
+  return Out;
+}
+
+std::set<std::string> DependencyMap::consumersOf(const std::string &Name) const {
+  auto It = Index.find(Name);
+  return It == Index.end() ? std::set<std::string>() : It->second;
+}
+
+const UnitDeps *DependencyMap::depsOf(const std::string &Unit) const {
+  auto It = PerUnit.find(Unit);
+  return It == PerUnit.end() ? nullptr : &It->second;
+}
+
+namespace {
+void appendJsonString(std::ostream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+} // namespace
+
+std::string DependencyMap::toJson() const {
+  std::ostringstream OS;
+  OS << "{\"units\":{";
+  bool FirstUnit = true;
+  for (const auto &[Unit, Deps] : PerUnit) {
+    if (!FirstUnit)
+      OS << ',';
+    FirstUnit = false;
+    appendJsonString(OS, Unit);
+    OS << ":{\"macros\":{";
+    bool First = true;
+    for (const auto &[Name, Count] : Deps.Macros) {
+      if (!First)
+        OS << ',';
+      First = false;
+      appendJsonString(OS, Name);
+      OS << ':' << Count;
+    }
+    OS << "},\"meta\":[";
+    First = true;
+    for (const std::string &Name : Deps.MetaNames) {
+      if (!First)
+        OS << ',';
+      First = false;
+      appendJsonString(OS, Name);
+    }
+    OS << "],\"unknown\":" << (Deps.Unknown ? "true" : "false") << '}';
+  }
+  OS << "},\"index\":{";
+  bool FirstIdx = true;
+  for (const auto &[Name, Units] : Index) {
+    if (!FirstIdx)
+      OS << ',';
+    FirstIdx = false;
+    appendJsonString(OS, Name);
+    OS << ":[";
+    bool First = true;
+    for (const std::string &U : Units) {
+      if (!First)
+        OS << ',';
+      First = false;
+      appendJsonString(OS, U);
+    }
+    OS << ']';
+  }
+  OS << "}}";
+  return OS.str();
+}

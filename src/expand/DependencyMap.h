@@ -1,0 +1,218 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependency tracking for incremental re-expansion.
+///
+/// A unit's expansion is a function of (macro library state, unit source).
+/// The library is a bag of named definitions — macros, meta functions,
+/// meta globals — plus a little parse-steering state (typedefs, recorded
+/// variable types, options). When one definition changes, only the units
+/// whose expansion actually *touched* that definition need to be redone;
+/// everything else can replay its previous result verbatim.
+///
+/// Three pieces cooperate:
+///
+///  * DependencyRecorder — a collector the Expander and Interpreter feed
+///    while a unit expands: every invoked macro (the same event that
+///    pushes a provenance frame), every meta-level name resolved outside
+///    the local environment (meta functions, metadcl globals), and a
+///    conservative Unknown bit for anything the recorder cannot attribute.
+///    Recording deliberately OVER-approximates: a spurious dependency
+///    costs one needless re-expansion; a missing one costs a stale,
+///    wrong output. The property tests in tests/property_test.cpp pin
+///    this asymmetry down.
+///
+///  * DefinitionFingerprints — per-definition content hashes of one
+///    engine's library state (computed in cache/Fingerprint.cpp with the
+///    same printing/hashing machinery as Engine::stateFingerprint), plus
+///    whole-state hashes for the parse-steering residue. Diffing two of
+///    these yields a LibraryDelta: which macro bodies changed, which
+///    patterns changed (those re-steer parsing), which global values
+///    moved, and whether anything forces a full reset.
+///
+///  * DependencyMap — the inverted index: definition name -> the units
+///    (and invocation counts) that consumed it, built from the recorded
+///    per-unit deps. dirtyUnits(Delta) answers "who must re-expand".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_EXPAND_DEPENDENCYMAP_H
+#define MSQ_EXPAND_DEPENDENCYMAP_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace msq {
+
+class Engine;
+
+/// What one unit's expansion consumed from the surrounding library state.
+/// All names are plain strings (not interner Symbols) so deps survive
+/// engine rebuilds and can be compared across engines.
+struct UnitDeps {
+  /// Macros expanded in this unit, with invocation counts (every
+  /// enterInvocation, nested expansions included).
+  std::map<std::string, uint64_t> Macros;
+  /// Meta-level names resolved outside the unit's local frames while meta
+  /// code ran: meta functions called, metadcl globals read, builtins.
+  /// One set on purpose — attributing a name to the "function" or
+  /// "global" namespace at record time would have to replicate the
+  /// interpreter's resolution order, and a merged set is a sound
+  /// over-approximation of both.
+  std::set<std::string> MetaNames;
+  /// Set when the recorder saw something it could not attribute (or was
+  /// never attached); such a unit is dirty under ANY library change.
+  bool Unknown = false;
+
+  bool empty() const { return Macros.empty() && MetaNames.empty() && !Unknown; }
+};
+
+/// The collector the Expander/Interpreter feed during one unit. Header-only
+/// so the interpreter can call it without a link-time dependency on the
+/// expand library.
+class DependencyRecorder {
+public:
+  void noteMacro(std::string Name) { ++Deps.Macros[std::move(Name)]; }
+  void noteMetaName(std::string Name) { Deps.MetaNames.insert(std::move(Name)); }
+  void noteUnknown() { Deps.Unknown = true; }
+
+  const UnitDeps &deps() const { return Deps; }
+  UnitDeps take() { return std::move(Deps); }
+
+private:
+  UnitDeps Deps;
+};
+
+/// Per-definition content hashes of one engine's library state. Computed
+/// by computeDefinitionFingerprints (cache/Fingerprint.cpp); two captures
+/// are diffed into a LibraryDelta.
+struct DefinitionFingerprints {
+  /// False when some meta-global value cannot be hashed faithfully (a
+  /// closure, a live placeholder). An unstable capture admits no delta:
+  /// every diff against it reports a full reset.
+  bool Stable = true;
+  /// Expansion-relevant Engine::Options bits.
+  std::string OptionsHash;
+  /// Parse-steering state outside the definitions themselves: session
+  /// typedefs, recorded object-variable types. A change here can alter
+  /// how ANY unit parses, so it forces a full reset.
+  std::string ParseStateHash;
+  /// Macro name -> hash of its signature (return type + pattern). Pattern
+  /// changes re-steer parsing of any unit that mentions the name.
+  std::map<std::string, std::string> MacroSignature;
+  /// Macro name -> hash of the whole printed definition (body included).
+  std::map<std::string, std::string> MacroFull;
+  /// Meta function name -> hash of its printed definition.
+  std::map<std::string, std::string> MetaFunc;
+  /// Meta global name -> structural hash of its current VALUE (the
+  /// paper's non-local transformations make expansion depend on values).
+  std::map<std::string, std::string> GlobalValue;
+  /// Baseline gensym counter (fresh-name numbering is observable output).
+  uint64_t GensymCounter = 0;
+  /// Hash of all library source text (diagnostics and source maps can
+  /// render library file:line:col, so text motion alone can be visible).
+  std::string LibraryTextHash;
+};
+
+/// Defined in cache/Fingerprint.cpp (link msq_cache to use it): captures
+/// the engine's current library state as per-definition fingerprints.
+/// \p LibraryText is hashed into LibraryTextHash (the caller knows what
+/// sources built the engine; the engine's own session log may deliberately
+/// not be it). Wrapper over Engine::definitionFingerprints.
+DefinitionFingerprints
+computeDefinitionFingerprints(const Engine &E,
+                              const std::vector<std::string> &LibraryText);
+
+/// Names the incremental path took for one unit (metrics and tests).
+enum class IncrementalPath {
+  CleanReplay,  ///< previous result returned verbatim, zero engine work
+  TreeReuse,    ///< re-expanded from the cached parse tree (no lex/parse)
+  TokenReuse,   ///< re-parsed from the cached token stream (no lexing)
+  Cold,         ///< full lex + parse + expand
+};
+
+const char *incrementalPathName(IncrementalPath P);
+
+/// The classified difference between two library states.
+struct LibraryDelta {
+  /// Options, parse-steering state, or stability changed: every unit is
+  /// dirty and every cached parse tree is invalid.
+  bool FullReset = false;
+  /// Anything at all differs (FullReset implies AnyChange).
+  bool AnyChange = false;
+  /// Macros whose signature (pattern) changed, appeared, or vanished.
+  /// Dirty any unit whose SOURCE TOKENS mention the name — macro names
+  /// act as keywords, so presence of the identifier is exactly the
+  /// condition under which parsing can change — and invalidate those
+  /// units' cached trees.
+  std::set<std::string> PatternChanged;
+  /// Macros whose body changed but whose signature did not: cached trees
+  /// stay valid, units that invoked them are dirty.
+  std::set<std::string> BodyChanged;
+  /// Meta functions / meta globals whose definition or value changed,
+  /// appeared, or vanished: units whose MetaNames mention them are dirty.
+  std::set<std::string> MetaNamesChanged;
+  /// Baseline gensym counter moved: units that created gensyms are dirty
+  /// (their fresh-name numbering would come out different).
+  bool GensymBaseChanged = false;
+  /// Library source text changed at all: units whose results render
+  /// library locations (diagnostics, source maps) are dirty.
+  bool LibraryTextChanged = false;
+};
+
+/// Diffs two fingerprint captures. Either side unstable => FullReset.
+LibraryDelta diffDefinitions(const DefinitionFingerprints &Old,
+                             const DefinitionFingerprints &New);
+
+/// The inverted index: definition name -> consuming units. Built by an
+/// incremental driver (or the expansion server) from recorded UnitDeps.
+class DependencyMap {
+public:
+  /// Records/replaces \p Unit's dependencies.
+  void add(const std::string &Unit, const UnitDeps &Deps);
+  /// Drops \p Unit from the index.
+  void remove(const std::string &Unit);
+
+  /// Units that must re-expand under \p Delta. \p IdentsOf maps a unit to
+  /// the identifier set of its source tokens (for the PatternChanged
+  /// rule); a unit missing from it is treated as mentioning everything.
+  std::set<std::string>
+  dirtyUnits(const LibraryDelta &Delta,
+             const std::map<std::string, std::set<std::string>> &IdentsOf)
+      const;
+
+  /// True when \p Unit must re-expand under \p Delta (Unknown deps, a
+  /// touched macro/meta name, or — when \p MentionsPatternName — a
+  /// pattern-level change the unit's source could re-parse under).
+  bool isDirty(const std::string &Unit, const LibraryDelta &Delta,
+               const std::set<std::string> *UnitIdents) const;
+
+  /// The units recorded as consumers of definition \p Name (inverted
+  /// index lookup; macro and meta namespaces merged).
+  std::set<std::string> consumersOf(const std::string &Name) const;
+
+  const UnitDeps *depsOf(const std::string &Unit) const;
+  size_t size() const { return PerUnit.size(); }
+
+  /// {"units":{"u":{"macros":{"m":N,...},"meta":["g",...],"unknown":B}},
+  ///  "index":{"name":["u",...]}} — for metrics and debugging.
+  std::string toJson() const;
+
+private:
+  std::map<std::string, UnitDeps> PerUnit;
+  /// name -> units consuming it (macros and meta names merged; rebuilt
+  /// incrementally by add/remove).
+  std::map<std::string, std::set<std::string>> Index;
+};
+
+} // namespace msq
+
+#endif // MSQ_EXPAND_DEPENDENCYMAP_H

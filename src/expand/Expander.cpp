@@ -7,6 +7,8 @@
 
 #include "expand/Expander.h"
 
+#include "expand/DependencyMap.h"
+
 #include <chrono>
 
 using namespace msq;
@@ -16,6 +18,12 @@ Expander::Expander(CompilationContext &CC, Interpreter &Interp, Options Opts)
       QC{CC.Ast, CC.Interner, CC.Types, CC.Diags} {}
 
 void Expander::enterInvocation(const MacroInvocation *Inv) {
+  if (Opts.Deps) {
+    if (Inv->Def)
+      Opts.Deps->noteMacro(std::string(Inv->Def->Name.str()));
+    else
+      Opts.Deps->noteUnknown();
+  }
   if (!Opts.Prov)
     return;
   Symbol Name = Inv->Def ? Inv->Def->Name : Symbol();

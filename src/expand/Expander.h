@@ -30,6 +30,8 @@
 
 namespace msq {
 
+class DependencyRecorder;
+
 class Expander {
 public:
   struct Options {
@@ -43,6 +45,10 @@ public:
     /// stamped with the current frame id, and diagnostics reported while a
     /// macro runs carry its backtrace (Diags.setProvenanceFrame).
     ProvenanceTracker *Prov = nullptr;
+    /// When set, every invocation notes its macro's name here — the same
+    /// event that pushes a provenance frame, feeding the incremental
+    /// engine's DependencyMap (expand/DependencyMap.h).
+    DependencyRecorder *Deps = nullptr;
   };
 
   struct Stats {

@@ -7,10 +7,23 @@
 
 #include "interp/Interpreter.h"
 
+#include "expand/DependencyMap.h"
 #include "meta/MetaTypeCheck.h"
 #include "support/Fault.h"
 
 using namespace msq;
+
+void Interpreter::noteNameRead(Symbol Name, const EnvFrame *F) {
+  if (!DepRec)
+    return;
+  // A read is a LIBRARY dependency when it resolved in a frame that
+  // predated the unit (a session-global), or did not resolve at all — a
+  // later definition of the name would change the outcome. Unit-local
+  // bindings (call frames, block scopes, the unit's own metadcls once
+  // they flip GlobalsMutated) are not library state.
+  if (!F || UnitBaseFrames.count(F))
+    DepRec->noteMetaName(std::string(Name.str()));
+}
 
 const char *msq::nodeKindName(NodeKind K) {
   switch (K) {
@@ -421,13 +434,16 @@ Value Interpreter::evalExpr(const Expr *E, Env &Env_) {
     const auto *IE = cast<IdentExpr>(E);
     if (IE->Name.isPlaceholder())
       return error(E->loc(), "placeholder evaluated outside of a template");
-    if (Value *V = Env_.lookup(IE->Name.Sym)) {
+    EnvFrame *Frame = nullptr;
+    if (Value *V = Env_.lookup(IE->Name.Sym, &Frame)) {
+      noteNameRead(IE->Name.Sym, Frame);
       if (V->isUnset())
         return error(E->loc(), "meta variable '" +
                                    std::string(IE->Name.Sym.str()) +
                                    "' used before initialization");
       return *V;
     }
+    noteNameRead(IE->Name.Sym, nullptr);
     if (const MetaFunction *F = CC.MetaFuncs.lookup(IE->Name.Sym)) {
       Value V = Value::makeClosure(nullptr, {});
       const_cast<ClosureData &>(V.closure()).MetaFn = F;
@@ -665,6 +681,9 @@ Value Interpreter::evalExpr(const Expr *E, Env &Env_) {
       if (!Callee->Name.isPlaceholder() && !Env_.lookup(Callee->Name.Sym) &&
           !CC.MetaFuncs.lookup(Callee->Name.Sym)) {
         if (const BuiltinInfo *B = lookupBuiltin(Callee->Name.Sym.str())) {
+          // The builtin is reachable only while no library definition
+          // shadows the name, so the name itself is a dependency.
+          noteNameRead(Callee->Name.Sym, nullptr);
           std::vector<Value> Args;
           for (const Expr *Arg : C->Args)
             Args.push_back(evalExpr(Arg, Env_));
@@ -753,6 +772,8 @@ Value Interpreter::callCallable(const Value &Fn, std::vector<Value> Args,
 
 Value Interpreter::callMetaFunction(const MetaFunction *F,
                                     std::vector<Value> Args, SourceLoc Loc) {
+  if (DepRec)
+    DepRec->noteMetaName(std::string(F->Name.str()));
   if (Depth >= Lim.MaxCallDepth)
     return error(Loc, "meta-code call depth limit exceeded");
   const FunctionDef *Def = F->Def;

@@ -32,6 +32,8 @@
 
 namespace msq {
 
+class DependencyRecorder;
+
 class Interpreter {
 public:
   struct Limits {
@@ -107,6 +109,12 @@ public:
   size_t stepsExecuted() const { return Steps; }
   size_t gensymCount() const { return GensymCounter; }
 
+  /// Attaches a dependency recorder for the current unit (null detaches).
+  /// While attached, every meta-level name that resolves in a
+  /// session-global frame — or fails to resolve at all, since defining it
+  /// later would change the outcome — is noted (expand/DependencyMap.h).
+  void setDependencyRecorder(DependencyRecorder *R) { DepRec = R; }
+
   /// Accumulated expansion trace (empty unless Limits::TraceExpansions).
   const std::string &traceLog() const { return Trace; }
   void clearTraceLog() { Trace.clear(); }
@@ -142,6 +150,12 @@ private:
       GlobalsMutated = true;
   }
 
+  /// Dependency-recording twin of noteFrameWrite: a READ of \p Name that
+  /// resolved in frame \p F (null = unresolved) is a library dependency
+  /// when F is a session-global frame or the name is unbound (defined in
+  /// Interpreter.cpp to avoid a header dependency on the recorder).
+  void noteNameRead(Symbol Name, const EnvFrame *F);
+
   CompilationContext &CC;
   Limits Lim;
   QuasiContext QC;
@@ -171,6 +185,8 @@ private:
   // while block scopes and call frames are freshly allocated.
   std::unordered_set<const EnvFrame *> UnitBaseFrames;
   bool GlobalsMutated = false;
+  /// Dependency recorder for the current unit (see setDependencyRecorder).
+  DependencyRecorder *DepRec = nullptr;
 };
 
 /// Name of a node's kind ("binary-expression", ...) for the `->kind`

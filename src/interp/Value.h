@@ -62,6 +62,10 @@ public:
   EnvFrame *currentFrame() { return Frames.back().get(); }
   /// Looks \p Name up; returns nullptr when unbound.
   Value *lookup(Symbol Name);
+  /// Like lookup, also reporting the frame the binding was found in
+  /// (dependency recording needs to know whether a read resolved in a
+  /// session-global frame or a unit-local one).
+  Value *lookup(Symbol Name, EnvFrame **FrameOut);
 
   /// Snapshot for closures: shares all current frames.
   std::vector<std::shared_ptr<EnvFrame>> snapshot() const { return Frames; }
@@ -357,6 +361,20 @@ inline Value *Env::lookup(Symbol Name) {
     if (Found != (*It)->Vars.end())
       return &Found->second;
   }
+  return nullptr;
+}
+
+inline Value *Env::lookup(Symbol Name, EnvFrame **FrameOut) {
+  for (auto It = Frames.rbegin(); It != Frames.rend(); ++It) {
+    auto Found = (*It)->Vars.find(Name);
+    if (Found != (*It)->Vars.end()) {
+      if (FrameOut)
+        *FrameOut = It->get();
+      return &Found->second;
+    }
+  }
+  if (FrameOut)
+    *FrameOut = nullptr;
   return nullptr;
 }
 

@@ -67,6 +67,14 @@ public:
 
   size_t depth() const { return Scopes.size(); }
 
+  /// Read-only scope access (outermost first) — the incremental driver
+  /// diffs after-parse scopes against a baseline to replay a unit's
+  /// parse-time declarations without re-parsing.
+  const std::vector<std::unordered_map<Symbol, const MetaType *, SymbolHash>> &
+  scopes() const {
+    return Scopes;
+  }
+
 private:
   std::vector<std::unordered_map<Symbol, const MetaType *, SymbolHash>> Scopes;
 };

@@ -146,7 +146,12 @@ bool Parser::isTypedefName(Symbol Name) const {
 
 TranslationUnit *Parser::parseTranslationUnit(uint32_t BufferId) {
   Lexer Lex(BufferId, CC.SM.bufferContents(BufferId), CC.Interner, CC.Diags);
-  Toks = Lex.lexAll();
+  return parseTranslationUnitFromTokens(Lex.lexAll());
+}
+
+TranslationUnit *
+Parser::parseTranslationUnitFromTokens(std::vector<Token> TokensIn) {
+  Toks = std::move(TokensIn);
   Pos = 0;
   SourceLoc StartLoc = Toks.empty() ? SourceLoc() : Toks[0].Loc;
 

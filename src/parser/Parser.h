@@ -84,6 +84,14 @@ public:
   /// the DiagnosticsEngine for errors.
   TranslationUnit *parseTranslationUnit(uint32_t BufferId);
 
+  /// Parses an already-lexed token stream (Eof-terminated, as produced by
+  /// Lexer::lexAll) as a translation unit. The incremental engine's
+  /// token-cache path: lexing depends only on the source bytes, so a
+  /// cached stream can be re-parsed under changed macro definitions. The
+  /// vector is taken by value — the placeholder co-routine rewrites
+  /// tokens in place, so callers keep their cached copy intact.
+  TranslationUnit *parseTranslationUnitFromTokens(std::vector<Token> TokensIn);
+
   /// Fragment entry points for tests/benchmarks. Each parses the entire
   /// buffer as one fragment.
   Expr *parseExpressionFragment(uint32_t BufferId);

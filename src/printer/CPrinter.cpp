@@ -1051,3 +1051,19 @@ std::string msq::printDeclarator(const Declarator *D,
   P.printDeclaratorInner(D);
   return P.take();
 }
+
+std::string msq::printMacroSignature(const MacroDef *M) {
+  if (!M)
+    return "";
+  Printer P(PrintOptions{});
+  // The signature is everything that steers PARSING of an invocation:
+  // return meta-type, name, and the pattern — the body deliberately
+  // excluded (a body-only edit leaves invocation parse trees valid).
+  std::string Sig = M->ReturnType ? M->ReturnType->toString() : std::string();
+  Sig += ' ';
+  Sig += M->Name.str();
+  Sig += " {| ";
+  if (M->Pat)
+    P.printPattern(*M->Pat);
+  return Sig + P.take() + "|}";
+}

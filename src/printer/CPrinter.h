@@ -47,6 +47,13 @@ std::string printExpr(const Expr *E, const PrintOptions &Opts = {});
 /// Renders a declarator (used in diagnostics and tests).
 std::string printDeclarator(const Declarator *D, const PrintOptions &Opts = {});
 
+/// Renders a macro definition's parse-steering signature — return
+/// meta-type, name, and pattern, but NOT the body. Two macros with equal
+/// signatures parse invocations identically, which is what lets the
+/// incremental engine keep cached parse trees across body-only edits
+/// (cache/Fingerprint.cpp keys per-definition fingerprints on this).
+std::string printMacroSignature(const MacroDef *M);
+
 } // namespace msq
 
 #endif // MSQ_PRINTER_CPRINTER_H

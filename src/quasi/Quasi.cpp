@@ -37,13 +37,16 @@ public:
   }
 
   //===------------------------------------------------------------------===//
-  // Value -> AST conversions (cloning)
+  // Value -> AST conversions (cloning). AST values can carry a null node
+  // (a meta evaluation that already diagnosed an error leaves one behind),
+  // so every cast must be the _or_null form: a null falls through to the
+  // "cannot stand for" diagnostic instead of crashing.
   //===------------------------------------------------------------------===//
 
   Expr *toExpr(const Value &V, SourceLoc Loc) {
     switch (V.kind()) {
     case Value::AstV:
-      if (auto *E = dyn_cast<Expr>(V.astValue()))
+      if (auto *E = dyn_cast_or_null<Expr>(V.astValue()))
         return cloneExpr(QC.A, E);
       break;
     case Value::IdentVal:
@@ -65,7 +68,7 @@ public:
 
   Stmt *toStmt(const Value &V, SourceLoc Loc) {
     if (V.kind() == Value::AstV)
-      if (auto *S = dyn_cast<Stmt>(V.astValue()))
+      if (auto *S = dyn_cast_or_null<Stmt>(V.astValue()))
         return cloneStmt(QC.A, S);
     QC.Diags.error(Loc, "placeholder value (" + describeValue(V) +
                             ") cannot stand for a statement");
@@ -74,7 +77,7 @@ public:
 
   Decl *toDecl(const Value &V, SourceLoc Loc) {
     if (V.kind() == Value::AstV)
-      if (auto *D = dyn_cast<Decl>(V.astValue()))
+      if (auto *D = dyn_cast_or_null<Decl>(V.astValue()))
         return cloneDecl(QC.A, D);
     QC.Diags.error(Loc, "placeholder value (" + describeValue(V) +
                             ") cannot stand for a declaration");
@@ -83,7 +86,7 @@ public:
 
   TypeSpecNode *toTypeSpec(const Value &V, SourceLoc Loc) {
     if (V.kind() == Value::AstV)
-      if (auto *T = dyn_cast<TypeSpecNode>(V.astValue()))
+      if (auto *T = dyn_cast_or_null<TypeSpecNode>(V.astValue()))
         return cast<TypeSpecNode>(cloneNode(QC.A, T));
     // An identifier can stand for a typedef name.
     if (V.kind() == Value::IdentVal && !V.identValue().isPlaceholder())
@@ -97,7 +100,7 @@ public:
     if (V.kind() == Value::IdentVal)
       return V.identValue();
     if (V.kind() == Value::AstV)
-      if (auto *IE = dyn_cast<IdentExpr>(V.astValue()))
+      if (auto *IE = dyn_cast_or_null<IdentExpr>(V.astValue()))
         return IE->Name;
     QC.Diags.error(Loc, "placeholder value (" + describeValue(V) +
                             ") cannot stand for an identifier");

@@ -24,6 +24,30 @@ namespace {
 constexpr int SpawnAttempts = 4;
 constexpr unsigned SpawnBackoffCapMs = 8;
 
+/// Identifier spellings appearing anywhere in \p Source. A textual scan
+/// over-approximates the token identifier set (it also hits comments and
+/// string literals), which is the safe direction for the dependency
+/// map's pattern rule.
+std::set<std::string> identifiersIn(const std::string &Source) {
+  std::set<std::string> Out;
+  size_t I = 0, N = Source.size();
+  auto Start = [](char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+  };
+  auto Cont = [&](char C) { return Start(C) || (C >= '0' && C <= '9'); };
+  while (I < N) {
+    if (Start(Source[I])) {
+      size_t B = I;
+      while (I < N && Cont(Source[I]))
+        ++I;
+      Out.insert(Source.substr(B, I - B));
+    } else {
+      ++I;
+    }
+  }
+  return Out;
+}
+
 } // namespace
 
 Server::Server(ServerOptions Opts) : SO(std::move(Opts)) {
@@ -280,11 +304,38 @@ ExpandResult Server::processJob(const Job &J, WorkerEngine &W,
       fault::shouldFail(fault::Point::ServerWorkerCrash))
     throw fault::InjectedCrash("injected crash at server.worker_crash");
 
-  ExpandResult R = W.E->expandUnrecorded(J.Unit.Name, J.Unit.Source);
+  // Deps are recorded only when the result may be stored: they are what
+  // lets the next reload carry the entry across a library delta.
+  DependencyRecorder Rec;
+  Engine::ReexpandHooks Hooks;
+  if (TryCache)
+    Hooks.Deps = &Rec;
+  ExpandResult R = W.E->reexpand(J.Unit.Name, J.Unit.Source, Hooks);
   if (Cache && J.RO.UseCache && !J.RO.LintOnly) {
     if (TryCache && expansionResultCacheable(R)) {
       ++Stats.Misses;
       Cache->store(Key, cachedExpansionFromResult(R), Stats);
+
+      CacheLedgerEntry LE;
+      LE.Unit = J.Unit;
+      LE.EffSteps = EffSteps;
+      LE.Provenance = EffProv;
+      LE.LibFingerprint = LS.Fingerprint;
+      LE.Deps = Rec.take();
+      // Mutated meta globals (or an injected fault) have effects the
+      // recorder cannot attribute; such entries never survive a delta.
+      LE.Deps.Unknown |=
+          R.MetaGlobalsMutated || R.FaultInjected || R.Quarantined;
+      LE.Idents = identifiersIn(J.Unit.Source);
+      LE.CreatedGensyms = R.GensymsCreated > 0;
+      for (const std::string &LibName : LS.UnitNames)
+        if (R.DiagnosticsText.find(LibName) != std::string::npos ||
+            R.SourceMapJson.find(LibName) != std::string::npos) {
+          LE.RefsLibText = true;
+          break;
+        }
+      std::lock_guard<std::mutex> Lock(LedgerMutex);
+      Ledger[Key] = std::move(LE);
     } else {
       ++Stats.Uncacheable;
     }
@@ -320,9 +371,17 @@ Server::reloadLibrary(const std::vector<SourceUnit> &Sources,
   auto NewLib = std::make_shared<LibraryState>();
   NewLib->Snap = Candidate->snapshot();
   NewLib->Fingerprint = Candidate->stateFingerprint(&NewLib->Stable);
+  std::vector<std::string> LibText;
+  for (const SourceUnit &S : Sources) {
+    NewLib->UnitNames.push_back(S.Name);
+    LibText.push_back(S.Name);
+    LibText.push_back(S.Source);
+  }
+  NewLib->DefFP = Candidate->definitionFingerprints(LibText);
 
   uint64_t NewGen;
   bool Changed;
+  std::shared_ptr<const LibraryState> OldLib;
   {
     std::lock_guard<std::mutex> Lock(LibMutex);
     // An idempotent reload (same fingerprint, both stable) keeps the
@@ -332,20 +391,81 @@ Server::reloadLibrary(const std::vector<SourceUnit> &Sources,
               Lib->Fingerprint != NewLib->Fingerprint;
     NewGen = Lib ? (Changed ? Lib->Generation + 1 : Lib->Generation) : 1;
     NewLib->Generation = NewGen;
-    Lib = std::move(NewLib);
+    OldLib = Lib;
+    Lib = NewLib;
   }
+  uint64_t Rekeyed = 0, Invalidated = 0;
   if (Cache && Changed) {
-    // Old-fingerprint keys can no longer be produced by new requests;
-    // prune the memory tier. (In-flight old-generation requests may
-    // still store a few entries afterwards — they are swept by the next
-    // changing reload.)
+    // Selective invalidation: classify the old->new delta and REKEY
+    // every ledgered entry the delta provably cannot reach onto the new
+    // fingerprint — those units would expand byte-identically under the
+    // new library, so their entries stay warm across the reload. Every
+    // other old-fingerprint key is pruned. (In-flight old-generation
+    // requests may still store a few entries afterwards — they are swept
+    // by the next changing reload.)
     Cache->setGeneration(NewGen);
+    if (OldLib && OldLib->Stable && NewLib->Stable) {
+      LibraryDelta Delta = diffDefinitions(OldLib->DefFP, NewLib->DefFP);
+      // With definition-time linting on, every result embeds findings
+      // over the WHOLE library (the incremental driver dirties the world
+      // for the same reason).
+      const bool LintAll = SO.EngineOpts.Lint.Enabled && Delta.AnyChange;
+      std::lock_guard<std::mutex> Lock(LedgerMutex);
+      DependencyMap DM;
+      for (const auto &[Key, LE] : Ledger)
+        DM.add(Key, LE.Deps);
+      // Two passes: decide first, move second — reinserting under the
+      // new key while iterating could revisit the moved node.
+      std::vector<std::pair<std::string, std::string>> Moves;
+      for (auto It = Ledger.begin(); It != Ledger.end();) {
+        const std::string &Key = It->first;
+        const CacheLedgerEntry &LE = It->second;
+        bool Dirty = Delta.FullReset || LintAll ||
+                     LE.LibFingerprint != OldLib->Fingerprint ||
+                     DM.isDirty(Key, Delta, &LE.Idents) ||
+                     (Delta.GensymBaseChanged && LE.CreatedGensyms) ||
+                     (Delta.LibraryTextChanged && LE.RefsLibText);
+        if (!Dirty) {
+          Moves.emplace_back(Key, expansionCacheKey(
+                                      NewLib->Fingerprint, LE.Unit,
+                                      LE.EffSteps,
+                                      SO.EngineOpts.CollectProfile,
+                                      LE.Provenance));
+          ++It;
+        } else {
+          ++Invalidated;
+          It = Ledger.erase(It);
+        }
+      }
+      for (auto &[OldKey, NewKey] : Moves) {
+        // rekey can miss if the memory tier already dropped the entry
+        // (e.g. it only ever lived on disk); then the ledger drops too.
+        if (Cache->rekey(OldKey, NewKey)) {
+          ++Rekeyed;
+          auto Node = Ledger.extract(OldKey);
+          Node.mapped().LibFingerprint = NewLib->Fingerprint;
+          Node.key() = std::move(NewKey);
+          Ledger.insert(std::move(Node));
+        } else {
+          ++Invalidated;
+          Ledger.erase(OldKey);
+        }
+      }
+    } else {
+      std::lock_guard<std::mutex> Lock(LedgerMutex);
+      Invalidated = Ledger.size();
+      Ledger.clear();
+    }
     Cache->evictGenerationsBefore(NewGen);
   }
+  ReloadRekeyed += Rekeyed;
+  ReloadInvalidated += Invalidated;
   ++Reloads;
   log("{\"event\":\"reload\",\"generation\":" + std::to_string(NewGen) +
       ",\"changed\":" + (Changed ? "true" : "false") +
       ",\"sources\":" + std::to_string(Sources.size()) +
+      ",\"rekeyed\":" + std::to_string(Rekeyed) +
+      ",\"invalidated\":" + std::to_string(Invalidated) +
       ",\"stdlib\":" + (LoadStdlib ? "true" : "false") + "}");
 
   O.Success = true;
@@ -399,6 +519,10 @@ std::string Server::metricsJson() const {
   Out += std::to_string(Failed.load());
   Out += ",\"reloads\":";
   Out += std::to_string(Reloads.load());
+  Out += ",\"reload_rekeyed\":";
+  Out += std::to_string(ReloadRekeyed.load());
+  Out += ",\"reload_invalidated\":";
+  Out += std::to_string(ReloadInvalidated.load());
   Out += ",\"queue_depth\":";
   Out += std::to_string(queueDepth());
   Out += ",\"workers\":";

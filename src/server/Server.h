@@ -29,7 +29,12 @@
 ///    advances when the library FINGERPRINT changes; an idempotent
 ///    reload keeps generation, worker engines, and cache entries alive.
 ///    On a real change, the content-addressed cache invalidates
-///    selectively for free (old keys just miss) and the memory tier is
+///    selectively: the reload diffs the old and new libraries'
+///    per-definition fingerprints (expand/DependencyMap.h) and REKEYS
+///    every memory-tier entry whose recorded dependencies the delta
+///    cannot reach onto the new fingerprint — a macro-body edit keeps
+///    every unit that never invoked the macro warm across the reload.
+///    Entries the delta can reach (and old-fingerprint stragglers) are
 ///    pruned via ExpansionCache::evictGenerationsBefore.
 ///  * OBSERVABILITY — counters, a latency histogram (p50/p95/p99), the
 ///    cache stats (including disk-tier failure counters), an aggregate
@@ -49,8 +54,12 @@
 #define MSQ_SERVER_SERVER_H
 
 #include "api/Msq.h"
+#include "expand/DependencyMap.h"
 #include "support/Histogram.h"
 #include "support/Metrics.h"
+
+#include <map>
+#include <set>
 
 #include <atomic>
 #include <chrono>
@@ -168,6 +177,13 @@ private:
     std::string Fingerprint;
     bool Stable = false;
     uint64_t Generation = 0;
+    /// Per-definition fingerprints of this incarnation: diffed against
+    /// the next reload's capture to classify the delta for selective
+    /// cache invalidation.
+    DefinitionFingerprints DefFP;
+    /// Names of the library source units (diagnostics or source maps
+    /// that render one of them pin a cache entry to this library text).
+    std::vector<std::string> UnitNames;
   };
 
   struct Job {
@@ -199,6 +215,27 @@ private:
 
   std::shared_ptr<ExpansionCache> Cache; ///< null when caching is off
 
+  /// What one stored cache entry depended on — enough to decide, at the
+  /// next reload, whether the entry survives the library delta (rekeyed
+  /// to the new fingerprint) or dies with its generation. Keyed by the
+  /// entry's cache key.
+  struct CacheLedgerEntry {
+    SourceUnit Unit;
+    size_t EffSteps = 0;
+    bool Provenance = false;
+    /// Fingerprint of the library the key was built under: only entries
+    /// keyed under the OUTGOING library are candidates for rekeying.
+    std::string LibFingerprint;
+    UnitDeps Deps;
+    /// Identifiers in the unit source (the PatternChanged rule).
+    std::set<std::string> Idents;
+    bool CreatedGensyms = false;
+    /// Diagnostics or source map render a library unit's name.
+    bool RefsLibText = false;
+  };
+  std::mutex LedgerMutex;
+  std::map<std::string, CacheLedgerEntry> Ledger;
+
   // Scheduler.
   mutable std::mutex QueueMutex;
   std::condition_variable WorkCv;  ///< workers wait for jobs / drain
@@ -216,6 +253,10 @@ private:
   std::atomic<uint64_t> Completed{0};
   std::atomic<uint64_t> Failed{0};
   std::atomic<uint64_t> Reloads{0};
+  /// Cache entries carried across a changing reload because the library
+  /// delta provably cannot reach them / dropped because it can.
+  std::atomic<uint64_t> ReloadRekeyed{0};
+  std::atomic<uint64_t> ReloadInvalidated{0};
   mutable std::mutex MetricsMutex;
   LatencyHistogram Latency;
   CacheStats CacheTotals;

@@ -20,7 +20,7 @@ namespace {
 constexpr const char *PointNames[fault::NumPoints] = {
     "cache.disk_read",   "cache.disk_write",   "server.accept",
     "server.worker_spawn", "server.worker_crash", "interp.alloc",
-    "batch.unit_start",
+    "batch.unit_start",  "incr.token_cache",   "incr.tree_cache",
 };
 
 /// splitmix64: the per-evaluation decision stream for p= schedules. Keyed

@@ -64,8 +64,10 @@ enum class Point : unsigned {
   ServerWorkerCrash,///< server.worker_crash — a worker dying mid-request
   InterpAlloc,      ///< interp.alloc — meta-interpreter resource exhaustion
   BatchUnitStart,   ///< batch.unit_start — a batch unit dying at start
+  IncrTokenCache,   ///< incr.token_cache — token-stream cache lookup
+  IncrTreeCache,    ///< incr.tree_cache — parse-tree cache lookup
 };
-constexpr unsigned NumPoints = 7;
+constexpr unsigned NumPoints = 9;
 
 namespace detail {
 /// True while any point is armed. The ONLY state the fast path touches.

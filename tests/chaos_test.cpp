@@ -19,10 +19,15 @@
 #include "api/Msq.h"
 #include "cache/ExpansionCache.h"
 #include "driver/BatchDriver.h"
+#include "driver/Incremental.h"
 #include "support/Fault.h"
 #include "support/Metrics.h"
 
+#include "edit_fuzz.h"
+
 #include <gtest/gtest.h>
+
+#include <random>
 
 #include <cstdlib>
 #include <filesystem>
@@ -276,6 +281,82 @@ TEST(Chaos, SameSeedSameSingleThreadedOutcome) {
   // With p=0.1 over 64 batch.unit_start draws, a zero-failure run would
   // mean the schedule never armed; guard against silent no-ops.
   EXPECT_GT(Failures, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Composition with the incremental tier: faulted sub-unit caches degrade
+// to colder re-expansion paths, never to different bytes
+//===----------------------------------------------------------------------===//
+
+TEST(Chaos, IncrementalCacheFaultsDegradeToColderPathsByteIdentically) {
+  // The incr.token_cache / incr.tree_cache points turn cache lookups into
+  // misses: the driver silently takes a colder path (tree -> token ->
+  // cold). Under an edit-fuzzing run with both points firing at p=0.35,
+  // EVERY result must still be byte-identical to a fault-free
+  // from-scratch engine — including provenance backtraces and source
+  // maps. (These two points have no failure mode that is allowed to
+  // surface; a structured error here would itself be a bug.)
+  uint64_t Seed = chaosSeed();
+  std::mt19937 Rng(static_cast<unsigned>(Seed) * 2246822519u + 3);
+  editfuzz::Corpus C = editfuzz::makeCorpus(Rng, 6, 10, 8);
+
+  IncrementalOptions IO;
+  IO.EngineOpts.TrackProvenance = true;
+  IO.EngineOpts.EmitSourceMap = true;
+  IncrementalDriver D(IO);
+
+  fault::ScopedSchedule S(
+      "incr.token_cache:p=0.35,seed=" + std::to_string(Seed) +
+      ";incr.tree_cache:p=0.35,seed=" + std::to_string(Seed + 1));
+  ASSERT_TRUE(S.Ok) << S.Error;
+
+  size_t Checked = 0, Mismatches = 0;
+  for (int Iter = 0; Iter != 25; ++Iter) {
+    D.setLibrary(C.library());
+    std::vector<SourceUnit> Units = C.units();
+    IncrementalResult R = D.run(Units);
+    ASSERT_EQ(R.Results.size(), Units.size());
+
+    // The reference never touches the sub-unit caches, so the armed
+    // schedule cannot perturb it.
+    Engine Ref(IO.EngineOpts);
+    for (const SourceUnit &L : C.library())
+      Ref.expandUnrecorded(L.Name, L.Source);
+    Engine::SessionCheckpoint CP = Ref.checkpoint();
+    for (size_t I = 0; I != Units.size(); ++I) {
+      Ref.restoreCheckpoint(CP);
+      ExpandResult Want = Ref.expandUnrecorded(Units[I].Name,
+                                               Units[I].Source);
+      const ExpandResult &Got = R.Results[I];
+      EXPECT_EQ(Got.Success, Want.Success) << Units[I].Name;
+      EXPECT_EQ(Got.Output, Want.Output) << Units[I].Name;
+      EXPECT_EQ(Got.DiagnosticsText, Want.DiagnosticsText) << Units[I].Name;
+      EXPECT_EQ(Got.SourceMapJson, Want.SourceMapJson) << Units[I].Name;
+      if (Got.Output != Want.Output || Got.Success != Want.Success ||
+          Got.DiagnosticsText != Want.DiagnosticsText ||
+          Got.SourceMapJson != Want.SourceMapJson)
+        ++Mismatches;
+      ++Checked;
+    }
+    editfuzz::applyRandomEdit(C, Rng);
+  }
+  EXPECT_EQ(Mismatches, 0u);
+
+  // Guard against a silently disarmed schedule: at p=0.35 over hundreds
+  // of lookups, both points must have fired.
+  SubUnitCacheStats St = D.subUnitStats();
+  EXPECT_GT(St.TokenFaults, 0u);
+  EXPECT_GT(St.TreeFaults, 0u);
+  EXPECT_GT(fault::trips(fault::Point::IncrTokenCache), 0u);
+  EXPECT_GT(fault::trips(fault::Point::IncrTreeCache), 0u);
+
+  writeChaosMetrics(
+      "chaos_incremental_seed" + std::to_string(Seed) + ".json",
+      "{\"seed\":" + std::to_string(Seed) +
+          ",\"checked\":" + std::to_string(Checked) +
+          ",\"mismatches\":" + std::to_string(Mismatches) +
+          ",\"subunit_cache\":" + St.toJson() +
+          ",\"faults\":" + fault::statsJson() + "}");
 }
 
 } // namespace

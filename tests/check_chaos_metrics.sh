@@ -9,8 +9,14 @@
 # be in play — exactly the silent-environmental-flake signal the nightly
 # exists to catch.
 #
-# Plain grep/awk over the known JSON shapes (CacheStats::toJson and
-# fault::statsJson) — CI runners are not guaranteed to have jq.
+# The incremental composition run (chaos_incremental_*.json) gets the
+# same treatment in the other direction: it must report zero differential
+# mismatches, and its sub-unit cache faults must be backed by recorded
+# incr.token_cache / incr.tree_cache trips.
+#
+# Plain grep/awk over the known JSON shapes (CacheStats::toJson,
+# SubUnitCacheStats::toJson and fault::statsJson) — CI runners are not
+# guaranteed to have jq.
 set -eu
 
 DIR=${1:?usage: check_chaos_metrics.sh <metrics-dir>}
@@ -39,5 +45,28 @@ for F in $FILES; do
         echo "check_chaos_metrics: FAIL: $F reports disk_degraded=$DEGRADED with no injected cache.disk_write trips (real disk failure during a chaos run?)" >&2
         STATUS=1
     fi
+
+    case $(basename "$F") in
+    chaos_incremental_*)
+        # The incremental differential under cache faults: any mismatch is
+        # a correctness bug, and reported cache faults must come from the
+        # injected schedule, not a real failure.
+        MISMATCHES=$(grep -o '"mismatches":[0-9]*' "$F" | awk -F: '
+            {if ($2 > max) max = $2} END {print max + 0}')
+        CACHE_FAULTS=$(grep -o '"faults":[0-9]*' "$F" | awk -F: '
+            {sum += $2} END {print sum + 0}')
+        INCR_TRIPS=$(grep -o '"incr.[a-z_]*":{"evaluations":[0-9]*,"trips":[0-9]*' \
+            "$F" | awk -F'"trips":' '{sum += $2} END {print sum + 0}')
+        echo "check_chaos_metrics: $(basename "$F"): mismatches=$MISMATCHES subunit_faults=$CACHE_FAULTS incr trips=$INCR_TRIPS"
+        if [ "$MISMATCHES" -gt 0 ]; then
+            echo "check_chaos_metrics: FAIL: $F reports $MISMATCHES incremental differential mismatches under cache faults" >&2
+            STATUS=1
+        fi
+        if [ "$CACHE_FAULTS" -gt 0 ] && [ "$INCR_TRIPS" -eq 0 ]; then
+            echo "check_chaos_metrics: FAIL: $F reports sub-unit cache faults with no injected incr.* trips" >&2
+            STATUS=1
+        fi
+        ;;
+    esac
 done
 exit $STATUS

@@ -1,0 +1,72 @@
+#!/bin/sh
+# check_incremental_metrics.sh <metrics-dir>
+#
+# Gate for the incremental re-expansion tier. Scans every metrics JSON
+# dropped under <metrics-dir> — the edit-fuzz differential runs
+# (incremental_fuzz_*.json, written by incremental_diff_test when
+# MSQ_INCR_METRICS_DIR is set) and the bench acceptance run
+# (incremental_bench*.json, the stdout of
+# `expansion_throughput --incremental`) — and fails when:
+#
+#   * any file reports diff_mismatches > 0 (an incremental result that
+#     was not byte-identical to from-scratch expansion), or
+#   * a bench file reports dirty_over_cold > 0.5 (a one-macro edit should
+#     re-expand in well under half the cold time; the working target is
+#     <= 0.1, the gate leaves headroom for noisy CI hosts), or
+#   * a fuzz file shows an incremental path that never ran (a silently
+#     disabled path would make the differential vacuous).
+#
+# Plain grep/awk over the known JSON shapes — CI runners are not
+# guaranteed to have jq.
+set -eu
+
+DIR=${1:?usage: check_incremental_metrics.sh <metrics-dir>}
+
+if [ ! -d "$DIR" ]; then
+    echo "check_incremental_metrics: no metrics directory at $DIR" >&2
+    exit 1
+fi
+
+FILES=$(find "$DIR" -name '*.json' | sort)
+if [ -z "$FILES" ]; then
+    echo "check_incremental_metrics: no metrics JSON found in $DIR" >&2
+    exit 1
+fi
+
+STATUS=0
+for F in $FILES; do
+    BASE=$(basename "$F")
+
+    MISMATCHES=$(grep -o '"diff_mismatches":[0-9]*' "$F" | awk -F: '
+        {if ($2 > max) max = $2} END {print max + 0}')
+    echo "check_incremental_metrics: $BASE: diff_mismatches=$MISMATCHES"
+    if [ "$MISMATCHES" -gt 0 ]; then
+        echo "check_incremental_metrics: FAIL: $F reports $MISMATCHES non-identical incremental results" >&2
+        STATUS=1
+    fi
+
+    case $BASE in
+    incremental_fuzz_*)
+        for PATHNAME in clean tree tokens cold; do
+            COUNT=$(grep -o "\"$PATHNAME\":[0-9]*" "$F" | head -1 | awk -F: '
+                {print $2 + 0}')
+            if [ "$COUNT" -eq 0 ]; then
+                echo "check_incremental_metrics: FAIL: $F: the '$PATHNAME' path never ran during the fuzz (differential is not covering it)" >&2
+                STATUS=1
+            fi
+        done
+        ;;
+    incremental_bench*)
+        RATIO_OK=$(grep -o '"dirty_over_cold":[0-9.]*' "$F" | awk -F: '
+            {if ($2 > max) max = $2} END {print (max <= 0.5) ? 1 : 0}')
+        RATIO=$(grep -o '"dirty_over_cold":[0-9.]*' "$F" | awk -F: '
+            {if ($2 > max) max = $2} END {print max + 0}')
+        echo "check_incremental_metrics: $BASE: dirty_over_cold=$RATIO"
+        if [ "$RATIO_OK" -ne 1 ]; then
+            echo "check_incremental_metrics: FAIL: $F: warm-dirty time is ${RATIO}x cold time (gate: 0.5x)" >&2
+            STATUS=1
+        fi
+        ;;
+    esac
+done
+exit $STATUS

@@ -189,4 +189,28 @@ void f(void) { }
   EXPECT_FALSE(D.empty());
 }
 
+// Regression: a macro whose body references an undefined meta function is
+// registered at parse time (so later units still parse), and invoking it
+// from a LATER unit used to crash splicing the unset @exp value. Both the
+// definition and the invocation must fail with diagnostics instead.
+TEST(Diagnostics, InvokingMacroWithBrokenBodyFromLaterUnitDiagnoses) {
+  Engine E;
+  ExpandResult Lib = E.expandUnrecorded("lib.c", R"(
+syntax exp m {| ( $$exp::e ) |}
+{
+    @exp r = undefined_fn(e);
+    return `($r);
+}
+)");
+  EXPECT_FALSE(Lib.Success);
+  EXPECT_NE(Lib.DiagnosticsText.find("undeclared meta variable"),
+            std::string::npos)
+      << Lib.DiagnosticsText;
+  ExpandResult Use = E.expandUnrecorded("u.c", "int x = m( 1 );\n");
+  EXPECT_FALSE(Use.Success);
+  EXPECT_NE(Use.DiagnosticsText.find("cannot stand for an expression"),
+            std::string::npos)
+      << Use.DiagnosticsText;
+}
+
 } // namespace

@@ -1,0 +1,244 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Seeded edit-fuzzing corpus for the incremental re-expansion tier, shared
+// by tests/incremental_diff_test.cpp, tests/chaos_test.cpp, and
+// bench/expansion_throughput.cpp --incremental.
+//
+// The corpus is a macro library plus N translation units, both RENDERED
+// from a small vector of knobs (per-macro body constants, pattern arities,
+// alive bits, per-global seed values, a whitespace pad). A "random edit"
+// mutates one knob and re-renders, which gives the mutation taxonomy the
+// issue calls for — macro body edits, signature (pattern) edits, macro
+// add/remove, meta-global writes, whitespace-only library edits, unit
+// edits — with perfectly reproducible sources for any seed.
+//
+// Seed comes from MSQ_INCR_SEED (mirroring MSQ_CHAOS_SEED); everything
+// downstream is a deterministic function of it.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_TESTS_EDIT_FUZZ_H
+#define MSQ_TESTS_EDIT_FUZZ_H
+
+#include "api/Msq.h"
+
+#include <cstdlib>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace msq::editfuzz {
+
+/// Reads an unsigned seed from \p Var (default \p Default). Same contract
+/// as the chaos tier's MSQ_CHAOS_SEED reader.
+inline unsigned seedFromEnv(const char *Var, unsigned Default) {
+  if (const char *S = std::getenv(Var))
+    if (*S)
+      return static_cast<unsigned>(std::strtoul(S, nullptr, 10));
+  return Default;
+}
+
+/// The kinds of library/unit edits the fuzzer applies.
+enum class EditKind {
+  MacroBody,      ///< one macro's body constant changes (body-only delta)
+  PatternChange,  ///< one macro's pattern arity flips (signature delta)
+  AddMacro,       ///< a macro no unit invokes is appended
+  RemoveMacro,    ///< one macro vanishes (its invocations parse as calls)
+  GlobalWrite,    ///< a library unit writes a different meta-global value
+  WhitespaceOnly, ///< library text moves, definitions stay identical
+  UnitEdit,       ///< one unit's own source changes (cold re-expansion)
+};
+
+inline const char *editKindName(EditKind K) {
+  switch (K) {
+  case EditKind::MacroBody:
+    return "macro-body";
+  case EditKind::PatternChange:
+    return "pattern";
+  case EditKind::AddMacro:
+    return "add-macro";
+  case EditKind::RemoveMacro:
+    return "remove-macro";
+  case EditKind::GlobalWrite:
+    return "global-write";
+  case EditKind::WhitespaceOnly:
+    return "whitespace";
+  case EditKind::UnitEdit:
+    return "unit-edit";
+  }
+  return "?";
+}
+
+/// Knob-rendered corpus: mutate knobs, re-render, re-run.
+struct Corpus {
+  int NumMacros = 8;
+  int NumGlobals = 4;
+  int NumUnits = 12;
+  int InvocationsPerUnit = 16;
+
+  std::vector<int> BodyConst;    ///< per-macro body constant
+  std::vector<int> PatternArity; ///< 1 or 2 expression args
+  std::vector<bool> Alive;       ///< false = macro removed
+  std::vector<int> GlobalSeed;   ///< value seed.c writes into each global
+  std::vector<int> UnitSalt;     ///< per-unit argument salt (unit edits)
+  /// Arity each unit was GENERATED against (a frozen copy of the initial
+  /// PatternArity): a later pattern flip must leave unit bytes untouched —
+  /// that is exactly what makes it a signature-only edit, exercised via
+  /// token reuse, with honest parse errors at now-mismatched sites.
+  std::vector<int> UnitArity;
+  int ExtraMacros = 0;           ///< appended, never-invoked macros
+  int WhitespacePad = 0;         ///< trailing blank lines on lib.c
+
+  /// The library as (lib.c, seed.c): definitions first, then a unit that
+  /// WRITES the meta globals during its own expansion — the paper's
+  /// non-local accumulation, and the cross-unit scenario of the
+  /// meta-global regression test (a value change must dirty readers).
+  std::vector<SourceUnit> library() const {
+    std::ostringstream L;
+    for (int G = 0; G != NumGlobals; ++G)
+      L << "metadcl int g" << G << ";\n";
+    L << "\n@exp fuzz_sum(@exp a, @exp b)\n{\n"
+      << "    return `(($a) + ($b));\n}\n\n";
+    for (int G = 0; G != NumGlobals; ++G) {
+      // The seed value is rendered into gset's BODY: a GlobalWrite edit is
+      // thus a body edit of gsetG whose replay (seed.c below) writes a
+      // different value into gG — the delta readers must observe.
+      L << "syntax exp gset" << G << " {| ( ) |}\n{\n"
+        << "    g" << G << " = " << GlobalSeed[G] << ";\n    return `("
+        << GlobalSeed[G] << ");\n}\n";
+      L << "syntax exp gread" << G << " {| ( ) |}\n{\n"
+        << "    return `($(g" << G << "));\n}\n";
+    }
+    for (int M = 0; M != NumMacros; ++M) {
+      if (!Alive[M])
+        continue;
+      L << "syntax stmt mac" << M;
+      if (PatternArity[M] == 1)
+        L << " {| ( $$exp::a ) |}\n{\n"
+          << "    @id t = gensym(\"t\");\n"
+          << "    @exp sum = fuzz_sum(a, `(" << BodyConst[M] << "));\n"
+          << "    return `{\n"
+          << "        int $t;\n"
+          << "        $t = $sum;\n"
+          << "        sink" << M << "($t);\n"
+          << "    };\n}\n";
+      else
+        L << " {| ( $$exp::a , $$exp::b ) |}\n{\n"
+          << "    @id t = gensym(\"t\");\n"
+          << "    return `{\n"
+          << "        int $t;\n"
+          << "        $t = ($a) + ($b) + " << BodyConst[M] << ";\n"
+          << "        sink" << M << "($t);\n"
+          << "    };\n}\n";
+    }
+    for (int X = 0; X != ExtraMacros; ++X)
+      L << "syntax exp spare" << X << " {| ( ) |}\n{\n"
+        << "    return `(" << X << ");\n}\n";
+    for (int P = 0; P != WhitespacePad; ++P)
+      L << "\n";
+
+    std::ostringstream S;
+    for (int G = 0; G != NumGlobals; ++G)
+      S << "int seed" << G << " = gset" << G << "( );\n";
+    return {{"lib.c", L.str()}, {"seed.c", S.str()}};
+  }
+
+  /// Unit U invokes mac(U % NumMacros) repeatedly — against the FROZEN
+  /// generation-time arity, so pattern flips leave unit bytes alone — and
+  /// reads one meta global.
+  std::vector<SourceUnit> units() const {
+    std::vector<SourceUnit> Us;
+    for (int U = 0; U != NumUnits; ++U) {
+      const int M = U % NumMacros;
+      const int G = U % NumGlobals;
+      std::ostringstream Src;
+      Src << "void tu" << U << "(void)\n{\n";
+      Src << "    int z" << U << " = gread" << G << "( );\n";
+      for (int I = 0; I != InvocationsPerUnit; ++I) {
+        if (UnitArity[M] == 1)
+          Src << "    mac" << M << "( " << (UnitSalt[U] + I) << " );\n";
+        else
+          Src << "    mac" << M << "( " << (UnitSalt[U] + I) << " , " << U
+              << " );\n";
+      }
+      Src << "}\n";
+      Us.push_back({"tu" + std::to_string(U) + ".c", Src.str()});
+    }
+    return Us;
+  }
+};
+
+/// Builds the initial corpus for \p Rng.
+inline Corpus makeCorpus(std::mt19937 &Rng, int NumMacros = 8,
+                         int NumUnits = 12, int InvocationsPerUnit = 16) {
+  Corpus C;
+  C.NumMacros = NumMacros;
+  C.NumUnits = NumUnits;
+  C.InvocationsPerUnit = InvocationsPerUnit;
+  for (int M = 0; M != NumMacros; ++M) {
+    C.BodyConst.push_back(static_cast<int>(Rng() % 1000));
+    C.PatternArity.push_back(1 + static_cast<int>(Rng() % 2));
+    C.Alive.push_back(true);
+  }
+  C.UnitArity = C.PatternArity;
+  for (int G = 0; G != C.NumGlobals; ++G)
+    C.GlobalSeed.push_back(static_cast<int>(Rng() % 100));
+  for (int U = 0; U != NumUnits; ++U)
+    C.UnitSalt.push_back(static_cast<int>(Rng() % 10000));
+  return C;
+}
+
+/// Applies one random edit and returns its kind. NOTE: the units are
+/// rendered from PatternArity at generation time; re-render units() after
+/// a UnitEdit (and after construction) — library() after every edit.
+inline EditKind applyRandomEdit(Corpus &C, std::mt19937 &Rng) {
+  // Weighted so body edits (the common real-world case, and the tree-reuse
+  // showcase) dominate, with every other kind still exercised often.
+  const int Roll = static_cast<int>(Rng() % 100);
+  if (Roll < 35) {
+    C.BodyConst[Rng() % C.BodyConst.size()] = static_cast<int>(Rng() % 1000);
+    return EditKind::MacroBody;
+  }
+  if (Roll < 50) {
+    int M = static_cast<int>(Rng() % C.NumMacros);
+    C.PatternArity[M] = C.PatternArity[M] == 1 ? 2 : 1;
+    C.Alive[M] = true;
+    return EditKind::PatternChange;
+  }
+  if (Roll < 60) {
+    ++C.ExtraMacros;
+    return EditKind::AddMacro;
+  }
+  if (Roll < 68) {
+    // Keep at least half the macros alive so the corpus stays interesting.
+    int M = static_cast<int>(Rng() % C.NumMacros);
+    int AliveCount = 0;
+    for (bool A : C.Alive)
+      AliveCount += A;
+    if (AliveCount > C.NumMacros / 2)
+      C.Alive[M] = false;
+    else
+      C.Alive[M] = true;
+    return EditKind::RemoveMacro;
+  }
+  if (Roll < 82) {
+    C.GlobalSeed[Rng() % C.GlobalSeed.size()] = static_cast<int>(Rng() % 100);
+    return EditKind::GlobalWrite;
+  }
+  if (Roll < 92) {
+    C.WhitespacePad = static_cast<int>(Rng() % 6);
+    return EditKind::WhitespaceOnly;
+  }
+  C.UnitSalt[Rng() % C.UnitSalt.size()] = static_cast<int>(Rng() % 10000);
+  return EditKind::UnitEdit;
+}
+
+} // namespace msq::editfuzz
+
+#endif // MSQ_TESTS_EDIT_FUZZ_H

@@ -1,0 +1,407 @@
+//===----------------------------------------------------------------------===//
+// Incremental re-expansion differential tests (label: incremental).
+//
+// The invariant under test — the whole contract of driver/Incremental.h:
+//
+//   After ANY sequence of library/unit edits, every unit's incremental
+//   result is BYTE-IDENTICAL to a from-scratch expansion of (current
+//   library, unit source): output, diagnostics (provenance backtraces
+//   included), lint findings, and source maps.
+//
+// The main test is a seeded edit-fuzzer (tests/edit_fuzz.h) applying
+// 1000+ random mutations — macro body edits, signature (pattern) edits,
+// macro adds/removes, meta-global writes, whitespace-only library edits,
+// unit edits — and differencing every unit of every iteration against a
+// fresh reference engine. Environment knobs, mirroring the chaos tier:
+//
+//   MSQ_INCR_SEED         fuzz seed (default 42)
+//   MSQ_INCR_ITERS        edit count for the main fuzz (default 1000)
+//   MSQ_INCR_METRICS_DIR  when set, tests drop their metrics JSON there
+//                         (consumed by tests/check_incremental_metrics.sh)
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+#include "driver/Incremental.h"
+#include "edit_fuzz.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace msq;
+using namespace msq::editfuzz;
+
+namespace {
+
+int intFromEnv(const char *Var, int Default) {
+  if (const char *S = std::getenv(Var))
+    if (*S)
+      return std::atoi(S);
+  return Default;
+}
+
+/// From-scratch reference with the exact semantics the driver promises:
+/// a fresh engine, the library replayed into it, then every unit expanded
+/// against a restored post-library checkpoint (snapshot isolation).
+std::vector<ExpandResult> reference(const Engine::Options &Opts,
+                                    const std::vector<SourceUnit> &Library,
+                                    const std::vector<SourceUnit> &Units) {
+  Engine E(Opts);
+  for (const SourceUnit &L : Library)
+    E.expandUnrecorded(L.Name, L.Source);
+  const Engine::SessionCheckpoint CP = E.checkpoint();
+  std::vector<ExpandResult> Out;
+  for (const SourceUnit &U : Units) {
+    E.restoreCheckpoint(CP);
+    Out.push_back(E.expandUnrecorded(U.Name, U.Source));
+  }
+  return Out;
+}
+
+/// Byte-identity across every replayable field. \p What names the
+/// iteration/edit for failure messages.
+void expectSame(const ExpandResult &Warm, const ExpandResult &Cold,
+                const std::string &What) {
+  EXPECT_EQ(Warm.Success, Cold.Success) << What;
+  EXPECT_EQ(Warm.Output, Cold.Output) << What;
+  EXPECT_EQ(Warm.DiagnosticsText, Cold.DiagnosticsText) << What;
+  EXPECT_EQ(Warm.SourceMapJson, Cold.SourceMapJson) << What;
+  EXPECT_EQ(Warm.Lints, Cold.Lints) << What;
+  EXPECT_EQ(Warm.InvocationsExpanded, Cold.InvocationsExpanded) << What;
+  EXPECT_EQ(Warm.GensymsCreated, Cold.GensymsCreated) << What;
+  EXPECT_EQ(Warm.MetaGlobalsMutated, Cold.MetaGlobalsMutated) << What;
+}
+
+bool same(const ExpandResult &A, const ExpandResult &B) {
+  return A.Success == B.Success && A.Output == B.Output &&
+         A.DiagnosticsText == B.DiagnosticsText &&
+         A.SourceMapJson == B.SourceMapJson && A.Lints == B.Lints;
+}
+
+void dropMetrics(const std::string &Name, const std::string &Json) {
+  const char *Dir = std::getenv("MSQ_INCR_METRICS_DIR");
+  if (!Dir || !*Dir)
+    return;
+  std::ofstream Out(std::string(Dir) + "/" + Name + ".json");
+  Out << Json << "\n";
+}
+
+/// Runs \p Iters random edits with \p Opts, differencing every unit every
+/// iteration. Returns accumulated path counts and mismatch count.
+struct FuzzTotals {
+  size_t Clean = 0, Tree = 0, Tokens = 0, Cold = 0;
+  size_t Mismatches = 0;
+  size_t Iterations = 0;
+  std::string json(const SubUnitCacheStats &S) const {
+    std::string J = "{\"iterations\":" + std::to_string(Iterations) +
+                    ",\"diff_mismatches\":" + std::to_string(Mismatches) +
+                    ",\"paths\":{\"clean\":" + std::to_string(Clean) +
+                    ",\"tree\":" + std::to_string(Tree) +
+                    ",\"tokens\":" + std::to_string(Tokens) +
+                    ",\"cold\":" + std::to_string(Cold) +
+                    "},\"subunit_cache\":" + S.toJson() + "}";
+    return J;
+  }
+};
+
+FuzzTotals fuzz(IncrementalDriver &D, Corpus &C, std::mt19937 &Rng,
+                int Iters, int MaxReportedMismatches = 3) {
+  FuzzTotals T;
+  D.setLibrary(C.library());
+  std::vector<SourceUnit> Units = C.units();
+  IncrementalResult R = D.run(Units);
+  {
+    std::vector<ExpandResult> Ref =
+        reference(D.engine().options(), C.library(), Units);
+    for (size_t I = 0; I != Units.size(); ++I)
+      if (!same(R.Results[I], Ref[I]))
+        ++T.Mismatches;
+  }
+  for (int It = 0; It != Iters; ++It) {
+    const EditKind K = applyRandomEdit(C, Rng);
+    D.setLibrary(C.library());
+    Units = C.units();
+    R = D.run(Units);
+    T.Clean += R.CleanReplays;
+    T.Tree += R.TreeReuses;
+    T.Tokens += R.TokenReuses;
+    T.Cold += R.ColdExpansions;
+    ++T.Iterations;
+    const std::vector<ExpandResult> Ref =
+        reference(D.engine().options(), C.library(), Units);
+    EXPECT_EQ(R.Results.size(), Ref.size()) << "iteration " << It;
+    if (R.Results.size() != Ref.size()) {
+      ++T.Mismatches;
+      return T;
+    }
+    for (size_t I = 0; I != Units.size(); ++I) {
+      if (same(R.Results[I], Ref[I]))
+        continue;
+      ++T.Mismatches;
+      if (T.Mismatches <= static_cast<size_t>(MaxReportedMismatches)) {
+        const std::string What = "iteration " + std::to_string(It) +
+                                 " edit=" + editKindName(K) + " unit=" +
+                                 Units[I].Name + " path=" +
+                                 incrementalPathName(R.Outcomes[I].Path);
+        expectSame(R.Results[I], Ref[I], What);
+      }
+    }
+  }
+  return T;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The main tier test: 1000+ seeded edits, byte-identical throughout,
+// every warm path exercised.
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalDiff, EditFuzzDifferential) {
+  const unsigned Seed = seedFromEnv("MSQ_INCR_SEED", 42);
+  const int Iters = intFromEnv("MSQ_INCR_ITERS", 1000);
+  std::mt19937 Rng(Seed);
+  Corpus C = makeCorpus(Rng);
+
+  IncrementalOptions IO;
+  IO.EngineOpts.TrackProvenance = true;
+  IO.EngineOpts.EmitSourceMap = true;
+  IncrementalDriver D(IO);
+
+  FuzzTotals T = fuzz(D, C, Rng, Iters);
+  EXPECT_EQ(T.Mismatches, 0u) << "seed " << Seed;
+  // The edit mix must drive every path: untouched units replay clean,
+  // body edits reuse trees, pattern edits reuse tokens, unit edits go
+  // cold. A path stuck at zero means the taxonomy silently degraded.
+  EXPECT_GT(T.Clean, 0u);
+  EXPECT_GT(T.Tree, 0u);
+  EXPECT_GT(T.Tokens, 0u);
+  EXPECT_GT(T.Cold, 0u);
+  dropMetrics("incremental_fuzz_seed" + std::to_string(Seed),
+              T.json(D.subUnitStats()));
+}
+
+// Same differential under definition-time linting: lint findings are part
+// of the replayable result, and ANY library change can change them, so
+// linted sessions dirty everything — but must still be byte-identical.
+TEST(IncrementalDiff, EditFuzzLinted) {
+  const unsigned Seed = seedFromEnv("MSQ_INCR_SEED", 42) + 17;
+  std::mt19937 Rng(Seed);
+  Corpus C = makeCorpus(Rng, /*NumMacros=*/4, /*NumUnits=*/6,
+                        /*InvocationsPerUnit=*/8);
+  IncrementalOptions IO;
+  IO.EngineOpts.Lint.Enabled = true;
+  IO.EngineOpts.TrackProvenance = true;
+  IncrementalDriver D(IO);
+  FuzzTotals T = fuzz(D, C, Rng, 120);
+  EXPECT_EQ(T.Mismatches, 0u) << "seed " << Seed;
+}
+
+// Differential with each warm path disabled in turn: disabling a path may
+// only degrade to a colder one, never change bytes.
+TEST(IncrementalDiff, DisabledPathsDegradeOnly) {
+  const unsigned Seed = seedFromEnv("MSQ_INCR_SEED", 42) + 29;
+  for (int Mode = 0; Mode != 3; ++Mode) {
+    std::mt19937 Rng(Seed);
+    Corpus C = makeCorpus(Rng, 4, 6, 8);
+    IncrementalOptions IO;
+    IO.EnableCleanReplay = Mode != 0;
+    IO.EnableTreeReuse = Mode != 1;
+    IO.EnableTokenReuse = Mode != 2;
+    IncrementalDriver D(IO);
+    FuzzTotals T = fuzz(D, C, Rng, 40);
+    EXPECT_EQ(T.Mismatches, 0u) << "mode " << Mode << " seed " << Seed;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Targeted path/precision tests.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+IncrementalPath pathOf(const IncrementalResult &R, const std::string &Unit) {
+  for (const IncrementalUnitOutcome &O : R.Outcomes)
+    if (O.Name == Unit)
+      return O.Path;
+  ADD_FAILURE() << "no outcome for " << Unit;
+  return IncrementalPath::Cold;
+}
+
+} // namespace
+
+TEST(IncrementalDiff, IdenticalReloadReplaysEverythingClean) {
+  std::mt19937 Rng(7);
+  Corpus C = makeCorpus(Rng, 4, 6, 8);
+  IncrementalDriver D;
+  D.setLibrary(C.library());
+  const std::vector<SourceUnit> Units = C.units();
+  IncrementalResult R0 = D.run(Units);
+  EXPECT_EQ(R0.ColdExpansions, Units.size());
+
+  D.setLibrary(C.library()); // byte-identical reload
+  EXPECT_FALSE(D.lastDelta().AnyChange);
+  IncrementalResult R1 = D.run(Units);
+  EXPECT_EQ(R1.CleanReplays, Units.size());
+  for (size_t I = 0; I != Units.size(); ++I) {
+    EXPECT_TRUE(R1.Results[I].FromCache);
+    EXPECT_EQ(R1.Results[I].Output, R0.Results[I].Output);
+  }
+}
+
+TEST(IncrementalDiff, BodyEditDirtiesOnlyInvokers) {
+  std::mt19937 Rng(7);
+  Corpus C = makeCorpus(Rng, 4, 8, 8); // units 0&4 use mac0, 1&5 mac1, ...
+  IncrementalDriver D;
+  D.setLibrary(C.library());
+  const std::vector<SourceUnit> Units = C.units();
+  D.run(Units);
+
+  C.BodyConst[0] += 1;
+  D.setLibrary(C.library());
+  const LibraryDelta &Delta = D.lastDelta();
+  EXPECT_TRUE(Delta.BodyChanged.count("mac0"));
+  EXPECT_TRUE(Delta.PatternChanged.empty());
+  IncrementalResult R = D.run(Units);
+  // Invokers of mac0 re-expand from their cached trees; everyone else —
+  // including the library-text rule, since nothing here renders library
+  // locations — replays clean.
+  EXPECT_EQ(pathOf(R, "tu0.c"), IncrementalPath::TreeReuse);
+  EXPECT_EQ(pathOf(R, "tu4.c"), IncrementalPath::TreeReuse);
+  EXPECT_EQ(pathOf(R, "tu1.c"), IncrementalPath::CleanReplay);
+  EXPECT_EQ(pathOf(R, "tu2.c"), IncrementalPath::CleanReplay);
+}
+
+TEST(IncrementalDiff, PatternEditInvalidatesTreesButReusesTokens) {
+  std::mt19937 Rng(7);
+  Corpus C = makeCorpus(Rng, 4, 8, 8);
+  IncrementalDriver D;
+  D.setLibrary(C.library());
+  const std::vector<SourceUnit> Units = C.units();
+  D.run(Units);
+
+  C.PatternArity[1] = C.PatternArity[1] == 1 ? 2 : 1;
+  D.setLibrary(C.library());
+  EXPECT_TRUE(D.lastDelta().PatternChanged.count("mac1"));
+  IncrementalResult R = D.run(Units);
+  // mac1's invokers may parse differently: their trees are gone, but
+  // their bytes did not change, so the token stream is still good.
+  EXPECT_EQ(pathOf(R, "tu1.c"), IncrementalPath::TokenReuse);
+  EXPECT_EQ(pathOf(R, "tu5.c"), IncrementalPath::TokenReuse);
+  // Unrelated units never see the name: clean.
+  EXPECT_EQ(pathOf(R, "tu0.c"), IncrementalPath::CleanReplay);
+
+  // And the re-parse is byte-identical to from-scratch (likely with parse
+  // errors at mismatched sites — errors must match too).
+  std::vector<ExpandResult> Ref =
+      reference(D.engine().options(), C.library(), Units);
+  for (size_t I = 0; I != Units.size(); ++I)
+    expectSame(R.Results[I], Ref[I], Units[I].Name);
+}
+
+TEST(IncrementalDiff, UnitEditGoesCold) {
+  std::mt19937 Rng(7);
+  Corpus C = makeCorpus(Rng, 4, 6, 8);
+  IncrementalDriver D;
+  D.setLibrary(C.library());
+  D.run(C.units());
+
+  C.UnitSalt[3] += 1;
+  const std::vector<SourceUnit> Units = C.units();
+  IncrementalResult R = D.run(Units);
+  EXPECT_EQ(pathOf(R, "tu3.c"), IncrementalPath::Cold);
+  EXPECT_EQ(pathOf(R, "tu0.c"), IncrementalPath::CleanReplay);
+  std::vector<ExpandResult> Ref =
+      reference(D.engine().options(), C.library(), Units);
+  for (size_t I = 0; I != Units.size(); ++I)
+    expectSame(R.Results[I], Ref[I], Units[I].Name);
+}
+
+// The meta-global regression the issue calls out: a value written during
+// LIBRARY expansion (unit A, here seed.c) feeds invocations in unit B.
+// Changing what A writes must dirty B on the next batch — staleness here
+// is exactly the "non-local transformation" hazard of the paper.
+TEST(IncrementalDiff, MetaGlobalWriteInLibraryDirtiesReaders) {
+  std::mt19937 Rng(7);
+  Corpus C = makeCorpus(Rng, 4, 6, 8);
+  IncrementalDriver D;
+  D.setLibrary(C.library());
+  const std::vector<SourceUnit> Units = C.units();
+  IncrementalResult R0 = D.run(Units);
+
+  // tu0.c reads g0 (unit U reads global U % NumGlobals).
+  const UnitDeps *Deps = D.depsOf("tu0.c");
+  ASSERT_NE(Deps, nullptr);
+  EXPECT_TRUE(Deps->MetaNames.count("g0")) << "global read not recorded";
+
+  const int Old = C.GlobalSeed[0];
+  C.GlobalSeed[0] = Old + 1;
+  D.setLibrary(C.library());
+  EXPECT_TRUE(D.lastDelta().MetaNamesChanged.count("g0"));
+  IncrementalResult R1 = D.run(Units);
+  EXPECT_NE(pathOf(R1, "tu0.c"), IncrementalPath::CleanReplay)
+      << "stale meta-global value replayed";
+  EXPECT_NE(R1.Results[0].Output, R0.Results[0].Output)
+      << "reader did not see the new value";
+  std::vector<ExpandResult> Ref =
+      reference(D.engine().options(), C.library(), Units);
+  for (size_t I = 0; I != Units.size(); ++I)
+    expectSame(R1.Results[I], Ref[I], Units[I].Name);
+}
+
+// Units that themselves mutate meta globals have Unknown deps and must
+// never clean-replay — they re-expand (warm) every run.
+TEST(IncrementalDiff, MutatorUnitsNeverReplayClean) {
+  IncrementalDriver D;
+  D.setLibrary({{"lib.c", R"(
+metadcl int counter;
+syntax exp next {| ( ) |}
+{
+    counter = counter + 1;
+    return `($(counter));
+}
+)"}});
+  std::vector<SourceUnit> Units{{"mut.c", "int a = next();\n"}};
+  IncrementalResult R0 = D.run(Units);
+  ASSERT_TRUE(R0.Results[0].Success) << R0.Results[0].DiagnosticsText;
+  EXPECT_TRUE(R0.Results[0].MetaGlobalsMutated);
+  const UnitDeps *Deps = D.depsOf("mut.c");
+  ASSERT_NE(Deps, nullptr);
+  EXPECT_TRUE(Deps->Unknown);
+
+  IncrementalResult R1 = D.run(Units);
+  EXPECT_NE(pathOf(R1, "mut.c"), IncrementalPath::CleanReplay);
+  // Snapshot isolation: same output every run.
+  EXPECT_EQ(R1.Results[0].Output, R0.Results[0].Output);
+}
+
+// Whitespace-only library edits change no definition; only units whose
+// rendered results mention library text can be affected.
+TEST(IncrementalDiff, WhitespaceOnlyLibraryEditKeepsUnitsClean) {
+  std::mt19937 Rng(7);
+  Corpus C = makeCorpus(Rng, 4, 6, 8);
+  IncrementalDriver D;
+  D.setLibrary(C.library());
+  const std::vector<SourceUnit> Units = C.units();
+  D.run(Units);
+
+  C.WhitespacePad = 3;
+  D.setLibrary(C.library());
+  const LibraryDelta &Delta = D.lastDelta();
+  EXPECT_TRUE(Delta.AnyChange);
+  EXPECT_TRUE(Delta.LibraryTextChanged);
+  EXPECT_TRUE(Delta.BodyChanged.empty());
+  EXPECT_TRUE(Delta.PatternChanged.empty());
+  IncrementalResult R = D.run(Units);
+  // This corpus renders no library locations into unit results, so
+  // everything replays clean — and is still differentially identical.
+  EXPECT_EQ(R.CleanReplays, Units.size());
+  std::vector<ExpandResult> Ref =
+      reference(D.engine().options(), C.library(), Units);
+  for (size_t I = 0; I != Units.size(); ++I)
+    expectSame(R.Results[I], Ref[I], Units[I].Name);
+}

@@ -10,9 +10,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/Msq.h"
+#include "expand/DependencyMap.h"
+
+#include "edit_fuzz.h"
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <sstream>
 
 using namespace msq;
@@ -240,5 +244,264 @@ void f(void)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HygienicSafety, ::testing::Range(0, 15));
+
+//===----------------------------------------------------------------------===//
+// Dependency-map properties (incremental re-expansion).
+//
+// The recorder may OVER-approximate (a spurious dependency costs one
+// needless re-expansion) but must never UNDER-approximate (a missing one
+// yields a stale output). Two properties pin that asymmetry down:
+//
+//  * Soundness: after a random library edit, every unit whose from-scratch
+//    output changed must be flagged dirty by the map. (Extra dirty units
+//    are fine; missed ones are a bug.)
+//
+//  * Closure pinning: re-expanding a unit against a library reduced to
+//    exactly its recorded dependency closure yields byte-identical output,
+//    and dropping any single recorded dependency from that closure changes
+//    the output — the recorded set is both sufficient and non-vacuous.
+//===----------------------------------------------------------------------===//
+
+/// Identifiers appearing in \p Source (the PatternChanged dirtiness rule
+/// keys on whether a unit's source mentions the re-patterned name).
+std::set<std::string> identsIn(const std::string &Source) {
+  std::set<std::string> Out;
+  size_t I = 0, N = Source.size();
+  auto Start = [](char C) { return std::isalpha((unsigned char)C) || C == '_'; };
+  auto Cont = [](char C) { return std::isalnum((unsigned char)C) || C == '_'; };
+  while (I < N) {
+    if (Start(Source[I])) {
+      size_t B = I;
+      while (I < N && Cont(Source[I]))
+        ++I;
+      Out.insert(Source.substr(B, I - B));
+    } else {
+      ++I;
+    }
+  }
+  return Out;
+}
+
+/// One from-scratch expansion of every unit against \p Library, with deps
+/// recorded; also captures the library's definition fingerprints.
+struct LibraryRun {
+  std::vector<ExpandResult> Results;
+  DependencyMap Map;
+  DefinitionFingerprints FP;
+};
+
+LibraryRun runLibrary(const std::vector<SourceUnit> &Library,
+                      const std::vector<SourceUnit> &Units) {
+  LibraryRun Out;
+  Engine E;
+  std::vector<std::string> LibText;
+  for (const SourceUnit &L : Library) {
+    E.expandUnrecorded(L.Name, L.Source);
+    LibText.push_back(L.Name);
+    LibText.push_back(L.Source);
+  }
+  Engine::SessionCheckpoint CP = E.checkpoint();
+  Out.FP = E.definitionFingerprints(LibText);
+  for (const SourceUnit &U : Units) {
+    E.restoreCheckpoint(CP);
+    DependencyRecorder Rec;
+    Engine::ReexpandHooks H;
+    H.Deps = &Rec;
+    ExpandResult R = E.reexpand(U.Name, U.Source, H);
+    UnitDeps D = Rec.take();
+    // Mirrors the incremental driver: a unit that mutates meta globals
+    // (or tripped a fault) has effects the recorder cannot attribute.
+    D.Unknown |= R.MetaGlobalsMutated || R.FaultInjected || R.Quarantined;
+    Out.Map.add(U.Name, D);
+    Out.Results.push_back(std::move(R));
+  }
+  return Out;
+}
+
+class DependencySoundness : public ::testing::TestWithParam<int> {};
+
+/// Soundness under the edit-fuzzing taxonomy: any unit whose from-scratch
+/// output changes across a library edit must be in the dirty set.
+TEST_P(DependencySoundness, ChangedOutputImpliesDirty) {
+  std::mt19937 Rng(static_cast<unsigned>(GetParam()) * 2654435761u + 97);
+  editfuzz::Corpus C = editfuzz::makeCorpus(Rng, 6, 8, 6);
+  for (int Round = 0; Round != 6; ++Round) {
+    std::vector<SourceUnit> OldUnits = C.units();
+    LibraryRun Old = runLibrary(C.library(), OldUnits);
+    editfuzz::EditKind Kind = editfuzz::applyRandomEdit(C, Rng);
+    std::vector<SourceUnit> NewUnits = C.units();
+    LibraryRun New = runLibrary(C.library(), NewUnits);
+    LibraryDelta Delta = diffDefinitions(Old.FP, New.FP);
+    for (size_t I = 0; I != NewUnits.size(); ++I) {
+      if (OldUnits[I].Source != NewUnits[I].Source)
+        continue; // the unit itself was edited: not a library-delta case
+      const ExpandResult &A = Old.Results[I];
+      const ExpandResult &B = New.Results[I];
+      if (A.Output == B.Output && A.DiagnosticsText == B.DiagnosticsText &&
+          A.Success == B.Success)
+        continue;
+      std::set<std::string> Idents = identsIn(NewUnits[I].Source);
+      EXPECT_TRUE(Old.Map.isDirty(NewUnits[I].Name, Delta, &Idents))
+          << NewUnits[I].Name << " changed output under a "
+          << editfuzz::editKindName(Kind)
+          << " edit but the dependency map called it clean";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DependencySoundness, ::testing::Range(0, 10));
+
+/// A library of named, independent definitions: meta functions f0..fN and
+/// macros m0..mM where each macro's body calls one randomly chosen meta
+/// function at expansion time.
+struct NamedDef {
+  std::string Name;
+  std::string Text;
+};
+
+std::vector<NamedDef> closureLibrary(Rng &R, int NumFuncs, int NumMacros,
+                                     std::vector<int> &FuncOf) {
+  std::vector<NamedDef> Defs;
+  for (int F = 0; F != NumFuncs; ++F) {
+    std::ostringstream T;
+    T << "@exp f" << F << "(@exp e)\n{\n    return `(($e) + " << F * 11
+      << ");\n}\n";
+    Defs.push_back({"f" + std::to_string(F), T.str()});
+  }
+  for (int M = 0; M != NumMacros; ++M) {
+    int F = int(R.below(unsigned(NumFuncs)));
+    FuncOf.push_back(F);
+    std::ostringstream T;
+    T << "syntax exp m" << M << " {| ( $$exp::e ) |}\n{\n    @exp r = f" << F
+      << "(e);\n    return `($r);\n}\n";
+    Defs.push_back({"m" + std::to_string(M), T.str()});
+  }
+  return Defs;
+}
+
+std::string renderDefs(const std::vector<NamedDef> &Defs,
+                       const std::set<std::string> &Keep, bool FilterOn) {
+  std::ostringstream L;
+  for (const NamedDef &D : Defs)
+    if (!FilterOn || Keep.count(D.Name))
+      L << D.Text << "\n";
+  return L.str();
+}
+
+class DependencyClosure : public ::testing::TestWithParam<int> {};
+
+/// Closure pinning: the recorded dependency closure is sufficient (the
+/// reduced library reproduces the unit byte-for-byte) and non-vacuous
+/// (dropping any one recorded dependency changes the output).
+TEST_P(DependencyClosure, RecordedClosureIsSufficientAndMinimal) {
+  Rng R(uint64_t(GetParam()) * 40503 + 7);
+  std::vector<int> FuncOf;
+  std::vector<NamedDef> Defs = closureLibrary(R, 4, 6, FuncOf);
+
+  // The unit invokes a random nonempty subset of the macros.
+  std::vector<int> Used;
+  for (int M = 0; M != 6; ++M)
+    if (R.chance(50))
+      Used.push_back(M);
+  if (Used.empty())
+    Used.push_back(int(R.below(6)));
+  std::ostringstream U;
+  U << "void u(void)\n{\n";
+  for (size_t I = 0; I != Used.size(); ++I)
+    U << "    int x" << I << " = m" << Used[I] << "( " << I << " );\n";
+  U << "}\n";
+
+  // Full library, deps recorded.
+  Engine E;
+  E.expandUnrecorded("lib.c", renderDefs(Defs, {}, false));
+  DependencyRecorder Rec;
+  Engine::ReexpandHooks H;
+  H.Deps = &Rec;
+  ExpandResult Full = E.reexpand("u.c", U.str(), H);
+  ASSERT_TRUE(Full.Success) << Full.DiagnosticsText;
+  UnitDeps D = Rec.take();
+  ASSERT_FALSE(D.Unknown);
+
+  // Every invoked macro and its meta function must have been recorded
+  // (over-approximation is allowed, so >= is the contract, not ==).
+  std::set<std::string> Closure;
+  for (int M : Used) {
+    std::string MN = "m" + std::to_string(M);
+    std::string FN = "f" + std::to_string(FuncOf[size_t(M)]);
+    EXPECT_TRUE(D.Macros.count(MN)) << MN << " invoked but not recorded";
+    EXPECT_TRUE(D.MetaNames.count(FN))
+        << FN << " called by " << MN << " but not recorded";
+    Closure.insert(MN);
+    Closure.insert(FN);
+  }
+  for (const auto &[Name, Count] : D.Macros) {
+    EXPECT_GT(Count, 0u);
+    Closure.insert(Name);
+  }
+  Closure.insert(D.MetaNames.begin(), D.MetaNames.end());
+
+  // Sufficient: the closure-reduced library reproduces the unit exactly.
+  Engine Reduced;
+  Reduced.expandUnrecorded("lib.c", renderDefs(Defs, Closure, true));
+  ExpandResult Pinned = Reduced.expandUnrecorded("u.c", U.str());
+  EXPECT_TRUE(Pinned.Success) << Pinned.DiagnosticsText;
+  EXPECT_EQ(Full.Output, Pinned.Output);
+  EXPECT_EQ(Full.DiagnosticsText, Pinned.DiagnosticsText);
+
+  // Non-vacuous: drop any single recorded definition and the output moves.
+  for (const std::string &Drop : Closure) {
+    std::set<std::string> Sub = Closure;
+    Sub.erase(Drop);
+    Engine Holed;
+    Holed.expandUnrecorded("lib.c", renderDefs(Defs, Sub, true));
+    ExpandResult Broken = Holed.expandUnrecorded("u.c", U.str());
+    EXPECT_TRUE(!Broken.Success || Broken.Output != Full.Output)
+        << "dropping recorded dependency " << Drop << " changed nothing";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DependencyClosure, ::testing::Range(0, 12));
+
+/// Unknown deps are conservatively dirty; known deps are precise enough to
+/// ignore changes to definitions the unit never touched.
+TEST(DependencyMapProperty, UnknownIsConservativeKnownIsPrecise) {
+  DependencyMap Map;
+  UnitDeps Known;
+  Known.Macros["m0"] = 2;
+  Known.MetaNames.insert("f0");
+  Map.add("known.c", Known);
+  UnitDeps Mut;
+  Mut.Unknown = true;
+  Map.add("mut.c", Mut);
+
+  LibraryDelta Touches;
+  Touches.AnyChange = true;
+  Touches.BodyChanged.insert("m9"); // a macro known.c never invoked
+  std::set<std::string> Idents = {"known", "m0"};
+  EXPECT_FALSE(Map.isDirty("known.c", Touches, &Idents));
+  EXPECT_TRUE(Map.isDirty("mut.c", Touches, &Idents));
+  // Never-recorded units have no basis for a clean replay.
+  EXPECT_TRUE(Map.isDirty("stranger.c", Touches, &Idents));
+
+  LibraryDelta Hits;
+  Hits.AnyChange = true;
+  Hits.BodyChanged.insert("m0");
+  EXPECT_TRUE(Map.isDirty("known.c", Hits, &Idents));
+  LibraryDelta Meta;
+  Meta.AnyChange = true;
+  Meta.MetaNamesChanged.insert("f0");
+  EXPECT_TRUE(Map.isDirty("known.c", Meta, &Idents));
+  // Pattern-level change to a name the unit never mentions: clean with
+  // idents available, conservatively dirty without them.
+  LibraryDelta Pat;
+  Pat.AnyChange = true;
+  Pat.PatternChanged.insert("m9");
+  EXPECT_FALSE(Map.isDirty("known.c", Pat, &Idents));
+  EXPECT_TRUE(Map.isDirty("known.c", Pat, nullptr));
+
+  EXPECT_EQ(Map.consumersOf("m0"), std::set<std::string>{"known.c"});
+  Map.remove("known.c");
+  EXPECT_TRUE(Map.consumersOf("m0").empty());
+}
 
 } // namespace

@@ -403,6 +403,72 @@ TEST(Server, ReloadGenerationSemantics) {
   EXPECT_EQ(R4.Output, R3.Output);
 }
 
+// A changing reload must invalidate exactly the affected keys: an entry
+// whose recorded dependencies the definition delta cannot reach is
+// rekeyed onto the new library fingerprint and keeps hitting, while an
+// entry that invoked an edited macro misses and re-expands under the
+// new body.
+TEST(Server, ChangedReloadRekeysUnaffectedEntries) {
+  const char *LibSel1 = R"(
+syntax exp inc {| ( $$exp::e ) |}
+{
+    return `(($e) + 1);
+}
+
+syntax exp dbl {| ( $$exp::e ) |}
+{
+    return `(($e) * 2);
+}
+)";
+  // Only dbl's body differs: a delta that cannot reach inc-only units.
+  const char *LibSel2 = R"(
+syntax exp inc {| ( $$exp::e ) |}
+{
+    return `(($e) + 1);
+}
+
+syntax exp dbl {| ( $$exp::e ) |}
+{
+    return `(($e) * 3);
+}
+)";
+
+  ServerOptions SO = baseOptions();
+  SO.EngineOpts.EnableExpansionCache = true;
+  Server S(SO);
+  ASSERT_TRUE(S.reloadLibrary({{"lib.c", LibSel1}}, false).Success);
+
+  SourceUnit UInc{"uinc.c", "int a = inc( 7 );\n"};
+  SourceUnit UDbl{"udbl.c", "int b = dbl( 7 );\n"};
+  ExpandResult IncBefore, DblBefore;
+  ASSERT_EQ(S.expand(UInc, {}, IncBefore), Server::Admission::Accepted);
+  ASSERT_TRUE(IncBefore.Success);
+  ASSERT_EQ(S.expand(UDbl, {}, DblBefore), Server::Admission::Accepted);
+  ASSERT_TRUE(DblBefore.Success);
+
+  Server::ReloadOutcome O = S.reloadLibrary({{"lib.c", LibSel2}}, false);
+  ASSERT_TRUE(O.Success);
+  EXPECT_TRUE(O.Changed);
+
+  // The inc-only unit survived the reload warm, byte-identically...
+  ExpandResult IncAfter;
+  ASSERT_EQ(S.expand(UInc, {}, IncAfter), Server::Admission::Accepted);
+  ASSERT_TRUE(IncAfter.Success);
+  EXPECT_TRUE(IncAfter.FromCache);
+  EXPECT_EQ(IncAfter.Output, IncBefore.Output);
+
+  // ...while the dbl unit re-expanded against the edited body.
+  ExpandResult DblAfter;
+  ASSERT_EQ(S.expand(UDbl, {}, DblAfter), Server::Admission::Accepted);
+  ASSERT_TRUE(DblAfter.Success);
+  EXPECT_FALSE(DblAfter.FromCache);
+  EXPECT_NE(DblAfter.Output, DblBefore.Output);
+
+  json::Value M = parseMetrics(S);
+  EXPECT_GE(metricU64(M, "server", "reload_rekeyed"), 1u);
+  EXPECT_GE(metricU64(M, "server", "reload_invalidated"), 1u);
+}
+
 TEST(Server, FailedReloadKeepsOldLibrary) {
   Server S(baseOptions());
   ASSERT_TRUE(S.reloadLibrary({{"lib.c", LibA}}, false).Success);

@@ -21,8 +21,10 @@
 #include "tokmacro/TokenMacro.h"
 #include "driver/BatchDriver.h"
 #include "driver/Incremental.h"
+#include "server/Protocol.h"
 #include "server/Server.h"
 #include "support/Fault.h"
+#include "support/Socket.h"
 
 #include "edit_fuzz.h"
 
@@ -32,6 +34,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <random>
@@ -39,6 +42,11 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <csignal>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 namespace {
 
@@ -558,6 +566,410 @@ int runServerThroughput() {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// --cluster: the acceptance measurement for sharded msqd. Spawns a real
+// cluster as child processes (msq-cached, N msqd shards with the shared
+// remote cache tier, msq-router in front), then drives it with hundreds
+// of concurrent authenticated clients while a background thread issues
+// rolling library reloads and MSQ_FAULT_SCHEDULE keeps router and
+// remote-cache fault points armed in every daemon. Every successful
+// expansion is byte-compared against an in-process single-engine
+// reference; degraded/overloaded answers are counted, never lost.
+//===----------------------------------------------------------------------===//
+
+/// A spawned daemon with its stdout ready-line pipe.
+struct ChildProc {
+  pid_t Pid = -1;
+  int OutFd = -1;
+  std::string Name;
+};
+
+/// fork/exec with stdout piped back; \p FaultSchedule lands in the
+/// child's MSQ_FAULT_SCHEDULE (empty = inherit none).
+ChildProc spawnChild(const std::string &Name, const std::string &Exe,
+                     const std::vector<std::string> &Args,
+                     const std::string &FaultSchedule) {
+  ChildProc CP;
+  CP.Name = Name;
+  int Pipe[2];
+  if (::pipe(Pipe) != 0)
+    return CP;
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Pipe[0]);
+    ::close(Pipe[1]);
+    return CP;
+  }
+  if (Pid == 0) {
+    ::close(Pipe[0]);
+    ::dup2(Pipe[1], 1);
+    ::close(Pipe[1]);
+    if (FaultSchedule.empty())
+      ::unsetenv("MSQ_FAULT_SCHEDULE");
+    else
+      ::setenv("MSQ_FAULT_SCHEDULE", FaultSchedule.c_str(), 1);
+    std::vector<char *> Argv;
+    Argv.push_back(const_cast<char *>(Exe.c_str()));
+    for (const std::string &A : Args)
+      Argv.push_back(const_cast<char *>(A.c_str()));
+    Argv.push_back(nullptr);
+    ::execv(Exe.c_str(), Argv.data());
+    std::_Exit(127);
+  }
+  ::close(Pipe[1]);
+  CP.Pid = Pid;
+  CP.OutFd = Pipe[0];
+  return CP;
+}
+
+/// Reads one line from \p Fd (the daemon's ready line), bounded by
+/// \p TimeoutMs so a daemon that died at startup fails fast.
+bool readLineFrom(int Fd, std::string &Line, int TimeoutMs) {
+  Line.clear();
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  char C;
+  for (;;) {
+    struct pollfd P = {Fd, POLLIN, 0};
+    int Remaining = int(std::chrono::duration_cast<std::chrono::milliseconds>(
+                            Deadline - std::chrono::steady_clock::now())
+                            .count());
+    if (Remaining <= 0 || ::poll(&P, 1, Remaining) <= 0)
+      return false;
+    ssize_t N = ::read(Fd, &C, 1);
+    if (N <= 0)
+      return false;
+    if (C == '\n')
+      return true;
+    Line += C;
+  }
+}
+
+uint16_t portFromReady(const std::string &Line) {
+  std::string::size_type Pos = Line.find("\"port\":");
+  if (Pos == std::string::npos)
+    return 0;
+  return uint16_t(std::strtoul(Line.c_str() + Pos + 7, nullptr, 10));
+}
+
+/// One synchronous exchange on an established connection.
+bool clusterRpc(int Fd, msq::FrameReader &Reader, const std::string &Frame,
+                std::string &Response) {
+  return msq::writeFrame(Fd, Frame) &&
+         Reader.next(Response) == msq::FrameReader::Status::Frame;
+}
+
+unsigned envOr(const char *Name, unsigned Default) {
+  const char *V = std::getenv(Name);
+  return V && *V ? unsigned(std::strtoul(V, nullptr, 10)) : Default;
+}
+
+int runClusterLoad(const char *Argv0) {
+  const unsigned Shards = envOr("MSQ_CLUSTER_SHARDS", 2);
+  const unsigned Clients = envOr("MSQ_CLUSTER_CLIENTS", 200);
+  const unsigned Rounds = envOr("MSQ_CLUSTER_ROUNDS", 3);
+  const unsigned UnitCount = envOr("MSQ_CLUSTER_UNITS", 48);
+  const std::string FaultSchedule =
+      std::getenv("MSQ_CLUSTER_FAULTS")
+          ? std::getenv("MSQ_CLUSTER_FAULTS")
+          : "router.connect:every=61;router.forward:every=73;"
+            "rcache.get:every=11;rcache.put:every=13";
+
+  // The daemons live next to this binary's build tree unless overridden.
+  std::string BinDir;
+  if (const char *D = std::getenv("MSQ_SERVER_BINDIR")) {
+    BinDir = D;
+  } else {
+    std::filesystem::path Self(Argv0);
+    BinDir = (Self.parent_path() / ".." / "src" / "server").string();
+  }
+
+  // The rolling-reload library: `guarded` is what the workload invokes;
+  // `padding` is never invoked, so editing its body between reloads
+  // changes the library (forcing real reload work and fresh cache keys)
+  // while keeping every expansion output byte-identical.
+  auto libraryVariant = [](int V) {
+    return "syntax stmt guarded {| ( $$exp::e ) |}\n"
+           "{\n    return `{ if (ok) { $e; } };\n}\n"
+           "syntax exp padding {| ( ) |}\n"
+           "{\n    return `(" +
+           std::to_string(V) + ");\n}\n";
+  };
+  std::vector<msq::SourceUnit> Units;
+  for (unsigned U = 0; U != UnitCount; ++U)
+    Units.push_back({"tu" + std::to_string(U) + ".c",
+                     wrapMs2(makeBody(int(20 + U % 17)))});
+
+  // Single-process reference: the byte-identity oracle.
+  std::vector<std::string> Expected(Units.size());
+  {
+    msq::Engine E;
+    if (!E.expandSource("lib.c", libraryVariant(0)).Success) {
+      std::fprintf(stderr, "error: reference library load failed\n");
+      return 1;
+    }
+    for (size_t I = 0; I != Units.size(); ++I) {
+      msq::ExpandResult R = E.expandSource(Units[I].Name, Units[I].Source);
+      if (!R.Success) {
+        std::fprintf(stderr, "error: reference expansion failed\n");
+        return 1;
+      }
+      Expected[I] = R.Output;
+    }
+  }
+
+  // --- Bring the cluster up: cache tier, shards, router.
+  std::vector<ChildProc> Children;
+  auto killAll = [&Children](int Sig) {
+    for (ChildProc &C : Children)
+      if (C.Pid > 0)
+        ::kill(C.Pid, Sig);
+  };
+  auto fail = [&](const char *Msg) {
+    std::fprintf(stderr, "error: %s\n", Msg);
+    killAll(SIGKILL);
+    for (ChildProc &C : Children)
+      if (C.Pid > 0)
+        ::waitpid(C.Pid, nullptr, 0);
+    return 1;
+  };
+
+  std::string Line;
+  ChildProc Cached =
+      spawnChild("msq-cached", BinDir + "/msq-cached",
+                 {"--tcp", "127.0.0.1:0", "--quiet"}, FaultSchedule);
+  Children.push_back(Cached);
+  if (Cached.Pid < 0 || !readLineFrom(Cached.OutFd, Line, 10000))
+    return fail("msq-cached did not come up");
+  uint16_t CachePort = portFromReady(Line);
+
+  std::vector<uint16_t> ShardPorts;
+  for (unsigned S = 0; S != Shards; ++S) {
+    ChildProc Shard = spawnChild(
+        "msqd" + std::to_string(S), BinDir + "/msqd",
+        {"--tcp", "127.0.0.1:0", "--cache", "--remote-cache",
+         "127.0.0.1:" + std::to_string(CachePort), "--auth-token",
+         "bench=bench", "--tenant-quota", "512", "--quiet"},
+        FaultSchedule);
+    Children.push_back(Shard);
+    if (Shard.Pid < 0 || !readLineFrom(Shard.OutFd, Line, 10000))
+      return fail("shard did not come up");
+    ShardPorts.push_back(portFromReady(Line));
+  }
+
+  std::vector<std::string> RouterArgs = {"--tcp", "127.0.0.1:0", "--quiet"};
+  for (uint16_t P : ShardPorts) {
+    RouterArgs.push_back("--shard");
+    RouterArgs.push_back("127.0.0.1:" + std::to_string(P));
+  }
+  ChildProc Router = spawnChild("msq-router", BinDir + "/msq-router",
+                                RouterArgs, FaultSchedule);
+  Children.push_back(Router);
+  if (Router.Pid < 0 || !readLineFrom(Router.OutFd, Line, 10000))
+    return fail("msq-router did not come up");
+  uint16_t RouterPort = portFromReady(Line);
+
+  auto dialRouter = [&](std::string *Err) {
+    int Fd = msq::connectTcp("127.0.0.1", RouterPort, Err);
+    if (Fd >= 0)
+      msq::setSocketTimeout(Fd, 30000);
+    return Fd;
+  };
+  auto authenticate = [&](int Fd, msq::FrameReader &Reader) {
+    std::string Resp;
+    return clusterRpc(Fd, Reader, msq::makeHelloRequest("h", "bench"),
+                      Resp) &&
+           Resp.find("\"welcome\"") != std::string::npos;
+  };
+
+  // Initial library: one broadcast reload through the router.
+  {
+    std::string Err;
+    int Fd = dialRouter(&Err);
+    if (Fd < 0)
+      return fail("cannot dial router");
+    msq::FrameReader Reader(Fd, msq::MaxFrameBytes);
+    std::string Resp;
+    bool Ok = authenticate(Fd, Reader) &&
+              clusterRpc(Fd, Reader,
+                         msq::makeReloadRequest(
+                             "r", {{"lib.c", libraryVariant(0)}}, false),
+                         Resp) &&
+              Resp.find("\"reloaded\"") != std::string::npos;
+    ::close(Fd);
+    if (!Ok)
+      return fail("initial library reload failed");
+  }
+
+  // --- The load: Clients threads, each its own authenticated
+  // connection, sweeping the corpus Rounds times; a reloader thread
+  // rolls library variants underneath them the whole while.
+  std::atomic<size_t> OkCount{0}, DegradedCount{0}, OverloadedCount{0},
+      QuotaCount{0}, OtherErrors{0}, TransportErrors{0}, Mismatches{0};
+  std::atomic<bool> LoadDone{false};
+  std::atomic<unsigned> ReloadsDone{0};
+
+  std::thread Reloader([&] {
+    std::string Err;
+    int Fd = dialRouter(&Err);
+    if (Fd < 0)
+      return;
+    msq::FrameReader Reader(Fd, msq::MaxFrameBytes);
+    if (!authenticate(Fd, Reader)) {
+      ::close(Fd);
+      return;
+    }
+    int Variant = 1;
+    while (!LoadDone.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+      std::string Resp;
+      if (!clusterRpc(Fd, Reader,
+                      msq::makeReloadRequest(
+                          "r" + std::to_string(Variant),
+                          {{"lib.c", libraryVariant(Variant)}}, false),
+                      Resp))
+        break;
+      // Degraded reloads are legal under armed faults; the shards keep
+      // their previous generation, which expands identically.
+      if (Resp.find("\"reloaded\"") != std::string::npos)
+        ReloadsDone.fetch_add(1);
+      ++Variant;
+    }
+    ::close(Fd);
+  });
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::vector<double>> LatencyByClient(Clients);
+  Clock::time_point T0 = Clock::now();
+  std::vector<std::thread> Pool;
+  for (unsigned C = 0; C != Clients; ++C)
+    Pool.emplace_back([&, C] {
+      std::string Err;
+      int Fd = dialRouter(&Err);
+      if (Fd < 0) {
+        TransportErrors.fetch_add(Rounds * Units.size());
+        return;
+      }
+      msq::FrameReader Reader(Fd, msq::MaxFrameBytes);
+      if (!authenticate(Fd, Reader)) {
+        TransportErrors.fetch_add(Rounds * Units.size());
+        ::close(Fd);
+        return;
+      }
+      for (unsigned R = 0; R != Rounds; ++R)
+        for (size_t I = 0; I != Units.size(); ++I) {
+          // Stagger start positions so clients spread over the ring.
+          size_t U = (I + C * 7) % Units.size();
+          std::string Id =
+              "c" + std::to_string(C) + "-" + std::to_string(R * Units.size() + I);
+          Clock::time_point S0 = Clock::now();
+          std::string Resp;
+          if (!clusterRpc(Fd, Reader,
+                          msq::makeExpandRequest(Id, Units[U].Name,
+                                                 Units[U].Source, true, 0, 0),
+                          Resp)) {
+            TransportErrors.fetch_add(1);
+            ::close(Fd);
+            return; // connection is unusable; remaining work is lost
+          }
+          LatencyByClient[C].push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() - S0)
+                  .count());
+          msq::json::Value V;
+          std::string PErr;
+          if (!msq::json::parse(Resp, V, &PErr) || !V.isObject()) {
+            OtherErrors.fetch_add(1);
+            continue;
+          }
+          const msq::json::Value *Ty = V.get("type");
+          std::string Type = Ty && Ty->isString() ? Ty->Str : "";
+          if (Type == "result") {
+            const msq::json::Value *Ok = V.get("success");
+            const msq::json::Value *Out = V.get("output");
+            if (Ok && Ok->K == msq::json::Value::Kind::Bool && Ok->B &&
+                Out && Out->isString()) {
+              OkCount.fetch_add(1);
+              if (Out->Str != Expected[U])
+                Mismatches.fetch_add(1);
+            } else {
+              OtherErrors.fetch_add(1);
+            }
+          } else if (Type == "error") {
+            const msq::json::Value *EC = V.get("error");
+            std::string Code = EC && EC->isString() ? EC->Str : "";
+            if (Code == "degraded")
+              DegradedCount.fetch_add(1);
+            else if (Code == "overloaded")
+              OverloadedCount.fetch_add(1);
+            else if (Code == "quota_exceeded")
+              QuotaCount.fetch_add(1);
+            else
+              OtherErrors.fetch_add(1);
+          } else {
+            OtherErrors.fetch_add(1);
+          }
+        }
+      ::close(Fd);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  double Secs = std::chrono::duration<double>(Clock::now() - T0).count();
+  LoadDone.store(true);
+  Reloader.join();
+
+  // Client-side latency percentiles over every completed request.
+  std::vector<double> Latency;
+  for (const std::vector<double> &L : LatencyByClient)
+    Latency.insert(Latency.end(), L.begin(), L.end());
+  std::sort(Latency.begin(), Latency.end());
+  auto Pct = [&](double P) {
+    if (Latency.empty())
+      return 0.0;
+    size_t I = size_t(P * double(Latency.size() - 1));
+    return Latency[I];
+  };
+
+  // --- Graceful shutdown: SIGTERM everyone, require exit 0 from all.
+  killAll(SIGTERM);
+  bool CleanExit = true;
+  for (ChildProc &C : Children) {
+    int St = 0;
+    if (::waitpid(C.Pid, &St, 0) != C.Pid || !WIFEXITED(St) ||
+        WEXITSTATUS(St) != 0) {
+      std::fprintf(stderr, "error: %s did not drain cleanly (status %d)\n",
+                   C.Name.c_str(), St);
+      CleanExit = false;
+    }
+    ::close(C.OutFd);
+  }
+
+  const size_t Total = size_t(Clients) * Rounds * Units.size();
+  const size_t Answered = OkCount + DegradedCount + OverloadedCount +
+                          QuotaCount + OtherErrors;
+  std::printf(
+      "{\"shards\":%u,\"clients\":%u,\"requests\":%zu,\"answered\":%zu,"
+      "\"ok\":%zu,\"degraded\":%zu,\"overloaded\":%zu,\"quota\":%zu,"
+      "\"other_errors\":%zu,\"transport_errors\":%zu,\"mismatches\":%zu,"
+      "\"reloads\":%u,\"elapsed_s\":%.2f,\"req_per_s\":%.1f,"
+      "\"p50_us\":%.0f,\"p99_us\":%.0f,\"faults\":\"%s\"}\n",
+      Shards, Clients, Total, Answered, OkCount.load(),
+      DegradedCount.load(), OverloadedCount.load(), QuotaCount.load(),
+      OtherErrors.load(), TransportErrors.load(), Mismatches.load(),
+      ReloadsDone.load(), Secs, Secs > 0 ? double(Answered) / Secs : 0.0,
+      Pct(0.50), Pct(0.99), FaultSchedule.c_str());
+
+  // Acceptance: every request accounted for (answered or counted as a
+  // transport loss), zero transport losses, zero byte mismatches, real
+  // successes flowed, and every daemon drained to exit 0.
+  if (Answered + TransportErrors != Total)
+    return 1;
+  if (TransportErrors || Mismatches || OtherErrors)
+    return 1;
+  if (OkCount == 0 || !CleanExit)
+    return 1;
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -574,6 +986,8 @@ int main(int argc, char **argv) {
       return runIncrementalComparison();
     if (std::strcmp(argv[I], "--provenance") == 0)
       return runProvenanceComparison();
+    if (std::strcmp(argv[I], "--cluster") == 0)
+      return runClusterLoad(argv[0]);
   }
   std::printf("expansion throughput: character vs. token vs. syntax macro "
               "systems, N bracketing invocations per program\n\n");

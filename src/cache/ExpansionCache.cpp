@@ -340,46 +340,74 @@ bool ExpansionCache::lookup(const std::string &Key, CachedExpansion &Out,
       return true;
     }
   }
-  if (Dir.empty())
-    return false;
-  // Disk read with one retry: a transient failure (injected via
-  // cache.disk_read, or a real stream error) is retried once after a
-  // backoff; a second failure counts a read error and degrades to a miss.
-  std::string Bytes;
-  for (int Attempt = 0;; ++Attempt) {
-    std::ifstream In(entryPath(Key), std::ios::binary);
-    if (!In)
-      return false; // absent entry: a plain miss, not a disk error
-    bool Failed = fault::shouldFail(fault::Point::CacheDiskRead);
-    if (!Failed) {
-      std::ostringstream Buf;
-      Buf << In.rdbuf();
-      Failed = !In.good() && !In.eof();
+  if (!Dir.empty()) {
+    // Disk read with one retry: a transient failure (injected via
+    // cache.disk_read, or a real stream error) is retried once after a
+    // backoff; a second failure counts a read error and degrades to a
+    // miss (falling through to the remote tier, if any).
+    std::string Bytes;
+    bool HaveBytes = false;
+    for (int Attempt = 0;; ++Attempt) {
+      std::ifstream In(entryPath(Key), std::ios::binary);
+      if (!In)
+        break; // absent entry: a plain miss, not a disk error
+      bool Failed = fault::shouldFail(fault::Point::CacheDiskRead);
+      if (!Failed) {
+        std::ostringstream Buf;
+        Buf << In.rdbuf();
+        Failed = !In.good() && !In.eof();
+        if (!Failed) {
+          Bytes = Buf.str();
+          HaveBytes = true;
+        }
+      }
       if (!Failed)
-        Bytes = Buf.str();
+        break;
+      if (Attempt == 1) {
+        ++Stats.DiskReadErrors;
+        break;
+      }
+      std::this_thread::sleep_for(DiskRetryBackoff);
     }
-    if (!Failed)
-      break;
-    if (Attempt == 1) {
+    if (HaveBytes) {
+      if (deserialize(Bytes, Key, Out)) {
+        {
+          std::lock_guard<std::mutex> Lock(Mutex);
+          Memory.emplace(Key, MemoryEntry{Out, Generation_});
+        }
+        ++Stats.Hits;
+        Stats.BytesRead += Bytes.size();
+        return true;
+      }
+      // Corrupt/truncated/version-skewed entry == miss, but an
+      // OBSERVABLE one: the entry existed and could not be used. No
+      // retry: re-reading corrupt bytes cannot help.
       ++Stats.DiskReadErrors;
-      return false;
     }
-    std::this_thread::sleep_for(DiskRetryBackoff);
   }
-  if (!deserialize(Bytes, Key, Out)) {
-    // Corrupt/truncated/version-skewed entry == miss, but an OBSERVABLE
-    // one: the entry existed and could not be used. No retry: re-reading
-    // corrupt bytes cannot help.
-    ++Stats.DiskReadErrors;
-    return false;
+  if (Remote) {
+    // Shared remote tier: another shard (or a previous run of this one)
+    // may have published the entry. The client owns retry/timeout; a
+    // remote failure already counted RemoteErrors and reads as a miss.
+    std::string Bytes;
+    if (Remote->get(Key, Bytes, Stats)) {
+      if (!deserialize(Bytes, Key, Out)) {
+        // The daemon returned bytes that do not decode to this key:
+        // corruption in transit or a misbehaving peer. A miss, counted.
+        ++Stats.RemoteErrors;
+        return false;
+      }
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        Memory.emplace(Key, MemoryEntry{Out, Generation_});
+      }
+      ++Stats.Hits;
+      ++Stats.RemoteHits;
+      Stats.BytesRead += Bytes.size();
+      return true;
+    }
   }
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    Memory.emplace(Key, MemoryEntry{Out, Generation_});
-  }
-  ++Stats.Hits;
-  Stats.BytesRead += Bytes.size();
-  return true;
+  return false;
 }
 
 void ExpansionCache::store(const std::string &Key,
@@ -389,7 +417,7 @@ void ExpansionCache::store(const std::string &Key,
     Memory[Key] = MemoryEntry{Entry, Generation_};
   }
   Stats.BytesWritten += entryPayloadSize(Entry);
-  if (Dir.empty())
+  if (Dir.empty() && !Remote)
     return;
   std::string Bytes = serialize(Key, Entry);
   // Publish atomically: a temp file unique to this thread, then rename.
@@ -400,18 +428,24 @@ void ExpansionCache::store(const std::string &Key,
   // degrades the entry to memory-only. Readers can never observe a
   // partial entry: the temp file only becomes visible via the rename,
   // and a torn temp file is removed, never renamed.
-  for (int Attempt = 0;; ++Attempt) {
-    if (publishDisk(Key, Bytes)) {
-      Stats.BytesWritten += Bytes.size();
-      return;
+  if (!Dir.empty()) {
+    for (int Attempt = 0;; ++Attempt) {
+      if (publishDisk(Key, Bytes)) {
+        Stats.BytesWritten += Bytes.size();
+        break;
+      }
+      ++Stats.DiskWriteErrors;
+      if (Attempt == 1) {
+        ++Stats.DiskDegraded; // memory tier still serves the entry
+        break;
+      }
+      std::this_thread::sleep_for(DiskRetryBackoff);
     }
-    ++Stats.DiskWriteErrors;
-    if (Attempt == 1) {
-      ++Stats.DiskDegraded; // memory tier still serves the entry
-      return;
-    }
-    std::this_thread::sleep_for(DiskRetryBackoff);
   }
+  // Best-effort publish to the shared remote tier: the client counts
+  // RemoteStores/RemoteErrors, and a failure changes nothing locally.
+  if (Remote)
+    Remote->put(Key, Bytes, Stats);
 }
 
 bool ExpansionCache::publishDisk(const std::string &Key,

@@ -77,6 +77,27 @@ struct CachedExpansion {
   std::string SourceMapJson;
 };
 
+/// Abstract shared remote cache tier (cluster mode). The concrete
+/// implementation lives in src/server (an NDJSON client speaking to the
+/// msq-cached daemon); it is abstract here so the cache layer stays
+/// transport-free. Implementations own their retry/degrade discipline
+/// and error accounting: get()/put() must never throw or block
+/// indefinitely, and a failing remote tier must read as a miss — the
+/// local tiers keep working regardless.
+class RemoteCacheTier {
+public:
+  virtual ~RemoteCacheTier() = default;
+  /// Fetches the serialized entry bytes for \p Key. False on miss or on
+  /// failure (failures are counted in \p Stats.RemoteErrors by the
+  /// implementation; a plain miss is silent).
+  virtual bool get(const std::string &Key, std::string &Bytes,
+                   CacheStats &Stats) = 0;
+  /// Publishes serialized entry bytes, best effort (counted in
+  /// \p Stats.RemoteStores on success, RemoteErrors on failure).
+  virtual void put(const std::string &Key, const std::string &Bytes,
+                   CacheStats &Stats) = 0;
+};
+
 /// Thread-safe two-tier expansion cache.
 class ExpansionCache {
 public:
@@ -99,6 +120,14 @@ public:
   size_t memoryEntryCount() const;
 
   const std::string &diskDir() const { return Dir; }
+
+  /// Attaches a shared remote tier: lookups that miss both local tiers
+  /// probe it (a remote hit is promoted to memory), stores publish to it.
+  /// Attach before serving traffic — the pointer is read unlocked.
+  void attachRemote(std::shared_ptr<RemoteCacheTier> Tier) {
+    Remote = std::move(Tier);
+  }
+  bool hasRemote() const { return Remote != nullptr; }
 
   /// Generation-aware invalidation for long-lived servers. Content
   /// addressing already makes invalidation CORRECT for free — a reloaded
@@ -156,6 +185,7 @@ private:
   std::unordered_map<std::string, MemoryEntry> Memory;
   uint64_t Generation_ = 0;
   std::string Dir; // "" when the disk tier is disabled
+  std::shared_ptr<RemoteCacheTier> Remote; // null when no remote tier
 };
 
 /// Derives the content-addressed cache key for one unit: a hash of the

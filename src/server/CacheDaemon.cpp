@@ -1,0 +1,202 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/CacheDaemon.h"
+
+#include "cache/ExpansionCache.h"
+#include "server/Protocol.h"
+
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+using namespace msq;
+
+namespace {
+
+/// Keys reaching the disk must be plain content hashes: anything else
+/// (path separators, dots) stays memory-only rather than risking a
+/// crafted path. The local tier's keys are always lowercase hex.
+bool isDiskSafeKey(const std::string &Key) {
+  if (Key.empty() || Key.size() > 128)
+    return false;
+  for (char C : Key)
+    if (!((C >= '0' && C <= '9') || (C >= 'a' && C <= 'z') ||
+          (C >= 'A' && C <= 'Z') || C == '_' || C == '-'))
+      return false;
+  return true;
+}
+
+} // namespace
+
+CacheStore::CacheStore(std::string DiskDir) : Dir(std::move(DiskDir)) {
+  if (!Dir.empty() && ::mkdir(Dir.c_str(), 0777) != 0 && errno != EEXIST)
+    Dir.clear(); // degrade to memory-only, like the local disk tier
+}
+
+bool CacheStore::diskRead(const std::string &Key, std::string &Bytes) {
+  if (Dir.empty() || !isDiskSafeKey(Key))
+    return false;
+  std::ifstream In(Dir + "/" + Key + ".msqc", std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  if (!In.good() && !In.eof())
+    return false;
+  Bytes = Buf.str();
+  return true;
+}
+
+void CacheStore::diskWrite(const std::string &Key, const std::string &Bytes) {
+  if (Dir.empty() || !isDiskSafeKey(Key))
+    return;
+  // Atomic publish (temp + rename), same discipline as the local tier;
+  // failures degrade silently — the memory entry still serves.
+  std::string Tmp = Dir + "/" + Key + ".tmp";
+  std::string Final = Dir + "/" + Key + ".msqc";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return;
+    Out.write(Bytes.data(), std::streamsize(Bytes.size()));
+    if (!Out.good()) {
+      Out.close();
+      ::remove(Tmp.c_str());
+      return;
+    }
+  }
+  if (::rename(Tmp.c_str(), Final.c_str()) != 0)
+    ::remove(Tmp.c_str());
+}
+
+bool CacheStore::get(const std::string &Key, std::string &Bytes) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Gets;
+    auto It = Entries.find(Key);
+    if (It != Entries.end()) {
+      Bytes = It->second;
+      ++Hits;
+      return true;
+    }
+  }
+  if (!diskRead(Key, Bytes))
+    return false;
+  // A disk entry must still decode against its key (the file may be a
+  // foreign or torn leftover); only then is it promoted and served.
+  CachedExpansion Tmp;
+  if (!ExpansionCache::deserialize(Bytes, Key, Tmp))
+    return false;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto [It, Inserted] = Entries.emplace(Key, Bytes);
+  if (Inserted)
+    TotalBytes += Bytes.size();
+  ++Hits;
+  return true;
+}
+
+bool CacheStore::put(const std::string &Key, std::string Bytes) {
+  CachedExpansion Tmp;
+  if (!ExpansionCache::deserialize(Bytes, Key, Tmp)) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Puts;
+    ++Rejected;
+    return false;
+  }
+  bool Inserted = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Puts;
+    auto [It, DidInsert] = Entries.emplace(Key, Bytes);
+    Inserted = DidInsert;
+    if (Inserted)
+      TotalBytes += Bytes.size();
+  }
+  // Same-key puts carry byte-identical bodies by construction (content
+  // addressing), so a duplicate is already durable; only first writers
+  // touch the disk.
+  if (Inserted)
+    diskWrite(Key, Bytes);
+  return true;
+}
+
+size_t CacheStore::entryCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}
+
+std::string CacheStore::metricsJson() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::string Out = "{\"cached\":{\"entries\":";
+  Out += std::to_string(Entries.size());
+  Out += ",\"bytes\":";
+  Out += std::to_string(TotalBytes);
+  Out += ",\"gets\":";
+  Out += std::to_string(Gets);
+  Out += ",\"hits\":";
+  Out += std::to_string(Hits);
+  Out += ",\"puts\":";
+  Out += std::to_string(Puts);
+  Out += ",\"rejected\":";
+  Out += std::to_string(Rejected);
+  Out += "}}";
+  return Out;
+}
+
+void msq::serveCacheConnection(const std::shared_ptr<Conn> &C,
+                               CacheStore &CS) {
+  FrameReader Reader(C->ReadFd, MaxFrameBytes);
+  std::string Frame;
+  for (;;) {
+    FrameReader::Status St = Reader.next(Frame);
+    if (St == FrameReader::Status::TooLong) {
+      C->send(makeErrorResponse(
+          "", ErrorCode::FrameTooLarge,
+          "frame exceeds " + std::to_string(MaxFrameBytes) + " bytes"));
+      break;
+    }
+    if (St != FrameReader::Status::Frame)
+      break;
+
+    Request Req;
+    ParseOutcome PO = parseRequest(Frame, Req);
+    if (!PO.Ok) {
+      C->send(makeErrorResponse(Req.Id, PO.Code, PO.Message));
+      continue;
+    }
+
+    switch (Req.Ty) {
+    case Request::Type::Ping:
+      C->send(makePongResponse(Req.Id));
+      break;
+    case Request::Type::Status:
+      C->send(makeStatusResponse(Req.Id, CS.metricsJson()));
+      break;
+    case Request::Type::Hello:
+      // The cache tier is tenant-agnostic (entries are content-hashed);
+      // accept any hello so shard-side clients need no special casing.
+      C->send(makeWelcomeResponse(Req.Id, Req.Token));
+      break;
+    case Request::Type::CacheGet: {
+      std::string Bytes;
+      bool Found = CS.get(Req.Key, Bytes);
+      C->send(makeCacheEntryResponse(Req.Id, Found, Bytes));
+      break;
+    }
+    case Request::Type::CachePut:
+      C->send(makeCacheStoredResponse(Req.Id,
+                                      CS.put(Req.Key, std::move(Req.Data))));
+      break;
+    default:
+      C->send(makeErrorResponse(Req.Id, ErrorCode::UnknownType,
+                                "msq-cached only serves cache requests"));
+      break;
+    }
+  }
+  C->waitQuiesced();
+}

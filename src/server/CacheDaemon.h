@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared remote cache tier (msq-cached): a shard-agnostic daemon
+/// holding serialized content-addressed expansion entries, so any shard
+/// — or a cold CI machine — can serve another's warm hits. It speaks
+/// the same NDJSON framing as msqd (cache_get/cache_put/status/ping)
+/// and stores entries in the EXACT on-disk format the local disk tier
+/// uses ("MSQCACHE" blobs): a put is validated by deserializing against
+/// its key, so a corrupt or mis-keyed blob is rejected at the door and
+/// the tier can never serve bytes it could not itself decode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SERVER_CACHEDAEMON_H
+#define MSQ_SERVER_CACHEDAEMON_H
+
+#include "server/Daemon.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace msq {
+
+/// Thread-safe blob store keyed by content hash. Memory-resident, with
+/// an optional disk directory for persistence across daemon restarts
+/// (same entry naming as the local disk tier, so a shard's cache dir
+/// can seed a daemon and vice versa).
+class CacheStore {
+public:
+  /// \p DiskDir persists entries ("" = memory only). Created on demand;
+  /// failures degrade silently to memory-only, like the local tier.
+  explicit CacheStore(std::string DiskDir = "");
+
+  /// True + bytes on hit (memory first, then disk).
+  bool get(const std::string &Key, std::string &Bytes);
+
+  /// Validates \p Bytes as a well-formed entry for \p Key and stores
+  /// it; false when the blob fails validation (rejected, not stored).
+  bool put(const std::string &Key, std::string Bytes);
+
+  size_t entryCount() const;
+
+  /// {"cached":{"entries":N,"bytes":N,"gets":N,"hits":N,"puts":N,
+  ///   "rejected":N}}
+  std::string metricsJson() const;
+
+private:
+  bool diskRead(const std::string &Key, std::string &Bytes);
+  void diskWrite(const std::string &Key, const std::string &Bytes);
+
+  mutable std::mutex Mutex;
+  std::unordered_map<std::string, std::string> Entries;
+  uint64_t TotalBytes = 0;
+  uint64_t Gets = 0;
+  uint64_t Hits = 0;
+  uint64_t Puts = 0;
+  uint64_t Rejected = 0;
+  std::string Dir;
+};
+
+/// Per-connection loop of the cache daemon (ping/status/hello/
+/// cache_get/cache_put; anything else is answered unknown_type).
+void serveCacheConnection(const std::shared_ptr<Conn> &C, CacheStore &CS);
+
+} // namespace msq
+
+#endif // MSQ_SERVER_CACHEDAEMON_H

@@ -1,0 +1,282 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Daemon.h"
+
+#include "server/Protocol.h"
+#include "server/Server.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace msq;
+
+//===----------------------------------------------------------------------===//
+// Conn
+//===----------------------------------------------------------------------===//
+
+Conn::~Conn() {
+  if (OwnsFds)
+    ::close(ReadFd); // ReadFd == WriteFd for sockets
+}
+
+void Conn::send(const std::string &Frame) {
+  std::lock_guard<std::mutex> Lock(WriteMutex);
+  if (Dead)
+    return;
+  if (!writeFrame(WriteFd, Frame))
+    Dead = true; // peer went away; drop subsequent writes
+}
+
+void Conn::beginRequest() {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  ++Outstanding;
+}
+
+void Conn::endRequest() {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  if (--Outstanding == 0)
+    Quiesced.notify_all();
+}
+
+void Conn::waitQuiesced() {
+  std::unique_lock<std::mutex> Lock(StateMutex);
+  Quiesced.wait(Lock, [this] { return Outstanding == 0; });
+}
+
+//===----------------------------------------------------------------------===//
+// The msqd request dispatcher
+//===----------------------------------------------------------------------===//
+
+void msq::serveShardConnection(const std::shared_ptr<Conn> &C, Server &S,
+                               const AuthConfig &Auth) {
+  FrameReader Reader(C->ReadFd, MaxFrameBytes);
+  std::string Frame;
+  for (;;) {
+    FrameReader::Status St = Reader.next(Frame);
+    if (St == FrameReader::Status::TooLong) {
+      // The stream cannot be resynchronized after an oversized frame;
+      // answer once, then drop the connection.
+      C->send(makeErrorResponse(
+          "", ErrorCode::FrameTooLarge,
+          "frame exceeds " + std::to_string(MaxFrameBytes) + " bytes"));
+      break;
+    }
+    if (St != FrameReader::Status::Frame)
+      break; // EOF, truncated frame, or read error: tear down cleanly
+
+    Request Req;
+    ParseOutcome PO = parseRequest(Frame, Req);
+    if (!PO.Ok) {
+      C->send(makeErrorResponse(Req.Id, PO.Code, PO.Message));
+      continue;
+    }
+
+    switch (Req.Ty) {
+    case Request::Type::Ping:
+      C->send(makePongResponse(Req.Id));
+      break;
+    case Request::Type::Status:
+      C->send(makeStatusResponse(Req.Id, S.metricsJson()));
+      break;
+    case Request::Type::Hello: {
+      auto It = Auth.TokenTenants.find(Req.Token);
+      if (It != Auth.TokenTenants.end()) {
+        C->Tenant = It->second;
+      } else if (Auth.required()) {
+        // Unknown token on a daemon with a token table: refuse and drop
+        // — a peer probing tokens gets no second try on this connection.
+        C->send(makeErrorResponse(Req.Id, ErrorCode::Unauthorized,
+                                  "unknown auth token"));
+        C->waitQuiesced();
+        return;
+      } else {
+        // No table configured: the token names the tenant directly
+        // (trusted single-operator mode — quotas still apply per name).
+        C->Tenant = Req.Token;
+      }
+      C->Authenticated = true;
+      C->send(makeWelcomeResponse(Req.Id, C->Tenant));
+      break;
+    }
+    case Request::Type::CacheGet:
+    case Request::Type::CachePut:
+      // Cache traffic belongs to msq-cached; a shard refusing it loudly
+      // beats quietly mis-serving a misconfigured peer.
+      C->send(makeErrorResponse(Req.Id, ErrorCode::UnknownType,
+                                "this daemon does not serve cache "
+                                "requests (use msq-cached)"));
+      break;
+    case Request::Type::ReloadLibrary:
+    case Request::Type::Expand:
+    case Request::Type::Lint: {
+      if (C->FromTcp && Auth.required() && !C->Authenticated) {
+        // The authenticated transport admits no anonymous work. Drop the
+        // connection: the client is misconfigured, not overloaded.
+        C->send(makeErrorResponse(Req.Id, ErrorCode::Unauthorized,
+                                  "authenticate with a hello first"));
+        C->waitQuiesced();
+        return;
+      }
+      if (Req.Ty == Request::Type::ReloadLibrary) {
+        Server::ReloadOutcome O =
+            S.reloadLibrary(Req.Sources, Req.LoadStdlib);
+        if (O.Success)
+          C->send(makeReloadResponse(Req.Id, O.Generation, O.Changed));
+        else
+          C->send(makeErrorResponse(Req.Id, ErrorCode::ReloadFailed,
+                                    O.Diagnostics));
+        break;
+      }
+      RequestOptions RO;
+      RO.MaxMetaSteps = Req.MaxMetaSteps;
+      RO.TimeoutMillis = Req.TimeoutMillis;
+      RO.UseCache = Req.UseCache;
+      RO.Provenance = Req.Provenance;
+      RO.LintOnly = Req.Ty == Request::Type::Lint;
+      RO.Tag = Req.Id;
+      RO.Tenant = C->Tenant;
+      const bool IsLint = RO.LintOnly;
+      C->beginRequest();
+      std::string Id = Req.Id;
+      std::shared_ptr<Conn> CRef = C;
+      Server::Admission A = S.submit(
+          {Req.Name, Req.Source}, std::move(RO),
+          [CRef, Id, IsLint](const ExpandResult &R, uint64_t Gen) {
+            CRef->send(IsLint ? makeLintResponse(Id, R, Gen)
+                              : makeExpandResponse(Id, R, Gen));
+            CRef->endRequest();
+          });
+      if (A == Server::Admission::Overloaded) {
+        C->send(makeErrorResponse(Id, ErrorCode::Overloaded,
+                                  "admission queue full; retry later"));
+        C->endRequest();
+      } else if (A == Server::Admission::Draining) {
+        C->send(makeErrorResponse(Id, ErrorCode::ShuttingDown,
+                                  "server is draining"));
+        C->endRequest();
+      } else if (A == Server::Admission::QuotaExceeded) {
+        C->send(makeErrorResponse(
+            Id, ErrorCode::QuotaExceeded,
+            "tenant '" + C->Tenant + "' is at its admission quota"));
+        C->endRequest();
+      }
+      break;
+    }
+    }
+  }
+  C->waitQuiesced();
+}
+
+//===----------------------------------------------------------------------===//
+// FrameServer
+//===----------------------------------------------------------------------===//
+
+FrameServer::~FrameServer() {
+  wake();
+  for (std::thread &T : AcceptThreads)
+    if (T.joinable())
+      T.join();
+  joinConnections();
+  if (WakePipe[0] >= 0)
+    ::close(WakePipe[0]);
+  if (WakePipe[1] >= 0)
+    ::close(WakePipe[1]);
+}
+
+bool FrameServer::start(const FrameServerOptions &O, ConnHandler H,
+                        std::string *Err) {
+  if (O.UnixPath.empty() && !O.TcpEnabled) {
+    if (Err)
+      *Err = "no listener configured";
+    return false;
+  }
+  if (!O.UnixPath.empty() && !Unix.listenOn(O.UnixPath, Err))
+    return false;
+  if (O.TcpEnabled && !Tcp.listenOn(O.TcpHost, O.TcpPort, Err))
+    return false;
+  if (::pipe(WakePipe) != 0) {
+    if (Err)
+      *Err = "pipe failed";
+    return false;
+  }
+  Handler = std::move(H);
+  if (Unix.valid())
+    AcceptThreads.emplace_back([this] { acceptLoopThread(false); });
+  if (Tcp.valid())
+    AcceptThreads.emplace_back([this] { acceptLoopThread(true); });
+  return true;
+}
+
+void FrameServer::acceptLoopThread(bool IsTcp) {
+  // Transient accept failures (fd exhaustion, injected server.accept
+  // faults) back off exponentially — 1ms doubling to a 100ms cap — and
+  // retry; the pending connection waits in the listen backlog meanwhile.
+  // Success resets the backoff. Only a non-transient failure (the
+  // listener itself died) gives up the loop.
+  unsigned BackoffMs = 1;
+  for (;;) {
+    bool Woken = false;
+    bool Transient = false;
+    int Fd = IsTcp ? Tcp.acceptClient(WakePipe[0], Woken, &Transient)
+                   : Unix.acceptClient(WakePipe[0], Woken, &Transient);
+    if (Woken)
+      return;
+    if (Fd < 0) {
+      if (Transient) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs));
+        BackoffMs = std::min(BackoffMs * 2, 100u);
+        continue;
+      }
+      // Listener death ends the whole daemon, not just this loop: wake
+      // the sibling accept thread and the main thread.
+      wake();
+      return;
+    }
+    BackoffMs = 1;
+    auto C = std::make_shared<Conn>(Fd, Fd, /*OwnsFds=*/true);
+    C->FromTcp = IsTcp;
+    ConnHandler &H = Handler;
+    std::lock_guard<std::mutex> Lock(ConnsMutex);
+    Conns.push_back(C);
+    ConnThreads.emplace_back([C, &H] { H(C); });
+  }
+}
+
+void FrameServer::waitUntilWoken() {
+  for (std::thread &T : AcceptThreads)
+    if (T.joinable())
+      T.join();
+}
+
+void FrameServer::wake() {
+  if (WakePipe[1] >= 0) {
+    char B = 'x';
+    [[maybe_unused]] ssize_t N = ::write(WakePipe[1], &B, 1);
+  }
+}
+
+void FrameServer::closeConnectionReads() {
+  std::lock_guard<std::mutex> Lock(ConnsMutex);
+  for (const std::weak_ptr<Conn> &W : Conns)
+    if (std::shared_ptr<Conn> C = W.lock())
+      ::shutdown(C->ReadFd, SHUT_RD);
+}
+
+void FrameServer::joinConnections() {
+  std::vector<std::thread> Threads;
+  {
+    std::lock_guard<std::mutex> Lock(ConnsMutex);
+    Threads.swap(ConnThreads);
+  }
+  for (std::thread &T : Threads)
+    if (T.joinable())
+      T.join();
+}

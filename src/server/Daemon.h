@@ -1,0 +1,158 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Daemon plumbing shared by every MS2 network process — msqd (shard),
+/// msq-router (front end), and msq-cached (shared cache tier). Factored
+/// out of msqd so all three speak the same framing, run the same accept
+/// loop (wake-pipe shutdown, transient-failure backoff, fault
+/// injection), and drain the same way.
+///
+///  * Conn — one client connection. Requests are pipelined: responses
+///    may be written out of order from worker threads (correlated by
+///    id), so the write side is mutex-guarded and failure-latching.
+///  * FrameServer — listeners (Unix socket and/or TCP), a wake pipe for
+///    signal-driven shutdown, and one handler thread per connection.
+///  * AuthConfig / serveShardConnection — the msqd request dispatcher,
+///    with per-connection tenant authentication for the TCP transport.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SERVER_DAEMON_H
+#define MSQ_SERVER_DAEMON_H
+
+#include "support/Socket.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace msq {
+
+class Server;
+
+/// One client connection. Thread-safe sends; beginRequest/endRequest
+/// track in-flight asynchronous completions so teardown can wait for
+/// them (waitQuiesced) before the fds close.
+struct Conn {
+  Conn(int ReadFd, int WriteFd, bool OwnsFds)
+      : ReadFd(ReadFd), WriteFd(WriteFd), OwnsFds(OwnsFds) {}
+  ~Conn();
+
+  void send(const std::string &Frame);
+  void beginRequest();
+  void endRequest();
+  /// Blocks until every submitted request has completed (its response
+  /// written or dropped); called before closing the connection.
+  void waitQuiesced();
+
+  int ReadFd;
+  int WriteFd;
+  bool OwnsFds;
+  std::mutex WriteMutex;
+  bool Dead = false;
+
+  std::mutex StateMutex;
+  std::condition_variable Quiesced;
+  size_t Outstanding = 0;
+
+  /// Set by FrameServer when the connection arrived over TCP (the
+  /// authenticated transport); Unix-socket and stdio peers are local and
+  /// implicitly trusted.
+  bool FromTcp = false;
+  /// Tenant established by a `hello` (empty until then / for anonymous
+  /// connections). Only the connection thread touches these.
+  bool Authenticated = false;
+  std::string Tenant;
+};
+
+/// Token -> tenant table for the TCP transport.
+struct AuthConfig {
+  std::map<std::string, std::string> TokenTenants;
+  /// When the table is non-empty, TCP connections must open with a
+  /// `hello` naming a known token before any expand/lint/reload;
+  /// status/ping stay unauthenticated (health checks). When the table is
+  /// empty, hello is optional and the token names the tenant directly
+  /// (trusted single-operator mode).
+  bool required() const { return !TokenTenants.empty(); }
+};
+
+/// The msqd per-connection request loop: parse frames, dispatch onto
+/// \p S, answer asynchronously. Returns when the peer disconnects, the
+/// stream breaks, or an unrecoverable protocol error forces a drop.
+void serveShardConnection(const std::shared_ptr<Conn> &C, Server &S,
+                          const AuthConfig &Auth);
+
+struct FrameServerOptions {
+  /// Unix-domain listener path ("" = none).
+  std::string UnixPath;
+  /// TCP listener: Enabled + host + port (0 = kernel-assigned; read the
+  /// real port back from FrameServer::tcpPort()).
+  bool TcpEnabled = false;
+  std::string TcpHost = "127.0.0.1";
+  uint16_t TcpPort = 0;
+};
+
+/// Accept machinery shared by the daemons: one accept thread per
+/// listener, exponential backoff on transient failures, a wake pipe any
+/// signal handler can poke, and per-connection handler threads.
+class FrameServer {
+public:
+  using ConnHandler = std::function<void(std::shared_ptr<Conn>)>;
+
+  FrameServer() = default;
+  ~FrameServer();
+  FrameServer(const FrameServer &) = delete;
+  FrameServer &operator=(const FrameServer &) = delete;
+
+  /// Binds the configured listeners and starts accepting; \p Handler
+  /// runs on a fresh thread per connection. False with \p Err on any
+  /// bind failure.
+  bool start(const FrameServerOptions &O, ConnHandler Handler,
+             std::string *Err);
+
+  /// Blocks until wake() (typically from a signal handler) or until
+  /// every listener has died; accept threads are joined on return.
+  void waitUntilWoken();
+
+  /// Pokes the wake pipe (async-signal-safe once start() returned).
+  void wake();
+  int wakeWriteFd() const { return WakePipe[1]; }
+
+  /// Half-closes every live connection's read side so handler threads
+  /// see EOF after their current frame (the drain sequence), then...
+  void closeConnectionReads();
+  /// ...joins every handler thread. Call after the owning Server
+  /// drained, so completions have already been written.
+  void joinConnections();
+
+  uint16_t tcpPort() const { return Tcp.port(); }
+  const std::string &unixPath() const { return Unix.path(); }
+
+private:
+  void acceptLoopThread(bool IsTcp);
+
+  UnixListener Unix;
+  TcpListener Tcp;
+  int WakePipe[2] = {-1, -1};
+  ConnHandler Handler;
+
+  std::vector<std::thread> AcceptThreads;
+  std::mutex ConnsMutex;
+  std::vector<std::weak_ptr<Conn>> Conns;
+  std::vector<std::thread> ConnThreads;
+};
+
+} // namespace msq
+
+#endif // MSQ_SERVER_DAEMON_H

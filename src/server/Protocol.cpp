@@ -327,6 +327,7 @@ bool json::Value::asU64(uint64_t &Out) const {
 }
 
 bool json::parse(std::string_view Text, Value &Out, std::string *Err) {
+  Out = Value(); // callers reuse Value objects across parses
   return JsonParser(Text, Err).run(Out);
 }
 
@@ -344,6 +345,9 @@ const char *msq::errorCodeName(ErrorCode C) {
   case ErrorCode::ShuttingDown:  return "shutting_down";
   case ErrorCode::ReloadFailed:  return "reload_failed";
   case ErrorCode::Internal:      return "internal";
+  case ErrorCode::Unauthorized:  return "unauthorized";
+  case ErrorCode::QuotaExceeded: return "quota_exceeded";
+  case ErrorCode::Degraded:      return "degraded";
   }
   return "internal";
 }
@@ -489,6 +493,41 @@ ParseOutcome msq::parseRequest(std::string_view Frame, Request &Out) {
     return O;
   }
 
+  if (Ty->Str == "hello") {
+    Out.Ty = Request::Type::Hello;
+    const json::Value *Token = Doc.get("token");
+    if (!Token || !Token->isString())
+      return parseFail(ErrorCode::BadRequest,
+                       "hello needs a string \"token\"");
+    Out.Token = Token->Str;
+    ParseOutcome O;
+    O.Ok = true;
+    return O;
+  }
+
+  if (Ty->Str == "cache_get" || Ty->Str == "cache_put") {
+    bool Put = Ty->Str == "cache_put";
+    Out.Ty = Put ? Request::Type::CachePut : Request::Type::CacheGet;
+    const json::Value *Key = Doc.get("key");
+    if (!Key || !Key->isString() || Key->Str.empty())
+      return parseFail(ErrorCode::BadRequest,
+                       Put ? "cache_put needs a string \"key\""
+                           : "cache_get needs a string \"key\"");
+    Out.Key = Key->Str;
+    if (Put) {
+      const json::Value *Data = Doc.get("data");
+      if (!Data || !Data->isString())
+        return parseFail(ErrorCode::BadRequest,
+                         "cache_put needs a string \"data\"");
+      if (!fromHex(Data->Str, Out.Data))
+        return parseFail(ErrorCode::BadRequest,
+                         "\"data\" must be an even-length hex string");
+    }
+    ParseOutcome O;
+    O.Ok = true;
+    return O;
+  }
+
   return parseFail(ErrorCode::UnknownType,
                    "unknown request type \"" + Ty->Str + "\"");
 }
@@ -604,6 +643,38 @@ std::string msq::makePongResponse(const std::string &Id) {
   return responseHead(Id, "pong") + "}";
 }
 
+std::string msq::makeWelcomeResponse(const std::string &Id,
+                                     const std::string &Tenant) {
+  std::string Out = responseHead(Id, "welcome");
+  Out += ",\"tenant\":\"";
+  Out += jsonEscape(Tenant);
+  Out += "\"}";
+  return Out;
+}
+
+std::string msq::makeCacheEntryResponse(const std::string &Id, bool Found,
+                                        const std::string &Data) {
+  std::string Out = responseHead(Id, "cache_entry");
+  Out += ",\"found\":";
+  Out += Found ? "true" : "false";
+  if (Found) {
+    Out += ",\"data\":\"";
+    Out += toHex(Data); // hex is JSON-clean, no escaping needed
+    Out += '"';
+  }
+  Out += '}';
+  return Out;
+}
+
+std::string msq::makeCacheStoredResponse(const std::string &Id,
+                                         bool Stored) {
+  std::string Out = responseHead(Id, "cache_stored");
+  Out += ",\"stored\":";
+  Out += Stored ? "true" : "false";
+  Out += '}';
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // Request builders
 //===----------------------------------------------------------------------===//
@@ -691,4 +762,68 @@ std::string msq::makeStatusRequest(const std::string &Id) {
 
 std::string msq::makePingRequest(const std::string &Id) {
   return requestHead(Id, "ping") + "}";
+}
+
+std::string msq::makeHelloRequest(const std::string &Id,
+                                  const std::string &Token) {
+  std::string Out = requestHead(Id, "hello");
+  Out += ",\"token\":\"";
+  Out += jsonEscape(Token);
+  Out += "\"}";
+  return Out;
+}
+
+std::string msq::makeCacheGetRequest(const std::string &Id,
+                                     const std::string &Key) {
+  std::string Out = requestHead(Id, "cache_get");
+  Out += ",\"key\":\"";
+  Out += jsonEscape(Key);
+  Out += "\"}";
+  return Out;
+}
+
+std::string msq::makeCachePutRequest(const std::string &Id,
+                                     const std::string &Key,
+                                     const std::string &Data) {
+  std::string Out = requestHead(Id, "cache_put");
+  Out += ",\"key\":\"";
+  Out += jsonEscape(Key);
+  Out += "\",\"data\":\"";
+  Out += toHex(Data);
+  Out += "\"}";
+  return Out;
+}
+
+std::string msq::toHex(std::string_view Bytes) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(Bytes.size() * 2);
+  for (unsigned char C : Bytes) {
+    Out.push_back(Digits[C >> 4]);
+    Out.push_back(Digits[C & 0xF]);
+  }
+  return Out;
+}
+
+bool msq::fromHex(std::string_view Hex, std::string &Out) {
+  if (Hex.size() % 2)
+    return false;
+  auto Nibble = [](char C) -> int {
+    if (C >= '0' && C <= '9')
+      return C - '0';
+    if (C >= 'a' && C <= 'f')
+      return C - 'a' + 10;
+    if (C >= 'A' && C <= 'F')
+      return C - 'A' + 10;
+    return -1;
+  };
+  Out.clear();
+  Out.reserve(Hex.size() / 2);
+  for (size_t I = 0; I != Hex.size(); I += 2) {
+    int Hi = Nibble(Hex[I]), Lo = Nibble(Hex[I + 1]);
+    if (Hi < 0 || Lo < 0)
+      return false;
+    Out.push_back(char((Hi << 4) | Lo));
+  }
+  return true;
 }

@@ -22,6 +22,23 @@
 ///   status          {"v":1,"id":I,"type":"status"}
 ///   ping            {"v":1,"id":I,"type":"ping"}
 ///
+/// Cluster mode adds three request types over the same framing:
+///
+///   hello           {"v":1,"id":I,"type":"hello","token":T}
+///                   First frame on an authenticated (TCP) connection;
+///                   answered with `welcome` naming the tenant the token
+///                   maps to, or an `unauthorized` error (connection
+///                   dropped). Unix-socket connections skip hello and run
+///                   as the default tenant.
+///   cache_get       {"v":1,"id":I,"type":"cache_get","key":K}
+///   cache_put       {"v":1,"id":I,"type":"cache_put","key":K,"data":HEX}
+///                   Spoken by shards to the shared remote cache daemon
+///                   (msq-cached). `data` is the serialized
+///                   content-addressed entry (the on-disk "MSQCACHE"
+///                   format), hex-encoded so arbitrary bytes survive the
+///                   JSON string; answered with `cache_entry` /
+///                   `cache_stored`.
+///
 /// "provenance":true makes the expansion track invocation backtraces: the
 /// response's diagnostics carry "in expansion of macro ..." chains and a
 /// "source_map" object maps output lines back to invocation sites.
@@ -98,12 +115,24 @@ enum class ErrorCode {
   ShuttingDown,   ///< server is draining; no new work admitted
   ReloadFailed,   ///< reload_library sources had errors; old library kept
   Internal,       ///< anything else; the daemon stayed up
+  Unauthorized,   ///< hello token unknown — connection will be dropped
+  QuotaExceeded,  ///< tenant admission quota exhausted — retry later
+  Degraded,       ///< router exhausted its shard retries for this request
 };
 const char *errorCodeName(ErrorCode C);
 
 /// One parsed request.
 struct Request {
-  enum class Type { Expand, Lint, ReloadLibrary, Status, Ping };
+  enum class Type {
+    Expand,
+    Lint,
+    ReloadLibrary,
+    Status,
+    Ping,
+    Hello,
+    CacheGet,
+    CachePut,
+  };
   Type Ty = Type::Ping;
   std::string Id;
   // Expand / Lint:
@@ -116,6 +145,11 @@ struct Request {
   // ReloadLibrary:
   std::vector<SourceUnit> Sources;
   bool LoadStdlib = false;
+  // Hello:
+  std::string Token;
+  // CacheGet / CachePut:
+  std::string Key;
+  std::string Data; ///< decoded entry bytes (the hex wrapper is stripped)
 };
 
 /// Outcome of parsing one request frame. On failure, \p Code/Message
@@ -161,6 +195,17 @@ std::string makeReloadResponse(const std::string &Id, uint64_t Generation,
 /// {"v":1,"id":I,"type":"pong"}
 std::string makePongResponse(const std::string &Id);
 
+/// {"v":1,"id":I,"type":"welcome","tenant":T}
+std::string makeWelcomeResponse(const std::string &Id,
+                                const std::string &Tenant);
+
+/// {"v":1,"id":I,"type":"cache_entry","found":B[,"data":HEX]}
+std::string makeCacheEntryResponse(const std::string &Id, bool Found,
+                                   const std::string &Data);
+
+/// {"v":1,"id":I,"type":"cache_stored","stored":B}
+std::string makeCacheStoredResponse(const std::string &Id, bool Stored);
+
 //===----------------------------------------------------------------------===//
 // Request builders (the client side).
 //===----------------------------------------------------------------------===//
@@ -176,6 +221,18 @@ std::string makeReloadRequest(const std::string &Id,
                               bool LoadStdlib);
 std::string makeStatusRequest(const std::string &Id);
 std::string makePingRequest(const std::string &Id);
+std::string makeHelloRequest(const std::string &Id,
+                             const std::string &Token);
+std::string makeCacheGetRequest(const std::string &Id,
+                                const std::string &Key);
+std::string makeCachePutRequest(const std::string &Id,
+                                const std::string &Key,
+                                const std::string &Data);
+
+/// Lowercase hex codec for binary payloads embedded in JSON strings
+/// (cache entry bytes). fromHex rejects odd lengths and non-hex digits.
+std::string toHex(std::string_view Bytes);
+bool fromHex(std::string_view Hex, std::string &Out);
 
 } // namespace msq
 

@@ -1,0 +1,159 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/RemoteCacheClient.h"
+
+#include "server/Protocol.h"
+#include "support/Fault.h"
+
+using namespace msq;
+
+namespace {
+
+/// Breaker tuning: three consecutive failures open it; 256 skipped
+/// operations later one probe is allowed through.
+constexpr uint32_t BreakerTripAfter = 3;
+constexpr int32_t BreakerSkipBudget = 256;
+
+} // namespace
+
+RemoteCacheClient::RemoteCacheClient(std::string Addr, int TimeoutMs)
+    : Address(std::move(Addr)), TimeoutMillis(TimeoutMs) {
+  AddressOk = parseHostPort(Address, Host, Port, nullptr);
+}
+
+bool RemoteCacheClient::breakerOpen() {
+  if (ConsecutiveFailures.load(std::memory_order_relaxed) < BreakerTripAfter)
+    return false;
+  // Open: burn one unit of skip budget per operation; the op that
+  // drains it becomes the probe.
+  if (SkipRemaining.fetch_sub(1, std::memory_order_relaxed) > 0)
+    return true;
+  SkipRemaining.store(BreakerSkipBudget, std::memory_order_relaxed);
+  return false;
+}
+
+void RemoteCacheClient::recordFailure() {
+  if (ConsecutiveFailures.fetch_add(1, std::memory_order_relaxed) + 1 ==
+      BreakerTripAfter)
+    SkipRemaining.store(BreakerSkipBudget, std::memory_order_relaxed);
+}
+
+void RemoteCacheClient::recordSuccess() {
+  ConsecutiveFailures.store(0, std::memory_order_relaxed);
+}
+
+bool RemoteCacheClient::ensureConnected() {
+  if (Fd.valid())
+    return true;
+  if (!AddressOk)
+    return false;
+  int S = connectTcp(Host, Port, nullptr);
+  if (S < 0)
+    return false;
+  setSocketTimeout(S, TimeoutMillis);
+  Fd.reset(S);
+  return true;
+}
+
+bool RemoteCacheClient::roundTrip(const std::string &Frame,
+                                  std::string &Response) {
+  if (!ensureConnected())
+    return false;
+  if (!writeFrame(Fd.get(), Frame)) {
+    Fd.reset();
+    return false;
+  }
+  FrameReader Reader(Fd.get(), MaxFrameBytes);
+  if (Reader.next(Response) != FrameReader::Status::Frame) {
+    Fd.reset();
+    return false;
+  }
+  return true;
+}
+
+bool RemoteCacheClient::get(const std::string &Key, std::string &Bytes,
+                            CacheStats &Stats) {
+  if (breakerOpen())
+    return false; // skipped, not an error: the tier is known-down
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (int Attempt = 0;; ++Attempt) {
+    bool Failed = fault::shouldFail(fault::Point::RemoteCacheGet);
+    std::string Response;
+    if (Failed)
+      Fd.reset(); // an injected trip models a dead connection
+    else
+      Failed = !roundTrip(
+          makeCacheGetRequest(std::to_string(NextId++), Key), Response);
+    if (!Failed) {
+      // {"type":"cache_entry","found":B[,"data":HEX]} — anything else
+      // (an error response, junk) counts as a protocol failure.
+      json::Value Doc;
+      const json::Value *Ty = nullptr, *Found = nullptr;
+      if (json::parse(Response, Doc, nullptr) &&
+          (Ty = Doc.get("type")) && Ty->isString() &&
+          Ty->Str == "cache_entry" && (Found = Doc.get("found")) &&
+          Found->K == json::Value::Kind::Bool) {
+        recordSuccess();
+        if (!Found->B)
+          return false; // clean miss
+        const json::Value *Data = Doc.get("data");
+        if (Data && Data->isString() && fromHex(Data->Str, Bytes))
+          return true;
+        ++Stats.RemoteErrors; // found but undecodable — corrupt frame
+        return false;
+      }
+      Failed = true;
+      Fd.reset();
+    }
+    if (Attempt == 1) {
+      ++Stats.RemoteErrors;
+      recordFailure();
+      return false;
+    }
+    // Retry once on a fresh connection (roundTrip re-dials).
+  }
+}
+
+void RemoteCacheClient::put(const std::string &Key, const std::string &Bytes,
+                            CacheStats &Stats) {
+  if (breakerOpen())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (int Attempt = 0;; ++Attempt) {
+    bool Failed = fault::shouldFail(fault::Point::RemoteCachePut);
+    std::string Response;
+    if (Failed)
+      Fd.reset();
+    else
+      Failed = !roundTrip(
+          makeCachePutRequest(std::to_string(NextId++), Key, Bytes),
+          Response);
+    if (!Failed) {
+      json::Value Doc;
+      const json::Value *Ty = nullptr, *Stored = nullptr;
+      if (json::parse(Response, Doc, nullptr) &&
+          (Ty = Doc.get("type")) && Ty->isString() &&
+          Ty->Str == "cache_stored" && (Stored = Doc.get("stored")) &&
+          Stored->K == json::Value::Kind::Bool) {
+        recordSuccess();
+        if (Stored->B)
+          ++Stats.RemoteStores;
+        else
+          ++Stats.RemoteErrors; // daemon refused the entry
+        return;
+      }
+      Failed = true;
+      Fd.reset();
+    }
+    if (Attempt == 1) {
+      ++Stats.RemoteErrors;
+      recordFailure();
+      return;
+    }
+  }
+}

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NDJSON client for the shared remote cache daemon (msq-cached): the
+/// concrete RemoteCacheTier a shard attaches to its ExpansionCache in
+/// cluster mode. One persistent TCP connection, re-dialed lazily after
+/// any failure; every operation carries the PR-5 retry/degrade
+/// discipline — evaluate the rcache.get / rcache.put injection point,
+/// retry once on a fresh connection, then count a RemoteError and read
+/// as a miss. Socket timeouts bound every stage, so a wedged daemon
+/// costs bounded latency, never a hang; after a few consecutive
+/// failures a breaker skips the remote tier for a while so a dead
+/// daemon stops taxing the hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SERVER_REMOTECACHECLIENT_H
+#define MSQ_SERVER_REMOTECACHECLIENT_H
+
+#include "cache/ExpansionCache.h"
+#include "support/Socket.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace msq {
+
+class RemoteCacheClient : public RemoteCacheTier {
+public:
+  /// \p Address is "HOST:PORT". Nothing is dialed until the first
+  /// operation, so constructing against a not-yet-started daemon is
+  /// fine. \p TimeoutMillis bounds connect-to-response per attempt.
+  explicit RemoteCacheClient(std::string Address, int TimeoutMillis = 1000);
+
+  bool get(const std::string &Key, std::string &Bytes,
+           CacheStats &Stats) override;
+  void put(const std::string &Key, const std::string &Bytes,
+           CacheStats &Stats) override;
+
+  const std::string &address() const { return Address; }
+
+private:
+  /// Sends \p Frame and reads one response frame. False on any
+  /// connection-level failure (the connection is dropped for re-dial).
+  /// Serialized: the protocol would allow pipelining, but cache ops are
+  /// tiny and a single connection keeps failure handling simple.
+  bool roundTrip(const std::string &Frame, std::string &Response);
+  bool ensureConnected();
+
+  /// Breaker: after ConsecutiveFailures reaches the trip threshold,
+  /// operations no-op (miss / skip) for SkipBudget ops before probing
+  /// again. Purely latency protection — correctness never depends on
+  /// the remote tier answering.
+  bool breakerOpen();
+  void recordFailure();
+  void recordSuccess();
+
+  std::string Address;
+  std::string Host;
+  uint16_t Port = 0;
+  int TimeoutMillis;
+  bool AddressOk = false;
+
+  std::mutex Mutex; ///< guards Fd and NextId (one op in flight at a time)
+  FdHandle Fd;
+  uint64_t NextId = 1;
+
+  std::atomic<uint32_t> ConsecutiveFailures{0};
+  std::atomic<int32_t> SkipRemaining{0};
+};
+
+} // namespace msq
+
+#endif // MSQ_SERVER_REMOTECACHECLIENT_H

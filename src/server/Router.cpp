@@ -1,0 +1,354 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Router.h"
+
+#include "server/Protocol.h"
+#include "support/Fault.h"
+#include "support/Socket.h"
+
+#include <algorithm>
+
+#include <unistd.h>
+
+using namespace msq;
+
+namespace {
+
+/// FNV-1a, 64-bit. The ring only needs a stable, well-mixed hash that is
+/// identical across router restarts and machines — not a cryptographic
+/// one (clients already trust the router with their sources).
+uint64_t fnv1a(std::string_view Bytes, uint64_t Seed = 14695981039346656037ull) {
+  uint64_t H = Seed;
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// True when \p Frame is an `error` response carrying \p Code's name.
+/// Parse failures count as "no" — an unparsable upstream frame is relayed
+/// as-is rather than guessed at.
+bool isErrorWithCode(const std::string &Frame, ErrorCode Code) {
+  json::Value V;
+  std::string Err;
+  if (!json::parse(Frame, V, &Err) || !V.isObject())
+    return false;
+  const json::Value *Ty = V.get("type");
+  const json::Value *EC = V.get("error");
+  return Ty && Ty->isString() && Ty->Str == "error" && EC && EC->isString() &&
+         EC->Str == errorCodeName(Code);
+}
+
+} // namespace
+
+Router::Router(RouterOptions O) : TimeoutMillis(O.TimeoutMillis) {
+  if (O.Shards.empty()) {
+    Error = "no shards configured";
+    return;
+  }
+  for (const std::string &Addr : O.Shards) {
+    Upstream U;
+    U.Addr = Addr;
+    std::string Err;
+    if (!parseHostPort(Addr, U.Host, U.Port, &Err)) {
+      Error = "bad shard address '" + Addr + "': " + Err;
+      return;
+    }
+    Upstreams.push_back(std::move(U));
+  }
+  // The ring: VirtualNodes points per shard, placed by hashing the
+  // shard's address with the replica index. Depends only on the
+  // configured addresses, so every router over the same pool — now or
+  // after a restart — routes identically.
+  unsigned VNodes = std::max(1u, O.VirtualNodes);
+  Ring.reserve(Upstreams.size() * VNodes);
+  for (size_t S = 0; S < Upstreams.size(); ++S)
+    for (unsigned R = 0; R < VNodes; ++R) {
+      std::string Label =
+          Upstreams[S].Addr + "#" + std::to_string(R);
+      Ring.push_back({fnv1a(Label), S});
+    }
+  std::sort(Ring.begin(), Ring.end());
+}
+
+size_t Router::shardFor(const std::string &Key) const {
+  uint64_t H = fnv1a(Key);
+  // First ring point at or after the key's hash, wrapping at the top.
+  auto It = std::lower_bound(Ring.begin(), Ring.end(), RingEntry{H, 0});
+  if (It == Ring.end())
+    It = Ring.begin();
+  return It->Shard;
+}
+
+bool Router::callShard(size_t Idx, const std::string &Token,
+                       const std::string &RequestFrame,
+                       std::string &Response) {
+  const Upstream &U = Upstreams[Idx];
+  if (fault::shouldFail(fault::Point::RouterConnect))
+    return false;
+  std::string Err;
+  int Fd = connectTcp(U.Host, U.Port, &Err);
+  if (Fd < 0)
+    return false;
+  setSocketTimeout(Fd, TimeoutMillis);
+
+  FrameReader Reader(Fd, MaxFrameBytes);
+  std::string Frame;
+
+  // Replay the client's credential: each upstream connection is fresh,
+  // and a shard with a token table admits no anonymous work.
+  if (!Token.empty()) {
+    if (!writeFrame(Fd, makeHelloRequest("auth", Token)) ||
+        Reader.next(Frame) != FrameReader::Status::Frame) {
+      ::close(Fd);
+      return false;
+    }
+    // Anything but a welcome means the shard rejected the token; that is
+    // an answer, not a dead shard — surface it instead of retrying into
+    // the same rejection elsewhere.
+    json::Value V;
+    std::string PErr;
+    if (json::parse(Frame, V, &PErr) && V.isObject()) {
+      const json::Value *Ty = V.get("type");
+      if (!Ty || !Ty->isString() || Ty->Str != "welcome") {
+        ::close(Fd);
+        Response = Frame;
+        return true;
+      }
+    }
+  }
+
+  if (fault::shouldFail(fault::Point::RouterForward)) {
+    ::close(Fd);
+    return false;
+  }
+  bool Ok = writeFrame(Fd, RequestFrame) &&
+            Reader.next(Frame) == FrameReader::Status::Frame;
+  ::close(Fd);
+  if (!Ok)
+    return false;
+  Response = Frame;
+  return true;
+}
+
+std::string Router::forward(size_t FirstShard, const std::string &Token,
+                            const std::string &RequestFrame,
+                            const std::string &Id) {
+  ++Forwarded;
+  std::string First;
+  bool HaveFirst = callShard(FirstShard, Token, RequestFrame, First);
+  if (HaveFirst && !isErrorWithCode(First, ErrorCode::Overloaded))
+    return First;
+
+  // Retry once on the ring successor (with one shard, the same shard —
+  // a transient injected fault or a draining race may clear).
+  ++Retries;
+  size_t Next = (FirstShard + 1) % Upstreams.size();
+  std::string Second;
+  if (callShard(Next, Token, RequestFrame, Second)) {
+    if (isErrorWithCode(Second, ErrorCode::Overloaded))
+      ++RelayedOverloaded;
+    return Second;
+  }
+  if (HaveFirst) {
+    // Both answers exist and the first was `overloaded` (the only way we
+    // get here with HaveFirst): the pool is saturated, not broken.
+    ++RelayedOverloaded;
+    return First;
+  }
+  ++Degraded;
+  return makeErrorResponse(Id, ErrorCode::Degraded,
+                           "no shard answered after retry (tried " +
+                               Upstreams[FirstShard].Addr + ", " +
+                               Upstreams[Next].Addr + ")");
+}
+
+std::string Router::handleHello(const std::string &Id,
+                                const std::string &Token,
+                                std::string &Tenant, bool &Accepted) {
+  Accepted = false;
+  // Validate against a real shard (the router holds no token table);
+  // hashing by token spreads validation load but any shard would do.
+  std::string Resp =
+      forward(shardFor(Token), /*Token=*/"", makeHelloRequest(Id, Token), Id);
+  json::Value V;
+  std::string Err;
+  if (json::parse(Resp, V, &Err) && V.isObject()) {
+    const json::Value *Ty = V.get("type");
+    if (Ty && Ty->isString() && Ty->Str == "welcome") {
+      Accepted = true;
+      const json::Value *Te = V.get("tenant");
+      Tenant = Te && Te->isString() ? Te->Str : Token;
+    }
+  }
+  return Resp;
+}
+
+std::string Router::handleStatus(const std::string &Id,
+                                 const std::string &Token) {
+  // The router's own counters plus every shard's metrics verbatim.
+  // makeStatusResponse emits "metrics" last, so a shard's metrics object
+  // is the frame's tail — sliced out rather than re-serialized.
+  std::string M = "{\"router\":{\"shards\":";
+  M += std::to_string(Upstreams.size());
+  M += ",\"forwarded\":";
+  M += std::to_string(Forwarded.load());
+  M += ",\"retries\":";
+  M += std::to_string(Retries.load());
+  M += ",\"degraded\":";
+  M += std::to_string(Degraded.load());
+  M += ",\"relayed_overloaded\":";
+  M += std::to_string(RelayedOverloaded.load());
+  M += ",\"reload_broadcasts\":";
+  M += std::to_string(ReloadBroadcasts.load());
+  M += "},\"shard_status\":[";
+  for (size_t S = 0; S < Upstreams.size(); ++S) {
+    if (S)
+      M += ",";
+    M += "{\"addr\":\"" + jsonEscape(Upstreams[S].Addr) + "\",";
+    std::string Resp;
+    std::string Metrics;
+    if (callShard(S, Token, makeStatusRequest(Id), Resp)) {
+      size_t Pos = Resp.find("\"metrics\":");
+      if (Pos != std::string::npos && Resp.size() > Pos + 10)
+        Metrics = Resp.substr(Pos + 10, Resp.size() - (Pos + 10) - 1);
+    }
+    if (Metrics.empty())
+      M += "\"ok\":false}";
+    else
+      M += "\"ok\":true,\"metrics\":" + Metrics + "}";
+  }
+  M += "]}";
+  return makeStatusResponse(Id, M);
+}
+
+std::string Router::handleReload(const std::string &Id,
+                                 const std::string &Token,
+                                 const std::string &RequestFrame) {
+  // Every shard owns a full library session, so a reload must reach all
+  // of them. Per shard: one retry on the SAME shard (the successor has
+  // its own broadcast slot), then the whole reload reports degraded —
+  // a half-reloaded pool must be visible to the operator.
+  ++ReloadBroadcasts;
+  uint64_t MaxGeneration = 0;
+  bool AnyChanged = false;
+  for (size_t S = 0; S < Upstreams.size(); ++S) {
+    std::string Resp;
+    bool Have = callShard(S, Token, RequestFrame, Resp);
+    if (!Have) {
+      ++Retries;
+      Have = callShard(S, Token, RequestFrame, Resp);
+    }
+    if (!Have) {
+      ++Degraded;
+      return makeErrorResponse(Id, ErrorCode::Degraded,
+                               "reload did not reach shard " +
+                                   Upstreams[S].Addr);
+    }
+    json::Value V;
+    std::string Err;
+    if (!json::parse(Resp, V, &Err) || !V.isObject())
+      return Resp;
+    const json::Value *Ty = V.get("type");
+    if (!Ty || !Ty->isString() || Ty->Str != "reloaded")
+      return Resp; // relay the first failure (e.g. reload_failed) verbatim
+    uint64_t Gen = 0;
+    if (const json::Value *G = V.get("generation"))
+      G->asU64(Gen);
+    MaxGeneration = std::max(MaxGeneration, Gen);
+    if (const json::Value *Ch = V.get("changed"))
+      AnyChanged = AnyChanged || (Ch->K == json::Value::Kind::Bool && Ch->B);
+  }
+  // Shards may sit at different generation numbers (they count their own
+  // reloads); report the highest so the number still only moves forward.
+  return makeReloadResponse(Id, MaxGeneration, AnyChanged);
+}
+
+void Router::serveConnection(const std::shared_ptr<Conn> &C) {
+  FrameReader Reader(C->ReadFd, MaxFrameBytes);
+  std::string Frame;
+  std::string Token; // credential to replay upstream, set by hello
+  for (;;) {
+    FrameReader::Status St = Reader.next(Frame);
+    if (St == FrameReader::Status::TooLong) {
+      C->send(makeErrorResponse(
+          "", ErrorCode::FrameTooLarge,
+          "frame exceeds " + std::to_string(MaxFrameBytes) + " bytes"));
+      break;
+    }
+    if (St != FrameReader::Status::Frame)
+      break;
+
+    Request Req;
+    ParseOutcome PO = parseRequest(Frame, Req);
+    if (!PO.Ok) {
+      C->send(makeErrorResponse(Req.Id, PO.Code, PO.Message));
+      continue;
+    }
+
+    switch (Req.Ty) {
+    case Request::Type::Ping:
+      C->send(makePongResponse(Req.Id));
+      break;
+    case Request::Type::Status:
+      C->send(handleStatus(Req.Id, Token));
+      break;
+    case Request::Type::Hello: {
+      std::string Tenant;
+      bool Accepted = false;
+      std::string Resp = handleHello(Req.Id, Req.Token, Tenant, Accepted);
+      C->send(Resp);
+      if (!Accepted) {
+        // Mirror shard behavior: a rejected credential drops the
+        // connection rather than inviting a token-guessing loop.
+        C->waitQuiesced();
+        return;
+      }
+      Token = Req.Token;
+      C->Tenant = Tenant;
+      C->Authenticated = true;
+      break;
+    }
+    case Request::Type::CacheGet:
+    case Request::Type::CachePut:
+      C->send(makeErrorResponse(Req.Id, ErrorCode::UnknownType,
+                                "the router does not serve cache "
+                                "requests (use msq-cached)"));
+      break;
+    case Request::Type::ReloadLibrary:
+      C->send(handleReload(Req.Id, Token, Frame));
+      break;
+    case Request::Type::Expand:
+    case Request::Type::Lint:
+      // Relay the client's frame byte-for-byte: the shard re-parses it,
+      // so the router cannot corrupt fields it does not understand.
+      C->send(forward(shardFor(routingKey(Req.Name, Req.Source)), Token,
+                      Frame, Req.Id));
+      break;
+    }
+  }
+  C->waitQuiesced();
+}
+
+std::string Router::metricsJson() const {
+  std::string Out = "{\"router\":{\"shards\":";
+  Out += std::to_string(Upstreams.size());
+  Out += ",\"forwarded\":";
+  Out += std::to_string(Forwarded.load());
+  Out += ",\"retries\":";
+  Out += std::to_string(Retries.load());
+  Out += ",\"degraded\":";
+  Out += std::to_string(Degraded.load());
+  Out += ",\"relayed_overloaded\":";
+  Out += std::to_string(RelayedOverloaded.load());
+  Out += ",\"reload_broadcasts\":";
+  Out += std::to_string(ReloadBroadcasts.load());
+  Out += "}}";
+  return Out;
+}

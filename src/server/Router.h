@@ -1,0 +1,139 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cluster front end (msq-router): accepts the ordinary msqd wire
+/// protocol and fans requests out over a pool of msqd shards.
+///
+/// Routing is a consistent-hash ring (virtual nodes per shard) keyed by
+/// the request content — hash(unit name + source) — rather than by
+/// client: the same unit always lands on the same shard, so each
+/// shard's local expansion cache stays hot for its slice of the
+/// keyspace and the pool's aggregate cache is the union, not N copies.
+///
+/// Failure discipline mirrors the cache tiers (retry once, then a
+/// structured answer, never a hang):
+///  * a shard that cannot be reached or answers `overloaded` costs one
+///    retry on the ring successor;
+///  * if the retry also gets no answer, the client receives a
+///    `degraded` error — the request was NOT silently dropped;
+///  * if the retry produced a shard answer (even `overloaded`), that
+///    answer is relayed verbatim, so "every shard is saturated" surfaces
+///    as `overloaded`, distinct from "shards are crashing" (`degraded`).
+///
+/// `reload_library` broadcasts to every shard (each owns a full library
+/// session); `status` aggregates every shard's metrics under the
+/// router's own counters. Auth tokens pass through: a client `hello` is
+/// validated against a real shard, and the token is replayed on every
+/// upstream connection opened for that client.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SERVER_ROUTER_H
+#define MSQ_SERVER_ROUTER_H
+
+#include "server/Daemon.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace msq {
+
+struct RouterOptions {
+  /// Shard addresses, "host:port" each. At least one.
+  std::vector<std::string> Shards;
+  /// Per-upstream-operation socket timeout.
+  int TimeoutMillis = 10000;
+  /// Virtual nodes per shard on the hash ring. More nodes smooth the
+  /// key distribution; 64 keeps the spread within a few percent.
+  unsigned VirtualNodes = 64;
+};
+
+class Router {
+public:
+  /// Validates and indexes the shard pool. Check ok() before serving;
+  /// construction never dials — upstream connections are per-request.
+  explicit Router(RouterOptions O);
+
+  bool ok() const { return Error.empty(); }
+  const std::string &error() const { return Error; }
+
+  size_t shardCount() const { return Upstreams.size(); }
+  const std::string &shardAddress(size_t Idx) const {
+    return Upstreams[Idx].Addr;
+  }
+
+  /// The ring lookup: index of the shard owning \p Key. Deterministic
+  /// across router restarts (the ring depends only on shard addresses).
+  size_t shardFor(const std::string &Key) const;
+
+  /// Routing key for an expand/lint request (content addressing: same
+  /// unit, same shard, warm cache).
+  static std::string routingKey(const std::string &Name,
+                                const std::string &Source) {
+    return Name + '\0' + Source;
+  }
+
+  /// The per-client-connection loop: parse frames, forward, relay.
+  void serveConnection(const std::shared_ptr<Conn> &C);
+
+  /// {"router":{"shards":N,"forwarded":N,"retries":N,"degraded":N,
+  ///   "relayed_overloaded":N,"reload_broadcasts":N}}
+  std::string metricsJson() const;
+
+private:
+  struct Upstream {
+    std::string Addr; // as configured, for status reporting
+    std::string Host;
+    uint16_t Port = 0;
+  };
+
+  struct RingEntry {
+    uint64_t Hash;
+    size_t Shard;
+    bool operator<(const RingEntry &O) const { return Hash < O.Hash; }
+  };
+
+  /// One request/response exchange with shard \p Idx on a fresh
+  /// connection (prefixed by a `hello` replay when \p Token is set).
+  /// True with the shard's response frame in \p Response; false when no
+  /// answer could be obtained (connect/write/read failure or an injected
+  /// router.* fault).
+  bool callShard(size_t Idx, const std::string &Token,
+                 const std::string &RequestFrame, std::string &Response);
+
+  /// Forward with the retry-once discipline. Always produces a frame to
+  /// send to the client (a relay or a structured error).
+  std::string forward(size_t FirstShard, const std::string &Token,
+                      const std::string &RequestFrame,
+                      const std::string &Id);
+
+  std::string handleHello(const std::string &Id, const std::string &Token,
+                          std::string &Tenant, bool &Accepted);
+  std::string handleStatus(const std::string &Id,
+                           const std::string &Token);
+  std::string handleReload(const std::string &Id, const std::string &Token,
+                           const std::string &RequestFrame);
+
+  std::vector<Upstream> Upstreams;
+  std::vector<RingEntry> Ring;
+  std::string Error;
+  int TimeoutMillis;
+
+  std::atomic<uint64_t> Forwarded{0};
+  std::atomic<uint64_t> Retries{0};
+  std::atomic<uint64_t> Degraded{0};
+  std::atomic<uint64_t> RelayedOverloaded{0};
+  std::atomic<uint64_t> ReloadBroadcasts{0};
+};
+
+} // namespace msq
+
+#endif // MSQ_SERVER_ROUTER_H

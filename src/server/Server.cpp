@@ -9,6 +9,7 @@
 
 #include "cache/ExpansionCache.h"
 #include "driver/BatchDriver.h"
+#include "server/RemoteCacheClient.h"
 #include "support/Fault.h"
 #include "support/ThreadPool.h"
 
@@ -51,8 +52,12 @@ std::set<std::string> identifiersIn(const std::string &Source) {
 } // namespace
 
 Server::Server(ServerOptions Opts) : SO(std::move(Opts)) {
-  if (SO.EngineOpts.EnableExpansionCache)
+  if (SO.EngineOpts.EnableExpansionCache) {
     Cache = std::make_shared<ExpansionCache>(SO.EngineOpts.ExpansionCacheDir);
+    if (!SO.RemoteCacheAddr.empty())
+      Cache->attachRemote(
+          std::make_shared<RemoteCacheClient>(SO.RemoteCacheAddr));
+  }
   // Establish generation 1 with an empty library so submit() always has
   // a state to run against; real deployments reload immediately after.
   ReloadOutcome First = reloadLibrary({}, /*LoadStdlib=*/false);
@@ -106,7 +111,19 @@ Server::Admission Server::submit(SourceUnit Unit, RequestOptions RO,
           "\",\"queue_depth\":" + std::to_string(Queue.size()) + "}");
       return Admission::Overloaded;
     }
+    TenantState &TS = Tenants[J.RO.Tenant];
+    if (SO.TenantQuota && TS.InFlight >= SO.TenantQuota) {
+      ++RejectedQuota;
+      ++TS.RejectedQuota;
+      log("{\"event\":\"reject\",\"reason\":\"quota\",\"tenant\":\"" +
+          jsonEscape(J.RO.Tenant) + "\",\"tag\":\"" + jsonEscape(J.RO.Tag) +
+          "\",\"unit\":\"" + jsonEscape(J.Unit.Name) +
+          "\",\"in_flight\":" + std::to_string(TS.InFlight) + "}");
+      return Admission::QuotaExceeded;
+    }
     ++Admitted;
+    ++TS.Admitted;
+    ++TS.InFlight;
     Queue.push_back(std::move(J));
     Depth = Queue.size();
   }
@@ -200,6 +217,10 @@ void Server::workerLoop() {
     {
       std::lock_guard<std::mutex> Lock(QueueMutex);
       --ActiveJobs;
+      TenantState &TS = Tenants[J.RO.Tenant];
+      ++TS.Completed;
+      if (TS.InFlight)
+        --TS.InFlight;
       if (Queue.empty() && ActiveJobs == 0)
         IdleCv.notify_all();
     }
@@ -513,6 +534,8 @@ std::string Server::metricsJson() const {
   Out += std::to_string(RejectedOverloaded.load());
   Out += ",\"rejected_draining\":";
   Out += std::to_string(RejectedDraining.load());
+  Out += ",\"rejected_quota\":";
+  Out += std::to_string(RejectedQuota.load());
   Out += ",\"completed\":";
   Out += std::to_string(Completed.load());
   Out += ",\"failed\":";
@@ -552,6 +575,29 @@ std::string Server::metricsJson() const {
     }
     Out += ",\"aggregate\":";
     Out += Aggregate.toJson();
+  }
+  {
+    // Per-tenant counters; the "" key is the default (anonymous) tenant.
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Out += ",\"tenants\":{";
+    bool First = true;
+    for (const auto &[Name, TS] : Tenants) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += '"';
+      Out += jsonEscape(Name);
+      Out += "\":{\"admitted\":";
+      Out += std::to_string(TS.Admitted);
+      Out += ",\"completed\":";
+      Out += std::to_string(TS.Completed);
+      Out += ",\"rejected_quota\":";
+      Out += std::to_string(TS.RejectedQuota);
+      Out += ",\"in_flight\":";
+      Out += std::to_string(TS.InFlight);
+      Out += '}';
+    }
+    Out += '}';
   }
   // Per-point fault evaluation/trip counters. Present in every build:
   // reads {"enabled":false,...} with all-zero counters when the fault

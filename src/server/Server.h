@@ -85,6 +85,16 @@ struct ServerOptions {
   unsigned Workers = 0;
   /// Admission queue bound; a submit beyond it is rejected Overloaded.
   size_t QueueCapacity = 256;
+  /// Per-tenant admission quota: at most this many requests from one
+  /// tenant queued or running at once; a submit beyond it is rejected
+  /// QuotaExceeded (so one noisy tenant cannot consume the whole queue).
+  /// 0 disables quotas.
+  size_t TenantQuota = 0;
+  /// Address ("HOST:PORT") of a shared remote cache daemon (msq-cached).
+  /// When set (and caching is on), lookups that miss both local tiers
+  /// probe the remote tier, and stores publish to it — so a cold shard
+  /// can serve another shard's warm hits. Empty = no remote tier.
+  std::string RemoteCacheAddr;
   /// Structured request log: called with one JSON line per event
   /// (request completion, rejection, reload, drain). May be empty; must
   /// be thread-safe — workers call it concurrently.
@@ -111,6 +121,10 @@ struct RequestOptions {
   /// Opaque tag echoed in the structured log (the daemon passes the
   /// protocol request id).
   std::string Tag;
+  /// Tenant this request is accounted to (from the connection's auth
+  /// token). Empty means the default tenant; quotas and per-tenant
+  /// counters apply to every named value including "".
+  std::string Tenant;
 };
 
 class Server {
@@ -120,7 +134,7 @@ public:
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
 
-  enum class Admission { Accepted, Overloaded, Draining };
+  enum class Admission { Accepted, Overloaded, Draining, QuotaExceeded };
 
   /// Completion callback: runs on a worker thread, once, with the result
   /// and the generation of the library the request ran against.
@@ -162,6 +176,8 @@ public:
   /// {"server":{"admitted":N,"rejected_overloaded":N,...,
   ///   "latency":{"count":N,"p50_us":N,"p95_us":N,"p99_us":N,...}},
   ///  "cache":<CacheStats> (when caching), "aggregate":<profile>,
+  ///  "tenants":{"<name>":{"admitted":N,"completed":N,
+  ///    "rejected_quota":N,"in_flight":N},...},
   ///  "faults":<fault::statsJson(): per-point injection counters>}
   std::string metricsJson() const;
 
@@ -245,11 +261,22 @@ private:
   bool Draining_ = false;
   std::vector<std::thread> Threads;
 
+  /// Per-tenant accounting, guarded by QueueMutex (updated at admission
+  /// and completion, exactly where the global queue counters move).
+  struct TenantState {
+    uint64_t Admitted = 0;
+    uint64_t Completed = 0;
+    uint64_t RejectedQuota = 0;
+    size_t InFlight = 0; ///< queued + running
+  };
+  std::map<std::string, TenantState> Tenants;
+
   // Metrics. Scalars are atomics (bumped at admission, under QueueMutex
   // neighbours); compound state sits behind MetricsMutex.
   std::atomic<uint64_t> Admitted{0};
   std::atomic<uint64_t> RejectedOverloaded{0};
   std::atomic<uint64_t> RejectedDraining{0};
+  std::atomic<uint64_t> RejectedQuota{0};
   std::atomic<uint64_t> Completed{0};
   std::atomic<uint64_t> Failed{0};
   std::atomic<uint64_t> Reloads{0};

@@ -1,0 +1,164 @@
+//===----------------------------------------------------------------------===//
+//
+// msq-cached — the shared remote cache daemon for msqd clusters. Holds
+// serialized content-addressed expansion entries (the same "MSQCACHE"
+// blobs the local disk tier writes) behind the NDJSON cache protocol,
+// so every shard's warm hits are visible to every other shard and to
+// cold CI machines.
+//
+//   msq-cached --tcp HOST:PORT [--socket PATH] [--dir DIR] [--quiet]
+//
+// SIGTERM/SIGINT drain and exit 0. Entries are validated on the way in
+// (a put that does not deserialize against its key is rejected), so the
+// daemon can never serve bytes a shard could not decode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/CacheDaemon.h"
+#include "server/Protocol.h"
+#include "support/Fault.h"
+#include "support/Socket.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include <unistd.h>
+
+using namespace msq;
+
+namespace {
+
+int WakeWriteFd = -1;
+
+void onTermSignal(int) {
+  if (WakeWriteFd >= 0) {
+    char B = 'x';
+    [[maybe_unused]] ssize_t N = ::write(WakeWriteFd, &B, 1);
+  }
+}
+
+int usage(int Code) {
+  std::fprintf(Code ? stderr : stdout,
+               "usage: msq-cached (--tcp HOST:PORT | --socket PATH)\n"
+               "                  [--dir DIR] [--quiet]\n");
+  return Code;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string TcpAddr;
+  std::string SocketPath;
+  std::string DiskDir;
+  bool Quiet = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "msq-cached: %s needs an argument\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (Arg == "--tcp") {
+      const char *V = NextArg("--tcp");
+      if (!V)
+        return 2;
+      TcpAddr = V;
+    } else if (Arg == "--socket") {
+      const char *V = NextArg("--socket");
+      if (!V)
+        return 2;
+      SocketPath = V;
+    } else if (Arg == "--dir") {
+      const char *V = NextArg("--dir");
+      if (!V)
+        return 2;
+      DiskDir = V;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "-h" || Arg == "--help") {
+      return usage(0);
+    } else {
+      std::fprintf(stderr, "msq-cached: unknown argument '%s'\n",
+                   Arg.c_str());
+      return usage(2);
+    }
+  }
+  if (TcpAddr.empty() && SocketPath.empty())
+    return usage(2);
+
+  std::signal(SIGPIPE, SIG_IGN);
+  {
+    std::string FaultErr;
+    if (!fault::configureFromEnvironment(&FaultErr)) {
+      std::fprintf(stderr, "msq-cached: bad MSQ_FAULT_SCHEDULE: %s\n",
+                   FaultErr.c_str());
+      return 2;
+    }
+  }
+
+  std::string TcpHost;
+  uint16_t TcpPort = 0;
+  if (!TcpAddr.empty()) {
+    std::string Err;
+    if (!parseHostPort(TcpAddr, TcpHost, TcpPort, &Err)) {
+      size_t Colon = TcpAddr.rfind(':');
+      if (Colon != std::string::npos && TcpAddr.substr(Colon + 1) == "0") {
+        TcpHost = TcpAddr.substr(0, Colon);
+        if (TcpHost.empty())
+          TcpHost = "127.0.0.1";
+        TcpPort = 0;
+      } else {
+        std::fprintf(stderr, "msq-cached: bad --tcp address: %s\n",
+                     Err.c_str());
+        return 2;
+      }
+    }
+  }
+
+  CacheStore CS(DiskDir);
+
+  FrameServer FS;
+  FrameServerOptions FO;
+  FO.UnixPath = SocketPath;
+  FO.TcpEnabled = !TcpAddr.empty();
+  FO.TcpHost = TcpHost;
+  FO.TcpPort = TcpPort;
+  std::string Err;
+  if (!FS.start(FO,
+                [&CS](std::shared_ptr<Conn> C) {
+                  serveCacheConnection(C, CS);
+                },
+                &Err)) {
+    std::fprintf(stderr, "msq-cached: cannot listen: %s\n", Err.c_str());
+    return 1;
+  }
+
+  WakeWriteFd = FS.wakeWriteFd();
+  std::signal(SIGTERM, onTermSignal);
+  std::signal(SIGINT, onTermSignal);
+
+  {
+    std::string Ready = "{\"event\":\"ready\"";
+    if (!SocketPath.empty())
+      Ready += ",\"socket\":\"" + jsonEscape(SocketPath) + "\"";
+    if (FO.TcpEnabled)
+      Ready += ",\"host\":\"" + jsonEscape(TcpHost) + "\",\"port\":" +
+               std::to_string(FS.tcpPort());
+    Ready += "}";
+    std::fprintf(stdout, "%s\n", Ready.c_str());
+    std::fflush(stdout);
+  }
+
+  FS.waitUntilWoken();
+  FS.closeConnectionReads();
+  FS.joinConnections();
+  if (!Quiet)
+    std::fprintf(stderr, "%s\n", CS.metricsJson().c_str());
+  return 0;
+}

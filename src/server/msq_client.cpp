@@ -1,8 +1,8 @@
 //===----------------------------------------------------------------------===//
 //
 // msq-client — thin command-line client for msqd. Builds protocol frames
-// from argv, pipelines them over the daemon's Unix socket, and renders
-// the responses.
+// from argv, pipelines them over the daemon's Unix socket (or the
+// cluster's TCP transport with --tcp), and renders the responses.
 //
 //   msq-client --socket PATH expand [--name N] [--no-cache]
 //              [--max-meta-steps N] [--timeout-ms N] [--provenance]
@@ -19,6 +19,10 @@
 //   msq-client --socket PATH status
 //   msq-client --socket PATH ping
 //
+//   --tcp HOST:PORT  connect over TCP instead of --socket (cluster mode;
+//                  works against a shard or a router alike)
+//   --token TOK    open with a hello carrying TOK; required when the
+//                  daemon has auth tokens configured
 //   --retry-ms N   keep retrying the connect for N ms (daemon startup)
 //   --no-wait      send the request(s), then disconnect without reading
 //                  any response (exercises mid-request disconnects)
@@ -50,7 +54,8 @@ namespace {
 int usage(int Code) {
   std::fprintf(
       Code ? stderr : stdout,
-      "usage: msq-client --socket PATH [--retry-ms N] [--no-wait] COMMAND\n"
+      "usage: msq-client (--socket PATH | --tcp HOST:PORT) [--token TOK]\n"
+      "                  [--retry-ms N] [--no-wait] COMMAND\n"
       "  expand [--name N] [--no-cache] [--max-meta-steps N]\n"
       "         [--timeout-ms N] [--provenance] [--source-map] [-q]\n"
       "         [FILE...]\n"
@@ -77,13 +82,16 @@ bool readFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
-/// Connects, retrying while the daemon may still be binding its socket.
-FdHandle connectWithRetry(const std::string &Path, unsigned RetryMillis,
+/// Connects (Unix socket when \p Path is set, TCP otherwise), retrying
+/// while the daemon may still be binding its listener.
+FdHandle connectWithRetry(const std::string &Path, const std::string &Host,
+                          uint16_t Port, unsigned RetryMillis,
                           std::string &Err) {
   auto Deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(RetryMillis);
   for (;;) {
-    FdHandle Fd(connectUnix(Path, &Err));
+    FdHandle Fd(Path.empty() ? connectTcp(Host, Port, &Err)
+                             : connectUnix(Path, &Err));
     if (Fd.valid())
       return Fd;
     if (std::chrono::steady_clock::now() >= Deadline)
@@ -156,6 +164,8 @@ int errorExit(const Response &R) {
 
 int main(int argc, char **argv) {
   std::string SocketPath;
+  std::string TcpAddr;
+  std::string Token;
   unsigned RetryMillis = 0;
   bool NoWait = false;
 
@@ -177,6 +187,16 @@ int main(int argc, char **argv) {
       if (!V)
         return 2;
       SocketPath = V;
+    } else if (Arg == "--tcp") {
+      const char *V = NextArg("--tcp");
+      if (!V)
+        return 2;
+      TcpAddr = V;
+    } else if (Arg == "--token") {
+      const char *V = NextArg("--token");
+      if (!V)
+        return 2;
+      Token = V;
     } else if (Arg == "--retry-ms") {
       const char *V = NextArg("--retry-ms");
       if (!V)
@@ -192,9 +212,20 @@ int main(int argc, char **argv) {
       break;
     }
   }
-  if (SocketPath.empty() || Command.empty()) {
-    std::fprintf(stderr, "msq-client: --socket and a command are required\n");
+  if (SocketPath.empty() == TcpAddr.empty() || Command.empty()) {
+    std::fprintf(stderr, "msq-client: one of --socket/--tcp and a command "
+                         "are required\n");
     return usage(2);
+  }
+  std::string TcpHost;
+  uint16_t TcpPort = 0;
+  if (!TcpAddr.empty()) {
+    std::string Err;
+    if (!parseHostPort(TcpAddr, TcpHost, TcpPort, &Err)) {
+      std::fprintf(stderr, "msq-client: bad --tcp address: %s\n",
+                   Err.c_str());
+      return 2;
+    }
   }
 
   // Command-specific options and file arguments.
@@ -304,11 +335,43 @@ int main(int argc, char **argv) {
   }
 
   std::string Err;
-  FdHandle Fd = connectWithRetry(SocketPath, RetryMillis, Err);
+  FdHandle Fd =
+      connectWithRetry(SocketPath, TcpHost, TcpPort, RetryMillis, Err);
   if (!Fd.valid()) {
     std::fprintf(stderr, "msq-client: cannot connect to '%s': %s\n",
-                 SocketPath.c_str(), Err.c_str());
+                 (SocketPath.empty() ? TcpAddr : SocketPath).c_str(),
+                 Err.c_str());
     return 2;
+  }
+
+  if (!Token.empty()) {
+    // Authenticate before pipelining anything: a rejected hello drops
+    // the connection, and this way the user sees the real error instead
+    // of "connection closed". The dedicated reader is safe — the daemon
+    // sends nothing else until the requests below go out.
+    if (!writeFrame(Fd.get(), makeHelloRequest("h0", Token))) {
+      std::fprintf(stderr, "msq-client: write failed: %s\n",
+                   std::strerror(errno));
+      return 2;
+    }
+    FrameReader HelloReader(Fd.get(), MaxFrameBytes);
+    std::string Frame;
+    if (HelloReader.next(Frame) != FrameReader::Status::Frame) {
+      std::fprintf(stderr, "msq-client: connection closed during hello\n");
+      return 2;
+    }
+    json::Value V;
+    if (!json::parse(Frame, V, &Err) || !V.isObject()) {
+      std::fprintf(stderr, "msq-client: bad hello response\n");
+      return 2;
+    }
+    const json::Value *Ty = V.get("type");
+    if (!Ty || !Ty->isString() || Ty->Str != "welcome") {
+      const json::Value *M = V.get("message");
+      std::fprintf(stderr, "msq-client: authentication failed: %s\n",
+                   M && M->isString() ? M->Str.c_str() : Frame.c_str());
+      return 2;
+    }
   }
 
   for (const std::string &F : Frames)

@@ -1,0 +1,179 @@
+//===----------------------------------------------------------------------===//
+//
+// msq-router — the cluster front end. Speaks the ordinary msqd protocol
+// to clients and consistent-hashes expand/lint requests onto a pool of
+// msqd shards (reloads broadcast; status aggregates).
+//
+//   msq-router --tcp HOST:PORT --shard HOST:PORT [--shard ...]
+//              [--socket PATH] [--timeout-ms N] [--quiet]
+//
+// A shard that cannot be reached or answers `overloaded` costs one
+// retry on the ring successor; a request whose retry also fails is
+// answered with a structured `degraded` error, never dropped. SIGTERM/
+// SIGINT drain in-flight relays and exit 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+#include "server/Router.h"
+#include "support/Fault.h"
+#include "support/Socket.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace msq;
+
+namespace {
+
+int WakeWriteFd = -1;
+
+void onTermSignal(int) {
+  if (WakeWriteFd >= 0) {
+    char B = 'x';
+    [[maybe_unused]] ssize_t N = ::write(WakeWriteFd, &B, 1);
+  }
+}
+
+int usage(int Code) {
+  std::fprintf(
+      Code ? stderr : stdout,
+      "usage: msq-router (--tcp HOST:PORT | --socket PATH)\n"
+      "                  --shard HOST:PORT [--shard HOST:PORT]...\n"
+      "                  [--timeout-ms N] [--quiet]\n");
+  return Code;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string TcpAddr;
+  std::string SocketPath;
+  bool Quiet = false;
+  RouterOptions RO;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "msq-router: %s needs an argument\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (Arg == "--tcp") {
+      const char *V = NextArg("--tcp");
+      if (!V)
+        return 2;
+      TcpAddr = V;
+    } else if (Arg == "--socket") {
+      const char *V = NextArg("--socket");
+      if (!V)
+        return 2;
+      SocketPath = V;
+    } else if (Arg == "--shard") {
+      const char *V = NextArg("--shard");
+      if (!V)
+        return 2;
+      RO.Shards.push_back(V);
+    } else if (Arg == "--timeout-ms") {
+      const char *V = NextArg("--timeout-ms");
+      if (!V)
+        return 2;
+      RO.TimeoutMillis = int(std::strtol(V, nullptr, 10));
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "-h" || Arg == "--help") {
+      return usage(0);
+    } else {
+      std::fprintf(stderr, "msq-router: unknown argument '%s'\n",
+                   Arg.c_str());
+      return usage(2);
+    }
+  }
+  if (TcpAddr.empty() && SocketPath.empty())
+    return usage(2);
+  if (RO.Shards.empty()) {
+    std::fprintf(stderr, "msq-router: at least one --shard is required\n");
+    return usage(2);
+  }
+
+  std::signal(SIGPIPE, SIG_IGN);
+  {
+    std::string FaultErr;
+    if (!fault::configureFromEnvironment(&FaultErr)) {
+      std::fprintf(stderr, "msq-router: bad MSQ_FAULT_SCHEDULE: %s\n",
+                   FaultErr.c_str());
+      return 2;
+    }
+  }
+
+  std::string TcpHost;
+  uint16_t TcpPort = 0;
+  if (!TcpAddr.empty()) {
+    std::string Err;
+    if (!parseHostPort(TcpAddr, TcpHost, TcpPort, &Err)) {
+      size_t Colon = TcpAddr.rfind(':');
+      if (Colon != std::string::npos && TcpAddr.substr(Colon + 1) == "0") {
+        TcpHost = TcpAddr.substr(0, Colon);
+        if (TcpHost.empty())
+          TcpHost = "127.0.0.1";
+        TcpPort = 0;
+      } else {
+        std::fprintf(stderr, "msq-router: bad --tcp address: %s\n",
+                     Err.c_str());
+        return 2;
+      }
+    }
+  }
+
+  Router R(std::move(RO));
+  if (!R.ok()) {
+    std::fprintf(stderr, "msq-router: %s\n", R.error().c_str());
+    return 2;
+  }
+
+  FrameServer FS;
+  FrameServerOptions FO;
+  FO.UnixPath = SocketPath;
+  FO.TcpEnabled = !TcpAddr.empty();
+  FO.TcpHost = TcpHost;
+  FO.TcpPort = TcpPort;
+  std::string Err;
+  if (!FS.start(FO,
+                [&R](std::shared_ptr<Conn> C) { R.serveConnection(C); },
+                &Err)) {
+    std::fprintf(stderr, "msq-router: cannot listen: %s\n", Err.c_str());
+    return 1;
+  }
+
+  WakeWriteFd = FS.wakeWriteFd();
+  std::signal(SIGTERM, onTermSignal);
+  std::signal(SIGINT, onTermSignal);
+
+  {
+    std::string Ready = "{\"event\":\"ready\"";
+    if (!SocketPath.empty())
+      Ready += ",\"socket\":\"" + jsonEscape(SocketPath) + "\"";
+    if (FO.TcpEnabled)
+      Ready += ",\"host\":\"" + jsonEscape(TcpHost) + "\",\"port\":" +
+               std::to_string(FS.tcpPort());
+    Ready += ",\"shards\":" + std::to_string(R.shardCount()) + "}";
+    std::fprintf(stdout, "%s\n", Ready.c_str());
+    std::fflush(stdout);
+  }
+
+  FS.waitUntilWoken();
+  FS.closeConnectionReads();
+  FS.joinConnections();
+  if (!Quiet)
+    std::fprintf(stderr, "%s\n", R.metricsJson().c_str());
+  return 0;
+}

@@ -2,10 +2,12 @@
 //
 // msqd — the MS2 macro-expansion daemon. Owns one macro-library session
 // and serves expand/reload_library/status/ping requests over a Unix
-// domain socket (or stdin/stdout with --stdio), speaking the
-// newline-delimited JSON protocol in server/Protocol.h.
+// domain socket, TCP (the cluster transport), or stdin/stdout with
+// --stdio, speaking the newline-delimited JSON protocol in
+// server/Protocol.h.
 //
 //   msqd --socket /run/msqd.sock [options]
+//   msqd --tcp HOST:PORT [options]         cluster shard transport
 //   msqd --stdio [options]                 serve exactly one connection
 //     -l <file>          load a macro-library file at startup (repeatable)
 //     -stdlib            load the bundled standard macro library first
@@ -13,10 +15,18 @@
 //     --queue-cap N      admission queue bound (default 256)
 //     --cache            enable the expansion cache
 //     --cache-dir DIR    persistent cache tier directory
+//     --remote-cache HOST:PORT   shared msq-cached tier (cluster mode)
+//     --auth-token TOKEN=TENANT  TCP auth token (repeatable); with any
+//                        configured, TCP connections must hello first
+//     --tenant-quota N   max queued+running requests per tenant (0=off)
 //     --max-meta-steps N default per-request fuel
 //     --timeout-ms N     default per-request wall-clock budget
 //     -hygienic, -c      hygienic expansion / compiled patterns
 //     --quiet            suppress the structured request log (stderr)
+//
+// --socket and --tcp may be combined (one daemon, both transports); the
+// ready line reports every bound endpoint, including the real port when
+// --tcp asked for port 0.
 //
 // Lifecycle: on SIGTERM/SIGINT the daemon stops accepting connections
 // and admitting requests, completes everything already admitted (each
@@ -31,15 +41,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "server/Daemon.h"
 #include "server/Protocol.h"
 #include "server/Server.h"
 #include "support/Fault.h"
 #include "support/Socket.h"
 
-#include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -47,153 +54,19 @@
 #include <memory>
 #include <mutex>
 #include <sstream>
-#include <thread>
+#include <string>
 #include <vector>
 
-#include <sys/socket.h>
 #include <unistd.h>
 
 using namespace msq;
 
 namespace {
 
-//===----------------------------------------------------------------------===//
-// One client connection. Requests are pipelined: expands are answered
-// asynchronously from worker threads (out of order, correlated by id),
-// so the write side is mutex-guarded and failure-latching — after the
-// peer disconnects mid-request, completions quietly drop their writes
-// instead of crashing or wedging a worker.
-//===----------------------------------------------------------------------===//
-
-struct Conn {
-  Conn(int ReadFd, int WriteFd, bool OwnsFds)
-      : ReadFd(ReadFd), WriteFd(WriteFd), OwnsFds(OwnsFds) {}
-  ~Conn() {
-    if (OwnsFds)
-      ::close(ReadFd); // ReadFd == WriteFd for sockets
-  }
-
-  void send(const std::string &Frame) {
-    std::lock_guard<std::mutex> Lock(WriteMutex);
-    if (Dead)
-      return;
-    if (!writeFrame(WriteFd, Frame))
-      Dead = true; // peer went away; drop subsequent writes
-  }
-
-  void beginRequest() {
-    std::lock_guard<std::mutex> Lock(StateMutex);
-    ++Outstanding;
-  }
-
-  void endRequest() {
-    std::lock_guard<std::mutex> Lock(StateMutex);
-    if (--Outstanding == 0)
-      Quiesced.notify_all();
-  }
-
-  /// Blocks until every submitted request has completed (their responses
-  /// written or dropped); called before closing the connection.
-  void waitQuiesced() {
-    std::unique_lock<std::mutex> Lock(StateMutex);
-    Quiesced.wait(Lock, [this] { return Outstanding == 0; });
-  }
-
-  int ReadFd;
-  int WriteFd;
-  bool OwnsFds;
-  std::mutex WriteMutex;
-  bool Dead = false;
-
-  std::mutex StateMutex;
-  std::condition_variable Quiesced;
-  size_t Outstanding = 0;
-};
-
-void serveConnection(const std::shared_ptr<Conn> &C, Server &S) {
-  FrameReader Reader(C->ReadFd, MaxFrameBytes);
-  std::string Frame;
-  for (;;) {
-    FrameReader::Status St = Reader.next(Frame);
-    if (St == FrameReader::Status::TooLong) {
-      // The stream cannot be resynchronized after an oversized frame;
-      // answer once, then drop the connection.
-      C->send(makeErrorResponse(
-          "", ErrorCode::FrameTooLarge,
-          "frame exceeds " + std::to_string(MaxFrameBytes) + " bytes"));
-      break;
-    }
-    if (St != FrameReader::Status::Frame)
-      break; // EOF, truncated frame, or read error: tear down cleanly
-
-    Request Req;
-    ParseOutcome PO = parseRequest(Frame, Req);
-    if (!PO.Ok) {
-      C->send(makeErrorResponse(Req.Id, PO.Code, PO.Message));
-      continue;
-    }
-
-    switch (Req.Ty) {
-    case Request::Type::Ping:
-      C->send(makePongResponse(Req.Id));
-      break;
-    case Request::Type::Status:
-      C->send(makeStatusResponse(Req.Id, S.metricsJson()));
-      break;
-    case Request::Type::ReloadLibrary: {
-      Server::ReloadOutcome O =
-          S.reloadLibrary(Req.Sources, Req.LoadStdlib);
-      if (O.Success)
-        C->send(makeReloadResponse(Req.Id, O.Generation, O.Changed));
-      else
-        C->send(makeErrorResponse(Req.Id, ErrorCode::ReloadFailed,
-                                  O.Diagnostics));
-      break;
-    }
-    case Request::Type::Expand:
-    case Request::Type::Lint: {
-      RequestOptions RO;
-      RO.MaxMetaSteps = Req.MaxMetaSteps;
-      RO.TimeoutMillis = Req.TimeoutMillis;
-      RO.UseCache = Req.UseCache;
-      RO.Provenance = Req.Provenance;
-      RO.LintOnly = Req.Ty == Request::Type::Lint;
-      RO.Tag = Req.Id;
-      const bool IsLint = RO.LintOnly;
-      C->beginRequest();
-      std::string Id = Req.Id;
-      std::shared_ptr<Conn> CRef = C;
-      Server::Admission A = S.submit(
-          {Req.Name, Req.Source}, std::move(RO),
-          [CRef, Id, IsLint](const ExpandResult &R, uint64_t Gen) {
-            CRef->send(IsLint ? makeLintResponse(Id, R, Gen)
-                              : makeExpandResponse(Id, R, Gen));
-            CRef->endRequest();
-          });
-      if (A == Server::Admission::Overloaded) {
-        C->send(makeErrorResponse(Id, ErrorCode::Overloaded,
-                                  "admission queue full; retry later"));
-        C->endRequest();
-      } else if (A == Server::Admission::Draining) {
-        C->send(makeErrorResponse(Id, ErrorCode::ShuttingDown,
-                                  "server is draining"));
-        C->endRequest();
-      }
-      break;
-    }
-    }
-  }
-  C->waitQuiesced();
-}
-
-//===----------------------------------------------------------------------===//
-// Signal-driven shutdown: the handler only writes one byte to a pipe the
-// accept loop polls (async-signal-safe); all real work happens on the
-// main thread.
-//===----------------------------------------------------------------------===//
-
 int WakeWriteFd = -1;
 
+/// The handler only writes one byte to a pipe the accept loops poll
+/// (async-signal-safe); all real work happens on the main thread.
 void onTermSignal(int) {
   if (WakeWriteFd >= 0) {
     char B = 'x';
@@ -214,9 +87,11 @@ bool readFile(const std::string &Path, std::string &Out) {
 int usage(int Code) {
   std::fprintf(
       Code ? stderr : stdout,
-      "usage: msqd (--socket PATH | --stdio) [-stdlib] [-l library.c]...\n"
-      "            [--workers N] [--queue-cap N] [--cache]\n"
-      "            [--cache-dir DIR] [--max-meta-steps N] [--timeout-ms N]\n"
+      "usage: msqd (--socket PATH | --tcp HOST:PORT | --stdio)\n"
+      "            [-stdlib] [-l library.c]... [--workers N]\n"
+      "            [--queue-cap N] [--cache] [--cache-dir DIR]\n"
+      "            [--remote-cache HOST:PORT] [--auth-token TOK=TENANT]...\n"
+      "            [--tenant-quota N] [--max-meta-steps N] [--timeout-ms N]\n"
       "            [-hygienic] [-c] [--quiet]\n");
   return Code;
 }
@@ -225,11 +100,13 @@ int usage(int Code) {
 
 int main(int argc, char **argv) {
   std::string SocketPath;
+  std::string TcpAddr;
   bool Stdio = false;
   bool StdLib = false;
   bool Quiet = false;
   std::vector<std::string> Libraries;
   ServerOptions SO;
+  AuthConfig Auth;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -245,6 +122,11 @@ int main(int argc, char **argv) {
       if (!V)
         return 2;
       SocketPath = V;
+    } else if (Arg == "--tcp") {
+      const char *V = NextArg("--tcp");
+      if (!V)
+        return 2;
+      TcpAddr = V;
     } else if (Arg == "--stdio") {
       Stdio = true;
     } else if (Arg == "-l") {
@@ -264,6 +146,21 @@ int main(int argc, char **argv) {
       if (!V)
         return 2;
       SO.QueueCapacity = std::strtoul(V, nullptr, 10);
+    } else if (Arg == "--tenant-quota") {
+      const char *V = NextArg("--tenant-quota");
+      if (!V)
+        return 2;
+      SO.TenantQuota = std::strtoul(V, nullptr, 10);
+    } else if (Arg == "--auth-token") {
+      const char *V = NextArg("--auth-token");
+      if (!V)
+        return 2;
+      const char *Eq = std::strchr(V, '=');
+      if (!Eq || Eq == V) {
+        std::fprintf(stderr, "msqd: --auth-token wants TOKEN=TENANT\n");
+        return 2;
+      }
+      Auth.TokenTenants[std::string(V, Eq)] = std::string(Eq + 1);
     } else if (Arg == "--cache") {
       SO.EngineOpts.EnableExpansionCache = true;
     } else if (Arg == "--cache-dir") {
@@ -272,6 +169,12 @@ int main(int argc, char **argv) {
         return 2;
       SO.EngineOpts.EnableExpansionCache = true;
       SO.EngineOpts.ExpansionCacheDir = V;
+    } else if (Arg == "--remote-cache") {
+      const char *V = NextArg("--remote-cache");
+      if (!V)
+        return 2;
+      SO.EngineOpts.EnableExpansionCache = true;
+      SO.RemoteCacheAddr = V;
     } else if (Arg == "--max-meta-steps") {
       const char *V = NextArg("--max-meta-steps");
       if (!V)
@@ -295,9 +198,32 @@ int main(int argc, char **argv) {
       return usage(2);
     }
   }
-  if (Stdio == !SocketPath.empty()) {
-    std::fprintf(stderr, "msqd: pass exactly one of --socket and --stdio\n");
+  const bool HasNet = !SocketPath.empty() || !TcpAddr.empty();
+  if (Stdio == HasNet) {
+    std::fprintf(stderr,
+                 "msqd: pass --stdio or a listener (--socket/--tcp)\n");
     return usage(2);
+  }
+
+  std::string TcpHost;
+  uint16_t TcpPort = 0;
+  if (!TcpAddr.empty()) {
+    std::string Err;
+    if (!parseHostPort(TcpAddr, TcpHost, TcpPort, &Err)) {
+      // "HOST:0" must stay expressible (ephemeral port), so parse
+      // failures get one more chance as ":0"-style explicit zero.
+      size_t Colon = TcpAddr.rfind(':');
+      if (Colon != std::string::npos &&
+          TcpAddr.substr(Colon + 1) == "0") {
+        TcpHost = TcpAddr.substr(0, Colon);
+        if (TcpHost.empty())
+          TcpHost = "127.0.0.1";
+        TcpPort = 0;
+      } else {
+        std::fprintf(stderr, "msqd: bad --tcp address: %s\n", Err.c_str());
+        return 2;
+      }
+    }
   }
 
   // A worker completing a request for a vanished client must not kill
@@ -350,80 +276,53 @@ int main(int argc, char **argv) {
 
   if (Stdio) {
     auto C = std::make_shared<Conn>(0, 1, /*OwnsFds=*/false);
-    serveConnection(C, S); // returns on stdin EOF
+    serveShardConnection(C, S, Auth); // returns on stdin EOF
     S.drain();
     return 0;
   }
 
-  UnixListener Listener;
+  FrameServer FS;
+  FrameServerOptions FO;
+  FO.UnixPath = SocketPath;
+  FO.TcpEnabled = !TcpAddr.empty();
+  FO.TcpHost = TcpHost;
+  FO.TcpPort = TcpPort;
   std::string Err;
-  if (!Listener.listenOn(SocketPath, &Err)) {
-    std::fprintf(stderr, "msqd: cannot listen on '%s': %s\n",
-                 SocketPath.c_str(), Err.c_str());
+  if (!FS.start(FO,
+                [&S, &Auth](std::shared_ptr<Conn> C) {
+                  serveShardConnection(C, S, Auth);
+                },
+                &Err)) {
+    std::fprintf(stderr, "msqd: cannot listen: %s\n", Err.c_str());
     return 1;
   }
 
-  int WakePipe[2];
-  if (::pipe(WakePipe) != 0) {
-    std::fprintf(stderr, "msqd: pipe: %s\n", std::strerror(errno));
-    return 1;
-  }
-  WakeWriteFd = WakePipe[1];
+  WakeWriteFd = FS.wakeWriteFd();
   std::signal(SIGTERM, onTermSignal);
   std::signal(SIGINT, onTermSignal);
 
-  std::fprintf(stdout, "{\"event\":\"ready\",\"socket\":\"%s\"}\n",
-               jsonEscape(SocketPath).c_str());
-  std::fflush(stdout);
-
-  std::vector<std::thread> ConnThreads;
-  std::mutex ConnsMutex;
-  std::vector<std::weak_ptr<Conn>> Conns;
-
-  // Transient accept failures (fd exhaustion, injected server.accept
-  // faults) back off exponentially — 1ms doubling to a 100ms cap — and
-  // retry; the pending connection waits in the listen backlog meanwhile.
-  // Success resets the backoff. Only a non-transient failure (the
-  // listener itself died) gives up the loop.
-  unsigned AcceptBackoffMs = 1;
-  for (;;) {
-    bool Woken = false;
-    bool Transient = false;
-    int Fd = Listener.acceptClient(WakePipe[0], Woken, &Transient);
-    if (Woken)
-      break; // SIGTERM/SIGINT: begin drain
-    if (Fd < 0) {
-      if (Transient) {
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(AcceptBackoffMs));
-        if (AcceptBackoffMs < 100)
-          AcceptBackoffMs = std::min(AcceptBackoffMs * 2, 100u);
-        continue;
-      }
-      break; // listener failed; drain and exit rather than spin
+  // Ready line: one JSON object naming every bound endpoint (the
+  // harness reads "port" back when --tcp asked for an ephemeral one).
+  {
+    std::string Ready = "{\"event\":\"ready\"";
+    if (!SocketPath.empty())
+      Ready += ",\"socket\":\"" + jsonEscape(SocketPath) + "\"";
+    if (FO.TcpEnabled) {
+      Ready += ",\"host\":\"" + jsonEscape(TcpHost) + "\",\"port\":" +
+               std::to_string(FS.tcpPort());
     }
-    AcceptBackoffMs = 1;
-    auto C = std::make_shared<Conn>(Fd, Fd, /*OwnsFds=*/true);
-    {
-      std::lock_guard<std::mutex> Lock(ConnsMutex);
-      Conns.push_back(C);
-    }
-    ConnThreads.emplace_back([C, &S] { serveConnection(C, S); });
+    Ready += "}";
+    std::fprintf(stdout, "%s\n", Ready.c_str());
+    std::fflush(stdout);
   }
+
+  FS.waitUntilWoken(); // SIGTERM/SIGINT (or listener death): begin drain
 
   // Drain: stop reading from every client (they see clean EOF on their
   // next request), complete everything admitted, then leave. The
   // listener's destructor unlinks the socket file.
-  {
-    std::lock_guard<std::mutex> Lock(ConnsMutex);
-    for (const std::weak_ptr<Conn> &W : Conns)
-      if (std::shared_ptr<Conn> C = W.lock())
-        ::shutdown(C->ReadFd, SHUT_RD);
-  }
+  FS.closeConnectionReads();
   S.drain();
-  for (std::thread &T : ConnThreads)
-    T.join();
-  ::close(WakePipe[0]);
-  ::close(WakePipe[1]);
+  FS.joinConnections();
   return 0;
 }

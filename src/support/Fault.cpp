@@ -21,6 +21,8 @@ constexpr const char *PointNames[fault::NumPoints] = {
     "cache.disk_read",   "cache.disk_write",   "server.accept",
     "server.worker_spawn", "server.worker_crash", "interp.alloc",
     "batch.unit_start",  "incr.token_cache",   "incr.tree_cache",
+    "router.connect",    "router.forward",     "rcache.get",
+    "rcache.put",
 };
 
 /// splitmix64: the per-evaluation decision stream for p= schedules. Keyed

@@ -66,8 +66,12 @@ enum class Point : unsigned {
   BatchUnitStart,   ///< batch.unit_start — a batch unit dying at start
   IncrTokenCache,   ///< incr.token_cache — token-stream cache lookup
   IncrTreeCache,    ///< incr.tree_cache — parse-tree cache lookup
+  RouterConnect,    ///< router.connect — router dialing a shard
+  RouterForward,    ///< router.forward — router forwarding one request
+  RemoteCacheGet,   ///< rcache.get — remote cache tier lookup
+  RemoteCachePut,   ///< rcache.put — remote cache tier publish
 };
-constexpr unsigned NumPoints = 9;
+constexpr unsigned NumPoints = 13;
 
 namespace detail {
 /// True while any point is armed. The ONLY state the fast path touches.

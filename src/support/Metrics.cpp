@@ -85,6 +85,12 @@ std::string CacheStats::toJson() const {
   Out += std::to_string(DiskWriteErrors);
   Out += ",\"disk_degraded\":";
   Out += std::to_string(DiskDegraded);
+  Out += ",\"remote_hits\":";
+  Out += std::to_string(RemoteHits);
+  Out += ",\"remote_errors\":";
+  Out += std::to_string(RemoteErrors);
+  Out += ",\"remote_stores\":";
+  Out += std::to_string(RemoteStores);
   Out += '}';
   return Out;
 }

@@ -97,6 +97,15 @@ struct CacheStats {
   /// only in the memory tier. Expansion output is unaffected (graceful
   /// degradation); a deployment seeing this grow is losing persistence.
   uint64_t DiskDegraded = 0;
+  /// Remote-tier accounting (cluster mode). A remote hit is an entry
+  /// served by the shared cache daemon after both local tiers missed; a
+  /// remote error is a lookup or publish attempt that failed (timeout,
+  /// connection loss, injected `rcache.*` fault) — the request proceeds
+  /// as a plain miss, so errors cost latency, never correctness. Stores
+  /// count entries successfully published to the remote tier.
+  uint64_t RemoteHits = 0;
+  uint64_t RemoteErrors = 0;
+  uint64_t RemoteStores = 0;
 
   void merge(const CacheStats &Other) {
     Hits += Other.Hits;
@@ -107,11 +116,15 @@ struct CacheStats {
     DiskReadErrors += Other.DiskReadErrors;
     DiskWriteErrors += Other.DiskWriteErrors;
     DiskDegraded += Other.DiskDegraded;
+    RemoteHits += Other.RemoteHits;
+    RemoteErrors += Other.RemoteErrors;
+    RemoteStores += Other.RemoteStores;
   }
 
   /// {"hits":N,"misses":N,"uncacheable":N,"bytes_read":N,
   ///  "bytes_written":N,"disk_read_errors":N,"disk_write_errors":N,
-  ///  "disk_degraded":N}
+  ///  "disk_degraded":N,"remote_hits":N,"remote_errors":N,
+  ///  "remote_stores":N}
   std::string toJson() const;
 };
 

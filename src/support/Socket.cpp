@@ -12,8 +12,12 @@
 #include <cerrno>
 #include <cstring>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -60,6 +64,58 @@ std::string errnoMessage(const char *What) {
   return std::string(What) + ": " + std::strerror(errno);
 }
 
+/// Shared accept loop for the Unix and TCP listeners: poll on the
+/// listener plus the wake fd, evaluate the `server.accept` injection
+/// point, and classify kernel resource exhaustion as transient.
+int acceptLoop(int ListenFd, int WakeFd, bool &Woken, bool *Transient) {
+  Woken = false;
+  if (Transient)
+    *Transient = false;
+  for (;;) {
+    pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {WakeFd, POLLIN, 0}};
+    int N = ::poll(Fds, WakeFd >= 0 ? 2 : 1, -1);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (WakeFd >= 0 && (Fds[1].revents & (POLLIN | POLLHUP | POLLERR))) {
+      Woken = true;
+      return -1;
+    }
+    if (Fds[0].revents & (POLLIN | POLLERR | POLLHUP)) {
+      // server.accept: a trip simulates the kernel refusing the accept
+      // (fd exhaustion). The connection stays in the listen backlog, so a
+      // retried accept after backoff picks it up — no client is lost.
+      if (fault::enabled() &&
+          fault::shouldFail(fault::Point::ServerAccept)) {
+        if (Transient)
+          *Transient = true;
+        return -1;
+      }
+      int C = ::accept(ListenFd, nullptr, nullptr);
+      if (C >= 0)
+        return C;
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN)
+        continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource exhaustion, not listener death: report transient so
+        // the daemon backs off and retries instead of exiting.
+        if (Transient)
+          *Transient = true;
+        return -1;
+      }
+      return -1;
+    }
+  }
+}
+
+void setNoDelay(int Fd) {
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+}
+
 } // namespace
 
 UnixListener::~UnixListener() {
@@ -95,47 +151,129 @@ bool UnixListener::listenOn(const std::string &P, std::string *Err) {
 }
 
 int UnixListener::acceptClient(int WakeFd, bool &Woken, bool *Transient) {
-  Woken = false;
-  if (Transient)
-    *Transient = false;
-  for (;;) {
-    pollfd Fds[2] = {{Fd.get(), POLLIN, 0}, {WakeFd, POLLIN, 0}};
-    int N = ::poll(Fds, WakeFd >= 0 ? 2 : 1, -1);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      return -1;
+  return acceptLoop(Fd.get(), WakeFd, Woken, Transient);
+}
+
+bool TcpListener::listenOn(const std::string &Host, uint16_t Port,
+                           std::string *Err) {
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    if (Err)
+      *Err = "bad IPv4 address: " + Host;
+    return false;
+  }
+  FdHandle S(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!S.valid()) {
+    if (Err)
+      *Err = errnoMessage("socket");
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(S.get(), SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(S.get(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    if (Err)
+      *Err = errnoMessage("bind");
+    return false;
+  }
+  if (::listen(S.get(), 128) != 0) {
+    if (Err)
+      *Err = errnoMessage("listen");
+    return false;
+  }
+  // Port 0 asked the kernel for an ephemeral port; read back the real one
+  // so tests and the cluster harness can advertise it.
+  sockaddr_in Bound;
+  socklen_t Len = sizeof(Bound);
+  if (::getsockname(S.get(), reinterpret_cast<sockaddr *>(&Bound), &Len) !=
+      0) {
+    if (Err)
+      *Err = errnoMessage("getsockname");
+    return false;
+  }
+  BoundPort = ntohs(Bound.sin_port);
+  Fd = std::move(S);
+  return true;
+}
+
+int TcpListener::acceptClient(int WakeFd, bool &Woken, bool *Transient) {
+  int C = acceptLoop(Fd.get(), WakeFd, Woken, Transient);
+  if (C >= 0)
+    setNoDelay(C);
+  return C;
+}
+
+int msq::connectTcp(const std::string &Host, uint16_t Port,
+                    std::string *Err) {
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    if (Err)
+      *Err = "bad IPv4 address: " + Host;
+    return -1;
+  }
+  FdHandle S(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!S.valid()) {
+    if (Err)
+      *Err = errnoMessage("socket");
+    return -1;
+  }
+  if (::connect(S.get(), reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    if (Err)
+      *Err = errnoMessage("connect");
+    return -1;
+  }
+  setNoDelay(S.get());
+  return S.release();
+}
+
+bool msq::parseHostPort(const std::string &Address, std::string &Host,
+                        uint16_t &Port, std::string *Err) {
+  size_t Colon = Address.rfind(':');
+  if (Colon == std::string::npos || Colon + 1 == Address.size()) {
+    if (Err)
+      *Err = "address '" + Address + "' is not HOST:PORT";
+    return false;
+  }
+  unsigned long Value = 0;
+  for (size_t I = Colon + 1; I != Address.size(); ++I) {
+    char C = Address[I];
+    if (C < '0' || C > '9') {
+      if (Err)
+        *Err = "bad port in address '" + Address + "'";
+      return false;
     }
-    if (WakeFd >= 0 && (Fds[1].revents & (POLLIN | POLLHUP | POLLERR))) {
-      Woken = true;
-      return -1;
-    }
-    if (Fds[0].revents & (POLLIN | POLLERR | POLLHUP)) {
-      // server.accept: a trip simulates the kernel refusing the accept
-      // (fd exhaustion). The connection stays in the listen backlog, so a
-      // retried accept after backoff picks it up — no client is lost.
-      if (fault::enabled() &&
-          fault::shouldFail(fault::Point::ServerAccept)) {
-        if (Transient)
-          *Transient = true;
-        return -1;
-      }
-      int C = ::accept(Fd.get(), nullptr, nullptr);
-      if (C >= 0)
-        return C;
-      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN)
-        continue;
-      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
-          errno == ENOMEM) {
-        // Resource exhaustion, not listener death: report transient so
-        // the daemon backs off and retries instead of exiting.
-        if (Transient)
-          *Transient = true;
-        return -1;
-      }
-      return -1;
+    Value = Value * 10 + unsigned(C - '0');
+    if (Value > 65535) {
+      if (Err)
+        *Err = "port out of range in address '" + Address + "'";
+      return false;
     }
   }
+  if (Value == 0) {
+    if (Err)
+      *Err = "bad port in address '" + Address + "'";
+    return false;
+  }
+  Host = Address.substr(0, Colon);
+  if (Host.empty())
+    Host = "127.0.0.1";
+  Port = uint16_t(Value);
+  return true;
+}
+
+bool msq::setSocketTimeout(int Fd, int Millis) {
+  timeval TV;
+  TV.tv_sec = Millis / 1000;
+  TV.tv_usec = (Millis % 1000) * 1000;
+  return ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &TV, sizeof(TV)) == 0 &&
+         ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &TV, sizeof(TV)) == 0;
 }
 
 int msq::connectUnix(const std::string &Path, std::string *Err) {

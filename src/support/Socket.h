@@ -23,6 +23,7 @@
 #define MSQ_SUPPORT_SOCKET_H
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -80,6 +81,49 @@ private:
 /// Connects to the Unix-domain socket at \p Path; returns the fd or -1
 /// (with \p Err set).
 int connectUnix(const std::string &Path, std::string *Err);
+
+/// A bound, listening TCP socket (cluster transport). Binds IPv4 only;
+/// shards and the router are deployment-internal processes, so the
+/// default host is loopback and anything wider must be opted into
+/// explicitly.
+class TcpListener {
+public:
+  TcpListener() = default;
+  TcpListener(TcpListener &&) = default;
+  TcpListener &operator=(TcpListener &&) = default;
+
+  /// Binds and listens on \p Host:\p Port. Port 0 binds an ephemeral
+  /// port; read the real one back with port(). Returns false with \p Err
+  /// set on failure.
+  bool listenOn(const std::string &Host, uint16_t Port, std::string *Err);
+
+  /// Same contract as UnixListener::acceptClient (wake fd, transient
+  /// kernel conditions, injected `server.accept` faults). Accepted
+  /// sockets have TCP_NODELAY set: frames are small and latency-bound.
+  int acceptClient(int WakeFd, bool &Woken, bool *Transient = nullptr);
+
+  bool valid() const { return Fd.valid(); }
+  uint16_t port() const { return BoundPort; }
+
+private:
+  FdHandle Fd;
+  uint16_t BoundPort = 0;
+};
+
+/// Connects to \p Host:\p Port (TCP, TCP_NODELAY); returns the fd or -1
+/// (with \p Err set).
+int connectTcp(const std::string &Host, uint16_t Port, std::string *Err);
+
+/// Splits "HOST:PORT" (e.g. "127.0.0.1:7070"). Returns false with \p Err
+/// set when the port is missing, non-numeric, or out of range.
+bool parseHostPort(const std::string &Address, std::string &Host,
+                   uint16_t &Port, std::string *Err);
+
+/// Arms SO_RCVTIMEO/SO_SNDTIMEO on \p Fd so a wedged peer turns into a
+/// read/write error after \p Millis instead of a hang. Cluster-internal
+/// clients (router->shard, shard->remote cache) always set this: the
+/// retry/degrade discipline needs failures to be *prompt*.
+bool setSocketTimeout(int Fd, int Millis);
 
 /// Incremental reader of newline-terminated frames from a descriptor.
 class FrameReader {

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# check_bench_regression.sh <baseline.json> <current.json>
+#
+# The nightly perf-regression gate. Both files are summaries written by
+# make_bench_summary.sh. Fails (exit 1) when, versus the baseline:
+#
+#   * warm-batch throughput (warm_batch_units_per_s) dropped >20%, or
+#   * server throughput (server_warm_req_per_s) dropped >20%, or
+#   * server p99 latency (server_warm_p99_us) grew >20%.
+#
+# A missing or empty BASELINE passes with a notice (first nightly run,
+# expired artifact retention); a missing or empty CURRENT is always a
+# failure — the bench itself broke. The 20% margin absorbs normal CI
+# host noise; sustained drift shows up as repeated small regressions in
+# the retained BENCH_<date>.json artifacts even when no single run
+# trips the gate.
+set -euo pipefail
+
+BASELINE=${1:?usage: check_bench_regression.sh <baseline.json> <current.json>}
+CURRENT=${2:?usage: check_bench_regression.sh <baseline.json> <current.json>}
+
+if [ ! -s "$CURRENT" ]; then
+  echo "check_bench_regression: FAIL: current summary $CURRENT is missing or empty" >&2
+  exit 1
+fi
+if [ ! -s "$BASELINE" ]; then
+  echo "check_bench_regression: no baseline at $BASELINE — nothing to compare (pass)"
+  exit 0
+fi
+
+# field FILE NAME — the numeric value of "NAME": in FILE, or empty.
+field() {
+  { grep -o "\"$2\":[0-9.]*" "$1" || true; } | head -1 | cut -d: -f2
+}
+
+STATUS=0
+
+# gate NAME DIRECTION — DIRECTION 'min' fails when current < 0.8*base
+# (throughput), 'max' fails when current > 1.2*base (latency).
+gate() {
+  local name=$1 dir=$2
+  local base cur
+  base=$(field "$BASELINE" "$name")
+  cur=$(field "$CURRENT" "$name")
+  if [ -z "$base" ] || [ -z "$cur" ]; then
+    echo "check_bench_regression: FAIL: $name missing (baseline='$base' current='$cur')" >&2
+    STATUS=1
+    return
+  fi
+  local verdict
+  verdict=$(awk -v b="$base" -v c="$cur" -v d="$dir" 'BEGIN {
+    if (b <= 0)            print "skip";       # degenerate baseline
+    else if (d == "min")   print (c < 0.8 * b) ? "fail" : "ok";
+    else                   print (c > 1.2 * b) ? "fail" : "ok";
+  }')
+  echo "check_bench_regression: $name baseline=$base current=$cur [$verdict]"
+  if [ "$verdict" = fail ]; then
+    echo "check_bench_regression: FAIL: $name regressed >20% (baseline $base -> current $cur)" >&2
+    STATUS=1
+  fi
+}
+
+gate warm_batch_units_per_s min
+gate server_warm_req_per_s min
+gate server_warm_p99_us max
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "--- baseline $BASELINE:" >&2
+  cat "$BASELINE" >&2
+  echo "--- current $CURRENT:" >&2
+  cat "$CURRENT" >&2
+fi
+exit $STATUS

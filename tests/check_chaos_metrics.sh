@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # check_chaos_metrics.sh <metrics-dir>
 #
 # Consistency gate for the nightly chaos job: scans every metrics JSON the
@@ -16,8 +16,9 @@
 #
 # Plain grep/awk over the known JSON shapes (CacheStats::toJson,
 # SubUnitCacheStats::toJson and fault::statsJson) — CI runners are not
-# guaranteed to have jq.
-set -eu
+# guaranteed to have jq. Zero-match greps are `|| true`-guarded: under
+# pipefail they would otherwise abort the script instead of gating.
+set -euo pipefail
 
 DIR=${1:?usage: check_chaos_metrics.sh <metrics-dir>}
 
@@ -34,12 +35,21 @@ fi
 
 STATUS=0
 for F in $FILES; do
+    # An empty metrics file means the producing run died before writing
+    # its summary — that is a failure, not a vacuous pass.
+    if [ ! -s "$F" ]; then
+        echo "check_chaos_metrics: FAIL: $F is empty" >&2
+        STATUS=1
+        continue
+    fi
+    FILE_STATUS=$STATUS
+
     # Largest disk_degraded count reported anywhere in the file.
-    DEGRADED=$(grep -o '"disk_degraded":[0-9]*' "$F" | awk -F: '
+    DEGRADED=$({ grep -o '"disk_degraded":[0-9]*' "$F" || true; } | awk -F: '
         {if ($2 > max) max = $2} END {print max + 0}')
     # cache.disk_write trips from the fault stats object.
-    TRIPS=$(grep -o '"cache.disk_write":{"evaluations":[0-9]*,"trips":[0-9]*' \
-        "$F" | awk -F'"trips":' '{if ($2 > max) max = $2} END {print max + 0}')
+    TRIPS=$({ grep -o '"cache.disk_write":{"evaluations":[0-9]*,"trips":[0-9]*' \
+        "$F" || true; } | awk -F'"trips":' '{if ($2 > max) max = $2} END {print max + 0}')
     echo "check_chaos_metrics: $(basename "$F"): disk_degraded=$DEGRADED cache.disk_write trips=$TRIPS"
     if [ "$DEGRADED" -gt 0 ] && [ "$TRIPS" -eq 0 ]; then
         echo "check_chaos_metrics: FAIL: $F reports disk_degraded=$DEGRADED with no injected cache.disk_write trips (real disk failure during a chaos run?)" >&2
@@ -51,12 +61,12 @@ for F in $FILES; do
         # The incremental differential under cache faults: any mismatch is
         # a correctness bug, and reported cache faults must come from the
         # injected schedule, not a real failure.
-        MISMATCHES=$(grep -o '"mismatches":[0-9]*' "$F" | awk -F: '
+        MISMATCHES=$({ grep -o '"mismatches":[0-9]*' "$F" || true; } | awk -F: '
             {if ($2 > max) max = $2} END {print max + 0}')
-        CACHE_FAULTS=$(grep -o '"faults":[0-9]*' "$F" | awk -F: '
+        CACHE_FAULTS=$({ grep -o '"faults":[0-9]*' "$F" || true; } | awk -F: '
             {sum += $2} END {print sum + 0}')
-        INCR_TRIPS=$(grep -o '"incr.[a-z_]*":{"evaluations":[0-9]*,"trips":[0-9]*' \
-            "$F" | awk -F'"trips":' '{sum += $2} END {print sum + 0}')
+        INCR_TRIPS=$({ grep -o '"incr.[a-z_]*":{"evaluations":[0-9]*,"trips":[0-9]*' \
+            "$F" || true; } | awk -F'"trips":' '{sum += $2} END {print sum + 0}')
         echo "check_chaos_metrics: $(basename "$F"): mismatches=$MISMATCHES subunit_faults=$CACHE_FAULTS incr trips=$INCR_TRIPS"
         if [ "$MISMATCHES" -gt 0 ]; then
             echo "check_chaos_metrics: FAIL: $F reports $MISMATCHES incremental differential mismatches under cache faults" >&2
@@ -68,5 +78,11 @@ for F in $FILES; do
         fi
         ;;
     esac
+
+    # Leave the offending metrics in the log, not just the verdict.
+    if [ "$STATUS" -ne "$FILE_STATUS" ]; then
+        echo "--- $F:" >&2
+        cat "$F" >&2
+    fi
 done
 exit $STATUS

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# check_cluster_metrics.sh <metrics-dir>
+#
+# Consistency gate for the cluster smoke run. Reads the files the smoke
+# script collects:
+#
+#   status.json          aggregated `status` through the router (router
+#                        counters + every shard's metrics)
+#   router_metrics.json  the router's final metrics line (stderr at exit)
+#   cached_metrics.json  msq-cached's final metrics line (stderr at exit)
+#
+# and fails when the topology did not actually behave like a cluster:
+# nothing forwarded, a shard unreachable, requests degraded in a run with
+# no fault injection, the shared cache tier never hit (the smoke
+# deliberately expands every unit on its non-owning shard), remote cache
+# errors, or the smoke tenant missing from the shard-side accounting.
+#
+# Plain grep/awk over known JSON shapes — CI runners are not guaranteed
+# to have jq. Patterns tolerate added keys; they only anchor the ones
+# they gate on.
+set -euo pipefail
+
+DIR=${1:?usage: check_cluster_metrics.sh <metrics-dir>}
+STATUS=0
+
+complain() {
+  echo "check_cluster_metrics: FAIL: $1" >&2
+  STATUS=1
+}
+
+# require_file FILE — empty or missing metrics are a collection bug, not
+# a pass.
+require_file() {
+  if [ ! -s "$1" ]; then
+    complain "metrics file $1 is missing or empty"
+    return 1
+  fi
+}
+
+# counter FILE NAME — largest "NAME":<n> anywhere in FILE (0 if absent;
+# the `|| true` keeps a zero-match grep from tripping pipefail).
+counter() {
+  { grep -o "\"$2\":[0-9]*" "$1" || true; } |
+    awk -F: '{if ($2 > m) m = $2} END {print m + 0}'
+}
+
+# counter_sum FILE NAME — sum over every occurrence (per-shard counters).
+counter_sum() {
+  { grep -o "\"$2\":[0-9]*" "$1" || true; } |
+    awk -F: '{s += $2} END {print s + 0}'
+}
+
+STATUS_JSON="$DIR/status.json"
+ROUTER_JSON="$DIR/router_metrics.json"
+CACHED_JSON="$DIR/cached_metrics.json"
+
+if require_file "$STATUS_JSON"; then
+  FORWARDED=$(counter "$STATUS_JSON" forwarded)
+  DEGRADED=$(counter "$STATUS_JSON" degraded)
+  SHARDS_OK=$({ grep -o '"ok":true' "$STATUS_JSON" || true; } | wc -l)
+  REMOTE_HITS=$(counter_sum "$STATUS_JSON" remote_hits)
+  REMOTE_ERRORS=$(counter_sum "$STATUS_JSON" remote_errors)
+  REMOTE_STORES=$(counter_sum "$STATUS_JSON" remote_stores)
+  echo "check_cluster_metrics: forwarded=$FORWARDED degraded=$DEGRADED" \
+       "shards_ok=$SHARDS_OK remote hits/stores/errors=" \
+       "$REMOTE_HITS/$REMOTE_STORES/$REMOTE_ERRORS"
+
+  [ "$FORWARDED" -gt 0 ] || complain "router forwarded nothing"
+  [ "$DEGRADED" -eq 0 ] ||
+    complain "router degraded $DEGRADED requests in a fault-free run"
+  [ "$SHARDS_OK" -ge 2 ] ||
+    complain "expected 2 reachable shards, saw $SHARDS_OK"
+  [ "$REMOTE_STORES" -gt 0 ] ||
+    complain "no shard ever stored into the shared cache tier"
+  [ "$REMOTE_HITS" -gt 0 ] ||
+    complain "no cross-shard remote cache hit (tier not actually shared)"
+  [ "$REMOTE_ERRORS" -eq 0 ] ||
+    complain "remote cache reported $REMOTE_ERRORS errors without faults"
+
+  grep -q '"acme"' "$STATUS_JSON" ||
+    complain "smoke tenant 'acme' missing from shard accounting"
+  TENANT_ADMITTED=$(counter_sum "$STATUS_JSON" admitted)
+  [ "$TENANT_ADMITTED" -gt 0 ] || complain "no admissions recorded"
+
+  [ "$STATUS" -eq 0 ] || { echo "--- $STATUS_JSON:" >&2; cat "$STATUS_JSON" >&2; }
+fi
+
+if require_file "$ROUTER_JSON"; then
+  RSTATUS=0
+  grep -q '"router":{' "$ROUTER_JSON" || {
+    complain "router metrics line lacks the router object"
+    RSTATUS=1
+  }
+  [ "$(counter "$ROUTER_JSON" shards)" -eq 2 ] || {
+    complain "router final metrics do not report 2 shards"
+    RSTATUS=1
+  }
+  [ "$RSTATUS" -eq 0 ] || { echo "--- $ROUTER_JSON:" >&2; cat "$ROUTER_JSON" >&2; }
+fi
+
+if require_file "$CACHED_JSON"; then
+  PUTS=$(counter "$CACHED_JSON" puts)
+  HITS=$(counter "$CACHED_JSON" hits)
+  echo "check_cluster_metrics: cached puts=$PUTS hits=$HITS"
+  CSTATUS=0
+  [ "$PUTS" -gt 0 ] || { complain "msq-cached received no puts"; CSTATUS=1; }
+  [ "$HITS" -gt 0 ] || { complain "msq-cached served no hits"; CSTATUS=1; }
+  [ "$CSTATUS" -eq 0 ] || { echo "--- $CACHED_JSON:" >&2; cat "$CACHED_JSON" >&2; }
+fi
+
+exit $STATUS

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # check_incremental_metrics.sh <metrics-dir>
 #
 # Gate for the incremental re-expansion tier. Scans every metrics JSON
@@ -17,8 +17,9 @@
 #     disabled path would make the differential vacuous).
 #
 # Plain grep/awk over the known JSON shapes — CI runners are not
-# guaranteed to have jq.
-set -eu
+# guaranteed to have jq. Zero-match greps are `|| true`-guarded: under
+# pipefail they would otherwise abort the script instead of gating.
+set -euo pipefail
 
 DIR=${1:?usage: check_incremental_metrics.sh <metrics-dir>}
 
@@ -37,7 +38,16 @@ STATUS=0
 for F in $FILES; do
     BASE=$(basename "$F")
 
-    MISMATCHES=$(grep -o '"diff_mismatches":[0-9]*' "$F" | awk -F: '
+    # An empty metrics file means the producing run died before writing
+    # its summary — that is a failure, not a vacuous pass.
+    if [ ! -s "$F" ]; then
+        echo "check_incremental_metrics: FAIL: $F is empty" >&2
+        STATUS=1
+        continue
+    fi
+    FILE_STATUS=$STATUS
+
+    MISMATCHES=$({ grep -o '"diff_mismatches":[0-9]*' "$F" || true; } | awk -F: '
         {if ($2 > max) max = $2} END {print max + 0}')
     echo "check_incremental_metrics: $BASE: diff_mismatches=$MISMATCHES"
     if [ "$MISMATCHES" -gt 0 ]; then
@@ -48,8 +58,8 @@ for F in $FILES; do
     case $BASE in
     incremental_fuzz_*)
         for PATHNAME in clean tree tokens cold; do
-            COUNT=$(grep -o "\"$PATHNAME\":[0-9]*" "$F" | head -1 | awk -F: '
-                {print $2 + 0}')
+            COUNT=$({ grep -o "\"$PATHNAME\":[0-9]*" "$F" || true; } |
+                head -1 | awk -F: '{print $2 + 0}')
             if [ "$COUNT" -eq 0 ]; then
                 echo "check_incremental_metrics: FAIL: $F: the '$PATHNAME' path never ran during the fuzz (differential is not covering it)" >&2
                 STATUS=1
@@ -57,10 +67,11 @@ for F in $FILES; do
         done
         ;;
     incremental_bench*)
-        RATIO_OK=$(grep -o '"dirty_over_cold":[0-9.]*' "$F" | awk -F: '
-            {if ($2 > max) max = $2} END {print (max <= 0.5) ? 1 : 0}')
-        RATIO=$(grep -o '"dirty_over_cold":[0-9.]*' "$F" | awk -F: '
-            {if ($2 > max) max = $2} END {print max + 0}')
+        RATIO_OK=$({ grep -o '"dirty_over_cold":[0-9.]*' "$F" || true; } |
+            awk -F: '{if ($2 > max) max = $2}
+                     END {print (max <= 0.5) ? 1 : 0}')
+        RATIO=$({ grep -o '"dirty_over_cold":[0-9.]*' "$F" || true; } |
+            awk -F: '{if ($2 > max) max = $2} END {print max + 0}')
         echo "check_incremental_metrics: $BASE: dirty_over_cold=$RATIO"
         if [ "$RATIO_OK" -ne 1 ]; then
             echo "check_incremental_metrics: FAIL: $F: warm-dirty time is ${RATIO}x cold time (gate: 0.5x)" >&2
@@ -68,5 +79,11 @@ for F in $FILES; do
         fi
         ;;
     esac
+
+    # Leave the offending metrics in the log, not just the verdict.
+    if [ "$STATUS" -ne "$FILE_STATUS" ]; then
+        echo "--- $F:" >&2
+        cat "$F" >&2
+    fi
 done
 exit $STATUS

@@ -1,0 +1,221 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the msqd expansion cluster.
+#
+#   cluster_smoke.sh <msqd> <msq-router> <msq-cached> <msq-client> <msqc>
+#
+# Boots the full topology — one shared cache daemon, two msqd shards
+# (TCP transport, auth tokens, tenant quotas, remote cache tier), one
+# msq-router in front — then:
+#
+#   * byte-compares every routed expansion against the one-shot msqc CLI
+#     (the differential round-trip);
+#   * proves the shared cache tier works across shards: a unit expanded
+#     via the router is then expanded DIRECTLY on each shard, so the
+#     non-owning shard must hit the remote cache instead of recomputing;
+#   * rejects a wrong auth token (and keeps serving afterwards);
+#   * performs a rolling reload through the router (broadcast to every
+#     shard) and re-verifies byte identity;
+#   * SIGTERMs all four daemons, each of which must drain to exit 0;
+#   * hands the collected metrics to check_cluster_metrics.sh, which
+#     gates on the routing/cache/tenant counters.
+set -euo pipefail
+
+MSQD=$1
+ROUTER=$2
+CACHED=$3
+CLIENT=$4
+MSQC=$5
+CHECK="$(cd "$(dirname "$0")" && pwd)/check_cluster_metrics.sh"
+
+WORK=$(mktemp -d /tmp/msq-cluster-XXXXXX)
+PIDS=()
+trap '((${#PIDS[@]})) && kill "${PIDS[@]}" 2>/dev/null; rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# Waits for a daemon's ready line (written to $1 at startup) and prints
+# the bound port.
+wait_port() {
+  local file=$1 waited=0
+  until grep -q '"event":"ready"' "$file" 2>/dev/null; do
+    [ $waited -ge 100 ] && fail "no ready line in $file within 10s"
+    sleep 0.1
+    waited=$((waited + 1))
+  done
+  grep -o '"port":[0-9]*' "$file" | head -1 | cut -d: -f2
+}
+
+# Waits for pid $1 to exit and requires status 0 (named $2).
+expect_clean_exit() {
+  local pid=$1 name=$2 waited=0
+  while kill -0 "$pid" 2>/dev/null; do
+    [ $waited -ge 100 ] && fail "$name did not exit within 10s of SIGTERM"
+    sleep 0.1
+    waited=$((waited + 1))
+  done
+  local status=0
+  wait "$pid" || status=$?
+  [ "$status" -eq 0 ] || fail "$name exited $status after SIGTERM"
+}
+
+#--- Fixture: pure (cacheable) macros — no metadcl state, or every unit
+#    would be MetaGlobalsMutated-uncacheable and the shared cache tier
+#    would never be exercised — plus an uninvoked padding macro, so a
+#    rolling reload changes the library fingerprint without changing any
+#    unit's output.
+lib_variant() {
+  cat <<'EOF'
+syntax stmt tmpvar {| ( $$exp::e ) |}
+{
+    @id t = gensym("t");
+    return `{ int $t; $t = $e; };
+}
+
+syntax exp twice {| ( $$exp::e ) |}
+{
+    return `(($e) + ($e));
+}
+EOF
+  cat <<EOF
+
+/* Never invoked by any unit: edits here roll the library generation
+   without perturbing outputs. */
+syntax exp padding {| ( ) |}
+{
+    return \`($1);
+}
+EOF
+}
+
+lib_variant 1 > lib.c
+lib_variant 2 > lib_v2.c
+
+NUNITS=8
+for ((i = 0; i < NUNITS; i++)); do
+  cat > "u$i.c" <<EOF
+int b$i = twice($i);
+void f$i(void)
+{
+    tmpvar(b$i + $i);
+}
+EOF
+done
+
+#--- One-shot CLI reference outputs.
+for ((i = 0; i < NUNITS; i++)); do
+  "$MSQC" -l lib.c "u$i.c" > "ref$i.out" 2> "ref$i.err" ||
+    fail "msqc failed on u$i.c: $(cat "ref$i.err")"
+done
+
+#--- Topology: msq-cached, two shards, one router — all on ephemeral
+#    loopback ports, final metrics on stderr into $WORK/metrics.
+METRICS="$WORK/metrics"
+mkdir "$METRICS"
+
+"$CACHED" --tcp 127.0.0.1:0 --dir "$WORK/rcache" \
+  > cached.ready 2> "$METRICS/cached_metrics.json" &
+CACHED_PID=$!
+PIDS+=("$CACHED_PID")
+CACHED_PORT=$(wait_port cached.ready)
+
+SHARD_PIDS=()
+SHARD_PORTS=()
+for s in 1 2; do
+  "$MSQD" --tcp 127.0.0.1:0 -l lib.c --cache --workers 2 \
+    --remote-cache "127.0.0.1:$CACHED_PORT" \
+    --auth-token smoke-token=acme --tenant-quota 64 --quiet \
+    > "shard$s.ready" 2> "shard$s.err" &
+  pid=$!
+  PIDS+=("$pid")
+  SHARD_PIDS+=("$pid")
+  SHARD_PORTS+=("$(wait_port "shard$s.ready")")
+done
+
+"$ROUTER" --tcp 127.0.0.1:0 \
+  --shard "127.0.0.1:${SHARD_PORTS[0]}" \
+  --shard "127.0.0.1:${SHARD_PORTS[1]}" \
+  > router.ready 2> "$METRICS/router_metrics.json" &
+ROUTER_PID=$!
+PIDS+=("$ROUTER_PID")
+ROUTER_PORT=$(wait_port router.ready)
+
+RC=(--tcp "127.0.0.1:$ROUTER_PORT" --token smoke-token)
+
+"$CLIENT" "${RC[@]}" --retry-ms 5000 ping > /dev/null ||
+  fail "cluster did not come up"
+
+#--- Differential round-trip through the router: two sweeps (cold, then
+#    warm — the second answer may come from a cache, and must still be
+#    byte-identical).
+for sweep in cold warm; do
+  for ((i = 0; i < NUNITS; i++)); do
+    "$CLIENT" "${RC[@]}" expand "u$i.c" > "got$i.out" ||
+      fail "routed expand u$i.c ($sweep) exited $?"
+    cmp -s "ref$i.out" "got$i.out" ||
+      fail "routed output of u$i.c ($sweep) differs from one-shot msqc"
+  done
+done
+
+#--- The shared cache tier, across shards: expanding every unit directly
+#    on BOTH shards forces each unit onto its non-owning shard, which
+#    must fetch the entry msq-cached already holds (remote_hits > 0 is
+#    gated below) and still answer byte-identically.
+for s in 0 1; do
+  for ((i = 0; i < NUNITS; i++)); do
+    "$CLIENT" --tcp "127.0.0.1:${SHARD_PORTS[$s]}" --token smoke-token \
+      expand "u$i.c" > "direct$i.out" ||
+      fail "direct expand u$i.c on shard $s exited $?"
+    cmp -s "ref$i.out" "direct$i.out" ||
+      fail "direct output of u$i.c on shard $s differs from one-shot msqc"
+  done
+done
+
+#--- Auth: a wrong token must be rejected (transport error, exit 2), and
+#    the cluster must keep serving afterwards.
+set +e
+"$CLIENT" --tcp "127.0.0.1:$ROUTER_PORT" --token wrong-token ping \
+  > /dev/null 2> badtoken.err
+BADCODE=$?
+set -e
+[ "$BADCODE" -eq 2 ] || fail "wrong token exited $BADCODE, wanted 2"
+grep -q "authentication failed" badtoken.err ||
+  fail "wrong token lacked an authentication error: $(cat badtoken.err)"
+"$CLIENT" "${RC[@]}" ping > /dev/null || fail "cluster died after bad token"
+
+#--- Rolling reload: broadcast the v2 library (changed fingerprint, same
+#    outputs) through the router, then re-verify byte identity.
+"$CLIENT" "${RC[@]}" reload lib_v2.c > reload.out ||
+  fail "routed reload exited $?"
+grep -q "unchanged" reload.out && fail "v2 reload reported unchanged"
+for ((i = 0; i < NUNITS; i++)); do
+  "$CLIENT" "${RC[@]}" expand "u$i.c" > "post$i.out" ||
+    fail "post-reload expand u$i.c exited $?"
+  cmp -s "ref$i.out" "post$i.out" ||
+    fail "output of u$i.c changed after rolling reload"
+done
+
+#--- Aggregated status through the router: the router's own counters
+#    plus every shard's metrics (this is the file the metrics gate reads
+#    for shard-side tenant/cache counters).
+"$CLIENT" "${RC[@]}" status > "$METRICS/status.json" ||
+  fail "routed status failed"
+
+#--- SIGTERM everything; every daemon must drain to exit 0.
+kill -TERM "$ROUTER_PID"
+expect_clean_exit "$ROUTER_PID" "msq-router"
+kill -TERM "${SHARD_PIDS[@]}"
+expect_clean_exit "${SHARD_PIDS[0]}" "shard 1"
+expect_clean_exit "${SHARD_PIDS[1]}" "shard 2"
+kill -TERM "$CACHED_PID"
+expect_clean_exit "$CACHED_PID" "msq-cached"
+PIDS=()
+
+#--- Metrics gate.
+"$CHECK" "$METRICS" || fail "cluster metrics gate failed"
+
+echo "PASS"
+exit 0

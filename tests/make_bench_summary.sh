@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# make_bench_summary.sh <expansion_throughput-binary> <out.json>
+#
+# Produces the nightly perf summary (BENCH_<date>.json) that
+# check_bench_regression.sh compares across runs. Runs two bench modes
+# and distills them into one small, STABLE schema — the comparison
+# script depends on exactly these keys, so additions are fine but
+# renames are a contract change:
+#
+#   {
+#     "schema": 1,
+#     "date": "YYYY-MM-DD",
+#     "warm_batch_ms":          <--cache warm pass, 64x200 corpus>,
+#     "warm_batch_units_per_s": <derived: 64 units / warm_batch_ms>,
+#     "server_warm_req_per_s":  <--server, 8 clients, warm cache>,
+#     "server_warm_p99_us":     <same row's server-side p99 latency>
+#   }
+#
+# Raw bench outputs are kept next to the summary (<out>.cache.json /
+# <out>.server.json) for debugging regressions the summary flags.
+set -euo pipefail
+
+BENCH=${1:?usage: make_bench_summary.sh <expansion_throughput> <out.json>}
+OUT=${2:?usage: make_bench_summary.sh <expansion_throughput> <out.json>}
+
+fail() {
+  echo "make_bench_summary: $1" >&2
+  exit 1
+}
+
+CACHE_RAW="$OUT.cache.json"
+SERVER_RAW="$OUT.server.json"
+
+"$BENCH" --cache > "$CACHE_RAW" || fail "bench --cache failed"
+[ -s "$CACHE_RAW" ] || fail "bench --cache produced no output"
+"$BENCH" --server > "$SERVER_RAW" || fail "bench --server failed"
+[ -s "$SERVER_RAW" ] || fail "bench --server produced no output"
+
+WARM_MS=$(grep -o '"warm_ms":[0-9.]*' "$CACHE_RAW" | head -1 | cut -d: -f2)
+[ -n "$WARM_MS" ] || fail "no warm_ms in $CACHE_RAW"
+
+# The hottest server row: 8 concurrent clients on a warm cache.
+ROW=$(grep '"clients":8,"cache":"warm"' "$SERVER_RAW" || true)
+[ -n "$ROW" ] || fail "no 8-client warm row in $SERVER_RAW"
+REQ_PER_S=$(echo "$ROW" | grep -o '"req_per_s":[0-9.]*' | head -1 | cut -d: -f2)
+P99_US=$(echo "$ROW" | grep -o '"p99_us":[0-9.]*' | head -1 | cut -d: -f2)
+[ -n "$REQ_PER_S" ] || fail "no req_per_s in the 8-client warm row"
+[ -n "$P99_US" ] || fail "no p99_us in the 8-client warm row"
+
+UNITS_PER_S=$(awk -v ms="$WARM_MS" 'BEGIN {printf "%.1f", 64 * 1000 / ms}')
+
+printf '{"schema":1,"date":"%s","warm_batch_ms":%s,"warm_batch_units_per_s":%s,"server_warm_req_per_s":%s,"server_warm_p99_us":%s}\n' \
+  "$(date -u +%F)" "$WARM_MS" "$UNITS_PER_S" "$REQ_PER_S" "$P99_US" > "$OUT"
+cat "$OUT"

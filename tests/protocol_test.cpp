@@ -19,6 +19,7 @@
 
 #include "gtest/gtest.h"
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -27,6 +28,7 @@
 #include <unistd.h>
 
 using namespace msq;
+using namespace std::string_literals;
 
 namespace {
 
@@ -520,6 +522,207 @@ TEST(Histogram, BucketMonotone) {
     Prev = Idx;
     EXPECT_LE(LatencyHistogram::bucketLowerBound(Idx), V);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Cluster protocol: hello / cache_get / cache_put and the hex codec
+//===----------------------------------------------------------------------===//
+
+TEST(ClusterProtocol, HexRoundTripsEveryByte) {
+  std::string All;
+  for (int C = 0; C != 256; ++C)
+    All += char(C);
+  std::string Hex = toHex(All);
+  EXPECT_EQ(Hex.size(), All.size() * 2);
+  std::string Back;
+  ASSERT_TRUE(fromHex(Hex, Back));
+  EXPECT_EQ(Back, All);
+}
+
+TEST(ClusterProtocol, HexRejectsMalformed) {
+  std::string Out;
+  EXPECT_FALSE(fromHex("abc", Out));  // odd length
+  EXPECT_FALSE(fromHex("zz", Out));   // not hex
+  EXPECT_FALSE(fromHex("a ", Out));   // embedded space
+  EXPECT_TRUE(fromHex("", Out));      // empty payload is legal
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(ClusterProtocol, ParsesHello) {
+  Request R;
+  EXPECT_TRUE(
+      parseRequest(R"({"v":1,"id":"h","type":"hello","token":"tok"})", R)
+          .Ok);
+  EXPECT_EQ(R.Ty, Request::Type::Hello);
+  EXPECT_EQ(R.Token, "tok");
+
+  // The token is mandatory and must be a string.
+  EXPECT_FALSE(parseRequest(R"({"v":1,"id":"h","type":"hello"})", R).Ok);
+  EXPECT_FALSE(
+      parseRequest(R"({"v":1,"id":"h","type":"hello","token":7})", R).Ok);
+}
+
+TEST(ClusterProtocol, ParsesCacheOps) {
+  Request R;
+  EXPECT_TRUE(
+      parseRequest(R"({"v":1,"id":"g","type":"cache_get","key":"k1"})", R)
+          .Ok);
+  EXPECT_EQ(R.Ty, Request::Type::CacheGet);
+  EXPECT_EQ(R.Key, "k1");
+
+  EXPECT_TRUE(parseRequest(
+                  R"({"v":1,"id":"p","type":"cache_put","key":"k1","data":"4d5351"})",
+                  R)
+                  .Ok);
+  EXPECT_EQ(R.Ty, Request::Type::CachePut);
+  EXPECT_EQ(R.Data, "MSQ"); // hex wrapper stripped at parse time
+
+  // Key is mandatory; data must be valid hex.
+  EXPECT_FALSE(
+      parseRequest(R"({"v":1,"id":"g","type":"cache_get"})", R).Ok);
+  EXPECT_FALSE(parseRequest(
+                   R"({"v":1,"id":"p","type":"cache_put","key":"k","data":"xyz"})",
+                   R)
+                   .Ok);
+}
+
+TEST(ClusterProtocol, ResponseBuildersRoundTrip) {
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(makeWelcomeResponse("i", "acme"), V, &Err));
+  EXPECT_EQ(V.get("type")->Str, "welcome");
+  EXPECT_EQ(V.get("tenant")->Str, "acme");
+
+  // Found entries carry the payload hex-encoded; misses omit it.
+  ASSERT_TRUE(json::parse(makeCacheEntryResponse("i", true, "\x00\n\xff"s),
+                          V, &Err));
+  EXPECT_TRUE(V.get("found")->B);
+  std::string Bytes;
+  ASSERT_TRUE(fromHex(V.get("data")->Str, Bytes));
+  EXPECT_EQ(Bytes, "\x00\n\xff"s);
+  ASSERT_TRUE(json::parse(makeCacheEntryResponse("i", false, ""), V, &Err));
+  EXPECT_FALSE(V.get("found")->B);
+  EXPECT_EQ(V.get("data"), nullptr);
+
+  ASSERT_TRUE(json::parse(makeCacheStoredResponse("i", true), V, &Err));
+  EXPECT_TRUE(V.get("stored")->B);
+}
+
+TEST(ClusterProtocol, ErrorCodeNames) {
+  EXPECT_STREQ(errorCodeName(ErrorCode::Unauthorized), "unauthorized");
+  EXPECT_STREQ(errorCodeName(ErrorCode::QuotaExceeded), "quota_exceeded");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Degraded), "degraded");
+}
+
+//===----------------------------------------------------------------------===//
+// TCP transport edge cases: the framing must be byte-stream-safe — a
+// frame split across arbitrary TCP segments reassembles, an oversized
+// frame is rejected, and the ephemeral-port listener reports its port.
+//===----------------------------------------------------------------------===//
+
+struct TcpPair {
+  TcpListener L;
+  int Client = -1;
+  int Served = -1;
+
+  bool up() {
+    std::string Err;
+    if (!L.listenOn("127.0.0.1", 0, &Err)) {
+      ADD_FAILURE() << Err;
+      return false;
+    }
+    Client = connectTcp("127.0.0.1", L.port(), &Err);
+    if (Client < 0) {
+      ADD_FAILURE() << Err;
+      return false;
+    }
+    bool Woken = false;
+    Served = L.acceptClient(-1, Woken);
+    return Served >= 0;
+  }
+  ~TcpPair() {
+    if (Client >= 0)
+      ::close(Client);
+    if (Served >= 0)
+      ::close(Served);
+  }
+};
+
+TEST(TcpFraming, EphemeralPortIsReadBack) {
+  TcpListener L;
+  std::string Err;
+  ASSERT_TRUE(L.listenOn("127.0.0.1", 0, &Err)) << Err;
+  EXPECT_NE(L.port(), 0); // the kernel-assigned port, not the request
+}
+
+TEST(TcpFraming, PartialFramesAcrossSegmentsReassemble) {
+  TcpPair P;
+  ASSERT_TRUE(P.up());
+  // One 40KB frame delivered in deliberately awkward slices (1 byte,
+  // mid-frame chunks, the newline alone) with the reader racing the
+  // writer — segmentation must be invisible above the framing layer.
+  std::string Payload(40000, 'a');
+  Payload[0] = '{';
+  std::thread Writer([&] {
+    std::string Wire = Payload + "\n";
+    size_t Cuts[] = {1, 7, 1000, 17000, Wire.size() - 1, Wire.size()};
+    size_t At = 0;
+    for (size_t Cut : Cuts) {
+      ASSERT_TRUE(writeAll(P.Client, Wire.substr(At, Cut - At)));
+      At = Cut;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  FrameReader Reader(P.Served, MaxFrameBytes);
+  std::string F;
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Frame);
+  EXPECT_EQ(F, Payload);
+  Writer.join();
+}
+
+TEST(TcpFraming, PipelinedFramesInOneSegment) {
+  TcpPair P;
+  ASSERT_TRUE(P.up());
+  ASSERT_TRUE(writeAll(P.Client, "alpha\nbeta\ngam"));
+  ASSERT_TRUE(writeAll(P.Client, "ma\n"));
+  FrameReader Reader(P.Served, MaxFrameBytes);
+  std::string F;
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Frame);
+  EXPECT_EQ(F, "alpha");
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Frame);
+  EXPECT_EQ(F, "beta");
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Frame);
+  EXPECT_EQ(F, "gamma");
+}
+
+TEST(TcpFraming, OversizedFrameRejectedOverTcp) {
+  TcpPair P;
+  ASSERT_TRUE(P.up());
+  std::thread Writer([&] {
+    std::string Big(8192, 'x'); // no newline within the reader's limit
+    writeAll(P.Client, Big);
+  });
+  FrameReader Reader(P.Served, 4096);
+  std::string F;
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::TooLong);
+  Writer.join();
+}
+
+TEST(TcpFraming, HostPortParsing) {
+  std::string Host;
+  uint16_t Port = 0;
+  std::string Err;
+  ASSERT_TRUE(parseHostPort("127.0.0.1:8080", Host, Port, &Err));
+  EXPECT_EQ(Host, "127.0.0.1");
+  EXPECT_EQ(Port, 8080);
+  ASSERT_TRUE(parseHostPort(":9000", Host, Port, &Err));
+  EXPECT_EQ(Host, "127.0.0.1"); // empty host defaults to loopback
+
+  EXPECT_FALSE(parseHostPort("nocolon", Host, Port, &Err));
+  EXPECT_FALSE(parseHostPort("h:", Host, Port, &Err));
+  EXPECT_FALSE(parseHostPort("h:0", Host, Port, &Err));
+  EXPECT_FALSE(parseHostPort("h:99999", Host, Port, &Err));
+  EXPECT_FALSE(parseHostPort("h:12ab", Host, Port, &Err));
 }
 
 } // namespace

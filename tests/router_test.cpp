@@ -1,0 +1,446 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests for the cluster front end: the consistent-hash ring (determinism
+// across instances, balance, minimal movement when a shard joins), the
+// retry/degrade discipline against dead and overloaded shards (driven
+// through serveConnection with fake shard daemons), reload broadcast,
+// and the shard dispatcher's TCP auth rules (hello-before-work, unknown
+// tokens dropped, Unix peers implicitly trusted).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Router.h"
+
+#include "server/Daemon.h"
+#include "server/Protocol.h"
+#include "server/Server.h"
+#include "support/Socket.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <csignal>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace msq;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// The hash ring
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> addrs(unsigned N) {
+  std::vector<std::string> Out;
+  for (unsigned I = 0; I != N; ++I)
+    Out.push_back("10.0.0." + std::to_string(I + 1) + ":7000");
+  return Out;
+}
+
+TEST(RouterRing, DeterministicAcrossInstances) {
+  RouterOptions A, B;
+  A.Shards = B.Shards = addrs(3);
+  Router R1(A), R2(B);
+  ASSERT_TRUE(R1.ok());
+  ASSERT_TRUE(R2.ok());
+  for (int I = 0; I != 2000; ++I) {
+    std::string K = Router::routingKey("tu" + std::to_string(I) + ".c",
+                                      "int x = " + std::to_string(I) + ";");
+    EXPECT_EQ(R1.shardFor(K), R2.shardFor(K));
+  }
+}
+
+TEST(RouterRing, SpreadsKeysAcrossAllShards) {
+  RouterOptions O;
+  O.Shards = addrs(4);
+  Router R(O);
+  ASSERT_TRUE(R.ok());
+  std::map<size_t, int> Counts;
+  const int Keys = 4000;
+  for (int I = 0; I != Keys; ++I)
+    ++Counts[R.shardFor(
+        Router::routingKey("u" + std::to_string(I) + ".c", "src"))];
+  ASSERT_EQ(Counts.size(), 4u); // nobody starves
+  for (const auto &[Shard, N] : Counts) {
+    // With 64 virtual nodes the spread stays well inside 2x of fair.
+    EXPECT_GT(N, Keys / 4 / 2) << "shard " << Shard;
+    EXPECT_LT(N, Keys / 4 * 2) << "shard " << Shard;
+  }
+}
+
+TEST(RouterRing, AddingShardMovesMinority) {
+  RouterOptions O3, O4;
+  O3.Shards = addrs(3);
+  O4.Shards = addrs(4);
+  Router R3(O3), R4(O4);
+  const int Keys = 4000;
+  int Moved = 0;
+  for (int I = 0; I != Keys; ++I) {
+    std::string K =
+        Router::routingKey("u" + std::to_string(I) + ".c", "src");
+    // The new shard's index is 3; a key either stays put or moves there.
+    size_t Was = R3.shardFor(K), Now = R4.shardFor(K);
+    if (Was != Now) {
+      ++Moved;
+      EXPECT_EQ(Now, 3u) << "key moved between surviving shards";
+    }
+  }
+  // Consistent hashing: roughly 1/4 moves (to the newcomer), not 3/4 as
+  // with modulo hashing. Allow generous slack.
+  EXPECT_LT(Moved, Keys / 2);
+  EXPECT_GT(Moved, Keys / 10);
+}
+
+TEST(RouterRing, RejectsBadConfig) {
+  RouterOptions None;
+  EXPECT_FALSE(Router(None).ok());
+  RouterOptions Bad;
+  Bad.Shards = {"localhost-no-port"};
+  EXPECT_FALSE(Router(Bad).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Fake shards: scripted NDJSON daemons for exercising the forward path.
+//===----------------------------------------------------------------------===//
+
+class FakeShard {
+public:
+  enum class Mode {
+    Overloaded, ///< every request answered with an `overloaded` error
+    Internal,   ///< answered with a marker `internal` error (relay probe)
+    Reloaded,   ///< reload_library answered `reloaded`, rest `internal`
+  };
+
+  explicit FakeShard(Mode M) : M(M) {
+    std::string Err;
+    EXPECT_TRUE(Listener.listenOn("127.0.0.1", 0, &Err)) << Err;
+    EXPECT_EQ(::pipe(Wake), 0);
+    Thread = std::thread([this] { acceptLoop(); });
+  }
+  ~FakeShard() {
+    char B = 'x';
+    [[maybe_unused]] ssize_t N = ::write(Wake[1], &B, 1);
+    Thread.join();
+    ::close(Wake[0]);
+    ::close(Wake[1]);
+  }
+
+  std::string address() const {
+    return "127.0.0.1:" + std::to_string(Listener.port());
+  }
+  int reloadsSeen() const { return Reloads.load(); }
+  int requestsSeen() const { return Requests.load(); }
+
+private:
+  void acceptLoop() {
+    for (;;) {
+      bool Woken = false;
+      int Fd = Listener.acceptClient(Wake[0], Woken);
+      if (Woken || Fd < 0)
+        return;
+      serve(Fd); // the router's upstream calls are serial per request
+      ::close(Fd);
+    }
+  }
+
+  void serve(int Fd) {
+    FrameReader Reader(Fd, MaxFrameBytes);
+    std::string Frame;
+    while (Reader.next(Frame) == FrameReader::Status::Frame) {
+      Request Req;
+      if (!parseRequest(Frame, Req).Ok)
+        return;
+      ++Requests;
+      switch (Req.Ty) {
+      case Request::Type::Hello:
+        writeFrame(Fd, makeWelcomeResponse(Req.Id, Req.Token));
+        break;
+      case Request::Type::ReloadLibrary:
+        if (M == Mode::Reloaded) {
+          ++Reloads;
+          writeFrame(Fd, makeReloadResponse(Req.Id, 7, true));
+          break;
+        }
+        [[fallthrough]];
+      default:
+        writeFrame(Fd, makeErrorResponse(
+                           Req.Id,
+                           M == Mode::Overloaded ? ErrorCode::Overloaded
+                                                 : ErrorCode::Internal,
+                           M == Mode::Overloaded ? "fake shard saturated"
+                                                 : "fake-marker"));
+        break;
+      }
+    }
+  }
+
+  Mode M;
+  TcpListener Listener;
+  int Wake[2] = {-1, -1};
+  std::thread Thread;
+  std::atomic<int> Reloads{0};
+  std::atomic<int> Requests{0};
+};
+
+/// An address that refuses connections: bind an ephemeral port, then
+/// close the listener. (The kernel will not instantly reassign it.)
+std::string deadAddress() {
+  uint16_t Port;
+  {
+    TcpListener L;
+    std::string Err;
+    EXPECT_TRUE(L.listenOn("127.0.0.1", 0, &Err)) << Err;
+    Port = L.port();
+  }
+  return "127.0.0.1:" + std::to_string(Port);
+}
+
+/// Runs one client conversation against a Router: each frame in
+/// \p Frames is sent and one response collected, via a socketpair-backed
+/// serveConnection on its own thread.
+std::vector<std::string> converse(Router &R,
+                                  const std::vector<std::string> &Frames) {
+  ::signal(SIGPIPE, SIG_IGN); // a dropped connection must not kill us
+  int Sp[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
+  auto C = std::make_shared<Conn>(Sp[0], Sp[0], /*OwnsFds=*/true);
+  std::thread Server([&R, C] { R.serveConnection(C); });
+  // The server thread owns the only reference: when the router drops the
+  // connection, the Conn closes and our reader sees EOF instead of
+  // blocking forever.
+  C.reset();
+  std::vector<std::string> Responses;
+  FrameReader Reader(Sp[1], MaxFrameBytes);
+  for (const std::string &F : Frames) {
+    std::string Resp;
+    if (!writeFrame(Sp[1], F) ||
+        Reader.next(Resp) != FrameReader::Status::Frame)
+      break; // connection dropped (e.g. rejected hello)
+    Responses.push_back(Resp);
+  }
+  ::shutdown(Sp[1], SHUT_WR);
+  Server.join();
+  ::close(Sp[1]);
+  return Responses;
+}
+
+/// A unit name whose routing key lands on shard \p Want.
+std::string unitOnShard(const Router &R, size_t Want,
+                        const std::string &Source) {
+  for (int I = 0; I != 100000; ++I) {
+    std::string Name = "probe" + std::to_string(I) + ".c";
+    if (R.shardFor(Router::routingKey(Name, Source)) == Want)
+      return Name;
+  }
+  ADD_FAILURE() << "no unit found for shard " << Want;
+  return "probe.c";
+}
+
+bool contains(const std::string &S, const std::string &Sub) {
+  return S.find(Sub) != std::string::npos;
+}
+
+//===----------------------------------------------------------------------===//
+// Forwarding: retry, degrade, overload relay, broadcast
+//===----------------------------------------------------------------------===//
+
+TEST(RouterForward, DegradedWhenNoShardAnswers) {
+  RouterOptions O;
+  O.Shards = {deadAddress(), deadAddress()};
+  O.TimeoutMillis = 2000;
+  Router R(O);
+  ASSERT_TRUE(R.ok());
+  std::vector<std::string> Resp =
+      converse(R, {makeExpandRequest("e1", "u.c", "int x;\n", true, 0, 0)});
+  ASSERT_EQ(Resp.size(), 1u);
+  EXPECT_TRUE(contains(Resp[0], "\"error\":\"degraded\"")) << Resp[0];
+  EXPECT_TRUE(contains(Resp[0], "\"id\":\"e1\"")) << Resp[0];
+  // The router's own accounting shows one forward, one retry, one
+  // degradation — the request was never silently dropped.
+  std::string M = R.metricsJson();
+  EXPECT_TRUE(contains(M, "\"forwarded\":1")) << M;
+  EXPECT_TRUE(contains(M, "\"retries\":1")) << M;
+  EXPECT_TRUE(contains(M, "\"degraded\":1")) << M;
+}
+
+TEST(RouterForward, RetryLandsOnRingSuccessor) {
+  FakeShard Healthy(FakeShard::Mode::Internal);
+  RouterOptions O;
+  O.Shards = {deadAddress(), Healthy.address()};
+  O.TimeoutMillis = 2000;
+  Router R(O);
+  ASSERT_TRUE(R.ok());
+  // Route at the dead shard on purpose; the retry must reach the healthy
+  // one, whose marker answer is relayed verbatim.
+  std::string Name = unitOnShard(R, 0, "int x;\n");
+  std::vector<std::string> Resp =
+      converse(R, {makeExpandRequest("e2", Name, "int x;\n", true, 0, 0)});
+  ASSERT_EQ(Resp.size(), 1u);
+  EXPECT_TRUE(contains(Resp[0], "fake-marker")) << Resp[0];
+  std::string M = R.metricsJson();
+  EXPECT_TRUE(contains(M, "\"retries\":1")) << M;
+  EXPECT_TRUE(contains(M, "\"degraded\":0")) << M;
+}
+
+TEST(RouterForward, AllShardsOverloadedRelaysOverloaded) {
+  FakeShard A(FakeShard::Mode::Overloaded);
+  FakeShard B(FakeShard::Mode::Overloaded);
+  RouterOptions O;
+  O.Shards = {A.address(), B.address()};
+  Router R(O);
+  ASSERT_TRUE(R.ok());
+  std::vector<std::string> Resp =
+      converse(R, {makeExpandRequest("e3", "u.c", "int x;\n", true, 0, 0)});
+  ASSERT_EQ(Resp.size(), 1u);
+  // Saturation surfaces as `overloaded` (retryable), NOT `degraded`
+  // (infrastructure failure) — clients back off differently.
+  EXPECT_TRUE(contains(Resp[0], "\"error\":\"overloaded\"")) << Resp[0];
+  std::string M = R.metricsJson();
+  EXPECT_TRUE(contains(M, "\"relayed_overloaded\":1")) << M;
+  EXPECT_TRUE(contains(M, "\"degraded\":0")) << M;
+  // Both shards were tried before giving up.
+  EXPECT_EQ(A.requestsSeen() + B.requestsSeen(), 2);
+}
+
+TEST(RouterForward, ReloadBroadcastsToEveryShard) {
+  FakeShard A(FakeShard::Mode::Reloaded);
+  FakeShard B(FakeShard::Mode::Reloaded);
+  RouterOptions O;
+  O.Shards = {A.address(), B.address()};
+  Router R(O);
+  ASSERT_TRUE(R.ok());
+  std::vector<std::string> Resp = converse(
+      R, {makeReloadRequest("r1", {{"lib.c", "int x;\n"}}, false)});
+  ASSERT_EQ(Resp.size(), 1u);
+  EXPECT_TRUE(contains(Resp[0], "\"type\":\"reloaded\"")) << Resp[0];
+  EXPECT_EQ(A.reloadsSeen(), 1);
+  EXPECT_EQ(B.reloadsSeen(), 1);
+}
+
+TEST(RouterForward, PingAnsweredLocallyCacheOpsRefused) {
+  RouterOptions O;
+  O.Shards = {deadAddress()}; // never contacted by these requests
+  Router R(O);
+  ASSERT_TRUE(R.ok());
+  std::vector<std::string> Resp = converse(
+      R, {makePingRequest("p1"), makeCacheGetRequest("g1", "deadbeef")});
+  ASSERT_EQ(Resp.size(), 2u);
+  EXPECT_TRUE(contains(Resp[0], "\"type\":\"pong\"")) << Resp[0];
+  EXPECT_TRUE(contains(Resp[1], "\"error\":\"unknown_type\"")) << Resp[1];
+}
+
+//===----------------------------------------------------------------------===//
+// Shard dispatcher auth: the TCP transport's hello discipline
+//===----------------------------------------------------------------------===//
+
+struct ShardConversation {
+  /// Runs frames against a real Server through serveShardConnection,
+  /// with the connection marked as TCP and \p Auth in force.
+  static std::vector<std::string> run(const AuthConfig &Auth,
+                                      const std::vector<std::string> &Frames,
+                                      bool FromTcp = true) {
+    ServerOptions SO;
+    SO.Workers = 1;
+    Server S(SO);
+    EXPECT_TRUE(
+        S.reloadLibrary({{"lib.c", "syntax exp two {| ( ) |}\n"
+                                   "{\n    return `(2);\n}\n"}},
+                        false)
+            .Success);
+    ::signal(SIGPIPE, SIG_IGN); // writes after the auth drop hit EPIPE
+    int Sp[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
+    auto C = std::make_shared<Conn>(Sp[0], Sp[0], /*OwnsFds=*/true);
+    C->FromTcp = FromTcp;
+    std::thread T([C, &S, &Auth] { serveShardConnection(C, S, Auth); });
+    C.reset(); // see converse(): a dropped connection must EOF our reader
+    std::vector<std::string> Responses;
+    FrameReader Reader(Sp[1], MaxFrameBytes);
+    for (const std::string &F : Frames) {
+      std::string Resp;
+      if (!writeFrame(Sp[1], F) ||
+          Reader.next(Resp) != FrameReader::Status::Frame)
+        break;
+      Responses.push_back(Resp);
+    }
+    ::shutdown(Sp[1], SHUT_WR);
+    T.join();
+    S.drain();
+    ::close(Sp[1]);
+    return Responses;
+  }
+};
+
+AuthConfig tokenTable() {
+  AuthConfig A;
+  A.TokenTenants["sekrit"] = "acme";
+  return A;
+}
+
+TEST(ShardAuth, TcpWorkRequiresHelloFirst) {
+  std::vector<std::string> Resp = ShardConversation::run(
+      tokenTable(),
+      {makeExpandRequest("e1", "u.c", "int v = two();\n", true, 0, 0)});
+  ASSERT_EQ(Resp.size(), 1u);
+  EXPECT_TRUE(contains(Resp[0], "\"error\":\"unauthorized\"")) << Resp[0];
+}
+
+TEST(ShardAuth, UnknownTokenAnsweredThenDropped) {
+  std::vector<std::string> Resp = ShardConversation::run(
+      tokenTable(), {makeHelloRequest("h1", "guess"),
+                     makePingRequest("p1")}); // never answered: dropped
+  ASSERT_EQ(Resp.size(), 1u);
+  EXPECT_TRUE(contains(Resp[0], "\"error\":\"unauthorized\"")) << Resp[0];
+}
+
+TEST(ShardAuth, KnownTokenNamesTenantAndAdmitsWork) {
+  std::vector<std::string> Resp = ShardConversation::run(
+      tokenTable(),
+      {makeHelloRequest("h1", "sekrit"),
+       makeExpandRequest("e1", "u.c", "int v = two();\n", true, 0, 0)});
+  ASSERT_EQ(Resp.size(), 2u);
+  EXPECT_TRUE(contains(Resp[0], "\"tenant\":\"acme\"")) << Resp[0];
+  EXPECT_TRUE(contains(Resp[1], "\"success\":true")) << Resp[1];
+}
+
+TEST(ShardAuth, StatusAndPingStayUnauthenticated) {
+  // Health checks must work before (or without) credentials.
+  std::vector<std::string> Resp = ShardConversation::run(
+      tokenTable(), {makePingRequest("p1"), makeStatusRequest("s1")});
+  ASSERT_EQ(Resp.size(), 2u);
+  EXPECT_TRUE(contains(Resp[0], "\"type\":\"pong\"")) << Resp[0];
+  EXPECT_TRUE(contains(Resp[1], "\"type\":\"status\"")) << Resp[1];
+}
+
+TEST(ShardAuth, UnixPeersImplicitlyTrusted) {
+  // The same token table, but a non-TCP connection: local peers skip
+  // hello entirely and run as the default tenant.
+  std::vector<std::string> Resp = ShardConversation::run(
+      tokenTable(),
+      {makeExpandRequest("e1", "u.c", "int v = two();\n", true, 0, 0)},
+      /*FromTcp=*/false);
+  ASSERT_EQ(Resp.size(), 1u);
+  EXPECT_TRUE(contains(Resp[0], "\"success\":true")) << Resp[0];
+}
+
+TEST(ShardAuth, EmptyTableTreatsTokenAsTenant) {
+  AuthConfig NoTable;
+  std::vector<std::string> Resp = ShardConversation::run(
+      NoTable, {makeHelloRequest("h1", "solo-team")});
+  ASSERT_EQ(Resp.size(), 1u);
+  EXPECT_TRUE(contains(Resp[0], "\"tenant\":\"solo-team\"")) << Resp[0];
+}
+
+} // namespace

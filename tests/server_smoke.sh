@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # End-to-end smoke test for the msqd expansion server.
 #
 #   server_smoke.sh <msqd> <msq-client> <msqc>
@@ -8,7 +8,10 @@
 # a mid-request disconnect), byte-compares every expansion against the
 # one-shot msqc CLI, and finishes with a SIGTERM that must drain cleanly
 # to exit 0. Any divergence, crash, or hang (the CTest timeout) fails.
-set -u
+#
+# pipefail matters here: several gates pipe daemon output through grep,
+# and without it a crashed producer upstream of a happy grep would pass.
+set -u -o pipefail
 
 MSQD=$1
 CLIENT=$2
@@ -111,7 +114,11 @@ for mode in "" "" "--no-cache"; do
 
   "$CLIENT" --socket "$SOCK" ping > /dev/null || fail "ping failed"
   "$CLIENT" --socket "$SOCK" status > status.json || fail "status failed"
-  grep -q '"admitted"' status.json || fail "status lacks server counters"
+  [ -s status.json ] || fail "status response is empty"
+  grep -q '"admitted"' status.json || {
+    cat status.json >&2
+    fail "status lacks server counters"
+  }
 
   # Disconnect with a request in flight: the daemon must shrug it off.
   "$CLIENT" --socket "$SOCK" --no-wait expand "u0.c" > /dev/null ||
@@ -224,10 +231,15 @@ DPID2=$!
 # The status response must surface the armed schedule and its counters.
 "$CLIENT" --socket "$SOCK2" status > status2.json ||
   fail "status failed on fault-injected daemon"
-grep -q '"faults":{"enabled":true' status2.json ||
+[ -s status2.json ] || fail "fault-injected status response is empty"
+grep -q '"faults":{"enabled":true' status2.json || {
+  cat status2.json >&2
   fail "status lacks the armed fault counters"
-grep -q 'server.worker_spawn' status2.json ||
+}
+grep -q 'server.worker_spawn' status2.json || {
+  cat status2.json >&2
   fail "status lacks per-point fault entries"
+}
 
 # Eight concurrent expands through the faulty accept/spawn paths, then
 # SIGTERM while some are still in flight.

@@ -325,6 +325,73 @@ TEST(Server, QueueSaturationYieldsOverloadedNotHangs) {
   EXPECT_EQ(metricU64(M, "server", "completed"), uint64_t(Accepted));
 }
 
+TEST(Server, TenantQuotaBoundsInFlightPerTenant) {
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.QueueCapacity = 64; // roomy: only the quota should reject
+  SO.TenantQuota = 2;
+  Server S(SO);
+  ASSERT_TRUE(S.reloadLibrary({{"spin.c", SpinLib}}, false).Success);
+
+  std::atomic<int> Completions{0};
+  auto submitAs = [&](const std::string &Tenant) {
+    RequestOptions RO;
+    RO.Tenant = Tenant;
+    return S.submit({"s.c", "int x = spin();\n"}, std::move(RO),
+                    [&Completions](const ExpandResult &, uint64_t) {
+                      ++Completions;
+                    });
+  };
+
+  // One busy worker: the first two "acme" jobs occupy the tenant's
+  // in-flight budget, the rest bounce — while "beta" is still admitted,
+  // proving the bound is per-tenant, not global.
+  int AcmeAccepted = 0, AcmeQuota = 0;
+  for (int I = 0; I != 6; ++I) {
+    Server::Admission A = submitAs("acme");
+    if (A == Server::Admission::Accepted)
+      ++AcmeAccepted;
+    else if (A == Server::Admission::QuotaExceeded)
+      ++AcmeQuota;
+  }
+  // At most quota+completed-so-far admissions; the tight loop guarantees
+  // rejections even if the worker sneaks a completion in.
+  EXPECT_EQ(AcmeAccepted + AcmeQuota, 6);
+  EXPECT_GE(AcmeQuota, 3);
+  EXPECT_GE(AcmeAccepted, 2);
+  EXPECT_EQ(submitAs("beta"), Server::Admission::Accepted);
+
+  S.drain();
+  EXPECT_EQ(Completions.load(), AcmeAccepted + 1);
+
+  // Per-tenant counters surface in metricsJson; a drained tenant's
+  // budget is fully returned.
+  json::Value M = parseMetrics(S);
+  EXPECT_EQ(metricU64(M, "server", "rejected_quota"),
+            uint64_t(AcmeQuota));
+  const json::Value *Tenants = M.get("tenants");
+  ASSERT_NE(Tenants, nullptr);
+  const json::Value *Acme = Tenants->get("acme");
+  ASSERT_NE(Acme, nullptr);
+  uint64_t V = 0;
+  ASSERT_TRUE(Acme->get("admitted")->asU64(V));
+  EXPECT_EQ(V, uint64_t(AcmeAccepted));
+  ASSERT_TRUE(Acme->get("completed")->asU64(V));
+  EXPECT_EQ(V, uint64_t(AcmeAccepted));
+  ASSERT_TRUE(Acme->get("rejected_quota")->asU64(V));
+  EXPECT_EQ(V, uint64_t(AcmeQuota));
+  ASSERT_TRUE(Acme->get("in_flight")->asU64(V));
+  EXPECT_EQ(V, 0u);
+  const json::Value *Beta = Tenants->get("beta");
+  ASSERT_NE(Beta, nullptr);
+  ASSERT_TRUE(Beta->get("admitted")->asU64(V));
+  EXPECT_EQ(V, 1u);
+
+  // After the drain the budget is free again (a fresh submit is only
+  // refused because the server is draining, not over quota).
+  EXPECT_EQ(submitAs("acme"), Server::Admission::Draining);
+}
+
 TEST(Server, DrainCompletesAdmittedThenRejects) {
   ServerOptions SO;
   SO.Workers = 1;

@@ -23,7 +23,9 @@
 #include "driver/Incremental.h"
 #include "server/Protocol.h"
 #include "server/Server.h"
+#include "server/Session.h"
 #include "support/Fault.h"
+#include "support/Histogram.h"
 #include "support/Socket.h"
 
 #include "edit_fuzz.h"
@@ -970,6 +972,144 @@ int runClusterLoad(const char *Argv0) {
   return 0;
 }
 
+// --interactive: the editor-facing latency measurement — one session on
+// an in-process Server, driven the way msq-lsp drives msqd: hover
+// previews (mode "expand") and didChange re-expansions of an open unit
+// after a macro-body edit (mode "library" then mode "unit", which must
+// ride the warm incremental paths, not cold). Reports microsecond
+// percentiles as one JSON object; nonzero exit on any failed eval or a
+// warm loop stuck on the cold path.
+int runInteractiveLatency() {
+  constexpr int HoverIters = 300;
+  constexpr int EditIters = 200;
+
+  msq::ServerOptions SO;
+  SO.Workers = 1;
+  msq::Server S(SO);
+  const char *Lib = R"(
+metadcl int counter;
+
+syntax exp next {| ( ) |}
+{
+    counter = counter + 1;
+    return `($(counter));
+}
+
+syntax stmt note {| ( $$exp::e ) |}
+{
+    @id t = gensym("n");
+    return `{ int $t; $t = $e; };
+}
+)";
+  if (!S.reloadLibrary({{"lib.c", Lib}}, false).Success) {
+    std::fprintf(stderr, "error: interactive library load failed\n");
+    return 1;
+  }
+  msq::SessionManager SM(S, {});
+
+  msq::Request Open;
+  Open.Id = "o";
+  Open.Ty = msq::Request::Type::SessionOpen;
+  std::string Sid, Msg;
+  msq::ErrorCode Code;
+  if (!SM.open(Open, "", Sid, Code, Msg)) {
+    std::fprintf(stderr, "error: session open failed: %s\n", Msg.c_str());
+    return 1;
+  }
+
+  auto eval = [&](const char *Mode, const char *Name, std::string Source,
+                  msq::SessionEvalResult &Out) {
+    msq::Request R;
+    R.Id = "e";
+    R.Ty = msq::Request::Type::SessionEval;
+    R.Session = Sid;
+    R.Mode = Mode;
+    R.Name = Name;
+    R.Source = std::move(Source);
+    msq::ErrorCode EvalCode;
+    std::string EvalMsg;
+    return SM.eval(R, Out, EvalCode, EvalMsg) && Out.Success;
+  };
+
+  using Clock = std::chrono::steady_clock;
+  const std::string Unit =
+      "void f(void)\n{\n    note(1);\n    note(next());\n}\n";
+
+  // Hover: a preview expansion per request, session state untouched.
+  msq::LatencyHistogram Hover;
+  for (int I = 0; I != HoverIters; ++I) {
+    msq::SessionEvalResult R;
+    Clock::time_point T0 = Clock::now();
+    if (!eval("expand", "u.c", Unit, R)) {
+      std::fprintf(stderr, "error: hover eval %d failed\n", I);
+      return 1;
+    }
+    Hover.record(uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              T0)
+            .count()));
+  }
+
+  // Diagnostics-after-edit: flip a constant in a macro body the open
+  // unit invokes, then re-expand that unit. The first expansion is cold
+  // (fills the caches); every later one must be warm.
+  auto overlay = [](int K) {
+    return "syntax stmt mark {| ( ) |}\n{\n    return `{ int m; m = " +
+           std::to_string(K) + "; };\n}\n";
+  };
+  const std::string EditedUnit =
+      "void g(void)\n{\n    mark();\n    note(2);\n}\n";
+  msq::LatencyHistogram Diag;
+  int ColdRuns = 0, WarmRuns = 0;
+  for (int I = 0; I != EditIters; ++I) {
+    msq::SessionEvalResult LibOut;
+    if (!eval("library", "ovl.c", overlay(I), LibOut)) {
+      std::fprintf(stderr, "error: library edit %d failed\n", I);
+      return 1;
+    }
+    msq::SessionEvalResult R;
+    Clock::time_point T0 = Clock::now();
+    if (!eval("unit", "edit.c", EditedUnit, R)) {
+      std::fprintf(stderr, "error: unit eval %d failed\n", I);
+      return 1;
+    }
+    if (I == 0) {
+      ++ColdRuns; // cache fill, not part of the latency story
+      continue;
+    }
+    Diag.record(uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              T0)
+            .count()));
+    if (R.Path == "cold")
+      ++ColdRuns;
+    else
+      ++WarmRuns;
+  }
+  if (WarmRuns == 0 || ColdRuns > 1) {
+    std::fprintf(stderr,
+                 "error: edit loop did not stay warm (cold=%d warm=%d)\n",
+                 ColdRuns, WarmRuns);
+    return 1;
+  }
+
+  std::printf("{\"hover_iters\":%d,\"edit_iters\":%d,"
+              "\"hover_p50_us\":%llu,\"hover_p99_us\":%llu,"
+              "\"hover_mean_us\":%llu,"
+              "\"diag_warm_p50_us\":%llu,\"diag_warm_p99_us\":%llu,"
+              "\"diag_warm_mean_us\":%llu,"
+              "\"cold_runs\":%d,\"warm_runs\":%d,\"sessions\":%s}\n",
+              HoverIters, EditIters,
+              (unsigned long long)Hover.quantile(0.50),
+              (unsigned long long)Hover.quantile(0.99),
+              (unsigned long long)Hover.mean(),
+              (unsigned long long)Diag.quantile(0.50),
+              (unsigned long long)Diag.quantile(0.99),
+              (unsigned long long)Diag.mean(), ColdRuns, WarmRuns,
+              SM.metricsJson().c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -988,6 +1128,8 @@ int main(int argc, char **argv) {
       return runProvenanceComparison();
     if (std::strcmp(argv[I], "--cluster") == 0)
       return runClusterLoad(argv[0]);
+    if (std::strcmp(argv[I], "--interactive") == 0)
+      return runInteractiveLatency();
   }
   std::printf("expansion throughput: character vs. token vs. syntax macro "
               "systems, N bracketing invocations per program\n\n");

@@ -1,0 +1,900 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lsp/LspServer.h"
+
+#include "support/Fault.h"
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+using namespace msq;
+using namespace msq::lsp;
+
+namespace {
+
+/// file://path -> path; anything else passes through. The daemon sees
+/// this as the unit name, and its diagnostics quote it back.
+std::string uriToName(const std::string &Uri) {
+  if (Uri.rfind("file://", 0) == 0)
+    return Uri.substr(7);
+  return Uri;
+}
+
+bool isWordChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// Whole-word substring search (macro names, definition keywords).
+size_t findWord(const std::string &Text, const std::string &Word,
+                size_t From = 0) {
+  for (size_t P = Text.find(Word, From); P != std::string::npos;
+       P = Text.find(Word, P + 1)) {
+    bool LeftOk = P == 0 || !isWordChar(Text[P - 1]);
+    bool RightOk =
+        P + Word.size() >= Text.size() || !isWordChar(Text[P + Word.size()]);
+    if (LeftOk && RightOk)
+      return P;
+  }
+  return std::string::npos;
+}
+
+/// Documents that define macros are pushed as session libraries; plain
+/// translation units go through the incremental driver.
+bool looksLikeLibrary(const std::string &Text) {
+  return findWord(Text, "syntax") != std::string::npos ||
+         findWord(Text, "metadcl") != std::string::npos;
+}
+
+/// "file:12:3" out of a diagnostic prefix or an "invoked at ..." clause.
+bool parseFileLineCol(const std::string &S, std::string &File, int &Line,
+                      int &Col) {
+  size_t C2 = S.rfind(':');
+  if (C2 == std::string::npos || C2 == 0)
+    return false;
+  size_t C1 = S.rfind(':', C2 - 1);
+  if (C1 == std::string::npos || C1 == 0)
+    return false;
+  std::string LineS = S.substr(C1 + 1, C2 - C1 - 1);
+  std::string ColS = S.substr(C2 + 1);
+  if (LineS.empty() || ColS.empty())
+    return false;
+  for (char C : LineS)
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+  for (char C : ColS)
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+  File = S.substr(0, C1);
+  Line = std::atoi(LineS.c_str());
+  Col = std::atoi(ColS.c_str());
+  return true;
+}
+
+/// One parsed diagnostic, pre-LSP: 1-based line/col, 0 = unknown.
+struct ParsedDiag {
+  int Severity = 1; ///< LSP severity: 1 error, 2 warning, 3 info
+  std::string File;
+  int Line = 0;
+  int Col = 0;
+  std::string Code; ///< lint rule id, when any
+  std::string Message;
+  struct Rel {
+    std::string File;
+    int Line = 0;
+    int Col = 0;
+    std::string Message;
+  };
+  std::vector<Rel> Related; ///< "in expansion of" backtrace frames
+};
+
+/// Parses DiagnosticsEngine/renderDiagnosticsWithBacktrace text:
+///   file:line:col: error: message
+///   note: in expansion of macro 'm' (invoked at file:line:col, depth N)
+/// Backtrace notes attach to the diagnostic they follow.
+std::vector<ParsedDiag> parseDiagnosticsText(const std::string &Text) {
+  std::vector<ParsedDiag> Out;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Line.empty())
+      continue;
+
+    static const char BacktracePrefix[] = "note: in expansion of macro ";
+    if (Line.rfind(BacktracePrefix, 0) == 0 && !Out.empty()) {
+      ParsedDiag::Rel R;
+      R.Message = Line.substr(6); // drop "note: "
+      size_t At = Line.find("(invoked at ");
+      if (At != std::string::npos) {
+        size_t LocStart = At + std::strlen("(invoked at ");
+        size_t LocEnd = Line.find(", depth", LocStart);
+        if (LocEnd != std::string::npos)
+          parseFileLineCol(Line.substr(LocStart, LocEnd - LocStart), R.File,
+                           R.Line, R.Col);
+      }
+      Out.back().Related.push_back(std::move(R));
+      continue;
+    }
+
+    // Find the severity marker; everything before it is the location.
+    static const struct {
+      const char *Marker;
+      int Severity;
+    } Markers[] = {{"error: ", 1}, {"warning: ", 2}, {"note: ", 3}};
+    size_t Best = std::string::npos;
+    int Severity = 3;
+    size_t MarkerLen = 0;
+    for (const auto &M : Markers) {
+      size_t P = Line.find(M.Marker);
+      if (P != std::string::npos && (Best == std::string::npos || P < Best)) {
+        Best = P;
+        Severity = M.Severity;
+        MarkerLen = std::strlen(M.Marker);
+      }
+    }
+    ParsedDiag D;
+    if (Best == std::string::npos) {
+      D.Message = Line; // unstructured line — surface it as info
+    } else {
+      D.Severity = Severity;
+      D.Message = Line.substr(Best + MarkerLen);
+      std::string Prefix = Line.substr(0, Best);
+      if (Prefix.size() >= 2 && Prefix.compare(Prefix.size() - 2, 2, ": ") == 0)
+        parseFileLineCol(Prefix.substr(0, Prefix.size() - 2), D.File, D.Line,
+                         D.Col);
+    }
+    Out.push_back(std::move(D));
+  }
+  return Out;
+}
+
+std::string rangeJson(int Line0, int Col0, int Len) {
+  std::string R = "{\"start\":{\"line\":" + std::to_string(Line0) +
+                  ",\"character\":" + std::to_string(Col0) + "}";
+  R += ",\"end\":{\"line\":" + std::to_string(Line0) +
+       ",\"character\":" + std::to_string(Col0 + std::max(Len, 1)) + "}}";
+  return R;
+}
+
+/// One source-map invocation frame (analysis::sourceMapJson schema).
+struct MapFrame {
+  uint32_t Id = 0;
+  std::string Macro;
+  std::string File;
+  int Line = 0;
+  int Col = 0;
+  uint32_t Parent = 0;
+};
+
+std::map<uint32_t, MapFrame> parseFrames(const json::Value &SourceMap) {
+  std::map<uint32_t, MapFrame> Out;
+  const json::Value *Frames = SourceMap.get("frames");
+  if (!Frames || !Frames->isArray())
+    return Out;
+  for (const json::Value &F : Frames->Arr) {
+    MapFrame M;
+    uint64_t U = 0;
+    if (const json::Value *V = F.get("id"); V && V->asU64(U))
+      M.Id = uint32_t(U);
+    if (const json::Value *V = F.get("macro"); V && V->isString())
+      M.Macro = V->Str;
+    if (const json::Value *V = F.get("file"); V && V->isString())
+      M.File = V->Str;
+    if (const json::Value *V = F.get("line"); V && V->asU64(U))
+      M.Line = int(U);
+    if (const json::Value *V = F.get("col"); V && V->asU64(U))
+      M.Col = int(U);
+    if (const json::Value *V = F.get("parent"); V && V->asU64(U))
+      M.Parent = uint32_t(U);
+    if (M.Id)
+      Out.emplace(M.Id, M);
+  }
+  return Out;
+}
+
+/// Deepest invocation written at (Line, Col) in \p File: on-line frames
+/// starting at or before the cursor win (rightmost first), then any
+/// on-line frame.
+const MapFrame *frameAtCursor(const std::map<uint32_t, MapFrame> &Frames,
+                              const std::string &File, int Line, int Col) {
+  const MapFrame *Best = nullptr;
+  bool BestBeforeCursor = false;
+  for (const auto &[Id, F] : Frames) {
+    if (F.File != File || F.Line != Line)
+      continue;
+    bool Before = F.Col <= Col;
+    if (!Best || (Before && !BestBeforeCursor) ||
+        (Before == BestBeforeCursor &&
+         (Before ? F.Col > Best->Col : F.Col < Best->Col)))
+      Best = &F, BestBeforeCursor = Before;
+  }
+  return Best;
+}
+
+bool frameWithin(const std::map<uint32_t, MapFrame> &Frames, uint32_t Id,
+                 uint32_t Root) {
+  while (Id != 0) {
+    if (Id == Root)
+      return true;
+    auto It = Frames.find(Id);
+    if (It == Frames.end())
+      return false;
+    Id = It->second.Parent;
+  }
+  return false;
+}
+
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos) {
+      Out.push_back(Text.substr(Pos));
+      break;
+    }
+    Out.push_back(Text.substr(Pos, End - Pos));
+    Pos = End + 1;
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// JSON-RPC plumbing
+//===----------------------------------------------------------------------===//
+
+std::string LspServer::RpcId::render() const {
+  switch (K) {
+  case Kind::Num: {
+    long long LL = (long long)Num;
+    if (double(LL) == Num)
+      return std::to_string(LL);
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%g", Num);
+    return Buf;
+  }
+  case Kind::Str:
+    return "\"" + jsonEscape(Str) + "\"";
+  default:
+    return "null";
+  }
+}
+
+void LspServer::reply(const RpcId &Id, const std::string &ResultJson) {
+  Out("{\"jsonrpc\":\"2.0\",\"id\":" + Id.render() +
+      ",\"result\":" + ResultJson + "}");
+}
+
+void LspServer::replyError(const RpcId &Id, int Code,
+                           const std::string &Message) {
+  Out("{\"jsonrpc\":\"2.0\",\"id\":" + Id.render() +
+      ",\"error\":{\"code\":" + std::to_string(Code) + ",\"message\":\"" +
+      jsonEscape(Message) + "\"}}");
+}
+
+void LspServer::notifyDiagnostics(const std::string &Uri,
+                                  const std::string &DiagnosticsArrayJson) {
+  Out("{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/publishDiagnostics\","
+      "\"params\":{\"uri\":\"" +
+      jsonEscape(Uri) + "\",\"diagnostics\":" + DiagnosticsArrayJson + "}}");
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon session
+//===----------------------------------------------------------------------===//
+
+LspServer::LspServer(const LspOptions &Opts, Sink S)
+    : O(Opts), Out(std::move(S)) {
+  if (O.DebounceMillis)
+    Debouncer = std::thread([this] { debounceLoop(); });
+}
+
+LspServer::~LspServer() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+    if (DaemonFd.valid() && !SessionId.empty()) {
+      json::Value Ignored;
+      daemonRpc(makeSessionCloseRequest("lclose", SessionId), Ignored);
+    }
+  }
+  DebounceCv.notify_all();
+  if (Debouncer.joinable())
+    Debouncer.join();
+}
+
+bool LspServer::daemonConnect(std::string &Err) {
+  if (DaemonFd.valid())
+    return true;
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(O.RetryMillis);
+  for (;;) {
+    int Fd = O.SocketPath.empty() ? connectTcp(O.TcpHost, O.TcpPort, &Err)
+                                  : connectUnix(O.SocketPath, &Err);
+    if (Fd >= 0) {
+      DaemonFd.reset(Fd);
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  DaemonReader = std::make_unique<FrameReader>(DaemonFd.get(), MaxFrameBytes);
+  if (!O.Token.empty()) {
+    json::Value Resp;
+    if (!daemonRpc(makeHelloRequest("lauth", O.Token), Resp))
+      return false;
+    const json::Value *Ty = Resp.get("type");
+    if (!Ty || Ty->Str != "welcome") {
+      Err = "authentication rejected";
+      daemonDrop();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LspServer::daemonOpenSession(std::string &Err) {
+  json::Value Resp;
+  if (!daemonRpc(makeSessionOpenRequest("l" + std::to_string(NextRpcId++),
+                                        O.Stdlib, /*Provenance=*/true, {}),
+                 Resp)) {
+    Err = "daemon unreachable";
+    return false;
+  }
+  const json::Value *Ty = Resp.get("type");
+  const json::Value *Sid = Resp.get("session");
+  if (!Ty || Ty->Str != "session_opened" || !Sid || !Sid->isString()) {
+    const json::Value *Msg = Resp.get("message");
+    Err = Msg && Msg->isString() ? Msg->Str : "session open refused";
+    return false;
+  }
+  SessionId = Sid->Str;
+  return true;
+}
+
+void LspServer::daemonReplayDocs() {
+  // Best effort: a doc that fails to replay will re-report its errors on
+  // its next didChange anyway.
+  for (const auto &[Uri, D] : Docs) {
+    if (!D.IsLibrary)
+      continue;
+    json::Value Ignored;
+    daemonRpc(makeSessionEvalRequest("l" + std::to_string(NextRpcId++),
+                                     SessionId, "library", D.Name, D.Text),
+              Ignored);
+  }
+}
+
+void LspServer::daemonDrop() {
+  DaemonReader.reset();
+  DaemonFd.reset();
+  SessionId.clear();
+}
+
+bool LspServer::daemonRpc(const std::string &Frame, json::Value &Resp) {
+  if (!DaemonFd.valid())
+    return false;
+  if (!writeFrame(DaemonFd.get(), Frame)) {
+    daemonDrop();
+    return false;
+  }
+  std::string RespFrame;
+  if (DaemonReader->next(RespFrame) != FrameReader::Status::Frame) {
+    daemonDrop();
+    return false;
+  }
+  std::string Err;
+  if (!json::parse(RespFrame, Resp, &Err) || !Resp.isObject()) {
+    daemonDrop();
+    return false;
+  }
+  return true;
+}
+
+bool LspServer::daemonEval(const std::string &Mode, const std::string &Name,
+                           const std::string &Source, json::Value &Resp) {
+  // Degradation ladder: (re)connect, (re)open, replay libraries, retry.
+  // Three attempts so one injected fault plus one genuine reconnect still
+  // converge; a daemon that stays down makes this return false and the
+  // caller publishes an "unreachable" diagnostic instead of crashing.
+  for (int Attempt = 0; Attempt < 3; ++Attempt) {
+    std::string Err;
+    if (!DaemonFd.valid() || SessionId.empty()) {
+      if (!daemonConnect(Err))
+        continue;
+      if (!daemonOpenSession(Err)) {
+        daemonDrop();
+        continue;
+      }
+      daemonReplayDocs();
+    }
+    if (fault::shouldFail(fault::Point::LspRequest)) {
+      // Simulated transport loss — exactly what a daemon crash looks
+      // like from here.
+      daemonDrop();
+      continue;
+    }
+    if (!daemonRpc(makeSessionEvalRequest("l" + std::to_string(NextRpcId++),
+                                          SessionId, Mode, Name, Source),
+                  Resp))
+      continue;
+    const json::Value *Ty = Resp.get("type");
+    if (Ty && Ty->isString() && Ty->Str == "error") {
+      const json::Value *Code = Resp.get("error");
+      if (Code && Code->isString() && Code->Str == "session_lost") {
+        // Session evicted or crashed server-side; the connection is
+        // fine. Reopen in place and retry.
+        SessionId.clear();
+        continue;
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Document pipeline
+//===----------------------------------------------------------------------===//
+
+void LspServer::docChanged(const std::string &Uri) {
+  if (!O.DebounceMillis) {
+    bool WasLibrary = false;
+    if (auto It = Docs.find(Uri); It != Docs.end())
+      WasLibrary = It->second.IsLibrary || looksLikeLibrary(It->second.Text);
+    expandAndPublish(Uri);
+    if (WasLibrary)
+      expandAllUnits();
+    return;
+  }
+  Pending[Uri] = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(O.DebounceMillis);
+  DebounceCv.notify_all();
+}
+
+void LspServer::debounceLoop() {
+  std::unique_lock<std::mutex> Lock(M);
+  while (!Stopping) {
+    if (Pending.empty()) {
+      DebounceCv.wait(Lock);
+      continue;
+    }
+    auto Earliest = std::min_element(
+        Pending.begin(), Pending.end(),
+        [](const auto &A, const auto &B) { return A.second < B.second; });
+    auto Due = Earliest->second;
+    if (Due > std::chrono::steady_clock::now()) {
+      DebounceCv.wait_until(Lock, Due);
+      continue;
+    }
+    std::string Uri = Earliest->first;
+    Pending.erase(Earliest);
+    bool WasLibrary = false;
+    if (auto It = Docs.find(Uri); It != Docs.end())
+      WasLibrary = It->second.IsLibrary || looksLikeLibrary(It->second.Text);
+    expandAndPublish(Uri);
+    if (WasLibrary)
+      expandAllUnits();
+  }
+}
+
+void LspServer::expandAllUnits() {
+  for (const auto &[Uri, D] : Docs)
+    if (!D.IsLibrary)
+      expandAndPublish(Uri);
+}
+
+void LspServer::expandAndPublish(const std::string &Uri) {
+  auto It = Docs.find(Uri);
+  if (It == Docs.end())
+    return;
+  Doc &D = It->second;
+  D.IsLibrary = looksLikeLibrary(D.Text);
+
+  json::Value Resp;
+  if (!daemonEval(D.IsLibrary ? "library" : "unit", D.Name, D.Text, Resp)) {
+    notifyDiagnostics(
+        Uri, "[{\"range\":" + rangeJson(0, 0, 1) +
+                 ",\"severity\":1,\"source\":\"msq\",\"message\":\"msqd is "
+                 "unreachable; diagnostics are stale\"}]");
+    return;
+  }
+
+  std::string Diags = "[";
+  bool First = true;
+  auto Append = [&](const std::string &One) {
+    if (!First)
+      Diags += ',';
+    First = false;
+    Diags += One;
+  };
+
+  const json::Value *Ty = Resp.get("type");
+  if (Ty && Ty->isString() && Ty->Str == "error") {
+    const json::Value *Code = Resp.get("error");
+    const json::Value *Msg = Resp.get("message");
+    Append("{\"range\":" + rangeJson(0, 0, 1) +
+           ",\"severity\":1,\"source\":\"msq\",\"code\":\"" +
+           jsonEscape(Code && Code->isString() ? Code->Str : "error") +
+           "\",\"message\":\"" +
+           jsonEscape(Msg && Msg->isString() ? Msg->Str : "daemon error") +
+           "\"}");
+    notifyDiagnostics(Uri, Diags + "]");
+    return;
+  }
+
+  if (const json::Value *Dt = Resp.get("diagnostics");
+      Dt && Dt->isString() && !Dt->Str.empty()) {
+    for (const ParsedDiag &PD : parseDiagnosticsText(Dt->Str)) {
+      // Diagnostics in other files (library buffers) anchor at 0:0 here
+      // with the original location kept in the message.
+      bool Local = PD.File == D.Name && PD.Line > 0;
+      std::string One =
+          "{\"range\":" +
+          rangeJson(Local ? PD.Line - 1 : 0, Local ? std::max(PD.Col - 1, 0) : 0,
+                    1) +
+          ",\"severity\":" + std::to_string(PD.Severity) +
+          ",\"source\":\"msq\"";
+      std::string Msg = PD.Message;
+      if (!Local && !PD.File.empty())
+        Msg = PD.File + ":" + std::to_string(PD.Line) + ": " + Msg;
+      One += ",\"message\":\"" + jsonEscape(Msg) + "\"";
+      if (!PD.Related.empty()) {
+        One += ",\"relatedInformation\":[";
+        bool FirstRel = true;
+        for (const ParsedDiag::Rel &R : PD.Related) {
+          if (!FirstRel)
+            One += ',';
+          FirstRel = false;
+          // Point at the invocation site when it is in an open document;
+          // otherwise anchor the note at this document's top.
+          std::string RelUri = Uri;
+          int RelLine = 0, RelCol = 0;
+          for (const auto &[OUri, OD] : Docs)
+            if (OD.Name == R.File) {
+              RelUri = OUri;
+              RelLine = std::max(R.Line - 1, 0);
+              RelCol = std::max(R.Col - 1, 0);
+              break;
+            }
+          if (R.File == D.Name) {
+            RelUri = Uri;
+            RelLine = std::max(R.Line - 1, 0);
+            RelCol = std::max(R.Col - 1, 0);
+          }
+          One += "{\"location\":{\"uri\":\"" + jsonEscape(RelUri) +
+                 "\",\"range\":" + rangeJson(RelLine, RelCol, 1) +
+                 "},\"message\":\"" + jsonEscape(R.Message) + "\"}";
+        }
+        One += "]";
+      }
+      One += "}";
+      Append(One);
+    }
+  }
+
+  if (const json::Value *Lints = Resp.get("lints");
+      Lints && Lints->isArray()) {
+    for (const json::Value &L : Lints->Arr) {
+      auto Str = [&](const char *K) -> std::string {
+        const json::Value *V = L.get(K);
+        return V && V->isString() ? V->Str : std::string();
+      };
+      uint64_t Line = 0, Col = 0;
+      if (const json::Value *V = L.get("line"))
+        V->asU64(Line);
+      if (const json::Value *V = L.get("col"))
+        V->asU64(Col);
+      bool Local = Str("file") == D.Name && Line > 0;
+      std::string Msg = Str("message");
+      if (!Str("macro").empty())
+        Msg += " [macro '" + Str("macro") + "']";
+      Append("{\"range\":" +
+             rangeJson(Local ? int(Line) - 1 : 0,
+                       Local && Col > 0 ? int(Col) - 1 : 0, 1) +
+             ",\"severity\":" +
+             (Str("severity") == "error" ? std::string("1")
+                                         : std::string("2")) +
+             ",\"source\":\"msq-lint\",\"code\":\"" + jsonEscape(Str("rule")) +
+             "\",\"message\":\"" + jsonEscape(Msg) + "\"}");
+    }
+  }
+
+  notifyDiagnostics(Uri, Diags + "]");
+}
+
+bool LspServer::expandForQuery(const std::string &Uri, std::string &Output,
+                               json::Value &SourceMap) {
+  auto It = Docs.find(Uri);
+  if (It == Docs.end())
+    return false;
+  json::Value Resp;
+  if (!daemonEval("expand", It->second.Name, It->second.Text, Resp))
+    return false;
+  const json::Value *Ty = Resp.get("type");
+  if (!Ty || !Ty->isString() || Ty->Str != "session_result")
+    return false;
+  if (const json::Value *Ov = Resp.get("output"); Ov && Ov->isString())
+    Output = Ov->Str;
+  if (const json::Value *Mv = Resp.get("source_map"); Mv && Mv->isObject())
+    SourceMap = *Mv;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Request handlers
+//===----------------------------------------------------------------------===//
+
+void LspServer::onInitialize(const RpcId &Id) {
+  reply(Id,
+        "{\"capabilities\":{\"textDocumentSync\":{\"openClose\":true,"
+        "\"change\":1},\"hoverProvider\":true,\"definitionProvider\":true},"
+        "\"serverInfo\":{\"name\":\"msq-lsp\",\"version\":\"1\"}}");
+}
+
+void LspServer::onDidOpen(const json::Value &Params) {
+  const json::Value *Td = Params.get("textDocument");
+  if (!Td)
+    return;
+  const json::Value *UriV = Td->get("uri");
+  const json::Value *TextV = Td->get("text");
+  if (!UriV || !UriV->isString() || !TextV || !TextV->isString())
+    return;
+  std::lock_guard<std::mutex> Lock(M);
+  Doc &D = Docs[UriV->Str];
+  D.Name = uriToName(UriV->Str);
+  D.Text = TextV->Str;
+  if (const json::Value *V = Td->get("version");
+      V && V->K == json::Value::Kind::Number)
+    D.Version = int64_t(V->Num);
+  docChanged(UriV->Str);
+}
+
+void LspServer::onDidChange(const json::Value &Params) {
+  const json::Value *Td = Params.get("textDocument");
+  const json::Value *Changes = Params.get("contentChanges");
+  if (!Td || !Changes || !Changes->isArray() || Changes->Arr.empty())
+    return;
+  const json::Value *UriV = Td->get("uri");
+  if (!UriV || !UriV->isString())
+    return;
+  // Full-document sync (we advertise change:1): the last change wins.
+  const json::Value *TextV = Changes->Arr.back().get("text");
+  if (!TextV || !TextV->isString())
+    return;
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Docs.find(UriV->Str);
+  if (It == Docs.end())
+    return;
+  It->second.Text = TextV->Str;
+  if (const json::Value *V = Td->get("version");
+      V && V->K == json::Value::Kind::Number)
+    It->second.Version = int64_t(V->Num);
+  docChanged(UriV->Str);
+}
+
+void LspServer::onDidClose(const json::Value &Params) {
+  const json::Value *Td = Params.get("textDocument");
+  const json::Value *UriV = Td ? Td->get("uri") : nullptr;
+  if (!UriV || !UriV->isString())
+    return;
+  std::lock_guard<std::mutex> Lock(M);
+  Docs.erase(UriV->Str);
+  Pending.erase(UriV->Str);
+  notifyDiagnostics(UriV->Str, "[]");
+}
+
+void LspServer::onHover(const RpcId &Id, const json::Value &Params) {
+  const json::Value *Td = Params.get("textDocument");
+  const json::Value *PosV = Params.get("position");
+  const json::Value *UriV = Td ? Td->get("uri") : nullptr;
+  if (!UriV || !UriV->isString() || !PosV) {
+    reply(Id, "null");
+    return;
+  }
+  uint64_t Line0 = 0, Char0 = 0;
+  if (const json::Value *V = PosV->get("line"))
+    V->asU64(Line0);
+  if (const json::Value *V = PosV->get("character"))
+    V->asU64(Char0);
+
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Docs.find(UriV->Str);
+  std::string Output;
+  json::Value SourceMap;
+  if (It == Docs.end() || !expandForQuery(UriV->Str, Output, SourceMap)) {
+    reply(Id, "null");
+    return;
+  }
+
+  // The invocation under the cursor, via the source map; with no frame on
+  // this line the hover shows the whole unit's expansion.
+  std::map<uint32_t, MapFrame> Frames = parseFrames(SourceMap);
+  const MapFrame *F = frameAtCursor(Frames, It->second.Name, int(Line0) + 1,
+                                    int(Char0) + 1);
+  std::string Value;
+  if (F) {
+    std::vector<std::string> OutLines = splitLines(Output);
+    // Output lines attributed to this invocation or anything it expanded.
+    std::vector<bool> Keep(OutLines.size(), false);
+    if (const json::Value *Lines = SourceMap.get("lines");
+        Lines && Lines->isArray())
+      for (const json::Value &LM : Lines->Arr) {
+        uint64_t Ln = 0, Fr = 0;
+        if (const json::Value *V = LM.get("line"))
+          V->asU64(Ln);
+        if (const json::Value *V = LM.get("frame"))
+          V->asU64(Fr);
+        if (Ln >= 1 && Ln <= OutLines.size() &&
+            frameWithin(Frames, uint32_t(Fr), F->Id))
+          Keep[Ln - 1] = true;
+      }
+    for (size_t I = 0; I < OutLines.size(); ++I)
+      if (Keep[I]) {
+        Value += OutLines[I];
+        Value += '\n';
+      }
+    if (Value.empty())
+      Value = Output;
+  } else {
+    Value = Output;
+  }
+
+  std::string Result = "{\"contents\":{\"kind\":\"plaintext\",\"value\":\"" +
+                       jsonEscape(Value) + "\"}";
+  if (F)
+    Result += ",\"range\":" + rangeJson(F->Line - 1, std::max(F->Col - 1, 0),
+                                        int(F->Macro.size()));
+  Result += "}";
+  reply(Id, Result);
+}
+
+void LspServer::onDefinition(const RpcId &Id, const json::Value &Params) {
+  const json::Value *Td = Params.get("textDocument");
+  const json::Value *PosV = Params.get("position");
+  const json::Value *UriV = Td ? Td->get("uri") : nullptr;
+  if (!UriV || !UriV->isString() || !PosV) {
+    reply(Id, "null");
+    return;
+  }
+  uint64_t Line0 = 0, Char0 = 0;
+  if (const json::Value *V = PosV->get("line"))
+    V->asU64(Line0);
+  if (const json::Value *V = PosV->get("character"))
+    V->asU64(Char0);
+
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Docs.find(UriV->Str);
+  std::string Output;
+  json::Value SourceMap;
+  if (It == Docs.end() || !expandForQuery(UriV->Str, Output, SourceMap)) {
+    reply(Id, "null");
+    return;
+  }
+  std::map<uint32_t, MapFrame> Frames = parseFrames(SourceMap);
+  const MapFrame *F = frameAtCursor(Frames, It->second.Name, int(Line0) + 1,
+                                    int(Char0) + 1);
+  if (!F || F->Macro.empty()) {
+    reply(Id, "null");
+    return;
+  }
+
+  // Find the open document that defines the macro: a line introducing a
+  // definition (`syntax`/`metadcl`) that names it. Library docs first.
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    for (const auto &[DocUri, D] : Docs) {
+      if ((Pass == 0) != D.IsLibrary)
+        continue;
+      std::vector<std::string> Lines = splitLines(D.Text);
+      for (size_t LI = 0; LI < Lines.size(); ++LI) {
+        const std::string &Line = Lines[LI];
+        if (findWord(Line, "syntax") == std::string::npos &&
+            findWord(Line, "metadcl") == std::string::npos)
+          continue;
+        size_t NamePos = findWord(Line, F->Macro);
+        if (NamePos == std::string::npos)
+          continue;
+        reply(Id, "{\"uri\":\"" + jsonEscape(DocUri) + "\",\"range\":" +
+                      rangeJson(int(LI), int(NamePos),
+                                int(F->Macro.size())) +
+                      "}");
+        return;
+      }
+    }
+  }
+  reply(Id, "null");
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch
+//===----------------------------------------------------------------------===//
+
+bool LspServer::handleMessage(const std::string &Body) {
+  json::Value Doc;
+  std::string Err;
+  if (!json::parse(Body, Doc, &Err) || !Doc.isObject()) {
+    replyError(RpcId{}, -32700, "parse error: " + Err);
+    return true;
+  }
+
+  RpcId Id;
+  if (const json::Value *IdV = Doc.get("id")) {
+    switch (IdV->K) {
+    case json::Value::Kind::Null:
+      Id.K = RpcId::Kind::Null;
+      break;
+    case json::Value::Kind::Number:
+      Id.K = RpcId::Kind::Num;
+      Id.Num = IdV->Num;
+      break;
+    case json::Value::Kind::String:
+      Id.K = RpcId::Kind::Str;
+      Id.Str = IdV->Str;
+      break;
+    default:
+      Id.K = RpcId::Kind::Bad; // arrays/objects/bools are not valid ids
+    }
+  }
+  if (Id.K == RpcId::Kind::Bad) {
+    replyError(RpcId{}, -32600, "invalid request id");
+    return true;
+  }
+
+  const json::Value *MethodV = Doc.get("method");
+  if (!MethodV || !MethodV->isString()) {
+    if (Id.K != RpcId::Kind::None)
+      replyError(Id, -32600, "request has no method");
+    return true;
+  }
+  const std::string &Method = MethodV->Str;
+  static const json::Value NoParams;
+  const json::Value *ParamsV = Doc.get("params");
+  const json::Value &Params = ParamsV ? *ParamsV : NoParams;
+
+  if (Method == "initialize") {
+    onInitialize(Id);
+  } else if (Method == "initialized" || Method.rfind("$/", 0) == 0) {
+    // Nothing to do (also swallows $/cancelRequest etc.).
+  } else if (Method == "shutdown") {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ShutdownSeen = true;
+      if (DaemonFd.valid() && !SessionId.empty()) {
+        json::Value Ignored;
+        daemonRpc(makeSessionCloseRequest("lclose", SessionId), Ignored);
+        SessionId.clear();
+      }
+    }
+    reply(Id, "null");
+  } else if (Method == "exit") {
+    return false;
+  } else if (Method == "textDocument/didOpen") {
+    onDidOpen(Params);
+  } else if (Method == "textDocument/didChange") {
+    onDidChange(Params);
+  } else if (Method == "textDocument/didClose") {
+    onDidClose(Params);
+  } else if (Method == "textDocument/hover") {
+    onHover(Id, Params);
+  } else if (Method == "textDocument/definition") {
+    onDefinition(Id, Params);
+  } else if (Id.K != RpcId::Kind::None) {
+    replyError(Id, -32601, "method not found: " + Method);
+  }
+  return true;
+}

@@ -1,0 +1,167 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// msq-lsp: a Language Server Protocol adapter over msqd's interactive
+/// session protocol. The editor speaks JSON-RPC 2.0 to us; we hold one
+/// long-lived daemon session and translate:
+///
+///   didOpen/didChange  -> session_eval mode "library" (documents that
+///                         define macros) or "unit" (everything else,
+///                         re-expanded through the incremental driver's
+///                         warm paths) -> publishDiagnostics, with
+///                         "in expansion of" backtraces carried as
+///                         relatedInformation
+///   hover              -> session_eval mode "expand" (provenance on);
+///                         the PR-4 source map attributes printed output
+///                         lines to the invocation under the cursor
+///   definition         -> source-map frame -> macro name -> the open
+///                         document that defines it
+///
+/// Degradation: a lost daemon connection, an injected lsp.request fault,
+/// or a `session_lost` answer (idle-evicted or crashed session) never
+/// surfaces to the editor — the adapter reconnects, reopens a session,
+/// replays every open macro-defining document, and retries once. Editing
+/// keeps working; at worst the next expansion runs cold.
+///
+/// The class is transport-agnostic (bodies in via handleMessage, bodies
+/// out via the sink) so framing and dispatch are unit-testable without a
+/// daemon; daemon connections are made lazily on first use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_LSP_LSPSERVER_H
+#define MSQ_LSP_LSPSERVER_H
+
+#include "server/Protocol.h"
+#include "support/Socket.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace msq {
+namespace lsp {
+
+struct LspOptions {
+  /// Daemon endpoint — exactly one of SocketPath / TcpHost:TcpPort.
+  std::string SocketPath;
+  std::string TcpHost;
+  uint16_t TcpPort = 0;
+  std::string Token; ///< hello token for the TCP transport
+  /// Keep retrying the daemon connect for this long (startup races).
+  unsigned RetryMillis = 2000;
+  /// Quiet period after a change before re-expanding. 0 = synchronous
+  /// (deterministic; what the tests use).
+  unsigned DebounceMillis = 0;
+  /// Seed sessions with the standard macro library.
+  bool Stdlib = true;
+};
+
+/// One JSON-RPC 2.0 server instance. handleMessage is called with decoded
+/// message bodies (framing stripped); every outgoing body — responses and
+/// publishDiagnostics notifications — goes through the sink, which must
+/// be thread-safe (the debounce thread publishes too).
+class LspServer {
+public:
+  using Sink = std::function<void(const std::string &Body)>;
+
+  LspServer(const LspOptions &O, Sink S);
+  ~LspServer();
+  LspServer(const LspServer &) = delete;
+  LspServer &operator=(const LspServer &) = delete;
+
+  /// Processes one message body. Returns false once `exit` is received
+  /// (the caller should stop reading and tear down).
+  bool handleMessage(const std::string &Body);
+
+  /// Exit code the process should report: 0 after shutdown+exit, 1 for
+  /// an exit without shutdown (per the LSP spec).
+  int exitCode() const { return ShutdownSeen ? 0 : 1; }
+
+private:
+  struct RpcId {
+    enum class Kind { None, Null, Num, Str, Bad } K = Kind::None;
+    double Num = 0;
+    std::string Str;
+    std::string render() const;
+  };
+
+  struct Doc {
+    std::string Name; ///< unit name on the daemon (uri sans scheme)
+    std::string Text;
+    int64_t Version = 0;
+    bool IsLibrary = false;
+  };
+
+  // -- JSON-RPC plumbing ---------------------------------------------------
+  void reply(const RpcId &Id, const std::string &ResultJson);
+  void replyError(const RpcId &Id, int Code, const std::string &Message);
+  void notifyDiagnostics(const std::string &Uri,
+                         const std::string &DiagnosticsArrayJson);
+
+  // -- daemon session (callers hold M) -------------------------------------
+  bool daemonConnect(std::string &Err);
+  bool daemonOpenSession(std::string &Err);
+  /// Re-pushes every open macro-defining document into a fresh session.
+  void daemonReplayDocs();
+  void daemonDrop();
+  /// One eval round trip with the full degradation ladder (reconnect /
+  /// reopen / replay / retry once). False only when the daemon stayed
+  /// unreachable; \p Resp then holds nothing.
+  bool daemonEval(const std::string &Mode, const std::string &Name,
+                  const std::string &Source, json::Value &Resp);
+  bool daemonRpc(const std::string &Frame, json::Value &Resp);
+
+  // -- document pipeline (callers hold M) ----------------------------------
+  void docChanged(const std::string &Uri);
+  void expandAndPublish(const std::string &Uri);
+  void expandAllUnits();
+  /// Fetches Output + source map for \p Uri via mode "expand"; false when
+  /// the daemon is unreachable.
+  bool expandForQuery(const std::string &Uri, std::string &Output,
+                      json::Value &SourceMap);
+
+  // -- request handlers ----------------------------------------------------
+  void onInitialize(const RpcId &Id);
+  void onDidOpen(const json::Value &Params);
+  void onDidChange(const json::Value &Params);
+  void onDidClose(const json::Value &Params);
+  void onHover(const RpcId &Id, const json::Value &Params);
+  void onDefinition(const RpcId &Id, const json::Value &Params);
+
+  void debounceLoop();
+
+  LspOptions O;
+  Sink Out;
+
+  std::mutex M; ///< guards everything below
+  std::map<std::string, Doc> Docs;
+  FdHandle DaemonFd;
+  std::unique_ptr<FrameReader> DaemonReader;
+  std::string SessionId;
+  unsigned NextRpcId = 1;
+  bool ShutdownSeen = false;
+
+  // Debounce machinery (only spun up when DebounceMillis > 0).
+  std::condition_variable DebounceCv;
+  std::map<std::string, std::chrono::steady_clock::time_point> Pending;
+  bool Stopping = false;
+  std::thread Debouncer;
+};
+
+} // namespace lsp
+} // namespace msq
+
+#endif // MSQ_LSP_LSPSERVER_H

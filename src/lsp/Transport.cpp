@@ -1,0 +1,120 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lsp/Transport.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace msq;
+using namespace msq::lsp;
+
+bool MessageReader::fill() {
+  if (SawEof)
+    return false;
+  char Chunk[4096];
+  ssize_t N;
+  do {
+    N = ::read(Fd, Chunk, sizeof(Chunk));
+  } while (N < 0 && errno == EINTR);
+  if (N <= 0) {
+    SawEof = true;
+    return false;
+  }
+  Buf.append(Chunk, size_t(N));
+  return true;
+}
+
+MessageReader::Status MessageReader::next(std::string &Out) {
+  // Accumulate until the header block terminator. A well-behaved peer
+  // sends "\r\n\r\n"; headers never legitimately grow past MaxHeaderBytes.
+  size_t HeaderEnd;
+  while ((HeaderEnd = Buf.find("\r\n\r\n")) == std::string::npos) {
+    if (Buf.size() > MaxHeaderBytes)
+      return Status::Malformed;
+    if (!fill())
+      return Buf.empty() ? Status::Eof : Status::Error;
+  }
+
+  // Scan the header lines for Content-Length (case-insensitive, as the
+  // base protocol allows); other headers (Content-Type) are ignored.
+  bool HaveLength = false;
+  size_t Length = 0;
+  size_t Pos = 0;
+  while (Pos < HeaderEnd) {
+    size_t LineEnd = Buf.find("\r\n", Pos);
+    if (LineEnd == std::string::npos || LineEnd > HeaderEnd)
+      LineEnd = HeaderEnd;
+    std::string Line = Buf.substr(Pos, LineEnd - Pos);
+    Pos = LineEnd + 2;
+
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      return Status::Malformed;
+    std::string Name = Line.substr(0, Colon);
+    for (char &C : Name)
+      C = char(std::tolower(static_cast<unsigned char>(C)));
+    if (Name != "content-length")
+      continue;
+
+    size_t V = Colon + 1;
+    while (V < Line.size() && (Line[V] == ' ' || Line[V] == '\t'))
+      ++V;
+    if (V == Line.size())
+      return Status::Malformed;
+    size_t Value = 0;
+    for (; V < Line.size(); ++V) {
+      if (!std::isdigit(static_cast<unsigned char>(Line[V])))
+        return Status::Malformed;
+      if (Value > (MaxBytes / 10) + 1)
+        return Status::TooLong; // overflow guard before the real cap check
+      Value = Value * 10 + size_t(Line[V] - '0');
+    }
+    HaveLength = true;
+    Length = Value;
+  }
+  if (!HaveLength)
+    return Status::Malformed;
+  if (Length > MaxBytes)
+    return Status::TooLong;
+
+  size_t BodyStart = HeaderEnd + 4;
+  while (Buf.size() < BodyStart + Length)
+    if (!fill())
+      return Status::Error; // EOF mid-body
+
+  Out.assign(Buf, BodyStart, Length);
+  Buf.erase(0, BodyStart + Length); // keep any coalesced next frame
+  return Status::Message;
+}
+
+std::string lsp::frameMessage(const std::string &Body) {
+  std::string Out = "Content-Length: " + std::to_string(Body.size());
+  Out += "\r\n\r\n";
+  Out += Body;
+  return Out;
+}
+
+bool lsp::writeMessage(int Fd, const std::string &Body) {
+  std::string Framed = frameMessage(Body);
+  size_t Off = 0;
+  while (Off < Framed.size()) {
+    ssize_t N = ::write(Fd, Framed.data() + Off, Framed.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false;
+    Off += size_t(N);
+  }
+  return true;
+}

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LSP base-protocol transport: Content-Length framed JSON-RPC messages
+/// over a byte stream, as specified by the Language Server Protocol.
+///
+///   Content-Length: 52\r\n
+///   [Content-Type: ...\r\n]     (ignored)
+///   \r\n
+///   {"jsonrpc":"2.0", ...}
+///
+/// MessageReader is deliberately independent of the rest of msq-lsp so
+/// the framing edge cases — frames split across reads, several frames
+/// coalesced into one read, oversized bodies, junk headers — are testable
+/// in-process against a pipe (tests/lsp_test.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_LSP_TRANSPORT_H
+#define MSQ_LSP_TRANSPORT_H
+
+#include <cstddef>
+#include <string>
+
+namespace msq {
+namespace lsp {
+
+/// Bodies larger than this are rejected; the stream cannot be
+/// resynchronized afterwards (we do not trust the declared length enough
+/// to skip it), so the connection is dropped.
+inline constexpr size_t DefaultMaxMessageBytes = 16u << 20;
+
+/// Headers (everything before the blank line) larger than this mean the
+/// peer is not speaking the base protocol.
+inline constexpr size_t MaxHeaderBytes = 16u << 10;
+
+/// Incremental reader for Content-Length framed messages. Buffers across
+/// read() boundaries, so a message may arrive byte-by-byte or many
+/// messages may arrive in one read.
+class MessageReader {
+public:
+  enum class Status {
+    Message,   ///< Out holds one complete message body
+    Eof,       ///< clean end of stream between messages
+    TooLong,   ///< declared Content-Length exceeds the cap — drop stream
+    Malformed, ///< missing/unparsable headers — drop stream
+    Error,     ///< read failure or EOF mid-message
+  };
+
+  explicit MessageReader(int Fd, size_t MaxBytes = DefaultMaxMessageBytes)
+      : Fd(Fd), MaxBytes(MaxBytes) {}
+
+  /// Blocks until one message body is available (or the stream ends).
+  Status next(std::string &Out);
+
+private:
+  /// Reads more bytes into Buf; false on EOF or error (SawEof tells
+  /// which).
+  bool fill();
+
+  int Fd;
+  size_t MaxBytes;
+  std::string Buf;
+  bool SawEof = false;
+};
+
+/// Renders \p Body with its Content-Length header.
+std::string frameMessage(const std::string &Body);
+
+/// Writes one framed message; false on any write failure.
+bool writeMessage(int Fd, const std::string &Body);
+
+} // namespace lsp
+} // namespace msq
+
+#endif // MSQ_LSP_TRANSPORT_H

@@ -1,0 +1,128 @@
+//===----------------------------------------------------------------------===//
+//
+// msq-lsp — Language Server Protocol front end for MS2 macro expansion,
+// backed by a live msqd. Speaks JSON-RPC 2.0 with Content-Length framing
+// over stdio (the standard editor transport); holds one long-lived
+// daemon session per editor session.
+//
+//   msq-lsp (--socket PATH | --tcp HOST:PORT) [options]
+//     --token TOK       authenticate against the daemon (TCP auth)
+//     --retry-ms N      keep retrying the daemon connect for N ms
+//     --debounce-ms N   quiet period before re-expanding after a change
+//                       (0 = synchronous; deterministic for tests)
+//     --no-stdlib       do not seed sessions with the standard library
+//
+// Exit codes follow the LSP spec: 0 after shutdown+exit, 1 on exit
+// without shutdown, 2 on a transport/usage failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lsp/LspServer.h"
+#include "lsp/Transport.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+using namespace msq;
+using namespace msq::lsp;
+
+namespace {
+
+int usage(int Code) {
+  std::fprintf(
+      Code ? stderr : stdout,
+      "usage: msq-lsp (--socket PATH | --tcp HOST:PORT) [--token TOK]\n"
+      "               [--retry-ms N] [--debounce-ms N] [--no-stdlib]\n");
+  return Code;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  LspOptions O;
+  std::string TcpAddr;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "msq-lsp: %s needs an argument\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (Arg == "--socket") {
+      const char *V = NextArg("--socket");
+      if (!V)
+        return 2;
+      O.SocketPath = V;
+    } else if (Arg == "--tcp") {
+      const char *V = NextArg("--tcp");
+      if (!V)
+        return 2;
+      TcpAddr = V;
+    } else if (Arg == "--token") {
+      const char *V = NextArg("--token");
+      if (!V)
+        return 2;
+      O.Token = V;
+    } else if (Arg == "--retry-ms") {
+      const char *V = NextArg("--retry-ms");
+      if (!V)
+        return 2;
+      O.RetryMillis = unsigned(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--debounce-ms") {
+      const char *V = NextArg("--debounce-ms");
+      if (!V)
+        return 2;
+      O.DebounceMillis = unsigned(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--no-stdlib") {
+      O.Stdlib = false;
+    } else if (Arg == "-h" || Arg == "--help") {
+      return usage(0);
+    } else {
+      std::fprintf(stderr, "msq-lsp: unknown argument '%s'\n", Arg.c_str());
+      return usage(2);
+    }
+  }
+  if (O.SocketPath.empty() == TcpAddr.empty())
+    return usage(2);
+  if (!TcpAddr.empty()) {
+    std::string Err;
+    if (!parseHostPort(TcpAddr, O.TcpHost, O.TcpPort, &Err)) {
+      std::fprintf(stderr, "msq-lsp: bad --tcp address: %s\n", Err.c_str());
+      return 2;
+    }
+  }
+
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // stdout carries framed protocol traffic only; the sink serializes
+  // writers (the transport thread and the debounce thread both publish).
+  std::mutex OutMutex;
+  LspServer Server(O, [&OutMutex](const std::string &Body) {
+    std::lock_guard<std::mutex> Lock(OutMutex);
+    writeMessage(1, Body);
+  });
+
+  MessageReader Reader(0);
+  std::string Body;
+  for (;;) {
+    MessageReader::Status St = Reader.next(Body);
+    if (St == MessageReader::Status::Eof)
+      break;
+    if (St != MessageReader::Status::Message) {
+      std::fprintf(stderr, "msq-lsp: dropping stream (%s)\n",
+                   St == MessageReader::Status::TooLong    ? "oversized message"
+                   : St == MessageReader::Status::Malformed ? "malformed headers"
+                                                            : "read error");
+      return 2;
+    }
+    if (!Server.handleMessage(Body))
+      break; // exit notification
+  }
+  return Server.exitCode();
+}

@@ -9,6 +9,7 @@
 
 #include "server/Protocol.h"
 #include "server/Server.h"
+#include "server/Session.h"
 
 #include <algorithm>
 #include <chrono>
@@ -56,11 +57,21 @@ void Conn::waitQuiesced() {
 //===----------------------------------------------------------------------===//
 
 void msq::serveShardConnection(const std::shared_ptr<Conn> &C, Server &S,
-                               const AuthConfig &Auth) {
+                               const AuthConfig &Auth,
+                               const ShardServeOptions &Opts) {
   FrameReader Reader(C->ReadFd, MaxFrameBytes);
+  Reader.setIdleTimeout(Opts.IdleTimeoutMillis);
   std::string Frame;
   for (;;) {
     FrameReader::Status St = Reader.next(Frame);
+    if (St == FrameReader::Status::Idle) {
+      // No frame for the idle budget: the peer is a wedged or abandoned
+      // editor. Count it and drop the connection — interactive clients
+      // reconnect (their sessions outlive connections; the session
+      // reaper handles abandoned SESSIONS separately).
+      S.noteIdleDisconnect();
+      break;
+    }
     if (St == FrameReader::Status::TooLong) {
       // The stream cannot be resynchronized after an oversized frame;
       // answer once, then drop the connection.
@@ -83,9 +94,19 @@ void msq::serveShardConnection(const std::shared_ptr<Conn> &C, Server &S,
     case Request::Type::Ping:
       C->send(makePongResponse(Req.Id));
       break;
-    case Request::Type::Status:
-      C->send(makeStatusResponse(Req.Id, S.metricsJson()));
+    case Request::Type::Status: {
+      std::string Metrics = S.metricsJson();
+      if (Opts.Sessions && !Metrics.empty() && Metrics.back() == '}') {
+        // Splice the session manager's counters into the server's
+        // metrics object so `status` stays one self-contained document.
+        Metrics.pop_back();
+        Metrics += ",\"sessions\":";
+        Metrics += Opts.Sessions->metricsJson();
+        Metrics += '}';
+      }
+      C->send(makeStatusResponse(Req.Id, Metrics));
       break;
+    }
     case Request::Type::Hello: {
       auto It = Auth.TokenTenants.find(Req.Token);
       if (It != Auth.TokenTenants.end()) {
@@ -114,6 +135,51 @@ void msq::serveShardConnection(const std::shared_ptr<Conn> &C, Server &S,
                                 "this daemon does not serve cache "
                                 "requests (use msq-cached)"));
       break;
+    case Request::Type::SessionOpen:
+    case Request::Type::SessionEval:
+    case Request::Type::SessionClose: {
+      if (!Opts.Sessions) {
+        C->send(makeErrorResponse(Req.Id, ErrorCode::UnknownType,
+                                  "this daemon does not serve interactive "
+                                  "sessions"));
+        break;
+      }
+      if (C->FromTcp && Auth.required() && !C->Authenticated) {
+        C->send(makeErrorResponse(Req.Id, ErrorCode::Unauthorized,
+                                  "authenticate with a hello first"));
+        C->waitQuiesced();
+        return;
+      }
+      // Session work runs synchronously on the connection thread: evals
+      // are latency-bound editor/REPL interactions that must not queue
+      // behind batch expansions in the worker pool.
+      if (Req.Ty == Request::Type::SessionOpen) {
+        std::string Sid;
+        ErrorCode Code = ErrorCode::Internal;
+        std::string Message;
+        if (Opts.Sessions->open(Req, C->Tenant, Sid, Code, Message))
+          C->send(makeSessionOpenedResponse(Req.Id, Sid));
+        else
+          C->send(makeErrorResponse(Req.Id, Code, Message));
+      } else if (Req.Ty == Request::Type::SessionEval) {
+        SessionEvalResult R;
+        ErrorCode Code = ErrorCode::Internal;
+        std::string Message;
+        if (Opts.Sessions->eval(Req, R, Code, Message))
+          C->send(makeSessionResultResponse(Req.Id, Req.Session, R));
+        else
+          C->send(makeErrorResponse(Req.Id, Code, Message));
+      } else {
+        uint64_t Evals = 0;
+        if (Opts.Sessions->close(Req.Session, Evals))
+          C->send(makeSessionClosedResponse(Req.Id, Req.Session, Evals));
+        else
+          C->send(makeErrorResponse(Req.Id, ErrorCode::SessionLost,
+                                    "unknown session \"" + Req.Session +
+                                        "\""));
+      }
+      break;
+    }
     case Request::Type::ReloadLibrary:
     case Request::Type::Expand:
     case Request::Type::Lint: {

@@ -40,6 +40,7 @@
 namespace msq {
 
 class Server;
+class SessionManager;
 
 /// One client connection. Thread-safe sends; beginRequest/endRequest
 /// track in-flight asynchronous completions so teardown can wait for
@@ -87,11 +88,25 @@ struct AuthConfig {
   bool required() const { return !TokenTenants.empty(); }
 };
 
+/// Optional per-connection behavior for the shard dispatcher. Defaulted
+/// so transports that want the classic batch-only loop (msq-router's
+/// tests, simple embedders) pass nothing.
+struct ShardServeOptions {
+  /// Interactive session manager; null refuses session_* requests with
+  /// `unknown_type` (this daemon does not serve sessions).
+  SessionManager *Sessions = nullptr;
+  /// Drop a connection after this long without a frame (Server counts it
+  /// as an idle disconnect). 0 = wait forever.
+  unsigned IdleTimeoutMillis = 0;
+};
+
 /// The msqd per-connection request loop: parse frames, dispatch onto
-/// \p S, answer asynchronously. Returns when the peer disconnects, the
-/// stream breaks, or an unrecoverable protocol error forces a drop.
+/// \p S, answer asynchronously. Returns when the peer disconnects, idles
+/// out, the stream breaks, or an unrecoverable protocol error forces a
+/// drop.
 void serveShardConnection(const std::shared_ptr<Conn> &C, Server &S,
-                          const AuthConfig &Auth);
+                          const AuthConfig &Auth,
+                          const ShardServeOptions &Opts = {});
 
 struct FrameServerOptions {
   /// Unix-domain listener path ("" = none).

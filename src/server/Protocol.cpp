@@ -348,6 +348,7 @@ const char *msq::errorCodeName(ErrorCode C) {
   case ErrorCode::Unauthorized:  return "unauthorized";
   case ErrorCode::QuotaExceeded: return "quota_exceeded";
   case ErrorCode::Degraded:      return "degraded";
+  case ErrorCode::SessionLost:   return "session_lost";
   }
   return "internal";
 }
@@ -528,6 +529,71 @@ ParseOutcome msq::parseRequest(std::string_view Frame, Request &Out) {
     return O;
   }
 
+  if (Ty->Str == "session_open") {
+    Out.Ty = Request::Type::SessionOpen;
+    if (const json::Value *Std = Doc.get("stdlib")) {
+      if (Std->K != json::Value::Kind::Bool)
+        return parseFail(ErrorCode::BadRequest, "\"stdlib\" must be a bool");
+      Out.LoadStdlib = Std->B;
+    }
+    if (const json::Value *P = Doc.get("provenance")) {
+      if (P->K != json::Value::Kind::Bool)
+        return parseFail(ErrorCode::BadRequest,
+                         "\"provenance\" must be a bool");
+      Out.Provenance = P->B;
+    }
+    if (const json::Value *Sources = Doc.get("sources")) {
+      if (!Sources->isArray())
+        return parseFail(ErrorCode::BadRequest,
+                         "\"sources\" must be an array");
+      for (const json::Value &S : Sources->Arr) {
+        const json::Value *Name = S.get("name");
+        const json::Value *Source = S.get("source");
+        if (!Name || !Name->isString() || !Source || !Source->isString())
+          return parseFail(
+              ErrorCode::BadRequest,
+              "each source needs string \"name\" and \"source\"");
+        Out.Sources.push_back({Name->Str, Source->Str});
+      }
+    }
+    ParseOutcome O;
+    O.Ok = true;
+    return O;
+  }
+
+  if (Ty->Str == "session_eval") {
+    Out.Ty = Request::Type::SessionEval;
+    const json::Value *Session = Doc.get("session");
+    if (!Session || !Session->isString() || Session->Str.empty())
+      return parseFail(ErrorCode::BadRequest,
+                       "session_eval needs a string \"session\"");
+    Out.Session = Session->Str;
+    const json::Value *Mode = Doc.get("mode");
+    if (!Mode || !Mode->isString() || Mode->Str.empty())
+      return parseFail(ErrorCode::BadRequest,
+                       "session_eval needs a string \"mode\"");
+    Out.Mode = Mode->Str;
+    if (!optionalString(Doc, "name", Out.Name))
+      return parseFail(ErrorCode::BadRequest, "\"name\" must be a string");
+    if (!optionalString(Doc, "source", Out.Source))
+      return parseFail(ErrorCode::BadRequest, "\"source\" must be a string");
+    ParseOutcome O;
+    O.Ok = true;
+    return O;
+  }
+
+  if (Ty->Str == "session_close") {
+    Out.Ty = Request::Type::SessionClose;
+    const json::Value *Session = Doc.get("session");
+    if (!Session || !Session->isString() || Session->Str.empty())
+      return parseFail(ErrorCode::BadRequest,
+                       "session_close needs a string \"session\"");
+    Out.Session = Session->Str;
+    ParseOutcome O;
+    O.Ok = true;
+    return O;
+  }
+
   return parseFail(ErrorCode::UnknownType,
                    "unknown request type \"" + Ty->Str + "\"");
 }
@@ -675,6 +741,70 @@ std::string msq::makeCacheStoredResponse(const std::string &Id,
   return Out;
 }
 
+std::string msq::makeSessionOpenedResponse(const std::string &Id,
+                                           const std::string &Session) {
+  std::string Out = responseHead(Id, "session_opened");
+  Out += ",\"session\":\"";
+  Out += jsonEscape(Session);
+  Out += "\"}";
+  return Out;
+}
+
+std::string msq::makeSessionResultResponse(const std::string &Id,
+                                           const std::string &Session,
+                                           const SessionEvalResult &R) {
+  std::string Out = responseHead(Id, "session_result");
+  Out += ",\"session\":\"";
+  Out += jsonEscape(Session);
+  Out += "\",\"success\":";
+  Out += R.Success ? "true" : "false";
+  Out += ",\"output\":\"";
+  Out += jsonEscape(R.Output);
+  Out += "\",\"diagnostics\":\"";
+  Out += jsonEscape(R.Diagnostics);
+  Out += "\",\"path\":\"";
+  Out += jsonEscape(R.Path);
+  Out += "\",\"invocations\":";
+  Out += std::to_string(R.Invocations);
+  Out += ",\"meta_steps\":";
+  Out += std::to_string(R.MetaSteps);
+  Out += ",\"macros_defined\":";
+  Out += std::to_string(R.MacrosDefined);
+  Out += ",\"globals_mutated\":";
+  Out += R.GlobalsMutated ? "true" : "false";
+  if (R.HasTrace) {
+    Out += ",\"trace\":\"";
+    Out += jsonEscape(R.Trace);
+    Out += '"';
+  }
+  if (!R.GlobalsJson.empty()) {
+    Out += ",\"globals\":";
+    Out += R.GlobalsJson; // already a JSON array
+  }
+  if (!R.LintsJson.empty()) {
+    Out += ",\"lints\":";
+    Out += R.LintsJson; // already a JSON array
+  }
+  if (!R.SourceMapJson.empty()) {
+    Out += ",\"source_map\":";
+    Out += R.SourceMapJson; // already a JSON object
+  }
+  Out += '}';
+  return Out;
+}
+
+std::string msq::makeSessionClosedResponse(const std::string &Id,
+                                           const std::string &Session,
+                                           uint64_t Evals) {
+  std::string Out = responseHead(Id, "session_closed");
+  Out += ",\"session\":\"";
+  Out += jsonEscape(Session);
+  Out += "\",\"evals\":";
+  Out += std::to_string(Evals);
+  Out += '}';
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // Request builders
 //===----------------------------------------------------------------------===//
@@ -790,6 +920,60 @@ std::string msq::makeCachePutRequest(const std::string &Id,
   Out += jsonEscape(Key);
   Out += "\",\"data\":\"";
   Out += toHex(Data);
+  Out += "\"}";
+  return Out;
+}
+
+std::string msq::makeSessionOpenRequest(const std::string &Id,
+                                        bool LoadStdlib, bool Provenance,
+                                        const std::vector<SourceUnit> &Sources) {
+  std::string Out = requestHead(Id, "session_open");
+  if (LoadStdlib)
+    Out += ",\"stdlib\":true";
+  if (Provenance)
+    Out += ",\"provenance\":true";
+  if (!Sources.empty()) {
+    Out += ",\"sources\":[";
+    bool First = true;
+    for (const SourceUnit &S : Sources) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += "{\"name\":\"";
+      Out += jsonEscape(S.Name);
+      Out += "\",\"source\":\"";
+      Out += jsonEscape(S.Source);
+      Out += "\"}";
+    }
+    Out += ']';
+  }
+  Out += '}';
+  return Out;
+}
+
+std::string msq::makeSessionEvalRequest(const std::string &Id,
+                                        const std::string &Session,
+                                        const std::string &Mode,
+                                        const std::string &Name,
+                                        const std::string &Source) {
+  std::string Out = requestHead(Id, "session_eval");
+  Out += ",\"session\":\"";
+  Out += jsonEscape(Session);
+  Out += "\",\"mode\":\"";
+  Out += jsonEscape(Mode);
+  Out += "\",\"name\":\"";
+  Out += jsonEscape(Name);
+  Out += "\",\"source\":\"";
+  Out += jsonEscape(Source);
+  Out += "\"}";
+  return Out;
+}
+
+std::string msq::makeSessionCloseRequest(const std::string &Id,
+                                         const std::string &Session) {
+  std::string Out = requestHead(Id, "session_close");
+  Out += ",\"session\":\"";
+  Out += jsonEscape(Session);
   Out += "\"}";
   return Out;
 }

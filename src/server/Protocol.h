@@ -39,6 +39,32 @@
 ///                   JSON string; answered with `cache_entry` /
 ///                   `cache_stored`.
 ///
+/// Interactive mode (msq-repl, msq-lsp) adds three session request types.
+/// A session is a long-lived server-side expansion state — meta-globals
+/// persist across evals, the paper's `metadcl` accumulation made
+/// interactive — addressed by a server-issued id and evicted on idle
+/// timeout or daemon drain:
+///
+///   session_open    {"v":1,"id":I,"type":"session_open"
+///                    [,"stdlib":B,"provenance":B,
+///                      "sources":[{"name":N,"source":S}...]]}
+///                   Opens a session seeded with the daemon library plus
+///                   any extra sources; answered with `session_opened`
+///                   {"session":SID} or `quota_exceeded` when the session
+///                   quota (global or per-tenant) is exhausted.
+///   session_eval    {"v":1,"id":I,"type":"session_eval","session":SID,
+///                    "mode":M,"name":N,"source":S}
+///                   Modes: "eval" (REPL input; definitions and meta-global
+///                   writes persist), "expand" (preview; state restored
+///                   afterwards), "lint", "unit" (LSP document through the
+///                   incremental driver warm paths), "library" (replace
+///                   the session's overlay library), "globals", "reset",
+///                   "trace_on"/"trace_off". Answered with
+///                   `session_result`; a crashed session answers
+///                   `session_lost` (structured, connection kept).
+///   session_close   {"v":1,"id":I,"type":"session_close","session":SID}
+///                   Answered with `session_closed`.
+///
 /// "provenance":true makes the expansion track invocation backtraces: the
 /// response's diagnostics carry "in expansion of macro ..." chains and a
 /// "source_map" object maps output lines back to invocation sites.
@@ -118,6 +144,7 @@ enum class ErrorCode {
   Unauthorized,   ///< hello token unknown — connection will be dropped
   QuotaExceeded,  ///< tenant admission quota exhausted — retry later
   Degraded,       ///< router exhausted its shard retries for this request
+  SessionLost,    ///< session unknown, evicted, or crashed — reopen it
 };
 const char *errorCodeName(ErrorCode C);
 
@@ -132,6 +159,9 @@ struct Request {
     Hello,
     CacheGet,
     CachePut,
+    SessionOpen,
+    SessionEval,
+    SessionClose,
   };
   Type Ty = Type::Ping;
   std::string Id;
@@ -150,6 +180,9 @@ struct Request {
   // CacheGet / CachePut:
   std::string Key;
   std::string Data; ///< decoded entry bytes (the hex wrapper is stripped)
+  // SessionOpen / SessionEval / SessionClose:
+  std::string Session; ///< server-issued session id ("s1", "s2", ...)
+  std::string Mode;    ///< session_eval mode (see the header comment)
 };
 
 /// Outcome of parsing one request frame. On failure, \p Code/Message
@@ -206,6 +239,43 @@ std::string makeCacheEntryResponse(const std::string &Id, bool Found,
 /// {"v":1,"id":I,"type":"cache_stored","stored":B}
 std::string makeCacheStoredResponse(const std::string &Id, bool Stored);
 
+/// {"v":1,"id":I,"type":"session_opened","session":SID}
+std::string makeSessionOpenedResponse(const std::string &Id,
+                                      const std::string &Session);
+
+/// Everything one session evaluation produced — the interactive
+/// counterpart of ExpandResult, flattened for the wire. LintsJson /
+/// SourceMapJson / GlobalsJson are prebuilt JSON spliced in verbatim
+/// (empty = member omitted).
+struct SessionEvalResult {
+  bool Success = true;
+  std::string Output;
+  std::string Diagnostics;
+  std::string Path; ///< "eval", "clean", "tree", "tokens", "cold" or "none"
+  uint64_t Invocations = 0;
+  uint64_t MetaSteps = 0;
+  uint64_t MacrosDefined = 0;
+  bool GlobalsMutated = false;
+  bool HasTrace = false; ///< emit "trace" even when the text is empty
+  std::string Trace;
+  std::string GlobalsJson;   ///< JSON array (mode "globals")
+  std::string LintsJson;     ///< JSON array (lint findings)
+  std::string SourceMapJson; ///< JSON object (provenance sessions)
+};
+
+/// {"v":1,"id":I,"type":"session_result","session":SID,"success":B,
+///  "output":S,"diagnostics":S,"path":S,"invocations":N,"meta_steps":N,
+///  "macros_defined":N,"globals_mutated":B[,"trace":S][,"globals":ARR]
+///  [,"lints":ARR][,"source_map":OBJ]}
+std::string makeSessionResultResponse(const std::string &Id,
+                                      const std::string &Session,
+                                      const SessionEvalResult &R);
+
+/// {"v":1,"id":I,"type":"session_closed","session":SID,"evals":N}
+std::string makeSessionClosedResponse(const std::string &Id,
+                                      const std::string &Session,
+                                      uint64_t Evals);
+
 //===----------------------------------------------------------------------===//
 // Request builders (the client side).
 //===----------------------------------------------------------------------===//
@@ -228,6 +298,16 @@ std::string makeCacheGetRequest(const std::string &Id,
 std::string makeCachePutRequest(const std::string &Id,
                                 const std::string &Key,
                                 const std::string &Data);
+std::string makeSessionOpenRequest(const std::string &Id, bool LoadStdlib,
+                                   bool Provenance,
+                                   const std::vector<SourceUnit> &Sources);
+std::string makeSessionEvalRequest(const std::string &Id,
+                                   const std::string &Session,
+                                   const std::string &Mode,
+                                   const std::string &Name,
+                                   const std::string &Source);
+std::string makeSessionCloseRequest(const std::string &Id,
+                                    const std::string &Session);
 
 /// Lowercase hex codec for binary payloads embedded in JSON strings
 /// (cache entry bytes). fromHex rejects odd lengths and non-hex digits.

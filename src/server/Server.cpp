@@ -527,6 +527,17 @@ size_t Server::queueDepth() const {
   return Queue.size();
 }
 
+SessionSnapshot Server::librarySnapshot(uint64_t *Generation) const {
+  std::shared_ptr<const LibraryState> LS;
+  {
+    std::lock_guard<std::mutex> Lock(LibMutex);
+    LS = Lib;
+  }
+  if (Generation)
+    *Generation = LS ? LS->Generation : 0;
+  return LS ? LS->Snap : SessionSnapshot();
+}
+
 std::string Server::metricsJson() const {
   std::string Out = "{\"server\":{\"admitted\":";
   Out += std::to_string(Admitted.load());
@@ -546,6 +557,8 @@ std::string Server::metricsJson() const {
   Out += std::to_string(ReloadRekeyed.load());
   Out += ",\"reload_invalidated\":";
   Out += std::to_string(ReloadInvalidated.load());
+  Out += ",\"idle_disconnects\":";
+  Out += std::to_string(IdleDisconnects.load());
   Out += ",\"queue_depth\":";
   Out += std::to_string(queueDepth());
   Out += ",\"workers\":";

@@ -186,6 +186,14 @@ public:
   unsigned workerCount() const { return unsigned(Threads.size()); }
   const ServerOptions &options() const { return SO; }
 
+  /// The current library incarnation as a replayable snapshot (interactive
+  /// sessions seed their private engines from it) plus its generation.
+  SessionSnapshot librarySnapshot(uint64_t *Generation = nullptr) const;
+
+  /// Counts a connection dropped by the transport idle timeout (the
+  /// daemon calls this; surfaced as "idle_disconnects" in metricsJson).
+  void noteIdleDisconnect() { ++IdleDisconnects; }
+
 private:
   /// One immutable, refcounted macro-library incarnation.
   struct LibraryState {
@@ -284,6 +292,7 @@ private:
   /// delta provably cannot reach them / dropped because it can.
   std::atomic<uint64_t> ReloadRekeyed{0};
   std::atomic<uint64_t> ReloadInvalidated{0};
+  std::atomic<uint64_t> IdleDisconnects{0};
   mutable std::mutex MetricsMutex;
   LatencyHistogram Latency;
   CacheStats CacheTotals;

@@ -1,0 +1,512 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Session.h"
+
+#include "analysis/Lint.h"
+#include "api/StdMacros.h"
+#include "driver/Incremental.h"
+#include "expand/DependencyMap.h"
+#include "interp/Interpreter.h"
+#include "printer/CPrinter.h"
+#include "quasi/Quasi.h"
+#include "support/Fault.h"
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+using namespace msq;
+
+namespace {
+
+uint64_t nowMs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+/// Renders one meta value for the :globals listing. Scalars inline,
+/// AST values print as C, everything else falls back to the kind
+/// description — enough to see what a `metadcl` accumulated.
+std::string renderGlobalValue(const Value &V) {
+  switch (V.kind()) {
+  case Value::IntV:
+    return std::to_string(V.intValue());
+  case Value::FloatV: {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%g", V.floatValue());
+    return Buf;
+  }
+  case Value::StrV:
+    return V.strValue();
+  case Value::AstV:
+    return printNode(V.astValue());
+  default:
+    return describeValue(V);
+  }
+}
+
+/// The sorted {"name","kind","value"} array behind mode "globals" and the
+/// REPL's :globals command. Innermost global frame wins on shadowing.
+std::string renderGlobals(Engine &E) {
+  std::map<std::string, const Value *> Named;
+  for (const std::shared_ptr<EnvFrame> &F :
+       E.interpreter().globalEnv().snapshot())
+    for (const auto &[Sym, V] : F->Vars)
+      Named[std::string(Sym.str())] = &V;
+  std::string Out = "[";
+  bool First = true;
+  for (const auto &[Name, V] : Named) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":\"";
+    Out += jsonEscape(Name);
+    Out += "\",\"kind\":\"";
+    Out += V->kindName();
+    Out += "\",\"value\":\"";
+    Out += jsonEscape(renderGlobalValue(*V));
+    Out += "\"}";
+  }
+  Out += ']';
+  return Out;
+}
+
+} // namespace
+
+/// One live session. The manager mutex guards the registry; this struct's
+/// own mutex serializes evals, and Busy/LastTouchMs let the reaper skip
+/// sessions with an eval in flight.
+struct SessionManager::Session {
+  std::string Id;
+  std::string Tenant;
+  bool Provenance = false;
+
+  std::mutex M; ///< serializes evals on this session
+  bool Crashed = false;
+  std::string CrashReason;
+  bool TraceOn = false;
+  uint64_t Evals = 0;
+  std::atomic<uint64_t> LastTouchMs{0};
+  std::atomic<unsigned> Busy{0};
+
+  /// The accumulating REPL engine: meta-globals and definitions persist
+  /// across evals; Baseline is the state right after the library replay
+  /// (what :reset restores).
+  std::unique_ptr<Engine> E;
+  Engine::SessionCheckpoint Baseline;
+
+  /// Library units the session was seeded with (daemon library + open-time
+  /// sources) and the LSP's editable library overlay, upserted by name.
+  /// Base + Overlay is what the incremental driver's library replays.
+  std::vector<SourceUnit> BaseUnits;
+  std::vector<SourceUnit> Overlay;
+
+  /// Lazily built on the first "unit"/"library" eval: the LSP document
+  /// path. Lint stays DISABLED on the driver — the driver dirties every
+  /// unit on any library change when linting is on, which would forfeit
+  /// the warm paths; library-document lints come from lintSource in mode
+  /// "library" instead.
+  std::unique_ptr<IncrementalDriver> Driver;
+  Engine::Options EvalOpts;
+
+  std::vector<SourceUnit> driverLibrary() const {
+    std::vector<SourceUnit> Lib = BaseUnits;
+    Lib.insert(Lib.end(), Overlay.begin(), Overlay.end());
+    return Lib;
+  }
+
+  void ensureDriver() {
+    if (Driver)
+      return;
+    IncrementalOptions IO;
+    IO.EngineOpts = EvalOpts;
+    IO.EngineOpts.TraceExpansions = false;
+    Driver = std::make_unique<IncrementalDriver>(IO);
+    Driver->setLibrary(driverLibrary());
+  }
+};
+
+SessionManager::SessionManager(Server &Srv, SessionManagerOptions SMO)
+    : Srv(Srv), SMO(SMO) {
+  if (SMO.IdleTimeoutMillis)
+    Reaper = std::thread([this] { reaperLoop(); });
+}
+
+SessionManager::~SessionManager() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  ReaperCv.notify_all();
+  if (Reaper.joinable())
+    Reaper.join();
+  closeAll();
+}
+
+void SessionManager::reaperLoop() {
+  const unsigned Tick = std::clamp(SMO.IdleTimeoutMillis / 4u, 10u, 1000u);
+  std::unique_lock<std::mutex> Lock(M);
+  while (!Stopping) {
+    ReaperCv.wait_for(Lock, std::chrono::milliseconds(Tick));
+    if (Stopping)
+      return;
+    uint64_t Now = nowMs();
+    for (auto It = Sessions.begin(); It != Sessions.end();) {
+      Session &S = *It->second;
+      if (S.Busy.load() == 0 &&
+          Now - S.LastTouchMs.load() >= SMO.IdleTimeoutMillis) {
+        auto TC = TenantCounts.find(S.Tenant);
+        if (TC != TenantCounts.end() && TC->second > 0)
+          --TC->second;
+        ++EvictedIdle;
+        It = Sessions.erase(It);
+      } else {
+        ++It;
+      }
+    }
+  }
+}
+
+std::shared_ptr<SessionManager::Session>
+SessionManager::find(const std::string &Id) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Sessions.find(Id);
+  if (It == Sessions.end())
+    return nullptr;
+  It->second->LastTouchMs.store(nowMs());
+  ++It->second->Busy;
+  return It->second;
+}
+
+bool SessionManager::open(const Request &R, const std::string &Tenant,
+                          std::string &SessionId, ErrorCode &Code,
+                          std::string &Message) {
+  if (fault::shouldFail(fault::Point::SessionOpen)) {
+    Code = ErrorCode::Internal;
+    Message = "injected session.open fault";
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (SMO.MaxSessions && Sessions.size() >= SMO.MaxSessions) {
+      ++RejectedQuota;
+      Code = ErrorCode::QuotaExceeded;
+      Message = "session quota exhausted (" +
+                std::to_string(SMO.MaxSessions) + " open)";
+      return false;
+    }
+    if (SMO.PerTenantSessions) {
+      auto It = TenantCounts.find(Tenant);
+      if (It != TenantCounts.end() && It->second >= SMO.PerTenantSessions) {
+        ++RejectedQuota;
+        Code = ErrorCode::QuotaExceeded;
+        Message = "tenant session quota exhausted (" +
+                  std::to_string(SMO.PerTenantSessions) + " open)";
+        return false;
+      }
+    }
+  }
+
+  auto S = std::make_shared<Session>();
+  S->Tenant = Tenant;
+  S->Provenance = R.Provenance;
+  Engine::Options EO = Srv.options().EngineOpts;
+  EO.TraceExpansions = true; // recorded always, returned when :trace is on
+  EO.CollectProfile = false;
+  EO.EnableExpansionCache = false; // stateful sessions never share entries
+  EO.Lint.Enabled = false;
+  EO.TrackProvenance = R.Provenance;
+  EO.EmitSourceMap = R.Provenance;
+  S->EvalOpts = EO;
+  S->E = std::make_unique<Engine>(EO);
+
+  // Seed: the daemon's library snapshot, an optional stdlib, then the
+  // open-time sources. Any seed failure is the client's problem — the
+  // session is not created.
+  SessionSnapshot Snap = Srv.librarySnapshot();
+  bool HaveStdlib = false;
+  if (Snap.valid())
+    for (const SessionSnapshot::LogEntry &LE : Snap.log()) {
+      if (LE.Unit.Name == "<msq-stdlib>")
+        HaveStdlib = true;
+      if (LE.ParseOnly) {
+        S->E->parseSource(LE.Unit.Name, LE.Unit.Source);
+      } else {
+        ExpandResult LR = S->E->expandUnrecorded(LE.Unit.Name, LE.Unit.Source);
+        if (!LR.Success) {
+          Code = ErrorCode::Internal;
+          Message = "library replay failed: " + LR.DiagnosticsText;
+          return false;
+        }
+      }
+      S->BaseUnits.push_back(LE.Unit);
+    }
+  if (R.LoadStdlib && !HaveStdlib) {
+    SourceUnit Std{"<msq-stdlib>", standardMacroLibrarySource()};
+    ExpandResult LR = S->E->expandUnrecorded(Std.Name, Std.Source);
+    if (!LR.Success) {
+      Code = ErrorCode::Internal;
+      Message = "stdlib load failed: " + LR.DiagnosticsText;
+      return false;
+    }
+    S->BaseUnits.push_back(Std);
+  }
+  for (const SourceUnit &U : R.Sources) {
+    ExpandResult LR = S->E->expandUnrecorded(U.Name, U.Source);
+    if (!LR.Success) {
+      Code = ErrorCode::BadRequest;
+      Message = "session source \"" + U.Name +
+                "\" failed to expand: " + LR.DiagnosticsText;
+      return false;
+    }
+    S->BaseUnits.push_back(U);
+  }
+  S->Baseline = S->E->checkpoint();
+  S->LastTouchMs.store(nowMs());
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    S->Id = "s" + std::to_string(NextId++);
+    Sessions[S->Id] = S;
+    ++TenantCounts[S->Tenant];
+    ++OpenedTotal;
+  }
+  SessionId = S->Id;
+  return true;
+}
+
+bool SessionManager::eval(const Request &R, SessionEvalResult &Out,
+                          ErrorCode &Code, std::string &Message) {
+  std::shared_ptr<Session> S = find(R.Session);
+  if (!S) {
+    Code = ErrorCode::SessionLost;
+    Message = "unknown session \"" + R.Session +
+              "\" (never opened, closed, or evicted idle) — reopen it";
+    return false;
+  }
+  struct BusyGuard {
+    Session &S;
+    ~BusyGuard() {
+      --S.Busy;
+      S.LastTouchMs.store(nowMs());
+    }
+  } BG{*S};
+
+  std::lock_guard<std::mutex> SLock(S->M);
+  if (S->Crashed) {
+    Code = ErrorCode::SessionLost;
+    Message = "session \"" + S->Id + "\" crashed (" + S->CrashReason +
+              ") — reopen it";
+    return false;
+  }
+
+  const std::string &Mode = R.Mode;
+  const std::string Name = R.Name.empty() ? "<repl>" : R.Name;
+  int PathIdx = -1; // index into PathCounts, set by modes that expand
+  try {
+    if (fault::shouldFail(fault::Point::SessionEval))
+      throw fault::InjectedCrash("injected session.eval fault");
+
+    if (Mode == "eval" || Mode == "expand") {
+      Engine::SessionCheckpoint CP;
+      bool Preview = Mode == "expand";
+      if (Preview) {
+        CP = S->E->checkpoint();
+        // Previews see the overlay library (documents pushed with mode
+        // "library" live in the driver's library list, not the engine),
+        // so an LSP hover expands with the same macros a unit eval uses.
+        // The checkpoint restore below discards the replay again. The
+        // previewed document itself is skipped: re-defining its own
+        // macros on top of the overlay copy would be a redefinition.
+        for (const SourceUnit &U : S->Overlay)
+          if (U.Name != Name)
+            S->E->expandUnrecorded(U.Name, U.Source);
+      }
+      S->E->interpreter().clearTraceLog();
+      ExpandResult ER = S->E->expandUnrecorded(Name, R.Source);
+      if (Preview)
+        S->E->restoreCheckpoint(CP);
+      Out.Success = ER.Success;
+      Out.Output = ER.Output;
+      Out.Diagnostics = ER.DiagnosticsText;
+      Out.Path = "eval";
+      Out.Invocations = ER.InvocationsExpanded;
+      Out.MetaSteps = ER.MetaStepsExecuted;
+      Out.MacrosDefined = ER.MacrosDefined;
+      Out.GlobalsMutated = ER.MetaGlobalsMutated;
+      if (S->TraceOn) {
+        Out.HasTrace = true;
+        Out.Trace = ER.TraceText;
+      }
+      Out.SourceMapJson = ER.SourceMapJson;
+      PathIdx = 0;
+    } else if (Mode == "lint") {
+      Engine::SessionCheckpoint CP = S->E->checkpoint();
+      for (const SourceUnit &U : S->Overlay) // see the "expand" preview note
+        if (U.Name != Name)
+          S->E->expandUnrecorded(U.Name, U.Source);
+      Engine::LintResult LR = S->E->lintSource(Name, R.Source);
+      S->E->restoreCheckpoint(CP);
+      Out.Success = LR.Success;
+      Out.Diagnostics = LR.DiagnosticsText;
+      Out.Path = "none";
+      Out.LintsJson = lintFindingsJson(LR.Report.Findings);
+    } else if (Mode == "unit") {
+      S->ensureDriver();
+      IncrementalResult IR = S->Driver->run({{Name, R.Source}});
+      const ExpandResult &ER = IR.Results.at(0);
+      Out.Success = ER.Success;
+      Out.Output = ER.Output;
+      Out.Diagnostics = ER.DiagnosticsText;
+      Out.Path = incrementalPathName(IR.Outcomes.at(0).Path);
+      Out.Invocations = ER.InvocationsExpanded;
+      Out.MetaSteps = ER.MetaStepsExecuted;
+      Out.MacrosDefined = ER.MacrosDefined;
+      Out.GlobalsMutated = ER.MetaGlobalsMutated;
+      Out.SourceMapJson = ER.SourceMapJson;
+      if (Out.Path == "clean")
+        PathIdx = 1;
+      else if (Out.Path == "tree")
+        PathIdx = 2;
+      else if (Out.Path == "tokens")
+        PathIdx = 3;
+      else
+        PathIdx = 4;
+    } else if (Mode == "library") {
+      // Validate the document against the session state first (under a
+      // checkpoint, so a broken edit leaves nothing behind), lint it,
+      // and only then swap it into the overlay + driver library. On
+      // failure the driver keeps the last good library.
+      Engine::SessionCheckpoint CP = S->E->checkpoint();
+      ExpandResult ER = S->E->expandUnrecorded(Name, R.Source);
+      Engine::LintResult LR = S->E->lintSource(Name, R.Source);
+      S->E->restoreCheckpoint(CP);
+      Out.Success = ER.Success;
+      Out.Diagnostics = ER.DiagnosticsText;
+      Out.Path = "none";
+      Out.MacrosDefined = ER.MacrosDefined;
+      Out.MetaSteps = ER.MetaStepsExecuted;
+      Out.LintsJson = lintFindingsJson(LR.Report.Findings);
+      if (ER.Success) {
+        bool Replaced = false;
+        for (SourceUnit &U : S->Overlay)
+          if (U.Name == Name) {
+            U.Source = R.Source;
+            Replaced = true;
+            break;
+          }
+        if (!Replaced)
+          S->Overlay.push_back({Name, R.Source});
+        S->ensureDriver();
+        S->Driver->setLibrary(S->driverLibrary());
+      }
+    } else if (Mode == "globals") {
+      Out.Path = "none";
+      Out.GlobalsJson = renderGlobals(*S->E);
+    } else if (Mode == "reset") {
+      S->E->restoreCheckpoint(S->Baseline);
+      S->E->interpreter().clearTraceLog();
+      Out.Path = "none";
+    } else if (Mode == "trace_on" || Mode == "trace_off") {
+      S->TraceOn = Mode == "trace_on";
+      Out.Path = "none";
+    } else {
+      Code = ErrorCode::BadRequest;
+      Message = "unknown session mode \"" + Mode + "\"";
+      return false;
+    }
+  } catch (const std::exception &E) {
+    S->Crashed = true;
+    S->CrashReason = E.what();
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ++CrashedTotal;
+    }
+    Code = ErrorCode::SessionLost;
+    Message = "session \"" + S->Id + "\" crashed (" + S->CrashReason +
+              ") — reopen it";
+    return false;
+  }
+
+  ++S->Evals;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ++EvalsTotal;
+    if (PathIdx >= 0)
+      ++PathCounts[PathIdx];
+  }
+  return true;
+}
+
+bool SessionManager::close(const std::string &SessionId, uint64_t &Evals) {
+  std::shared_ptr<Session> S;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Sessions.find(SessionId);
+    if (It == Sessions.end())
+      return false;
+    S = It->second;
+    Sessions.erase(It);
+    auto TC = TenantCounts.find(S->Tenant);
+    if (TC != TenantCounts.end() && TC->second > 0)
+      --TC->second;
+    ++ClosedTotal;
+  }
+  // An in-flight eval (Busy) holds its own shared_ptr; the session dies
+  // when the last reference drops.
+  std::lock_guard<std::mutex> SLock(S->M);
+  Evals = S->Evals;
+  return true;
+}
+
+void SessionManager::closeAll() {
+  std::map<std::string, std::shared_ptr<Session>> Doomed;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Doomed.swap(Sessions);
+    ClosedTotal += Doomed.size();
+    TenantCounts.clear();
+  }
+}
+
+size_t SessionManager::sessionCount() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Sessions.size();
+}
+
+std::string SessionManager::metricsJson() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::string Out = "{\"open\":";
+  Out += std::to_string(Sessions.size());
+  Out += ",\"opened_total\":";
+  Out += std::to_string(OpenedTotal);
+  Out += ",\"closed_total\":";
+  Out += std::to_string(ClosedTotal);
+  Out += ",\"evals_total\":";
+  Out += std::to_string(EvalsTotal);
+  Out += ",\"crashed_total\":";
+  Out += std::to_string(CrashedTotal);
+  Out += ",\"evicted_idle\":";
+  Out += std::to_string(EvictedIdle);
+  Out += ",\"rejected_quota\":";
+  Out += std::to_string(RejectedQuota);
+  Out += ",\"paths\":{\"eval\":";
+  Out += std::to_string(PathCounts[0]);
+  Out += ",\"clean\":";
+  Out += std::to_string(PathCounts[1]);
+  Out += ",\"tree\":";
+  Out += std::to_string(PathCounts[2]);
+  Out += ",\"tokens\":";
+  Out += std::to_string(PathCounts[3]);
+  Out += ",\"cold\":";
+  Out += std::to_string(PathCounts[4]);
+  Out += "}}";
+  return Out;
+}

@@ -1,0 +1,128 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interactive expansion sessions for msqd. A session is a long-lived,
+/// id-addressed expansion state living next to the stateless worker pool:
+/// its engine is seeded from the daemon's current library snapshot and
+/// then ACCUMULATES — macro definitions and meta-global writes persist
+/// across evals, which is the paper's `metadcl` accumulation model made
+/// interactive. msq-repl holds one session per process; msq-lsp holds one
+/// per editor workspace and drives its documents through the session's
+/// private IncrementalDriver, so a one-macro edit re-expands on a warm
+/// (tree/token) path instead of from cold.
+///
+/// Lifecycle and failure discipline:
+///  * Sessions are owned by the manager, not by connections — a client
+///    can reconnect and keep evaluating, and one connection can multiplex
+///    several sessions.
+///  * A global session cap and an optional per-tenant cap bound the
+///    memory a tenant's editors can pin (each session owns an engine).
+///    Opens beyond a cap answer `quota_exceeded`.
+///  * An idle session (no eval for --session-idle-timeout) is evicted by
+///    a reaper thread; later evals answer `session_lost` and the client
+///    reopens. The same structured `session_lost` covers a session whose
+///    eval crashed (real or injected via the `session.eval` fault point):
+///    the session is marked dead, the daemon stays up, and every other
+///    session is untouched.
+///  * Evals run on the calling (connection) thread under the session's
+///    own mutex — interactive latency never queues behind batch work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SERVER_SESSION_H
+#define MSQ_SERVER_SESSION_H
+
+#include "server/Protocol.h"
+#include "server/Server.h"
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace msq {
+
+struct SessionManagerOptions {
+  /// Most sessions open at once, across all tenants. 0 = unlimited.
+  size_t MaxSessions = 64;
+  /// Most sessions one tenant may hold open. 0 = unlimited.
+  size_t PerTenantSessions = 0;
+  /// Evict a session after this long without an eval. 0 = never.
+  unsigned IdleTimeoutMillis = 0;
+};
+
+/// Owns every interactive session of one daemon. Thread-safe; see the
+/// file comment for the lifecycle rules.
+class SessionManager {
+public:
+  SessionManager(Server &Srv, SessionManagerOptions SMO);
+  ~SessionManager(); ///< Closes every session and joins the reaper.
+  SessionManager(const SessionManager &) = delete;
+  SessionManager &operator=(const SessionManager &) = delete;
+
+  /// Handles a `session_open` request: builds a session seeded with the
+  /// daemon library plus R.Sources. On success fills \p SessionId; on
+  /// failure fills \p Code/\p Message for the error response
+  /// (QuotaExceeded, BadRequest for broken seed sources, Internal for an
+  /// injected `session.open` fault).
+  bool open(const Request &R, const std::string &Tenant,
+            std::string &SessionId, ErrorCode &Code, std::string &Message);
+
+  /// Handles a `session_eval` request. On success fills \p Out; on
+  /// failure fills \p Code/\p Message (SessionLost for unknown/evicted/
+  /// crashed sessions, BadRequest for an unknown mode).
+  bool eval(const Request &R, SessionEvalResult &Out, ErrorCode &Code,
+            std::string &Message);
+
+  /// Handles `session_close`. False when the id is unknown (answer
+  /// SessionLost); \p Evals reports the session's lifetime eval count.
+  bool close(const std::string &SessionId, uint64_t &Evals);
+
+  /// Drops every session (daemon drain).
+  void closeAll();
+
+  size_t sessionCount() const;
+
+  /// {"open":N,"opened_total":N,"closed_total":N,"evals_total":N,
+  ///  "crashed_total":N,"evicted_idle":N,"rejected_quota":N,
+  ///  "paths":{"eval":N,"clean":N,"tree":N,"tokens":N,"cold":N}}
+  std::string metricsJson() const;
+
+private:
+  struct Session;
+
+  std::shared_ptr<Session> find(const std::string &Id);
+  void reaperLoop();
+
+  Server &Srv;
+  SessionManagerOptions SMO;
+
+  mutable std::mutex M;
+  std::map<std::string, std::shared_ptr<Session>> Sessions;
+  std::map<std::string, size_t> TenantCounts;
+  uint64_t NextId = 1;
+
+  // Lifetime counters (guarded by M).
+  uint64_t OpenedTotal = 0;
+  uint64_t ClosedTotal = 0;
+  uint64_t EvalsTotal = 0;
+  uint64_t CrashedTotal = 0;
+  uint64_t EvictedIdle = 0;
+  uint64_t RejectedQuota = 0;
+  uint64_t PathCounts[5] = {0, 0, 0, 0, 0}; // eval/clean/tree/tokens/cold
+
+  std::condition_variable ReaperCv;
+  bool Stopping = false;
+  std::thread Reaper;
+};
+
+} // namespace msq
+
+#endif // MSQ_SERVER_SESSION_H

@@ -1,0 +1,363 @@
+//===----------------------------------------------------------------------===//
+//
+// msq-repl — interactive expansion sessions against msqd. Opens one
+// long-lived protocol session whose meta-globals persist across inputs
+// (the paper's `metadcl` accumulation, interactively): each plain input
+// line is evaluated with mode "eval", so macro definitions and
+// meta-global writes carry forward to later inputs.
+//
+//   msq-repl (--socket PATH | --tcp HOST:PORT) [options]
+//     --token TOK      authenticate with a hello first (TCP auth)
+//     --retry-ms N     keep retrying the connect for N ms (startup)
+//     -stdlib          seed the session with the standard macro library
+//     -l FILE          seed the session with a macro-library file
+//     --provenance     track invocation backtraces in diagnostics
+//
+// Inputs are line-oriented (a trailing '\' continues onto the next
+// line). Lines starting with ':' are commands:
+//
+//   :expand SOURCE   expand SOURCE as a preview — session state is
+//                    restored afterwards (definitions do not persist)
+//   :lint SOURCE     lint SOURCE's macro definitions
+//   :trace on|off    toggle per-invocation expansion traces
+//   :globals         list the session's meta-globals (name, kind, value)
+//   :reset           restore the session to its just-opened state
+//   :quit            close the session and exit (as does EOF)
+//
+// Output is deterministic and line-oriented (the golden-transcript test
+// tests/repl_smoke.sh depends on it): expansion output verbatim,
+// diagnostics as "! " lines, command acknowledgements as "= " lines. A
+// `session_lost` answer (evicted, crashed, daemon restarted its session
+// state) is degraded gracefully: the REPL reopens a fresh session, warns
+// that accumulated state was lost, and keeps going.
+//
+// Exit codes: 0 clean EOF/:quit; 2 transport or protocol failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+#include "support/Socket.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace msq;
+
+namespace {
+
+int usage(int Code) {
+  std::fprintf(
+      Code ? stderr : stdout,
+      "usage: msq-repl (--socket PATH | --tcp HOST:PORT) [--token TOK]\n"
+      "                [--retry-ms N] [-stdlib] [-l FILE]... "
+      "[--provenance]\n");
+  return Code;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+FdHandle connectWithRetry(const std::string &Path, const std::string &Host,
+                          uint16_t Port, unsigned RetryMillis,
+                          std::string &Err) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(RetryMillis);
+  for (;;) {
+    FdHandle Fd(Path.empty() ? connectTcp(Host, Port, &Err)
+                             : connectUnix(Path, &Err));
+    if (Fd.valid())
+      return Fd;
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return FdHandle();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+struct Repl {
+  int Fd = -1;
+  std::unique_ptr<FrameReader> Reader;
+  std::string SessionId;
+  bool Stdlib = false;
+  bool Provenance = false;
+  std::vector<SourceUnit> Seeds;
+  unsigned NextId = 1;
+  bool Interactive = false;
+
+  std::string freshId() { return "r" + std::to_string(NextId++); }
+
+  /// One synchronous round trip; false on transport failure.
+  bool rpc(const std::string &Frame, json::Value &Doc) {
+    if (!writeFrame(Fd, Frame))
+      return false;
+    std::string Resp;
+    if (Reader->next(Resp) != FrameReader::Status::Frame)
+      return false;
+    std::string Err;
+    return json::parse(Resp, Doc, &Err) && Doc.isObject();
+  }
+
+  bool openSession() {
+    json::Value Doc;
+    if (!rpc(makeSessionOpenRequest(freshId(), Stdlib, Provenance, Seeds),
+             Doc))
+      return false;
+    const json::Value *Ty = Doc.get("type");
+    if (!Ty || Ty->Str != "session_opened") {
+      const json::Value *Msg = Doc.get("message");
+      std::fprintf(stderr, "msq-repl: session open refused: %s\n",
+                   Msg && Msg->isString() ? Msg->Str.c_str() : "unknown");
+      return false;
+    }
+    const json::Value *Sid = Doc.get("session");
+    if (!Sid || !Sid->isString())
+      return false;
+    SessionId = Sid->Str;
+    return true;
+  }
+
+  /// Evaluates (Mode, Source); renders the response. False only on
+  /// transport failure — protocol-level errors are rendered and survived.
+  bool evalAndRender(const std::string &Mode, const std::string &Source) {
+    json::Value Doc;
+    // The unit name must not look like an internal buffer ("<...>"):
+    // the linter skips those by design, and :lint must see this input.
+    if (!rpc(makeSessionEvalRequest(freshId(), SessionId, Mode, "repl",
+                                    Source),
+             Doc))
+      return false;
+    const json::Value *Ty = Doc.get("type");
+    if (Ty && Ty->Str == "error") {
+      const json::Value *Code = Doc.get("error");
+      const json::Value *Msg = Doc.get("message");
+      if (Code && Code->Str == "session_lost") {
+        // Graceful degradation: the accumulated session state is gone
+        // (idle eviction, crash, daemon restart). Reopen and continue
+        // with a fresh session rather than dying mid-transcript.
+        std::printf("! session lost (%s); reopened with fresh state\n",
+                    Msg && Msg->isString() ? Msg->Str.c_str() : "?");
+        return openSession();
+      }
+      std::printf("! error %s: %s\n",
+                  Code && Code->isString() ? Code->Str.c_str() : "?",
+                  Msg && Msg->isString() ? Msg->Str.c_str() : "");
+      return true;
+    }
+
+    const json::Value *Diags = Doc.get("diagnostics");
+    if (Diags && Diags->isString() && !Diags->Str.empty()) {
+      std::istringstream In(Diags->Str);
+      std::string Line;
+      while (std::getline(In, Line))
+        std::printf("! %s\n", Line.c_str());
+    }
+    const json::Value *Output = Doc.get("output");
+    if (Output && Output->isString() && !Output->Str.empty())
+      std::fputs(Output->Str.c_str(), stdout);
+    if (const json::Value *Trace = Doc.get("trace"))
+      if (Trace->isString() && !Trace->Str.empty()) {
+        std::printf("= trace:\n");
+        std::fputs(Trace->Str.c_str(), stdout);
+      }
+    if (const json::Value *Globals = Doc.get("globals")) {
+      for (const json::Value &G : Globals->Arr) {
+        const json::Value *N = G.get("name");
+        const json::Value *K = G.get("kind");
+        const json::Value *V = G.get("value");
+        std::printf("= %s : %s = %s\n",
+                    N && N->isString() ? N->Str.c_str() : "?",
+                    K && K->isString() ? K->Str.c_str() : "?",
+                    V && V->isString() ? V->Str.c_str() : "?");
+      }
+    }
+    if (const json::Value *Lints = Doc.get("lints")) {
+      for (const json::Value &L : Lints->Arr) {
+        const json::Value *Rule = L.get("rule");
+        const json::Value *Msg = L.get("message");
+        std::printf("! lint %s: %s\n",
+                    Rule && Rule->isString() ? Rule->Str.c_str() : "?",
+                    Msg && Msg->isString() ? Msg->Str.c_str() : "");
+      }
+    }
+    std::fflush(stdout);
+    return true;
+  }
+
+  bool command(const std::string &Line) {
+    auto Rest = [&](size_t CmdLen) {
+      size_t P = Line.find_first_not_of(" \t", CmdLen);
+      return P == std::string::npos ? std::string() : Line.substr(P);
+    };
+    if (Line.rfind(":expand", 0) == 0)
+      return evalAndRender("expand", Rest(7));
+    if (Line.rfind(":lint", 0) == 0)
+      return evalAndRender("lint", Rest(5));
+    if (Line.rfind(":trace", 0) == 0) {
+      bool On = Rest(6) != "off";
+      if (!evalAndRender(On ? "trace_on" : "trace_off", ""))
+        return false;
+      std::printf("= trace %s\n", On ? "on" : "off");
+      return true;
+    }
+    if (Line == ":globals")
+      return evalAndRender("globals", "");
+    if (Line == ":reset") {
+      if (!evalAndRender("reset", ""))
+        return false;
+      std::printf("= session reset\n");
+      return true;
+    }
+    std::printf("! unknown command %s\n", Line.c_str());
+    return true;
+  }
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SocketPath, TcpAddr, Token;
+  unsigned RetryMillis = 0;
+  Repl R;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "msq-repl: %s needs an argument\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (Arg == "--socket") {
+      const char *V = NextArg("--socket");
+      if (!V)
+        return 2;
+      SocketPath = V;
+    } else if (Arg == "--tcp") {
+      const char *V = NextArg("--tcp");
+      if (!V)
+        return 2;
+      TcpAddr = V;
+    } else if (Arg == "--token") {
+      const char *V = NextArg("--token");
+      if (!V)
+        return 2;
+      Token = V;
+    } else if (Arg == "--retry-ms") {
+      const char *V = NextArg("--retry-ms");
+      if (!V)
+        return 2;
+      RetryMillis = unsigned(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "-stdlib") {
+      R.Stdlib = true;
+    } else if (Arg == "--provenance") {
+      R.Provenance = true;
+    } else if (Arg == "-l") {
+      const char *V = NextArg("-l");
+      if (!V)
+        return 2;
+      std::string Text;
+      if (!readFile(V, Text)) {
+        std::fprintf(stderr, "msq-repl: cannot read '%s'\n", V);
+        return 2;
+      }
+      R.Seeds.push_back({V, std::move(Text)});
+    } else if (Arg == "-h" || Arg == "--help") {
+      return usage(0);
+    } else {
+      std::fprintf(stderr, "msq-repl: unknown argument '%s'\n", Arg.c_str());
+      return usage(2);
+    }
+  }
+  if (SocketPath.empty() == TcpAddr.empty())
+    return usage(2);
+
+  std::string TcpHost;
+  uint16_t TcpPort = 0;
+  if (!TcpAddr.empty()) {
+    std::string Err;
+    if (!parseHostPort(TcpAddr, TcpHost, TcpPort, &Err)) {
+      std::fprintf(stderr, "msq-repl: bad --tcp address: %s\n", Err.c_str());
+      return 2;
+    }
+  }
+
+  std::signal(SIGPIPE, SIG_IGN);
+  std::string Err;
+  FdHandle Fd =
+      connectWithRetry(SocketPath, TcpHost, TcpPort, RetryMillis, Err);
+  if (!Fd.valid()) {
+    std::fprintf(stderr, "msq-repl: cannot connect: %s\n", Err.c_str());
+    return 2;
+  }
+  R.Fd = Fd.get();
+  R.Reader = std::make_unique<FrameReader>(R.Fd, MaxFrameBytes);
+  R.Interactive = ::isatty(0);
+
+  if (!Token.empty()) {
+    json::Value Doc;
+    if (!R.rpc(makeHelloRequest(R.freshId(), Token), Doc) ||
+        !Doc.get("type") || Doc.get("type")->Str != "welcome") {
+      std::fprintf(stderr, "msq-repl: authentication failed\n");
+      return 2;
+    }
+  }
+  if (!R.openSession()) {
+    std::fprintf(stderr, "msq-repl: cannot open a session\n");
+    return 2;
+  }
+  if (R.Interactive)
+    std::printf("msq-repl: session %s open (:quit to leave)\n",
+                R.SessionId.c_str());
+
+  std::string Line, Input;
+  for (;;) {
+    if (R.Interactive) {
+      std::fputs(Input.empty() ? "msq> " : "...> ", stdout);
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, Line))
+      break;
+    if (!Line.empty() && Line.back() == '\\') {
+      Line.pop_back();
+      Input += Line;
+      Input += '\n';
+      continue;
+    }
+    Input += Line;
+    if (Input.empty())
+      continue;
+    bool Ok;
+    if (Input == ":quit" || Input == ":q")
+      break;
+    if (Input[0] == ':')
+      Ok = R.command(Input);
+    else
+      Ok = R.evalAndRender("eval", Input);
+    Input.clear();
+    if (!Ok) {
+      std::fprintf(stderr, "msq-repl: connection lost\n");
+      return 2;
+    }
+  }
+
+  json::Value Doc;
+  R.rpc(makeSessionCloseRequest(R.freshId(), R.SessionId), Doc);
+  return 0;
+}

@@ -19,6 +19,10 @@
 //     --auth-token TOKEN=TENANT  TCP auth token (repeatable); with any
 //                        configured, TCP connections must hello first
 //     --tenant-quota N   max queued+running requests per tenant (0=off)
+//     --idle-timeout MS  drop connections with no frame for MS ms (0=off)
+//     --session-quota N  max open interactive sessions (default 64, 0=off)
+//     --tenant-sessions N max open sessions per tenant (0=off)
+//     --session-idle-timeout MS  evict sessions idle for MS ms (0=off)
 //     --max-meta-steps N default per-request fuel
 //     --timeout-ms N     default per-request wall-clock budget
 //     -hygienic, -c      hygienic expansion / compiled patterns
@@ -44,6 +48,7 @@
 #include "server/Daemon.h"
 #include "server/Protocol.h"
 #include "server/Server.h"
+#include "server/Session.h"
 #include "support/Fault.h"
 #include "support/Socket.h"
 
@@ -91,7 +96,10 @@ int usage(int Code) {
       "            [-stdlib] [-l library.c]... [--workers N]\n"
       "            [--queue-cap N] [--cache] [--cache-dir DIR]\n"
       "            [--remote-cache HOST:PORT] [--auth-token TOK=TENANT]...\n"
-      "            [--tenant-quota N] [--max-meta-steps N] [--timeout-ms N]\n"
+      "            [--tenant-quota N] [--idle-timeout MS]\n"
+      "            [--session-quota N] [--tenant-sessions N]\n"
+      "            [--session-idle-timeout MS]\n"
+      "            [--max-meta-steps N] [--timeout-ms N]\n"
       "            [-hygienic] [-c] [--quiet]\n");
   return Code;
 }
@@ -107,6 +115,8 @@ int main(int argc, char **argv) {
   std::vector<std::string> Libraries;
   ServerOptions SO;
   AuthConfig Auth;
+  SessionManagerOptions SMO;
+  unsigned IdleTimeoutMillis = 0;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -161,6 +171,26 @@ int main(int argc, char **argv) {
         return 2;
       }
       Auth.TokenTenants[std::string(V, Eq)] = std::string(Eq + 1);
+    } else if (Arg == "--idle-timeout") {
+      const char *V = NextArg("--idle-timeout");
+      if (!V)
+        return 2;
+      IdleTimeoutMillis = unsigned(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--session-quota") {
+      const char *V = NextArg("--session-quota");
+      if (!V)
+        return 2;
+      SMO.MaxSessions = std::strtoul(V, nullptr, 10);
+    } else if (Arg == "--tenant-sessions") {
+      const char *V = NextArg("--tenant-sessions");
+      if (!V)
+        return 2;
+      SMO.PerTenantSessions = std::strtoul(V, nullptr, 10);
+    } else if (Arg == "--session-idle-timeout") {
+      const char *V = NextArg("--session-idle-timeout");
+      if (!V)
+        return 2;
+      SMO.IdleTimeoutMillis = unsigned(std::strtoul(V, nullptr, 10));
     } else if (Arg == "--cache") {
       SO.EngineOpts.EnableExpansionCache = true;
     } else if (Arg == "--cache-dir") {
@@ -274,9 +304,16 @@ int main(int argc, char **argv) {
     }
   }
 
+  // Interactive sessions (msq-repl / msq-lsp) live beside the worker
+  // pool; the manager owns their engines and the idle reaper.
+  SessionManager Sessions(S, SMO);
+  ShardServeOptions Serve;
+  Serve.Sessions = &Sessions;
+  Serve.IdleTimeoutMillis = IdleTimeoutMillis;
+
   if (Stdio) {
     auto C = std::make_shared<Conn>(0, 1, /*OwnsFds=*/false);
-    serveShardConnection(C, S, Auth); // returns on stdin EOF
+    serveShardConnection(C, S, Auth, Serve); // returns on stdin EOF
     S.drain();
     return 0;
   }
@@ -289,8 +326,8 @@ int main(int argc, char **argv) {
   FO.TcpPort = TcpPort;
   std::string Err;
   if (!FS.start(FO,
-                [&S, &Auth](std::shared_ptr<Conn> C) {
-                  serveShardConnection(C, S, Auth);
+                [&S, &Auth, &Serve](std::shared_ptr<Conn> C) {
+                  serveShardConnection(C, S, Auth, Serve);
                 },
                 &Err)) {
     std::fprintf(stderr, "msqd: cannot listen: %s\n", Err.c_str());

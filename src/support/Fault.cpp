@@ -22,7 +22,8 @@ constexpr const char *PointNames[fault::NumPoints] = {
     "server.worker_spawn", "server.worker_crash", "interp.alloc",
     "batch.unit_start",  "incr.token_cache",   "incr.tree_cache",
     "router.connect",    "router.forward",     "rcache.get",
-    "rcache.put",
+    "rcache.put",        "session.open",       "session.eval",
+    "lsp.request",
 };
 
 /// splitmix64: the per-evaluation decision stream for p= schedules. Keyed

@@ -70,8 +70,11 @@ enum class Point : unsigned {
   RouterForward,    ///< router.forward — router forwarding one request
   RemoteCacheGet,   ///< rcache.get — remote cache tier lookup
   RemoteCachePut,   ///< rcache.put — remote cache tier publish
+  SessionOpen,      ///< session.open — building an interactive session
+  SessionEval,      ///< session.eval — one interactive session evaluation
+  LspRequest,       ///< lsp.request — msq-lsp forwarding a daemon request
 };
-constexpr unsigned NumPoints = 13;
+constexpr unsigned NumPoints = 16;
 
 namespace detail {
 /// True while any point is armed. The ONLY state the fast path touches.

@@ -96,15 +96,29 @@ std::string CacheStats::toJson() const {
 }
 
 std::string msq::jsonEscape(const std::string &S) {
+  // Interactive payloads (hover text, REPL echoes, diagnostics) carry
+  // arbitrary macro source, so every control character must round-trip
+  // through emit->parse byte-identically: the full C0 range plus DEL is
+  // escaped (short escapes where JSON has them, \u00XX otherwise), and
+  // bytes >= 0x80 pass through untouched so raw sources stay
+  // byte-faithful on the wire. Round-trip is fuzzed in protocol_test.
+  static const char Hex[] = "0123456789abcdef";
   std::string Out;
   Out.reserve(S.size());
   for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
     switch (C) {
     case '"':
       Out += "\\\"";
       break;
     case '\\':
       Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
       break;
     case '\n':
       Out += "\\n";
@@ -116,10 +130,10 @@ std::string msq::jsonEscape(const std::string &S) {
       Out += "\\r";
       break;
     default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
+      if (U < 0x20 || U == 0x7f) {
+        Out += "\\u00";
+        Out += Hex[U >> 4];
+        Out += Hex[U & 0xf];
       } else {
         Out += C;
       }

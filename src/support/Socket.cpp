@@ -308,6 +308,19 @@ FrameReader::Status FrameReader::next(std::string &Frame) {
     Scanned = Buffer.size();
     if (Buffer.size() > MaxFrameBytes)
       return Status::TooLong;
+    if (IdleTimeoutMillis) {
+      struct pollfd P = {Fd, POLLIN, 0};
+      int R;
+      do {
+        R = ::poll(&P, 1, int(IdleTimeoutMillis));
+      } while (R < 0 && errno == EINTR);
+      if (R == 0)
+        return Status::Idle;
+      if (R < 0)
+        return Status::Error;
+      // POLLHUP/POLLERR fall through to read(), which reports them as
+      // Eof/Truncated/Error with the usual frame-boundary distinction.
+    }
     char Chunk[4096];
     ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
     if (N > 0) {

@@ -133,11 +133,18 @@ public:
     Eof,      ///< Orderly end of stream at a frame boundary.
     Truncated,///< Stream ended mid-frame (partial bytes discarded).
     TooLong,  ///< Frame exceeded the size limit before its newline.
+    Idle,     ///< No bytes arrived within the armed idle timeout.
     Error,    ///< Read error (errno-level).
   };
 
   FrameReader(int Fd, size_t MaxFrameBytes)
       : Fd(Fd), MaxFrameBytes(MaxFrameBytes) {}
+
+  /// Arms an idle timeout: next() returns Status::Idle when no bytes
+  /// arrive for \p Millis while waiting for (more of) a frame. 0 disarms.
+  /// The timeout applies per read, not per frame, so a slow-but-active
+  /// peer never trips it.
+  void setIdleTimeout(unsigned Millis) { IdleTimeoutMillis = Millis; }
 
   /// Blocks until one of the Status conditions; fills \p Frame on Frame.
   Status next(std::string &Frame);
@@ -145,6 +152,7 @@ public:
 private:
   int Fd;
   size_t MaxFrameBytes;
+  unsigned IdleTimeoutMillis = 0; // 0 = wait forever
   std::string Buffer;
   size_t Scanned = 0; // prefix of Buffer already known newline-free
 };

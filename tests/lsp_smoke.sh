@@ -1,0 +1,209 @@
+#!/usr/bin/env bash
+# lsp_smoke.sh <msqd> <msq-lsp> <msq-client> <msqc>
+#
+# End-to-end LSP round trip against a live msqd:
+#
+#   * didOpen (library + unit) -> publishDiagnostics for both, clean;
+#   * hover away from any invocation -> the unit's full expansion,
+#     byte-identical to one-shot msqc output;
+#   * hover on a macro invocation -> only the lines that invocation
+#     produced (source-map attribution), with the invocation range;
+#   * definition on the invocation -> jumps into the macro's definition
+#     in the library document;
+#   * didChange of one macro body -> the open unit is re-expanded and
+#     re-published through the session driver's warm (non-cold) path,
+#     visible in the daemon's session metrics;
+#   * didChange introducing an expansion error -> an error diagnostic
+#     carrying the "in expansion of macro" backtrace as
+#     relatedInformation;
+#   * shutdown/exit -> clean exit code 0.
+#
+# Framing is hand-rolled printf (Content-Length), responses are split
+# back into one frame per line and grepped — no jq/python dependency.
+set -eu
+
+MSQD=${1:?usage: lsp_smoke.sh <msqd> <msq-lsp> <msq-client> <msqc>}
+MSQLSP=${2:?usage: lsp_smoke.sh <msqd> <msq-lsp> <msq-client> <msqc>}
+CLIENT=${3:?usage: lsp_smoke.sh <msqd> <msq-lsp> <msq-client> <msqc>}
+MSQC=${4:?usage: lsp_smoke.sh <msqd> <msq-lsp> <msq-client> <msqc>}
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/msq-lsp-smoke.XXXXXX")
+DPID=""
+cleanup() {
+  [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+cd "$WORK"
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+#--- Fixture: a library defining a statement macro (whole produced lines,
+#    so the source map attributes them) and an error chain for the
+#    provenance backtrace; a unit invoking the macro.
+cat > lib.c <<'EOF'
+syntax stmt tmpvar {| ( $$exp::e ) |}
+{
+    @id t = gensym("t");
+    return `{ int $t; $t = $e; };
+}
+
+syntax stmt level3 {| ( ) |}
+{
+    meta_error("deep failure");
+    return `{ ; };
+}
+
+syntax stmt level2 {| ( ) |}
+{
+    return `{ level3(); };
+}
+
+syntax stmt level1 {| ( ) |}
+{
+    return `{ level2(); };
+}
+EOF
+
+cat > u.c <<'EOF'
+void f(void)
+{
+    tmpvar(1 + 2);
+}
+EOF
+
+"$MSQC" -l lib.c u.c > ref.out 2>ref.err || fail "msqc failed: $(cat ref.err)"
+
+#--- Start the daemon; sessions are on by default.
+SOCK="$WORK/msqd.sock"
+"$MSQD" --socket "$SOCK" --quiet > daemon.log 2>&1 &
+DPID=$!
+"$CLIENT" --socket "$SOCK" --retry-ms 5000 ping > /dev/null ||
+  fail "daemon did not come up"
+
+#--- Compose the editor side of the conversation.
+# json_text FILE — the file contents as a JSON string body (no quotes).
+json_text() {
+  awk '{gsub(/\\/, "\\\\"); gsub(/"/, "\\\""); printf "%s\\n", $0}' "$1"
+}
+
+LIB_TEXT=$(json_text lib.c)
+UNIT_TEXT=$(json_text u.c)
+# The same unit, now invoking the macro chain whose innermost level
+# raises a meta error three frames deep.
+cat > u2.c <<'EOF'
+void f(void)
+{
+    level1();
+}
+EOF
+UNIT2_TEXT=$(json_text u2.c)
+# The same library with tmpvar's body edited (initializes the temporary)
+# — a macro-body change that must re-expand the open unit warm.
+sed 's/return `{ int \$t; \$t = \$e; };/return `{ int $t; $t = 0; $t = $e; };/' \
+  lib.c > lib2.c
+cmp -s lib.c lib2.c && fail "fixture edit did not change lib.c"
+LIB2_TEXT=$(json_text lib2.c)
+
+frame() {
+  printf 'Content-Length: %s\r\n\r\n%s' "${#1}" "$1"
+}
+
+{
+  frame '{"jsonrpc":"2.0","id":1,"method":"initialize","params":{}}'
+  frame '{"jsonrpc":"2.0","method":"initialized"}'
+  frame '{"jsonrpc":"2.0","method":"textDocument/didOpen","params":{"textDocument":{"uri":"file:///w/lib.c","version":1,"text":"'"$LIB_TEXT"'"}}}'
+  frame '{"jsonrpc":"2.0","method":"textDocument/didOpen","params":{"textDocument":{"uri":"file:///w/u.c","version":1,"text":"'"$UNIT_TEXT"'"}}}'
+  frame '{"jsonrpc":"2.0","id":2,"method":"textDocument/hover","params":{"textDocument":{"uri":"file:///w/u.c"},"position":{"line":0,"character":0}}}'
+  frame '{"jsonrpc":"2.0","id":3,"method":"textDocument/hover","params":{"textDocument":{"uri":"file:///w/u.c"},"position":{"line":2,"character":6}}}'
+  frame '{"jsonrpc":"2.0","id":4,"method":"textDocument/definition","params":{"textDocument":{"uri":"file:///w/u.c"},"position":{"line":2,"character":6}}}'
+  frame '{"jsonrpc":"2.0","method":"textDocument/didChange","params":{"textDocument":{"uri":"file:///w/lib.c","version":2},"contentChanges":[{"text":"'"$LIB2_TEXT"'"}]}}'
+  frame '{"jsonrpc":"2.0","method":"textDocument/didChange","params":{"textDocument":{"uri":"file:///w/u.c","version":2},"contentChanges":[{"text":"'"$UNIT2_TEXT"'"}]}}'
+  frame '{"jsonrpc":"2.0","id":7,"method":"shutdown"}'
+  frame '{"jsonrpc":"2.0","method":"exit"}'
+} > requests.bin
+
+"$MSQLSP" --socket "$SOCK" --retry-ms 5000 --debounce-ms 0 \
+  < requests.bin > responses.bin 2>lsp.err ||
+  fail "msq-lsp exited $? ($(cat lsp.err))"
+
+# One frame per line: responses carry no raw newlines (the protocol
+# escapes them), so splitting on the header is enough.
+tr -d '\r' < responses.bin | sed 's/Content-Length:/\n&/g' |
+  grep '^{' > frames.txt || fail "no response frames"
+
+want() {
+  grep -q -- "$2" frames.txt || fail "$1"
+}
+
+want "initialize reply missing capabilities" '"hoverProvider":true'
+grep -q '"uri":"file:///w/lib.c","diagnostics":\[\]' frames.txt ||
+  fail "library didOpen did not publish clean diagnostics"
+grep -q '"uri":"file:///w/u.c","diagnostics":\[\]' frames.txt ||
+  fail "unit didOpen did not publish clean diagnostics"
+
+#--- Hover off-invocation: the whole expansion, byte-identical to msqc.
+HOVER_FULL=$(grep '"id":2' frames.txt |
+  sed -n 's/.*"value":"\([^"]*\)".*/\1/p')
+[ -n "$HOVER_FULL" ] || fail "full hover has no value"
+printf '%b' "$HOVER_FULL" > hover_full.out
+cmp -s ref.out hover_full.out || {
+  echo "--- msqc" >&2; cat ref.out >&2
+  echo "--- hover" >&2; cat hover_full.out >&2
+  fail "hover expansion differs from msqc output"
+}
+
+#--- Hover on the invocation: only tmpvar's produced lines, plus the
+#    invocation range.
+HOVER_SLICE=$(grep '"id":3' frames.txt)
+echo "$HOVER_SLICE" | grep -q '__msq_t' ||
+  fail "invocation hover does not show the produced temporary"
+echo "$HOVER_SLICE" | grep -q 'void f' &&
+  fail "invocation hover leaked user-written lines"
+echo "$HOVER_SLICE" | grep -q '"range":{"start":{"line":2' ||
+  fail "invocation hover has no invocation range"
+
+#--- Definition jumps into the library document.
+grep '"id":4' frames.txt | grep -q '"uri":"file:///w/lib.c"' ||
+  fail "definition did not resolve into lib.c"
+
+#--- The error edit: diagnostics with the provenance backtrace attached.
+grep '"uri":"file:///w/u.c"' frames.txt | tail -1 > last_unit_diags.txt
+grep -q '"severity":1' last_unit_diags.txt ||
+  fail "error edit published no error diagnostic"
+grep -q 'deep failure' last_unit_diags.txt ||
+  fail "error diagnostic lost the meta_error message"
+grep -q '"relatedInformation":' last_unit_diags.txt ||
+  fail "error diagnostic has no relatedInformation"
+grep -q "in expansion of macro 'level3'" last_unit_diags.txt ||
+  fail "backtrace does not name the innermost macro"
+grep -q "in expansion of macro 'level1'" last_unit_diags.txt ||
+  fail "backtrace does not name the outermost macro"
+
+grep -q '"id":7,"result":null' frames.txt || fail "shutdown not acknowledged"
+
+#--- Session metrics: the macro-body didChange re-expanded the unit on a
+#    warm (non-cold) incremental path, and the hover evals registered.
+"$CLIENT" --socket "$SOCK" status > status.json ||
+  fail "status query failed"
+counter() {
+  # largest "NAME":<n> in status.json (sessions block), 0 when absent
+  grep -o "\"$1\":[0-9]*" status.json | awk -F: 'BEGIN{m=0}
+    {if ($2+0 > m) m = $2+0} END{print m}'
+}
+grep -q '"sessions":' status.json || fail "status has no sessions block"
+[ "$(counter opened_total)" -ge 1 ] || fail "no session was opened"
+[ "$(counter cold)" -ge 1 ] || fail "expected at least one cold expansion"
+WARM=$(( $(counter clean) + $(counter tree) + $(counter tokens) ))
+[ "$WARM" -ge 1 ] ||
+  fail "macro-body didChange did not take a warm incremental path: $(cat status.json)"
+[ "$(counter eval)" -ge 2 ] || fail "hover evals not counted"
+
+kill "$DPID"
+wait "$DPID" 2>/dev/null || true
+DPID=""
+
+echo "PASS lsp_smoke"

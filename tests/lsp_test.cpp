@@ -1,0 +1,356 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// msq-lsp unit tests, no daemon required:
+///
+///  * Content-Length framing edge cases — messages split across
+///    arbitrarily small writes, several messages coalesced into one
+///    write, oversized bodies, malformed and missing headers, EOF
+///    mid-body, junk before the blank line.
+///  * JSON-RPC dispatch — malformed ids (array/object/bool), parse
+///    errors, missing methods, unknown methods, id echo fidelity
+///    (number vs string), shutdown/exit sequencing.
+///  * Daemon-less degradation — document events against an unreachable
+///    msqd publish an "unreachable" diagnostic instead of wedging.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lsp/LspServer.h"
+#include "lsp/Transport.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace msq;
+using namespace msq::lsp;
+
+namespace {
+
+/// A pipe the tests write protocol bytes into and read messages out of.
+struct Pipe {
+  int Fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(0, ::pipe(Fds)); }
+  ~Pipe() {
+    closeWrite();
+    if (Fds[0] >= 0)
+      ::close(Fds[0]);
+  }
+  void write(const std::string &Bytes) {
+    ASSERT_EQ(ssize_t(Bytes.size()),
+              ::write(Fds[1], Bytes.data(), Bytes.size()));
+  }
+  void closeWrite() {
+    if (Fds[1] >= 0) {
+      ::close(Fds[1]);
+      Fds[1] = -1;
+    }
+  }
+  int readFd() const { return Fds[0]; }
+};
+
+std::string framed(const std::string &Body) { return frameMessage(Body); }
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+TEST(LspFraming, SingleMessageRoundTrip) {
+  Pipe P;
+  MessageReader R(P.readFd());
+  P.write(framed("{\"jsonrpc\":\"2.0\"}"));
+  P.closeWrite();
+  std::string Body;
+  ASSERT_EQ(MessageReader::Status::Message, R.next(Body));
+  EXPECT_EQ("{\"jsonrpc\":\"2.0\"}", Body);
+  EXPECT_EQ(MessageReader::Status::Eof, R.next(Body));
+}
+
+TEST(LspFraming, MessageSplitAcrossManyWrites) {
+  // The header and body arrive byte-by-byte from another thread; the
+  // reader must buffer across short reads.
+  Pipe P;
+  MessageReader R(P.readFd());
+  std::string Wire = framed("{\"method\":\"initialized\"}");
+  std::thread Writer([&] {
+    for (char C : Wire) {
+      ASSERT_EQ(1, ::write(P.Fds[1], &C, 1));
+      std::this_thread::yield();
+    }
+    P.closeWrite();
+  });
+  std::string Body;
+  ASSERT_EQ(MessageReader::Status::Message, R.next(Body));
+  EXPECT_EQ("{\"method\":\"initialized\"}", Body);
+  Writer.join();
+}
+
+TEST(LspFraming, SplitInsideContentLengthHeader) {
+  Pipe P;
+  MessageReader R(P.readFd());
+  std::thread Writer([&] {
+    P.write("Content-Le");
+    std::this_thread::yield();
+    P.write("ngth: 2\r\n");
+    P.write("\r");
+    std::this_thread::yield();
+    P.write("\n{}");
+    P.closeWrite();
+  });
+  std::string Body;
+  ASSERT_EQ(MessageReader::Status::Message, R.next(Body));
+  EXPECT_EQ("{}", Body);
+  Writer.join();
+}
+
+TEST(LspFraming, MergedMessagesInOneWrite) {
+  Pipe P;
+  MessageReader R(P.readFd());
+  P.write(framed("{\"id\":1}") + framed("{\"id\":2}") + framed("{\"id\":3}"));
+  P.closeWrite();
+  std::string Body;
+  ASSERT_EQ(MessageReader::Status::Message, R.next(Body));
+  EXPECT_EQ("{\"id\":1}", Body);
+  ASSERT_EQ(MessageReader::Status::Message, R.next(Body));
+  EXPECT_EQ("{\"id\":2}", Body);
+  ASSERT_EQ(MessageReader::Status::Message, R.next(Body));
+  EXPECT_EQ("{\"id\":3}", Body);
+  EXPECT_EQ(MessageReader::Status::Eof, R.next(Body));
+}
+
+TEST(LspFraming, OversizedMessageRejected) {
+  Pipe P;
+  MessageReader R(P.readFd(), /*MaxBytes=*/64);
+  P.write("Content-Length: 65\r\n\r\n");
+  std::string Body;
+  EXPECT_EQ(MessageReader::Status::TooLong, R.next(Body));
+}
+
+TEST(LspFraming, AbsurdContentLengthDoesNotOverflow) {
+  Pipe P;
+  MessageReader R(P.readFd(), /*MaxBytes=*/1024);
+  P.write("Content-Length: 99999999999999999999999999\r\n\r\n");
+  std::string Body;
+  EXPECT_EQ(MessageReader::Status::TooLong, R.next(Body));
+}
+
+TEST(LspFraming, MissingContentLengthIsMalformed) {
+  Pipe P;
+  MessageReader R(P.readFd());
+  P.write("Content-Type: application/vscode-jsonrpc\r\n\r\n{}");
+  P.closeWrite();
+  std::string Body;
+  EXPECT_EQ(MessageReader::Status::Malformed, R.next(Body));
+}
+
+TEST(LspFraming, HeaderLineWithoutColonIsMalformed) {
+  Pipe P;
+  MessageReader R(P.readFd());
+  P.write("this is not a header\r\n\r\n");
+  std::string Body;
+  EXPECT_EQ(MessageReader::Status::Malformed, R.next(Body));
+}
+
+TEST(LspFraming, NonNumericContentLengthIsMalformed) {
+  Pipe P;
+  MessageReader R(P.readFd());
+  P.write("Content-Length: twelve\r\n\r\n");
+  std::string Body;
+  EXPECT_EQ(MessageReader::Status::Malformed, R.next(Body));
+}
+
+TEST(LspFraming, ExtraHeadersAreTolerated) {
+  Pipe P;
+  MessageReader R(P.readFd());
+  P.write("Content-Type: application/vscode-jsonrpc; charset=utf-8\r\n"
+          "Content-Length: 4\r\n"
+          "X-Junk: yes\r\n\r\nnull");
+  P.closeWrite();
+  std::string Body;
+  ASSERT_EQ(MessageReader::Status::Message, R.next(Body));
+  EXPECT_EQ("null", Body);
+}
+
+TEST(LspFraming, CaseInsensitiveContentLength) {
+  Pipe P;
+  MessageReader R(P.readFd());
+  P.write("CONTENT-LENGTH: 2\r\n\r\n[]");
+  P.closeWrite();
+  std::string Body;
+  ASSERT_EQ(MessageReader::Status::Message, R.next(Body));
+  EXPECT_EQ("[]", Body);
+}
+
+TEST(LspFraming, EofMidBodyIsError) {
+  Pipe P;
+  MessageReader R(P.readFd());
+  P.write("Content-Length: 10\r\n\r\n{\"x\"");
+  P.closeWrite();
+  std::string Body;
+  EXPECT_EQ(MessageReader::Status::Error, R.next(Body));
+}
+
+TEST(LspFraming, UnboundedHeadersAreMalformed) {
+  Pipe P;
+  MessageReader R(P.readFd());
+  // A peer streaming junk with no blank line must not buffer forever.
+  std::thread Writer([&] {
+    std::string Junk(1024, 'x');
+    for (int I = 0; I < 64; ++I)
+      if (::write(P.Fds[1], Junk.data(), Junk.size()) < 0)
+        break;
+    P.closeWrite();
+  });
+  std::string Body;
+  EXPECT_EQ(MessageReader::Status::Malformed, R.next(Body));
+  Writer.join();
+}
+
+//===----------------------------------------------------------------------===//
+// JSON-RPC dispatch
+//===----------------------------------------------------------------------===//
+
+/// An LspServer wired to an unreachable daemon and a capturing sink.
+struct DispatchFixture {
+  std::vector<std::string> Sent;
+  LspOptions O;
+  std::unique_ptr<LspServer> S;
+
+  DispatchFixture() {
+    O.SocketPath = "/nonexistent/msq-lsp-test.sock";
+    O.RetryMillis = 0;
+    O.DebounceMillis = 0;
+    S = std::make_unique<LspServer>(
+        O, [this](const std::string &Body) { Sent.push_back(Body); });
+  }
+  /// Last sink output, "" when nothing was sent.
+  const std::string &last() const {
+    static const std::string Empty;
+    return Sent.empty() ? Empty : Sent.back();
+  }
+};
+
+TEST(LspDispatch, MalformedArrayIdIsInvalidRequest) {
+  DispatchFixture F;
+  EXPECT_TRUE(
+      F.S->handleMessage("{\"jsonrpc\":\"2.0\",\"id\":[1],\"method\":\"x\"}"));
+  ASSERT_EQ(1u, F.Sent.size());
+  EXPECT_NE(std::string::npos, F.last().find("\"code\":-32600"));
+  EXPECT_NE(std::string::npos, F.last().find("\"id\":null"));
+}
+
+TEST(LspDispatch, MalformedObjectIdIsInvalidRequest) {
+  DispatchFixture F;
+  EXPECT_TRUE(F.S->handleMessage(
+      "{\"jsonrpc\":\"2.0\",\"id\":{\"k\":1},\"method\":\"initialize\"}"));
+  ASSERT_EQ(1u, F.Sent.size());
+  EXPECT_NE(std::string::npos, F.last().find("\"code\":-32600"));
+}
+
+TEST(LspDispatch, BoolIdIsInvalidRequest) {
+  DispatchFixture F;
+  EXPECT_TRUE(F.S->handleMessage(
+      "{\"jsonrpc\":\"2.0\",\"id\":true,\"method\":\"initialize\"}"));
+  ASSERT_EQ(1u, F.Sent.size());
+  EXPECT_NE(std::string::npos, F.last().find("\"code\":-32600"));
+}
+
+TEST(LspDispatch, UnparsableBodyIsParseError) {
+  DispatchFixture F;
+  EXPECT_TRUE(F.S->handleMessage("{\"jsonrpc\": <nope>"));
+  ASSERT_EQ(1u, F.Sent.size());
+  EXPECT_NE(std::string::npos, F.last().find("\"code\":-32700"));
+}
+
+TEST(LspDispatch, RequestWithoutMethod) {
+  DispatchFixture F;
+  EXPECT_TRUE(F.S->handleMessage("{\"jsonrpc\":\"2.0\",\"id\":7}"));
+  ASSERT_EQ(1u, F.Sent.size());
+  EXPECT_NE(std::string::npos, F.last().find("\"code\":-32600"));
+  EXPECT_NE(std::string::npos, F.last().find("\"id\":7"));
+}
+
+TEST(LspDispatch, UnknownMethodWithIdIsMethodNotFound) {
+  DispatchFixture F;
+  EXPECT_TRUE(F.S->handleMessage(
+      "{\"jsonrpc\":\"2.0\",\"id\":9,\"method\":\"workspace/symbol\"}"));
+  ASSERT_EQ(1u, F.Sent.size());
+  EXPECT_NE(std::string::npos, F.last().find("\"code\":-32601"));
+}
+
+TEST(LspDispatch, UnknownNotificationIsIgnored) {
+  DispatchFixture F;
+  EXPECT_TRUE(F.S->handleMessage(
+      "{\"jsonrpc\":\"2.0\",\"method\":\"workspace/didChangeConfiguration\"}"));
+  EXPECT_TRUE(F.Sent.empty());
+}
+
+TEST(LspDispatch, InitializeAdvertisesCapabilities) {
+  DispatchFixture F;
+  EXPECT_TRUE(F.S->handleMessage(
+      "{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"initialize\",\"params\":{}}"));
+  ASSERT_EQ(1u, F.Sent.size());
+  EXPECT_NE(std::string::npos, F.last().find("\"hoverProvider\":true"));
+  EXPECT_NE(std::string::npos, F.last().find("\"definitionProvider\":true"));
+  EXPECT_NE(std::string::npos, F.last().find("\"id\":1"));
+}
+
+TEST(LspDispatch, StringIdIsEchoedAsString) {
+  DispatchFixture F;
+  EXPECT_TRUE(F.S->handleMessage(
+      "{\"jsonrpc\":\"2.0\",\"id\":\"a-1\",\"method\":\"initialize\"}"));
+  ASSERT_EQ(1u, F.Sent.size());
+  EXPECT_NE(std::string::npos, F.last().find("\"id\":\"a-1\""));
+}
+
+TEST(LspDispatch, ExitWithoutShutdownExitsNonzero) {
+  DispatchFixture F;
+  EXPECT_FALSE(F.S->handleMessage("{\"jsonrpc\":\"2.0\",\"method\":\"exit\"}"));
+  EXPECT_EQ(1, F.S->exitCode());
+}
+
+TEST(LspDispatch, ShutdownThenExitExitsClean) {
+  DispatchFixture F;
+  EXPECT_TRUE(F.S->handleMessage(
+      "{\"jsonrpc\":\"2.0\",\"id\":2,\"method\":\"shutdown\"}"));
+  EXPECT_NE(std::string::npos, F.last().find("\"result\":null"));
+  EXPECT_FALSE(F.S->handleMessage("{\"jsonrpc\":\"2.0\",\"method\":\"exit\"}"));
+  EXPECT_EQ(0, F.S->exitCode());
+}
+
+TEST(LspDispatch, DidOpenAgainstUnreachableDaemonDegrades) {
+  DispatchFixture F;
+  EXPECT_TRUE(F.S->handleMessage(
+      "{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/didOpen\",\"params\":"
+      "{\"textDocument\":{\"uri\":\"file:///t/u.c\",\"version\":1,"
+      "\"text\":\"int x;\\n\"}}}"));
+  // One publishDiagnostics naming the outage — never a hang or a crash.
+  ASSERT_EQ(1u, F.Sent.size());
+  EXPECT_NE(std::string::npos, F.last().find("publishDiagnostics"));
+  EXPECT_NE(std::string::npos, F.last().find("unreachable"));
+}
+
+TEST(LspDispatch, HoverAgainstUnreachableDaemonIsNull) {
+  DispatchFixture F;
+  EXPECT_TRUE(F.S->handleMessage(
+      "{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/didOpen\",\"params\":"
+      "{\"textDocument\":{\"uri\":\"file:///t/u.c\",\"version\":1,"
+      "\"text\":\"int x;\\n\"}}}"));
+  EXPECT_TRUE(F.S->handleMessage(
+      "{\"jsonrpc\":\"2.0\",\"id\":3,\"method\":\"textDocument/hover\","
+      "\"params\":{\"textDocument\":{\"uri\":\"file:///t/u.c\"},"
+      "\"position\":{\"line\":0,\"character\":0}}}"));
+  ASSERT_EQ(2u, F.Sent.size());
+  EXPECT_NE(std::string::npos, F.last().find("\"result\":null"));
+}
+
+} // namespace

@@ -13,11 +13,14 @@
 #     "warm_batch_ms":          <--cache warm pass, 64x200 corpus>,
 #     "warm_batch_units_per_s": <derived: 64 units / warm_batch_ms>,
 #     "server_warm_req_per_s":  <--server, 8 clients, warm cache>,
-#     "server_warm_p99_us":     <same row's server-side p99 latency>
+#     "server_warm_p99_us":     <same row's server-side p99 latency>,
+#     "interactive_hover_p99_us":     <--interactive, hover preview p99>,
+#     "interactive_diag_warm_p99_us": <--interactive, warm re-expand p99>
 #   }
 #
 # Raw bench outputs are kept next to the summary (<out>.cache.json /
-# <out>.server.json) for debugging regressions the summary flags.
+# <out>.server.json / <out>.interactive.json) for debugging regressions
+# the summary flags.
 set -euo pipefail
 
 BENCH=${1:?usage: make_bench_summary.sh <expansion_throughput> <out.json>}
@@ -30,11 +33,15 @@ fail() {
 
 CACHE_RAW="$OUT.cache.json"
 SERVER_RAW="$OUT.server.json"
+INTERACTIVE_RAW="$OUT.interactive.json"
 
 "$BENCH" --cache > "$CACHE_RAW" || fail "bench --cache failed"
 [ -s "$CACHE_RAW" ] || fail "bench --cache produced no output"
 "$BENCH" --server > "$SERVER_RAW" || fail "bench --server failed"
 [ -s "$SERVER_RAW" ] || fail "bench --server produced no output"
+"$BENCH" --interactive > "$INTERACTIVE_RAW" ||
+  fail "bench --interactive failed"
+[ -s "$INTERACTIVE_RAW" ] || fail "bench --interactive produced no output"
 
 WARM_MS=$(grep -o '"warm_ms":[0-9.]*' "$CACHE_RAW" | head -1 | cut -d: -f2)
 [ -n "$WARM_MS" ] || fail "no warm_ms in $CACHE_RAW"
@@ -47,8 +54,16 @@ P99_US=$(echo "$ROW" | grep -o '"p99_us":[0-9.]*' | head -1 | cut -d: -f2)
 [ -n "$REQ_PER_S" ] || fail "no req_per_s in the 8-client warm row"
 [ -n "$P99_US" ] || fail "no p99_us in the 8-client warm row"
 
+HOVER_P99=$(grep -o '"hover_p99_us":[0-9]*' "$INTERACTIVE_RAW" |
+  head -1 | cut -d: -f2)
+DIAG_P99=$(grep -o '"diag_warm_p99_us":[0-9]*' "$INTERACTIVE_RAW" |
+  head -1 | cut -d: -f2)
+[ -n "$HOVER_P99" ] || fail "no hover_p99_us in $INTERACTIVE_RAW"
+[ -n "$DIAG_P99" ] || fail "no diag_warm_p99_us in $INTERACTIVE_RAW"
+
 UNITS_PER_S=$(awk -v ms="$WARM_MS" 'BEGIN {printf "%.1f", 64 * 1000 / ms}')
 
-printf '{"schema":1,"date":"%s","warm_batch_ms":%s,"warm_batch_units_per_s":%s,"server_warm_req_per_s":%s,"server_warm_p99_us":%s}\n' \
-  "$(date -u +%F)" "$WARM_MS" "$UNITS_PER_S" "$REQ_PER_S" "$P99_US" > "$OUT"
+printf '{"schema":1,"date":"%s","warm_batch_ms":%s,"warm_batch_units_per_s":%s,"server_warm_req_per_s":%s,"server_warm_p99_us":%s,"interactive_hover_p99_us":%s,"interactive_diag_warm_p99_us":%s}\n' \
+  "$(date -u +%F)" "$WARM_MS" "$UNITS_PER_S" "$REQ_PER_S" "$P99_US" \
+  "$HOVER_P99" "$DIAG_P99" > "$OUT"
 cat "$OUT"

@@ -725,4 +725,178 @@ TEST(TcpFraming, HostPortParsing) {
   EXPECT_FALSE(parseHostPort("h:12ab", Host, Port, &Err));
 }
 
+//===----------------------------------------------------------------------===//
+// Session protocol: parse + builder round trips
+//===----------------------------------------------------------------------===//
+
+TEST(SessionProtocol, ParsesOpen) {
+  Request R;
+  ASSERT_TRUE(parseRequest(makeSessionOpenRequest(
+                               "o1", /*LoadStdlib=*/true, /*Provenance=*/true,
+                               {{"lib.c", "syntax exp a {| ( ) |}\n"}}),
+                           R)
+                  .Ok);
+  EXPECT_EQ(R.Ty, Request::Type::SessionOpen);
+  EXPECT_EQ(R.Id, "o1");
+  EXPECT_TRUE(R.LoadStdlib);
+  EXPECT_TRUE(R.Provenance);
+  ASSERT_EQ(R.Sources.size(), 1u);
+  EXPECT_EQ(R.Sources[0].Name, "lib.c");
+
+  // Defaults: no stdlib, no provenance, no seeds.
+  Request D;
+  ASSERT_TRUE(parseRequest(makeSessionOpenRequest("o2", false, false, {}), D)
+                  .Ok);
+  EXPECT_FALSE(D.LoadStdlib);
+  EXPECT_FALSE(D.Provenance);
+  EXPECT_TRUE(D.Sources.empty());
+}
+
+TEST(SessionProtocol, ParsesEvalAndClose) {
+  Request R;
+  ASSERT_TRUE(parseRequest(makeSessionEvalRequest("e1", "s7", "expand",
+                                                  "u.c", "int x = f();\n"),
+                           R)
+                  .Ok);
+  EXPECT_EQ(R.Ty, Request::Type::SessionEval);
+  EXPECT_EQ(R.Session, "s7");
+  EXPECT_EQ(R.Mode, "expand");
+  EXPECT_EQ(R.Name, "u.c");
+  EXPECT_EQ(R.Source, "int x = f();\n");
+
+  Request C;
+  ASSERT_TRUE(parseRequest(makeSessionCloseRequest("c1", "s7"), C).Ok);
+  EXPECT_EQ(C.Ty, Request::Type::SessionClose);
+  EXPECT_EQ(C.Session, "s7");
+}
+
+TEST(SessionProtocol, RejectsMalformedSessionRequests) {
+  Request R;
+  // Missing / empty "session".
+  EXPECT_FALSE(
+      parseRequest(R"({"v":1,"id":"x","type":"session_eval","mode":"eval"})",
+                   R)
+          .Ok);
+  EXPECT_FALSE(parseRequest(
+                   R"({"v":1,"id":"x","type":"session_eval","session":"","mode":"eval"})",
+                   R)
+                   .Ok);
+  // Missing / empty "mode".
+  EXPECT_FALSE(parseRequest(
+                   R"({"v":1,"id":"x","type":"session_eval","session":"s1"})",
+                   R)
+                   .Ok);
+  EXPECT_FALSE(parseRequest(
+                   R"({"v":1,"id":"x","type":"session_eval","session":"s1","mode":""})",
+                   R)
+                   .Ok);
+  // session_close without its session.
+  EXPECT_FALSE(
+      parseRequest(R"({"v":1,"id":"x","type":"session_close"})", R).Ok);
+  // Mis-typed open fields.
+  EXPECT_FALSE(parseRequest(
+                   R"({"v":1,"id":"x","type":"session_open","stdlib":"yes"})",
+                   R)
+                   .Ok);
+  EXPECT_FALSE(parseRequest(
+                   R"({"v":1,"id":"x","type":"session_open","sources":[{"name":"a"}]})",
+                   R)
+                   .Ok);
+}
+
+TEST(SessionProtocol, ResultResponseCarriesEveryField) {
+  SessionEvalResult R;
+  R.Success = true;
+  R.Output = "int a = 1;\n";
+  R.Diagnostics = "";
+  R.Path = "tree";
+  R.Invocations = 3;
+  R.MetaSteps = 42;
+  R.MacrosDefined = 1;
+  R.GlobalsMutated = true;
+  R.HasTrace = true;
+  R.Trace = "enter next\n";
+  R.GlobalsJson = R"([{"name":"counter","kind":"int","value":"3"}])";
+  R.LintsJson = "[]";
+  R.SourceMapJson = R"({"version":1,"frames":[],"lines":[]})";
+  json::Value V = parseOk(makeSessionResultResponse("e1", "s7", R));
+  EXPECT_EQ(V.get("type")->Str, "session_result");
+  EXPECT_EQ(V.get("session")->Str, "s7");
+  EXPECT_EQ(V.get("output")->Str, "int a = 1;\n");
+  EXPECT_EQ(V.get("path")->Str, "tree");
+  uint64_t N = 0;
+  ASSERT_TRUE(V.get("invocations")->asU64(N));
+  EXPECT_EQ(N, 3u);
+  EXPECT_TRUE(V.get("globals_mutated")->B);
+  EXPECT_EQ(V.get("trace")->Str, "enter next\n");
+  ASSERT_TRUE(V.get("globals"));
+  EXPECT_TRUE(V.get("globals")->isArray());
+  ASSERT_TRUE(V.get("source_map"));
+  EXPECT_TRUE(V.get("source_map")->isObject());
+
+  // Optional members really are optional.
+  SessionEvalResult Bare;
+  Bare.Path = "eval";
+  json::Value B = parseOk(makeSessionResultResponse("e2", "s7", Bare));
+  EXPECT_FALSE(B.get("trace"));
+  EXPECT_FALSE(B.get("globals"));
+  EXPECT_FALSE(B.get("lints"));
+  EXPECT_FALSE(B.get("source_map"));
+
+  json::Value C = parseOk(makeSessionClosedResponse("c1", "s7", 9));
+  EXPECT_EQ(C.get("type")->Str, "session_closed");
+  ASSERT_TRUE(C.get("evals")->asU64(N));
+  EXPECT_EQ(N, 9u);
+}
+
+//===----------------------------------------------------------------------===//
+// jsonEscape round trip: interactive payloads carry arbitrary macro
+// source, so emit -> parse must be byte-identical for every byte value.
+//===----------------------------------------------------------------------===//
+
+TEST(JsonEscape, EveryByteValueRoundTrips) {
+  for (int B = 0; B != 256; ++B) {
+    std::string Raw(1, char(B));
+    json::Value V = parseOk("{\"s\":\"" + jsonEscape(Raw) + "\"}");
+    ASSERT_TRUE(V.get("s")) << "byte " << B;
+    EXPECT_EQ(V.get("s")->Str, Raw) << "byte " << B;
+  }
+  // The full C0 block and DEL in one string — the hover/REPL worst case.
+  std::string Ctl;
+  for (int B = 0; B != 0x20; ++B)
+    Ctl.push_back(char(B));
+  Ctl.push_back(char(0x7f));
+  json::Value V = parseOk("{\"s\":\"" + jsonEscape(Ctl) + "\"}");
+  EXPECT_EQ(V.get("s")->Str, Ctl);
+}
+
+TEST(JsonEscape, RandomStringsRoundTripThroughRequests) {
+  uint64_t S = 0x243f6a8885a308d3ull;
+  auto Next = [&S] {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  };
+  for (int Round = 0; Round != 200; ++Round) {
+    std::string Source;
+    size_t Len = Next() % 96;
+    for (size_t I = 0; I != Len; ++I)
+      Source.push_back(char(Next() & 0xff));
+    // Straight escape -> parse.
+    json::Value V = parseOk("{\"s\":\"" + jsonEscape(Source) + "\"}");
+    ASSERT_TRUE(V.get("s"));
+    EXPECT_EQ(V.get("s")->Str, Source);
+    // And through a whole session_eval frame: builder -> parseRequest.
+    Request R;
+    ASSERT_TRUE(
+        parseRequest(makeSessionEvalRequest("f", "s1", "eval",
+                                            "fuzz.c", Source),
+                     R)
+            .Ok)
+        << "round " << Round;
+    EXPECT_EQ(R.Source, Source) << "round " << Round;
+  }
+}
+
 } // namespace

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# repl_smoke.sh <msqd> <msq-repl>
+#
+# Golden-transcript test for msq-repl's live expansion sessions: one
+# msqd, one REPL session, a scripted stdin, and a byte-compared
+# transcript. What it proves:
+#
+#   * meta-global state persists across inputs — a `metadcl` counter
+#     macro defined in input 1 yields 1, 2, 3 across the next three
+#     evaluations (the paper's accumulating meta-state, interactively);
+#   * :expand is a preview — it sees the current state (prints 4) but
+#     does not advance it (the following eval prints 4 again);
+#   * :globals renders the session's meta-variables;
+#   * :reset restores the just-opened session — the macro is gone and
+#     its invocation passes through unexpanded;
+#   * a second REPL session is isolated from the first (its counter
+#     starts over).
+set -eu
+
+MSQD=${1:?usage: repl_smoke.sh <msqd> <msq-repl>}
+REPL=${2:?usage: repl_smoke.sh <msqd> <msq-repl>}
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/msq-repl-smoke.XXXXXX")
+DPID=""
+cleanup() {
+  [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+cd "$WORK"
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+SOCK="$WORK/msqd.sock"
+"$MSQD" --socket "$SOCK" --quiet &
+DPID=$!
+
+cat > input.txt <<'EOF'
+metadcl int counter; syntax exp next {| ( ) |} { counter = counter + 1; return `($(counter)); }
+int a = next();
+int b = next();
+int c = next();
+:expand int preview = next();
+int d = next();
+:globals
+:reset
+int e = next();
+:lint syntax exp bad {| ( $$exp::u ) |} { return `(1); }
+:quit
+EOF
+
+cat > expected.txt <<'EOF'
+int a = 1;
+int b = 2;
+int c = 3;
+int preview = 4;
+int d = 4;
+= counter : int = 4
+= session reset
+int e = next();
+! lint MSQ001: pattern binder 'u' is never used in the body of macro 'bad'
+EOF
+
+"$REPL" --socket "$SOCK" --retry-ms 5000 < input.txt > got.txt 2>repl.err ||
+  fail "msq-repl exited $? ($(cat repl.err))"
+
+cmp -s expected.txt got.txt || {
+  echo "--- expected" >&2; cat expected.txt >&2
+  echo "--- got" >&2; cat got.txt >&2
+  fail "transcript mismatch"
+}
+
+#--- Session isolation: a fresh session starts its own counter at 1.
+printf '%s\n' \
+  'metadcl int counter; syntax exp next {| ( ) |} { counter = counter + 1; return `($(counter)); }' \
+  'int z = next();' \
+  ':quit' | "$REPL" --socket "$SOCK" > got2.txt 2>/dev/null ||
+  fail "second msq-repl session failed"
+grep -q '^int z = 1;$' got2.txt ||
+  fail "second session not isolated: $(cat got2.txt)"
+
+kill "$DPID"
+wait "$DPID" 2>/dev/null || true
+DPID=""
+
+echo "PASS repl_smoke"

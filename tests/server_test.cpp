@@ -19,16 +19,25 @@
 #include "server/Server.h"
 
 #include "cache/ExpansionCache.h"
+#include "server/Daemon.h"
 #include "server/Protocol.h"
+#include "server/Session.h"
+#include "support/Fault.h"
+#include "support/Socket.h"
 
 #include "gtest/gtest.h"
 
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/socket.h>
 
 using namespace msq;
 
@@ -774,6 +783,282 @@ TEST(CacheDiskErrors, GenerationEviction) {
   CachedExpansion Out;
   EXPECT_FALSE(C.lookup("old", Out, Stats));
   EXPECT_TRUE(C.lookup("new", Out, Stats));
+}
+
+//===----------------------------------------------------------------------===//
+// Interactive sessions: the session_* protocol through the shard
+// dispatcher, including quotas, idle eviction, crash containment, and
+// the connection idle timeout.
+//===----------------------------------------------------------------------===//
+
+/// One live connection against a Server + SessionManager pair, served by
+/// a real serveShardConnection thread over a socketpair. Unlike
+/// ShardConversation this holds the conversation open so session state
+/// can accumulate across calls.
+struct SessionHarness {
+  Server S;
+  SessionManager SM;
+  int Fd = -1;
+  std::unique_ptr<FrameReader> Reader;
+  std::thread T;
+
+  explicit SessionHarness(SessionManagerOptions SMO = {},
+                          unsigned ConnIdleMillis = 0,
+                          bool EnableSessions = true)
+      : S(baseOptions()), SM(S, SMO) {
+    EXPECT_TRUE(S.reloadLibrary({{"lib.c", LibA}}, false).Success);
+    ::signal(SIGPIPE, SIG_IGN);
+    int Sp[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
+    auto C = std::make_shared<Conn>(Sp[0], Sp[0], /*OwnsFds=*/true);
+    ShardServeOptions Opts;
+    Opts.Sessions = EnableSessions ? &SM : nullptr;
+    Opts.IdleTimeoutMillis = ConnIdleMillis;
+    T = std::thread(
+        [C, this, Opts] { serveShardConnection(C, S, AuthConfig{}, Opts); });
+    Fd = Sp[1];
+    Reader = std::make_unique<FrameReader>(Fd, MaxFrameBytes);
+  }
+
+  ~SessionHarness() { finish(); }
+
+  /// Ends the conversation and joins the serving thread; safe to call
+  /// twice (tests call it early to sequence metric reads after the
+  /// dispatcher has fully returned).
+  void finish() {
+    if (Fd < 0)
+      return;
+    ::shutdown(Fd, SHUT_WR);
+    T.join();
+    S.drain();
+    ::close(Fd);
+    Fd = -1;
+  }
+
+  std::string rpc(const std::string &Frame) {
+    std::string Resp;
+    if (!writeFrame(Fd, Frame))
+      return "";
+    if (Reader->next(Resp) != FrameReader::Status::Frame)
+      return "";
+    return Resp;
+  }
+
+  /// session_open -> the new session id ("" on failure).
+  std::string openSession() {
+    std::string R = rpc(makeSessionOpenRequest("o", /*LoadStdlib=*/false,
+                                               /*Provenance=*/false, {}));
+    json::Value V;
+    std::string Err;
+    EXPECT_TRUE(json::parse(R, V, &Err)) << R;
+    const json::Value *Sid = V.get("session");
+    return Sid && Sid->isString() ? Sid->Str : "";
+  }
+
+  json::Value sessionMetrics() {
+    json::Value V;
+    std::string Err;
+    EXPECT_TRUE(json::parse(SM.metricsJson(), V, &Err)) << Err;
+    return V;
+  }
+
+  uint64_t sessionMetric(const char *Field) {
+    json::Value V = sessionMetrics();
+    const json::Value *F = V.get(Field);
+    uint64_t N = 0;
+    EXPECT_TRUE(F && F->asU64(N)) << SM.metricsJson();
+    return N;
+  }
+};
+
+bool hasText(const std::string &Frame, const std::string &Needle) {
+  return Frame.find(Needle) != std::string::npos;
+}
+
+TEST(SessionProtocol, MetaStatePersistsAcrossEvalsAndResets) {
+  SessionHarness H;
+  std::string Sid = H.openSession();
+  ASSERT_FALSE(Sid.empty());
+
+  // The library's `metadcl int counter` accumulates across evals — the
+  // paper's persistent meta-state, one request at a time.
+  for (int I = 1; I <= 3; ++I) {
+    std::string R =
+        H.rpc(makeSessionEvalRequest("e" + std::to_string(I), Sid, "eval",
+                                     "u.c", "int a = next();\n"));
+    EXPECT_TRUE(hasText(R, "int a = " + std::to_string(I) + ";")) << R;
+    EXPECT_TRUE(hasText(R, "\"success\":true")) << R;
+  }
+
+  // "expand" is a preview: it sees the state (4) without advancing it.
+  std::string P = H.rpc(
+      makeSessionEvalRequest("p", Sid, "expand", "u.c", "int p = next();\n"));
+  EXPECT_TRUE(hasText(P, "int p = 4;")) << P;
+  std::string After = H.rpc(
+      makeSessionEvalRequest("a", Sid, "eval", "u.c", "int a = next();\n"));
+  EXPECT_TRUE(hasText(After, "int a = 4;")) << After;
+
+  // "globals" renders the accumulated meta-variables.
+  std::string G = H.rpc(makeSessionEvalRequest("g", Sid, "globals", "", ""));
+  EXPECT_TRUE(hasText(G, "\"name\":\"counter\"")) << G;
+  EXPECT_TRUE(hasText(G, "\"value\":\"4\"")) << G;
+
+  // "reset" rebuilds from the daemon snapshot: the counter starts over.
+  std::string R = H.rpc(makeSessionEvalRequest("r", Sid, "reset", "", ""));
+  EXPECT_TRUE(hasText(R, "\"success\":true")) << R;
+  std::string Fresh = H.rpc(
+      makeSessionEvalRequest("f", Sid, "eval", "u.c", "int a = next();\n"));
+  EXPECT_TRUE(hasText(Fresh, "int a = 1;")) << Fresh;
+
+  // Close, then prove the id is really gone.
+  std::string C = H.rpc(makeSessionCloseRequest("c", Sid));
+  EXPECT_TRUE(hasText(C, "\"type\":\"session_closed\"")) << C;
+  std::string Lost = H.rpc(
+      makeSessionEvalRequest("x", Sid, "eval", "u.c", "int a = next();\n"));
+  EXPECT_TRUE(hasText(Lost, "\"error\":\"session_lost\"")) << Lost;
+
+  EXPECT_EQ(H.sessionMetric("opened_total"), 1u);
+  EXPECT_EQ(H.sessionMetric("closed_total"), 1u);
+  EXPECT_EQ(H.sessionMetric("open"), 0u);
+  EXPECT_GE(H.sessionMetric("evals_total"), 6u);
+}
+
+TEST(SessionProtocol, UnknownSessionIsSessionLost) {
+  SessionHarness H;
+  std::string R = H.rpc(
+      makeSessionEvalRequest("e", "s999", "eval", "u.c", "int a = 1;\n"));
+  EXPECT_TRUE(hasText(R, "\"error\":\"session_lost\"")) << R;
+  std::string C = H.rpc(makeSessionCloseRequest("c", "s999"));
+  EXPECT_TRUE(hasText(C, "\"error\":\"session_lost\"")) << C;
+}
+
+TEST(SessionProtocol, QuotaBoundsOpenSessions) {
+  SessionManagerOptions SMO;
+  SMO.MaxSessions = 1;
+  SessionHarness H(SMO);
+  std::string First = H.openSession();
+  ASSERT_FALSE(First.empty());
+  std::string Second = H.rpc(makeSessionOpenRequest("o2", false, false, {}));
+  EXPECT_TRUE(hasText(Second, "\"error\":\"quota_exceeded\"")) << Second;
+  EXPECT_EQ(H.sessionMetric("rejected_quota"), 1u);
+
+  // Closing the first frees the slot.
+  uint64_t Evals = 0;
+  EXPECT_TRUE(H.SM.close(First, Evals));
+  EXPECT_FALSE(H.openSession().empty());
+}
+
+TEST(SessionProtocol, IdleSessionsAreEvicted) {
+  SessionManagerOptions SMO;
+  SMO.IdleTimeoutMillis = 30;
+  SessionHarness H(SMO);
+  std::string Sid = H.openSession();
+  ASSERT_FALSE(Sid.empty());
+  // The reaper ticks at max(10ms, timeout/4); give it a few rounds.
+  for (int I = 0; I < 100 && H.SM.sessionCount() > 0; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(H.SM.sessionCount(), 0u);
+  std::string R = H.rpc(
+      makeSessionEvalRequest("e", Sid, "eval", "u.c", "int a = next();\n"));
+  EXPECT_TRUE(hasText(R, "\"error\":\"session_lost\"")) << R;
+  EXPECT_EQ(H.sessionMetric("evicted_idle"), 1u);
+}
+
+TEST(SessionProtocol, InjectedEvalCrashKillsOnlyThatSession) {
+  SessionHarness H;
+  std::string Victim = H.openSession();
+  std::string Bystander = H.openSession();
+  ASSERT_FALSE(Victim.empty());
+  ASSERT_FALSE(Bystander.empty());
+
+  {
+    fault::ScopedSchedule FS("session.eval:every=1,times=1");
+    std::string R = H.rpc(makeSessionEvalRequest("e", Victim, "eval", "u.c",
+                                                 "int a = next();\n"));
+    EXPECT_TRUE(hasText(R, "\"error\":\"session_lost\"")) << R;
+  }
+
+  // The crashed session stays dead; its neighbor and the daemon do not.
+  std::string Again = H.rpc(makeSessionEvalRequest("e2", Victim, "eval",
+                                                   "u.c", "int a = next();\n"));
+  EXPECT_TRUE(hasText(Again, "\"error\":\"session_lost\"")) << Again;
+  std::string Ok = H.rpc(makeSessionEvalRequest("e3", Bystander, "eval",
+                                                "u.c", "int a = next();\n"));
+  EXPECT_TRUE(hasText(Ok, "int a = 1;")) << Ok;
+  EXPECT_TRUE(hasText(H.rpc(makePingRequest("p")), "\"type\":\"pong\""));
+  EXPECT_EQ(H.sessionMetric("crashed_total"), 1u);
+}
+
+TEST(SessionProtocol, WarmPathsSurfaceInMetrics) {
+  SessionHarness H;
+  std::string Sid = H.openSession();
+  ASSERT_FALSE(Sid.empty());
+  // Seed an editable library document, then expand a unit against it.
+  std::string Lib1 = "syntax stmt note {| ( $$exp::e ) |}\n{\n"
+                     "    @id t = gensym(\"n\");\n"
+                     "    return `{ int $t; $t = $e; };\n}\n";
+  std::string L =
+      H.rpc(makeSessionEvalRequest("l1", Sid, "library", "ovl.c", Lib1));
+  EXPECT_TRUE(hasText(L, "\"success\":true")) << L;
+  std::string Unit = "void f(void)\n{\n    note(2);\n}\n";
+  std::string Cold =
+      H.rpc(makeSessionEvalRequest("u1", Sid, "unit", "u.c", Unit));
+  EXPECT_TRUE(hasText(Cold, "\"path\":\"cold\"")) << Cold;
+  // Nothing changed: the stored result replays without engine work.
+  std::string Clean =
+      H.rpc(makeSessionEvalRequest("u2", Sid, "unit", "u.c", Unit));
+  EXPECT_TRUE(hasText(Clean, "\"path\":\"clean\"")) << Clean;
+  // A macro BODY edit dirties the unit, but its parse is untouched:
+  // the driver re-expands from the cached tree instead of from cold.
+  std::string Lib2 = "syntax stmt note {| ( $$exp::e ) |}\n{\n"
+                     "    @id t = gensym(\"n\");\n"
+                     "    return `{ int $t; $t = 0; $t = $e; };\n}\n";
+  L = H.rpc(makeSessionEvalRequest("l2", Sid, "library", "ovl.c", Lib2));
+  EXPECT_TRUE(hasText(L, "\"success\":true")) << L;
+  std::string Warm =
+      H.rpc(makeSessionEvalRequest("u3", Sid, "unit", "u.c", Unit));
+  EXPECT_FALSE(hasText(Warm, "\"path\":\"cold\"")) << Warm;
+  EXPECT_TRUE(hasText(Warm, "\"success\":true")) << Warm;
+  EXPECT_TRUE(hasText(Warm, "= 0;")) << Warm; // the body edit really landed
+
+  json::Value M = H.sessionMetrics();
+  EXPECT_EQ(metricU64(M, "paths", "cold"), 1u);
+  EXPECT_GE(metricU64(M, "paths", "clean"), 1u);
+  uint64_t WarmCount = metricU64(M, "paths", "clean") +
+                       metricU64(M, "paths", "tree") +
+                       metricU64(M, "paths", "tokens");
+  EXPECT_GE(WarmCount, 2u);
+}
+
+TEST(SessionProtocol, DisabledSessionsAnswerUnknownType) {
+  SessionHarness H({}, 0, /*EnableSessions=*/false);
+  std::string R = H.rpc(makeSessionOpenRequest("o", false, false, {}));
+  EXPECT_TRUE(hasText(R, "\"error\":\"unknown_type\"")) << R;
+  EXPECT_TRUE(hasText(R, "sessions")) << R; // says why, not just "what?"
+}
+
+TEST(SessionProtocol, ConnectionIdleTimeoutDisconnects) {
+  SessionHarness H({}, /*ConnIdleMillis=*/50);
+  // Send nothing: the dispatcher must hang up on us, not wait forever.
+  std::string Resp;
+  EXPECT_EQ(H.Reader->next(Resp), FrameReader::Status::Eof);
+  H.finish(); // join first so the metric write is sequenced before the read
+  EXPECT_EQ(metricU64(parseMetrics(H.S), "server", "idle_disconnects"), 1u);
+}
+
+TEST(SessionProtocol, ActiveConnectionSurvivesIdleTimeout) {
+  SessionHarness H({}, /*ConnIdleMillis=*/200);
+  std::string Sid = H.openSession();
+  ASSERT_FALSE(Sid.empty());
+  // Keep traffic flowing slower than never but faster than the timeout.
+  for (int I = 0; I < 4; ++I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::string R = H.rpc(makeSessionEvalRequest(
+        "k" + std::to_string(I), Sid, "eval", "u.c", "int a = next();\n"));
+    EXPECT_TRUE(hasText(R, "\"success\":true")) << R;
+  }
+  H.finish();
+  EXPECT_EQ(metricU64(parseMetrics(H.S), "server", "idle_disconnects"), 0u);
 }
 
 } // namespace

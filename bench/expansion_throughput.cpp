@@ -25,6 +25,7 @@
 #include "server/Server.h"
 #include "server/Session.h"
 #include "support/Fault.h"
+#include "synbase/SyntaxBase.h"
 #include "support/Histogram.h"
 #include "support/Socket.h"
 
@@ -972,6 +973,66 @@ int runClusterLoad(const char *Argv0) {
   return 0;
 }
 
+// --base=NAME: cross-base throughput. The guarded workload is authored
+// in the named concrete-syntax base (same macro library, same invocation
+// count) and batch-expanded cold; reports the batch time as JSON so the
+// nightly summary can track what a non-C front end costs relative to
+// the C base (sexpr_* keys in make_bench_summary.sh).
+int runBaseThroughput(const std::string &Base) {
+  if (!msq::syntaxBaseByName(Base)) {
+    std::fprintf(stderr, "error: unknown syntax base '%s'\n", Base.c_str());
+    return 1;
+  }
+  constexpr int UnitCount = 64, Invocations = 200;
+  const bool Sexpr = Base == "sexpr";
+  std::vector<msq::SourceUnit> Units;
+  Units.reserve(UnitCount);
+  for (int U = 0; U != UnitCount; ++U) {
+    std::string Source;
+    if (Sexpr) {
+      std::ostringstream OS;
+      OS << "(defun void f ()\n";
+      for (int I = 0; I != Invocations; ++I)
+        OS << "  (guarded (call step" << I << " a (+ b " << I << ")))\n";
+      OS << ")\n";
+      Source = OS.str();
+    } else {
+      Source = wrapMs2(makeBody(Invocations));
+    }
+    Units.push_back({"tu" + std::to_string(U) + (Sexpr ? ".sexp" : ".c"),
+                     std::move(Source), Base});
+  }
+
+  msq::Engine E;
+  if (!E.expandSource("lib.c", BatchLibrary).Success) {
+    std::fprintf(stderr, "error: macro library failed to load\n");
+    return 1;
+  }
+  msq::BatchOptions BO;
+  BO.ThreadCount = 4;
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point T0 = Clock::now();
+  msq::BatchResult BR = E.expandSources(Units, BO);
+  double Ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+  if (!BR.allSucceeded()) {
+    for (const msq::ExpandResult &R : BR.Results)
+      if (!R.Success) {
+        std::fprintf(stderr, "error: expansion failed:\n%s",
+                     R.DiagnosticsText.c_str());
+        break;
+      }
+    return 1;
+  }
+  std::printf("{\"base\":\"%s\",\"units\":%d,\"invocations_per_unit\":%d,"
+              "\"batch_ms\":%.3f,\"units_per_s\":%.1f,"
+              "\"total_invocations\":%llu}\n",
+              Base.c_str(), UnitCount, Invocations, Ms,
+              Ms > 0 ? UnitCount * 1000.0 / Ms : 0.0,
+              (unsigned long long)BR.TotalInvocations);
+  return 0;
+}
+
 // --interactive: the editor-facing latency measurement — one session on
 // an in-process Server, driven the way msq-lsp drives msqd: hover
 // previews (mode "expand") and didChange re-expansions of an open unit
@@ -1130,6 +1191,8 @@ int main(int argc, char **argv) {
       return runClusterLoad(argv[0]);
     if (std::strcmp(argv[I], "--interactive") == 0)
       return runInteractiveLatency();
+    if (std::strncmp(argv[I], "--base=", 7) == 0)
+      return runBaseThroughput(argv[I] + 7);
   }
   std::printf("expansion throughput: character vs. token vs. syntax macro "
               "systems, N bracketing invocations per program\n\n");

@@ -10,6 +10,8 @@
 //     --werror      report findings as errors
 //     --disable ID  suppress a rule by id, e.g. --disable MSQ003 (repeatable)
 //     --list-rules  print the rule table and exit
+//     --base=NAME   lint inputs in the named concrete-syntax base; without
+//                   it each file picks its base by extension
 //
 // Exit status: 0 clean, 1 on parse errors or error-severity findings
 // (all findings under --werror), 2 on usage errors.
@@ -17,6 +19,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/Msq.h"
+
+#include "synbase/SyntaxBase.h"
 
 #include <cstdio>
 #include <fstream>
@@ -37,7 +41,8 @@ static bool readFile(const std::string &Path, std::string &Out) {
 static void printUsage() {
   std::printf("usage: msq-lint [-stdlib] [-hygienic] [-l library.c]... "
               "[--json] [--werror]\n"
-              "                [--disable RULE]... [--list-rules] file.c...\n"
+              "                [--disable RULE]... [--list-rules] "
+              "[--base=NAME] file.c...\n"
               "lints MS2 `syntax` macro and meta-function definitions\n");
 }
 
@@ -49,10 +54,18 @@ int main(int argc, char **argv) {
   bool Hygienic = false;
   bool Json = false;
   bool Werror = false;
+  std::string Base; // "" = pick per file by extension, default c
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "-l" && I + 1 < argc) {
+    if (Arg.rfind("--base=", 0) == 0) {
+      Base = Arg.substr(7);
+      if (!msq::syntaxBaseByName(Base)) {
+        std::fprintf(stderr, "msq-lint: unknown syntax base '%s'\n",
+                     Base.c_str());
+        return 2;
+      }
+    } else if (Arg == "-l" && I + 1 < argc) {
       Libraries.push_back(argv[++I]);
     } else if (Arg == "--disable" && I + 1 < argc) {
       Disabled.push_back(argv[++I]);
@@ -119,7 +132,12 @@ int main(int argc, char **argv) {
       Status = 1;
       continue;
     }
-    msq::Engine::LintResult LR = Engine.lintSource(F, std::move(Text));
+    std::string FB = Base;
+    if (FB.empty())
+      if (const msq::SyntaxBase *SB = msq::syntaxBaseForFile(F))
+        FB = SB->name();
+    msq::Engine::LintResult LR =
+        Engine.lintSource({F, std::move(Text), FB});
     if (!LR.DiagnosticsText.empty())
       std::fputs(LR.DiagnosticsText.c_str(), stderr);
     if (!LR.Success) {

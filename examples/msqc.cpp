@@ -12,6 +12,9 @@
 //     -provenance track macro provenance; errors print "in expansion of"
 //                 backtraces
 //     -source-map print a JSON source map to stderr (implies -provenance)
+//     --base=NAME parse inputs in the named concrete-syntax base
+//                 ("c", "sexpr"); without the flag each file picks its
+//                 base by extension (.sexp/.sx -> sexpr, default c)
 //
 // Exit status: 0 on success, 1 on any diagnostic error.
 //
@@ -20,6 +23,7 @@
 #include "api/Msq.h"
 
 #include "support/Fault.h"
+#include "synbase/SyntaxBase.h"
 
 #include <cstdio>
 #include <fstream>
@@ -48,10 +52,17 @@ int main(int argc, char **argv) {
   bool Trace = false;
   bool Provenance = false;
   bool SourceMap = false;
+  std::string Base; // "" = pick per file by extension, default c
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "-l" && I + 1 < argc) {
+    if (Arg.rfind("--base=", 0) == 0) {
+      Base = Arg.substr(7);
+      if (!msq::syntaxBaseByName(Base)) {
+        std::fprintf(stderr, "msqc: unknown syntax base '%s'\n", Base.c_str());
+        return 2;
+      }
+    } else if (Arg == "-l" && I + 1 < argc) {
       Libraries.push_back(argv[++I]);
     } else if (Arg == "-c") {
       Compiled = true;
@@ -70,7 +81,7 @@ int main(int argc, char **argv) {
       SourceMap = true;
     } else if (Arg == "-h" || Arg == "--help") {
       std::printf("usage: msqc [-c] [-q] [-stdlib] [-hygienic] [-trace] "
-                  "[-provenance] [-source-map]\n"
+                  "[-provenance] [-source-map] [--base=NAME]\n"
                   "            [-l library.c]... [file.c]...\n"
                   "expands MS2 syntax macros; reads stdin when no files "
                   "are given\n");
@@ -118,8 +129,19 @@ int main(int argc, char **argv) {
     }
   }
 
+  // The explicit --base wins; otherwise each file picks its base by
+  // extension (unclaimed extensions and stdin stay on the C default).
+  auto UnitBase = [&](const std::string &Name) -> std::string {
+    if (!Base.empty())
+      return Base;
+    if (const msq::SyntaxBase *SB = msq::syntaxBaseForFile(Name))
+      return SB->name();
+    return "";
+  };
+
   auto ProcessOne = [&](const std::string &Name, std::string Text) {
-    msq::ExpandResult R = Engine.expandSource(Name, std::move(Text));
+    msq::ExpandResult R =
+        Engine.expandSource({Name, std::move(Text), UnitBase(Name)});
     if (!R.TraceText.empty())
       std::fputs(R.TraceText.c_str(), stderr);
     if (!R.DiagnosticsText.empty())

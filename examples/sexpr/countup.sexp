@@ -1,0 +1,15 @@
+; Second cross-base fixture: plain C constructs (typedef, for, ?:)
+; mixed with invocations of the shared macro library.
+(typedef int tick)
+
+(defun int countup ((int n))
+  (var tick total 0)
+  (var int i)
+  (for (= i 0) (< i n) (= i (+ i 1))
+    (begin
+      (= total (+ total (?: (> i 2) 2 1)))
+      (log_if (== i n) "never")))
+  (countdown n
+    (= total (- total 1)))
+  (log_value total)
+  (return total))

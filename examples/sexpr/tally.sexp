@@ -1,0 +1,16 @@
+; Cross-base fixture: the same program as tests/golden/cbase_input.c,
+; written in the S-expression base. Expanded against the shared macro
+; library (examples/macros/loops.c + logging.c), the result must be
+; structurally identical to the C fixture's expansion.
+(var int total)
+
+(defun void tally ((int n))
+  (var int acc)
+  (= acc 0)
+  (times n
+    (begin
+      (= acc (+ acc 1))
+      (log_if (> acc 3) "hot")))
+  (countdown n
+    (= total (+ total acc)))
+  (log_value total))

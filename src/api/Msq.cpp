@@ -8,8 +8,26 @@
 #include "api/Msq.h"
 
 #include "api/StdMacros.h"
+#include "synbase/SyntaxBase.h"
 
 using namespace msq;
+
+/// Resolves the syntax base a unit is written in: the unit's own Base when
+/// set, the engine default otherwise. Null when the name is unregistered.
+static const SyntaxBase *resolveBase(const Engine::Options &Opts,
+                                     const SourceUnit &U) {
+  return syntaxBaseByName(U.Base.empty() ? Opts.Base : U.Base);
+}
+
+static std::string unknownBaseMessage(const Engine::Options &Opts,
+                                      const SourceUnit &U) {
+  const std::string &Name = U.Base.empty() ? Opts.Base : U.Base;
+  std::string Msg = "error: unknown syntax base '" + Name + "' (registered:";
+  for (const SyntaxBase *SB : registeredSyntaxBases())
+    Msg += std::string(" ") + SB->name();
+  Msg += ")\n";
+  return Msg;
+}
 
 bool Engine::loadStandardLibrary() {
   ExpandResult R =
@@ -30,18 +48,27 @@ Engine::Engine(Options Opts)
 
 Engine::~Engine() = default;
 
-TranslationUnit *Engine::parseSourceImpl(std::string Name,
-                                         std::string Source) {
-  uint32_t Id = SM.addBuffer(std::move(Name), std::move(Source));
-  Parser::Options POpts;
-  POpts.UseCompiledPatterns = Opts.UseCompiledPatterns;
-  Parser P(*CC, POpts);
-  return P.parseTranslationUnit(Id);
+TranslationUnit *Engine::parseSourceImpl(SourceUnit U) {
+  const SyntaxBase *SB = resolveBase(Opts, U);
+  uint32_t Id = SM.addBuffer(std::move(U.Name), std::move(U.Source));
+  if (!SB) {
+    CC->Diags.error(SourceLoc::get(Id, 0),
+                    "unknown syntax base '" +
+                        (U.Base.empty() ? Opts.Base : U.Base) + "'");
+    return nullptr;
+  }
+  SyntaxBase::ParseOptions PO;
+  PO.UseCompiledPatterns = Opts.UseCompiledPatterns;
+  return SB->parseUnit(*CC, Id, PO, /*TokensOut=*/nullptr);
 }
 
 TranslationUnit *Engine::parseSource(std::string Name, std::string Source) {
-  SessionLog.push_back({{Name, Source}, /*ParseOnly=*/true});
-  return parseSourceImpl(std::move(Name), std::move(Source));
+  return parseSource({std::move(Name), std::move(Source), /*Base=*/""});
+}
+
+TranslationUnit *Engine::parseSource(SourceUnit Unit) {
+  SessionLog.push_back({Unit, /*ParseOnly=*/true});
+  return parseSourceImpl(std::move(Unit));
 }
 
 TranslationUnit *Engine::expandUnit(TranslationUnit *TU) {
@@ -52,13 +79,23 @@ TranslationUnit *Engine::expandUnit(TranslationUnit *TU) {
 }
 
 ExpandResult Engine::expandSource(std::string Name, std::string Source) {
-  return expandSourceImpl(std::move(Name), std::move(Source),
+  return expandSourceImpl({std::move(Name), std::move(Source), /*Base=*/""},
                           /*EmitOutput=*/true, /*Record=*/true);
 }
 
+ExpandResult Engine::expandSource(SourceUnit Unit) {
+  return expandSourceImpl(std::move(Unit), /*EmitOutput=*/true,
+                          /*Record=*/true);
+}
+
 ExpandResult Engine::expandUnrecorded(std::string Name, std::string Source) {
-  return expandSourceImpl(std::move(Name), std::move(Source),
+  return expandSourceImpl({std::move(Name), std::move(Source), /*Base=*/""},
                           /*EmitOutput=*/true, /*Record=*/false);
+}
+
+ExpandResult Engine::expandUnrecorded(SourceUnit Unit) {
+  return expandSourceImpl(std::move(Unit), /*EmitOutput=*/true,
+                          /*Record=*/false);
 }
 
 void Engine::setUnitLimits(size_t MaxMetaSteps, unsigned TimeoutMillis) {
@@ -66,25 +103,38 @@ void Engine::setUnitLimits(size_t MaxMetaSteps, unsigned TimeoutMillis) {
   Opts.UnitTimeoutMillis = TimeoutMillis;
 }
 
-ExpandResult Engine::expandSourceImpl(std::string Name, std::string Source,
-                                      bool EmitOutput, bool Record) {
-  return expandSourceHooked(std::move(Name), std::move(Source), EmitOutput,
-                            Record, ReexpandHooks());
+ExpandResult Engine::expandSourceImpl(SourceUnit Unit, bool EmitOutput,
+                                      bool Record) {
+  return expandSourceHooked(std::move(Unit), EmitOutput, Record,
+                            ReexpandHooks());
 }
 
 ExpandResult Engine::reexpand(std::string Name, std::string Source,
                               const ReexpandHooks &Hooks) {
-  return expandSourceHooked(std::move(Name), std::move(Source),
+  return expandSourceHooked({std::move(Name), std::move(Source), /*Base=*/""},
                             /*EmitOutput=*/true, /*Record=*/false, Hooks);
 }
 
-ExpandResult Engine::expandSourceHooked(std::string Name, std::string Source,
-                                        bool EmitOutput, bool Record,
+ExpandResult Engine::reexpand(SourceUnit Unit, const ReexpandHooks &Hooks) {
+  return expandSourceHooked(std::move(Unit), /*EmitOutput=*/true,
+                            /*Record=*/false, Hooks);
+}
+
+ExpandResult Engine::expandSourceHooked(SourceUnit U, bool EmitOutput,
+                                        bool Record,
                                         const ReexpandHooks &Hooks) {
   if (Record)
-    SessionLog.push_back({{Name, Source}, /*ParseOnly=*/false});
+    SessionLog.push_back({U, /*ParseOnly=*/false});
   ExpandResult R;
-  R.Name = Name;
+  R.Name = U.Name;
+  const SyntaxBase *SB = resolveBase(Opts, U);
+  if (!SB) {
+    // Unknown base: a structured failure, not a diagnostic — there is no
+    // buffer to anchor one to, and guessing a base would silently parse
+    // the unit as the wrong language.
+    R.DiagnosticsText = unknownBaseMessage(Opts, U);
+    return R;
+  }
   // Success and the reported diagnostics are scoped to THIS source:
   // errors from an earlier source in the session do not poison later,
   // independently correct sources.
@@ -108,26 +158,24 @@ ExpandResult Engine::expandSourceHooked(std::string Name, std::string Source,
     // restored the after-parse session state and passed a fresh clone
     // with invocation definitions remapped to the live registry.
     TU = Hooks.CachedTree;
-  } else if (Hooks.CachedTokens) {
+  } else if (Hooks.CachedTokens && SB->supportsTokenReuse()) {
     // Token-reuse path: the stream was lexed (diagnostic-free) from
     // byte-identical source, so its locations still render identically;
-    // no new buffer is registered.
-    Parser::Options POpts;
-    POpts.UseCompiledPatterns = Opts.UseCompiledPatterns;
-    Parser P(*CC, POpts);
-    TU = P.parseTranslationUnitFromTokens(*Hooks.CachedTokens);
+    // no new buffer is registered. Only bases with a token layer reach
+    // here — for the rest a cached stream is meaningless and the unit
+    // falls through to a cold parse.
+    SyntaxBase::ParseOptions PO;
+    PO.UseCompiledPatterns = Opts.UseCompiledPatterns;
+    TU = SB->parseUnitFromTokens(*CC, *Hooks.CachedTokens, PO);
   } else {
-    uint32_t Id = SM.addBuffer(std::move(Name), std::move(Source));
-    Lexer Lex(Id, SM.bufferContents(Id), CC->Interner, CC->Diags);
-    std::vector<Token> Toks = Lex.lexAll();
-    // Cached tokens cannot replay lexer diagnostics, so only a
-    // diagnostic-free stream may be captured for reuse.
-    if (Hooks.TokensOut && CC->Diags.all().size() == FirstDiag)
-      *Hooks.TokensOut = Toks;
-    Parser::Options POpts;
-    POpts.UseCompiledPatterns = Opts.UseCompiledPatterns;
-    Parser P(*CC, POpts);
-    TU = P.parseTranslationUnitFromTokens(std::move(Toks));
+    uint32_t Id = SM.addBuffer(std::move(U.Name), std::move(U.Source));
+    SyntaxBase::ParseOptions PO;
+    PO.UseCompiledPatterns = Opts.UseCompiledPatterns;
+    // Cached tokens cannot replay lexer diagnostics, so the base only
+    // captures a diagnostic-free stream — and only when it has a token
+    // layer at all (supportsTokenReuse).
+    TU = SB->parseUnit(*CC, Id, PO,
+                       SB->supportsTokenReuse() ? Hooks.TokensOut : nullptr);
   }
   if (!Hooks.CachedTree && CC->Diags.all().size() == FirstDiag) {
     // The lex+parse was diagnostic-free, so re-expanding from the tree
@@ -167,7 +215,7 @@ ExpandResult Engine::expandSourceHooked(std::string Name, std::string Source,
       std::vector<std::pair<unsigned, uint32_t>> LineProv;
       if (Opts.TrackProvenance && Opts.EmitSourceMap)
         PO.LineProvenance = &LineProv;
-      R.Output = printNode(Out, PO);
+      R.Output = SB->print(Out, PO);
       if (PO.LineProvenance)
         R.SourceMapJson = sourceMapJson(LineProv, Prov, SM);
     }
@@ -194,15 +242,19 @@ ExpandResult Engine::expandSourceHooked(std::string Name, std::string Source,
 }
 
 Engine::LintResult Engine::lintSource(std::string Name, std::string Source) {
+  return lintSource({std::move(Name), std::move(Source), /*Base=*/""});
+}
+
+Engine::LintResult Engine::lintSource(SourceUnit Unit) {
   LintResult LR;
-  LR.Name = Name;
+  LR.Name = Unit.Name;
   size_t FirstDiag = CC->Diags.all().size();
   unsigned ErrorsBefore = CC->Diags.errorCount();
   // Only definitions contributed by THIS source are reported: libraries
   // loaded earlier were either linted on their own or deliberately not.
   uint32_t FirstBuffer = uint32_t(SM.numBuffers()) + 1;
   Interp->beginUnit(Opts.MaxMetaSteps, Opts.UnitTimeoutMillis, LR.Name);
-  parseSourceImpl(std::move(Name), std::move(Source));
+  parseSourceImpl(std::move(Unit));
   LR.DiagnosticsText = CC->Diags.renderFrom(FirstDiag);
   LR.Success = CC->Diags.errorCount() == ErrorsBefore;
   LintOptions LO = Opts.Lint;

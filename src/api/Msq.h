@@ -119,6 +119,12 @@ struct ExpandResult {
 struct SourceUnit {
   std::string Name;
   std::string Source;
+  /// Concrete-syntax base this unit is written in (synbase/SyntaxBase.h).
+  /// Empty means "use the engine's Options::Base"; otherwise the name of
+  /// a registered base ("c", "sexpr"). Participates in session replay,
+  /// stateFingerprint, and every expansion-cache key: the same bytes
+  /// parsed under different bases are different programs.
+  std::string Base;
 };
 
 /// One MS2 compilation session. Macro definitions and meta globals persist
@@ -172,6 +178,11 @@ public:
     /// With TrackProvenance: also emit the JSON source map from output
     /// lines back to invocation sites into ExpandResult::SourceMapJson.
     bool EmitSourceMap = false;
+    /// Default concrete-syntax base for units that do not name their own
+    /// (SourceUnit::Base). Must name a registered SyntaxBase; an unknown
+    /// name makes expansion fail with a structured error rather than
+    /// guessing. Participates in stateFingerprint.
+    std::string Base = "c";
   };
 
   Engine();
@@ -182,6 +193,9 @@ public:
 
   /// Parses and expands \p Source, returning the printed C program.
   ExpandResult expandSource(std::string Name, std::string Source);
+  /// SourceUnit overload: honors the unit's concrete-syntax base
+  /// (SourceUnit::Base; empty falls back to Options::Base).
+  ExpandResult expandSource(SourceUnit Unit);
 
   /// Like expandSource, but the unit is NOT appended to the session log:
   /// its definitions and metadcl mutations affect this engine's live state
@@ -190,6 +204,7 @@ public:
   /// checkpoint() between units to keep requests isolated (the same
   /// discipline BatchDriver applies inside run()).
   ExpandResult expandUnrecorded(std::string Name, std::string Source);
+  ExpandResult expandUnrecorded(SourceUnit Unit);
 
   /// Outcome of one lintSource call.
   struct LintResult {
@@ -208,6 +223,7 @@ public:
   /// session log. Lint.Enabled need not be set; this entry point always
   /// lints.
   LintResult lintSource(std::string Name, std::string Source);
+  LintResult lintSource(SourceUnit Unit);
 
   /// Overrides the per-unit fuel and wall-clock limits used by subsequent
   /// expand calls (0 = the interpreter's constructed fuel default /
@@ -269,6 +285,7 @@ public:
   /// Parses \p Source without expanding (definitions are still registered
   /// and available to later calls).
   TranslationUnit *parseSource(std::string Name, std::string Source);
+  TranslationUnit *parseSource(SourceUnit Unit);
 
   /// Loads the standard macro library (see api/StdMacros.h). Returns false
   /// (with diagnostics in the result of a later call) if it failed — which
@@ -345,6 +362,7 @@ public:
   /// (tests/incremental_diff_test.cpp) enforces exactly that.
   ExpandResult reexpand(std::string Name, std::string Source,
                         const ReexpandHooks &Hooks);
+  ExpandResult reexpand(SourceUnit Unit, const ReexpandHooks &Hooks);
 
   // Advanced access for tests and benchmarks.
   CompilationContext &context() { return *CC; }
@@ -359,13 +377,11 @@ private:
   /// Shared implementation of expandSource. \p EmitOutput controls whether
   /// the expanded tree is printed (snapshot replay skips it); \p Record
   /// controls whether the source is appended to the session log.
-  ExpandResult expandSourceImpl(std::string Name, std::string Source,
-                                bool EmitOutput, bool Record);
+  ExpandResult expandSourceImpl(SourceUnit Unit, bool EmitOutput, bool Record);
   /// Full implementation underneath expandSourceImpl and reexpand.
-  ExpandResult expandSourceHooked(std::string Name, std::string Source,
-                                  bool EmitOutput, bool Record,
-                                  const ReexpandHooks &Hooks);
-  TranslationUnit *parseSourceImpl(std::string Name, std::string Source);
+  ExpandResult expandSourceHooked(SourceUnit Unit, bool EmitOutput,
+                                  bool Record, const ReexpandHooks &Hooks);
+  TranslationUnit *parseSourceImpl(SourceUnit Unit);
 
   /// One session-log entry: a source fed to this engine, and whether it
   /// was only parsed (parseSource) or fully expanded (expandSource).

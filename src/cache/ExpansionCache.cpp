@@ -498,10 +498,13 @@ std::string msq::expansionCacheKey(const std::string &LibraryFingerprint,
                                    bool CollectProfile,
                                    bool TrackProvenance) {
   ContentHasher H;
-  H.str("msq-unit-key-v2");
+  H.str("msq-unit-key-v3");
   H.str(LibraryFingerprint);
   H.str(Unit.Name);
   H.str(Unit.Source);
+  // The concrete-syntax base is part of the program's identity: identical
+  // bytes parsed as C and as S-expressions are different units.
+  H.str(Unit.Base);
   H.u64(EffectiveMaxMetaSteps);
   H.boolean(CollectProfile);
   H.boolean(TrackProvenance);

@@ -138,7 +138,7 @@ void hashValue(ContentHasher &H, const Value &V, bool &Stable,
 std::string Engine::stateFingerprint(bool *StableOut) const {
   bool Stable = true;
   ContentHasher H;
-  H.str("msq-library-fp-v2");
+  H.str("msq-library-fp-v3");
 
   // 1. Options that change what expansion produces or how it can fail.
   H.boolean(Opts.UseCompiledPatterns);
@@ -160,6 +160,8 @@ std::string Engine::stateFingerprint(bool *StableOut) const {
   }
   H.boolean(Opts.TrackProvenance);
   H.boolean(Opts.EmitSourceMap);
+  // The default concrete-syntax base decides how base-less units parse.
+  H.str(Opts.Base);
 
   // 2. Macro definitions, sorted by name for map-order independence.
   {
@@ -232,6 +234,7 @@ std::string Engine::stateFingerprint(bool *StableOut) const {
   for (const LogEntry &L : SessionLog) {
     H.str(L.Unit.Name);
     H.str(L.Unit.Source);
+    H.str(L.Unit.Base);
     H.boolean(L.ParseOnly);
   }
 
@@ -256,7 +259,7 @@ DefinitionFingerprints Engine::definitionFingerprints(
 
   {
     ContentHasher H;
-    H.str("msq-def-fp-options-v1");
+    H.str("msq-def-fp-options-v2");
     H.boolean(Opts.UseCompiledPatterns);
     H.boolean(Opts.HygienicExpansion);
     H.boolean(Opts.CollectProfile);
@@ -271,6 +274,7 @@ DefinitionFingerprints Engine::definitionFingerprints(
       H.str(Rule);
     H.boolean(Opts.TrackProvenance);
     H.boolean(Opts.EmitSourceMap);
+    H.str(Opts.Base);
     FP.OptionsHash = H.hexDigest();
   }
 

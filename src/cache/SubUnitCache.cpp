@@ -15,11 +15,13 @@
 using namespace msq;
 
 std::string msq::subUnitCacheKey(const std::string &Name,
-                                 const std::string &Source) {
+                                 const std::string &Source,
+                                 const std::string &Base) {
   ContentHasher H;
-  H.str("msq-subunit-key-v1");
+  H.str("msq-subunit-key-v2");
   H.str(Name);
   H.str(Source);
+  H.str(Base);
   return H.hexDigest();
 }
 

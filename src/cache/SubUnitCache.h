@@ -70,8 +70,11 @@ struct SubUnitCacheStats {
 
 /// Content key for one unit's token stream / parse tree: a hash of the
 /// unit name and source bytes.
-std::string subUnitCacheKey(const std::string &Name,
-                            const std::string &Source);
+/// \p Base is the unit's concrete-syntax base name ("" = engine default):
+/// the same bytes under a different base are a different token stream and
+/// tree, so the base is part of the key.
+std::string subUnitCacheKey(const std::string &Name, const std::string &Source,
+                            const std::string &Base = "");
 
 /// One cached token stream plus the identifier spellings it contains.
 /// The identifier set drives the dependency map's pattern rule: a macro

@@ -55,10 +55,9 @@ std::unique_ptr<Engine> BatchDriver::buildWorkerEngine(
   auto E = std::make_unique<Engine>(EO);
   for (const SessionSnapshot::LogEntry &L : Snap.log()) {
     if (L.ParseOnly)
-      E->parseSourceImpl(L.Unit.Name, L.Unit.Source);
+      E->parseSourceImpl(L.Unit);
     else
-      E->expandSourceImpl(L.Unit.Name, L.Unit.Source, /*EmitOutput=*/false,
-                          /*Record=*/false);
+      E->expandSourceImpl(L.Unit, /*EmitOutput=*/false, /*Record=*/false);
   }
   return E;
 }
@@ -125,9 +124,8 @@ BatchResult BatchDriver::run(const std::vector<SourceUnit> &Units) const {
       }
       E->restoreCheckpoint(Baseline);
       try {
-        BR.Results[I] =
-            E->expandSourceImpl(Units[I].Name, Units[I].Source,
-                                /*EmitOutput=*/true, /*Record=*/false);
+        BR.Results[I] = E->expandSourceImpl(Units[I], /*EmitOutput=*/true,
+                                            /*Record=*/false);
       } catch (const std::exception &Ex) {
         // A crash escaping the engine (bad_alloc, a defect...) poisons
         // the worker's engine state unpredictably, so drop the engine —

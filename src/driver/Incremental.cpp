@@ -315,7 +315,7 @@ bool IncrementalDriver::rebase(Engine::SessionCheckpoint &CP,
 ExpandResult IncrementalDriver::expandDirty(const SourceUnit &U,
                                             UnitRecord &Rec,
                                             IncrementalPath &PathOut) {
-  const std::string Key = subUnitCacheKey(U.Name, U.Source);
+  const std::string Key = subUnitCacheKey(U.Name, U.Source, U.Base);
   const bool SameSource = !Rec.SubKey.empty() && Rec.SubKey == Key;
   DependencyRecorder DR;
   ExpandResult R;
@@ -336,7 +336,7 @@ ExpandResult IncrementalDriver::expandDirty(const SourceUnit &U,
             cloneNodeRemapped(E->context().Ast, TE->Pristine,
                               &remapDefToRegistry, &E->context().Macros));
         H.Deps = &DR;
-        R = E->reexpand(U.Name, U.Source, H);
+        R = E->reexpand(U, H);
         PathOut = IncrementalPath::TreeReuse;
         Done = true;
       }
@@ -361,7 +361,7 @@ ExpandResult IncrementalDriver::expandDirty(const SourceUnit &U,
     }
     H.TreeOut = &FreshTree;
     H.AfterParseOut = &AfterParse;
-    R = E->reexpand(U.Name, U.Source, H);
+    R = E->reexpand(U, H);
 
     // Refill the caches from whatever this expansion had to compute.
     if (TK) {
@@ -426,7 +426,7 @@ IncrementalResult IncrementalDriver::run(const std::vector<SourceUnit> &Units) {
     UnitRecord &Rec = Records[U.Name];
     const bool Clean = Opts.EnableCleanReplay && !Rec.Dirty && Rec.Replayable &&
                        !Rec.SubKey.empty() &&
-                       Rec.SubKey == subUnitCacheKey(U.Name, U.Source);
+                       Rec.SubKey == subUnitCacheKey(U.Name, U.Source, U.Base);
     ExpandResult R;
     IncrementalPath P = IncrementalPath::Cold;
     if (Clean) {

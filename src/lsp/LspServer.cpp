@@ -7,6 +7,8 @@
 
 #include "lsp/LspServer.h"
 
+#include "synbase/SyntaxBase.h"
+
 #include "support/Fault.h"
 #include "support/Metrics.h"
 
@@ -375,7 +377,8 @@ void LspServer::daemonReplayDocs() {
       continue;
     json::Value Ignored;
     daemonRpc(makeSessionEvalRequest("l" + std::to_string(NextRpcId++),
-                                     SessionId, "library", D.Name, D.Text),
+                                     SessionId, "library", D.Name, D.Text,
+                                     D.Base),
               Ignored);
   }
 }
@@ -407,7 +410,8 @@ bool LspServer::daemonRpc(const std::string &Frame, json::Value &Resp) {
 }
 
 bool LspServer::daemonEval(const std::string &Mode, const std::string &Name,
-                           const std::string &Source, json::Value &Resp) {
+                           const std::string &Source, json::Value &Resp,
+                           const std::string &Base) {
   // Degradation ladder: (re)connect, (re)open, replay libraries, retry.
   // Three attempts so one injected fault plus one genuine reconnect still
   // converge; a daemon that stays down makes this return false and the
@@ -430,7 +434,8 @@ bool LspServer::daemonEval(const std::string &Mode, const std::string &Name,
       continue;
     }
     if (!daemonRpc(makeSessionEvalRequest("l" + std::to_string(NextRpcId++),
-                                          SessionId, Mode, Name, Source),
+                                          SessionId, Mode, Name, Source,
+                                          Base),
                   Resp))
       continue;
     const json::Value *Ty = Resp.get("type");
@@ -507,7 +512,8 @@ void LspServer::expandAndPublish(const std::string &Uri) {
   D.IsLibrary = looksLikeLibrary(D.Text);
 
   json::Value Resp;
-  if (!daemonEval(D.IsLibrary ? "library" : "unit", D.Name, D.Text, Resp)) {
+  if (!daemonEval(D.IsLibrary ? "library" : "unit", D.Name, D.Text, Resp,
+                  D.Base)) {
     notifyDiagnostics(
         Uri, "[{\"range\":" + rangeJson(0, 0, 1) +
                  ",\"severity\":1,\"source\":\"msq\",\"message\":\"msqd is "
@@ -624,7 +630,8 @@ bool LspServer::expandForQuery(const std::string &Uri, std::string &Output,
   if (It == Docs.end())
     return false;
   json::Value Resp;
-  if (!daemonEval("expand", It->second.Name, It->second.Text, Resp))
+  if (!daemonEval("expand", It->second.Name, It->second.Text, Resp,
+                  It->second.Base))
     return false;
   const json::Value *Ty = Resp.get("type");
   if (!Ty || !Ty->isString() || Ty->Str != "session_result")
@@ -659,6 +666,8 @@ void LspServer::onDidOpen(const json::Value &Params) {
   Doc &D = Docs[UriV->Str];
   D.Name = uriToName(UriV->Str);
   D.Text = TextV->Str;
+  if (const SyntaxBase *SB = syntaxBaseForFile(D.Name))
+    D.Base = SB->name();
   if (const json::Value *V = Td->get("version");
       V && V->K == json::Value::Kind::Number)
     D.Version = int64_t(V->Num);

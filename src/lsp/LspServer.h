@@ -103,6 +103,9 @@ private:
     std::string Text;
     int64_t Version = 0;
     bool IsLibrary = false;
+    /// Concrete-syntax base, picked from the file extension at open time
+    /// (synbase/SyntaxBase.h; "" = daemon default, i.e. C).
+    std::string Base;
   };
 
   // -- JSON-RPC plumbing ---------------------------------------------------
@@ -121,7 +124,8 @@ private:
   /// reopen / replay / retry once). False only when the daemon stayed
   /// unreachable; \p Resp then holds nothing.
   bool daemonEval(const std::string &Mode, const std::string &Name,
-                  const std::string &Source, json::Value &Resp);
+                  const std::string &Source, json::Value &Resp,
+                  const std::string &Base = "");
   bool daemonRpc(const std::string &Frame, json::Value &Resp);
 
   // -- document pipeline (callers hold M) ----------------------------------

@@ -214,7 +214,7 @@ void msq::serveShardConnection(const std::shared_ptr<Conn> &C, Server &S,
       std::string Id = Req.Id;
       std::shared_ptr<Conn> CRef = C;
       Server::Admission A = S.submit(
-          {Req.Name, Req.Source}, std::move(RO),
+          {Req.Name, Req.Source, Req.Base}, std::move(RO),
           [CRef, Id, IsLint](const ExpandResult &R, uint64_t Gen) {
             CRef->send(IsLint ? makeLintResponse(Id, R, Gen)
                               : makeExpandResponse(Id, R, Gen));

@@ -435,6 +435,8 @@ ParseOutcome msq::parseRequest(std::string_view Frame, Request &Out) {
                          "\"provenance\" must be a bool");
       Out.Provenance = P->B;
     }
+    if (!optionalString(Doc, "base", Out.Base))
+      return parseFail(ErrorCode::BadRequest, "\"base\" must be a string");
     ParseOutcome O;
     O.Ok = true;
     return O;
@@ -449,6 +451,8 @@ ParseOutcome msq::parseRequest(std::string_view Frame, Request &Out) {
                        "lint needs string \"name\" and \"source\"");
     Out.Name = Name->Str;
     Out.Source = Source->Str;
+    if (!optionalString(Doc, "base", Out.Base))
+      return parseFail(ErrorCode::BadRequest, "\"base\" must be a string");
     ParseOutcome O;
     O.Ok = true;
     return O;
@@ -472,7 +476,11 @@ ParseOutcome msq::parseRequest(std::string_view Frame, Request &Out) {
           return parseFail(
               ErrorCode::BadRequest,
               "each source needs string \"name\" and \"source\"");
-        Out.Sources.push_back({Name->Str, Source->Str});
+        std::string SrcBase;
+        if (!optionalString(S, "base", SrcBase))
+          return parseFail(ErrorCode::BadRequest,
+                           "\"base\" must be a string");
+        Out.Sources.push_back({Name->Str, Source->Str, SrcBase});
       }
     }
     ParseOutcome O;
@@ -553,7 +561,11 @@ ParseOutcome msq::parseRequest(std::string_view Frame, Request &Out) {
           return parseFail(
               ErrorCode::BadRequest,
               "each source needs string \"name\" and \"source\"");
-        Out.Sources.push_back({Name->Str, Source->Str});
+        std::string SrcBase;
+        if (!optionalString(S, "base", SrcBase))
+          return parseFail(ErrorCode::BadRequest,
+                           "\"base\" must be a string");
+        Out.Sources.push_back({Name->Str, Source->Str, SrcBase});
       }
     }
     ParseOutcome O;
@@ -577,6 +589,8 @@ ParseOutcome msq::parseRequest(std::string_view Frame, Request &Out) {
       return parseFail(ErrorCode::BadRequest, "\"name\" must be a string");
     if (!optionalString(Doc, "source", Out.Source))
       return parseFail(ErrorCode::BadRequest, "\"source\" must be a string");
+    if (!optionalString(Doc, "base", Out.Base))
+      return parseFail(ErrorCode::BadRequest, "\"base\" must be a string");
     ParseOutcome O;
     O.Ok = true;
     return O;
@@ -829,7 +843,8 @@ std::string msq::makeExpandRequest(const std::string &Id,
                                    const std::string &Name,
                                    const std::string &Source, bool UseCache,
                                    uint64_t MaxMetaSteps,
-                                   uint64_t TimeoutMillis, bool Provenance) {
+                                   uint64_t TimeoutMillis, bool Provenance,
+                                   const std::string &Base) {
   std::string Out = requestHead(Id, "expand");
   Out += ",\"name\":\"";
   Out += jsonEscape(Name);
@@ -848,19 +863,31 @@ std::string msq::makeExpandRequest(const std::string &Id,
   }
   if (Provenance)
     Out += ",\"provenance\":true";
+  if (!Base.empty()) {
+    Out += ",\"base\":\"";
+    Out += jsonEscape(Base);
+    Out += '"';
+  }
   Out += '}';
   return Out;
 }
 
 std::string msq::makeLintRequest(const std::string &Id,
                                  const std::string &Name,
-                                 const std::string &Source) {
+                                 const std::string &Source,
+                                 const std::string &Base) {
   std::string Out = requestHead(Id, "lint");
   Out += ",\"name\":\"";
   Out += jsonEscape(Name);
   Out += "\",\"source\":\"";
   Out += jsonEscape(Source);
-  Out += "\"}";
+  Out += '"';
+  if (!Base.empty()) {
+    Out += ",\"base\":\"";
+    Out += jsonEscape(Base);
+    Out += '"';
+  }
+  Out += '}';
   return Out;
 }
 
@@ -880,7 +907,13 @@ std::string msq::makeReloadRequest(const std::string &Id,
     Out += jsonEscape(S.Name);
     Out += "\",\"source\":\"";
     Out += jsonEscape(S.Source);
-    Out += "\"}";
+    Out += '"';
+    if (!S.Base.empty()) {
+      Out += ",\"base\":\"";
+      Out += jsonEscape(S.Base);
+      Out += '"';
+    }
+    Out += '}';
   }
   Out += "]}";
   return Out;
@@ -943,7 +976,13 @@ std::string msq::makeSessionOpenRequest(const std::string &Id,
       Out += jsonEscape(S.Name);
       Out += "\",\"source\":\"";
       Out += jsonEscape(S.Source);
-      Out += "\"}";
+      Out += '"';
+      if (!S.Base.empty()) {
+        Out += ",\"base\":\"";
+        Out += jsonEscape(S.Base);
+        Out += '"';
+      }
+      Out += '}';
     }
     Out += ']';
   }
@@ -955,7 +994,8 @@ std::string msq::makeSessionEvalRequest(const std::string &Id,
                                         const std::string &Session,
                                         const std::string &Mode,
                                         const std::string &Name,
-                                        const std::string &Source) {
+                                        const std::string &Source,
+                                        const std::string &Base) {
   std::string Out = requestHead(Id, "session_eval");
   Out += ",\"session\":\"";
   Out += jsonEscape(Session);
@@ -965,7 +1005,13 @@ std::string msq::makeSessionEvalRequest(const std::string &Id,
   Out += jsonEscape(Name);
   Out += "\",\"source\":\"";
   Out += jsonEscape(Source);
-  Out += "\"}";
+  Out += '"';
+  if (!Base.empty()) {
+    Out += ",\"base\":\"";
+    Out += jsonEscape(Base);
+    Out += '"';
+  }
+  Out += '}';
   return Out;
 }
 

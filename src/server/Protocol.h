@@ -172,6 +172,8 @@ struct Request {
   uint64_t MaxMetaSteps = 0;  ///< 0 = server default
   uint64_t TimeoutMillis = 0; ///< 0 = server default
   bool Provenance = false;    ///< "provenance":true opts into backtraces
+  std::string Base;           ///< "base":"sexpr" picks the concrete-syntax
+                              ///< base ("" = server default, i.e. C)
   // ReloadLibrary:
   std::vector<SourceUnit> Sources;
   bool LoadStdlib = false;
@@ -283,9 +285,11 @@ std::string makeSessionClosedResponse(const std::string &Id,
 std::string makeExpandRequest(const std::string &Id, const std::string &Name,
                               const std::string &Source, bool UseCache,
                               uint64_t MaxMetaSteps, uint64_t TimeoutMillis,
-                              bool Provenance = false);
+                              bool Provenance = false,
+                              const std::string &Base = "");
 std::string makeLintRequest(const std::string &Id, const std::string &Name,
-                            const std::string &Source);
+                            const std::string &Source,
+                            const std::string &Base = "");
 std::string makeReloadRequest(const std::string &Id,
                               const std::vector<SourceUnit> &Sources,
                               bool LoadStdlib);
@@ -305,7 +309,8 @@ std::string makeSessionEvalRequest(const std::string &Id,
                                    const std::string &Session,
                                    const std::string &Mode,
                                    const std::string &Name,
-                                   const std::string &Source);
+                                   const std::string &Source,
+                                   const std::string &Base = "");
 std::string makeSessionCloseRequest(const std::string &Id,
                                     const std::string &Session);
 

@@ -309,7 +309,7 @@ ExpandResult Server::processJob(const Job &J, WorkerEngine &W,
   W.E->setProvenanceOptions(EffProv, EffMap);
 
   if (J.RO.LintOnly) {
-    Engine::LintResult LR = W.E->lintSource(J.Unit.Name, J.Unit.Source);
+    Engine::LintResult LR = W.E->lintSource(J.Unit);
     ExpandResult R;
     R.Name = LR.Name;
     R.Success = LR.Success;
@@ -331,7 +331,7 @@ ExpandResult Server::processJob(const Job &J, WorkerEngine &W,
   Engine::ReexpandHooks Hooks;
   if (TryCache)
     Hooks.Deps = &Rec;
-  ExpandResult R = W.E->reexpand(J.Unit.Name, J.Unit.Source, Hooks);
+  ExpandResult R = W.E->reexpand(J.Unit, Hooks);
   if (Cache && J.RO.UseCache && !J.RO.LintOnly) {
     if (TryCache && expansionResultCacheable(R)) {
       ++Stats.Misses;
@@ -382,7 +382,7 @@ Server::reloadLibrary(const std::vector<SourceUnit> &Sources,
     return O;
   }
   for (const SourceUnit &S : Sources) {
-    ExpandResult R = Candidate->expandSource(S.Name, S.Source);
+    ExpandResult R = Candidate->expandSource(S);
     if (!R.Success) {
       O.Diagnostics = R.DiagnosticsText;
       return O;

@@ -237,9 +237,9 @@ bool SessionManager::open(const Request &R, const std::string &Tenant,
       if (LE.Unit.Name == "<msq-stdlib>")
         HaveStdlib = true;
       if (LE.ParseOnly) {
-        S->E->parseSource(LE.Unit.Name, LE.Unit.Source);
+        S->E->parseSource(LE.Unit);
       } else {
-        ExpandResult LR = S->E->expandUnrecorded(LE.Unit.Name, LE.Unit.Source);
+        ExpandResult LR = S->E->expandUnrecorded(LE.Unit);
         if (!LR.Success) {
           Code = ErrorCode::Internal;
           Message = "library replay failed: " + LR.DiagnosticsText;
@@ -250,7 +250,7 @@ bool SessionManager::open(const Request &R, const std::string &Tenant,
     }
   if (R.LoadStdlib && !HaveStdlib) {
     SourceUnit Std{"<msq-stdlib>", standardMacroLibrarySource()};
-    ExpandResult LR = S->E->expandUnrecorded(Std.Name, Std.Source);
+    ExpandResult LR = S->E->expandUnrecorded(Std);
     if (!LR.Success) {
       Code = ErrorCode::Internal;
       Message = "stdlib load failed: " + LR.DiagnosticsText;
@@ -259,7 +259,7 @@ bool SessionManager::open(const Request &R, const std::string &Tenant,
     S->BaseUnits.push_back(Std);
   }
   for (const SourceUnit &U : R.Sources) {
-    ExpandResult LR = S->E->expandUnrecorded(U.Name, U.Source);
+    ExpandResult LR = S->E->expandUnrecorded(U);
     if (!LR.Success) {
       Code = ErrorCode::BadRequest;
       Message = "session source \"" + U.Name +
@@ -327,10 +327,10 @@ bool SessionManager::eval(const Request &R, SessionEvalResult &Out,
         // macros on top of the overlay copy would be a redefinition.
         for (const SourceUnit &U : S->Overlay)
           if (U.Name != Name)
-            S->E->expandUnrecorded(U.Name, U.Source);
+            S->E->expandUnrecorded(U);
       }
       S->E->interpreter().clearTraceLog();
-      ExpandResult ER = S->E->expandUnrecorded(Name, R.Source);
+      ExpandResult ER = S->E->expandUnrecorded({Name, R.Source, R.Base});
       if (Preview)
         S->E->restoreCheckpoint(CP);
       Out.Success = ER.Success;
@@ -351,8 +351,8 @@ bool SessionManager::eval(const Request &R, SessionEvalResult &Out,
       Engine::SessionCheckpoint CP = S->E->checkpoint();
       for (const SourceUnit &U : S->Overlay) // see the "expand" preview note
         if (U.Name != Name)
-          S->E->expandUnrecorded(U.Name, U.Source);
-      Engine::LintResult LR = S->E->lintSource(Name, R.Source);
+          S->E->expandUnrecorded(U);
+      Engine::LintResult LR = S->E->lintSource({Name, R.Source, R.Base});
       S->E->restoreCheckpoint(CP);
       Out.Success = LR.Success;
       Out.Diagnostics = LR.DiagnosticsText;
@@ -360,7 +360,7 @@ bool SessionManager::eval(const Request &R, SessionEvalResult &Out,
       Out.LintsJson = lintFindingsJson(LR.Report.Findings);
     } else if (Mode == "unit") {
       S->ensureDriver();
-      IncrementalResult IR = S->Driver->run({{Name, R.Source}});
+      IncrementalResult IR = S->Driver->run({{Name, R.Source, R.Base}});
       const ExpandResult &ER = IR.Results.at(0);
       Out.Success = ER.Success;
       Out.Output = ER.Output;
@@ -385,8 +385,8 @@ bool SessionManager::eval(const Request &R, SessionEvalResult &Out,
       // and only then swap it into the overlay + driver library. On
       // failure the driver keeps the last good library.
       Engine::SessionCheckpoint CP = S->E->checkpoint();
-      ExpandResult ER = S->E->expandUnrecorded(Name, R.Source);
-      Engine::LintResult LR = S->E->lintSource(Name, R.Source);
+      ExpandResult ER = S->E->expandUnrecorded({Name, R.Source, R.Base});
+      Engine::LintResult LR = S->E->lintSource({Name, R.Source, R.Base});
       S->E->restoreCheckpoint(CP);
       Out.Success = ER.Success;
       Out.Diagnostics = ER.DiagnosticsText;
@@ -399,11 +399,12 @@ bool SessionManager::eval(const Request &R, SessionEvalResult &Out,
         for (SourceUnit &U : S->Overlay)
           if (U.Name == Name) {
             U.Source = R.Source;
+            U.Base = R.Base;
             Replaced = true;
             break;
           }
         if (!Replaced)
-          S->Overlay.push_back({Name, R.Source});
+          S->Overlay.push_back({Name, R.Source, R.Base});
         S->ensureDriver();
         S->Driver->setLibrary(S->driverLibrary());
       }

@@ -33,6 +33,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "server/Protocol.h"
+#include "synbase/SyntaxBase.h"
 #include "support/Socket.h"
 
 #include <chrono>
@@ -56,10 +57,11 @@ int usage(int Code) {
       Code ? stderr : stdout,
       "usage: msq-client (--socket PATH | --tcp HOST:PORT) [--token TOK]\n"
       "                  [--retry-ms N] [--no-wait] COMMAND\n"
-      "  expand [--name N] [--no-cache] [--max-meta-steps N]\n"
+      "  expand [--name N] [--base=NAME] [--no-cache]\n"
+      "         [--max-meta-steps N]\n"
       "         [--timeout-ms N] [--provenance] [--source-map] [-q]\n"
       "         [FILE...]\n"
-      "  lint [--name N] [FILE...]\n"
+      "  lint [--name N] [--base=NAME] [FILE...]\n"
       "  reload [--stdlib] [FILE...]\n"
       "  status\n"
       "  ping\n");
@@ -233,6 +235,7 @@ int main(int argc, char **argv) {
   bool Provenance = false, SourceMap = false;
   uint64_t MaxMetaSteps = 0, TimeoutMillis = 0;
   std::string StdinName = "<stdin>";
+  std::string Base; // "" = per-file by extension, daemon default C
   std::vector<std::string> Files;
   for (; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -262,6 +265,13 @@ int main(int argc, char **argv) {
     } else if (Arg == "--source-map") {
       Provenance = true;
       SourceMap = true;
+    } else if (Arg.rfind("--base=", 0) == 0) {
+      Base = Arg.substr(7);
+      if (!syntaxBaseByName(Base)) {
+        std::fprintf(stderr, "msq-client: unknown syntax base '%s'\n",
+                     Base.c_str());
+        return 2;
+      }
     } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
       std::fprintf(stderr, "msq-client: unknown argument '%s'\n",
                    Arg.c_str());
@@ -287,10 +297,14 @@ int main(int argc, char **argv) {
         return 2;
       }
       std::string Name = Path == "-" ? StdinName : Path;
+      std::string UnitBase = Base;
+      if (UnitBase.empty())
+        if (const SyntaxBase *SB = syntaxBaseForFile(Name))
+          UnitBase = SB->name();
       std::string Id = "e" + std::to_string(Seq++);
       Frames.push_back(makeExpandRequest(Id, Name, Text, UseCache,
                                          MaxMetaSteps, TimeoutMillis,
-                                         Provenance));
+                                         Provenance, UnitBase));
       Ids.push_back(Id);
       UnitNames.push_back(Name);
     }
@@ -305,8 +319,12 @@ int main(int argc, char **argv) {
         return 2;
       }
       std::string Name = Path == "-" ? StdinName : Path;
+      std::string UnitBase = Base;
+      if (UnitBase.empty())
+        if (const SyntaxBase *SB = syntaxBaseForFile(Name))
+          UnitBase = SB->name();
       std::string Id = "l" + std::to_string(Seq++);
-      Frames.push_back(makeLintRequest(Id, Name, Text));
+      Frames.push_back(makeLintRequest(Id, Name, Text, UnitBase));
       Ids.push_back(Id);
       UnitNames.push_back(Name);
     }

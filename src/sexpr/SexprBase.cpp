@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The S-expression base's SyntaxBase adapter. No token layer: the reader
+/// builds trees straight from datums, so supportsTokenReuse stays false
+/// and the incremental engine's token cache degrades soundly to its
+/// tree/cold paths for S-expression units.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sexpr/SexprBase.h"
+#include "synbase/SyntaxBase.h"
+
+using namespace msq;
+
+namespace {
+
+class SexprSyntaxBase final : public SyntaxBase {
+public:
+  const char *name() const override { return "sexpr"; }
+
+  bool matchesExtension(std::string_view Ext) const override {
+    return Ext == ".sexp" || Ext == ".sx";
+  }
+
+  TranslationUnit *parseUnit(CompilationContext &CC, uint32_t BufferId,
+                             const ParseOptions &PO,
+                             std::vector<Token> *TokensOut) const override {
+    (void)PO;
+    (void)TokensOut; // no token layer to capture
+    return parseSexprUnit(CC, BufferId);
+  }
+
+  Node *parseFragment(CompilationContext &CC, uint32_t BufferId,
+                      MetaTypeKind Kind,
+                      const ParseOptions &PO) const override {
+    (void)PO;
+    return parseSexprFragment(CC, BufferId, Kind);
+  }
+
+  std::string print(const Node *N, const PrintOptions &PO) const override {
+    return printSexpr(N, PO);
+  }
+};
+
+} // namespace
+
+const SyntaxBase &msq::sexprSyntaxBase() {
+  static SexprSyntaxBase B;
+  return B;
+}

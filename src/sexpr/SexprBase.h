@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The S-expression syntax base (C-lisp style): a fully parenthesized
+/// surface syntax whose forms map 1:1 onto the same typed AST the C base
+/// produces, so one macro library expands programs written in either
+/// syntax. The reader is structure-driven — no typedef disambiguation, no
+/// precedence, no lookahead — and stamps SourceLocs straight into the
+/// S-expression buffer, so diagnostics and provenance backtraces report
+/// S-expression line/column positions natively.
+///
+/// Form inventory (object language only; macro definitions, metadcl, and
+/// backquote templates are written in the C base):
+///
+///   expressions   literals, symbols, (paren e), (init e...), operator
+///                 heads ((+ a b), (- a) vs (- a b) by arity, (post++ e),
+///                 (comma a b)), (?: c t e), (cast TYPE e), (sizeof e),
+///                 (sizeof-type TYPE), (call f a...) or (f a...),
+///                 (index b i), (member b f), (arrow b f)
+///   statements    (begin decls... stmts...), (nop), (if c t [e]),
+///                 (while c b), (do-while b c), (for i c s b) with () for
+///                 an absent slot, (switch c b), (case v b), (default b),
+///                 (label n b), (goto n), (break), (continue), (return [e])
+///   types         builtin words ((unsigned long), int), typedef-name
+///                 symbols, (ptr T), (array T [n]), (struct N [(fields
+///                 ...)]), (union ...), (enum N [(enums ...)])
+///   declarations  (var TYPE NAME [INIT]), (typedef TYPE NAME),
+///                 (decl (specs ...) (DTOR [INIT])...), (defun RET NAME
+///                 (PARAMS...) BODY...), (defun* SPECS DTOR [(krdecls
+///                 ...)] BODY...), general declarators via (dtor DEPTH
+///                 BASE SUFFIX...)
+///   macros        (name constituent...) — one form per pattern binder;
+///                 concrete tokens of the pattern are replaced by the
+///                 S-expression structure itself. +/* repetitions take a
+///                 plain list, optionals take () for absent.
+///
+/// The printer is total over the object-language AST; meta-only nodes
+/// (templates, placeholders, macro definitions) render through the
+/// print-only (c-syntax "...") escape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SEXPR_SEXPRBASE_H
+#define MSQ_SEXPR_SEXPRBASE_H
+
+#include "parser/Parser.h"
+#include "printer/CPrinter.h"
+
+namespace msq {
+
+/// Reads buffer \p BufferId of CC.SM as a whole S-expression translation
+/// unit. Never returns null; problems go to CC.Diags. Typedef and object
+/// variable declarations are registered into CC exactly as the C parser
+/// would register them (var_type and cross-unit typedefs behave the same).
+TranslationUnit *parseSexprUnit(CompilationContext &CC, uint32_t BufferId);
+
+/// Reads the buffer as exactly one form of the given meta type (Exp, Stmt,
+/// Decl, or TypeSpec). Diagnoses and returns null for other kinds.
+Node *parseSexprFragment(CompilationContext &CC, uint32_t BufferId,
+                         MetaTypeKind Kind);
+
+/// Renders a tree in S-expression surface syntax. Honors
+/// PrintOptions::LineProvenance with the same line-stamp semantics as the
+/// C printer.
+std::string printSexpr(const Node *N, const PrintOptions &Opts = {});
+
+} // namespace msq
+
+#endif // MSQ_SEXPR_SEXPRBASE_H

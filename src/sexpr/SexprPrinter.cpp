@@ -1,0 +1,1058 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST -> S-expression concrete syntax. Total over the object-language
+/// AST; what it prints re-reads (via SexprReader) to a structurally
+/// identical tree. Meta-only nodes — placeholders, templates, macro and
+/// meta declarations — have no S-expression surface and render through
+/// the print-only (c-syntax "...") escape, delegating to the C printer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pattern/Pattern.h"
+#include "sexpr/SexprBase.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace msq;
+
+namespace {
+
+class SPrinter {
+public:
+  explicit SPrinter(const PrintOptions &Opts) : Opts(Opts) {}
+
+  std::string print(const Node *N) {
+    if (!N)
+      return "()";
+    if (const auto *D = dyn_cast<Decl>(N))
+      pDecl(D, 0);
+    else if (const auto *S = dyn_cast<Stmt>(N))
+      pStmt(S, 0);
+    else if (const auto *E = dyn_cast<Expr>(N))
+      pExpr(E);
+    else if (const auto *T = dyn_cast<TypeSpecNode>(N))
+      pType(T);
+    else
+      cEscape(N);
+    std::string Out = OS.str();
+    emitLineProvenance(Out);
+    return Out;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Helpers
+  //===--------------------------------------------------------------------===//
+
+  void nl(unsigned Ind) {
+    OS << '\n';
+    for (unsigned I = 0; I != Ind * Opts.IndentWidth; ++I)
+      OS << ' ';
+  }
+
+  /// The escaping used by both the (c-syntax ...) payload and string
+  /// literals; matches what the reader's escape set cooks back.
+  void pEscapedString(std::string_view S) {
+    OS << '"';
+    for (char C : S) {
+      switch (C) {
+      case '\n':
+        OS << "\\n";
+        break;
+      case '\t':
+        OS << "\\t";
+        break;
+      case '\r':
+        OS << "\\r";
+        break;
+      case '\\':
+        OS << "\\\\";
+        break;
+      case '"':
+        OS << "\\\"";
+        break;
+      case '\0':
+        OS << "\\0";
+        break;
+      default:
+        OS << C;
+        break;
+      }
+    }
+    OS << '"';
+  }
+
+  /// Print-only escape for nodes with no S-expression surface: the node in
+  /// C concrete syntax, wrapped so a reader diagnoses rather than
+  /// misparses.
+  void cEscape(const Node *N) {
+    PrintOptions PO;
+    PO.IndentWidth = Opts.IndentWidth;
+    PO.AllowPlaceholders = Opts.AllowPlaceholders;
+    OS << "(c-syntax ";
+    pEscapedString(printNode(N, PO));
+    OS << ')';
+  }
+
+  void noteProvenance(const Node *N) {
+    if (Opts.LineProvenance && N && N->prov() != 0)
+      OffsetProv.emplace_back(size_t(OS.tellp()), N->prov());
+  }
+
+  /// Identical line-stamp semantics to the C printer: first record per
+  /// output line wins.
+  void emitLineProvenance(const std::string &Out) {
+    if (!Opts.LineProvenance || OffsetProv.empty())
+      return;
+    size_t Pos = 0;
+    unsigned Line = 1, LastLine = 0;
+    for (const auto &[Off, Frame] : OffsetProv) {
+      for (; Pos < Off && Pos < Out.size(); ++Pos)
+        if (Out[Pos] == '\n')
+          ++Line;
+      if (Line != LastLine) {
+        Opts.LineProvenance->emplace_back(Line, Frame);
+        LastLine = Line;
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Placeholder detection (escape-eligibility)
+  //===--------------------------------------------------------------------===//
+
+  static bool dtorHasMeta(const Declarator *D) {
+    if (!D)
+      return false;
+    if (D->Ph || D->Name.isPlaceholder())
+      return true;
+    if (D->Inner && dtorHasMeta(D->Inner))
+      return true;
+    for (const DeclSuffix &S : D->Suffixes) {
+      if (S.K == DeclSuffix::Function) {
+        for (const ParamDecl *P : S.Params)
+          if (P && (paramHasMeta(*P)))
+            return true;
+        for (const Ident &KR : S.KRNames)
+          if (KR.isPlaceholder())
+            return true;
+      }
+    }
+    return false;
+  }
+
+  static bool paramHasMeta(const ParamDecl &P) {
+    if (P.Dtor && dtorHasMeta(P.Dtor))
+      return true;
+    // Parameters cannot carry a storage class in the S-expression surface.
+    return P.Specs.Storage != StorageClass::None;
+  }
+
+  static bool declHasMeta(const Declaration *D) {
+    if (D->DeclListPh || D->Specs.Storage == StorageClass::Metadcl)
+      return true;
+    for (const InitDeclarator &ID : D->Inits)
+      if (ID.Ph || dtorHasMeta(ID.Dtor))
+        return true;
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  void pExpr(const Expr *E) {
+    if (!E) {
+      OS << "()";
+      return;
+    }
+    switch (E->kind()) {
+    case NodeKind::IntLiteralExpr:
+      OS << cast<IntLiteralExpr>(E)->Value;
+      return;
+    case NodeKind::FloatLiteralExpr: {
+      std::ostringstream Tmp;
+      Tmp << cast<FloatLiteralExpr>(E)->Value;
+      std::string S = Tmp.str();
+      OS << S;
+      // Keep the datum re-reading as a float (same rule as the C printer).
+      if (S.find('.') == std::string::npos &&
+          S.find('e') == std::string::npos &&
+          S.find("inf") == std::string::npos)
+        OS << ".0";
+      return;
+    }
+    case NodeKind::CharLiteralExpr: {
+      char C = char(cast<CharLiteralExpr>(E)->Value);
+      OS << '\'';
+      switch (C) {
+      case '\n':
+        OS << "\\n";
+        break;
+      case '\t':
+        OS << "\\t";
+        break;
+      case '\\':
+        OS << "\\\\";
+        break;
+      case '\'':
+        OS << "\\'";
+        break;
+      case '\0':
+        OS << "\\0";
+        break;
+      default:
+        OS << C;
+        break;
+      }
+      OS << '\'';
+      return;
+    }
+    case NodeKind::StringLiteralExpr:
+      pEscapedString(cast<StringLiteralExpr>(E)->Value.str());
+      return;
+    case NodeKind::IdentExpr: {
+      const Ident &I = cast<IdentExpr>(E)->Name;
+      if (I.isPlaceholder()) {
+        cEscape(E);
+        return;
+      }
+      OS << I.Sym.str();
+      return;
+    }
+    case NodeKind::ParenExpr:
+      OS << "(paren ";
+      pExpr(cast<ParenExpr>(E)->Inner);
+      OS << ')';
+      return;
+    case NodeKind::InitListExpr: {
+      OS << "(init";
+      for (const Expr *El : cast<InitListExpr>(E)->Elems) {
+        OS << ' ';
+        pExpr(El);
+      }
+      OS << ')';
+      return;
+    }
+    case NodeKind::UnaryExpr: {
+      const auto *U = cast<UnaryExpr>(E);
+      OS << '(';
+      if (U->Op == UnaryOpKind::PostInc)
+        OS << "post++";
+      else if (U->Op == UnaryOpKind::PostDec)
+        OS << "post--";
+      else
+        OS << unaryOpSpelling(U->Op);
+      OS << ' ';
+      pExpr(U->Operand);
+      OS << ')';
+      return;
+    }
+    case NodeKind::BinaryExpr: {
+      const auto *B = cast<BinaryExpr>(E);
+      OS << '(';
+      if (B->Op == BinaryOpKind::Comma)
+        OS << "comma";
+      else
+        OS << binaryOpSpelling(B->Op);
+      OS << ' ';
+      pExpr(B->LHS);
+      OS << ' ';
+      pExpr(B->RHS);
+      OS << ')';
+      return;
+    }
+    case NodeKind::ConditionalExpr: {
+      const auto *C = cast<ConditionalExpr>(E);
+      OS << "(?: ";
+      pExpr(C->Cond);
+      OS << ' ';
+      pExpr(C->Then);
+      OS << ' ';
+      pExpr(C->Else);
+      OS << ')';
+      return;
+    }
+    case NodeKind::CastExpr: {
+      const auto *C = cast<CastExpr>(E);
+      OS << "(cast ";
+      pTypeName(C->Ty);
+      OS << ' ';
+      pExpr(C->Operand);
+      OS << ')';
+      return;
+    }
+    case NodeKind::SizeofExpr: {
+      const auto *S = cast<SizeofExpr>(E);
+      if (S->IsType) {
+        OS << "(sizeof-type ";
+        pTypeName(S->Ty);
+      } else {
+        OS << "(sizeof ";
+        pExpr(S->Operand);
+      }
+      OS << ')';
+      return;
+    }
+    case NodeKind::CallExpr: {
+      const auto *C = cast<CallExpr>(E);
+      OS << "(call ";
+      pExpr(C->Callee);
+      for (const Expr *Arg : C->Args) {
+        OS << ' ';
+        pExpr(Arg);
+      }
+      OS << ')';
+      return;
+    }
+    case NodeKind::IndexExpr: {
+      const auto *I = cast<IndexExpr>(E);
+      OS << "(index ";
+      pExpr(I->Base);
+      OS << ' ';
+      pExpr(I->Index);
+      OS << ')';
+      return;
+    }
+    case NodeKind::MemberExpr: {
+      const auto *M = cast<MemberExpr>(E);
+      if (M->Member.isPlaceholder()) {
+        cEscape(E);
+        return;
+      }
+      OS << (M->IsArrow ? "(arrow " : "(member ");
+      pExpr(M->Base);
+      OS << ' ' << M->Member.Sym.str() << ')';
+      return;
+    }
+    case NodeKind::MacroInvocationExpr:
+      pInvocation(cast<MacroInvocationExpr>(E)->Inv);
+      return;
+    case NodeKind::PlaceholderExpr:
+    case NodeKind::BackquoteExpr:
+    case NodeKind::LambdaExpr:
+    default:
+      cEscape(E);
+      return;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Types
+  //===--------------------------------------------------------------------===//
+
+  void pType(const TypeSpecNode *T) {
+    if (!T) {
+      OS << "int"; // implicit int (K&R)
+      return;
+    }
+    switch (T->kind()) {
+    case NodeKind::BuiltinTypeSpecKind: {
+      unsigned F = cast<BuiltinTypeSpec>(T)->Flags;
+      std::vector<const char *> Words;
+      if (F & BTF_Signed)
+        Words.push_back("signed");
+      if (F & BTF_Unsigned)
+        Words.push_back("unsigned");
+      if (F & BTF_Short)
+        Words.push_back("short");
+      if (F & BTF_Long)
+        Words.push_back("long");
+      if (F & BTF_LongLong)
+        Words.push_back("long");
+      if (F & BTF_Void)
+        Words.push_back("void");
+      if (F & BTF_Char)
+        Words.push_back("char");
+      if (F & BTF_Int)
+        Words.push_back("int");
+      if (F & BTF_Float)
+        Words.push_back("float");
+      if (F & BTF_Double)
+        Words.push_back("double");
+      if (Words.empty()) {
+        OS << "int";
+        return;
+      }
+      if (Words.size() == 1) {
+        OS << Words[0];
+        return;
+      }
+      OS << '(';
+      for (size_t I = 0; I != Words.size(); ++I) {
+        if (I)
+          OS << ' ';
+        OS << Words[I];
+      }
+      OS << ')';
+      return;
+    }
+    case NodeKind::TypedefNameSpecKind:
+      OS << cast<TypedefNameSpec>(T)->Name.str();
+      return;
+    case NodeKind::TagTypeSpecKind: {
+      const auto *Tag = cast<TagTypeSpec>(T);
+      if (Tag->TagName.isPlaceholder()) {
+        cEscape(T);
+        return;
+      }
+      if (Tag->Tag == TagKind::Enum)
+        for (const Enumerator &En : Tag->Enums)
+          if (En.ListPh || En.Name.isPlaceholder()) {
+            cEscape(T);
+            return;
+          }
+      OS << '(';
+      switch (Tag->Tag) {
+      case TagKind::Struct:
+        OS << "struct";
+        break;
+      case TagKind::Union:
+        OS << "union";
+        break;
+      case TagKind::Enum:
+        OS << "enum";
+        break;
+      }
+      OS << ' ';
+      if (Tag->TagName.Sym.valid())
+        OS << Tag->TagName.Sym.str();
+      else
+        OS << "()";
+      if (Tag->HasBody) {
+        if (Tag->Tag == TagKind::Enum) {
+          OS << " (enums";
+          for (const Enumerator &En : Tag->Enums) {
+            OS << ' ';
+            pEnumerator(En);
+          }
+          OS << ')';
+        } else {
+          OS << " (fields";
+          for (const Declaration *M : Tag->Members) {
+            OS << ' ';
+            pDeclaration(M, 0);
+          }
+          OS << ')';
+        }
+      }
+      OS << ')';
+      return;
+    }
+    case NodeKind::MetaAstTypeSpecKind:
+    case NodeKind::PlaceholderTypeSpecKind:
+    default:
+      cEscape(T);
+      return;
+    }
+  }
+
+  void pEnumerator(const Enumerator &En) {
+    if (En.Value) {
+      OS << '(' << En.Name.Sym.str() << ' ';
+      pExpr(En.Value);
+      OS << ')';
+    } else {
+      OS << En.Name.Sym.str();
+    }
+  }
+
+  void pTypeName(const TypeName &TN) {
+    for (unsigned I = 0; I != TN.PointerDepth; ++I)
+      OS << "(ptr ";
+    pType(TN.Spec);
+    for (unsigned I = 0; I != TN.PointerDepth; ++I)
+      OS << ')';
+  }
+
+  /// The var/typedef sugar's type form: arrays (outer suffix outermost)
+  /// over pointers over the specifier.
+  void pVarType(const TypeSpecNode *Spec, unsigned Depth,
+                ArenaRef<DeclSuffix> Suffixes) {
+    // The innermost position holds the pointer-wrapped specifier; array
+    // sizes then close outward in reverse, so the FIRST suffix ends up
+    // outermost — (array (array int 4) 3) is `int x[3][4]`.
+    for (size_t I = 0; I != Suffixes.size(); ++I)
+      OS << "(array ";
+    for (unsigned I = 0; I != Depth; ++I)
+      OS << "(ptr ";
+    pType(Spec);
+    for (unsigned I = 0; I != Depth; ++I)
+      OS << ')';
+    for (size_t I = Suffixes.size(); I != 0; --I) {
+      const DeclSuffix &S = Suffixes[I - 1];
+      if (S.ArraySize) {
+        OS << ' ';
+        pExpr(S.ArraySize);
+      }
+      OS << ')';
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Declarators
+  //===--------------------------------------------------------------------===//
+
+  bool dtorIsBareName(const Declarator *D) {
+    return D && !D->Ph && !D->Inner && D->PointerDepth == 0 &&
+           D->Suffixes.empty() && D->Name.Sym.valid() &&
+           !D->Name.isPlaceholder();
+  }
+
+  void pDtor(const Declarator *D) {
+    if (!D) {
+      OS << "()";
+      return;
+    }
+    if (dtorHasMeta(D)) {
+      PrintOptions PO;
+      PO.IndentWidth = Opts.IndentWidth;
+      PO.AllowPlaceholders = Opts.AllowPlaceholders;
+      OS << "(c-syntax ";
+      pEscapedString(printDeclarator(D, PO));
+      OS << ')';
+      return;
+    }
+    if (dtorIsBareName(D)) {
+      OS << D->Name.Sym.str();
+      return;
+    }
+    OS << "(dtor " << D->PointerDepth << ' ';
+    if (D->Inner) {
+      OS << "(inner ";
+      pDtor(D->Inner);
+      OS << ')';
+    } else if (D->Name.Sym.valid()) {
+      OS << D->Name.Sym.str();
+    } else {
+      OS << "()";
+    }
+    for (const DeclSuffix &S : D->Suffixes) {
+      OS << ' ';
+      if (S.K == DeclSuffix::Array) {
+        if (S.ArraySize) {
+          OS << "(array ";
+          pExpr(S.ArraySize);
+          OS << ')';
+        } else {
+          OS << "(array)";
+        }
+      } else if (!S.KRNames.empty()) {
+        OS << "(krfn";
+        for (const Ident &KR : S.KRNames)
+          OS << ' ' << KR.Sym.str();
+        OS << ')';
+      } else {
+        OS << "(fn (";
+        bool First = true;
+        for (const ParamDecl *P : S.Params) {
+          if (!First)
+            OS << ' ';
+          First = false;
+          pParam(P);
+        }
+        if (S.Variadic) {
+          if (!First)
+            OS << ' ';
+          OS << "...";
+        }
+        OS << "))";
+      }
+    }
+    OS << ')';
+  }
+
+  void pParam(const ParamDecl *P) {
+    if (!P) {
+      OS << "(int)";
+      return;
+    }
+    OS << '(';
+    if (P->Specs.Const || P->Specs.Volatile) {
+      OS << "(specs";
+      if (P->Specs.Const)
+        OS << " const";
+      if (P->Specs.Volatile)
+        OS << " volatile";
+      OS << ' ';
+      pType(P->Specs.Type);
+      OS << ')';
+    } else {
+      pType(P->Specs.Type);
+    }
+    if (P->Dtor) {
+      OS << ' ';
+      pDtor(P->Dtor);
+    }
+    OS << ')';
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void pCompoundBody(const CompoundStmt *C, unsigned Ind) {
+    for (const Decl *D : C->Decls) {
+      nl(Ind);
+      pDecl(D, Ind);
+    }
+    for (const Stmt *S : C->Stmts) {
+      nl(Ind);
+      pStmt(S, Ind);
+    }
+  }
+
+  void pStmt(const Stmt *S, unsigned Ind) {
+    if (!S) {
+      OS << "(nop)";
+      return;
+    }
+    noteProvenance(S);
+    switch (S->kind()) {
+    case NodeKind::CompoundStmtKind: {
+      const auto *C = cast<CompoundStmt>(S);
+      OS << "(begin";
+      pCompoundBody(C, Ind + 1);
+      OS << ')';
+      return;
+    }
+    case NodeKind::ExprStmt:
+      pExpr(cast<ExprStmt>(S)->E);
+      return;
+    case NodeKind::NullStmt:
+      OS << "(nop)";
+      return;
+    case NodeKind::IfStmt: {
+      const auto *I = cast<IfStmt>(S);
+      OS << "(if ";
+      pExpr(I->Cond);
+      nl(Ind + 1);
+      pStmt(I->Then, Ind + 1);
+      if (I->Else) {
+        nl(Ind + 1);
+        pStmt(I->Else, Ind + 1);
+      }
+      OS << ')';
+      return;
+    }
+    case NodeKind::WhileStmt: {
+      const auto *W = cast<WhileStmt>(S);
+      OS << "(while ";
+      pExpr(W->Cond);
+      nl(Ind + 1);
+      pStmt(W->Body, Ind + 1);
+      OS << ')';
+      return;
+    }
+    case NodeKind::DoStmt: {
+      const auto *D = cast<DoStmt>(S);
+      OS << "(do-while";
+      nl(Ind + 1);
+      pStmt(D->Body, Ind + 1);
+      nl(Ind + 1);
+      pExpr(D->Cond);
+      OS << ')';
+      return;
+    }
+    case NodeKind::ForStmt: {
+      const auto *F = cast<ForStmt>(S);
+      OS << "(for ";
+      F->Init ? pExpr(F->Init) : void(OS << "()");
+      OS << ' ';
+      F->Cond ? pExpr(F->Cond) : void(OS << "()");
+      OS << ' ';
+      F->Step ? pExpr(F->Step) : void(OS << "()");
+      nl(Ind + 1);
+      pStmt(F->Body, Ind + 1);
+      OS << ')';
+      return;
+    }
+    case NodeKind::SwitchStmt: {
+      const auto *W = cast<SwitchStmt>(S);
+      OS << "(switch ";
+      pExpr(W->Cond);
+      nl(Ind + 1);
+      pStmt(W->Body, Ind + 1);
+      OS << ')';
+      return;
+    }
+    case NodeKind::CaseStmt: {
+      const auto *C = cast<CaseStmt>(S);
+      OS << "(case ";
+      pExpr(C->Value);
+      nl(Ind + 1);
+      pStmt(C->Body, Ind + 1);
+      OS << ')';
+      return;
+    }
+    case NodeKind::DefaultStmt: {
+      OS << "(default";
+      nl(Ind + 1);
+      pStmt(cast<DefaultStmt>(S)->Body, Ind + 1);
+      OS << ')';
+      return;
+    }
+    case NodeKind::LabelStmt: {
+      const auto *L = cast<LabelStmt>(S);
+      if (L->Label.isPlaceholder()) {
+        cEscape(S);
+        return;
+      }
+      OS << "(label " << L->Label.Sym.str();
+      nl(Ind + 1);
+      pStmt(L->Body, Ind + 1);
+      OS << ')';
+      return;
+    }
+    case NodeKind::GotoStmt: {
+      const auto *G = cast<GotoStmt>(S);
+      if (G->Label.isPlaceholder()) {
+        cEscape(S);
+        return;
+      }
+      OS << "(goto " << G->Label.Sym.str() << ')';
+      return;
+    }
+    case NodeKind::BreakStmt:
+      OS << "(break)";
+      return;
+    case NodeKind::ContinueStmt:
+      OS << "(continue)";
+      return;
+    case NodeKind::ReturnStmt: {
+      const auto *R = cast<ReturnStmt>(S);
+      if (R->Value) {
+        OS << "(return ";
+        pExpr(R->Value);
+        OS << ')';
+      } else {
+        OS << "(return)";
+      }
+      return;
+    }
+    case NodeKind::MacroInvocationStmt:
+      pInvocation(cast<MacroInvocationStmt>(S)->Inv);
+      return;
+    case NodeKind::PlaceholderStmt:
+    default:
+      cEscape(S);
+      return;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+
+  void pDeclaration(const Declaration *D, unsigned Ind) {
+    (void)Ind;
+    if (declHasMeta(D)) {
+      cEscape(D);
+      return;
+    }
+    // var/typedef sugar when the declaration is a single simple
+    // init-declarator with array-only suffixes.
+    if (D->Inits.size() == 1 && !D->Specs.Const && !D->Specs.Volatile &&
+        (D->Specs.Storage == StorageClass::None ||
+         D->Specs.Storage == StorageClass::Typedef)) {
+      const InitDeclarator &ID = D->Inits[0];
+      bool Sugar = ID.Dtor && !ID.Dtor->Inner &&
+                   ID.Dtor->Name.Sym.valid();
+      if (Sugar)
+        for (const DeclSuffix &S : ID.Dtor->Suffixes)
+          if (S.K != DeclSuffix::Array)
+            Sugar = false;
+      if (Sugar && D->Specs.Storage == StorageClass::Typedef && ID.Init)
+        Sugar = false;
+      if (Sugar) {
+        bool IsTypedef = D->Specs.Storage == StorageClass::Typedef;
+        OS << (IsTypedef ? "(typedef " : "(var ");
+        pVarType(D->Specs.Type, ID.Dtor->PointerDepth, ID.Dtor->Suffixes);
+        OS << ' ' << ID.Dtor->Name.Sym.str();
+        if (ID.Init) {
+          OS << ' ';
+          pExpr(ID.Init);
+        }
+        OS << ')';
+        return;
+      }
+    }
+    OS << "(decl ";
+    pSpecs(D->Specs);
+    for (const InitDeclarator &ID : D->Inits) {
+      OS << " (";
+      pDtor(ID.Dtor);
+      if (ID.Init) {
+        OS << ' ';
+        pExpr(ID.Init);
+      }
+      OS << ')';
+    }
+    OS << ')';
+  }
+
+  void pSpecs(const DeclSpecs &Specs) {
+    OS << "(specs";
+    switch (Specs.Storage) {
+    case StorageClass::Auto:
+      OS << " auto";
+      break;
+    case StorageClass::Register:
+      OS << " register";
+      break;
+    case StorageClass::Static:
+      OS << " static";
+      break;
+    case StorageClass::Extern:
+      OS << " extern";
+      break;
+    case StorageClass::Typedef:
+      OS << " typedef";
+      break;
+    case StorageClass::None:
+    case StorageClass::Metadcl: // callers escape Metadcl before here
+      break;
+    }
+    if (Specs.Const)
+      OS << " const";
+    if (Specs.Volatile)
+      OS << " volatile";
+    OS << ' ';
+    pType(Specs.Type);
+    OS << ')';
+  }
+
+  void pFunctionDef(const FunctionDef *F, unsigned Ind) {
+    bool Meta = !F->Dtor || dtorHasMeta(F->Dtor);
+    if (Meta) {
+      cEscape(F);
+      return;
+    }
+    // defun sugar: plain specs, a directly-named prototype declarator with
+    // exactly one function suffix, no K&R pieces.
+    bool Sugar = F->Specs.Storage == StorageClass::None && !F->Specs.Const &&
+                 !F->Specs.Volatile && F->KRDecls.empty() && !F->Dtor->Inner &&
+                 F->Dtor->Name.Sym.valid() && F->Dtor->Suffixes.size() == 1 &&
+                 F->Dtor->Suffixes[0].K == DeclSuffix::Function &&
+                 F->Dtor->Suffixes[0].KRNames.empty();
+    if (Sugar)
+      for (const ParamDecl *P : F->Dtor->Suffixes[0].Params)
+        if (!P || P->Specs.Const || P->Specs.Volatile ||
+            P->Specs.Storage != StorageClass::None)
+          Sugar = false;
+    if (Sugar) {
+      const DeclSuffix &FS = F->Dtor->Suffixes[0];
+      OS << "(defun ";
+      for (unsigned I = 0; I != F->Dtor->PointerDepth; ++I)
+        OS << "(ptr ";
+      pType(F->Specs.Type);
+      for (unsigned I = 0; I != F->Dtor->PointerDepth; ++I)
+        OS << ')';
+      OS << ' ' << F->Dtor->Name.Sym.str() << " (";
+      bool First = true;
+      for (const ParamDecl *P : FS.Params) {
+        if (!First)
+          OS << ' ';
+        First = false;
+        pParam(P);
+      }
+      if (FS.Variadic) {
+        if (!First)
+          OS << ' ';
+        OS << "...";
+      }
+      OS << ')';
+      if (F->Body)
+        pCompoundBody(F->Body, Ind + 1);
+      OS << ')';
+      return;
+    }
+    OS << "(defun* ";
+    pSpecs(F->Specs);
+    OS << ' ';
+    pDtor(F->Dtor);
+    if (!F->KRDecls.empty()) {
+      OS << " (krdecls";
+      for (const Declaration *KD : F->KRDecls) {
+        OS << ' ';
+        pDeclaration(KD, Ind);
+      }
+      OS << ')';
+    }
+    if (F->Body)
+      pCompoundBody(F->Body, Ind + 1);
+    OS << ')';
+  }
+
+  void pDecl(const Decl *D, unsigned Ind) {
+    if (!D) {
+      OS << "()";
+      return;
+    }
+    noteProvenance(D);
+    switch (D->kind()) {
+    case NodeKind::DeclarationKind:
+      pDeclaration(cast<Declaration>(D), Ind);
+      return;
+    case NodeKind::FunctionDefKind:
+      pFunctionDef(cast<FunctionDef>(D), Ind);
+      return;
+    case NodeKind::MacroInvocationDecl:
+      pInvocation(cast<MacroInvocationDecl>(D)->Inv);
+      return;
+    case NodeKind::TranslationUnitKind: {
+      const auto *TU = cast<TranslationUnit>(D);
+      bool First = true;
+      for (const Decl *Item : TU->Items) {
+        if (!First)
+          OS << '\n';
+        First = false;
+        pDecl(Item, 0);
+        OS << '\n';
+      }
+      return;
+    }
+    case NodeKind::PlaceholderDecl:
+    case NodeKind::MetaDeclKind:
+    case NodeKind::MacroDefKind:
+    default:
+      cEscape(D);
+      return;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Macro invocations
+  //===--------------------------------------------------------------------===//
+
+  void pInvocation(const MacroInvocation *Inv) {
+    if (!Inv || !Inv->Def) {
+      OS << "()";
+      return;
+    }
+    OS << '(' << Inv->Def->Name.str();
+    for (const PatternElement &E : Inv->Def->Pat->Elements) {
+      if (E.K != PatternElement::Binder)
+        continue;
+      const MatchValue *V = nullptr;
+      for (const MacroArg &Arg : Inv->Args)
+        if (Arg.Name == E.Name) {
+          V = Arg.Value;
+          break;
+        }
+      OS << ' ';
+      pMV(E.Spec, V);
+    }
+    OS << ')';
+  }
+
+  void pMV(const PSpec *Spec, const MatchValue *V) {
+    if (!V) {
+      OS << "()";
+      return;
+    }
+    if (Spec && Spec->K == PSpec::Opt) {
+      if (V->K == MatchValue::Absent) {
+        OS << "()";
+        return;
+      }
+      pMV(Spec->Inner, V);
+      return;
+    }
+    switch (V->K) {
+    case MatchValue::Ast: {
+      const Node *N = V->AstNode;
+      if (!N) {
+        OS << "()";
+        return;
+      }
+      if (const auto *E = dyn_cast<Expr>(N))
+        pExpr(E);
+      else if (const auto *S = dyn_cast<Stmt>(N))
+        pStmt(S, 0);
+      else if (const auto *D = dyn_cast<Decl>(N))
+        pDecl(D, 0);
+      else if (const auto *T = dyn_cast<TypeSpecNode>(N))
+        pType(T);
+      else
+        cEscape(N);
+      return;
+    }
+    case MatchValue::IdentV:
+      if (V->Id.isPlaceholder())
+        OS << "(c-syntax \"<placeholder>\")";
+      else
+        OS << V->Id.Sym.str();
+      return;
+    case MatchValue::DeclaratorV:
+      pDtor(V->Dtor);
+      return;
+    case MatchValue::InitDeclV:
+      OS << "(initdtor ";
+      pDtor(V->InitDtor ? V->InitDtor->Dtor : nullptr);
+      if (V->InitDtor && V->InitDtor->Init) {
+        OS << ' ';
+        pExpr(V->InitDtor->Init);
+      }
+      OS << ')';
+      return;
+    case MatchValue::EnumeratorV:
+      if (V->Enum)
+        pEnumerator(*V->Enum);
+      else
+        OS << "()";
+      return;
+    case MatchValue::List: {
+      OS << '(';
+      bool First = true;
+      for (const MatchValue *El : V->Elems) {
+        if (!First)
+          OS << ' ';
+        First = false;
+        pMV(Spec ? Spec->Inner : nullptr, El);
+      }
+      OS << ')';
+      return;
+    }
+    case MatchValue::Tuple: {
+      OS << '(';
+      std::vector<const PatternElement *> Binders;
+      if (Spec && Spec->K == PSpec::Tuple && Spec->Sub)
+        for (const PatternElement &E : Spec->Sub->Elements)
+          if (E.K == PatternElement::Binder)
+            Binders.push_back(&E);
+      bool First = true;
+      for (size_t I = 0; I != V->Elems.size(); ++I) {
+        if (!First)
+          OS << ' ';
+        First = false;
+        pMV(I < Binders.size() ? Binders[I]->Spec : nullptr, V->Elems[I]);
+      }
+      OS << ')';
+      return;
+    }
+    case MatchValue::Absent:
+      OS << "()";
+      return;
+    }
+  }
+
+  const PrintOptions &Opts;
+  std::ostringstream OS;
+  std::vector<std::pair<size_t, uint32_t>> OffsetProv;
+};
+
+} // namespace
+
+std::string msq::printSexpr(const Node *N, const PrintOptions &Opts) {
+  SPrinter P(Opts);
+  return P.print(N);
+}

@@ -1,0 +1,1660 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The S-expression reader: a datum scanner plus a structure-driven
+/// lowering into the shared typed AST. Macro invocations are matched
+/// positionally against the definition's pattern binders — the
+/// S-expression structure replaces the pattern's concrete tokens — and
+/// each constituent is built with exactly the MatchValue shapes the C
+/// parser's parseConstituent/matchPSpec produce, so the expander,
+/// interpreter, and hygiene machinery cannot tell the two bases apart.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pattern/Pattern.h"
+#include "sexpr/SexprBase.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace msq;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Datums
+//===----------------------------------------------------------------------===//
+
+struct SDatum {
+  enum DK : unsigned char { List, Sym, Int, Float, Char, Str } K = List;
+  SourceLoc Loc;
+  std::string Text;    // Sym spelling
+  int64_t IntVal = 0;  // Int / Char value
+  double FloatVal = 0; // Float value
+  std::string StrVal;  // Str contents (cooked)
+  std::vector<SDatum> Elems;
+
+  bool isSym(std::string_view S) const { return K == Sym && Text == S; }
+  bool isEmptyList() const { return K == List && Elems.empty(); }
+  /// Head symbol of a list form; empty when not a symbol-headed list.
+  std::string_view head() const {
+    if (K == List && !Elems.empty() && Elems[0].K == Sym)
+      return Elems[0].Text;
+    return {};
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Scanner
+//===----------------------------------------------------------------------===//
+
+class Scanner {
+public:
+  Scanner(uint32_t BufferId, std::string_view Src, DiagnosticsEngine &Diags)
+      : Buf(BufferId), Src(Src), Diags(Diags) {}
+
+  std::vector<SDatum> scanAll() {
+    std::vector<SDatum> Out;
+    for (;;) {
+      skipTrivia();
+      if (Pos >= Src.size())
+        break;
+      if (Src[Pos] == ')') {
+        Diags.error(loc(Pos), "unexpected ')'");
+        ++Pos;
+        continue;
+      }
+      SDatum D;
+      if (!scanDatum(D))
+        break;
+      Out.push_back(std::move(D));
+    }
+    return Out;
+  }
+
+private:
+  SourceLoc loc(size_t P) { return SourceLoc::get(Buf, uint32_t(P)); }
+
+  void skipTrivia() {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (C == ';') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+      } else if (std::isspace((unsigned char)C)) {
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  static bool isDelim(char C) {
+    return std::isspace((unsigned char)C) || C == '(' || C == ')' ||
+           C == '"' || C == ';' || C == '\'';
+  }
+
+  /// One (possibly escaped) character of a string/char literal; the same
+  /// escape set as the C lexer.
+  bool lexEscaped(char &Out) {
+    if (Pos >= Src.size())
+      return false;
+    char C = Src[Pos++];
+    if (C != '\\') {
+      Out = C;
+      return true;
+    }
+    if (Pos >= Src.size()) {
+      Diags.error(loc(Pos - 1), "incomplete escape sequence");
+      return false;
+    }
+    char E = Src[Pos++];
+    switch (E) {
+    case 'n':
+      Out = '\n';
+      return true;
+    case 't':
+      Out = '\t';
+      return true;
+    case 'r':
+      Out = '\r';
+      return true;
+    case 'b':
+      Out = '\b';
+      return true;
+    case 'f':
+      Out = '\f';
+      return true;
+    case 'v':
+      Out = '\v';
+      return true;
+    case 'a':
+      Out = '\a';
+      return true;
+    case '0':
+      Out = '\0';
+      return true;
+    case '\\':
+    case '\'':
+    case '"':
+      Out = E;
+      return true;
+    default:
+      Diags.error(loc(Pos - 1),
+                  std::string("unknown escape sequence '\\") + E + "'");
+      Out = E;
+      return true;
+    }
+  }
+
+  bool scanDatum(SDatum &Out) {
+    skipTrivia();
+    if (Pos >= Src.size())
+      return false;
+    size_t Start = Pos;
+    char C = Src[Pos];
+    Out.Loc = loc(Start);
+    if (C == '(') {
+      ++Pos;
+      Out.K = SDatum::List;
+      for (;;) {
+        skipTrivia();
+        if (Pos >= Src.size()) {
+          Diags.error(loc(Start), "unterminated list");
+          return true;
+        }
+        if (Src[Pos] == ')') {
+          ++Pos;
+          return true;
+        }
+        SDatum Child;
+        if (!scanDatum(Child))
+          return true;
+        Out.Elems.push_back(std::move(Child));
+      }
+    }
+    if (C == ')') {
+      Diags.error(loc(Pos), "unexpected ')'");
+      ++Pos;
+      return scanDatum(Out);
+    }
+    if (C == '"') {
+      ++Pos;
+      Out.K = SDatum::Str;
+      for (;;) {
+        if (Pos >= Src.size() || Src[Pos] == '\n') {
+          Diags.error(Out.Loc, "unterminated string literal");
+          break;
+        }
+        if (Src[Pos] == '"') {
+          ++Pos;
+          break;
+        }
+        char V;
+        if (!lexEscaped(V))
+          break;
+        Out.StrVal.push_back(V);
+      }
+      return true;
+    }
+    if (C == '\'') {
+      ++Pos;
+      Out.K = SDatum::Char;
+      if (Pos >= Src.size()) {
+        Diags.error(Out.Loc, "unterminated character literal");
+        return true;
+      }
+      char V = 0;
+      lexEscaped(V);
+      Out.IntVal = (int64_t)(unsigned char)V;
+      if (Pos < Src.size() && Src[Pos] == '\'')
+        ++Pos;
+      else
+        Diags.error(Out.Loc, "unterminated character literal");
+      return true;
+    }
+    // Symbol or number.
+    size_t End = Pos;
+    while (End < Src.size() && !isDelim(Src[End]))
+      ++End;
+    std::string_view T = Src.substr(Pos, End - Pos);
+    Pos = End;
+    if (looksNumeric(T)) {
+      std::string Spelled(T);
+      size_t SignLen = (T[0] == '+' || T[0] == '-') ? 1 : 0;
+      bool Hex = T.size() > SignLen + 1 && T[SignLen] == '0' &&
+                 (T[SignLen + 1] == 'x' || T[SignLen + 1] == 'X');
+      bool IsFloat =
+          !Hex && (T.find('.') != std::string_view::npos ||
+                   T.find('e') != std::string_view::npos ||
+                   T.find('E') != std::string_view::npos);
+      char *EndP = nullptr;
+      if (IsFloat) {
+        Out.K = SDatum::Float;
+        Out.FloatVal = std::strtod(Spelled.c_str(), &EndP);
+      } else {
+        Out.K = SDatum::Int;
+        Out.IntVal = std::strtoll(Spelled.c_str(), &EndP, 0);
+      }
+      if (!EndP || *EndP != '\0')
+        Diags.error(Out.Loc, "invalid numeric literal '" + Spelled + "'");
+      return true;
+    }
+    Out.K = SDatum::Sym;
+    Out.Text.assign(T);
+    return true;
+  }
+
+  static bool looksNumeric(std::string_view T) {
+    if (T.empty())
+      return false;
+    char C0 = T[0];
+    if (std::isdigit((unsigned char)C0))
+      return true;
+    if ((C0 == '-' || C0 == '+') && T.size() > 1) {
+      if (std::isdigit((unsigned char)T[1]))
+        return true;
+      if (T[1] == '.' && T.size() > 2 && std::isdigit((unsigned char)T[2]))
+        return true;
+    }
+    if (C0 == '.' && T.size() > 1 && std::isdigit((unsigned char)T[1]))
+      return true;
+    return false;
+  }
+
+  uint32_t Buf;
+  std::string_view Src;
+  DiagnosticsEngine &Diags;
+  size_t Pos = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Head classification
+//===----------------------------------------------------------------------===//
+
+const std::unordered_map<std::string_view, BinaryOpKind> &binaryOps() {
+  static const std::unordered_map<std::string_view, BinaryOpKind> Map = [] {
+    std::unordered_map<std::string_view, BinaryOpKind> M;
+    for (unsigned K = 0; K <= unsigned(BinaryOpKind::Comma); ++K)
+      M.emplace(binaryOpSpelling(BinaryOpKind(K)), BinaryOpKind(K));
+    M.emplace("comma", BinaryOpKind::Comma);
+    return M;
+  }();
+  return Map;
+}
+
+const std::unordered_map<std::string_view, UnaryOpKind> &unaryOps() {
+  static const std::unordered_map<std::string_view, UnaryOpKind> Map = [] {
+    std::unordered_map<std::string_view, UnaryOpKind> M;
+    // PreInc/PreDec share the "++"/"--" spellings with PostInc/PostDec;
+    // insertion order makes the prefix forms win, and the postfix forms
+    // get the explicit post++/post-- heads.
+    for (unsigned K = 0; K <= unsigned(UnaryOpKind::PostDec); ++K)
+      M.emplace(unaryOpSpelling(UnaryOpKind(K)), UnaryOpKind(K));
+    M.emplace("post++", UnaryOpKind::PostInc);
+    M.emplace("post--", UnaryOpKind::PostDec);
+    return M;
+  }();
+  return Map;
+}
+
+bool isStmtHead(std::string_view H) {
+  static const std::unordered_set<std::string_view> S = {
+      "begin",  "nop",     "if",    "while", "do-while", "for",   "switch",
+      "case",   "default", "label", "goto",  "break",    "continue",
+      "return"};
+  return S.count(H) != 0;
+}
+
+bool isDeclHead(std::string_view H) {
+  static const std::unordered_set<std::string_view> S = {"var", "typedef",
+                                                         "decl"};
+  return S.count(H) != 0;
+}
+
+bool isBuiltinWord(std::string_view W, unsigned &Flag) {
+  static const std::unordered_map<std::string_view, unsigned> Map = {
+      {"void", BTF_Void},     {"char", BTF_Char},
+      {"short", BTF_Short},   {"int", BTF_Int},
+      {"long", BTF_Long},     {"float", BTF_Float},
+      {"double", BTF_Double}, {"signed", BTF_Signed},
+      {"unsigned", BTF_Unsigned}};
+  auto It = Map.find(W);
+  if (It == Map.end())
+    return false;
+  Flag = It->second;
+  return true;
+}
+
+/// Heads that can never be implicit call callees or type names.
+bool isReservedHead(std::string_view H) {
+  static const std::unordered_set<std::string_view> S = {
+      "paren",   "init",    "cast",   "sizeof",  "sizeof-type", "call",
+      "index",   "member",  "arrow",  "c-syntax", "specs",      "dtor",
+      "inner",   "fn",      "krfn",   "krnames", "krdecls",     "initdtor",
+      "ptr",     "array",   "struct", "union",   "enum",        "fields",
+      "enums",   "var",     "typedef", "decl",   "defun",       "defun*",
+      "syntax",  "metadcl"};
+  if (S.count(H) || isStmtHead(H))
+    return true;
+  return binaryOps().count(H) != 0 || unaryOps().count(H) != 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering
+//===----------------------------------------------------------------------===//
+
+class Lower {
+public:
+  explicit Lower(CompilationContext &CC) : CC(CC) {}
+
+  Expr *expr(const SDatum &D);
+  Stmt *stmt(const SDatum &D);
+  Decl *decl(const SDatum &D, bool TopLevel);
+  TypeSpecNode *typeSpec(const SDatum &D);
+  CompoundStmt *compound(const SDatum *Forms, size_t N, SourceLoc Loc);
+
+private:
+  CompilationContext &CC;
+
+  Symbol sym(std::string_view S) { return CC.Interner.intern(S); }
+  void err(SourceLoc Loc, std::string Msg) {
+    CC.Diags.error(Loc, std::move(Msg));
+  }
+
+  bool isDeclForm(const SDatum &D);
+
+  // Types and declarators.
+  bool typeName(const SDatum &D, TypeName &Out);
+  struct VarType {
+    TypeSpecNode *Spec = nullptr;
+    unsigned Depth = 0;
+    std::vector<DeclSuffix> Arrays;
+  };
+  bool varType(const SDatum &D, VarType &Out);
+  TypeSpecNode *tagType(const SDatum &D);
+  bool declSpecs(const SDatum &D, DeclSpecs &Specs, unsigned &FoldDepth,
+                 bool AllowStorage);
+  Declarator *declarator(const SDatum &D);
+  bool paramList(const SDatum &D, DeclSuffix &Out);
+  ParamDecl *param(const SDatum &D);
+  bool enumeratorFromForm(const SDatum &D, Enumerator &Out);
+  void registerDecl(Declaration *D);
+
+  // Macro invocations.
+  MacroInvocation *invocation(const MacroDef *Def, const SDatum *Ops,
+                              size_t N, SourceLoc Loc);
+  MatchValue *mvFromSpec(const PSpec *Spec, const SDatum &D);
+  MatchValue *scalarMV(const MetaType *Scalar, const SDatum &D);
+  Expr *exprInvocation(const MacroDef *Def, const SDatum *Ops, size_t N,
+                       SourceLoc Loc);
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Lower::expr(const SDatum &D) {
+  switch (D.K) {
+  case SDatum::Int:
+    return CC.Ast.create<IntLiteralExpr>(D.IntVal, D.Loc);
+  case SDatum::Float:
+    return CC.Ast.create<FloatLiteralExpr>(D.FloatVal, D.Loc);
+  case SDatum::Char:
+    return CC.Ast.create<CharLiteralExpr>(D.IntVal, D.Loc);
+  case SDatum::Str:
+    return CC.Ast.create<StringLiteralExpr>(sym(D.StrVal), D.Loc);
+  case SDatum::Sym: {
+    // Macro names act as keywords, exactly as in the C base: a bare symbol
+    // naming a macro is an invocation with zero constituents.
+    if (const MacroDef *Def = CC.Macros.lookup(sym(D.Text)))
+      return exprInvocation(Def, nullptr, 0, D.Loc);
+    return CC.Ast.create<IdentExpr>(Ident(sym(D.Text), D.Loc), D.Loc);
+  }
+  case SDatum::List:
+    break;
+  }
+
+  if (D.Elems.empty()) {
+    err(D.Loc, "expected an expression, found '()'");
+    return nullptr;
+  }
+  if (D.Elems[0].K != SDatum::Sym) {
+    err(D.Elems[0].Loc,
+        "expected an operator, form head, or macro name to begin a form; "
+        "use (call f ...) for a computed callee");
+    return nullptr;
+  }
+  std::string_view H = D.Elems[0].Text;
+  const SDatum *A = D.Elems.data() + 1;
+  size_t N = D.Elems.size() - 1;
+  auto arity = [&](size_t Want) {
+    if (N == Want)
+      return true;
+    err(D.Loc, "form '(" + std::string(H) + " ...)' expects " +
+                   std::to_string(Want) + " operand(s), got " +
+                   std::to_string(N));
+    return false;
+  };
+
+  if (H == "paren") {
+    if (!arity(1))
+      return nullptr;
+    Expr *Inner = expr(A[0]);
+    return Inner ? CC.Ast.create<ParenExpr>(Inner, D.Loc) : nullptr;
+  }
+  if (H == "init") {
+    std::vector<Expr *> Elems;
+    for (size_t I = 0; I != N; ++I) {
+      Expr *E = expr(A[I]);
+      if (!E)
+        return nullptr;
+      Elems.push_back(E);
+    }
+    return CC.Ast.create<InitListExpr>(ArenaRef<Expr *>::copy(CC.Ast, Elems),
+                                       D.Loc);
+  }
+  if (H == "?:") {
+    if (!arity(3))
+      return nullptr;
+    Expr *C = expr(A[0]), *T = expr(A[1]), *E = expr(A[2]);
+    if (!C || !T || !E)
+      return nullptr;
+    return CC.Ast.create<ConditionalExpr>(C, T, E, D.Loc);
+  }
+  if (H == "cast") {
+    if (!arity(2))
+      return nullptr;
+    TypeName TN;
+    if (!typeName(A[0], TN))
+      return nullptr;
+    Expr *Op = expr(A[1]);
+    return Op ? CC.Ast.create<CastExpr>(TN, Op, D.Loc) : nullptr;
+  }
+  if (H == "sizeof") {
+    if (!arity(1))
+      return nullptr;
+    Expr *Op = expr(A[0]);
+    return Op ? CC.Ast.create<SizeofExpr>(Op, D.Loc) : nullptr;
+  }
+  if (H == "sizeof-type") {
+    if (!arity(1))
+      return nullptr;
+    TypeName TN;
+    if (!typeName(A[0], TN))
+      return nullptr;
+    return CC.Ast.create<SizeofExpr>(TN, D.Loc);
+  }
+  if (H == "call" || (!isReservedHead(H) && !CC.Macros.lookup(sym(H)))) {
+    Expr *Callee = nullptr;
+    size_t First = 0;
+    if (H == "call") {
+      if (N < 1) {
+        err(D.Loc, "form '(call ...)' expects at least a callee");
+        return nullptr;
+      }
+      Callee = expr(A[0]);
+      First = 1;
+    } else {
+      Callee =
+          CC.Ast.create<IdentExpr>(Ident(sym(H), D.Elems[0].Loc), D.Elems[0].Loc);
+    }
+    if (!Callee)
+      return nullptr;
+    std::vector<Expr *> Args;
+    for (size_t I = First; I != N; ++I) {
+      Expr *E = expr(A[I]);
+      if (!E)
+        return nullptr;
+      Args.push_back(E);
+    }
+    return CC.Ast.create<CallExpr>(Callee,
+                                   ArenaRef<Expr *>::copy(CC.Ast, Args), D.Loc);
+  }
+  if (H == "index") {
+    if (!arity(2))
+      return nullptr;
+    Expr *B = expr(A[0]), *I = expr(A[1]);
+    if (!B || !I)
+      return nullptr;
+    return CC.Ast.create<IndexExpr>(B, I, D.Loc);
+  }
+  if (H == "member" || H == "arrow") {
+    if (!arity(2))
+      return nullptr;
+    Expr *B = expr(A[0]);
+    if (!B)
+      return nullptr;
+    if (A[1].K != SDatum::Sym) {
+      err(A[1].Loc, "expected a member name");
+      return nullptr;
+    }
+    return CC.Ast.create<MemberExpr>(B, Ident(sym(A[1].Text), A[1].Loc),
+                                     H == "arrow", D.Loc);
+  }
+  if (H == "c-syntax") {
+    err(D.Loc, "the (c-syntax ...) escape is print-only and cannot be read "
+               "back");
+    return nullptr;
+  }
+
+  bool HasUnary = unaryOps().count(H) != 0;
+  bool HasBinary = binaryOps().count(H) != 0;
+  if (HasUnary || HasBinary) {
+    if (N == 1 && HasUnary) {
+      Expr *Op = expr(A[0]);
+      return Op ? CC.Ast.create<UnaryExpr>(unaryOps().at(H), Op, D.Loc)
+                : nullptr;
+    }
+    if (N == 2 && HasBinary) {
+      Expr *L = expr(A[0]), *R = expr(A[1]);
+      if (!L || !R)
+        return nullptr;
+      return CC.Ast.create<BinaryExpr>(binaryOps().at(H), L, R, D.Loc);
+    }
+    err(D.Loc, "operator '" + std::string(H) + "' cannot take " +
+                   std::to_string(N) + " operand(s)");
+    return nullptr;
+  }
+
+  if (const MacroDef *Def = CC.Macros.lookup(sym(H)))
+    return exprInvocation(Def, A, N, D.Loc);
+
+  if (isStmtHead(H)) {
+    err(D.Loc, "'" + std::string(H) +
+                   "' begins a statement and cannot appear in an expression");
+    return nullptr;
+  }
+  err(D.Loc, "'" + std::string(H) + "' does not begin an expression form");
+  return nullptr;
+}
+
+Expr *Lower::exprInvocation(const MacroDef *Def, const SDatum *Ops, size_t N,
+                            SourceLoc Loc) {
+  const MetaType *RT = Def->ReturnType;
+  bool FitsExpr = RT->kind() == MetaTypeKind::Exp ||
+                  RT->kind() == MetaTypeKind::Num ||
+                  RT->kind() == MetaTypeKind::Id;
+  if (!FitsExpr) {
+    err(Loc, "macro '" + std::string(Def->Name.str()) + "' returns " +
+                 RT->toString() + " and cannot appear in an expression");
+    invocation(Def, Ops, N, Loc); // recover: still check the constituents
+    return CC.Ast.create<IntLiteralExpr>(0, Loc);
+  }
+  MacroInvocation *Inv = invocation(Def, Ops, N, Loc);
+  if (!Inv)
+    return nullptr;
+  return CC.Ast.create<MacroInvocationExpr>(Inv, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+Stmt *Lower::stmt(const SDatum &D) {
+  if (D.K != SDatum::List) {
+    Expr *E = expr(D);
+    return E ? CC.Ast.create<ExprStmt>(E, D.Loc) : nullptr;
+  }
+  if (D.Elems.empty()) {
+    err(D.Loc, "expected a statement, found '()'");
+    return nullptr;
+  }
+  if (D.Elems[0].K != SDatum::Sym) {
+    Expr *E = expr(D);
+    return E ? CC.Ast.create<ExprStmt>(E, D.Loc) : nullptr;
+  }
+  std::string_view H = D.Elems[0].Text;
+  const SDatum *A = D.Elems.data() + 1;
+  size_t N = D.Elems.size() - 1;
+  auto arity = [&](size_t Lo, size_t Hi) {
+    if (N >= Lo && N <= Hi)
+      return true;
+    err(D.Loc, "malformed '(" + std::string(H) + " ...)' statement");
+    return false;
+  };
+
+  if (H == "begin")
+    return compound(A, N, D.Loc);
+  if (H == "nop") {
+    if (!arity(0, 0))
+      return nullptr;
+    return CC.Ast.create<NullStmt>(D.Loc);
+  }
+  if (H == "if") {
+    if (!arity(2, 3))
+      return nullptr;
+    Expr *C = expr(A[0]);
+    Stmt *T = stmt(A[1]);
+    Stmt *E = N == 3 ? stmt(A[2]) : nullptr;
+    if (!C || !T || (N == 3 && !E))
+      return nullptr;
+    return CC.Ast.create<IfStmt>(C, T, E, D.Loc);
+  }
+  if (H == "while") {
+    if (!arity(2, 2))
+      return nullptr;
+    Expr *C = expr(A[0]);
+    Stmt *B = stmt(A[1]);
+    if (!C || !B)
+      return nullptr;
+    return CC.Ast.create<WhileStmt>(C, B, D.Loc);
+  }
+  if (H == "do-while") {
+    if (!arity(2, 2))
+      return nullptr;
+    Stmt *B = stmt(A[0]);
+    Expr *C = expr(A[1]);
+    if (!B || !C)
+      return nullptr;
+    return CC.Ast.create<DoStmt>(B, C, D.Loc);
+  }
+  if (H == "for") {
+    if (!arity(4, 4))
+      return nullptr;
+    Expr *Init = A[0].isEmptyList() ? nullptr : expr(A[0]);
+    Expr *Cond = A[1].isEmptyList() ? nullptr : expr(A[1]);
+    Expr *Step = A[2].isEmptyList() ? nullptr : expr(A[2]);
+    Stmt *B = stmt(A[3]);
+    if (!B)
+      return nullptr;
+    return CC.Ast.create<ForStmt>(Init, Cond, Step, B, D.Loc);
+  }
+  if (H == "switch") {
+    if (!arity(2, 2))
+      return nullptr;
+    Expr *C = expr(A[0]);
+    Stmt *B = stmt(A[1]);
+    if (!C || !B)
+      return nullptr;
+    return CC.Ast.create<SwitchStmt>(C, B, D.Loc);
+  }
+  if (H == "case") {
+    if (!arity(2, 2))
+      return nullptr;
+    Expr *V = expr(A[0]);
+    Stmt *B = stmt(A[1]);
+    if (!V || !B)
+      return nullptr;
+    return CC.Ast.create<CaseStmt>(V, B, D.Loc);
+  }
+  if (H == "default") {
+    if (!arity(1, 1))
+      return nullptr;
+    Stmt *B = stmt(A[0]);
+    return B ? CC.Ast.create<DefaultStmt>(B, D.Loc) : nullptr;
+  }
+  if (H == "label") {
+    if (!arity(2, 2))
+      return nullptr;
+    if (A[0].K != SDatum::Sym) {
+      err(A[0].Loc, "expected a label name");
+      return nullptr;
+    }
+    Stmt *B = stmt(A[1]);
+    if (!B)
+      return nullptr;
+    return CC.Ast.create<LabelStmt>(Ident(sym(A[0].Text), A[0].Loc), B, D.Loc);
+  }
+  if (H == "goto") {
+    if (!arity(1, 1))
+      return nullptr;
+    if (A[0].K != SDatum::Sym) {
+      err(A[0].Loc, "expected a label name");
+      return nullptr;
+    }
+    return CC.Ast.create<GotoStmt>(Ident(sym(A[0].Text), A[0].Loc), D.Loc);
+  }
+  if (H == "break") {
+    if (!arity(0, 0))
+      return nullptr;
+    return CC.Ast.create<BreakStmt>(D.Loc);
+  }
+  if (H == "continue") {
+    if (!arity(0, 0))
+      return nullptr;
+    return CC.Ast.create<ContinueStmt>(D.Loc);
+  }
+  if (H == "return") {
+    if (!arity(0, 1))
+      return nullptr;
+    Expr *V = N == 1 ? expr(A[0]) : nullptr;
+    if (N == 1 && !V)
+      return nullptr;
+    return CC.Ast.create<ReturnStmt>(V, D.Loc);
+  }
+  if (H == "defun" || H == "defun*") {
+    err(D.Loc, "function definitions are only allowed at the top level");
+    return nullptr;
+  }
+  if (isDeclHead(H)) {
+    err(D.Loc,
+        "declarations must precede statements in a (begin ...) block");
+    return nullptr;
+  }
+
+  if (const MacroDef *Def = CC.Macros.lookup(sym(H));
+      Def && !isReservedHead(H)) {
+    const MetaType *RT = Def->ReturnType;
+    bool FitsStmt =
+        RT->kind() == MetaTypeKind::Stmt ||
+        (RT->isList() && RT->listElem()->kind() == MetaTypeKind::Stmt);
+    if (FitsStmt) {
+      MacroInvocation *Inv = invocation(Def, A, N, D.Loc);
+      if (!Inv)
+        return nullptr;
+      return CC.Ast.create<MacroInvocationStmt>(Inv, D.Loc);
+    }
+    bool FitsExpr = RT->kind() == MetaTypeKind::Exp ||
+                    RT->kind() == MetaTypeKind::Num ||
+                    RT->kind() == MetaTypeKind::Id;
+    if (!FitsExpr) {
+      err(D.Loc, "macro '" + std::string(Def->Name.str()) + "' returns " +
+                     RT->toString() +
+                     " and cannot appear where a statement is expected");
+      invocation(Def, A, N, D.Loc); // recover
+      return nullptr;
+    }
+    // Expression macro: falls through to the expression statement path.
+  }
+
+  Expr *E = expr(D);
+  return E ? CC.Ast.create<ExprStmt>(E, D.Loc) : nullptr;
+}
+
+CompoundStmt *Lower::compound(const SDatum *Forms, size_t N, SourceLoc Loc) {
+  std::vector<Decl *> Decls;
+  std::vector<Stmt *> Stmts;
+  bool InStmts = false;
+  for (size_t I = 0; I != N; ++I) {
+    const SDatum &F = Forms[I];
+    if (isDeclForm(F)) {
+      if (InStmts) {
+        err(F.Loc,
+            "declarations must precede statements in a (begin ...) block");
+        continue;
+      }
+      if (Decl *D = decl(F, /*TopLevel=*/false))
+        Decls.push_back(D);
+      continue;
+    }
+    InStmts = true;
+    if (Stmt *S = stmt(F))
+      Stmts.push_back(S);
+  }
+  return CC.Ast.create<CompoundStmt>(ArenaRef<Decl *>::copy(CC.Ast, Decls),
+                                     ArenaRef<Stmt *>::copy(CC.Ast, Stmts),
+                                     Loc);
+}
+
+bool Lower::isDeclForm(const SDatum &D) {
+  std::string_view H = D.head();
+  if (H.empty())
+    return false;
+  if (isDeclHead(H))
+    return true;
+  if (isReservedHead(H))
+    return false;
+  if (const MacroDef *Def = CC.Macros.lookup(sym(H))) {
+    const MetaType *RT = Def->ReturnType;
+    return RT->kind() == MetaTypeKind::Decl ||
+           (RT->isList() && RT->listElem()->kind() == MetaTypeKind::Decl);
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Types and declarators
+//===----------------------------------------------------------------------===//
+
+TypeSpecNode *Lower::typeSpec(const SDatum &D) {
+  if (D.K == SDatum::Sym) {
+    unsigned Flag = 0;
+    if (isBuiltinWord(D.Text, Flag))
+      return CC.Ast.create<BuiltinTypeSpec>(Flag, D.Loc);
+    if (isReservedHead(D.Text)) {
+      err(D.Loc, "'" + D.Text + "' is not a type name");
+      return nullptr;
+    }
+    return CC.Ast.create<TypedefNameSpec>(sym(D.Text), D.Loc);
+  }
+  if (D.K != SDatum::List || D.Elems.empty() ||
+      D.Elems[0].K != SDatum::Sym) {
+    err(D.Loc, "expected a type specifier");
+    return nullptr;
+  }
+  std::string_view H = D.Elems[0].Text;
+  unsigned Flag = 0;
+  if (isBuiltinWord(H, Flag)) {
+    unsigned Flags = 0;
+    for (size_t I = 0; I != D.Elems.size(); ++I) {
+      const SDatum &W = D.Elems[I];
+      unsigned F = 0;
+      if (W.K != SDatum::Sym || !isBuiltinWord(W.Text, F)) {
+        err(W.Loc, "expected a builtin type word");
+        return nullptr;
+      }
+      if (F == BTF_Long && (Flags & BTF_Long))
+        Flags |= BTF_LongLong;
+      else
+        Flags |= F;
+    }
+    return CC.Ast.create<BuiltinTypeSpec>(Flags, D.Loc);
+  }
+  if (H == "struct" || H == "union" || H == "enum")
+    return tagType(D);
+  if (H == "ptr" || H == "array") {
+    err(D.Loc, "pointer and array types are not allowed here; use a "
+               "declarator form");
+    return nullptr;
+  }
+  err(D.Loc, "expected a type specifier form");
+  return nullptr;
+}
+
+TypeSpecNode *Lower::tagType(const SDatum &D) {
+  std::string_view H = D.Elems[0].Text;
+  TagKind Tag = H == "struct"  ? TagKind::Struct
+                : H == "union" ? TagKind::Union
+                               : TagKind::Enum;
+  if (D.Elems.size() < 2 || D.Elems.size() > 3) {
+    err(D.Loc, "malformed '(" + std::string(H) + " ...)' type");
+    return nullptr;
+  }
+  Ident TagName;
+  const SDatum &NameD = D.Elems[1];
+  if (NameD.K == SDatum::Sym)
+    TagName = Ident(sym(NameD.Text), NameD.Loc);
+  else if (!NameD.isEmptyList()) {
+    err(NameD.Loc, "expected a tag name or '()' for an anonymous tag");
+    return nullptr;
+  }
+  bool HasBody = D.Elems.size() == 3;
+  std::vector<Declaration *> Members;
+  std::vector<Enumerator> Enums;
+  if (HasBody) {
+    const SDatum &Body = D.Elems[2];
+    if (Tag == TagKind::Enum) {
+      if (Body.head() != "enums") {
+        err(Body.Loc, "expected an (enums ...) body");
+        return nullptr;
+      }
+      for (size_t I = 1; I != Body.Elems.size(); ++I) {
+        Enumerator E;
+        if (enumeratorFromForm(Body.Elems[I], E))
+          Enums.push_back(E);
+      }
+    } else {
+      if (Body.head() != "fields") {
+        err(Body.Loc, "expected a (fields ...) body");
+        return nullptr;
+      }
+      for (size_t I = 1; I != Body.Elems.size(); ++I) {
+        Decl *M = decl(Body.Elems[I], /*TopLevel=*/false);
+        if (!M)
+          continue;
+        auto *MD = dyn_cast<Declaration>(M);
+        if (!MD || MD->Specs.Storage != StorageClass::None) {
+          err(Body.Elems[I].Loc, "expected a member declaration");
+          continue;
+        }
+        Members.push_back(MD);
+      }
+    }
+  }
+  return CC.Ast.create<TagTypeSpec>(
+      Tag, TagName, HasBody, ArenaRef<Declaration *>::copy(CC.Ast, Members),
+      ArenaRef<Enumerator>::copy(CC.Ast, Enums), D.Loc);
+}
+
+bool Lower::enumeratorFromForm(const SDatum &D, Enumerator &Out) {
+  if (D.K == SDatum::Sym) {
+    Out.Name = Ident(sym(D.Text), D.Loc);
+    Out.Loc = D.Loc;
+    return true;
+  }
+  if (D.K == SDatum::List && !D.Elems.empty() &&
+      D.Elems[0].K == SDatum::Sym && D.Elems.size() <= 2) {
+    Out.Name = Ident(sym(D.Elems[0].Text), D.Elems[0].Loc);
+    Out.Loc = D.Loc;
+    if (D.Elems.size() == 2) {
+      Out.Value = expr(D.Elems[1]);
+      if (!Out.Value)
+        return false;
+    }
+    return true;
+  }
+  err(D.Loc, "expected an enumerator: NAME or (NAME VALUE)");
+  return false;
+}
+
+bool Lower::typeName(const SDatum &D, TypeName &Out) {
+  const SDatum *Cur = &D;
+  Out.PointerDepth = 0;
+  while (Cur->head() == "ptr") {
+    if (Cur->Elems.size() != 2) {
+      err(Cur->Loc, "form '(ptr T)' expects exactly one operand");
+      return false;
+    }
+    ++Out.PointerDepth;
+    Cur = &Cur->Elems[1];
+  }
+  if (Cur->head() == "array") {
+    err(Cur->Loc, "array types require a declarator and are not allowed in "
+                  "this position");
+    return false;
+  }
+  Out.Spec = typeSpec(*Cur);
+  return Out.Spec != nullptr;
+}
+
+bool Lower::varType(const SDatum &D, VarType &Out) {
+  const SDatum *Cur = &D;
+  // Outermost (array ...) wrappers become the first declarator suffixes,
+  // mirroring C's left-to-right suffix order: (array (array int 4) 3) is
+  // `int x[3][4]`.
+  while (Cur->head() == "array") {
+    if (Cur->Elems.size() < 2 || Cur->Elems.size() > 3) {
+      err(Cur->Loc, "form '(array T [SIZE])' expects one or two operands");
+      return false;
+    }
+    DeclSuffix S;
+    S.K = DeclSuffix::Array;
+    if (Cur->Elems.size() == 3) {
+      S.ArraySize = expr(Cur->Elems[2]);
+      if (!S.ArraySize)
+        return false;
+    }
+    Out.Arrays.push_back(S);
+    Cur = &Cur->Elems[1];
+  }
+  while (Cur->head() == "ptr") {
+    if (Cur->Elems.size() != 2) {
+      err(Cur->Loc, "form '(ptr T)' expects exactly one operand");
+      return false;
+    }
+    ++Out.Depth;
+    Cur = &Cur->Elems[1];
+  }
+  if (Cur->head() == "array") {
+    err(Cur->Loc, "a pointer to an array requires an explicit (dtor ...) "
+                  "declarator with an (inner ...) base");
+    return false;
+  }
+  Out.Spec = typeSpec(*Cur);
+  return Out.Spec != nullptr;
+}
+
+bool Lower::declSpecs(const SDatum &D, DeclSpecs &Specs, unsigned &FoldDepth,
+                      bool AllowStorage) {
+  Specs.Loc = D.Loc;
+  FoldDepth = 0;
+  if (D.head() == "specs") {
+    if (D.Elems.size() < 2) {
+      err(D.Loc, "form '(specs ...)' expects at least a type");
+      return false;
+    }
+    for (size_t I = 1; I + 1 < D.Elems.size(); ++I) {
+      const SDatum &W = D.Elems[I];
+      if (W.K != SDatum::Sym) {
+        err(W.Loc, "expected a storage class or qualifier word");
+        return false;
+      }
+      StorageClass SC = StorageClass::None;
+      if (W.Text == "auto")
+        SC = StorageClass::Auto;
+      else if (W.Text == "register")
+        SC = StorageClass::Register;
+      else if (W.Text == "static")
+        SC = StorageClass::Static;
+      else if (W.Text == "extern")
+        SC = StorageClass::Extern;
+      else if (W.Text == "typedef")
+        SC = StorageClass::Typedef;
+      else if (W.Text == "metadcl") {
+        err(W.Loc, "meta declarations are written in the C base");
+        return false;
+      } else if (W.Text == "const") {
+        Specs.Const = true;
+        continue;
+      } else if (W.Text == "volatile") {
+        Specs.Volatile = true;
+        continue;
+      } else {
+        err(W.Loc, "unknown specifier word '" + W.Text + "'");
+        return false;
+      }
+      if (!AllowStorage) {
+        err(W.Loc, "a storage class is not allowed here");
+        return false;
+      }
+      if (Specs.Storage != StorageClass::None) {
+        err(W.Loc, "multiple storage classes");
+        return false;
+      }
+      Specs.Storage = SC;
+    }
+    Specs.Type = typeSpec(D.Elems.back());
+    return Specs.Type != nullptr;
+  }
+  TypeName TN;
+  if (!typeName(D, TN))
+    return false;
+  Specs.Type = TN.Spec;
+  FoldDepth = TN.PointerDepth;
+  return true;
+}
+
+Declarator *Lower::declarator(const SDatum &D) {
+  if (D.K == SDatum::Sym) {
+    Declarator *Dt = CC.Ast.create<Declarator>();
+    Dt->Name = Ident(sym(D.Text), D.Loc);
+    Dt->Loc = D.Loc;
+    return Dt;
+  }
+  if (D.head() != "dtor" || D.Elems.size() < 3) {
+    err(D.Loc, "expected a declarator: NAME or (dtor DEPTH BASE SUFFIX...)");
+    return nullptr;
+  }
+  if (D.Elems[1].K != SDatum::Int || D.Elems[1].IntVal < 0) {
+    err(D.Elems[1].Loc, "expected a non-negative pointer depth");
+    return nullptr;
+  }
+  Declarator *Dt = CC.Ast.create<Declarator>();
+  Dt->Loc = D.Loc;
+  Dt->PointerDepth = unsigned(D.Elems[1].IntVal);
+  const SDatum &Base = D.Elems[2];
+  if (Base.K == SDatum::Sym) {
+    Dt->Name = Ident(sym(Base.Text), Base.Loc);
+  } else if (Base.head() == "inner") {
+    if (Base.Elems.size() != 2) {
+      err(Base.Loc, "form '(inner DTOR)' expects exactly one operand");
+      return nullptr;
+    }
+    Dt->Inner = declarator(Base.Elems[1]);
+    if (!Dt->Inner)
+      return nullptr;
+  } else if (!Base.isEmptyList()) {
+    err(Base.Loc,
+        "expected a declarator base: NAME, (inner DTOR), or '()'");
+    return nullptr;
+  }
+  std::vector<DeclSuffix> Suffixes;
+  for (size_t I = 3; I != D.Elems.size(); ++I) {
+    const SDatum &SF = D.Elems[I];
+    std::string_view SH = SF.head();
+    DeclSuffix S;
+    if (SH == "array") {
+      S.K = DeclSuffix::Array;
+      if (SF.Elems.size() > 2) {
+        err(SF.Loc, "form '(array [SIZE])' expects at most one operand");
+        return nullptr;
+      }
+      if (SF.Elems.size() == 2) {
+        S.ArraySize = expr(SF.Elems[1]);
+        if (!S.ArraySize)
+          return nullptr;
+      }
+    } else if (SH == "fn") {
+      if (SF.Elems.size() != 2) {
+        err(SF.Loc, "form '(fn (PARAM...))' expects exactly one operand");
+        return nullptr;
+      }
+      if (!paramList(SF.Elems[1], S))
+        return nullptr;
+    } else if (SH == "krfn") {
+      S.K = DeclSuffix::Function;
+      std::vector<Ident> Names;
+      for (size_t J = 1; J != SF.Elems.size(); ++J) {
+        if (SF.Elems[J].K != SDatum::Sym) {
+          err(SF.Elems[J].Loc, "expected a K&R parameter name");
+          return nullptr;
+        }
+        Names.emplace_back(sym(SF.Elems[J].Text), SF.Elems[J].Loc);
+      }
+      S.KRNames = ArenaRef<Ident>::copy(CC.Ast, Names);
+    } else {
+      err(SF.Loc, "expected a declarator suffix: (array [SIZE]), "
+                  "(fn (PARAM...)), or (krfn NAME...)");
+      return nullptr;
+    }
+    Suffixes.push_back(S);
+  }
+  Dt->Suffixes = ArenaRef<DeclSuffix>::copy(CC.Ast, Suffixes);
+  return Dt;
+}
+
+bool Lower::paramList(const SDatum &D, DeclSuffix &Out) {
+  if (D.K != SDatum::List) {
+    err(D.Loc, "expected a parameter list");
+    return false;
+  }
+  Out.K = DeclSuffix::Function;
+  std::vector<ParamDecl *> Params;
+  for (size_t I = 0; I != D.Elems.size(); ++I) {
+    const SDatum &P = D.Elems[I];
+    if (P.isSym("...")) {
+      if (I + 1 != D.Elems.size()) {
+        err(P.Loc, "'...' must be the last parameter");
+        return false;
+      }
+      Out.Variadic = true;
+      break;
+    }
+    ParamDecl *PD = param(P);
+    if (!PD)
+      return false;
+    Params.push_back(PD);
+  }
+  Out.Params = ArenaRef<ParamDecl *>::copy(CC.Ast, Params);
+  return true;
+}
+
+ParamDecl *Lower::param(const SDatum &D) {
+  if (D.K != SDatum::List || D.Elems.empty() || D.Elems.size() > 2) {
+    err(D.Loc, "expected a parameter: (TYPE [NAME-or-DTOR])");
+    return nullptr;
+  }
+  ParamDecl *PD = CC.Ast.create<ParamDecl>();
+  PD->Loc = D.Loc;
+  unsigned Fold = 0;
+  if (!declSpecs(D.Elems[0], PD->Specs, Fold, /*AllowStorage=*/false))
+    return nullptr;
+  if (D.Elems.size() == 2) {
+    PD->Dtor = declarator(D.Elems[1]);
+    if (!PD->Dtor)
+      return nullptr;
+    PD->Dtor->PointerDepth += Fold;
+  } else if (Fold > 0) {
+    PD->Dtor = CC.Ast.create<Declarator>();
+    PD->Dtor->PointerDepth = Fold;
+    PD->Dtor->Loc = D.Loc;
+  }
+  return PD;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+void Lower::registerDecl(Declaration *D) {
+  // Mirrors Parser::registerDeclaration for object-level declarations so
+  // typedef visibility and the var_type semantic query behave identically
+  // across bases.
+  for (const InitDeclarator &ID : D->Inits) {
+    if (ID.Ph || !ID.Dtor || ID.Dtor->isPlaceholder() ||
+        ID.Dtor->name().isPlaceholder() || !ID.Dtor->name().Sym.valid())
+      continue;
+    if (D->Specs.Storage == StorageClass::Typedef) {
+      CC.TypedefScopes.back().insert(ID.Dtor->name().Sym);
+      continue;
+    }
+    if (D->Specs.Type && !isa<MetaAstTypeSpec>(D->Specs.Type) &&
+        !ID.Dtor->isFunction())
+      CC.ObjectVarTypes[ID.Dtor->name().Sym] = D->Specs.Type;
+  }
+}
+
+Decl *Lower::decl(const SDatum &D, bool TopLevel) {
+  if (D.K != SDatum::List || D.Elems.empty() ||
+      D.Elems[0].K != SDatum::Sym) {
+    err(D.Loc, "expected a declaration form");
+    return nullptr;
+  }
+  std::string_view H = D.Elems[0].Text;
+  const SDatum *A = D.Elems.data() + 1;
+  size_t N = D.Elems.size() - 1;
+
+  if (H == "var" || H == "typedef") {
+    bool IsTypedef = H == "typedef";
+    size_t Max = IsTypedef ? 2 : 3;
+    if (N < 2 || N > Max) {
+      err(D.Loc, IsTypedef
+                     ? "form '(typedef TYPE NAME)' expects two operands"
+                     : "form '(var TYPE NAME [INIT])' expects two or three "
+                       "operands");
+      return nullptr;
+    }
+    VarType VT;
+    if (!varType(A[0], VT))
+      return nullptr;
+    if (A[1].K != SDatum::Sym) {
+      err(A[1].Loc, "expected a name");
+      return nullptr;
+    }
+    Declarator *Dt = CC.Ast.create<Declarator>();
+    Dt->Name = Ident(sym(A[1].Text), A[1].Loc);
+    Dt->PointerDepth = VT.Depth;
+    Dt->Suffixes = ArenaRef<DeclSuffix>::copy(CC.Ast, VT.Arrays);
+    Dt->Loc = A[1].Loc;
+    InitDeclarator ID;
+    ID.Dtor = Dt;
+    ID.Loc = D.Loc;
+    if (!IsTypedef && N == 3) {
+      ID.Init = expr(A[2]);
+      if (!ID.Init)
+        return nullptr;
+    }
+    DeclSpecs Specs;
+    Specs.Type = VT.Spec;
+    Specs.Loc = A[0].Loc;
+    if (IsTypedef)
+      Specs.Storage = StorageClass::Typedef;
+    auto *Decl = CC.Ast.create<Declaration>(
+        Specs, ArenaRef<InitDeclarator>::copy(CC.Ast, {ID}), nullptr, D.Loc);
+    registerDecl(Decl);
+    return Decl;
+  }
+
+  if (H == "decl") {
+    if (N < 2) {
+      err(D.Loc, "form '(decl SPECS ITEM...)' expects specifiers and at "
+                 "least one declarator");
+      return nullptr;
+    }
+    DeclSpecs Specs;
+    unsigned Fold = 0;
+    if (!declSpecs(A[0], Specs, Fold, /*AllowStorage=*/true))
+      return nullptr;
+    if (Fold > 0) {
+      err(A[0].Loc, "pointers belong on the individual (dtor ...) forms "
+                    "inside (decl ...)");
+      return nullptr;
+    }
+    std::vector<InitDeclarator> Inits;
+    for (size_t I = 1; I != N; ++I) {
+      const SDatum &It = A[I];
+      if (It.K != SDatum::List || It.Elems.empty() || It.Elems.size() > 2) {
+        err(It.Loc, "expected a declarator item: (DTOR [INIT])");
+        return nullptr;
+      }
+      InitDeclarator ID;
+      ID.Loc = It.Loc;
+      ID.Dtor = declarator(It.Elems[0]);
+      if (!ID.Dtor)
+        return nullptr;
+      if (It.Elems.size() == 2) {
+        ID.Init = expr(It.Elems[1]);
+        if (!ID.Init)
+          return nullptr;
+      }
+      Inits.push_back(ID);
+    }
+    auto *Decl = CC.Ast.create<Declaration>(
+        Specs, ArenaRef<InitDeclarator>::copy(CC.Ast, Inits), nullptr, D.Loc);
+    registerDecl(Decl);
+    return Decl;
+  }
+
+  if (H == "defun" || H == "defun*") {
+    if (!TopLevel) {
+      err(D.Loc, "function definitions are only allowed at the top level");
+      return nullptr;
+    }
+    if (H == "defun") {
+      if (N < 3) {
+        err(D.Loc, "form '(defun RET NAME (PARAM...) BODY...)' expects at "
+                   "least three operands");
+        return nullptr;
+      }
+      TypeName RT;
+      if (!typeName(A[0], RT))
+        return nullptr;
+      if (A[1].K != SDatum::Sym) {
+        err(A[1].Loc, "expected a function name");
+        return nullptr;
+      }
+      DeclSuffix FS;
+      if (!paramList(A[2], FS))
+        return nullptr;
+      Declarator *Dt = CC.Ast.create<Declarator>();
+      Dt->Name = Ident(sym(A[1].Text), A[1].Loc);
+      Dt->PointerDepth = RT.PointerDepth;
+      Dt->Suffixes = ArenaRef<DeclSuffix>::copy(CC.Ast, {FS});
+      Dt->Loc = A[1].Loc;
+      DeclSpecs Specs;
+      Specs.Type = RT.Spec;
+      Specs.Loc = A[0].Loc;
+      CompoundStmt *Body = compound(A + 3, N - 3, D.Loc);
+      return CC.Ast.create<FunctionDef>(Specs, Dt,
+                                        ArenaRef<Declaration *>(), Body,
+                                        D.Loc);
+    }
+    // defun*
+    if (N < 2) {
+      err(D.Loc, "form '(defun* SPECS DTOR [(krdecls ...)] BODY...)' "
+                 "expects at least two operands");
+      return nullptr;
+    }
+    DeclSpecs Specs;
+    unsigned Fold = 0;
+    if (!declSpecs(A[0], Specs, Fold, /*AllowStorage=*/true))
+      return nullptr;
+    Declarator *Dt = declarator(A[1]);
+    if (!Dt)
+      return nullptr;
+    Dt->PointerDepth += Fold;
+    size_t BodyStart = 2;
+    std::vector<Declaration *> KRDecls;
+    if (N > 2 && A[2].head() == "krdecls") {
+      for (size_t I = 1; I != A[2].Elems.size(); ++I) {
+        Decl *KD = decl(A[2].Elems[I], /*TopLevel=*/false);
+        if (!KD)
+          continue;
+        auto *KDD = dyn_cast<Declaration>(KD);
+        if (!KDD) {
+          err(A[2].Elems[I].Loc, "expected a K&R parameter declaration");
+          continue;
+        }
+        KRDecls.push_back(KDD);
+      }
+      BodyStart = 3;
+    }
+    CompoundStmt *Body = compound(A + BodyStart, N - BodyStart, D.Loc);
+    return CC.Ast.create<FunctionDef>(
+        Specs, Dt, ArenaRef<Declaration *>::copy(CC.Ast, KRDecls), Body,
+        D.Loc);
+  }
+
+  if (H == "syntax" || H == "metadcl") {
+    err(D.Loc, "macro definitions and meta declarations are written in the "
+               "C base; S-expression units can only invoke macros");
+    return nullptr;
+  }
+
+  if (const MacroDef *Def = CC.Macros.lookup(sym(H));
+      Def && !isReservedHead(H)) {
+    const MetaType *RT = Def->ReturnType;
+    bool FitsDecl =
+        RT->kind() == MetaTypeKind::Decl ||
+        (RT->isList() && RT->listElem()->kind() == MetaTypeKind::Decl);
+    if (!FitsDecl) {
+      err(D.Loc, "macro '" + std::string(Def->Name.str()) + "' returns " +
+                     RT->toString() +
+                     " and cannot appear where a declaration is expected");
+      if (!TopLevel) {
+        invocation(Def, A, N, D.Loc); // recover
+        return nullptr;
+      }
+    }
+    MacroInvocation *Inv = invocation(Def, A, N, D.Loc);
+    if (!Inv)
+      return nullptr;
+    return CC.Ast.create<MacroInvocationDecl>(Inv, D.Loc);
+  }
+
+  err(D.Loc, "'" + std::string(H) + "' does not begin a declaration form");
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Macro invocations
+//===----------------------------------------------------------------------===//
+
+MacroInvocation *Lower::invocation(const MacroDef *Def, const SDatum *Ops,
+                                   size_t N, SourceLoc Loc) {
+  std::vector<const PatternElement *> Binders;
+  for (const PatternElement &E : Def->Pat->Elements)
+    if (E.K == PatternElement::Binder)
+      Binders.push_back(&E);
+  if (N != Binders.size()) {
+    err(Loc, "macro '" + std::string(Def->Name.str()) + "' expects " +
+                 std::to_string(Binders.size()) +
+                 " constituent(s) in S-expression form, got " +
+                 std::to_string(N));
+    return nullptr;
+  }
+  std::vector<MacroArg> Bindings;
+  for (size_t I = 0; I != N; ++I) {
+    MatchValue *V = mvFromSpec(Binders[I]->Spec, Ops[I]);
+    if (!V)
+      return nullptr;
+    if (!V->Type)
+      V->Type = pspecValueType(Binders[I]->Spec, CC.Types);
+    Bindings.push_back({Binders[I]->Name, V});
+  }
+  MacroInvocation *Inv = CC.Ast.create<MacroInvocation>();
+  Inv->Def = Def;
+  Inv->Loc = Loc;
+  Inv->Args = ArenaRef<MacroArg>::copy(CC.Ast, Bindings);
+  return Inv;
+}
+
+MatchValue *Lower::mvFromSpec(const PSpec *Spec, const SDatum &D) {
+  switch (Spec->K) {
+  case PSpec::Scalar:
+    return scalarMV(Spec->ScalarType, D);
+  case PSpec::Plus:
+  case PSpec::Star: {
+    if (D.K != SDatum::List) {
+      err(D.Loc, "expected a list of constituents for a repetition");
+      return nullptr;
+    }
+    if (Spec->K == PSpec::Plus && D.Elems.empty()) {
+      err(D.Loc, "expected at least one element for a '+' repetition");
+      return nullptr;
+    }
+    std::vector<MatchValue *> Elems;
+    for (const SDatum &E : D.Elems) {
+      MatchValue *V = mvFromSpec(Spec->Inner, E);
+      if (!V)
+        return nullptr;
+      Elems.push_back(V);
+    }
+    MatchValue *V = CC.Ast.create<MatchValue>();
+    V->K = MatchValue::List;
+    V->Elems = ArenaRef<MatchValue *>::copy(CC.Ast, Elems);
+    V->Type = pspecValueType(Spec, CC.Types);
+    return V;
+  }
+  case PSpec::Opt: {
+    if (D.isEmptyList()) {
+      MatchValue *V = CC.Ast.create<MatchValue>();
+      V->K = MatchValue::Absent;
+      V->Type = pspecValueType(Spec->Inner, CC.Types);
+      return V;
+    }
+    return mvFromSpec(Spec->Inner, D);
+  }
+  case PSpec::Tuple: {
+    if (D.K != SDatum::List) {
+      err(D.Loc, "expected a list of fields for a tuple constituent");
+      return nullptr;
+    }
+    std::vector<const PatternElement *> Binders;
+    for (const PatternElement &E : Spec->Sub->Elements)
+      if (E.K == PatternElement::Binder)
+        Binders.push_back(&E);
+    if (D.Elems.size() != Binders.size()) {
+      err(D.Loc, "tuple constituent expects " +
+                     std::to_string(Binders.size()) + " field(s), got " +
+                     std::to_string(D.Elems.size()));
+      return nullptr;
+    }
+    std::vector<MatchValue *> Fields;
+    std::vector<Symbol> Names;
+    for (size_t I = 0; I != Binders.size(); ++I) {
+      MatchValue *V = mvFromSpec(Binders[I]->Spec, D.Elems[I]);
+      if (!V)
+        return nullptr;
+      Fields.push_back(V);
+      Names.push_back(Binders[I]->Name);
+    }
+    MatchValue *V = CC.Ast.create<MatchValue>();
+    V->K = MatchValue::Tuple;
+    V->Elems = ArenaRef<MatchValue *>::copy(CC.Ast, Fields);
+    V->FieldNames = ArenaRef<Symbol>::copy(CC.Ast, Names);
+    return V;
+  }
+  }
+  return nullptr;
+}
+
+MatchValue *Lower::scalarMV(const MetaType *Scalar, const SDatum &D) {
+  MatchValue *V = CC.Ast.create<MatchValue>();
+  V->Type = Scalar;
+  switch (Scalar->kind()) {
+  case MetaTypeKind::Exp: {
+    Expr *E = expr(D);
+    if (!E)
+      return nullptr;
+    V->K = MatchValue::Ast;
+    V->AstNode = E;
+    return V;
+  }
+  case MetaTypeKind::Num: {
+    Expr *E = nullptr;
+    if (D.K == SDatum::Int)
+      E = CC.Ast.create<IntLiteralExpr>(D.IntVal, D.Loc);
+    else if (D.K == SDatum::Float)
+      E = CC.Ast.create<FloatLiteralExpr>(D.FloatVal, D.Loc);
+    else if (D.K == SDatum::Char)
+      E = CC.Ast.create<CharLiteralExpr>(D.IntVal, D.Loc);
+    else {
+      err(D.Loc, "expected a numeric literal in macro invocation");
+      return nullptr;
+    }
+    V->K = MatchValue::Ast;
+    V->AstNode = E;
+    return V;
+  }
+  case MetaTypeKind::Id: {
+    if (D.K != SDatum::Sym) {
+      err(D.Loc, "expected an identifier in macro invocation");
+      return nullptr;
+    }
+    V->K = MatchValue::IdentV;
+    V->Id = Ident(sym(D.Text), D.Loc);
+    return V;
+  }
+  case MetaTypeKind::Stmt: {
+    Stmt *S = stmt(D);
+    if (!S)
+      return nullptr;
+    V->K = MatchValue::Ast;
+    V->AstNode = S;
+    return V;
+  }
+  case MetaTypeKind::Decl: {
+    Decl *Dc = decl(D, /*TopLevel=*/false);
+    if (!Dc)
+      return nullptr;
+    V->K = MatchValue::Ast;
+    V->AstNode = Dc;
+    return V;
+  }
+  case MetaTypeKind::TypeSpec: {
+    TypeSpecNode *T = typeSpec(D);
+    if (!T)
+      return nullptr;
+    V->K = MatchValue::Ast;
+    V->AstNode = T;
+    return V;
+  }
+  case MetaTypeKind::Declarator: {
+    Declarator *Dt = declarator(D);
+    if (!Dt)
+      return nullptr;
+    V->K = MatchValue::DeclaratorV;
+    V->Dtor = Dt;
+    return V;
+  }
+  case MetaTypeKind::InitDeclarator: {
+    InitDeclarator *ID = CC.Ast.create<InitDeclarator>();
+    ID->Loc = D.Loc;
+    if (D.head() == "initdtor") {
+      if (D.Elems.size() < 2 || D.Elems.size() > 3) {
+        err(D.Loc, "form '(initdtor DTOR [INIT])' expects one or two "
+                   "operands");
+        return nullptr;
+      }
+      ID->Dtor = declarator(D.Elems[1]);
+      if (!ID->Dtor)
+        return nullptr;
+      if (D.Elems.size() == 3) {
+        ID->Init = expr(D.Elems[2]);
+        if (!ID->Init)
+          return nullptr;
+      }
+    } else {
+      ID->Dtor = declarator(D);
+      if (!ID->Dtor)
+        return nullptr;
+    }
+    V->K = MatchValue::InitDeclV;
+    V->InitDtor = ID;
+    return V;
+  }
+  case MetaTypeKind::Enumerator: {
+    Enumerator E;
+    if (!enumeratorFromForm(D, E))
+      return nullptr;
+    Enumerator *EP = CC.Ast.create<Enumerator>();
+    *EP = E;
+    V->K = MatchValue::EnumeratorV;
+    V->Enum = EP;
+    return V;
+  }
+  default:
+    err(D.Loc, "pattern constituent type " + Scalar->toString() +
+                   " is not supported");
+    return nullptr;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+TranslationUnit *msq::parseSexprUnit(CompilationContext &CC,
+                                     uint32_t BufferId) {
+  Scanner S(BufferId, CC.SM.bufferContents(BufferId), CC.Diags);
+  std::vector<SDatum> Forms = S.scanAll();
+  Lower L(CC);
+  std::vector<Decl *> Items;
+  for (const SDatum &F : Forms)
+    if (Decl *D = L.decl(F, /*TopLevel=*/true))
+      Items.push_back(D);
+  return CC.Ast.create<TranslationUnit>(ArenaRef<Decl *>::copy(CC.Ast, Items),
+                                        SourceLoc::get(BufferId, 0));
+}
+
+Node *msq::parseSexprFragment(CompilationContext &CC, uint32_t BufferId,
+                              MetaTypeKind Kind) {
+  Scanner S(BufferId, CC.SM.bufferContents(BufferId), CC.Diags);
+  std::vector<SDatum> Forms = S.scanAll();
+  if (Forms.empty()) {
+    CC.Diags.error(SourceLoc::get(BufferId, 0),
+                   "expected a form in the fragment");
+    return nullptr;
+  }
+  if (Forms.size() > 1)
+    CC.Diags.error(Forms[1].Loc, "expected a single form in the fragment");
+  Lower L(CC);
+  switch (Kind) {
+  case MetaTypeKind::Exp:
+    return L.expr(Forms[0]);
+  case MetaTypeKind::Stmt:
+    return L.stmt(Forms[0]);
+  case MetaTypeKind::Decl:
+    return L.decl(Forms[0], /*TopLevel=*/true);
+  case MetaTypeKind::TypeSpec:
+    return L.typeSpec(Forms[0]);
+  default:
+    CC.Diags.error(SourceLoc::get(BufferId, 0),
+                   "the S-expression base cannot parse a fragment of this "
+                   "meta type");
+    return nullptr;
+  }
+}

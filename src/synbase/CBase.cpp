@@ -1,0 +1,90 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C syntax base: the original MS2 surface syntax, refactored behind
+/// the SyntaxBase interface. This is a thin delegation layer over the
+/// existing lexer, recursive-descent parser, and precedence-aware printer;
+/// its output is byte-identical to the pre-refactor engine (the synbase
+/// test tier checks this against the example corpus).
+///
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+#include "synbase/SyntaxBase.h"
+
+using namespace msq;
+
+namespace {
+
+class CBase final : public SyntaxBase {
+public:
+  const char *name() const override { return "c"; }
+
+  bool matchesExtension(std::string_view Ext) const override {
+    return Ext == ".c" || Ext == ".h" || Ext == ".msq";
+  }
+
+  TranslationUnit *parseUnit(CompilationContext &CC, uint32_t BufferId,
+                             const ParseOptions &PO,
+                             std::vector<Token> *TokensOut) const override {
+    size_t DiagsBefore = CC.Diags.all().size();
+    Lexer Lex(BufferId, CC.SM.bufferContents(BufferId), CC.Interner,
+              CC.Diags);
+    std::vector<Token> Toks = Lex.lexAll();
+    // Cached tokens cannot replay lexer diagnostics, so only a
+    // diagnostic-free stream may be captured for reuse.
+    if (TokensOut && CC.Diags.all().size() == DiagsBefore)
+      *TokensOut = Toks;
+    Parser::Options POpts;
+    POpts.UseCompiledPatterns = PO.UseCompiledPatterns;
+    Parser P(CC, POpts);
+    return P.parseTranslationUnitFromTokens(std::move(Toks));
+  }
+
+  bool supportsTokenReuse() const override { return true; }
+
+  TranslationUnit *parseUnitFromTokens(CompilationContext &CC,
+                                       std::vector<Token> Toks,
+                                       const ParseOptions &PO) const override {
+    Parser::Options POpts;
+    POpts.UseCompiledPatterns = PO.UseCompiledPatterns;
+    Parser P(CC, POpts);
+    return P.parseTranslationUnitFromTokens(std::move(Toks));
+  }
+
+  Node *parseFragment(CompilationContext &CC, uint32_t BufferId,
+                      MetaTypeKind Kind,
+                      const ParseOptions &PO) const override {
+    Parser::Options POpts;
+    POpts.UseCompiledPatterns = PO.UseCompiledPatterns;
+    Parser P(CC, POpts);
+    switch (Kind) {
+    case MetaTypeKind::Exp:
+      return P.parseExpressionFragment(BufferId);
+    case MetaTypeKind::Stmt:
+      return P.parseStatementFragment(BufferId);
+    case MetaTypeKind::Decl:
+      return P.parseDeclarationFragment(BufferId);
+    default:
+      CC.Diags.error(SourceLoc::get(BufferId, 0),
+                     "the C base cannot parse a fragment of this meta type");
+      return nullptr;
+    }
+  }
+
+  std::string print(const Node *N, const PrintOptions &PO) const override {
+    return printNode(N, PO);
+  }
+};
+
+} // namespace
+
+const SyntaxBase &msq::cSyntaxBase() {
+  static CBase B;
+  return B;
+}

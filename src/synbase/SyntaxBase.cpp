@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The syntax-base registry. The two in-tree bases are registered eagerly;
+/// black-box bases join via registerSyntaxBase before engines start.
+///
+//===----------------------------------------------------------------------===//
+
+#include "synbase/SyntaxBase.h"
+
+using namespace msq;
+
+static std::vector<const SyntaxBase *> &baseList() {
+  static std::vector<const SyntaxBase *> Bases = {&cSyntaxBase(),
+                                                  &sexprSyntaxBase()};
+  return Bases;
+}
+
+const std::vector<const SyntaxBase *> &msq::registeredSyntaxBases() {
+  return baseList();
+}
+
+void msq::registerSyntaxBase(const SyntaxBase *Base) {
+  if (Base)
+    baseList().push_back(Base);
+}
+
+const SyntaxBase *msq::syntaxBaseByName(std::string_view Name) {
+  if (Name.empty())
+    return &cSyntaxBase();
+  for (const SyntaxBase *B : baseList())
+    if (Name == B->name())
+      return B;
+  return nullptr;
+}
+
+const SyntaxBase *msq::syntaxBaseForFile(std::string_view Path) {
+  size_t Dot = Path.rfind('.');
+  if (Dot == std::string_view::npos)
+    return nullptr;
+  std::string_view Ext = Path.substr(Dot);
+  for (const SyntaxBase *B : baseList())
+    if (B->matchesExtension(Ext))
+      return B;
+  return nullptr;
+}

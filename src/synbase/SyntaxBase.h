@@ -1,0 +1,138 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the MS2 project: a reproduction of "Programmable Syntax Macros"
+// (Weise & Crew, PLDI 1993). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pluggable concrete-syntax bases. The paper's Figure-1 taxonomy sorts
+/// macro processors by their base (character / token / syntax); MS2's
+/// engine — meta types, quasi-quoted templates, patterns, the expander,
+/// hygiene, lint, provenance — operates on one typed AST and does not
+/// actually care which surface syntax produced that AST. A SyntaxBase
+/// packages everything that IS surface-specific:
+///
+///   * parsing a whole source buffer into a TranslationUnit,
+///   * parsing a quotation fragment of a given meta type,
+///   * printing a tree back to concrete syntax,
+///   * mapping a SourceLoc to a human-readable position.
+///
+/// Two bases ship in-tree: the C base (src/synbase/CBase.cpp, wrapping the
+/// original lexer/parser/printer with byte-identical behavior) and an
+/// S-expression base in the C-lisp style (src/sexpr). A third "black box"
+/// base (Aarssen et al., PAPERS.md) would implement this interface around
+/// an external parser and call registerSyntaxBase at startup; nothing in
+/// the engine needs to change.
+///
+/// Base identity participates in every cache key (unit cache, sub-unit
+/// caches, stateFingerprint): the same bytes parse to different trees
+/// under different bases, so a cached C-base entry must never be replayed
+/// for an S-expression unit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSQ_SYNBASE_SYNTAXBASE_H
+#define MSQ_SYNBASE_SYNTAXBASE_H
+
+#include "ast/Ast.h"
+#include "lexer/Token.h"
+#include "parser/Parser.h"
+#include "printer/CPrinter.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msq {
+
+/// One concrete surface syntax over the shared typed AST.
+class SyntaxBase {
+public:
+  /// Surface-independent parse knobs threaded from Engine::Options.
+  struct ParseOptions {
+    bool UseCompiledPatterns = false;
+  };
+
+  virtual ~SyntaxBase() = default;
+
+  /// Stable registry name ("c", "sexpr"); what Engine::Options::Base,
+  /// `msqc --base=...`, and the msqd protocol's "base" field carry, and
+  /// what cache keys hash.
+  virtual const char *name() const = 0;
+
+  /// True when this base claims files with the given extension (includes
+  /// the dot, e.g. ".sexp"). Drives LSP/CLI per-file base selection.
+  virtual bool matchesExtension(std::string_view Ext) const = 0;
+
+  /// Parses buffer \p BufferId of CC.SM as a whole translation unit.
+  /// Never returns null; parse problems go to CC.Diags. When \p TokensOut
+  /// is non-null AND the base lexes to reusable tokens
+  /// (supportsTokenReuse), a diagnostic-free token stream is copied out
+  /// for the incremental engine's token cache.
+  virtual TranslationUnit *parseUnit(CompilationContext &CC,
+                                     uint32_t BufferId,
+                                     const ParseOptions &PO,
+                                     std::vector<Token> *TokensOut) const = 0;
+
+  /// True when parseUnit can fill TokensOut and parseUnitFromTokens is
+  /// implemented. Bases without a token layer (the S-expression reader
+  /// builds trees directly) return false and the incremental driver's
+  /// token path degrades soundly to the tree/cold paths.
+  virtual bool supportsTokenReuse() const { return false; }
+
+  /// Re-parses a cached token stream (token-reuse bases only).
+  virtual TranslationUnit *parseUnitFromTokens(CompilationContext &CC,
+                                               std::vector<Token> Toks,
+                                               const ParseOptions &PO) const {
+    (void)CC;
+    (void)Toks;
+    (void)PO;
+    return nullptr;
+  }
+
+  /// Quotation interface: parses the whole buffer as ONE fragment of the
+  /// given meta type. Every base supports at least Exp, Stmt, and Decl;
+  /// unsupported kinds diagnose and return null.
+  virtual Node *parseFragment(CompilationContext &CC, uint32_t BufferId,
+                              MetaTypeKind Kind,
+                              const ParseOptions &PO) const = 0;
+
+  /// Renders a tree back to this base's concrete syntax. PrintOptions is
+  /// shared across bases (indent width, placeholder policy, and the
+  /// LineProvenance out-param feeding source maps).
+  virtual std::string print(const Node *N, const PrintOptions &PO) const = 0;
+
+  /// Maps \p Loc to file/line/column *in this base's surface syntax*.
+  /// Bases whose readers stamp SourceLocs straight into the original
+  /// buffer (both in-tree bases do) inherit this default; a black-box
+  /// base wrapping a parser with its own location model overrides it.
+  virtual PresumedLoc locate(const SourceManager &SM, SourceLoc Loc) const {
+    return SM.presumed(Loc);
+  }
+};
+
+/// The built-in bases. cSyntaxBase is defined in synbase/CBase.cpp;
+/// sexprSyntaxBase in sexpr/SexprBase.cpp.
+const SyntaxBase &cSyntaxBase();
+const SyntaxBase &sexprSyntaxBase();
+
+/// Resolves a registry name to a base. The empty name resolves to the C
+/// base (the engine default); unknown names return null.
+const SyntaxBase *syntaxBaseByName(std::string_view Name);
+
+/// Picks a base for a file path by extension. Returns null when no
+/// registered base claims the extension (callers then fall back to their
+/// session default).
+const SyntaxBase *syntaxBaseForFile(std::string_view Path);
+
+/// All registered bases, in registration order (C first).
+const std::vector<const SyntaxBase *> &registeredSyntaxBases();
+
+/// Registers an additional (black-box) base. Not thread-safe: call during
+/// startup, before any engine runs.
+void registerSyntaxBase(const SyntaxBase *Base);
+
+} // namespace msq
+
+#endif // MSQ_SYNBASE_SYNTAXBASE_H

@@ -1,0 +1,15 @@
+/* Golden-fixture input: exercises the shared macro library from C. */
+int total;
+
+void tally(int n)
+{
+    int acc;
+    acc = 0;
+    times (n) {
+        acc = acc + 1;
+        log_if (acc > 3) "hot";
+    }
+    countdown (n)
+        total = total + acc;
+    log_value (total);
+}

@@ -1,0 +1,27 @@
+int total;
+
+void tally(int n)
+{
+    int acc;
+    acc = 0;
+    {
+        int __msq_times_0;
+        for (__msq_times_0 = 0; __msq_times_0 < n; __msq_times_0 = __msq_times_0 + 1) {
+            acc = acc + 1;
+            {
+                if (acc > 3) emit_log("hot");
+            }
+        }
+    }
+    {
+        int __msq_down_1;
+        for (__msq_down_1 = n - 1; __msq_down_1 >= 0; __msq_down_1 = __msq_down_1 - 1) total = total + acc;
+    }
+    {
+        {
+            int __msq_logv_2;
+            __msq_logv_2 = total;
+            emit_log(__msq_logv_2);
+        }
+    }
+}

@@ -1,0 +1,4 @@
+; Provenance backtrace fixture: the macro raises a meta error, so the
+; diagnostic must carry the S-expression invocation site below.
+(defun void f ()
+  (fail_here 1))

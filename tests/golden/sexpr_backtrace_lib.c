@@ -1,0 +1,5 @@
+syntax stmt fail_here {| ( $$exp::e ) |}
+{
+    meta_error("boom from fail_here");
+    return `{ ; };
+}

@@ -15,7 +15,9 @@
 #     "server_warm_req_per_s":  <--server, 8 clients, warm cache>,
 #     "server_warm_p99_us":     <same row's server-side p99 latency>,
 #     "interactive_hover_p99_us":     <--interactive, hover preview p99>,
-#     "interactive_diag_warm_p99_us": <--interactive, warm re-expand p99>
+#     "interactive_diag_warm_p99_us": <--interactive, warm re-expand p99>,
+#     "sexpr_batch_ms":         <--base=sexpr cold batch, 64x200 corpus>,
+#     "sexpr_units_per_s":      <same row's derived unit throughput>
 #   }
 #
 # Raw bench outputs are kept next to the summary (<out>.cache.json /
@@ -34,6 +36,7 @@ fail() {
 CACHE_RAW="$OUT.cache.json"
 SERVER_RAW="$OUT.server.json"
 INTERACTIVE_RAW="$OUT.interactive.json"
+SEXPR_RAW="$OUT.sexpr.json"
 
 "$BENCH" --cache > "$CACHE_RAW" || fail "bench --cache failed"
 [ -s "$CACHE_RAW" ] || fail "bench --cache produced no output"
@@ -42,6 +45,8 @@ INTERACTIVE_RAW="$OUT.interactive.json"
 "$BENCH" --interactive > "$INTERACTIVE_RAW" ||
   fail "bench --interactive failed"
 [ -s "$INTERACTIVE_RAW" ] || fail "bench --interactive produced no output"
+"$BENCH" --base=sexpr > "$SEXPR_RAW" || fail "bench --base=sexpr failed"
+[ -s "$SEXPR_RAW" ] || fail "bench --base=sexpr produced no output"
 
 WARM_MS=$(grep -o '"warm_ms":[0-9.]*' "$CACHE_RAW" | head -1 | cut -d: -f2)
 [ -n "$WARM_MS" ] || fail "no warm_ms in $CACHE_RAW"
@@ -61,9 +66,15 @@ DIAG_P99=$(grep -o '"diag_warm_p99_us":[0-9]*' "$INTERACTIVE_RAW" |
 [ -n "$HOVER_P99" ] || fail "no hover_p99_us in $INTERACTIVE_RAW"
 [ -n "$DIAG_P99" ] || fail "no diag_warm_p99_us in $INTERACTIVE_RAW"
 
+SEXPR_MS=$(grep -o '"batch_ms":[0-9.]*' "$SEXPR_RAW" | head -1 | cut -d: -f2)
+SEXPR_UPS=$(grep -o '"units_per_s":[0-9.]*' "$SEXPR_RAW" |
+  head -1 | cut -d: -f2)
+[ -n "$SEXPR_MS" ] || fail "no batch_ms in $SEXPR_RAW"
+[ -n "$SEXPR_UPS" ] || fail "no units_per_s in $SEXPR_RAW"
+
 UNITS_PER_S=$(awk -v ms="$WARM_MS" 'BEGIN {printf "%.1f", 64 * 1000 / ms}')
 
-printf '{"schema":1,"date":"%s","warm_batch_ms":%s,"warm_batch_units_per_s":%s,"server_warm_req_per_s":%s,"server_warm_p99_us":%s,"interactive_hover_p99_us":%s,"interactive_diag_warm_p99_us":%s}\n' \
+printf '{"schema":1,"date":"%s","warm_batch_ms":%s,"warm_batch_units_per_s":%s,"server_warm_req_per_s":%s,"server_warm_p99_us":%s,"interactive_hover_p99_us":%s,"interactive_diag_warm_p99_us":%s,"sexpr_batch_ms":%s,"sexpr_units_per_s":%s}\n' \
   "$(date -u +%F)" "$WARM_MS" "$UNITS_PER_S" "$REQ_PER_S" "$P99_US" \
-  "$HOVER_P99" "$DIAG_P99" > "$OUT"
+  "$HOVER_P99" "$DIAG_P99" "$SEXPR_MS" "$SEXPR_UPS" > "$OUT"
 cat "$OUT"

@@ -1,0 +1,302 @@
+//===----------------------------------------------------------------------===//
+// Syntax-base tests: the pluggable-base registry, C-base byte-identity
+// against the pre-refactor goldens, the cross-base differential (one macro
+// library expanding a C unit and its S-expression twin), per-base
+// parse->print->parse round-trip fixpoints, base-aware cache keys and
+// fingerprints, the unknown-base structured error, and S-expression
+// line/col in provenance backtraces.
+//===----------------------------------------------------------------------===//
+
+#include "api/Msq.h"
+#include "cache/ExpansionCache.h"
+#include "cache/SubUnitCache.h"
+#include "driver/BatchDriver.h"
+#include "server/Server.h"
+#include "server/Session.h"
+#include "synbase/SyntaxBase.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace msq;
+
+namespace {
+
+bool contains(const std::string &H, const std::string &N) {
+  return H.find(N) != std::string::npos;
+}
+
+std::string repoFile(const std::string &Rel) {
+  std::string Path = std::string(MSQ_REPO_DIR) + "/" + Rel;
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "missing fixture " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Fresh engine with the shared example macro library loaded (pure C-base
+/// macro definitions: loops + logging), mirroring what the golden
+/// fixtures were captured against.
+std::unique_ptr<Engine> engineWithLibrary(Engine::Options Opts = {}) {
+  auto E = std::make_unique<Engine>(Opts);
+  for (const char *Lib :
+       {"examples/macros/loops.c", "examples/macros/logging.c"}) {
+    ExpandResult R = E->expandSource(Lib, repoFile(Lib));
+    EXPECT_TRUE(R.Success) << Lib << ":\n" << R.DiagnosticsText;
+  }
+  return E;
+}
+
+// -- registry ---------------------------------------------------------------
+
+TEST(SyntaxBaseRegistry, ResolvesNamesAndExtensions) {
+  EXPECT_EQ(syntaxBaseByName(""), &cSyntaxBase());
+  EXPECT_EQ(syntaxBaseByName("c"), &cSyntaxBase());
+  EXPECT_EQ(syntaxBaseByName("sexpr"), &sexprSyntaxBase());
+  EXPECT_EQ(syntaxBaseByName("klingon"), nullptr);
+
+  EXPECT_EQ(syntaxBaseForFile("dir/unit.c"), &cSyntaxBase());
+  EXPECT_EQ(syntaxBaseForFile("dir/unit.sexp"), &sexprSyntaxBase());
+  EXPECT_EQ(syntaxBaseForFile("dir/unit.sx"), &sexprSyntaxBase());
+  EXPECT_EQ(syntaxBaseForFile("dir/unit.py"), nullptr);
+  EXPECT_EQ(syntaxBaseForFile("no_extension"), nullptr);
+
+  // Registration order: C first, so "" keeps meaning the engine default.
+  const std::vector<const SyntaxBase *> &All = registeredSyntaxBases();
+  ASSERT_GE(All.size(), 2u);
+  EXPECT_EQ(All[0], &cSyntaxBase());
+}
+
+// -- C-base byte-identity ---------------------------------------------------
+
+TEST(SyntaxBaseCBase, ByteIdenticalToPreRefactorGolden) {
+  std::unique_ptr<Engine> E = engineWithLibrary();
+  ExpandResult R = E->expandSource(
+      {"tests/golden/cbase_input.c", repoFile("tests/golden/cbase_input.c")});
+  ASSERT_TRUE(R.Success) << R.DiagnosticsText;
+  EXPECT_EQ(R.Output, repoFile("tests/golden/cbase_input.expanded.c"));
+}
+
+// -- cross-base differential ------------------------------------------------
+
+TEST(SyntaxBaseCrossBase, OneLibraryExpandsBothSurfaces) {
+  // Fresh engine per unit so both expansions start from the same gensym
+  // counter; equivalence then shows as an identical gensym sequence.
+  std::unique_ptr<Engine> EC = engineWithLibrary();
+  ExpandResult RC = EC->expandSource(
+      {"tests/golden/cbase_input.c", repoFile("tests/golden/cbase_input.c")});
+  ASSERT_TRUE(RC.Success) << RC.DiagnosticsText;
+
+  std::unique_ptr<Engine> ES = engineWithLibrary();
+  ExpandResult RS = ES->expandSource({"examples/sexpr/tally.sexp",
+                                              repoFile("examples/sexpr/tally.sexp"),
+                                              "sexpr"});
+  ASSERT_TRUE(RS.Success) << RS.DiagnosticsText;
+
+  // Both units drive the macros through the same expansion sequence.
+  for (const char *Gensym : {"__msq_times_0", "__msq_down_1", "__msq_logv_2"}) {
+    EXPECT_TRUE(contains(RC.Output, Gensym)) << RC.Output;
+    EXPECT_TRUE(contains(RS.Output, Gensym)) << RS.Output;
+  }
+  EXPECT_EQ(RC.InvocationsExpanded, RS.InvocationsExpanded);
+
+  // Each result prints in its own surface syntax, fully expanded.
+  EXPECT_TRUE(contains(RC.Output, "void tally(int n)"));
+  EXPECT_TRUE(contains(RS.Output, "(defun void tally ((int n))"));
+  EXPECT_FALSE(contains(RS.Output, "(times "));
+  EXPECT_FALSE(contains(RS.Output, "(countdown "));
+}
+
+// -- round-trip fixpoints ---------------------------------------------------
+
+/// parse -> print -> parse -> print must reach a fixpoint in one step for
+/// both bases: the first print canonicalizes, the second must agree.
+static void roundTrip(const std::string &Name, const std::string &Text,
+                      const std::string &Base) {
+  const SyntaxBase *SB = syntaxBaseByName(Base);
+  ASSERT_NE(SB, nullptr);
+
+  Engine E1;
+  TranslationUnit *TU1 = E1.parseSource({Name, Text, Base});
+  ASSERT_NE(TU1, nullptr);
+  std::string P1 = SB->print(TU1, PrintOptions{});
+
+  Engine E2;
+  TranslationUnit *TU2 = E2.parseSource({Name, P1, Base});
+  ASSERT_NE(TU2, nullptr) << "reparse failed for:\n" << P1;
+  std::string P2 = SB->print(TU2, PrintOptions{});
+  EXPECT_EQ(P1, P2);
+}
+
+TEST(SyntaxBaseRoundTrip, CBaseFixpoint) {
+  roundTrip("rt.c", repoFile("tests/golden/cbase_input.c"), "c");
+}
+
+TEST(SyntaxBaseRoundTrip, SexprFixpoint) {
+  roundTrip("rt.sexp", repoFile("examples/sexpr/tally.sexp"), "sexpr");
+}
+
+TEST(SyntaxBaseRoundTrip, SexprConstructCoverage) {
+  roundTrip("cov.sexp", R"((var int g 42)
+(typedef int word)
+(defun int pick ((int a) (int b))
+  (if (> a b)
+    (return a)
+    (return b)))
+(defun void drive ()
+  (var word w 0)
+  (while (< w 10)
+    (begin
+      (= w (+ w 1))
+      (if (== w 5) (continue))
+      (call use w)))
+  (for (= w 0) (< w 3) (= w (+ w 1))
+    (call use (?: (> w 1) w (- 0 w))))
+  (return))
+)",
+            "sexpr");
+}
+
+// -- cache keys and fingerprints --------------------------------------------
+
+TEST(SyntaxBaseCacheKeys, SameBytesDifferentBaseDifferentKeys) {
+  const std::string FP = "fp";
+  SourceUnit C{"u.src", "(var int x)", "c"};
+  SourceUnit S{"u.src", "(var int x)", "sexpr"};
+  EXPECT_NE(expansionCacheKey(FP, C, 1000, false, false),
+            expansionCacheKey(FP, S, 1000, false, false));
+  EXPECT_EQ(expansionCacheKey(FP, C, 1000, false, false),
+            expansionCacheKey(FP, C, 1000, false, false));
+
+  EXPECT_NE(subUnitCacheKey("u.src", "(var int x)", "c"),
+            subUnitCacheKey("u.src", "(var int x)", "sexpr"));
+  EXPECT_EQ(subUnitCacheKey("u.src", "(var int x)", "sexpr"),
+            subUnitCacheKey("u.src", "(var int x)", "sexpr"));
+}
+
+TEST(SyntaxBaseCacheKeys, StateFingerprintCoversBase) {
+  // Differing only in the session default base.
+  Engine::Options OC, OS;
+  OS.Base = "sexpr";
+  Engine EC(OC), ES(OS);
+  EXPECT_NE(EC.stateFingerprint(), ES.stateFingerprint());
+
+  // Differing only in one replayed unit's RECORDED base ("" vs the
+  // equivalent explicit "c"): the digest hashes what a replay would
+  // resolve, so even a spelling difference that resolves to the same
+  // base must change it.
+  Engine E1, E2;
+  (void)E1.expandSource({"m.c", "int x;", ""});
+  (void)E2.expandSource({"m.c", "int x;", "c"});
+  EXPECT_NE(E1.stateFingerprint(), E2.stateFingerprint());
+}
+
+// -- unknown base -----------------------------------------------------------
+
+TEST(SyntaxBaseErrors, UnknownBaseIsStructured) {
+  Engine E;
+  ExpandResult R = E.expandSource({"u.c", "int x;", "klingon"});
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(contains(R.DiagnosticsText, "unknown syntax base 'klingon'"))
+      << R.DiagnosticsText;
+
+  EXPECT_EQ(E.parseSource({"p.c", "int x;", "klingon"}), nullptr);
+
+  Engine::LintResult LR = E.lintSource({"l.c", "int x;", "klingon"});
+  EXPECT_FALSE(LR.Success);
+  EXPECT_TRUE(contains(LR.DiagnosticsText, "unknown syntax base"));
+}
+
+// -- batch and msqd-session parity ------------------------------------------
+
+TEST(SyntaxBaseDrivers, BatchExpandsMixedBases) {
+  std::unique_ptr<Engine> E = engineWithLibrary();
+  std::vector<SourceUnit> Units = {
+      {"tests/golden/cbase_input.c", repoFile("tests/golden/cbase_input.c")},
+      {"examples/sexpr/tally.sexp", repoFile("examples/sexpr/tally.sexp"),
+       "sexpr"}};
+  BatchResult BR = E->expandSources(std::move(Units));
+  ASSERT_EQ(BR.UnitsFailed, 0u)
+      << BR.Results[0].DiagnosticsText << BR.Results[1].DiagnosticsText;
+  EXPECT_EQ(BR.Results[0].Output,
+            repoFile("tests/golden/cbase_input.expanded.c"));
+  EXPECT_TRUE(contains(BR.Results[1].Output, "(defun void tally ((int n))"));
+  EXPECT_TRUE(contains(BR.Results[1].Output, "__msq_logv_2"));
+}
+
+TEST(SyntaxBaseDrivers, MsqdSessionEvaluatesSexprUnit) {
+  ServerOptions SO;
+  SO.Workers = 1;
+  Server S(SO);
+  ASSERT_TRUE(
+      S.reloadLibrary(
+           {{"examples/macros/loops.c", repoFile("examples/macros/loops.c")},
+            {"examples/macros/logging.c",
+             repoFile("examples/macros/logging.c")}},
+           false)
+          .Success);
+  SessionManager SM(S, {});
+
+  Request Open;
+  Open.Id = "o";
+  Open.Ty = Request::Type::SessionOpen;
+  std::string Sid, Msg;
+  ErrorCode Code;
+  ASSERT_TRUE(SM.open(Open, "", Sid, Code, Msg)) << Msg;
+
+  // Preview expansion (what hover uses), base carried on the request.
+  Request R;
+  R.Id = "e";
+  R.Ty = Request::Type::SessionEval;
+  R.Session = Sid;
+  R.Mode = "expand";
+  R.Name = "tally.sexp";
+  R.Source = repoFile("examples/sexpr/tally.sexp");
+  R.Base = "sexpr";
+  SessionEvalResult Preview;
+  ErrorCode EC;
+  std::string EM;
+  ASSERT_TRUE(SM.eval(R, Preview, EC, EM)) << EM;
+  ASSERT_TRUE(Preview.Success) << Preview.Diagnostics;
+  EXPECT_TRUE(contains(Preview.Output, "(defun void tally ((int n))"));
+  EXPECT_TRUE(contains(Preview.Output, "__msq_times_0"));
+
+  // Mode "unit" rides the incremental driver; same base, same output.
+  R.Id = "u";
+  R.Mode = "unit";
+  SessionEvalResult Unit;
+  ASSERT_TRUE(SM.eval(R, Unit, EC, EM)) << EM;
+  ASSERT_TRUE(Unit.Success) << Unit.Diagnostics;
+  EXPECT_EQ(Unit.Output, Preview.Output);
+}
+
+// -- provenance backtraces from sexpr units ---------------------------------
+
+TEST(SyntaxBaseProvenance, BacktraceCarriesSexprPosition) {
+  Engine::Options Opts;
+  Opts.TrackProvenance = true;
+  Engine E(Opts);
+  ExpandResult RL =
+      E.expandSource("tests/golden/sexpr_backtrace_lib.c",
+                     repoFile("tests/golden/sexpr_backtrace_lib.c"));
+  ASSERT_TRUE(RL.Success) << RL.DiagnosticsText;
+
+  ExpandResult R = E.expandSource(
+      {"tests/golden/sexpr_backtrace_input.sexp",
+       repoFile("tests/golden/sexpr_backtrace_input.sexp"), "sexpr"});
+  EXPECT_FALSE(R.Success);
+
+  // Every line of the golden must appear: the meta_error anchored in the
+  // (C-base) library, and the backtrace note carrying the S-expression
+  // invocation site.
+  std::istringstream Golden(repoFile("tests/golden/sexpr_backtrace.expected.txt"));
+  std::string Line;
+  while (std::getline(Golden, Line))
+    EXPECT_TRUE(contains(R.DiagnosticsText, Line))
+        << "missing: " << Line << "\nin:\n" << R.DiagnosticsText;
+}
+
+} // namespace
